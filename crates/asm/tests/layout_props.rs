@@ -1,0 +1,131 @@
+//! Property tests for the assembler's layout engine: random straight-line
+//! instruction streams with random label placements must survive
+//! assemble → link → decode with exact instruction-boundary and branch-
+//! target fidelity. The Speculation Shadows rewriter's address maps are
+//! built on this invariant.
+
+use proptest::prelude::*;
+use teapot_asm::Assembler;
+use teapot_isa::{decode_at, AccessSize, AluOp, Inst, MemRef, Operand, Reg};
+use teapot_obj::Linker;
+
+#[derive(Debug, Clone)]
+enum Item {
+    Plain(u8),
+    JumpFwd,
+    JumpBack,
+}
+
+fn arb_items() -> impl Strategy<Value = Vec<Item>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..6).prop_map(Item::Plain),
+            Just(Item::JumpFwd),
+            Just(Item::JumpBack),
+        ],
+        1..60,
+    )
+}
+
+fn plain_inst(sel: u8) -> Inst<u64> {
+    match sel {
+        0 => Inst::Nop,
+        1 => Inst::MovRI { dst: Reg::R6, imm: 123456789 },
+        2 => Inst::Alu { op: AluOp::Add, dst: Reg::R7, src: Operand::Imm(9) },
+        3 => Inst::Load {
+            dst: Reg::R8,
+            mem: MemRef::base_disp(Reg::FP, -32),
+            size: AccessSize::B8,
+            sext: false,
+        },
+        4 => Inst::Push { src: Reg::R9 },
+        _ => Inst::MovRI { dst: Reg::R1, imm: i64::MIN / 3 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_streams_decode_with_exact_boundaries(items in arb_items()) {
+        let mut asm = Assembler::new("p");
+        let mut f = asm.func("_start");
+        let top = f.fresh_label();
+        let end = f.fresh_label();
+        f.bind(top);
+        let mut expected_plain = 0usize;
+        let mut expected_jumps = 0usize;
+        for it in &items {
+            match it {
+                Item::Plain(sel) => {
+                    f.raw(plain_inst(*sel));
+                    expected_plain += 1;
+                }
+                Item::JumpFwd => {
+                    f.jmp(end);
+                    expected_jumps += 1;
+                }
+                Item::JumpBack => {
+                    f.jmp(top);
+                    expected_jumps += 1;
+                }
+            }
+        }
+        f.bind(end);
+        f.raw(Inst::Halt);
+        asm.finish_func(f).unwrap();
+        let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+        let text = bin.section(".text").unwrap();
+
+        // Decode linearly: boundaries must tile the section exactly, and
+        // every branch target must be a decoded boundary.
+        let mut pc = text.vaddr;
+        let mut starts = std::collections::HashSet::new();
+        let mut targets = Vec::new();
+        let mut plain = 0usize;
+        let mut jumps = 0usize;
+        while pc < text.vaddr + text.bytes.len() as u64 {
+            starts.insert(pc);
+            let off = (pc - text.vaddr) as usize;
+            let (inst, len) = decode_at(&text.bytes[off..], pc)
+                .expect("assembled bytes decode");
+            match inst {
+                Inst::Jmp { target } => {
+                    jumps += 1;
+                    targets.push(target);
+                }
+                Inst::Halt => {}
+                _ => plain += 1,
+            }
+            pc += len as u64;
+        }
+        prop_assert_eq!(pc, text.vaddr + text.bytes.len() as u64);
+        prop_assert_eq!(plain, expected_plain);
+        prop_assert_eq!(jumps, expected_jumps);
+        for t in targets {
+            prop_assert!(starts.contains(&t), "target {t:#x} off-boundary");
+        }
+    }
+
+    #[test]
+    fn layout_is_deterministic(items in arb_items()) {
+        let build = |items: &[Item]| {
+            let mut asm = Assembler::new("p");
+            let mut f = asm.func("_start");
+            let end = f.fresh_label();
+            for it in items {
+                match it {
+                    Item::Plain(sel) => f.raw(plain_inst(*sel)),
+                    _ => f.jmp(end),
+                }
+            }
+            f.bind(end);
+            f.raw(Inst::Halt);
+            asm.finish_func(f).unwrap();
+            Linker::new().add_object(asm.finish()).link("_start").unwrap()
+        };
+        let a = build(&items);
+        let b = build(&items);
+        prop_assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+}

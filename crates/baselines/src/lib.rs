@@ -1,0 +1,674 @@
+//! The two prior-work baselines Teapot is evaluated against
+//! (paper §2.2, §3, §7):
+//!
+//! * [`specfuzz_rewrite`] — a **SpecFuzz-style single-copy rewriter**:
+//!   normal execution and speculation simulation share one instance of
+//!   the code, so every instrumentation site carries an
+//!   `if (in_simulation)` guard conditional (paper Listing 3) that
+//!   executes in *both* modes. The policy is ASan-only: every speculative
+//!   out-of-bounds access is flagged as a gadget, which is where
+//!   SpecFuzz's false positives come from (§7.2).
+//! * [`spectaint_options`] — the **SpecTaint-style emulator** setup: the
+//!   original, uninstrumented binary runs under full-system emulation
+//!   with DIFT ([`teapot_vm::EmuStyle::SpecTaint`]); every guest
+//!   instruction pays the emulation cost, nested exploration is
+//!   depth-first with at most five simulations per branch, and — lacking
+//!   program-level information — every user-controlled load is assumed
+//!   to yield a secret (§3.1).
+
+use std::collections::HashMap;
+use std::fmt;
+use teapot_asm::{inst_len, AsmError, Assembler, CodeRef, Label};
+use teapot_dis::{disassemble, DisError, Gtir};
+use teapot_isa::{Inst, MemRef};
+use teapot_obj::{
+    BinFlags, Binary, LinkError, Linker, LoadedSection, RelocKind, SectionKind,
+};
+use teapot_rt::TeapotMeta;
+use teapot_vm::{EmuStyle, HeurStyle, RunOptions, SpecHeuristics};
+
+/// Options for the SpecFuzz-style rewriter.
+#[derive(Debug, Clone)]
+pub struct SpecFuzzOptions {
+    /// Enable nested speculation entry points.
+    pub nested_speculation: bool,
+    /// Insert coverage traces.
+    pub coverage: bool,
+    /// Conditional restore-point interval.
+    pub check_interval: u32,
+}
+
+impl Default for SpecFuzzOptions {
+    fn default() -> Self {
+        SpecFuzzOptions {
+            nested_speculation: true,
+            coverage: true,
+            check_interval: 50,
+        }
+    }
+}
+
+impl SpecFuzzOptions {
+    /// Figure 7 configuration: nested speculation disabled.
+    pub fn perf_comparison() -> SpecFuzzOptions {
+        SpecFuzzOptions { nested_speculation: false, ..Default::default() }
+    }
+}
+
+/// Errors from the baseline rewriter.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Disassembly failed.
+    Dis(DisError),
+    /// Reassembly failed.
+    Asm(AsmError),
+    /// Relink failed.
+    Link(LinkError),
+    /// Unresolved branch target.
+    UnresolvedTarget { branch: u64, target: u64 },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Dis(e) => write!(f, "disassembly failed: {e}"),
+            BaselineError::Asm(e) => write!(f, "reassembly failed: {e}"),
+            BaselineError::Link(e) => write!(f, "relink failed: {e}"),
+            BaselineError::UnresolvedTarget { branch, target } => write!(
+                f,
+                "branch at {branch:#x} targets unrecovered code {target:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<DisError> for BaselineError {
+    fn from(e: DisError) -> Self {
+        BaselineError::Dis(e)
+    }
+}
+impl From<AsmError> for BaselineError {
+    fn from(e: AsmError) -> Self {
+        BaselineError::Asm(e)
+    }
+}
+impl From<LinkError> for BaselineError {
+    fn from(e: LinkError) -> Self {
+        BaselineError::Link(e)
+    }
+}
+
+/// Rewrites a COTS binary with SpecFuzz-style *single-copy*
+/// instrumentation.
+///
+/// The output architecturally matches the paper's Listing 3: checkpoints
+/// before conditional branches, guarded ASan checks and memory logging on
+/// every non-frame memory access, guarded restore points — all sharing
+/// one code instance with normal execution.
+///
+/// # Errors
+///
+/// Returns a [`BaselineError`] if disassembly or reassembly fails.
+pub fn specfuzz_rewrite(
+    bin: &Binary,
+    opts: &SpecFuzzOptions,
+) -> Result<Binary, BaselineError> {
+    let gtir = disassemble(bin)?;
+    let mut asm = Assembler::new("specfuzz");
+    let fn_by_entry: HashMap<u64, String> =
+        gtir.functions.iter().map(|f| (f.entry, f.name.clone())).collect();
+    let data_ranges: Vec<(u64, u64, String)> = bin
+        .sections
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.kind,
+                SectionKind::Rodata | SectionKind::Data | SectionKind::Bss
+            )
+        })
+        .map(|s| {
+            (
+                s.vaddr,
+                s.vaddr + s.mem_size,
+                format!("orig${}", s.name.trim_start_matches('.')),
+            )
+        })
+        .collect();
+    let resolve_data = |addr: u64| -> Option<(String, i64)> {
+        data_ranges
+            .iter()
+            .find(|(s, e, _)| addr >= *s && addr < *e)
+            .map(|(s, _, sym)| (sym.clone(), (addr - s) as i64))
+    };
+
+    let mut guard_id = 0u32;
+    let mut pairs_by_fn: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    let mut block_offs_by_fn: HashMap<u64, HashMap<u64, u64>> = HashMap::new();
+
+    for f in &gtir.functions {
+        let mut fa = asm.func(f.name.clone());
+        let labels: HashMap<u64, Label> =
+            f.blocks.iter().map(|b| (b.addr, fa.fresh_label())).collect();
+        let tramp_labels: Vec<Label> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|(_, i)| matches!(i, Inst::Jcc { .. }))
+            .map(|_| fa.fresh_label())
+            .collect();
+
+        let mut off = 0u64;
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let mut block_offs: HashMap<u64, u64> = HashMap::new();
+        let mut tramp_idx = 0usize;
+
+        macro_rules! put {
+            ($inst:expr) => {{
+                let i: Inst<CodeRef> = $inst;
+                off += inst_len(&i) as u64;
+                fa.ins(i);
+            }};
+        }
+        macro_rules! put_orig {
+            ($orig:expr, $inst:expr) => {{
+                let i: Inst<CodeRef> = $inst;
+                pairs.push((off, $orig));
+                off += inst_len(&i) as u64;
+                fa.ins(i);
+            }};
+        }
+
+        for b in &f.blocks {
+            fa.bind(labels[&b.addr]);
+            block_offs.insert(b.addr, off);
+            let mut since_check = 0u32;
+            for (addr, inst) in &b.insts {
+                since_check += 1;
+                if since_check >= opts.check_interval {
+                    put!(Inst::Guard);
+                    put!(Inst::SimCheck);
+                    since_check = 0;
+                }
+                match inst {
+                    Inst::Jcc { cc, target } => {
+                        if opts.coverage {
+                            guard_id += 1;
+                            put!(Inst::CovTrace { guard: guard_id });
+                        }
+                        // Listing 3 line 1: guarded checkpoint entry.
+                        put!(Inst::Guard);
+                        put!(Inst::SimStart {
+                            tramp: tramp_labels[tramp_idx].into()
+                        });
+                        tramp_idx += 1;
+                        let tl = *labels.get(target).ok_or(
+                            BaselineError::UnresolvedTarget {
+                                branch: *addr,
+                                target: *target,
+                            },
+                        )?;
+                        put_orig!(*addr, Inst::Jcc { cc: *cc, target: tl.into() });
+                    }
+                    Inst::Jmp { target } => {
+                        if let Some(tl) = labels.get(target) {
+                            put_orig!(*addr, Inst::Jmp { target: (*tl).into() });
+                        } else if let Some(n) = fn_by_entry.get(target) {
+                            put_orig!(
+                                *addr,
+                                Inst::Jmp { target: CodeRef::Sym(n.clone()) }
+                            );
+                        } else {
+                            return Err(BaselineError::UnresolvedTarget {
+                                branch: *addr,
+                                target: *target,
+                            });
+                        }
+                    }
+                    Inst::Call { target } => {
+                        let n = fn_by_entry.get(target).ok_or(
+                            BaselineError::UnresolvedTarget {
+                                branch: *addr,
+                                target: *target,
+                            },
+                        )?;
+                        put_orig!(
+                            *addr,
+                            Inst::Call { target: CodeRef::Sym(n.clone()) }
+                        );
+                    }
+                    Inst::Load { mem, size, .. } => {
+                        if !mem.is_frame_relative() {
+                            put!(Inst::Guard);
+                            emit_mem_inst(
+                                &mut fa,
+                                &mut off,
+                                Inst::AsanCheck {
+                                    mem: *mem,
+                                    size: *size,
+                                    is_write: false,
+                                },
+                                &resolve_data,
+                            );
+                        }
+                        copy_with_resym(
+                            &mut fa, &mut off, &mut pairs, *addr, inst,
+                            &resolve_data, &fn_by_entry, &gtir,
+                        );
+                    }
+                    Inst::Store { mem, size, .. }
+                    | Inst::StoreI { mem, size, .. } => {
+                        if !mem.is_frame_relative() {
+                            put!(Inst::Guard);
+                            emit_mem_inst(
+                                &mut fa,
+                                &mut off,
+                                Inst::AsanCheck {
+                                    mem: *mem,
+                                    size: *size,
+                                    is_write: true,
+                                },
+                                &resolve_data,
+                            );
+                        }
+                        put!(Inst::Guard);
+                        emit_mem_inst(
+                            &mut fa,
+                            &mut off,
+                            Inst::MemLog { mem: *mem, size: *size },
+                            &resolve_data,
+                        );
+                        copy_with_resym(
+                            &mut fa, &mut off, &mut pairs, *addr, inst,
+                            &resolve_data, &fn_by_entry, &gtir,
+                        );
+                    }
+                    Inst::Syscall { .. } | Inst::Lfence | Inst::Cpuid
+                    | Inst::Halt => {
+                        put!(Inst::Guard);
+                        put!(Inst::SimEnd);
+                        copy_with_resym(
+                            &mut fa, &mut off, &mut pairs, *addr, inst,
+                            &resolve_data, &fn_by_entry, &gtir,
+                        );
+                    }
+                    other => copy_with_resym(
+                        &mut fa, &mut off, &mut pairs, *addr, other,
+                        &resolve_data, &fn_by_entry, &gtir,
+                    ),
+                }
+            }
+            if b.terminator().is_none() {
+                put!(Inst::Guard);
+                put!(Inst::SimCheck);
+            }
+        }
+
+        // Trampolines at the end of the function: same condition, swapped
+        // destinations, into the SAME copy (single-instance design).
+        let mut k = 0usize;
+        for b in &f.blocks {
+            for (addr, inst) in &b.insts {
+                if let Inst::Jcc { cc, target } = inst {
+                    let fall = addr + teapot_isa::encoded_len(inst) as u64;
+                    let (Some(tl), Some(fl)) =
+                        (labels.get(target), labels.get(&fall))
+                    else {
+                        return Err(BaselineError::UnresolvedTarget {
+                            branch: *addr,
+                            target: *target,
+                        });
+                    };
+                    fa.bind(tramp_labels[k]);
+                    k += 1;
+                    put_orig!(*addr, Inst::Jcc { cc: *cc, target: (*fl).into() });
+                    put_orig!(*addr, Inst::Jmp { target: (*tl).into() });
+                }
+            }
+        }
+
+        pairs_by_fn.insert(f.entry, pairs);
+        block_offs_by_fn.insert(f.entry, block_offs);
+        asm.finish_func(fa)?;
+    }
+
+    // Copy data sections with code-pointer retargeting (same
+    // symbolization as the Speculation Shadows rewriter).
+    for sec in &bin.sections {
+        match sec.kind {
+            SectionKind::Rodata | SectionKind::Data => {
+                let sym = format!("orig${}", sec.name.trim_start_matches('.'));
+                let base_off = if sec.kind == SectionKind::Rodata {
+                    asm.rodata(sym, &sec.bytes)
+                } else {
+                    asm.data(sym, &sec.bytes)
+                };
+                let mut i = 0usize;
+                while i + 8 <= sec.bytes.len() {
+                    let v = u64::from_le_bytes(
+                        sec.bytes[i..i + 8].try_into().unwrap(),
+                    );
+                    if v >= gtir.text_range.0 && v < gtir.text_range.1 {
+                        if let Some(f) = gtir.function_containing(v) {
+                            if let Some(boff) =
+                                block_offs_by_fn[&f.entry].get(&v)
+                            {
+                                let off = base_off + i as u64;
+                                if sec.kind == SectionKind::Rodata {
+                                    asm.rodata_reloc(
+                                        off,
+                                        RelocKind::Abs64,
+                                        f.name.clone(),
+                                        *boff as i64,
+                                    );
+                                } else {
+                                    asm.data_reloc(
+                                        off,
+                                        RelocKind::Abs64,
+                                        f.name.clone(),
+                                        *boff as i64,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    i += 8;
+                }
+            }
+            SectionKind::Bss => {
+                asm.bss(
+                    format!("orig${}", sec.name.trim_start_matches('.')),
+                    sec.mem_size,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    let entry_name = fn_by_entry
+        .get(&bin.entry)
+        .cloned()
+        .unwrap_or_else(|| format!("fun_{:x}", bin.entry));
+    let flags = BinFlags {
+        instrumented: true,
+        asan: true,
+        dift: false,
+        nested_speculation: opts.nested_speculation,
+        single_copy: true,
+    };
+    let mut out = Linker::new()
+        .flags(flags)
+        .add_object(asm.finish())
+        .link(&entry_name)?;
+
+    // Metadata: address translation only (single copy: no shadow region).
+    let sym_addr: HashMap<&str, u64> =
+        out.symbols.iter().map(|s| (s.name.as_str(), s.addr)).collect();
+    let mut meta = TeapotMeta::default();
+    for f in &gtir.functions {
+        let fa = sym_addr[f.name.as_str()];
+        for &(off, orig) in &pairs_by_fn[&f.entry] {
+            meta.addr_map.push((fa + off, orig));
+        }
+    }
+    meta.normalize();
+    out.sections.push(LoadedSection {
+        name: ".teapot.meta".into(),
+        kind: SectionKind::Note,
+        vaddr: 0,
+        bytes: meta.to_bytes(),
+        mem_size: 0,
+    });
+    Ok(out)
+}
+
+fn emit_mem_inst(
+    fa: &mut teapot_asm::FuncAsm,
+    off: &mut u64,
+    inst: Inst<CodeRef>,
+    resolve_data: &dyn Fn(u64) -> Option<(String, i64)>,
+) {
+    let mem = match &inst {
+        Inst::AsanCheck { mem, .. } | Inst::MemLog { mem, .. } => *mem,
+        _ => unreachable!(),
+    };
+    if mem.disp > 0 {
+        if let Some((sym, addend)) = resolve_data(mem.disp as i64 as u64) {
+            let cleaned = match inst {
+                Inst::AsanCheck { size, is_write, .. } => Inst::AsanCheck {
+                    mem: MemRef { disp: 0, ..mem },
+                    size,
+                    is_write,
+                },
+                Inst::MemLog { size, .. } => {
+                    Inst::MemLog { mem: MemRef { disp: 0, ..mem }, size }
+                }
+                _ => unreachable!(),
+            };
+            *off += inst_len(&cleaned) as u64;
+            fa.ins_disp_sym(cleaned, sym, addend);
+            return;
+        }
+    }
+    *off += inst_len(&inst) as u64;
+    fa.ins(inst);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn copy_with_resym(
+    fa: &mut teapot_asm::FuncAsm,
+    off: &mut u64,
+    pairs: &mut Vec<(u64, u64)>,
+    addr: u64,
+    inst: &Inst<u64>,
+    resolve_data: &dyn Fn(u64) -> Option<(String, i64)>,
+    fn_by_entry: &HashMap<u64, String>,
+    gtir: &Gtir,
+) {
+    let mem = match inst {
+        Inst::Load { mem, .. }
+        | Inst::Store { mem, .. }
+        | Inst::StoreI { mem, .. }
+        | Inst::Lea { mem, .. } => Some(*mem),
+        _ => None,
+    };
+    if let Some(m) = mem {
+        if m.disp > 0 {
+            if let Some((sym, addend)) = resolve_data(m.disp as i64 as u64) {
+                let fix = MemRef { disp: 0, ..m };
+                let cleaned: Inst<CodeRef> = match inst {
+                    Inst::Load { dst, size, sext, .. } => Inst::Load {
+                        dst: *dst,
+                        mem: fix,
+                        size: *size,
+                        sext: *sext,
+                    },
+                    Inst::Store { src, size, .. } => {
+                        Inst::Store { src: *src, mem: fix, size: *size }
+                    }
+                    Inst::StoreI { imm, size, .. } => {
+                        Inst::StoreI { imm: *imm, mem: fix, size: *size }
+                    }
+                    Inst::Lea { dst, .. } => Inst::Lea { dst: *dst, mem: fix },
+                    _ => unreachable!(),
+                };
+                pairs.push((*off, addr));
+                *off += inst_len(&cleaned) as u64;
+                fa.ins_disp_sym(cleaned, sym, addend);
+                return;
+            }
+        }
+    }
+    if let Inst::MovRI { dst, imm } = inst {
+        let v = *imm as u64;
+        if *imm > 0 {
+            if let Some((sym, addend)) = resolve_data(v) {
+                pairs.push((*off, addr));
+                let probe: Inst<CodeRef> =
+                    Inst::MovRI { dst: *dst, imm: i64::MAX };
+                *off += inst_len(&probe) as u64;
+                fa.ins_imm_sym(*dst, sym, addend);
+                return;
+            }
+            if v >= gtir.text_range.0 && v < gtir.text_range.1 {
+                if let Some(name) = fn_by_entry.get(&v) {
+                    pairs.push((*off, addr));
+                    let probe: Inst<CodeRef> =
+                        Inst::MovRI { dst: *dst, imm: i64::MAX };
+                    *off += inst_len(&probe) as u64;
+                    fa.ins_imm_sym(*dst, name.clone(), 0);
+                    return;
+                }
+            }
+        }
+    }
+    let i: Inst<CodeRef> = inst.map_target(|_| unreachable!("handled by caller"));
+    pairs.push((*off, addr));
+    *off += inst_len(&i) as u64;
+    fa.ins(i);
+}
+
+/// [`RunOptions`] for a SpecTaint-style emulator run of an uninstrumented
+/// binary, plus the matching [`SpecHeuristics`].
+pub fn spectaint_options(input: Vec<u8>) -> (RunOptions, SpecHeuristics) {
+    (
+        RunOptions { input, emu: EmuStyle::SpecTaint, ..RunOptions::default() },
+        SpecHeuristics::new(HeurStyle::SpecTaintFive),
+    )
+}
+
+/// Fresh heuristics state matching SpecFuzz's gradual-deepening policy.
+pub fn specfuzz_heuristics() -> SpecHeuristics {
+    SpecHeuristics::new(HeurStyle::SpecFuzzGradual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teapot_cc::{compile_to_binary, Options};
+    use teapot_vm::{ExitStatus, Machine};
+
+    fn cots(src: &str) -> Binary {
+        let mut b = compile_to_binary(src, &Options::gcc_like()).unwrap();
+        b.strip();
+        b
+    }
+
+    const VICTIM: &str = "
+        char bar[256];
+        int baz;
+        char inbuf[8];
+        int main() {
+            char *foo = malloc(16);
+            read_input(inbuf, 8);
+            int index = inbuf[0];
+            if (index < 10) {
+                int secret = foo[index];
+                baz = bar[secret];
+            }
+            return index;
+        }";
+
+    fn run(bin: &Binary, input: &[u8]) -> teapot_vm::RunOutcome {
+        let mut heur = specfuzz_heuristics();
+        Machine::new(
+            bin,
+            RunOptions { input: input.to_vec(), ..RunOptions::default() },
+        )
+        .run(&mut heur)
+    }
+
+    #[test]
+    fn single_copy_rewrite_preserves_semantics() {
+        let orig = cots(VICTIM);
+        let sf = specfuzz_rewrite(&orig, &SpecFuzzOptions::default()).unwrap();
+        assert!(sf.flags.single_copy);
+        for input in [&[5u8][..], &[100], b"ab"] {
+            let a = run(&orig, input);
+            let b = run(&sf, input);
+            assert_eq!(a.status, b.status, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn specfuzz_flags_speculative_oob_as_gadget() {
+        let orig = cots(VICTIM);
+        let sf = specfuzz_rewrite(&orig, &SpecFuzzOptions::default()).unwrap();
+        let out = run(&sf, &[200]);
+        assert_eq!(out.status, ExitStatus::Exit(200));
+        assert!(!out.gadgets.is_empty(), "SpecFuzz must report the OOB access");
+        // All SpecFuzz reports land in the single User-MDS bucket
+        // (no taint tracking → no classification).
+        for g in &out.gadgets {
+            assert_eq!(g.bucket(), "User-MDS");
+        }
+    }
+
+    #[test]
+    fn guards_execute_in_normal_mode() {
+        // The defining overhead of the single-copy design: guard
+        // conditionals run during normal execution too.
+        use teapot_isa::decode_at;
+        let orig = cots(VICTIM);
+        let sf = specfuzz_rewrite(&orig, &SpecFuzzOptions::default()).unwrap();
+        let text = sf.section(".text").unwrap();
+        let mut pc = text.vaddr;
+        let mut guards = 0;
+        while pc < text.vaddr + text.bytes.len() as u64 {
+            let off = (pc - text.vaddr) as usize;
+            let (i, len) = decode_at(&text.bytes[off..], pc).unwrap();
+            if matches!(i, Inst::Guard) {
+                guards += 1;
+            }
+            pc += len as u64;
+        }
+        assert!(guards > 3, "guard conditionals present: {guards}");
+    }
+
+    #[test]
+    fn spectaint_emulation_runs_and_reports() {
+        let orig = cots(VICTIM);
+        let (opts, mut heur) = spectaint_options(vec![200]);
+        let out = Machine::new(&orig, opts).run(&mut heur);
+        assert_eq!(out.status, ExitStatus::Exit(200));
+        assert!(!out.gadgets.is_empty(), "SpecTaint flags the transmission");
+    }
+
+    #[test]
+    fn teapot_is_faster_than_specfuzz_is_faster_than_spectaint() {
+        // The Figure 1 / Figure 7 ordering on a micro-workload.
+        let orig = cots(VICTIM);
+        let teapot = teapot_core::rewrite(
+            &orig,
+            &teapot_core::RewriteOptions::perf_comparison(),
+        )
+        .unwrap();
+        let sf = specfuzz_rewrite(&orig, &SpecFuzzOptions::perf_comparison())
+            .unwrap();
+        let input = vec![5u8; 8];
+        let t = run(&teapot, &input);
+        let s = run(&sf, &input);
+        let (opts, mut heur) = spectaint_options(input.clone());
+        let st = Machine::new(&orig, opts).run(&mut heur);
+        let native = {
+            let mut h = SpecHeuristics::default();
+            Machine::new(&orig, RunOptions { input, ..RunOptions::default() })
+                .run(&mut h)
+        };
+        assert!(t.cost > native.cost, "instrumentation costs something");
+        assert!(
+            st.cost > s.cost * 5,
+            "SpecTaint ({}) must dwarf SpecFuzz ({})",
+            st.cost,
+            s.cost
+        );
+        // Teapot comparable to SpecFuzz (paper: 0.5×–2.0×).
+        assert!(
+            t.cost < s.cost * 2,
+            "teapot {} vs specfuzz {}",
+            t.cost,
+            s.cost
+        );
+    }
+}

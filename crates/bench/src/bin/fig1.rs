@@ -1,0 +1,16 @@
+//! Regenerates Figure 1: SpecTaint vs SpecFuzz run time (motivation).
+fn main() {
+    println!("Figure 1: normalized run time, SpecTaint vs SpecFuzz");
+    println!("(nested speculation and heuristics disabled, large inputs)\n");
+    let rows = teapot_bench::runtime::run(&["jsmn", "libyaml"]);
+    println!("{}", teapot_bench::runtime::render(&rows));
+    for r in &rows {
+        if let Some(st) = r.spectaint {
+            println!(
+                "{}: SpecTaint is {:.1}x slower than SpecFuzz (paper: 11.1x/28.5x)",
+                r.name,
+                st / r.specfuzz
+            );
+        }
+    }
+}

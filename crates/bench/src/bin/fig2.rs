@@ -1,0 +1,6 @@
+//! Regenerates Figure 2: switch lowering divergence between compilers.
+fn main() {
+    println!("Figure 2: the same switch, two compilers, different gadgets\n");
+    let rows = teapot_bench::fig2::run();
+    println!("{}", teapot_bench::fig2::render(&rows));
+}

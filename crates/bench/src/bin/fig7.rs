@@ -1,0 +1,10 @@
+//! Regenerates Figure 7: run-time comparison across all workloads.
+fn main() {
+    println!("Figure 7: normalized run time of instrumented programs");
+    println!("(nested speculation disabled for all tools; SpecTaint runs");
+    println!("only on jsmn/libyaml, as in the paper)\n");
+    let rows = teapot_bench::runtime::run(&[
+        "jsmn", "libyaml", "libhtp", "brotli", "openssl",
+    ]);
+    println!("{}", teapot_bench::runtime::render(&rows));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 3: artificial-gadget detection scores.
+fn main() {
+    let iters = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    println!("Table 3: artificially injected gadgets ({iters} fuzz iters/tool)\n");
+    let rows = teapot_bench::table3::run(iters);
+    println!("{}", teapot_bench::table3::render(&rows));
+}

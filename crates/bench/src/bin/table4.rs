@@ -1,0 +1,10 @@
+//! Regenerates Table 4: gadgets in unmodified binaries.
+fn main() {
+    let iters = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    println!("Table 4: gadgets found in vanilla binaries ({iters} fuzz iters)\n");
+    let rows = teapot_bench::table4::run(iters);
+    println!("{}", teapot_bench::table4::render(&rows));
+}

@@ -1,0 +1,1190 @@
+//! MiniC code generation to TEA-64.
+//!
+//! The generator is a classic one-pass stack-machine compiler:
+//! expressions evaluate into `r0` using real `push`/`pop` for temporaries,
+//! locals live at negative frame-pointer offsets, and arguments arrive in
+//! `r1`–`r5`. The output is intentionally branchy, bounds-check-heavy
+//! parser-style code — the instruction mix the paper's workloads exhibit.
+//!
+//! Two code-shape options reproduce the paper's §3.2 observations:
+//!
+//! * [`SwitchLowering`] — `switch` compiles to a GCC-style compare/branch
+//!   chain (each compare is a speculatable conditional branch: potential
+//!   Spectre-V1 victims) or to a Clang-style jump table (no conditional
+//!   branch when the `switch` has no `default`, exactly like Figure 2).
+//! * [`Options::cmov_if_conversion`] — `if (cond) x = e;` compiles to a
+//!   conditional move, which is *not* speculated, making the Appendix A.1
+//!   gadget disappear.
+
+use crate::ast::*;
+use crate::parser::{parse, ParseError};
+use std::collections::HashMap;
+use std::fmt;
+use teapot_asm::{Assembler, AsmError, FuncAsm, Label};
+use teapot_isa::{
+    sys, AccessSize, AluOp, Cc, Inst, MemRef, Operand, Reg,
+};
+use teapot_obj::{Binary, LinkError, Linker, Object};
+
+/// How `switch` statements are lowered (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwitchLowering {
+    /// GCC-style chain of compares and conditional branches
+    /// ("Spectre-V1 Vulnerable" in Fig. 2).
+    #[default]
+    BranchChain,
+    /// Clang-style jump table; with no `default` case there is no bounds
+    /// check at all ("Spectre-V1 Safe" in Fig. 2).
+    JumpTable,
+}
+
+/// Compiler options.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Switch lowering strategy.
+    pub switch_lowering: SwitchLowering,
+    /// If-convert `if (cmp) x = simple;` to `cmov` (Appendix A.1).
+    pub cmov_if_conversion: bool,
+    /// Translation-unit name for diagnostics and local-symbol scoping.
+    pub unit_name: String,
+}
+
+impl Options {
+    /// GCC-flavoured lowering (branch chains, no if-conversion).
+    pub fn gcc_like() -> Options {
+        Options {
+            switch_lowering: SwitchLowering::BranchChain,
+            cmov_if_conversion: false,
+            unit_name: "unit".into(),
+        }
+    }
+
+    /// Clang-flavoured lowering (jump tables, cmov if-conversion).
+    pub fn clang_like() -> Options {
+        Options {
+            switch_lowering: SwitchLowering::JumpTable,
+            cmov_if_conversion: true,
+            unit_name: "unit".into(),
+        }
+    }
+}
+
+/// Compiler errors.
+#[derive(Debug)]
+pub enum CcError {
+    /// Lexical or syntactic error.
+    Parse(ParseError),
+    /// Semantic error (unknown names, type misuse, arity).
+    Sema { msg: String, line: u32 },
+    /// Assembly error (internal).
+    Asm(AsmError),
+    /// Link error.
+    Link(LinkError),
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcError::Parse(e) => write!(f, "parse error: {e}"),
+            CcError::Sema { msg, line } => {
+                write!(f, "line {line}: {msg}")
+            }
+            CcError::Asm(e) => write!(f, "assembly error: {e}"),
+            CcError::Link(e) => write!(f, "link error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CcError {}
+
+impl From<ParseError> for CcError {
+    fn from(e: ParseError) -> CcError {
+        CcError::Parse(e)
+    }
+}
+
+impl From<AsmError> for CcError {
+    fn from(e: AsmError) -> CcError {
+        CcError::Asm(e)
+    }
+}
+
+impl From<LinkError> for CcError {
+    fn from(e: LinkError) -> CcError {
+        CcError::Link(e)
+    }
+}
+
+/// Builtin functions mapped to syscalls/intrinsics.
+fn builtin(name: &str) -> Option<(Option<u16>, usize, Type)> {
+    Some(match name {
+        "read_input" => (Some(sys::READ_INPUT), 2, Type::Int),
+        "input_size" => (Some(sys::INPUT_SIZE), 0, Type::Int),
+        "write" => (Some(sys::WRITE), 2, Type::Int),
+        "malloc" => (Some(sys::MALLOC), 1, Type::Ptr(Box::new(Type::Char))),
+        "free" => (Some(sys::FREE), 1, Type::Void),
+        "print_int" => (Some(sys::PRINT_INT), 1, Type::Void),
+        "abort" => (Some(sys::ABORT), 0, Type::Void),
+        "mark_user" => (Some(sys::MARK_USER), 2, Type::Void),
+        "lfence" => (None, 0, Type::Void),
+        _ => return None,
+    })
+}
+
+#[derive(Debug, Clone)]
+struct LocalSlot {
+    offset: i32,
+    ty: Type,
+    /// Arrays decay to pointers; the slot is the array storage itself.
+    array: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Place {
+    Local(LocalSlot),
+    GlobalScalar(String, Type),
+    GlobalArray(String, Type),
+    Func(String),
+}
+
+struct FnCtx<'a> {
+    f: FuncAsm,
+    scopes: Vec<HashMap<String, LocalSlot>>,
+    next_offset: i32,
+    breaks: Vec<Label>,
+    continues: Vec<Label>,
+    epilogue: Label,
+    ret: Type,
+    opts: &'a Options,
+    sigs: &'a HashMap<String, (Type, usize)>,
+    globals: &'a HashMap<String, (Type, bool)>,
+    strings: Vec<Vec<u8>>,
+    string_base: usize,
+}
+
+impl<'a> FnCtx<'a> {
+    fn err<T>(&self, msg: impl Into<String>, line: u32) -> Result<T, CcError> {
+        Err(CcError::Sema { msg: msg.into(), line })
+    }
+
+    fn lookup(&self, name: &str) -> Option<Place> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(slot) = scope.get(name) {
+                return Some(Place::Local(slot.clone()));
+            }
+        }
+        if let Some((ty, array)) = self.globals.get(name) {
+            return Some(if *array {
+                Place::GlobalArray(name.to_string(), ty.clone())
+            } else {
+                Place::GlobalScalar(name.to_string(), ty.clone())
+            });
+        }
+        if self.sigs.contains_key(name) {
+            return Some(Place::Func(name.to_string()));
+        }
+        None
+    }
+
+    fn alloc_slot(&mut self, name: &str, ty: Type, array_len: Option<u64>) -> LocalSlot {
+        let bytes = match array_len {
+            Some(n) => (n * ty.size() + 7) & !7,
+            None => 8,
+        };
+        self.next_offset += bytes as i32;
+        let slot = LocalSlot {
+            offset: -self.next_offset,
+            ty,
+            array: array_len.is_some(),
+        };
+        self.scopes
+            .last_mut()
+            .expect("scope")
+            .insert(name.to_string(), slot.clone());
+        slot
+    }
+
+    fn access(ty: &Type) -> AccessSize {
+        if ty.size() == 1 {
+            AccessSize::B1
+        } else {
+            AccessSize::B8
+        }
+    }
+
+    fn intern_string(&mut self, s: &[u8]) -> String {
+        let mut bytes = s.to_vec();
+        bytes.push(0);
+        self.strings.push(bytes);
+        format!(
+            "{}$str{}",
+            self.f_name(),
+            self.string_base + self.strings.len() - 1
+        )
+    }
+
+    fn f_name(&self) -> String {
+        // FuncAsm has no public name accessor; keep unit-level uniqueness
+        // via the string_base counter instead.
+        "str".to_string()
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// Evaluates `e` into `r0`; returns its type.
+    fn expr(&mut self, e: &Expr) -> Result<Type, CcError> {
+        match &e.kind {
+            ExprKind::Num(v) => {
+                self.f.ins(Inst::MovRI { dst: Reg::R0, imm: *v });
+                Ok(Type::Int)
+            }
+            ExprKind::Str(s) => {
+                let sym = self.intern_string(s);
+                self.f.lea_global(Reg::R0, sym, 0);
+                Ok(Type::Ptr(Box::new(Type::Char)))
+            }
+            ExprKind::Var(name) => match self.lookup(name) {
+                Some(Place::Local(slot)) => {
+                    if slot.array {
+                        self.f.ins(Inst::Lea {
+                            dst: Reg::R0,
+                            mem: MemRef::base_disp(Reg::FP, slot.offset),
+                        });
+                        Ok(Type::Ptr(Box::new(slot.ty)))
+                    } else {
+                        self.f.ins(Inst::Load {
+                            dst: Reg::R0,
+                            mem: MemRef::base_disp(Reg::FP, slot.offset),
+                            size: Self::access(&slot.ty),
+                            sext: false,
+                        });
+                        Ok(slot.ty)
+                    }
+                }
+                Some(Place::GlobalScalar(sym, ty)) => {
+                    self.f.load_global(
+                        Reg::R0,
+                        sym,
+                        0,
+                        Self::access(&ty),
+                        false,
+                    );
+                    Ok(ty)
+                }
+                Some(Place::GlobalArray(sym, ty)) => {
+                    self.f.lea_global(Reg::R0, sym, 0);
+                    Ok(Type::Ptr(Box::new(ty)))
+                }
+                Some(Place::Func(_)) => self.err(
+                    format!("function `{name}` used as value; take &{name}"),
+                    e.line,
+                ),
+                None => {
+                    self.err(format!("unknown identifier `{name}`"), e.line)
+                }
+            },
+            ExprKind::Index(base, idx) => {
+                let bt = self.expr(base)?;
+                let elem = match &bt {
+                    Type::Ptr(inner) => (**inner).clone(),
+                    _ => {
+                        return self.err(
+                            "indexing a non-pointer value",
+                            e.line,
+                        )
+                    }
+                };
+                self.f.raw(Inst::Push { src: Reg::R0 });
+                self.expr(idx)?;
+                self.f.raw(Inst::Pop { dst: Reg::R6 });
+                let scale = elem.size() as u8;
+                self.f.ins(Inst::Load {
+                    dst: Reg::R0,
+                    mem: MemRef::base_index(Reg::R6, Reg::R0, scale),
+                    size: Self::access(&elem),
+                    sext: false,
+                });
+                Ok(elem)
+            }
+            ExprKind::Deref(p) => {
+                let pt = self.expr(p)?;
+                let inner = match &pt {
+                    Type::Ptr(inner) => (**inner).clone(),
+                    _ => {
+                        return self
+                            .err("dereferencing a non-pointer value", e.line)
+                    }
+                };
+                self.f.ins(Inst::Load {
+                    dst: Reg::R0,
+                    mem: MemRef::base(Reg::R0),
+                    size: Self::access(&inner),
+                    sext: false,
+                });
+                Ok(inner)
+            }
+            ExprKind::AddrOf(lv) => self.addr(lv),
+            ExprKind::Un(op, inner) => {
+                let t = self.expr(inner)?;
+                match op {
+                    UnOp::Neg => self.f.raw(Inst::Neg { dst: Reg::R0 }),
+                    UnOp::BitNot => self.f.raw(Inst::Not { dst: Reg::R0 }),
+                    UnOp::Not => {
+                        self.f.ins(Inst::Cmp {
+                            lhs: Reg::R0,
+                            rhs: Operand::Imm(0),
+                        });
+                        self.f.ins(Inst::Set { cc: Cc::E, dst: Reg::R0 });
+                        return Ok(Type::Int);
+                    }
+                }
+                Ok(t)
+            }
+            ExprKind::Bin(op, lhs, rhs) => self.bin(*op, lhs, rhs, e.line),
+            ExprKind::Call(name, args) => self.call(name, args, e.line),
+            ExprKind::CallPtr(target, args) => {
+                // Evaluate args, then the target, then dispatch.
+                for a in args {
+                    self.expr(a)?;
+                    self.f.raw(Inst::Push { src: Reg::R0 });
+                }
+                let t = self.expr(target)?;
+                if t != Type::FnPtr && !matches!(t, Type::Ptr(_)) {
+                    return self
+                        .err("calling a non-function-pointer value", e.line);
+                }
+                self.f.ins(Inst::MovRR { dst: Reg::R9, src: Reg::R0 });
+                for i in (0..args.len()).rev() {
+                    self.f.raw(Inst::Pop { dst: Reg::ARGS[i] });
+                }
+                self.f.ins(Inst::CallInd { target: Reg::R9 });
+                Ok(Type::Int)
+            }
+        }
+    }
+
+    /// Evaluates the address of an lvalue into `r0`.
+    fn addr(&mut self, e: &Expr) -> Result<Type, CcError> {
+        match &e.kind {
+            ExprKind::Var(name) => match self.lookup(name) {
+                Some(Place::Local(slot)) => {
+                    self.f.ins(Inst::Lea {
+                        dst: Reg::R0,
+                        mem: MemRef::base_disp(Reg::FP, slot.offset),
+                    });
+                    Ok(Type::Ptr(Box::new(slot.ty)))
+                }
+                Some(Place::GlobalScalar(sym, ty))
+                | Some(Place::GlobalArray(sym, ty)) => {
+                    self.f.lea_global(Reg::R0, sym, 0);
+                    Ok(Type::Ptr(Box::new(ty)))
+                }
+                Some(Place::Func(name)) => {
+                    self.f.mov_sym_addr(Reg::R0, name);
+                    Ok(Type::FnPtr)
+                }
+                None => {
+                    self.err(format!("unknown identifier `{name}`"), e.line)
+                }
+            },
+            ExprKind::Index(base, idx) => {
+                let bt = self.expr(base)?;
+                let elem = match &bt {
+                    Type::Ptr(inner) => (**inner).clone(),
+                    _ => {
+                        return self.err("indexing a non-pointer value", e.line)
+                    }
+                };
+                self.f.raw(Inst::Push { src: Reg::R0 });
+                self.expr(idx)?;
+                self.f.raw(Inst::Pop { dst: Reg::R6 });
+                self.f.ins(Inst::Lea {
+                    dst: Reg::R0,
+                    mem: MemRef::base_index(Reg::R6, Reg::R0, elem.size() as u8),
+                });
+                Ok(Type::Ptr(Box::new(elem)))
+            }
+            ExprKind::Deref(p) => {
+                let t = self.expr(p)?;
+                match t {
+                    Type::Ptr(_) => Ok(t),
+                    _ => self.err("dereferencing a non-pointer value", e.line),
+                }
+            }
+            _ => self.err("expression is not an lvalue", e.line),
+        }
+    }
+
+    fn bin(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: u32,
+    ) -> Result<Type, CcError> {
+        if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+            // Short-circuit evaluation producing 0/1.
+            let out = self.f.fresh_label();
+            let rhs_l = self.f.fresh_label();
+            self.expr(lhs)?;
+            self.f.ins(Inst::Cmp { lhs: Reg::R0, rhs: Operand::Imm(0) });
+            match op {
+                BinOp::LogAnd => {
+                    self.f.ins(Inst::Set { cc: Cc::Ne, dst: Reg::R0 });
+                    self.f.jcc(Cc::Ne, rhs_l);
+                    self.f.jmp(out);
+                }
+                _ => {
+                    self.f.ins(Inst::Set { cc: Cc::Ne, dst: Reg::R0 });
+                    self.f.jcc(Cc::E, rhs_l);
+                    self.f.jmp(out);
+                }
+            }
+            self.f.bind(rhs_l);
+            self.expr(rhs)?;
+            self.f.ins(Inst::Cmp { lhs: Reg::R0, rhs: Operand::Imm(0) });
+            self.f.ins(Inst::Set { cc: Cc::Ne, dst: Reg::R0 });
+            self.f.bind(out);
+            return Ok(Type::Int);
+        }
+
+        let lt = self.expr(lhs)?;
+        self.f.raw(Inst::Push { src: Reg::R0 });
+        let rt = self.expr(rhs)?;
+        self.f.raw(Inst::Pop { dst: Reg::R6 });
+        // r6 = lhs, r0 = rhs
+        if op.is_comparison() {
+            let unsigned = lt.is_unsigned() || rt.is_unsigned();
+            let cc = cc_for(op, unsigned);
+            self.f.ins(Inst::Cmp { lhs: Reg::R6, rhs: Operand::Reg(Reg::R0) });
+            self.f.ins(Inst::Set { cc, dst: Reg::R0 });
+            return Ok(Type::Int);
+        }
+        // Pointer arithmetic scales by element size.
+        let (result_ty, scale_rhs) = match (&lt, op) {
+            (Type::Ptr(_), BinOp::Add | BinOp::Sub) => {
+                (lt.clone(), lt.elem_size())
+            }
+            _ => (promote(&lt, &rt), 1),
+        };
+        if scale_rhs > 1 {
+            self.f.ins(Inst::Alu {
+                op: AluOp::Mul,
+                dst: Reg::R0,
+                src: Operand::Imm(scale_rhs as i32),
+            });
+        }
+        let alu_op = match op {
+            BinOp::Add => AluOp::Add,
+            BinOp::Sub => AluOp::Sub,
+            BinOp::Mul => AluOp::Mul,
+            BinOp::Div => AluOp::Div,
+            BinOp::Rem => AluOp::Rem,
+            BinOp::And => AluOp::And,
+            BinOp::Or => AluOp::Or,
+            BinOp::Xor => AluOp::Xor,
+            BinOp::Shl => AluOp::Shl,
+            BinOp::Shr => {
+                if lt.is_unsigned() {
+                    AluOp::Shr
+                } else {
+                    AluOp::Sar
+                }
+            }
+            _ => return self.err("unsupported operator", line),
+        };
+        self.f.ins(Inst::Alu {
+            op: alu_op,
+            dst: Reg::R6,
+            src: Operand::Reg(Reg::R0),
+        });
+        self.f.ins(Inst::MovRR { dst: Reg::R0, src: Reg::R6 });
+        Ok(result_ty)
+    }
+
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<Type, CcError> {
+        // A call through a fnptr *variable* parses as a named call;
+        // resolve it to an indirect call here.
+        let is_var = self
+            .scopes
+            .iter()
+            .rev()
+            .any(|s| s.contains_key(name))
+            || self.globals.contains_key(name);
+        if is_var {
+            for a in args {
+                self.expr(a)?;
+                self.f.raw(Inst::Push { src: Reg::R0 });
+            }
+            let line2 = line;
+            let t = self.expr(&Expr {
+                kind: ExprKind::Var(name.to_string()),
+                line: line2,
+            })?;
+            if t != Type::FnPtr {
+                return self.err(
+                    format!("`{name}` is not callable (type {t:?})"),
+                    line,
+                );
+            }
+            self.f.ins(Inst::MovRR { dst: Reg::R9, src: Reg::R0 });
+            for i in (0..args.len()).rev() {
+                self.f.raw(Inst::Pop { dst: Reg::ARGS[i] });
+            }
+            self.f.ins(Inst::CallInd { target: Reg::R9 });
+            return Ok(Type::Int);
+        }
+        if let Some((syscall, arity, ret)) = builtin(name) {
+            if args.len() != arity {
+                return self.err(
+                    format!("`{name}` takes {arity} argument(s)"),
+                    line,
+                );
+            }
+            for a in args {
+                self.expr(a)?;
+                self.f.raw(Inst::Push { src: Reg::R0 });
+            }
+            for i in (0..args.len()).rev() {
+                self.f.raw(Inst::Pop { dst: Reg::ARGS[i] });
+            }
+            match syscall {
+                Some(num) => self.f.ins(Inst::Syscall { num }),
+                None => self.f.raw(Inst::Lfence),
+            }
+            return Ok(ret);
+        }
+        let Some((ret, arity)) = self.sigs.get(name).cloned() else {
+            return self.err(format!("unknown function `{name}`"), line);
+        };
+        if args.len() != arity {
+            return self
+                .err(format!("`{name}` takes {arity} argument(s)"), line);
+        }
+        for a in args {
+            self.expr(a)?;
+            self.f.raw(Inst::Push { src: Reg::R0 });
+        }
+        for i in (0..args.len()).rev() {
+            self.f.raw(Inst::Pop { dst: Reg::ARGS[i] });
+        }
+        self.f.call_sym(name);
+        Ok(ret)
+    }
+
+    // ------------------------------------------------------------------
+    // Conditions as branches
+    // ------------------------------------------------------------------
+
+    /// Emits a branch to `target` when `cond` is FALSE; falls through
+    /// when true. Comparisons compile to a bare `cmp` + `jcc` — the
+    /// natural Spectre-V1 victim shape.
+    fn branch_false(&mut self, cond: &Expr, target: Label) -> Result<(), CcError> {
+        match &cond.kind {
+            ExprKind::Bin(op, lhs, rhs) if op.is_comparison() => {
+                let lt = self.expr(lhs)?;
+                self.f.raw(Inst::Push { src: Reg::R0 });
+                let rt = self.expr(rhs)?;
+                self.f.raw(Inst::Pop { dst: Reg::R6 });
+                let unsigned = lt.is_unsigned() || rt.is_unsigned();
+                let cc = cc_for(*op, unsigned).negate();
+                self.f.ins(Inst::Cmp {
+                    lhs: Reg::R6,
+                    rhs: Operand::Reg(Reg::R0),
+                });
+                self.f.jcc(cc, target);
+                Ok(())
+            }
+            ExprKind::Bin(BinOp::LogAnd, lhs, rhs) => {
+                self.branch_false(lhs, target)?;
+                self.branch_false(rhs, target)
+            }
+            ExprKind::Bin(BinOp::LogOr, lhs, rhs) => {
+                let yes = self.f.fresh_label();
+                self.branch_true(lhs, yes)?;
+                self.branch_false(rhs, target)?;
+                self.f.bind(yes);
+                Ok(())
+            }
+            ExprKind::Un(UnOp::Not, inner) => self.branch_true(inner, target),
+            _ => {
+                self.expr(cond)?;
+                self.f.ins(Inst::Cmp { lhs: Reg::R0, rhs: Operand::Imm(0) });
+                self.f.jcc(Cc::E, target);
+                Ok(())
+            }
+        }
+    }
+
+    /// Emits a branch to `target` when `cond` is TRUE.
+    fn branch_true(&mut self, cond: &Expr, target: Label) -> Result<(), CcError> {
+        match &cond.kind {
+            ExprKind::Bin(op, lhs, rhs) if op.is_comparison() => {
+                let lt = self.expr(lhs)?;
+                self.f.raw(Inst::Push { src: Reg::R0 });
+                let rt = self.expr(rhs)?;
+                self.f.raw(Inst::Pop { dst: Reg::R6 });
+                let unsigned = lt.is_unsigned() || rt.is_unsigned();
+                let cc = cc_for(*op, unsigned);
+                self.f.ins(Inst::Cmp {
+                    lhs: Reg::R6,
+                    rhs: Operand::Reg(Reg::R0),
+                });
+                self.f.jcc(cc, target);
+                Ok(())
+            }
+            ExprKind::Bin(BinOp::LogOr, lhs, rhs) => {
+                self.branch_true(lhs, target)?;
+                self.branch_true(rhs, target)
+            }
+            ExprKind::Bin(BinOp::LogAnd, lhs, rhs) => {
+                let no = self.f.fresh_label();
+                self.branch_false(lhs, no)?;
+                self.branch_true(rhs, target)?;
+                self.f.bind(no);
+                Ok(())
+            }
+            ExprKind::Un(UnOp::Not, inner) => self.branch_false(inner, target),
+            _ => {
+                self.expr(cond)?;
+                self.f.ins(Inst::Cmp { lhs: Reg::R0, rhs: Operand::Imm(0) });
+                self.f.jcc(Cc::Ne, target);
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), CcError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CcError> {
+        match s {
+            Stmt::Decl { name, ty, array_len, init } => {
+                let slot = self.alloc_slot(name, ty.clone(), *array_len);
+                if let Some(e) = init {
+                    self.expr(e)?;
+                    self.f.ins(Inst::Store {
+                        src: Reg::R0,
+                        mem: MemRef::base_disp(Reg::FP, slot.offset),
+                        size: Self::access(ty),
+                    });
+                }
+                Ok(())
+            }
+            Stmt::Assign { target, value } => self.assign(target, value),
+            Stmt::OpAssign { target, op, value } => {
+                // target = target op value, via the address once.
+                let ty = self.addr(target)?;
+                let elem = match &ty {
+                    Type::Ptr(inner) => (**inner).clone(),
+                    _ => Type::Int,
+                };
+                self.f.raw(Inst::Push { src: Reg::R0 });
+                self.expr(value)?;
+                self.f.raw(Inst::Pop { dst: Reg::R6 });
+                self.f.ins(Inst::Load {
+                    dst: Reg::R8,
+                    mem: MemRef::base(Reg::R6),
+                    size: Self::access(&elem),
+                    sext: false,
+                });
+                let alu_op = match op {
+                    BinOp::Add => AluOp::Add,
+                    BinOp::Sub => AluOp::Sub,
+                    _ => {
+                        return self.err(
+                            "only += and -= are supported",
+                            0,
+                        )
+                    }
+                };
+                self.f.ins(Inst::Alu {
+                    op: alu_op,
+                    dst: Reg::R8,
+                    src: Operand::Reg(Reg::R0),
+                });
+                self.f.ins(Inst::Store {
+                    src: Reg::R8,
+                    mem: MemRef::base(Reg::R6),
+                    size: Self::access(&elem),
+                });
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            Stmt::If { cond, then, els } => {
+                if self.opts.cmov_if_conversion && els.is_empty() {
+                    if let Some(()) = self.try_cmov(cond, then)? {
+                        return Ok(());
+                    }
+                }
+                let l_else = self.f.fresh_label();
+                self.branch_false(cond, l_else)?;
+                self.scoped(then)?;
+                if els.is_empty() {
+                    self.f.bind(l_else);
+                } else {
+                    let l_end = self.f.fresh_label();
+                    self.f.jmp(l_end);
+                    self.f.bind(l_else);
+                    self.scoped(els)?;
+                    self.f.bind(l_end);
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let l_top = self.f.fresh_label();
+                let l_end = self.f.fresh_label();
+                self.f.bind(l_top);
+                self.branch_false(cond, l_end)?;
+                self.breaks.push(l_end);
+                self.continues.push(l_top);
+                self.scoped(body)?;
+                self.breaks.pop();
+                self.continues.pop();
+                self.f.jmp(l_top);
+                self.f.bind(l_end);
+                Ok(())
+            }
+            Stmt::Switch { scrutinee, cases, default } => {
+                self.switch(scrutinee, cases, default.as_deref())
+            }
+            Stmt::Break => match self.breaks.last() {
+                Some(l) => {
+                    let l = *l;
+                    self.f.jmp(l);
+                    Ok(())
+                }
+                None => self.err("`break` outside loop/switch", 0),
+            },
+            Stmt::Continue => match self.continues.last() {
+                Some(l) => {
+                    let l = *l;
+                    self.f.jmp(l);
+                    Ok(())
+                }
+                None => self.err("`continue` outside loop", 0),
+            },
+            Stmt::Return(v) => {
+                if let Some(e) = v {
+                    self.expr(e)?;
+                } else if self.ret != Type::Void {
+                    self.f.ins(Inst::MovRI { dst: Reg::R0, imm: 0 });
+                }
+                let ep = self.epilogue;
+                self.f.jmp(ep);
+                Ok(())
+            }
+            Stmt::Block(inner) => self.scoped(inner),
+        }
+    }
+
+    fn scoped(&mut self, stmts: &[Stmt]) -> Result<(), CcError> {
+        self.scopes.push(HashMap::new());
+        let r = self.stmts(stmts);
+        self.scopes.pop();
+        r
+    }
+
+    fn assign(&mut self, target: &Expr, value: &Expr) -> Result<(), CcError> {
+        // Fast path: scalar variable targets use direct addressing.
+        if let ExprKind::Var(name) = &target.kind {
+            match self.lookup(name) {
+                Some(Place::Local(slot)) if !slot.array => {
+                    self.expr(value)?;
+                    self.f.ins(Inst::Store {
+                        src: Reg::R0,
+                        mem: MemRef::base_disp(Reg::FP, slot.offset),
+                        size: Self::access(&slot.ty),
+                    });
+                    return Ok(());
+                }
+                Some(Place::GlobalScalar(sym, ty)) => {
+                    self.expr(value)?;
+                    self.f.store_global(Reg::R0, sym, 0, Self::access(&ty));
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+        let t = self.addr(target)?;
+        let elem = match &t {
+            Type::Ptr(inner) => (**inner).clone(),
+            _ => Type::Int,
+        };
+        self.f.raw(Inst::Push { src: Reg::R0 });
+        self.expr(value)?;
+        self.f.raw(Inst::Pop { dst: Reg::R6 });
+        self.f.ins(Inst::Store {
+            src: Reg::R0,
+            mem: MemRef::base(Reg::R6),
+            size: Self::access(&elem),
+        });
+        Ok(())
+    }
+
+    /// If-conversion to `cmov` (Appendix A.1): `if (a CMP b) x = simple;`
+    /// where `x` is a scalar variable and `simple` has no side effects.
+    fn try_cmov(
+        &mut self,
+        cond: &Expr,
+        then: &[Stmt],
+    ) -> Result<Option<()>, CcError> {
+        let ExprKind::Bin(op, cl, cr) = &cond.kind else {
+            return Ok(None);
+        };
+        if !op.is_comparison() {
+            return Ok(None);
+        }
+        let [Stmt::Assign { target, value }] = then else {
+            return Ok(None);
+        };
+        let ExprKind::Var(name) = &target.kind else {
+            return Ok(None);
+        };
+        if !is_simple(value) || !is_simple(cl) || !is_simple(cr) {
+            return Ok(None);
+        }
+        let place = match self.lookup(name) {
+            Some(Place::Local(slot)) if !slot.array => Place::Local(slot),
+            Some(Place::GlobalScalar(s, t)) => Place::GlobalScalar(s, t),
+            _ => return Ok(None),
+        };
+        // value → r7
+        self.expr(value)?;
+        self.f.ins(Inst::MovRR { dst: Reg::R7, src: Reg::R0 });
+        // condition → FLAGS
+        let lt = self.expr(cl)?;
+        self.f.raw(Inst::Push { src: Reg::R0 });
+        let rt = self.expr(cr)?;
+        self.f.raw(Inst::Pop { dst: Reg::R6 });
+        let unsigned = lt.is_unsigned() || rt.is_unsigned();
+        let cc = cc_for(*op, unsigned);
+        self.f.ins(Inst::Cmp { lhs: Reg::R6, rhs: Operand::Reg(Reg::R0) });
+        // load target, cmov, store back
+        match place {
+            Place::Local(slot) => {
+                self.f.ins(Inst::Load {
+                    dst: Reg::R8,
+                    mem: MemRef::base_disp(Reg::FP, slot.offset),
+                    size: Self::access(&slot.ty),
+                    sext: false,
+                });
+                self.f.ins(Inst::Cmov { cc, dst: Reg::R8, src: Reg::R7 });
+                self.f.ins(Inst::Store {
+                    src: Reg::R8,
+                    mem: MemRef::base_disp(Reg::FP, slot.offset),
+                    size: Self::access(&slot.ty),
+                });
+            }
+            Place::GlobalScalar(sym, ty) => {
+                self.f.load_global(
+                    Reg::R8,
+                    sym.clone(),
+                    0,
+                    Self::access(&ty),
+                    false,
+                );
+                self.f.ins(Inst::Cmov { cc, dst: Reg::R8, src: Reg::R7 });
+                self.f.store_global(Reg::R8, sym, 0, Self::access(&ty));
+            }
+            _ => unreachable!(),
+        }
+        Ok(Some(()))
+    }
+
+    fn switch(
+        &mut self,
+        scrutinee: &Expr,
+        cases: &[(i64, Vec<Stmt>)],
+        default: Option<&[Stmt]>,
+    ) -> Result<(), CcError> {
+        let l_end = self.f.fresh_label();
+        self.expr(scrutinee)?;
+        let case_labels: Vec<Label> =
+            cases.iter().map(|_| self.f.fresh_label()).collect();
+        let l_default = self.f.fresh_label();
+
+        match self.opts.switch_lowering {
+            SwitchLowering::BranchChain => {
+                // GCC-style: cmp/je chain (paper Fig. 2 left).
+                for ((v, _), l) in cases.iter().zip(&case_labels) {
+                    self.f.ins(Inst::Cmp {
+                        lhs: Reg::R0,
+                        rhs: Operand::Imm(*v as i32),
+                    });
+                    self.f.jcc(Cc::E, *l);
+                }
+                self.f.jmp(l_default);
+            }
+            SwitchLowering::JumpTable => {
+                // Clang-style (paper Fig. 2 right). Dense table over
+                // [min, max]; slots without a case go to default (or past
+                // the switch). Without a `default`, out-of-range values
+                // are UB and get NO bounds check, exactly like Fig. 2.
+                let min = cases.iter().map(|(v, _)| *v).min().unwrap_or(0);
+                let max = cases.iter().map(|(v, _)| *v).max().unwrap_or(0);
+                let span = (max - min + 1) as usize;
+                if span > 1024 {
+                    return self.err("switch jump table too large", 0);
+                }
+                if min != 0 {
+                    self.f.ins(Inst::Alu {
+                        op: AluOp::Sub,
+                        dst: Reg::R0,
+                        src: Operand::Imm(min as i32),
+                    });
+                }
+                if default.is_some() {
+                    self.f.ins(Inst::Cmp {
+                        lhs: Reg::R0,
+                        rhs: Operand::Imm(span as i32),
+                    });
+                    self.f.jcc(Cc::Ae, l_default);
+                }
+                let mut table = vec![l_default; span];
+                for ((v, _), l) in cases.iter().zip(&case_labels) {
+                    table[(*v - min) as usize] = *l;
+                }
+                let table_sym = self.f.jump_table(table);
+                self.f.load_global_indexed(
+                    Reg::R6,
+                    table_sym,
+                    Reg::R0,
+                    8,
+                    AccessSize::B8,
+                    false,
+                );
+                self.f.ins(Inst::JmpInd { target: Reg::R6 });
+            }
+        }
+
+        self.breaks.push(l_end);
+        for ((_, body), l) in cases.iter().zip(&case_labels) {
+            self.f.bind(*l);
+            self.scoped(body)?;
+            self.f.jmp(l_end);
+        }
+        self.f.bind(l_default);
+        if let Some(d) = default {
+            self.scoped(d)?;
+        }
+        self.breaks.pop();
+        self.f.bind(l_end);
+        Ok(())
+    }
+}
+
+fn cc_for(op: BinOp, unsigned: bool) -> Cc {
+    match (op, unsigned) {
+        (BinOp::Eq, _) => Cc::E,
+        (BinOp::Ne, _) => Cc::Ne,
+        (BinOp::Lt, false) => Cc::L,
+        (BinOp::Le, false) => Cc::Le,
+        (BinOp::Gt, false) => Cc::G,
+        (BinOp::Ge, false) => Cc::Ge,
+        (BinOp::Lt, true) => Cc::B,
+        (BinOp::Le, true) => Cc::Be,
+        (BinOp::Gt, true) => Cc::A,
+        (BinOp::Ge, true) => Cc::Ae,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+fn promote(a: &Type, b: &Type) -> Type {
+    match (a, b) {
+        (Type::Ptr(_), _) => a.clone(),
+        (_, Type::Ptr(_)) => b.clone(),
+        (Type::Uint, _) | (_, Type::Uint) => Type::Uint,
+        _ => Type::Int,
+    }
+}
+
+fn is_simple(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Num(_) | ExprKind::Var(_) => true,
+        ExprKind::Bin(op, l, r) => {
+            !matches!(op, BinOp::Div | BinOp::Rem) && is_simple(l) && is_simple(r)
+        }
+        ExprKind::Un(_, i) => is_simple(i),
+        _ => false,
+    }
+}
+
+/// Counts the frame bytes a body needs (conservative: no slot reuse).
+fn frame_bytes(stmts: &[Stmt]) -> u64 {
+    let mut total = 0;
+    for s in stmts {
+        total += match s {
+            Stmt::Decl { ty, array_len, .. } => match array_len {
+                Some(n) => (n * ty.size() + 7) & !7,
+                None => 8,
+            },
+            Stmt::If { then, els, .. } => frame_bytes(then) + frame_bytes(els),
+            Stmt::While { body, .. } => frame_bytes(body),
+            Stmt::Switch { cases, default, .. } => {
+                cases.iter().map(|(_, b)| frame_bytes(b)).sum::<u64>()
+                    + default.as_ref().map(|d| frame_bytes(d)).unwrap_or(0)
+            }
+            Stmt::Block(b) => frame_bytes(b),
+            _ => 0,
+        };
+    }
+    total
+}
+
+/// Compiles a MiniC translation unit to a relocatable object.
+///
+/// # Errors
+///
+/// Returns a [`CcError`] for parse, semantic, or assembly problems.
+pub fn compile(src: &str, opts: &Options) -> Result<Object, CcError> {
+    let prog = parse(src)?;
+    compile_program(&prog, opts)
+}
+
+/// Compiles an already-parsed program.
+///
+/// # Errors
+///
+/// Returns a [`CcError`] for semantic or assembly problems.
+pub fn compile_program(
+    prog: &Program,
+    opts: &Options,
+) -> Result<Object, CcError> {
+    let unit = if opts.unit_name.is_empty() {
+        "unit"
+    } else {
+        &opts.unit_name
+    };
+    let mut asm = Assembler::new(unit.to_string());
+
+    // Signatures (two-pass: forward references allowed).
+    let mut sigs: HashMap<String, (Type, usize)> = HashMap::new();
+    for f in &prog.funcs {
+        if sigs
+            .insert(f.name.clone(), (f.ret.clone(), f.params.len()))
+            .is_some()
+        {
+            return Err(CcError::Sema {
+                msg: format!("duplicate function `{}`", f.name),
+                line: 0,
+            });
+        }
+    }
+
+    // Globals.
+    let mut globals: HashMap<String, (Type, bool)> = HashMap::new();
+    for g in &prog.globals {
+        globals.insert(g.name.clone(), (g.ty.clone(), g.array_len.is_some()));
+        let size = g.ty.size() * g.array_len.unwrap_or(1);
+        match &g.init {
+            Some(bytes) => {
+                let mut data = bytes.clone();
+                data.resize(size.max(bytes.len() as u64) as usize, 0);
+                asm.data(g.name.clone(), &data);
+            }
+            None => asm.bss(g.name.clone(), size),
+        }
+    }
+
+    // Functions.
+    let mut string_base = 0usize;
+    for func in &prog.funcs {
+        let mut f = asm.func(func.name.clone());
+        let epilogue = f.fresh_label();
+        let mut ctx = FnCtx {
+            f,
+            scopes: vec![HashMap::new()],
+            next_offset: 0,
+            breaks: Vec::new(),
+            continues: Vec::new(),
+            epilogue,
+            ret: func.ret.clone(),
+            opts,
+            sigs: &sigs,
+            globals: &globals,
+            strings: Vec::new(),
+            string_base,
+        };
+        // Prologue.
+        let frame = (frame_bytes(&func.body) + 8 * func.params.len() as u64
+            + 15)
+            & !15;
+        ctx.f.raw(Inst::Push { src: Reg::FP });
+        ctx.f.ins(Inst::MovRR { dst: Reg::FP, src: Reg::SP });
+        if frame > 0 {
+            ctx.f.ins(Inst::Alu {
+                op: AluOp::Sub,
+                dst: Reg::SP,
+                src: Operand::Imm(frame as i32),
+            });
+        }
+        for (i, (pname, pty)) in func.params.iter().enumerate() {
+            let slot = ctx.alloc_slot(pname, pty.clone(), None);
+            ctx.f.ins(Inst::Store {
+                src: Reg::ARGS[i],
+                mem: MemRef::base_disp(Reg::FP, slot.offset),
+                size: AccessSize::B8,
+            });
+        }
+        ctx.stmts(&func.body)?;
+        // Implicit return 0 / void (skipped when the body already ends in
+        // a return, so no dead code is emitted).
+        let ends_in_return = matches!(func.body.last(), Some(Stmt::Return(_)));
+        if func.ret != Type::Void && !ends_in_return {
+            ctx.f.ins(Inst::MovRI { dst: Reg::R0, imm: 0 });
+        }
+        let ep = ctx.epilogue;
+        ctx.f.bind(ep);
+        ctx.f.ins(Inst::MovRR { dst: Reg::SP, src: Reg::FP });
+        ctx.f.raw(Inst::Pop { dst: Reg::FP });
+        ctx.f.raw(Inst::Ret);
+
+        let strings = std::mem::take(&mut ctx.strings);
+        let f = ctx.f;
+        asm.finish_func(f)?;
+        for (i, s) in strings.iter().enumerate() {
+            asm.rodata(format!("str$str{}", string_base + i), s);
+        }
+        string_base += strings.len();
+    }
+
+    // Startup stub.
+    if sigs.contains_key("main") {
+        let mut start = asm.func("_start");
+        start.call_sym("main");
+        start.ins(Inst::MovRR { dst: Reg::R1, src: Reg::R0 });
+        start.ins(Inst::Syscall { num: sys::EXIT });
+        asm.finish_func(start)?;
+    }
+
+    Ok(asm.finish())
+}
+
+/// Compiles and links a standalone program (entry `_start` → `main`).
+///
+/// # Errors
+///
+/// Returns a [`CcError`] for parse, semantic, assembly or link problems.
+pub fn compile_to_binary(src: &str, opts: &Options) -> Result<Binary, CcError> {
+    let obj = compile(src, opts)?;
+    Ok(Linker::new().add_object(obj).link("_start")?)
+}

@@ -1,0 +1,40 @@
+//! MiniC — the compiler that produces the COTS workload binaries.
+//!
+//! MiniC is a small C subset (signed/unsigned 64-bit integers, unsigned
+//! bytes, pointers, arrays, functions, function pointers, `if`/`while`/
+//! `for`/`switch`) compiled to TEA-64. Its role in the reproduction is the
+//! role GCC/Clang play in the paper:
+//!
+//! * it generates the five real-world-like workload programs that Teapot
+//!   analyzes as *binaries only* (the compiler is never consulted during
+//!   analysis — the COTS assumption);
+//! * it exposes the **compiler-divergence knobs** of paper §3.2/Fig. 2:
+//!   GCC-style branch-chain vs. Clang-style jump-table `switch` lowering,
+//!   and `cmov` if-conversion (Appendix A.1) — the reasons binary-level
+//!   analysis of the *deployed* executable matters.
+//!
+//! # Example
+//!
+//! ```
+//! use teapot_cc::{compile_to_binary, Options};
+//!
+//! let bin = compile_to_binary(
+//!     "int main() { return 7; }",
+//!     &Options::gcc_like(),
+//! )?;
+//! assert!(bin.find_symbol("main").is_some());
+//! # Ok::<(), teapot_cc::CcError>(())
+//! ```
+
+pub mod ast;
+mod codegen;
+mod parser;
+mod token;
+
+pub use ast::{BinOp, Expr, ExprKind, Func, Global, Program, Stmt, Type, UnOp};
+pub use codegen::{
+    compile, compile_program, compile_to_binary, CcError, Options,
+    SwitchLowering,
+};
+pub use parser::{parse, ParseError};
+pub use token::{lex, LexError};

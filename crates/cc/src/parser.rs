@@ -1,0 +1,696 @@
+//! MiniC recursive-descent parser.
+
+use crate::ast::*;
+use crate::token::{lex, Spanned, Tok};
+use std::fmt;
+
+/// A parse error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description.
+    pub msg: String,
+    /// Source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::token::LexError> for ParseError {
+    fn from(e: crate::token::LexError) -> ParseError {
+        ParseError { msg: e.msg, line: e.line }
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+/// Parses a MiniC translation unit.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on lexical or syntactic errors.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut prog = Program::default();
+    while p.peek() != &Tok::Eof {
+        p.parse_top(&mut prog)?;
+    }
+    Ok(prog)
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { msg: msg.into(), line: self.line() })
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        if self.peek() == &t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn try_type(&mut self) -> Option<Type> {
+        let base = match self.peek() {
+            Tok::KwInt => Type::Int,
+            Tok::KwUint => Type::Uint,
+            Tok::KwChar => Type::Char,
+            Tok::KwVoid => Type::Void,
+            Tok::KwFnPtr => Type::FnPtr,
+            _ => return None,
+        };
+        self.bump();
+        let mut ty = base;
+        while self.peek() == &Tok::Star {
+            self.bump();
+            ty = Type::Ptr(Box::new(ty));
+        }
+        Some(ty)
+    }
+
+    fn parse_top(&mut self, prog: &mut Program) -> Result<(), ParseError> {
+        let Some(ty) = self.try_type() else {
+            return self.err(format!(
+                "expected type at top level, found {}",
+                self.peek()
+            ));
+        };
+        let name = self.ident()?;
+        if self.peek() == &Tok::LParen {
+            // function definition
+            self.bump();
+            let mut params = Vec::new();
+            if self.peek() != &Tok::RParen {
+                loop {
+                    let pty = self
+                        .try_type()
+                        .ok_or_else(|| ParseError {
+                            msg: "expected parameter type".into(),
+                            line: self.line(),
+                        })?;
+                    if pty == Type::Void && params.is_empty()
+                        && self.peek() == &Tok::RParen
+                    {
+                        break; // f(void)
+                    }
+                    let pname = self.ident()?;
+                    params.push((pname, pty));
+                    if self.peek() == &Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Tok::RParen)?;
+            if params.len() > 5 {
+                return self.err("functions take at most five parameters");
+            }
+            let body = self.block()?;
+            prog.funcs.push(Func { name, ret: ty, params, body });
+        } else {
+            // global variable(s)
+            loop {
+                let (array_len, init) = self.global_suffix(&ty)?;
+                prog.globals.push(Global {
+                    name: name.clone(),
+                    ty: ty.clone(),
+                    array_len,
+                    init,
+                });
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                    let _next = self.ident()?;
+                    return self.err("one global per declaration, please");
+                }
+                break;
+            }
+            self.expect(Tok::Semi)?;
+        }
+        Ok(())
+    }
+
+    /// Parses `[N]`, `= literal` or nothing after a global's name.
+    fn global_suffix(
+        &mut self,
+        ty: &Type,
+    ) -> Result<(Option<u64>, Option<Vec<u8>>), ParseError> {
+        let mut array_len = None;
+        if self.peek() == &Tok::LBracket {
+            self.bump();
+            match self.bump() {
+                Tok::Int(n) if n > 0 => array_len = Some(n as u64),
+                _ => return self.err("expected positive array length"),
+            }
+            self.expect(Tok::RBracket)?;
+        }
+        let mut init = None;
+        if self.peek() == &Tok::Assign {
+            self.bump();
+            match self.bump() {
+                Tok::Int(v) => {
+                    if array_len.is_some() {
+                        return self
+                            .err("array initializers are not supported");
+                    }
+                    let bytes = match ty.size() {
+                        1 => vec![v as u8],
+                        _ => v.to_le_bytes().to_vec(),
+                    };
+                    init = Some(bytes);
+                }
+                Tok::Str(s) => {
+                    // char arr[] = "..." style: string contents + NUL.
+                    let mut bytes = s;
+                    bytes.push(0);
+                    if array_len.is_none() {
+                        array_len = Some(bytes.len() as u64);
+                    }
+                    init = Some(bytes);
+                }
+                other => {
+                    return self.err(format!(
+                        "unsupported global initializer {other}"
+                    ))
+                }
+            }
+        }
+        Ok((array_len, init))
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if let Some(ty) = self.try_type() {
+            // declaration
+            let name = self.ident()?;
+            let mut array_len = None;
+            if self.peek() == &Tok::LBracket {
+                self.bump();
+                match self.bump() {
+                    Tok::Int(n) if n > 0 => array_len = Some(n as u64),
+                    _ => return self.err("expected positive array length"),
+                }
+                self.expect(Tok::RBracket)?;
+            }
+            let init = if self.peek() == &Tok::Assign {
+                self.bump();
+                if array_len.is_some() {
+                    return self.err("local array initializers not supported");
+                }
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Decl { name, ty, array_len, init });
+        }
+        match self.peek().clone() {
+            Tok::LBrace => Ok(Stmt::Block(self.block()?)),
+            Tok::KwIf => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then = self.stmt_or_block()?;
+                let els = if self.peek() == &Tok::KwElse {
+                    self.bump();
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::KwFor => {
+                // for (init; cond; step) body → desugar to while
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = if self.peek() == &Tok::Semi {
+                    self.bump();
+                    None
+                } else {
+                    Some(self.stmt()?) // consumes the ';' via simple_stmt
+                };
+                let cond = if self.peek() == &Tok::Semi {
+                    Expr { kind: ExprKind::Num(1), line: self.line() }
+                } else {
+                    self.expr()?
+                };
+                self.expect(Tok::Semi)?;
+                let step = if self.peek() == &Tok::RParen {
+                    None
+                } else {
+                    Some(self.simple_stmt_no_semi()?)
+                };
+                self.expect(Tok::RParen)?;
+                let mut body = self.stmt_or_block()?;
+                if let Some(s) = step {
+                    body.push(s);
+                }
+                let mut out = Vec::new();
+                if let Some(i) = init {
+                    out.push(i);
+                }
+                out.push(Stmt::While { cond, body });
+                Ok(Stmt::Block(out))
+            }
+            Tok::KwSwitch => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let scrutinee = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::LBrace)?;
+                let mut cases: Vec<(i64, Vec<Stmt>)> = Vec::new();
+                let mut default = None;
+                while self.peek() != &Tok::RBrace {
+                    match self.bump() {
+                        Tok::KwCase => {
+                            let v = match self.bump() {
+                                Tok::Int(v) => v,
+                                Tok::Minus => match self.bump() {
+                                    Tok::Int(v) => -v,
+                                    _ => {
+                                        return self
+                                            .err("expected case constant")
+                                    }
+                                },
+                                _ => return self.err("expected case constant"),
+                            };
+                            self.expect(Tok::Colon)?;
+                            let body = self.case_body()?;
+                            cases.push((v, body));
+                        }
+                        Tok::KwDefault => {
+                            self.expect(Tok::Colon)?;
+                            default = Some(self.case_body()?);
+                        }
+                        other => {
+                            return self.err(format!(
+                                "expected case/default, found {other}"
+                            ))
+                        }
+                    }
+                }
+                self.bump(); // }
+                Ok(Stmt::Switch { scrutinee, cases, default })
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break)
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let v = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return(v))
+            }
+            _ => {
+                let s = self.simple_stmt_no_semi()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Statements whose body in a case runs until the next
+    /// case/default/`}`. Fall-through is not supported: each case body is
+    /// implicitly terminated (a `break` is allowed and redundant).
+    fn case_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::KwCase | Tok::KwDefault | Tok::RBrace => break,
+                Tok::KwBreak => {
+                    self.bump();
+                    self.expect(Tok::Semi)?;
+                    break;
+                }
+                _ => out.push(self.stmt()?),
+            }
+        }
+        Ok(out)
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.peek() == &Tok::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// Assignment / compound assignment / ++ / -- / expression statement,
+    /// without consuming a trailing semicolon.
+    fn simple_stmt_no_semi(&mut self) -> Result<Stmt, ParseError> {
+        let target = self.expr()?;
+        match self.peek() {
+            Tok::Assign => {
+                self.bump();
+                let value = self.expr()?;
+                Ok(Stmt::Assign { target, value })
+            }
+            Tok::PlusEq => {
+                self.bump();
+                let value = self.expr()?;
+                Ok(Stmt::OpAssign { target, op: BinOp::Add, value })
+            }
+            Tok::MinusEq => {
+                self.bump();
+                let value = self.expr()?;
+                Ok(Stmt::OpAssign { target, op: BinOp::Sub, value })
+            }
+            Tok::PlusPlus => {
+                self.bump();
+                let line = self.line();
+                Ok(Stmt::OpAssign {
+                    target,
+                    op: BinOp::Add,
+                    value: Expr { kind: ExprKind::Num(1), line },
+                })
+            }
+            Tok::MinusMinus => {
+                self.bump();
+                let line = self.line();
+                Ok(Stmt::OpAssign {
+                    target,
+                    op: BinOp::Sub,
+                    value: Expr { kind: ExprKind::Num(1), line },
+                })
+            }
+            _ => Ok(Stmt::Expr(target)),
+        }
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::OrOr => (BinOp::LogOr, 1),
+                Tok::AndAnd => (BinOp::LogAnd, 2),
+                Tok::Pipe => (BinOp::Or, 3),
+                Tok::Caret => (BinOp::Xor, 4),
+                Tok::Amp => (BinOp::And, 5),
+                Tok::Eq => (BinOp::Eq, 6),
+                Tok::Ne => (BinOp::Ne, 6),
+                Tok::Lt => (BinOp::Lt, 7),
+                Tok::Le => (BinOp::Le, 7),
+                Tok::Gt => (BinOp::Gt, 7),
+                Tok::Ge => (BinOp::Ge, 7),
+                Tok::Shl => (BinOp::Shl, 8),
+                Tok::Shr => (BinOp::Shr, 8),
+                Tok::Plus => (BinOp::Add, 9),
+                Tok::Minus => (BinOp::Sub, 9),
+                Tok::Star => (BinOp::Mul, 10),
+                Tok::Slash => (BinOp::Div, 10),
+                Tok::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr { kind: ExprKind::Un(UnOp::Neg, Box::new(e)), line })
+            }
+            Tok::Tilde => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr { kind: ExprKind::Un(UnOp::BitNot, Box::new(e)), line })
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr { kind: ExprKind::Un(UnOp::Not, Box::new(e)), line })
+            }
+            Tok::Star => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr { kind: ExprKind::Deref(Box::new(e)), line })
+            }
+            Tok::Amp => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr { kind: ExprKind::AddrOf(Box::new(e)), line })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    e = Expr {
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        line,
+                    };
+                }
+                Tok::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == &Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    if args.len() > 5 {
+                        return self.err("calls take at most five arguments");
+                    }
+                    e = match e.kind {
+                        ExprKind::Var(name) => {
+                            Expr { kind: ExprKind::Call(name, args), line }
+                        }
+                        _ => Expr {
+                            kind: ExprKind::CallPtr(Box::new(e), args),
+                            line,
+                        },
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr { kind: ExprKind::Num(v), line }),
+            Tok::Str(s) => Ok(Expr { kind: ExprKind::Str(s), line }),
+            Tok::Ident(name) => Ok(Expr { kind: ExprKind::Var(name), line }),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected expression, found {other}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing1_shape() {
+        // The canonical Spectre-V1 gadget of the paper's Listing 1.
+        let src = r#"
+            char foo[16];
+            char bar[256];
+            int baz;
+            void victim(int index) {
+                if (index < 10) {
+                    int secret = foo[index];
+                    baz = bar[secret];
+                }
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.globals.len(), 3);
+        assert_eq!(prog.funcs.len(), 1);
+        let f = &prog.funcs[0];
+        assert_eq!(f.name, "victim");
+        assert!(matches!(f.body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("int f() { return 1 + 2 * 3 < 7 && 1; }").unwrap();
+        let Stmt::Return(Some(e)) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        // top must be LogAnd
+        assert!(matches!(e.kind, ExprKind::Bin(BinOp::LogAnd, _, _)));
+    }
+
+    #[test]
+    fn switch_with_cases_and_default() {
+        let p = parse(
+            "int f(int v) { switch (v) { case 0: return 1; case 2: return 3; default: return 9; } }",
+        )
+        .unwrap();
+        let Stmt::Switch { cases, default, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(cases.len(), 2);
+        assert!(default.is_some());
+    }
+
+    #[test]
+    fn for_desugars_to_while() {
+        let p = parse("int f() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }")
+            .unwrap();
+        let Stmt::Block(items) = &p.funcs[0].body[1] else { panic!() };
+        assert!(matches!(items[0], Stmt::Decl { .. }));
+        assert!(matches!(items[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn pointers_and_addressing() {
+        let p = parse("int g; int f(int *p) { *p = 1; return *p + g; }")
+            .unwrap();
+        assert!(matches!(
+            p.funcs[0].params[0].1,
+            Type::Ptr(_)
+        ));
+    }
+
+    #[test]
+    fn fnptr_calls() {
+        // `g(1)` parses as a named call; codegen resolves it to an
+        // indirect call when `g` is a fnptr variable.
+        let p =
+            parse("int inc(int x) { return x + 1; } int f() { fnptr g = &inc; return g(1); }")
+                .unwrap();
+        let body = &p.funcs[1].body;
+        assert!(matches!(body[0], Stmt::Decl { .. }));
+        let Stmt::Return(Some(e)) = &body[1] else { panic!() };
+        assert!(matches!(e.kind, ExprKind::Call(_, _)));
+        // A parenthesized callee is a syntactic CallPtr.
+        let p = parse("int f(fnptr g) { return (g)(1); }").unwrap();
+        let Stmt::Return(Some(e)) = &p.funcs[0].body[0] else { panic!() };
+        assert!(matches!(e.kind, ExprKind::Call(_, _)) || matches!(e.kind, ExprKind::CallPtr(_, _)));
+    }
+
+    #[test]
+    fn string_global() {
+        let p = parse(r#"char msg[] = "hi";"#);
+        // `char msg[]` without length is not supported; use explicit form.
+        assert!(p.is_err());
+        let p = parse(r#"char msg = "hi";"#).unwrap();
+        assert_eq!(p.globals[0].array_len, Some(3)); // "hi\0"
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let err = parse("int f() {\n  $\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse("int f() { return 1 }").unwrap_err();
+        assert!(err.msg.contains("expected"));
+    }
+
+    #[test]
+    fn too_many_params_rejected() {
+        assert!(parse("int f(int a, int b, int c, int d, int e, int g) {}")
+            .is_err());
+    }
+}

@@ -1,0 +1,437 @@
+//! MiniC lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // literals & identifiers
+    Int(i64),
+    Str(Vec<u8>),
+    Ident(String),
+    // keywords
+    KwInt,
+    KwUint,
+    KwChar,
+    KwVoid,
+    KwFnPtr,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    // operators
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    PlusEq,
+    MinusEq,
+    PlusPlus,
+    MinusMinus,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Source line number.
+    pub line: u32,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub msg: String,
+    /// Source line number.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes MiniC source.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed literals or stray characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Spanned { tok: $t, line })
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= b.len() {
+                    return Err(LexError {
+                        msg: "unterminated block comment".into(),
+                        line,
+                    });
+                }
+                i += 2;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut value: i64;
+                if c == b'0' && i + 1 < b.len() && (b[i + 1] | 32) == b'x' {
+                    i += 2;
+                    let hs = i;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hs {
+                        return Err(LexError {
+                            msg: "empty hex literal".into(),
+                            line,
+                        });
+                    }
+                    value = i64::from_str_radix(
+                        std::str::from_utf8(&b[hs..i]).unwrap(),
+                        16,
+                    )
+                    .map_err(|_| LexError {
+                        msg: "hex literal overflow".into(),
+                        line,
+                    })?;
+                } else {
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    value = std::str::from_utf8(&b[start..i])
+                        .unwrap()
+                        .parse()
+                        .map_err(|_| LexError {
+                            msg: "integer literal overflow".into(),
+                            line,
+                        })?;
+                }
+                let _ = &mut value;
+                push!(Tok::Int(value));
+            }
+            b'\'' => {
+                // char literal
+                i += 1;
+                let v = if i < b.len() && b[i] == b'\\' {
+                    i += 1;
+                    let e = *b.get(i).ok_or(LexError {
+                        msg: "unterminated char literal".into(),
+                        line,
+                    })?;
+                    i += 1;
+                    escape(e).ok_or(LexError {
+                        msg: format!("bad escape '\\{}'", e as char),
+                        line,
+                    })?
+                } else {
+                    let v = *b.get(i).ok_or(LexError {
+                        msg: "unterminated char literal".into(),
+                        line,
+                    })?;
+                    i += 1;
+                    v
+                };
+                if b.get(i) != Some(&b'\'') {
+                    return Err(LexError {
+                        msg: "unterminated char literal".into(),
+                        line,
+                    });
+                }
+                i += 1;
+                push!(Tok::Int(v as i64));
+            }
+            b'"' => {
+                i += 1;
+                let mut s = Vec::new();
+                loop {
+                    match b.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(LexError {
+                                msg: "unterminated string literal".into(),
+                                line,
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            i += 1;
+                            let e = *b.get(i).ok_or(LexError {
+                                msg: "unterminated string literal".into(),
+                                line,
+                            })?;
+                            s.push(escape(e).ok_or(LexError {
+                                msg: format!("bad escape '\\{}'", e as char),
+                                line,
+                            })?);
+                            i += 1;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                push!(Tok::Str(s));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = std::str::from_utf8(&b[start..i]).unwrap();
+                push!(match word {
+                    "int" => Tok::KwInt,
+                    "uint" => Tok::KwUint,
+                    "char" => Tok::KwChar,
+                    "void" => Tok::KwVoid,
+                    "fnptr" => Tok::KwFnPtr,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "switch" => Tok::KwSwitch,
+                    "case" => Tok::KwCase,
+                    "default" => Tok::KwDefault,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    "return" => Tok::KwReturn,
+                    _ => Tok::Ident(word.to_string()),
+                });
+            }
+            _ => {
+                let two = |a: u8, b2: u8| i + 1 < b.len() && c == a && b[i + 1] == b2;
+                let (tok, n) = if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::OrOr, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::Eq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'+', b'=') {
+                    (Tok::PlusEq, 2)
+                } else if two(b'-', b'=') {
+                    (Tok::MinusEq, 2)
+                } else if two(b'+', b'+') {
+                    (Tok::PlusPlus, 2)
+                } else if two(b'-', b'-') {
+                    (Tok::MinusMinus, 2)
+                } else {
+                    let t = match c {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b',' => Tok::Comma,
+                        b';' => Tok::Semi,
+                        b':' => Tok::Colon,
+                        b'=' => Tok::Assign,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'&' => Tok::Amp,
+                        b'|' => Tok::Pipe,
+                        b'^' => Tok::Caret,
+                        b'~' => Tok::Tilde,
+                        b'!' => Tok::Bang,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        other => {
+                            return Err(LexError {
+                                msg: format!(
+                                    "unexpected character '{}'",
+                                    other as char
+                                ),
+                                line,
+                            })
+                        }
+                    };
+                    (t, 1)
+                };
+                push!(tok);
+                i += n;
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+fn escape(e: u8) -> Option<u8> {
+    Some(match e {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int foo uint"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("foo".into()),
+                Tok::KwUint,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 0x2a"), vec![Tok::Int(42), Tok::Int(42), Tok::Eof]);
+        assert_eq!(toks("'a' '\\n' '\\0'")[..3], [
+            Tok::Int(97),
+            Tok::Int(10),
+            Tok::Int(0)
+        ]);
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("<< <= < == = && & ++ +="),
+            vec![
+                Tok::Shl,
+                Tok::Le,
+                Tok::Lt,
+                Tok::Eq,
+                Tok::Assign,
+                Tok::AndAnd,
+                Tok::Amp,
+                Tok::PlusPlus,
+                Tok::PlusEq,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks("\"hi\\n\""),
+            vec![Tok::Str(b"hi\n".to_vec()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("'x").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("0x").is_err());
+    }
+}

@@ -1,0 +1,413 @@
+//! Compile-and-execute tests: MiniC programs run on the TEA-64 VM and
+//! their results are checked, plus code-shape assertions for the paper's
+//! Fig. 2 switch lowerings and Appendix A.1 cmov if-conversion.
+
+use teapot_cc::{compile_to_binary, Options, SwitchLowering};
+use teapot_isa::{decode_at, Inst};
+use teapot_obj::Binary;
+use teapot_vm::{ExitStatus, Machine, RunOptions, SpecHeuristics};
+
+fn run_with(src: &str, opts: &Options, input: &[u8]) -> teapot_vm::RunOutcome {
+    let bin = compile_to_binary(src, opts).expect("compile");
+    let mut heur = SpecHeuristics::default();
+    Machine::new(
+        &bin,
+        RunOptions { input: input.to_vec(), ..RunOptions::default() },
+    )
+    .run(&mut heur)
+}
+
+fn exit_code(src: &str) -> i64 {
+    match run_with(src, &Options::gcc_like(), &[]).status {
+        ExitStatus::Exit(c) => c,
+        other => panic!("program did not exit cleanly: {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(exit_code("int main() { return 2 + 3 * 4; }"), 14);
+    assert_eq!(exit_code("int main() { return (2 + 3) * 4; }"), 20);
+    assert_eq!(exit_code("int main() { return 100 / 7; }"), 14);
+    assert_eq!(exit_code("int main() { return 100 % 7; }"), 2);
+    assert_eq!(exit_code("int main() { return 1 << 6; }"), 64);
+    assert_eq!(exit_code("int main() { return 255 >> 4; }"), 15);
+    assert_eq!(exit_code("int main() { return (5 ^ 3) + (5 & 3) + (5 | 3); }"), 6 + 1 + 7);
+    assert_eq!(exit_code("int main() { return -5 + 7; }"), 2);
+    assert_eq!(exit_code("int main() { return ~0 + 2; }"), 1);
+    assert_eq!(exit_code("int main() { return !0 + !5; }"), 1);
+}
+
+#[test]
+fn signed_vs_unsigned_comparison() {
+    // Signed: -1 < 1.
+    assert_eq!(exit_code("int main() { int a = 0 - 1; if (a < 1) { return 1; } return 0; }"), 1);
+    // Unsigned: (uint)-1 is huge.
+    assert_eq!(
+        exit_code("int main() { uint a = 0 - 1; if (a < 1) { return 1; } return 0; }"),
+        0
+    );
+    // Signed shift right preserves sign; unsigned doesn't.
+    assert_eq!(exit_code("int main() { int a = 0 - 8; return (a >> 2) + 3; }"), 1);
+}
+
+#[test]
+fn locals_scopes_and_loops() {
+    assert_eq!(
+        exit_code("int main() { int s = 0; int i = 1; while (i <= 10) { s += i; i++; } return s; }"),
+        55
+    );
+    assert_eq!(
+        exit_code("int main() { int s = 0; for (int i = 0; i < 5; i++) { s += i; } return s; }"),
+        10
+    );
+    assert_eq!(
+        exit_code("int main() { int x = 1; { int x = 2; } return x; }"),
+        1
+    );
+    assert_eq!(
+        exit_code(
+            "int main() { int i = 0; while (1) { i++; if (i == 7) { break; } } return i; }"
+        ),
+        7
+    );
+}
+
+#[test]
+fn functions_args_and_recursion() {
+    assert_eq!(
+        exit_code(
+            "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+             int main() { return fib(10); }"
+        ),
+        55
+    );
+    assert_eq!(
+        exit_code(
+            "int mix(int a, int b, int c, int d, int e) { return a + b*2 + c*3 + d*4 + e*5; }
+             int main() { return mix(1, 2, 3, 4, 5); }"
+        ),
+        1 + 4 + 9 + 16 + 25
+    );
+}
+
+#[test]
+fn arrays_pointers_and_strings() {
+    assert_eq!(
+        exit_code(
+            "char buf[8];
+             int main() {
+                 buf[0] = 65; buf[1] = 66;
+                 char *p = buf;
+                 return p[0] + *(p + 1);
+             }"
+        ),
+        65 + 66
+    );
+    assert_eq!(
+        exit_code(
+            "int arr[4];
+             int main() {
+                 for (int i = 0; i < 4; i++) { arr[i] = i * i; }
+                 int *p = &arr[2];
+                 return *p;
+             }"
+        ),
+        4
+    );
+    assert_eq!(
+        exit_code(
+            "int main() { char *s = \"AB\"; return s[0] + s[1] + s[2]; }"
+        ),
+        65 + 66
+    );
+}
+
+#[test]
+fn function_pointers() {
+    assert_eq!(
+        exit_code(
+            "int twice(int x) { return x * 2; }
+             int thrice(int x) { return x * 3; }
+             int main() {
+                 fnptr f = &twice;
+                 int a = f(10);
+                 f = &thrice;
+                 return a + f(10);
+             }"
+        ),
+        50
+    );
+}
+
+#[test]
+fn globals_and_initializers() {
+    assert_eq!(
+        exit_code("int counter = 5; int main() { counter += 3; return counter; }"),
+        8
+    );
+    assert_eq!(
+        exit_code("char tag = 7; int main() { return tag; }"),
+        7
+    );
+}
+
+#[test]
+fn io_builtins() {
+    let out = run_with(
+        "char buf[32];
+         int main() {
+             int n = read_input(buf, 32);
+             write(buf, n);
+             return n;
+         }",
+        &Options::gcc_like(),
+        b"teapot",
+    );
+    assert_eq!(out.status, ExitStatus::Exit(6));
+    assert_eq!(out.output, b"teapot");
+}
+
+#[test]
+fn heap_builtins() {
+    assert_eq!(
+        exit_code(
+            "int main() {
+                 char *p = malloc(16);
+                 p[0] = 42; p[15] = 1;
+                 int v = p[0] + p[15];
+                 free(p);
+                 return v;
+             }"
+        ),
+        43
+    );
+}
+
+fn both_lowerings(src: &str) -> (i64, i64) {
+    let chain = match run_with(src, &Options::gcc_like(), &[]).status {
+        ExitStatus::Exit(c) => c,
+        other => panic!("branch-chain run failed: {other:?}"),
+    };
+    let table = match run_with(
+        src,
+        &Options {
+            switch_lowering: SwitchLowering::JumpTable,
+            ..Options::gcc_like()
+        },
+        &[],
+    )
+    .status
+    {
+        ExitStatus::Exit(c) => c,
+        other => panic!("jump-table run failed: {other:?}"),
+    };
+    (chain, table)
+}
+
+#[test]
+fn switch_lowering_semantics_agree() {
+    let src = "int f(int v) {
+                   switch (v) {
+                       case 0: return 10;
+                       case 1: return 11;
+                       case 2: return 12;
+                       case 3: return 13;
+                       default: return 99;
+                   }
+               }
+               int main() { return f(0) + f(2)*2 + f(3)*3 + f(77)*4; }";
+    let (chain, table) = both_lowerings(src);
+    assert_eq!(chain, 10 + 24 + 39 + 396);
+    assert_eq!(chain, table);
+
+    // Sparse and negative cases.
+    let src2 = "int f(int v) {
+                    switch (v) {
+                        case 2: return 1;
+                        case 5: return 2;
+                        case 9: return 3;
+                        default: return 0;
+                    }
+                }
+                int main() { return f(2) + f(5)*10 + f(9)*100 + f(4)*1000; }";
+    let (chain, table) = both_lowerings(src2);
+    assert_eq!(chain, 1 + 20 + 300);
+    assert_eq!(chain, table);
+}
+
+fn count_insts(bin: &Binary, pred: impl Fn(&Inst<u64>) -> bool) -> usize {
+    let text = bin.section(".text").unwrap();
+    let mut pc = text.vaddr;
+    let mut n = 0;
+    while pc < text.vaddr + text.bytes.len() as u64 {
+        let off = (pc - text.vaddr) as usize;
+        let (inst, len) = decode_at(&text.bytes[off..], pc).unwrap();
+        if pred(&inst) {
+            n += 1;
+        }
+        pc += len as u64;
+    }
+    n
+}
+
+#[test]
+fn fig2_branch_chain_vs_jump_table_shape() {
+    // The paper's Fig. 2 switch (4 dense cases, no default).
+    let src = "int sink;
+               void f(int v) {
+                   switch (v) {
+                       case 0: sink = 10; break;
+                       case 1: sink = 11; break;
+                       case 2: sink = 12; break;
+                       case 3: sink = 13; break;
+                   }
+               }
+               int main() { f(2); return sink; }";
+    let chain_bin = compile_to_binary(src, &Options::gcc_like()).unwrap();
+    let table_bin = compile_to_binary(
+        src,
+        &Options {
+            switch_lowering: SwitchLowering::JumpTable,
+            ..Options::gcc_like()
+        },
+    )
+    .unwrap();
+    let chain_jcc =
+        count_insts(&chain_bin, |i| matches!(i, Inst::Jcc { .. }));
+    let table_jcc =
+        count_insts(&table_bin, |i| matches!(i, Inst::Jcc { .. }));
+    let table_ind =
+        count_insts(&table_bin, |i| matches!(i, Inst::JmpInd { .. }));
+    // Branch chain: one conditional branch per case (the V1 victims).
+    assert!(chain_jcc >= 4, "expected >=4 jcc, got {chain_jcc}");
+    // Jump table with no default: NO conditional branch in f, one
+    // indirect jump (paper Fig. 2 right: "Spectre-V1 Safe").
+    assert_eq!(table_jcc, 0, "jump-table switch must have no jcc");
+    assert_eq!(table_ind, 1);
+    // Both compute the same result.
+    let mut heur = SpecHeuristics::default();
+    let c = Machine::new(&chain_bin, RunOptions::default()).run(&mut heur);
+    let t = Machine::new(&table_bin, RunOptions::default()).run(&mut heur);
+    assert_eq!(c.status, ExitStatus::Exit(12));
+    assert_eq!(t.status, ExitStatus::Exit(12));
+}
+
+#[test]
+fn cmov_if_conversion_changes_shape_not_semantics() {
+    // Appendix A.1 pattern: if (x < y) x += dicBufSize;
+    let src = "int main() {
+                   int x = 3;
+                   int limit = 10;
+                   if (x < limit) { x = x + 100; }
+                   if (x < limit) { x = x + 1000; }
+                   return x;
+               }";
+    let plain = compile_to_binary(src, &Options::gcc_like()).unwrap();
+    let cmov = compile_to_binary(
+        src,
+        &Options { cmov_if_conversion: true, ..Options::gcc_like() },
+    )
+    .unwrap();
+    assert_eq!(
+        count_insts(&plain, |i| matches!(i, Inst::Cmov { .. })),
+        0
+    );
+    assert_eq!(count_insts(&cmov, |i| matches!(i, Inst::Cmov { .. })), 2);
+    assert!(
+        count_insts(&cmov, |i| matches!(i, Inst::Jcc { .. }))
+            < count_insts(&plain, |i| matches!(i, Inst::Jcc { .. }))
+    );
+    let mut heur = SpecHeuristics::default();
+    let p = Machine::new(&plain, RunOptions::default()).run(&mut heur);
+    let c = Machine::new(&cmov, RunOptions::default()).run(&mut heur);
+    assert_eq!(p.status, ExitStatus::Exit(103));
+    assert_eq!(c.status, ExitStatus::Exit(103));
+}
+
+#[test]
+fn listing1_compiles_to_the_canonical_gadget_shape() {
+    // The paper's Listing 1, verbatim modulo syntax.
+    let src = "char foo[16];
+               char bar[256];
+               int baz;
+               char inbuf[8];
+               int main() {
+                   read_input(inbuf, 8);
+                   int index = inbuf[0];
+                   if (index < 10) {
+                       int secret = foo[index];
+                       baz = bar[secret];
+                   }
+                   return 0;
+               }";
+    let bin = compile_to_binary(src, &Options::gcc_like()).unwrap();
+    // It must contain a conditional branch guarding an indexed load chain.
+    assert!(count_insts(&bin, |i| matches!(i, Inst::Jcc { .. })) >= 1);
+    let mut heur = SpecHeuristics::default();
+    let out = Machine::new(
+        &bin,
+        RunOptions { input: vec![3], ..RunOptions::default() },
+    )
+    .run(&mut heur);
+    assert_eq!(out.status, ExitStatus::Exit(0));
+}
+
+#[test]
+fn division_by_zero_crashes() {
+    let out = run_with(
+        "int main() { int z = 0; return 5 / z; }",
+        &Options::gcc_like(),
+        &[],
+    );
+    assert!(matches!(out.status, ExitStatus::Fault(_)));
+}
+
+#[test]
+fn semantic_errors_are_reported() {
+    use teapot_cc::CcError;
+    let err =
+        compile_to_binary("int main() { return nope; }", &Options::gcc_like())
+            .unwrap_err();
+    assert!(matches!(err, CcError::Sema { .. }), "{err}");
+    let err = compile_to_binary(
+        "int main() { unknown_fn(); return 0; }",
+        &Options::gcc_like(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CcError::Sema { .. }));
+    let err = compile_to_binary(
+        "int f(int a) { return a; } int main() { return f(1, 2); }",
+        &Options::gcc_like(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CcError::Sema { .. }));
+}
+
+#[test]
+fn lfence_is_emitted() {
+    let bin = compile_to_binary(
+        "int main() { lfence(); return 0; }",
+        &Options::gcc_like(),
+    )
+    .unwrap();
+    assert_eq!(count_insts(&bin, |i| matches!(i, Inst::Lfence)), 1);
+}
+
+#[test]
+fn uint_sentinel_loop_shape() {
+    // The Appendix A.2 building block: size_t n = -1 makes i < n always
+    // true; verify the compiler emits an UNSIGNED comparison.
+    let src = "int main() {
+                   uint n = 0 - 1;
+                   uint i = 0;
+                   int c = 0;
+                   while (i < n) {
+                       c++;
+                       if (c == 3) { return c; }
+                       i++;
+                   }
+                   return 0;
+               }";
+    assert_eq!(exit_code(src), 3);
+}

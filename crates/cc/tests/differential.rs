@@ -1,0 +1,238 @@
+//! Differential testing of the MiniC compiler: random expression trees
+//! are evaluated by (a) compiling to TEA-64 and running on the VM and
+//! (b) a direct Rust reference interpreter. Any divergence is a code
+//! generation or ISA-semantics bug.
+//!
+//! This matters beyond the compiler: the detection experiments assume the
+//! instrumented workloads compute what their source says.
+
+use proptest::prelude::*;
+use teapot_cc::{compile_to_binary, Options, SwitchLowering};
+use teapot_vm::{ExitStatus, Machine, RunOptions, SpecHeuristics};
+
+/// A restricted expression AST mirroring MiniC's semantics.
+#[derive(Debug, Clone)]
+enum E {
+    Num(i32),
+    Var(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, Box<E>),
+    Shr(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+    Le(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+    Neg(Box<E>),
+    Not(Box<E>),
+    BitNot(Box<E>),
+}
+
+const NVARS: usize = 4;
+
+fn eval(e: &E, vars: &[i64; NVARS]) -> i64 {
+    match e {
+        E::Num(v) => *v as i64,
+        E::Var(i) => vars[i % NVARS],
+        E::Add(a, b) => eval(a, vars).wrapping_add(eval(b, vars)),
+        E::Sub(a, b) => eval(a, vars).wrapping_sub(eval(b, vars)),
+        E::Mul(a, b) => eval(a, vars).wrapping_mul(eval(b, vars)),
+        E::And(a, b) => eval(a, vars) & eval(b, vars),
+        E::Or(a, b) => eval(a, vars) | eval(b, vars),
+        E::Xor(a, b) => eval(a, vars) ^ eval(b, vars),
+        E::Shl(a, b) => {
+            eval(a, vars).wrapping_shl((eval(b, vars) & 63) as u32)
+        }
+        E::Shr(a, b) => {
+            // MiniC `int` is signed: >> is arithmetic.
+            eval(a, vars).wrapping_shr((eval(b, vars) & 63) as u32)
+        }
+        E::Lt(a, b) => (eval(a, vars) < eval(b, vars)) as i64,
+        E::Le(a, b) => (eval(a, vars) <= eval(b, vars)) as i64,
+        E::Eq(a, b) => (eval(a, vars) == eval(b, vars)) as i64,
+        E::Neg(a) => eval(a, vars).wrapping_neg(),
+        E::Not(a) => (eval(a, vars) == 0) as i64,
+        E::BitNot(a) => !eval(a, vars),
+    }
+}
+
+fn to_minic(e: &E) -> String {
+    match e {
+        E::Num(v) => {
+            if *v < 0 {
+                format!("(0 - {})", (*v as i64).unsigned_abs())
+            } else {
+                format!("{v}")
+            }
+        }
+        E::Var(i) => format!("v{}", i % NVARS),
+        E::Add(a, b) => format!("({} + {})", to_minic(a), to_minic(b)),
+        E::Sub(a, b) => format!("({} - {})", to_minic(a), to_minic(b)),
+        E::Mul(a, b) => format!("({} * {})", to_minic(a), to_minic(b)),
+        E::And(a, b) => format!("({} & {})", to_minic(a), to_minic(b)),
+        E::Or(a, b) => format!("({} | {})", to_minic(a), to_minic(b)),
+        E::Xor(a, b) => format!("({} ^ {})", to_minic(a), to_minic(b)),
+        E::Shl(a, b) => format!("({} << ({} & 63))", to_minic(a), to_minic(b)),
+        E::Shr(a, b) => format!("({} >> ({} & 63))", to_minic(a), to_minic(b)),
+        E::Lt(a, b) => format!("({} < {})", to_minic(a), to_minic(b)),
+        E::Le(a, b) => format!("({} <= {})", to_minic(a), to_minic(b)),
+        E::Eq(a, b) => format!("({} == {})", to_minic(a), to_minic(b)),
+        E::Neg(a) => format!("(-{})", to_minic(a)),
+        E::Not(a) => format!("(!{})", to_minic(a)),
+        E::BitNot(a) => format!("(~{})", to_minic(a)),
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-1000i32..1000).prop_map(E::Num),
+        (0usize..NVARS).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Shl(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Shr(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Le(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Eq(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| E::Not(Box::new(a))),
+            inner.prop_map(|a| E::BitNot(Box::new(a))),
+        ]
+    })
+}
+
+fn run_compiled(src: &str) -> i64 {
+    let bin = compile_to_binary(src, &Options::gcc_like())
+        .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let mut heur = SpecHeuristics::default();
+    let out = Machine::new(&bin, RunOptions::default()).run(&mut heur);
+    match out.status {
+        ExitStatus::Exit(c) => c,
+        other => panic!("program did not exit: {other:?}\n{src}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compiled_expressions_match_reference(
+        e in arb_expr(),
+        vars in [-100i64..100, -100i64..100, -100i64..100, -100i64..100],
+    ) {
+        let expected = eval(&e, &vars) & 0xff; // exit codes: low byte
+        let src = format!(
+            "int main() {{
+                 int v0 = {};
+                 int v1 = {};
+                 int v2 = {};
+                 int v3 = {};
+                 int r = {};
+                 return r & 0xff;
+             }}",
+            fmt_i64(vars[0]),
+            fmt_i64(vars[1]),
+            fmt_i64(vars[2]),
+            fmt_i64(vars[3]),
+            to_minic(&e),
+        );
+        let got = run_compiled(&src);
+        prop_assert_eq!(got, expected, "expr: {:?}\nsrc: {}", e, src);
+    }
+
+    #[test]
+    fn branch_and_value_comparisons_agree(
+        a in -200i64..200,
+        b in -200i64..200,
+    ) {
+        // `if (a < b)` (branch codegen) and `x = a < b` (set codegen) must
+        // agree — they use different instruction selections.
+        let src = format!(
+            "int main() {{
+                 int a = {};
+                 int b = {};
+                 int as_value = a < b;
+                 int as_branch = 0;
+                 if (a < b) {{ as_branch = 1; }}
+                 if (as_value == as_branch) {{ return 1; }}
+                 return 0;
+             }}",
+            fmt_i64(a),
+            fmt_i64(b),
+        );
+        prop_assert_eq!(run_compiled(&src), 1);
+    }
+
+    #[test]
+    fn switch_lowerings_agree_on_random_scrutinees(
+        v in -3i64..12,
+        cases in proptest::collection::btree_set(0i64..8, 1..6),
+    ) {
+        let cases: Vec<i64> = cases.into_iter().collect();
+        let body: String = cases
+            .iter()
+            .map(|c| format!("case {c}: return {};\n", 10 + c))
+            .collect();
+        let src = format!(
+            "int f(int v) {{
+                 switch (v) {{
+                     {body}
+                     default: return 99;
+                 }}
+             }}
+             int main() {{ return f({}); }}",
+            fmt_i64(v),
+        );
+        let chain = run_compiled(&src);
+        let bin = compile_to_binary(
+            &src,
+            &Options {
+                switch_lowering: SwitchLowering::JumpTable,
+                ..Options::gcc_like()
+            },
+        )
+        .unwrap();
+        let mut heur = SpecHeuristics::default();
+        let out = Machine::new(&bin, RunOptions::default()).run(&mut heur);
+        let table = match out.status {
+            ExitStatus::Exit(c) => c,
+            other => panic!("jump-table run: {other:?}"),
+        };
+        let expected = cases
+            .iter()
+            .find(|&&c| c == v)
+            .map(|c| 10 + c)
+            .unwrap_or(99);
+        prop_assert_eq!(chain, expected);
+        prop_assert_eq!(table, expected);
+    }
+}
+
+fn fmt_i64(v: i64) -> String {
+    if v < 0 {
+        format!("(0 - {})", v.unsigned_abs())
+    } else {
+        format!("{v}")
+    }
+}

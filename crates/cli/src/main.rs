@@ -1,0 +1,238 @@
+//! `teapot` — the command-line interface of the reproduction, mirroring
+//! the paper artifact's scripts: compile workloads, instrument binaries
+//! (Teapot or the SpecFuzz-style baseline), run them once, or fuzz them.
+//!
+//! ```text
+//! teapot compile <workload|path.minic> -o out.tof [--clang]
+//! teapot instrument <in.tof> -o out.tof [--baseline] [--no-nested]
+//! teapot run <bin.tof> [--input-file f] [--spectaint]
+//! teapot fuzz <bin.tof> [--iters N] [--workload name] [--spectaint]
+//! teapot dis <bin.tof>
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("teapot: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn load(path: &str) -> Result<teapot_obj::Binary, String> {
+    let bytes =
+        std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    teapot_obj::Binary::from_bytes(&bytes)
+        .map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn save(bin: &teapot_obj::Binary, path: &str) -> Result<(), String> {
+    std::fs::write(path, bin.to_bytes())
+        .map_err(|e| format!("write {path}: {e}"))
+}
+
+fn find_workload(name: &str) -> Option<teapot_workloads::Workload> {
+    teapot_workloads::all().into_iter().find(|w| w.name == name)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
+    match cmd {
+        "compile" => {
+            let target = args.get(1).ok_or("usage: compile <workload|file>")?;
+            let out = opt(args, "-o").unwrap_or("a.tof");
+            let cc_opts = if flag(args, "--clang") {
+                teapot_cc::Options::clang_like()
+            } else {
+                teapot_cc::Options::gcc_like()
+            };
+            let mut bin = if let Some(w) = find_workload(target) {
+                w.build(&cc_opts).map_err(|e| e.to_string())?
+            } else {
+                let src = std::fs::read_to_string(target)
+                    .map_err(|e| format!("read {target}: {e}"))?;
+                teapot_cc::compile_to_binary(&src, &cc_opts)
+                    .map_err(|e| e.to_string())?
+            };
+            if flag(args, "--strip") {
+                bin.strip();
+            }
+            save(&bin, out)?;
+            println!("wrote {out}");
+            Ok(())
+        }
+        "instrument" => {
+            let input = args.get(1).ok_or("usage: instrument <in.tof>")?;
+            let out = opt(args, "-o").unwrap_or("instrumented.tof");
+            let bin = load(input)?;
+            let rewritten = if flag(args, "--baseline") {
+                let opts = if flag(args, "--no-nested") {
+                    teapot_baselines::SpecFuzzOptions::perf_comparison()
+                } else {
+                    teapot_baselines::SpecFuzzOptions::default()
+                };
+                teapot_baselines::specfuzz_rewrite(&bin, &opts)
+                    .map_err(|e| e.to_string())?
+            } else {
+                let opts = if flag(args, "--no-nested") {
+                    teapot_core::RewriteOptions::perf_comparison()
+                } else {
+                    teapot_core::RewriteOptions::default()
+                };
+                teapot_core::rewrite(&bin, &opts).map_err(|e| e.to_string())?
+            };
+            save(&rewritten, out)?;
+            println!("wrote {out}");
+            Ok(())
+        }
+        "run" => {
+            let input = args.get(1).ok_or("usage: run <bin.tof>")?;
+            let bin = load(input)?;
+            let data = match opt(args, "--input-file") {
+                Some(f) => {
+                    std::fs::read(f).map_err(|e| format!("read {f}: {e}"))?
+                }
+                None => Vec::new(),
+            };
+            let emu = if flag(args, "--spectaint") {
+                teapot_vm::EmuStyle::SpecTaint
+            } else {
+                teapot_vm::EmuStyle::Native
+            };
+            let mut heur = teapot_vm::SpecHeuristics::default();
+            let outcome = teapot_vm::Machine::new(
+                &bin,
+                teapot_vm::RunOptions {
+                    input: data,
+                    emu,
+                    ..Default::default()
+                },
+            )
+            .run(&mut heur);
+            println!("status: {:?}", outcome.status);
+            println!("cost: {} units, {} insts", outcome.cost, outcome.insts);
+            println!(
+                "simulations: {} entered, {} rollbacks",
+                outcome.sim_entries, outcome.rollbacks
+            );
+            if !outcome.output.is_empty() {
+                println!(
+                    "output: {}",
+                    String::from_utf8_lossy(&outcome.output).trim_end()
+                );
+            }
+            for g in &outcome.gadgets {
+                println!("GADGET {g}");
+            }
+            Ok(())
+        }
+        "fuzz" => {
+            let input = args.get(1).ok_or("usage: fuzz <bin.tof>")?;
+            let bin = load(input)?;
+            let iters = opt(args, "--iters")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(400);
+            let (seeds, dict) = match opt(args, "--workload")
+                .and_then(find_workload)
+            {
+                Some(w) => (w.seeds.clone(), w.dictionary.clone()),
+                None => (vec![], vec![]),
+            };
+            let emu = if flag(args, "--spectaint") {
+                teapot_vm::EmuStyle::SpecTaint
+            } else {
+                teapot_vm::EmuStyle::Native
+            };
+            let res = teapot_fuzz::fuzz(
+                &bin,
+                &seeds,
+                &teapot_fuzz::FuzzConfig {
+                    max_iters: iters,
+                    dictionary: dict,
+                    emu,
+                    ..Default::default()
+                },
+            );
+            println!(
+                "{} iterations, corpus {}, {} crashes",
+                res.iters, res.corpus_len, res.crashes
+            );
+            println!(
+                "coverage: {} normal features, {} speculative features",
+                res.cov_normal_features, res.cov_spec_features
+            );
+            println!("unique gadgets: {}", res.unique_gadgets());
+            for (bucket, n) in &res.buckets {
+                println!("  {bucket}: {n}");
+            }
+            for g in res.gadgets.iter().take(20) {
+                println!("GADGET {g}");
+            }
+            Ok(())
+        }
+        "dis" => {
+            let input = args.get(1).ok_or("usage: dis <bin.tof>")?;
+            let bin = load(input)?;
+            let g = teapot_dis::disassemble(&bin).map_err(|e| e.to_string())?;
+            for f in &g.functions {
+                println!(
+                    "fn {} @ {:#x} ({} blocks, {} insts){}",
+                    f.name,
+                    f.entry,
+                    f.blocks.len(),
+                    f.inst_count(),
+                    if f.address_taken { " [address taken]" } else { "" }
+                );
+                for b in &f.blocks {
+                    println!(
+                        "  block {:#x}{}",
+                        b.addr,
+                        if b.indirect_target { " [indirect target]" } else { "" }
+                    );
+                    for (a, i) in &b.insts {
+                        println!("    {a:#x}: {i}");
+                    }
+                }
+            }
+            for jt in &g.jump_tables {
+                println!(
+                    "jump table @ {:#x}: {} entries",
+                    jt.addr,
+                    jt.targets.len()
+                );
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!(
+                "teapot — Spectre gadget scanner for TEA-64 COTS binaries\n\
+                 \n\
+                 commands:\n\
+                 \x20 compile <workload|file.minic> -o out.tof [--clang] [--strip]\n\
+                 \x20 instrument <in.tof> -o out.tof [--baseline] [--no-nested]\n\
+                 \x20 run <bin.tof> [--input-file f] [--spectaint]\n\
+                 \x20 fuzz <bin.tof> [--iters N] [--workload name] [--spectaint]\n\
+                 \x20 dis <bin.tof>\n\
+                 \n\
+                 workloads: jsmn libyaml libhtp brotli openssl"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `teapot help`)")),
+    }
+}

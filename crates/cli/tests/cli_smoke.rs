@@ -1,0 +1,94 @@
+//! End-to-end CLI smoke tests driving the built `teapot` binary the way
+//! the paper artifact's scripts drive its tools.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn teapot_bin() -> PathBuf {
+    // target/<profile>/teapot next to the test executable.
+    let mut p = std::env::current_exe().unwrap();
+    p.pop(); // deps/
+    p.pop(); // debug|release/
+    p.push("teapot");
+    p
+}
+
+fn run_cli(args: &[&str]) -> (bool, String) {
+    let out = Command::new(teapot_bin())
+        .args(args)
+        .output()
+        .expect("spawn teapot");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn compile_instrument_run_pipeline() {
+    let dir = std::env::temp_dir().join("teapot-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cots = dir.join("jsmn.tof");
+    let inst = dir.join("jsmn_inst.tof");
+    let input = dir.join("in.json");
+    std::fs::write(&input, br#"{"k": [1, 2, 3]}"#).unwrap();
+
+    let (ok, text) = run_cli(&[
+        "compile",
+        "jsmn",
+        "-o",
+        cots.to_str().unwrap(),
+        "--strip",
+    ]);
+    assert!(ok, "{text}");
+
+    let (ok, text) = run_cli(&[
+        "instrument",
+        cots.to_str().unwrap(),
+        "-o",
+        inst.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+
+    let (ok, text) = run_cli(&[
+        "run",
+        inst.to_str().unwrap(),
+        "--input-file",
+        input.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("status: Exit(0)"), "{text}");
+    assert!(text.contains("simulations:"), "{text}");
+}
+
+#[test]
+fn dis_prints_functions_and_blocks() {
+    let dir = std::env::temp_dir().join("teapot-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cots = dir.join("htp.tof");
+    let (ok, text) =
+        run_cli(&["compile", "libhtp", "-o", cots.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    let (ok, text) = run_cli(&["dis", cots.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("fn list_size"), "{text}");
+    assert!(text.contains("block"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let (ok, text) = run_cli(&["frobnicate"]);
+    assert!(!ok);
+    assert!(text.contains("unknown command"));
+}
+
+#[test]
+fn help_lists_workloads() {
+    let (ok, text) = run_cli(&["help"]);
+    assert!(ok);
+    for w in ["jsmn", "libyaml", "libhtp", "brotli", "openssl"] {
+        assert!(text.contains(w), "missing {w}");
+    }
+}

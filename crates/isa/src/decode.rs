@@ -1,0 +1,427 @@
+//! Binary decoding of TEA-64 instructions.
+
+use crate::encode::*;
+use crate::insn::{AccessSize, AluOp, Cc, IndKind, Inst, MemRef, Operand};
+use crate::Reg;
+use std::fmt;
+
+/// An error produced when instruction bytes cannot be decoded.
+///
+/// At run time the VM converts this into an invalid-instruction machine
+/// exception (rollback during speculation simulation); at disassembly time
+/// it marks a linear-sweep candidate as not-code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream ended in the middle of an instruction.
+    Truncated,
+    /// The opcode byte is not assigned.
+    BadOpcode(u8),
+    /// An operand field holds an out-of-range value.
+    BadOperand(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated instruction"),
+            DecodeError::BadOpcode(op) => {
+                write!(f, "unassigned opcode {op:#04x}")
+            }
+            DecodeError::BadOperand(b) => {
+                write!(f, "invalid operand byte {b:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b =
+            *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 2)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 2;
+        Ok(u16::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 4;
+        Ok(i32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(self.i32()? as u32)
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 8)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 8;
+        Ok(i64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        let b = self.u8()?;
+        Reg::from_index((b & 0x0f) as usize).ok_or(DecodeError::BadOperand(b))
+    }
+
+    fn regpair(&mut self) -> Result<(Reg, Reg), DecodeError> {
+        let b = self.u8()?;
+        let hi = Reg::from_index((b >> 4) as usize)
+            .ok_or(DecodeError::BadOperand(b))?;
+        let lo = Reg::from_index((b & 0x0f) as usize)
+            .ok_or(DecodeError::BadOperand(b))?;
+        Ok((hi, lo))
+    }
+
+    fn mem(&mut self) -> Result<MemRef, DecodeError> {
+        let b0 = self.u8()?;
+        let b1 = self.u8()?;
+        let has_base = b1 & 1 != 0;
+        let has_index = b1 & 2 != 0;
+        let scale = 1u8 << ((b1 >> 2) & 3);
+        let disp = self.i32()?;
+        let base = if has_base {
+            Some(
+                Reg::from_index((b0 >> 4) as usize)
+                    .ok_or(DecodeError::BadOperand(b0))?,
+            )
+        } else {
+            None
+        };
+        let index = if has_index {
+            Some(
+                Reg::from_index((b0 & 0x0f) as usize)
+                    .ok_or(DecodeError::BadOperand(b0))?,
+            )
+        } else {
+            None
+        };
+        Ok(MemRef { base, index, scale, disp })
+    }
+
+    fn ext(&mut self) -> Result<(AccessSize, bool), DecodeError> {
+        let b = self.u8()?;
+        let size = AccessSize::from_log2(b & 3)
+            .ok_or(DecodeError::BadOperand(b))?;
+        if b & !0b111 != 0 {
+            return Err(DecodeError::BadOperand(b));
+        }
+        Ok((size, b & 4 != 0))
+    }
+
+    fn cc(&mut self) -> Result<Cc, DecodeError> {
+        let b = self.u8()?;
+        Cc::from_u8(b).ok_or(DecodeError::BadOperand(b))
+    }
+}
+
+/// Decode one instruction starting at `bytes[0]`, which resides at virtual
+/// address `va`. Branch targets are resolved to absolute addresses.
+///
+/// Returns the instruction and its encoded length.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the bytes are truncated or malformed.
+///
+/// # Example
+///
+/// ```
+/// use teapot_isa::{decode_at, encode_at, Inst};
+/// let jmp: Inst = Inst::Jmp { target: 0x40 };
+/// let enc = encode_at(&jmp, 0x10);
+/// let (dec, len) = decode_at(&enc.bytes, 0x10)?;
+/// assert_eq!(dec, jmp);
+/// assert_eq!(len, enc.bytes.len());
+/// # Ok::<(), teapot_isa::DecodeError>(())
+/// ```
+pub fn decode_at(bytes: &[u8], va: u64) -> Result<(Inst<u64>, usize), DecodeError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let op = c.u8()?;
+    let inst = match op {
+        OP_NOP => Inst::Nop,
+        OP_MARKER_NOP => Inst::MarkerNop,
+        OP_HALT => Inst::Halt,
+        OP_RET => Inst::Ret,
+        OP_LFENCE => Inst::Lfence,
+        OP_CPUID => Inst::Cpuid,
+        OP_SYSCALL => Inst::Syscall { num: c.u16()? },
+        OP_MOV_RR => {
+            let (dst, src) = c.regpair()?;
+            Inst::MovRR { dst, src }
+        }
+        OP_MOV_RI32 => {
+            let dst = c.reg()?;
+            Inst::MovRI { dst, imm: c.i32()? as i64 }
+        }
+        OP_MOV_RI64 => {
+            let dst = c.reg()?;
+            Inst::MovRI { dst, imm: c.i64()? }
+        }
+        OP_LEA => {
+            let dst = c.reg()?;
+            Inst::Lea { dst, mem: c.mem()? }
+        }
+        OP_LOAD => {
+            let dst = c.reg()?;
+            let (size, sext) = c.ext()?;
+            Inst::Load { dst, mem: c.mem()?, size, sext }
+        }
+        OP_STORE => {
+            let src = c.reg()?;
+            let (size, _) = c.ext()?;
+            Inst::Store { src, mem: c.mem()?, size }
+        }
+        OP_STORE_I => {
+            let (size, _) = c.ext()?;
+            let mem = c.mem()?;
+            Inst::StoreI { imm: c.i32()?, mem, size }
+        }
+        OP_PUSH => Inst::Push { src: c.reg()? },
+        OP_POP => Inst::Pop { dst: c.reg()? },
+        OP_ALU_RR => {
+            let opb = c.u8()?;
+            let alu = AluOp::from_u8(opb).ok_or(DecodeError::BadOperand(opb))?;
+            let (dst, src) = c.regpair()?;
+            Inst::Alu { op: alu, dst, src: Operand::Reg(src) }
+        }
+        OP_ALU_RI => {
+            let opb = c.u8()?;
+            let alu = AluOp::from_u8(opb).ok_or(DecodeError::BadOperand(opb))?;
+            let dst = c.reg()?;
+            Inst::Alu { op: alu, dst, src: Operand::Imm(c.i32()?) }
+        }
+        OP_NEG => Inst::Neg { dst: c.reg()? },
+        OP_NOT => Inst::Not { dst: c.reg()? },
+        OP_CMP_RR => {
+            let (lhs, rhs) = c.regpair()?;
+            Inst::Cmp { lhs, rhs: Operand::Reg(rhs) }
+        }
+        OP_CMP_RI => {
+            let lhs = c.reg()?;
+            Inst::Cmp { lhs, rhs: Operand::Imm(c.i32()?) }
+        }
+        OP_TEST_RR => {
+            let (lhs, rhs) = c.regpair()?;
+            Inst::Test { lhs, rhs: Operand::Reg(rhs) }
+        }
+        OP_TEST_RI => {
+            let lhs = c.reg()?;
+            Inst::Test { lhs, rhs: Operand::Imm(c.i32()?) }
+        }
+        OP_SET => {
+            let cc = c.cc()?;
+            Inst::Set { cc, dst: c.reg()? }
+        }
+        OP_CMOV => {
+            let cc = c.cc()?;
+            let (dst, src) = c.regpair()?;
+            Inst::Cmov { cc, dst, src }
+        }
+        OP_JMP => {
+            let rel = c.i32()?;
+            Inst::Jmp { target: rel_target(va, c.pos, rel) }
+        }
+        OP_JCC => {
+            let cc = c.cc()?;
+            let rel = c.i32()?;
+            Inst::Jcc { cc, target: rel_target(va, c.pos, rel) }
+        }
+        OP_CALL => {
+            let rel = c.i32()?;
+            Inst::Call { target: rel_target(va, c.pos, rel) }
+        }
+        OP_CALL_IND => Inst::CallInd { target: c.reg()? },
+        OP_JMP_IND => Inst::JmpInd { target: c.reg()? },
+        OP_SIM_START => {
+            let rel = c.i32()?;
+            Inst::SimStart { tramp: rel_target(va, c.pos, rel) }
+        }
+        OP_SIM_CHECK => Inst::SimCheck,
+        OP_SIM_END => Inst::SimEnd,
+        OP_ASAN_CHECK => {
+            let (size, is_write) = c.ext()?;
+            Inst::AsanCheck { mem: c.mem()?, size, is_write }
+        }
+        OP_MEMLOG => {
+            let (size, _) = c.ext()?;
+            Inst::MemLog { mem: c.mem()?, size }
+        }
+        OP_TAG_PROP => Inst::TagProp,
+        OP_TAG_BLOCK_PROP => Inst::TagBlockProp { n: c.u16()? },
+        OP_IND_CHECK_RET => Inst::IndCheck { kind: IndKind::Ret },
+        OP_IND_CHECK_REG => {
+            let k = c.u8()?;
+            let r = c.reg()?;
+            let kind = match k {
+                0 => IndKind::Call(r),
+                1 => IndKind::Jmp(r),
+                _ => return Err(DecodeError::BadOperand(k)),
+            };
+            Inst::IndCheck { kind }
+        }
+        OP_COV_TRACE => Inst::CovTrace { guard: c.u32()? },
+        OP_COV_NOTE => Inst::CovNote { guard: c.u32()? },
+        OP_GUARD => Inst::Guard,
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok((inst, c.pos))
+}
+
+#[inline]
+fn rel_target(va: u64, end_pos: usize, rel: i32) -> u64 {
+    va.wrapping_add(end_pos as u64).wrapping_add(rel as i64 as u64)
+}
+
+/// Decode one instruction assuming it resides at virtual address 0.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the bytes are truncated or malformed.
+pub fn decode(bytes: &[u8]) -> Result<(Inst<u64>, usize), DecodeError> {
+    decode_at(bytes, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_at;
+
+    fn roundtrip(inst: Inst<u64>, va: u64) {
+        let enc = encode_at(&inst, va);
+        let (dec, len) = decode_at(&enc.bytes, va).expect("decode");
+        assert_eq!(dec, inst);
+        assert_eq!(len, enc.bytes.len());
+    }
+
+    #[test]
+    fn roundtrip_representative_sample() {
+        use AccessSize::*;
+        let mems = [
+            MemRef::abs(0x1234),
+            MemRef::base(Reg::R3),
+            MemRef::base_disp(Reg::FP, -40),
+            MemRef::base_index(Reg::R1, Reg::R2, 8),
+            MemRef { base: Some(Reg::SP), index: Some(Reg::R9), scale: 2, disp: 12 },
+        ];
+        for mem in mems {
+            roundtrip(
+                Inst::Load { dst: Reg::R5, mem, size: B4, sext: true },
+                0x400,
+            );
+            roundtrip(Inst::Store { src: Reg::R6, mem, size: B1 }, 0x400);
+            roundtrip(Inst::Lea { dst: Reg::R0, mem }, 0);
+            roundtrip(
+                Inst::AsanCheck { mem, size: B8, is_write: true },
+                0x999,
+            );
+            roundtrip(Inst::MemLog { mem, size: B2 }, 3);
+        }
+        for op in AluOp::ALL {
+            roundtrip(
+                Inst::Alu { op, dst: Reg::R7, src: Operand::Reg(Reg::R8) },
+                0,
+            );
+            roundtrip(
+                Inst::Alu { op, dst: Reg::R7, src: Operand::Imm(-9) },
+                0,
+            );
+        }
+        for cc in Cc::ALL {
+            roundtrip(Inst::Jcc { cc, target: 0x1000 }, 0x500);
+            roundtrip(Inst::Set { cc, dst: Reg::R2 }, 0);
+            roundtrip(Inst::Cmov { cc, dst: Reg::R2, src: Reg::R3 }, 0);
+        }
+        roundtrip(Inst::MovRI { dst: Reg::R4, imm: i64::MIN }, 0);
+        roundtrip(Inst::MovRI { dst: Reg::R4, imm: -1 }, 0);
+        roundtrip(Inst::Syscall { num: 42 }, 0);
+        roundtrip(Inst::Call { target: 8 }, 0x10_0000);
+        roundtrip(Inst::SimStart { tramp: 0x2000 }, 0x1000);
+        roundtrip(Inst::IndCheck { kind: IndKind::Ret }, 0);
+        roundtrip(Inst::IndCheck { kind: IndKind::Call(Reg::R9) }, 0);
+        roundtrip(Inst::IndCheck { kind: IndKind::Jmp(Reg::R1) }, 0);
+        roundtrip(Inst::CovTrace { guard: u32::MAX }, 0);
+        roundtrip(Inst::CovNote { guard: 7 }, 0);
+        roundtrip(Inst::TagBlockProp { n: 123 }, 0);
+        roundtrip(
+            Inst::StoreI {
+                imm: -5,
+                mem: MemRef::base_disp(Reg::R10, 16),
+                size: B8,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(decode(&[0xff]), Err(DecodeError::BadOpcode(0xff)));
+        assert_eq!(decode(&[0x0e]), Err(DecodeError::BadOpcode(0x0e)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        let enc = encode_at(&Inst::Jmp { target: 0x10 }, 0);
+        for l in 1..enc.bytes.len() {
+            assert_eq!(
+                decode(&enc.bytes[..l]),
+                Err(DecodeError::Truncated),
+                "prefix of length {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_operand_rejected() {
+        // Set with invalid condition code 200
+        assert_eq!(decode(&[OP_SET, 200, 0]), Err(DecodeError::BadOperand(200)));
+        // ALU with invalid op byte
+        assert_eq!(
+            decode(&[OP_ALU_RR, 99, 0x01]),
+            Err(DecodeError::BadOperand(99))
+        );
+        // IndCheckReg with bad kind
+        assert_eq!(
+            decode(&[OP_IND_CHECK_REG, 9, 0]),
+            Err(DecodeError::BadOperand(9))
+        );
+        // ext byte with reserved bits set
+        assert_eq!(
+            decode(&[OP_LOAD, 0, 0xf0, 0, 1, 0, 0, 0, 0]),
+            Err(DecodeError::BadOperand(0xf0))
+        );
+    }
+
+    #[test]
+    fn decode_is_length_exact() {
+        // Decoding must consume exactly the encoded length even when more
+        // bytes follow (linear sweep depends on this).
+        let enc = encode(&Inst::Nop);
+        let mut buf = enc.bytes.clone();
+        buf.extend_from_slice(&[0xAA; 8]);
+        let (_, len) = decode(&buf).unwrap();
+        assert_eq!(len, 1);
+    }
+}

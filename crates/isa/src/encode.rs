@@ -1,0 +1,429 @@
+//! Binary encoding of TEA-64 instructions.
+//!
+//! The encoding is variable length (1–12 bytes): a one-byte opcode followed
+//! by operand bytes. Branch targets are encoded as signed 32-bit
+//! displacements relative to the *end* of the instruction, exactly like
+//! x86-64 `rel32` — which is what forces a rewriter to re-layout code, and
+//! what makes reassembleable disassembly a meaningful problem.
+
+use crate::insn::{AccessSize, IndKind, Inst, MemRef, Operand};
+use crate::Reg;
+
+// Opcode map. Gaps are reserved; decoding an unassigned opcode raises an
+// invalid-instruction machine exception (which the speculation-simulation
+// runtime converts into a rollback).
+pub(crate) const OP_NOP: u8 = 0x00;
+pub(crate) const OP_MARKER_NOP: u8 = 0x01;
+pub(crate) const OP_HALT: u8 = 0x02;
+pub(crate) const OP_RET: u8 = 0x03;
+pub(crate) const OP_LFENCE: u8 = 0x04;
+pub(crate) const OP_CPUID: u8 = 0x05;
+pub(crate) const OP_SYSCALL: u8 = 0x06;
+pub(crate) const OP_MOV_RR: u8 = 0x10;
+pub(crate) const OP_MOV_RI32: u8 = 0x11;
+pub(crate) const OP_MOV_RI64: u8 = 0x12;
+pub(crate) const OP_LEA: u8 = 0x13;
+pub(crate) const OP_LOAD: u8 = 0x14;
+pub(crate) const OP_STORE: u8 = 0x15;
+pub(crate) const OP_STORE_I: u8 = 0x16;
+pub(crate) const OP_PUSH: u8 = 0x17;
+pub(crate) const OP_POP: u8 = 0x18;
+pub(crate) const OP_ALU_RR: u8 = 0x20;
+pub(crate) const OP_ALU_RI: u8 = 0x21;
+pub(crate) const OP_CMP_RR: u8 = 0x22;
+pub(crate) const OP_CMP_RI: u8 = 0x23;
+pub(crate) const OP_TEST_RR: u8 = 0x24;
+pub(crate) const OP_TEST_RI: u8 = 0x25;
+pub(crate) const OP_SET: u8 = 0x26;
+pub(crate) const OP_CMOV: u8 = 0x27;
+pub(crate) const OP_NEG: u8 = 0x28;
+pub(crate) const OP_NOT: u8 = 0x29;
+pub(crate) const OP_JMP: u8 = 0x30;
+pub(crate) const OP_JCC: u8 = 0x31;
+pub(crate) const OP_CALL: u8 = 0x32;
+pub(crate) const OP_CALL_IND: u8 = 0x33;
+pub(crate) const OP_JMP_IND: u8 = 0x34;
+pub(crate) const OP_SIM_START: u8 = 0x40;
+pub(crate) const OP_SIM_CHECK: u8 = 0x41;
+pub(crate) const OP_SIM_END: u8 = 0x42;
+pub(crate) const OP_ASAN_CHECK: u8 = 0x43;
+pub(crate) const OP_MEMLOG: u8 = 0x44;
+pub(crate) const OP_TAG_PROP: u8 = 0x45;
+pub(crate) const OP_TAG_BLOCK_PROP: u8 = 0x46;
+pub(crate) const OP_IND_CHECK_RET: u8 = 0x47;
+pub(crate) const OP_IND_CHECK_REG: u8 = 0x48;
+pub(crate) const OP_COV_TRACE: u8 = 0x49;
+pub(crate) const OP_COV_NOTE: u8 = 0x4A;
+pub(crate) const OP_GUARD: u8 = 0x4B;
+
+/// Byte offsets inside an encoded instruction that later phases may patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatchSite {
+    /// Offset of a `rel32` branch displacement, if the instruction has one.
+    pub rel32_at: Option<usize>,
+    /// Offset of the 32-bit memory displacement, if the instruction has a
+    /// memory operand (used for data-symbol relocations).
+    pub disp_at: Option<usize>,
+    /// Offset and width (4 or 8) of an immediate, if present (used for
+    /// code/data address immediates such as function pointers).
+    pub imm_at: Option<(usize, u8)>,
+}
+
+/// The result of encoding one instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoded {
+    /// The instruction bytes.
+    pub bytes: Vec<u8>,
+    /// Patchable operand locations.
+    pub patch: PatchSite,
+}
+
+#[inline]
+fn regbyte(hi: Reg, lo: Reg) -> u8 {
+    ((hi.index() as u8) << 4) | lo.index() as u8
+}
+
+#[inline]
+fn mem_bytes(out: &mut Vec<u8>, m: &MemRef) -> usize {
+    let b0 = ((m.base.map(|r| r.index()).unwrap_or(0) as u8) << 4)
+        | m.index.map(|r| r.index()).unwrap_or(0) as u8;
+    let scale_log2 = match m.scale {
+        1 => 0u8,
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        s => panic!("invalid memory scale {s}"),
+    };
+    let b1 = (m.base.is_some() as u8)
+        | ((m.index.is_some() as u8) << 1)
+        | (scale_log2 << 2);
+    out.push(b0);
+    out.push(b1);
+    let disp_at = out.len();
+    out.extend_from_slice(&m.disp.to_le_bytes());
+    disp_at
+}
+
+#[inline]
+fn ext_byte(size: AccessSize, flag: bool) -> u8 {
+    size.log2() | ((flag as u8) << 2)
+}
+
+/// Encode an instruction whose branch targets (if any) are absolute virtual
+/// addresses, assuming the instruction itself is placed at `va`.
+///
+/// # Panics
+///
+/// Panics if a branch displacement does not fit in 32 bits, if an ALU
+/// immediate does not fit in 32 bits, or if a memory scale is invalid.
+/// These are programming errors in layout, not runtime inputs.
+pub fn encode_at(inst: &Inst<u64>, va: u64) -> Encoded {
+    let mut b = Vec::with_capacity(12);
+    let mut patch = PatchSite::default();
+
+    // Helper: push a rel32 placeholder for `target`, finalized below once
+    // total length is known.
+    enum Pending {
+        None,
+        Rel32(u64, usize),
+    }
+    let mut pending = Pending::None;
+    macro_rules! rel32 {
+        ($target:expr) => {{
+            let at = b.len();
+            b.extend_from_slice(&[0u8; 4]);
+            patch.rel32_at = Some(at);
+            pending = Pending::Rel32($target, at);
+        }};
+    }
+
+    match inst {
+        Inst::Nop => b.push(OP_NOP),
+        Inst::MarkerNop => b.push(OP_MARKER_NOP),
+        Inst::Halt => b.push(OP_HALT),
+        Inst::Ret => b.push(OP_RET),
+        Inst::Lfence => b.push(OP_LFENCE),
+        Inst::Cpuid => b.push(OP_CPUID),
+        Inst::Syscall { num } => {
+            b.push(OP_SYSCALL);
+            b.extend_from_slice(&num.to_le_bytes());
+        }
+        Inst::MovRR { dst, src } => {
+            b.push(OP_MOV_RR);
+            b.push(regbyte(*dst, *src));
+        }
+        Inst::MovRI { dst, imm } => {
+            if let Ok(v) = i32::try_from(*imm) {
+                b.push(OP_MOV_RI32);
+                b.push(dst.index() as u8);
+                patch.imm_at = Some((b.len(), 4));
+                b.extend_from_slice(&v.to_le_bytes());
+            } else {
+                b.push(OP_MOV_RI64);
+                b.push(dst.index() as u8);
+                patch.imm_at = Some((b.len(), 8));
+                b.extend_from_slice(&imm.to_le_bytes());
+            }
+        }
+        Inst::Lea { dst, mem } => {
+            b.push(OP_LEA);
+            b.push(dst.index() as u8);
+            patch.disp_at = Some(mem_bytes(&mut b, mem));
+        }
+        Inst::Load { dst, mem, size, sext } => {
+            b.push(OP_LOAD);
+            b.push(dst.index() as u8);
+            b.push(ext_byte(*size, *sext));
+            patch.disp_at = Some(mem_bytes(&mut b, mem));
+        }
+        Inst::Store { src, mem, size } => {
+            b.push(OP_STORE);
+            b.push(src.index() as u8);
+            b.push(ext_byte(*size, false));
+            patch.disp_at = Some(mem_bytes(&mut b, mem));
+        }
+        Inst::StoreI { imm, mem, size } => {
+            b.push(OP_STORE_I);
+            b.push(ext_byte(*size, false));
+            patch.disp_at = Some(mem_bytes(&mut b, mem));
+            patch.imm_at = Some((b.len(), 4));
+            b.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::Push { src } => {
+            b.push(OP_PUSH);
+            b.push(src.index() as u8);
+        }
+        Inst::Pop { dst } => {
+            b.push(OP_POP);
+            b.push(dst.index() as u8);
+        }
+        Inst::Alu { op, dst, src } => match src {
+            Operand::Reg(s) => {
+                b.push(OP_ALU_RR);
+                b.push(*op as u8);
+                b.push(regbyte(*dst, *s));
+            }
+            Operand::Imm(i) => {
+                b.push(OP_ALU_RI);
+                b.push(*op as u8);
+                b.push(dst.index() as u8);
+                patch.imm_at = Some((b.len(), 4));
+                b.extend_from_slice(&i.to_le_bytes());
+            }
+        },
+        Inst::Neg { dst } => {
+            b.push(OP_NEG);
+            b.push(dst.index() as u8);
+        }
+        Inst::Not { dst } => {
+            b.push(OP_NOT);
+            b.push(dst.index() as u8);
+        }
+        Inst::Cmp { lhs, rhs } => match rhs {
+            Operand::Reg(r) => {
+                b.push(OP_CMP_RR);
+                b.push(regbyte(*lhs, *r));
+            }
+            Operand::Imm(i) => {
+                b.push(OP_CMP_RI);
+                b.push(lhs.index() as u8);
+                patch.imm_at = Some((b.len(), 4));
+                b.extend_from_slice(&i.to_le_bytes());
+            }
+        },
+        Inst::Test { lhs, rhs } => match rhs {
+            Operand::Reg(r) => {
+                b.push(OP_TEST_RR);
+                b.push(regbyte(*lhs, *r));
+            }
+            Operand::Imm(i) => {
+                b.push(OP_TEST_RI);
+                b.push(lhs.index() as u8);
+                patch.imm_at = Some((b.len(), 4));
+                b.extend_from_slice(&i.to_le_bytes());
+            }
+        },
+        Inst::Set { cc, dst } => {
+            b.push(OP_SET);
+            b.push(*cc as u8);
+            b.push(dst.index() as u8);
+        }
+        Inst::Cmov { cc, dst, src } => {
+            b.push(OP_CMOV);
+            b.push(*cc as u8);
+            b.push(regbyte(*dst, *src));
+        }
+        Inst::Jmp { target } => {
+            b.push(OP_JMP);
+            rel32!(*target);
+        }
+        Inst::Jcc { cc, target } => {
+            b.push(OP_JCC);
+            b.push(*cc as u8);
+            rel32!(*target);
+        }
+        Inst::Call { target } => {
+            b.push(OP_CALL);
+            rel32!(*target);
+        }
+        Inst::CallInd { target } => {
+            b.push(OP_CALL_IND);
+            b.push(target.index() as u8);
+        }
+        Inst::JmpInd { target } => {
+            b.push(OP_JMP_IND);
+            b.push(target.index() as u8);
+        }
+        Inst::SimStart { tramp } => {
+            b.push(OP_SIM_START);
+            rel32!(*tramp);
+        }
+        Inst::SimCheck => b.push(OP_SIM_CHECK),
+        Inst::SimEnd => b.push(OP_SIM_END),
+        Inst::AsanCheck { mem, size, is_write } => {
+            b.push(OP_ASAN_CHECK);
+            b.push(ext_byte(*size, *is_write));
+            patch.disp_at = Some(mem_bytes(&mut b, mem));
+        }
+        Inst::MemLog { mem, size } => {
+            b.push(OP_MEMLOG);
+            b.push(ext_byte(*size, false));
+            patch.disp_at = Some(mem_bytes(&mut b, mem));
+        }
+        Inst::TagProp => b.push(OP_TAG_PROP),
+        Inst::TagBlockProp { n } => {
+            b.push(OP_TAG_BLOCK_PROP);
+            b.extend_from_slice(&n.to_le_bytes());
+        }
+        Inst::IndCheck { kind } => match kind {
+            IndKind::Ret => b.push(OP_IND_CHECK_RET),
+            IndKind::Call(r) => {
+                b.push(OP_IND_CHECK_REG);
+                b.push(0);
+                b.push(r.index() as u8);
+            }
+            IndKind::Jmp(r) => {
+                b.push(OP_IND_CHECK_REG);
+                b.push(1);
+                b.push(r.index() as u8);
+            }
+        },
+        Inst::CovTrace { guard } => {
+            b.push(OP_COV_TRACE);
+            b.extend_from_slice(&guard.to_le_bytes());
+        }
+        Inst::CovNote { guard } => {
+            b.push(OP_COV_NOTE);
+            b.extend_from_slice(&guard.to_le_bytes());
+        }
+        Inst::Guard => b.push(OP_GUARD),
+    }
+
+    if let Pending::Rel32(target, at) = pending {
+        let end = va.wrapping_add(b.len() as u64);
+        let rel = target.wrapping_sub(end) as i64;
+        let rel = i32::try_from(rel)
+            .expect("branch displacement overflow: target out of rel32 range");
+        b[at..at + 4].copy_from_slice(&rel.to_le_bytes());
+    }
+
+    debug_assert!(b.len() <= crate::INST_MAX_LEN);
+    Encoded { bytes: b, patch }
+}
+
+/// Encode an instruction at virtual address 0 (convenient for non-branch
+/// instructions and tests).
+pub fn encode(inst: &Inst<u64>) -> Encoded {
+    encode_at(inst, 0)
+}
+
+/// Encoded length of an instruction, without producing the bytes' final
+/// displacement values. Stable across placement (branches are always
+/// `rel32`), so layout can be computed in one pass.
+pub fn encoded_len(inst: &Inst<u64>) -> usize {
+    encode_at(inst, 0).bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cc;
+
+    #[test]
+    fn one_byte_instructions() {
+        for i in [
+            Inst::Nop,
+            Inst::MarkerNop,
+            Inst::Halt,
+            Inst::Ret,
+            Inst::Lfence,
+            Inst::Cpuid,
+            Inst::SimCheck,
+            Inst::SimEnd,
+            Inst::TagProp,
+            Inst::Guard,
+        ] {
+            assert_eq!(encode(&i).bytes.len(), 1, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn mov_imm_width_selection() {
+        let short = encode(&Inst::MovRI { dst: Reg::R1, imm: 1234 });
+        assert_eq!(short.bytes[0], OP_MOV_RI32);
+        assert_eq!(short.bytes.len(), 6);
+        let long =
+            encode(&Inst::MovRI { dst: Reg::R1, imm: 0x2000_0000_0000 });
+        assert_eq!(long.bytes[0], OP_MOV_RI64);
+        assert_eq!(long.bytes.len(), 10);
+    }
+
+    #[test]
+    fn rel32_is_end_relative() {
+        // jmp to the next instruction => rel32 == 0
+        let e = encode_at(&Inst::Jmp { target: 5 }, 0);
+        assert_eq!(e.bytes.len(), 5);
+        assert_eq!(&e.bytes[1..5], &[0, 0, 0, 0]);
+        // backwards branch
+        let e = encode_at(&Inst::Jmp { target: 0 }, 100);
+        let rel = i32::from_le_bytes(e.bytes[1..5].try_into().unwrap());
+        assert_eq!(rel, -105);
+    }
+
+    #[test]
+    fn patch_sites_reported() {
+        let e = encode(&Inst::Load {
+            dst: Reg::R1,
+            mem: MemRef::abs(0x4000),
+            size: AccessSize::B8,
+            sext: false,
+        });
+        let at = e.patch.disp_at.unwrap();
+        let disp = i32::from_le_bytes(e.bytes[at..at + 4].try_into().unwrap());
+        assert_eq!(disp, 0x4000);
+
+        let e = encode(&Inst::Jcc { cc: Cc::L, target: 0x100 });
+        assert!(e.patch.rel32_at.is_some());
+
+        let e = encode(&Inst::MovRI { dst: Reg::R0, imm: 7 });
+        assert_eq!(e.patch.imm_at, Some((2, 4)));
+    }
+
+    #[test]
+    fn store_imm_layout() {
+        let e = encode(&Inst::StoreI {
+            imm: -1,
+            mem: MemRef::base_disp(Reg::FP, -8),
+            size: AccessSize::B4,
+        });
+        // opcode + ext + mem(6) + imm(4)
+        assert_eq!(e.bytes.len(), 12);
+        assert_eq!(e.bytes.len(), crate::INST_MAX_LEN);
+    }
+
+    #[test]
+    #[should_panic(expected = "branch displacement overflow")]
+    fn branch_overflow_panics() {
+        encode_at(&Inst::Jmp { target: u64::MAX / 2 }, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Textual (pseudo-assembly) formatting of instructions, for listings,
+//! diagnostics and gadget reports.
+
+use crate::insn::{IndKind, Inst};
+use std::fmt;
+
+impl<T: fmt::Display> fmt::Display for Inst<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::MovRR { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::MovRI { dst, imm } => write!(f, "mov {dst}, {imm}"),
+            Inst::Load { dst, mem, size, sext } => {
+                let s = if *sext { "s" } else { "" };
+                write!(f, "load{}{s} {dst}, {mem}", size.bytes())
+            }
+            Inst::Store { src, mem, size } => {
+                write!(f, "store{} {mem}, {src}", size.bytes())
+            }
+            Inst::StoreI { imm, mem, size } => {
+                write!(f, "store{} {mem}, {imm}", size.bytes())
+            }
+            Inst::Lea { dst, mem } => write!(f, "lea {dst}, {mem}"),
+            Inst::Push { src } => write!(f, "push {src}"),
+            Inst::Pop { dst } => write!(f, "pop {dst}"),
+            Inst::Alu { op, dst, src } => {
+                write!(f, "{} {dst}, {src}", op.mnemonic())
+            }
+            Inst::Neg { dst } => write!(f, "neg {dst}"),
+            Inst::Not { dst } => write!(f, "not {dst}"),
+            Inst::Cmp { lhs, rhs } => write!(f, "cmp {lhs}, {rhs}"),
+            Inst::Test { lhs, rhs } => write!(f, "test {lhs}, {rhs}"),
+            Inst::Set { cc, dst } => write!(f, "set{} {dst}", cc.mnemonic()),
+            Inst::Cmov { cc, dst, src } => {
+                write!(f, "cmov{} {dst}, {src}", cc.mnemonic())
+            }
+            Inst::Jmp { target } => write!(f, "jmp {target}"),
+            Inst::Jcc { cc, target } => {
+                write!(f, "j{} {target}", cc.mnemonic())
+            }
+            Inst::Call { target } => write!(f, "call {target}"),
+            Inst::CallInd { target } => write!(f, "call *{target}"),
+            Inst::JmpInd { target } => write!(f, "jmp *{target}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Syscall { num } => write!(f, "syscall {num}"),
+            Inst::Lfence => write!(f, "lfence"),
+            Inst::Cpuid => write!(f, "cpuid"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::MarkerNop => write!(f, "nop.marker"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::SimStart { tramp } => write!(f, "sim.start {tramp}"),
+            Inst::SimCheck => write!(f, "sim.check"),
+            Inst::SimEnd => write!(f, "sim.end"),
+            Inst::AsanCheck { mem, size, is_write } => {
+                let rw = if *is_write { "w" } else { "r" };
+                write!(f, "asan.check{rw}{} {mem}", size.bytes())
+            }
+            Inst::MemLog { mem, size } => {
+                write!(f, "memlog{} {mem}", size.bytes())
+            }
+            Inst::TagProp => write!(f, "tag.prop"),
+            Inst::TagBlockProp { n } => write!(f, "tag.blockprop {n}"),
+            Inst::IndCheck { kind } => match kind {
+                IndKind::Ret => write!(f, "ind.check ret"),
+                IndKind::Call(r) => write!(f, "ind.check call *{r}"),
+                IndKind::Jmp(r) => write!(f, "ind.check jmp *{r}"),
+            },
+            Inst::CovTrace { guard } => write!(f, "cov.trace {guard}"),
+            Inst::CovNote { guard } => write!(f, "cov.note {guard}"),
+            Inst::Guard => write!(f, "guard"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AccessSize, AluOp, Cc, Inst, MemRef, Operand, Reg};
+
+    #[test]
+    fn display_is_never_empty_and_reads_like_asm() {
+        let samples: Vec<(Inst<u64>, &str)> = vec![
+            (Inst::MovRR { dst: Reg::R0, src: Reg::R1 }, "mov r0, r1"),
+            (
+                Inst::Load {
+                    dst: Reg::R2,
+                    mem: MemRef::base_index(Reg::R1, Reg::R3, 8),
+                    size: AccessSize::B8,
+                    sext: false,
+                },
+                "load8 r2, [r1+r3*8]",
+            ),
+            (
+                Inst::Alu {
+                    op: AluOp::Add,
+                    dst: Reg::R0,
+                    src: Operand::Imm(4),
+                },
+                "add r0, 4",
+            ),
+            (Inst::Jcc { cc: Cc::L, target: 64 }, "jl 64"),
+            (Inst::MarkerNop, "nop.marker"),
+            (Inst::SimStart { tramp: 128 }, "sim.start 128"),
+            (
+                Inst::AsanCheck {
+                    mem: MemRef::base(Reg::R1),
+                    size: AccessSize::B1,
+                    is_write: false,
+                },
+                "asan.checkr1 [r1]",
+            ),
+        ];
+        for (inst, want) in samples {
+            assert_eq!(inst.to_string(), want);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! TEA-64: the instruction set architecture underlying the Teapot
+//! reproduction.
+//!
+//! TEA-64 is a 64-bit, CISC-flavoured register machine modeled after x86-64
+//! in every property that matters to binary rewriting:
+//!
+//! * **variable-length encoding** (1–11 bytes per instruction), so
+//!   instruction-boundary recovery is a genuine disassembly problem;
+//! * **`base + index*scale + disp` addressing**, so jump tables and
+//!   symbolization behave like the real thing;
+//! * **condition-code flags** (`ZF`/`SF`/`CF`/`OF`) written by ALU ops and
+//!   consumed by conditional branches, `set` and `cmov` — the paper's Port
+//!   contention policy keys off the last FLAGS writer before a branch;
+//! * **indirect calls, indirect jumps and returns**, which Speculation
+//!   Shadows must guard against control-flow escapes (paper §5.3);
+//! * **serializing instructions** (`lfence`, `cpuid`) that terminate
+//!   speculation (paper §6.1).
+//!
+//! The ISA additionally defines the *instrumentation opcodes* emitted by the
+//! Speculation Shadows rewriter ([`Inst::SimStart`], [`Inst::AsanCheck`],
+//! [`Inst::MemLog`], …). Their run-time semantics live in `teapot-vm`; their
+//! cost weights (standing for the inline assembly snippets of the paper's
+//! implementation) live in `teapot-rt`.
+//!
+//! # Example
+//!
+//! ```
+//! use teapot_isa::{Inst, Reg, Operand, AluOp, encode, decode};
+//!
+//! let inst: Inst = Inst::Alu { op: AluOp::Add, dst: Reg::R0, src: Operand::Imm(42) };
+//! let enc = encode(&inst);
+//! let (decoded, len) = decode(&enc.bytes).expect("round trip");
+//! assert_eq!(decoded, inst);
+//! assert_eq!(len, enc.bytes.len());
+//! ```
+
+mod decode;
+mod encode;
+mod fmt;
+mod insn;
+mod reg;
+
+pub use decode::{decode, decode_at, DecodeError};
+pub use encode::{encode, encode_at, encoded_len, Encoded, PatchSite};
+pub use insn::{
+    AccessSize, AluOp, Cc, IndKind, Inst, MemRef, Operand, INST_MAX_LEN,
+};
+pub use reg::Reg;
+
+/// The number of general-purpose registers in TEA-64.
+pub const NUM_REGS: usize = 16;
+
+/// Syscall numbers of the TEA-64 runtime environment (see `teapot-vm` for
+/// semantics). External-library services such as `malloc` are modeled as
+/// syscalls so that, per the paper (§6.1), calls to uninstrumented code
+/// terminate speculation simulation.
+pub mod sys {
+    /// `exit(code=r1)` — terminate the program.
+    pub const EXIT: u16 = 0;
+    /// `read_input(buf=r1, len=r2) -> r0` — read fuzz input bytes
+    /// (a taint source: bytes are tagged attacker-direct).
+    pub const READ_INPUT: u16 = 1;
+    /// `input_size() -> r0` — total fuzz input length.
+    pub const INPUT_SIZE: u16 = 2;
+    /// `write(buf=r1, len=r2) -> r0` — append to program output.
+    pub const WRITE: u16 = 3;
+    /// `malloc(size=r1) -> r0` — heap allocation with ASan redzones.
+    pub const MALLOC: u16 = 4;
+    /// `free(ptr=r1)` — poison and quarantine.
+    pub const FREE: u16 = 5;
+    /// `print_int(r1)` — formatted decimal output (debugging).
+    pub const PRINT_INT: u16 = 6;
+    /// `abort()` — abnormal termination.
+    pub const ABORT: u16 = 7;
+    /// `mark_user(buf=r1, len=r2)` — tag a buffer attacker-direct; used by
+    /// the Table 3 artificial-gadget drivers where normal taint sources
+    /// are disabled (paper §7.2).
+    pub const MARK_USER: u16 = 8;
+}

@@ -1,0 +1,166 @@
+//! General-purpose registers and the TEA-64 calling convention.
+
+use std::fmt;
+
+/// A TEA-64 general-purpose 64-bit register.
+///
+/// There are sixteen registers, `r0`–`r15`. The software calling convention
+/// (used by the MiniC compiler and the runtime) is:
+///
+/// | Register | Role |
+/// |---|---|
+/// | `r0` | return value, caller-saved scratch |
+/// | `r1`–`r5` | arguments 1–5, caller-saved |
+/// | `r6`–`r9` | caller-saved temporaries |
+/// | `r10`–`r13` | callee-saved |
+/// | `r14` (`fp`) | frame pointer, callee-saved |
+/// | `r15` (`sp`) | stack pointer |
+///
+/// Accesses based off `fp`/`sp` with a constant offset are allow-listed by
+/// the binary-ASan pass exactly as in the paper (§6.2.1).
+///
+/// # Example
+///
+/// ```
+/// use teapot_isa::Reg;
+/// assert_eq!(Reg::SP.index(), 15);
+/// assert_eq!(Reg::from_index(3), Some(Reg::R3));
+/// assert_eq!(Reg::R14.to_string(), "fp");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// The frame pointer alias (`r14`).
+    pub const FP: Reg = Reg::R14;
+    /// The stack pointer alias (`r15`).
+    pub const SP: Reg = Reg::R15;
+    /// The return-value register (`r0`).
+    pub const RV: Reg = Reg::R0;
+
+    /// Argument registers in order.
+    pub const ARGS: [Reg; 5] = [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5];
+    /// Caller-saved temporaries available to code generators.
+    pub const TEMPS: [Reg; 4] = [Reg::R6, Reg::R7, Reg::R8, Reg::R9];
+    /// Callee-saved registers.
+    pub const CALLEE_SAVED: [Reg; 5] =
+        [Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14];
+
+    /// All sixteen registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Returns the numeric index (0–15) of this register.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the register with the given index, or `None` if `idx > 15`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Option<Reg> {
+        if idx < 16 {
+            Some(Reg::ALL[idx])
+        } else {
+            None
+        }
+    }
+
+    /// Whether this register is a stack-frame base (`fp` or `sp`).
+    ///
+    /// The binary-ASan pass allow-lists constant-offset accesses through
+    /// these registers so that return-address introspection keeps working
+    /// (paper §6.2.1).
+    #[inline]
+    pub fn is_frame_base(self) -> bool {
+        self == Reg::FP || self == Reg::SP
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::R14 => write!(f, "fp"),
+            Reg::R15 => write!(f, "sp"),
+            other => write!(f, "r{}", other.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*r));
+        }
+        assert_eq!(Reg::from_index(16), None);
+        assert_eq!(Reg::from_index(usize::MAX), None);
+    }
+
+    #[test]
+    fn aliases() {
+        assert_eq!(Reg::FP, Reg::R14);
+        assert_eq!(Reg::SP, Reg::R15);
+        assert_eq!(Reg::RV, Reg::R0);
+        assert!(Reg::FP.is_frame_base());
+        assert!(Reg::SP.is_frame_base());
+        assert!(!Reg::R0.is_frame_base());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R13.to_string(), "r13");
+        assert_eq!(Reg::R14.to_string(), "fp");
+        assert_eq!(Reg::R15.to_string(), "sp");
+    }
+
+    #[test]
+    fn convention_registers_are_disjoint() {
+        for a in Reg::ARGS {
+            assert!(!Reg::CALLEE_SAVED.contains(&a));
+            assert!(!Reg::TEMPS.contains(&a));
+        }
+        for t in Reg::TEMPS {
+            assert!(!Reg::CALLEE_SAVED.contains(&t));
+        }
+    }
+}

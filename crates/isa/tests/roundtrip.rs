@@ -1,0 +1,154 @@
+//! Property-based encode/decode round-trip tests for the full instruction
+//! space, plus the "no instruction decodes two ways" invariant that the
+//! linear-sweep disassembler relies on.
+
+use proptest::prelude::*;
+use teapot_isa::{
+    decode_at, encode_at, AccessSize, AluOp, Cc, IndKind, Inst, MemRef,
+    Operand, Reg,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_size() -> impl Strategy<Value = AccessSize> {
+    prop_oneof![
+        Just(AccessSize::B1),
+        Just(AccessSize::B2),
+        Just(AccessSize::B4),
+        Just(AccessSize::B8),
+    ]
+}
+
+fn arb_mem() -> impl Strategy<Value = MemRef> {
+    (
+        proptest::option::of(arb_reg()),
+        proptest::option::of(arb_reg()),
+        prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, scale, disp)| MemRef {
+            base,
+            index,
+            scale,
+            disp,
+        })
+}
+
+fn arb_cc() -> impl Strategy<Value = Cc> {
+    (0u8..12).prop_map(|v| Cc::from_u8(v).unwrap())
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    (0u8..11).prop_map(|v| AluOp::from_u8(v).unwrap())
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![arb_reg().prop_map(Operand::Reg), any::<i32>().prop_map(Operand::Imm)]
+}
+
+/// Branch targets within ±1 GiB of the instruction, so rel32 always fits.
+fn arb_target(va: u64) -> impl Strategy<Value = u64> {
+    ((-(1i64 << 30))..(1i64 << 30))
+        .prop_map(move |d| va.wrapping_add(d as u64))
+}
+
+fn arb_inst(va: u64) -> impl Strategy<Value = Inst<u64>> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::MarkerNop),
+        Just(Inst::Halt),
+        Just(Inst::Ret),
+        Just(Inst::Lfence),
+        Just(Inst::Cpuid),
+        Just(Inst::SimCheck),
+        Just(Inst::SimEnd),
+        Just(Inst::TagProp),
+        Just(Inst::Guard),
+        any::<u16>().prop_map(|num| Inst::Syscall { num }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::MovRR { dst, src }),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
+        (arb_reg(), arb_mem(), arb_size(), any::<bool>())
+            .prop_map(|(dst, mem, size, sext)| Inst::Load { dst, mem, size, sext }),
+        (arb_reg(), arb_mem(), arb_size())
+            .prop_map(|(src, mem, size)| Inst::Store { src, mem, size }),
+        (any::<i32>(), arb_mem(), arb_size())
+            .prop_map(|(imm, mem, size)| Inst::StoreI { imm, mem, size }),
+        (arb_reg(), arb_mem()).prop_map(|(dst, mem)| Inst::Lea { dst, mem }),
+        arb_reg().prop_map(|src| Inst::Push { src }),
+        arb_reg().prop_map(|dst| Inst::Pop { dst }),
+        (arb_alu(), arb_reg(), arb_operand())
+            .prop_map(|(op, dst, src)| Inst::Alu { op, dst, src }),
+        arb_reg().prop_map(|dst| Inst::Neg { dst }),
+        arb_reg().prop_map(|dst| Inst::Not { dst }),
+        (arb_reg(), arb_operand()).prop_map(|(lhs, rhs)| Inst::Cmp { lhs, rhs }),
+        (arb_reg(), arb_operand()).prop_map(|(lhs, rhs)| Inst::Test { lhs, rhs }),
+        (arb_cc(), arb_reg()).prop_map(|(cc, dst)| Inst::Set { cc, dst }),
+        (arb_cc(), arb_reg(), arb_reg())
+            .prop_map(|(cc, dst, src)| Inst::Cmov { cc, dst, src }),
+        arb_target(va).prop_map(|target| Inst::Jmp { target }),
+        (arb_cc(), arb_target(va)).prop_map(|(cc, target)| Inst::Jcc { cc, target }),
+        arb_target(va).prop_map(|target| Inst::Call { target }),
+        arb_reg().prop_map(|target| Inst::CallInd { target }),
+        arb_reg().prop_map(|target| Inst::JmpInd { target }),
+        arb_target(va).prop_map(|tramp| Inst::SimStart { tramp }),
+        (arb_mem(), arb_size(), any::<bool>())
+            .prop_map(|(mem, size, is_write)| Inst::AsanCheck { mem, size, is_write }),
+        (arb_mem(), arb_size()).prop_map(|(mem, size)| Inst::MemLog { mem, size }),
+        any::<u16>().prop_map(|n| Inst::TagBlockProp { n }),
+        Just(Inst::IndCheck { kind: IndKind::Ret }),
+        arb_reg().prop_map(|r| Inst::IndCheck { kind: IndKind::Call(r) }),
+        arb_reg().prop_map(|r| Inst::IndCheck { kind: IndKind::Jmp(r) }),
+        any::<u32>().prop_map(|guard| Inst::CovTrace { guard }),
+        any::<u32>().prop_map(|guard| Inst::CovNote { guard }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_round_trip(
+        (va, inst) in (1u64 << 31..1 << 40)
+            .prop_flat_map(|va| (Just(va), arb_inst(va))),
+    ) {
+        let enc = encode_at(&inst, va);
+        let (dec, len) = decode_at(&enc.bytes, va).expect("decode");
+        prop_assert_eq!(len, enc.bytes.len());
+        prop_assert_eq!(dec, inst);
+    }
+
+    #[test]
+    fn decoding_is_deterministic_and_prefix_free(
+        inst in arb_inst(1 << 32),
+    ) {
+        // A valid encoding must not decode from any strict prefix: the
+        // decoder either consumes the exact length or reports truncation.
+        let enc = encode_at(&inst, 1 << 32);
+        for l in 0..enc.bytes.len() {
+            let r = decode_at(&enc.bytes[..l], 1 << 32);
+            prop_assert!(r.is_err(), "prefix {l} decoded as {:?}", r);
+        }
+    }
+
+    #[test]
+    fn display_never_empty(
+        inst in arb_inst(1 << 32),
+    ) {
+        prop_assert!(!inst.to_string().is_empty());
+    }
+
+    #[test]
+    fn trailing_bytes_do_not_change_decode(
+        inst in arb_inst(1 << 32),
+        tail in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let enc = encode_at(&inst, 1 << 32);
+        let mut buf = enc.bytes.clone();
+        buf.extend_from_slice(&tail);
+        let (dec, len) = decode_at(&buf, 1 << 32).expect("decode");
+        prop_assert_eq!(dec, inst);
+        prop_assert_eq!(len, enc.bytes.len());
+    }
+}

@@ -1,0 +1,42 @@
+//! TOF — the Teapot Object Format.
+//!
+//! TOF plays the role ELF plays for the paper's artifact: the container
+//! that carries compiled code between the compiler, the linker, the
+//! disassembler and the Speculation Shadows rewriter.
+//!
+//! * [`Object`] — a relocatable unit: sections of bytes, symbols, and
+//!   relocations (produced by `teapot-asm`/`teapot-cc`).
+//! * [`Linker`] — combines objects, lays out sections in the virtual
+//!   address space, resolves relocations, and produces a [`Binary`].
+//! * [`Binary`] — a linked executable: loadable sections with fixed
+//!   virtual addresses, an entry point, feature flags describing which
+//!   instrumentation runtimes it needs, and an optional symbol table that
+//!   [`Binary::strip`] removes (the COTS analysis scenario).
+//!
+//! Binaries serialize to a compact byte container (`TOF1`) so the CLI can
+//! write and re-read them — see [`Binary::to_bytes`]/[`Binary::from_bytes`].
+//!
+//! # Example: hand-assembling and linking a tiny binary
+//!
+//! ```
+//! use teapot_obj::{Object, SectionKind, SymbolKind, Linker};
+//!
+//! let mut obj = Object::new("demo");
+//! let text = obj.add_section(".text", SectionKind::Text);
+//! obj.section_mut(text).bytes = vec![0x02]; // halt
+//! obj.add_symbol("_start", SymbolKind::Func, text, 0, 1, true);
+//! let binary = Linker::new().add_object(obj).link("_start")?;
+//! assert!(binary.entry >= binary.section(".text").unwrap().vaddr);
+//! # Ok::<(), teapot_obj::LinkError>(())
+//! ```
+
+mod binary;
+mod link;
+mod object;
+
+pub use binary::{BinFlags, BinSymbol, Binary, FormatError, LoadedSection};
+pub use link::{LinkError, Linker, DEFAULT_IMAGE_BASE};
+pub use object::{
+    Object, Reloc, RelocKind, Section, SectionId, SectionKind, Symbol,
+    SymbolKind,
+};

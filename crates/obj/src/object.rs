@@ -1,0 +1,271 @@
+//! Relocatable objects: sections, symbols and relocations.
+
+use std::fmt;
+
+/// Index of a section within its [`Object`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SectionId(pub usize);
+
+/// What a section holds; drives layout order and permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SectionKind {
+    /// Executable code.
+    Text,
+    /// Read-only data (string literals, jump tables).
+    Rodata,
+    /// Initialized writable data.
+    Data,
+    /// Zero-initialized writable data (only a size, no bytes).
+    Bss,
+    /// Non-loadable metadata (e.g. the Real↔Shadow map emitted by the
+    /// Speculation Shadows rewriter).
+    Note,
+}
+
+impl SectionKind {
+    /// Whether sections of this kind occupy memory in the process image.
+    pub fn is_loadable(self) -> bool {
+        !matches!(self, SectionKind::Note)
+    }
+
+    /// Whether the program may write to this section at run time.
+    pub fn is_writable(self) -> bool {
+        matches!(self, SectionKind::Data | SectionKind::Bss)
+    }
+
+    /// Whether this section contains executable code.
+    pub fn is_executable(self) -> bool {
+        matches!(self, SectionKind::Text)
+    }
+}
+
+/// A named chunk of bytes inside an [`Object`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section name, e.g. `.text`.
+    pub name: String,
+    /// Section kind.
+    pub kind: SectionKind,
+    /// Raw contents. Empty for [`SectionKind::Bss`].
+    pub bytes: Vec<u8>,
+    /// Size in memory; for non-BSS sections this must equal
+    /// `bytes.len()` when linked.
+    pub mem_size: u64,
+    /// Required alignment (power of two).
+    pub align: u64,
+}
+
+/// Symbol classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolKind {
+    /// A function entry point.
+    Func,
+    /// A data object.
+    Object,
+}
+
+/// A named location in a section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Classification.
+    pub kind: SymbolKind,
+    /// Defining section.
+    pub section: SectionId,
+    /// Offset within the defining section.
+    pub offset: u64,
+    /// Size in bytes (0 when unknown).
+    pub size: u64,
+    /// Whether the symbol is visible across objects.
+    pub global: bool,
+}
+
+/// Relocation kinds understood by the linker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelocKind {
+    /// Patch a signed 32-bit field with the symbol's absolute address plus
+    /// addend (used for memory displacements and jump-table entries that
+    /// must stay below 2³¹).
+    Abs32,
+    /// Patch a 64-bit field with the symbol's absolute address plus addend
+    /// (function pointers, wide immediates).
+    Abs64,
+    /// Patch a signed 32-bit field with `sym + addend - (field_end)`:
+    /// end-relative branch displacement, as TEA-64 branches expect.
+    Rel32,
+}
+
+/// A pending address fix-up within a section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reloc {
+    /// Section whose bytes are patched.
+    pub section: SectionId,
+    /// Offset of the field within the section.
+    pub offset: u64,
+    /// Relocation kind.
+    pub kind: RelocKind,
+    /// Name of the referenced symbol.
+    pub symbol: String,
+    /// Constant added to the symbol address.
+    pub addend: i64,
+}
+
+/// A relocatable compilation unit.
+///
+/// # Example
+///
+/// ```
+/// use teapot_obj::{Object, SectionKind, SymbolKind};
+/// let mut obj = Object::new("unit");
+/// let data = obj.add_section(".data", SectionKind::Data);
+/// obj.section_mut(data).bytes.extend_from_slice(&[0u8; 16]);
+/// obj.add_symbol("table", SymbolKind::Object, data, 0, 16, true);
+/// assert_eq!(obj.find_symbol("table").unwrap().size, 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Object {
+    /// Unit name (diagnostics only).
+    pub name: String,
+    /// Sections in declaration order.
+    pub sections: Vec<Section>,
+    /// Symbols defined in this object.
+    pub symbols: Vec<Symbol>,
+    /// Pending relocations.
+    pub relocs: Vec<Reloc>,
+}
+
+impl Object {
+    /// Creates an empty object with the given unit name.
+    pub fn new(name: impl Into<String>) -> Object {
+        Object { name: name.into(), ..Object::default() }
+    }
+
+    /// Adds an empty section and returns its id.
+    pub fn add_section(
+        &mut self,
+        name: impl Into<String>,
+        kind: SectionKind,
+    ) -> SectionId {
+        self.sections.push(Section {
+            name: name.into(),
+            kind,
+            bytes: Vec::new(),
+            mem_size: 0,
+            align: 8,
+        });
+        SectionId(self.sections.len() - 1)
+    }
+
+    /// Immutable access to a section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids are only produced by
+    /// [`Object::add_section`] on the same object).
+    pub fn section(&self, id: SectionId) -> &Section {
+        &self.sections[id.0]
+    }
+
+    /// Mutable access to a section (see [`Object::section`] for panics).
+    pub fn section_mut(&mut self, id: SectionId) -> &mut Section {
+        &mut self.sections[id.0]
+    }
+
+    /// Defines a symbol.
+    pub fn add_symbol(
+        &mut self,
+        name: impl Into<String>,
+        kind: SymbolKind,
+        section: SectionId,
+        offset: u64,
+        size: u64,
+        global: bool,
+    ) {
+        self.symbols.push(Symbol {
+            name: name.into(),
+            kind,
+            section,
+            offset,
+            size,
+            global,
+        });
+    }
+
+    /// Records a relocation.
+    pub fn add_reloc(
+        &mut self,
+        section: SectionId,
+        offset: u64,
+        kind: RelocKind,
+        symbol: impl Into<String>,
+        addend: i64,
+    ) {
+        self.relocs.push(Reloc {
+            section,
+            offset,
+            kind,
+            symbol: symbol.into(),
+            addend,
+        });
+    }
+
+    /// Looks up a symbol by name.
+    pub fn find_symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+}
+
+impl fmt::Display for Object {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "object {}", self.name)?;
+        for s in &self.sections {
+            writeln!(
+                f,
+                "  section {:10} {:?} {} bytes",
+                s.name,
+                s.kind,
+                s.bytes.len()
+            )?;
+        }
+        for s in &self.symbols {
+            writeln!(
+                f,
+                "  symbol  {:20} {:?}+{:#x} size {}",
+                s.name, s.section, s.offset, s.size
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_kinds() {
+        assert!(SectionKind::Text.is_loadable());
+        assert!(SectionKind::Text.is_executable());
+        assert!(!SectionKind::Text.is_writable());
+        assert!(SectionKind::Data.is_writable());
+        assert!(SectionKind::Bss.is_writable());
+        assert!(!SectionKind::Rodata.is_writable());
+        assert!(!SectionKind::Note.is_loadable());
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut obj = Object::new("t");
+        let text = obj.add_section(".text", SectionKind::Text);
+        let data = obj.add_section(".data", SectionKind::Data);
+        assert_ne!(text, data);
+        obj.section_mut(text).bytes.push(0x02);
+        obj.add_symbol("f", SymbolKind::Func, text, 0, 1, true);
+        obj.add_reloc(text, 1, RelocKind::Rel32, "g", -4);
+        assert_eq!(obj.find_symbol("f").unwrap().kind, SymbolKind::Func);
+        assert!(obj.find_symbol("missing").is_none());
+        assert_eq!(obj.relocs.len(), 1);
+        assert!(!obj.to_string().is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the TOF container: serialization round-trips for
+//! arbitrary binaries, and the parser never panics on corrupted bytes
+//! (it is exposed to untrusted files via the CLI).
+
+use proptest::prelude::*;
+use teapot_obj::{BinFlags, BinSymbol, Binary, LoadedSection, SectionKind, SymbolKind};
+
+fn arb_kind() -> impl Strategy<Value = SectionKind> {
+    prop_oneof![
+        Just(SectionKind::Text),
+        Just(SectionKind::Rodata),
+        Just(SectionKind::Data),
+        Just(SectionKind::Bss),
+        Just(SectionKind::Note),
+    ]
+}
+
+fn arb_section() -> impl Strategy<Value = LoadedSection> {
+    (
+        "[a-z.]{1,12}",
+        arb_kind(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u8>(), 0..128),
+        any::<u16>(),
+    )
+        .prop_map(|(name, kind, vaddr, bytes, extra)| {
+            let mem_size = bytes.len() as u64 + extra as u64;
+            LoadedSection { name, kind, vaddr: vaddr as u64, bytes, mem_size }
+        })
+}
+
+fn arb_symbol() -> impl Strategy<Value = BinSymbol> {
+    ("[a-z$_]{1,16}", any::<u32>(), any::<bool>(), any::<u16>()).prop_map(
+        |(name, addr, is_fn, size)| BinSymbol {
+            name,
+            addr: addr as u64,
+            kind: if is_fn { SymbolKind::Func } else { SymbolKind::Object },
+            size: size as u64,
+        },
+    )
+}
+
+fn arb_binary() -> impl Strategy<Value = Binary> {
+    (
+        any::<u32>(),
+        proptest::collection::vec(arb_section(), 0..6),
+        proptest::collection::vec(arb_symbol(), 0..8),
+        any::<u8>(),
+    )
+        .prop_map(|(entry, sections, symbols, flags)| Binary {
+            entry: entry as u64,
+            sections,
+            symbols,
+            flags: BinFlags {
+                instrumented: flags & 1 != 0,
+                asan: flags & 2 != 0,
+                dift: flags & 4 != 0,
+                nested_speculation: flags & 8 != 0,
+                single_copy: flags & 16 != 0,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn container_round_trips(bin in arb_binary()) {
+        let bytes = bin.to_bytes();
+        let back = Binary::from_bytes(&bytes).expect("parse own output");
+        prop_assert_eq!(back, bin);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = Binary::from_bytes(&bytes); // Err is fine; panic is not
+    }
+
+    #[test]
+    fn parser_never_panics_on_truncations(bin in arb_binary()) {
+        let bytes = bin.to_bytes();
+        for l in (0..bytes.len()).step_by(7) {
+            let _ = Binary::from_bytes(&bytes[..l]);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_bit_flips(
+        bin in arb_binary(),
+        flip in any::<(u16, u8)>(),
+    ) {
+        let mut bytes = bin.to_bytes();
+        if !bytes.is_empty() {
+            let i = flip.0 as usize % bytes.len();
+            bytes[i] ^= 1 << (flip.1 % 8);
+            let _ = Binary::from_bytes(&bytes);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! SanitizerCoverage-style coverage maps (paper §6.3).
+//!
+//! Teapot tracks *two* coverages: normal execution (traced at each
+//! conditional branch before entering simulation) and speculation
+//! simulation (lazy guard-ID notes flushed at rollback). Each map is a
+//! fixed-size array of 8-bit saturating counters indexed by guard id, with
+//! AFL-style count bucketing for feature extraction.
+
+/// Size of a coverage map (power of two).
+pub const COV_MAP_SIZE: usize = 1 << 16;
+
+/// A fixed-size map of 8-bit saturating hit counters.
+#[derive(Clone)]
+pub struct CovMap {
+    counters: Box<[u8; COV_MAP_SIZE]>,
+}
+
+impl std::fmt::Debug for CovMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CovMap")
+            .field("nonzero", &self.count_nonzero())
+            .finish()
+    }
+}
+
+impl Default for CovMap {
+    fn default() -> Self {
+        CovMap::new()
+    }
+}
+
+impl CovMap {
+    /// Creates an empty map.
+    pub fn new() -> CovMap {
+        CovMap { counters: Box::new([0; COV_MAP_SIZE]) }
+    }
+
+    /// Records one hit of `guard`.
+    #[inline]
+    pub fn hit(&mut self, guard: u32) {
+        let c = &mut self.counters[guard as usize & (COV_MAP_SIZE - 1)];
+        *c = c.saturating_add(1);
+    }
+
+    /// Raw counter value for `guard`.
+    #[inline]
+    pub fn get(&self, guard: u32) -> u8 {
+        self.counters[guard as usize & (COV_MAP_SIZE - 1)]
+    }
+
+    /// Zeroes all counters.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+    }
+
+    /// Number of non-zero counters (coverage breadth).
+    pub fn count_nonzero(&self) -> usize {
+        self.counters.iter().filter(|&&c| c != 0).count()
+    }
+
+    /// AFL-style bucketing of a counter into one of 9 feature classes.
+    #[inline]
+    fn bucket(c: u8) -> u8 {
+        match c {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3 => 3,
+            4..=7 => 4,
+            8..=15 => 5,
+            16..=31 => 6,
+            32..=127 => 7,
+            _ => 8,
+        }
+    }
+
+    /// Merges this run's map into the accumulated `global` map, returning
+    /// the number of *new features* (guard, bucket) pairs not yet seen
+    /// globally. The global map stores the maximum bucket per guard.
+    pub fn merge_into(&self, global: &mut CovMap) -> usize {
+        let mut new_features = 0;
+        for (g, &c) in self.counters.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let b = Self::bucket(c);
+            if b > Self::bucket(global.counters[g]) {
+                global.counters[g] = c.max(global.counters[g]);
+                new_features += 1;
+            }
+        }
+        new_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_saturate() {
+        let mut m = CovMap::new();
+        for _ in 0..300 {
+            m.hit(5);
+        }
+        assert_eq!(m.get(5), 255);
+        assert_eq!(m.get(6), 0);
+        assert_eq!(m.count_nonzero(), 1);
+    }
+
+    #[test]
+    fn guards_wrap_into_map() {
+        let mut m = CovMap::new();
+        m.hit(COV_MAP_SIZE as u32 + 3);
+        assert_eq!(m.get(3), 1);
+    }
+
+    #[test]
+    fn merge_reports_new_features() {
+        let mut global = CovMap::new();
+        let mut run = CovMap::new();
+        run.hit(1);
+        run.hit(2);
+        assert_eq!(run.merge_into(&mut global), 2);
+        // Same coverage again: nothing new.
+        assert_eq!(run.merge_into(&mut global), 0);
+        // Higher count bucket on guard 1 is a new feature.
+        let mut run2 = CovMap::new();
+        for _ in 0..4 {
+            run2.hit(1);
+        }
+        assert_eq!(run2.merge_into(&mut global), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = CovMap::new();
+        m.hit(9);
+        m.clear();
+        assert_eq!(m.count_nonzero(), 0);
+    }
+
+    #[test]
+    fn bucketing_is_monotone() {
+        let mut prev = 0;
+        for c in 0..=255u8 {
+            let b = CovMap::bucket(c);
+            assert!(b >= prev);
+            prev = b;
+        }
+        assert_eq!(CovMap::bucket(255), 8);
+    }
+}

@@ -1,0 +1,148 @@
+//! The virtual address-space layout, reproducing the paper's Tables 1–2.
+//!
+//! With binary ASan alone (paper Table 1), the user-accessible regions are:
+//!
+//! | Name    | Start                 | End                   |
+//! |---------|-----------------------|-----------------------|
+//! | HighMem | `0x1000_7fff_8000`    | `0x7fff_ffff_ffff`    |
+//! | LowMem  | `0x0`                 | `0x7fff_7fff`         |
+//!
+//! With the data-flow tracker active (paper Table 2), part of HighMem is
+//! reserved for the byte-to-byte **tag shadow**, whose address is obtained
+//! by flipping bit 45 of the data address:
+//!
+//! | Name    | Start                 | End                   |
+//! |---------|-----------------------|-----------------------|
+//! | HighMem | `0x6000_0000_0000`    | `0x7fff_ffff_ffff`    |
+//! | HighTag | `0x4000_0000_0000`    | `0x5fff_ffff_ffff`    |
+//! | LowTag  | `0x2000_0000_0000`    | `0x2000_7fff_7fff`    |
+//! | LowMem  | `0x0`                 | `0x7fff_7fff`         |
+//!
+//! The ASan shadow uses the classic `(addr >> 3) + OFFSET` mapping.
+
+/// Start of LowMem (program image, stack).
+pub const LOW_MEM_START: u64 = 0x0;
+/// Last byte of LowMem (paper Table 1).
+pub const LOW_MEM_END: u64 = 0x7fff_7fff;
+
+/// Start of HighMem when the DIFT tag shadow is active (paper Table 2).
+pub const HIGH_MEM_START: u64 = 0x6000_0000_0000;
+/// Last byte of HighMem.
+pub const HIGH_MEM_END: u64 = 0x7fff_ffff_ffff;
+
+/// Start of HighMem when only ASan is active (paper Table 1).
+pub const HIGH_MEM_START_ASAN_ONLY: u64 = 0x1000_7fff_8000;
+
+/// Start of the tag shadow of HighMem (paper Table 2).
+pub const HIGH_TAG_START: u64 = 0x4000_0000_0000;
+/// End of the tag shadow of HighMem.
+pub const HIGH_TAG_END: u64 = 0x5fff_ffff_ffff;
+/// Start of the tag shadow of LowMem (paper Table 2).
+pub const LOW_TAG_START: u64 = 0x2000_0000_0000;
+/// End of the tag shadow of LowMem.
+pub const LOW_TAG_END: u64 = 0x2000_7fff_7fff;
+
+/// The bit flipped to translate a data address to its tag-shadow address.
+pub const TAG_SHADOW_BIT: u64 = 1 << 45;
+
+/// ASan shadow offset (classic x86-64 value).
+pub const ASAN_SHADOW_OFFSET: u64 = 0x7fff_8000;
+/// ASan shadow granularity: one shadow byte covers 8 data bytes.
+pub const ASAN_GRANULARITY: u64 = 8;
+
+/// Initial stack pointer (top of the stack, which grows down in LowMem).
+pub const STACK_TOP: u64 = 0x7ffe_0000;
+/// Stack size limit in bytes.
+pub const STACK_LIMIT: u64 = 0x40_0000 - 0x1000;
+
+/// Base of the runtime heap (`malloc` arena) in HighMem.
+pub const HEAP_BASE: u64 = 0x6000_0000_0000;
+
+/// Where the VM stages fuzz input for `read_input` (inside HighMem,
+/// tag-shadowable).
+pub const INPUT_STAGING: u64 = 0x7000_0000_0000;
+
+/// Translate a data address to its ASan shadow byte address.
+#[inline]
+pub fn asan_shadow(addr: u64) -> u64 {
+    (addr >> 3).wrapping_add(ASAN_SHADOW_OFFSET)
+}
+
+/// Translate a data address to its tag-shadow address (bit-45 flip,
+/// paper §6.2.2).
+#[inline]
+pub fn tag_shadow(addr: u64) -> u64 {
+    addr ^ TAG_SHADOW_BIT
+}
+
+/// Whether `addr` lies in a user-accessible region under the combined
+/// ASan + DIFT layout (paper Table 2).
+#[inline]
+pub fn is_user_addr(addr: u64) -> bool {
+    addr <= LOW_MEM_END || (HIGH_MEM_START..=HIGH_MEM_END).contains(&addr)
+}
+
+/// Whether `addr` lies in one of the tag-shadow regions.
+#[inline]
+pub fn is_tag_addr(addr: u64) -> bool {
+    (LOW_TAG_START..=LOW_TAG_END).contains(&addr)
+        || (HIGH_TAG_START..=HIGH_TAG_END).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_regions_match_paper() {
+        assert_eq!(HIGH_MEM_START, 0x6000_0000_0000);
+        assert_eq!(HIGH_MEM_END, 0x7fff_ffff_ffff);
+        assert_eq!(HIGH_TAG_START, 0x4000_0000_0000);
+        assert_eq!(HIGH_TAG_END, 0x5fff_ffff_ffff);
+        assert_eq!(LOW_TAG_START, 0x2000_0000_0000);
+        assert_eq!(LOW_TAG_END, 0x2000_7fff_7fff);
+        assert_eq!(LOW_MEM_END, 0x7fff_7fff);
+    }
+
+    #[test]
+    fn tag_shadow_is_bit45_flip_and_involutive() {
+        for addr in [0x0u64, 0x1234, LOW_MEM_END, HIGH_MEM_START, 0x7123_4567_89ab]
+        {
+            let t = tag_shadow(addr);
+            assert_eq!(tag_shadow(t), addr);
+            assert_eq!(t, addr ^ (1 << 45));
+        }
+    }
+
+    #[test]
+    fn tag_regions_shadow_user_regions_exactly() {
+        // LowMem maps into LowTag
+        assert_eq!(tag_shadow(LOW_MEM_START), LOW_TAG_START);
+        assert_eq!(tag_shadow(LOW_MEM_END), LOW_TAG_END);
+        // HighMem maps into HighTag
+        assert_eq!(tag_shadow(HIGH_MEM_START), HIGH_TAG_START);
+        assert_eq!(tag_shadow(HIGH_MEM_END), HIGH_TAG_END);
+        // Tag shadows are themselves not user-accessible.
+        assert!(!is_user_addr(LOW_TAG_START));
+        assert!(!is_user_addr(HIGH_TAG_START));
+        assert!(is_tag_addr(tag_shadow(0x1000)));
+        assert!(is_tag_addr(tag_shadow(HEAP_BASE)));
+    }
+
+    #[test]
+    fn asan_shadow_mapping() {
+        assert_eq!(asan_shadow(0), ASAN_SHADOW_OFFSET);
+        assert_eq!(asan_shadow(8), ASAN_SHADOW_OFFSET + 1);
+        assert_eq!(asan_shadow(15), ASAN_SHADOW_OFFSET + 1);
+        // Shadow of the heap stays clear of user regions' tag shadows.
+        let s = asan_shadow(HEAP_BASE);
+        assert!(!is_user_addr(s) || s > LOW_MEM_END);
+    }
+
+    #[test]
+    fn stack_and_heap_are_user_accessible() {
+        assert!(is_user_addr(STACK_TOP - 8));
+        assert!(is_user_addr(HEAP_BASE));
+        assert!(is_user_addr(INPUT_STAGING));
+    }
+}

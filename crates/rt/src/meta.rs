@@ -1,0 +1,224 @@
+//! The `.teapot.meta` note section written by the Speculation Shadows
+//! rewriter and consumed by the run-time.
+//!
+//! A rewritten binary carries three pieces of metadata:
+//!
+//! 1. **Region bounds** — where the Real Copy and Shadow Copy live, so the
+//!    indirect-branch integrity check (paper §5.3) can classify a code
+//!    pointer in O(1);
+//! 2. **Indirect-target map** — for every Real Copy basic block that got a
+//!    marker NOP, the address of its Shadow Copy counterpart, used to
+//!    redirect escaped control flow back into the Shadow Copy;
+//! 3. **Address translation** — a per-instruction map from rewritten
+//!    addresses (Real or Shadow Copy) back to *original binary* addresses,
+//!    so gadget reports are stated in the coordinates of the COTS input
+//!    (and so reports deduplicate across the two copies).
+
+use std::fmt;
+
+/// Parsed contents of the `.teapot.meta` section.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TeapotMeta {
+    /// `[start, end)` of the Real Copy text.
+    pub real_range: (u64, u64),
+    /// `[start, end)` of the Shadow Copy text (trampolines included).
+    pub shadow_range: (u64, u64),
+    /// `(real_block_addr, shadow_block_addr)` for every marker-NOP block,
+    /// sorted by real address.
+    pub indirect_map: Vec<(u64, u64)>,
+    /// `(rewritten_addr, original_addr)` per copied instruction, sorted by
+    /// rewritten address.
+    pub addr_map: Vec<(u64, u64)>,
+}
+
+/// Error parsing a `.teapot.meta` blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaError;
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed .teapot.meta section")
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+const MAGIC: &[u8; 4] = b"TPM1";
+
+impl TeapotMeta {
+    /// Whether `pc` lies in the Shadow Copy.
+    #[inline]
+    pub fn in_shadow(&self, pc: u64) -> bool {
+        pc >= self.shadow_range.0 && pc < self.shadow_range.1
+    }
+
+    /// Whether `pc` lies in the Real Copy.
+    #[inline]
+    pub fn in_real(&self, pc: u64) -> bool {
+        pc >= self.real_range.0 && pc < self.real_range.1
+    }
+
+    /// Shadow counterpart of a marked Real Copy block, if registered.
+    pub fn shadow_of(&self, real_block: u64) -> Option<u64> {
+        self.indirect_map
+            .binary_search_by_key(&real_block, |&(r, _)| r)
+            .ok()
+            .map(|i| self.indirect_map[i].1)
+    }
+
+    /// Translates a rewritten-binary address back to original-binary
+    /// coordinates. Instrumentation instructions (which have no original
+    /// counterpart) map to the nearest preceding copied instruction.
+    pub fn to_original(&self, pc: u64) -> Option<u64> {
+        if self.addr_map.is_empty() {
+            return None;
+        }
+        match self.addr_map.binary_search_by_key(&pc, |&(n, _)| n) {
+            Ok(i) => Some(self.addr_map[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.addr_map[i - 1].1),
+        }
+    }
+
+    /// Sorts the maps (call once after construction).
+    pub fn normalize(&mut self) {
+        self.indirect_map.sort_unstable();
+        self.addr_map.sort_unstable();
+    }
+
+    /// Serializes to the note-section blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            40 + 16 * (self.indirect_map.len() + self.addr_map.len()),
+        );
+        out.extend_from_slice(MAGIC);
+        for v in [
+            self.real_range.0,
+            self.real_range.1,
+            self.shadow_range.0,
+            self.shadow_range.1,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.indirect_map.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.addr_map.len() as u32).to_le_bytes());
+        for &(a, b) in self.indirect_map.iter().chain(&self.addr_map) {
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the note-section blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError`] if the blob is truncated or mis-tagged.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TeapotMeta, MetaError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], MetaError> {
+            let s = bytes.get(*pos..*pos + n).ok_or(MetaError)?;
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(MetaError);
+        }
+        let u64f = |pos: &mut usize| -> Result<u64, MetaError> {
+            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+        };
+        let r0 = u64f(&mut pos)?;
+        let r1 = u64f(&mut pos)?;
+        let s0 = u64f(&mut pos)?;
+        let s1 = u64f(&mut pos)?;
+        let ni =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let na =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        if ni > 1 << 24 || na > 1 << 26 {
+            return Err(MetaError);
+        }
+        let mut pairs = Vec::with_capacity(ni + na);
+        for _ in 0..ni + na {
+            let a = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+            let b = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+            pairs.push((a, b));
+        }
+        let addr_map = pairs.split_off(ni);
+        Ok(TeapotMeta {
+            real_range: (r0, r1),
+            shadow_range: (s0, s1),
+            indirect_map: pairs,
+            addr_map,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TeapotMeta {
+        let mut m = TeapotMeta {
+            real_range: (0x400000, 0x401000),
+            shadow_range: (0x401100, 0x403000),
+            indirect_map: vec![(0x400500, 0x401500), (0x400100, 0x401200)],
+            addr_map: vec![
+                (0x400000, 0x400000),
+                (0x400010, 0x400005),
+                (0x401200, 0x400005),
+            ],
+        };
+        m.normalize();
+        m
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample();
+        let back = TeapotMeta::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = sample().to_bytes();
+        for l in 0..bytes.len() {
+            assert!(TeapotMeta::from_bytes(&bytes[..l]).is_err(), "len {l}");
+        }
+        assert!(TeapotMeta::from_bytes(b"XXXX").is_err());
+    }
+
+    #[test]
+    fn region_queries() {
+        let m = sample();
+        assert!(m.in_real(0x400000));
+        assert!(m.in_real(0x400fff));
+        assert!(!m.in_real(0x401000));
+        assert!(m.in_shadow(0x401100));
+        assert!(!m.in_shadow(0x403000));
+    }
+
+    #[test]
+    fn shadow_lookup() {
+        let m = sample();
+        assert_eq!(m.shadow_of(0x400100), Some(0x401200));
+        assert_eq!(m.shadow_of(0x400500), Some(0x401500));
+        assert_eq!(m.shadow_of(0x400101), None);
+    }
+
+    #[test]
+    fn address_translation_maps_instrumentation_to_predecessor() {
+        let m = sample();
+        // Exact hits.
+        assert_eq!(m.to_original(0x400010), Some(0x400005));
+        // An instrumentation instruction inserted after 0x400010 maps to
+        // the same original instruction.
+        assert_eq!(m.to_original(0x400015), Some(0x400005));
+        // Shadow copy instruction maps to the same original address as its
+        // real twin — reports deduplicate across copies.
+        assert_eq!(m.to_original(0x401200), Some(0x400005));
+        // Before all entries: unknown.
+        assert_eq!(m.to_original(0x3fffff), None);
+    }
+}

@@ -1,0 +1,160 @@
+//! Gadget reports: what the detector hands to the fuzzer (paper §6.2.3).
+
+use std::fmt;
+
+/// The side channel through which a secret would leak (paper Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Channel {
+    /// The secret was loaded into a register: immediately leakable via
+    /// microarchitectural data sampling.
+    Mds,
+    /// The secret was used to compose a dereferenced pointer: a cache
+    /// side-channel transmitter.
+    Cache,
+    /// The secret influenced the outcome of a conditional branch: a port
+    /// contention transmitter.
+    Port,
+}
+
+impl Channel {
+    /// All channels.
+    pub const ALL: [Channel; 3] = [Channel::Mds, Channel::Cache, Channel::Port];
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Channel::Mds => write!(f, "MDS"),
+            Channel::Cache => write!(f, "Cache"),
+            Channel::Port => write!(f, "Port"),
+        }
+    }
+}
+
+/// How the attacker controls the access that produced the secret.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Controllability {
+    /// Attacker-directly controlled (derived from user input).
+    User,
+    /// Attacker-indirectly controlled (derived from a speculative
+    /// out-of-bounds access — memory massaging).
+    Massage,
+}
+
+impl Controllability {
+    /// Both controllability classes.
+    pub const ALL: [Controllability; 2] =
+        [Controllability::User, Controllability::Massage];
+}
+
+impl fmt::Display for Controllability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Controllability::User => write!(f, "User"),
+            Controllability::Massage => write!(f, "Massage"),
+        }
+    }
+}
+
+/// Deduplication key for a gadget: the reporting site in *original binary*
+/// coordinates plus its policy bucket. Table 4 counts distinct keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GadgetKey {
+    /// Address of the transmitting instruction, mapped back to the
+    /// uninstrumented binary.
+    pub pc: u64,
+    /// Leak channel.
+    pub channel: Channel,
+    /// Attacker controllability.
+    pub controllability: Controllability,
+}
+
+/// A full gadget report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GadgetReport {
+    /// Dedup key (original-binary PC + policy bucket).
+    pub key: GadgetKey,
+    /// Address of the mispredicted branch that opened the speculative
+    /// window (original-binary coordinates; the *first* misprediction for
+    /// nested gadgets).
+    pub branch_pc: u64,
+    /// Address of the access that loaded the secret.
+    pub access_pc: u64,
+    /// Nesting depth (1 = single misprediction).
+    pub depth: u32,
+    /// Human-readable description of the flow.
+    pub description: String,
+}
+
+impl GadgetReport {
+    /// Formats the Table 4 bucket name, e.g. `User-Cache`.
+    pub fn bucket(&self) -> String {
+        format!("{}-{}", self.key.controllability, self.key.channel)
+    }
+}
+
+impl fmt::Display for GadgetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] transmit at {:#x} (branch {:#x}, access {:#x}, depth {}): {}",
+            self.bucket(),
+            self.key.pc,
+            self.branch_pc,
+            self.access_pc,
+            self.depth,
+            self.description
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn report(pc: u64, ch: Channel, co: Controllability) -> GadgetReport {
+        GadgetReport {
+            key: GadgetKey { pc, channel: ch, controllability: co },
+            branch_pc: 0x400100,
+            access_pc: 0x400120,
+            depth: 1,
+            description: "test".into(),
+        }
+    }
+
+    #[test]
+    fn bucket_names_match_table4_headers() {
+        assert_eq!(
+            report(1, Channel::Mds, Controllability::User).bucket(),
+            "User-MDS"
+        );
+        assert_eq!(
+            report(1, Channel::Port, Controllability::Massage).bucket(),
+            "Massage-Port"
+        );
+        assert_eq!(
+            report(1, Channel::Cache, Controllability::User).bucket(),
+            "User-Cache"
+        );
+    }
+
+    #[test]
+    fn keys_deduplicate() {
+        let mut set = HashSet::new();
+        set.insert(report(1, Channel::Mds, Controllability::User).key);
+        set.insert(report(1, Channel::Mds, Controllability::User).key);
+        set.insert(report(1, Channel::Cache, Controllability::User).key);
+        set.insert(report(2, Channel::Mds, Controllability::User).key);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn display_mentions_all_sites() {
+        let r = report(0x99, Channel::Cache, Controllability::Massage);
+        let s = r.to_string();
+        assert!(s.contains("Massage-Cache"));
+        assert!(s.contains("0x400100"));
+        assert!(s.contains("0x99"));
+    }
+}

@@ -1,0 +1,186 @@
+//! DIFT taint tags implementing the Kasper policy lattice (paper Fig. 6).
+//!
+//! Each data byte carries a set of tags in one shadow byte, "while a bit
+//! represents one tag" (paper §6.2.2).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign};
+
+/// A set of taint tags for one byte (or the fold over a register's bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Tag(u8);
+
+impl Tag {
+    /// No taint.
+    pub const CLEAN: Tag = Tag(0);
+    /// Attacker-directly controlled data (derived from user input).
+    pub const USER: Tag = Tag(1 << 0);
+    /// Attacker-indirectly controlled data (derived from speculative
+    /// out-of-bounds accesses — "memory massaging").
+    pub const MASSAGE: Tag = Tag(1 << 1);
+    /// Secret produced by a `USER`-controlled out-of-bounds access.
+    pub const SECRET_USER: Tag = Tag(1 << 2);
+    /// Secret produced through a `MASSAGE`-controlled access.
+    pub const SECRET_MASSAGE: Tag = Tag(1 << 3);
+
+    /// Mask of the two secret tags.
+    pub const SECRET_ANY: Tag = Tag((1 << 2) | (1 << 3));
+    /// Mask of the two attacker-controllability tags.
+    pub const ATTACKER_ANY: Tag = Tag(1 | (1 << 1));
+
+    /// Builds a tag set from its raw bits.
+    #[inline]
+    pub fn from_bits(bits: u8) -> Tag {
+        Tag(bits & 0x0f)
+    }
+
+    /// Raw bit representation (as stored in the tag shadow).
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether no tags are set.
+    #[inline]
+    pub fn is_clean(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether all tags in `other` are present.
+    #[inline]
+    pub fn contains(self, other: Tag) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether any tag in `other` is present.
+    #[inline]
+    pub fn intersects(self, other: Tag) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether either secret tag is present.
+    #[inline]
+    pub fn is_secret(self) -> bool {
+        self.intersects(Tag::SECRET_ANY)
+    }
+
+    /// Whether either attacker-controllability tag is present.
+    #[inline]
+    pub fn is_attacker(self) -> bool {
+        self.intersects(Tag::ATTACKER_ANY)
+    }
+
+    /// Union (tag propagation joins operand tags).
+    #[inline]
+    pub fn union(self, other: Tag) -> Tag {
+        Tag(self.0 | other.0)
+    }
+
+    /// Removes the tags in `other`.
+    #[inline]
+    pub fn without(self, other: Tag) -> Tag {
+        Tag(self.0 & !other.0)
+    }
+}
+
+impl BitOr for Tag {
+    type Output = Tag;
+    fn bitor(self, rhs: Tag) -> Tag {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for Tag {
+    fn bitor_assign(&mut self, rhs: Tag) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Tag {
+    type Output = Tag;
+    fn bitand(self, rhs: Tag) -> Tag {
+        Tag(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        let mut first = true;
+        let mut put = |name: &str, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if !first {
+                write!(f, "|")?;
+            }
+            first = false;
+            write!(f, "{name}")
+        };
+        if self.contains(Tag::USER) {
+            put("user", f)?;
+        }
+        if self.contains(Tag::MASSAGE) {
+            put("massage", f)?;
+        }
+        if self.contains(Tag::SECRET_USER) {
+            put("secret(user)", f)?;
+        }
+        if self.contains(Tag::SECRET_MASSAGE) {
+            put("secret(massage)", f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_basics() {
+        assert!(Tag::CLEAN.is_clean());
+        assert!(!Tag::USER.is_clean());
+        assert!(Tag::USER.is_attacker());
+        assert!(Tag::MASSAGE.is_attacker());
+        assert!(!Tag::USER.is_secret());
+        assert!(Tag::SECRET_USER.is_secret());
+        assert!(Tag::SECRET_MASSAGE.is_secret());
+        assert!(!Tag::SECRET_USER.is_attacker());
+    }
+
+    #[test]
+    fn union_is_join() {
+        let t = Tag::USER | Tag::SECRET_MASSAGE;
+        assert!(t.contains(Tag::USER));
+        assert!(t.contains(Tag::SECRET_MASSAGE));
+        assert!(t.is_secret());
+        assert!(t.is_attacker());
+        assert_eq!(t | t, t);
+        assert_eq!(Tag::CLEAN | Tag::USER, Tag::USER);
+    }
+
+    #[test]
+    fn bits_round_trip_and_mask() {
+        for b in 0..16u8 {
+            assert_eq!(Tag::from_bits(b).bits(), b);
+        }
+        // High bits are masked off (reserved).
+        assert_eq!(Tag::from_bits(0xf0), Tag::CLEAN);
+    }
+
+    #[test]
+    fn without_removes() {
+        let t = (Tag::USER | Tag::MASSAGE).without(Tag::USER);
+        assert_eq!(t, Tag::MASSAGE);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Tag::CLEAN.to_string(), "clean");
+        assert_eq!(Tag::USER.to_string(), "user");
+        assert_eq!(
+            (Tag::USER | Tag::SECRET_USER).to_string(),
+            "user|secret(user)"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Binary ASan: shadow poisoning and the redzone heap allocator
+//! (paper §6.2.1).
+//!
+//! * **Heap** — `malloc` is hooked (it is an external-library service):
+//!   every allocation gets left/right redzones whose shadow is poisoned;
+//!   `free` poisons the body and quarantines the chunk (no reuse), so
+//!   use-after-free accesses stay poisoned.
+//! * **Stack** — protected at stack-frame granularity: the return-address
+//!   slot's shadow is poisoned on `call` and unpoisoned on `ret`.
+//! * **Globals** — left unprotected, reproducing the paper's documented
+//!   limitation ("protecting global objects with binary rewriting is
+//!   impractical").
+//!
+//! The shadow is byte-granular here (one shadow bit of state per data
+//! byte, stored as a whole byte) rather than ASan's packed 1:8 encoding;
+//! `teapot-rt::layout` defines and tests the paper's 1:8 address mapping,
+//! which the cost model's `asan.check` weight reflects.
+
+use std::collections::HashMap;
+
+const PAGE: u64 = 4096;
+
+/// Redzone size on each side of a heap allocation.
+pub const REDZONE: u64 = 16;
+
+/// Poison classes (diagnostic only; any poison byte is a violation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poison {
+    /// Explicitly addressable.
+    None,
+    /// Heap left/right redzone.
+    HeapRedzone,
+    /// Freed heap memory.
+    HeapFreed,
+    /// Return-address slot.
+    RetSlot,
+}
+
+impl Poison {
+    fn to_byte(self) -> u8 {
+        match self {
+            Poison::None => 1, // explicitly addressable
+            Poison::HeapRedzone => 0xfa,
+            Poison::HeapFreed => 0xfd,
+            Poison::RetSlot => 0xf5,
+        }
+    }
+}
+
+/// The ASan engine: poison shadow + heap allocator state.
+#[derive(Clone)]
+pub struct AsanEngine {
+    shadow: HashMap<u64, Box<[u8; PAGE as usize]>>,
+    next_chunk: u64,
+    /// Live allocations: base → size.
+    live: HashMap<u64, u64>,
+    /// Quarantined (freed) allocations: base → size.
+    quarantine: HashMap<u64, u64>,
+}
+
+impl std::fmt::Debug for AsanEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsanEngine")
+            .field("live", &self.live.len())
+            .field("quarantined", &self.quarantine.len())
+            .finish()
+    }
+}
+
+impl Default for AsanEngine {
+    fn default() -> Self {
+        AsanEngine::new()
+    }
+}
+
+impl AsanEngine {
+    /// Creates an engine with an empty heap starting at the layout's heap
+    /// base (paper Table 2 HighMem).
+    pub fn new() -> AsanEngine {
+        AsanEngine {
+            shadow: HashMap::new(),
+            next_chunk: teapot_rt::layout::HEAP_BASE,
+            live: HashMap::new(),
+            quarantine: HashMap::new(),
+        }
+    }
+
+    fn set_shadow(&mut self, addr: u64, len: u64, p: Poison) {
+        for i in 0..len {
+            let a = addr.wrapping_add(i);
+            let page = self
+                .shadow
+                .entry(a / PAGE)
+                .or_insert_with(|| Box::new([0; PAGE as usize]));
+            page[(a % PAGE) as usize] = p.to_byte();
+        }
+    }
+
+    /// Whether any byte of `[addr, addr+len)` is poisoned.
+    ///
+    /// The heap arena defaults to *poisoned* (only bytes `malloc` marked
+    /// addressable are legal — like real ASan's shadow for the allocator
+    /// region); everywhere else defaults to addressable, with explicit
+    /// poison for redzones, freed chunks and return-address slots. In
+    /// particular **global objects are unprotected**, reproducing the
+    /// paper's documented limitation (§6.2.1, §7.3).
+    pub fn is_poisoned(&self, addr: u64, len: u64) -> bool {
+        use teapot_rt::layout::{HEAP_BASE, INPUT_STAGING};
+        for i in 0..len {
+            let a = addr.wrapping_add(i);
+            let b = self
+                .shadow
+                .get(&(a / PAGE))
+                .map(|p| p[(a % PAGE) as usize])
+                .unwrap_or(0);
+            let in_heap = (HEAP_BASE..INPUT_STAGING).contains(&a);
+            if in_heap {
+                if b != 1 {
+                    return true;
+                }
+            } else if b >= 0xf0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Poisons the return-address slot at `sp` (on `call`).
+    pub fn poison_ret_slot(&mut self, sp: u64) {
+        self.set_shadow(sp, 8, Poison::RetSlot);
+    }
+
+    /// Unpoisons the return-address slot at `sp` (on `ret`).
+    pub fn unpoison_ret_slot(&mut self, sp: u64) {
+        self.set_shadow(sp, 8, Poison::None);
+    }
+
+    /// Allocates `size` bytes with poisoned redzones. Returns the base of
+    /// the user region and the range to map `(map_start, map_len)`.
+    pub fn malloc(&mut self, size: u64) -> (u64, u64, u64) {
+        let size = size.max(1);
+        let aligned = (size + 15) & !15;
+        let map_start = self.next_chunk;
+        let base = map_start + REDZONE;
+        let map_len = REDZONE + aligned + REDZONE;
+        self.next_chunk += map_len + 32; // gap between chunks
+        self.set_shadow(map_start, REDZONE, Poison::HeapRedzone);
+        self.set_shadow(base, size, Poison::None);
+        // Poison the alignment slack too: accesses past `size` are OOB.
+        self.set_shadow(base + size, aligned - size + REDZONE, Poison::HeapRedzone);
+        self.live.insert(base, size);
+        (base, map_start, map_len)
+    }
+
+    /// Frees an allocation: poisons the body and quarantines the chunk.
+    /// Unknown pointers are ignored (like a tolerant allocator; invalid
+    /// frees are out of the threat model).
+    pub fn free(&mut self, base: u64) {
+        if let Some(size) = self.live.remove(&base) {
+            self.set_shadow(base, size, Poison::HeapFreed);
+            self.quarantine.insert(base, size);
+        }
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malloc_bodies_are_clean_redzones_poisoned() {
+        let mut a = AsanEngine::new();
+        let (base, map_start, map_len) = a.malloc(24);
+        assert_eq!(base, map_start + REDZONE);
+        assert!(map_len >= 24 + 2 * REDZONE);
+        assert!(!a.is_poisoned(base, 24));
+        assert!(a.is_poisoned(base - 1, 1)); // left redzone
+        assert!(a.is_poisoned(base + 24, 1)); // right redzone
+        assert!(a.is_poisoned(base - REDZONE, REDZONE));
+    }
+
+    #[test]
+    fn alignment_slack_is_poisoned() {
+        let mut a = AsanEngine::new();
+        let (base, _, _) = a.malloc(10);
+        assert!(!a.is_poisoned(base, 10));
+        assert!(a.is_poisoned(base + 10, 1));
+    }
+
+    #[test]
+    fn freed_memory_stays_poisoned() {
+        let mut a = AsanEngine::new();
+        let (base, _, _) = a.malloc(32);
+        a.free(base);
+        assert!(a.is_poisoned(base, 1));
+        assert!(a.is_poisoned(base + 31, 1));
+        assert_eq!(a.live_count(), 0);
+        // Quarantine: a new allocation never reuses the freed range.
+        let (base2, _, _) = a.malloc(32);
+        assert_ne!(base, base2);
+        assert!(base2 > base);
+    }
+
+    #[test]
+    fn double_free_is_tolerated() {
+        let mut a = AsanEngine::new();
+        let (base, _, _) = a.malloc(8);
+        a.free(base);
+        a.free(base); // no panic
+        a.free(0xdead_beef); // unknown pointer ignored
+    }
+
+    #[test]
+    fn ret_slot_poisoning_round_trip() {
+        let mut a = AsanEngine::new();
+        let sp = 0x7ffd_0000;
+        a.poison_ret_slot(sp);
+        assert!(a.is_poisoned(sp, 8));
+        assert!(a.is_poisoned(sp + 7, 1));
+        assert!(!a.is_poisoned(sp + 8, 1));
+        a.unpoison_ret_slot(sp);
+        assert!(!a.is_poisoned(sp, 8));
+    }
+
+    #[test]
+    fn chunks_do_not_overlap() {
+        let mut a = AsanEngine::new();
+        let mut prev_end = 0;
+        for _ in 0..100 {
+            let (base, map_start, map_len) = a.malloc(40);
+            assert!(map_start >= prev_end);
+            assert!(base + 40 <= map_start + map_len);
+            prev_end = map_start + map_len;
+        }
+    }
+}

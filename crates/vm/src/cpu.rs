@@ -1,0 +1,255 @@
+//! Architectural CPU state: registers, FLAGS and their x86-style update
+//! rules, and condition-code evaluation.
+
+use teapot_isa::{AluOp, Cc, Reg};
+
+/// The FLAGS register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag (unsigned overflow / borrow).
+    pub cf: bool,
+    /// Overflow flag (signed overflow).
+    pub of: bool,
+}
+
+impl Flags {
+    /// Evaluates a condition code (x86 semantics).
+    pub fn eval(self, cc: Cc) -> bool {
+        match cc {
+            Cc::E => self.zf,
+            Cc::Ne => !self.zf,
+            Cc::L => self.sf != self.of,
+            Cc::Le => self.zf || self.sf != self.of,
+            Cc::G => !self.zf && self.sf == self.of,
+            Cc::Ge => self.sf == self.of,
+            Cc::B => self.cf,
+            Cc::Be => self.cf || self.zf,
+            Cc::A => !self.cf && !self.zf,
+            Cc::Ae => !self.cf,
+            Cc::S => self.sf,
+            Cc::Ns => !self.sf,
+        }
+    }
+}
+
+/// Architectural register file plus program counter.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cpu {
+    /// The sixteen general-purpose registers.
+    pub regs: [u64; 16],
+    /// FLAGS.
+    pub flags: Flags,
+    /// Program counter.
+    pub pc: u64,
+}
+
+impl Cpu {
+    /// Reads a register.
+    #[inline]
+    pub fn get(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    #[inline]
+    pub fn set(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+}
+
+/// Result of an ALU operation: value plus flag updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluResult {
+    /// The 64-bit result.
+    pub value: u64,
+    /// The FLAGS produced.
+    pub flags: Flags,
+    /// Whether the operation faulted (division by zero).
+    pub div_by_zero: bool,
+}
+
+/// Computes `a <op> b` with x86-style flag semantics.
+///
+/// * `add`/`sub` set all four flags;
+/// * logical ops clear `CF`/`OF` and set `ZF`/`SF`;
+/// * shifts and `mul` set `ZF`/`SF` and clear `CF`/`OF` (simplified);
+/// * `div`/`rem` clear flags and report division by zero.
+pub fn alu(op: AluOp, a: u64, b: u64) -> AluResult {
+    let mut div_by_zero = false;
+    let (value, cf, of) = match op {
+        AluOp::Add => {
+            let (r, c) = a.overflowing_add(b);
+            let o = ((a ^ !b) & (a ^ r)) >> 63 == 1;
+            (r, c, o)
+        }
+        AluOp::Sub => sub_flags(a, b),
+        AluOp::And => (a & b, false, false),
+        AluOp::Or => (a | b, false, false),
+        AluOp::Xor => (a ^ b, false, false),
+        AluOp::Shl => (a.wrapping_shl((b & 63) as u32), false, false),
+        AluOp::Shr => (a.wrapping_shr((b & 63) as u32), false, false),
+        AluOp::Sar => {
+            ((a as i64).wrapping_shr((b & 63) as u32) as u64, false, false)
+        }
+        AluOp::Mul => (a.wrapping_mul(b), false, false),
+        AluOp::Div => {
+            if b == 0 {
+                div_by_zero = true;
+                (0, false, false)
+            } else {
+                ((a as i64).wrapping_div(b as i64) as u64, false, false)
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                div_by_zero = true;
+                (0, false, false)
+            } else {
+                ((a as i64).wrapping_rem(b as i64) as u64, false, false)
+            }
+        }
+    };
+    AluResult {
+        value,
+        flags: Flags {
+            zf: value == 0,
+            sf: (value as i64) < 0,
+            cf,
+            of,
+        },
+        div_by_zero,
+    }
+}
+
+/// Flags of `a - b` (shared by `sub`, `cmp` and `neg`).
+pub fn sub_flags(a: u64, b: u64) -> (u64, bool, bool) {
+    let (r, borrow) = a.overflowing_sub(b);
+    let o = ((a ^ b) & (a ^ r)) >> 63 == 1;
+    (r, borrow, o)
+}
+
+/// Flags of a compare `a - b`.
+pub fn cmp_flags(a: u64, b: u64) -> Flags {
+    let (r, cf, of) = sub_flags(a, b);
+    Flags { zf: r == 0, sf: (r as i64) < 0, cf, of }
+}
+
+/// Flags of a `test` (`a & b`).
+pub fn test_flags(a: u64, b: u64) -> Flags {
+    let r = a & b;
+    Flags { zf: r == 0, sf: (r as i64) < 0, cf: false, of: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_comparisons() {
+        // -1 < 10 signed, but 2⁶⁴−1 > 10 unsigned.
+        let f = cmp_flags(-1i64 as u64, 10);
+        assert!(f.eval(Cc::L));
+        assert!(f.eval(Cc::A));
+        let f = cmp_flags(10, -1i64 as u64);
+        assert!(f.eval(Cc::G));
+        assert!(f.eval(Cc::B));
+    }
+
+    #[test]
+    fn unsigned_comparisons() {
+        let f = cmp_flags(5, 10);
+        assert!(f.eval(Cc::B));
+        assert!(f.eval(Cc::L));
+        assert!(!f.eval(Cc::E));
+        let f = cmp_flags(10, 10);
+        assert!(f.eval(Cc::E));
+        assert!(f.eval(Cc::Be));
+        assert!(f.eval(Cc::Ae));
+        assert!(!f.eval(Cc::A));
+        // The Appendix A.2 pattern: size_t n = -1 makes every i < n true.
+        let f = cmp_flags(1000, u64::MAX);
+        assert!(f.eval(Cc::B));
+    }
+
+    #[test]
+    fn add_overflow_flags() {
+        let r = alu(AluOp::Add, u64::MAX, 1);
+        assert_eq!(r.value, 0);
+        assert!(r.flags.cf);
+        assert!(r.flags.zf);
+        assert!(!r.flags.of);
+        let r = alu(AluOp::Add, i64::MAX as u64, 1);
+        assert!(r.flags.of);
+        assert!(!r.flags.cf);
+        assert!(r.flags.sf);
+    }
+
+    #[test]
+    fn sub_borrow_flags() {
+        let r = alu(AluOp::Sub, 0, 1);
+        assert_eq!(r.value, u64::MAX);
+        assert!(r.flags.cf);
+        assert!(r.flags.sf);
+        let r = alu(AluOp::Sub, i64::MIN as u64, 1);
+        assert!(r.flags.of);
+    }
+
+    #[test]
+    fn logic_clears_cf_of() {
+        for op in [AluOp::And, AluOp::Or, AluOp::Xor] {
+            let r = alu(op, u64::MAX, 0x0f);
+            assert!(!r.flags.cf);
+            assert!(!r.flags.of);
+        }
+        let r = alu(AluOp::Xor, 7, 7);
+        assert!(r.flags.zf);
+    }
+
+    #[test]
+    fn shifts_mask_count() {
+        assert_eq!(alu(AluOp::Shl, 1, 64).value, 1); // count masked to 0
+        assert_eq!(alu(AluOp::Shl, 1, 3).value, 8);
+        assert_eq!(alu(AluOp::Shr, u64::MAX, 63).value, 1);
+        assert_eq!(
+            alu(AluOp::Sar, (-8i64) as u64, 2).value,
+            (-2i64) as u64
+        );
+    }
+
+    #[test]
+    fn division_semantics() {
+        assert_eq!(alu(AluOp::Div, 7, 2).value, 3);
+        assert_eq!(alu(AluOp::Div, (-7i64) as u64, 2).value, (-3i64) as u64);
+        assert_eq!(alu(AluOp::Rem, 7, 2).value, 1);
+        assert!(alu(AluOp::Div, 1, 0).div_by_zero);
+        assert!(alu(AluOp::Rem, 1, 0).div_by_zero);
+        // INT_MIN / -1 wraps instead of trapping (documented choice).
+        let r = alu(AluOp::Div, i64::MIN as u64, -1i64 as u64);
+        assert!(!r.div_by_zero);
+        assert_eq!(r.value, i64::MIN as u64);
+    }
+
+    #[test]
+    fn cc_eval_covers_all_codes() {
+        let eq = cmp_flags(3, 3);
+        let lt = cmp_flags(2, 3);
+        let gt = cmp_flags(4, 3);
+        assert!(eq.eval(Cc::E) && eq.eval(Cc::Le) && eq.eval(Cc::Ge));
+        assert!(lt.eval(Cc::L) && lt.eval(Cc::Ne) && lt.eval(Cc::B));
+        assert!(gt.eval(Cc::G) && gt.eval(Cc::A) && gt.eval(Cc::Ae));
+        assert!(lt.eval(Cc::S));
+        assert!(gt.eval(Cc::Ns));
+    }
+
+    #[test]
+    fn cpu_register_access() {
+        let mut cpu = Cpu::default();
+        cpu.set(Reg::SP, 0x7ffe_0000);
+        assert_eq!(cpu.get(Reg::SP), 0x7ffe_0000);
+        assert_eq!(cpu.get(Reg::R0), 0);
+    }
+}

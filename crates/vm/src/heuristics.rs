@@ -1,0 +1,240 @@
+//! Per-branch speculation heuristics (paper §6.1 "Nested Speculation and
+//! fuzzing heuristic").
+//!
+//! Three styles are modeled:
+//!
+//! * **Teapot hybrid** — a branch's first [`full_depth_runs`] simulations
+//!   explore to the full nesting depth (6); afterwards the SpecFuzz
+//!   gradual-deepening rule applies. Top-level simulation always happens.
+//! * **SpecFuzz gradual** — allowed depth grows logarithmically with the
+//!   branch's encounter count, up to the sixth order. Top-level simulation
+//!   always happens.
+//! * **SpecTaint five-tries** — each branch enters simulation at most five
+//!   times *in total* (including top-level), the paper's explanation for
+//!   SpecTaint's false negatives (§7.3).
+//!
+//! State persists across fuzzing runs: the fuzzer owns a
+//! [`SpecHeuristics`] and threads it through every execution.
+//!
+//! [`full_depth_runs`]: teapot_rt::DetectorConfig::full_depth_runs
+
+use std::collections::HashMap;
+
+/// Which tool's nested-speculation policy to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HeurStyle {
+    /// Teapot's hybrid policy (paper §6.1).
+    #[default]
+    TeapotHybrid,
+    /// SpecFuzz's gradual deepening.
+    SpecFuzzGradual,
+    /// SpecTaint's five-entries-per-branch cap.
+    SpecTaintFive,
+}
+
+/// Persistent per-branch simulation accounting.
+#[derive(Debug, Clone, Default)]
+pub struct SpecHeuristics {
+    /// Active policy.
+    pub style: HeurStyle,
+    counts: HashMap<u64, u32>,
+    run_counts: HashMap<u64, u32>,
+    run_opportunities: HashMap<u64, u32>,
+}
+
+/// Maximum nested-simulation entries per branch within one run. Without
+/// this bound, loops executing under an outer simulation window re-enter
+/// nested exploration on every iteration and the search space "grows
+/// exponentially" (paper §6.1) — managing that explosion is exactly what
+/// the per-branch heuristics are for.
+pub const NESTED_PER_RUN_CAP: u32 = 6;
+
+/// Phase-rotation cycle: a branch skips its first `count % CYCLE` nested
+/// opportunities in each run, so successive fuzzing runs explore
+/// *different* combinations of nested mispredictions (e.g., later loop
+/// iterations) instead of greedily re-diving into the same early paths.
+/// This is the "mixture" exploration strategy of paper §6.1, adapted to a
+/// deterministic fuzzer.
+pub const PHASE_CYCLE: u32 = 4;
+
+impl SpecHeuristics {
+    /// Creates fresh state for the given style.
+    pub fn new(style: HeurStyle) -> SpecHeuristics {
+        SpecHeuristics {
+            style,
+            counts: HashMap::new(),
+            run_counts: HashMap::new(),
+            run_opportunities: HashMap::new(),
+        }
+    }
+
+    /// Resets per-run accounting (called at the start of each execution;
+    /// the cross-run per-branch counts persist across the campaign).
+    pub fn begin_run(&mut self) {
+        self.run_counts.clear();
+        self.run_opportunities.clear();
+    }
+
+    /// SpecFuzz gradual rule: allowed depth grows with the logarithm of
+    /// the encounter count, capped at `max_nesting`.
+    fn gradual_depth(count: u32, max_nesting: u32) -> u32 {
+        let log = 32 - count.saturating_add(1).leading_zeros(); // ⌈log2⌉-ish
+        log.clamp(1, max_nesting)
+    }
+
+    /// Should a *top-level* simulation be entered for `branch`?
+    /// Increments the branch's simulation count when entering.
+    pub fn enter_top(&mut self, branch: u64) -> bool {
+        let c = self.counts.entry(branch).or_insert(0);
+        match self.style {
+            HeurStyle::TeapotHybrid | HeurStyle::SpecFuzzGradual => {
+                *c += 1;
+                true
+            }
+            HeurStyle::SpecTaintFive => {
+                if *c >= 5 {
+                    false
+                } else {
+                    *c += 1;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Should a *nested* simulation be entered for `branch` while already
+    /// `depth` levels deep (depth ≥ 1)? Increments the count when entering.
+    pub fn enter_nested(
+        &mut self,
+        branch: u64,
+        depth: u32,
+        max_nesting: u32,
+        full_depth_runs: u32,
+    ) -> bool {
+        if depth >= max_nesting {
+            return false;
+        }
+        if !matches!(self.style, HeurStyle::SpecTaintFive) {
+            // Phase rotation: skip this run's first `count % CYCLE`
+            // opportunities so different runs nest at different points.
+            let opp = self.run_opportunities.entry(branch).or_insert(0);
+            let seen = *opp;
+            *opp += 1;
+            let phase =
+                self.counts.get(&branch).copied().unwrap_or(0) % PHASE_CYCLE;
+            if seen < phase {
+                return false;
+            }
+            if self.run_counts.get(&branch).copied().unwrap_or(0)
+                >= NESTED_PER_RUN_CAP
+            {
+                return false;
+            }
+        }
+        let c = self.counts.entry(branch).or_insert(0);
+        let allow = match self.style {
+            HeurStyle::TeapotHybrid => {
+                if *c < full_depth_runs {
+                    true // full depth for the first runs of this branch
+                } else {
+                    depth < Self::gradual_depth(*c, max_nesting)
+                }
+            }
+            HeurStyle::SpecFuzzGradual => {
+                depth < Self::gradual_depth(*c, max_nesting)
+            }
+            HeurStyle::SpecTaintFive => *c < 5,
+        };
+        if allow {
+            *c += 1;
+            *self.run_counts.entry(branch).or_insert(0) += 1;
+        }
+        allow
+    }
+
+    /// Times `branch` has entered simulation so far.
+    pub fn count(&self, branch: u64) -> u32 {
+        self.counts.get(&branch).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct branches seen.
+    pub fn branches_seen(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn teapot_always_simulates_top_level() {
+        let mut h = SpecHeuristics::new(HeurStyle::TeapotHybrid);
+        for _ in 0..100 {
+            assert!(h.enter_top(0x400100));
+        }
+        assert_eq!(h.count(0x400100), 100);
+    }
+
+    #[test]
+    fn spectaint_caps_at_five_total() {
+        let mut h = SpecHeuristics::new(HeurStyle::SpecTaintFive);
+        let mut entered = 0;
+        for _ in 0..20 {
+            if h.enter_top(0x99) {
+                entered += 1;
+            }
+        }
+        assert_eq!(entered, 5);
+        // Nested entries are also refused once exhausted.
+        assert!(!h.enter_nested(0x99, 1, 6, 5));
+    }
+
+    #[test]
+    fn teapot_hybrid_full_depth_first_five_runs() {
+        let mut h = SpecHeuristics::new(HeurStyle::TeapotHybrid);
+        // First five runs: any depth below max allowed.
+        for _ in 0..5 {
+            assert!(h.enter_nested(0x1, 5, 6, 5));
+        }
+        // Afterwards: gradual — depth 5 requires a large count.
+        assert!(!h.enter_nested(0x1, 5, 6, 5));
+        // Shallow nesting is still allowed.
+        assert!(h.enter_nested(0x1, 1, 6, 5));
+    }
+
+    #[test]
+    fn gradual_deepening_is_monotone_and_capped() {
+        let mut prev = 0;
+        for c in 0..10_000 {
+            let d = SpecHeuristics::gradual_depth(c, 6);
+            assert!(d >= prev);
+            assert!((1..=6).contains(&d));
+            prev = d;
+        }
+        assert_eq!(SpecHeuristics::gradual_depth(10_000, 6), 6);
+        assert_eq!(SpecHeuristics::gradual_depth(0, 6), 1);
+    }
+
+    #[test]
+    fn depth_never_exceeds_max_nesting() {
+        let mut h = SpecHeuristics::new(HeurStyle::TeapotHybrid);
+        assert!(!h.enter_nested(0x5, 6, 6, 5));
+        assert!(!h.enter_nested(0x5, 7, 6, 5));
+        let mut h = SpecHeuristics::new(HeurStyle::SpecFuzzGradual);
+        assert!(!h.enter_nested(0x5, 6, 6, 5));
+    }
+
+    #[test]
+    fn specfuzz_gradual_deepens_with_encounters() {
+        let mut h = SpecHeuristics::new(HeurStyle::SpecFuzzGradual);
+        // Fresh branch: depth 1 refused at first (allowed depth is 1).
+        assert!(!h.enter_nested(0x7, 1, 6, 5));
+        for _ in 0..40 {
+            h.enter_top(0x7);
+        }
+        // Now deeper nesting unlocks.
+        assert!(h.enter_nested(0x7, 1, 6, 5));
+        assert!(h.enter_nested(0x7, 2, 6, 5));
+    }
+}

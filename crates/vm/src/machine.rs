@@ -1,0 +1,1313 @@
+//! The TEA-64 virtual machine: interpreter, speculation-simulation
+//! runtime (checkpoint / memory log / rollback), detection policies, and
+//! deterministic cost accounting.
+//!
+//! One [`Machine`] executes one program run. The fuzzer creates a fresh
+//! machine per input (guest state fully resets) while threading a
+//! persistent [`SpecHeuristics`] through runs.
+
+use crate::asan::AsanEngine;
+use crate::cpu::{alu, cmp_flags, test_flags, Cpu, Flags};
+use crate::heuristics::SpecHeuristics;
+use crate::mem::{MemFault, PagedMem};
+use crate::taint::TaintEngine;
+use std::collections::{HashMap, HashSet};
+use teapot_isa::{
+    decode_at, sys, AccessSize, AluOp, IndKind, Inst, MemRef, Operand, Reg,
+    INST_MAX_LEN,
+};
+use teapot_obj::Binary;
+use teapot_rt::layout::{STACK_LIMIT, STACK_TOP};
+use teapot_rt::{
+    cost, Channel, Controllability, CovMap, DetectorConfig, GadgetKey,
+    GadgetReport, Tag, TeapotMeta,
+};
+
+/// Execution style of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmuStyle {
+    /// Run the binary natively: speculation simulation is driven by the
+    /// instrumentation the rewriter inserted (Teapot, SpecFuzz-style).
+    #[default]
+    Native,
+    /// SpecTaint-style full-system emulation of an *uninstrumented*
+    /// binary: the emulator itself forces a misprediction at every
+    /// conditional branch (DFS, five entries per branch), tracks taint,
+    /// and pays [`cost::EMU_PER_INST`] per guest instruction.
+    SpecTaint,
+}
+
+/// Machine faults (exceptions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Memory access fault.
+    Mem(MemFault),
+    /// Integer division by zero.
+    DivByZero { pc: u64 },
+    /// Undecodable instruction.
+    BadInst { pc: u64 },
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// `exit(code)` syscall.
+    Exit(i64),
+    /// `halt` instruction.
+    Halt,
+    /// `abort()` syscall.
+    Abort,
+    /// Unhandled fault in normal execution (a crash; faults during
+    /// speculation simulation roll back instead, paper §6.1).
+    Fault(Fault),
+    /// The cost budget (fuel) was exhausted.
+    OutOfFuel,
+}
+
+impl ExitStatus {
+    /// Whether the program terminated normally.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, ExitStatus::Exit(0) | ExitStatus::Halt)
+    }
+}
+
+/// Options for one run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Fuzz input served by `read_input`.
+    pub input: Vec<u8>,
+    /// Cost budget; the run stops with [`ExitStatus::OutOfFuel`] beyond it.
+    pub fuel: u64,
+    /// Detector configuration.
+    pub config: DetectorConfig,
+    /// Execution style.
+    pub emu: EmuStyle,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            input: Vec::new(),
+            fuel: 200_000_000,
+            config: DetectorConfig::default(),
+            emu: EmuStyle::Native,
+        }
+    }
+}
+
+/// Everything a run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Termination status.
+    pub status: ExitStatus,
+    /// Accumulated host-cost units (the "run time" of Figures 1 and 7).
+    pub cost: u64,
+    /// Executed instruction count (architectural + instrumentation).
+    pub insts: u64,
+    /// Deduplicated gadget reports.
+    pub gadgets: Vec<GadgetReport>,
+    /// Normal-execution coverage (paper §6.3).
+    pub cov_normal: CovMap,
+    /// Speculation-simulation coverage (paper §6.3).
+    pub cov_spec: CovMap,
+    /// Bytes written by the program.
+    pub output: Vec<u8>,
+    /// Number of speculation-simulation entries.
+    pub sim_entries: u64,
+    /// Number of rollbacks (= simulations that ended).
+    pub rollbacks: u64,
+    /// Control-flow escapes caught by the safety net (should stay 0 for
+    /// correctly rewritten binaries).
+    pub escapes: u64,
+}
+
+/// A snapshot taken by `sim.start` (paper §6.1 "Checkpoint").
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    regs: [u64; 16],
+    flags: Flags,
+    resume_pc: u64,
+    reg_tags: [Tag; 16],
+    flags_tag: Tag,
+    memlog_mark: usize,
+    covnote_mark: usize,
+    /// Start of the shared speculation window (the reorder buffer is one
+    /// resource: nested levels inherit the outermost window's start, so
+    /// the total in-flight budget stays at `rob_budget` — hardware-like).
+    insts_at_entry: u64,
+    /// Program-instruction counter at this level's entry, for the
+    /// squashed-path refund on rollback.
+    prog_snapshot: u64,
+    branch_pc_orig: u64,
+    /// SpecTaint emulation: the resume PC is the branch itself and must
+    /// not re-enter simulation on resumption.
+    resume_is_branch: bool,
+}
+
+/// One memory-log entry: previous bytes and tags of a store target.
+#[derive(Debug, Clone, Copy)]
+struct LogEntry {
+    addr: u64,
+    len: u8,
+    old_bytes: [u8; 8],
+    old_tags: [u8; 8],
+}
+
+/// Detection policy, derived from binary flags and emulation style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    /// No detection (uninstrumented binary run natively).
+    None,
+    /// Teapot with the Kasper policy (paper §6.2, Fig. 6).
+    Kasper,
+    /// SpecFuzz: every speculative ASan violation is a gadget.
+    SpecFuzz,
+    /// SpecTaint: no program-level info — every user-controlled load
+    /// yields a "secret"; transmission through a dereference is a gadget.
+    SpecTaint,
+}
+
+/// An ASan verdict pending consumption by the access it guards.
+#[derive(Debug, Clone, Copy)]
+struct PendingOob {
+    oob: bool,
+}
+
+/// The virtual machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// Architectural state.
+    pub cpu: Cpu,
+    /// Guest memory.
+    pub mem: PagedMem,
+    asan: AsanEngine,
+    taint: TaintEngine,
+    meta: Option<TeapotMeta>,
+    policy: Policy,
+    dift_on: bool,
+    asan_on: bool,
+    nested_on: bool,
+    single_copy: bool,
+
+    opts: RunOptions,
+    checkpoints: Vec<Checkpoint>,
+    memlog: Vec<LogEntry>,
+    covnotes: Vec<u32>,
+    pending_oob: Option<PendingOob>,
+    invert_next_branch: bool,
+    skip_sim_once: bool,
+
+    cov_normal: CovMap,
+    cov_spec: CovMap,
+    gadget_keys: HashSet<GadgetKey>,
+    gadgets: Vec<GadgetReport>,
+
+    cost: u64,
+    insts: u64,
+    /// Program (non-instrumentation) instructions — what the reorder-
+    /// buffer budget counts. Teapot distinguishes instrumentation from
+    /// program code (it inserted it); single-copy SpecFuzz-style binaries
+    /// cannot, so for them every instruction counts — reproducing the
+    /// paper's §3.2 observation that frontend-ASan code is "counted as
+    /// program instructions, rendering the length of transient execution
+    /// simulation inaccurate".
+    prog_insts: u64,
+    sim_entries: u64,
+    rollbacks: u64,
+    escapes: u64,
+    input_pos: usize,
+    output: Vec<u8>,
+
+    icache: HashMap<u64, (Inst<u64>, u8)>,
+    trace: bool,
+}
+
+enum Step {
+    Continue,
+    Stop(ExitStatus),
+}
+
+impl Machine {
+    /// Loads `binary` and prepares a run with the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instrumented binary carries a malformed
+    /// `.teapot.meta` section (a rewriter bug, not a runtime input).
+    pub fn new(binary: &Binary, opts: RunOptions) -> Machine {
+        let mut mem = PagedMem::new();
+        for sec in &binary.sections {
+            if !sec.kind.is_loadable() {
+                continue;
+            }
+            mem.map_region(
+                sec.vaddr,
+                sec.mem_size.max(1),
+                sec.kind.is_writable(),
+            );
+            for (i, &b) in sec.bytes.iter().enumerate() {
+                mem.poke(sec.vaddr + i as u64, b);
+            }
+        }
+
+        let meta = binary.note(".teapot.meta").map(|n| {
+            TeapotMeta::from_bytes(&n.bytes)
+                .expect("malformed .teapot.meta section")
+        });
+
+        let policy = match opts.emu {
+            EmuStyle::SpecTaint => Policy::SpecTaint,
+            EmuStyle::Native => {
+                if binary.flags.dift {
+                    Policy::Kasper
+                } else if binary.flags.asan {
+                    Policy::SpecFuzz
+                } else {
+                    Policy::None
+                }
+            }
+        };
+        let dift_on =
+            binary.flags.dift || matches!(opts.emu, EmuStyle::SpecTaint);
+        let asan_on = binary.flags.asan;
+
+        let mut cpu = Cpu::default();
+        cpu.pc = binary.entry;
+        cpu.set(Reg::SP, STACK_TOP - 64);
+
+        let mut mem = mem;
+        mem.map_region(STACK_TOP - STACK_LIMIT, STACK_LIMIT, true);
+
+        Machine {
+            cpu,
+            mem,
+            asan: AsanEngine::new(),
+            taint: TaintEngine::new(),
+            meta,
+            policy,
+            dift_on,
+            asan_on,
+            nested_on: binary.flags.nested_speculation,
+            single_copy: binary.flags.single_copy,
+            opts,
+            checkpoints: Vec::new(),
+            memlog: Vec::new(),
+            covnotes: Vec::new(),
+            pending_oob: None,
+            invert_next_branch: false,
+            skip_sim_once: false,
+            cov_normal: CovMap::new(),
+            cov_spec: CovMap::new(),
+            gadget_keys: HashSet::new(),
+            gadgets: Vec::new(),
+            cost: 0,
+            insts: 0,
+            prog_insts: 0,
+            sim_entries: 0,
+            rollbacks: 0,
+            escapes: 0,
+            input_pos: 0,
+            output: Vec::new(),
+            icache: HashMap::new(),
+            trace: std::env::var_os("TEAPOT_TRACE").is_some(),
+        }
+    }
+
+    /// Runs to completion, threading persistent heuristics state.
+    pub fn run(mut self, heur: &mut SpecHeuristics) -> RunOutcome {
+        heur.begin_run();
+        let status = loop {
+            match self.step(heur) {
+                Step::Continue => {}
+                Step::Stop(s) => break s,
+            }
+        };
+        RunOutcome {
+            status,
+            cost: self.cost,
+            insts: self.insts,
+            gadgets: self.gadgets,
+            cov_normal: self.cov_normal,
+            cov_spec: self.cov_spec,
+            output: self.output,
+            sim_entries: self.sim_entries,
+            rollbacks: self.rollbacks,
+            escapes: self.escapes,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn in_sim(&self) -> bool {
+        !self.checkpoints.is_empty()
+    }
+
+    /// Maps a rewritten PC back to original-binary coordinates.
+    fn orig_pc(&self, pc: u64) -> u64 {
+        self.meta
+            .as_ref()
+            .and_then(|m| m.to_original(pc))
+            .unwrap_or(pc)
+    }
+
+    fn ea(&self, m: &MemRef) -> u64 {
+        let base = m.base.map(|r| self.cpu.get(r)).unwrap_or(0);
+        let index = m.index.map(|r| self.cpu.get(r)).unwrap_or(0);
+        base.wrapping_add(index.wrapping_mul(m.scale as u64))
+            .wrapping_add(m.disp as i64 as u64)
+    }
+
+    fn ea_tag(&self, m: &MemRef) -> Tag {
+        let mut t = Tag::CLEAN;
+        if let Some(r) = m.base {
+            t |= self.taint.reg(r);
+        }
+        if let Some(r) = m.index {
+            t |= self.taint.reg(r);
+        }
+        t
+    }
+
+    fn operand(&self, o: &Operand) -> u64 {
+        match o {
+            Operand::Reg(r) => self.cpu.get(*r),
+            Operand::Imm(i) => *i as i64 as u64,
+        }
+    }
+
+    fn operand_tag(&self, o: &Operand) -> Tag {
+        match o {
+            Operand::Reg(r) => self.taint.reg(*r),
+            Operand::Imm(_) => Tag::CLEAN,
+        }
+    }
+
+    fn report(
+        &mut self,
+        channel: Channel,
+        tag: Tag,
+        access_pc: u64,
+        what: &str,
+    ) {
+        let flavors = [
+            (Tag::SECRET_USER, Controllability::User),
+            (Tag::SECRET_MASSAGE, Controllability::Massage),
+        ];
+        for (flavor, ctrl) in flavors {
+            if !tag.contains(flavor) {
+                continue;
+            }
+            let key = GadgetKey {
+                pc: self.orig_pc(access_pc),
+                channel,
+                controllability: ctrl,
+            };
+            if self.gadget_keys.insert(key) {
+                if self.trace {
+                    eprintln!("[trace] REPORT {channel:?} at {pc:#x}", pc = key.pc);
+                }
+                let branch_pc = self
+                    .checkpoints
+                    .first()
+                    .map(|c| c.branch_pc_orig)
+                    .unwrap_or(0);
+                let depth = self.checkpoints.len() as u32;
+                self.gadgets.push(GadgetReport {
+                    key,
+                    branch_pc,
+                    access_pc: self.orig_pc(access_pc),
+                    depth,
+                    description: what.to_string(),
+                });
+            }
+        }
+    }
+
+    /// A SpecFuzz-style report (no taint: fixed User/MDS bucket).
+    fn report_specfuzz(&mut self, access_pc: u64) {
+        let key = GadgetKey {
+            pc: self.orig_pc(access_pc),
+            channel: Channel::Mds,
+            controllability: Controllability::User,
+        };
+        if self.gadget_keys.insert(key) {
+            let branch_pc = self
+                .checkpoints
+                .first()
+                .map(|c| c.branch_pc_orig)
+                .unwrap_or(0);
+            let depth = self.checkpoints.len() as u32;
+            self.gadgets.push(GadgetReport {
+                key,
+                branch_pc,
+                access_pc: self.orig_pc(access_pc),
+                depth,
+                description: "speculative out-of-bounds access".to_string(),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Speculation-simulation runtime
+    // ------------------------------------------------------------------
+
+    fn push_checkpoint(&mut self, resume_pc: u64, branch_pc_orig: u64, resume_is_branch: bool) {
+        let window_start = self
+            .checkpoints
+            .first()
+            .map(|c| c.insts_at_entry)
+            .unwrap_or(self.prog_insts);
+        self.checkpoints.push(Checkpoint {
+            regs: self.cpu.regs,
+            flags: self.cpu.flags,
+            resume_pc,
+            reg_tags: self.taint.regs,
+            flags_tag: self.taint.flags,
+            memlog_mark: self.memlog.len(),
+            covnote_mark: self.covnotes.len(),
+            insts_at_entry: window_start,
+            prog_snapshot: self.prog_insts,
+            branch_pc_orig,
+            resume_is_branch,
+        });
+        self.sim_entries += 1;
+    }
+
+    /// Rolls back the innermost simulation level (paper §6.1 "Rollback").
+    fn rollback(&mut self) {
+        let cp = self.checkpoints.pop().expect("rollback without checkpoint");
+        if self.trace {
+            eprintln!(
+                "[trace] rollback depth {} after {} prog insts, resume {:#x}",
+                self.checkpoints.len() + 1,
+                self.prog_insts - cp.insts_at_entry,
+                cp.resume_pc
+            );
+        }
+        // Replay the memory log in reverse.
+        let entries = self.memlog.split_off(cp.memlog_mark);
+        self.cost += cost::ROLLBACK_BASE
+            + cost::ROLLBACK_PER_LOG * entries.len() as u64;
+        for e in entries.iter().rev() {
+            for i in 0..e.len as u64 {
+                self.mem.poke(e.addr + i, e.old_bytes[i as usize]);
+                if self.dift_on {
+                    self.taint.set_mem_tag(
+                        e.addr + i,
+                        Tag::from_bits(e.old_tags[i as usize]),
+                    );
+                }
+            }
+        }
+        // Lazy speculative-coverage flush (paper §6.3 optimization).
+        let notes = self.covnotes.split_off(cp.covnote_mark);
+        self.cost += cost::COV_FLUSH_PER_NOTE * notes.len() as u64;
+        for g in notes {
+            self.cov_spec.hit(g);
+        }
+        // Restore architectural + taint state. The program-instruction
+        // counter is part of the restored state: squashed wrong-path
+        // instructions release their reorder-buffer entries, so they must
+        // not consume the enclosing window's budget.
+        self.prog_insts = cp.prog_snapshot;
+        self.cpu.regs = cp.regs;
+        self.cpu.flags = cp.flags;
+        self.cpu.pc = cp.resume_pc;
+        self.taint.regs = cp.reg_tags;
+        self.taint.flags = cp.flags_tag;
+        self.pending_oob = None;
+        self.invert_next_branch = false;
+        if cp.resume_is_branch {
+            self.skip_sim_once = true;
+        }
+        self.rollbacks += 1;
+    }
+
+    /// Handles a fault: rollback inside simulation (the paper's signal
+    /// handler, §6.1 "Exceptions"), crash outside.
+    fn fault(&mut self, f: Fault) -> Step {
+        if self.in_sim() {
+            self.rollback();
+            Step::Continue
+        } else {
+            Step::Stop(ExitStatus::Fault(f))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access with policy hooks
+    // ------------------------------------------------------------------
+
+    fn do_load(
+        &mut self,
+        mem: &MemRef,
+        size: AccessSize,
+        sext: bool,
+        pc: u64,
+    ) -> Result<(u64, Tag), Fault> {
+        let addr = self.ea(mem);
+        let n = size.bytes();
+        // Address-tag policy checks run BEFORE the access (paper §6.2.2):
+        // a speculative load through a secret or massaged pointer is
+        // reported even if the wild access then faults (hardware would
+        // not fault speculatively; the simulation rolls back instead).
+        if self.dift_on && self.in_sim() {
+            let ptr_tag = self.ea_tag(mem);
+            match self.policy {
+                Policy::Kasper => {
+                    if ptr_tag.is_secret() {
+                        self.report(
+                            Channel::Cache,
+                            ptr_tag,
+                            pc,
+                            "secret used to compose a load address",
+                        );
+                    }
+                    if ptr_tag.contains(Tag::MASSAGE) {
+                        self.report(
+                            Channel::Mds,
+                            Tag::SECRET_MASSAGE,
+                            pc,
+                            "load through an attacker-indirect (massaged) pointer",
+                        );
+                    }
+                }
+                Policy::SpecTaint => {
+                    if ptr_tag.is_secret() {
+                        self.report(
+                            Channel::Cache,
+                            ptr_tag,
+                            pc,
+                            "tainted data reached a dereference (SpecTaint)",
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        let raw = self.mem.read_uint(addr, n).map_err(Fault::Mem)?;
+        let value = if sext {
+            match size {
+                AccessSize::B1 => raw as u8 as i8 as i64 as u64,
+                AccessSize::B2 => raw as u16 as i16 as i64 as u64,
+                AccessSize::B4 => raw as u32 as i32 as i64 as u64,
+                AccessSize::B8 => raw,
+            }
+        } else {
+            raw
+        };
+        if !self.dift_on {
+            // SpecFuzz policy consumes pending ASan verdicts without taint.
+            self.pending_oob = None;
+            return Ok((value, Tag::CLEAN));
+        }
+        let ptr_tag = self.ea_tag(mem);
+        let mut val_tag = self.taint.mem_range_tag(addr, n);
+        if self.in_sim() {
+            let pending = self.pending_oob.take();
+            let oob = pending.map(|p| p.oob).unwrap_or(false);
+            match self.policy {
+                Policy::Kasper => {
+                    if oob && self.opts.config.massage_policy {
+                        // Taint source: outcome of a speculative OOB access
+                        // is attacker-indirectly controlled (paper §6.2.2).
+                        val_tag |= Tag::MASSAGE;
+                    }
+                    if oob && ptr_tag.contains(Tag::USER) {
+                        val_tag |= Tag::SECRET_USER;
+                    }
+                    if ptr_tag.contains(Tag::MASSAGE) {
+                        // Wild pointers violate program invariants: always
+                        // promote (paper §6.2.2 "Taint Sinks").
+                        val_tag |= Tag::SECRET_MASSAGE;
+                    }
+                    if val_tag.is_secret() {
+                        self.report(
+                            Channel::Mds,
+                            val_tag,
+                            pc,
+                            "secret loaded into a register",
+                        );
+                    }
+                }
+                Policy::SpecTaint => {
+                    // No program-level info: every user-controlled access
+                    // loads a "secret" (paper §3.1).
+                    if ptr_tag.contains(Tag::USER) {
+                        val_tag |= Tag::SECRET_USER;
+                    }
+                }
+                _ => {}
+            }
+        } else {
+            self.pending_oob = None;
+        }
+        Ok((value, val_tag))
+    }
+
+    fn do_store(
+        &mut self,
+        mem: &MemRef,
+        size: AccessSize,
+        value: u64,
+        tag: Tag,
+        pc: u64,
+    ) -> Result<(), Fault> {
+        let addr = self.ea(mem);
+        self.store_at(addr, size, value, tag, self.ea_tag(mem), pc)
+    }
+
+    fn store_at(
+        &mut self,
+        addr: u64,
+        size: AccessSize,
+        value: u64,
+        tag: Tag,
+        ptr_tag: Tag,
+        pc: u64,
+    ) -> Result<(), Fault> {
+        let n = size.bytes();
+        if self.in_sim() {
+            if self.dift_on && ptr_tag.is_secret() {
+                self.report(
+                    Channel::Cache,
+                    ptr_tag,
+                    pc,
+                    "secret used to compose a store address",
+                );
+            }
+            // Memory log: previous bytes + tags, for rollback (§6.1).
+            let mut old_bytes = [0u8; 8];
+            let mut old_tags = [0u8; 8];
+            for i in 0..n {
+                old_bytes[i as usize] = self
+                    .mem
+                    .read_u8(addr.wrapping_add(i))
+                    .map_err(Fault::Mem)?;
+                old_tags[i as usize] =
+                    self.taint.mem_tag(addr.wrapping_add(i)).bits();
+            }
+            self.memlog.push(LogEntry {
+                addr,
+                len: n as u8,
+                old_bytes,
+                old_tags,
+            });
+            let _ = self.pending_oob.take();
+        }
+        self.mem.write_uint(addr, value, n).map_err(Fault::Mem)?;
+        if self.dift_on {
+            self.taint.set_mem_range(addr, n, tag);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The interpreter
+    // ------------------------------------------------------------------
+
+    fn charge(&mut self, c: u64) {
+        self.cost += c;
+    }
+
+    fn step(&mut self, heur: &mut SpecHeuristics) -> Step {
+        if self.cost >= self.opts.fuel {
+            return Step::Stop(ExitStatus::OutOfFuel);
+        }
+        let pc = self.cpu.pc;
+
+        // Safety net: speculation must never run Real Copy code without a
+        // redirect (paper §5.3). Counted and rolled back.
+        if self.in_sim() && !self.single_copy {
+            if let Some(m) = &self.meta {
+                if m.in_real(pc) {
+                    self.escapes += 1;
+                    self.rollback();
+                    return Step::Continue;
+                }
+            }
+        }
+
+        // ROB budget enforcement for emulator-style runs plus a hard
+        // safety margin for instrumented runs (conditional restore points
+        // normally fire first).
+        if self.in_sim() {
+            let frame = self.checkpoints.last().expect("in_sim");
+            let executed = self.prog_insts - frame.insts_at_entry;
+            let budget = self.opts.config.rob_budget as u64;
+            let limit = match self.opts.emu {
+                EmuStyle::SpecTaint => budget,
+                EmuStyle::Native => budget * 4,
+            };
+            if executed >= limit {
+                self.rollback();
+                return Step::Continue;
+            }
+        }
+
+        // Fetch + decode (cached; code pages are read-only).
+        let (inst, len) = match self.icache.get(&pc) {
+            Some((i, l)) => (*i, *l),
+            None => {
+                let bytes = self.mem.read_for_decode(pc, INST_MAX_LEN);
+                match decode_at(&bytes, pc) {
+                    Ok((i, l)) => {
+                        self.icache.insert(pc, (i, l as u8));
+                        (i, l as u8)
+                    }
+                    Err(_) => return self.fault(Fault::BadInst { pc }),
+                }
+            }
+        };
+        let next_pc = pc + len as u64;
+        self.insts += 1;
+        if self.single_copy || !inst.is_instrumentation() {
+            self.prog_insts += 1;
+        }
+
+        // SpecTaint-style emulation drives misprediction at branches.
+        if self.opts.emu == EmuStyle::SpecTaint {
+            self.charge(cost::EMU_PER_INST);
+            if let Inst::Jcc { .. } = inst {
+                if self.skip_sim_once {
+                    self.skip_sim_once = false;
+                } else {
+                    let depth = self.checkpoints.len() as u32;
+                    let enter = if depth == 0 {
+                        heur.enter_top(pc)
+                    } else {
+                        heur.enter_nested(
+                            pc,
+                            depth,
+                            self.opts.config.max_nesting,
+                            self.opts.config.full_depth_runs,
+                        )
+                    };
+                    if enter {
+                        self.charge(cost::EMU_CHECKPOINT);
+                        self.push_checkpoint(pc, pc, true);
+                        self.invert_next_branch = true;
+                    }
+                }
+            }
+        } else {
+            let mut c = inst_cost(&inst);
+            // Single-copy (SpecFuzz-style) binaries guard every
+            // instrumentation with `if (in_simulation)` (paper Listing 3):
+            // in normal mode the guard (charged via its own opcode) skips
+            // the instrumentation body, so the body costs nothing — but
+            // the guards themselves run everywhere, which is exactly the
+            // overhead Speculation Shadows eliminates.
+            if self.single_copy
+                && !self.in_sim()
+                && inst.is_instrumentation()
+                && !matches!(
+                    inst,
+                    Inst::Guard | Inst::SimStart { .. } | Inst::CovTrace { .. }
+                )
+            {
+                c = 0;
+            }
+            self.charge(c);
+        }
+
+        // Execute.
+        self.cpu.pc = next_pc;
+        match self.exec(inst, pc, next_pc, heur) {
+            Ok(Step::Continue) => Step::Continue,
+            Ok(stop) => stop,
+            Err(f) => self.fault(f),
+        }
+    }
+
+    fn exec(
+        &mut self,
+        inst: Inst<u64>,
+        pc: u64,
+        next_pc: u64,
+        heur: &mut SpecHeuristics,
+    ) -> Result<Step, Fault> {
+        match inst {
+            Inst::Nop | Inst::MarkerNop => {}
+            Inst::Halt => return Ok(Step::Stop(ExitStatus::Halt)),
+            Inst::MovRR { dst, src } => {
+                self.cpu.set(dst, self.cpu.get(src));
+                if self.dift_on {
+                    self.taint.set_reg(dst, self.taint.reg(src));
+                }
+            }
+            Inst::MovRI { dst, imm } => {
+                self.cpu.set(dst, imm as u64);
+                if self.dift_on {
+                    self.taint.set_reg(dst, Tag::CLEAN);
+                }
+            }
+            Inst::Load { dst, mem, size, sext } => {
+                let (v, t) = self.do_load(&mem, size, sext, pc)?;
+                self.cpu.set(dst, v);
+                if self.dift_on {
+                    self.taint.set_reg(dst, t);
+                }
+            }
+            Inst::Store { src, mem, size } => {
+                let tag = if self.dift_on {
+                    self.taint.reg(src)
+                } else {
+                    Tag::CLEAN
+                };
+                self.do_store(&mem, size, self.cpu.get(src), tag, pc)?;
+            }
+            Inst::StoreI { imm, mem, size } => {
+                self.do_store(&mem, size, imm as i64 as u64, Tag::CLEAN, pc)?;
+            }
+            Inst::Lea { dst, mem } => {
+                let a = self.ea(&mem);
+                self.cpu.set(dst, a);
+                if self.dift_on {
+                    let t = self.ea_tag(&mem);
+                    self.taint.set_reg(dst, t);
+                }
+            }
+            Inst::Push { src } => {
+                let sp = self.cpu.get(Reg::SP).wrapping_sub(8);
+                let tag = if self.dift_on {
+                    self.taint.reg(src)
+                } else {
+                    Tag::CLEAN
+                };
+                self.store_at(
+                    sp,
+                    AccessSize::B8,
+                    self.cpu.get(src),
+                    tag,
+                    Tag::CLEAN,
+                    pc,
+                )?;
+                self.cpu.set(Reg::SP, sp);
+            }
+            Inst::Pop { dst } => {
+                let sp = self.cpu.get(Reg::SP);
+                let v = self.mem.read_uint(sp, 8).map_err(Fault::Mem)?;
+                if self.dift_on {
+                    let t = self.taint.mem_range_tag(sp, 8);
+                    self.taint.set_reg(dst, t);
+                }
+                self.cpu.set(dst, v);
+                self.cpu.set(Reg::SP, sp.wrapping_add(8));
+            }
+            Inst::Alu { op, dst, src } => {
+                let a = self.cpu.get(dst);
+                let b = self.operand(&src);
+                let r = alu(op, a, b);
+                if r.div_by_zero {
+                    return Err(Fault::DivByZero { pc });
+                }
+                self.cpu.set(dst, r.value);
+                self.cpu.flags = r.flags;
+                if self.dift_on {
+                    // x86 zeroing idioms break the dependency.
+                    let zeroing = matches!(op, AluOp::Xor | AluOp::Sub)
+                        && src == Operand::Reg(dst);
+                    let t = if zeroing {
+                        Tag::CLEAN
+                    } else {
+                        self.taint.reg(dst) | self.operand_tag(&src)
+                    };
+                    self.taint.set_reg(dst, t);
+                    self.taint.flags = t;
+                }
+            }
+            Inst::Neg { dst } => {
+                let a = self.cpu.get(dst);
+                let (r, cf, of) = crate::cpu::sub_flags(0, a);
+                self.cpu.set(dst, r);
+                self.cpu.flags = Flags {
+                    zf: r == 0,
+                    sf: (r as i64) < 0,
+                    cf,
+                    of,
+                };
+                if self.dift_on {
+                    self.taint.flags = self.taint.reg(dst);
+                }
+            }
+            Inst::Not { dst } => {
+                let v = !self.cpu.get(dst);
+                self.cpu.set(dst, v);
+            }
+            Inst::Cmp { lhs, rhs } => {
+                self.cpu.flags =
+                    cmp_flags(self.cpu.get(lhs), self.operand(&rhs));
+                if self.dift_on {
+                    self.taint.flags =
+                        self.taint.reg(lhs) | self.operand_tag(&rhs);
+                }
+            }
+            Inst::Test { lhs, rhs } => {
+                self.cpu.flags =
+                    test_flags(self.cpu.get(lhs), self.operand(&rhs));
+                if self.dift_on {
+                    self.taint.flags =
+                        self.taint.reg(lhs) | self.operand_tag(&rhs);
+                }
+            }
+            Inst::Set { cc, dst } => {
+                let v = self.cpu.flags.eval(cc) as u64;
+                self.cpu.set(dst, v);
+                if self.dift_on {
+                    self.taint.set_reg(dst, self.taint.flags);
+                }
+            }
+            Inst::Cmov { cc, dst, src } => {
+                // cmov is NOT speculated (paper Appendix A.1): it executes
+                // architecturally in both modes with no misprediction hook.
+                if self.cpu.flags.eval(cc) {
+                    self.cpu.set(dst, self.cpu.get(src));
+                    if self.dift_on {
+                        self.taint
+                            .set_reg(dst, self.taint.reg(src) | self.taint.flags);
+                    }
+                }
+            }
+            Inst::Jmp { target } => self.cpu.pc = target,
+            Inst::Jcc { cc, target } => {
+                // Port-contention sink: a secret deciding a branch (§6.2.2).
+                if self.in_sim()
+                    && self.dift_on
+                    && self.policy == Policy::Kasper
+                    && self.taint.flags.is_secret()
+                {
+                    let t = self.taint.flags;
+                    self.report(
+                        Channel::Port,
+                        t,
+                        pc,
+                        "secret influences a conditional branch",
+                    );
+                }
+                let mut taken = self.cpu.flags.eval(cc);
+                if self.invert_next_branch {
+                    taken = !taken;
+                    self.invert_next_branch = false;
+                }
+                if taken {
+                    self.cpu.pc = target;
+                }
+            }
+            Inst::Call { target } => {
+                let sp = self.cpu.get(Reg::SP).wrapping_sub(8);
+                self.store_at(
+                    sp,
+                    AccessSize::B8,
+                    next_pc,
+                    Tag::CLEAN,
+                    Tag::CLEAN,
+                    pc,
+                )?;
+                self.cpu.set(Reg::SP, sp);
+                if self.asan_on && !self.in_sim() {
+                    self.asan.poison_ret_slot(sp);
+                }
+                self.cpu.pc = target;
+            }
+            Inst::CallInd { target } => {
+                let t = self.cpu.get(target);
+                let sp = self.cpu.get(Reg::SP).wrapping_sub(8);
+                self.store_at(
+                    sp,
+                    AccessSize::B8,
+                    next_pc,
+                    Tag::CLEAN,
+                    Tag::CLEAN,
+                    pc,
+                )?;
+                self.cpu.set(Reg::SP, sp);
+                if self.asan_on && !self.in_sim() {
+                    self.asan.poison_ret_slot(sp);
+                }
+                self.cpu.pc = t;
+            }
+            Inst::JmpInd { target } => {
+                self.cpu.pc = self.cpu.get(target);
+            }
+            Inst::Ret => {
+                let sp = self.cpu.get(Reg::SP);
+                let t = self.mem.read_uint(sp, 8).map_err(Fault::Mem)?;
+                if self.asan_on && !self.in_sim() {
+                    self.asan.unpoison_ret_slot(sp);
+                }
+                self.cpu.set(Reg::SP, sp.wrapping_add(8));
+                self.cpu.pc = t;
+            }
+            Inst::Syscall { num } => {
+                if self.in_sim() {
+                    // External calls cannot be recovered: unconditional
+                    // restore (paper §6.1). The rewriter inserts `sim.end`
+                    // before these; this is the safety net.
+                    self.rollback();
+                    return Ok(Step::Continue);
+                }
+                return self.syscall(num);
+            }
+            Inst::Lfence | Inst::Cpuid => {
+                // Serializing: speculation cannot pass (paper §6.1).
+                if self.in_sim() {
+                    self.rollback();
+                    return Ok(Step::Continue);
+                }
+            }
+
+            // ----------------------------------------------------------
+            // Instrumentation
+            // ----------------------------------------------------------
+            Inst::SimStart { tramp } => {
+                let branch_orig = self.orig_pc(pc);
+                let depth = self.checkpoints.len() as u32;
+                let enter = if depth == 0 {
+                    heur.enter_top(branch_orig)
+                } else if self.nested_on {
+                    heur.enter_nested(
+                        branch_orig,
+                        depth,
+                        self.opts.config.max_nesting,
+                        self.opts.config.full_depth_runs,
+                    )
+                } else {
+                    false
+                };
+                if self.trace {
+                    eprintln!(
+                        "[trace] sim.start at {pc:#x} (orig {branch_orig:#x}) depth {depth} -> {}",
+                        if enter { "ENTER" } else { "skip" }
+                    );
+                }
+                if enter {
+                    self.push_checkpoint(next_pc, branch_orig, false);
+                    self.cpu.pc = tramp;
+                }
+            }
+            Inst::SimCheck => {
+                if self.in_sim() {
+                    let frame = self.checkpoints.last().expect("in_sim");
+                    let executed = self.prog_insts - frame.insts_at_entry;
+                    if executed >= self.opts.config.rob_budget as u64 {
+                        self.rollback();
+                    }
+                }
+            }
+            Inst::SimEnd => {
+                if self.in_sim() {
+                    self.rollback();
+                }
+            }
+            Inst::AsanCheck { mem, size, is_write: _ } => {
+                let addr = self.ea(&mem);
+                let n = size.bytes();
+                let oob = self.asan.is_poisoned(addr, n)
+                    || !self.mem.is_mapped(addr, n);
+                if self.in_sim() {
+                    if self.trace && oob {
+                        eprintln!(
+                            "[trace] asan OOB at {pc:#x} addr {addr:#x} depth {}",
+                            self.checkpoints.len()
+                        );
+                    }
+                    self.pending_oob = Some(PendingOob { oob });
+                    if oob && self.policy == Policy::SpecFuzz {
+                        self.report_specfuzz(pc);
+                    }
+                }
+            }
+            Inst::MemLog { .. } => {
+                // Cost marker: semantic logging happens on the store
+                // itself (DESIGN.md §3, "Semantic note").
+            }
+            Inst::TagProp | Inst::TagBlockProp { .. } => {
+                // Cost markers: the taint engine is always precise.
+            }
+            Inst::IndCheck { kind } => {
+                if self.in_sim() && !self.single_copy {
+                    return Ok(self.ind_check(kind, pc)?);
+                }
+            }
+            Inst::CovTrace { guard } => {
+                if self.in_sim() {
+                    self.cov_spec.hit(guard);
+                } else {
+                    self.cov_normal.hit(guard);
+                }
+            }
+            Inst::CovNote { guard } => {
+                if self.in_sim() {
+                    self.covnotes.push(guard);
+                } else {
+                    self.cov_normal.hit(guard);
+                }
+            }
+            Inst::Guard => {
+                // The `if (in_simulation)` conditional of single-copy
+                // instrumentation (paper Listing 3): pure overhead.
+            }
+        }
+        Ok(Step::Continue)
+    }
+
+    /// Indirect-branch integrity check (paper §5.3, Listing 4).
+    fn ind_check(&mut self, kind: IndKind, _pc: u64) -> Result<Step, Fault> {
+        let target = match kind {
+            IndKind::Ret => self
+                .mem
+                .read_uint(self.cpu.get(Reg::SP), 8)
+                .map_err(Fault::Mem)?,
+            IndKind::Call(r) | IndKind::Jmp(r) => self.cpu.get(r),
+        };
+        let meta = self.meta.as_ref().expect("ind.check requires metadata");
+        if meta.in_shadow(target) {
+            return Ok(Step::Continue);
+        }
+        let redirect = if meta.in_real(target) {
+            // Probe for the special marker NOP at the target block.
+            let bytes = self.mem.read_for_decode(target, 1);
+            let marked = matches!(
+                decode_at(&bytes, target),
+                Ok((Inst::MarkerNop, _))
+            );
+            if marked {
+                meta.shadow_of(target)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        match redirect {
+            Some(shadow_target) => {
+                // Redirect the pointer itself; register/memory effects are
+                // undone at rollback.
+                match kind {
+                    IndKind::Ret => {
+                        let sp = self.cpu.get(Reg::SP);
+                        self.store_at(
+                            sp,
+                            AccessSize::B8,
+                            shadow_target,
+                            Tag::CLEAN,
+                            Tag::CLEAN,
+                            _pc,
+                        )?;
+                    }
+                    IndKind::Call(r) | IndKind::Jmp(r) => {
+                        self.cpu.set(r, shadow_target);
+                    }
+                }
+                Ok(Step::Continue)
+            }
+            None => {
+                // Unidentified target: forced rollback (paper §5.3).
+                self.rollback();
+                Ok(Step::Continue)
+            }
+        }
+    }
+
+    fn syscall(&mut self, num: u16) -> Result<Step, Fault> {
+        match num {
+            sys::EXIT => {
+                return Ok(Step::Stop(ExitStatus::Exit(
+                    self.cpu.get(Reg::R1) as i64,
+                )))
+            }
+            sys::READ_INPUT => {
+                let buf = self.cpu.get(Reg::R1);
+                let len = self.cpu.get(Reg::R2) as usize;
+                let avail = self.opts.input.len().saturating_sub(self.input_pos);
+                let n = len.min(avail);
+                for i in 0..n {
+                    let b = self.opts.input[self.input_pos + i];
+                    self.mem
+                        .write_u8(buf + i as u64, b)
+                        .map_err(Fault::Mem)?;
+                }
+                if self.dift_on
+                    && self.opts.config.taint_input_sources
+                    && n > 0
+                {
+                    self.taint.set_mem_range(buf, n as u64, Tag::USER);
+                }
+                self.input_pos += n;
+                self.cpu.set(Reg::R0, n as u64);
+                if self.dift_on {
+                    self.taint.set_reg(Reg::R0, Tag::CLEAN);
+                }
+            }
+            sys::INPUT_SIZE => {
+                self.cpu.set(Reg::R0, self.opts.input.len() as u64);
+            }
+            sys::WRITE => {
+                let buf = self.cpu.get(Reg::R1);
+                let len = self.cpu.get(Reg::R2);
+                let bytes =
+                    self.mem.read_bytes(buf, len).map_err(Fault::Mem)?;
+                self.output.extend_from_slice(&bytes);
+                self.cpu.set(Reg::R0, len);
+            }
+            sys::MALLOC => {
+                let size = self.cpu.get(Reg::R1);
+                let (base, map_start, map_len) = self.asan.malloc(size);
+                self.mem.map_region(map_start, map_len, true);
+                // Fill the redzones with ASan's classic 0xfa pattern:
+                // speculative out-of-bounds reads observe non-zero
+                // "heap garbage", as they would in a real process.
+                for a in map_start..base {
+                    self.mem.poke(a, 0xfa);
+                }
+                for a in (base + size.max(1))..(map_start + map_len) {
+                    self.mem.poke(a, 0xfa);
+                }
+                self.cpu.set(Reg::R0, base);
+                if self.dift_on {
+                    self.taint.set_reg(Reg::R0, Tag::CLEAN);
+                }
+            }
+            sys::FREE => {
+                self.asan.free(self.cpu.get(Reg::R1));
+            }
+            sys::PRINT_INT => {
+                let v = self.cpu.get(Reg::R1) as i64;
+                self.output.extend_from_slice(format!("{v}\n").as_bytes());
+            }
+            sys::ABORT => return Ok(Step::Stop(ExitStatus::Abort)),
+            sys::MARK_USER => {
+                let buf = self.cpu.get(Reg::R1);
+                let len = self.cpu.get(Reg::R2);
+                if self.dift_on {
+                    self.taint.union_mem_range(buf, len, Tag::USER);
+                }
+            }
+            _ => return Ok(Step::Stop(ExitStatus::Abort)),
+        }
+        Ok(Step::Continue)
+    }
+}
+
+/// Cost of one instruction under native execution (see `teapot-rt::cost`).
+fn inst_cost(inst: &Inst<u64>) -> u64 {
+    match inst {
+        Inst::SimStart { .. } => cost::SIM_START,
+        Inst::SimCheck => cost::SIM_CHECK,
+        Inst::SimEnd => cost::SIM_END,
+        Inst::AsanCheck { .. } => cost::ASAN_CHECK,
+        Inst::MemLog { .. } => cost::MEMLOG,
+        Inst::TagProp => cost::TAG_PROP,
+        Inst::TagBlockProp { n } => cost::tag_block_prop(*n),
+        Inst::IndCheck { .. } => cost::IND_CHECK,
+        Inst::CovTrace { .. } => cost::COV_TRACE,
+        Inst::CovNote { .. } => cost::COV_NOTE,
+        Inst::Guard => cost::GUARD,
+        _ => cost::PLAIN_INST,
+    }
+}
+

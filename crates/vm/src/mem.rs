@@ -1,0 +1,285 @@
+//! Sparse paged guest memory.
+//!
+//! The full 64-bit address space is backed lazily by 4 KiB pages, which is
+//! what makes the paper's high-half layouts (Tables 1–2) practical:
+//! the heap at `0x6000_0000_0000` and the input staging area at
+//! `0x7000_0000_0000` cost only the pages actually touched.
+//!
+//! Access control is page-granular (like a real MMU): loads and stores to
+//! unmapped pages fault, and stores to read-only pages fault. Byte-accurate
+//! out-of-bounds detection is ASan's job, not the MMU's.
+
+use std::collections::HashMap;
+
+/// Page size in bytes (must be a power of two).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Memory access fault kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemFault {
+    /// Access to an unmapped page.
+    Unmapped { addr: u64 },
+    /// Write to a read-only page.
+    ReadOnly { addr: u64 },
+}
+
+#[derive(Clone)]
+struct Page {
+    bytes: Box<[u8; PAGE_SIZE as usize]>,
+    writable: bool,
+}
+
+/// Sparse paged memory with page-granular permissions.
+#[derive(Clone, Default)]
+pub struct PagedMem {
+    pages: HashMap<u64, Page>,
+}
+
+impl std::fmt::Debug for PagedMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedMem")
+            .field("mapped_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl PagedMem {
+    /// Creates an empty address space.
+    pub fn new() -> PagedMem {
+        PagedMem::default()
+    }
+
+    /// Maps (or re-maps) `[start, start+size)`, zero-filled, with the given
+    /// writability. Partial pages at the edges are mapped whole.
+    pub fn map_region(&mut self, start: u64, size: u64, writable: bool) {
+        if size == 0 {
+            return;
+        }
+        let first = start / PAGE_SIZE;
+        let last = (start + size - 1) / PAGE_SIZE;
+        for p in first..=last {
+            self.pages
+                .entry(p)
+                .or_insert_with(|| Page {
+                    bytes: Box::new([0; PAGE_SIZE as usize]),
+                    writable,
+                })
+                .writable |= writable;
+        }
+    }
+
+    /// Whether every byte of `[addr, addr+len)` is mapped.
+    pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let Some(end) = addr.checked_add(len - 1) else { return false };
+        let first = addr / PAGE_SIZE;
+        let last = end / PAGE_SIZE;
+        (first..=last).all(|p| self.pages.contains_key(&p))
+    }
+
+    /// Number of mapped pages (for diagnostics).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Writes bytes without fault checks, mapping pages as needed.
+    /// Used by the loader and runtime (not by guest instructions).
+    pub fn write_forced(&mut self, addr: u64, data: &[u8]) {
+        self.map_region(addr, data.len() as u64, true);
+        for (i, &b) in data.iter().enumerate() {
+            let a = addr + i as u64;
+            let page = self.pages.get_mut(&(a / PAGE_SIZE)).expect("mapped");
+            page.bytes[(a % PAGE_SIZE) as usize] = b;
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the page is unmapped.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> Result<u8, MemFault> {
+        let page = self
+            .pages
+            .get(&(addr / PAGE_SIZE))
+            .ok_or(MemFault::Unmapped { addr })?;
+        Ok(page.bytes[(addr % PAGE_SIZE) as usize])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the page is unmapped or read-only.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), MemFault> {
+        let page = self
+            .pages
+            .get_mut(&(addr / PAGE_SIZE))
+            .ok_or(MemFault::Unmapped { addr })?;
+        if !page.writable {
+            return Err(MemFault::ReadOnly { addr });
+        }
+        page.bytes[(addr % PAGE_SIZE) as usize] = value;
+        Ok(())
+    }
+
+    /// Reads `n ≤ 8` bytes little-endian into a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte is unmapped.
+    pub fn read_uint(&self, addr: u64, n: u64) -> Result<u64, MemFault> {
+        debug_assert!(n <= 8);
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(addr.wrapping_add(i))? as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Writes the low `n ≤ 8` bytes of `value` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte is unmapped or read-only. Bytes preceding a
+    /// faulting byte may already be written (like a real partial store
+    /// across a page boundary).
+    pub fn write_uint(
+        &mut self,
+        addr: u64,
+        value: u64,
+        n: u64,
+    ) -> Result<(), MemFault> {
+        debug_assert!(n <= 8);
+        for i in 0..n {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte is unmapped.
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
+        let mut out = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            out.push(self.read_u8(addr.wrapping_add(i))?);
+        }
+        Ok(out)
+    }
+
+    /// Writes one byte bypassing write permissions. Used by the loader
+    /// (read-only section images) and by rollback replay; never by guest
+    /// instructions. Creates the page (non-writable) if unmapped.
+    pub fn poke(&mut self, addr: u64, value: u8) {
+        let page = self.pages.entry(addr / PAGE_SIZE).or_insert_with(|| Page {
+            bytes: Box::new([0; PAGE_SIZE as usize]),
+            writable: false,
+        });
+        page.bytes[(addr % PAGE_SIZE) as usize] = value;
+    }
+
+    /// Reads up to `max` bytes for instruction decoding, stopping at an
+    /// unmapped page (the decoder will report truncation).
+    pub fn read_for_decode(&self, addr: u64, max: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(max);
+        for i in 0..max as u64 {
+            match self.read_u8(addr.wrapping_add(i)) {
+                Ok(b) => out.push(b),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_faults() {
+        let mut m = PagedMem::new();
+        assert_eq!(m.read_u8(0x1000), Err(MemFault::Unmapped { addr: 0x1000 }));
+        assert_eq!(
+            m.write_u8(0x1000, 1),
+            Err(MemFault::Unmapped { addr: 0x1000 })
+        );
+        m.map_region(0x1000, 16, true);
+        assert_eq!(m.read_u8(0x1000), Ok(0));
+        assert!(m.write_u8(0x1000, 7).is_ok());
+        assert_eq!(m.read_u8(0x1000), Ok(7));
+    }
+
+    #[test]
+    fn read_only_pages_reject_writes() {
+        let mut m = PagedMem::new();
+        m.map_region(0x2000, 64, false);
+        assert_eq!(m.read_u8(0x2000), Ok(0));
+        assert_eq!(
+            m.write_u8(0x2010, 1),
+            Err(MemFault::ReadOnly { addr: 0x2010 })
+        );
+        // Remapping with write permission upgrades.
+        m.map_region(0x2000, 64, true);
+        assert!(m.write_u8(0x2010, 1).is_ok());
+    }
+
+    #[test]
+    fn multibyte_little_endian() {
+        let mut m = PagedMem::new();
+        m.map_region(0x3000, 32, true);
+        m.write_uint(0x3000, 0x1122_3344_5566_7788, 8).unwrap();
+        assert_eq!(m.read_uint(0x3000, 8).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_uint(0x3000, 4).unwrap(), 0x5566_7788);
+        assert_eq!(m.read_u8(0x3007).unwrap(), 0x11);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = PagedMem::new();
+        m.map_region(PAGE_SIZE - 4, 8, true);
+        m.write_uint(PAGE_SIZE - 4, u64::MAX, 8).unwrap();
+        assert_eq!(m.read_uint(PAGE_SIZE - 4, 8).unwrap(), u64::MAX);
+        // Second page unmapped -> partial fault.
+        let mut m2 = PagedMem::new();
+        m2.map_region(0, PAGE_SIZE, true);
+        assert!(m2.write_uint(PAGE_SIZE - 4, 1, 8).is_err());
+    }
+
+    #[test]
+    fn high_half_addresses_work() {
+        let mut m = PagedMem::new();
+        let heap = teapot_rt::layout::HEAP_BASE;
+        m.map_region(heap, 128, true);
+        m.write_uint(heap + 64, 0xdead_beef, 4).unwrap();
+        assert_eq!(m.read_uint(heap + 64, 4).unwrap(), 0xdead_beef);
+        assert_eq!(m.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn is_mapped_ranges() {
+        let mut m = PagedMem::new();
+        m.map_region(0x5000, 0x1000, true);
+        assert!(m.is_mapped(0x5000, 0x1000));
+        assert!(m.is_mapped(0x5fff, 1));
+        assert!(!m.is_mapped(0x5fff, 2));
+        assert!(!m.is_mapped(u64::MAX, 2));
+        assert!(m.is_mapped(0x1234, 0));
+    }
+
+    #[test]
+    fn read_for_decode_stops_at_hole() {
+        let mut m = PagedMem::new();
+        m.map_region(0, PAGE_SIZE, true);
+        m.write_forced(PAGE_SIZE - 2, &[0xAA, 0xBB]);
+        let got = m.read_for_decode(PAGE_SIZE - 2, 12);
+        assert_eq!(got, vec![0xAA, 0xBB]);
+    }
+}

@@ -1,0 +1,368 @@
+//! The evaluation workloads: five MiniC programs echoing the paper's test
+//! set (§7, "the standard set of test programs used by previous studies")
+//! plus the artificial-gadget corpus and injection machinery of the
+//! Table 3 experiment.
+//!
+//! | Workload | Echoes | Character |
+//! |---|---|---|
+//! | [`jsmn_like`] | jsmn | tight JSON tokenizer, no gadget surface |
+//! | [`yaml_like`] | libyaml 0.2.2 | indent/anchor parser; 2 of its 10 injection points are unreachable from the driver (as in the paper) |
+//! | [`htp_like`] | libhtp 0.5.30 | HTTP parser with the Appendix A.2 `list_size`/-1 sentinel Massage chain |
+//! | [`brotli_like`] | brotli 1.0.7 | LZ decompressor with the Appendix A.1 dictionary-offset gadget; most gadget-dense |
+//! | [`ssl_like`] | openssl 3.0.0 (server driver) | TLS record/handshake parser |
+//!
+//! Each workload provides MiniC source (with `//@INJECT` markers),
+//! fuzzing seeds and a dictionary. [`Workload::plain_source`] strips the
+//! markers; [`Workload::injected_source`] splices calls to the gadget
+//! corpus of [`gadgets`] and prepends the attacker-direct input prelude
+//! of the paper's §7.2 setup.
+
+pub mod gadgets;
+mod programs {
+    pub mod brotli_like;
+    pub mod htp_like;
+    pub mod jsmn_like;
+    pub mod ssl_like;
+    pub mod yaml_like;
+}
+
+use teapot_cc::{compile_to_binary, CcError, Options};
+use teapot_obj::Binary;
+use teapot_rt::GadgetReport;
+
+/// One evaluation workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name matching the paper's program column.
+    pub name: &'static str,
+    /// MiniC source *with* `//@INJECT` markers.
+    pub marked_source: &'static str,
+    /// Fuzzing seed inputs.
+    pub seeds: Vec<Vec<u8>>,
+    /// Mutation dictionary.
+    pub dictionary: Vec<Vec<u8>>,
+}
+
+impl Workload {
+    /// Number of Table 3 injection points in the source.
+    pub fn inject_points(&self) -> usize {
+        self.marked_source.matches("//@INJECT").count()
+    }
+
+    /// Source with all markers stripped (the vanilla program).
+    pub fn plain_source(&self) -> String {
+        self.marked_source
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("//@INJECT"))
+            .map(|l| {
+                if l.trim_start().starts_with("//@INJ_PRELUDE") {
+                    ""
+                } else {
+                    l
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Source with gadget variant `assignments[k]` injected at point `k`
+    /// (1-based variant ids from [`gadgets`]); `None` leaves a point
+    /// empty. The main prelude reads two dedicated input bytes into
+    /// `__inj_x` and marks them attacker-direct (`mark_user`), matching
+    /// the paper's §7.2 setup where normal taint sources are disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignments` is longer than the number of points.
+    pub fn injected_source(&self, assignments: &[Option<usize>]) -> String {
+        assert!(assignments.len() <= self.inject_points());
+        let used: Vec<usize> =
+            assignments.iter().flatten().copied().collect();
+        let mut out = gadgets::corpus(&used);
+        out.push_str("char __inj_buf[2];\nint __inj_x;\n");
+        let mut k = 0usize;
+        for line in self.marked_source.lines() {
+            let t = line.trim_start();
+            if t.starts_with("//@INJECT") {
+                if let Some(Some(id)) = assignments.get(k) {
+                    out.push_str(&format!("__gadget_v{id}(__inj_x);\n"));
+                }
+                k += 1;
+                continue;
+            }
+            if t.starts_with("//@INJ_PRELUDE") {
+                out.push_str(
+                    "read_input(__inj_buf, 2);\n\
+                     __inj_x = __inj_buf[0] + (__inj_buf[1] << 8);\n\
+                     mark_user(&__inj_x, 8);\n\
+                     __gadget_init();\n",
+                );
+                continue;
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Compiles the vanilla (marker-stripped) workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the compiler error if the source is invalid (a bug in the
+    /// workload corpus).
+    pub fn build(&self, opts: &Options) -> Result<Binary, CcError> {
+        compile_to_binary(&self.plain_source(), opts)
+    }
+
+    /// Compiles the workload with gadgets injected at every point:
+    /// point `k` receives variant `k + 1` (distinct variants per point so
+    /// reports can be attributed per point). Returns the binary (symbols
+    /// kept for ground-truth accounting) and the injected variant ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns the compiler error if the spliced source is invalid.
+    pub fn build_injected(
+        &self,
+        opts: &Options,
+    ) -> Result<(Binary, Vec<usize>), CcError> {
+        let n = self.inject_points().min(gadgets::COUNT);
+        let assignments: Vec<Option<usize>> =
+            (0..n).map(|k| Some(k + 1)).collect();
+        let src = self.injected_source(&assignments);
+        let bin = compile_to_binary(&src, opts)?;
+        Ok((bin, (1..=n).collect()))
+    }
+}
+
+/// The jsmn-like workload.
+pub fn jsmn_like() -> Workload {
+    Workload {
+        name: "jsmn",
+        marked_source: programs::jsmn_like::SOURCE,
+        seeds: programs::jsmn_like::seeds(),
+        dictionary: programs::jsmn_like::dictionary(),
+    }
+}
+
+/// The libyaml-like workload.
+pub fn yaml_like() -> Workload {
+    Workload {
+        name: "libyaml",
+        marked_source: programs::yaml_like::SOURCE,
+        seeds: programs::yaml_like::seeds(),
+        dictionary: programs::yaml_like::dictionary(),
+    }
+}
+
+/// The libhtp-like workload.
+pub fn htp_like() -> Workload {
+    Workload {
+        name: "libhtp",
+        marked_source: programs::htp_like::SOURCE,
+        seeds: programs::htp_like::seeds(),
+        dictionary: programs::htp_like::dictionary(),
+    }
+}
+
+/// The brotli-like workload.
+pub fn brotli_like() -> Workload {
+    Workload {
+        name: "brotli",
+        marked_source: programs::brotli_like::SOURCE,
+        seeds: programs::brotli_like::seeds(),
+        dictionary: programs::brotli_like::dictionary(),
+    }
+}
+
+/// The openssl-like workload (server driver).
+pub fn ssl_like() -> Workload {
+    Workload {
+        name: "openssl",
+        marked_source: programs::ssl_like::SOURCE,
+        seeds: programs::ssl_like::seeds(),
+        dictionary: programs::ssl_like::dictionary(),
+    }
+}
+
+/// All five workloads in the paper's order.
+pub fn all() -> Vec<Workload> {
+    vec![jsmn_like(), yaml_like(), htp_like(), brotli_like(), ssl_like()]
+}
+
+/// Table 3 classification of fuzzing reports against injected ground
+/// truth: `(true_positives, false_positives, false_negatives)`.
+///
+/// A report is a true positive when its (original-binary) PC falls inside
+/// one of the injected `__gadget_v*` functions (helpers `__g*` included);
+/// distinct injected variants are counted once. Reports outside gadget
+/// code are false positives (distinct report keys). Injected variants
+/// with no report are false negatives — exactly the SpecTaint evaluation
+/// methodology the paper adopts (§7.2).
+pub fn classify_reports(
+    bin_with_symbols: &Binary,
+    reports: &[GadgetReport],
+    injected: &[usize],
+) -> (usize, usize, usize) {
+    use std::collections::BTreeSet;
+    let mut hit_variants: BTreeSet<usize> = BTreeSet::new();
+    let mut fp_keys: BTreeSet<(u64, u8)> = BTreeSet::new();
+    for r in reports {
+        let sym = bin_with_symbols.symbolize(r.key.pc);
+        let variant = sym.and_then(|s| variant_of(&s.name));
+        match variant {
+            Some(v) if injected.contains(&v) => {
+                hit_variants.insert(v);
+            }
+            _ => {
+                let chan = match r.key.channel {
+                    teapot_rt::Channel::Mds => 0u8,
+                    teapot_rt::Channel::Cache => 1,
+                    teapot_rt::Channel::Port => 2,
+                };
+                fp_keys.insert((r.key.pc, chan));
+            }
+        }
+    }
+    let tp = hit_variants.len();
+    let fp = fp_keys.len();
+    let fnn = injected.len() - tp;
+    (tp, fp, fnn)
+}
+
+/// Maps a gadget-corpus symbol name to its variant id
+/// (`__gadget_v7` → 7, `__g15_read` → 15).
+fn variant_of(name: &str) -> Option<usize> {
+    let digits = |s: &str| -> Option<usize> {
+        let d: String =
+            s.chars().take_while(|c| c.is_ascii_digit()).collect();
+        d.parse().ok()
+    };
+    if let Some(rest) = name.strip_prefix("__gadget_v") {
+        return digits(rest);
+    }
+    if let Some(rest) = name.strip_prefix("__g") {
+        return digits(rest);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teapot_vm::{ExitStatus, Machine, RunOptions, SpecHeuristics};
+
+    fn run_plain(w: &Workload, input: &[u8]) -> teapot_vm::RunOutcome {
+        let bin = w.build(&Options::gcc_like()).expect("compile");
+        let mut heur = SpecHeuristics::default();
+        Machine::new(
+            &bin,
+            RunOptions { input: input.to_vec(), ..RunOptions::default() },
+        )
+        .run(&mut heur)
+    }
+
+    #[test]
+    fn ground_truth_counts_match_table3() {
+        assert_eq!(jsmn_like().inject_points(), 3);
+        assert_eq!(yaml_like().inject_points(), 10);
+        assert_eq!(htp_like().inject_points(), 7);
+        assert_eq!(brotli_like().inject_points(), 13);
+    }
+
+    #[test]
+    fn all_workloads_compile_both_lowerings() {
+        for w in all() {
+            w.build(&Options::gcc_like())
+                .unwrap_or_else(|e| panic!("{} gcc: {e}", w.name));
+            w.build(&Options::clang_like())
+                .unwrap_or_else(|e| panic!("{} clang: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn seeds_run_cleanly() {
+        for w in all() {
+            for (i, seed) in w.seeds.iter().enumerate() {
+                let out = run_plain(&w, seed);
+                assert!(
+                    matches!(out.status, ExitStatus::Exit(_)),
+                    "{} seed {i}: {:?}",
+                    w.name,
+                    out.status
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_do_useful_work_on_seeds() {
+        // jsmn tokenizes its seed; htp parses a request; etc.
+        let w = jsmn_like();
+        let out = run_plain(&w, &w.seeds[0]);
+        assert_eq!(out.status, ExitStatus::Exit(0));
+        assert!(!out.output.is_empty(), "token count printed");
+
+        let w = htp_like();
+        let out = run_plain(&w, &w.seeds[0]);
+        assert_eq!(out.status, ExitStatus::Exit(0));
+
+        let w = ssl_like();
+        let out = run_plain(&w, &w.seeds[0]);
+        assert_eq!(out.status, ExitStatus::Exit(0));
+        // one handshake, one record
+        assert_eq!(out.output, b"101\n");
+    }
+
+    #[test]
+    fn injected_builds_compile_and_run() {
+        for w in all() {
+            let (bin, injected) =
+                w.build_injected(&Options::gcc_like()).expect("compile");
+            assert_eq!(
+                injected.len(),
+                w.inject_points().min(gadgets::COUNT)
+            );
+            // Symbols kept for ground truth.
+            assert!(bin
+                .symbols
+                .iter()
+                .any(|s| s.name.starts_with("__gadget_v")));
+            // Runs with 2 prelude bytes + a seed.
+            let mut input = vec![0xff, 0x00];
+            input.extend_from_slice(&w.seeds[0]);
+            let mut heur = SpecHeuristics::default();
+            let out = Machine::new(
+                &bin,
+                RunOptions { input, ..RunOptions::default() },
+            )
+            .run(&mut heur);
+            assert!(
+                matches!(out.status, ExitStatus::Exit(_)),
+                "{}: {:?}",
+                w.name,
+                out.status
+            );
+        }
+    }
+
+    #[test]
+    fn variant_attribution() {
+        assert_eq!(variant_of("__gadget_v7"), Some(7));
+        assert_eq!(variant_of("__gadget_v15"), Some(15));
+        assert_eq!(variant_of("__g3_read"), Some(3));
+        assert_eq!(variant_of("__g15_read"), Some(15));
+        assert_eq!(variant_of("parse_request"), None);
+        assert_eq!(variant_of("main"), None);
+    }
+
+    #[test]
+    fn plain_source_has_no_markers() {
+        for w in all() {
+            let s = w.plain_source();
+            assert!(!s.contains("//@INJECT"), "{}", w.name);
+            assert!(!s.contains("//@INJ_PRELUDE"), "{}", w.name);
+        }
+    }
+}

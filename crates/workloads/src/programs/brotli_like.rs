@@ -1,0 +1,196 @@
+//! `brotli`-like workload: an LZ-style decompressor with a bit reader,
+//! a heap window, and block types dispatched by a `switch`.
+//!
+//! Contains the paper's Appendix A.1 case study verbatim in structure:
+//! the LZMA-style dictionary-offset manipulation
+//! (`if (dicPos < rep0) x += dicBufSize;` followed by a
+//! `matchByte`-masked probability-table access), where `dicBufSize` is
+//! carried in attacker-controlled metadata. Compiled with branch-chain
+//! lowering this is a User-Cache gadget; with `cmov` if-conversion the
+//! branch — and the gadget — disappear.
+//!
+//! This is the gadget-dense workload (Table 4 reports the most gadgets
+//! for brotli): many nested length/distance checks run under speculation.
+
+/// MiniC source; injection-marker lines flag the Table 3 points.
+pub const SOURCE: &str = r#"
+char inbuf[512];
+int in_len;
+
+int bit_pos;
+char *window;
+int win_size;
+int win_pos;
+
+char *probs;      // probability table (heap) for the A.1 pattern
+int out_sum;
+
+// metadata parsed from the stream header (attacker-controlled!)
+int dic_buf_size;
+int rep0;
+
+int read_bits(int n) {
+    int v = 0;
+    for (int i = 0; i < n; i++) {
+        int byte_i = bit_pos >> 3;
+        if (byte_i >= in_len) { return 0 - 1; }
+        //@INJECT
+        int bit = (inbuf[byte_i] >> (bit_pos & 7)) & 1;
+        v = v | (bit << i);
+        bit_pos++;
+    }
+    return v;
+}
+
+int read_byte_aligned() {
+    bit_pos = (bit_pos + 7) & (0 - 8);
+    int byte_i = bit_pos >> 3;
+    if (byte_i >= in_len) { return 0 - 1; }
+    bit_pos += 8;
+    //@INJECT
+    return inbuf[byte_i];
+}
+
+void emit(char b) {
+    if (win_pos < win_size) {
+        //@INJECT
+        window[win_pos] = b;
+        win_pos++;
+        out_sum += b;
+    }
+}
+
+// Appendix A.1: speculative read-offset manipulation. The bounds branch
+// can be mispredicted; dic_buf_size comes from stream metadata.
+int lzma_try_dummy() {
+    //@INJECT
+    int x = win_pos - rep0;
+    if (win_pos < rep0) {          // mispredicted as true
+        x += dic_buf_size;         // attacker-chosen offset
+    }
+    if (x < 0) { return 0 - 1; }
+    if (x >= win_size) { return 0 - 1; }   // second mispredictable guard
+    int match_byte = window[x];    // speculative OOB read (L1)
+    int offs = 0x100;
+    int symbol = 1;
+    while (symbol < 8) {
+        int bit = offs;
+        match_byte += match_byte;
+        offs = offs & match_byte;
+        //@INJECT
+        int t = probs[(offs + bit + symbol) & 0x3ff]; // transmit (L2)
+        symbol = symbol + symbol + (t & 1);
+    }
+    return symbol;
+}
+
+int copy_match(int dist, int len) {
+    if (dist <= 0) { return 0 - 1; }
+    //@INJECT
+    if (dist > win_pos) { return 0 - 1; }
+    for (int i = 0; i < len; i++) {
+        if (win_pos >= win_size) { return 0 - 1; }
+        //@INJECT
+        char b = window[win_pos - dist];
+        emit(b);
+    }
+    return len;
+}
+
+int literal_run(int len) {
+    for (int i = 0; i < len; i++) {
+        int b = read_byte_aligned();
+        if (b < 0) { return 0 - 1; }
+        //@INJECT
+        emit(b);
+    }
+    return len;
+}
+
+int process_block() {
+    int btype = read_bits(2);
+    //@INJECT
+    if (btype < 0) { return 0 - 1; }
+    switch (btype) {
+        case 0:
+            // literal run
+            int n = read_bits(4);
+            if (n < 0) { return 0 - 1; }
+            //@INJECT
+            return literal_run(n);
+        case 1:
+            // back-reference
+            int dist = read_bits(6);
+            int len = read_bits(4);
+            if (dist < 0 || len < 0) { return 0 - 1; }
+            //@INJECT
+            return copy_match(dist + 1, len + 1);
+        case 2:
+            // dictionary probe (the A.1 path)
+            rep0 = read_bits(5);
+            //@INJECT
+            return lzma_try_dummy();
+        case 3:
+            // end of stream
+            return 0;
+    }
+    return 0 - 1;
+}
+
+int process_meta() {
+    //@INJECT
+    return dic_buf_size & 0xffff;
+}
+
+int main() {
+    //@INJ_PRELUDE
+    win_size = 64;
+    window = malloc(64);
+    probs = malloc(1024);
+    in_len = read_input(inbuf, 512);
+    if (in_len < 2) { return 1; }
+    // header: dic_buf_size metadata (attacker-controlled, as in A.1)
+    dic_buf_size = inbuf[0] + (inbuf[1] << 8);
+    process_meta();
+    bit_pos = 16;
+    int blocks = 0;
+    while (blocks < 40) {
+        int r = process_block();
+        if (r < 0) { break; }
+        if (r == 0 && blocks > 0) { break; }
+        blocks++;
+    }
+    print_int(out_sum);
+    return 0;
+}
+"#;
+
+/// Seed inputs for the fuzzer: header + a few literal blocks.
+pub fn seeds() -> Vec<Vec<u8>> {
+    vec![
+        {
+            // dic_buf_size=0x40, then literal blocks with data
+            let mut v = vec![0x40, 0x00];
+            v.extend_from_slice(&[0b0100_0000, 0x41, 0x42, 0x43, 0x44, 0xff]);
+            v
+        },
+        {
+            // back-reference heavy stream
+            let mut v = vec![0x80, 0x01];
+            v.extend_from_slice(&[0x10, 0x21, 0x32, 0x43, 0x54, 0x65, 0x76]);
+            v
+        },
+        vec![0xff, 0xff, 0b1000_0000, 0x55, 0xaa, 0x55, 0xaa],
+    ]
+}
+
+/// Dictionary tokens (bit patterns).
+pub fn dictionary() -> Vec<Vec<u8>> {
+    vec![
+        vec![0x00],
+        vec![0xff],
+        vec![0b0100_0000],
+        vec![0b1000_0000],
+        vec![0b1100_0000],
+    ]
+}

@@ -1,0 +1,224 @@
+//! `libhtp`-like workload: an HTTP/1.x request parser.
+//!
+//! Contains the exact `list_size` / `list_get` / `htp_conn_remove_tx`
+//! structure of the paper's Appendix A.2 case study: `list_size` returns
+//! a `-1` error sentinel that, assigned to an unsigned length, makes a
+//! loop speculatively unbounded; `list_get`'s two bounds checks then
+//! yield a massaged pointer whose dereference and comparison leak through
+//! port contention — a Massage-Port gadget needing three nested
+//! mispredictions.
+//!
+//! A list is a heap `int*` blob: `[0]=current_size, [1]=first,
+//! [2]=max_size, [3..]=elements`.
+
+/// MiniC source; injection-marker lines flag the Table 3 points.
+pub const SOURCE: &str = r#"
+char inbuf[512];
+int in_len;
+
+int *txs;        // transaction list (Appendix A.2 `conn->txs`)
+int *headers;    // header-offset list
+int status;
+
+// --- the Appendix A.2 list primitives ---
+
+uint list_size(int *l) {
+    if (l == 0) { return 0 - 1; }   // error sentinel: (uint)-1
+    return l[0];
+}
+
+int list_get(int *l, uint idx) {
+    if (l == 0) { return 0; }
+    uint cur = l[0];
+    if (idx >= cur) { return 0; }
+    uint first = l[1];
+    uint maxs = l[2];
+    if (first + idx < maxs) {
+        return l[3 + first + idx];
+    }
+    return 0;
+}
+
+void list_replace(int *l, uint idx, int v) {
+    uint cur = l[0];
+    if (idx < cur) {
+        l[3 + l[1] + idx] = v;
+    }
+}
+
+int *list_new(int maxs) {
+    int *l = malloc((3 + maxs) * 8);
+    l[0] = 0;
+    l[1] = 0;
+    l[2] = maxs;
+    return l;
+}
+
+void list_push(int *l, int v) {
+    int cur = l[0];
+    if (cur < l[2]) {
+        //@INJECT
+        l[3 + cur] = v;
+        l[0] = cur + 1;
+    }
+}
+
+// --- transactions ---
+
+int *tx_new(int method, int plen) {
+    int *tx = malloc(3 * 8);
+    tx[0] = method;
+    tx[1] = plen;
+    tx[2] = 0;
+    return tx;
+}
+
+void htp_conn_remove_tx(int *tx) {
+    uint n = list_size(txs);
+    for (uint i = 0; i < n; i++) {
+        int tx2 = list_get(txs, i);
+        if (tx2 == tx) {            // Appendix A.2 port transmitter
+            list_replace(txs, i, 0);
+            return;
+        }
+    }
+}
+
+void htp_conn_destroy() {
+    uint n = list_size(txs);        // mispredict null check => n = -1
+    for (uint i = 0; i < n; i++) {
+        int t = list_get(txs, i);   // OOB under nested misprediction:
+        if (t != 0) {               //   t becomes a massaged value
+            // tx->conn->txs-style pointer chase: the massaged value
+            // composes the next access (paper Listing 6 line 31)
+            int m = headers[t & 7];
+            if (m == t) {           // secret decides a branch: Port leak
+                status++;
+            }
+            //@INJECT
+            htp_conn_remove_tx(t);
+        }
+    }
+}
+
+// --- request parsing ---
+
+int METHOD_GET = 1;
+int METHOD_POST = 2;
+int METHOD_HEAD = 3;
+int METHOD_PUT = 4;
+
+int parse_method(int p) {
+    char c = inbuf[p];
+    if (c == 'G') { return METHOD_GET; }
+    if (c == 'P') {
+        if (p + 1 < in_len && inbuf[p + 1] == 'O') { return METHOD_POST; }
+        return METHOD_PUT;
+    }
+    if (c == 'H') { return METHOD_HEAD; }
+    return 0;
+}
+
+int find_char(int p, char want) {
+    //@INJECT
+    while (p < in_len) {
+        if (inbuf[p] == want) { return p; }
+        p++;
+    }
+    return 0 - 1;
+}
+
+int parse_headers(int p) {
+    int count = 0;
+    while (p < in_len) {
+        if (inbuf[p] == '\n') { return p + 1; }
+        int colon = find_char(p, ':');
+        if (colon < 0) { return 0 - 1; }
+        int eol = find_char(colon, '\n');
+        if (eol < 0) { eol = in_len; }
+        //@INJECT
+        list_push(headers, p);
+        // header-specific handling
+        char h = inbuf[p];
+        if (h == 'C') {
+            // content-length: parse decimal
+            int v = 0;
+            int q = colon + 1;
+            while (q < eol) {
+                char d = inbuf[q];
+                if (d >= '0' && d <= '9') {
+                    v = v * 10 + (d - '0');
+                }
+                q++;
+            }
+            //@INJECT
+            status = v;
+        }
+        count++;
+        if (count > 32) { return 0 - 1; }
+        p = eol + 1;
+    }
+    return p;
+}
+
+int parse_request(void) {
+    int p = 0;
+    int method = parse_method(p);
+    if (method == 0) { return 0 - 1; }
+    int sp = find_char(p, ' ');
+    if (sp < 0) { return 0 - 1; }
+    int uri_start = sp + 1;
+    int sp2 = find_char(uri_start, ' ');
+    if (sp2 < 0) { return 0 - 1; }
+    int plen = sp2 - uri_start;
+    //@INJECT
+    int *tx = tx_new(method, plen);
+    list_push(txs, tx);
+    int eol = find_char(sp2, '\n');
+    if (eol < 0) { return 0 - 1; }
+    int body = parse_headers(eol + 1);
+    if (body < 0) { return 0 - 1; }
+    // body echo of `status` bytes (bounded)
+    int n = status;
+    if (n > in_len - body) { n = in_len - body; }
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+        //@INJECT
+        sum += inbuf[body + i];
+    }
+    return sum;
+}
+
+int main() {
+    //@INJ_PRELUDE
+    txs = list_new(2);
+    headers = list_new(32);
+    in_len = read_input(inbuf, 512);
+    int r = parse_request();
+    htp_conn_destroy();
+    if (r < 0) { return 1; }
+    print_int(r);
+    return 0;
+}
+"#;
+
+/// Seed inputs for the fuzzer.
+pub fn seeds() -> Vec<Vec<u8>> {
+    vec![
+        b"GET /index.html HTTP/1.1\nHost: x\nC: 4\n\nabcd".to_vec(),
+        b"POST /api HTTP/1.1\nC: 10\nAccept: */*\n\n0123456789".to_vec(),
+        b"HEAD / HTTP/1.0\n\n".to_vec(),
+    ]
+}
+
+/// Dictionary tokens.
+pub fn dictionary() -> Vec<Vec<u8>> {
+    vec![
+        b"GET ".to_vec(),
+        b"POST ".to_vec(),
+        b"HTTP/1.1".to_vec(),
+        b"C: ".to_vec(),
+        b"\n\n".to_vec(),
+        b": ".to_vec(),
+    ]
+}

@@ -1,0 +1,139 @@
+//! `jsmn`-like workload: a minimal JSON tokenizer.
+//!
+//! Mirrors the structure of the paper's `jsmn` test program: a tight,
+//! single-pass tokenizer whose bounds checks are all exact — Table 4
+//! reports **zero** gadgets for it, and this reproduction preserves that
+//! property (no attacker-controlled index escapes its check).
+
+/// MiniC source; injection-marker lines flag the Table 3 points.
+pub const SOURCE: &str = r#"
+char inbuf[256];
+int in_len;
+
+// token storage: 4 ints per token (type, start, end, size)
+int *tokens;
+int tok_count;
+int tok_max;
+
+int TOK_PRIMITIVE = 1;
+int TOK_STRING = 2;
+int TOK_OBJECT = 3;
+int TOK_ARRAY = 4;
+
+int alloc_token(int type, int start, int end) {
+    if (tok_count >= tok_max) { return 0 - 1; }
+    int *t = tokens + tok_count * 4;
+    t[0] = type;
+    t[1] = start;
+    t[2] = end;
+    t[3] = 0;
+    tok_count++;
+    return tok_count - 1;
+}
+
+int parse_primitive(int pos) {
+    int start = pos;
+    while (pos < in_len) {
+        char c = inbuf[pos];
+        if (c == ',' || c == '}' || c == ']' || c == ' ' || c == '\n') {
+            break;
+        }
+        if (c < 32 || c >= 127) { return 0 - 1; }
+        pos++;
+    }
+    alloc_token(TOK_PRIMITIVE, start, pos);
+    return pos;
+}
+
+int parse_string(int pos) {
+    pos++; // opening quote
+    int start = pos;
+    while (pos < in_len) {
+        char c = inbuf[pos];
+        if (c == '"') {
+            alloc_token(TOK_STRING, start, pos);
+            return pos + 1;
+        }
+        if (c == '\\') {
+            pos++;
+            if (pos >= in_len) { return 0 - 1; }
+            char e = inbuf[pos];
+            if (e != '"' && e != '\\' && e != 'n' && e != 't' && e != 'r') {
+                return 0 - 1;
+            }
+        }
+        pos++;
+    }
+    return 0 - 1;
+}
+
+int parse(void) {
+    int pos = 0;
+    int depth = 0;
+    while (pos < in_len) {
+        char c = inbuf[pos];
+        if (c == '{' ) {
+            //@INJECT
+            alloc_token(TOK_OBJECT, pos, 0 - 1);
+            depth++;
+            pos++;
+        } else if (c == '[') {
+            //@INJECT
+            alloc_token(TOK_ARRAY, pos, 0 - 1);
+            depth++;
+            pos++;
+        } else if (c == '}' || c == ']') {
+            if (depth <= 0) { return 0 - 1; }
+            depth--;
+            pos++;
+        } else if (c == '"') {
+            int r = parse_string(pos);
+            if (r < 0) { return 0 - 1; }
+            pos = r;
+        } else if (c == ' ' || c == '\t' || c == '\n' || c == ':' || c == ',') {
+            pos++;
+        } else {
+            int r = parse_primitive(pos);
+            if (r < 0) { return 0 - 1; }
+            //@INJECT
+            pos = r;
+        }
+    }
+    if (depth != 0) { return 0 - 1; }
+    return tok_count;
+}
+
+int main() {
+    //@INJ_PRELUDE
+    tok_max = 64;
+    tokens = malloc(64 * 32);
+    in_len = read_input(inbuf, 256);
+    int n = parse();
+    if (n < 0) { return 1; }
+    print_int(n);
+    return 0;
+}
+"#;
+
+/// Seed inputs for the fuzzer.
+pub fn seeds() -> Vec<Vec<u8>> {
+    vec![
+        br#"{"key": "value", "n": 42}"#.to_vec(),
+        br#"[1, 2, {"a": true}, "x"]"#.to_vec(),
+        br#"{"nested": {"deep": [null, 1]}}"#.to_vec(),
+    ]
+}
+
+/// Dictionary tokens.
+pub fn dictionary() -> Vec<Vec<u8>> {
+    vec![
+        b"{".to_vec(),
+        b"}".to_vec(),
+        b"[".to_vec(),
+        b"]".to_vec(),
+        b"\"".to_vec(),
+        b"true".to_vec(),
+        b"null".to_vec(),
+        b":".to_vec(),
+    ]
+}

@@ -1,0 +1,223 @@
+//! `openssl`-like workload: a TLS-record and handshake-message parser
+//! (the "server" fuzzing driver of the paper's openssl evaluation).
+//!
+//! Length fields, session-id copies and cipher-suite dispatch are all
+//! driven by attacker bytes under bounds checks — the classic gadget
+//! surface of record-based protocol parsers.
+
+/// MiniC source; injection-marker lines flag the Table 3 points.
+pub const SOURCE: &str = r#"
+char inbuf[512];
+int in_len;
+
+char *session;     // session buffer (heap)
+int session_len;
+char *keybuf;      // negotiated-key scratch (heap)
+int chosen_suite;
+int alerts;
+int handshakes;
+
+int RT_HANDSHAKE = 22;
+int RT_ALERT = 21;
+int RT_APPDATA = 23;
+
+int HS_CLIENT_HELLO = 1;
+int HS_FINISHED = 20;
+
+int u16_at(int p) {
+    if (p + 1 >= in_len) { return 0 - 1; }
+    return (inbuf[p] << 8) + inbuf[p + 1];
+}
+
+int select_suite(int suite) {
+    switch (suite) {
+        case 0: chosen_suite = 10; break;
+        case 1: chosen_suite = 11; break;
+        case 2: chosen_suite = 12; break;
+        case 3: chosen_suite = 13; break;
+        case 4: chosen_suite = 14; break;
+        default: chosen_suite = 0;
+    }
+    //@INJECT
+    return chosen_suite;
+}
+
+int copy_session_id(int p, int len) {
+    if (len > 8) { return 0 - 1; }      // session buffer capacity
+    for (int i = 0; i < len; i++) {
+        if (p + i >= in_len) { return 0 - 1; }
+        //@INJECT
+        session[i] = inbuf[p + i];
+    }
+    session_len = len;
+    return len;
+}
+
+// echo a server-name entry: length and offset are attacker bytes
+int read_sni(int p, int len) {
+    int acc = 0;
+    if (len < 16) {
+        acc = session[len];             // speculative OOB read of session
+        acc += keybuf[acc & 31];
+    }
+    sink_sni += acc;
+    return acc;
+}
+int sink_sni;
+
+int derive_key(int seed) {
+    // toy KDF: mixes the session bytes into keybuf
+    int acc = seed;
+    for (int i = 0; i < session_len; i++) {
+        if (i < 32) {
+            acc = acc * 31 + session[i];
+            //@INJECT
+            keybuf[acc & 31] = acc;
+        }
+    }
+    return acc;
+}
+
+int parse_client_hello(int p, int msg_len) {
+    int end = p + msg_len;
+    if (end > in_len) { return 0 - 1; }
+    // version (2) + random (4, toy)
+    if (p + 6 > end) { return 0 - 1; }
+    p += 6;
+    // session id
+    if (p >= end) { return 0 - 1; }
+    int sid_len = inbuf[p];
+    p++;
+    if (p + sid_len > end) { return 0 - 1; }
+    //@INJECT
+    if (copy_session_id(p, sid_len) < 0) { return 0 - 1; }
+    p += sid_len;
+    // cipher suites
+    int ns = u16_at(p);
+    if (ns < 0) { return 0 - 1; }
+    p += 2;
+    int best = 0 - 1;
+    for (int i = 0; i < ns; i++) {
+        if (p >= end) { break; }
+        int s = inbuf[p];
+        p++;
+        //@INJECT
+        int r = select_suite(s);
+        if (r > best) { best = r; }
+    }
+    if (best < 0) { return 0 - 1; }
+    derive_key(best);
+    handshakes++;
+    return p;
+}
+
+int parse_handshake(int p, int rec_len) {
+    int end = p + rec_len;
+    if (p >= end) { return 0 - 1; }
+    int msg_type = inbuf[p];
+    p++;
+    int msg_len = u16_at(p);
+    if (msg_len < 0) { return 0 - 1; }
+    p += 2;
+    if (msg_type == HS_CLIENT_HELLO) {
+        //@INJECT
+        return parse_client_hello(p, msg_len);
+    }
+    if (msg_type == HS_FINISHED) {
+        // verify data: compare against derived key prefix
+        int n = msg_len;
+        if (n > 8) { n = 8; }
+        int ok = 1;
+        for (int i = 0; i < n; i++) {
+            if (p + i >= in_len) { return 0 - 1; }
+            //@INJECT
+            if (inbuf[p + i] != keybuf[i]) { ok = 0; }
+        }
+        if (ok) { handshakes++; }
+        return p + msg_len;
+    }
+    return p + msg_len;
+}
+
+int parse_record(int p) {
+    if (p + 5 > in_len) { return 0 - 1; }
+    int rtype = inbuf[p];
+    int rlen = u16_at(p + 3);
+    if (rlen < 0) { return 0 - 1; }
+    p += 5;
+    if (rlen > in_len - p) { return 0 - 1; }
+    if (rtype == RT_HANDSHAKE) {
+        int r = parse_handshake(p, rlen);
+        if (r < 0) { return 0 - 1; }
+    } else if (rtype == 24) {
+        // SNI-ish record: [len][payload]
+        if (rlen >= 1) {
+            read_sni(p + 1, inbuf[p]);
+        }
+    } else if (rtype == RT_ALERT) {
+        if (rlen >= 2) {
+            //@INJECT
+            alerts += inbuf[p + 1];
+        }
+    } else if (rtype == RT_APPDATA) {
+        // decrypt-ish: xor with key
+        int sum = 0;
+        for (int i = 0; i < rlen; i++) {
+            if (i < 32) {
+                sum += inbuf[p + i] ^ keybuf[i & 31];
+            }
+        }
+        alerts += sum & 1;
+    } else {
+        return 0 - 1;
+    }
+    return p + rlen;
+}
+
+int main() {
+    //@INJ_PRELUDE
+    session = malloc(8);
+    keybuf = malloc(32);
+    in_len = read_input(inbuf, 512);
+    int p = 0;
+    int records = 0;
+    while (p < in_len && records < 16) {
+        int r = parse_record(p);
+        if (r < 0) { break; }
+        p = r;
+        records++;
+    }
+    print_int(handshakes * 100 + records);
+    return 0;
+}
+"#;
+
+/// Seed inputs: a client-hello record and an alert.
+pub fn seeds() -> Vec<Vec<u8>> {
+    let mut hello = vec![22u8, 3, 3, 0, 19]; // handshake record, len 19
+    hello.push(1); // client hello
+    hello.extend_from_slice(&[0, 16]); // msg len
+    hello.extend_from_slice(&[3, 3, 9, 9, 9, 9]); // version+random
+    hello.push(4); // session id len
+    hello.extend_from_slice(&[0xaa, 0xbb, 0xcc, 0xdd]);
+    hello.extend_from_slice(&[0, 3]); // 3 suites
+    hello.extend_from_slice(&[0, 2, 4]);
+    vec![
+        hello,
+        vec![21, 3, 3, 0, 2, 1, 40], // alert record
+        vec![24, 3, 3, 0, 3, 5, 9, 9], // SNI-ish record
+        vec![23, 3, 3, 0, 4, 1, 2, 3, 4], // appdata
+    ]
+}
+
+/// Dictionary tokens.
+pub fn dictionary() -> Vec<Vec<u8>> {
+    vec![
+        vec![22, 3, 3],
+        vec![21, 3, 3],
+        vec![23, 3, 3],
+        vec![1, 0],
+        vec![20],
+        vec![0, 32],
+    ]
+}

@@ -1,0 +1,221 @@
+//! `libyaml`-like workload: a line-oriented YAML subset parser.
+//!
+//! Mirrors the shape of the paper's `libyaml` program: an event-producing
+//! scanner with an indent stack, anchors, and aliases. Two of the ten
+//! Table 3 injection points live in the `emit_document` "module", which
+//! the fuzzing driver never reaches — reproducing the two unreachable
+//! gadgets the paper reports for libyaml (§7.2: "inserted in modules not
+//! covered by the fuzzing driver").
+
+/// MiniC source; injection-marker lines flag the Table 3 points.
+pub const SOURCE: &str = r#"
+char inbuf[512];
+int in_len;
+int pos;
+
+// indent stack (heap)
+int *indents;
+int indent_top;
+
+// anchor table: 8 anchors x 16-byte names (heap)
+char *anchor_names;
+int *anchor_vals;
+int anchor_count;
+
+// per-style event weights (heap, 4 entries)
+int *styles;
+
+int events;
+
+int skip_spaces(int p) {
+    int n = 0;
+    while (p < in_len && inbuf[p] == ' ') {
+        p++;
+        n++;
+    }
+    return n;
+}
+
+int line_end(int p) {
+    while (p < in_len && inbuf[p] != '\n') {
+        p++;
+    }
+    return p;
+}
+
+void push_indent(int level) {
+    if (indent_top < 16) {
+        //@INJECT
+        indents[indent_top] = level;
+        indent_top++;
+    }
+}
+
+void pop_to(int level) {
+    while (indent_top > 0) {
+        if (indents[indent_top - 1] <= level) { break; }
+        //@INJECT
+        indent_top--;
+        events++;
+    }
+}
+
+int store_anchor(int start, int len) {
+    if (anchor_count >= 8) { return 0 - 1; }
+    if (len > 15) { len = 15; }
+    for (int i = 0; i < len; i++) {
+        //@INJECT
+        anchor_names[anchor_count * 16 + i] = inbuf[start + i];
+    }
+    anchor_names[anchor_count * 16 + len] = 0;
+    anchor_vals[anchor_count] = start;
+    anchor_count++;
+    return anchor_count - 1;
+}
+
+int find_anchor(int start, int len) {
+    for (int a = 0; a < anchor_count; a++) {
+        int ok = 1;
+        for (int i = 0; i < len; i++) {
+            if (i >= 16) { ok = 0; break; }
+            if (anchor_names[a * 16 + i] != inbuf[start + i]) {
+                ok = 0;
+                break;
+            }
+        }
+        if (ok) { return a; }
+    }
+    return 0 - 1;
+}
+
+int scan_scalar(int p) {
+    //@INJECT
+    int start = p;
+    while (p < in_len) {
+        char c = inbuf[p];
+        if (c == '\n' || c == '#' || c == ':') { break; }
+        p++;
+    }
+    //@INJECT
+    events++;
+    return p - start;
+}
+
+int parse_line(int p) {
+    int indent = skip_spaces(p);
+    p = p + indent;
+    if (p >= in_len) { return p; }
+    char c = inbuf[p];
+    if (c == '\n') { return p + 1; }
+    if (c == '#') { return line_end(p) + 1; }
+    if (c == '%') {
+        // directive: %<digit> selects a style weight
+        p++;
+        if (p < in_len) {
+            int style = inbuf[p] - '0';
+            if (style >= 0) {
+                if (style < 4) {
+                    events += styles[style];
+                }
+            }
+        }
+        return line_end(p) + 1;
+    }
+    pop_to(indent);
+    push_indent(indent);
+    if (c == '-') {
+        // sequence item
+        events++;
+        p++;
+        //@INJECT
+        p = p + skip_spaces(p);
+        scan_scalar(p);
+        return line_end(p) + 1;
+    }
+    if (c == '&') {
+        // anchor definition
+        p++;
+        int start = p;
+        while (p < in_len && inbuf[p] != ' ' && inbuf[p] != '\n') { p++; }
+        store_anchor(start, p - start);
+        return line_end(p) + 1;
+    }
+    if (c == '*') {
+        // alias reference
+        p++;
+        int start = p;
+        while (p < in_len && inbuf[p] != ' ' && inbuf[p] != '\n') { p++; }
+        int a = find_anchor(start, p - start);
+        if (a >= 0) {
+            //@INJECT
+            events += anchor_vals[a];
+        }
+        return line_end(p) + 1;
+    }
+    // key: value
+    int klen = scan_scalar(p);
+    p = p + klen;
+    if (p < in_len && inbuf[p] == ':') {
+        events++;
+        p++;
+        //@INJECT
+        p = p + skip_spaces(p);
+        scan_scalar(p);
+    }
+    return line_end(p) + 1;
+}
+
+// --- emitter "module": NOT reachable from the fuzzing driver ---
+int emit_document(int style) {
+    int out = 0;
+    if (style < 4) {
+        //@INJECT
+        out = out + style;
+    }
+    for (int i = 0; i < indent_top; i++) {
+        //@INJECT
+        out += indents[i];
+    }
+    return out;
+}
+
+int main() {
+    //@INJ_PRELUDE
+    indents = malloc(16 * 8);
+    anchor_names = malloc(8 * 16);
+    anchor_vals = malloc(8 * 8);
+    styles = malloc(4 * 8);
+    in_len = read_input(inbuf, 512);
+    pos = 0;
+    int guard = 0;
+    while (pos < in_len) {
+        pos = parse_line(pos);
+        guard++;
+        if (guard > 600) { break; }
+    }
+    print_int(events);
+    return 0;
+}
+"#;
+
+/// Seed inputs for the fuzzer.
+pub fn seeds() -> Vec<Vec<u8>> {
+    vec![
+        b"key: value\nlist:\n  - a\n  - b\n".to_vec(),
+        b"&anchor base\nref: *anchor\n".to_vec(),
+        b"%1 directive\nkey: v\n".to_vec(),
+        b"a: 1\n  b: 2\n    c: 3\nd: 4\n# comment\n".to_vec(),
+    ]
+}
+
+/// Dictionary tokens.
+pub fn dictionary() -> Vec<Vec<u8>> {
+    vec![
+        b"- ".to_vec(),
+        b": ".to_vec(),
+        b"&".to_vec(),
+        b"*".to_vec(),
+        b"#".to_vec(),
+        b"\n  ".to_vec(),
+    ]
+}

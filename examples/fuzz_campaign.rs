@@ -1,0 +1,63 @@
+//! A full fuzzing campaign against the brotli-like decompressor — the
+//! paper's most gadget-dense workload — comparing Teapot's hybrid nested
+//! heuristic with SpecTaint's five-tries cap (the reason the paper's
+//! Table 4 shows SpecTaint missing nested brotli gadgets, §7.3).
+//!
+//! ```sh
+//! cargo run --release --example fuzz_campaign
+//! ```
+
+use teapot_core::{rewrite, RewriteOptions};
+use teapot_fuzz::{fuzz, FuzzConfig};
+use teapot_vm::{EmuStyle, HeurStyle};
+
+fn main() {
+    let w = teapot_workloads::brotli_like();
+    let mut cots = w
+        .build(&teapot_cc::Options::gcc_like())
+        .expect("workload compiles");
+    cots.strip();
+
+    // Teapot: Speculation Shadows + hybrid nested heuristic.
+    let instrumented =
+        rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
+    let teapot = fuzz(
+        &instrumented,
+        &w.seeds,
+        &FuzzConfig {
+            max_iters: 300,
+            dictionary: w.dictionary.clone(),
+            heur_style: HeurStyle::TeapotHybrid,
+            ..FuzzConfig::default()
+        },
+    );
+
+    // SpecTaint: emulation of the original binary, five tries per branch.
+    let spectaint = fuzz(
+        &cots,
+        &w.seeds,
+        &FuzzConfig {
+            max_iters: 60, // emulation is ~100x more expensive per run
+            dictionary: w.dictionary.clone(),
+            emu: EmuStyle::SpecTaint,
+            heur_style: HeurStyle::SpecTaintFive,
+            ..FuzzConfig::default()
+        },
+    );
+
+    println!("Teapot   : {} unique gadgets {:?}", teapot.unique_gadgets(), teapot.buckets);
+    println!(
+        "SpecTaint: {} unique gadgets {:?}",
+        spectaint.unique_gadgets(),
+        spectaint.buckets
+    );
+    println!(
+        "\nTeapot found {}x the gadgets — the efficient detector affords\n\
+         heavier speculation heuristics (paper §7.3 on brotli).",
+        if spectaint.unique_gadgets() == 0 {
+            teapot.unique_gadgets()
+        } else {
+            teapot.unique_gadgets() / spectaint.unique_gadgets().max(1)
+        }
+    );
+}

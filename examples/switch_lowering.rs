@@ -1,0 +1,17 @@
+//! The Figure 2 compiler-divergence study: the same `switch`, two
+//! lowerings, different Spectre-V1 exposure — the paper's argument for
+//! analyzing the deployed binary instead of a recompiled one (§3.2).
+//!
+//! ```sh
+//! cargo run --release --example switch_lowering
+//! ```
+
+fn main() {
+    let rows = teapot_bench::fig2::run();
+    println!("{}", teapot_bench::fig2::render(&rows));
+    println!(
+        "A compiler-based detector analyzing the jump-table build would\n\
+         certify the program safe; the branch-chain build that actually\n\
+         shipped contains the gadget. Teapot sees what shipped."
+    );
+}

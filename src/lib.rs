@@ -1,0 +1,12 @@
+//! Facade crate for the Teapot reproduction. See README.md.
+pub use teapot_asm as asm;
+pub use teapot_baselines as baselines;
+pub use teapot_cc as cc;
+pub use teapot_core as core;
+pub use teapot_dis as dis;
+pub use teapot_fuzz as fuzz;
+pub use teapot_isa as isa;
+pub use teapot_obj as obj;
+pub use teapot_rt as rt;
+pub use teapot_vm as vm;
+pub use teapot_workloads as workloads;

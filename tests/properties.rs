@@ -1,0 +1,80 @@
+//! Property-based whole-pipeline invariants:
+//!
+//! 1. **Semantic preservation** — for arbitrary inputs, a Speculation
+//!    Shadows-rewritten binary terminates with the same status and output
+//!    as the original (all speculative side effects rolled back).
+//! 2. **No control-flow escapes** — the §5.3 integrity machinery keeps
+//!    every simulation inside the Shadow Copy.
+//! 3. **Report coordinates** — every gadget report translates to an
+//!    address inside the original binary's text section.
+
+use proptest::prelude::*;
+use teapot::cc::Options;
+use teapot::core::{rewrite, RewriteOptions};
+use teapot::obj::Binary;
+use teapot::vm::{Machine, RunOptions, SpecHeuristics};
+
+fn build_pair() -> (Binary, Binary) {
+    let w = teapot::workloads::ssl_like();
+    let mut cots = w.build(&Options::gcc_like()).unwrap();
+    cots.strip();
+    let inst = rewrite(&cots, &RewriteOptions::default()).unwrap();
+    (cots, inst)
+}
+
+fn run(bin: &Binary, input: &[u8]) -> teapot::vm::RunOutcome {
+    let mut heur = SpecHeuristics::default();
+    Machine::new(
+        bin,
+        RunOptions { input: input.to_vec(), ..RunOptions::default() },
+    )
+    .run(&mut heur)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rewriting_preserves_semantics_on_arbitrary_inputs(
+        input in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let (cots, inst) = build_pair();
+        let a = run(&cots, &input);
+        let b = run(&inst, &input);
+        prop_assert_eq!(a.status, b.status, "input {:?}", input);
+        prop_assert_eq!(a.output, b.output);
+        prop_assert_eq!(b.escapes, 0);
+    }
+
+    #[test]
+    fn reports_map_into_original_text(
+        input in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let w = teapot::workloads::brotli_like();
+        let mut cots = w.build(&Options::gcc_like()).unwrap();
+        cots.strip();
+        let inst = rewrite(&cots, &RewriteOptions::default()).unwrap();
+        let out = run(&inst, &input);
+        let text = cots.section(".text").unwrap();
+        let (lo, hi) = (text.vaddr, text.vaddr + text.bytes.len() as u64);
+        for g in &out.gadgets {
+            prop_assert!(
+                g.key.pc >= lo && g.key.pc < hi,
+                "report {:#x} outside original text",
+                g.key.pc
+            );
+        }
+    }
+}
+
+#[test]
+fn records_are_deterministic_across_identical_runs() {
+    let (_, inst) = build_pair();
+    let input = teapot::workloads::ssl_like().seeds[0].clone();
+    let a = run(&inst, &input);
+    let b = run(&inst, &input);
+    assert_eq!(a.status, b.status);
+    assert_eq!(a.cost, b.cost);
+    assert_eq!(a.insts, b.insts);
+    assert_eq!(a.gadgets.len(), b.gadgets.len());
+}

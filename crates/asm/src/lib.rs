@@ -85,7 +85,10 @@ struct SymPatch {
 
 #[derive(Debug, Clone)]
 enum Item {
-    Inst { inst: Inst<CodeRef>, patch: Option<SymPatch> },
+    Inst {
+        inst: Inst<CodeRef>,
+        patch: Option<SymPatch>,
+    },
     Bind(Label),
     BindSym(String),
 }
@@ -154,12 +157,7 @@ impl FuncAsm {
     /// # Panics
     ///
     /// Panics at layout time if the instruction has no memory operand.
-    pub fn ins_disp_sym(
-        &mut self,
-        inst: Inst<CodeRef>,
-        sym: impl Into<String>,
-        addend: i64,
-    ) {
+    pub fn ins_disp_sym(&mut self, inst: Inst<CodeRef>, sym: impl Into<String>, addend: i64) {
         self.items.push(Item::Inst {
             inst,
             patch: Some(SymPatch {
@@ -171,12 +169,7 @@ impl FuncAsm {
     }
 
     /// Emits a `mov dst, &sym + addend` with a 64-bit relocated immediate.
-    pub fn ins_imm_sym(
-        &mut self,
-        dst: Reg,
-        sym: impl Into<String>,
-        addend: i64,
-    ) {
+    pub fn ins_imm_sym(&mut self, dst: Reg, sym: impl Into<String>, addend: i64) {
         self.items.push(Item::Inst {
             inst: Inst::MovRI { dst, imm: i64::MAX },
             patch: Some(SymPatch {
@@ -208,22 +201,31 @@ impl FuncAsm {
 
     /// `jmp label`
     pub fn jmp(&mut self, label: Label) {
-        self.ins(Inst::Jmp { target: label.into() });
+        self.ins(Inst::Jmp {
+            target: label.into(),
+        });
     }
 
     /// `j{cc} label`
     pub fn jcc(&mut self, cc: teapot_isa::Cc, label: Label) {
-        self.ins(Inst::Jcc { cc, target: label.into() });
+        self.ins(Inst::Jcc {
+            cc,
+            target: label.into(),
+        });
     }
 
     /// `call symbol`
     pub fn call_sym(&mut self, sym: impl Into<String>) {
-        self.ins(Inst::Call { target: CodeRef::Sym(sym.into()) });
+        self.ins(Inst::Call {
+            target: CodeRef::Sym(sym.into()),
+        });
     }
 
     /// `sim.start label` (trampoline entry)
     pub fn sim_start(&mut self, tramp: Label) {
-        self.ins(Inst::SimStart { tramp: tramp.into() });
+        self.ins(Inst::SimStart {
+            tramp: tramp.into(),
+        });
     }
 
     /// Load from a global: `load dst, [sym + addend]`.
@@ -236,7 +238,12 @@ impl FuncAsm {
         sext: bool,
     ) {
         self.items.push(Item::Inst {
-            inst: Inst::Load { dst, mem: MemRef::abs(0), size, sext },
+            inst: Inst::Load {
+                dst,
+                mem: MemRef::abs(0),
+                size,
+                sext,
+            },
             patch: Some(SymPatch {
                 sym: sym.into(),
                 addend,
@@ -254,7 +261,11 @@ impl FuncAsm {
         size: AccessSize,
     ) {
         self.items.push(Item::Inst {
-            inst: Inst::Store { src, mem: MemRef::abs(0), size },
+            inst: Inst::Store {
+                src,
+                mem: MemRef::abs(0),
+                size,
+            },
             patch: Some(SymPatch {
                 sym: sym.into(),
                 addend,
@@ -264,14 +275,12 @@ impl FuncAsm {
     }
 
     /// `lea dst, [sym + addend]` — materialize a global's address.
-    pub fn lea_global(
-        &mut self,
-        dst: Reg,
-        sym: impl Into<String>,
-        addend: i64,
-    ) {
+    pub fn lea_global(&mut self, dst: Reg, sym: impl Into<String>, addend: i64) {
         self.items.push(Item::Inst {
-            inst: Inst::Lea { dst, mem: MemRef::abs(0) },
+            inst: Inst::Lea {
+                dst,
+                mem: MemRef::abs(0),
+            },
             patch: Some(SymPatch {
                 sym: sym.into(),
                 addend,
@@ -294,7 +303,12 @@ impl FuncAsm {
         self.items.push(Item::Inst {
             inst: Inst::Load {
                 dst,
-                mem: MemRef { base: None, index: Some(index), scale, disp: 0 },
+                mem: MemRef {
+                    base: None,
+                    index: Some(index),
+                    scale,
+                    disp: 0,
+                },
                 size,
                 sext,
             },
@@ -362,7 +376,13 @@ impl Assembler {
         let rodata = obj.add_section(".rodata", SectionKind::Rodata);
         let data = obj.add_section(".data", SectionKind::Data);
         let bss = obj.add_section(".bss", SectionKind::Bss);
-        Assembler { obj, text, rodata, data, bss }
+        Assembler {
+            obj,
+            text,
+            rodata,
+            data,
+            bss,
+        }
     }
 
     /// Starts assembling a (global) function.
@@ -449,12 +469,7 @@ impl Assembler {
                     .patch
                     .rel32_at
                     .expect("symbol branch target must have rel32 field");
-                pending_relocs.push((
-                    func_start + off + at as u64,
-                    RelocKind::Rel32,
-                    sym,
-                    0,
-                ));
+                pending_relocs.push((func_start + off + at as u64, RelocKind::Rel32, sym, 0));
             }
             if let Some(p) = patch {
                 match p.place {
@@ -475,10 +490,7 @@ impl Assembler {
                             .patch
                             .imm_at
                             .expect("imm patch requires immediate operand");
-                        assert_eq!(
-                            width, 8,
-                            "symbol immediates must use the 64-bit form"
-                        );
+                        assert_eq!(width, 8, "symbol immediates must use the 64-bit form");
                         pending_relocs.push((
                             func_start + off + at as u64,
                             RelocKind::Abs64,
@@ -493,7 +505,10 @@ impl Assembler {
         }
         debug_assert_eq!(off, func_size);
 
-        self.obj.section_mut(self.text).bytes.extend_from_slice(&bytes);
+        self.obj
+            .section_mut(self.text)
+            .bytes
+            .extend_from_slice(&bytes);
         self.obj.add_symbol(
             f.name.clone(),
             SymbolKind::Func,
@@ -503,14 +518,8 @@ impl Assembler {
             f.global,
         );
         for (name, off) in extra_syms {
-            self.obj.add_symbol(
-                name,
-                SymbolKind::Func,
-                self.text,
-                func_start + off,
-                0,
-                true,
-            );
+            self.obj
+                .add_symbol(name, SymbolKind::Func, self.text, func_start + off, 0, true);
         }
         for (off, kind, sym, addend) in pending_relocs {
             self.obj.add_reloc(self.text, off, kind, sym, addend);
@@ -521,9 +530,9 @@ impl Assembler {
         for (tname, labels) in f.jump_tables {
             let ro_off = self.obj.section(self.rodata).bytes.len() as u64;
             for (i, l) in labels.iter().enumerate() {
-                let loff = *label_off.get(l).ok_or_else(|| {
-                    AsmError::UnboundLabel(f.name.clone(), l.0)
-                })?;
+                let loff = *label_off
+                    .get(l)
+                    .ok_or_else(|| AsmError::UnboundLabel(f.name.clone(), l.0))?;
                 self.obj
                     .section_mut(self.rodata)
                     .bytes
@@ -552,7 +561,10 @@ impl Assembler {
     /// within the output `.data` section.
     pub fn data(&mut self, name: impl Into<String>, bytes: &[u8]) -> u64 {
         let off = self.obj.section(self.data).bytes.len() as u64;
-        self.obj.section_mut(self.data).bytes.extend_from_slice(bytes);
+        self.obj
+            .section_mut(self.data)
+            .bytes
+            .extend_from_slice(bytes);
         self.obj.add_symbol(
             name,
             SymbolKind::Object,
@@ -568,7 +580,10 @@ impl Assembler {
     /// within the output `.rodata` section.
     pub fn rodata(&mut self, name: impl Into<String>, bytes: &[u8]) -> u64 {
         let off = self.obj.section(self.rodata).bytes.len() as u64;
-        self.obj.section_mut(self.rodata).bytes.extend_from_slice(bytes);
+        self.obj
+            .section_mut(self.rodata)
+            .bytes
+            .extend_from_slice(bytes);
         self.obj.add_symbol(
             name,
             SymbolKind::Object,
@@ -607,7 +622,8 @@ impl Assembler {
     pub fn bss(&mut self, name: impl Into<String>, size: u64) {
         let off = self.obj.section(self.bss).mem_size;
         self.obj.section_mut(self.bss).mem_size += size.max(1);
-        self.obj.add_symbol(name, SymbolKind::Object, self.bss, off, size, true);
+        self.obj
+            .add_symbol(name, SymbolKind::Object, self.bss, off, size, true);
     }
 
     /// Finishes assembly and returns the object.
@@ -642,7 +658,10 @@ mod tests {
         let mut f = asm.func("_start");
         let top = f.fresh_label();
         let out = f.fresh_label();
-        f.ins(Inst::MovRI { dst: Reg::R0, imm: 3 });
+        f.ins(Inst::MovRI {
+            dst: Reg::R0,
+            imm: 3,
+        });
         f.bind(top);
         f.ins(Inst::Alu {
             op: teapot_isa::AluOp::Sub,
@@ -654,7 +673,10 @@ mod tests {
         f.bind(out);
         f.raw(Inst::Halt);
         asm.finish_func(f).unwrap();
-        let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+        let bin = Linker::new()
+            .add_object(asm.finish())
+            .link("_start")
+            .unwrap();
         let text = bin.section(".text").unwrap();
         let mut pc = text.vaddr;
         let mut targets = Vec::new();
@@ -704,7 +726,10 @@ mod tests {
         f.store_global(Reg::R0, "counter", 0, AccessSize::B8);
         f.raw(Inst::Halt);
         asm.finish_func(f).unwrap();
-        let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+        let bin = Linker::new()
+            .add_object(asm.finish())
+            .link("_start")
+            .unwrap();
         let counter = bin.find_symbol("counter").unwrap().addr;
         let text = bin.section(".text").unwrap();
         let (load, _) = decode_at(&text.bytes, text.vaddr).unwrap();
@@ -727,13 +752,22 @@ mod tests {
         f.ins(Inst::CallInd { target: Reg::R6 });
         f.raw(Inst::Halt);
         asm.finish_func(f).unwrap();
-        let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+        let bin = Linker::new()
+            .add_object(asm.finish())
+            .link("_start")
+            .unwrap();
         let callee = bin.find_symbol("callee").unwrap().addr;
         let start = bin.find_symbol("_start").unwrap().addr;
         let text = bin.section(".text").unwrap();
         let off = (start - text.vaddr) as usize;
         let (mov, _) = decode_at(&text.bytes[off..], start).unwrap();
-        assert_eq!(mov, Inst::MovRI { dst: Reg::R6, imm: callee as i64 });
+        assert_eq!(
+            mov,
+            Inst::MovRI {
+                dst: Reg::R6,
+                imm: callee as i64
+            }
+        );
     }
 
     #[test]
@@ -749,7 +783,10 @@ mod tests {
         f.bind(b);
         f.raw(Inst::Halt);
         asm.finish_func(f).unwrap();
-        let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+        let bin = Linker::new()
+            .add_object(asm.finish())
+            .link("_start")
+            .unwrap();
         let ro = bin.section(".rodata").unwrap();
         let e0 = u64::from_le_bytes(ro.bytes[0..8].try_into().unwrap());
         let e1 = u64::from_le_bytes(ro.bytes[8..16].try_into().unwrap());
@@ -762,14 +799,20 @@ mod tests {
     fn cross_function_call_via_symbol() {
         let mut asm = Assembler::new("t");
         let mut g = asm.func("helper");
-        g.ins(Inst::MovRI { dst: Reg::R0, imm: 7 });
+        g.ins(Inst::MovRI {
+            dst: Reg::R0,
+            imm: 7,
+        });
         g.raw(Inst::Ret);
         asm.finish_func(g).unwrap();
         let mut f = asm.func("_start");
         f.call_sym("helper");
         f.raw(Inst::Halt);
         asm.finish_func(f).unwrap();
-        let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+        let bin = Linker::new()
+            .add_object(asm.finish())
+            .link("_start")
+            .unwrap();
         let helper = bin.find_symbol("helper").unwrap().addr;
         let start = bin.find_symbol("_start").unwrap().addr;
         let text = bin.section(".text").unwrap();
@@ -786,7 +829,10 @@ mod tests {
         let mut f = asm.func("_start");
         f.raw(Inst::Halt);
         asm.finish_func(f).unwrap();
-        let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+        let bin = Linker::new()
+            .add_object(asm.finish())
+            .link("_start")
+            .unwrap();
         let b1 = bin.find_symbol("buf").unwrap();
         let b2 = bin.find_symbol("buf2").unwrap();
         assert_eq!(b2.addr - b1.addr, 4096);
@@ -802,7 +848,10 @@ mod tests {
         f.bind(tramp);
         f.raw(Inst::Nop);
         asm.finish_func(f).unwrap();
-        let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+        let bin = Linker::new()
+            .add_object(asm.finish())
+            .link("_start")
+            .unwrap();
         let text = bin.section(".text").unwrap();
         let (ss, len) = decode_at(&text.bytes, text.vaddr).unwrap();
         match ss {

@@ -30,8 +30,15 @@ fn arb_items() -> impl Strategy<Value = Vec<Item>> {
 fn plain_inst(sel: u8) -> Inst<u64> {
     match sel {
         0 => Inst::Nop,
-        1 => Inst::MovRI { dst: Reg::R6, imm: 123456789 },
-        2 => Inst::Alu { op: AluOp::Add, dst: Reg::R7, src: Operand::Imm(9) },
+        1 => Inst::MovRI {
+            dst: Reg::R6,
+            imm: 123456789,
+        },
+        2 => Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R7,
+            src: Operand::Imm(9),
+        },
         3 => Inst::Load {
             dst: Reg::R8,
             mem: MemRef::base_disp(Reg::FP, -32),
@@ -39,7 +46,10 @@ fn plain_inst(sel: u8) -> Inst<u64> {
             sext: false,
         },
         4 => Inst::Push { src: Reg::R9 },
-        _ => Inst::MovRI { dst: Reg::R1, imm: i64::MIN / 3 },
+        _ => Inst::MovRI {
+            dst: Reg::R1,
+            imm: i64::MIN / 3,
+        },
     }
 }
 

@@ -21,9 +21,7 @@ use std::fmt;
 use teapot_asm::{inst_len, AsmError, Assembler, CodeRef, Label};
 use teapot_dis::{disassemble, DisError, Gtir};
 use teapot_isa::{Inst, MemRef};
-use teapot_obj::{
-    BinFlags, Binary, LinkError, Linker, LoadedSection, RelocKind, SectionKind,
-};
+use teapot_obj::{BinFlags, Binary, LinkError, Linker, LoadedSection, RelocKind, SectionKind};
 use teapot_rt::TeapotMeta;
 use teapot_vm::{EmuStyle, HeurStyle, RunOptions, SpecHeuristics};
 
@@ -51,7 +49,10 @@ impl Default for SpecFuzzOptions {
 impl SpecFuzzOptions {
     /// Figure 7 configuration: nested speculation disabled.
     pub fn perf_comparison() -> SpecFuzzOptions {
-        SpecFuzzOptions { nested_speculation: false, ..Default::default() }
+        SpecFuzzOptions {
+            nested_speculation: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -111,14 +112,14 @@ impl From<LinkError> for BaselineError {
 /// # Errors
 ///
 /// Returns a [`BaselineError`] if disassembly or reassembly fails.
-pub fn specfuzz_rewrite(
-    bin: &Binary,
-    opts: &SpecFuzzOptions,
-) -> Result<Binary, BaselineError> {
+pub fn specfuzz_rewrite(bin: &Binary, opts: &SpecFuzzOptions) -> Result<Binary, BaselineError> {
     let gtir = disassemble(bin)?;
     let mut asm = Assembler::new("specfuzz");
-    let fn_by_entry: HashMap<u64, String> =
-        gtir.functions.iter().map(|f| (f.entry, f.name.clone())).collect();
+    let fn_by_entry: HashMap<u64, String> = gtir
+        .functions
+        .iter()
+        .map(|f| (f.entry, f.name.clone()))
+        .collect();
     let data_ranges: Vec<(u64, u64, String)> = bin
         .sections
         .iter()
@@ -149,8 +150,11 @@ pub fn specfuzz_rewrite(
 
     for f in &gtir.functions {
         let mut fa = asm.func(f.name.clone());
-        let labels: HashMap<u64, Label> =
-            f.blocks.iter().map(|b| (b.addr, fa.fresh_label())).collect();
+        let labels: HashMap<u64, Label> = f
+            .blocks
+            .iter()
+            .map(|b| (b.addr, fa.fresh_label()))
+            .collect();
         let tramp_labels: Vec<Label> = f
             .blocks
             .iter()
@@ -203,21 +207,32 @@ pub fn specfuzz_rewrite(
                             tramp: tramp_labels[tramp_idx].into()
                         });
                         tramp_idx += 1;
-                        let tl = *labels.get(target).ok_or(
-                            BaselineError::UnresolvedTarget {
-                                branch: *addr,
-                                target: *target,
-                            },
-                        )?;
-                        put_orig!(*addr, Inst::Jcc { cc: *cc, target: tl.into() });
+                        let tl = *labels.get(target).ok_or(BaselineError::UnresolvedTarget {
+                            branch: *addr,
+                            target: *target,
+                        })?;
+                        put_orig!(
+                            *addr,
+                            Inst::Jcc {
+                                cc: *cc,
+                                target: tl.into()
+                            }
+                        );
                     }
                     Inst::Jmp { target } => {
                         if let Some(tl) = labels.get(target) {
-                            put_orig!(*addr, Inst::Jmp { target: (*tl).into() });
+                            put_orig!(
+                                *addr,
+                                Inst::Jmp {
+                                    target: (*tl).into()
+                                }
+                            );
                         } else if let Some(n) = fn_by_entry.get(target) {
                             put_orig!(
                                 *addr,
-                                Inst::Jmp { target: CodeRef::Sym(n.clone()) }
+                                Inst::Jmp {
+                                    target: CodeRef::Sym(n.clone())
+                                }
                             );
                         } else {
                             return Err(BaselineError::UnresolvedTarget {
@@ -227,15 +242,17 @@ pub fn specfuzz_rewrite(
                         }
                     }
                     Inst::Call { target } => {
-                        let n = fn_by_entry.get(target).ok_or(
-                            BaselineError::UnresolvedTarget {
+                        let n = fn_by_entry
+                            .get(target)
+                            .ok_or(BaselineError::UnresolvedTarget {
                                 branch: *addr,
                                 target: *target,
-                            },
-                        )?;
+                            })?;
                         put_orig!(
                             *addr,
-                            Inst::Call { target: CodeRef::Sym(n.clone()) }
+                            Inst::Call {
+                                target: CodeRef::Sym(n.clone())
+                            }
                         );
                     }
                     Inst::Load { mem, size, .. } => {
@@ -253,12 +270,17 @@ pub fn specfuzz_rewrite(
                             );
                         }
                         copy_with_resym(
-                            &mut fa, &mut off, &mut pairs, *addr, inst,
-                            &resolve_data, &fn_by_entry, &gtir,
+                            &mut fa,
+                            &mut off,
+                            &mut pairs,
+                            *addr,
+                            inst,
+                            &resolve_data,
+                            &fn_by_entry,
+                            &gtir,
                         );
                     }
-                    Inst::Store { mem, size, .. }
-                    | Inst::StoreI { mem, size, .. } => {
+                    Inst::Store { mem, size, .. } | Inst::StoreI { mem, size, .. } => {
                         if !mem.is_frame_relative() {
                             put!(Inst::Guard);
                             emit_mem_inst(
@@ -276,26 +298,46 @@ pub fn specfuzz_rewrite(
                         emit_mem_inst(
                             &mut fa,
                             &mut off,
-                            Inst::MemLog { mem: *mem, size: *size },
+                            Inst::MemLog {
+                                mem: *mem,
+                                size: *size,
+                            },
                             &resolve_data,
                         );
                         copy_with_resym(
-                            &mut fa, &mut off, &mut pairs, *addr, inst,
-                            &resolve_data, &fn_by_entry, &gtir,
+                            &mut fa,
+                            &mut off,
+                            &mut pairs,
+                            *addr,
+                            inst,
+                            &resolve_data,
+                            &fn_by_entry,
+                            &gtir,
                         );
                     }
-                    Inst::Syscall { .. } | Inst::Lfence | Inst::Cpuid
-                    | Inst::Halt => {
+                    Inst::Syscall { .. } | Inst::Lfence | Inst::Cpuid | Inst::Halt => {
                         put!(Inst::Guard);
                         put!(Inst::SimEnd);
                         copy_with_resym(
-                            &mut fa, &mut off, &mut pairs, *addr, inst,
-                            &resolve_data, &fn_by_entry, &gtir,
+                            &mut fa,
+                            &mut off,
+                            &mut pairs,
+                            *addr,
+                            inst,
+                            &resolve_data,
+                            &fn_by_entry,
+                            &gtir,
                         );
                     }
                     other => copy_with_resym(
-                        &mut fa, &mut off, &mut pairs, *addr, other,
-                        &resolve_data, &fn_by_entry, &gtir,
+                        &mut fa,
+                        &mut off,
+                        &mut pairs,
+                        *addr,
+                        other,
+                        &resolve_data,
+                        &fn_by_entry,
+                        &gtir,
                     ),
                 }
             }
@@ -312,9 +354,7 @@ pub fn specfuzz_rewrite(
             for (addr, inst) in &b.insts {
                 if let Inst::Jcc { cc, target } = inst {
                     let fall = addr + teapot_isa::encoded_len(inst) as u64;
-                    let (Some(tl), Some(fl)) =
-                        (labels.get(target), labels.get(&fall))
-                    else {
+                    let (Some(tl), Some(fl)) = (labels.get(target), labels.get(&fall)) else {
                         return Err(BaselineError::UnresolvedTarget {
                             branch: *addr,
                             target: *target,
@@ -322,8 +362,19 @@ pub fn specfuzz_rewrite(
                     };
                     fa.bind(tramp_labels[k]);
                     k += 1;
-                    put_orig!(*addr, Inst::Jcc { cc: *cc, target: (*fl).into() });
-                    put_orig!(*addr, Inst::Jmp { target: (*tl).into() });
+                    put_orig!(
+                        *addr,
+                        Inst::Jcc {
+                            cc: *cc,
+                            target: (*fl).into()
+                        }
+                    );
+                    put_orig!(
+                        *addr,
+                        Inst::Jmp {
+                            target: (*tl).into()
+                        }
+                    );
                 }
             }
         }
@@ -346,14 +397,10 @@ pub fn specfuzz_rewrite(
                 };
                 let mut i = 0usize;
                 while i + 8 <= sec.bytes.len() {
-                    let v = u64::from_le_bytes(
-                        sec.bytes[i..i + 8].try_into().unwrap(),
-                    );
+                    let v = u64::from_le_bytes(sec.bytes[i..i + 8].try_into().unwrap());
                     if v >= gtir.text_range.0 && v < gtir.text_range.1 {
                         if let Some(f) = gtir.function_containing(v) {
-                            if let Some(boff) =
-                                block_offs_by_fn[&f.entry].get(&v)
-                            {
+                            if let Some(boff) = block_offs_by_fn[&f.entry].get(&v) {
                                 let off = base_off + i as u64;
                                 if sec.kind == SectionKind::Rodata {
                                     asm.rodata_reloc(
@@ -403,8 +450,11 @@ pub fn specfuzz_rewrite(
         .link(&entry_name)?;
 
     // Metadata: address translation only (single copy: no shadow region).
-    let sym_addr: HashMap<&str, u64> =
-        out.symbols.iter().map(|s| (s.name.as_str(), s.addr)).collect();
+    let sym_addr: HashMap<&str, u64> = out
+        .symbols
+        .iter()
+        .map(|s| (s.name.as_str(), s.addr))
+        .collect();
     let mut meta = TeapotMeta::default();
     for f in &gtir.functions {
         let fa = sym_addr[f.name.as_str()];
@@ -441,9 +491,10 @@ fn emit_mem_inst(
                     size,
                     is_write,
                 },
-                Inst::MemLog { size, .. } => {
-                    Inst::MemLog { mem: MemRef { disp: 0, ..mem }, size }
-                }
+                Inst::MemLog { size, .. } => Inst::MemLog {
+                    mem: MemRef { disp: 0, ..mem },
+                    size,
+                },
                 _ => unreachable!(),
             };
             *off += inst_len(&cleaned) as u64;
@@ -478,19 +529,28 @@ fn copy_with_resym(
             if let Some((sym, addend)) = resolve_data(m.disp as i64 as u64) {
                 let fix = MemRef { disp: 0, ..m };
                 let cleaned: Inst<CodeRef> = match inst {
-                    Inst::Load { dst, size, sext, .. } => Inst::Load {
+                    Inst::Load {
+                        dst, size, sext, ..
+                    } => Inst::Load {
                         dst: *dst,
                         mem: fix,
                         size: *size,
                         sext: *sext,
                     },
-                    Inst::Store { src, size, .. } => {
-                        Inst::Store { src: *src, mem: fix, size: *size }
-                    }
-                    Inst::StoreI { imm, size, .. } => {
-                        Inst::StoreI { imm: *imm, mem: fix, size: *size }
-                    }
-                    Inst::Lea { dst, .. } => Inst::Lea { dst: *dst, mem: fix },
+                    Inst::Store { src, size, .. } => Inst::Store {
+                        src: *src,
+                        mem: fix,
+                        size: *size,
+                    },
+                    Inst::StoreI { imm, size, .. } => Inst::StoreI {
+                        imm: *imm,
+                        mem: fix,
+                        size: *size,
+                    },
+                    Inst::Lea { dst, .. } => Inst::Lea {
+                        dst: *dst,
+                        mem: fix,
+                    },
                     _ => unreachable!(),
                 };
                 pairs.push((*off, addr));
@@ -505,8 +565,10 @@ fn copy_with_resym(
         if *imm > 0 {
             if let Some((sym, addend)) = resolve_data(v) {
                 pairs.push((*off, addr));
-                let probe: Inst<CodeRef> =
-                    Inst::MovRI { dst: *dst, imm: i64::MAX };
+                let probe: Inst<CodeRef> = Inst::MovRI {
+                    dst: *dst,
+                    imm: i64::MAX,
+                };
                 *off += inst_len(&probe) as u64;
                 fa.ins_imm_sym(*dst, sym, addend);
                 return;
@@ -514,8 +576,10 @@ fn copy_with_resym(
             if v >= gtir.text_range.0 && v < gtir.text_range.1 {
                 if let Some(name) = fn_by_entry.get(&v) {
                     pairs.push((*off, addr));
-                    let probe: Inst<CodeRef> =
-                        Inst::MovRI { dst: *dst, imm: i64::MAX };
+                    let probe: Inst<CodeRef> = Inst::MovRI {
+                        dst: *dst,
+                        imm: i64::MAX,
+                    };
                     *off += inst_len(&probe) as u64;
                     fa.ins_imm_sym(*dst, name.clone(), 0);
                     return;
@@ -533,7 +597,11 @@ fn copy_with_resym(
 /// binary, plus the matching [`SpecHeuristics`].
 pub fn spectaint_options(input: Vec<u8>) -> (RunOptions, SpecHeuristics) {
     (
-        RunOptions { input, emu: EmuStyle::SpecTaint, ..RunOptions::default() },
+        RunOptions {
+            input,
+            emu: EmuStyle::SpecTaint,
+            ..RunOptions::default()
+        },
         SpecHeuristics::new(HeurStyle::SpecTaintFive),
     )
 }
@@ -574,7 +642,10 @@ mod tests {
         let mut heur = specfuzz_heuristics();
         Machine::new(
             bin,
-            RunOptions { input: input.to_vec(), ..RunOptions::default() },
+            RunOptions {
+                input: input.to_vec(),
+                ..RunOptions::default()
+            },
         )
         .run(&mut heur)
     }
@@ -597,7 +668,10 @@ mod tests {
         let sf = specfuzz_rewrite(&orig, &SpecFuzzOptions::default()).unwrap();
         let out = run(&sf, &[200]);
         assert_eq!(out.status, ExitStatus::Exit(200));
-        assert!(!out.gadgets.is_empty(), "SpecFuzz must report the OOB access");
+        assert!(
+            !out.gadgets.is_empty(),
+            "SpecFuzz must report the OOB access"
+        );
         // All SpecFuzz reports land in the single User-MDS bucket
         // (no taint tracking → no classification).
         for g in &out.gadgets {
@@ -639,13 +713,9 @@ mod tests {
     fn teapot_is_faster_than_specfuzz_is_faster_than_spectaint() {
         // The Figure 1 / Figure 7 ordering on a micro-workload.
         let orig = cots(VICTIM);
-        let teapot = teapot_core::rewrite(
-            &orig,
-            &teapot_core::RewriteOptions::perf_comparison(),
-        )
-        .unwrap();
-        let sf = specfuzz_rewrite(&orig, &SpecFuzzOptions::perf_comparison())
-            .unwrap();
+        let teapot =
+            teapot_core::rewrite(&orig, &teapot_core::RewriteOptions::perf_comparison()).unwrap();
+        let sf = specfuzz_rewrite(&orig, &SpecFuzzOptions::perf_comparison()).unwrap();
         let input = vec![5u8; 8];
         let t = run(&teapot, &input);
         let s = run(&sf, &input);
@@ -653,8 +723,14 @@ mod tests {
         let st = Machine::new(&orig, opts).run(&mut heur);
         let native = {
             let mut h = SpecHeuristics::default();
-            Machine::new(&orig, RunOptions { input, ..RunOptions::default() })
-                .run(&mut h)
+            Machine::new(
+                &orig,
+                RunOptions {
+                    input,
+                    ..RunOptions::default()
+                },
+            )
+            .run(&mut h)
         };
         assert!(t.cost > native.cost, "instrumentation costs something");
         assert!(

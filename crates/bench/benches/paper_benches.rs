@@ -36,8 +36,7 @@ fn bench_execution(c: &mut Criterion) {
             .unwrap();
         let cots = cots_binary(&w);
         let input = large_input(name);
-        let teapot_bin =
-            rewrite(&cots, &RewriteOptions::perf_comparison()).unwrap();
+        let teapot_bin = rewrite(&cots, &RewriteOptions::perf_comparison()).unwrap();
         group.bench_function(format!("native/{name}"), |b| {
             b.iter_batched(
                 SpecHeuristics::default,

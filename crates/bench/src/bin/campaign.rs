@@ -1,0 +1,12 @@
+//! Campaign throughput benchmark: execs/sec of the sharded orchestrator
+//! vs. worker count on the jsmn workload. Writes `BENCH_campaign.json`.
+fn main() {
+    println!("Campaign throughput: 8 shards, execs/sec vs worker count");
+    println!("(every row computes the identical merged gadget report)\n");
+    let w = teapot_workloads::jsmn_like();
+    let result = teapot_bench::campaign::run(&w, &[1, 2, 4, 8]);
+    println!("{}", teapot_bench::campaign::render(&result));
+    let json = teapot_bench::campaign::render_json(&result);
+    std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
+    println!("\nwrote BENCH_campaign.json");
+}

@@ -3,8 +3,6 @@ fn main() {
     println!("Figure 7: normalized run time of instrumented programs");
     println!("(nested speculation disabled for all tools; SpecTaint runs");
     println!("only on jsmn/libyaml, as in the paper)\n");
-    let rows = teapot_bench::runtime::run(&[
-        "jsmn", "libyaml", "libhtp", "brotli", "openssl",
-    ]);
+    let rows = teapot_bench::runtime::run(&["jsmn", "libyaml", "libhtp", "brotli", "openssl"]);
     println!("{}", teapot_bench::runtime::render(&rows));
 }

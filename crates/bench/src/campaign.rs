@@ -1,0 +1,137 @@
+//! Campaign throughput benchmark: executions per second of the sharded
+//! orchestrator as the worker-thread count grows, on an instrumented
+//! workload binary.
+//!
+//! This is the scaling story of the `teapot-campaign` subsystem: shard
+//! results are merged deterministically in shard-index order, so every
+//! row of this benchmark computes the *same* gadget report — only the
+//! wall-clock changes with `--workers`. The harness asserts exactly that
+//! before reporting, making the benchmark double as a determinism check.
+
+use std::time::Instant;
+use teapot_campaign::{Campaign, CampaignConfig, CampaignReport};
+use teapot_core::{rewrite, RewriteOptions};
+use teapot_workloads::Workload;
+
+/// One worker-count measurement.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total executions the campaign performed.
+    pub execs: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Throughput.
+    pub execs_per_sec: f64,
+    /// Unique gadgets in the merged report (identical across rows).
+    pub unique_gadgets: usize,
+}
+
+/// Result of [`run`]: per-worker-count rows plus the (shared) report.
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// Workload name.
+    pub workload: String,
+    /// Shards in every campaign.
+    pub shards: u32,
+    /// CPUs available on the benchmarking host (flat rows are expected
+    /// when this is 1).
+    pub cpus: usize,
+    /// Epochs in every campaign.
+    pub epochs: u32,
+    /// One row per worker count.
+    pub rows: Vec<ThroughputRow>,
+}
+
+/// Runs the throughput experiment over `worker_counts` on `w`.
+///
+/// # Panics
+///
+/// Panics if two worker counts produce different reports — that would
+/// be a determinism bug in the orchestrator, and a benchmark over
+/// diverging computations would be meaningless.
+pub fn run(w: &Workload, worker_counts: &[usize]) -> ThroughputResult {
+    let mut cots = crate::cots_binary(w);
+    cots.strip();
+    let bin = rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
+
+    let mut rows = Vec::new();
+    let mut baseline: Option<CampaignReport> = None;
+    let (shards, epochs) = (8u32, 3u32);
+    for &workers in worker_counts {
+        let cfg = CampaignConfig {
+            shards,
+            workers,
+            epochs,
+            iters_per_epoch: 60,
+            dictionary: w.dictionary.clone(),
+            ..CampaignConfig::default()
+        };
+        let mut campaign = Campaign::new(cfg).expect("valid config");
+        let start = Instant::now();
+        let report = campaign.run(&bin, &w.seeds);
+        let secs = start.elapsed().as_secs_f64();
+        match &baseline {
+            None => baseline = Some(report.clone()),
+            Some(b) => assert_eq!(*b, report, "campaign diverged between worker counts"),
+        }
+        rows.push(ThroughputRow {
+            workers,
+            execs: report.iters,
+            secs,
+            execs_per_sec: report.iters as f64 / secs.max(1e-9),
+            unique_gadgets: report.unique_gadgets(),
+        });
+    }
+    ThroughputResult {
+        workload: w.name.to_string(),
+        shards,
+        cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        epochs,
+        rows,
+    }
+}
+
+/// Renders the result as an aligned text table.
+pub fn render(r: &ThroughputResult) -> String {
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.workers.to_string(),
+                row.execs.to_string(),
+                format!("{:.2}", row.secs),
+                format!("{:.0}", row.execs_per_sec),
+                row.unique_gadgets.to_string(),
+            ]
+        })
+        .collect();
+    crate::render_table(&["workers", "execs", "secs", "execs/sec", "gadgets"], &rows)
+}
+
+/// Renders the result as the `BENCH_campaign.json` document.
+pub fn render_json(r: &ThroughputResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"workload\": \"{}\",\n", r.workload));
+    out.push_str(&format!("  \"shards\": {},\n", r.shards));
+    out.push_str(&format!("  \"cpus\": {},\n", r.cpus));
+    out.push_str(&format!("  \"epochs\": {},\n", r.epochs));
+    out.push_str("  \"results\": [");
+    for (i, row) in r.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"workers\": {}, \"execs\": {}, \"secs\": {:.4}, \
+             \"execs_per_sec\": {:.1}, \"unique_gadgets\": {}}}",
+            row.workers, row.execs, row.secs, row.execs_per_sec, row.unique_gadgets
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}

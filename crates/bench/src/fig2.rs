@@ -126,7 +126,12 @@ pub fn render(rows: &[Fig2Row]) -> String {
         })
         .collect();
     crate::render_table(
-        &["lowering", "cond. branches in switch", "gadgets found", "verdict"],
+        &[
+            "lowering",
+            "cond. branches in switch",
+            "gadgets found",
+            "verdict",
+        ],
         &table_rows,
     )
 }

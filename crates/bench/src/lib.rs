@@ -7,6 +7,7 @@
 //! | [`fig2`] | Figure 2 (compiler-divergence study) |
 //! | [`table3`] | Table 3 (artificial-gadget detection) |
 //! | [`table4`] | Table 4 (vanilla-binary gadget counts) |
+//! | [`campaign`] | Campaign scaling (execs/sec vs worker count; not in the paper) |
 //!
 //! Absolute numbers differ from the paper (the substrate is a simulator
 //! with a documented cost model, not an EPYC testbed); the *shape* —
@@ -18,6 +19,7 @@ use teapot_obj::Binary;
 use teapot_vm::{Machine, RunOptions, SpecHeuristics};
 use teapot_workloads::Workload;
 
+pub mod campaign;
 pub mod fig2;
 pub mod runtime;
 pub mod table3;
@@ -27,7 +29,10 @@ pub mod table4;
 /// lowering, like the paper's default toolchain for deployment).
 pub fn cots_binary(w: &Workload) -> Binary {
     let mut bin = w
-        .build(&Options { unit_name: w.name.into(), ..Options::gcc_like() })
+        .build(&Options {
+            unit_name: w.name.into(),
+            ..Options::gcc_like()
+        })
         .unwrap_or_else(|e| panic!("{} does not compile: {e}", w.name));
     bin.strip();
     bin
@@ -43,9 +48,7 @@ pub fn large_input(name: &str) -> Vec<u8> {
                 if i > 0 {
                     v.push(b',');
                 }
-                v.extend_from_slice(
-                    format!("{{\"k{i}\": {i}, \"s\": \"x{i}\"}}").as_bytes(),
-                );
+                v.extend_from_slice(format!("{{\"k{i}\": {i}, \"s\": \"x{i}\"}}").as_bytes());
             }
             v.push(b']');
             v.truncate(500);
@@ -54,9 +57,7 @@ pub fn large_input(name: &str) -> Vec<u8> {
         "libyaml" => {
             let mut v = Vec::new();
             for i in 0..30 {
-                v.extend_from_slice(
-                    format!("key{i}: value{i}\n  sub{i}: {i}\n").as_bytes(),
-                );
+                v.extend_from_slice(format!("key{i}: value{i}\n  sub{i}: {i}\n").as_bytes());
             }
             v.truncate(500);
             v
@@ -84,8 +85,8 @@ pub fn large_input(name: &str) -> Vec<u8> {
             let mut v = Vec::new();
             for _ in 0..6 {
                 v.extend_from_slice(&[
-                    22, 3, 3, 0, 19, 1, 0, 16, 3, 3, 9, 9, 9, 9, 4, 0xaa,
-                    0xbb, 0xcc, 0xdd, 0, 3, 0, 2, 4,
+                    22, 3, 3, 0, 19, 1, 0, 16, 3, 3, 9, 9, 9, 9, 4, 0xaa, 0xbb, 0xcc, 0xdd, 0, 3,
+                    0, 2, 4,
                 ]);
             }
             v.extend_from_slice(&[21, 3, 3, 0, 2, 1, 40]);
@@ -100,7 +101,10 @@ pub fn run_cost(bin: &Binary, input: &[u8], opts: RunOptions) -> u64 {
     let mut heur = SpecHeuristics::default();
     let out = Machine::new(
         bin,
-        RunOptions { input: input.to_vec(), ..opts },
+        RunOptions {
+            input: input.to_vec(),
+            ..opts
+        },
     )
     .run(&mut heur);
     out.cost
@@ -108,8 +112,7 @@ pub fn run_cost(bin: &Binary, input: &[u8], opts: RunOptions) -> u64 {
 
 /// Renders a simple aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> =
-        headers.iter().map(|h| h.len()).collect();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
             if i < widths.len() {

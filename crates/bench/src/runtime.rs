@@ -46,13 +46,11 @@ pub fn run(names: &[&str]) -> Vec<RuntimeRow> {
         };
         let native = run_cost(&cots, &input, base_opts.clone());
 
-        let teapot_bin =
-            rewrite(&cots, &RewriteOptions::perf_comparison()).expect("rewrite");
+        let teapot_bin = rewrite(&cots, &RewriteOptions::perf_comparison()).expect("rewrite");
         let teapot = run_cost(&teapot_bin, &input, base_opts.clone());
 
         let sf_bin =
-            specfuzz_rewrite(&cots, &SpecFuzzOptions::perf_comparison())
-                .expect("specfuzz rewrite");
+            specfuzz_rewrite(&cots, &SpecFuzzOptions::perf_comparison()).expect("specfuzz rewrite");
         let specfuzz = run_cost(&sf_bin, &input, base_opts.clone());
 
         // SpecTaint runs only on jsmn and libyaml (paper §7.1: the other
@@ -61,8 +59,7 @@ pub fn run(names: &[&str]) -> Vec<RuntimeRow> {
         // emulator simulates every branch encounter (not just five).
         let spectaint = if matches!(w.name, "jsmn" | "libyaml") {
             let (opts, _) = spectaint_options(input.clone());
-            let mut heur =
-                teapot_vm::SpecHeuristics::new(teapot_vm::HeurStyle::TeapotHybrid);
+            let mut heur = teapot_vm::SpecHeuristics::new(teapot_vm::HeurStyle::TeapotHybrid);
             let opts = RunOptions {
                 config: DetectorConfig::no_nesting(),
                 fuel: u64::MAX / 2,
@@ -102,7 +99,13 @@ pub fn render(rows: &[RuntimeRow]) -> String {
         })
         .collect();
     crate::render_table(
-        &["program", "SpecTaint", "SpecFuzz", "Teapot", "Teapot/SpecFuzz"],
+        &[
+            "program",
+            "SpecTaint",
+            "SpecFuzz",
+            "Teapot",
+            "Teapot/SpecFuzz",
+        ],
         &table_rows,
     )
 }

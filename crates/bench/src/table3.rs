@@ -100,8 +100,7 @@ pub fn run_one(w: &Workload, iters: u64) -> Table3Row {
     let detector = DetectorConfig::artificial();
 
     // Teapot.
-    let teapot_bin =
-        rewrite(&orig, &RewriteOptions::default()).expect("teapot rewrite");
+    let teapot_bin = rewrite(&orig, &RewriteOptions::default()).expect("teapot rewrite");
     let res = fuzz(
         &teapot_bin,
         &seeds,
@@ -117,8 +116,7 @@ pub fn run_one(w: &Workload, iters: u64) -> Table3Row {
     let teapot = Score { tp, fp, fnn };
 
     // SpecFuzz baseline: ASan-only policy flags every speculative OOB.
-    let sf_bin = specfuzz_rewrite(&orig, &SpecFuzzOptions::default())
-        .expect("specfuzz rewrite");
+    let sf_bin = specfuzz_rewrite(&orig, &SpecFuzzOptions::default()).expect("specfuzz rewrite");
     let res = fuzz(
         &sf_bin,
         &seeds,
@@ -181,10 +179,8 @@ pub fn render(rows: &[Table3Row]) -> String {
         .collect();
     crate::render_table(
         &[
-            "program", "GT",
-            "ST.TP", "ST.FP", "ST.FN", "ST.Prec", "ST.Rec",
-            "SF.TP", "SF.FP", "SF.FN", "SF.Prec", "SF.Rec",
-            "TP", "FP", "FN", "Prec", "Rec",
+            "program", "GT", "ST.TP", "ST.FP", "ST.FN", "ST.Prec", "ST.Rec", "SF.TP", "SF.FP",
+            "SF.FN", "SF.Prec", "SF.Rec", "TP", "FP", "FN", "Prec", "Rec",
         ],
         &table_rows,
     )

@@ -56,7 +56,10 @@ impl Table4Row {
 
 /// Runs the experiment over all five workloads.
 pub fn run(iters: u64) -> Vec<Table4Row> {
-    teapot_workloads::all().iter().map(|w| run_one(w, iters)).collect()
+    teapot_workloads::all()
+        .iter()
+        .map(|w| run_one(w, iters))
+        .collect()
 }
 
 /// Runs the experiment for one workload.
@@ -64,8 +67,7 @@ pub fn run_one(w: &teapot_workloads::Workload, iters: u64) -> Table4Row {
     let cots = cots_binary(w);
 
     // Teapot.
-    let teapot_bin =
-        rewrite(&cots, &RewriteOptions::default()).expect("teapot rewrite");
+    let teapot_bin = rewrite(&cots, &RewriteOptions::default()).expect("teapot rewrite");
     let res = fuzz(
         &teapot_bin,
         &w.seeds,
@@ -80,8 +82,7 @@ pub fn run_one(w: &teapot_workloads::Workload, iters: u64) -> Table4Row {
     let total = res.unique_gadgets();
 
     // SpecFuzz baseline.
-    let sf_bin = specfuzz_rewrite(&cots, &SpecFuzzOptions::default())
-        .expect("specfuzz rewrite");
+    let sf_bin = specfuzz_rewrite(&cots, &SpecFuzzOptions::default()).expect("specfuzz rewrite");
     let sf = fuzz(
         &sf_bin,
         &w.seeds,
@@ -141,10 +142,18 @@ pub fn render(rows: &[Table4Row]) -> String {
         .collect();
     crate::render_table(
         &[
-            "program", "SpecTaint", "SpecFuzz",
-            "U-MDS", "U-Cache", "U-Port",
-            "M-MDS", "M-Cache", "M-Port",
-            "Tot U-*", "Tot M-*", "Tot *-*",
+            "program",
+            "SpecTaint",
+            "SpecFuzz",
+            "U-MDS",
+            "U-Cache",
+            "U-Port",
+            "M-MDS",
+            "M-Cache",
+            "M-Port",
+            "Tot U-*",
+            "Tot M-*",
+            "Tot *-*",
         ],
         &table_rows,
     )

@@ -1,0 +1,172 @@
+//! Deterministic JSON rendering of campaign reports.
+//!
+//! Hand-rolled so the workspace stays dependency-free: keys are emitted
+//! in a fixed order, maps are sorted (`BTreeMap`), and nothing
+//! timing- or thread-dependent is included — the bytes are a pure
+//! function of the campaign result, which is what makes the
+//! "`--workers 8` equals `--workers 1`" acceptance check meaningful.
+
+use crate::{CampaignReport, ShardSummary};
+use teapot_rt::GadgetReport;
+
+/// Escapes a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_gadget(g: &GadgetReport, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"pc\":\"{:#x}\",\"channel\":\"{}\",\"controllability\":\"{}\",\
+         \"bucket\":\"{}\",\"branch_pc\":\"{:#x}\",\"access_pc\":\"{:#x}\",\
+         \"depth\":{},\"description\":\"{}\"}}",
+        g.key.pc,
+        g.key.channel,
+        g.key.controllability,
+        g.bucket(),
+        g.branch_pc,
+        g.access_pc,
+        g.depth,
+        escape(&g.description),
+    ));
+}
+
+fn render_shard(s: &ShardSummary, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"shard\":{},\"iters\":{},\"corpus_len\":{},\"gadgets\":{},\
+         \"crashes\":{},\"total_cost\":{}}}",
+        s.shard, s.iters, s.corpus_len, s.gadgets, s.crashes, s.total_cost,
+    ));
+}
+
+/// Renders a [`CampaignReport`] as deterministic, pretty-stable JSON.
+pub fn render_report(r: &CampaignReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {},\n", r.seed));
+    out.push_str(&format!("  \"shards\": {},\n", r.shards));
+    out.push_str(&format!("  \"epochs\": {},\n", r.epochs));
+    out.push_str(&format!("  \"iters\": {},\n", r.iters));
+    out.push_str(&format!("  \"total_cost\": {},\n", r.total_cost));
+    out.push_str(&format!("  \"crashes\": {},\n", r.crashes));
+    out.push_str(&format!("  \"corpus_total\": {},\n", r.corpus_total));
+    out.push_str(&format!(
+        "  \"cov_normal_features\": {},\n",
+        r.cov_normal_features
+    ));
+    out.push_str(&format!(
+        "  \"cov_spec_features\": {},\n",
+        r.cov_spec_features
+    ));
+    out.push_str(&format!("  \"unique_gadgets\": {},\n", r.unique_gadgets()));
+
+    out.push_str("  \"buckets\": {");
+    for (i, (bucket, n)) in r.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(bucket), n));
+    }
+    out.push_str("},\n");
+
+    out.push_str("  \"gadgets\": [");
+    for (i, g) in r.gadgets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        render_gadget(g, &mut out);
+    }
+    if !r.gadgets.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+
+    out.push_str("  \"per_shard\": [");
+    for (i, s) in r.per_shard.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        render_shard(s, &mut out);
+    }
+    if !r.per_shard.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use teapot_rt::{Channel, Controllability, GadgetKey};
+
+    fn sample_report() -> CampaignReport {
+        CampaignReport {
+            seed: 7,
+            shards: 2,
+            epochs: 1,
+            iters: 100,
+            total_cost: 5000,
+            crashes: 0,
+            corpus_total: 12,
+            cov_normal_features: 4,
+            cov_spec_features: 9,
+            gadgets: vec![GadgetReport {
+                key: GadgetKey {
+                    pc: 0x400100,
+                    channel: Channel::Mds,
+                    controllability: Controllability::User,
+                },
+                branch_pc: 0x4000f0,
+                access_pc: 0x4000f8,
+                depth: 2,
+                description: "load of \"secret\"\n".into(),
+            }],
+            buckets: BTreeMap::from([("User-MDS".to_string(), 1)]),
+            per_shard: vec![ShardSummary {
+                shard: 0,
+                iters: 50,
+                corpus_len: 6,
+                gadgets: 1,
+                crashes: 0,
+                total_cost: 2500,
+            }],
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let r = sample_report();
+        assert_eq!(render_report(&r), render_report(&r.clone()));
+    }
+
+    #[test]
+    fn escapes_quotes_and_newlines() {
+        let json = render_report(&sample_report());
+        assert!(json.contains("load of \\\"secret\\\"\\n"));
+        assert!(json.contains("\"User-MDS\":1"));
+        assert!(json.contains("\"pc\":\"0x400100\""));
+    }
+
+    #[test]
+    fn control_chars_are_u_escaped() {
+        assert_eq!(escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(escape("t\ta"), "t\\ta");
+    }
+}

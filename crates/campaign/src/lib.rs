@@ -1,0 +1,601 @@
+//! `teapot-campaign` — a sharded, resumable, parallel fuzzing-campaign
+//! orchestrator over [`teapot_fuzz`] workers.
+//!
+//! The paper's workflow culminates in long coverage-guided fuzzing
+//! sessions over instrumented COTS binaries (Fig. 3; §6.3). A single
+//! sequential [`teapot_fuzz::fuzz`] call reproduces that at experiment
+//! scale; this crate scales it out:
+//!
+//! * **Sharding** — a campaign is split into `shards` deterministic
+//!   sub-campaigns. Shard *i* fuzzes with RNG seed `seed ⊕ i` over its
+//!   own corpus, so shards explore different parts of the input space.
+//! * **Epoch barriers** — fuzzing proceeds in epochs of
+//!   `iters_per_epoch` executions per shard. At each barrier the shards
+//!   exchange the inputs they found interesting (cross-pollination, the
+//!   corpus-sync of distributed AFL/honggfuzz deployments), coverage
+//!   maps are unioned, and gadget reports are deduplicated by
+//!   [`GadgetKey`].
+//! * **Determinism** — merging happens strictly in shard-index order and
+//!   worker threads only decide *which CPU runs which shard*, never what
+//!   a shard computes. The merged gadget set and the JSON report are
+//!   bit-identical for any `workers` value (acceptance: `--workers 8`
+//!   equals `--workers 1` byte-for-byte).
+//! * **Snapshots** — [`Campaign::snapshot`] serializes every shard
+//!   (corpus, per-branch [`SpecHeuristics`] counts, coverage maps, RNG
+//!   epoch) into a [`.tcs` file](snapshot); a killed campaign resumed
+//!   with [`Campaign::resume`] replays bit-identically to one that never
+//!   stopped, because shard RNGs are re-seeded from `(seed, epoch)` at
+//!   every epoch boundary rather than serialized.
+//! * **Queue mode** — [`queue::run_queue`] scans a directory of `.tof`
+//!   binaries and pushes each through instrument → fuzz → report in one
+//!   invocation.
+//!
+//! [`SpecHeuristics`]: teapot_vm::SpecHeuristics
+
+pub mod json;
+pub mod queue;
+pub mod snapshot;
+
+use std::collections::BTreeMap;
+use teapot_fuzz::{CampaignState, ConfigError, FuzzConfig};
+use teapot_obj::Binary;
+use teapot_rt::{CovMap, DetectorConfig, GadgetKey, GadgetReport};
+use teapot_vm::{EmuStyle, HeurStyle};
+
+pub use snapshot::{CampaignSnapshot, SnapshotError};
+
+/// Orchestrator configuration.
+///
+/// `shards`, `seed`, `epochs` and `iters_per_epoch` define *what* the
+/// campaign computes; `workers` only defines how many OS threads execute
+/// it and never influences results.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Base RNG seed; shard `i` fuzzes with `seed ^ i`.
+    pub seed: u64,
+    /// Number of deterministic sub-campaigns (the determinism unit).
+    pub shards: u32,
+    /// OS threads executing shards; `0` means "one per available CPU,
+    /// at most one per shard". Results never depend on this.
+    pub workers: usize,
+    /// Epoch barriers to run.
+    pub epochs: u32,
+    /// Mutate-and-execute iterations per shard per epoch.
+    pub iters_per_epoch: u64,
+    /// Maximum input length the mutators will grow to.
+    pub max_input_len: usize,
+    /// Per-run cost budget.
+    pub fuel_per_run: u64,
+    /// Detector configuration passed to every run.
+    pub detector: DetectorConfig,
+    /// Execution style (native for instrumented binaries).
+    pub emu: EmuStyle,
+    /// Which tool's nested-speculation heuristic to persist.
+    pub heur_style: HeurStyle,
+    /// Dictionary tokens spliced into inputs.
+    pub dictionary: Vec<Vec<u8>>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        let f = FuzzConfig::default();
+        CampaignConfig {
+            seed: f.seed,
+            shards: 8,
+            workers: 0,
+            epochs: 4,
+            iters_per_epoch: 250,
+            max_input_len: f.max_input_len,
+            fuel_per_run: f.fuel_per_run,
+            detector: f.detector,
+            emu: f.emu,
+            heur_style: f.heur_style,
+            dictionary: f.dictionary,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Validates the orchestration budgets, rejecting configurations
+    /// that would silently do nothing.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if self.shards == 0 {
+            return Err(CampaignError::ZeroShards);
+        }
+        if self.epochs == 0 {
+            return Err(CampaignError::ZeroEpochs);
+        }
+        if self.iters_per_epoch == 0 {
+            return Err(CampaignError::Fuzz(ConfigError::ZeroIters));
+        }
+        self.shard_fuzz_config(0)
+            .validate()
+            .map_err(CampaignError::Fuzz)
+    }
+
+    /// The [`FuzzConfig`] shard `i` runs under (`seed ⊕ i`).
+    pub fn shard_fuzz_config(&self, shard: u32) -> FuzzConfig {
+        FuzzConfig {
+            seed: self.seed ^ shard as u64,
+            max_iters: self
+                .iters_per_epoch
+                .saturating_mul(self.epochs as u64)
+                .max(1),
+            max_input_len: self.max_input_len,
+            fuel_per_run: self.fuel_per_run,
+            detector: self.detector.clone(),
+            emu: self.emu,
+            heur_style: self.heur_style,
+            dictionary: self.dictionary.clone(),
+        }
+    }
+
+    /// The thread count actually used for `shards` shards.
+    pub fn effective_workers(&self) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let w = if self.workers == 0 {
+            auto
+        } else {
+            self.workers
+        };
+        w.clamp(1, self.shards as usize)
+    }
+}
+
+/// Errors from campaign orchestration.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// `shards` was zero.
+    ZeroShards,
+    /// `epochs` was zero.
+    ZeroEpochs,
+    /// A per-shard fuzzer configuration was invalid.
+    Fuzz(ConfigError),
+    /// Snapshot (de)serialization failed.
+    Snapshot(SnapshotError),
+    /// Filesystem access failed (queue mode, snapshot I/O).
+    Io(std::io::Error),
+    /// A queued binary failed to parse or instrument.
+    Binary {
+        /// Path of the offending file.
+        path: String,
+        /// Parse or rewrite error text.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::ZeroShards => {
+                write!(f, "shards must be > 0 (campaign would be empty)")
+            }
+            CampaignError::ZeroEpochs => {
+                write!(f, "epochs must be > 0 (campaign would be empty)")
+            }
+            CampaignError::Fuzz(e) => write!(f, "fuzzer config: {e}"),
+            CampaignError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            CampaignError::Io(e) => write!(f, "i/o: {e}"),
+            CampaignError::Binary { path, reason } => {
+                write!(f, "{path}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<ConfigError> for CampaignError {
+    fn from(e: ConfigError) -> Self {
+        CampaignError::Fuzz(e)
+    }
+}
+
+impl From<SnapshotError> for CampaignError {
+    fn from(e: SnapshotError) -> Self {
+        CampaignError::Snapshot(e)
+    }
+}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+/// Per-shard statistics in a [`CampaignReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: u32,
+    /// Executions this shard performed (fuzzing + imports).
+    pub iters: u64,
+    /// Final corpus size of the shard.
+    pub corpus_len: usize,
+    /// Gadgets the shard found (before cross-shard deduplication).
+    pub gadgets: usize,
+    /// Crashing runs.
+    pub crashes: u64,
+    /// Cost units spent executing.
+    pub total_cost: u64,
+}
+
+/// Merged results of a sharded campaign. Built strictly in shard-index
+/// order, so it is identical for every worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Base seed of the campaign.
+    pub seed: u64,
+    /// Number of shards.
+    pub shards: u32,
+    /// Epochs completed.
+    pub epochs: u32,
+    /// Total executions across shards.
+    pub iters: u64,
+    /// Total cost units across shards.
+    pub total_cost: u64,
+    /// Total crashing runs across shards.
+    pub crashes: u64,
+    /// Sum of shard corpus sizes.
+    pub corpus_total: usize,
+    /// Distinct normal-coverage features in the unioned map.
+    pub cov_normal_features: usize,
+    /// Distinct speculative-coverage features in the unioned map.
+    pub cov_spec_features: usize,
+    /// Gadgets deduplicated by [`GadgetKey`], in shard-index order then
+    /// per-shard discovery order.
+    pub gadgets: Vec<GadgetReport>,
+    /// Deduplicated gadget counts per `Controllability-Channel` bucket.
+    pub buckets: BTreeMap<String, usize>,
+    /// Per-shard statistics, indexed by shard.
+    pub per_shard: Vec<ShardSummary>,
+}
+
+impl CampaignReport {
+    /// Number of unique gadgets across all shards.
+    pub fn unique_gadgets(&self) -> usize {
+        self.gadgets.len()
+    }
+
+    /// Count for one bucket, e.g. `"User-Cache"`.
+    pub fn bucket(&self, name: &str) -> usize {
+        self.buckets.get(name).copied().unwrap_or(0)
+    }
+
+    /// Deterministic JSON rendering (see [`json`]): byte-identical for
+    /// identical campaign results, independent of worker count.
+    pub fn to_json(&self) -> String {
+        json::render_report(self)
+    }
+}
+
+/// A sharded fuzzing campaign in progress.
+pub struct Campaign {
+    cfg: CampaignConfig,
+    shards: Vec<CampaignState>,
+    epochs_done: u32,
+    seeded: bool,
+}
+
+impl Campaign {
+    /// Creates a campaign with empty shard states.
+    pub fn new(cfg: CampaignConfig) -> Result<Campaign, CampaignError> {
+        cfg.validate()?;
+        let shards = (0..cfg.shards)
+            .map(|i| CampaignState::new(cfg.shard_fuzz_config(i)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Campaign {
+            cfg,
+            shards,
+            epochs_done: 0,
+            seeded: false,
+        })
+    }
+
+    /// Rebuilds a campaign from a snapshot (see [`snapshot`]). `bin`
+    /// must be the same binary the snapshot was taken against.
+    pub fn resume(snap: &CampaignSnapshot, bin: &Binary) -> Result<Campaign, CampaignError> {
+        let fingerprint = snapshot::fingerprint(bin);
+        if snap.bin_fingerprint != fingerprint {
+            return Err(SnapshotError::BinaryMismatch {
+                expected: snap.bin_fingerprint,
+                actual: fingerprint,
+            }
+            .into());
+        }
+        snap.config.validate()?;
+        if snap.shard_states.len() != snap.config.shards as usize {
+            return Err(SnapshotError::Corrupt("shard count mismatch").into());
+        }
+        let shards = snap
+            .shard_states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| CampaignState::from_snapshot(snap.config.shard_fuzz_config(i as u32), s))
+            .collect::<Result<Vec<_>, _>>()?;
+        // A snapshot taken before the first epoch has empty corpora and
+        // must still run seed_corpus on resume, or it would silently
+        // fall back to the default input and diverge from an
+        // uninterrupted run with the same seeds.
+        let seeded = snap.epochs_done > 0 || snap.shard_states.iter().any(|s| !s.corpus.is_empty());
+        Ok(Campaign {
+            cfg: snap.config.clone(),
+            shards,
+            epochs_done: snap.epochs_done,
+            seeded,
+        })
+    }
+
+    /// The configuration this campaign runs under.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.cfg
+    }
+
+    /// Overrides the worker-thread count (safe at any time: thread count
+    /// is an execution detail that never influences results). `0` means
+    /// auto.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.cfg.workers = workers;
+    }
+
+    /// Raises the total epoch budget (e.g. to extend a resumed campaign
+    /// beyond its original plan). Never lowers it below what already ran.
+    pub fn extend_epochs(&mut self, total: u32) {
+        self.cfg.epochs = self.cfg.epochs.max(total);
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_done(&self) -> u32 {
+        self.epochs_done
+    }
+
+    /// Whether every configured epoch has run.
+    pub fn finished(&self) -> bool {
+        self.epochs_done >= self.cfg.epochs
+    }
+
+    /// Runs one epoch: every shard fuzzes `iters_per_epoch` inputs (in
+    /// parallel across `workers` threads), then the barrier exchanges
+    /// fresh inputs between shards. `seeds` initializes shard corpora on
+    /// the first epoch and is ignored afterwards.
+    pub fn run_epoch(&mut self, bin: &Binary, seeds: &[Vec<u8>]) {
+        let epoch = self.epochs_done;
+        let seed_now = !self.seeded;
+        self.seeded = true;
+        let iters = self.cfg.iters_per_epoch;
+        let ranges = partition(self.shards.len(), self.cfg.effective_workers());
+
+        // Phase 1 — fuzz. Shards are partitioned into contiguous chunks;
+        // each thread drives its chunk sequentially. The partition is an
+        // execution detail: shard states never interact here.
+        std::thread::scope(|scope| {
+            let mut rest = &mut self.shards[..];
+            for r in &ranges {
+                let (shard_chunk, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                scope.spawn(move || {
+                    for st in shard_chunk {
+                        if seed_now {
+                            st.seed_corpus(bin, seeds);
+                        }
+                        st.begin_epoch(epoch);
+                        st.run_iters(bin, iters);
+                    }
+                });
+            }
+        });
+
+        // Phase 2 — barrier exchange. Collect what every shard found
+        // this epoch (shard-index order), then let each shard import the
+        // others' findings. Imports consume no RNG and each shard scans
+        // donors in index order, so the outcome is worker-independent.
+        let fresh: Vec<Vec<Vec<u8>>> = self.shards.iter().map(|s| s.fresh_inputs()).collect();
+        let fresh = &fresh;
+        std::thread::scope(|scope| {
+            let mut rest = &mut self.shards[..];
+            for r in &ranges {
+                let (shard_chunk, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                let base = r.start;
+                scope.spawn(move || {
+                    for (k, st) in shard_chunk.iter_mut().enumerate() {
+                        let j = base + k;
+                        for (i, inputs) in fresh.iter().enumerate() {
+                            if i == j {
+                                continue;
+                            }
+                            for input in inputs {
+                                st.import_input(bin, input);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        self.epochs_done = epoch + 1;
+    }
+
+    /// Runs all remaining epochs and returns the merged report.
+    pub fn run(&mut self, bin: &Binary, seeds: &[Vec<u8>]) -> CampaignReport {
+        while !self.finished() {
+            self.run_epoch(bin, seeds);
+        }
+        self.report()
+    }
+
+    /// Merges shard results strictly in shard-index order.
+    pub fn report(&self) -> CampaignReport {
+        let mut gadget_keys: std::collections::HashSet<GadgetKey> =
+            std::collections::HashSet::new();
+        let mut gadgets: Vec<GadgetReport> = Vec::new();
+        let mut buckets: BTreeMap<String, usize> = BTreeMap::new();
+        let mut union_normal = CovMap::new();
+        let mut union_spec = CovMap::new();
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        let (mut iters, mut total_cost, mut crashes, mut corpus_total) = (0u64, 0u64, 0u64, 0usize);
+
+        for (i, st) in self.shards.iter().enumerate() {
+            for g in st.gadgets() {
+                if gadget_keys.insert(g.key) {
+                    *buckets.entry(g.bucket()).or_insert(0) += 1;
+                    gadgets.push(g.clone());
+                }
+            }
+            st.cov_normal().merge_into(&mut union_normal);
+            st.cov_spec().merge_into(&mut union_spec);
+            iters += st.iters();
+            corpus_total += st.corpus_len();
+            let r = st.result();
+            total_cost += r.total_cost;
+            crashes += r.crashes;
+            per_shard.push(ShardSummary {
+                shard: i as u32,
+                iters: r.iters,
+                corpus_len: r.corpus_len,
+                gadgets: r.gadgets.len(),
+                crashes: r.crashes,
+                total_cost: r.total_cost,
+            });
+        }
+
+        CampaignReport {
+            seed: self.cfg.seed,
+            shards: self.cfg.shards,
+            epochs: self.epochs_done,
+            iters,
+            total_cost,
+            crashes,
+            corpus_total,
+            cov_normal_features: union_normal.count_nonzero(),
+            cov_spec_features: union_spec.count_nonzero(),
+            gadgets,
+            buckets,
+            per_shard,
+        }
+    }
+
+    /// Captures the whole campaign (config + every shard) into a
+    /// snapshot bound to `bin` by fingerprint.
+    pub fn snapshot(&self, bin: &Binary) -> CampaignSnapshot {
+        CampaignSnapshot {
+            config: self.cfg.clone(),
+            bin_fingerprint: snapshot::fingerprint(bin),
+            epochs_done: self.epochs_done,
+            shard_states: self.shards.iter().map(|s| s.export_snapshot()).collect(),
+        }
+    }
+}
+
+/// Balanced contiguous partition of `shards` over `workers` threads:
+/// exactly `min(workers, shards)` non-empty ranges, the first
+/// `shards % workers` one element longer, covering `0..shards` in order.
+fn partition(shards: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let w = workers.clamp(1, shards.max(1));
+    let (base, rem) = (shards / w, shards % w);
+    let mut ranges = Vec::with_capacity(w);
+    let mut start = 0;
+    for i in 0..w {
+        let len = base + usize::from(i < rem);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Convenience wrapper: new campaign, all epochs, merged report.
+pub fn run_campaign(
+    bin: &Binary,
+    seeds: &[Vec<u8>],
+    cfg: &CampaignConfig,
+) -> Result<CampaignReport, CampaignError> {
+    Ok(Campaign::new(cfg.clone())?.run(bin, seeds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_catches_empty_budgets() {
+        let ok = CampaignConfig::default();
+        assert!(ok.validate().is_ok());
+        let bad = CampaignConfig {
+            shards: 0,
+            ..CampaignConfig::default()
+        };
+        assert!(matches!(bad.validate(), Err(CampaignError::ZeroShards)));
+        let bad = CampaignConfig {
+            epochs: 0,
+            ..CampaignConfig::default()
+        };
+        assert!(matches!(bad.validate(), Err(CampaignError::ZeroEpochs)));
+        let bad = CampaignConfig {
+            iters_per_epoch: 0,
+            ..CampaignConfig::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(CampaignError::Fuzz(ConfigError::ZeroIters))
+        ));
+        let bad = CampaignConfig {
+            fuel_per_run: 0,
+            ..CampaignConfig::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(CampaignError::Fuzz(ConfigError::ZeroFuel))
+        ));
+    }
+
+    #[test]
+    fn shard_seeds_are_xored() {
+        let cfg = CampaignConfig {
+            seed: 0xABCD,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(cfg.shard_fuzz_config(0).seed, 0xABCD);
+        assert_eq!(cfg.shard_fuzz_config(5).seed, 0xABCD ^ 5);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_shards() {
+        let cfg = CampaignConfig {
+            shards: 4,
+            workers: 64,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(cfg.effective_workers(), 4);
+        let cfg = CampaignConfig {
+            shards: 4,
+            workers: 1,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(cfg.effective_workers(), 1);
+    }
+
+    #[test]
+    fn partition_covers_all_shards_with_full_thread_use() {
+        for shards in 1..20usize {
+            for workers in 1..10usize {
+                let ranges = partition(shards, workers);
+                // Exactly min(workers, shards) non-empty contiguous
+                // ranges tiling 0..shards in order.
+                assert_eq!(ranges.len(), workers.min(shards));
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, shards);
+                // Balanced: lengths differ by at most one.
+                let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Multi-binary queue mode: scan a directory of `.tof` binaries and run
+//! instrument → fuzz → report over each in one invocation (the "scan a
+//! whole corpus of COTS binaries" workflow that FastSpec argues for).
+//!
+//! Files are processed in lexicographic path order so a queue run is as
+//! deterministic as a single-binary campaign. Binaries that are not yet
+//! instrumented (per their TOF header flag) are rewritten with the
+//! Speculation Shadows rewriter first; already-instrumented binaries are
+//! fuzzed as-is.
+
+use crate::{run_campaign, CampaignConfig, CampaignError, CampaignReport};
+use std::path::{Path, PathBuf};
+use teapot_core::{rewrite, RewriteOptions};
+use teapot_obj::Binary;
+
+/// Outcome of one queued binary.
+#[derive(Debug, Clone)]
+pub struct QueueOutcome {
+    /// Path of the `.tof` file.
+    pub path: PathBuf,
+    /// Whether the queue had to instrument it before fuzzing.
+    pub instrumented_here: bool,
+    /// The merged campaign report.
+    pub report: CampaignReport,
+}
+
+/// Lists the `.tof` files under `dir`, sorted by path.
+pub fn scan_queue(dir: &Path) -> Result<Vec<PathBuf>, CampaignError> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().and_then(|e| e.to_str()) == Some("tof"))
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Loads one queued binary, instrumenting it if required. Returns the
+/// fuzz-ready binary and whether instrumentation happened here.
+pub fn prepare_binary(path: &Path) -> Result<(Binary, bool), CampaignError> {
+    let bytes = std::fs::read(path)?;
+    let bin = Binary::from_bytes(&bytes).map_err(|e| CampaignError::Binary {
+        path: path.display().to_string(),
+        reason: format!("parse: {e}"),
+    })?;
+    if bin.flags.instrumented {
+        return Ok((bin, false));
+    }
+    let rewritten =
+        rewrite(&bin, &RewriteOptions::default()).map_err(|e| CampaignError::Binary {
+            path: path.display().to_string(),
+            reason: format!("instrument: {e}"),
+        })?;
+    Ok((rewritten, true))
+}
+
+/// Runs a full campaign over every `.tof` under `dir` with the same
+/// orchestrator configuration. Returns per-binary outcomes in path
+/// order; an unreadable or unrewritable binary aborts the queue with a
+/// typed error naming the file. `seeds` initializes every campaign's
+/// corpus (pass `&[]` for the default input).
+pub fn run_queue(
+    dir: &Path,
+    cfg: &CampaignConfig,
+    seeds: &[Vec<u8>],
+) -> Result<Vec<QueueOutcome>, CampaignError> {
+    let mut outcomes = Vec::new();
+    for path in scan_queue(dir)? {
+        let (bin, instrumented_here) = prepare_binary(&path)?;
+        let report = run_campaign(&bin, seeds, cfg)?;
+        outcomes.push(QueueOutcome {
+            path,
+            instrumented_here,
+            report,
+        });
+    }
+    Ok(outcomes)
+}
+
+/// Renders queue outcomes as one deterministic JSON document keyed by
+/// file name.
+pub fn render_queue_json(outcomes: &[QueueOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"queue\": [");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"path\": \"");
+        out.push_str(&crate::json::escape(&o.path.display().to_string()));
+        out.push_str("\", \"instrumented_here\": ");
+        out.push_str(if o.instrumented_here { "true" } else { "false" });
+        out.push_str(", \"report\": ");
+        // Indent the nested report for readability.
+        let nested = o.report.to_json();
+        out.push_str(nested.trim_end().trim_end_matches('\n'));
+        out.push('}');
+    }
+    if !outcomes.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}

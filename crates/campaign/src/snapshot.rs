@@ -1,0 +1,495 @@
+//! The `.tcs` (Teapot Campaign Snapshot) on-disk format.
+//!
+//! A snapshot captures a whole [`Campaign`](crate::Campaign) between two
+//! epochs: the campaign configuration, a fingerprint of the target
+//! binary, the number of completed epochs, and every shard's
+//! [`StateSnapshot`] (corpus, per-branch heuristic counts, both coverage
+//! maps, gadget reports and counters). Shard RNGs are *not* serialized:
+//! they are re-seeded from `(shard seed, epoch)` at every epoch
+//! boundary, so the epoch number alone reproduces the generator.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "TCS1"
+//! u32     format version (1)
+//! u64     FNV-1a fingerprint of the target binary's TOF bytes
+//! u32     epochs completed
+//! config  seed u64 · shards u32 · epochs u32 · iters_per_epoch u64
+//!         · max_input_len u64 · fuel_per_run u64
+//!         · detector (6 fields) · emu u8 · heur_style u8
+//!         · dictionary (len-prefixed token list)
+//! u32     shard count, then per shard:
+//!         corpus   u32 count · { bytes input · u64 score }
+//!         heur     u32 count · { u64 branch · u32 count }
+//!         cov      bytes normal · bytes spec
+//!         gadgets  u32 count · { u64 pc · u8 channel · u8 ctrl
+//!                  · u64 branch_pc · u64 access_pc · u32 depth
+//!                  · bytes description }
+//!         u64 iters · u64 total_cost · u64 crashes · u32 epoch
+//! ```
+//!
+//! where `bytes` is a `u32` length followed by that many raw bytes.
+
+use crate::CampaignConfig;
+use teapot_fuzz::StateSnapshot;
+use teapot_obj::Binary;
+use teapot_rt::{Channel, Controllability, DetectorConfig, GadgetKey, GadgetReport};
+use teapot_vm::{EmuStyle, HeurStyle};
+
+/// Magic bytes opening every `.tcs` file.
+pub const MAGIC: &[u8; 4] = b"TCS1";
+
+/// Format version written by this crate.
+pub const VERSION: u32 = 1;
+
+/// A deserialized campaign snapshot.
+#[derive(Debug, Clone)]
+pub struct CampaignSnapshot {
+    /// The campaign configuration at snapshot time (`workers` is reset
+    /// to auto on load — thread count is an execution detail).
+    pub config: CampaignConfig,
+    /// FNV-1a fingerprint of the target binary's serialized bytes.
+    pub bin_fingerprint: u64,
+    /// Epochs completed when the snapshot was taken.
+    pub epochs_done: u32,
+    /// One state per shard, in shard-index order.
+    pub shard_states: Vec<StateSnapshot>,
+}
+
+/// Why a snapshot failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The format version is newer than this build understands.
+    BadVersion(u32),
+    /// The file ended mid-record or a field was out of range.
+    Corrupt(&'static str),
+    /// The snapshot was taken against a different binary.
+    BinaryMismatch {
+        /// Fingerprint recorded in the snapshot.
+        expected: u64,
+        /// Fingerprint of the binary supplied on resume.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => {
+                write!(f, "not a .tcs campaign snapshot (bad magic)")
+            }
+            SnapshotError::BadVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (expected {VERSION})")
+            }
+            SnapshotError::Corrupt(what) => {
+                write!(f, "corrupt snapshot: {what}")
+            }
+            SnapshotError::BinaryMismatch { expected, actual } => write!(
+                f,
+                "snapshot was taken against a different binary \
+                 (fingerprint {expected:#018x}, got {actual:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a fingerprint of a binary's serialized TOF bytes, binding a
+/// snapshot to the exact binary it was taken against.
+pub fn fingerprint(bin: &Binary) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in bin.to_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+}
+
+impl CampaignSnapshot {
+    /// Serializes the snapshot to `.tcs` bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(MAGIC);
+        w.u32(VERSION);
+        w.u64(self.bin_fingerprint);
+        w.u32(self.epochs_done);
+
+        let c = &self.config;
+        w.u64(c.seed);
+        w.u32(c.shards);
+        w.u32(c.epochs);
+        w.u64(c.iters_per_epoch);
+        w.u64(c.max_input_len as u64);
+        w.u64(c.fuel_per_run);
+        w.bool(c.detector.taint_input_sources);
+        w.bool(c.detector.massage_policy);
+        w.u32(c.detector.rob_budget);
+        w.u32(c.detector.max_nesting);
+        w.u32(c.detector.full_depth_runs);
+        w.bool(c.detector.artificial_gadget_mode);
+        w.u8(match c.emu {
+            EmuStyle::Native => 0,
+            EmuStyle::SpecTaint => 1,
+        });
+        w.u8(match c.heur_style {
+            HeurStyle::TeapotHybrid => 0,
+            HeurStyle::SpecFuzzGradual => 1,
+            HeurStyle::SpecTaintFive => 2,
+        });
+        w.u32(c.dictionary.len() as u32);
+        for tok in &c.dictionary {
+            w.bytes(tok);
+        }
+
+        w.u32(self.shard_states.len() as u32);
+        for s in &self.shard_states {
+            w.u32(s.corpus.len() as u32);
+            for (input, score) in &s.corpus {
+                w.bytes(input);
+                w.u64(*score);
+            }
+            w.u32(s.heur_counts.len() as u32);
+            for (branch, count) in &s.heur_counts {
+                w.u64(*branch);
+                w.u32(*count);
+            }
+            w.bytes(&s.cov_normal);
+            w.bytes(&s.cov_spec);
+            w.u32(s.gadgets.len() as u32);
+            for g in &s.gadgets {
+                w.u64(g.key.pc);
+                w.u8(match g.key.channel {
+                    Channel::Mds => 0,
+                    Channel::Cache => 1,
+                    Channel::Port => 2,
+                });
+                w.u8(match g.key.controllability {
+                    Controllability::User => 0,
+                    Controllability::Massage => 1,
+                });
+                w.u64(g.branch_pc);
+                w.u64(g.access_pc);
+                w.u32(g.depth);
+                w.bytes(g.description.as_bytes());
+            }
+            w.u64(s.iters);
+            w.u64(s.total_cost);
+            w.u64(s.crashes);
+            w.u32(s.epoch);
+        }
+        w.buf
+    }
+
+    /// Parses `.tcs` bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CampaignSnapshot, SnapshotError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let bin_fingerprint = r.u64()?;
+        let epochs_done = r.u32()?;
+
+        let seed = r.u64()?;
+        let shards = r.u32()?;
+        let epochs = r.u32()?;
+        let iters_per_epoch = r.u64()?;
+        let max_input_len = r.u64()? as usize;
+        let fuel_per_run = r.u64()?;
+        let detector = DetectorConfig {
+            taint_input_sources: r.bool()?,
+            massage_policy: r.bool()?,
+            rob_budget: r.u32()?,
+            max_nesting: r.u32()?,
+            full_depth_runs: r.u32()?,
+            artificial_gadget_mode: r.bool()?,
+        };
+        let emu = match r.u8()? {
+            0 => EmuStyle::Native,
+            1 => EmuStyle::SpecTaint,
+            _ => return Err(SnapshotError::Corrupt("emu style")),
+        };
+        let heur_style = match r.u8()? {
+            0 => HeurStyle::TeapotHybrid,
+            1 => HeurStyle::SpecFuzzGradual,
+            2 => HeurStyle::SpecTaintFive,
+            _ => return Err(SnapshotError::Corrupt("heuristic style")),
+        };
+        let dict_len = r.u32()? as usize;
+        let mut dictionary = Vec::with_capacity(dict_len.min(1024));
+        for _ in 0..dict_len {
+            dictionary.push(r.bytes()?.to_vec());
+        }
+        let config = CampaignConfig {
+            seed,
+            shards,
+            workers: 0,
+            epochs,
+            iters_per_epoch,
+            max_input_len,
+            fuel_per_run,
+            detector,
+            emu,
+            heur_style,
+            dictionary,
+        };
+
+        let shard_count = r.u32()? as usize;
+        let mut shard_states = Vec::with_capacity(shard_count.min(4096));
+        for _ in 0..shard_count {
+            let corpus_len = r.u32()? as usize;
+            let mut corpus = Vec::with_capacity(corpus_len.min(65536));
+            for _ in 0..corpus_len {
+                let input = r.bytes()?.to_vec();
+                let score = r.u64()?;
+                corpus.push((input, score));
+            }
+            let heur_len = r.u32()? as usize;
+            let mut heur_counts = Vec::with_capacity(heur_len.min(65536));
+            for _ in 0..heur_len {
+                let branch = r.u64()?;
+                let count = r.u32()?;
+                heur_counts.push((branch, count));
+            }
+            let cov_normal = r.bytes()?.to_vec();
+            let cov_spec = r.bytes()?.to_vec();
+            // A wrong-length map would silently resume as empty coverage
+            // (diverging from the uninterrupted run); reject it here.
+            if cov_normal.len() != teapot_rt::coverage::COV_MAP_SIZE
+                || cov_spec.len() != teapot_rt::coverage::COV_MAP_SIZE
+            {
+                return Err(SnapshotError::Corrupt("coverage map size"));
+            }
+            let gadget_len = r.u32()? as usize;
+            let mut gadgets = Vec::with_capacity(gadget_len.min(65536));
+            for _ in 0..gadget_len {
+                let pc = r.u64()?;
+                let channel = match r.u8()? {
+                    0 => Channel::Mds,
+                    1 => Channel::Cache,
+                    2 => Channel::Port,
+                    _ => return Err(SnapshotError::Corrupt("channel")),
+                };
+                let controllability = match r.u8()? {
+                    0 => Controllability::User,
+                    1 => Controllability::Massage,
+                    _ => return Err(SnapshotError::Corrupt("controllability")),
+                };
+                let branch_pc = r.u64()?;
+                let access_pc = r.u64()?;
+                let depth = r.u32()?;
+                let description = String::from_utf8(r.bytes()?.to_vec())
+                    .map_err(|_| SnapshotError::Corrupt("description"))?;
+                gadgets.push(GadgetReport {
+                    key: GadgetKey {
+                        pc,
+                        channel,
+                        controllability,
+                    },
+                    branch_pc,
+                    access_pc,
+                    depth,
+                    description,
+                });
+            }
+            let iters = r.u64()?;
+            let total_cost = r.u64()?;
+            let crashes = r.u64()?;
+            let epoch = r.u32()?;
+            shard_states.push(StateSnapshot {
+                corpus,
+                heur_counts,
+                cov_normal,
+                cov_spec,
+                gadgets,
+                iters,
+                total_cost,
+                crashes,
+                epoch,
+            });
+        }
+        Ok(CampaignSnapshot {
+            config,
+            bin_fingerprint,
+            epochs_done,
+            shard_states,
+        })
+    }
+
+    /// Writes the snapshot to `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a snapshot from `path`.
+    pub fn load(path: &std::path::Path) -> Result<CampaignSnapshot, crate::CampaignError> {
+        let bytes = std::fs::read(path)?;
+        Ok(CampaignSnapshot::from_bytes(&bytes)?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(SnapshotError::Corrupt("truncated"));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt("bool")),
+        }
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> CampaignSnapshot {
+        CampaignSnapshot {
+            config: CampaignConfig {
+                seed: 0xDEAD_BEEF,
+                shards: 2,
+                epochs: 3,
+                iters_per_epoch: 50,
+                dictionary: vec![b"GET".to_vec(), b"POST".to_vec()],
+                ..CampaignConfig::default()
+            },
+            bin_fingerprint: 0x1234_5678_9ABC_DEF0,
+            epochs_done: 2,
+            shard_states: (0..2)
+                .map(|i| StateSnapshot {
+                    corpus: vec![(vec![i as u8; 4], 3)],
+                    heur_counts: vec![(0x400100, 7), (0x400200, 2)],
+                    cov_normal: vec![0; teapot_rt::coverage::COV_MAP_SIZE],
+                    cov_spec: vec![0; teapot_rt::coverage::COV_MAP_SIZE],
+                    gadgets: vec![GadgetReport {
+                        key: GadgetKey {
+                            pc: 0x400180 + i,
+                            channel: Channel::Cache,
+                            controllability: Controllability::User,
+                        },
+                        branch_pc: 0x400100,
+                        access_pc: 0x400140,
+                        depth: 1,
+                        description: "test gadget".into(),
+                    }],
+                    iters: 60,
+                    total_cost: 1000,
+                    crashes: 1,
+                    epoch: 2,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_round_trip() {
+        let snap = sample_snapshot();
+        let bytes = snap.to_bytes();
+        let back = CampaignSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back.bin_fingerprint, snap.bin_fingerprint);
+        assert_eq!(back.epochs_done, snap.epochs_done);
+        assert_eq!(back.config.seed, snap.config.seed);
+        assert_eq!(back.config.shards, snap.config.shards);
+        assert_eq!(back.config.dictionary, snap.config.dictionary);
+        assert_eq!(back.shard_states.len(), snap.shard_states.len());
+        for (a, b) in back.shard_states.iter().zip(&snap.shard_states) {
+            assert_eq!(a.corpus, b.corpus);
+            assert_eq!(a.heur_counts, b.heur_counts);
+            assert_eq!(a.gadgets, b.gadgets);
+            assert_eq!(a.iters, b.iters);
+            assert_eq!(a.epoch, b.epoch);
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage_and_truncations() {
+        assert_eq!(
+            CampaignSnapshot::from_bytes(b"nope").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        let bytes = sample_snapshot().to_bytes();
+        for l in (0..bytes.len()).step_by(97) {
+            // Must error, never panic.
+            assert!(CampaignSnapshot::from_bytes(&bytes[..l]).is_err());
+        }
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 9;
+        assert_eq!(
+            CampaignSnapshot::from_bytes(&wrong_version).unwrap_err(),
+            SnapshotError::BadVersion(9)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_wrong_coverage_map_size() {
+        let mut snap = sample_snapshot();
+        snap.shard_states[0].cov_normal.truncate(16);
+        assert_eq!(
+            CampaignSnapshot::from_bytes(&snap.to_bytes()).unwrap_err(),
+            SnapshotError::Corrupt("coverage map size")
+        );
+    }
+}

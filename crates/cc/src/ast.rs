@@ -132,19 +132,36 @@ pub enum ExprKind {
 pub enum Stmt {
     /// Local declaration with optional initializer. Arrays (`len > 0`)
     /// cannot have initializers.
-    Decl { name: String, ty: Type, array_len: Option<u64>, init: Option<Expr> },
+    Decl {
+        name: String,
+        ty: Type,
+        array_len: Option<u64>,
+        init: Option<Expr>,
+    },
     /// Assignment to an lvalue.
     Assign { target: Expr, value: Expr },
     /// Compound assignment `target op= value`.
-    OpAssign { target: Expr, op: BinOp, value: Expr },
+    OpAssign {
+        target: Expr,
+        op: BinOp,
+        value: Expr,
+    },
     /// Expression for side effects.
     Expr(Expr),
     /// `if`/`else`.
-    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+    },
     /// `while` loop.
     While { cond: Expr, body: Vec<Stmt> },
     /// `switch` over an expression (paper Fig. 2 lowers this two ways).
-    Switch { scrutinee: Expr, cases: Vec<(i64, Vec<Stmt>)>, default: Option<Vec<Stmt>> },
+    Switch {
+        scrutinee: Expr,
+        cases: Vec<(i64, Vec<Stmt>)>,
+        default: Option<Vec<Stmt>>,
+    },
     /// `break` (loops and switches).
     Break,
     /// `continue` (loops).

@@ -20,10 +20,8 @@ use crate::ast::*;
 use crate::parser::{parse, ParseError};
 use std::collections::HashMap;
 use std::fmt;
-use teapot_asm::{Assembler, AsmError, FuncAsm, Label};
-use teapot_isa::{
-    sys, AccessSize, AluOp, Cc, Inst, MemRef, Operand, Reg,
-};
+use teapot_asm::{AsmError, Assembler, FuncAsm, Label};
+use teapot_isa::{sys, AccessSize, AluOp, Cc, Inst, MemRef, Operand, Reg};
 use teapot_obj::{Binary, LinkError, Linker, Object};
 
 /// How `switch` statements are lowered (paper Fig. 2).
@@ -164,7 +162,10 @@ struct FnCtx<'a> {
 
 impl<'a> FnCtx<'a> {
     fn err<T>(&self, msg: impl Into<String>, line: u32) -> Result<T, CcError> {
-        Err(CcError::Sema { msg: msg.into(), line })
+        Err(CcError::Sema {
+            msg: msg.into(),
+            line,
+        })
     }
 
     fn lookup(&self, name: &str) -> Option<Place> {
@@ -237,7 +238,10 @@ impl<'a> FnCtx<'a> {
     fn expr(&mut self, e: &Expr) -> Result<Type, CcError> {
         match &e.kind {
             ExprKind::Num(v) => {
-                self.f.ins(Inst::MovRI { dst: Reg::R0, imm: *v });
+                self.f.ins(Inst::MovRI {
+                    dst: Reg::R0,
+                    imm: *v,
+                });
                 Ok(Type::Int)
             }
             ExprKind::Str(s) => {
@@ -264,13 +268,8 @@ impl<'a> FnCtx<'a> {
                     }
                 }
                 Some(Place::GlobalScalar(sym, ty)) => {
-                    self.f.load_global(
-                        Reg::R0,
-                        sym,
-                        0,
-                        Self::access(&ty),
-                        false,
-                    );
+                    self.f
+                        .load_global(Reg::R0, sym, 0, Self::access(&ty), false);
                     Ok(ty)
                 }
                 Some(Place::GlobalArray(sym, ty)) => {
@@ -281,20 +280,13 @@ impl<'a> FnCtx<'a> {
                     format!("function `{name}` used as value; take &{name}"),
                     e.line,
                 ),
-                None => {
-                    self.err(format!("unknown identifier `{name}`"), e.line)
-                }
+                None => self.err(format!("unknown identifier `{name}`"), e.line),
             },
             ExprKind::Index(base, idx) => {
                 let bt = self.expr(base)?;
                 let elem = match &bt {
                     Type::Ptr(inner) => (**inner).clone(),
-                    _ => {
-                        return self.err(
-                            "indexing a non-pointer value",
-                            e.line,
-                        )
-                    }
+                    _ => return self.err("indexing a non-pointer value", e.line),
                 };
                 self.f.raw(Inst::Push { src: Reg::R0 });
                 self.expr(idx)?;
@@ -312,10 +304,7 @@ impl<'a> FnCtx<'a> {
                 let pt = self.expr(p)?;
                 let inner = match &pt {
                     Type::Ptr(inner) => (**inner).clone(),
-                    _ => {
-                        return self
-                            .err("dereferencing a non-pointer value", e.line)
-                    }
+                    _ => return self.err("dereferencing a non-pointer value", e.line),
                 };
                 self.f.ins(Inst::Load {
                     dst: Reg::R0,
@@ -336,7 +325,10 @@ impl<'a> FnCtx<'a> {
                             lhs: Reg::R0,
                             rhs: Operand::Imm(0),
                         });
-                        self.f.ins(Inst::Set { cc: Cc::E, dst: Reg::R0 });
+                        self.f.ins(Inst::Set {
+                            cc: Cc::E,
+                            dst: Reg::R0,
+                        });
                         return Ok(Type::Int);
                     }
                 }
@@ -352,10 +344,12 @@ impl<'a> FnCtx<'a> {
                 }
                 let t = self.expr(target)?;
                 if t != Type::FnPtr && !matches!(t, Type::Ptr(_)) {
-                    return self
-                        .err("calling a non-function-pointer value", e.line);
+                    return self.err("calling a non-function-pointer value", e.line);
                 }
-                self.f.ins(Inst::MovRR { dst: Reg::R9, src: Reg::R0 });
+                self.f.ins(Inst::MovRR {
+                    dst: Reg::R9,
+                    src: Reg::R0,
+                });
                 for i in (0..args.len()).rev() {
                     self.f.raw(Inst::Pop { dst: Reg::ARGS[i] });
                 }
@@ -376,8 +370,7 @@ impl<'a> FnCtx<'a> {
                     });
                     Ok(Type::Ptr(Box::new(slot.ty)))
                 }
-                Some(Place::GlobalScalar(sym, ty))
-                | Some(Place::GlobalArray(sym, ty)) => {
+                Some(Place::GlobalScalar(sym, ty)) | Some(Place::GlobalArray(sym, ty)) => {
                     self.f.lea_global(Reg::R0, sym, 0);
                     Ok(Type::Ptr(Box::new(ty)))
                 }
@@ -385,17 +378,13 @@ impl<'a> FnCtx<'a> {
                     self.f.mov_sym_addr(Reg::R0, name);
                     Ok(Type::FnPtr)
                 }
-                None => {
-                    self.err(format!("unknown identifier `{name}`"), e.line)
-                }
+                None => self.err(format!("unknown identifier `{name}`"), e.line),
             },
             ExprKind::Index(base, idx) => {
                 let bt = self.expr(base)?;
                 let elem = match &bt {
                     Type::Ptr(inner) => (**inner).clone(),
-                    _ => {
-                        return self.err("indexing a non-pointer value", e.line)
-                    }
+                    _ => return self.err("indexing a non-pointer value", e.line),
                 };
                 self.f.raw(Inst::Push { src: Reg::R0 });
                 self.expr(idx)?;
@@ -417,35 +406,44 @@ impl<'a> FnCtx<'a> {
         }
     }
 
-    fn bin(
-        &mut self,
-        op: BinOp,
-        lhs: &Expr,
-        rhs: &Expr,
-        line: u32,
-    ) -> Result<Type, CcError> {
+    fn bin(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, line: u32) -> Result<Type, CcError> {
         if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
             // Short-circuit evaluation producing 0/1.
             let out = self.f.fresh_label();
             let rhs_l = self.f.fresh_label();
             self.expr(lhs)?;
-            self.f.ins(Inst::Cmp { lhs: Reg::R0, rhs: Operand::Imm(0) });
+            self.f.ins(Inst::Cmp {
+                lhs: Reg::R0,
+                rhs: Operand::Imm(0),
+            });
             match op {
                 BinOp::LogAnd => {
-                    self.f.ins(Inst::Set { cc: Cc::Ne, dst: Reg::R0 });
+                    self.f.ins(Inst::Set {
+                        cc: Cc::Ne,
+                        dst: Reg::R0,
+                    });
                     self.f.jcc(Cc::Ne, rhs_l);
                     self.f.jmp(out);
                 }
                 _ => {
-                    self.f.ins(Inst::Set { cc: Cc::Ne, dst: Reg::R0 });
+                    self.f.ins(Inst::Set {
+                        cc: Cc::Ne,
+                        dst: Reg::R0,
+                    });
                     self.f.jcc(Cc::E, rhs_l);
                     self.f.jmp(out);
                 }
             }
             self.f.bind(rhs_l);
             self.expr(rhs)?;
-            self.f.ins(Inst::Cmp { lhs: Reg::R0, rhs: Operand::Imm(0) });
-            self.f.ins(Inst::Set { cc: Cc::Ne, dst: Reg::R0 });
+            self.f.ins(Inst::Cmp {
+                lhs: Reg::R0,
+                rhs: Operand::Imm(0),
+            });
+            self.f.ins(Inst::Set {
+                cc: Cc::Ne,
+                dst: Reg::R0,
+            });
             self.f.bind(out);
             return Ok(Type::Int);
         }
@@ -458,15 +456,16 @@ impl<'a> FnCtx<'a> {
         if op.is_comparison() {
             let unsigned = lt.is_unsigned() || rt.is_unsigned();
             let cc = cc_for(op, unsigned);
-            self.f.ins(Inst::Cmp { lhs: Reg::R6, rhs: Operand::Reg(Reg::R0) });
+            self.f.ins(Inst::Cmp {
+                lhs: Reg::R6,
+                rhs: Operand::Reg(Reg::R0),
+            });
             self.f.ins(Inst::Set { cc, dst: Reg::R0 });
             return Ok(Type::Int);
         }
         // Pointer arithmetic scales by element size.
         let (result_ty, scale_rhs) = match (&lt, op) {
-            (Type::Ptr(_), BinOp::Add | BinOp::Sub) => {
-                (lt.clone(), lt.elem_size())
-            }
+            (Type::Ptr(_), BinOp::Add | BinOp::Sub) => (lt.clone(), lt.elem_size()),
             _ => (promote(&lt, &rt), 1),
         };
         if scale_rhs > 1 {
@@ -500,23 +499,17 @@ impl<'a> FnCtx<'a> {
             dst: Reg::R6,
             src: Operand::Reg(Reg::R0),
         });
-        self.f.ins(Inst::MovRR { dst: Reg::R0, src: Reg::R6 });
+        self.f.ins(Inst::MovRR {
+            dst: Reg::R0,
+            src: Reg::R6,
+        });
         Ok(result_ty)
     }
 
-    fn call(
-        &mut self,
-        name: &str,
-        args: &[Expr],
-        line: u32,
-    ) -> Result<Type, CcError> {
+    fn call(&mut self, name: &str, args: &[Expr], line: u32) -> Result<Type, CcError> {
         // A call through a fnptr *variable* parses as a named call;
         // resolve it to an indirect call here.
-        let is_var = self
-            .scopes
-            .iter()
-            .rev()
-            .any(|s| s.contains_key(name))
+        let is_var = self.scopes.iter().rev().any(|s| s.contains_key(name))
             || self.globals.contains_key(name);
         if is_var {
             for a in args {
@@ -529,12 +522,12 @@ impl<'a> FnCtx<'a> {
                 line: line2,
             })?;
             if t != Type::FnPtr {
-                return self.err(
-                    format!("`{name}` is not callable (type {t:?})"),
-                    line,
-                );
+                return self.err(format!("`{name}` is not callable (type {t:?})"), line);
             }
-            self.f.ins(Inst::MovRR { dst: Reg::R9, src: Reg::R0 });
+            self.f.ins(Inst::MovRR {
+                dst: Reg::R9,
+                src: Reg::R0,
+            });
             for i in (0..args.len()).rev() {
                 self.f.raw(Inst::Pop { dst: Reg::ARGS[i] });
             }
@@ -543,10 +536,7 @@ impl<'a> FnCtx<'a> {
         }
         if let Some((syscall, arity, ret)) = builtin(name) {
             if args.len() != arity {
-                return self.err(
-                    format!("`{name}` takes {arity} argument(s)"),
-                    line,
-                );
+                return self.err(format!("`{name}` takes {arity} argument(s)"), line);
             }
             for a in args {
                 self.expr(a)?;
@@ -565,8 +555,7 @@ impl<'a> FnCtx<'a> {
             return self.err(format!("unknown function `{name}`"), line);
         };
         if args.len() != arity {
-            return self
-                .err(format!("`{name}` takes {arity} argument(s)"), line);
+            return self.err(format!("`{name}` takes {arity} argument(s)"), line);
         }
         for a in args {
             self.expr(a)?;
@@ -616,7 +605,10 @@ impl<'a> FnCtx<'a> {
             ExprKind::Un(UnOp::Not, inner) => self.branch_true(inner, target),
             _ => {
                 self.expr(cond)?;
-                self.f.ins(Inst::Cmp { lhs: Reg::R0, rhs: Operand::Imm(0) });
+                self.f.ins(Inst::Cmp {
+                    lhs: Reg::R0,
+                    rhs: Operand::Imm(0),
+                });
                 self.f.jcc(Cc::E, target);
                 Ok(())
             }
@@ -654,7 +646,10 @@ impl<'a> FnCtx<'a> {
             ExprKind::Un(UnOp::Not, inner) => self.branch_false(inner, target),
             _ => {
                 self.expr(cond)?;
-                self.f.ins(Inst::Cmp { lhs: Reg::R0, rhs: Operand::Imm(0) });
+                self.f.ins(Inst::Cmp {
+                    lhs: Reg::R0,
+                    rhs: Operand::Imm(0),
+                });
                 self.f.jcc(Cc::Ne, target);
                 Ok(())
             }
@@ -674,7 +669,12 @@ impl<'a> FnCtx<'a> {
 
     fn stmt(&mut self, s: &Stmt) -> Result<(), CcError> {
         match s {
-            Stmt::Decl { name, ty, array_len, init } => {
+            Stmt::Decl {
+                name,
+                ty,
+                array_len,
+                init,
+            } => {
                 let slot = self.alloc_slot(name, ty.clone(), *array_len);
                 if let Some(e) = init {
                     self.expr(e)?;
@@ -706,12 +706,7 @@ impl<'a> FnCtx<'a> {
                 let alu_op = match op {
                     BinOp::Add => AluOp::Add,
                     BinOp::Sub => AluOp::Sub,
-                    _ => {
-                        return self.err(
-                            "only += and -= are supported",
-                            0,
-                        )
-                    }
+                    _ => return self.err("only += and -= are supported", 0),
                 };
                 self.f.ins(Inst::Alu {
                     op: alu_op,
@@ -763,9 +758,11 @@ impl<'a> FnCtx<'a> {
                 self.f.bind(l_end);
                 Ok(())
             }
-            Stmt::Switch { scrutinee, cases, default } => {
-                self.switch(scrutinee, cases, default.as_deref())
-            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => self.switch(scrutinee, cases, default.as_deref()),
             Stmt::Break => match self.breaks.last() {
                 Some(l) => {
                     let l = *l;
@@ -786,7 +783,10 @@ impl<'a> FnCtx<'a> {
                 if let Some(e) = v {
                     self.expr(e)?;
                 } else if self.ret != Type::Void {
-                    self.f.ins(Inst::MovRI { dst: Reg::R0, imm: 0 });
+                    self.f.ins(Inst::MovRI {
+                        dst: Reg::R0,
+                        imm: 0,
+                    });
                 }
                 let ep = self.epilogue;
                 self.f.jmp(ep);
@@ -842,11 +842,7 @@ impl<'a> FnCtx<'a> {
 
     /// If-conversion to `cmov` (Appendix A.1): `if (a CMP b) x = simple;`
     /// where `x` is a scalar variable and `simple` has no side effects.
-    fn try_cmov(
-        &mut self,
-        cond: &Expr,
-        then: &[Stmt],
-    ) -> Result<Option<()>, CcError> {
+    fn try_cmov(&mut self, cond: &Expr, then: &[Stmt]) -> Result<Option<()>, CcError> {
         let ExprKind::Bin(op, cl, cr) = &cond.kind else {
             return Ok(None);
         };
@@ -869,7 +865,10 @@ impl<'a> FnCtx<'a> {
         };
         // value → r7
         self.expr(value)?;
-        self.f.ins(Inst::MovRR { dst: Reg::R7, src: Reg::R0 });
+        self.f.ins(Inst::MovRR {
+            dst: Reg::R7,
+            src: Reg::R0,
+        });
         // condition → FLAGS
         let lt = self.expr(cl)?;
         self.f.raw(Inst::Push { src: Reg::R0 });
@@ -877,7 +876,10 @@ impl<'a> FnCtx<'a> {
         self.f.raw(Inst::Pop { dst: Reg::R6 });
         let unsigned = lt.is_unsigned() || rt.is_unsigned();
         let cc = cc_for(*op, unsigned);
-        self.f.ins(Inst::Cmp { lhs: Reg::R6, rhs: Operand::Reg(Reg::R0) });
+        self.f.ins(Inst::Cmp {
+            lhs: Reg::R6,
+            rhs: Operand::Reg(Reg::R0),
+        });
         // load target, cmov, store back
         match place {
             Place::Local(slot) => {
@@ -887,7 +889,11 @@ impl<'a> FnCtx<'a> {
                     size: Self::access(&slot.ty),
                     sext: false,
                 });
-                self.f.ins(Inst::Cmov { cc, dst: Reg::R8, src: Reg::R7 });
+                self.f.ins(Inst::Cmov {
+                    cc,
+                    dst: Reg::R8,
+                    src: Reg::R7,
+                });
                 self.f.ins(Inst::Store {
                     src: Reg::R8,
                     mem: MemRef::base_disp(Reg::FP, slot.offset),
@@ -895,14 +901,13 @@ impl<'a> FnCtx<'a> {
                 });
             }
             Place::GlobalScalar(sym, ty) => {
-                self.f.load_global(
-                    Reg::R8,
-                    sym.clone(),
-                    0,
-                    Self::access(&ty),
-                    false,
-                );
-                self.f.ins(Inst::Cmov { cc, dst: Reg::R8, src: Reg::R7 });
+                self.f
+                    .load_global(Reg::R8, sym.clone(), 0, Self::access(&ty), false);
+                self.f.ins(Inst::Cmov {
+                    cc,
+                    dst: Reg::R8,
+                    src: Reg::R7,
+                });
                 self.f.store_global(Reg::R8, sym, 0, Self::access(&ty));
             }
             _ => unreachable!(),
@@ -918,8 +923,7 @@ impl<'a> FnCtx<'a> {
     ) -> Result<(), CcError> {
         let l_end = self.f.fresh_label();
         self.expr(scrutinee)?;
-        let case_labels: Vec<Label> =
-            cases.iter().map(|_| self.f.fresh_label()).collect();
+        let case_labels: Vec<Label> = cases.iter().map(|_| self.f.fresh_label()).collect();
         let l_default = self.f.fresh_label();
 
         match self.opts.switch_lowering {
@@ -964,14 +968,8 @@ impl<'a> FnCtx<'a> {
                     table[(*v - min) as usize] = *l;
                 }
                 let table_sym = self.f.jump_table(table);
-                self.f.load_global_indexed(
-                    Reg::R6,
-                    table_sym,
-                    Reg::R0,
-                    8,
-                    AccessSize::B8,
-                    false,
-                );
+                self.f
+                    .load_global_indexed(Reg::R6, table_sym, Reg::R0, 8, AccessSize::B8, false);
                 self.f.ins(Inst::JmpInd { target: Reg::R6 });
             }
         }
@@ -1065,10 +1063,7 @@ pub fn compile(src: &str, opts: &Options) -> Result<Object, CcError> {
 /// # Errors
 ///
 /// Returns a [`CcError`] for semantic or assembly problems.
-pub fn compile_program(
-    prog: &Program,
-    opts: &Options,
-) -> Result<Object, CcError> {
+pub fn compile_program(prog: &Program, opts: &Options) -> Result<Object, CcError> {
     let unit = if opts.unit_name.is_empty() {
         "unit"
     } else {
@@ -1125,11 +1120,12 @@ pub fn compile_program(
             string_base,
         };
         // Prologue.
-        let frame = (frame_bytes(&func.body) + 8 * func.params.len() as u64
-            + 15)
-            & !15;
+        let frame = (frame_bytes(&func.body) + 8 * func.params.len() as u64 + 15) & !15;
         ctx.f.raw(Inst::Push { src: Reg::FP });
-        ctx.f.ins(Inst::MovRR { dst: Reg::FP, src: Reg::SP });
+        ctx.f.ins(Inst::MovRR {
+            dst: Reg::FP,
+            src: Reg::SP,
+        });
         if frame > 0 {
             ctx.f.ins(Inst::Alu {
                 op: AluOp::Sub,
@@ -1150,11 +1146,17 @@ pub fn compile_program(
         // a return, so no dead code is emitted).
         let ends_in_return = matches!(func.body.last(), Some(Stmt::Return(_)));
         if func.ret != Type::Void && !ends_in_return {
-            ctx.f.ins(Inst::MovRI { dst: Reg::R0, imm: 0 });
+            ctx.f.ins(Inst::MovRI {
+                dst: Reg::R0,
+                imm: 0,
+            });
         }
         let ep = ctx.epilogue;
         ctx.f.bind(ep);
-        ctx.f.ins(Inst::MovRR { dst: Reg::SP, src: Reg::FP });
+        ctx.f.ins(Inst::MovRR {
+            dst: Reg::SP,
+            src: Reg::FP,
+        });
         ctx.f.raw(Inst::Pop { dst: Reg::FP });
         ctx.f.raw(Inst::Ret);
 
@@ -1171,7 +1173,10 @@ pub fn compile_program(
     if sigs.contains_key("main") {
         let mut start = asm.func("_start");
         start.call_sym("main");
-        start.ins(Inst::MovRR { dst: Reg::R1, src: Reg::R0 });
+        start.ins(Inst::MovRR {
+            dst: Reg::R1,
+            src: Reg::R0,
+        });
         start.ins(Inst::Syscall { num: sys::EXIT });
         asm.finish_func(start)?;
     }

@@ -32,9 +32,6 @@ mod parser;
 mod token;
 
 pub use ast::{BinOp, Expr, ExprKind, Func, Global, Program, Stmt, Type, UnOp};
-pub use codegen::{
-    compile, compile_program, compile_to_binary, CcError, Options,
-    SwitchLowering,
-};
+pub use codegen::{compile, compile_program, compile_to_binary, CcError, Options, SwitchLowering};
 pub use parser::{parse, ParseError};
 pub use token::{lex, LexError};

@@ -23,7 +23,10 @@ impl std::error::Error for ParseError {}
 
 impl From<crate::token::LexError> for ParseError {
     fn from(e: crate::token::LexError) -> ParseError {
-        ParseError { msg: e.msg, line: e.line }
+        ParseError {
+            msg: e.msg,
+            line: e.line,
+        }
     }
 }
 
@@ -65,7 +68,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { msg: msg.into(), line: self.line() })
+        Err(ParseError {
+            msg: msg.into(),
+            line: self.line(),
+        })
     }
 
     fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
@@ -104,10 +110,7 @@ impl Parser {
 
     fn parse_top(&mut self, prog: &mut Program) -> Result<(), ParseError> {
         let Some(ty) = self.try_type() else {
-            return self.err(format!(
-                "expected type at top level, found {}",
-                self.peek()
-            ));
+            return self.err(format!("expected type at top level, found {}", self.peek()));
         };
         let name = self.ident()?;
         if self.peek() == &Tok::LParen {
@@ -116,15 +119,11 @@ impl Parser {
             let mut params = Vec::new();
             if self.peek() != &Tok::RParen {
                 loop {
-                    let pty = self
-                        .try_type()
-                        .ok_or_else(|| ParseError {
-                            msg: "expected parameter type".into(),
-                            line: self.line(),
-                        })?;
-                    if pty == Type::Void && params.is_empty()
-                        && self.peek() == &Tok::RParen
-                    {
+                    let pty = self.try_type().ok_or_else(|| ParseError {
+                        msg: "expected parameter type".into(),
+                        line: self.line(),
+                    })?;
+                    if pty == Type::Void && params.is_empty() && self.peek() == &Tok::RParen {
                         break; // f(void)
                     }
                     let pname = self.ident()?;
@@ -141,23 +140,25 @@ impl Parser {
                 return self.err("functions take at most five parameters");
             }
             let body = self.block()?;
-            prog.funcs.push(Func { name, ret: ty, params, body });
+            prog.funcs.push(Func {
+                name,
+                ret: ty,
+                params,
+                body,
+            });
         } else {
             // global variable(s)
-            loop {
-                let (array_len, init) = self.global_suffix(&ty)?;
-                prog.globals.push(Global {
-                    name: name.clone(),
-                    ty: ty.clone(),
-                    array_len,
-                    init,
-                });
-                if self.peek() == &Tok::Comma {
-                    self.bump();
-                    let _next = self.ident()?;
-                    return self.err("one global per declaration, please");
-                }
-                break;
+            let (array_len, init) = self.global_suffix(&ty)?;
+            prog.globals.push(Global {
+                name: name.clone(),
+                ty: ty.clone(),
+                array_len,
+                init,
+            });
+            if self.peek() == &Tok::Comma {
+                self.bump();
+                let _next = self.ident()?;
+                return self.err("one global per declaration, please");
             }
             self.expect(Tok::Semi)?;
         }
@@ -165,10 +166,7 @@ impl Parser {
     }
 
     /// Parses `[N]`, `= literal` or nothing after a global's name.
-    fn global_suffix(
-        &mut self,
-        ty: &Type,
-    ) -> Result<(Option<u64>, Option<Vec<u8>>), ParseError> {
+    fn global_suffix(&mut self, ty: &Type) -> Result<(Option<u64>, Option<Vec<u8>>), ParseError> {
         let mut array_len = None;
         if self.peek() == &Tok::LBracket {
             self.bump();
@@ -184,8 +182,7 @@ impl Parser {
             match self.bump() {
                 Tok::Int(v) => {
                     if array_len.is_some() {
-                        return self
-                            .err("array initializers are not supported");
+                        return self.err("array initializers are not supported");
                     }
                     let bytes = match ty.size() {
                         1 => vec![v as u8],
@@ -202,11 +199,7 @@ impl Parser {
                     }
                     init = Some(bytes);
                 }
-                other => {
-                    return self.err(format!(
-                        "unsupported global initializer {other}"
-                    ))
-                }
+                other => return self.err(format!("unsupported global initializer {other}")),
             }
         }
         Ok((array_len, init))
@@ -248,7 +241,12 @@ impl Parser {
                 None
             };
             self.expect(Tok::Semi)?;
-            return Ok(Stmt::Decl { name, ty, array_len, init });
+            return Ok(Stmt::Decl {
+                name,
+                ty,
+                array_len,
+                init,
+            });
         }
         match self.peek().clone() {
             Tok::LBrace => Ok(Stmt::Block(self.block()?)),
@@ -285,7 +283,10 @@ impl Parser {
                     Some(self.stmt()?) // consumes the ';' via simple_stmt
                 };
                 let cond = if self.peek() == &Tok::Semi {
-                    Expr { kind: ExprKind::Num(1), line: self.line() }
+                    Expr {
+                        kind: ExprKind::Num(1),
+                        line: self.line(),
+                    }
                 } else {
                     self.expr()?
                 };
@@ -322,10 +323,7 @@ impl Parser {
                                 Tok::Int(v) => v,
                                 Tok::Minus => match self.bump() {
                                     Tok::Int(v) => -v,
-                                    _ => {
-                                        return self
-                                            .err("expected case constant")
-                                    }
+                                    _ => return self.err("expected case constant"),
                                 },
                                 _ => return self.err("expected case constant"),
                             };
@@ -337,15 +335,15 @@ impl Parser {
                             self.expect(Tok::Colon)?;
                             default = Some(self.case_body()?);
                         }
-                        other => {
-                            return self.err(format!(
-                                "expected case/default, found {other}"
-                            ))
-                        }
+                        other => return self.err(format!("expected case/default, found {other}")),
                     }
                 }
                 self.bump(); // }
-                Ok(Stmt::Switch { scrutinee, cases, default })
+                Ok(Stmt::Switch {
+                    scrutinee,
+                    cases,
+                    default,
+                })
             }
             Tok::KwBreak => {
                 self.bump();
@@ -415,12 +413,20 @@ impl Parser {
             Tok::PlusEq => {
                 self.bump();
                 let value = self.expr()?;
-                Ok(Stmt::OpAssign { target, op: BinOp::Add, value })
+                Ok(Stmt::OpAssign {
+                    target,
+                    op: BinOp::Add,
+                    value,
+                })
             }
             Tok::MinusEq => {
                 self.bump();
                 let value = self.expr()?;
-                Ok(Stmt::OpAssign { target, op: BinOp::Sub, value })
+                Ok(Stmt::OpAssign {
+                    target,
+                    op: BinOp::Sub,
+                    value,
+                })
             }
             Tok::PlusPlus => {
                 self.bump();
@@ -428,7 +434,10 @@ impl Parser {
                 Ok(Stmt::OpAssign {
                     target,
                     op: BinOp::Add,
-                    value: Expr { kind: ExprKind::Num(1), line },
+                    value: Expr {
+                        kind: ExprKind::Num(1),
+                        line,
+                    },
                 })
             }
             Tok::MinusMinus => {
@@ -437,7 +446,10 @@ impl Parser {
                 Ok(Stmt::OpAssign {
                     target,
                     op: BinOp::Sub,
-                    value: Expr { kind: ExprKind::Num(1), line },
+                    value: Expr {
+                        kind: ExprKind::Num(1),
+                        line,
+                    },
                 })
             }
             _ => Ok(Stmt::Expr(target)),
@@ -494,27 +506,42 @@ impl Parser {
             Tok::Minus => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr { kind: ExprKind::Un(UnOp::Neg, Box::new(e)), line })
+                Ok(Expr {
+                    kind: ExprKind::Un(UnOp::Neg, Box::new(e)),
+                    line,
+                })
             }
             Tok::Tilde => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr { kind: ExprKind::Un(UnOp::BitNot, Box::new(e)), line })
+                Ok(Expr {
+                    kind: ExprKind::Un(UnOp::BitNot, Box::new(e)),
+                    line,
+                })
             }
             Tok::Bang => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr { kind: ExprKind::Un(UnOp::Not, Box::new(e)), line })
+                Ok(Expr {
+                    kind: ExprKind::Un(UnOp::Not, Box::new(e)),
+                    line,
+                })
             }
             Tok::Star => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr { kind: ExprKind::Deref(Box::new(e)), line })
+                Ok(Expr {
+                    kind: ExprKind::Deref(Box::new(e)),
+                    line,
+                })
             }
             Tok::Amp => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr { kind: ExprKind::AddrOf(Box::new(e)), line })
+                Ok(Expr {
+                    kind: ExprKind::AddrOf(Box::new(e)),
+                    line,
+                })
             }
             _ => self.postfix(),
         }
@@ -552,9 +579,10 @@ impl Parser {
                         return self.err("calls take at most five arguments");
                     }
                     e = match e.kind {
-                        ExprKind::Var(name) => {
-                            Expr { kind: ExprKind::Call(name, args), line }
-                        }
+                        ExprKind::Var(name) => Expr {
+                            kind: ExprKind::Call(name, args),
+                            line,
+                        },
                         _ => Expr {
                             kind: ExprKind::CallPtr(Box::new(e), args),
                             line,
@@ -570,9 +598,18 @@ impl Parser {
     fn primary(&mut self) -> Result<Expr, ParseError> {
         let line = self.line();
         match self.bump() {
-            Tok::Int(v) => Ok(Expr { kind: ExprKind::Num(v), line }),
-            Tok::Str(s) => Ok(Expr { kind: ExprKind::Str(s), line }),
-            Tok::Ident(name) => Ok(Expr { kind: ExprKind::Var(name), line }),
+            Tok::Int(v) => Ok(Expr {
+                kind: ExprKind::Num(v),
+                line,
+            }),
+            Tok::Str(s) => Ok(Expr {
+                kind: ExprKind::Str(s),
+                line,
+            }),
+            Tok::Ident(name) => Ok(Expr {
+                kind: ExprKind::Var(name),
+                line,
+            }),
             Tok::LParen => {
                 let e = self.expr()?;
                 self.expect(Tok::RParen)?;
@@ -639,36 +676,39 @@ mod tests {
     fn for_desugars_to_while() {
         let p = parse("int f() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }")
             .unwrap();
-        let Stmt::Block(items) = &p.funcs[0].body[1] else { panic!() };
+        let Stmt::Block(items) = &p.funcs[0].body[1] else {
+            panic!()
+        };
         assert!(matches!(items[0], Stmt::Decl { .. }));
         assert!(matches!(items[1], Stmt::While { .. }));
     }
 
     #[test]
     fn pointers_and_addressing() {
-        let p = parse("int g; int f(int *p) { *p = 1; return *p + g; }")
-            .unwrap();
-        assert!(matches!(
-            p.funcs[0].params[0].1,
-            Type::Ptr(_)
-        ));
+        let p = parse("int g; int f(int *p) { *p = 1; return *p + g; }").unwrap();
+        assert!(matches!(p.funcs[0].params[0].1, Type::Ptr(_)));
     }
 
     #[test]
     fn fnptr_calls() {
         // `g(1)` parses as a named call; codegen resolves it to an
         // indirect call when `g` is a fnptr variable.
-        let p =
-            parse("int inc(int x) { return x + 1; } int f() { fnptr g = &inc; return g(1); }")
-                .unwrap();
+        let p = parse("int inc(int x) { return x + 1; } int f() { fnptr g = &inc; return g(1); }")
+            .unwrap();
         let body = &p.funcs[1].body;
         assert!(matches!(body[0], Stmt::Decl { .. }));
-        let Stmt::Return(Some(e)) = &body[1] else { panic!() };
+        let Stmt::Return(Some(e)) = &body[1] else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::Call(_, _)));
         // A parenthesized callee is a syntactic CallPtr.
         let p = parse("int f(fnptr g) { return (g)(1); }").unwrap();
-        let Stmt::Return(Some(e)) = &p.funcs[0].body[0] else { panic!() };
-        assert!(matches!(e.kind, ExprKind::Call(_, _)) || matches!(e.kind, ExprKind::CallPtr(_, _)));
+        let Stmt::Return(Some(e)) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(
+            matches!(e.kind, ExprKind::Call(_, _)) || matches!(e.kind, ExprKind::CallPtr(_, _))
+        );
     }
 
     #[test]
@@ -690,7 +730,6 @@ mod tests {
 
     #[test]
     fn too_many_params_rejected() {
-        assert!(parse("int f(int a, int b, int c, int d, int e, int g) {}")
-            .is_err());
+        assert!(parse("int f(int a, int b, int c, int d, int e, int g) {}").is_err());
     }
 }

@@ -160,14 +160,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                             line,
                         });
                     }
-                    value = i64::from_str_radix(
-                        std::str::from_utf8(&b[hs..i]).unwrap(),
-                        16,
-                    )
-                    .map_err(|_| LexError {
-                        msg: "hex literal overflow".into(),
-                        line,
-                    })?;
+                    value = i64::from_str_radix(std::str::from_utf8(&b[hs..i]).unwrap(), 16)
+                        .map_err(|_| LexError {
+                            msg: "hex literal overflow".into(),
+                            line,
+                        })?;
                 } else {
                     while i < b.len() && b[i].is_ascii_digit() {
                         i += 1;
@@ -251,9 +248,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
-                {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
                 let word = std::str::from_utf8(&b[start..i]).unwrap();
@@ -328,10 +323,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         b'>' => Tok::Gt,
                         other => {
                             return Err(LexError {
-                                msg: format!(
-                                    "unexpected character '{}'",
-                                    other as char
-                                ),
+                                msg: format!("unexpected character '{}'", other as char),
                                 line,
                             })
                         }
@@ -343,7 +335,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -372,23 +367,17 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             toks("int foo uint"),
-            vec![
-                Tok::KwInt,
-                Tok::Ident("foo".into()),
-                Tok::KwUint,
-                Tok::Eof
-            ]
+            vec![Tok::KwInt, Tok::Ident("foo".into()), Tok::KwUint, Tok::Eof]
         );
     }
 
     #[test]
     fn numbers() {
         assert_eq!(toks("42 0x2a"), vec![Tok::Int(42), Tok::Int(42), Tok::Eof]);
-        assert_eq!(toks("'a' '\\n' '\\0'")[..3], [
-            Tok::Int(97),
-            Tok::Int(10),
-            Tok::Int(0)
-        ]);
+        assert_eq!(
+            toks("'a' '\\n' '\\0'")[..3],
+            [Tok::Int(97), Tok::Int(10), Tok::Int(0)]
+        );
     }
 
     #[test]

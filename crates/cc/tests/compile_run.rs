@@ -12,7 +12,10 @@ fn run_with(src: &str, opts: &Options, input: &[u8]) -> teapot_vm::RunOutcome {
     let mut heur = SpecHeuristics::default();
     Machine::new(
         &bin,
-        RunOptions { input: input.to_vec(), ..RunOptions::default() },
+        RunOptions {
+            input: input.to_vec(),
+            ..RunOptions::default()
+        },
     )
     .run(&mut heur)
 }
@@ -32,7 +35,10 @@ fn arithmetic_and_precedence() {
     assert_eq!(exit_code("int main() { return 100 % 7; }"), 2);
     assert_eq!(exit_code("int main() { return 1 << 6; }"), 64);
     assert_eq!(exit_code("int main() { return 255 >> 4; }"), 15);
-    assert_eq!(exit_code("int main() { return (5 ^ 3) + (5 & 3) + (5 | 3); }"), 6 + 1 + 7);
+    assert_eq!(
+        exit_code("int main() { return (5 ^ 3) + (5 & 3) + (5 | 3); }"),
+        6 + 1 + 7
+    );
     assert_eq!(exit_code("int main() { return -5 + 7; }"), 2);
     assert_eq!(exit_code("int main() { return ~0 + 2; }"), 1);
     assert_eq!(exit_code("int main() { return !0 + !5; }"), 1);
@@ -41,20 +47,28 @@ fn arithmetic_and_precedence() {
 #[test]
 fn signed_vs_unsigned_comparison() {
     // Signed: -1 < 1.
-    assert_eq!(exit_code("int main() { int a = 0 - 1; if (a < 1) { return 1; } return 0; }"), 1);
+    assert_eq!(
+        exit_code("int main() { int a = 0 - 1; if (a < 1) { return 1; } return 0; }"),
+        1
+    );
     // Unsigned: (uint)-1 is huge.
     assert_eq!(
         exit_code("int main() { uint a = 0 - 1; if (a < 1) { return 1; } return 0; }"),
         0
     );
     // Signed shift right preserves sign; unsigned doesn't.
-    assert_eq!(exit_code("int main() { int a = 0 - 8; return (a >> 2) + 3; }"), 1);
+    assert_eq!(
+        exit_code("int main() { int a = 0 - 8; return (a >> 2) + 3; }"),
+        1
+    );
 }
 
 #[test]
 fn locals_scopes_and_loops() {
     assert_eq!(
-        exit_code("int main() { int s = 0; int i = 1; while (i <= 10) { s += i; i++; } return s; }"),
+        exit_code(
+            "int main() { int s = 0; int i = 1; while (i <= 10) { s += i; i++; } return s; }"
+        ),
         55
     );
     assert_eq!(
@@ -66,9 +80,7 @@ fn locals_scopes_and_loops() {
         1
     );
     assert_eq!(
-        exit_code(
-            "int main() { int i = 0; while (1) { i++; if (i == 7) { break; } } return i; }"
-        ),
+        exit_code("int main() { int i = 0; while (1) { i++; if (i == 7) { break; } } return i; }"),
         7
     );
 }
@@ -116,9 +128,7 @@ fn arrays_pointers_and_strings() {
         4
     );
     assert_eq!(
-        exit_code(
-            "int main() { char *s = \"AB\"; return s[0] + s[1] + s[2]; }"
-        ),
+        exit_code("int main() { char *s = \"AB\"; return s[0] + s[1] + s[2]; }"),
         65 + 66
     );
 }
@@ -146,10 +156,7 @@ fn globals_and_initializers() {
         exit_code("int counter = 5; int main() { counter += 3; return counter; }"),
         8
     );
-    assert_eq!(
-        exit_code("char tag = 7; int main() { return tag; }"),
-        7
-    );
+    assert_eq!(exit_code("char tag = 7; int main() { return tag; }"), 7);
 }
 
 #[test]
@@ -273,12 +280,9 @@ fn fig2_branch_chain_vs_jump_table_shape() {
         },
     )
     .unwrap();
-    let chain_jcc =
-        count_insts(&chain_bin, |i| matches!(i, Inst::Jcc { .. }));
-    let table_jcc =
-        count_insts(&table_bin, |i| matches!(i, Inst::Jcc { .. }));
-    let table_ind =
-        count_insts(&table_bin, |i| matches!(i, Inst::JmpInd { .. }));
+    let chain_jcc = count_insts(&chain_bin, |i| matches!(i, Inst::Jcc { .. }));
+    let table_jcc = count_insts(&table_bin, |i| matches!(i, Inst::Jcc { .. }));
+    let table_ind = count_insts(&table_bin, |i| matches!(i, Inst::JmpInd { .. }));
     // Branch chain: one conditional branch per case (the V1 victims).
     assert!(chain_jcc >= 4, "expected >=4 jcc, got {chain_jcc}");
     // Jump table with no default: NO conditional branch in f, one
@@ -306,13 +310,13 @@ fn cmov_if_conversion_changes_shape_not_semantics() {
     let plain = compile_to_binary(src, &Options::gcc_like()).unwrap();
     let cmov = compile_to_binary(
         src,
-        &Options { cmov_if_conversion: true, ..Options::gcc_like() },
+        &Options {
+            cmov_if_conversion: true,
+            ..Options::gcc_like()
+        },
     )
     .unwrap();
-    assert_eq!(
-        count_insts(&plain, |i| matches!(i, Inst::Cmov { .. })),
-        0
-    );
+    assert_eq!(count_insts(&plain, |i| matches!(i, Inst::Cmov { .. })), 0);
     assert_eq!(count_insts(&cmov, |i| matches!(i, Inst::Cmov { .. })), 2);
     assert!(
         count_insts(&cmov, |i| matches!(i, Inst::Jcc { .. }))
@@ -347,7 +351,10 @@ fn listing1_compiles_to_the_canonical_gadget_shape() {
     let mut heur = SpecHeuristics::default();
     let out = Machine::new(
         &bin,
-        RunOptions { input: vec![3], ..RunOptions::default() },
+        RunOptions {
+            input: vec![3],
+            ..RunOptions::default()
+        },
     )
     .run(&mut heur);
     assert_eq!(out.status, ExitStatus::Exit(0));
@@ -366,9 +373,7 @@ fn division_by_zero_crashes() {
 #[test]
 fn semantic_errors_are_reported() {
     use teapot_cc::CcError;
-    let err =
-        compile_to_binary("int main() { return nope; }", &Options::gcc_like())
-            .unwrap_err();
+    let err = compile_to_binary("int main() { return nope; }", &Options::gcc_like()).unwrap_err();
     assert!(matches!(err, CcError::Sema { .. }), "{err}");
     let err = compile_to_binary(
         "int main() { unknown_fn(); return 0; }",
@@ -386,11 +391,8 @@ fn semantic_errors_are_reported() {
 
 #[test]
 fn lfence_is_emitted() {
-    let bin = compile_to_binary(
-        "int main() { lfence(); return 0; }",
-        &Options::gcc_like(),
-    )
-    .unwrap();
+    let bin =
+        compile_to_binary("int main() { lfence(); return 0; }", &Options::gcc_like()).unwrap();
     assert_eq!(count_insts(&bin, |i| matches!(i, Inst::Lfence)), 1);
 }
 

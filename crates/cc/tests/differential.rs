@@ -43,9 +43,7 @@ fn eval(e: &E, vars: &[i64; NVARS]) -> i64 {
         E::And(a, b) => eval(a, vars) & eval(b, vars),
         E::Or(a, b) => eval(a, vars) | eval(b, vars),
         E::Xor(a, b) => eval(a, vars) ^ eval(b, vars),
-        E::Shl(a, b) => {
-            eval(a, vars).wrapping_shl((eval(b, vars) & 63) as u32)
-        }
+        E::Shl(a, b) => eval(a, vars).wrapping_shl((eval(b, vars) & 63) as u32),
         E::Shr(a, b) => {
             // MiniC `int` is signed: >> is arithmetic.
             eval(a, vars).wrapping_shr((eval(b, vars) & 63) as u32)
@@ -93,28 +91,17 @@ fn arb_expr() -> impl Strategy<Value = E> {
     ];
     leaf.prop_recursive(4, 48, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Shl(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Shr(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Le(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Eq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shl(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shr(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Le(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Eq(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| E::Neg(Box::new(a))),
             inner.clone().prop_map(|a| E::Not(Box::new(a))),
             inner.prop_map(|a| E::BitNot(Box::new(a))),

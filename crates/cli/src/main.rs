@@ -7,6 +7,8 @@
 //! teapot instrument <in.tof> -o out.tof [--baseline] [--no-nested]
 //! teapot run <bin.tof> [--input-file f] [--spectaint]
 //! teapot fuzz <bin.tof> [--iters N] [--workload name] [--spectaint]
+//! teapot campaign <bin.tof|dir> [--workers N] [--shards S] [--epochs E]
+//!                 [--resume snap.tcs] [--snapshot snap.tcs] [--json out]
 //! teapot dis <bin.tof>
 //! ```
 
@@ -35,15 +37,12 @@ fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 }
 
 fn load(path: &str) -> Result<teapot_obj::Binary, String> {
-    let bytes =
-        std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
-    teapot_obj::Binary::from_bytes(&bytes)
-        .map_err(|e| format!("parse {path}: {e}"))
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    teapot_obj::Binary::from_bytes(&bytes).map_err(|e| format!("parse {path}: {e}"))
 }
 
 fn save(bin: &teapot_obj::Binary, path: &str) -> Result<(), String> {
-    std::fs::write(path, bin.to_bytes())
-        .map_err(|e| format!("write {path}: {e}"))
+    std::fs::write(path, bin.to_bytes()).map_err(|e| format!("write {path}: {e}"))
 }
 
 fn find_workload(name: &str) -> Option<teapot_workloads::Workload> {
@@ -64,10 +63,9 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut bin = if let Some(w) = find_workload(target) {
                 w.build(&cc_opts).map_err(|e| e.to_string())?
             } else {
-                let src = std::fs::read_to_string(target)
-                    .map_err(|e| format!("read {target}: {e}"))?;
-                teapot_cc::compile_to_binary(&src, &cc_opts)
-                    .map_err(|e| e.to_string())?
+                let src =
+                    std::fs::read_to_string(target).map_err(|e| format!("read {target}: {e}"))?;
+                teapot_cc::compile_to_binary(&src, &cc_opts).map_err(|e| e.to_string())?
             };
             if flag(args, "--strip") {
                 bin.strip();
@@ -86,8 +84,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 } else {
                     teapot_baselines::SpecFuzzOptions::default()
                 };
-                teapot_baselines::specfuzz_rewrite(&bin, &opts)
-                    .map_err(|e| e.to_string())?
+                teapot_baselines::specfuzz_rewrite(&bin, &opts).map_err(|e| e.to_string())?
             } else {
                 let opts = if flag(args, "--no-nested") {
                     teapot_core::RewriteOptions::perf_comparison()
@@ -104,9 +101,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let input = args.get(1).ok_or("usage: run <bin.tof>")?;
             let bin = load(input)?;
             let data = match opt(args, "--input-file") {
-                Some(f) => {
-                    std::fs::read(f).map_err(|e| format!("read {f}: {e}"))?
-                }
+                Some(f) => std::fs::read(f).map_err(|e| format!("read {f}: {e}"))?,
                 None => Vec::new(),
             };
             let emu = if flag(args, "--spectaint") {
@@ -147,9 +142,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let iters = opt(args, "--iters")
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(400);
-            let (seeds, dict) = match opt(args, "--workload")
-                .and_then(find_workload)
-            {
+            let (seeds, dict) = match opt(args, "--workload").and_then(find_workload) {
                 Some(w) => (w.seeds.clone(), w.dictionary.clone()),
                 None => (vec![], vec![]),
             };
@@ -158,7 +151,7 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 teapot_vm::EmuStyle::Native
             };
-            let res = teapot_fuzz::fuzz(
+            let res = teapot_fuzz::try_fuzz(
                 &bin,
                 &seeds,
                 &teapot_fuzz::FuzzConfig {
@@ -167,7 +160,8 @@ fn run(args: &[String]) -> Result<(), String> {
                     emu,
                     ..Default::default()
                 },
-            );
+            )
+            .map_err(|e| e.to_string())?;
             println!(
                 "{} iterations, corpus {}, {} crashes",
                 res.iters, res.corpus_len, res.crashes
@@ -185,6 +179,152 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "campaign" => {
+            let target = args.get(1).ok_or("usage: campaign <bin.tof|dir>")?;
+            // Every value-taking flag must actually have a value; a bare
+            // trailing `--resume` must not silently start from scratch.
+            for name in [
+                "--seed",
+                "--shards",
+                "--workers",
+                "--epochs",
+                "--iters",
+                "--workload",
+                "--resume",
+                "--snapshot",
+                "--json",
+            ] {
+                if flag(args, name) && opt(args, name).is_none() {
+                    return Err(format!("{name} requires a value"));
+                }
+            }
+            fn parse_num<T: std::str::FromStr>(
+                args: &[String],
+                name: &str,
+                default: T,
+            ) -> Result<T, String> {
+                match opt(args, name) {
+                    None => Ok(default),
+                    Some(s) => s.parse().map_err(|_| format!("{name}: bad number `{s}`")),
+                }
+            }
+            let defaults = teapot_campaign::CampaignConfig::default();
+            let mut cfg = teapot_campaign::CampaignConfig {
+                seed: parse_num(args, "--seed", defaults.seed)?,
+                shards: parse_num(args, "--shards", defaults.shards)?,
+                workers: parse_num(args, "--workers", defaults.workers)?,
+                epochs: parse_num(args, "--epochs", defaults.epochs)?,
+                iters_per_epoch: parse_num(args, "--iters", defaults.iters_per_epoch)?,
+                ..defaults
+            };
+            if flag(args, "--spectaint") {
+                cfg.emu = teapot_vm::EmuStyle::SpecTaint;
+            }
+            let seeds = match opt(args, "--workload").and_then(find_workload) {
+                Some(w) => {
+                    cfg.dictionary = w.dictionary.clone();
+                    w.seeds.clone()
+                }
+                None => vec![],
+            };
+
+            // Queue mode: a directory of .tof binaries.
+            if std::path::Path::new(target).is_dir() {
+                if opt(args, "--resume").is_some() || opt(args, "--snapshot").is_some() {
+                    return Err("--resume/--snapshot are only supported for \
+                         single-binary campaigns"
+                        .into());
+                }
+                let outcomes =
+                    teapot_campaign::queue::run_queue(std::path::Path::new(target), &cfg, &seeds)
+                        .map_err(|e| e.to_string())?;
+                if outcomes.is_empty() {
+                    println!("no .tof binaries found in {target}");
+                }
+                for o in &outcomes {
+                    println!(
+                        "{}: {} unique gadgets, {} iters, corpus {}{}",
+                        o.path.display(),
+                        o.report.unique_gadgets(),
+                        o.report.iters,
+                        o.report.corpus_total,
+                        if o.instrumented_here {
+                            " (instrumented here)"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+                if let Some(out) = opt(args, "--json") {
+                    std::fs::write(out, teapot_campaign::queue::render_queue_json(&outcomes))
+                        .map_err(|e| format!("write {out}: {e}"))?;
+                    println!("wrote {out}");
+                }
+                return Ok(());
+            }
+
+            // Single-binary mode, optionally resumed from a snapshot.
+            let bin = load(target)?;
+            let mut campaign = match opt(args, "--resume") {
+                Some(snap_path) => {
+                    // The snapshot's config defines the campaign; only
+                    // --workers (execution detail) and --epochs (extend)
+                    // apply on resume. Say so if other flags were given.
+                    for ignored in ["--seed", "--shards", "--iters", "--workload", "--spectaint"] {
+                        if flag(args, ignored) {
+                            eprintln!(
+                                "teapot: note: {ignored} is ignored with --resume \
+                                 (the snapshot's configuration is used)"
+                            );
+                        }
+                    }
+                    let snap =
+                        teapot_campaign::CampaignSnapshot::load(std::path::Path::new(snap_path))
+                            .map_err(|e| format!("{snap_path}: {e}"))?;
+                    let mut c = teapot_campaign::Campaign::resume(&snap, &bin)
+                        .map_err(|e| e.to_string())?;
+                    c.set_workers(cfg.workers);
+                    // Extend only on an explicit --epochs: the default
+                    // must not silently grow a finished campaign, or a
+                    // plain resume would no longer match the
+                    // uninterrupted run.
+                    if flag(args, "--epochs") {
+                        c.extend_epochs(cfg.epochs);
+                    }
+                    println!("resumed from {snap_path} at epoch {}", c.epochs_done());
+                    c
+                }
+                None => teapot_campaign::Campaign::new(cfg).map_err(|e| e.to_string())?,
+            };
+            let report = campaign.run(&bin, &seeds);
+            if let Some(snap_out) = opt(args, "--snapshot") {
+                campaign
+                    .snapshot(&bin)
+                    .save(std::path::Path::new(snap_out))
+                    .map_err(|e| format!("write {snap_out}: {e}"))?;
+                println!("wrote snapshot {snap_out}");
+            }
+            println!(
+                "{} shards x {} epochs: {} iterations, corpus {}, {} crashes",
+                report.shards, report.epochs, report.iters, report.corpus_total, report.crashes
+            );
+            println!(
+                "coverage: {} normal features, {} speculative features",
+                report.cov_normal_features, report.cov_spec_features
+            );
+            println!("unique gadgets: {}", report.unique_gadgets());
+            for (bucket, n) in &report.buckets {
+                println!("  {bucket}: {n}");
+            }
+            for g in report.gadgets.iter().take(20) {
+                println!("GADGET {g}");
+            }
+            if let Some(out) = opt(args, "--json") {
+                std::fs::write(out, report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
+                println!("wrote {out}");
+            }
+            Ok(())
+        }
         "dis" => {
             let input = args.get(1).ok_or("usage: dis <bin.tof>")?;
             let bin = load(input)?;
@@ -196,13 +336,21 @@ fn run(args: &[String]) -> Result<(), String> {
                     f.entry,
                     f.blocks.len(),
                     f.inst_count(),
-                    if f.address_taken { " [address taken]" } else { "" }
+                    if f.address_taken {
+                        " [address taken]"
+                    } else {
+                        ""
+                    }
                 );
                 for b in &f.blocks {
                     println!(
                         "  block {:#x}{}",
                         b.addr,
-                        if b.indirect_target { " [indirect target]" } else { "" }
+                        if b.indirect_target {
+                            " [indirect target]"
+                        } else {
+                            ""
+                        }
                     );
                     for (a, i) in &b.insts {
                         println!("    {a:#x}: {i}");
@@ -210,11 +358,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             }
             for jt in &g.jump_tables {
-                println!(
-                    "jump table @ {:#x}: {} entries",
-                    jt.addr,
-                    jt.targets.len()
-                );
+                println!("jump table @ {:#x}: {} entries", jt.addr, jt.targets.len());
             }
             Ok(())
         }
@@ -227,7 +371,16 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 instrument <in.tof> -o out.tof [--baseline] [--no-nested]\n\
                  \x20 run <bin.tof> [--input-file f] [--spectaint]\n\
                  \x20 fuzz <bin.tof> [--iters N] [--workload name] [--spectaint]\n\
+                 \x20 campaign <bin.tof|dir> [--workers N] [--shards S] [--epochs E]\n\
+                 \x20          [--iters N] [--seed S] [--workload name] [--spectaint]\n\
+                 \x20          [--resume snap.tcs] [--snapshot snap.tcs] [--json out.json]\n\
                  \x20 dis <bin.tof>\n\
+                 \n\
+                 campaign: sharded parallel fuzzing with deterministic merging.\n\
+                 \x20 Results depend on --shards/--seed/--epochs/--iters, never on\n\
+                 \x20 --workers (thread count). A directory target queues every .tof\n\
+                 \x20 inside it (instrumenting originals first). --snapshot saves a\n\
+                 \x20 resumable .tcs campaign snapshot; --resume continues one.\n\
                  \n\
                  workloads: jsmn libyaml libhtp brotli openssl"
             );

@@ -35,13 +35,7 @@ fn compile_instrument_run_pipeline() {
     let input = dir.join("in.json");
     std::fs::write(&input, br#"{"k": [1, 2, 3]}"#).unwrap();
 
-    let (ok, text) = run_cli(&[
-        "compile",
-        "jsmn",
-        "-o",
-        cots.to_str().unwrap(),
-        "--strip",
-    ]);
+    let (ok, text) = run_cli(&["compile", "jsmn", "-o", cots.to_str().unwrap(), "--strip"]);
     assert!(ok, "{text}");
 
     let (ok, text) = run_cli(&[
@@ -68,8 +62,7 @@ fn dis_prints_functions_and_blocks() {
     let dir = std::env::temp_dir().join("teapot-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
     let cots = dir.join("htp.tof");
-    let (ok, text) =
-        run_cli(&["compile", "libhtp", "-o", cots.to_str().unwrap()]);
+    let (ok, text) = run_cli(&["compile", "libhtp", "-o", cots.to_str().unwrap()]);
     assert!(ok, "{text}");
     let (ok, text) = run_cli(&["dis", cots.to_str().unwrap()]);
     assert!(ok, "{text}");

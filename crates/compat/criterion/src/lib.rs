@@ -1,0 +1,156 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal, API-compatible subset: benchmark groups,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark runs a
+//! small fixed number of iterations and prints mean wall-clock time —
+//! enough to spot order-of-magnitude regressions in CI without the full
+//! statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// How batches are sized in `iter_batched` (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: 3,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples (clamped to keep offline runs
+    /// fast).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 5);
+        self
+    }
+
+    /// Times `f` and prints the result.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        for _ in 0..self.samples {
+            f(&mut b);
+        }
+        let mean = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / b.iters as u32
+        };
+        println!(
+            "bench {}/{}: {:?}/iter ({} iters)",
+            self.name,
+            id.into(),
+            mean,
+            b.iters
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures to drive timing loops.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Times `routine` on fresh state from `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Defines a function running each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Defines `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).bench_function("add", |b| {
+            b.iter(|| 1u64 + 1);
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+}

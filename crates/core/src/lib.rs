@@ -51,4 +51,6 @@
 
 mod rewrite;
 
-pub use rewrite::{rewrite, rewrite_with_stats, Policy, RewriteError, RewriteOptions, RewriteStats};
+pub use rewrite::{
+    rewrite, rewrite_with_stats, Policy, RewriteError, RewriteOptions, RewriteStats,
+};

@@ -5,9 +5,7 @@ use std::fmt;
 use teapot_asm::{inst_len, AsmError, Assembler, CodeRef, FuncAsm, Label};
 use teapot_dis::{disassemble, DisError, GFunc, Gtir};
 use teapot_isa::{AccessSize, IndKind, Inst, MemRef, Reg};
-use teapot_obj::{
-    BinFlags, Binary, LinkError, Linker, LoadedSection, RelocKind, SectionKind,
-};
+use teapot_obj::{BinFlags, Binary, LinkError, Linker, LoadedSection, RelocKind, SectionKind};
 use teapot_rt::TeapotMeta;
 
 /// The gadget-detection policy compiled into the instrumented binary.
@@ -52,7 +50,10 @@ impl RewriteOptions {
     /// The configuration used for the paper's run-time comparison
     /// (Figure 7): nested speculation and heuristics disabled.
     pub fn perf_comparison() -> RewriteOptions {
-        RewriteOptions { nested_speculation: false, ..RewriteOptions::default() }
+        RewriteOptions {
+            nested_speculation: false,
+            ..RewriteOptions::default()
+        }
     }
 }
 
@@ -129,7 +130,11 @@ struct Emit {
 
 impl Emit {
     fn new(f: FuncAsm) -> Emit {
-        Emit { f, off: 0, pairs: Vec::new() }
+        Emit {
+            f,
+            off: 0,
+            pairs: Vec::new(),
+        }
     }
 
     fn ins(&mut self, inst: Inst<CodeRef>) {
@@ -143,13 +148,7 @@ impl Emit {
         self.ins(inst);
     }
 
-    fn ins_disp_sym(
-        &mut self,
-        orig: u64,
-        inst: Inst<CodeRef>,
-        sym: String,
-        addend: i64,
-    ) {
+    fn ins_disp_sym(&mut self, orig: u64, inst: Inst<CodeRef>, sym: String, addend: i64) {
         self.pairs.push((self.off, orig));
         self.off += inst_len(&inst) as u64;
         self.f.ins_disp_sym(inst, sym, addend);
@@ -215,10 +214,7 @@ struct Rewriter<'a> {
 /// Returns a [`RewriteError`] if disassembly fails or recovered control
 /// flow cannot be resolved (the fundamental static-rewriting limitation
 /// the paper discusses in §8).
-pub fn rewrite(
-    bin: &Binary,
-    opts: &RewriteOptions,
-) -> Result<Binary, RewriteError> {
+pub fn rewrite(bin: &Binary, opts: &RewriteOptions) -> Result<Binary, RewriteError> {
     rewrite_with_stats(bin, opts).map(|(b, _)| b)
 }
 
@@ -246,7 +242,10 @@ pub fn rewrite_with_stats(
     let mut rw = Rewriter {
         gtir: &gtir,
         opts,
-        data_map: DataMap { ranges: data_ranges, text: gtir.text_range },
+        data_map: DataMap {
+            ranges: data_ranges,
+            text: gtir.text_range,
+        },
         fn_by_entry: gtir
             .functions
             .iter()
@@ -287,25 +286,13 @@ pub fn rewrite_with_stats(
                 // Scan for code pointers and retarget them.
                 let mut i = 0usize;
                 while i + 8 <= sec.bytes.len() {
-                    let v = u64::from_le_bytes(
-                        sec.bytes[i..i + 8].try_into().unwrap(),
-                    );
+                    let v = u64::from_le_bytes(sec.bytes[i..i + 8].try_into().unwrap());
                     if let Some((fname, block_off)) = rw.locate_code(v) {
                         let off = base_off + i as u64;
                         if sec.kind == SectionKind::Rodata {
-                            asm.rodata_reloc(
-                                off,
-                                RelocKind::Abs64,
-                                fname,
-                                block_off as i64,
-                            );
+                            asm.rodata_reloc(off, RelocKind::Abs64, fname, block_off as i64);
                         } else {
-                            asm.data_reloc(
-                                off,
-                                RelocKind::Abs64,
-                                fname,
-                                block_off as i64,
-                            );
+                            asm.data_reloc(off, RelocKind::Abs64, fname, block_off as i64);
                         }
                     }
                     i += 8;
@@ -349,9 +336,7 @@ pub fn rewrite_with_stats(
     let mut shadow_lo = u64::MAX;
     let mut shadow_hi = 0u64;
     for f in &gtir.functions {
-        let &(fa, fsz) = sym_addr
-            .get(f.name.as_str())
-            .expect("real copy symbol");
+        let &(fa, fsz) = sym_addr.get(f.name.as_str()).expect("real copy symbol");
         let spec_name = format!("{}$spec", f.name);
         let &(sa, ssz) = sym_addr
             .get(spec_name.as_str())
@@ -364,7 +349,8 @@ pub fn rewrite_with_stats(
         let sobs = &rw.shadow_block_offs[&f.entry];
         for b in &f.blocks {
             if b.indirect_target {
-                meta.indirect_map.push((fa + robs[&b.addr], sa + sobs[&b.addr]));
+                meta.indirect_map
+                    .push((fa + robs[&b.addr], sa + sobs[&b.addr]));
             }
         }
         for &(off, orig) in &rw.real_pairs[&f.entry] {
@@ -406,12 +392,7 @@ impl<'a> Rewriter<'a> {
     }
 
     /// Emits a copied instruction with data re-symbolization.
-    fn copy_inst(
-        &mut self,
-        e: &mut Emit,
-        addr: u64,
-        inst: &Inst<u64>,
-    ) {
+    fn copy_inst(&mut self, e: &mut Emit, addr: u64, inst: &Inst<u64>) {
         // Absolute memory displacements into original data sections become
         // symbol+addend relocations ("symbolization", the hard part of
         // reassembleable disassembly).
@@ -468,14 +449,13 @@ impl<'a> Rewriter<'a> {
     // Real Copy
     // ------------------------------------------------------------------
 
-    fn emit_real(
-        &mut self,
-        asm: &mut Assembler,
-        f: &GFunc,
-    ) -> Result<(), RewriteError> {
+    fn emit_real(&mut self, asm: &mut Assembler, f: &GFunc) -> Result<(), RewriteError> {
         let mut e = Emit::new(asm.func(f.name.clone()));
-        let labels: HashMap<u64, Label> =
-            f.blocks.iter().map(|b| (b.addr, e.f.fresh_label())).collect();
+        let labels: HashMap<u64, Label> = f
+            .blocks
+            .iter()
+            .map(|b| (b.addr, e.f.fresh_label()))
+            .collect();
         let mut block_offs: HashMap<u64, u64> = HashMap::new();
         let mut tramp_idx = 0usize;
 
@@ -490,7 +470,9 @@ impl<'a> Rewriter<'a> {
             }
             if self.opts.policy == Policy::Kasper {
                 // Asynchronous once-per-block tag propagation (§6.2.2).
-                e.ins(Inst::TagBlockProp { n: b.insts.len().min(65535) as u16 });
+                e.ins(Inst::TagBlockProp {
+                    n: b.insts.len().min(65535) as u16,
+                });
             }
             for (addr, inst) in &b.insts {
                 match inst {
@@ -499,28 +481,37 @@ impl<'a> Rewriter<'a> {
                             let g = self.next_guard();
                             e.ins(Inst::CovTrace { guard: g });
                         }
-                        let tramp =
-                            CodeRef::Sym(format!("{}$tramp{}", f.name, tramp_idx));
+                        let tramp = CodeRef::Sym(format!("{}$tramp{}", f.name, tramp_idx));
                         tramp_idx += 1;
                         self.stats.branches += 1;
                         e.ins(Inst::SimStart { tramp });
-                        let tl = *labels.get(target).ok_or(
-                            RewriteError::UnresolvedTarget {
-                                branch: *addr,
-                                target: *target,
+                        let tl = *labels.get(target).ok_or(RewriteError::UnresolvedTarget {
+                            branch: *addr,
+                            target: *target,
+                        })?;
+                        e.ins_orig(
+                            *addr,
+                            Inst::Jcc {
+                                cc: *cc,
+                                target: tl.into(),
                             },
-                        )?;
-                        e.ins_orig(*addr, Inst::Jcc { cc: *cc, target: tl.into() });
+                        );
                     }
                     Inst::Jmp { target } => {
                         if let Some(tl) = labels.get(target) {
-                            e.ins_orig(*addr, Inst::Jmp { target: (*tl).into() });
-                        } else if let Some(name) = self.fn_by_entry.get(target)
-                        {
+                            e.ins_orig(
+                                *addr,
+                                Inst::Jmp {
+                                    target: (*tl).into(),
+                                },
+                            );
+                        } else if let Some(name) = self.fn_by_entry.get(target) {
                             // Tail jump to another function.
                             e.ins_orig(
                                 *addr,
-                                Inst::Jmp { target: CodeRef::Sym(name.clone()) },
+                                Inst::Jmp {
+                                    target: CodeRef::Sym(name.clone()),
+                                },
                             );
                         } else {
                             return Err(RewriteError::UnresolvedTarget {
@@ -530,15 +521,18 @@ impl<'a> Rewriter<'a> {
                         }
                     }
                     Inst::Call { target } => {
-                        let name = self.fn_by_entry.get(target).ok_or(
-                            RewriteError::UnresolvedTarget {
-                                branch: *addr,
-                                target: *target,
-                            },
-                        )?;
+                        let name =
+                            self.fn_by_entry
+                                .get(target)
+                                .ok_or(RewriteError::UnresolvedTarget {
+                                    branch: *addr,
+                                    target: *target,
+                                })?;
                         e.ins_orig(
                             *addr,
-                            Inst::Call { target: CodeRef::Sym(name.clone()) },
+                            Inst::Call {
+                                target: CodeRef::Sym(name.clone()),
+                            },
                         );
                     }
                     other => self.copy_inst(&mut e, *addr, other),
@@ -546,7 +540,8 @@ impl<'a> Rewriter<'a> {
             }
         }
         self.real_block_offs.insert(f.entry, block_offs);
-        self.real_pairs.insert(f.entry, std::mem::take(&mut e.pairs));
+        self.real_pairs
+            .insert(f.entry, std::mem::take(&mut e.pairs));
         asm.finish_func(e.f)?;
         Ok(())
     }
@@ -555,14 +550,13 @@ impl<'a> Rewriter<'a> {
     // Shadow Copy
     // ------------------------------------------------------------------
 
-    fn emit_shadow(
-        &mut self,
-        asm: &mut Assembler,
-        f: &GFunc,
-    ) -> Result<(), RewriteError> {
+    fn emit_shadow(&mut self, asm: &mut Assembler, f: &GFunc) -> Result<(), RewriteError> {
         let mut e = Emit::new(asm.func(format!("{}$spec", f.name)));
-        let labels: HashMap<u64, Label> =
-            f.blocks.iter().map(|b| (b.addr, e.f.fresh_label())).collect();
+        let labels: HashMap<u64, Label> = f
+            .blocks
+            .iter()
+            .map(|b| (b.addr, e.f.fresh_label()))
+            .collect();
         let mut block_offs: HashMap<u64, u64> = HashMap::new();
 
         let dift = self.opts.policy == Policy::Kasper;
@@ -581,9 +575,7 @@ impl<'a> Rewriter<'a> {
                 // Conditional restore points every `check_interval`
                 // instructions and near the end of each block (§6.1).
                 since_check += 1;
-                if since_check >= self.opts.check_interval
-                    || (is_last && n > 1)
-                {
+                if since_check >= self.opts.check_interval || (is_last && n > 1) {
                     e.ins(Inst::SimCheck);
                     since_check = 0;
                 }
@@ -602,8 +594,7 @@ impl<'a> Rewriter<'a> {
                         }
                         self.copy_inst(&mut e, *addr, inst);
                     }
-                    Inst::Store { mem, size, .. }
-                    | Inst::StoreI { mem, size, .. } => {
+                    Inst::Store { mem, size, .. } | Inst::StoreI { mem, size, .. } => {
                         if let Some(m) = Self::asan_mem(mem) {
                             self.stats.asan_checks += 1;
                             self.emit_asan(&mut e, m, *size, true);
@@ -615,35 +606,36 @@ impl<'a> Rewriter<'a> {
                     }
                     Inst::Jcc { cc, target } => {
                         if self.opts.nested_speculation {
-                            let tramp = CodeRef::Sym(format!(
-                                "{}$tramp{}",
-                                f.name, nested_tramp_idx
-                            ));
+                            let tramp =
+                                CodeRef::Sym(format!("{}$tramp{}", f.name, nested_tramp_idx));
                             e.ins(Inst::SimStart { tramp });
                         }
                         nested_tramp_idx += 1;
-                        let tl = *labels.get(target).ok_or(
-                            RewriteError::UnresolvedTarget {
-                                branch: *addr,
-                                target: *target,
-                            },
-                        )?;
+                        let tl = *labels.get(target).ok_or(RewriteError::UnresolvedTarget {
+                            branch: *addr,
+                            target: *target,
+                        })?;
                         e.ins_orig(
                             *addr,
-                            Inst::Jcc { cc: *cc, target: tl.into() },
+                            Inst::Jcc {
+                                cc: *cc,
+                                target: tl.into(),
+                            },
                         );
                     }
                     Inst::Jmp { target } => {
                         if let Some(tl) = labels.get(target) {
-                            e.ins_orig(*addr, Inst::Jmp { target: (*tl).into() });
-                        } else if let Some(name) = self.fn_by_entry.get(target)
-                        {
                             e.ins_orig(
                                 *addr,
                                 Inst::Jmp {
-                                    target: CodeRef::Sym(format!(
-                                        "{name}$spec"
-                                    )),
+                                    target: (*tl).into(),
+                                },
+                            );
+                        } else if let Some(name) = self.fn_by_entry.get(target) {
+                            e.ins_orig(
+                                *addr,
+                                Inst::Jmp {
+                                    target: CodeRef::Sym(format!("{name}$spec")),
                                 },
                             );
                         } else {
@@ -655,12 +647,13 @@ impl<'a> Rewriter<'a> {
                     }
                     Inst::Call { target } => {
                         // Direct calls stay in the shadow world (§5.2).
-                        let name = self.fn_by_entry.get(target).ok_or(
-                            RewriteError::UnresolvedTarget {
-                                branch: *addr,
-                                target: *target,
-                            },
-                        )?;
+                        let name =
+                            self.fn_by_entry
+                                .get(target)
+                                .ok_or(RewriteError::UnresolvedTarget {
+                                    branch: *addr,
+                                    target: *target,
+                                })?;
                         e.ins_orig(
                             *addr,
                             Inst::Call {
@@ -670,12 +663,16 @@ impl<'a> Rewriter<'a> {
                     }
                     Inst::CallInd { target } => {
                         self.stats.ind_checks += 1;
-                        e.ins(Inst::IndCheck { kind: IndKind::Call(*target) });
+                        e.ins(Inst::IndCheck {
+                            kind: IndKind::Call(*target),
+                        });
                         e.ins_orig(*addr, Inst::CallInd { target: *target });
                     }
                     Inst::JmpInd { target } => {
                         self.stats.ind_checks += 1;
-                        e.ins(Inst::IndCheck { kind: IndKind::Jmp(*target) });
+                        e.ins(Inst::IndCheck {
+                            kind: IndKind::Jmp(*target),
+                        });
                         e.ins_orig(*addr, Inst::JmpInd { target: *target });
                     }
                     Inst::Ret => {
@@ -683,10 +680,7 @@ impl<'a> Rewriter<'a> {
                         e.ins(Inst::IndCheck { kind: IndKind::Ret });
                         e.ins_orig(*addr, Inst::Ret);
                     }
-                    Inst::Syscall { .. }
-                    | Inst::Lfence
-                    | Inst::Cpuid
-                    | Inst::Halt => {
+                    Inst::Syscall { .. } | Inst::Lfence | Inst::Cpuid | Inst::Halt => {
                         // External calls and serializing instructions end
                         // the simulation unconditionally (§6.1).
                         e.ins(Inst::SimEnd);
@@ -709,9 +703,7 @@ impl<'a> Rewriter<'a> {
             for (addr, inst) in &b.insts {
                 if let Inst::Jcc { cc, target } = inst {
                     let fall = addr + teapot_isa::encoded_len(inst) as u64;
-                    let (Some(tl), Some(fl)) =
-                        (labels.get(target), labels.get(&fall))
-                    else {
+                    let (Some(tl), Some(fl)) = (labels.get(target), labels.get(&fall)) else {
                         return Err(RewriteError::UnresolvedTarget {
                             branch: *addr,
                             target: *target,
@@ -722,25 +714,35 @@ impl<'a> Rewriter<'a> {
                     // Condition true (taken in real execution) →
                     // mispredicted to the fall-through's shadow; condition
                     // false → mispredicted to the taken target's shadow.
-                    e.ins_orig(*addr, Inst::Jcc { cc: *cc, target: (*fl).into() });
-                    e.ins_orig(*addr, Inst::Jmp { target: (*tl).into() });
+                    e.ins_orig(
+                        *addr,
+                        Inst::Jcc {
+                            cc: *cc,
+                            target: (*fl).into(),
+                        },
+                    );
+                    e.ins_orig(
+                        *addr,
+                        Inst::Jmp {
+                            target: (*tl).into(),
+                        },
+                    );
                 }
             }
         }
         self.shadow_block_offs.insert(f.entry, block_offs);
-        self.shadow_pairs.insert(f.entry, std::mem::take(&mut e.pairs));
+        self.shadow_pairs
+            .insert(f.entry, std::mem::take(&mut e.pairs));
         asm.finish_func(e.f)?;
         Ok(())
     }
 
-    fn emit_asan(
-        &mut self,
-        e: &mut Emit,
-        mem: MemRef,
-        size: AccessSize,
-        is_write: bool,
-    ) {
-        let inst: Inst<CodeRef> = Inst::AsanCheck { mem, size, is_write };
+    fn emit_asan(&mut self, e: &mut Emit, mem: MemRef, size: AccessSize, is_write: bool) {
+        let inst: Inst<CodeRef> = Inst::AsanCheck {
+            mem,
+            size,
+            is_write,
+        };
         let disp_addr = mem.disp as i64 as u64;
         if mem.disp > 0 {
             if let Some((sym, addend)) = self.data_map.resolve(disp_addr) {
@@ -762,8 +764,10 @@ impl<'a> Rewriter<'a> {
         let disp_addr = mem.disp as i64 as u64;
         if mem.disp > 0 {
             if let Some((sym, addend)) = self.data_map.resolve(disp_addr) {
-                let cleaned =
-                    Inst::MemLog { mem: MemRef { disp: 0, ..mem }, size };
+                let cleaned = Inst::MemLog {
+                    mem: MemRef { disp: 0, ..mem },
+                    size,
+                };
                 e.off += inst_len(&cleaned) as u64;
                 e.f.ins_disp_sym(cleaned, sym.to_string(), addend);
                 return;
@@ -778,16 +782,31 @@ impl<'a> Rewriter<'a> {
 fn clear_disp(inst: &Inst<u64>) -> Inst<CodeRef> {
     let fix = |m: &MemRef| MemRef { disp: 0, ..*m };
     match inst {
-        Inst::Load { dst, mem, size, sext } => {
-            Inst::Load { dst: *dst, mem: fix(mem), size: *size, sext: *sext }
-        }
-        Inst::Store { src, mem, size } => {
-            Inst::Store { src: *src, mem: fix(mem), size: *size }
-        }
-        Inst::StoreI { imm, mem, size } => {
-            Inst::StoreI { imm: *imm, mem: fix(mem), size: *size }
-        }
-        Inst::Lea { dst, mem } => Inst::Lea { dst: *dst, mem: fix(mem) },
+        Inst::Load {
+            dst,
+            mem,
+            size,
+            sext,
+        } => Inst::Load {
+            dst: *dst,
+            mem: fix(mem),
+            size: *size,
+            sext: *sext,
+        },
+        Inst::Store { src, mem, size } => Inst::Store {
+            src: *src,
+            mem: fix(mem),
+            size: *size,
+        },
+        Inst::StoreI { imm, mem, size } => Inst::StoreI {
+            imm: *imm,
+            mem: fix(mem),
+            size: *size,
+        },
+        Inst::Lea { dst, mem } => Inst::Lea {
+            dst: *dst,
+            mem: fix(mem),
+        },
         other => other.map_target(|_| unreachable!("no branch operands")),
     }
 }

@@ -19,7 +19,10 @@ fn run(bin: &Binary, input: &[u8]) -> teapot_vm::RunOutcome {
     let mut heur = SpecHeuristics::default();
     Machine::new(
         bin,
-        RunOptions { input: input.to_vec(), ..RunOptions::default() },
+        RunOptions {
+            input: input.to_vec(),
+            ..RunOptions::default()
+        },
     )
     .run(&mut heur)
 }
@@ -160,11 +163,7 @@ fn computational_programs_survive_rewriting() {
         let orig = cots(src, &Options::gcc_like());
         let inst = rewrite(&orig, &RewriteOptions::default()).unwrap();
         let out = run(&inst, &[]);
-        assert_eq!(
-            out.status,
-            ExitStatus::Exit(*expected),
-            "program: {src}"
-        );
+        assert_eq!(out.status, ExitStatus::Exit(*expected), "program: {src}");
         assert_eq!(out.escapes, 0);
     }
 }
@@ -196,9 +195,7 @@ fn jump_table_binaries_are_rewritten_correctly() {
     let inst = rewrite(&orig, &RewriteOptions::default()).unwrap();
     // The copied jump table in rodata must be retargeted to the Real Copy:
     // execution through the table must still work for every case.
-    for (input, expected) in
-        [(0u8, 40i64), (1, 41), (2, 42), (3, 43), (200, 9)]
-    {
+    for (input, expected) in [(0u8, 40i64), (1, 41), (2, 42), (3, 43), (200, 9)] {
         let out = run(&inst, &[input]);
         assert_eq!(out.status, ExitStatus::Exit(expected), "case {input}");
         assert_eq!(out.escapes, 0);
@@ -249,21 +246,17 @@ fn returns_during_simulation_are_contained() {
 #[test]
 fn rewrite_stats_are_sane() {
     let orig = cots(LISTING1, &Options::gcc_like());
-    let (inst, stats) =
-        rewrite_with_stats(&orig, &RewriteOptions::default()).unwrap();
+    let (inst, stats) = rewrite_with_stats(&orig, &RewriteOptions::default()).unwrap();
     assert!(stats.functions >= 2); // main + _start
     assert!(stats.branches >= 1);
     assert!(stats.markers >= 1); // return site of main
     assert!(stats.asan_checks >= 2); // foo[index] + bar[secret] + stores
     assert!(stats.ind_checks >= 1); // ret in shadow copies
-    // Shadow region exists and is larger than the real region
-    // (instrumentation lives there).
-    let meta = teapot_rt::TeapotMeta::from_bytes(
-        &inst.note(".teapot.meta").unwrap().bytes,
-    )
-    .unwrap();
-    assert!(meta.shadow_range.1 - meta.shadow_range.0
-        > meta.real_range.1 - meta.real_range.0);
+                                    // Shadow region exists and is larger than the real region
+                                    // (instrumentation lives there).
+    let meta =
+        teapot_rt::TeapotMeta::from_bytes(&inst.note(".teapot.meta").unwrap().bytes).unwrap();
+    assert!(meta.shadow_range.1 - meta.shadow_range.0 > meta.real_range.1 - meta.real_range.0);
     assert!(!meta.addr_map.is_empty());
 }
 
@@ -274,10 +267,8 @@ fn real_copy_has_no_guards_and_no_asan() {
     use teapot_isa::{decode_at, Inst};
     let orig = cots(LISTING1, &Options::gcc_like());
     let inst = rewrite(&orig, &RewriteOptions::default()).unwrap();
-    let meta = teapot_rt::TeapotMeta::from_bytes(
-        &inst.note(".teapot.meta").unwrap().bytes,
-    )
-    .unwrap();
+    let meta =
+        teapot_rt::TeapotMeta::from_bytes(&inst.note(".teapot.meta").unwrap().bytes).unwrap();
     let text = inst.section(".text").unwrap();
     let mut pc = text.vaddr;
     let mut real_asan = 0;
@@ -318,10 +309,8 @@ fn nested_speculation_disabled_reduces_sim_entries() {
                    return 0;
                }";
     let orig = cots(src, &Options::gcc_like());
-    let nested =
-        rewrite(&orig, &RewriteOptions::default()).unwrap();
-    let flat =
-        rewrite(&orig, &RewriteOptions::perf_comparison()).unwrap();
+    let nested = rewrite(&orig, &RewriteOptions::default()).unwrap();
+    let flat = rewrite(&orig, &RewriteOptions::perf_comparison()).unwrap();
     let out_nested = run(&nested, &[100]);
     let out_flat = run(&flat, &[100]);
     assert!(out_nested.sim_entries > out_flat.sim_entries);
@@ -334,9 +323,7 @@ fn rewriting_instrumented_binary_is_rejected() {
     let err = rewrite(&once, &RewriteOptions::default()).unwrap_err();
     assert!(matches!(
         err,
-        teapot_core::RewriteError::Dis(
-            teapot_dis::DisError::AlreadyInstrumented
-        )
+        teapot_core::RewriteError::Dis(teapot_dis::DisError::AlreadyInstrumented)
     ));
 }
 
@@ -387,7 +374,10 @@ fn reports_deduplicate_across_real_and_shadow_copies() {
     for _ in 0..10 {
         let out = Machine::new(
             &inst,
-            RunOptions { input: vec![200], ..RunOptions::default() },
+            RunOptions {
+                input: vec![200],
+                ..RunOptions::default()
+            },
         )
         .run(&mut heur);
         for g in out.gadgets {

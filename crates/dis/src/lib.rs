@@ -47,7 +47,10 @@ impl GBlock {
 
     /// The terminating instruction, if this block ends in one.
     pub fn terminator(&self) -> Option<&Inst<u64>> {
-        self.insts.last().map(|(_, i)| i).filter(|i| i.is_terminator())
+        self.insts
+            .last()
+            .map(|(_, i)| i)
+            .filter(|i| i.is_terminator())
     }
 }
 
@@ -110,9 +113,9 @@ impl Gtir {
 
     /// The function containing `addr`, if any.
     pub fn function_containing(&self, addr: u64) -> Option<&GFunc> {
-        self.functions.iter().find(|f| {
-            f.blocks.iter().any(|b| addr >= b.addr && addr < b.end())
-        })
+        self.functions
+            .iter()
+            .find(|f| f.blocks.iter().any(|b| addr >= b.addr && addr < b.end()))
     }
 
     /// All conditional-branch sites (the Spectre-V1 victims Teapot
@@ -249,9 +252,7 @@ impl<'a> Dis<'a> {
             let mut finished: Vec<(Run, SectionKind)> = Vec::new();
             let mut i = 0usize;
             while i + 8 <= sec.bytes.len() {
-                let v = u64::from_le_bytes(
-                    sec.bytes[i..i + 8].try_into().unwrap(),
-                );
+                let v = u64::from_le_bytes(sec.bytes[i..i + 8].try_into().unwrap());
                 if self.in_text(v) && self.decode(v).is_some() {
                     match &mut run {
                         Some(r) => r.targets.push(v),
@@ -345,9 +346,7 @@ impl<'a> Dis<'a> {
                     Inst::JmpInd { target } => {
                         if let Some((reg, taddr)) = last_table {
                             if reg == target {
-                                if let Some(ts) =
-                                    self.table_map.get(&taddr).cloned()
-                                {
+                                if let Some(ts) = self.table_map.get(&taddr).cloned() {
                                     work.extend(ts);
                                     for jt in &mut self.jump_tables {
                                         if jt.addr == taddr {
@@ -363,10 +362,7 @@ impl<'a> Dis<'a> {
                     Inst::MovRI { imm, .. } => {
                         // Immediate code pointers: address-taken funcs.
                         let v = imm as u64;
-                        if self.in_text(v)
-                            && self.decode(v).is_some()
-                            && v != next
-                        {
+                        if self.in_text(v) && self.decode(v).is_some() && v != next {
                             self.func_entries.insert(v);
                             self.address_taken.insert(v);
                             self.indirect_targets.insert(v);
@@ -412,8 +408,11 @@ impl<'a> Dis<'a> {
         let mut functions = Vec::new();
         for (fi, &entry) in entries.iter().enumerate() {
             let end = entries.get(fi + 1).copied().unwrap_or(u64::MAX);
-            let insts: Vec<(u64, Inst<u64>)> =
-                self.insts.range(entry..end).map(|(a, i)| (*a, *i)).collect();
+            let insts: Vec<(u64, Inst<u64>)> = self
+                .insts
+                .range(entry..end)
+                .map(|(a, i)| (*a, *i))
+                .collect();
             if insts.is_empty() {
                 continue;
             }
@@ -424,14 +423,11 @@ impl<'a> Dis<'a> {
             for (a, i) in &insts {
                 let next = a + teapot_isa::encoded_len(i) as u64;
                 if let Some(t) = i.target() {
-                    if *t >= entry && *t < end && !matches!(i, Inst::Call { .. })
-                    {
+                    if *t >= entry && *t < end && !matches!(i, Inst::Call { .. }) {
                         leaders.insert(*t);
                     }
                 }
-                if i.is_terminator()
-                    || matches!(i, Inst::Call { .. } | Inst::CallInd { .. })
-                {
+                if i.is_terminator() || matches!(i, Inst::Call { .. } | Inst::CallInd { .. }) {
                     leaders.insert(next);
                 }
                 if self.indirect_targets.contains(a) {
@@ -616,8 +612,7 @@ mod tests {
                    int main() { fnptr f = &twice; return f(21); }";
         let bin = fixture(src, &Options::gcc_like());
         let g = disassemble(&bin).unwrap();
-        let taken: Vec<_> =
-            g.functions.iter().filter(|f| f.address_taken).collect();
+        let taken: Vec<_> = g.functions.iter().filter(|f| f.address_taken).collect();
         assert_eq!(taken.len(), 1, "exactly `twice` is address-taken");
         assert!(taken[0].inst_count() >= 3);
         assert!(taken[0].blocks[0].indirect_target);

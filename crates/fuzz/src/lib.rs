@@ -16,15 +16,28 @@
 //! Campaigns are bounded by an iteration budget and seeded RNG, so every
 //! experiment in `teapot-bench` is reproducible (the substitution for the
 //! paper's 24-hour wall-clock sessions; see DESIGN.md §1).
+//!
+//! # Re-entrant campaigns
+//!
+//! The run-to-completion [`fuzz`] entry point is a thin wrapper around
+//! [`CampaignState`], a re-entrant campaign: seed it once, then drive it
+//! in bounded batches with [`CampaignState::run_iters`]. This is the
+//! building block of the `teapot-campaign` orchestrator, which runs many
+//! shard states in parallel, exchanges interesting inputs between them at
+//! epoch barriers ([`CampaignState::fresh_inputs`] /
+//! [`CampaignState::import_input`]), and snapshots them to disk
+//! ([`CampaignState::export_snapshot`] /
+//! [`CampaignState::from_snapshot`]). Epoch boundaries re-seed the RNG
+//! deterministically ([`CampaignState::begin_epoch`]), so a campaign
+//! resumed from a snapshot replays bit-identically to one that never
+//! stopped.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use teapot_obj::Binary;
 use teapot_rt::{CovMap, DetectorConfig, GadgetKey, GadgetReport};
-use teapot_vm::{
-    EmuStyle, ExitStatus, HeurStyle, Machine, RunOptions, SpecHeuristics,
-};
+use teapot_vm::{EmuStyle, ExitStatus, HeurStyle, Machine, RunOptions, SpecHeuristics};
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -51,7 +64,7 @@ pub struct FuzzConfig {
 impl Default for FuzzConfig {
     fn default() -> Self {
         FuzzConfig {
-            seed: 0x7EA9_07,
+            seed: 0x7EA907,
             max_iters: 500,
             max_input_len: 256,
             fuel_per_run: 60_000_000,
@@ -63,8 +76,60 @@ impl Default for FuzzConfig {
     }
 }
 
+/// Why a [`FuzzConfig`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `max_iters` is zero: the campaign would execute nothing.
+    ZeroIters,
+    /// `fuel_per_run` is zero: every run would abort immediately.
+    ZeroFuel,
+    /// `max_input_len` is zero: mutators could never produce an input.
+    ZeroInputLen,
+    /// A [`StateSnapshot`] coverage map was not `COV_MAP_SIZE` bytes —
+    /// resuming from it would silently restart coverage from zero.
+    SnapshotCoverage,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroIters => {
+                write!(f, "max_iters must be > 0 (campaign would be empty)")
+            }
+            ConfigError::ZeroFuel => {
+                write!(f, "fuel_per_run must be > 0 (runs would not execute)")
+            }
+            ConfigError::ZeroInputLen => {
+                write!(f, "max_input_len must be > 0 (no inputs possible)")
+            }
+            ConfigError::SnapshotCoverage => {
+                write!(f, "snapshot coverage map has the wrong length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl FuzzConfig {
+    /// Validates the budget fields, rejecting configurations that would
+    /// silently do nothing.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_iters == 0 {
+            return Err(ConfigError::ZeroIters);
+        }
+        if self.fuel_per_run == 0 {
+            return Err(ConfigError::ZeroFuel);
+        }
+        if self.max_input_len == 0 {
+            return Err(ConfigError::ZeroInputLen);
+        }
+        Ok(())
+    }
+}
+
 /// Aggregated campaign results.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CampaignResult {
     /// Executions performed.
     pub iters: u64,
@@ -101,128 +166,338 @@ struct CorpusEntry {
     score: u64,
 }
 
+/// Portable image of a [`CampaignState`] between executions: everything
+/// that influences future fuzzing, with the RNG represented by the epoch
+/// counter (the RNG is re-seeded deterministically at each epoch
+/// boundary, so no raw generator state needs to survive).
+///
+/// The `teapot-campaign` crate serializes this to the on-disk `.tcs`
+/// snapshot format.
+#[derive(Debug, Clone)]
+pub struct StateSnapshot {
+    /// Corpus entries as `(input, score)` in discovery order.
+    pub corpus: Vec<(Vec<u8>, u64)>,
+    /// Persistent per-branch simulation counts, sorted by branch.
+    pub heur_counts: Vec<(u64, u32)>,
+    /// Raw normal-coverage counters (`COV_MAP_SIZE` bytes).
+    pub cov_normal: Vec<u8>,
+    /// Raw speculative-coverage counters (`COV_MAP_SIZE` bytes).
+    pub cov_spec: Vec<u8>,
+    /// Deduplicated gadget reports in discovery order.
+    pub gadgets: Vec<GadgetReport>,
+    /// Executions performed so far.
+    pub iters: u64,
+    /// Cost units spent so far.
+    pub total_cost: u64,
+    /// Crashing runs so far.
+    pub crashes: u64,
+    /// Last epoch begun via [`CampaignState::begin_epoch`] (0 if none).
+    /// A resuming caller decides the next epoch number itself — the
+    /// `teapot-campaign` orchestrator tracks completed epochs separately
+    /// in its own snapshot header.
+    pub epoch: u32,
+}
+
+/// A re-entrant coverage-guided fuzzing campaign.
+///
+/// Owns the corpus, both global coverage maps, the persistent speculation
+/// heuristics and the deduplicated gadget set. Unlike the one-shot
+/// [`fuzz`] loop it can be driven in batches, exchanged with sibling
+/// shards, snapshotted, and resumed.
+pub struct CampaignState {
+    cfg: FuzzConfig,
+    rng: SmallRng,
+    heur: SpecHeuristics,
+    corpus: Vec<CorpusEntry>,
+    global_normal: CovMap,
+    global_spec: CovMap,
+    gadget_keys: HashSet<GadgetKey>,
+    gadgets: Vec<GadgetReport>,
+    buckets: BTreeMap<String, usize>,
+    total_cost: u64,
+    crashes: u64,
+    iters: u64,
+    epoch: u32,
+    fresh_start: usize,
+    /// Sum of corpus entry scores, maintained on push so the weighted
+    /// pick in the hot loop avoids an O(corpus) re-sum per execution.
+    score_total: u64,
+}
+
+impl CampaignState {
+    /// Creates an empty campaign; fails on a budget-less configuration.
+    pub fn new(cfg: FuzzConfig) -> Result<CampaignState, ConfigError> {
+        cfg.validate()?;
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let heur = SpecHeuristics::new(cfg.heur_style);
+        Ok(CampaignState {
+            cfg,
+            rng,
+            heur,
+            corpus: Vec::new(),
+            global_normal: CovMap::new(),
+            global_spec: CovMap::new(),
+            gadget_keys: HashSet::new(),
+            gadgets: Vec::new(),
+            buckets: BTreeMap::new(),
+            total_cost: 0,
+            crashes: 0,
+            iters: 0,
+            epoch: 0,
+            fresh_start: 0,
+            score_total: 0,
+        })
+    }
+
+    /// Rebuilds a campaign from a [`StateSnapshot`].
+    pub fn from_snapshot(
+        cfg: FuzzConfig,
+        snap: &StateSnapshot,
+    ) -> Result<CampaignState, ConfigError> {
+        let mut st = CampaignState::new(cfg)?;
+        st.corpus = snap
+            .corpus
+            .iter()
+            .map(|(input, score)| CorpusEntry {
+                input: input.clone(),
+                score: *score,
+            })
+            .collect();
+        st.heur = SpecHeuristics::from_counts(st.cfg.heur_style, &snap.heur_counts);
+        st.global_normal =
+            CovMap::from_raw(&snap.cov_normal).ok_or(ConfigError::SnapshotCoverage)?;
+        st.global_spec = CovMap::from_raw(&snap.cov_spec).ok_or(ConfigError::SnapshotCoverage)?;
+        st.gadget_keys = snap.gadgets.iter().map(|g| g.key).collect();
+        for g in &snap.gadgets {
+            *st.buckets.entry(g.bucket()).or_insert(0) += 1;
+        }
+        st.gadgets = snap.gadgets.clone();
+        st.iters = snap.iters;
+        st.total_cost = snap.total_cost;
+        st.crashes = snap.crashes;
+        st.epoch = snap.epoch;
+        st.fresh_start = st.corpus.len();
+        st.score_total = st.corpus.iter().map(|e| e.score).sum();
+        Ok(st)
+    }
+
+    /// Captures the campaign into a [`StateSnapshot`].
+    pub fn export_snapshot(&self) -> StateSnapshot {
+        StateSnapshot {
+            corpus: self
+                .corpus
+                .iter()
+                .map(|e| (e.input.clone(), e.score))
+                .collect(),
+            heur_counts: self.heur.export_counts(),
+            cov_normal: self.global_normal.raw().to_vec(),
+            cov_spec: self.global_spec.raw().to_vec(),
+            gadgets: self.gadgets.clone(),
+            iters: self.iters,
+            total_cost: self.total_cost,
+            crashes: self.crashes,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Executes the initial seed corpus (an empty slice starts from a
+    /// small default input). Each seed counts as one iteration.
+    pub fn seed_corpus(&mut self, bin: &Binary, seeds: &[Vec<u8>]) {
+        let seed_inputs: Vec<Vec<u8>> = if seeds.is_empty() {
+            vec![vec![0u8; 8]]
+        } else {
+            seeds.to_vec()
+        };
+        for s in seed_inputs {
+            let new = self.execute_one(bin, &s);
+            self.iters += 1;
+            self.push_entry(s, 1 + new as u64);
+        }
+    }
+
+    /// Starts epoch `epoch`: re-seeds the RNG from `(seed, epoch)` and
+    /// resets the fresh-input watermark. Calling this at every epoch
+    /// boundary is what makes snapshot-resume exact — the RNG never has
+    /// to be serialized, only the epoch number.
+    pub fn begin_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+        self.rng = SmallRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_add((epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        self.fresh_start = self.corpus.len();
+    }
+
+    /// Runs up to `budget` mutate-and-execute iterations, returning the
+    /// number performed (always `budget` once the corpus is seeded).
+    pub fn run_iters(&mut self, bin: &Binary, budget: u64) -> u64 {
+        if self.corpus.is_empty() {
+            self.seed_corpus(bin, &[]);
+        }
+        let mut done = 0u64;
+        while done < budget {
+            // Weighted pick: favour entries that found more features.
+            // The score total is maintained incrementally; scores never
+            // change after insertion.
+            let mut pick = self.rng.gen_range(0..self.score_total.max(1));
+            let mut idx = 0;
+            for (i, e) in self.corpus.iter().enumerate() {
+                if pick < e.score {
+                    idx = i;
+                    break;
+                }
+                pick -= e.score;
+            }
+            let other = self.rng.gen_range(0..self.corpus.len());
+            let input = mutate(
+                &self.corpus[idx].input,
+                &self.corpus[other].input,
+                &self.cfg,
+                &mut self.rng,
+            );
+            let new = self.execute_one(bin, &input);
+            self.iters += 1;
+            done += 1;
+            if new > 0 {
+                self.push_entry(input, 1 + new as u64);
+            }
+        }
+        done
+    }
+
+    /// Executes an input received from a sibling shard, adding it to the
+    /// corpus if it covers anything new *for this shard*. Returns whether
+    /// it was kept. Counts as one iteration; consumes no RNG, so import
+    /// order does not perturb mutation determinism.
+    pub fn import_input(&mut self, bin: &Binary, input: &[u8]) -> bool {
+        let new = self.execute_one(bin, input);
+        self.iters += 1;
+        if new > 0 {
+            self.push_entry(input.to_vec(), 1 + new as u64);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inputs added to the corpus since the last [`begin_epoch`] — what a
+    /// shard publishes to its siblings at an epoch barrier.
+    ///
+    /// [`begin_epoch`]: CampaignState::begin_epoch
+    pub fn fresh_inputs(&self) -> Vec<Vec<u8>> {
+        self.corpus[self.fresh_start..]
+            .iter()
+            .map(|e| e.input.clone())
+            .collect()
+    }
+
+    /// Executions performed so far.
+    pub fn iters(&self) -> u64 {
+        self.iters
+    }
+
+    /// Current corpus size.
+    pub fn corpus_len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Last epoch begun via [`CampaignState::begin_epoch`] (0 if none).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Gadgets found so far, deduplicated by [`GadgetKey`], in discovery
+    /// order.
+    pub fn gadgets(&self) -> &[GadgetReport] {
+        &self.gadgets
+    }
+
+    /// The accumulated normal-coverage map.
+    pub fn cov_normal(&self) -> &CovMap {
+        &self.global_normal
+    }
+
+    /// The accumulated speculative-coverage map.
+    pub fn cov_spec(&self) -> &CovMap {
+        &self.global_spec
+    }
+
+    /// Summarizes the campaign so far.
+    pub fn result(&self) -> CampaignResult {
+        CampaignResult {
+            iters: self.iters,
+            corpus_len: self.corpus.len(),
+            gadgets: self.gadgets.clone(),
+            buckets: self.buckets.clone(),
+            total_cost: self.total_cost,
+            crashes: self.crashes,
+            cov_normal_features: self.global_normal.count_nonzero(),
+            cov_spec_features: self.global_spec.count_nonzero(),
+        }
+    }
+
+    /// Appends a corpus entry, keeping the running score total in sync.
+    fn push_entry(&mut self, input: Vec<u8>, score: u64) {
+        self.score_total += score;
+        self.corpus.push(CorpusEntry { input, score });
+    }
+
+    /// Runs `input` on a fresh machine, folds its coverage into the
+    /// global maps, and returns the number of new coverage features.
+    fn execute_one(&mut self, bin: &Binary, input: &[u8]) -> usize {
+        let opts = RunOptions {
+            input: input.to_vec(),
+            fuel: self.cfg.fuel_per_run,
+            config: self.cfg.detector.clone(),
+            emu: self.cfg.emu,
+        };
+        let out = Machine::new(bin, opts).run(&mut self.heur);
+        self.total_cost += out.cost;
+        if matches!(out.status, ExitStatus::Fault(_) | ExitStatus::Abort) {
+            self.crashes += 1;
+        }
+        for g in out.gadgets {
+            if self.gadget_keys.insert(g.key) {
+                *self.buckets.entry(g.bucket()).or_insert(0) += 1;
+                self.gadgets.push(g);
+            }
+        }
+        out.cov_normal.merge_into(&mut self.global_normal)
+            + out.cov_spec.merge_into(&mut self.global_spec)
+    }
+}
+
 /// Runs a fuzzing campaign against `bin`.
 ///
 /// `seeds` provides the initial corpus (an empty slice starts from a
 /// small default input).
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (see [`FuzzConfig::validate`]);
+/// use [`try_fuzz`] for a typed error.
 pub fn fuzz(bin: &Binary, seeds: &[Vec<u8>], cfg: &FuzzConfig) -> CampaignResult {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut heur = SpecHeuristics::new(cfg.heur_style);
-    let mut corpus: Vec<CorpusEntry> = Vec::new();
-    let mut global_normal = CovMap::new();
-    let mut global_spec = CovMap::new();
-    let mut gadget_keys: std::collections::HashSet<GadgetKey> =
-        std::collections::HashSet::new();
-    let mut gadgets: Vec<GadgetReport> = Vec::new();
-    let mut buckets: BTreeMap<String, usize> = BTreeMap::new();
-    let mut total_cost = 0u64;
-    let mut crashes = 0u64;
-    let mut iters = 0u64;
+    try_fuzz(bin, seeds, cfg).expect("invalid FuzzConfig")
+}
 
-    let execute = |input: &[u8],
-                       heur: &mut SpecHeuristics,
-                       global_normal: &mut CovMap,
-                       global_spec: &mut CovMap,
-                       gadget_keys: &mut std::collections::HashSet<GadgetKey>,
-                       gadgets: &mut Vec<GadgetReport>,
-                       buckets: &mut BTreeMap<String, usize>,
-                       total_cost: &mut u64,
-                       crashes: &mut u64|
-     -> usize {
-        let opts = RunOptions {
-            input: input.to_vec(),
-            fuel: cfg.fuel_per_run,
-            config: cfg.detector.clone(),
-            emu: cfg.emu,
-        };
-        let out = Machine::new(bin, opts).run(heur);
-        *total_cost += out.cost;
-        if matches!(out.status, ExitStatus::Fault(_) | ExitStatus::Abort) {
-            *crashes += 1;
-        }
-        for g in out.gadgets {
-            if gadget_keys.insert(g.key) {
-                *buckets.entry(g.bucket()).or_insert(0) += 1;
-                gadgets.push(g);
-            }
-        }
-        out.cov_normal.merge_into(global_normal)
-            + out.cov_spec.merge_into(global_spec)
-    };
-
-    // Seed the corpus.
-    let seed_inputs: Vec<Vec<u8>> = if seeds.is_empty() {
-        vec![vec![0u8; 8]]
-    } else {
-        seeds.to_vec()
-    };
-    for s in seed_inputs {
-        let new = execute(
-            &s,
-            &mut heur,
-            &mut global_normal,
-            &mut global_spec,
-            &mut gadget_keys,
-            &mut gadgets,
-            &mut buckets,
-            &mut total_cost,
-            &mut crashes,
-        );
-        iters += 1;
-        corpus.push(CorpusEntry { input: s, score: 1 + new as u64 });
-    }
-
-    while iters < cfg.max_iters {
-        // Weighted pick: favour entries that found more features.
-        let total: u64 = corpus.iter().map(|e| e.score).sum();
-        let mut pick = rng.gen_range(0..total.max(1));
-        let mut idx = 0;
-        for (i, e) in corpus.iter().enumerate() {
-            if pick < e.score {
-                idx = i;
-                break;
-            }
-            pick -= e.score;
-        }
-        let base = corpus[idx].input.clone();
-        let other = corpus[rng.gen_range(0..corpus.len())].input.clone();
-        let input = mutate(&base, &other, cfg, &mut rng);
-        let new = execute(
-            &input,
-            &mut heur,
-            &mut global_normal,
-            &mut global_spec,
-            &mut gadget_keys,
-            &mut gadgets,
-            &mut buckets,
-            &mut total_cost,
-            &mut crashes,
-        );
-        iters += 1;
-        if new > 0 {
-            corpus.push(CorpusEntry { input, score: 1 + new as u64 });
-        }
-    }
-
-    CampaignResult {
-        iters,
-        corpus_len: corpus.len(),
-        gadgets,
-        buckets,
-        total_cost,
-        crashes,
-        cov_normal_features: global_normal.count_nonzero(),
-        cov_spec_features: global_spec.count_nonzero(),
-    }
+/// Runs a fuzzing campaign against `bin`, rejecting budget-less
+/// configurations with a typed error instead of silently running zero
+/// iterations.
+pub fn try_fuzz(
+    bin: &Binary,
+    seeds: &[Vec<u8>],
+    cfg: &FuzzConfig,
+) -> Result<CampaignResult, ConfigError> {
+    let mut st = CampaignState::new(cfg.clone())?;
+    st.seed_corpus(bin, seeds);
+    let remaining = cfg.max_iters.saturating_sub(st.iters());
+    st.run_iters(bin, remaining);
+    Ok(st.result())
 }
 
 /// One mutation: a random stack of AFL-style operators.
-fn mutate(
-    base: &[u8],
-    other: &[u8],
-    cfg: &FuzzConfig,
-    rng: &mut SmallRng,
-) -> Vec<u8> {
+fn mutate(base: &[u8], other: &[u8], cfg: &FuzzConfig, rng: &mut SmallRng) -> Vec<u8> {
     const INTERESTING: [u8; 9] = [0, 1, 7, 8, 16, 0x7f, 0x80, 0xfe, 0xff];
     let mut out = base.to_vec();
     if out.is_empty() {
@@ -234,7 +509,7 @@ fn mutate(
             0 => {
                 // bit flip
                 let i = rng.gen_range(0..out.len());
-                out[i] ^= 1 << rng.gen_range(0..8);
+                out[i] ^= 1u8 << rng.gen_range(0..8u32);
             }
             1 => {
                 // random byte
@@ -274,10 +549,8 @@ fn mutate(
                 // block duplicate / extend
                 if out.len() < cfg.max_input_len && !out.is_empty() {
                     let start = rng.gen_range(0..out.len());
-                    let len =
-                        rng.gen_range(1..=(out.len() - start).min(8));
-                    let block: Vec<u8> =
-                        out[start..start + len].to_vec();
+                    let len = rng.gen_range(1..=(out.len() - start).min(8));
+                    let block: Vec<u8> = out[start..start + len].to_vec();
                     let at = rng.gen_range(0..=out.len());
                     for (j, b) in block.into_iter().enumerate() {
                         if out.len() < cfg.max_input_len {
@@ -299,8 +572,7 @@ fn mutate(
             _ => {
                 // dictionary token
                 if !cfg.dictionary.is_empty() {
-                    let tok = &cfg.dictionary
-                        [rng.gen_range(0..cfg.dictionary.len())];
+                    let tok = &cfg.dictionary[rng.gen_range(0..cfg.dictionary.len())];
                     let at = rng.gen_range(0..=out.len());
                     for (j, b) in tok.iter().enumerate() {
                         if out.len() < cfg.max_input_len {
@@ -349,7 +621,10 @@ mod tests {
     #[test]
     fn campaign_is_deterministic() {
         let bin = instrumented(GATED);
-        let cfg = FuzzConfig { max_iters: 120, ..FuzzConfig::default() };
+        let cfg = FuzzConfig {
+            max_iters: 120,
+            ..FuzzConfig::default()
+        };
         let a = fuzz(&bin, &[], &cfg);
         let b = fuzz(&bin, &[], &cfg);
         assert_eq!(a.iters, b.iters);
@@ -388,7 +663,10 @@ mod tests {
     #[test]
     fn seeds_speed_up_discovery() {
         let bin = instrumented(GATED);
-        let cfg = FuzzConfig { max_iters: 60, ..FuzzConfig::default() };
+        let cfg = FuzzConfig {
+            max_iters: 60,
+            ..FuzzConfig::default()
+        };
         // A seed that already opens the gate.
         let mut seed = vec![0u8; 16];
         seed[0] = 0x7f;
@@ -432,10 +710,142 @@ mod tests {
                  return 10 / z; // crashes when input[0] == 'A'
              }",
         );
-        let cfg = FuzzConfig { max_iters: 300, ..FuzzConfig::default() };
+        let cfg = FuzzConfig {
+            max_iters: 300,
+            ..FuzzConfig::default()
+        };
         let res = fuzz(&bin, &[vec![66u8; 8]], &cfg);
         assert_eq!(res.iters, 300);
         // The campaign keeps going whether or not it found the crash.
         assert!(res.crashes <= 300);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_with_typed_errors() {
+        let bin = instrumented(GATED);
+        let zero_iters = FuzzConfig {
+            max_iters: 0,
+            ..FuzzConfig::default()
+        };
+        assert_eq!(
+            try_fuzz(&bin, &[], &zero_iters).unwrap_err(),
+            ConfigError::ZeroIters
+        );
+        let zero_fuel = FuzzConfig {
+            fuel_per_run: 0,
+            ..FuzzConfig::default()
+        };
+        assert_eq!(
+            try_fuzz(&bin, &[], &zero_fuel).unwrap_err(),
+            ConfigError::ZeroFuel
+        );
+        let zero_len = FuzzConfig {
+            max_input_len: 0,
+            ..FuzzConfig::default()
+        };
+        assert_eq!(
+            CampaignState::new(zero_len).err(),
+            Some(ConfigError::ZeroInputLen)
+        );
+        // The error is a real std error with a message.
+        assert!(ConfigError::ZeroIters.to_string().contains("max_iters"));
+    }
+
+    #[test]
+    fn state_driven_campaign_matches_one_shot_fuzz() {
+        let bin = instrumented(GATED);
+        let cfg = FuzzConfig {
+            max_iters: 150,
+            ..FuzzConfig::default()
+        };
+        let one_shot = fuzz(&bin, &[], &cfg);
+
+        let mut st = CampaignState::new(cfg.clone()).unwrap();
+        st.seed_corpus(&bin, &[]);
+        let remaining = cfg.max_iters - st.iters();
+        st.run_iters(&bin, remaining);
+        let stepped = st.result();
+
+        assert_eq!(one_shot.iters, stepped.iters);
+        assert_eq!(one_shot.corpus_len, stepped.corpus_len);
+        assert_eq!(one_shot.gadgets, stepped.gadgets);
+        assert_eq!(one_shot.buckets, stepped.buckets);
+        assert_eq!(one_shot.total_cost, stepped.total_cost);
+        assert_eq!(one_shot.cov_normal_features, stepped.cov_normal_features);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_identically() {
+        let bin = instrumented(GATED);
+        let cfg = FuzzConfig {
+            max_iters: 400,
+            ..FuzzConfig::default()
+        };
+
+        // Uninterrupted: two epochs of 60 iterations.
+        let mut a = CampaignState::new(cfg.clone()).unwrap();
+        a.seed_corpus(&bin, &[]);
+        a.begin_epoch(0);
+        a.run_iters(&bin, 60);
+        a.begin_epoch(1);
+        a.run_iters(&bin, 60);
+
+        // Interrupted: snapshot after epoch 0, resume, run epoch 1.
+        let mut b0 = CampaignState::new(cfg.clone()).unwrap();
+        b0.seed_corpus(&bin, &[]);
+        b0.begin_epoch(0);
+        b0.run_iters(&bin, 60);
+        let snap = b0.export_snapshot();
+        // snap.epoch records the last epoch *begun* (0 here); the
+        // resuming caller chooses the next epoch number itself.
+        assert_eq!(snap.epoch, 0);
+        let mut b = CampaignState::from_snapshot(cfg, &snap).unwrap();
+        b.begin_epoch(1);
+        b.run_iters(&bin, 60);
+
+        let (ra, rb) = (a.result(), b.result());
+        assert_eq!(ra.iters, rb.iters);
+        assert_eq!(ra.corpus_len, rb.corpus_len);
+        assert_eq!(ra.gadgets, rb.gadgets);
+        assert_eq!(ra.buckets, rb.buckets);
+        assert_eq!(ra.total_cost, rb.total_cost);
+        assert_eq!(ra.cov_normal_features, rb.cov_normal_features);
+        assert_eq!(ra.cov_spec_features, rb.cov_spec_features);
+    }
+
+    #[test]
+    fn snapshot_with_wrong_coverage_length_is_rejected() {
+        let bin = instrumented(GATED);
+        let cfg = FuzzConfig {
+            max_iters: 50,
+            ..FuzzConfig::default()
+        };
+        let mut st = CampaignState::new(cfg.clone()).unwrap();
+        st.seed_corpus(&bin, &[]);
+        let mut snap = st.export_snapshot();
+        snap.cov_normal.truncate(16);
+        assert_eq!(
+            CampaignState::from_snapshot(cfg, &snap).err(),
+            Some(ConfigError::SnapshotCoverage)
+        );
+    }
+
+    #[test]
+    fn imports_enrich_the_corpus_without_consuming_rng() {
+        let bin = instrumented(GATED);
+        let cfg = FuzzConfig {
+            max_iters: 500,
+            ..FuzzConfig::default()
+        };
+        let mut st = CampaignState::new(cfg).unwrap();
+        st.seed_corpus(&bin, &[]);
+        // An input that opens the gate is interesting to import.
+        let mut good = vec![0u8; 16];
+        good[0] = 0x7f;
+        good[1] = 200;
+        assert!(st.import_input(&bin, &good));
+        // Importing the exact same input again covers nothing new.
+        assert!(!st.import_input(&bin, &good));
+        assert!(st.corpus_len() >= 2);
     }
 }

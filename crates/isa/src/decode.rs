@@ -43,8 +43,7 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        let b =
-            *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
         self.pos += 1;
         Ok(b)
     }
@@ -87,10 +86,8 @@ impl<'a> Cursor<'a> {
 
     fn regpair(&mut self) -> Result<(Reg, Reg), DecodeError> {
         let b = self.u8()?;
-        let hi = Reg::from_index((b >> 4) as usize)
-            .ok_or(DecodeError::BadOperand(b))?;
-        let lo = Reg::from_index((b & 0x0f) as usize)
-            .ok_or(DecodeError::BadOperand(b))?;
+        let hi = Reg::from_index((b >> 4) as usize).ok_or(DecodeError::BadOperand(b))?;
+        let lo = Reg::from_index((b & 0x0f) as usize).ok_or(DecodeError::BadOperand(b))?;
         Ok((hi, lo))
     }
 
@@ -102,28 +99,26 @@ impl<'a> Cursor<'a> {
         let scale = 1u8 << ((b1 >> 2) & 3);
         let disp = self.i32()?;
         let base = if has_base {
-            Some(
-                Reg::from_index((b0 >> 4) as usize)
-                    .ok_or(DecodeError::BadOperand(b0))?,
-            )
+            Some(Reg::from_index((b0 >> 4) as usize).ok_or(DecodeError::BadOperand(b0))?)
         } else {
             None
         };
         let index = if has_index {
-            Some(
-                Reg::from_index((b0 & 0x0f) as usize)
-                    .ok_or(DecodeError::BadOperand(b0))?,
-            )
+            Some(Reg::from_index((b0 & 0x0f) as usize).ok_or(DecodeError::BadOperand(b0))?)
         } else {
             None
         };
-        Ok(MemRef { base, index, scale, disp })
+        Ok(MemRef {
+            base,
+            index,
+            scale,
+            disp,
+        })
     }
 
     fn ext(&mut self) -> Result<(AccessSize, bool), DecodeError> {
         let b = self.u8()?;
-        let size = AccessSize::from_log2(b & 3)
-            .ok_or(DecodeError::BadOperand(b))?;
+        let size = AccessSize::from_log2(b & 3).ok_or(DecodeError::BadOperand(b))?;
         if b & !0b111 != 0 {
             return Err(DecodeError::BadOperand(b));
         }
@@ -173,7 +168,10 @@ pub fn decode_at(bytes: &[u8], va: u64) -> Result<(Inst<u64>, usize), DecodeErro
         }
         OP_MOV_RI32 => {
             let dst = c.reg()?;
-            Inst::MovRI { dst, imm: c.i32()? as i64 }
+            Inst::MovRI {
+                dst,
+                imm: c.i32()? as i64,
+            }
         }
         OP_MOV_RI64 => {
             let dst = c.reg()?;
@@ -186,17 +184,30 @@ pub fn decode_at(bytes: &[u8], va: u64) -> Result<(Inst<u64>, usize), DecodeErro
         OP_LOAD => {
             let dst = c.reg()?;
             let (size, sext) = c.ext()?;
-            Inst::Load { dst, mem: c.mem()?, size, sext }
+            Inst::Load {
+                dst,
+                mem: c.mem()?,
+                size,
+                sext,
+            }
         }
         OP_STORE => {
             let src = c.reg()?;
             let (size, _) = c.ext()?;
-            Inst::Store { src, mem: c.mem()?, size }
+            Inst::Store {
+                src,
+                mem: c.mem()?,
+                size,
+            }
         }
         OP_STORE_I => {
             let (size, _) = c.ext()?;
             let mem = c.mem()?;
-            Inst::StoreI { imm: c.i32()?, mem, size }
+            Inst::StoreI {
+                imm: c.i32()?,
+                mem,
+                size,
+            }
         }
         OP_PUSH => Inst::Push { src: c.reg()? },
         OP_POP => Inst::Pop { dst: c.reg()? },
@@ -204,31 +215,51 @@ pub fn decode_at(bytes: &[u8], va: u64) -> Result<(Inst<u64>, usize), DecodeErro
             let opb = c.u8()?;
             let alu = AluOp::from_u8(opb).ok_or(DecodeError::BadOperand(opb))?;
             let (dst, src) = c.regpair()?;
-            Inst::Alu { op: alu, dst, src: Operand::Reg(src) }
+            Inst::Alu {
+                op: alu,
+                dst,
+                src: Operand::Reg(src),
+            }
         }
         OP_ALU_RI => {
             let opb = c.u8()?;
             let alu = AluOp::from_u8(opb).ok_or(DecodeError::BadOperand(opb))?;
             let dst = c.reg()?;
-            Inst::Alu { op: alu, dst, src: Operand::Imm(c.i32()?) }
+            Inst::Alu {
+                op: alu,
+                dst,
+                src: Operand::Imm(c.i32()?),
+            }
         }
         OP_NEG => Inst::Neg { dst: c.reg()? },
         OP_NOT => Inst::Not { dst: c.reg()? },
         OP_CMP_RR => {
             let (lhs, rhs) = c.regpair()?;
-            Inst::Cmp { lhs, rhs: Operand::Reg(rhs) }
+            Inst::Cmp {
+                lhs,
+                rhs: Operand::Reg(rhs),
+            }
         }
         OP_CMP_RI => {
             let lhs = c.reg()?;
-            Inst::Cmp { lhs, rhs: Operand::Imm(c.i32()?) }
+            Inst::Cmp {
+                lhs,
+                rhs: Operand::Imm(c.i32()?),
+            }
         }
         OP_TEST_RR => {
             let (lhs, rhs) = c.regpair()?;
-            Inst::Test { lhs, rhs: Operand::Reg(rhs) }
+            Inst::Test {
+                lhs,
+                rhs: Operand::Reg(rhs),
+            }
         }
         OP_TEST_RI => {
             let lhs = c.reg()?;
-            Inst::Test { lhs, rhs: Operand::Imm(c.i32()?) }
+            Inst::Test {
+                lhs,
+                rhs: Operand::Imm(c.i32()?),
+            }
         }
         OP_SET => {
             let cc = c.cc()?;
@@ -241,32 +272,48 @@ pub fn decode_at(bytes: &[u8], va: u64) -> Result<(Inst<u64>, usize), DecodeErro
         }
         OP_JMP => {
             let rel = c.i32()?;
-            Inst::Jmp { target: rel_target(va, c.pos, rel) }
+            Inst::Jmp {
+                target: rel_target(va, c.pos, rel),
+            }
         }
         OP_JCC => {
             let cc = c.cc()?;
             let rel = c.i32()?;
-            Inst::Jcc { cc, target: rel_target(va, c.pos, rel) }
+            Inst::Jcc {
+                cc,
+                target: rel_target(va, c.pos, rel),
+            }
         }
         OP_CALL => {
             let rel = c.i32()?;
-            Inst::Call { target: rel_target(va, c.pos, rel) }
+            Inst::Call {
+                target: rel_target(va, c.pos, rel),
+            }
         }
         OP_CALL_IND => Inst::CallInd { target: c.reg()? },
         OP_JMP_IND => Inst::JmpInd { target: c.reg()? },
         OP_SIM_START => {
             let rel = c.i32()?;
-            Inst::SimStart { tramp: rel_target(va, c.pos, rel) }
+            Inst::SimStart {
+                tramp: rel_target(va, c.pos, rel),
+            }
         }
         OP_SIM_CHECK => Inst::SimCheck,
         OP_SIM_END => Inst::SimEnd,
         OP_ASAN_CHECK => {
             let (size, is_write) = c.ext()?;
-            Inst::AsanCheck { mem: c.mem()?, size, is_write }
+            Inst::AsanCheck {
+                mem: c.mem()?,
+                size,
+                is_write,
+            }
         }
         OP_MEMLOG => {
             let (size, _) = c.ext()?;
-            Inst::MemLog { mem: c.mem()?, size }
+            Inst::MemLog {
+                mem: c.mem()?,
+                size,
+            }
         }
         OP_TAG_PROP => Inst::TagProp,
         OP_TAG_BLOCK_PROP => Inst::TagBlockProp { n: c.u16()? },
@@ -291,7 +338,8 @@ pub fn decode_at(bytes: &[u8], va: u64) -> Result<(Inst<u64>, usize), DecodeErro
 
 #[inline]
 fn rel_target(va: u64, end_pos: usize, rel: i32) -> u64 {
-    va.wrapping_add(end_pos as u64).wrapping_add(rel as i64 as u64)
+    va.wrapping_add(end_pos as u64)
+        .wrapping_add(rel as i64 as u64)
 }
 
 /// Decode one instruction assuming it resides at virtual address 0.
@@ -323,44 +371,102 @@ mod tests {
             MemRef::base(Reg::R3),
             MemRef::base_disp(Reg::FP, -40),
             MemRef::base_index(Reg::R1, Reg::R2, 8),
-            MemRef { base: Some(Reg::SP), index: Some(Reg::R9), scale: 2, disp: 12 },
+            MemRef {
+                base: Some(Reg::SP),
+                index: Some(Reg::R9),
+                scale: 2,
+                disp: 12,
+            },
         ];
         for mem in mems {
             roundtrip(
-                Inst::Load { dst: Reg::R5, mem, size: B4, sext: true },
+                Inst::Load {
+                    dst: Reg::R5,
+                    mem,
+                    size: B4,
+                    sext: true,
+                },
                 0x400,
             );
-            roundtrip(Inst::Store { src: Reg::R6, mem, size: B1 }, 0x400);
+            roundtrip(
+                Inst::Store {
+                    src: Reg::R6,
+                    mem,
+                    size: B1,
+                },
+                0x400,
+            );
             roundtrip(Inst::Lea { dst: Reg::R0, mem }, 0);
             roundtrip(
-                Inst::AsanCheck { mem, size: B8, is_write: true },
+                Inst::AsanCheck {
+                    mem,
+                    size: B8,
+                    is_write: true,
+                },
                 0x999,
             );
             roundtrip(Inst::MemLog { mem, size: B2 }, 3);
         }
         for op in AluOp::ALL {
             roundtrip(
-                Inst::Alu { op, dst: Reg::R7, src: Operand::Reg(Reg::R8) },
+                Inst::Alu {
+                    op,
+                    dst: Reg::R7,
+                    src: Operand::Reg(Reg::R8),
+                },
                 0,
             );
             roundtrip(
-                Inst::Alu { op, dst: Reg::R7, src: Operand::Imm(-9) },
+                Inst::Alu {
+                    op,
+                    dst: Reg::R7,
+                    src: Operand::Imm(-9),
+                },
                 0,
             );
         }
         for cc in Cc::ALL {
             roundtrip(Inst::Jcc { cc, target: 0x1000 }, 0x500);
             roundtrip(Inst::Set { cc, dst: Reg::R2 }, 0);
-            roundtrip(Inst::Cmov { cc, dst: Reg::R2, src: Reg::R3 }, 0);
+            roundtrip(
+                Inst::Cmov {
+                    cc,
+                    dst: Reg::R2,
+                    src: Reg::R3,
+                },
+                0,
+            );
         }
-        roundtrip(Inst::MovRI { dst: Reg::R4, imm: i64::MIN }, 0);
-        roundtrip(Inst::MovRI { dst: Reg::R4, imm: -1 }, 0);
+        roundtrip(
+            Inst::MovRI {
+                dst: Reg::R4,
+                imm: i64::MIN,
+            },
+            0,
+        );
+        roundtrip(
+            Inst::MovRI {
+                dst: Reg::R4,
+                imm: -1,
+            },
+            0,
+        );
         roundtrip(Inst::Syscall { num: 42 }, 0);
         roundtrip(Inst::Call { target: 8 }, 0x10_0000);
         roundtrip(Inst::SimStart { tramp: 0x2000 }, 0x1000);
         roundtrip(Inst::IndCheck { kind: IndKind::Ret }, 0);
-        roundtrip(Inst::IndCheck { kind: IndKind::Call(Reg::R9) }, 0);
-        roundtrip(Inst::IndCheck { kind: IndKind::Jmp(Reg::R1) }, 0);
+        roundtrip(
+            Inst::IndCheck {
+                kind: IndKind::Call(Reg::R9),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::IndCheck {
+                kind: IndKind::Jmp(Reg::R1),
+            },
+            0,
+        );
         roundtrip(Inst::CovTrace { guard: u32::MAX }, 0);
         roundtrip(Inst::CovNote { guard: 7 }, 0);
         roundtrip(Inst::TagBlockProp { n: 123 }, 0);

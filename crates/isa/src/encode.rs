@@ -94,9 +94,7 @@ fn mem_bytes(out: &mut Vec<u8>, m: &MemRef) -> usize {
         8 => 3,
         s => panic!("invalid memory scale {s}"),
     };
-    let b1 = (m.base.is_some() as u8)
-        | ((m.index.is_some() as u8) << 1)
-        | (scale_log2 << 2);
+    let b1 = (m.base.is_some() as u8) | ((m.index.is_some() as u8) << 1) | (scale_log2 << 2);
     out.push(b0);
     out.push(b1);
     let disp_at = out.len();
@@ -170,7 +168,12 @@ pub fn encode_at(inst: &Inst<u64>, va: u64) -> Encoded {
             b.push(dst.index() as u8);
             patch.disp_at = Some(mem_bytes(&mut b, mem));
         }
-        Inst::Load { dst, mem, size, sext } => {
+        Inst::Load {
+            dst,
+            mem,
+            size,
+            sext,
+        } => {
             b.push(OP_LOAD);
             b.push(dst.index() as u8);
             b.push(ext_byte(*size, *sext));
@@ -280,7 +283,11 @@ pub fn encode_at(inst: &Inst<u64>, va: u64) -> Encoded {
         }
         Inst::SimCheck => b.push(OP_SIM_CHECK),
         Inst::SimEnd => b.push(OP_SIM_END),
-        Inst::AsanCheck { mem, size, is_write } => {
+        Inst::AsanCheck {
+            mem,
+            size,
+            is_write,
+        } => {
             b.push(OP_ASAN_CHECK);
             b.push(ext_byte(*size, *is_write));
             patch.disp_at = Some(mem_bytes(&mut b, mem));
@@ -322,8 +329,8 @@ pub fn encode_at(inst: &Inst<u64>, va: u64) -> Encoded {
     if let Pending::Rel32(target, at) = pending {
         let end = va.wrapping_add(b.len() as u64);
         let rel = target.wrapping_sub(end) as i64;
-        let rel = i32::try_from(rel)
-            .expect("branch displacement overflow: target out of rel32 range");
+        let rel =
+            i32::try_from(rel).expect("branch displacement overflow: target out of rel32 range");
         b[at..at + 4].copy_from_slice(&rel.to_le_bytes());
     }
 
@@ -369,11 +376,16 @@ mod tests {
 
     #[test]
     fn mov_imm_width_selection() {
-        let short = encode(&Inst::MovRI { dst: Reg::R1, imm: 1234 });
+        let short = encode(&Inst::MovRI {
+            dst: Reg::R1,
+            imm: 1234,
+        });
         assert_eq!(short.bytes[0], OP_MOV_RI32);
         assert_eq!(short.bytes.len(), 6);
-        let long =
-            encode(&Inst::MovRI { dst: Reg::R1, imm: 0x2000_0000_0000 });
+        let long = encode(&Inst::MovRI {
+            dst: Reg::R1,
+            imm: 0x2000_0000_0000,
+        });
         assert_eq!(long.bytes[0], OP_MOV_RI64);
         assert_eq!(long.bytes.len(), 10);
     }
@@ -402,10 +414,16 @@ mod tests {
         let disp = i32::from_le_bytes(e.bytes[at..at + 4].try_into().unwrap());
         assert_eq!(disp, 0x4000);
 
-        let e = encode(&Inst::Jcc { cc: Cc::L, target: 0x100 });
+        let e = encode(&Inst::Jcc {
+            cc: Cc::L,
+            target: 0x100,
+        });
         assert!(e.patch.rel32_at.is_some());
 
-        let e = encode(&Inst::MovRI { dst: Reg::R0, imm: 7 });
+        let e = encode(&Inst::MovRI {
+            dst: Reg::R0,
+            imm: 7,
+        });
         assert_eq!(e.patch.imm_at, Some((2, 4)));
     }
 
@@ -424,6 +442,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "branch displacement overflow")]
     fn branch_overflow_panics() {
-        encode_at(&Inst::Jmp { target: u64::MAX / 2 }, 0);
+        encode_at(
+            &Inst::Jmp {
+                target: u64::MAX / 2,
+            },
+            0,
+        );
     }
 }

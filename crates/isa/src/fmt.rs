@@ -9,7 +9,12 @@ impl<T: fmt::Display> fmt::Display for Inst<T> {
         match self {
             Inst::MovRR { dst, src } => write!(f, "mov {dst}, {src}"),
             Inst::MovRI { dst, imm } => write!(f, "mov {dst}, {imm}"),
-            Inst::Load { dst, mem, size, sext } => {
+            Inst::Load {
+                dst,
+                mem,
+                size,
+                sext,
+            } => {
                 let s = if *sext { "s" } else { "" };
                 write!(f, "load{}{s} {dst}, {mem}", size.bytes())
             }
@@ -50,7 +55,11 @@ impl<T: fmt::Display> fmt::Display for Inst<T> {
             Inst::SimStart { tramp } => write!(f, "sim.start {tramp}"),
             Inst::SimCheck => write!(f, "sim.check"),
             Inst::SimEnd => write!(f, "sim.end"),
-            Inst::AsanCheck { mem, size, is_write } => {
+            Inst::AsanCheck {
+                mem,
+                size,
+                is_write,
+            } => {
                 let rw = if *is_write { "w" } else { "r" };
                 write!(f, "asan.check{rw}{} {mem}", size.bytes())
             }
@@ -78,7 +87,13 @@ mod tests {
     #[test]
     fn display_is_never_empty_and_reads_like_asm() {
         let samples: Vec<(Inst<u64>, &str)> = vec![
-            (Inst::MovRR { dst: Reg::R0, src: Reg::R1 }, "mov r0, r1"),
+            (
+                Inst::MovRR {
+                    dst: Reg::R0,
+                    src: Reg::R1,
+                },
+                "mov r0, r1",
+            ),
             (
                 Inst::Load {
                     dst: Reg::R2,
@@ -96,7 +111,13 @@ mod tests {
                 },
                 "add r0, 4",
             ),
-            (Inst::Jcc { cc: Cc::L, target: 64 }, "jl 64"),
+            (
+                Inst::Jcc {
+                    cc: Cc::L,
+                    target: 64,
+                },
+                "jl 64",
+            ),
             (Inst::MarkerNop, "nop.marker"),
             (Inst::SimStart { tramp: 128 }, "sim.start 128"),
             (

@@ -81,12 +81,22 @@ pub struct MemRef {
 impl MemRef {
     /// `[base]`
     pub fn base(base: Reg) -> MemRef {
-        MemRef { base: Some(base), index: None, scale: 1, disp: 0 }
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp: 0,
+        }
     }
 
     /// `[base + disp]`
     pub fn base_disp(base: Reg, disp: i32) -> MemRef {
-        MemRef { base: Some(base), index: None, scale: 1, disp }
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+        }
     }
 
     /// `[base + index*scale]`
@@ -96,19 +106,28 @@ impl MemRef {
     /// Panics if `scale` is not 1, 2, 4 or 8.
     pub fn base_index(base: Reg, index: Reg, scale: u8) -> MemRef {
         assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid scale {scale}");
-        MemRef { base: Some(base), index: Some(index), scale, disp: 0 }
+        MemRef {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp: 0,
+        }
     }
 
     /// `[disp]` — an absolute address (globals, jump tables).
     pub fn abs(disp: i32) -> MemRef {
-        MemRef { base: None, index: None, scale: 1, disp }
+        MemRef {
+            base: None,
+            index: None,
+            scale: 1,
+            disp,
+        }
     }
 
     /// Whether this reference is a constant offset from the frame or stack
     /// pointer — the ASan allow-list condition of paper §6.2.1.
     pub fn is_frame_relative(&self) -> bool {
-        self.index.is_none()
-            && self.base.map(Reg::is_frame_base).unwrap_or(false)
+        self.index.is_none() && self.base.map(Reg::is_frame_base).unwrap_or(false)
     }
 
     /// Registers read when computing the effective address.
@@ -363,11 +382,24 @@ pub enum Inst<T = u64> {
     /// `mov dst, imm` (64-bit immediate; encoded short when it fits i32).
     MovRI { dst: Reg, imm: i64 },
     /// `load{size} dst, mem` with optional sign extension.
-    Load { dst: Reg, mem: MemRef, size: AccessSize, sext: bool },
+    Load {
+        dst: Reg,
+        mem: MemRef,
+        size: AccessSize,
+        sext: bool,
+    },
     /// `store{size} mem, src`.
-    Store { src: Reg, mem: MemRef, size: AccessSize },
+    Store {
+        src: Reg,
+        mem: MemRef,
+        size: AccessSize,
+    },
     /// `store{size} mem, imm`.
-    StoreI { imm: i32, mem: MemRef, size: AccessSize },
+    StoreI {
+        imm: i32,
+        mem: MemRef,
+        size: AccessSize,
+    },
     /// `lea dst, mem` — effective address computation (no memory access).
     Lea { dst: Reg, mem: MemRef },
     /// `push src` — decrement `sp` by 8 and store.
@@ -445,7 +477,11 @@ pub enum Inst<T = u64> {
     /// instructions, unresolvable indirect targets).
     SimEnd,
     /// Binary-ASan shadow-memory check for the given access (paper §6.2.1).
-    AsanCheck { mem: MemRef, size: AccessSize, is_write: bool },
+    AsanCheck {
+        mem: MemRef,
+        size: AccessSize,
+        is_write: bool,
+    },
     /// Memory log: record the prior contents of `mem` so rollback can
     /// restore it (paper §6.1).
     MemLog { mem: MemRef, size: AccessSize },
@@ -472,11 +508,7 @@ impl<T> Inst<T> {
     pub fn is_terminator(&self) -> bool {
         matches!(
             self,
-            Inst::Jmp { .. }
-                | Inst::Jcc { .. }
-                | Inst::JmpInd { .. }
-                | Inst::Ret
-                | Inst::Halt
+            Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::JmpInd { .. } | Inst::Ret | Inst::Halt
         )
     }
 
@@ -517,12 +549,8 @@ impl<T> Inst<T> {
     /// The memory reference written by this instruction, if any.
     pub fn store_mem(&self) -> Option<(MemRef, AccessSize)> {
         match self {
-            Inst::Store { mem, size, .. } | Inst::StoreI { mem, size, .. } => {
-                Some((*mem, *size))
-            }
-            Inst::Push { .. } => {
-                Some((MemRef::base_disp(Reg::SP, -8), AccessSize::B8))
-            }
+            Inst::Store { mem, size, .. } | Inst::StoreI { mem, size, .. } => Some((*mem, *size)),
+            Inst::Push { .. } => Some((MemRef::base_disp(Reg::SP, -8), AccessSize::B8)),
             _ => None,
         }
     }
@@ -539,9 +567,7 @@ impl<T> Inst<T> {
         match self {
             Inst::MovRR { src, .. } => out.push(*src),
             Inst::MovRI { .. } => {}
-            Inst::Load { mem, .. } | Inst::Lea { mem, .. } => {
-                out.extend(mem.regs())
-            }
+            Inst::Load { mem, .. } | Inst::Lea { mem, .. } => out.extend(mem.regs()),
             Inst::Store { src, mem, .. } => {
                 out.push(*src);
                 out.extend(mem.regs());
@@ -566,13 +592,9 @@ impl<T> Inst<T> {
                 out.push(*dst);
                 out.push(*src);
             }
-            Inst::CallInd { target } | Inst::JmpInd { target } => {
-                out.push(*target)
-            }
+            Inst::CallInd { target } | Inst::JmpInd { target } => out.push(*target),
             Inst::Ret => out.push(Reg::SP),
-            Inst::AsanCheck { mem, .. } | Inst::MemLog { mem, .. } => {
-                out.extend(mem.regs())
-            }
+            Inst::AsanCheck { mem, .. } | Inst::MemLog { mem, .. } => out.extend(mem.regs()),
             Inst::IndCheck { kind } => match kind {
                 IndKind::Ret => out.push(Reg::SP),
                 IndKind::Call(r) | IndKind::Jmp(r) => out.push(*r),
@@ -611,10 +633,7 @@ impl<T> Inst<T> {
     pub fn writes_flags(&self) -> bool {
         matches!(
             self,
-            Inst::Alu { .. }
-                | Inst::Neg { .. }
-                | Inst::Cmp { .. }
-                | Inst::Test { .. }
+            Inst::Alu { .. } | Inst::Neg { .. } | Inst::Cmp { .. } | Inst::Test { .. }
         )
     }
 
@@ -622,15 +641,26 @@ impl<T> Inst<T> {
     pub fn map_target<U>(self, mut f: impl FnMut(T) -> U) -> Inst<U> {
         match self {
             Inst::Jmp { target } => Inst::Jmp { target: f(target) },
-            Inst::Jcc { cc, target } => Inst::Jcc { cc, target: f(target) },
+            Inst::Jcc { cc, target } => Inst::Jcc {
+                cc,
+                target: f(target),
+            },
             Inst::Call { target } => Inst::Call { target: f(target) },
             Inst::SimStart { tramp } => Inst::SimStart { tramp: f(tramp) },
             // Everything else carries no target; rebuild variant-by-variant.
             Inst::MovRR { dst, src } => Inst::MovRR { dst, src },
             Inst::MovRI { dst, imm } => Inst::MovRI { dst, imm },
-            Inst::Load { dst, mem, size, sext } => {
-                Inst::Load { dst, mem, size, sext }
-            }
+            Inst::Load {
+                dst,
+                mem,
+                size,
+                sext,
+            } => Inst::Load {
+                dst,
+                mem,
+                size,
+                sext,
+            },
             Inst::Store { src, mem, size } => Inst::Store { src, mem, size },
             Inst::StoreI { imm, mem, size } => Inst::StoreI { imm, mem, size },
             Inst::Lea { dst, mem } => Inst::Lea { dst, mem },
@@ -654,9 +684,15 @@ impl<T> Inst<T> {
             Inst::Halt => Inst::Halt,
             Inst::SimCheck => Inst::SimCheck,
             Inst::SimEnd => Inst::SimEnd,
-            Inst::AsanCheck { mem, size, is_write } => {
-                Inst::AsanCheck { mem, size, is_write }
-            }
+            Inst::AsanCheck {
+                mem,
+                size,
+                is_write,
+            } => Inst::AsanCheck {
+                mem,
+                size,
+                is_write,
+            },
             Inst::MemLog { mem, size } => Inst::MemLog { mem, size },
             Inst::TagProp => Inst::TagProp,
             Inst::TagBlockProp { n } => Inst::TagBlockProp { n },
@@ -670,9 +706,7 @@ impl<T> Inst<T> {
     /// The code target carried by this instruction, if any.
     pub fn target(&self) -> Option<&T> {
         match self {
-            Inst::Jmp { target }
-            | Inst::Jcc { target, .. }
-            | Inst::Call { target } => Some(target),
+            Inst::Jmp { target } | Inst::Jcc { target, .. } | Inst::Call { target } => Some(target),
             Inst::SimStart { tramp } => Some(tramp),
             _ => None,
         }
@@ -685,8 +719,12 @@ mod tests {
 
     #[test]
     fn access_size_round_trip() {
-        for s in [AccessSize::B1, AccessSize::B2, AccessSize::B4, AccessSize::B8]
-        {
+        for s in [
+            AccessSize::B1,
+            AccessSize::B2,
+            AccessSize::B4,
+            AccessSize::B8,
+        ] {
             assert_eq!(AccessSize::from_log2(s.log2()), Some(s));
             assert_eq!(1u64 << s.log2(), s.bytes());
         }
@@ -735,18 +773,33 @@ mod tests {
             src: Operand::Imm(1),
         };
         assert!(add.writes_flags());
-        assert!(Inst::<u64>::Cmp { lhs: Reg::R0, rhs: Operand::Imm(0) }
-            .writes_flags());
-        assert!(!Inst::<u64>::MovRR { dst: Reg::R0, src: Reg::R1 }
-            .writes_flags());
+        assert!(Inst::<u64>::Cmp {
+            lhs: Reg::R0,
+            rhs: Operand::Imm(0)
+        }
+        .writes_flags());
+        assert!(!Inst::<u64>::MovRR {
+            dst: Reg::R0,
+            src: Reg::R1
+        }
+        .writes_flags());
         assert!(!Inst::<u64>::Not { dst: Reg::R0 }.writes_flags());
     }
 
     #[test]
     fn map_target_rewrites_branches() {
-        let j: Inst<&str> = Inst::Jcc { cc: Cc::E, target: "a" };
+        let j: Inst<&str> = Inst::Jcc {
+            cc: Cc::E,
+            target: "a",
+        };
         let j2 = j.map_target(|_| 0x40u64);
-        assert_eq!(j2, Inst::Jcc { cc: Cc::E, target: 0x40 });
+        assert_eq!(
+            j2,
+            Inst::Jcc {
+                cc: Cc::E,
+                target: 0x40
+            }
+        );
         let s: Inst<&str> = Inst::SimStart { tramp: "t" };
         assert_eq!(s.map_target(|_| 1u64), Inst::SimStart { tramp: 1 });
     }

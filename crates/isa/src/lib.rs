@@ -42,9 +42,7 @@ mod reg;
 
 pub use decode::{decode, decode_at, DecodeError};
 pub use encode::{encode, encode_at, encoded_len, Encoded, PatchSite};
-pub use insn::{
-    AccessSize, AluOp, Cc, IndKind, Inst, MemRef, Operand, INST_MAX_LEN,
-};
+pub use insn::{AccessSize, AluOp, Cc, IndKind, Inst, MemRef, Operand, INST_MAX_LEN};
 pub use reg::Reg;
 
 /// The number of general-purpose registers in TEA-64.

@@ -61,8 +61,7 @@ impl Reg {
     /// Caller-saved temporaries available to code generators.
     pub const TEMPS: [Reg; 4] = [Reg::R6, Reg::R7, Reg::R8, Reg::R9];
     /// Callee-saved registers.
-    pub const CALLEE_SAVED: [Reg; 5] =
-        [Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14];
+    pub const CALLEE_SAVED: [Reg; 5] = [Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14];
 
     /// All sixteen registers in index order.
     pub const ALL: [Reg; 16] = [

@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use teapot_isa::{
-    decode_at, encode_at, AccessSize, AluOp, Cc, IndKind, Inst, MemRef,
-    Operand, Reg,
+    decode_at, encode_at, AccessSize, AluOp, Cc, IndKind, Inst, MemRef, Operand, Reg,
 };
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
@@ -45,13 +44,15 @@ fn arb_alu() -> impl Strategy<Value = AluOp> {
 }
 
 fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![arb_reg().prop_map(Operand::Reg), any::<i32>().prop_map(Operand::Imm)]
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        any::<i32>().prop_map(Operand::Imm)
+    ]
 }
 
 /// Branch targets within ±1 GiB of the instruction, so rel32 always fits.
 fn arb_target(va: u64) -> impl Strategy<Value = u64> {
-    ((-(1i64 << 30))..(1i64 << 30))
-        .prop_map(move |d| va.wrapping_add(d as u64))
+    ((-(1i64 << 30))..(1i64 << 30)).prop_map(move |d| va.wrapping_add(d as u64))
 }
 
 fn arb_inst(va: u64) -> impl Strategy<Value = Inst<u64>> {
@@ -69,37 +70,54 @@ fn arb_inst(va: u64) -> impl Strategy<Value = Inst<u64>> {
         any::<u16>().prop_map(|num| Inst::Syscall { num }),
         (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::MovRR { dst, src }),
         (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
-        (arb_reg(), arb_mem(), arb_size(), any::<bool>())
-            .prop_map(|(dst, mem, size, sext)| Inst::Load { dst, mem, size, sext }),
-        (arb_reg(), arb_mem(), arb_size())
-            .prop_map(|(src, mem, size)| Inst::Store { src, mem, size }),
-        (any::<i32>(), arb_mem(), arb_size())
-            .prop_map(|(imm, mem, size)| Inst::StoreI { imm, mem, size }),
+        (arb_reg(), arb_mem(), arb_size(), any::<bool>()).prop_map(|(dst, mem, size, sext)| {
+            Inst::Load {
+                dst,
+                mem,
+                size,
+                sext,
+            }
+        }),
+        (arb_reg(), arb_mem(), arb_size()).prop_map(|(src, mem, size)| Inst::Store {
+            src,
+            mem,
+            size
+        }),
+        (any::<i32>(), arb_mem(), arb_size()).prop_map(|(imm, mem, size)| Inst::StoreI {
+            imm,
+            mem,
+            size
+        }),
         (arb_reg(), arb_mem()).prop_map(|(dst, mem)| Inst::Lea { dst, mem }),
         arb_reg().prop_map(|src| Inst::Push { src }),
         arb_reg().prop_map(|dst| Inst::Pop { dst }),
-        (arb_alu(), arb_reg(), arb_operand())
-            .prop_map(|(op, dst, src)| Inst::Alu { op, dst, src }),
+        (arb_alu(), arb_reg(), arb_operand()).prop_map(|(op, dst, src)| Inst::Alu { op, dst, src }),
         arb_reg().prop_map(|dst| Inst::Neg { dst }),
         arb_reg().prop_map(|dst| Inst::Not { dst }),
         (arb_reg(), arb_operand()).prop_map(|(lhs, rhs)| Inst::Cmp { lhs, rhs }),
         (arb_reg(), arb_operand()).prop_map(|(lhs, rhs)| Inst::Test { lhs, rhs }),
         (arb_cc(), arb_reg()).prop_map(|(cc, dst)| Inst::Set { cc, dst }),
-        (arb_cc(), arb_reg(), arb_reg())
-            .prop_map(|(cc, dst, src)| Inst::Cmov { cc, dst, src }),
+        (arb_cc(), arb_reg(), arb_reg()).prop_map(|(cc, dst, src)| Inst::Cmov { cc, dst, src }),
         arb_target(va).prop_map(|target| Inst::Jmp { target }),
         (arb_cc(), arb_target(va)).prop_map(|(cc, target)| Inst::Jcc { cc, target }),
         arb_target(va).prop_map(|target| Inst::Call { target }),
         arb_reg().prop_map(|target| Inst::CallInd { target }),
         arb_reg().prop_map(|target| Inst::JmpInd { target }),
         arb_target(va).prop_map(|tramp| Inst::SimStart { tramp }),
-        (arb_mem(), arb_size(), any::<bool>())
-            .prop_map(|(mem, size, is_write)| Inst::AsanCheck { mem, size, is_write }),
+        (arb_mem(), arb_size(), any::<bool>()).prop_map(|(mem, size, is_write)| Inst::AsanCheck {
+            mem,
+            size,
+            is_write
+        }),
         (arb_mem(), arb_size()).prop_map(|(mem, size)| Inst::MemLog { mem, size }),
         any::<u16>().prop_map(|n| Inst::TagBlockProp { n }),
         Just(Inst::IndCheck { kind: IndKind::Ret }),
-        arb_reg().prop_map(|r| Inst::IndCheck { kind: IndKind::Call(r) }),
-        arb_reg().prop_map(|r| Inst::IndCheck { kind: IndKind::Jmp(r) }),
+        arb_reg().prop_map(|r| Inst::IndCheck {
+            kind: IndKind::Call(r)
+        }),
+        arb_reg().prop_map(|r| Inst::IndCheck {
+            kind: IndKind::Jmp(r)
+        }),
         any::<u32>().prop_map(|guard| Inst::CovTrace { guard }),
         any::<u32>().prop_map(|guard| Inst::CovNote { guard }),
     ]

@@ -235,13 +235,18 @@ impl Binary {
         let mut sections = Vec::with_capacity(nsec);
         for _ in 0..nsec {
             let name = r.string()?;
-            let kind = kind_from_byte(r.u8()?)
-                .ok_or(FormatError::Corrupt("section kind"))?;
+            let kind = kind_from_byte(r.u8()?).ok_or(FormatError::Corrupt("section kind"))?;
             let vaddr = r.u64()?;
             let mem_size = r.u64()?;
             let len = r.u64()? as usize;
             let bytes = r.take(len)?.to_vec();
-            sections.push(LoadedSection { name, kind, vaddr, bytes, mem_size });
+            sections.push(LoadedSection {
+                name,
+                kind,
+                vaddr,
+                bytes,
+                mem_size,
+            });
         }
         let mut symbols = Vec::with_capacity(nsym);
         for _ in 0..nsym {
@@ -253,9 +258,19 @@ impl Binary {
             };
             let addr = r.u64()?;
             let size = r.u64()?;
-            symbols.push(BinSymbol { name, addr, kind, size });
+            symbols.push(BinSymbol {
+                name,
+                addr,
+                kind,
+                size,
+            });
         }
-        Ok(Binary { entry, sections, symbols, flags })
+        Ok(Binary {
+            entry,
+            sections,
+            symbols,
+            flags,
+        })
     }
 }
 
@@ -313,8 +328,7 @@ impl<'a> Reader<'a> {
         if len > 1 << 20 {
             return Err(FormatError::Corrupt("string length"));
         }
-        String::from_utf8(self.take(len)?.to_vec())
-            .map_err(|_| FormatError::Corrupt("string utf8"))
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| FormatError::Corrupt("string utf8"))
     }
 }
 

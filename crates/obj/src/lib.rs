@@ -36,7 +36,4 @@ mod object;
 
 pub use binary::{BinFlags, BinSymbol, Binary, FormatError, LoadedSection};
 pub use link::{LinkError, Linker, DEFAULT_IMAGE_BASE};
-pub use object::{
-    Object, Reloc, RelocKind, Section, SectionId, SectionKind, Symbol,
-    SymbolKind,
-};
+pub use object::{Object, Reloc, RelocKind, Section, SectionId, SectionKind, Symbol, SymbolKind};

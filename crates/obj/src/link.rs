@@ -136,7 +136,7 @@ impl Linker {
         }
 
         // Note sections ride along unloaded.
-        for (_, obj) in self.objects.iter().enumerate() {
+        for obj in self.objects.iter() {
             for sec in &obj.sections {
                 if sec.kind == SectionKind::Note {
                     out_sections.push(LoadedSection {
@@ -151,20 +151,14 @@ impl Linker {
         }
 
         // 2. Build the global symbol table.
-        let mut symtab: HashMap<String, (u64, crate::SymbolKind, u64)> =
-            HashMap::new();
+        let mut symtab: HashMap<String, (u64, crate::SymbolKind, u64)> = HashMap::new();
         for (oi, obj) in self.objects.iter().enumerate() {
             for sym in &obj.symbols {
-                let sec_va = placed
-                    .get(&(oi, sym.section.0))
-                    .copied()
-                    .unwrap_or(0);
+                let sec_va = placed.get(&(oi, sym.section.0)).copied().unwrap_or(0);
                 let addr = sec_va + sym.offset;
                 if sym.global {
                     if symtab.contains_key(&sym.name) {
-                        return Err(LinkError::DuplicateSymbol(
-                            sym.name.clone(),
-                        ));
+                        return Err(LinkError::DuplicateSymbol(sym.name.clone()));
                     }
                     symtab.insert(sym.name.clone(), (addr, sym.kind, sym.size));
                 } else {
@@ -188,30 +182,25 @@ impl Linker {
         }
         for (oi, obj) in self.objects.iter().enumerate() {
             for rel in &obj.relocs {
-                let sec_va = *placed.get(&(oi, rel.section.0)).ok_or(
-                    LinkError::RelocOutOfRange {
-                        symbol: rel.symbol.clone(),
-                        offset: rel.offset,
-                    },
-                )?;
+                let sec_va =
+                    *placed
+                        .get(&(oi, rel.section.0))
+                        .ok_or(LinkError::RelocOutOfRange {
+                            symbol: rel.symbol.clone(),
+                            offset: rel.offset,
+                        })?;
                 let &(sym_addr, _, _) = symtab
                     .get(&rel.symbol)
-                    .or_else(|| {
-                        symtab.get(&format!("{}::{}", obj.name, rel.symbol))
-                    })
-                    .ok_or_else(|| {
-                        LinkError::UndefinedSymbol(rel.symbol.clone())
-                    })?;
+                    .or_else(|| symtab.get(&format!("{}::{}", obj.name, rel.symbol)))
+                    .ok_or_else(|| LinkError::UndefinedSymbol(rel.symbol.clone()))?;
                 let sec = &mut out_sections[out_idx[&sec_va]];
                 let off = rel.offset as usize;
                 let value = sym_addr as i64 + rel.addend;
                 match rel.kind {
                     RelocKind::Abs32 => {
-                        let v = i32::try_from(value).map_err(|_| {
-                            LinkError::RelocOverflow {
-                                symbol: rel.symbol.clone(),
-                                kind: rel.kind,
-                            }
+                        let v = i32::try_from(value).map_err(|_| LinkError::RelocOverflow {
+                            symbol: rel.symbol.clone(),
+                            kind: rel.kind,
                         })?;
                         patch(&mut sec.bytes, off, &v.to_le_bytes()).ok_or(
                             LinkError::RelocOutOfRange {
@@ -221,20 +210,19 @@ impl Linker {
                         )?;
                     }
                     RelocKind::Abs64 => {
-                        patch(&mut sec.bytes, off, &value.to_le_bytes())
-                            .ok_or(LinkError::RelocOutOfRange {
+                        patch(&mut sec.bytes, off, &value.to_le_bytes()).ok_or(
+                            LinkError::RelocOutOfRange {
                                 symbol: rel.symbol.clone(),
                                 offset: rel.offset,
-                            })?;
+                            },
+                        )?;
                     }
                     RelocKind::Rel32 => {
                         let field_end = sec_va + rel.offset + 4;
                         let rel_v = value - field_end as i64;
-                        let v = i32::try_from(rel_v).map_err(|_| {
-                            LinkError::RelocOverflow {
-                                symbol: rel.symbol.clone(),
-                                kind: rel.kind,
-                            }
+                        let v = i32::try_from(rel_v).map_err(|_| LinkError::RelocOverflow {
+                            symbol: rel.symbol.clone(),
+                            kind: rel.kind,
                         })?;
                         patch(&mut sec.bytes, off, &v.to_le_bytes()).ok_or(
                             LinkError::RelocOutOfRange {
@@ -291,8 +279,7 @@ mod tests {
         let mut obj = Object::new("m");
         let text = obj.add_section(".text", SectionKind::Text);
         // jmp rel32 placeholder (opcode 0x30) + halt
-        obj.section_mut(text).bytes =
-            vec![0x30, 0, 0, 0, 0, 0x02];
+        obj.section_mut(text).bytes = vec![0x30, 0, 0, 0, 0, 0x02];
         obj.add_symbol("_start", SymbolKind::Func, text, 0, 6, true);
         obj.add_symbol("end", SymbolKind::Func, text, 5, 1, true);
         obj.add_reloc(text, 1, RelocKind::Rel32, "end", 0);
@@ -301,7 +288,9 @@ mod tests {
 
     #[test]
     fn links_and_resolves_rel32() {
-        let bin = Linker::new().add_object(mini_object()).link("_start")
+        let bin = Linker::new()
+            .add_object(mini_object())
+            .link("_start")
             .expect("link");
         let text = bin.section(".text").unwrap();
         assert_eq!(text.vaddr, DEFAULT_IMAGE_BASE);
@@ -382,12 +371,14 @@ mod tests {
         let tb = b.add_section(".text", SectionKind::Text);
         b.section_mut(tb).bytes = vec![0x03]; // ret
         b.add_symbol("callee", SymbolKind::Func, tb, 0, 1, true);
-        let bin =
-            Linker::new().add_object(a).add_object(b).link("_start").unwrap();
+        let bin = Linker::new()
+            .add_object(a)
+            .add_object(b)
+            .link("_start")
+            .unwrap();
         let callee = bin.find_symbol("callee").unwrap().addr;
         let text_a = bin.sections.iter().find(|s| s.vaddr == bin.entry).unwrap();
-        let rel =
-            i32::from_le_bytes(text_a.bytes[1..5].try_into().unwrap());
+        let rel = i32::from_le_bytes(text_a.bytes[1..5].try_into().unwrap());
         assert_eq!(bin.entry + 5 + rel as i64 as u64, callee);
     }
 }

@@ -138,15 +138,14 @@ pub struct Object {
 impl Object {
     /// Creates an empty object with the given unit name.
     pub fn new(name: impl Into<String>) -> Object {
-        Object { name: name.into(), ..Object::default() }
+        Object {
+            name: name.into(),
+            ..Object::default()
+        }
     }
 
     /// Adds an empty section and returns its id.
-    pub fn add_section(
-        &mut self,
-        name: impl Into<String>,
-        kind: SectionKind,
-    ) -> SectionId {
+    pub fn add_section(&mut self, name: impl Into<String>, kind: SectionKind) -> SectionId {
         self.sections.push(Section {
             name: name.into(),
             kind,

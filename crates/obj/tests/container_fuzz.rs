@@ -25,7 +25,13 @@ fn arb_section() -> impl Strategy<Value = LoadedSection> {
     )
         .prop_map(|(name, kind, vaddr, bytes, extra)| {
             let mem_size = bytes.len() as u64 + extra as u64;
-            LoadedSection { name, kind, vaddr: vaddr as u64, bytes, mem_size }
+            LoadedSection {
+                name,
+                kind,
+                vaddr: vaddr as u64,
+                bytes,
+                mem_size,
+            }
         })
 }
 
@@ -34,7 +40,11 @@ fn arb_symbol() -> impl Strategy<Value = BinSymbol> {
         |(name, addr, is_fn, size)| BinSymbol {
             name,
             addr: addr as u64,
-            kind: if is_fn { SymbolKind::Func } else { SymbolKind::Object },
+            kind: if is_fn {
+                SymbolKind::Func
+            } else {
+                SymbolKind::Object
+            },
             size: size as u64,
         },
     )

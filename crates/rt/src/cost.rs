@@ -92,6 +92,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn guard_overhead_is_positive() {
         // The whole point of Speculation Shadows: guards cost something.
         assert!(GUARD > 0);
@@ -102,8 +103,9 @@ mod tests {
     fn emulation_dwarfs_native_instrumentation() {
         // SpecTaint's per-instruction emulation cost must dominate every
         // native instrumentation snippet, or Figure 1 could not reproduce.
-        for c in [SIM_START, ASAN_CHECK, MEMLOG, TAG_PROP, IND_CHECK, COV_TRACE]
-        {
+        for c in [
+            SIM_START, ASAN_CHECK, MEMLOG, TAG_PROP, IND_CHECK, COV_TRACE,
+        ] {
             assert!(EMU_PER_INST > c);
         }
     }

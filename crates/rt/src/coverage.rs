@@ -32,7 +32,9 @@ impl Default for CovMap {
 impl CovMap {
     /// Creates an empty map.
     pub fn new() -> CovMap {
-        CovMap { counters: Box::new([0; COV_MAP_SIZE]) }
+        CovMap {
+            counters: Box::new([0; COV_MAP_SIZE]),
+        }
     }
 
     /// Records one hit of `guard`.
@@ -72,6 +74,18 @@ impl CovMap {
             32..=127 => 7,
             _ => 8,
         }
+    }
+
+    /// Raw counter array, for snapshot serialization.
+    pub fn raw(&self) -> &[u8] {
+        &self.counters[..]
+    }
+
+    /// Rebuilds a map from a raw counter array produced by [`CovMap::raw`].
+    /// Returns `None` if `bytes` is not exactly [`COV_MAP_SIZE`] long.
+    pub fn from_raw(bytes: &[u8]) -> Option<CovMap> {
+        let counters: Box<[u8; COV_MAP_SIZE]> = Box::<[u8]>::from(bytes).try_into().ok()?;
+        Some(CovMap { counters })
     }
 
     /// Merges this run's map into the accumulated `global` map, returning

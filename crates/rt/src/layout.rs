@@ -85,8 +85,7 @@ pub fn is_user_addr(addr: u64) -> bool {
 /// Whether `addr` lies in one of the tag-shadow regions.
 #[inline]
 pub fn is_tag_addr(addr: u64) -> bool {
-    (LOW_TAG_START..=LOW_TAG_END).contains(&addr)
-        || (HIGH_TAG_START..=HIGH_TAG_END).contains(&addr)
+    (LOW_TAG_START..=LOW_TAG_END).contains(&addr) || (HIGH_TAG_START..=HIGH_TAG_END).contains(&addr)
 }
 
 #[cfg(test)]
@@ -106,8 +105,13 @@ mod tests {
 
     #[test]
     fn tag_shadow_is_bit45_flip_and_involutive() {
-        for addr in [0x0u64, 0x1234, LOW_MEM_END, HIGH_MEM_START, 0x7123_4567_89ab]
-        {
+        for addr in [
+            0x0u64,
+            0x1234,
+            LOW_MEM_END,
+            HIGH_MEM_START,
+            0x7123_4567_89ab,
+        ] {
             let t = tag_shadow(addr);
             assert_eq!(tag_shadow(t), addr);
             assert_eq!(t, addr ^ (1 << 45));

@@ -73,7 +73,10 @@ impl DetectorConfig {
     /// Configuration with nested speculation disabled (used by the
     /// run-time performance comparison, paper §7.1).
     pub fn no_nesting() -> DetectorConfig {
-        DetectorConfig { max_nesting: 1, ..DetectorConfig::default() }
+        DetectorConfig {
+            max_nesting: 1,
+            ..DetectorConfig::default()
+        }
     }
 }
 

@@ -88,9 +88,7 @@ impl TeapotMeta {
 
     /// Serializes to the note-section blob.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(
-            40 + 16 * (self.indirect_map.len() + self.addr_map.len()),
-        );
+        let mut out = Vec::with_capacity(40 + 16 * (self.indirect_map.len() + self.addr_map.len()));
         out.extend_from_slice(MAGIC);
         for v in [
             self.real_range.0,
@@ -131,10 +129,8 @@ impl TeapotMeta {
         let r1 = u64f(&mut pos)?;
         let s0 = u64f(&mut pos)?;
         let s1 = u64f(&mut pos)?;
-        let ni =
-            u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-        let na =
-            u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let ni = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let na = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
         if ni > 1 << 24 || na > 1 << 26 {
             return Err(MetaError);
         }

@@ -43,8 +43,7 @@ pub enum Controllability {
 
 impl Controllability {
     /// Both controllability classes.
-    pub const ALL: [Controllability; 2] =
-        [Controllability::User, Controllability::Massage];
+    pub const ALL: [Controllability; 2] = [Controllability::User, Controllability::Massage];
 }
 
 impl fmt::Display for Controllability {
@@ -115,7 +114,11 @@ mod tests {
 
     fn report(pc: u64, ch: Channel, co: Controllability) -> GadgetReport {
         GadgetReport {
-            key: GadgetKey { pc, channel: ch, controllability: co },
+            key: GadgetKey {
+                pc,
+                channel: ch,
+                controllability: co,
+            },
             branch_pc: 0x400100,
             access_pc: 0x400120,
             depth: 1,

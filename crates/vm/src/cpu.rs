@@ -92,9 +92,11 @@ pub fn alu(op: AluOp, a: u64, b: u64) -> AluResult {
         AluOp::Xor => (a ^ b, false, false),
         AluOp::Shl => (a.wrapping_shl((b & 63) as u32), false, false),
         AluOp::Shr => (a.wrapping_shr((b & 63) as u32), false, false),
-        AluOp::Sar => {
-            ((a as i64).wrapping_shr((b & 63) as u32) as u64, false, false)
-        }
+        AluOp::Sar => (
+            (a as i64).wrapping_shr((b & 63) as u32) as u64,
+            false,
+            false,
+        ),
         AluOp::Mul => (a.wrapping_mul(b), false, false),
         AluOp::Div => {
             if b == 0 {
@@ -135,13 +137,23 @@ pub fn sub_flags(a: u64, b: u64) -> (u64, bool, bool) {
 /// Flags of a compare `a - b`.
 pub fn cmp_flags(a: u64, b: u64) -> Flags {
     let (r, cf, of) = sub_flags(a, b);
-    Flags { zf: r == 0, sf: (r as i64) < 0, cf, of }
+    Flags {
+        zf: r == 0,
+        sf: (r as i64) < 0,
+        cf,
+        of,
+    }
 }
 
 /// Flags of a `test` (`a & b`).
 pub fn test_flags(a: u64, b: u64) -> Flags {
     let r = a & b;
-    Flags { zf: r == 0, sf: (r as i64) < 0, cf: false, of: false }
+    Flags {
+        zf: r == 0,
+        sf: (r as i64) < 0,
+        cf: false,
+        of: false,
+    }
 }
 
 #[cfg(test)]
@@ -214,10 +226,7 @@ mod tests {
         assert_eq!(alu(AluOp::Shl, 1, 64).value, 1); // count masked to 0
         assert_eq!(alu(AluOp::Shl, 1, 3).value, 8);
         assert_eq!(alu(AluOp::Shr, u64::MAX, 63).value, 1);
-        assert_eq!(
-            alu(AluOp::Sar, (-8i64) as u64, 2).value,
-            (-2i64) as u64
-        );
+        assert_eq!(alu(AluOp::Sar, (-8i64) as u64, 2).value, (-2i64) as u64);
     }
 
     #[test]

@@ -120,14 +120,11 @@ impl SpecHeuristics {
             let opp = self.run_opportunities.entry(branch).or_insert(0);
             let seen = *opp;
             *opp += 1;
-            let phase =
-                self.counts.get(&branch).copied().unwrap_or(0) % PHASE_CYCLE;
+            let phase = self.counts.get(&branch).copied().unwrap_or(0) % PHASE_CYCLE;
             if seen < phase {
                 return false;
             }
-            if self.run_counts.get(&branch).copied().unwrap_or(0)
-                >= NESTED_PER_RUN_CAP
-            {
+            if self.run_counts.get(&branch).copied().unwrap_or(0) >= NESTED_PER_RUN_CAP {
                 return false;
             }
         }
@@ -140,9 +137,7 @@ impl SpecHeuristics {
                     depth < Self::gradual_depth(*c, max_nesting)
                 }
             }
-            HeurStyle::SpecFuzzGradual => {
-                depth < Self::gradual_depth(*c, max_nesting)
-            }
+            HeurStyle::SpecFuzzGradual => depth < Self::gradual_depth(*c, max_nesting),
             HeurStyle::SpecTaintFive => *c < 5,
         };
         if allow {
@@ -150,6 +145,27 @@ impl SpecHeuristics {
             *self.run_counts.entry(branch).or_insert(0) += 1;
         }
         allow
+    }
+
+    /// Exports the persistent per-branch simulation counts, sorted by
+    /// branch address (the per-run accounting is transient and excluded).
+    /// Together with [`SpecHeuristics::from_counts`] this supports
+    /// campaign snapshots: heuristic state survives a kill/resume cycle.
+    pub fn export_counts(&self) -> Vec<(u64, u32)> {
+        let mut out: Vec<(u64, u32)> = self.counts.iter().map(|(&b, &c)| (b, c)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Rebuilds heuristic state from counts exported by
+    /// [`SpecHeuristics::export_counts`].
+    pub fn from_counts(style: HeurStyle, counts: &[(u64, u32)]) -> Self {
+        SpecHeuristics {
+            style,
+            counts: counts.iter().copied().collect(),
+            run_counts: HashMap::new(),
+            run_opportunities: HashMap::new(),
+        }
     }
 
     /// Times `branch` has entered simulation so far.

@@ -48,8 +48,6 @@ mod taint;
 pub use asan::{AsanEngine, REDZONE};
 pub use cpu::{alu, cmp_flags, test_flags, AluResult, Cpu, Flags};
 pub use heuristics::{HeurStyle, SpecHeuristics};
-pub use machine::{
-    EmuStyle, ExitStatus, Fault, Machine, RunOptions, RunOutcome,
-};
+pub use machine::{EmuStyle, ExitStatus, Fault, Machine, RunOptions, RunOutcome};
 pub use mem::{MemFault, PagedMem, PAGE_SIZE};
 pub use taint::TaintEngine;

@@ -13,14 +13,13 @@ use crate::mem::{MemFault, PagedMem};
 use crate::taint::TaintEngine;
 use std::collections::{HashMap, HashSet};
 use teapot_isa::{
-    decode_at, sys, AccessSize, AluOp, IndKind, Inst, MemRef, Operand, Reg,
-    INST_MAX_LEN,
+    decode_at, sys, AccessSize, AluOp, IndKind, Inst, MemRef, Operand, Reg, INST_MAX_LEN,
 };
 use teapot_obj::Binary;
 use teapot_rt::layout::{STACK_LIMIT, STACK_TOP};
 use teapot_rt::{
-    cost, Channel, Controllability, CovMap, DetectorConfig, GadgetKey,
-    GadgetReport, Tag, TeapotMeta,
+    cost, Channel, Controllability, CovMap, DetectorConfig, GadgetKey, GadgetReport, Tag,
+    TeapotMeta,
 };
 
 /// Execution style of the machine.
@@ -240,20 +239,15 @@ impl Machine {
             if !sec.kind.is_loadable() {
                 continue;
             }
-            mem.map_region(
-                sec.vaddr,
-                sec.mem_size.max(1),
-                sec.kind.is_writable(),
-            );
+            mem.map_region(sec.vaddr, sec.mem_size.max(1), sec.kind.is_writable());
             for (i, &b) in sec.bytes.iter().enumerate() {
                 mem.poke(sec.vaddr + i as u64, b);
             }
         }
 
-        let meta = binary.note(".teapot.meta").map(|n| {
-            TeapotMeta::from_bytes(&n.bytes)
-                .expect("malformed .teapot.meta section")
-        });
+        let meta = binary
+            .note(".teapot.meta")
+            .map(|n| TeapotMeta::from_bytes(&n.bytes).expect("malformed .teapot.meta section"));
 
         let policy = match opts.emu {
             EmuStyle::SpecTaint => Policy::SpecTaint,
@@ -267,15 +261,15 @@ impl Machine {
                 }
             }
         };
-        let dift_on =
-            binary.flags.dift || matches!(opts.emu, EmuStyle::SpecTaint);
+        let dift_on = binary.flags.dift || matches!(opts.emu, EmuStyle::SpecTaint);
         let asan_on = binary.flags.asan;
 
-        let mut cpu = Cpu::default();
-        cpu.pc = binary.entry;
+        let mut cpu = Cpu {
+            pc: binary.entry,
+            ..Cpu::default()
+        };
         cpu.set(Reg::SP, STACK_TOP - 64);
 
-        let mut mem = mem;
         mem.map_region(STACK_TOP - STACK_LIMIT, STACK_LIMIT, true);
 
         Machine {
@@ -385,13 +379,7 @@ impl Machine {
         }
     }
 
-    fn report(
-        &mut self,
-        channel: Channel,
-        tag: Tag,
-        access_pc: u64,
-        what: &str,
-    ) {
+    fn report(&mut self, channel: Channel, tag: Tag, access_pc: u64, what: &str) {
         let flavors = [
             (Tag::SECRET_USER, Controllability::User),
             (Tag::SECRET_MASSAGE, Controllability::Massage),
@@ -489,16 +477,13 @@ impl Machine {
         }
         // Replay the memory log in reverse.
         let entries = self.memlog.split_off(cp.memlog_mark);
-        self.cost += cost::ROLLBACK_BASE
-            + cost::ROLLBACK_PER_LOG * entries.len() as u64;
+        self.cost += cost::ROLLBACK_BASE + cost::ROLLBACK_PER_LOG * entries.len() as u64;
         for e in entries.iter().rev() {
             for i in 0..e.len as u64 {
                 self.mem.poke(e.addr + i, e.old_bytes[i as usize]);
                 if self.dift_on {
-                    self.taint.set_mem_tag(
-                        e.addr + i,
-                        Tag::from_bits(e.old_tags[i as usize]),
-                    );
+                    self.taint
+                        .set_mem_tag(e.addr + i, Tag::from_bits(e.old_tags[i as usize]));
                 }
             }
         }
@@ -575,15 +560,13 @@ impl Machine {
                         );
                     }
                 }
-                Policy::SpecTaint => {
-                    if ptr_tag.is_secret() {
-                        self.report(
-                            Channel::Cache,
-                            ptr_tag,
-                            pc,
-                            "tainted data reached a dereference (SpecTaint)",
-                        );
-                    }
+                Policy::SpecTaint if ptr_tag.is_secret() => {
+                    self.report(
+                        Channel::Cache,
+                        ptr_tag,
+                        pc,
+                        "tainted data reached a dereference (SpecTaint)",
+                    );
                 }
                 _ => {}
             }
@@ -625,21 +608,15 @@ impl Machine {
                         val_tag |= Tag::SECRET_MASSAGE;
                     }
                     if val_tag.is_secret() {
-                        self.report(
-                            Channel::Mds,
-                            val_tag,
-                            pc,
-                            "secret loaded into a register",
-                        );
+                        self.report(Channel::Mds, val_tag, pc, "secret loaded into a register");
                     }
                 }
-                Policy::SpecTaint => {
+                Policy::SpecTaint
                     // No program-level info: every user-controlled access
                     // loads a "secret" (paper §3.1).
-                    if ptr_tag.contains(Tag::USER) {
+                    if ptr_tag.contains(Tag::USER) => {
                         val_tag |= Tag::SECRET_USER;
                     }
-                }
                 _ => {}
             }
         } else {
@@ -683,12 +660,9 @@ impl Machine {
             let mut old_bytes = [0u8; 8];
             let mut old_tags = [0u8; 8];
             for i in 0..n {
-                old_bytes[i as usize] = self
-                    .mem
-                    .read_u8(addr.wrapping_add(i))
-                    .map_err(Fault::Mem)?;
-                old_tags[i as usize] =
-                    self.taint.mem_tag(addr.wrapping_add(i)).bits();
+                old_bytes[i as usize] =
+                    self.mem.read_u8(addr.wrapping_add(i)).map_err(Fault::Mem)?;
+                old_tags[i as usize] = self.taint.mem_tag(addr.wrapping_add(i)).bits();
             }
             self.memlog.push(LogEntry {
                 addr,
@@ -845,7 +819,12 @@ impl Machine {
                     self.taint.set_reg(dst, Tag::CLEAN);
                 }
             }
-            Inst::Load { dst, mem, size, sext } => {
+            Inst::Load {
+                dst,
+                mem,
+                size,
+                sext,
+            } => {
                 let (v, t) = self.do_load(&mem, size, sext, pc)?;
                 self.cpu.set(dst, v);
                 if self.dift_on {
@@ -878,14 +857,7 @@ impl Machine {
                 } else {
                     Tag::CLEAN
                 };
-                self.store_at(
-                    sp,
-                    AccessSize::B8,
-                    self.cpu.get(src),
-                    tag,
-                    Tag::CLEAN,
-                    pc,
-                )?;
+                self.store_at(sp, AccessSize::B8, self.cpu.get(src), tag, Tag::CLEAN, pc)?;
                 self.cpu.set(Reg::SP, sp);
             }
             Inst::Pop { dst } => {
@@ -909,8 +881,7 @@ impl Machine {
                 self.cpu.flags = r.flags;
                 if self.dift_on {
                     // x86 zeroing idioms break the dependency.
-                    let zeroing = matches!(op, AluOp::Xor | AluOp::Sub)
-                        && src == Operand::Reg(dst);
+                    let zeroing = matches!(op, AluOp::Xor | AluOp::Sub) && src == Operand::Reg(dst);
                     let t = if zeroing {
                         Tag::CLEAN
                     } else {
@@ -939,19 +910,15 @@ impl Machine {
                 self.cpu.set(dst, v);
             }
             Inst::Cmp { lhs, rhs } => {
-                self.cpu.flags =
-                    cmp_flags(self.cpu.get(lhs), self.operand(&rhs));
+                self.cpu.flags = cmp_flags(self.cpu.get(lhs), self.operand(&rhs));
                 if self.dift_on {
-                    self.taint.flags =
-                        self.taint.reg(lhs) | self.operand_tag(&rhs);
+                    self.taint.flags = self.taint.reg(lhs) | self.operand_tag(&rhs);
                 }
             }
             Inst::Test { lhs, rhs } => {
-                self.cpu.flags =
-                    test_flags(self.cpu.get(lhs), self.operand(&rhs));
+                self.cpu.flags = test_flags(self.cpu.get(lhs), self.operand(&rhs));
                 if self.dift_on {
-                    self.taint.flags =
-                        self.taint.reg(lhs) | self.operand_tag(&rhs);
+                    self.taint.flags = self.taint.reg(lhs) | self.operand_tag(&rhs);
                 }
             }
             Inst::Set { cc, dst } => {
@@ -999,14 +966,7 @@ impl Machine {
             }
             Inst::Call { target } => {
                 let sp = self.cpu.get(Reg::SP).wrapping_sub(8);
-                self.store_at(
-                    sp,
-                    AccessSize::B8,
-                    next_pc,
-                    Tag::CLEAN,
-                    Tag::CLEAN,
-                    pc,
-                )?;
+                self.store_at(sp, AccessSize::B8, next_pc, Tag::CLEAN, Tag::CLEAN, pc)?;
                 self.cpu.set(Reg::SP, sp);
                 if self.asan_on && !self.in_sim() {
                     self.asan.poison_ret_slot(sp);
@@ -1016,14 +976,7 @@ impl Machine {
             Inst::CallInd { target } => {
                 let t = self.cpu.get(target);
                 let sp = self.cpu.get(Reg::SP).wrapping_sub(8);
-                self.store_at(
-                    sp,
-                    AccessSize::B8,
-                    next_pc,
-                    Tag::CLEAN,
-                    Tag::CLEAN,
-                    pc,
-                )?;
+                self.store_at(sp, AccessSize::B8, next_pc, Tag::CLEAN, Tag::CLEAN, pc)?;
                 self.cpu.set(Reg::SP, sp);
                 if self.asan_on && !self.in_sim() {
                     self.asan.poison_ret_slot(sp);
@@ -1103,11 +1056,14 @@ impl Machine {
                     self.rollback();
                 }
             }
-            Inst::AsanCheck { mem, size, is_write: _ } => {
+            Inst::AsanCheck {
+                mem,
+                size,
+                is_write: _,
+            } => {
                 let addr = self.ea(&mem);
                 let n = size.bytes();
-                let oob = self.asan.is_poisoned(addr, n)
-                    || !self.mem.is_mapped(addr, n);
+                let oob = self.asan.is_poisoned(addr, n) || !self.mem.is_mapped(addr, n);
                 if self.in_sim() {
                     if self.trace && oob {
                         eprintln!(
@@ -1130,7 +1086,7 @@ impl Machine {
             }
             Inst::IndCheck { kind } => {
                 if self.in_sim() && !self.single_copy {
-                    return Ok(self.ind_check(kind, pc)?);
+                    return self.ind_check(kind, pc);
                 }
             }
             Inst::CovTrace { guard } => {
@@ -1171,10 +1127,7 @@ impl Machine {
         let redirect = if meta.in_real(target) {
             // Probe for the special marker NOP at the target block.
             let bytes = self.mem.read_for_decode(target, 1);
-            let marked = matches!(
-                decode_at(&bytes, target),
-                Ok((Inst::MarkerNop, _))
-            );
+            let marked = matches!(decode_at(&bytes, target), Ok((Inst::MarkerNop, _)));
             if marked {
                 meta.shadow_of(target)
             } else {
@@ -1215,11 +1168,7 @@ impl Machine {
 
     fn syscall(&mut self, num: u16) -> Result<Step, Fault> {
         match num {
-            sys::EXIT => {
-                return Ok(Step::Stop(ExitStatus::Exit(
-                    self.cpu.get(Reg::R1) as i64,
-                )))
-            }
+            sys::EXIT => return Ok(Step::Stop(ExitStatus::Exit(self.cpu.get(Reg::R1) as i64))),
             sys::READ_INPUT => {
                 let buf = self.cpu.get(Reg::R1);
                 let len = self.cpu.get(Reg::R2) as usize;
@@ -1227,14 +1176,9 @@ impl Machine {
                 let n = len.min(avail);
                 for i in 0..n {
                     let b = self.opts.input[self.input_pos + i];
-                    self.mem
-                        .write_u8(buf + i as u64, b)
-                        .map_err(Fault::Mem)?;
+                    self.mem.write_u8(buf + i as u64, b).map_err(Fault::Mem)?;
                 }
-                if self.dift_on
-                    && self.opts.config.taint_input_sources
-                    && n > 0
-                {
+                if self.dift_on && self.opts.config.taint_input_sources && n > 0 {
                     self.taint.set_mem_range(buf, n as u64, Tag::USER);
                 }
                 self.input_pos += n;
@@ -1249,8 +1193,7 @@ impl Machine {
             sys::WRITE => {
                 let buf = self.cpu.get(Reg::R1);
                 let len = self.cpu.get(Reg::R2);
-                let bytes =
-                    self.mem.read_bytes(buf, len).map_err(Fault::Mem)?;
+                let bytes = self.mem.read_bytes(buf, len).map_err(Fault::Mem)?;
                 self.output.extend_from_slice(&bytes);
                 self.cpu.set(Reg::R0, len);
             }
@@ -1310,4 +1253,3 @@ fn inst_cost(inst: &Inst<u64>) -> u64 {
         _ => cost::PLAIN_INST,
     }
 }
-

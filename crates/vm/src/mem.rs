@@ -73,7 +73,9 @@ impl PagedMem {
         if len == 0 {
             return true;
         }
-        let Some(end) = addr.checked_add(len - 1) else { return false };
+        let Some(end) = addr.checked_add(len - 1) else {
+            return false;
+        };
         let first = addr / PAGE_SIZE;
         let last = end / PAGE_SIZE;
         (first..=last).all(|p| self.pages.contains_key(&p))
@@ -148,12 +150,7 @@ impl PagedMem {
     /// Faults if any byte is unmapped or read-only. Bytes preceding a
     /// faulting byte may already be written (like a real partial store
     /// across a page boundary).
-    pub fn write_uint(
-        &mut self,
-        addr: u64,
-        value: u64,
-        n: u64,
-    ) -> Result<(), MemFault> {
+    pub fn write_uint(&mut self, addr: u64, value: u64, n: u64) -> Result<(), MemFault> {
         debug_assert!(n <= 8);
         for i in 0..n {
             self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8)?;

@@ -3,14 +3,11 @@
 //! checkpoint → trampoline misprediction → ASan verdict → Kasper taint
 //! policy → gadget report → rollback.
 
-use teapot_asm::{Assembler, CodeRef};
+use teapot_asm::Assembler;
 use teapot_isa::{sys, AccessSize, AluOp, Cc, Inst, MemRef, Operand, Reg};
 use teapot_obj::{BinFlags, Binary, Linker};
-use teapot_rt::{Channel, Controllability, DetectorConfig, TeapotMeta};
-use teapot_vm::{
-    EmuStyle, ExitStatus, Fault, Machine, MemFault, RunOptions,
-    SpecHeuristics,
-};
+use teapot_rt::{Channel, Controllability, TeapotMeta};
+use teapot_vm::{EmuStyle, ExitStatus, Fault, Machine, MemFault, RunOptions, SpecHeuristics};
 
 fn run(bin: &Binary, opts: RunOptions) -> teapot_vm::RunOutcome {
     let mut heur = SpecHeuristics::default();
@@ -18,7 +15,10 @@ fn run(bin: &Binary, opts: RunOptions) -> teapot_vm::RunOutcome {
 }
 
 fn exit_with(f: &mut teapot_asm::FuncAsm, reg: Reg) {
-    f.ins(Inst::MovRR { dst: Reg::R1, src: reg });
+    f.ins(Inst::MovRR {
+        dst: Reg::R1,
+        src: reg,
+    });
     f.ins(Inst::Syscall { num: sys::EXIT });
 }
 
@@ -26,12 +26,25 @@ fn exit_with(f: &mut teapot_asm::FuncAsm, reg: Reg) {
 fn arithmetic_and_exit_code() {
     let mut asm = Assembler::new("t");
     let mut f = asm.func("_start");
-    f.ins(Inst::MovRI { dst: Reg::R6, imm: 6 });
-    f.ins(Inst::MovRI { dst: Reg::R7, imm: 7 });
-    f.ins(Inst::Alu { op: AluOp::Mul, dst: Reg::R6, src: Operand::Reg(Reg::R7) });
+    f.ins(Inst::MovRI {
+        dst: Reg::R6,
+        imm: 6,
+    });
+    f.ins(Inst::MovRI {
+        dst: Reg::R7,
+        imm: 7,
+    });
+    f.ins(Inst::Alu {
+        op: AluOp::Mul,
+        dst: Reg::R6,
+        src: Operand::Reg(Reg::R7),
+    });
     exit_with(&mut f, Reg::R6);
     asm.finish_func(f).unwrap();
-    let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+    let bin = Linker::new()
+        .add_object(asm.finish())
+        .link("_start")
+        .unwrap();
     let out = run(&bin, RunOptions::default());
     assert_eq!(out.status, ExitStatus::Exit(42));
     assert!(out.cost > 0);
@@ -44,7 +57,10 @@ fn loop_with_memory() {
     let mut asm = Assembler::new("t");
     let mut f = asm.func("_start");
     let top = f.fresh_label();
-    f.ins(Inst::MovRI { dst: Reg::R6, imm: 10 }); // i
+    f.ins(Inst::MovRI {
+        dst: Reg::R6,
+        imm: 10,
+    }); // i
     f.ins(Inst::StoreI {
         imm: 0,
         mem: MemRef::base_disp(Reg::SP, -8),
@@ -57,13 +73,21 @@ fn loop_with_memory() {
         size: AccessSize::B8,
         sext: false,
     });
-    f.ins(Inst::Alu { op: AluOp::Add, dst: Reg::R7, src: Operand::Reg(Reg::R6) });
+    f.ins(Inst::Alu {
+        op: AluOp::Add,
+        dst: Reg::R7,
+        src: Operand::Reg(Reg::R6),
+    });
     f.ins(Inst::Store {
         src: Reg::R7,
         mem: MemRef::base_disp(Reg::SP, -8),
         size: AccessSize::B8,
     });
-    f.ins(Inst::Alu { op: AluOp::Sub, dst: Reg::R6, src: Operand::Imm(1) });
+    f.ins(Inst::Alu {
+        op: AluOp::Sub,
+        dst: Reg::R6,
+        src: Operand::Imm(1),
+    });
     f.jcc(Cc::Ne, top);
     f.ins(Inst::Load {
         dst: Reg::R0,
@@ -73,37 +97,72 @@ fn loop_with_memory() {
     });
     exit_with(&mut f, Reg::R0);
     asm.finish_func(f).unwrap();
-    let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
-    assert_eq!(run(&bin, RunOptions::default()).status, ExitStatus::Exit(55));
+    let bin = Linker::new()
+        .add_object(asm.finish())
+        .link("_start")
+        .unwrap();
+    assert_eq!(
+        run(&bin, RunOptions::default()).status,
+        ExitStatus::Exit(55)
+    );
 }
 
 #[test]
 fn call_and_return() {
     let mut asm = Assembler::new("t");
     let mut g = asm.func("add_one");
-    g.ins(Inst::MovRR { dst: Reg::R0, src: Reg::R1 });
-    g.ins(Inst::Alu { op: AluOp::Add, dst: Reg::R0, src: Operand::Imm(1) });
+    g.ins(Inst::MovRR {
+        dst: Reg::R0,
+        src: Reg::R1,
+    });
+    g.ins(Inst::Alu {
+        op: AluOp::Add,
+        dst: Reg::R0,
+        src: Operand::Imm(1),
+    });
     g.raw(Inst::Ret);
     asm.finish_func(g).unwrap();
     let mut f = asm.func("_start");
-    f.ins(Inst::MovRI { dst: Reg::R1, imm: 41 });
+    f.ins(Inst::MovRI {
+        dst: Reg::R1,
+        imm: 41,
+    });
     f.call_sym("add_one");
     exit_with(&mut f, Reg::R0);
     asm.finish_func(f).unwrap();
-    let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
-    assert_eq!(run(&bin, RunOptions::default()).status, ExitStatus::Exit(42));
+    let bin = Linker::new()
+        .add_object(asm.finish())
+        .link("_start")
+        .unwrap();
+    assert_eq!(
+        run(&bin, RunOptions::default()).status,
+        ExitStatus::Exit(42)
+    );
 }
 
 #[test]
 fn division_by_zero_faults_in_normal_execution() {
     let mut asm = Assembler::new("t");
     let mut f = asm.func("_start");
-    f.ins(Inst::MovRI { dst: Reg::R6, imm: 1 });
-    f.ins(Inst::MovRI { dst: Reg::R7, imm: 0 });
-    f.ins(Inst::Alu { op: AluOp::Div, dst: Reg::R6, src: Operand::Reg(Reg::R7) });
+    f.ins(Inst::MovRI {
+        dst: Reg::R6,
+        imm: 1,
+    });
+    f.ins(Inst::MovRI {
+        dst: Reg::R7,
+        imm: 0,
+    });
+    f.ins(Inst::Alu {
+        op: AluOp::Div,
+        dst: Reg::R6,
+        src: Operand::Reg(Reg::R7),
+    });
     f.raw(Inst::Halt);
     asm.finish_func(f).unwrap();
-    let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+    let bin = Linker::new()
+        .add_object(asm.finish())
+        .link("_start")
+        .unwrap();
     let out = run(&bin, RunOptions::default());
     assert!(matches!(
         out.status,
@@ -115,7 +174,10 @@ fn division_by_zero_faults_in_normal_execution() {
 fn unmapped_access_faults() {
     let mut asm = Assembler::new("t");
     let mut f = asm.func("_start");
-    f.ins(Inst::MovRI { dst: Reg::R6, imm: 0x6666_6666 });
+    f.ins(Inst::MovRI {
+        dst: Reg::R6,
+        imm: 0x6666_6666,
+    });
     f.ins(Inst::Load {
         dst: Reg::R0,
         mem: MemRef::base(Reg::R6),
@@ -124,7 +186,10 @@ fn unmapped_access_faults() {
     });
     f.raw(Inst::Halt);
     asm.finish_func(f).unwrap();
-    let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+    let bin = Linker::new()
+        .add_object(asm.finish())
+        .link("_start")
+        .unwrap();
     let out = run(&bin, RunOptions::default());
     assert!(matches!(
         out.status,
@@ -144,7 +209,10 @@ fn writes_to_text_fault() {
     });
     f.raw(Inst::Halt);
     asm.finish_func(f).unwrap();
-    let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+    let bin = Linker::new()
+        .add_object(asm.finish())
+        .link("_start")
+        .unwrap();
     let out = run(&bin, RunOptions::default());
     assert!(
         matches!(
@@ -161,19 +229,42 @@ fn read_input_and_write_output() {
     let mut asm = Assembler::new("t");
     let mut f = asm.func("_start");
     // buf = sp-64; n = read_input(buf, 16); write(buf, n); exit(n)
-    f.ins(Inst::Lea { dst: Reg::R1, mem: MemRef::base_disp(Reg::SP, -64) });
-    f.ins(Inst::MovRI { dst: Reg::R2, imm: 16 });
-    f.ins(Inst::Syscall { num: sys::READ_INPUT });
-    f.ins(Inst::MovRR { dst: Reg::R9, src: Reg::R0 });
-    f.ins(Inst::Lea { dst: Reg::R1, mem: MemRef::base_disp(Reg::SP, -64) });
-    f.ins(Inst::MovRR { dst: Reg::R2, src: Reg::R9 });
+    f.ins(Inst::Lea {
+        dst: Reg::R1,
+        mem: MemRef::base_disp(Reg::SP, -64),
+    });
+    f.ins(Inst::MovRI {
+        dst: Reg::R2,
+        imm: 16,
+    });
+    f.ins(Inst::Syscall {
+        num: sys::READ_INPUT,
+    });
+    f.ins(Inst::MovRR {
+        dst: Reg::R9,
+        src: Reg::R0,
+    });
+    f.ins(Inst::Lea {
+        dst: Reg::R1,
+        mem: MemRef::base_disp(Reg::SP, -64),
+    });
+    f.ins(Inst::MovRR {
+        dst: Reg::R2,
+        src: Reg::R9,
+    });
     f.ins(Inst::Syscall { num: sys::WRITE });
     exit_with(&mut f, Reg::R9);
     asm.finish_func(f).unwrap();
-    let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+    let bin = Linker::new()
+        .add_object(asm.finish())
+        .link("_start")
+        .unwrap();
     let out = run(
         &bin,
-        RunOptions { input: b"hello".to_vec(), ..RunOptions::default() },
+        RunOptions {
+            input: b"hello".to_vec(),
+            ..RunOptions::default()
+        },
     );
     assert_eq!(out.status, ExitStatus::Exit(5));
     assert_eq!(out.output, b"hello");
@@ -183,11 +274,20 @@ fn read_input_and_write_output() {
 fn malloc_free_round_trip() {
     let mut asm = Assembler::new("t");
     let mut f = asm.func("_start");
-    f.ins(Inst::MovRI { dst: Reg::R1, imm: 64 });
+    f.ins(Inst::MovRI {
+        dst: Reg::R1,
+        imm: 64,
+    });
     f.ins(Inst::Syscall { num: sys::MALLOC });
-    f.ins(Inst::MovRR { dst: Reg::R9, src: Reg::R0 });
+    f.ins(Inst::MovRR {
+        dst: Reg::R9,
+        src: Reg::R0,
+    });
     // store + reload through the heap pointer
-    f.ins(Inst::MovRI { dst: Reg::R6, imm: 1234 });
+    f.ins(Inst::MovRI {
+        dst: Reg::R6,
+        imm: 1234,
+    });
     f.ins(Inst::Store {
         src: Reg::R6,
         mem: MemRef::base(Reg::R9),
@@ -199,11 +299,17 @@ fn malloc_free_round_trip() {
         size: AccessSize::B8,
         sext: false,
     });
-    f.ins(Inst::MovRR { dst: Reg::R1, src: Reg::R9 });
+    f.ins(Inst::MovRR {
+        dst: Reg::R1,
+        src: Reg::R9,
+    });
     f.ins(Inst::Syscall { num: sys::FREE });
     exit_with(&mut f, Reg::R7);
     asm.finish_func(f).unwrap();
-    let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+    let bin = Linker::new()
+        .add_object(asm.finish())
+        .link("_start")
+        .unwrap();
     let out = run(&bin, RunOptions::default());
     assert_eq!(out.status, ExitStatus::Exit(1234));
 }
@@ -233,11 +339,19 @@ fn spectre_v1_binary(nested: bool) -> Binary {
     let shadow_out = f.fresh_label();
 
     f.lea_global(Reg::R1, "inbuf", 0);
-    f.ins(Inst::MovRI { dst: Reg::R2, imm: 8 });
-    f.ins(Inst::Syscall { num: sys::READ_INPUT });
+    f.ins(Inst::MovRI {
+        dst: Reg::R2,
+        imm: 8,
+    });
+    f.ins(Inst::Syscall {
+        num: sys::READ_INPUT,
+    });
     // idx = first input byte
     f.load_global(Reg::R6, "inbuf", 0, AccessSize::B1, false);
-    f.ins(Inst::Cmp { lhs: Reg::R6, rhs: Operand::Imm(8) });
+    f.ins(Inst::Cmp {
+        lhs: Reg::R6,
+        rhs: Operand::Imm(8),
+    });
     f.sim_start(tramp);
     f.jcc(Cc::B, ok);
     f.jmp(out);
@@ -245,7 +359,10 @@ fn spectre_v1_binary(nested: bool) -> Binary {
     // In-bounds real access.
     f.load_global_indexed(Reg::R7, "foo", Reg::R6, 1, AccessSize::B1, false);
     f.bind(out);
-    f.ins(Inst::MovRI { dst: Reg::R1, imm: 0 });
+    f.ins(Inst::MovRI {
+        dst: Reg::R1,
+        imm: 0,
+    });
     f.ins(Inst::Syscall { num: sys::EXIT });
 
     // --- Trampoline (same condition, swapped targets — paper §5.2).
@@ -259,7 +376,10 @@ fn spectre_v1_binary(nested: bool) -> Binary {
         // A second conditional branch inside the speculative window.
         let t2 = f.fresh_label();
         let after = f.fresh_label();
-        f.ins(Inst::Cmp { lhs: Reg::R6, rhs: Operand::Imm(200) });
+        f.ins(Inst::Cmp {
+            lhs: Reg::R6,
+            rhs: Operand::Imm(200),
+        });
         f.sim_start(t2);
         f.jcc(Cc::B, after);
         f.jmp(after);
@@ -269,7 +389,12 @@ fn spectre_v1_binary(nested: bool) -> Binary {
         f.bind(after);
     }
     f.ins(Inst::AsanCheck {
-        mem: MemRef { base: None, index: Some(Reg::R6), scale: 1, disp: 0 },
+        mem: MemRef {
+            base: None,
+            index: Some(Reg::R6),
+            scale: 1,
+            disp: 0,
+        },
         size: AccessSize::B1,
         is_write: false,
     });
@@ -279,7 +404,12 @@ fn spectre_v1_binary(nested: bool) -> Binary {
     f.raw(Inst::TagProp);
     // L2: transmit: bar[secret]
     f.ins(Inst::AsanCheck {
-        mem: MemRef { base: None, index: Some(Reg::R7), scale: 1, disp: 0 },
+        mem: MemRef {
+            base: None,
+            index: Some(Reg::R7),
+            scale: 1,
+            disp: 0,
+        },
         size: AccessSize::B1,
         is_write: false,
     });
@@ -307,9 +437,7 @@ fn spectre_v1_binary(nested: bool) -> Binary {
     // Hand-built metadata: everything is one function here, so mark the
     // whole text as both "real" (before tramp) and shadow (after).
     let text = bin.section(".text").unwrap();
-    let tramp_off = text
-        .bytes
-        .len();
+    let tramp_off = text.bytes.len();
     let _ = tramp_off;
     let (lo, hi) = (text.vaddr, text.end());
     // The trampoline label is not directly recoverable here; approximate
@@ -338,13 +466,15 @@ fn spectre_v1_gadget_detected_with_kasper_policy() {
     // Out-of-bounds index 40: foo[40] reaches the `secret` data.
     let out = run(
         &bin,
-        RunOptions { input: vec![40], ..RunOptions::default() },
+        RunOptions {
+            input: vec![40],
+            ..RunOptions::default()
+        },
     );
     assert_eq!(out.status, ExitStatus::Exit(0), "program exits cleanly");
     assert!(out.sim_entries >= 1, "simulation entered");
     assert!(out.rollbacks >= 1, "simulation rolled back");
-    let buckets: Vec<String> =
-        out.gadgets.iter().map(|g| g.bucket()).collect();
+    let buckets: Vec<String> = out.gadgets.iter().map(|g| g.bucket()).collect();
     // MDS: the secret was loaded. Cache: it composed the bar[] address.
     assert!(
         buckets.iter().any(|b| b == "User-MDS"),
@@ -362,7 +492,10 @@ fn in_bounds_input_produces_no_gadget() {
     let bin = spectre_v1_binary(false);
     let out = run(
         &bin,
-        RunOptions { input: vec![3], ..RunOptions::default() },
+        RunOptions {
+            input: vec![3],
+            ..RunOptions::default()
+        },
     );
     assert_eq!(out.status, ExitStatus::Exit(0));
     // Simulation still happens (the branch is simulated), but the access
@@ -385,9 +518,18 @@ fn rollback_restores_architectural_state() {
     let tramp = f.fresh_label();
     let real_done = f.fresh_label();
     let shadow = f.fresh_label();
-    f.ins(Inst::MovRI { dst: Reg::R7, imm: 77 });
-    f.ins(Inst::MovRI { dst: Reg::R6, imm: 1 });
-    f.ins(Inst::Cmp { lhs: Reg::R6, rhs: Operand::Imm(0) });
+    f.ins(Inst::MovRI {
+        dst: Reg::R7,
+        imm: 77,
+    });
+    f.ins(Inst::MovRI {
+        dst: Reg::R6,
+        imm: 1,
+    });
+    f.ins(Inst::Cmp {
+        lhs: Reg::R6,
+        rhs: Operand::Imm(0),
+    });
     f.sim_start(tramp);
     f.jcc(Cc::Ne, real_done);
     f.bind(real_done);
@@ -395,7 +537,10 @@ fn rollback_restores_architectural_state() {
     f.bind(tramp);
     f.jcc(Cc::Ne, shadow); // inverted entry
     f.bind(shadow);
-    f.ins(Inst::MovRI { dst: Reg::R7, imm: 0 }); // clobber
+    f.ins(Inst::MovRI {
+        dst: Reg::R7,
+        imm: 0,
+    }); // clobber
     f.store_global(Reg::R7, "arr", 0, AccessSize::B8); // memory side effect
     f.raw(Inst::SimEnd);
     f.raw(Inst::Halt);
@@ -422,7 +567,10 @@ fn nested_speculation_reaches_deeper_gadgets() {
     let bin = spectre_v1_binary(true);
     let out = run(
         &bin,
-        RunOptions { input: vec![40], ..RunOptions::default() },
+        RunOptions {
+            input: vec![40],
+            ..RunOptions::default()
+        },
     );
     assert!(out.gadgets.iter().any(|g| g.bucket() == "User-MDS"));
     // With nesting on, at least one nested entry happened (depth 2).
@@ -441,20 +589,34 @@ fn spectaint_emulation_finds_v1_pattern_without_instrumentation() {
     let ok = f.fresh_label();
     let out = f.fresh_label();
     f.lea_global(Reg::R1, "inbuf", 0);
-    f.ins(Inst::MovRI { dst: Reg::R2, imm: 8 });
-    f.ins(Inst::Syscall { num: sys::READ_INPUT });
+    f.ins(Inst::MovRI {
+        dst: Reg::R2,
+        imm: 8,
+    });
+    f.ins(Inst::Syscall {
+        num: sys::READ_INPUT,
+    });
     f.load_global(Reg::R6, "inbuf", 0, AccessSize::B1, false);
-    f.ins(Inst::Cmp { lhs: Reg::R6, rhs: Operand::Imm(8) });
+    f.ins(Inst::Cmp {
+        lhs: Reg::R6,
+        rhs: Operand::Imm(8),
+    });
     f.jcc(Cc::B, ok);
     f.jmp(out);
     f.bind(ok);
     f.load_global_indexed(Reg::R7, "foo", Reg::R6, 1, AccessSize::B1, false);
     f.load_global_indexed(Reg::R8, "bar", Reg::R7, 1, AccessSize::B1, false);
     f.bind(out);
-    f.ins(Inst::MovRI { dst: Reg::R1, imm: 0 });
+    f.ins(Inst::MovRI {
+        dst: Reg::R1,
+        imm: 0,
+    });
     f.ins(Inst::Syscall { num: sys::EXIT });
     asm.finish_func(f).unwrap();
-    let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+    let bin = Linker::new()
+        .add_object(asm.finish())
+        .link("_start")
+        .unwrap();
 
     let out = run(
         &bin,
@@ -466,13 +628,21 @@ fn spectaint_emulation_finds_v1_pattern_without_instrumentation() {
     );
     assert_eq!(out.status, ExitStatus::Exit(0));
     assert!(
-        out.gadgets.iter().any(|g| g.key.channel == Channel::Cache
-            && g.key.controllability == Controllability::User),
+        out.gadgets
+            .iter()
+            .any(|g| g.key.channel == Channel::Cache
+                && g.key.controllability == Controllability::User),
         "SpecTaint should flag the transmission: {:?}",
         out.gadgets
     );
     // Emulation cost must dwarf native cost for the same program.
-    let native = run(&bin, RunOptions { input: vec![40], ..RunOptions::default() });
+    let native = run(
+        &bin,
+        RunOptions {
+            input: vec![40],
+            ..RunOptions::default()
+        },
+    );
     assert!(out.cost > native.cost * 20);
 }
 
@@ -483,18 +653,34 @@ fn spectaint_five_tries_heuristic_limits_simulation() {
     let mut asm = Assembler::new("t");
     let mut f = asm.func("_start");
     let top = f.fresh_label();
-    f.ins(Inst::MovRI { dst: Reg::R6, imm: 50 });
+    f.ins(Inst::MovRI {
+        dst: Reg::R6,
+        imm: 50,
+    });
     f.bind(top);
-    f.ins(Inst::Alu { op: AluOp::Sub, dst: Reg::R6, src: Operand::Imm(1) });
+    f.ins(Inst::Alu {
+        op: AluOp::Sub,
+        dst: Reg::R6,
+        src: Operand::Imm(1),
+    });
     f.jcc(Cc::Ne, top);
-    f.ins(Inst::MovRI { dst: Reg::R1, imm: 0 });
+    f.ins(Inst::MovRI {
+        dst: Reg::R1,
+        imm: 0,
+    });
     f.ins(Inst::Syscall { num: sys::EXIT });
     asm.finish_func(f).unwrap();
-    let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
+    let bin = Linker::new()
+        .add_object(asm.finish())
+        .link("_start")
+        .unwrap();
     let mut heur = SpecHeuristics::new(teapot_vm::HeurStyle::SpecTaintFive);
     let out = Machine::new(
         &bin,
-        RunOptions { emu: EmuStyle::SpecTaint, ..RunOptions::default() },
+        RunOptions {
+            emu: EmuStyle::SpecTaint,
+            ..RunOptions::default()
+        },
     )
     .run(&mut heur);
     assert_eq!(out.status, ExitStatus::Exit(0));
@@ -509,8 +695,17 @@ fn fuel_limit_stops_runaway_programs() {
     f.bind(top);
     f.jmp(top);
     asm.finish_func(f).unwrap();
-    let bin = Linker::new().add_object(asm.finish()).link("_start").unwrap();
-    let out = run(&bin, RunOptions { fuel: 10_000, ..RunOptions::default() });
+    let bin = Linker::new()
+        .add_object(asm.finish())
+        .link("_start")
+        .unwrap();
+    let out = run(
+        &bin,
+        RunOptions {
+            fuel: 10_000,
+            ..RunOptions::default()
+        },
+    );
     assert_eq!(out.status, ExitStatus::OutOfFuel);
     assert!(out.cost >= 10_000);
 }
@@ -532,10 +727,16 @@ fn guard_instructions_cost_more_than_nothing() {
                 src: Operand::Imm(1),
             });
         }
-        f.ins(Inst::MovRI { dst: Reg::R1, imm: 0 });
+        f.ins(Inst::MovRI {
+            dst: Reg::R1,
+            imm: 0,
+        });
         f.ins(Inst::Syscall { num: sys::EXIT });
         asm.finish_func(f).unwrap();
-        Linker::new().add_object(asm.finish()).link("_start").unwrap()
+        Linker::new()
+            .add_object(asm.finish())
+            .link("_start")
+            .unwrap()
     };
     let plain = run(&build(false), RunOptions::default());
     let guarded = run(&build(true), RunOptions::default());
@@ -556,12 +757,21 @@ fn coverage_maps_distinguish_normal_and_speculative() {
     let done = f.fresh_label();
     let shadow = f.fresh_label();
     f.ins(Inst::CovTrace { guard: 1 });
-    f.ins(Inst::MovRI { dst: Reg::R6, imm: 1 });
-    f.ins(Inst::Cmp { lhs: Reg::R6, rhs: Operand::Imm(0) });
+    f.ins(Inst::MovRI {
+        dst: Reg::R6,
+        imm: 1,
+    });
+    f.ins(Inst::Cmp {
+        lhs: Reg::R6,
+        rhs: Operand::Imm(0),
+    });
     f.sim_start(tramp);
     f.jcc(Cc::Ne, done);
     f.bind(done);
-    f.ins(Inst::MovRI { dst: Reg::R1, imm: 0 });
+    f.ins(Inst::MovRI {
+        dst: Reg::R1,
+        imm: 0,
+    });
     f.ins(Inst::Syscall { num: sys::EXIT });
     f.bind(tramp);
     f.jcc(Cc::Ne, shadow);

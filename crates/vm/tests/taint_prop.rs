@@ -16,7 +16,10 @@ fn run(bin: &Binary, input: &[u8]) -> teapot_vm::RunOutcome {
     let mut heur = SpecHeuristics::default();
     Machine::new(
         bin,
-        RunOptions { input: input.to_vec(), ..RunOptions::default() },
+        RunOptions {
+            input: input.to_vec(),
+            ..RunOptions::default()
+        },
     )
     .run(&mut heur)
 }
@@ -24,13 +27,16 @@ fn run(bin: &Binary, input: &[u8]) -> teapot_vm::RunOutcome {
 fn instrumented(src: &str) -> Binary {
     let mut bin = compile_to_binary(src, &Options::gcc_like()).unwrap();
     bin.strip();
-    teapot_core::rewrite(&bin, &teapot_core::RewriteOptions::default())
-        .unwrap()
+    teapot_core::rewrite(&bin, &teapot_core::RewriteOptions::default()).unwrap()
 }
 
 fn user_reports(src: &str, input: &[u8]) -> usize {
     let out = run(&instrumented(src), input);
-    assert!(matches!(out.status, ExitStatus::Exit(_)), "{:?}", out.status);
+    assert!(
+        matches!(out.status, ExitStatus::Exit(_)),
+        "{:?}",
+        out.status
+    );
     out.gadgets
         .iter()
         .filter(|g| g.bucket().starts_with("User"))
@@ -159,7 +165,9 @@ fn port_channel_requires_secret_in_flags() {
     );
     let out = run(&instrumented(&tainted_branch), &[7]);
     assert!(
-        out.gadgets.iter().all(|g| g.key.channel != teapot_rt::Channel::Port),
+        out.gadgets
+            .iter()
+            .all(|g| g.key.channel != teapot_rt::Channel::Port),
         "{:?}",
         out.gadgets
     );
@@ -174,20 +182,34 @@ fn push_pop_preserves_taint() {
     asm.bss("inbuf", 8);
     let mut f = asm.func("main");
     // foo = malloc(16)
-    f.ins(Inst::MovRI { dst: Reg::R1, imm: 16 });
+    f.ins(Inst::MovRI {
+        dst: Reg::R1,
+        imm: 16,
+    });
     f.ins(Inst::Syscall { num: sys::MALLOC });
-    f.ins(Inst::MovRR { dst: Reg::R10, src: Reg::R0 });
+    f.ins(Inst::MovRR {
+        dst: Reg::R10,
+        src: Reg::R0,
+    });
     // read_input(inbuf, 8)
     f.lea_global(Reg::R1, "inbuf", 0);
-    f.ins(Inst::MovRI { dst: Reg::R2, imm: 8 });
-    f.ins(Inst::Syscall { num: sys::READ_INPUT });
+    f.ins(Inst::MovRI {
+        dst: Reg::R2,
+        imm: 8,
+    });
+    f.ins(Inst::Syscall {
+        num: sys::READ_INPUT,
+    });
     // idx = inbuf[0]; push; pop
     f.load_global(Reg::R6, "inbuf", 0, AccessSize::B1, false);
     f.raw(Inst::Push { src: Reg::R6 });
     f.raw(Inst::Pop { dst: Reg::R7 });
     // if (idx < 10) secret = foo[idx]
     let out_l = f.fresh_label();
-    f.ins(Inst::Cmp { lhs: Reg::R7, rhs: Operand::Imm(10) });
+    f.ins(Inst::Cmp {
+        lhs: Reg::R7,
+        rhs: Operand::Imm(10),
+    });
     f.jcc(Cc::Ge, out_l);
     f.ins(Inst::Load {
         dst: Reg::R8,
@@ -196,12 +218,18 @@ fn push_pop_preserves_taint() {
         sext: false,
     });
     f.bind(out_l);
-    f.ins(Inst::MovRI { dst: Reg::R0, imm: 0 });
+    f.ins(Inst::MovRI {
+        dst: Reg::R0,
+        imm: 0,
+    });
     f.raw(Inst::Ret);
     asm.finish_func(f).unwrap();
     let mut start = asm.func("_start");
     start.call_sym("main");
-    start.ins(Inst::MovRR { dst: Reg::R1, src: Reg::R0 });
+    start.ins(Inst::MovRR {
+        dst: Reg::R1,
+        src: Reg::R0,
+    });
     start.ins(Inst::Syscall { num: sys::EXIT });
     asm.finish_func(start).unwrap();
     let mut bin = teapot_obj::Linker::new()
@@ -209,9 +237,7 @@ fn push_pop_preserves_taint() {
         .link("_start")
         .unwrap();
     bin.strip();
-    let inst =
-        teapot_core::rewrite(&bin, &teapot_core::RewriteOptions::default())
-            .unwrap();
+    let inst = teapot_core::rewrite(&bin, &teapot_core::RewriteOptions::default()).unwrap();
     let out = run(&inst, &[200]);
     assert!(
         out.gadgets.iter().any(|g| g.bucket() == "User-MDS"),
@@ -227,9 +253,7 @@ fn massage_policy_can_be_disabled() {
     let w = teapot_workloads::htp_like();
     let mut cots = w.build(&Options::gcc_like()).unwrap();
     cots.strip();
-    let inst =
-        teapot_core::rewrite(&cots, &teapot_core::RewriteOptions::default())
-            .unwrap();
+    let inst = teapot_core::rewrite(&cots, &teapot_core::RewriteOptions::default()).unwrap();
     let mut heur = SpecHeuristics::default();
     for _ in 0..20 {
         let out = Machine::new(
@@ -245,7 +269,9 @@ fn massage_policy_can_be_disabled() {
         )
         .run(&mut heur);
         assert!(
-            out.gadgets.iter().all(|g| !g.bucket().starts_with("Massage")),
+            out.gadgets
+                .iter()
+                .all(|g| !g.bucket().starts_with("Massage")),
             "{:?}",
             out.gadgets
         );

@@ -31,34 +31,43 @@ void __gadget_init() {
 pub fn source(id: usize) -> &'static str {
     match id {
         // v01: the canonical bounds-check-bypass.
-        1 => "void __gadget_v1(int x) {
+        1 => {
+            "void __gadget_v1(int x) {
                   if (x < __g_len) {
                       __g_sink = __g_a2[__g_a1[x]];
                   }
-              }",
+              }"
+        }
         // v02: index derived through a bitwise mask that does NOT bound it.
-        2 => "void __gadget_v2(int x) {
+        2 => {
+            "void __gadget_v2(int x) {
                   if (x < __g_len) {
                       int i = x & 0xffff;
                       __g_sink = __g_a2[__g_a1[i]];
                   }
-              }",
+              }"
+        }
         // v03: access hidden inside a callee.
-        3 => "int __g3_read(int i) { return __g_a1[i]; }
+        3 => {
+            "int __g3_read(int i) { return __g_a1[i]; }
               void __gadget_v3(int x) {
                   if (x < __g_len) {
                       __g_sink = __g_a2[__g3_read(x)];
                   }
-              }",
+              }"
+        }
         // v04: comparison with a memory-resident length.
-        4 => "int __g4_len = 13;
+        4 => {
+            "int __g4_len = 13;
               void __gadget_v4(int x) {
                   if (x < __g4_len) {
                       __g_sink = __g_a2[__g_a1[x]];
                   }
-              }",
+              }"
+        }
         // v05: leak accumulated across a loop iteration.
-        5 => "void __gadget_v5(int x) {
+        5 => {
+            "void __gadget_v5(int x) {
                   int acc = 0;
                   for (int j = 0; j <= x; j++) {
                       if (j < __g_len) {
@@ -66,45 +75,57 @@ pub fn source(id: usize) -> &'static str {
                       }
                   }
                   __g_sink = __g_a2[acc & 0xff];
-              }",
+              }"
+        }
         // v06: pointer-arithmetic dereference.
-        6 => "void __gadget_v6(int x) {
+        6 => {
+            "void __gadget_v6(int x) {
                   char *p = __g_a1 + x;
                   if (x < __g_len) {
                       __g_sink = __g_a2[*p];
                   }
-              }",
+              }"
+        }
         // v07: inverted condition with early exit.
-        7 => "void __gadget_v7(int x) {
+        7 => {
+            "void __gadget_v7(int x) {
                   if (x >= __g_len) { return; }
                   __g_sink = __g_a2[__g_a1[x]];
-              }",
+              }"
+        }
         // v08: value selected between two accesses.
-        8 => "void __gadget_v8(int x) {
+        8 => {
+            "void __gadget_v8(int x) {
                   int t = 0;
                   if (x < __g_len) {
                       if (x & 1) { t = __g_a1[x]; } else { t = __g_a1[x + 1]; }
                       __g_sink = __g_a2[t];
                   }
-              }",
+              }"
+        }
         // v09: double bounds check (both mispredictable).
-        9 => "void __gadget_v9(int x) {
+        9 => {
+            "void __gadget_v9(int x) {
                   if (x < __g_len) {
                       if (x >= 0) {
                           __g_sink = __g_a2[__g_a1[x]];
                       }
                   }
-              }",
+              }"
+        }
         // v10: secret leaks through a comparison (port-contention style).
-        10 => "void __gadget_v10(int x) {
+        10 => {
+            "void __gadget_v10(int x) {
                    if (x < __g_len) {
                        if (__g_a1[x] == 7) {
                            __g_sink = 1;
                        }
                    }
-               }",
+               }"
+        }
         // v11: memcmp-style byte loop transmit.
-        11 => "void __gadget_v11(int x) {
+        11 => {
+            "void __gadget_v11(int x) {
                    if (x < __g_len) {
                        int i = 0;
                        while (i < 2) {
@@ -112,37 +133,46 @@ pub fn source(id: usize) -> &'static str {
                            i++;
                        }
                    }
-               }",
+               }"
+        }
         // v12: composite index x + offset.
-        12 => "int __g12_off = 2;
+        12 => {
+            "int __g12_off = 2;
                void __gadget_v12(int x) {
                    if (x + __g12_off < __g_len) {
                        __g_sink = __g_a2[__g_a1[x + __g12_off]];
                    }
-               }",
+               }"
+        }
         // v13: leak of a shifted/scaled secret.
-        13 => "void __gadget_v13(int x) {
+        13 => {
+            "void __gadget_v13(int x) {
                    if (x < __g_len) {
                        int s = __g_a1[x];
                        __g_sink = __g_a2[(s << 1) & 0x1ff];
                    }
-               }",
+               }"
+        }
         // v14: secret stored then reloaded before transmit.
-        14 => "int __g14_tmp;
+        14 => {
+            "int __g14_tmp;
                void __gadget_v14(int x) {
                    if (x < __g_len) {
                        __g14_tmp = __g_a1[x];
                        __g_sink = __g_a2[__g14_tmp];
                    }
-               }",
+               }"
+        }
         // v15: access through an aliased pointer parameter.
-        15 => "int __g15_read(char *p, int i) {
+        15 => {
+            "int __g15_read(char *p, int i) {
                    if (i < __g_len) { return p[i]; }
                    return 0;
                }
                void __gadget_v15(int x) {
                    __g_sink = __g_a2[__g15_read(__g_a1, x)];
-               }",
+               }"
+        }
         _ => panic!("gadget id must be 1..={COUNT}"),
     }
 }

@@ -76,8 +76,7 @@ impl Workload {
     /// Panics if `assignments` is longer than the number of points.
     pub fn injected_source(&self, assignments: &[Option<usize>]) -> String {
         assert!(assignments.len() <= self.inject_points());
-        let used: Vec<usize> =
-            assignments.iter().flatten().copied().collect();
+        let used: Vec<usize> = assignments.iter().flatten().copied().collect();
         let mut out = gadgets::corpus(&used);
         out.push_str("char __inj_buf[2];\nint __inj_x;\n");
         let mut k = 0usize;
@@ -123,13 +122,9 @@ impl Workload {
     /// # Errors
     ///
     /// Returns the compiler error if the spliced source is invalid.
-    pub fn build_injected(
-        &self,
-        opts: &Options,
-    ) -> Result<(Binary, Vec<usize>), CcError> {
+    pub fn build_injected(&self, opts: &Options) -> Result<(Binary, Vec<usize>), CcError> {
         let n = self.inject_points().min(gadgets::COUNT);
-        let assignments: Vec<Option<usize>> =
-            (0..n).map(|k| Some(k + 1)).collect();
+        let assignments: Vec<Option<usize>> = (0..n).map(|k| Some(k + 1)).collect();
         let src = self.injected_source(&assignments);
         let bin = compile_to_binary(&src, opts)?;
         Ok((bin, (1..=n).collect()))
@@ -188,7 +183,13 @@ pub fn ssl_like() -> Workload {
 
 /// All five workloads in the paper's order.
 pub fn all() -> Vec<Workload> {
-    vec![jsmn_like(), yaml_like(), htp_like(), brotli_like(), ssl_like()]
+    vec![
+        jsmn_like(),
+        yaml_like(),
+        htp_like(),
+        brotli_like(),
+        ssl_like(),
+    ]
 }
 
 /// Table 3 classification of fuzzing reports against injected ground
@@ -235,8 +236,7 @@ pub fn classify_reports(
 /// (`__gadget_v7` → 7, `__g15_read` → 15).
 fn variant_of(name: &str) -> Option<usize> {
     let digits = |s: &str| -> Option<usize> {
-        let d: String =
-            s.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let d: String = s.chars().take_while(|c| c.is_ascii_digit()).collect();
         d.parse().ok()
     };
     if let Some(rest) = name.strip_prefix("__gadget_v") {
@@ -258,7 +258,10 @@ mod tests {
         let mut heur = SpecHeuristics::default();
         Machine::new(
             &bin,
-            RunOptions { input: input.to_vec(), ..RunOptions::default() },
+            RunOptions {
+                input: input.to_vec(),
+                ..RunOptions::default()
+            },
         )
         .run(&mut heur)
     }
@@ -318,24 +321,20 @@ mod tests {
     #[test]
     fn injected_builds_compile_and_run() {
         for w in all() {
-            let (bin, injected) =
-                w.build_injected(&Options::gcc_like()).expect("compile");
-            assert_eq!(
-                injected.len(),
-                w.inject_points().min(gadgets::COUNT)
-            );
+            let (bin, injected) = w.build_injected(&Options::gcc_like()).expect("compile");
+            assert_eq!(injected.len(), w.inject_points().min(gadgets::COUNT));
             // Symbols kept for ground truth.
-            assert!(bin
-                .symbols
-                .iter()
-                .any(|s| s.name.starts_with("__gadget_v")));
+            assert!(bin.symbols.iter().any(|s| s.name.starts_with("__gadget_v")));
             // Runs with 2 prelude bytes + a seed.
             let mut input = vec![0xff, 0x00];
             input.extend_from_slice(&w.seeds[0]);
             let mut heur = SpecHeuristics::default();
             let out = Machine::new(
                 &bin,
-                RunOptions { input, ..RunOptions::default() },
+                RunOptions {
+                    input,
+                    ..RunOptions::default()
+                },
             )
             .run(&mut heur);
             assert!(

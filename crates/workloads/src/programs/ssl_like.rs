@@ -204,8 +204,8 @@ pub fn seeds() -> Vec<Vec<u8>> {
     hello.extend_from_slice(&[0, 2, 4]);
     vec![
         hello,
-        vec![21, 3, 3, 0, 2, 1, 40], // alert record
-        vec![24, 3, 3, 0, 3, 5, 9, 9], // SNI-ish record
+        vec![21, 3, 3, 0, 2, 1, 40],      // alert record
+        vec![24, 3, 3, 0, 3, 5, 9, 9],    // SNI-ish record
         vec![23, 3, 3, 0, 4, 1, 2, 3, 4], // appdata
     ]
 }

@@ -23,8 +23,7 @@ fn main() {
         .build(&teapot_cc::Options::gcc_like())
         .expect("workload compiles");
     cots.strip();
-    let instrumented =
-        rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
+    let instrumented = rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
 
     // The massage chain fires on well-formed requests (the destroy path
     // runs unconditionally) — a short campaign suffices.

@@ -30,8 +30,7 @@ const VICTIM: &str = "
 
 fn main() {
     // 1. The victim arrives as a stripped COTS binary.
-    let mut cots = compile_to_binary(VICTIM, &Options::gcc_like())
-        .expect("victim compiles");
+    let mut cots = compile_to_binary(VICTIM, &Options::gcc_like()).expect("victim compiles");
     cots.strip();
     println!(
         "COTS binary: {} bytes of text, no symbols",
@@ -39,8 +38,7 @@ fn main() {
     );
 
     // 2. Static rewriting: Real Copy + Shadow Copy + trampolines.
-    let instrumented =
-        rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
+    let instrumented = rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
     println!(
         "instrumented: {} bytes of text (Real + Shadow copies)",
         instrumented.section(".text").unwrap().bytes.len()
@@ -51,7 +49,10 @@ fn main() {
     let mut heur = SpecHeuristics::default();
     let outcome = Machine::new(
         &instrumented,
-        RunOptions { input: vec![200], ..RunOptions::default() },
+        RunOptions {
+            input: vec![200],
+            ..RunOptions::default()
+        },
     )
     .run(&mut heur);
 

@@ -10,7 +10,11 @@ use teapot_fuzz::{fuzz, FuzzConfig};
 
 fn main() {
     let w = teapot_workloads::htp_like();
-    println!("workload: {} ({} injection points available)", w.name, w.inject_points());
+    println!(
+        "workload: {} ({} injection points available)",
+        w.name,
+        w.inject_points()
+    );
 
     // Build + strip: the analysis input is symbol-free.
     let mut cots = w
@@ -18,8 +22,7 @@ fn main() {
         .expect("workload compiles");
     cots.strip();
 
-    let instrumented =
-        rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
+    let instrumented = rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
 
     let res = fuzz(
         &instrumented,

@@ -1,6 +1,7 @@
 //! Facade crate for the Teapot reproduction. See README.md.
 pub use teapot_asm as asm;
 pub use teapot_baselines as baselines;
+pub use teapot_campaign as campaign;
 pub use teapot_cc as cc;
 pub use teapot_core as core;
 pub use teapot_dis as dis;

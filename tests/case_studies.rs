@@ -49,14 +49,16 @@ const A1_SRC: &str = "
     }";
 
 fn campaign(src: &str, opts: &Options, iters: u64) -> teapot::fuzz::CampaignResult {
-    let mut cots =
-        teapot::cc::compile_to_binary(src, opts).expect("compile");
+    let mut cots = teapot::cc::compile_to_binary(src, opts).expect("compile");
     cots.strip();
     let inst = rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
     fuzz(
         &inst,
         &[vec![0xf0, 0xff, 3, 0]],
-        &FuzzConfig { max_iters: iters, ..FuzzConfig::default() },
+        &FuzzConfig {
+            max_iters: iters,
+            ..FuzzConfig::default()
+        },
     )
 }
 
@@ -75,7 +77,10 @@ fn a1_gadget_vanishes_with_cmov_if_conversion() {
     // Appendix A.1: "the if statement may not generate a branch, but
     // instead a conditional move; the gadget does not exist in the latter
     // case since conditional moves are not speculated."
-    let opts = Options { cmov_if_conversion: true, ..Options::gcc_like() };
+    let opts = Options {
+        cmov_if_conversion: true,
+        ..Options::gcc_like()
+    };
     // Verify the conversion actually applied to the offset adjustment.
     let bin = teapot::cc::compile_to_binary(A1_SRC, &opts).unwrap();
     let text = bin.section(".text").unwrap();

@@ -15,8 +15,7 @@ fn every_workload_survives_the_full_pipeline() {
         cots.strip();
 
         // Disassembly recovers a sensible program.
-        let g = teapot::dis::disassemble(&cots)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let g = teapot::dis::disassemble(&cots).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert!(g.functions.len() >= 3, "{}", w.name);
         assert!(!g.conditional_branches().is_empty(), "{}", w.name);
 
@@ -27,13 +26,19 @@ fn every_workload_survives_the_full_pipeline() {
             let mut h1 = SpecHeuristics::default();
             let a = Machine::new(
                 &cots,
-                RunOptions { input: seed.clone(), ..RunOptions::default() },
+                RunOptions {
+                    input: seed.clone(),
+                    ..RunOptions::default()
+                },
             )
             .run(&mut h1);
             let mut h2 = SpecHeuristics::default();
             let b = Machine::new(
                 &inst,
-                RunOptions { input: seed.clone(), ..RunOptions::default() },
+                RunOptions {
+                    input: seed.clone(),
+                    ..RunOptions::default()
+                },
             )
             .run(&mut h2);
             assert_eq!(a.status, b.status, "{} seed {i}", w.name);
@@ -57,13 +62,19 @@ fn specfuzz_baseline_survives_the_full_pipeline() {
         let mut h1 = SpecHeuristics::default();
         let a = Machine::new(
             &cots,
-            RunOptions { input: w.seeds[0].clone(), ..RunOptions::default() },
+            RunOptions {
+                input: w.seeds[0].clone(),
+                ..RunOptions::default()
+            },
         )
         .run(&mut h1);
         let mut h2 = teapot::baselines::specfuzz_heuristics();
         let b = Machine::new(
             &sf,
-            RunOptions { input: w.seeds[0].clone(), ..RunOptions::default() },
+            RunOptions {
+                input: w.seeds[0].clone(),
+                ..RunOptions::default()
+            },
         )
         .run(&mut h2);
         assert_eq!(a.status, b.status, "{}", w.name);
@@ -124,7 +135,10 @@ fn cots_binaries_round_trip_through_the_container() {
     let mut h = SpecHeuristics::default();
     let out = Machine::new(
         &back,
-        RunOptions { input: w.seeds[0].clone(), ..RunOptions::default() },
+        RunOptions {
+            input: w.seeds[0].clone(),
+            ..RunOptions::default()
+        },
     )
     .run(&mut h);
     assert!(matches!(out.status, ExitStatus::Exit(_)));

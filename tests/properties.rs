@@ -26,7 +26,10 @@ fn run(bin: &Binary, input: &[u8]) -> teapot::vm::RunOutcome {
     let mut heur = SpecHeuristics::default();
     Machine::new(
         bin,
-        RunOptions { input: input.to_vec(), ..RunOptions::default() },
+        RunOptions {
+            input: input.to_vec(),
+            ..RunOptions::default()
+        },
     )
     .run(&mut heur)
 }

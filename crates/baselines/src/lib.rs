@@ -16,12 +16,12 @@
 //!   program-level information — every user-controlled load is assumed
 //!   to yield a secret (§3.1).
 
-use std::collections::HashMap;
 use std::fmt;
 use teapot_asm::{inst_len, AsmError, Assembler, CodeRef, Label};
 use teapot_dis::{disassemble, DisError, Gtir};
 use teapot_isa::{Inst, MemRef};
 use teapot_obj::{BinFlags, Binary, LinkError, Linker, LoadedSection, RelocKind, SectionKind};
+use teapot_rt::FxHashMap as HashMap;
 use teapot_rt::TeapotMeta;
 use teapot_vm::{EmuStyle, HeurStyle, RunOptions, SpecHeuristics};
 
@@ -145,8 +145,8 @@ pub fn specfuzz_rewrite(bin: &Binary, opts: &SpecFuzzOptions) -> Result<Binary, 
     };
 
     let mut guard_id = 0u32;
-    let mut pairs_by_fn: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
-    let mut block_offs_by_fn: HashMap<u64, HashMap<u64, u64>> = HashMap::new();
+    let mut pairs_by_fn: HashMap<u64, Vec<(u64, u64)>> = HashMap::default();
+    let mut block_offs_by_fn: HashMap<u64, HashMap<u64, u64>> = HashMap::default();
 
     for f in &gtir.functions {
         let mut fa = asm.func(f.name.clone());
@@ -165,7 +165,7 @@ pub fn specfuzz_rewrite(bin: &Binary, opts: &SpecFuzzOptions) -> Result<Binary, 
 
         let mut off = 0u64;
         let mut pairs: Vec<(u64, u64)> = Vec::new();
-        let mut block_offs: HashMap<u64, u64> = HashMap::new();
+        let mut block_offs: HashMap<u64, u64> = HashMap::default();
         let mut tramp_idx = 0usize;
 
         macro_rules! put {

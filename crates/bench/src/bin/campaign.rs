@@ -1,9 +1,42 @@
 //! Campaign throughput benchmark: execs/sec of the sharded orchestrator
 //! vs. worker count on the jsmn workload. Writes `BENCH_campaign.json`.
+//!
+//! `--smoke` runs a short configuration (2 worker counts, 2 epochs) for
+//! CI: it exercises the full campaign pipeline — predecode, sharding,
+//! barriers, deterministic merge — and fails loudly if the orchestrator
+//! diverges between worker counts **or** throughput falls below a floor
+//! (`TEAPOT_SMOKE_MIN_EPS`, default 20 execs/sec — the seed's per-run
+//! decode-and-reload pipeline managed ~29 on a 1-CPU container, so the
+//! floor trips on any regression back toward it without flaking on slow
+//! runners). The smoke run does not overwrite `BENCH_campaign.json`.
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let w = teapot_workloads::jsmn_like();
+    if smoke {
+        println!("Campaign smoke: 8 shards, 2 epochs, workers 1 vs 2");
+        let result = teapot_bench::campaign::run_scaled(&w, &[1, 2], 2, 25);
+        println!("{}", teapot_bench::campaign::render(&result));
+        let slowest = result
+            .rows
+            .iter()
+            .map(|r| r.execs_per_sec)
+            .fold(f64::INFINITY, f64::min);
+        let floor: f64 = std::env::var("TEAPOT_SMOKE_MIN_EPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20.0);
+        if slowest < floor {
+            eprintln!(
+                "smoke FAILED: slowest row {slowest:.0} execs/sec is below the \
+                 {floor:.0} execs/sec floor (override with TEAPOT_SMOKE_MIN_EPS)"
+            );
+            std::process::exit(1);
+        }
+        println!("smoke ok: slowest row {slowest:.0} execs/sec (floor {floor:.0})");
+        return;
+    }
     println!("Campaign throughput: 8 shards, execs/sec vs worker count");
     println!("(every row computes the identical merged gadget report)\n");
-    let w = teapot_workloads::jsmn_like();
     let result = teapot_bench::campaign::run(&w, &[1, 2, 4, 8]);
     println!("{}", teapot_bench::campaign::render(&result));
     let json = teapot_bench::campaign::render_json(&result);

@@ -7,10 +7,16 @@
 //! row of this benchmark computes the *same* gadget report — only the
 //! wall-clock changes with `--workers`. The harness asserts exactly that
 //! before reporting, making the benchmark double as a determinism check.
+//!
+//! Since the predecoded-`Program` refactor the report also shows what
+//! the shared decode pass covers (blocks / instructions / bytes decoded
+//! **once** per binary, where the seed interpreter re-decoded every
+//! reached address on every run).
 
 use std::time::Instant;
 use teapot_campaign::{Campaign, CampaignConfig, CampaignReport};
 use teapot_core::{rewrite, RewriteOptions};
+use teapot_vm::Program;
 use teapot_workloads::Workload;
 
 /// One worker-count measurement.
@@ -42,9 +48,16 @@ pub struct ThroughputResult {
     pub epochs: u32,
     /// One row per worker count.
     pub rows: Vec<ThroughputRow>,
+    /// Basic blocks the shared decode pass recovered.
+    pub decode_blocks: usize,
+    /// Instructions predecoded once per binary.
+    pub decode_insts: usize,
+    /// Executable bytes predecoded once per binary.
+    pub decode_bytes: usize,
 }
 
-/// Runs the throughput experiment over `worker_counts` on `w`.
+/// Runs the throughput experiment over `worker_counts` on `w` at the
+/// default scale (8 shards × 3 epochs × 60 iterations).
 ///
 /// # Panics
 ///
@@ -52,25 +65,39 @@ pub struct ThroughputResult {
 /// be a determinism bug in the orchestrator, and a benchmark over
 /// diverging computations would be meaningless.
 pub fn run(w: &Workload, worker_counts: &[usize]) -> ThroughputResult {
+    run_scaled(w, worker_counts, 3, 60)
+}
+
+/// [`run`] with an explicit scale — the CI smoke step uses a short
+/// configuration so throughput regressions fail loudly without a
+/// full-length benchmark run.
+pub fn run_scaled(
+    w: &Workload,
+    worker_counts: &[usize],
+    epochs: u32,
+    iters_per_epoch: u64,
+) -> ThroughputResult {
     let mut cots = crate::cots_binary(w);
     cots.strip();
     let bin = rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
+    let prog = Program::shared(&bin);
+    let stats = *prog.stats();
 
     let mut rows = Vec::new();
     let mut baseline: Option<CampaignReport> = None;
-    let (shards, epochs) = (8u32, 3u32);
+    let shards = 8u32;
     for &workers in worker_counts {
         let cfg = CampaignConfig {
             shards,
             workers,
             epochs,
-            iters_per_epoch: 60,
+            iters_per_epoch,
             dictionary: w.dictionary.clone(),
             ..CampaignConfig::default()
         };
         let mut campaign = Campaign::new(cfg).expect("valid config");
         let start = Instant::now();
-        let report = campaign.run(&bin, &w.seeds);
+        let report = campaign.run_shared(&prog, &w.seeds);
         let secs = start.elapsed().as_secs_f64();
         match &baseline {
             None => baseline = Some(report.clone()),
@@ -92,10 +119,14 @@ pub fn run(w: &Workload, worker_counts: &[usize]) -> ThroughputResult {
             .unwrap_or(1),
         epochs,
         rows,
+        decode_blocks: stats.blocks,
+        decode_insts: stats.insts,
+        decode_bytes: stats.bytes,
     }
 }
 
-/// Renders the result as an aligned text table.
+/// Renders the result as an aligned text table plus the decode-cache
+/// summary line.
 pub fn render(r: &ThroughputResult) -> String {
     let rows: Vec<Vec<String>> = r
         .rows
@@ -110,7 +141,13 @@ pub fn render(r: &ThroughputResult) -> String {
             ]
         })
         .collect();
-    crate::render_table(&["workers", "execs", "secs", "execs/sec", "gadgets"], &rows)
+    let mut out = crate::render_table(&["workers", "execs", "secs", "execs/sec", "gadgets"], &rows);
+    out.push_str(&format!(
+        "\ndecode cache: {} blocks, {} instructions, {} bytes decoded once \
+         (seed decoded per run)\n",
+        r.decode_blocks, r.decode_insts, r.decode_bytes
+    ));
+    out
 }
 
 /// Renders the result as the `BENCH_campaign.json` document.
@@ -121,6 +158,10 @@ pub fn render_json(r: &ThroughputResult) -> String {
     out.push_str(&format!("  \"shards\": {},\n", r.shards));
     out.push_str(&format!("  \"cpus\": {},\n", r.cpus));
     out.push_str(&format!("  \"epochs\": {},\n", r.epochs));
+    out.push_str(&format!(
+        "  \"decode_cache\": {{\"blocks\": {}, \"insts\": {}, \"bytes\": {}}},\n",
+        r.decode_blocks, r.decode_insts, r.decode_bytes
+    ));
     out.push_str("  \"results\": [");
     for (i, row) in r.rows.iter().enumerate() {
         if i > 0 {

@@ -37,10 +37,11 @@ pub mod queue;
 pub mod snapshot;
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use teapot_fuzz::{CampaignState, ConfigError, FuzzConfig};
 use teapot_obj::Binary;
-use teapot_rt::{CovMap, DetectorConfig, GadgetKey, GadgetReport};
-use teapot_vm::{EmuStyle, HeurStyle};
+use teapot_rt::{CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport};
+use teapot_vm::{EmuStyle, HeurStyle, Program};
 
 pub use snapshot::{CampaignSnapshot, SnapshotError};
 
@@ -360,7 +361,17 @@ impl Campaign {
     /// parallel across `workers` threads), then the barrier exchanges
     /// fresh inputs between shards. `seeds` initializes shard corpora on
     /// the first epoch and is ignored afterwards.
+    ///
+    /// Decodes `bin` privately; epoch loops should decode once with
+    /// [`Program::shared`] and call [`Campaign::run_epoch_shared`].
     pub fn run_epoch(&mut self, bin: &Binary, seeds: &[Vec<u8>]) {
+        self.run_epoch_shared(&Program::shared(bin), seeds);
+    }
+
+    /// [`Campaign::run_epoch`] over a shared predecoded program: one
+    /// decode pass and one pristine memory image serve every shard on
+    /// every worker thread.
+    pub fn run_epoch_shared(&mut self, prog: &Arc<Program>, seeds: &[Vec<u8>]) {
         let epoch = self.epochs_done;
         let seed_now = !self.seeded;
         self.seeded = true;
@@ -378,10 +389,10 @@ impl Campaign {
                 scope.spawn(move || {
                     for st in shard_chunk {
                         if seed_now {
-                            st.seed_corpus(bin, seeds);
+                            st.seed_corpus_shared(prog, seeds);
                         }
                         st.begin_epoch(epoch);
-                        st.run_iters(bin, iters);
+                        st.run_iters_shared(prog, iters);
                     }
                 });
             }
@@ -391,6 +402,14 @@ impl Campaign {
         // this epoch (shard-index order), then let each shard import the
         // others' findings. Imports consume no RNG and each shard scans
         // donors in index order, so the outcome is worker-independent.
+        // Byte-identical clones — inputs the receiving shard already
+        // holds, or repeats among the donated sets — are dropped instead
+        // of re-executed: a clone can never add a corpus entry, so
+        // plateaued campaigns stop burning iterations on it. (Dropping a
+        // clone also skips its heuristic warm-up, so campaigns where
+        // clones occur are not step-for-step identical to clone-replaying
+        // ones — deterministically so, and without losing the corpus or
+        // coverage the clone's original already contributed.)
         let fresh: Vec<Vec<Vec<u8>>> = self.shards.iter().map(|s| s.fresh_inputs()).collect();
         let fresh = &fresh;
         std::thread::scope(|scope| {
@@ -402,12 +421,16 @@ impl Campaign {
                 scope.spawn(move || {
                     for (k, st) in shard_chunk.iter_mut().enumerate() {
                         let j = base + k;
+                        let mut seen: FxHashSet<&[u8]> = FxHashSet::default();
                         for (i, inputs) in fresh.iter().enumerate() {
                             if i == j {
                                 continue;
                             }
                             for input in inputs {
-                                st.import_input(bin, input);
+                                if st.contains_input(input) || !seen.insert(input.as_slice()) {
+                                    continue;
+                                }
+                                st.import_input_shared(prog, input);
                             }
                         }
                     }
@@ -420,8 +443,13 @@ impl Campaign {
 
     /// Runs all remaining epochs and returns the merged report.
     pub fn run(&mut self, bin: &Binary, seeds: &[Vec<u8>]) -> CampaignReport {
+        self.run_shared(&Program::shared(bin), seeds)
+    }
+
+    /// [`Campaign::run`] over a shared predecoded program.
+    pub fn run_shared(&mut self, prog: &Arc<Program>, seeds: &[Vec<u8>]) -> CampaignReport {
         while !self.finished() {
-            self.run_epoch(bin, seeds);
+            self.run_epoch_shared(prog, seeds);
         }
         self.report()
     }

@@ -95,6 +95,92 @@ fn shards_exchange_interesting_inputs_at_barriers() {
 }
 
 #[test]
+fn barrier_dedup_drops_clones_without_changing_the_merged_report() {
+    use std::collections::BTreeSet;
+    use teapot_fuzz::CampaignState;
+    use teapot_vm::Program;
+
+    let bin = instrumented(TARGET);
+    let prog = Program::shared(&bin);
+    // Tiny inputs over enough iterations that independent shards
+    // *actually* discover byte-identical entries and donate them — the
+    // test asserts below that clones really were dropped, so the dedup
+    // path is exercised, not just compiled.
+    let cfg = CampaignConfig {
+        seed: 0x7EA907,
+        shards: 4,
+        workers: 1,
+        epochs: 4,
+        iters_per_epoch: 80,
+        max_input_len: 2,
+        ..CampaignConfig::default()
+    };
+
+    // Production path: byte-identical clones are dropped at barriers.
+    let mut c = Campaign::new(cfg.clone()).unwrap();
+    let dedup = c.run_shared(&prog, &[]);
+
+    // Reference: the same shards and epochs, but every donated input is
+    // re-executed — the pre-dedup barrier behavior.
+    let mut shards: Vec<CampaignState> = (0..cfg.shards)
+        .map(|i| CampaignState::new(cfg.shard_fuzz_config(i)).unwrap())
+        .collect();
+    for epoch in 0..cfg.epochs {
+        for st in shards.iter_mut() {
+            if epoch == 0 {
+                st.seed_corpus_shared(&prog, &[]);
+            }
+            st.begin_epoch(epoch);
+            st.run_iters_shared(&prog, cfg.iters_per_epoch);
+        }
+        let fresh: Vec<Vec<Vec<u8>>> = shards.iter().map(|s| s.fresh_inputs()).collect();
+        for (j, st) in shards.iter_mut().enumerate() {
+            for (i, inputs) in fresh.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                for input in inputs {
+                    st.import_input_shared(&prog, input);
+                }
+            }
+        }
+    }
+
+    // Dropping a clone can never remove what its original contributed,
+    // so in this pinned configuration the merged gadget sets and
+    // coverage breadth are unchanged while executions shrink. (Skipped
+    // clones also skip heuristic warm-up, so this equality is a
+    // regression pin for the config above, not a structural guarantee
+    // for every campaign.)
+    let ref_keys: BTreeSet<_> = shards
+        .iter()
+        .flat_map(|s| s.gadgets().iter().map(|g| g.key))
+        .collect();
+    let dedup_keys: BTreeSet<_> = dedup.gadgets.iter().map(|g| g.key).collect();
+    assert_eq!(dedup_keys, ref_keys, "merged gadget set changed");
+
+    let mut ref_normal = teapot_rt::CovMap::new();
+    let mut ref_spec = teapot_rt::CovMap::new();
+    for s in &shards {
+        s.cov_normal().merge_into(&mut ref_normal);
+        s.cov_spec().merge_into(&mut ref_spec);
+    }
+    assert_eq!(dedup.cov_normal_features, ref_normal.count_nonzero());
+    assert_eq!(dedup.cov_spec_features, ref_spec.count_nonzero());
+
+    // Non-vacuous: clones were actually donated and dropped (with this
+    // config, 4 duplicate donations occur), so the campaign executed
+    // strictly fewer iterations than the clone-replaying reference.
+    let ref_iters: u64 = shards.iter().map(|s| s.iters()).sum();
+    assert!(
+        dedup.iters < ref_iters,
+        "no clones were dropped (dedup {} vs reference {ref_iters}): \
+         the dedup path was not exercised",
+        dedup.iters
+    );
+}
+
+#[test]
 fn snapshot_resume_matches_uninterrupted_run() {
     let bin = instrumented(TARGET);
 

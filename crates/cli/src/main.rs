@@ -265,6 +265,8 @@ fn run(args: &[String]) -> Result<(), String> {
 
             // Single-binary mode, optionally resumed from a snapshot.
             let bin = load(target)?;
+            // One decode pass serves every shard on every worker thread.
+            let prog = teapot_vm::Program::shared(&bin);
             let mut campaign = match opt(args, "--resume") {
                 Some(snap_path) => {
                     // The snapshot's config defines the campaign; only
@@ -296,7 +298,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 None => teapot_campaign::Campaign::new(cfg).map_err(|e| e.to_string())?,
             };
-            let report = campaign.run(&bin, &seeds);
+            // Throughput must count only the work done in this process:
+            // a resumed campaign's report includes pre-resume iterations.
+            let pre_iters = campaign.report().iters;
+            let started = std::time::Instant::now();
+            let report = campaign.run_shared(&prog, &seeds);
+            let secs = started.elapsed().as_secs_f64();
+            let ran_here = report.iters - pre_iters;
             if let Some(snap_out) = opt(args, "--snapshot") {
                 campaign
                     .snapshot(&bin)
@@ -307,6 +315,18 @@ fn run(args: &[String]) -> Result<(), String> {
             println!(
                 "{} shards x {} epochs: {} iterations, corpus {}, {} crashes",
                 report.shards, report.epochs, report.iters, report.corpus_total, report.crashes
+            );
+            println!(
+                "throughput: {:.0} execs/sec ({} execs in {:.2}s)",
+                ran_here as f64 / secs.max(1e-9),
+                ran_here,
+                secs
+            );
+            let ds = prog.stats();
+            println!(
+                "decode cache: {} blocks, {} instructions, {} bytes decoded \
+                 once and shared by all shards",
+                ds.blocks, ds.insts, ds.bytes
             );
             println!(
                 "coverage: {} normal features, {} speculative features",

@@ -1,11 +1,11 @@
 //! The Speculation Shadows rewriting passes.
 
-use std::collections::HashMap;
 use std::fmt;
 use teapot_asm::{inst_len, AsmError, Assembler, CodeRef, FuncAsm, Label};
 use teapot_dis::{disassemble, DisError, GFunc, Gtir};
 use teapot_isa::{AccessSize, IndKind, Inst, MemRef, Reg};
 use teapot_obj::{BinFlags, Binary, LinkError, Linker, LoadedSection, RelocKind, SectionKind};
+use teapot_rt::FxHashMap as HashMap;
 use teapot_rt::TeapotMeta;
 
 /// The gadget-detection policy compiled into the instrumented binary.
@@ -253,10 +253,10 @@ pub fn rewrite_with_stats(
             .collect(),
         guard_counter: 0,
         stats: RewriteStats::default(),
-        real_block_offs: HashMap::new(),
-        shadow_block_offs: HashMap::new(),
-        real_pairs: HashMap::new(),
-        shadow_pairs: HashMap::new(),
+        real_block_offs: HashMap::default(),
+        shadow_block_offs: HashMap::default(),
+        real_pairs: HashMap::default(),
+        shadow_pairs: HashMap::default(),
     };
 
     let mut asm = Assembler::new("teapot");
@@ -456,7 +456,7 @@ impl<'a> Rewriter<'a> {
             .iter()
             .map(|b| (b.addr, e.f.fresh_label()))
             .collect();
-        let mut block_offs: HashMap<u64, u64> = HashMap::new();
+        let mut block_offs: HashMap<u64, u64> = HashMap::default();
         let mut tramp_idx = 0usize;
 
         for b in &f.blocks {
@@ -557,7 +557,7 @@ impl<'a> Rewriter<'a> {
             .iter()
             .map(|b| (b.addr, e.f.fresh_label()))
             .collect();
-        let mut block_offs: HashMap<u64, u64> = HashMap::new();
+        let mut block_offs: HashMap<u64, u64> = HashMap::default();
 
         let dift = self.opts.policy == Policy::Kasper;
         let mut nested_tramp_idx = 0usize;

@@ -2,8 +2,11 @@
 //! (the dynamic-fuzzing stage of the paper's workflow, Fig. 3 right).
 //!
 //! The fuzzer maintains a corpus, mutates inputs with AFL-style
-//! deterministic and havoc mutators, executes each input on a fresh
-//! [`Machine`], and keeps inputs that produce **new coverage features**.
+//! deterministic and havoc mutators, executes each input on a pooled
+//! [`ExecContext`] over a shared predecoded [`Program`] (the context is
+//! reset in place between runs — observably identical to a fresh
+//! [`Machine`], without rebuilding the address space or re-decoding),
+//! and keeps inputs that produce **new coverage features**.
 //! Following paper §6.3, *two* coverage maps provide feedback: normal
 //! execution coverage (traced at conditional branches) and speculation
 //! simulation coverage (lazy guard notes flushed at rollback) — an input
@@ -34,10 +37,13 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use teapot_obj::Binary;
-use teapot_rt::{CovMap, DetectorConfig, GadgetKey, GadgetReport};
-use teapot_vm::{EmuStyle, ExitStatus, HeurStyle, Machine, RunOptions, SpecHeuristics};
+use teapot_rt::{CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport};
+use teapot_vm::{
+    EmuStyle, ExecContext, ExitStatus, HeurStyle, Machine, Program, RunOptions, SpecHeuristics,
+};
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -209,9 +215,12 @@ pub struct CampaignState {
     rng: SmallRng,
     heur: SpecHeuristics,
     corpus: Vec<CorpusEntry>,
+    /// Byte-identical membership index over `corpus`, for the barrier
+    /// deduplication of cross-shard imports.
+    corpus_set: FxHashSet<Vec<u8>>,
     global_normal: CovMap,
     global_spec: CovMap,
-    gadget_keys: HashSet<GadgetKey>,
+    gadget_keys: FxHashSet<GadgetKey>,
     gadgets: Vec<GadgetReport>,
     buckets: BTreeMap<String, usize>,
     total_cost: u64,
@@ -222,6 +231,16 @@ pub struct CampaignState {
     /// Sum of corpus entry scores, maintained on push so the weighted
     /// pick in the hot loop avoids an O(corpus) re-sum per execution.
     score_total: u64,
+    /// Pooled execution resources, keyed by the shared [`Program`]: the
+    /// paged address space, shadow engines and run buffers are reset in
+    /// place between executions instead of reallocated (the seed built
+    /// a fresh `Machine` — memory image included — per input).
+    exec: Option<ExecSlot>,
+}
+
+struct ExecSlot {
+    prog: Arc<Program>,
+    ctx: ExecContext,
 }
 
 impl CampaignState {
@@ -235,9 +254,10 @@ impl CampaignState {
             rng,
             heur,
             corpus: Vec::new(),
+            corpus_set: FxHashSet::default(),
             global_normal: CovMap::new(),
             global_spec: CovMap::new(),
-            gadget_keys: HashSet::new(),
+            gadget_keys: FxHashSet::default(),
             gadgets: Vec::new(),
             buckets: BTreeMap::new(),
             total_cost: 0,
@@ -246,6 +266,7 @@ impl CampaignState {
             epoch: 0,
             fresh_start: 0,
             score_total: 0,
+            exec: None,
         })
     }
 
@@ -278,6 +299,7 @@ impl CampaignState {
         st.epoch = snap.epoch;
         st.fresh_start = st.corpus.len();
         st.score_total = st.corpus.iter().map(|e| e.score).sum();
+        st.corpus_set = st.corpus.iter().map(|e| e.input.clone()).collect();
         Ok(st)
     }
 
@@ -303,13 +325,18 @@ impl CampaignState {
     /// Executes the initial seed corpus (an empty slice starts from a
     /// small default input). Each seed counts as one iteration.
     pub fn seed_corpus(&mut self, bin: &Binary, seeds: &[Vec<u8>]) {
+        self.seed_corpus_shared(&Program::shared(bin), seeds);
+    }
+
+    /// [`CampaignState::seed_corpus`] over a shared predecoded program.
+    pub fn seed_corpus_shared(&mut self, prog: &Arc<Program>, seeds: &[Vec<u8>]) {
         let seed_inputs: Vec<Vec<u8>> = if seeds.is_empty() {
             vec![vec![0u8; 8]]
         } else {
             seeds.to_vec()
         };
         for s in seed_inputs {
-            let new = self.execute_one(bin, &s);
+            let new = self.execute_one(prog, &s);
             self.iters += 1;
             self.push_entry(s, 1 + new as u64);
         }
@@ -332,8 +359,13 @@ impl CampaignState {
     /// Runs up to `budget` mutate-and-execute iterations, returning the
     /// number performed (always `budget` once the corpus is seeded).
     pub fn run_iters(&mut self, bin: &Binary, budget: u64) -> u64 {
+        self.run_iters_shared(&Program::shared(bin), budget)
+    }
+
+    /// [`CampaignState::run_iters`] over a shared predecoded program.
+    pub fn run_iters_shared(&mut self, prog: &Arc<Program>, budget: u64) -> u64 {
         if self.corpus.is_empty() {
-            self.seed_corpus(bin, &[]);
+            self.seed_corpus_shared(prog, &[]);
         }
         let mut done = 0u64;
         while done < budget {
@@ -356,7 +388,7 @@ impl CampaignState {
                 &self.cfg,
                 &mut self.rng,
             );
-            let new = self.execute_one(bin, &input);
+            let new = self.execute_one(prog, &input);
             self.iters += 1;
             done += 1;
             if new > 0 {
@@ -371,7 +403,12 @@ impl CampaignState {
     /// it was kept. Counts as one iteration; consumes no RNG, so import
     /// order does not perturb mutation determinism.
     pub fn import_input(&mut self, bin: &Binary, input: &[u8]) -> bool {
-        let new = self.execute_one(bin, input);
+        self.import_input_shared(&Program::shared(bin), input)
+    }
+
+    /// [`CampaignState::import_input`] over a shared predecoded program.
+    pub fn import_input_shared(&mut self, prog: &Arc<Program>, input: &[u8]) -> bool {
+        let new = self.execute_one(prog, input);
         self.iters += 1;
         if new > 0 {
             self.push_entry(input.to_vec(), 1 + new as u64);
@@ -379,6 +416,12 @@ impl CampaignState {
         } else {
             false
         }
+    }
+
+    /// Whether a byte-identical input is already in this shard's corpus
+    /// — the membership test behind barrier import deduplication.
+    pub fn contains_input(&self, input: &[u8]) -> bool {
+        self.corpus_set.contains(input)
     }
 
     /// Inputs added to the corpus since the last [`begin_epoch`] — what a
@@ -437,34 +480,49 @@ impl CampaignState {
         }
     }
 
-    /// Appends a corpus entry, keeping the running score total in sync.
+    /// Appends a corpus entry, keeping the running score total and the
+    /// byte-identity index in sync.
     fn push_entry(&mut self, input: Vec<u8>, score: u64) {
         self.score_total += score;
+        self.corpus_set.insert(input.clone());
         self.corpus.push(CorpusEntry { input, score });
     }
 
-    /// Runs `input` on a fresh machine, folds its coverage into the
-    /// global maps, and returns the number of new coverage features.
-    fn execute_one(&mut self, bin: &Binary, input: &[u8]) -> usize {
+    /// Runs `input` on the pooled execution context (resetting it in
+    /// place), folds its coverage into the global maps, and returns the
+    /// number of new coverage features.
+    fn execute_one(&mut self, prog: &Arc<Program>, input: &[u8]) -> usize {
+        let rebuild = match &self.exec {
+            Some(slot) => !Arc::ptr_eq(&slot.prog, prog),
+            None => true,
+        };
+        if rebuild {
+            self.exec = Some(ExecSlot {
+                prog: prog.clone(),
+                ctx: ExecContext::new(prog),
+            });
+        }
         let opts = RunOptions {
             input: input.to_vec(),
             fuel: self.cfg.fuel_per_run,
             config: self.cfg.detector.clone(),
             emu: self.cfg.emu,
         };
-        let out = Machine::new(bin, opts).run(&mut self.heur);
-        self.total_cost += out.cost;
-        if matches!(out.status, ExitStatus::Fault(_) | ExitStatus::Abort) {
+        let slot = self.exec.as_mut().expect("exec slot just ensured");
+        let stats =
+            Machine::with_context(&slot.prog, &mut slot.ctx, opts).run_stats(&mut self.heur);
+        self.total_cost += stats.cost;
+        if matches!(stats.status, ExitStatus::Fault(_) | ExitStatus::Abort) {
             self.crashes += 1;
         }
-        for g in out.gadgets {
+        for g in slot.ctx.take_gadgets() {
             if self.gadget_keys.insert(g.key) {
                 *self.buckets.entry(g.bucket()).or_insert(0) += 1;
                 self.gadgets.push(g);
             }
         }
-        out.cov_normal.merge_into(&mut self.global_normal)
-            + out.cov_spec.merge_into(&mut self.global_spec)
+        slot.ctx.cov_normal().merge_into(&mut self.global_normal)
+            + slot.ctx.cov_spec().merge_into(&mut self.global_spec)
     }
 }
 
@@ -490,9 +548,10 @@ pub fn try_fuzz(
     cfg: &FuzzConfig,
 ) -> Result<CampaignResult, ConfigError> {
     let mut st = CampaignState::new(cfg.clone())?;
-    st.seed_corpus(bin, seeds);
+    let prog = Program::shared(bin);
+    st.seed_corpus_shared(&prog, seeds);
     let remaining = cfg.max_iters.saturating_sub(st.iters());
-    st.run_iters(bin, remaining);
+    st.run_iters_shared(&prog, remaining);
     Ok(st.result())
 }
 

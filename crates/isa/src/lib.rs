@@ -39,11 +39,13 @@ mod encode;
 mod fmt;
 mod insn;
 mod reg;
+pub mod walk;
 
 pub use decode::{decode, decode_at, DecodeError};
 pub use encode::{encode, encode_at, encoded_len, Encoded, PatchSite};
 pub use insn::{AccessSize, AluOp, Cc, IndKind, Inst, MemRef, Operand, INST_MAX_LEN};
 pub use reg::Reg;
+pub use walk::{walk_blocks, BasicBlock, TextWalk, WalkedInst};
 
 /// The number of general-purpose registers in TEA-64.
 pub const NUM_REGS: usize = 16;

@@ -4,12 +4,14 @@
 
 pub mod cost;
 pub mod coverage;
+pub mod hash;
 pub mod layout;
 pub mod meta;
 pub mod report;
 pub mod tags;
 
 pub use coverage::CovMap;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use meta::TeapotMeta;
 pub use report::{Channel, Controllability, GadgetKey, GadgetReport};
 pub use tags::Tag;

@@ -16,7 +16,7 @@
 //! `teapot-rt::layout` defines and tests the paper's 1:8 address mapping,
 //! which the cost model's `asan.check` weight reflects.
 
-use std::collections::HashMap;
+use teapot_rt::FxHashMap;
 
 const PAGE: u64 = 4096;
 
@@ -50,12 +50,12 @@ impl Poison {
 /// The ASan engine: poison shadow + heap allocator state.
 #[derive(Clone)]
 pub struct AsanEngine {
-    shadow: HashMap<u64, Box<[u8; PAGE as usize]>>,
+    shadow: FxHashMap<u64, Box<[u8; PAGE as usize]>>,
     next_chunk: u64,
     /// Live allocations: base → size.
-    live: HashMap<u64, u64>,
+    live: FxHashMap<u64, u64>,
     /// Quarantined (freed) allocations: base → size.
-    quarantine: HashMap<u64, u64>,
+    quarantine: FxHashMap<u64, u64>,
 }
 
 impl std::fmt::Debug for AsanEngine {
@@ -78,11 +78,25 @@ impl AsanEngine {
     /// base (paper Table 2 HighMem).
     pub fn new() -> AsanEngine {
         AsanEngine {
-            shadow: HashMap::new(),
+            shadow: FxHashMap::default(),
             next_chunk: teapot_rt::layout::HEAP_BASE,
-            live: HashMap::new(),
-            quarantine: HashMap::new(),
+            live: FxHashMap::default(),
+            quarantine: FxHashMap::default(),
         }
+    }
+
+    /// Makes the engine observably identical to a fresh one while
+    /// keeping the shadow-page allocations for reuse across runs: shadow
+    /// pages are zeroed (a zeroed page reads exactly like an absent
+    /// one), the allocator bump pointer rewinds to the heap base, and
+    /// the live/quarantine books are cleared.
+    pub fn reset(&mut self) {
+        for page in self.shadow.values_mut() {
+            page.fill(0);
+        }
+        self.next_chunk = teapot_rt::layout::HEAP_BASE;
+        self.live.clear();
+        self.quarantine.clear();
     }
 
     fn set_shadow(&mut self, addr: u64, len: u64, p: Poison) {
@@ -225,6 +239,21 @@ mod tests {
         assert!(!a.is_poisoned(sp + 8, 1));
         a.unpoison_ret_slot(sp);
         assert!(!a.is_poisoned(sp, 8));
+    }
+
+    #[test]
+    fn reset_behaves_like_fresh() {
+        let mut a = AsanEngine::new();
+        let (base, _, _) = a.malloc(24);
+        a.free(base);
+        a.poison_ret_slot(0x7ffd_0000);
+        a.reset();
+        assert_eq!(a.live_count(), 0);
+        assert!(!a.is_poisoned(0x7ffd_0000, 8));
+        // Allocation addresses restart from the heap base, exactly as on
+        // a fresh engine.
+        let fresh_base = AsanEngine::new().malloc(24).0;
+        assert_eq!(a.malloc(24).0, fresh_base);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!
 //! [`full_depth_runs`]: teapot_rt::DetectorConfig::full_depth_runs
 
-use std::collections::HashMap;
+use teapot_rt::FxHashMap;
 
 /// Which tool's nested-speculation policy to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -37,9 +37,9 @@ pub enum HeurStyle {
 pub struct SpecHeuristics {
     /// Active policy.
     pub style: HeurStyle,
-    counts: HashMap<u64, u32>,
-    run_counts: HashMap<u64, u32>,
-    run_opportunities: HashMap<u64, u32>,
+    counts: FxHashMap<u64, u32>,
+    run_counts: FxHashMap<u64, u32>,
+    run_opportunities: FxHashMap<u64, u32>,
 }
 
 /// Maximum nested-simulation entries per branch within one run. Without
@@ -62,9 +62,9 @@ impl SpecHeuristics {
     pub fn new(style: HeurStyle) -> SpecHeuristics {
         SpecHeuristics {
             style,
-            counts: HashMap::new(),
-            run_counts: HashMap::new(),
-            run_opportunities: HashMap::new(),
+            counts: FxHashMap::default(),
+            run_counts: FxHashMap::default(),
+            run_opportunities: FxHashMap::default(),
         }
     }
 
@@ -163,8 +163,8 @@ impl SpecHeuristics {
         SpecHeuristics {
             style,
             counts: counts.iter().copied().collect(),
-            run_counts: HashMap::new(),
-            run_opportunities: HashMap::new(),
+            run_counts: FxHashMap::default(),
+            run_opportunities: FxHashMap::default(),
         }
     }
 

@@ -43,11 +43,15 @@ mod cpu;
 mod heuristics;
 mod machine;
 mod mem;
+mod program;
 mod taint;
 
 pub use asan::{AsanEngine, REDZONE};
 pub use cpu::{alu, cmp_flags, test_flags, AluResult, Cpu, Flags};
 pub use heuristics::{HeurStyle, SpecHeuristics};
-pub use machine::{EmuStyle, ExitStatus, Fault, Machine, RunOptions, RunOutcome};
+pub use machine::{
+    EmuStyle, ExecContext, ExitStatus, Fault, Machine, RunOptions, RunOutcome, RunStats,
+};
 pub use mem::{MemFault, PagedMem, PAGE_SIZE};
+pub use program::{DecodeStats, Program};
 pub use taint::TaintEngine;

@@ -2,24 +2,42 @@
 //! runtime (checkpoint / memory log / rollback), detection policies, and
 //! deterministic cost accounting.
 //!
-//! One [`Machine`] executes one program run. The fuzzer creates a fresh
-//! machine per input (guest state fully resets) while threading a
-//! persistent [`SpecHeuristics`] through runs.
+//! One [`Machine`] executes one program run. Fetch + decode dispatches
+//! over a binary-wide predecoded [`Program`] (built once per binary and
+//! shareable across threads via `Arc`), and the heavy per-run resources
+//! — the paged address space, checkpoint stack, memory log, coverage
+//! maps — live in a reusable [`ExecContext`] that a fuzzing loop resets
+//! between iterations instead of reallocating:
+//!
+//! ```text
+//! Binary ──decode once──► Program (Arc, immutable)
+//!                            │
+//!            ┌───────────────┴─────────────┐
+//!            ▼                             ▼
+//!      ExecContext (pooled)   ...one per shard/worker...
+//!            │ reset per run
+//!            ▼
+//!        Machine (per-run guest state) ──► RunOutcome / RunStats
+//! ```
+//!
+//! The one-shot [`Machine::new`] + [`Machine::run`] path builds a
+//! private program and context per call (the seed crate's API); hot
+//! loops use [`Program::shared`] + [`Machine::with_context`].
 
 use crate::asan::AsanEngine;
 use crate::cpu::{alu, cmp_flags, test_flags, Cpu, Flags};
 use crate::heuristics::SpecHeuristics;
 use crate::mem::{MemFault, PagedMem};
+use crate::program::{Program, F_ALWAYS_CHARGE, F_INSTR, F_IN_REAL, F_LIVE};
 use crate::taint::TaintEngine;
-use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use teapot_isa::{
     decode_at, sys, AccessSize, AluOp, IndKind, Inst, MemRef, Operand, Reg, INST_MAX_LEN,
 };
 use teapot_obj::Binary;
-use teapot_rt::layout::{STACK_LIMIT, STACK_TOP};
+use teapot_rt::layout::STACK_TOP;
 use teapot_rt::{
-    cost, Channel, Controllability, CovMap, DetectorConfig, GadgetKey, GadgetReport, Tag,
-    TeapotMeta,
+    cost, Channel, Controllability, CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport, Tag,
 };
 
 /// Execution style of the machine.
@@ -120,6 +138,26 @@ pub struct RunOutcome {
     pub escapes: u64,
 }
 
+/// The per-run counters of a pooled run (see [`Machine::run_stats`]).
+/// Coverage, gadget reports and program output stay in the
+/// [`ExecContext`], where the caller reads or drains them without the
+/// per-run allocations a [`RunOutcome`] would cost.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Termination status.
+    pub status: ExitStatus,
+    /// Accumulated host-cost units.
+    pub cost: u64,
+    /// Executed instruction count.
+    pub insts: u64,
+    /// Number of speculation-simulation entries.
+    pub sim_entries: u64,
+    /// Number of rollbacks.
+    pub rollbacks: u64,
+    /// Control-flow escapes caught by the safety net.
+    pub escapes: u64,
+}
+
 /// A snapshot taken by `sim.start` (paper §6.1 "Checkpoint").
 #[derive(Debug, Clone)]
 struct Checkpoint {
@@ -172,16 +210,142 @@ struct PendingOob {
     oob: bool,
 }
 
-/// The virtual machine.
+/// The reusable per-run resources of the execution pipeline: the guest
+/// address space, the sanitizer and taint shadows, the speculation
+/// runtime buffers (checkpoint stack, memory log, lazy coverage notes)
+/// and the per-run result accumulators (coverage maps, gadget reports,
+/// program output).
+///
+/// Create one per worker with [`ExecContext::new`] and drive any number
+/// of runs through it via [`Machine::with_context`]; each run resets the
+/// context in place (dirty-page memory restore, shadow zeroing, buffer
+/// clears) instead of reallocating everything, which is where the bulk
+/// of the per-iteration fuzzing cost went in the seed implementation.
 #[derive(Debug)]
-pub struct Machine {
-    /// Architectural state.
-    pub cpu: Cpu,
-    /// Guest memory.
-    pub mem: PagedMem,
+pub struct ExecContext {
+    mem: PagedMem,
     asan: AsanEngine,
     taint: TaintEngine,
-    meta: Option<TeapotMeta>,
+    checkpoints: Vec<Checkpoint>,
+    memlog: Vec<LogEntry>,
+    covnotes: Vec<u32>,
+    cov_normal: CovMap,
+    cov_spec: CovMap,
+    gadget_keys: FxHashSet<GadgetKey>,
+    gadgets: Vec<GadgetReport>,
+    output: Vec<u8>,
+    /// Identity of the [`Program`] whose pristine image this context's
+    /// memory derives from. A dirty-page reset is only valid against
+    /// that image; `reset` rebuilds from scratch on a mismatch.
+    for_program: u64,
+}
+
+impl ExecContext {
+    /// Creates a context for `prog`: clones the pristine memory image
+    /// once and allocates the run buffers.
+    pub fn new(prog: &Program) -> ExecContext {
+        ExecContext {
+            mem: prog.pristine().clone(),
+            asan: AsanEngine::new(),
+            taint: TaintEngine::new(),
+            checkpoints: Vec::new(),
+            memlog: Vec::new(),
+            covnotes: Vec::new(),
+            cov_normal: CovMap::new(),
+            cov_spec: CovMap::new(),
+            gadget_keys: FxHashSet::default(),
+            gadgets: Vec::new(),
+            output: Vec::new(),
+            for_program: prog.uid,
+        }
+    }
+
+    /// Restores the context to the observable state of a fresh
+    /// [`ExecContext::new`] while reusing allocations: dirty memory
+    /// pages are copied back from the pristine image, shadow pages are
+    /// zeroed, and every buffer is cleared with capacity kept.
+    ///
+    /// A context created for a *different* program cannot be patched
+    /// up page-by-page (untouched pages would keep the other binary's
+    /// bytes); in that case the context is rebuilt from `prog`'s
+    /// pristine image instead.
+    pub fn reset(&mut self, prog: &Program) {
+        if self.for_program != prog.uid {
+            *self = ExecContext::new(prog);
+            return;
+        }
+        self.mem.reset_to(prog.pristine());
+        self.asan.reset();
+        self.taint.reset();
+        self.checkpoints.clear();
+        self.memlog.clear();
+        self.covnotes.clear();
+        self.cov_normal.clear();
+        self.cov_spec.clear();
+        self.gadget_keys.clear();
+        self.gadgets.clear();
+        self.output.clear();
+    }
+
+    /// Normal-execution coverage of the last run.
+    pub fn cov_normal(&self) -> &CovMap {
+        &self.cov_normal
+    }
+
+    /// Speculation-simulation coverage of the last run.
+    pub fn cov_spec(&self) -> &CovMap {
+        &self.cov_spec
+    }
+
+    /// Gadget reports of the last run, in discovery order.
+    pub fn gadgets(&self) -> &[GadgetReport] {
+        &self.gadgets
+    }
+
+    /// Moves the last run's gadget reports out of the context.
+    pub fn take_gadgets(&mut self) -> Vec<GadgetReport> {
+        std::mem::take(&mut self.gadgets)
+    }
+
+    /// Bytes the last run wrote.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+}
+
+/// Owned-or-borrowed execution context of one [`Machine`].
+enum CtxSlot<'c> {
+    Owned(Box<ExecContext>),
+    Borrowed(&'c mut ExecContext),
+}
+
+impl std::ops::Deref for CtxSlot<'_> {
+    type Target = ExecContext;
+    #[inline]
+    fn deref(&self) -> &ExecContext {
+        match self {
+            CtxSlot::Owned(c) => c,
+            CtxSlot::Borrowed(c) => c,
+        }
+    }
+}
+
+impl std::ops::DerefMut for CtxSlot<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut ExecContext {
+        match self {
+            CtxSlot::Owned(c) => c,
+            CtxSlot::Borrowed(c) => c,
+        }
+    }
+}
+
+/// The virtual machine.
+pub struct Machine<'c> {
+    /// Architectural state.
+    pub cpu: Cpu,
+    prog: Arc<Program>,
+    ctx: CtxSlot<'c>,
     policy: Policy,
     dift_on: bool,
     asan_on: bool,
@@ -189,17 +353,9 @@ pub struct Machine {
     single_copy: bool,
 
     opts: RunOptions,
-    checkpoints: Vec<Checkpoint>,
-    memlog: Vec<LogEntry>,
-    covnotes: Vec<u32>,
     pending_oob: Option<PendingOob>,
     invert_next_branch: bool,
     skip_sim_once: bool,
-
-    cov_normal: CovMap,
-    cov_spec: CovMap,
-    gadget_keys: HashSet<GadgetKey>,
-    gadgets: Vec<GadgetReport>,
 
     cost: u64,
     insts: u64,
@@ -215,10 +371,26 @@ pub struct Machine {
     rollbacks: u64,
     escapes: u64,
     input_pos: usize,
-    output: Vec<u8>,
 
-    icache: HashMap<u64, (Inst<u64>, u8)>,
+    /// Per-run decode cache for addresses the predecoded table cannot
+    /// freeze (outside executable sections, or section tails whose
+    /// bytes border writable pages) — the seed's lazy icache, scoped to
+    /// exactly the addresses that still need live decoding.
+    live_icache: teapot_rt::FxHashMap<u64, (Inst<u64>, u8)>,
+
     trace: bool,
+    uncached_decode: bool,
+}
+
+impl std::fmt::Debug for Machine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cpu", &self.cpu)
+            .field("policy", &self.policy)
+            .field("cost", &self.cost)
+            .field("insts", &self.insts)
+            .finish()
+    }
 }
 
 enum Step {
@@ -226,74 +398,78 @@ enum Step {
     Stop(ExitStatus),
 }
 
-impl Machine {
+impl<'c> Machine<'c> {
     /// Loads `binary` and prepares a run with the given options.
+    ///
+    /// This one-shot entry point decodes the binary privately; loops
+    /// that execute many runs should decode once with
+    /// [`Program::shared`] and pool contexts via
+    /// [`Machine::with_context`].
     ///
     /// # Panics
     ///
     /// Panics if an instrumented binary carries a malformed
     /// `.teapot.meta` section (a rewriter bug, not a runtime input).
-    pub fn new(binary: &Binary, opts: RunOptions) -> Machine {
-        let mut mem = PagedMem::new();
-        for sec in &binary.sections {
-            if !sec.kind.is_loadable() {
-                continue;
-            }
-            mem.map_region(sec.vaddr, sec.mem_size.max(1), sec.kind.is_writable());
-            for (i, &b) in sec.bytes.iter().enumerate() {
-                mem.poke(sec.vaddr + i as u64, b);
-            }
-        }
+    pub fn new(binary: &Binary, opts: RunOptions) -> Machine<'static> {
+        let prog = Program::shared(binary);
+        let ctx = Box::new(ExecContext::new(&prog));
+        Machine::assemble(prog, CtxSlot::Owned(ctx), opts)
+    }
 
-        let meta = binary
-            .note(".teapot.meta")
-            .map(|n| TeapotMeta::from_bytes(&n.bytes).expect("malformed .teapot.meta section"));
+    /// Prepares a run over a shared predecoded program with a private
+    /// (owned) context.
+    pub fn from_program(prog: Arc<Program>, opts: RunOptions) -> Machine<'static> {
+        let ctx = Box::new(ExecContext::new(&prog));
+        Machine::assemble(prog, CtxSlot::Owned(ctx), opts)
+    }
 
+    /// Prepares a run over a shared predecoded program and a pooled
+    /// context. The context is reset in place; after the run the caller
+    /// reads coverage, gadget reports and output back out of it.
+    pub fn with_context(
+        prog: &Arc<Program>,
+        ctx: &'c mut ExecContext,
+        opts: RunOptions,
+    ) -> Machine<'c> {
+        ctx.reset(prog);
+        Machine::assemble(prog.clone(), CtxSlot::Borrowed(ctx), opts)
+    }
+
+    fn assemble(prog: Arc<Program>, ctx: CtxSlot<'c>, opts: RunOptions) -> Machine<'c> {
+        let flags = prog.flags;
         let policy = match opts.emu {
             EmuStyle::SpecTaint => Policy::SpecTaint,
             EmuStyle::Native => {
-                if binary.flags.dift {
+                if flags.dift {
                     Policy::Kasper
-                } else if binary.flags.asan {
+                } else if flags.asan {
                     Policy::SpecFuzz
                 } else {
                     Policy::None
                 }
             }
         };
-        let dift_on = binary.flags.dift || matches!(opts.emu, EmuStyle::SpecTaint);
-        let asan_on = binary.flags.asan;
+        let dift_on = flags.dift || matches!(opts.emu, EmuStyle::SpecTaint);
 
         let mut cpu = Cpu {
-            pc: binary.entry,
+            pc: prog.entry,
             ..Cpu::default()
         };
         cpu.set(Reg::SP, STACK_TOP - 64);
 
-        mem.map_region(STACK_TOP - STACK_LIMIT, STACK_LIMIT, true);
-
         Machine {
             cpu,
-            mem,
-            asan: AsanEngine::new(),
-            taint: TaintEngine::new(),
-            meta,
             policy,
             dift_on,
-            asan_on,
-            nested_on: binary.flags.nested_speculation,
-            single_copy: binary.flags.single_copy,
+            asan_on: flags.asan,
+            nested_on: flags.nested_speculation,
+            single_copy: flags.single_copy,
+            prog,
+            ctx,
             opts,
-            checkpoints: Vec::new(),
-            memlog: Vec::new(),
-            covnotes: Vec::new(),
             pending_oob: None,
             invert_next_branch: false,
             skip_sim_once: false,
-            cov_normal: CovMap::new(),
-            cov_spec: CovMap::new(),
-            gadget_keys: HashSet::new(),
-            gadgets: Vec::new(),
             cost: 0,
             insts: 0,
             prog_insts: 0,
@@ -301,14 +477,47 @@ impl Machine {
             rollbacks: 0,
             escapes: 0,
             input_pos: 0,
-            output: Vec::new(),
-            icache: HashMap::new(),
+            live_icache: teapot_rt::FxHashMap::default(),
             trace: std::env::var_os("TEAPOT_TRACE").is_some(),
+            uncached_decode: false,
         }
+    }
+
+    /// Forces the per-step live-decode path, bypassing the predecoded
+    /// [`Program`] tables. Test hook for the differential decode suite;
+    /// semantics must be identical either way.
+    #[doc(hidden)]
+    pub fn set_uncached_decode(&mut self, uncached: bool) {
+        self.uncached_decode = uncached;
+    }
+
+    /// The guest address space (borrowed from the execution context).
+    pub fn mem(&self) -> &PagedMem {
+        &self.ctx.mem
     }
 
     /// Runs to completion, threading persistent heuristics state.
     pub fn run(mut self, heur: &mut SpecHeuristics) -> RunOutcome {
+        let stats = self.run_stats(heur);
+        let ctx = &mut *self.ctx;
+        RunOutcome {
+            status: stats.status,
+            cost: stats.cost,
+            insts: stats.insts,
+            gadgets: std::mem::take(&mut ctx.gadgets),
+            cov_normal: std::mem::take(&mut ctx.cov_normal),
+            cov_spec: std::mem::take(&mut ctx.cov_spec),
+            output: std::mem::take(&mut ctx.output),
+            sim_entries: stats.sim_entries,
+            rollbacks: stats.rollbacks,
+            escapes: stats.escapes,
+        }
+    }
+
+    /// Runs to completion, leaving coverage, gadget reports and output
+    /// in the [`ExecContext`] (no per-run allocations for them). This is
+    /// the hot-loop twin of [`Machine::run`].
+    pub fn run_stats(&mut self, heur: &mut SpecHeuristics) -> RunStats {
         heur.begin_run();
         let status = loop {
             match self.step(heur) {
@@ -316,14 +525,10 @@ impl Machine {
                 Step::Stop(s) => break s,
             }
         };
-        RunOutcome {
+        RunStats {
             status,
             cost: self.cost,
             insts: self.insts,
-            gadgets: self.gadgets,
-            cov_normal: self.cov_normal,
-            cov_spec: self.cov_spec,
-            output: self.output,
             sim_entries: self.sim_entries,
             rollbacks: self.rollbacks,
             escapes: self.escapes,
@@ -336,13 +541,13 @@ impl Machine {
 
     #[inline]
     fn in_sim(&self) -> bool {
-        !self.checkpoints.is_empty()
+        !self.ctx.checkpoints.is_empty()
     }
 
     /// Maps a rewritten PC back to original-binary coordinates.
     fn orig_pc(&self, pc: u64) -> u64 {
-        self.meta
-            .as_ref()
+        self.prog
+            .meta()
             .and_then(|m| m.to_original(pc))
             .unwrap_or(pc)
     }
@@ -357,10 +562,10 @@ impl Machine {
     fn ea_tag(&self, m: &MemRef) -> Tag {
         let mut t = Tag::CLEAN;
         if let Some(r) = m.base {
-            t |= self.taint.reg(r);
+            t |= self.ctx.taint.reg(r);
         }
         if let Some(r) = m.index {
-            t |= self.taint.reg(r);
+            t |= self.ctx.taint.reg(r);
         }
         t
     }
@@ -374,7 +579,7 @@ impl Machine {
 
     fn operand_tag(&self, o: &Operand) -> Tag {
         match o {
-            Operand::Reg(r) => self.taint.reg(*r),
+            Operand::Reg(r) => self.ctx.taint.reg(*r),
             Operand::Imm(_) => Tag::CLEAN,
         }
     }
@@ -393,20 +598,22 @@ impl Machine {
                 channel,
                 controllability: ctrl,
             };
-            if self.gadget_keys.insert(key) {
+            if self.ctx.gadget_keys.insert(key) {
                 if self.trace {
                     eprintln!("[trace] REPORT {channel:?} at {pc:#x}", pc = key.pc);
                 }
                 let branch_pc = self
+                    .ctx
                     .checkpoints
                     .first()
                     .map(|c| c.branch_pc_orig)
                     .unwrap_or(0);
-                let depth = self.checkpoints.len() as u32;
-                self.gadgets.push(GadgetReport {
+                let depth = self.ctx.checkpoints.len() as u32;
+                let access_orig = self.orig_pc(access_pc);
+                self.ctx.gadgets.push(GadgetReport {
                     key,
                     branch_pc,
-                    access_pc: self.orig_pc(access_pc),
+                    access_pc: access_orig,
                     depth,
                     description: what.to_string(),
                 });
@@ -421,17 +628,19 @@ impl Machine {
             channel: Channel::Mds,
             controllability: Controllability::User,
         };
-        if self.gadget_keys.insert(key) {
+        if self.ctx.gadget_keys.insert(key) {
             let branch_pc = self
+                .ctx
                 .checkpoints
                 .first()
                 .map(|c| c.branch_pc_orig)
                 .unwrap_or(0);
-            let depth = self.checkpoints.len() as u32;
-            self.gadgets.push(GadgetReport {
+            let depth = self.ctx.checkpoints.len() as u32;
+            let access_orig = self.orig_pc(access_pc);
+            self.ctx.gadgets.push(GadgetReport {
                 key,
                 branch_pc,
-                access_pc: self.orig_pc(access_pc),
+                access_pc: access_orig,
                 depth,
                 description: "speculative out-of-bounds access".to_string(),
             });
@@ -443,19 +652,20 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn push_checkpoint(&mut self, resume_pc: u64, branch_pc_orig: u64, resume_is_branch: bool) {
-        let window_start = self
+        let ctx = &mut *self.ctx;
+        let window_start = ctx
             .checkpoints
             .first()
             .map(|c| c.insts_at_entry)
             .unwrap_or(self.prog_insts);
-        self.checkpoints.push(Checkpoint {
+        ctx.checkpoints.push(Checkpoint {
             regs: self.cpu.regs,
             flags: self.cpu.flags,
             resume_pc,
-            reg_tags: self.taint.regs,
-            flags_tag: self.taint.flags,
-            memlog_mark: self.memlog.len(),
-            covnote_mark: self.covnotes.len(),
+            reg_tags: ctx.taint.regs,
+            flags_tag: ctx.taint.flags,
+            memlog_mark: ctx.memlog.len(),
+            covnote_mark: ctx.covnotes.len(),
             insts_at_entry: window_start,
             prog_snapshot: self.prog_insts,
             branch_pc_orig,
@@ -466,32 +676,37 @@ impl Machine {
 
     /// Rolls back the innermost simulation level (paper §6.1 "Rollback").
     fn rollback(&mut self) {
-        let cp = self.checkpoints.pop().expect("rollback without checkpoint");
+        let cp = self
+            .ctx
+            .checkpoints
+            .pop()
+            .expect("rollback without checkpoint");
         if self.trace {
             eprintln!(
                 "[trace] rollback depth {} after {} prog insts, resume {:#x}",
-                self.checkpoints.len() + 1,
+                self.ctx.checkpoints.len() + 1,
                 self.prog_insts - cp.insts_at_entry,
                 cp.resume_pc
             );
         }
         // Replay the memory log in reverse.
-        let entries = self.memlog.split_off(cp.memlog_mark);
+        let entries = self.ctx.memlog.split_off(cp.memlog_mark);
         self.cost += cost::ROLLBACK_BASE + cost::ROLLBACK_PER_LOG * entries.len() as u64;
         for e in entries.iter().rev() {
             for i in 0..e.len as u64 {
-                self.mem.poke(e.addr + i, e.old_bytes[i as usize]);
+                self.ctx.mem.poke(e.addr + i, e.old_bytes[i as usize]);
                 if self.dift_on {
-                    self.taint
+                    self.ctx
+                        .taint
                         .set_mem_tag(e.addr + i, Tag::from_bits(e.old_tags[i as usize]));
                 }
             }
         }
         // Lazy speculative-coverage flush (paper §6.3 optimization).
-        let notes = self.covnotes.split_off(cp.covnote_mark);
+        let notes = self.ctx.covnotes.split_off(cp.covnote_mark);
         self.cost += cost::COV_FLUSH_PER_NOTE * notes.len() as u64;
         for g in notes {
-            self.cov_spec.hit(g);
+            self.ctx.cov_spec.hit(g);
         }
         // Restore architectural + taint state. The program-instruction
         // counter is part of the restored state: squashed wrong-path
@@ -501,8 +716,8 @@ impl Machine {
         self.cpu.regs = cp.regs;
         self.cpu.flags = cp.flags;
         self.cpu.pc = cp.resume_pc;
-        self.taint.regs = cp.reg_tags;
-        self.taint.flags = cp.flags_tag;
+        self.ctx.taint.regs = cp.reg_tags;
+        self.ctx.taint.flags = cp.flags_tag;
         self.pending_oob = None;
         self.invert_next_branch = false;
         if cp.resume_is_branch {
@@ -571,7 +786,7 @@ impl Machine {
                 _ => {}
             }
         }
-        let raw = self.mem.read_uint(addr, n).map_err(Fault::Mem)?;
+        let raw = self.ctx.mem.read_uint(addr, n).map_err(Fault::Mem)?;
         let value = if sext {
             match size {
                 AccessSize::B1 => raw as u8 as i8 as i64 as u64,
@@ -588,7 +803,7 @@ impl Machine {
             return Ok((value, Tag::CLEAN));
         }
         let ptr_tag = self.ea_tag(mem);
-        let mut val_tag = self.taint.mem_range_tag(addr, n);
+        let mut val_tag = self.ctx.taint.mem_range_tag(addr, n);
         if self.in_sim() {
             let pending = self.pending_oob.take();
             let oob = pending.map(|p| p.oob).unwrap_or(false);
@@ -660,11 +875,14 @@ impl Machine {
             let mut old_bytes = [0u8; 8];
             let mut old_tags = [0u8; 8];
             for i in 0..n {
-                old_bytes[i as usize] =
-                    self.mem.read_u8(addr.wrapping_add(i)).map_err(Fault::Mem)?;
-                old_tags[i as usize] = self.taint.mem_tag(addr.wrapping_add(i)).bits();
+                old_bytes[i as usize] = self
+                    .ctx
+                    .mem
+                    .read_u8(addr.wrapping_add(i))
+                    .map_err(Fault::Mem)?;
+                old_tags[i as usize] = self.ctx.taint.mem_tag(addr.wrapping_add(i)).bits();
             }
-            self.memlog.push(LogEntry {
+            self.ctx.memlog.push(LogEntry {
                 addr,
                 len: n as u8,
                 old_bytes,
@@ -672,9 +890,12 @@ impl Machine {
             });
             let _ = self.pending_oob.take();
         }
-        self.mem.write_uint(addr, value, n).map_err(Fault::Mem)?;
+        self.ctx
+            .mem
+            .write_uint(addr, value, n)
+            .map_err(Fault::Mem)?;
         if self.dift_on {
-            self.taint.set_mem_range(addr, n, tag);
+            self.ctx.taint.set_mem_range(addr, n, tag);
         }
         Ok(())
     }
@@ -693,15 +914,31 @@ impl Machine {
         }
         let pc = self.cpu.pc;
 
+        // Fetch from the predecoded table (one index into an immutable,
+        // Arc-shared structure built once per binary — side-effect-free,
+        // so it can precede the safety-net and ROB checks). The live
+        // decoder remains for addresses outside executable sections —
+        // wild speculative control flow into data or the stack — and for
+        // the differential-test fallback.
+        let fetched = if self.uncached_decode {
+            None
+        } else {
+            self.prog.fetch(pc).copied()
+        };
+
         // Safety net: speculation must never run Real Copy code without a
-        // redirect (paper §5.3). Counted and rolled back.
+        // redirect (paper §5.3). Counted and rolled back — checked before
+        // any decode outcome, so an undecodable Real-Copy address is an
+        // escape, not an invalid-instruction fault.
         if self.in_sim() && !self.single_copy {
-            if let Some(m) = &self.meta {
-                if m.in_real(pc) {
-                    self.escapes += 1;
-                    self.rollback();
-                    return Step::Continue;
-                }
+            let in_real = match &fetched {
+                Some(e) => e.flags & F_IN_REAL != 0,
+                None => self.prog.meta().is_some_and(|m| m.in_real(pc)),
+            };
+            if in_real {
+                self.escapes += 1;
+                self.rollback();
+                return Step::Continue;
             }
         }
 
@@ -709,7 +946,7 @@ impl Machine {
         // safety margin for instrumented runs (conditional restore points
         // normally fire first).
         if self.in_sim() {
-            let frame = self.checkpoints.last().expect("in_sim");
+            let frame = self.ctx.checkpoints.last().expect("in_sim");
             let executed = self.prog_insts - frame.insts_at_entry;
             let budget = self.opts.config.rob_budget as u64;
             let limit = match self.opts.emu {
@@ -722,23 +959,28 @@ impl Machine {
             }
         }
 
-        // Fetch + decode (cached; code pages are read-only).
-        let (inst, len) = match self.icache.get(&pc) {
-            Some((i, l)) => (*i, *l),
-            None => {
-                let bytes = self.mem.read_for_decode(pc, INST_MAX_LEN);
-                match decode_at(&bytes, pc) {
-                    Ok((i, l)) => {
-                        self.icache.insert(pc, (i, l as u8));
-                        (i, l as u8)
-                    }
-                    Err(_) => return self.fault(Fault::BadInst { pc }),
-                }
-            }
+        // Entries flagged F_LIVE froze only address metadata (their
+        // bytes border writable pages): decode those live, like
+        // addresses outside the table.
+        let fetched = fetched.filter(|e| e.flags & F_LIVE == 0);
+        let (inst, len, is_instr, base_cost, always_charge) = match fetched {
+            Some(e) if e.len == 0 => return self.fault(Fault::BadInst { pc }),
+            Some(e) => (
+                e.inst,
+                e.len,
+                e.flags & F_INSTR != 0,
+                e.cost as u64,
+                e.flags & F_ALWAYS_CHARGE != 0,
+            ),
+            None => match self.decode_live(pc) {
+                Some(t) => t,
+                None => return self.fault(Fault::BadInst { pc }),
+            },
         };
+
         let next_pc = pc + len as u64;
         self.insts += 1;
-        if self.single_copy || !inst.is_instrumentation() {
+        if self.single_copy || !is_instr {
             self.prog_insts += 1;
         }
 
@@ -749,7 +991,7 @@ impl Machine {
                 if self.skip_sim_once {
                     self.skip_sim_once = false;
                 } else {
-                    let depth = self.checkpoints.len() as u32;
+                    let depth = self.ctx.checkpoints.len() as u32;
                     let enter = if depth == 0 {
                         heur.enter_top(pc)
                     } else {
@@ -768,21 +1010,14 @@ impl Machine {
                 }
             }
         } else {
-            let mut c = inst_cost(&inst);
+            let mut c = base_cost;
             // Single-copy (SpecFuzz-style) binaries guard every
             // instrumentation with `if (in_simulation)` (paper Listing 3):
             // in normal mode the guard (charged via its own opcode) skips
             // the instrumentation body, so the body costs nothing — but
             // the guards themselves run everywhere, which is exactly the
             // overhead Speculation Shadows eliminates.
-            if self.single_copy
-                && !self.in_sim()
-                && inst.is_instrumentation()
-                && !matches!(
-                    inst,
-                    Inst::Guard | Inst::SimStart { .. } | Inst::CovTrace { .. }
-                )
-            {
+            if self.single_copy && !self.in_sim() && is_instr && !always_charge {
                 c = 0;
             }
             self.charge(c);
@@ -795,6 +1030,28 @@ impl Machine {
             Ok(stop) => stop,
             Err(f) => self.fault(f),
         }
+    }
+
+    /// Live fetch + decode from guest memory, cached per run — exactly
+    /// the seed's lazy icache, now reached only for addresses the
+    /// shared table cannot freeze. Returns `None` when the bytes at
+    /// `pc` do not decode.
+    fn decode_live(&mut self, pc: u64) -> Option<(Inst<u64>, u8, bool, u64, bool)> {
+        let (i, l) = match self.live_icache.get(&pc) {
+            Some(&(i, l)) => (i, l),
+            None => {
+                let bytes = self.ctx.mem.read_for_decode(pc, INST_MAX_LEN);
+                match decode_at(&bytes, pc) {
+                    Ok((i, l)) => {
+                        self.live_icache.insert(pc, (i, l as u8));
+                        (i, l as u8)
+                    }
+                    Err(_) => return None,
+                }
+            }
+        };
+        let (is_instr, always_charge, cost) = crate::program::inst_meta(&i);
+        Some((i, l, is_instr, cost, always_charge))
     }
 
     fn exec(
@@ -810,13 +1067,14 @@ impl Machine {
             Inst::MovRR { dst, src } => {
                 self.cpu.set(dst, self.cpu.get(src));
                 if self.dift_on {
-                    self.taint.set_reg(dst, self.taint.reg(src));
+                    let t = self.ctx.taint.reg(src);
+                    self.ctx.taint.set_reg(dst, t);
                 }
             }
             Inst::MovRI { dst, imm } => {
                 self.cpu.set(dst, imm as u64);
                 if self.dift_on {
-                    self.taint.set_reg(dst, Tag::CLEAN);
+                    self.ctx.taint.set_reg(dst, Tag::CLEAN);
                 }
             }
             Inst::Load {
@@ -828,12 +1086,12 @@ impl Machine {
                 let (v, t) = self.do_load(&mem, size, sext, pc)?;
                 self.cpu.set(dst, v);
                 if self.dift_on {
-                    self.taint.set_reg(dst, t);
+                    self.ctx.taint.set_reg(dst, t);
                 }
             }
             Inst::Store { src, mem, size } => {
                 let tag = if self.dift_on {
-                    self.taint.reg(src)
+                    self.ctx.taint.reg(src)
                 } else {
                     Tag::CLEAN
                 };
@@ -847,13 +1105,13 @@ impl Machine {
                 self.cpu.set(dst, a);
                 if self.dift_on {
                     let t = self.ea_tag(&mem);
-                    self.taint.set_reg(dst, t);
+                    self.ctx.taint.set_reg(dst, t);
                 }
             }
             Inst::Push { src } => {
                 let sp = self.cpu.get(Reg::SP).wrapping_sub(8);
                 let tag = if self.dift_on {
-                    self.taint.reg(src)
+                    self.ctx.taint.reg(src)
                 } else {
                     Tag::CLEAN
                 };
@@ -862,10 +1120,10 @@ impl Machine {
             }
             Inst::Pop { dst } => {
                 let sp = self.cpu.get(Reg::SP);
-                let v = self.mem.read_uint(sp, 8).map_err(Fault::Mem)?;
+                let v = self.ctx.mem.read_uint(sp, 8).map_err(Fault::Mem)?;
                 if self.dift_on {
-                    let t = self.taint.mem_range_tag(sp, 8);
-                    self.taint.set_reg(dst, t);
+                    let t = self.ctx.taint.mem_range_tag(sp, 8);
+                    self.ctx.taint.set_reg(dst, t);
                 }
                 self.cpu.set(dst, v);
                 self.cpu.set(Reg::SP, sp.wrapping_add(8));
@@ -885,10 +1143,10 @@ impl Machine {
                     let t = if zeroing {
                         Tag::CLEAN
                     } else {
-                        self.taint.reg(dst) | self.operand_tag(&src)
+                        self.ctx.taint.reg(dst) | self.operand_tag(&src)
                     };
-                    self.taint.set_reg(dst, t);
-                    self.taint.flags = t;
+                    self.ctx.taint.set_reg(dst, t);
+                    self.ctx.taint.flags = t;
                 }
             }
             Inst::Neg { dst } => {
@@ -902,7 +1160,7 @@ impl Machine {
                     of,
                 };
                 if self.dift_on {
-                    self.taint.flags = self.taint.reg(dst);
+                    self.ctx.taint.flags = self.ctx.taint.reg(dst);
                 }
             }
             Inst::Not { dst } => {
@@ -912,20 +1170,21 @@ impl Machine {
             Inst::Cmp { lhs, rhs } => {
                 self.cpu.flags = cmp_flags(self.cpu.get(lhs), self.operand(&rhs));
                 if self.dift_on {
-                    self.taint.flags = self.taint.reg(lhs) | self.operand_tag(&rhs);
+                    self.ctx.taint.flags = self.ctx.taint.reg(lhs) | self.operand_tag(&rhs);
                 }
             }
             Inst::Test { lhs, rhs } => {
                 self.cpu.flags = test_flags(self.cpu.get(lhs), self.operand(&rhs));
                 if self.dift_on {
-                    self.taint.flags = self.taint.reg(lhs) | self.operand_tag(&rhs);
+                    self.ctx.taint.flags = self.ctx.taint.reg(lhs) | self.operand_tag(&rhs);
                 }
             }
             Inst::Set { cc, dst } => {
                 let v = self.cpu.flags.eval(cc) as u64;
                 self.cpu.set(dst, v);
                 if self.dift_on {
-                    self.taint.set_reg(dst, self.taint.flags);
+                    let t = self.ctx.taint.flags;
+                    self.ctx.taint.set_reg(dst, t);
                 }
             }
             Inst::Cmov { cc, dst, src } => {
@@ -934,8 +1193,8 @@ impl Machine {
                 if self.cpu.flags.eval(cc) {
                     self.cpu.set(dst, self.cpu.get(src));
                     if self.dift_on {
-                        self.taint
-                            .set_reg(dst, self.taint.reg(src) | self.taint.flags);
+                        let t = self.ctx.taint.reg(src) | self.ctx.taint.flags;
+                        self.ctx.taint.set_reg(dst, t);
                     }
                 }
             }
@@ -945,9 +1204,9 @@ impl Machine {
                 if self.in_sim()
                     && self.dift_on
                     && self.policy == Policy::Kasper
-                    && self.taint.flags.is_secret()
+                    && self.ctx.taint.flags.is_secret()
                 {
-                    let t = self.taint.flags;
+                    let t = self.ctx.taint.flags;
                     self.report(
                         Channel::Port,
                         t,
@@ -969,7 +1228,7 @@ impl Machine {
                 self.store_at(sp, AccessSize::B8, next_pc, Tag::CLEAN, Tag::CLEAN, pc)?;
                 self.cpu.set(Reg::SP, sp);
                 if self.asan_on && !self.in_sim() {
-                    self.asan.poison_ret_slot(sp);
+                    self.ctx.asan.poison_ret_slot(sp);
                 }
                 self.cpu.pc = target;
             }
@@ -979,7 +1238,7 @@ impl Machine {
                 self.store_at(sp, AccessSize::B8, next_pc, Tag::CLEAN, Tag::CLEAN, pc)?;
                 self.cpu.set(Reg::SP, sp);
                 if self.asan_on && !self.in_sim() {
-                    self.asan.poison_ret_slot(sp);
+                    self.ctx.asan.poison_ret_slot(sp);
                 }
                 self.cpu.pc = t;
             }
@@ -988,9 +1247,9 @@ impl Machine {
             }
             Inst::Ret => {
                 let sp = self.cpu.get(Reg::SP);
-                let t = self.mem.read_uint(sp, 8).map_err(Fault::Mem)?;
+                let t = self.ctx.mem.read_uint(sp, 8).map_err(Fault::Mem)?;
                 if self.asan_on && !self.in_sim() {
-                    self.asan.unpoison_ret_slot(sp);
+                    self.ctx.asan.unpoison_ret_slot(sp);
                 }
                 self.cpu.set(Reg::SP, sp.wrapping_add(8));
                 self.cpu.pc = t;
@@ -1018,7 +1277,7 @@ impl Machine {
             // ----------------------------------------------------------
             Inst::SimStart { tramp } => {
                 let branch_orig = self.orig_pc(pc);
-                let depth = self.checkpoints.len() as u32;
+                let depth = self.ctx.checkpoints.len() as u32;
                 let enter = if depth == 0 {
                     heur.enter_top(branch_orig)
                 } else if self.nested_on {
@@ -1044,7 +1303,7 @@ impl Machine {
             }
             Inst::SimCheck => {
                 if self.in_sim() {
-                    let frame = self.checkpoints.last().expect("in_sim");
+                    let frame = self.ctx.checkpoints.last().expect("in_sim");
                     let executed = self.prog_insts - frame.insts_at_entry;
                     if executed >= self.opts.config.rob_budget as u64 {
                         self.rollback();
@@ -1063,12 +1322,12 @@ impl Machine {
             } => {
                 let addr = self.ea(&mem);
                 let n = size.bytes();
-                let oob = self.asan.is_poisoned(addr, n) || !self.mem.is_mapped(addr, n);
+                let oob = self.ctx.asan.is_poisoned(addr, n) || !self.ctx.mem.is_mapped(addr, n);
                 if self.in_sim() {
                     if self.trace && oob {
                         eprintln!(
                             "[trace] asan OOB at {pc:#x} addr {addr:#x} depth {}",
-                            self.checkpoints.len()
+                            self.ctx.checkpoints.len()
                         );
                     }
                     self.pending_oob = Some(PendingOob { oob });
@@ -1091,16 +1350,16 @@ impl Machine {
             }
             Inst::CovTrace { guard } => {
                 if self.in_sim() {
-                    self.cov_spec.hit(guard);
+                    self.ctx.cov_spec.hit(guard);
                 } else {
-                    self.cov_normal.hit(guard);
+                    self.ctx.cov_normal.hit(guard);
                 }
             }
             Inst::CovNote { guard } => {
                 if self.in_sim() {
-                    self.covnotes.push(guard);
+                    self.ctx.covnotes.push(guard);
                 } else {
-                    self.cov_normal.hit(guard);
+                    self.ctx.cov_normal.hit(guard);
                 }
             }
             Inst::Guard => {
@@ -1115,18 +1374,19 @@ impl Machine {
     fn ind_check(&mut self, kind: IndKind, _pc: u64) -> Result<Step, Fault> {
         let target = match kind {
             IndKind::Ret => self
+                .ctx
                 .mem
                 .read_uint(self.cpu.get(Reg::SP), 8)
                 .map_err(Fault::Mem)?,
             IndKind::Call(r) | IndKind::Jmp(r) => self.cpu.get(r),
         };
-        let meta = self.meta.as_ref().expect("ind.check requires metadata");
+        let meta = self.prog.meta().expect("ind.check requires metadata");
         if meta.in_shadow(target) {
             return Ok(Step::Continue);
         }
         let redirect = if meta.in_real(target) {
             // Probe for the special marker NOP at the target block.
-            let bytes = self.mem.read_for_decode(target, 1);
+            let bytes = self.ctx.mem.read_for_decode(target, 1);
             let marked = matches!(decode_at(&bytes, target), Ok((Inst::MarkerNop, _)));
             if marked {
                 meta.shadow_of(target)
@@ -1176,15 +1436,18 @@ impl Machine {
                 let n = len.min(avail);
                 for i in 0..n {
                     let b = self.opts.input[self.input_pos + i];
-                    self.mem.write_u8(buf + i as u64, b).map_err(Fault::Mem)?;
+                    self.ctx
+                        .mem
+                        .write_u8(buf + i as u64, b)
+                        .map_err(Fault::Mem)?;
                 }
                 if self.dift_on && self.opts.config.taint_input_sources && n > 0 {
-                    self.taint.set_mem_range(buf, n as u64, Tag::USER);
+                    self.ctx.taint.set_mem_range(buf, n as u64, Tag::USER);
                 }
                 self.input_pos += n;
                 self.cpu.set(Reg::R0, n as u64);
                 if self.dift_on {
-                    self.taint.set_reg(Reg::R0, Tag::CLEAN);
+                    self.ctx.taint.set_reg(Reg::R0, Tag::CLEAN);
                 }
             }
             sys::INPUT_SIZE => {
@@ -1193,63 +1456,48 @@ impl Machine {
             sys::WRITE => {
                 let buf = self.cpu.get(Reg::R1);
                 let len = self.cpu.get(Reg::R2);
-                let bytes = self.mem.read_bytes(buf, len).map_err(Fault::Mem)?;
-                self.output.extend_from_slice(&bytes);
+                let bytes = self.ctx.mem.read_bytes(buf, len).map_err(Fault::Mem)?;
+                self.ctx.output.extend_from_slice(&bytes);
                 self.cpu.set(Reg::R0, len);
             }
             sys::MALLOC => {
                 let size = self.cpu.get(Reg::R1);
-                let (base, map_start, map_len) = self.asan.malloc(size);
-                self.mem.map_region(map_start, map_len, true);
+                let (base, map_start, map_len) = self.ctx.asan.malloc(size);
+                self.ctx.mem.map_region(map_start, map_len, true);
                 // Fill the redzones with ASan's classic 0xfa pattern:
                 // speculative out-of-bounds reads observe non-zero
                 // "heap garbage", as they would in a real process.
                 for a in map_start..base {
-                    self.mem.poke(a, 0xfa);
+                    self.ctx.mem.poke(a, 0xfa);
                 }
                 for a in (base + size.max(1))..(map_start + map_len) {
-                    self.mem.poke(a, 0xfa);
+                    self.ctx.mem.poke(a, 0xfa);
                 }
                 self.cpu.set(Reg::R0, base);
                 if self.dift_on {
-                    self.taint.set_reg(Reg::R0, Tag::CLEAN);
+                    self.ctx.taint.set_reg(Reg::R0, Tag::CLEAN);
                 }
             }
             sys::FREE => {
-                self.asan.free(self.cpu.get(Reg::R1));
+                let base = self.cpu.get(Reg::R1);
+                self.ctx.asan.free(base);
             }
             sys::PRINT_INT => {
                 let v = self.cpu.get(Reg::R1) as i64;
-                self.output.extend_from_slice(format!("{v}\n").as_bytes());
+                self.ctx
+                    .output
+                    .extend_from_slice(format!("{v}\n").as_bytes());
             }
             sys::ABORT => return Ok(Step::Stop(ExitStatus::Abort)),
             sys::MARK_USER => {
                 let buf = self.cpu.get(Reg::R1);
                 let len = self.cpu.get(Reg::R2);
                 if self.dift_on {
-                    self.taint.union_mem_range(buf, len, Tag::USER);
+                    self.ctx.taint.union_mem_range(buf, len, Tag::USER);
                 }
             }
             _ => return Ok(Step::Stop(ExitStatus::Abort)),
         }
         Ok(Step::Continue)
-    }
-}
-
-/// Cost of one instruction under native execution (see `teapot-rt::cost`).
-fn inst_cost(inst: &Inst<u64>) -> u64 {
-    match inst {
-        Inst::SimStart { .. } => cost::SIM_START,
-        Inst::SimCheck => cost::SIM_CHECK,
-        Inst::SimEnd => cost::SIM_END,
-        Inst::AsanCheck { .. } => cost::ASAN_CHECK,
-        Inst::MemLog { .. } => cost::MEMLOG,
-        Inst::TagProp => cost::TAG_PROP,
-        Inst::TagBlockProp { n } => cost::tag_block_prop(*n),
-        Inst::IndCheck { .. } => cost::IND_CHECK,
-        Inst::CovTrace { .. } => cost::COV_TRACE,
-        Inst::CovNote { .. } => cost::COV_NOTE,
-        Inst::Guard => cost::GUARD,
-        _ => cost::PLAIN_INST,
     }
 }

@@ -9,7 +9,7 @@
 //! unmapped pages fault, and stores to read-only pages fault. Byte-accurate
 //! out-of-bounds detection is ASan's job, not the MMU's.
 
-use std::collections::HashMap;
+use teapot_rt::FxHashMap;
 
 /// Page size in bytes (must be a power of two).
 pub const PAGE_SIZE: u64 = 4096;
@@ -27,12 +27,16 @@ pub enum MemFault {
 struct Page {
     bytes: Box<[u8; PAGE_SIZE as usize]>,
     writable: bool,
+    /// Written to since the last [`PagedMem::reset_to`] (or creation).
+    /// Lets a reusable execution context restore only the pages a run
+    /// touched instead of rebuilding the whole image.
+    dirty: bool,
 }
 
 /// Sparse paged memory with page-granular permissions.
 #[derive(Clone, Default)]
 pub struct PagedMem {
-    pages: HashMap<u64, Page>,
+    pages: FxHashMap<u64, Page>,
 }
 
 impl std::fmt::Debug for PagedMem {
@@ -63,9 +67,39 @@ impl PagedMem {
                 .or_insert_with(|| Page {
                     bytes: Box::new([0; PAGE_SIZE as usize]),
                     writable,
+                    dirty: true,
                 })
                 .writable |= writable;
         }
+    }
+
+    /// Marks the current contents as the pristine baseline: clears every
+    /// dirty flag. Called once after the loader builds the initial image.
+    pub fn seal_pristine(&mut self) {
+        for p in self.pages.values_mut() {
+            p.dirty = false;
+        }
+    }
+
+    /// Restores this address space to `pristine` in place, reusing page
+    /// allocations: pages the last run wrote are byte-copied back from
+    /// `pristine`, pages the run created (heap) are dropped, untouched
+    /// pages are left alone.
+    ///
+    /// `self` must have started as a clone of `pristine` (pages are never
+    /// unmapped during a run, so `self`'s page set is always a superset).
+    pub fn reset_to(&mut self, pristine: &PagedMem) {
+        self.pages.retain(|id, page| match pristine.pages.get(id) {
+            Some(p) => {
+                if page.dirty {
+                    page.bytes.copy_from_slice(&p.bytes[..]);
+                    page.dirty = false;
+                }
+                page.writable = p.writable;
+                true
+            }
+            None => false,
+        });
     }
 
     /// Whether every byte of `[addr, addr+len)` is mapped.
@@ -94,6 +128,7 @@ impl PagedMem {
             let a = addr + i as u64;
             let page = self.pages.get_mut(&(a / PAGE_SIZE)).expect("mapped");
             page.bytes[(a % PAGE_SIZE) as usize] = b;
+            page.dirty = true;
         }
     }
 
@@ -126,6 +161,7 @@ impl PagedMem {
             return Err(MemFault::ReadOnly { addr });
         }
         page.bytes[(addr % PAGE_SIZE) as usize] = value;
+        page.dirty = true;
         Ok(())
     }
 
@@ -178,8 +214,10 @@ impl PagedMem {
         let page = self.pages.entry(addr / PAGE_SIZE).or_insert_with(|| Page {
             bytes: Box::new([0; PAGE_SIZE as usize]),
             writable: false,
+            dirty: true,
         });
         page.bytes[(addr % PAGE_SIZE) as usize] = value;
+        page.dirty = true;
     }
 
     /// Reads up to `max` bytes for instruction decoding, stopping at an
@@ -269,6 +307,36 @@ mod tests {
         assert!(!m.is_mapped(0x5fff, 2));
         assert!(!m.is_mapped(u64::MAX, 2));
         assert!(m.is_mapped(0x1234, 0));
+    }
+
+    #[test]
+    fn reset_to_restores_the_pristine_image() {
+        let mut pristine = PagedMem::new();
+        pristine.map_region(0x1000, 64, true);
+        pristine.write_forced(0x1000, &[1, 2, 3, 4]);
+        pristine.map_region(0x4000, 16, false);
+        pristine.poke(0x4000, 0xAA);
+        pristine.seal_pristine();
+
+        let mut live = pristine.clone();
+        // Dirty an existing page, create a fresh one (heap-like).
+        live.write_u8(0x1002, 0xFF).unwrap();
+        live.map_region(0x9000, 32, true);
+        live.write_u8(0x9000, 0x55).unwrap();
+        assert_eq!(live.mapped_pages(), pristine.mapped_pages() + 1);
+
+        live.reset_to(&pristine);
+        assert_eq!(live.mapped_pages(), pristine.mapped_pages());
+        assert_eq!(live.read_u8(0x1002).unwrap(), 3);
+        assert_eq!(live.read_u8(0x4000).unwrap(), 0xAA);
+        assert!(!live.is_mapped(0x9000, 1));
+        // Read-only permission restored too.
+        assert!(live.write_u8(0x4000, 1).is_err());
+
+        // A second run over the reset memory behaves like a first run.
+        live.write_u8(0x1002, 0x77).unwrap();
+        live.reset_to(&pristine);
+        assert_eq!(live.read_u8(0x1002).unwrap(), 3);
     }
 
     #[test]

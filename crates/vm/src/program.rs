@@ -1,0 +1,334 @@
+//! Binary-wide predecoded programs.
+//!
+//! The seed interpreter paid fetch + decode through a per-run
+//! `HashMap<u64, (Inst, u8)>` instruction cache that was rebuilt for
+//! every `Machine` — once per fuzz input. A [`Program`] hoists that work
+//! to **once per binary**: every executable section is decoded up front
+//! (via `teapot-isa`'s block walk, plus an exhaustive per-byte sweep so
+//! even wild speculative control flow that lands mid-instruction hits
+//! the table), each instruction carries its precomputed metadata
+//! (length, instrumentation class, cost class, Real-Copy membership),
+//! and the whole structure is immutable — wrap it in an [`Arc`] and
+//! every campaign shard and worker thread shares one decode pass.
+//!
+//! A `Program` also owns the **pristine memory image** of the binary
+//! (loadable sections plus the stack mapping). A fresh run no longer
+//! re-pokes every section byte into a new address space; it clones the
+//! image once per [`ExecContext`](crate::ExecContext) and thereafter
+//! restores only the dirty pages between runs.
+//!
+//! Correctness note: predecoding is semantically transparent because
+//! code pages are read-only in the VM (stores to them fault before the
+//! memory log records anything), so `decode_at` over the pristine image
+//! at address `pc` is exactly what the seed's lazy per-run decode
+//! computed. The `teapot` facade crate carries a differential test that
+//! replays the full workload suite through both the predecoded and the
+//! uncached path and asserts identical outcomes.
+
+use crate::mem::PagedMem;
+use std::sync::Arc;
+use teapot_isa::{decode_at, walk_blocks, Inst, INST_MAX_LEN};
+use teapot_obj::{BinFlags, Binary};
+use teapot_rt::layout::{STACK_LIMIT, STACK_TOP};
+use teapot_rt::{cost, TeapotMeta};
+
+/// Entry flag: the instruction is rewriter-inserted instrumentation.
+pub(crate) const F_INSTR: u8 = 1;
+/// Entry flag: the address lies in the Real Copy (`TeapotMeta`).
+pub(crate) const F_IN_REAL: u8 = 2;
+/// Entry flag: charged even in single-copy normal mode
+/// (`guard`/`sim.start`/`cov.trace` — the always-on overhead of the
+/// SpecFuzz-style layout, paper Listing 3).
+pub(crate) const F_ALWAYS_CHARGE: u8 = 4;
+/// Entry flag: the decode at this address consumed (or its failure may
+/// depend on) bytes beyond the executable section — bytes that are not
+/// guaranteed immutable at run time. The VM must use the live decoder
+/// here; only the address-derived flags of the entry are valid.
+pub(crate) const F_LIVE: u8 = 8;
+
+/// One predecoded table slot: the instruction starting at an address.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Entry {
+    pub inst: Inst<u64>,
+    /// Encoded length; `0` marks an address where decoding fails (the
+    /// VM raises the same invalid-instruction fault the live decoder
+    /// would).
+    pub len: u8,
+    pub flags: u8,
+    /// Native-execution cost class (`teapot-rt::cost`).
+    pub cost: u32,
+}
+
+/// A predecoded executable region (one `.text`-kind section).
+struct Region {
+    start: u64,
+    /// One entry per byte offset in `[start, start + entries.len())`.
+    entries: Vec<Entry>,
+}
+
+/// What one decode pass covered — reported by the campaign tooling so
+/// the "decode once vs. once per run" saving is visible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Basic blocks recovered by the linear walk.
+    pub blocks: usize,
+    /// Instructions in the canonical (linear-walk) stream.
+    pub insts: usize,
+    /// Executable bytes predecoded (table slots).
+    pub bytes: usize,
+    /// Bytes the linear walk could not decode (data islands).
+    pub undecoded_bytes: usize,
+}
+
+/// An immutable, binary-wide predecoded program: shared decode tables,
+/// per-instruction metadata and the pristine memory image.
+pub struct Program {
+    /// Process-unique identity, so a pooled [`ExecContext`] can detect
+    /// (and recover from) being handed a different program than the one
+    /// its pristine image came from.
+    ///
+    /// [`ExecContext`]: crate::ExecContext
+    pub(crate) uid: u64,
+    /// Entry-point address.
+    pub entry: u64,
+    /// Feature flags of the underlying binary.
+    pub flags: BinFlags,
+    meta: Option<TeapotMeta>,
+    regions: Vec<Region>,
+    pristine: PagedMem,
+    stats: DecodeStats,
+    /// `(start, end)` basic-block spans from the linear walk, sorted.
+    block_spans: Vec<(u64, u64)>,
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("entry", &self.entry)
+            .field("regions", &self.regions.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Program {
+    /// Decodes `binary` once: builds the pristine memory image, the
+    /// per-byte instruction tables for every executable section and the
+    /// basic-block statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instrumented binary carries a malformed
+    /// `.teapot.meta` section (a rewriter bug, not a runtime input) —
+    /// the same contract the per-run loader had.
+    pub fn new(binary: &Binary) -> Program {
+        // The initial address space, exactly as the per-run loader built
+        // it: loadable sections (bytes poked over zero-filled pages),
+        // then the stack mapping.
+        let mut mem = PagedMem::new();
+        for sec in &binary.sections {
+            if !sec.kind.is_loadable() {
+                continue;
+            }
+            mem.map_region(sec.vaddr, sec.mem_size.max(1), sec.kind.is_writable());
+            for (i, &b) in sec.bytes.iter().enumerate() {
+                mem.poke(sec.vaddr + i as u64, b);
+            }
+        }
+        mem.map_region(STACK_TOP - STACK_LIMIT, STACK_LIMIT, true);
+        mem.seal_pristine();
+
+        let meta = binary
+            .note(".teapot.meta")
+            .map(|n| TeapotMeta::from_bytes(&n.bytes).expect("malformed .teapot.meta section"));
+
+        let mut stats = DecodeStats::default();
+        let mut regions = Vec::new();
+        let mut block_spans = Vec::new();
+        for sec in &binary.sections {
+            if !sec.kind.is_executable() {
+                continue;
+            }
+            let start = sec.vaddr;
+            let span = sec.mem_size.max(1) as usize;
+
+            // Canonical instruction stream + block structure. The walk's
+            // decodes are reused directly as table entries below — an
+            // instruction the walk recovered saw exactly the bytes the
+            // live decoder would (a decode that would straddle the
+            // section end comes back truncated and is not reused).
+            let image = mem.read_for_decode(start, span);
+            let walk = walk_blocks(&image, start);
+            stats.blocks += walk.blocks.len();
+            stats.insts += walk.insts.len();
+            stats.bytes += span;
+            stats.undecoded_bytes += walk.undecoded_bytes;
+            block_spans.extend(walk.blocks.iter().map(|b| (b.start, b.end)));
+
+            // Exhaustive per-byte table: start from the walk's canonical
+            // stream, then decode the remaining offsets (mid-instruction
+            // addresses, data islands) against the pristine image, so
+            // even wild speculative control flow hits the table with the
+            // live decoder's answer.
+            //
+            // Trust boundary: an entry is only frozen into the table if
+            // every byte its decode consumed — or, for a failed decode,
+            // every byte its verdict may depend on — lies inside this
+            // section, whose pages are immutable at run time. Entries in
+            // the section's last few bytes may read into an adjacent
+            // *writable* page; those are marked `F_LIVE` and the VM
+            // decodes them from current guest memory instead (the seed
+            // semantics for mutable bytes).
+            let bad = |va: u64| Entry {
+                inst: Inst::Nop,
+                len: 0,
+                flags: addr_flags(meta.as_ref(), va),
+                cost: 0,
+            };
+            let mut entries: Vec<Entry> = (0..span).map(|off| bad(start + off as u64)).collect();
+            let mut decoded = vec![false; span];
+            for wi in &walk.insts {
+                let off = (wi.va - start) as usize;
+                entries[off] = Entry {
+                    flags: entry_flags(&wi.inst, meta.as_ref(), wi.va),
+                    cost: inst_cost(&wi.inst) as u32,
+                    inst: wi.inst,
+                    len: wi.len,
+                };
+                decoded[off] = true;
+            }
+            for off in 0..span {
+                if decoded[off] {
+                    continue;
+                }
+                let va = start + off as u64;
+                let bytes = mem.read_for_decode(va, INST_MAX_LEN);
+                match decode_at(&bytes, va) {
+                    Ok((inst, len)) if off + len <= span => {
+                        entries[off] = Entry {
+                            flags: entry_flags(&inst, meta.as_ref(), va),
+                            cost: inst_cost(&inst) as u32,
+                            inst,
+                            len: len as u8,
+                        };
+                    }
+                    Ok(_) => entries[off].flags |= F_LIVE,
+                    Err(_) if off + INST_MAX_LEN > span => entries[off].flags |= F_LIVE,
+                    Err(_) => {}
+                }
+            }
+            regions.push(Region { start, entries });
+        }
+        regions.sort_by_key(|r| r.start);
+        block_spans.sort_unstable();
+
+        static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        Program {
+            uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            entry: binary.entry,
+            flags: binary.flags,
+            meta,
+            regions,
+            pristine: mem,
+            stats,
+            block_spans,
+        }
+    }
+
+    /// Convenience: decode once and wrap for sharing across shards and
+    /// worker threads.
+    pub fn shared(binary: &Binary) -> Arc<Program> {
+        Arc::new(Program::new(binary))
+    }
+
+    /// Parsed `.teapot.meta`, if the binary is instrumented.
+    pub fn meta(&self) -> Option<&TeapotMeta> {
+        self.meta.as_ref()
+    }
+
+    /// What the decode pass covered.
+    pub fn stats(&self) -> &DecodeStats {
+        &self.stats
+    }
+
+    /// `(start, end)` address spans of the basic blocks the linear walk
+    /// recovered, sorted by start address.
+    pub fn blocks(&self) -> &[(u64, u64)] {
+        &self.block_spans
+    }
+
+    /// The pristine initial memory image (sections + stack).
+    pub(crate) fn pristine(&self) -> &PagedMem {
+        &self.pristine
+    }
+
+    /// Predecoded entry at `pc`, or `None` when `pc` is outside every
+    /// executable section (the VM then falls back to live decoding, the
+    /// seed behavior for such addresses).
+    #[inline]
+    pub(crate) fn fetch(&self, pc: u64) -> Option<&Entry> {
+        for r in &self.regions {
+            if pc >= r.start {
+                let off = (pc - r.start) as usize;
+                if off < r.entries.len() {
+                    return Some(&r.entries[off]);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Address-derived flags, valid whether or not the address decodes:
+/// the Real-Copy safety net must fire for undecodable Real-Copy
+/// addresses too (counted as an escape, not an invalid-instruction
+/// fault — exactly the seed's check order).
+fn addr_flags(meta: Option<&TeapotMeta>, va: u64) -> u8 {
+    if meta.is_some_and(|m| m.in_real(va)) {
+        F_IN_REAL
+    } else {
+        0
+    }
+}
+
+fn entry_flags(inst: &Inst<u64>, meta: Option<&TeapotMeta>, va: u64) -> u8 {
+    let (is_instr, always_charge, _) = inst_meta(inst);
+    let mut f = addr_flags(meta, va);
+    if is_instr {
+        f |= F_INSTR;
+    }
+    if always_charge {
+        f |= F_ALWAYS_CHARGE;
+    }
+    f
+}
+
+/// The per-instruction execution metadata `(is_instrumentation,
+/// always_charge, cost)` — the single definition behind both the frozen
+/// table entries and the VM's live-decode path, so the two can never
+/// diverge on cost accounting.
+pub(crate) fn inst_meta(inst: &Inst<u64>) -> (bool, bool, u64) {
+    let always_charge = matches!(
+        inst,
+        Inst::Guard | Inst::SimStart { .. } | Inst::CovTrace { .. }
+    );
+    (inst.is_instrumentation(), always_charge, inst_cost(inst))
+}
+
+/// Cost of one instruction under native execution (see `teapot-rt::cost`).
+pub(crate) fn inst_cost(inst: &Inst<u64>) -> u64 {
+    match inst {
+        Inst::SimStart { .. } => cost::SIM_START,
+        Inst::SimCheck => cost::SIM_CHECK,
+        Inst::SimEnd => cost::SIM_END,
+        Inst::AsanCheck { .. } => cost::ASAN_CHECK,
+        Inst::MemLog { .. } => cost::MEMLOG,
+        Inst::TagProp => cost::TAG_PROP,
+        Inst::TagBlockProp { n } => cost::tag_block_prop(*n),
+        Inst::IndCheck { .. } => cost::IND_CHECK,
+        Inst::CovTrace { .. } => cost::COV_TRACE,
+        Inst::CovNote { .. } => cost::COV_NOTE,
+        Inst::Guard => cost::GUARD,
+        _ => cost::PLAIN_INST,
+    }
+}

@@ -8,15 +8,14 @@
 //! `tag.prop`/`tag.blockprop` instrumentation opcodes carry the cost model
 //! (see DESIGN.md §3, "Semantic note").
 
-use std::collections::HashMap;
-use teapot_rt::Tag;
+use teapot_rt::{FxHashMap, Tag};
 
 const PAGE: u64 = 4096;
 
 /// Sparse byte-tag shadow plus register/FLAGS tags.
 #[derive(Clone, Default)]
 pub struct TaintEngine {
-    mem: HashMap<u64, Box<[u8; PAGE as usize]>>,
+    mem: FxHashMap<u64, Box<[u8; PAGE as usize]>>,
     /// Per-register tag folds.
     pub regs: [Tag; 16],
     /// Tags of the operands of the last FLAGS-writing instruction
@@ -101,6 +100,17 @@ impl TaintEngine {
         self.regs = [Tag::CLEAN; 16];
         self.flags = Tag::CLEAN;
     }
+
+    /// Makes the engine observably identical to a fresh one while
+    /// keeping the shadow-page allocations for reuse across runs: every
+    /// shadow page is zeroed (a zeroed page reads exactly like an absent
+    /// one) and all register/FLAGS tags are cleared.
+    pub fn reset(&mut self) {
+        for page in self.mem.values_mut() {
+            page.fill(0);
+        }
+        self.clear_regs();
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +151,18 @@ mod tests {
         assert_eq!(t.reg(Reg::R3), Tag::USER);
         t.clear_regs();
         assert_eq!(t.reg(Reg::R3), Tag::CLEAN);
+    }
+
+    #[test]
+    fn reset_reads_like_fresh() {
+        let mut t = TaintEngine::new();
+        t.set_mem_range(100, 4, Tag::USER);
+        t.set_reg(Reg::R1, Tag::SECRET_USER);
+        t.flags = Tag::USER;
+        t.reset();
+        assert_eq!(t.mem_range_tag(0, 256), Tag::CLEAN);
+        assert_eq!(t.reg(Reg::R1), Tag::CLEAN);
+        assert_eq!(t.flags, Tag::CLEAN);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Differential decode test: the predecoded-`Program` dispatch path must
+//! be observably identical to the seed's per-step live decoding.
+//!
+//! The execution-pipeline refactor replaced the per-run lazy instruction
+//! cache with a binary-wide predecoded table. The live decoder is kept
+//! behind a test hook (`Machine::set_uncached_decode`); this suite runs
+//! the full workload set through **both** paths — Teapot-instrumented
+//! native execution, the single-copy SpecFuzz baseline, and SpecTaint
+//! emulation of the original binary — and asserts bit-identical
+//! `RunOutcome`s: status, cost accounting, instruction counts, gadget
+//! reports, both coverage maps, program output and simulation counters.
+
+use teapot::cc::Options;
+use teapot::core::{rewrite, RewriteOptions};
+use teapot::obj::Binary;
+use teapot::vm::{EmuStyle, Machine, RunOptions, SpecHeuristics};
+
+fn outcome(
+    bin: &Binary,
+    input: &[u8],
+    emu: EmuStyle,
+    fuel: u64,
+    uncached: bool,
+) -> teapot::vm::RunOutcome {
+    let mut heur = SpecHeuristics::default();
+    let mut m = Machine::new(
+        bin,
+        RunOptions {
+            input: input.to_vec(),
+            emu,
+            fuel,
+            ..RunOptions::default()
+        },
+    );
+    m.set_uncached_decode(uncached);
+    m.run(&mut heur)
+}
+
+fn assert_paths_agree(bin: &Binary, input: &[u8], emu: EmuStyle, fuel: u64, what: &str) {
+    let cached = outcome(bin, input, emu, fuel, false);
+    let live = outcome(bin, input, emu, fuel, true);
+    assert_eq!(cached.status, live.status, "{what}: status");
+    assert_eq!(cached.cost, live.cost, "{what}: cost units");
+    assert_eq!(cached.insts, live.insts, "{what}: instruction count");
+    assert_eq!(cached.gadgets, live.gadgets, "{what}: gadget reports");
+    assert_eq!(
+        cached.cov_normal.raw(),
+        live.cov_normal.raw(),
+        "{what}: normal coverage map"
+    );
+    assert_eq!(
+        cached.cov_spec.raw(),
+        live.cov_spec.raw(),
+        "{what}: speculative coverage map"
+    );
+    assert_eq!(cached.output, live.output, "{what}: program output");
+    assert_eq!(cached.sim_entries, live.sim_entries, "{what}: sim entries");
+    assert_eq!(cached.rollbacks, live.rollbacks, "{what}: rollbacks");
+    assert_eq!(cached.escapes, live.escapes, "{what}: escapes");
+}
+
+/// A second, adversarial input per workload: flip bytes of the first
+/// seed so runs stray from the happy path (crashes and wild speculative
+/// control flow exercise the fallback decoder too).
+fn mangled(seed: &[u8]) -> Vec<u8> {
+    let mut v = seed.to_vec();
+    if v.is_empty() {
+        v = vec![0xff; 8];
+    }
+    for (i, b) in v.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *b ^= 0xa5;
+        }
+    }
+    v
+}
+
+#[test]
+fn teapot_instrumented_runs_identically_on_both_decode_paths() {
+    for w in teapot::workloads::all() {
+        let mut cots = w.build(&Options::gcc_like()).unwrap();
+        cots.strip();
+        let inst = rewrite(&cots, &RewriteOptions::default()).unwrap();
+        for (i, seed) in w.seeds.iter().take(2).enumerate() {
+            assert_paths_agree(
+                &inst,
+                seed,
+                EmuStyle::Native,
+                RunOptions::default().fuel,
+                &format!("{} (teapot, seed {i})", w.name),
+            );
+        }
+        let bad = mangled(&w.seeds[0]);
+        assert_paths_agree(
+            &inst,
+            &bad,
+            EmuStyle::Native,
+            RunOptions::default().fuel,
+            &format!("{} (teapot, mangled)", w.name),
+        );
+    }
+}
+
+#[test]
+fn single_copy_baseline_runs_identically_on_both_decode_paths() {
+    let w = teapot::workloads::jsmn_like();
+    let mut cots = w.build(&Options::gcc_like()).unwrap();
+    cots.strip();
+    let sf =
+        teapot::baselines::specfuzz_rewrite(&cots, &teapot::baselines::SpecFuzzOptions::default())
+            .unwrap();
+    for (i, seed) in w.seeds.iter().take(2).enumerate() {
+        assert_paths_agree(
+            &sf,
+            seed,
+            EmuStyle::Native,
+            RunOptions::default().fuel,
+            &format!("jsmn (specfuzz, seed {i})"),
+        );
+    }
+    assert_paths_agree(
+        &sf,
+        &mangled(&w.seeds[0]),
+        EmuStyle::Native,
+        RunOptions::default().fuel,
+        "jsmn (specfuzz, mangled)",
+    );
+}
+
+#[test]
+fn spectaint_emulation_runs_identically_on_both_decode_paths() {
+    let w = teapot::workloads::jsmn_like();
+    let mut cots = w.build(&Options::gcc_like()).unwrap();
+    cots.strip();
+    // Emulation is ~150× costlier per instruction; a tighter fuel budget
+    // keeps the test fast while still ending both paths the same way.
+    let fuel = 20_000_000;
+    assert_paths_agree(
+        &cots,
+        &w.seeds[0],
+        EmuStyle::SpecTaint,
+        fuel,
+        "jsmn (spectaint, seed 0)",
+    );
+    assert_paths_agree(
+        &cots,
+        &mangled(&w.seeds[0]),
+        EmuStyle::SpecTaint,
+        fuel,
+        "jsmn (spectaint, mangled)",
+    );
+}
+
+#[test]
+fn pooled_context_reuse_matches_fresh_machines() {
+    // The other half of the refactor: a single ExecContext reset in
+    // place between runs must be indistinguishable from building a
+    // fresh Machine (new address space, shadows, coverage) per input —
+    // including after a crashing run and after a run that left
+    // simulation state behind.
+    use teapot::vm::{ExecContext, Program};
+    let w = teapot::workloads::jsmn_like();
+    let mut cots = w.build(&Options::gcc_like()).unwrap();
+    cots.strip();
+    let inst = rewrite(&cots, &RewriteOptions::default()).unwrap();
+
+    let prog = Program::shared(&inst);
+    let mut ctx = ExecContext::new(&prog);
+    let mut inputs: Vec<Vec<u8>> = w.seeds.iter().take(2).cloned().collect();
+    inputs.push(mangled(&w.seeds[0]));
+    inputs.push(w.seeds[0].clone()); // repeat: reuse after other inputs
+
+    for (i, input) in inputs.iter().enumerate() {
+        let opts = RunOptions {
+            input: input.clone(),
+            ..RunOptions::default()
+        };
+        let mut h_pooled = SpecHeuristics::default();
+        let stats = Machine::with_context(&prog, &mut ctx, opts.clone()).run_stats(&mut h_pooled);
+        let mut h_fresh = SpecHeuristics::default();
+        let fresh = Machine::new(&inst, opts).run(&mut h_fresh);
+
+        assert_eq!(stats.status, fresh.status, "input {i}: status");
+        assert_eq!(stats.cost, fresh.cost, "input {i}: cost");
+        assert_eq!(stats.insts, fresh.insts, "input {i}: insts");
+        assert_eq!(stats.sim_entries, fresh.sim_entries, "input {i}");
+        assert_eq!(stats.rollbacks, fresh.rollbacks, "input {i}");
+        assert_eq!(ctx.gadgets(), &fresh.gadgets[..], "input {i}: gadgets");
+        assert_eq!(
+            ctx.cov_normal().raw(),
+            fresh.cov_normal.raw(),
+            "input {i}: normal coverage"
+        );
+        assert_eq!(
+            ctx.cov_spec().raw(),
+            fresh.cov_spec.raw(),
+            "input {i}: speculative coverage"
+        );
+        assert_eq!(ctx.output(), &fresh.output[..], "input {i}: output");
+    }
+}

@@ -1,0 +1,49 @@
+//! Triage throughput benchmark: witness replays/sec and minimization
+//! steps on the openssl-like workload. Writes `BENCH_triage.json`.
+//!
+//! `--smoke` runs a short campaign for CI: it exercises the full triage
+//! pipeline — witness capture, deterministic replay, ddmin minimization,
+//! root-cause dedup — and fails loudly if the pooled replay path falls
+//! below a throughput floor (`TEAPOT_SMOKE_MIN_RPS`, default 10
+//! replays/sec — release-build replay runs at fuzzing speed, hundreds
+//! per second, so the floor trips on an order-of-magnitude regression
+//! without flaking on slow runners). The smoke run does not overwrite
+//! `BENCH_triage.json`.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let w = teapot_workloads::ssl_like();
+    let result = if smoke {
+        println!("Triage smoke: 8 shards x 2 epochs x 25 iters on {}", w.name);
+        teapot_bench::triage::run_scaled(&w, 8, 2, 25)
+    } else {
+        println!(
+            "Triage throughput: 8 shards x 3 epochs x 60 iters on {}",
+            w.name
+        );
+        teapot_bench::triage::run(&w)
+    };
+    println!("{}", teapot_bench::triage::render(&result));
+
+    let floor: f64 = std::env::var("TEAPOT_SMOKE_MIN_RPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    if result.replays_per_sec < floor {
+        eprintln!(
+            "triage bench FAILED: {:.0} replays/sec is below the {floor:.0} \
+             replays/sec floor (override with TEAPOT_SMOKE_MIN_RPS)",
+            result.replays_per_sec
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "throughput ok: {:.0} replays/sec (floor {floor:.0})",
+        result.replays_per_sec
+    );
+
+    if !smoke {
+        let json = teapot_bench::triage::render_json(&result);
+        std::fs::write("BENCH_triage.json", &json).expect("write BENCH_triage.json");
+        println!("wrote BENCH_triage.json");
+    }
+}

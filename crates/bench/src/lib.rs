@@ -8,6 +8,7 @@
 //! | [`table3`] | Table 3 (artificial-gadget detection) |
 //! | [`table4`] | Table 4 (vanilla-binary gadget counts) |
 //! | [`campaign`] | Campaign scaling (execs/sec vs worker count; not in the paper) |
+//! | [`triage`] | Triage throughput (witness replays/sec, minimization work; not in the paper) |
 //!
 //! Absolute numbers differ from the paper (the substrate is a simulator
 //! with a documented cost model, not an EPYC testbed); the *shape* —
@@ -24,6 +25,7 @@ pub mod fig2;
 pub mod runtime;
 pub mod table3;
 pub mod table4;
+pub mod triage;
 
 /// Builds the stripped COTS binary of a workload (GCC-flavoured
 /// lowering, like the paper's default toolchain for deployment).

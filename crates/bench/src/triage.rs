@@ -1,0 +1,153 @@
+//! Triage throughput benchmark: witness **replays per second** and
+//! **minimization work** over a real workload campaign.
+//!
+//! The triage subsystem's hot loop is deterministic replay — every
+//! witness replays once for validation and then dozens more times as
+//! ddmin candidates. This benchmark runs a campaign over an instrumented
+//! workload (openssl-like: its handshake parser yields a stable witness
+//! set at smoke scale), triages the result, and reports how fast the
+//! pooled-context replay path executes. The harness asserts that every
+//! witness reproduced — a replay failure would make the numbers
+//! meaningless *and* indicate a determinism bug.
+
+use std::time::Instant;
+use teapot_campaign::{Campaign, CampaignConfig};
+use teapot_core::{rewrite, RewriteOptions};
+use teapot_triage::{triage_report, TriageOptions};
+use teapot_vm::Program;
+use teapot_workloads::Workload;
+
+/// Results of one triage benchmark run.
+#[derive(Debug, Clone)]
+pub struct TriageBenchResult {
+    /// Workload name.
+    pub workload: String,
+    /// Campaign scale that produced the witnesses.
+    pub shards: u32,
+    /// Campaign epochs.
+    pub epochs: u32,
+    /// Witnesses triaged.
+    pub witnesses: usize,
+    /// Deduplicated root causes in the final database.
+    pub root_causes: usize,
+    /// Total VM executions triage performed (replays + candidates).
+    pub replays: u64,
+    /// ddmin candidate replays alone.
+    pub minimize_steps: u64,
+    /// Wall-clock seconds of the triage pass (campaign excluded).
+    pub secs: f64,
+    /// Replays per second — the headline number.
+    pub replays_per_sec: f64,
+    /// Mean raw witness input length, bytes.
+    pub avg_raw_len: f64,
+    /// Mean minimized reproducer length, bytes.
+    pub avg_min_len: f64,
+}
+
+/// Runs the benchmark on `w` at the given campaign scale.
+///
+/// # Panics
+///
+/// Panics if the campaign yields no witnesses or any witness fails to
+/// replay — both would invalidate the measurement.
+pub fn run_scaled(
+    w: &Workload,
+    shards: u32,
+    epochs: u32,
+    iters_per_epoch: u64,
+) -> TriageBenchResult {
+    let mut cots = crate::cots_binary(w);
+    cots.strip();
+    let bin = rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
+    let prog = Program::shared(&bin);
+
+    let cfg = CampaignConfig {
+        shards,
+        workers: 0,
+        epochs,
+        iters_per_epoch,
+        dictionary: w.dictionary.clone(),
+        ..CampaignConfig::default()
+    };
+    let mut campaign = Campaign::new(cfg.clone()).expect("valid config");
+    let report = campaign.run_shared(&prog, &w.seeds);
+    assert!(
+        !report.witnesses.is_empty(),
+        "campaign produced no witnesses to triage"
+    );
+
+    let started = Instant::now();
+    let (db, stats) = triage_report(w.name, &bin, &cfg, &report, &TriageOptions::default());
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        stats.replay_failures, 0,
+        "replay failures invalidate the bench"
+    );
+
+    let (mut raw_total, mut min_total, mut min_count) = (0usize, 0usize, 0usize);
+    for e in db.entries() {
+        raw_total += e.witness_input.len();
+        if let Some(m) = &e.minimized_input {
+            min_total += m.len();
+            min_count += 1;
+        }
+    }
+    let denom = db.entries().len().max(1) as f64;
+    TriageBenchResult {
+        workload: w.name.to_string(),
+        shards,
+        epochs,
+        witnesses: stats.witnesses,
+        root_causes: db.entries().len(),
+        replays: stats.replays,
+        minimize_steps: stats.minimize_steps,
+        secs,
+        replays_per_sec: stats.replays as f64 / secs.max(1e-9),
+        avg_raw_len: raw_total as f64 / denom,
+        avg_min_len: min_total as f64 / min_count.max(1) as f64,
+    }
+}
+
+/// Runs the benchmark at the default scale (8 shards × 3 epochs × 60).
+pub fn run(w: &Workload) -> TriageBenchResult {
+    run_scaled(w, 8, 3, 60)
+}
+
+/// Renders the result as text.
+pub fn render(r: &TriageBenchResult) -> String {
+    format!(
+        "workload {}: {} witness(es) -> {} root cause(s)\n\
+         {} replays ({} minimization candidates) in {:.2}s = {:.0} replays/sec\n\
+         reproducers: {:.1}B raw -> {:.1}B minimized on average\n",
+        r.workload,
+        r.witnesses,
+        r.root_causes,
+        r.replays,
+        r.minimize_steps,
+        r.secs,
+        r.replays_per_sec,
+        r.avg_raw_len,
+        r.avg_min_len,
+    )
+}
+
+/// Renders the result as the `BENCH_triage.json` document.
+pub fn render_json(r: &TriageBenchResult) -> String {
+    format!(
+        "{{\n  \"workload\": \"{}\",\n  \"shards\": {},\n  \"epochs\": {},\n  \
+         \"witnesses\": {},\n  \"root_causes\": {},\n  \"replays\": {},\n  \
+         \"minimize_steps\": {},\n  \"secs\": {:.4},\n  \"replays_per_sec\": {:.1},\n  \
+         \"avg_raw_len\": {:.1},\n  \"avg_min_len\": {:.1}\n}}\n",
+        r.workload,
+        r.shards,
+        r.epochs,
+        r.witnesses,
+        r.root_causes,
+        r.replays,
+        r.minimize_steps,
+        r.secs,
+        r.replays_per_sec,
+        r.avg_raw_len,
+        r.avg_min_len,
+    )
+}

@@ -59,6 +59,14 @@ pub fn render_report(r: &CampaignReport) -> String {
     out.push_str(&format!("  \"seed\": {},\n", r.seed));
     out.push_str(&format!("  \"shards\": {},\n", r.shards));
     out.push_str(&format!("  \"epochs\": {},\n", r.epochs));
+    out.push_str(&format!(
+        "  \"decode_cache\": {{\"blocks\": {}, \"insts\": {}, \"bytes\": {}, \
+         \"undecoded_bytes\": {}}},\n",
+        r.decode_stats.blocks,
+        r.decode_stats.insts,
+        r.decode_stats.bytes,
+        r.decode_stats.undecoded_bytes
+    ));
     out.push_str(&format!("  \"iters\": {},\n", r.iters));
     out.push_str(&format!("  \"total_cost\": {},\n", r.total_cost));
     out.push_str(&format!("  \"crashes\": {},\n", r.crashes));
@@ -138,6 +146,7 @@ mod tests {
                 depth: 2,
                 description: "load of \"secret\"\n".into(),
             }],
+            witnesses: Vec::new(),
             buckets: BTreeMap::from([("User-MDS".to_string(), 1)]),
             per_shard: vec![ShardSummary {
                 shard: 0,
@@ -147,6 +156,12 @@ mod tests {
                 crashes: 0,
                 total_cost: 2500,
             }],
+            decode_stats: teapot_vm::DecodeStats {
+                blocks: 3,
+                insts: 70,
+                bytes: 512,
+                undecoded_bytes: 0,
+            },
         }
     }
 

@@ -40,8 +40,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use teapot_fuzz::{CampaignState, ConfigError, FuzzConfig};
 use teapot_obj::Binary;
-use teapot_rt::{CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport};
-use teapot_vm::{EmuStyle, HeurStyle, Program};
+use teapot_rt::{CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport, GadgetWitness};
+use teapot_vm::{DecodeStats, EmuStyle, HeurStyle, Program};
 
 pub use snapshot::{CampaignSnapshot, SnapshotError};
 
@@ -75,6 +75,10 @@ pub struct CampaignConfig {
     pub heur_style: HeurStyle,
     /// Dictionary tokens spliced into inputs.
     pub dictionary: Vec<Vec<u8>>,
+    /// Capture replayable witnesses for first-seen gadgets (see
+    /// [`FuzzConfig::capture_witnesses`]). On by default; `teapot-triage`
+    /// requires them for deterministic replay and minimization.
+    pub capture_witnesses: bool,
 }
 
 impl Default for CampaignConfig {
@@ -92,6 +96,7 @@ impl Default for CampaignConfig {
             emu: f.emu,
             heur_style: f.heur_style,
             dictionary: f.dictionary,
+            capture_witnesses: f.capture_witnesses,
         }
     }
 }
@@ -128,6 +133,7 @@ impl CampaignConfig {
             emu: self.emu,
             heur_style: self.heur_style,
             dictionary: self.dictionary.clone(),
+            capture_witnesses: self.capture_witnesses,
         }
     }
 
@@ -223,6 +229,18 @@ pub struct ShardSummary {
     pub total_cost: u64,
 }
 
+/// A merged witness: which shard first reported the gadget, plus the
+/// replayable evidence itself. Deduplicated exactly like the gadget list
+/// (first shard in index order wins), so the attribution is identical
+/// for every worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardWitness {
+    /// Index of the shard that first found the gadget.
+    pub shard: u32,
+    /// The replayable witness.
+    pub witness: GadgetWitness,
+}
+
 /// Merged results of a sharded campaign. Built strictly in shard-index
 /// order, so it is identical for every worker count.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -248,10 +266,17 @@ pub struct CampaignReport {
     /// Gadgets deduplicated by [`GadgetKey`], in shard-index order then
     /// per-shard discovery order.
     pub gadgets: Vec<GadgetReport>,
+    /// Replayable witnesses for the gadgets above, deduplicated the same
+    /// way (empty when witness capture was off).
+    pub witnesses: Vec<ShardWitness>,
     /// Deduplicated gadget counts per `Controllability-Channel` bucket.
     pub buckets: BTreeMap<String, usize>,
     /// Per-shard statistics, indexed by shard.
     pub per_shard: Vec<ShardSummary>,
+    /// What the shared decode pass covered (one decode serves every
+    /// shard; snapshotted into `.tcs` so resumed and remote campaigns
+    /// can audit decode behavior cross-host).
+    pub decode_stats: DecodeStats,
 }
 
 impl CampaignReport {
@@ -278,6 +303,10 @@ pub struct Campaign {
     shards: Vec<CampaignState>,
     epochs_done: u32,
     seeded: bool,
+    /// Decode-pass coverage of the shared [`Program`], cached from the
+    /// last epoch run (or restored from a snapshot) so reports and
+    /// `.tcs` files can carry it without re-decoding the binary.
+    decode_stats: DecodeStats,
 }
 
 impl Campaign {
@@ -292,6 +321,7 @@ impl Campaign {
             shards,
             epochs_done: 0,
             seeded: false,
+            decode_stats: DecodeStats::default(),
         })
     }
 
@@ -326,6 +356,7 @@ impl Campaign {
             shards,
             epochs_done: snap.epochs_done,
             seeded,
+            decode_stats: snap.decode_stats,
         })
     }
 
@@ -372,6 +403,7 @@ impl Campaign {
     /// decode pass and one pristine memory image serve every shard on
     /// every worker thread.
     pub fn run_epoch_shared(&mut self, prog: &Arc<Program>, seeds: &[Vec<u8>]) {
+        self.decode_stats = *prog.stats();
         let epoch = self.epochs_done;
         let seed_now = !self.seeded;
         self.seeded = true;
@@ -458,7 +490,10 @@ impl Campaign {
     pub fn report(&self) -> CampaignReport {
         let mut gadget_keys: std::collections::HashSet<GadgetKey> =
             std::collections::HashSet::new();
+        let mut witness_keys: std::collections::HashSet<GadgetKey> =
+            std::collections::HashSet::new();
         let mut gadgets: Vec<GadgetReport> = Vec::new();
+        let mut witnesses: Vec<ShardWitness> = Vec::new();
         let mut buckets: BTreeMap<String, usize> = BTreeMap::new();
         let mut union_normal = CovMap::new();
         let mut union_spec = CovMap::new();
@@ -470,6 +505,14 @@ impl Campaign {
                 if gadget_keys.insert(g.key) {
                     *buckets.entry(g.bucket()).or_insert(0) += 1;
                     gadgets.push(g.clone());
+                }
+            }
+            for w in st.witnesses() {
+                if witness_keys.insert(w.key) {
+                    witnesses.push(ShardWitness {
+                        shard: i as u32,
+                        witness: w.clone(),
+                    });
                 }
             }
             st.cov_normal().merge_into(&mut union_normal);
@@ -500,8 +543,10 @@ impl Campaign {
             cov_normal_features: union_normal.count_nonzero(),
             cov_spec_features: union_spec.count_nonzero(),
             gadgets,
+            witnesses,
             buckets,
             per_shard,
+            decode_stats: self.decode_stats,
         }
     }
 
@@ -512,6 +557,7 @@ impl Campaign {
             config: self.cfg.clone(),
             bin_fingerprint: snapshot::fingerprint(bin),
             epochs_done: self.epochs_done,
+            decode_stats: self.decode_stats,
             shard_states: self.shards.iter().map(|s| s.export_snapshot()).collect(),
         }
     }

@@ -20,6 +20,10 @@ pub struct QueueOutcome {
     pub path: PathBuf,
     /// Whether the queue had to instrument it before fuzzing.
     pub instrumented_here: bool,
+    /// The fuzz-ready (instrumented) binary the campaign ran against —
+    /// kept so downstream consumers (triage replay) do not re-read and
+    /// re-instrument the file.
+    pub bin: Binary,
     /// The merged campaign report.
     pub report: CampaignReport,
 }
@@ -72,9 +76,16 @@ pub fn run_queue(
         outcomes.push(QueueOutcome {
             path,
             instrumented_here,
+            bin,
             report,
         });
     }
+    // Queue output is ordered by (binary path, then shard index inside
+    // each report): downstream consumers — the JSON document and the
+    // triage database — rely on this to stay byte-identical for every
+    // `--workers` count. `scan_queue` already yields sorted paths; the
+    // explicit sort pins the invariant against future scan changes.
+    outcomes.sort_by(|a, b| a.path.cmp(&b.path));
     Ok(outcomes)
 }
 

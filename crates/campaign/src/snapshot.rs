@@ -12,20 +12,31 @@
 //!
 //! ```text
 //! magic   "TCS1"
-//! u32     format version (1)
+//! u32     format version (2)
 //! u64     FNV-1a fingerprint of the target binary's TOF bytes
 //! u32     epochs completed
+//! decode  blocks u64 · insts u64 · bytes u64 · undecoded_bytes u64
+//!         (decode-cache statistics of the shared Program, so resumed
+//!         and remote campaigns can audit decode behavior cross-host)
 //! config  seed u64 · shards u32 · epochs u32 · iters_per_epoch u64
 //!         · max_input_len u64 · fuel_per_run u64
 //!         · detector (6 fields) · emu u8 · heur_style u8
+//!         · capture_witnesses u8
 //!         · dictionary (len-prefixed token list)
 //! u32     shard count, then per shard:
-//!         corpus   u32 count · { bytes input · u64 score }
-//!         heur     u32 count · { u64 branch · u32 count }
-//!         cov      bytes normal · bytes spec
-//!         gadgets  u32 count · { u64 pc · u8 channel · u8 ctrl
-//!                  · u64 branch_pc · u64 access_pc · u32 depth
-//!                  · bytes description }
+//!         corpus    u32 count · { bytes input · u64 score }
+//!         heur      u32 count · { u64 branch · u32 count }
+//!         cov       bytes normal · bytes spec
+//!         gadgets   u32 count · { u64 pc · u8 channel · u8 ctrl
+//!                   · u64 branch_pc · u64 access_pc · u32 depth
+//!                   · bytes description }
+//!         witnesses u32 count · { u64 pc · u8 channel · u8 ctrl
+//!                   · bytes input
+//!                   · u32 count { u64 branch · u32 count }
+//!                   · u32 count { u8 kind ·
+//!                       0: u64 pc · u32 depth            (spec branch)
+//!                       1: u64 pc · u64 addr · u8 w · u8 tag (tainted)
+//!                       2: u64 pc · u32 depth            (rollback) } }
 //!         u64 iters · u64 total_cost · u64 crashes · u32 epoch
 //! ```
 //!
@@ -34,14 +45,18 @@
 use crate::CampaignConfig;
 use teapot_fuzz::StateSnapshot;
 use teapot_obj::Binary;
-use teapot_rt::{Channel, Controllability, DetectorConfig, GadgetKey, GadgetReport};
-use teapot_vm::{EmuStyle, HeurStyle};
+use teapot_rt::{
+    Channel, Controllability, DetectorConfig, GadgetKey, GadgetReport, GadgetWitness, TraceEvent,
+};
+use teapot_vm::{DecodeStats, EmuStyle, HeurStyle};
 
 /// Magic bytes opening every `.tcs` file.
 pub const MAGIC: &[u8; 4] = b"TCS1";
 
-/// Format version written by this crate.
-pub const VERSION: u32 = 1;
+/// Format version written by this crate. Version 2 added the decode
+/// statistics header, the `capture_witnesses` flag and per-shard gadget
+/// witnesses.
+pub const VERSION: u32 = 2;
 
 /// A deserialized campaign snapshot.
 #[derive(Debug, Clone)]
@@ -53,6 +68,11 @@ pub struct CampaignSnapshot {
     pub bin_fingerprint: u64,
     /// Epochs completed when the snapshot was taken.
     pub epochs_done: u32,
+    /// Decode-cache statistics of the shared [`Program`] at snapshot
+    /// time, for cross-host audit of decode behavior.
+    ///
+    /// [`Program`]: teapot_vm::Program
+    pub decode_stats: DecodeStats,
     /// One state per shard, in shard-index order.
     pub shard_states: Vec<StateSnapshot>,
 }
@@ -144,6 +164,10 @@ impl CampaignSnapshot {
         w.u32(VERSION);
         w.u64(self.bin_fingerprint);
         w.u32(self.epochs_done);
+        w.u64(self.decode_stats.blocks as u64);
+        w.u64(self.decode_stats.insts as u64);
+        w.u64(self.decode_stats.bytes as u64);
+        w.u64(self.decode_stats.undecoded_bytes as u64);
 
         let c = &self.config;
         w.u64(c.seed);
@@ -167,6 +191,7 @@ impl CampaignSnapshot {
             HeurStyle::SpecFuzzGradual => 1,
             HeurStyle::SpecTaintFive => 2,
         });
+        w.bool(c.capture_witnesses);
         w.u32(c.dictionary.len() as u32);
         for tok in &c.dictionary {
             w.bytes(tok);
@@ -203,6 +228,52 @@ impl CampaignSnapshot {
                 w.u32(g.depth);
                 w.bytes(g.description.as_bytes());
             }
+            w.u32(s.witnesses.len() as u32);
+            for wit in &s.witnesses {
+                w.u64(wit.key.pc);
+                w.u8(match wit.key.channel {
+                    Channel::Mds => 0,
+                    Channel::Cache => 1,
+                    Channel::Port => 2,
+                });
+                w.u8(match wit.key.controllability {
+                    Controllability::User => 0,
+                    Controllability::Massage => 1,
+                });
+                w.bytes(&wit.input);
+                w.u32(wit.heur_counts.len() as u32);
+                for (branch, count) in &wit.heur_counts {
+                    w.u64(*branch);
+                    w.u32(*count);
+                }
+                w.u32(wit.trace.len() as u32);
+                for ev in &wit.trace {
+                    match ev {
+                        TraceEvent::SpecBranch { pc, depth } => {
+                            w.u8(0);
+                            w.u64(*pc);
+                            w.u32(*depth);
+                        }
+                        TraceEvent::TaintedAccess {
+                            pc,
+                            addr,
+                            width,
+                            tag,
+                        } => {
+                            w.u8(1);
+                            w.u64(*pc);
+                            w.u64(*addr);
+                            w.u8(*width);
+                            w.u8(*tag);
+                        }
+                        TraceEvent::Rollback { pc, depth } => {
+                            w.u8(2);
+                            w.u64(*pc);
+                            w.u32(*depth);
+                        }
+                    }
+                }
+            }
             w.u64(s.iters);
             w.u64(s.total_cost);
             w.u64(s.crashes);
@@ -211,18 +282,31 @@ impl CampaignSnapshot {
         w.buf
     }
 
-    /// Parses `.tcs` bytes.
+    /// Parses `.tcs` bytes. Version 1 files (pre-witness) still load:
+    /// every v2 addition is strictly appended and defaults cleanly
+    /// (zero decode stats, witness capture on, no witnesses), so an old
+    /// long-running campaign is never stranded by the format bump.
     pub fn from_bytes(bytes: &[u8]) -> Result<CampaignSnapshot, SnapshotError> {
         let mut r = Reader { bytes, pos: 0 };
         if r.take(4)? != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
         let version = r.u32()?;
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(SnapshotError::BadVersion(version));
         }
         let bin_fingerprint = r.u64()?;
         let epochs_done = r.u32()?;
+        let decode_stats = if version >= 2 {
+            DecodeStats {
+                blocks: r.u64()? as usize,
+                insts: r.u64()? as usize,
+                bytes: r.u64()? as usize,
+                undecoded_bytes: r.u64()? as usize,
+            }
+        } else {
+            DecodeStats::default()
+        };
 
         let seed = r.u64()?;
         let shards = r.u32()?;
@@ -249,6 +333,7 @@ impl CampaignSnapshot {
             2 => HeurStyle::SpecTaintFive,
             _ => return Err(SnapshotError::Corrupt("heuristic style")),
         };
+        let capture_witnesses = if version >= 2 { r.bool()? } else { true };
         let dict_len = r.u32()? as usize;
         let mut dictionary = Vec::with_capacity(dict_len.min(1024));
         for _ in 0..dict_len {
@@ -266,6 +351,7 @@ impl CampaignSnapshot {
             emu,
             heur_style,
             dictionary,
+            capture_witnesses,
         };
 
         let shard_count = r.u32()? as usize;
@@ -326,6 +412,64 @@ impl CampaignSnapshot {
                     description,
                 });
             }
+            let witness_len = if version >= 2 { r.u32()? as usize } else { 0 };
+            let mut witnesses = Vec::with_capacity(witness_len.min(65536));
+            for _ in 0..witness_len {
+                let pc = r.u64()?;
+                let channel = match r.u8()? {
+                    0 => Channel::Mds,
+                    1 => Channel::Cache,
+                    2 => Channel::Port,
+                    _ => return Err(SnapshotError::Corrupt("witness channel")),
+                };
+                let controllability = match r.u8()? {
+                    0 => Controllability::User,
+                    1 => Controllability::Massage,
+                    _ => return Err(SnapshotError::Corrupt("witness controllability")),
+                };
+                let input = r.bytes()?.to_vec();
+                let hc_len = r.u32()? as usize;
+                let mut heur_counts = Vec::with_capacity(hc_len.min(65536));
+                for _ in 0..hc_len {
+                    let branch = r.u64()?;
+                    let count = r.u32()?;
+                    heur_counts.push((branch, count));
+                }
+                let tr_len = r.u32()? as usize;
+                if tr_len > teapot_rt::MAX_TRACE_EVENTS {
+                    return Err(SnapshotError::Corrupt("witness trace length"));
+                }
+                let mut trace = Vec::with_capacity(tr_len);
+                for _ in 0..tr_len {
+                    trace.push(match r.u8()? {
+                        0 => TraceEvent::SpecBranch {
+                            pc: r.u64()?,
+                            depth: r.u32()?,
+                        },
+                        1 => TraceEvent::TaintedAccess {
+                            pc: r.u64()?,
+                            addr: r.u64()?,
+                            width: r.u8()?,
+                            tag: r.u8()?,
+                        },
+                        2 => TraceEvent::Rollback {
+                            pc: r.u64()?,
+                            depth: r.u32()?,
+                        },
+                        _ => return Err(SnapshotError::Corrupt("trace event kind")),
+                    });
+                }
+                witnesses.push(GadgetWitness {
+                    key: GadgetKey {
+                        pc,
+                        channel,
+                        controllability,
+                    },
+                    input,
+                    heur_counts,
+                    trace,
+                });
+            }
             let iters = r.u64()?;
             let total_cost = r.u64()?;
             let crashes = r.u64()?;
@@ -336,6 +480,7 @@ impl CampaignSnapshot {
                 cov_normal,
                 cov_spec,
                 gadgets,
+                witnesses,
                 iters,
                 total_cost,
                 crashes,
@@ -346,6 +491,7 @@ impl CampaignSnapshot {
             config,
             bin_fingerprint,
             epochs_done,
+            decode_stats,
             shard_states,
         })
     }
@@ -418,6 +564,12 @@ mod tests {
             },
             bin_fingerprint: 0x1234_5678_9ABC_DEF0,
             epochs_done: 2,
+            decode_stats: DecodeStats {
+                blocks: 12,
+                insts: 340,
+                bytes: 2048,
+                undecoded_bytes: 3,
+            },
             shard_states: (0..2)
                 .map(|i| StateSnapshot {
                     corpus: vec![(vec![i as u8; 4], 3)],
@@ -434,6 +586,31 @@ mod tests {
                         access_pc: 0x400140,
                         depth: 1,
                         description: "test gadget".into(),
+                    }],
+                    witnesses: vec![GadgetWitness {
+                        key: GadgetKey {
+                            pc: 0x400180 + i,
+                            channel: Channel::Cache,
+                            controllability: Controllability::User,
+                        },
+                        input: vec![0x7f, 200, i as u8],
+                        heur_counts: vec![(0x400100, 7)],
+                        trace: vec![
+                            TraceEvent::SpecBranch {
+                                pc: 0x400100,
+                                depth: 1,
+                            },
+                            TraceEvent::TaintedAccess {
+                                pc: 0x400140,
+                                addr: 0x80_0000,
+                                width: 4,
+                                tag: 5,
+                            },
+                            TraceEvent::Rollback {
+                                pc: 0x400100,
+                                depth: 1,
+                            },
+                        ],
                     }],
                     iters: 60,
                     total_cost: 1000,
@@ -454,11 +631,14 @@ mod tests {
         assert_eq!(back.config.seed, snap.config.seed);
         assert_eq!(back.config.shards, snap.config.shards);
         assert_eq!(back.config.dictionary, snap.config.dictionary);
+        assert_eq!(back.decode_stats, snap.decode_stats);
+        assert_eq!(back.config.capture_witnesses, snap.config.capture_witnesses);
         assert_eq!(back.shard_states.len(), snap.shard_states.len());
         for (a, b) in back.shard_states.iter().zip(&snap.shard_states) {
             assert_eq!(a.corpus, b.corpus);
             assert_eq!(a.heur_counts, b.heur_counts);
             assert_eq!(a.gadgets, b.gadgets);
+            assert_eq!(a.witnesses, b.witnesses);
             assert_eq!(a.iters, b.iters);
             assert_eq!(a.epoch, b.epoch);
         }
@@ -481,6 +661,85 @@ mod tests {
             CampaignSnapshot::from_bytes(&wrong_version).unwrap_err(),
             SnapshotError::BadVersion(9)
         );
+    }
+
+    /// Serializes `snap` in the v1 layout (no decode-stats header, no
+    /// `capture_witnesses` flag, no witness sections) — what a pre-PR 3
+    /// build wrote.
+    fn v1_bytes(snap: &CampaignSnapshot) -> Vec<u8> {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(MAGIC);
+        w.u32(1);
+        w.u64(snap.bin_fingerprint);
+        w.u32(snap.epochs_done);
+        let c = &snap.config;
+        w.u64(c.seed);
+        w.u32(c.shards);
+        w.u32(c.epochs);
+        w.u64(c.iters_per_epoch);
+        w.u64(c.max_input_len as u64);
+        w.u64(c.fuel_per_run);
+        w.bool(c.detector.taint_input_sources);
+        w.bool(c.detector.massage_policy);
+        w.u32(c.detector.rob_budget);
+        w.u32(c.detector.max_nesting);
+        w.u32(c.detector.full_depth_runs);
+        w.bool(c.detector.artificial_gadget_mode);
+        w.u8(0); // emu: Native
+        w.u8(0); // heur: TeapotHybrid
+        w.u32(c.dictionary.len() as u32);
+        for tok in &c.dictionary {
+            w.bytes(tok);
+        }
+        w.u32(snap.shard_states.len() as u32);
+        for s in &snap.shard_states {
+            w.u32(s.corpus.len() as u32);
+            for (input, score) in &s.corpus {
+                w.bytes(input);
+                w.u64(*score);
+            }
+            w.u32(s.heur_counts.len() as u32);
+            for (branch, count) in &s.heur_counts {
+                w.u64(*branch);
+                w.u32(*count);
+            }
+            w.bytes(&s.cov_normal);
+            w.bytes(&s.cov_spec);
+            w.u32(s.gadgets.len() as u32);
+            for g in &s.gadgets {
+                w.u64(g.key.pc);
+                w.u8(1); // Cache
+                w.u8(0); // User
+                w.u64(g.branch_pc);
+                w.u64(g.access_pc);
+                w.u32(g.depth);
+                w.bytes(g.description.as_bytes());
+            }
+            w.u64(s.iters);
+            w.u64(s.total_cost);
+            w.u64(s.crashes);
+            w.u32(s.epoch);
+        }
+        w.buf
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_with_defaults() {
+        let snap = sample_snapshot();
+        let back = CampaignSnapshot::from_bytes(&v1_bytes(&snap)).unwrap();
+        assert_eq!(back.bin_fingerprint, snap.bin_fingerprint);
+        assert_eq!(back.epochs_done, snap.epochs_done);
+        assert_eq!(back.config.seed, snap.config.seed);
+        assert_eq!(back.config.dictionary, snap.config.dictionary);
+        // v2 additions default cleanly.
+        assert_eq!(back.decode_stats, DecodeStats::default());
+        assert!(back.config.capture_witnesses);
+        for (a, b) in back.shard_states.iter().zip(&snap.shard_states) {
+            assert_eq!(a.corpus, b.corpus);
+            assert_eq!(a.gadgets, b.gadgets);
+            assert!(a.witnesses.is_empty());
+            assert_eq!(a.iters, b.iters);
+        }
     }
 
     #[test]

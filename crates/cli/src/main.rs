@@ -9,6 +9,9 @@
 //! teapot fuzz <bin.tof> [--iters N] [--workload name] [--spectaint]
 //! teapot campaign <bin.tof|dir> [--workers N] [--shards S] [--epochs E]
 //!                 [--resume snap.tcs] [--snapshot snap.tcs] [--json out]
+//!                 [--triage out.jsonl] [--sarif out.sarif] [--no-triage]
+//! teapot triage <bin.tof|snap.tcs|dir> [--bin bin.tof] [--jsonl out]
+//!               [--sarif out] [--no-minimize] [campaign flags]
 //! teapot dis <bin.tof>
 //! ```
 
@@ -47,6 +50,77 @@ fn save(bin: &teapot_obj::Binary, path: &str) -> Result<(), String> {
 
 fn find_workload(name: &str) -> Option<teapot_workloads::Workload> {
     teapot_workloads::all().into_iter().find(|w| w.name == name)
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match opt(args, name) {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("{name}: bad number `{s}`")),
+    }
+}
+
+/// Builds a campaign configuration (and seed corpus) from the shared
+/// `campaign`/`triage` flag set.
+fn campaign_config_from_args(
+    args: &[String],
+) -> Result<(teapot_campaign::CampaignConfig, Vec<Vec<u8>>), String> {
+    let defaults = teapot_campaign::CampaignConfig::default();
+    let mut cfg = teapot_campaign::CampaignConfig {
+        seed: parse_num(args, "--seed", defaults.seed)?,
+        shards: parse_num(args, "--shards", defaults.shards)?,
+        workers: parse_num(args, "--workers", defaults.workers)?,
+        epochs: parse_num(args, "--epochs", defaults.epochs)?,
+        iters_per_epoch: parse_num(args, "--iters", defaults.iters_per_epoch)?,
+        ..defaults
+    };
+    if flag(args, "--spectaint") {
+        cfg.emu = teapot_vm::EmuStyle::SpecTaint;
+    }
+    let seeds = match opt(args, "--workload").and_then(find_workload) {
+        Some(w) => {
+            cfg.dictionary = w.dictionary.clone();
+            w.seeds.clone()
+        }
+        None => vec![],
+    };
+    Ok((cfg, seeds))
+}
+
+/// Prints a triage database (ranked text + summary line) and writes the
+/// optional JSONL / SARIF artifacts.
+fn emit_triage(
+    db: &teapot_triage::TriageDb,
+    stats: &teapot_triage::TriageStats,
+    jsonl_out: Option<&str>,
+    sarif_out: Option<&str>,
+) -> Result<(), String> {
+    print!("{}", db.to_text());
+    println!(
+        "triage: {} root cause(s) from {} witness(es); {} replays \
+         ({} minimization candidates), {} replay failure(s)",
+        db.entries().len(),
+        stats.witnesses,
+        stats.replays,
+        stats.minimize_steps,
+        stats.replay_failures
+    );
+    if let Some(out) = jsonl_out {
+        std::fs::write(out, db.to_jsonl()).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some(out) = sarif_out {
+        std::fs::write(out, teapot_triage::sarif::render(db))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn file_label(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -193,40 +267,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 "--resume",
                 "--snapshot",
                 "--json",
+                "--triage",
+                "--sarif",
             ] {
                 if flag(args, name) && opt(args, name).is_none() {
                     return Err(format!("{name} requires a value"));
                 }
             }
-            fn parse_num<T: std::str::FromStr>(
-                args: &[String],
-                name: &str,
-                default: T,
-            ) -> Result<T, String> {
-                match opt(args, name) {
-                    None => Ok(default),
-                    Some(s) => s.parse().map_err(|_| format!("{name}: bad number `{s}`")),
-                }
-            }
-            let defaults = teapot_campaign::CampaignConfig::default();
-            let mut cfg = teapot_campaign::CampaignConfig {
-                seed: parse_num(args, "--seed", defaults.seed)?,
-                shards: parse_num(args, "--shards", defaults.shards)?,
-                workers: parse_num(args, "--workers", defaults.workers)?,
-                epochs: parse_num(args, "--epochs", defaults.epochs)?,
-                iters_per_epoch: parse_num(args, "--iters", defaults.iters_per_epoch)?,
-                ..defaults
-            };
-            if flag(args, "--spectaint") {
-                cfg.emu = teapot_vm::EmuStyle::SpecTaint;
-            }
-            let seeds = match opt(args, "--workload").and_then(find_workload) {
-                Some(w) => {
-                    cfg.dictionary = w.dictionary.clone();
-                    w.seeds.clone()
-                }
-                None => vec![],
-            };
+            let (cfg, seeds) = campaign_config_from_args(args)?;
+            let triage_opts = teapot_triage::TriageOptions::default();
+            let run_triage = !flag(args, "--no-triage");
 
             // Queue mode: a directory of .tof binaries.
             if std::path::Path::new(target).is_dir() {
@@ -259,6 +309,13 @@ fn run(args: &[String]) -> Result<(), String> {
                     std::fs::write(out, teapot_campaign::queue::render_queue_json(&outcomes))
                         .map_err(|e| format!("write {out}: {e}"))?;
                     println!("wrote {out}");
+                }
+                // Triage runs automatically at the end of every
+                // campaign: replay + minimize each witness, collapse
+                // root causes across the whole queue.
+                if run_triage && !outcomes.is_empty() {
+                    let (db, stats) = teapot_triage::triage_queue(&outcomes, &cfg, &triage_opts);
+                    emit_triage(&db, &stats, opt(args, "--triage"), opt(args, "--sarif"))?;
                 }
                 return Ok(());
             }
@@ -343,6 +400,104 @@ fn run(args: &[String]) -> Result<(), String> {
                 std::fs::write(out, report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
                 println!("wrote {out}");
             }
+            if run_triage {
+                let (db, stats) = teapot_triage::triage_report(
+                    &file_label(target),
+                    &bin,
+                    campaign.config(),
+                    &report,
+                    &triage_opts,
+                );
+                emit_triage(&db, &stats, opt(args, "--triage"), opt(args, "--sarif"))?;
+            }
+            Ok(())
+        }
+        "triage" => {
+            let target = args.get(1).ok_or("usage: triage <bin.tof|snap.tcs|dir>")?;
+            for name in [
+                "--bin",
+                "--jsonl",
+                "--sarif",
+                "--seed",
+                "--shards",
+                "--workers",
+                "--epochs",
+                "--iters",
+                "--workload",
+            ] {
+                if flag(args, name) && opt(args, name).is_none() {
+                    return Err(format!("{name} requires a value"));
+                }
+            }
+            let (cfg, seeds) = campaign_config_from_args(args)?;
+            let opts = teapot_triage::TriageOptions {
+                minimize: !flag(args, "--no-minimize"),
+                ..Default::default()
+            };
+            let path = std::path::Path::new(target);
+            let (db, stats) = if path.is_dir() {
+                // Queue directory: campaign every .tof, triage across
+                // all of them (cross-binary root-cause dedup).
+                let outcomes = teapot_campaign::queue::run_queue(path, &cfg, &seeds)
+                    .map_err(|e| e.to_string())?;
+                if outcomes.is_empty() {
+                    println!("no .tof binaries found in {target}");
+                    return Ok(());
+                }
+                teapot_triage::triage_queue(&outcomes, &cfg, &opts)
+            } else if target.ends_with(".tcs") {
+                // A finished campaign snapshot: triage its recorded
+                // witnesses without re-fuzzing. The binary it was taken
+                // against must be supplied (and fingerprint-matches).
+                // The snapshot's embedded config drives replay; say so
+                // if campaign flags were given, instead of silently
+                // ignoring them (mirrors `campaign --resume`).
+                for ignored in [
+                    "--seed",
+                    "--shards",
+                    "--workers",
+                    "--epochs",
+                    "--iters",
+                    "--workload",
+                    "--spectaint",
+                ] {
+                    if flag(args, ignored) {
+                        eprintln!(
+                            "teapot: note: {ignored} is ignored with a .tcs target \
+                             (the snapshot's configuration is used)"
+                        );
+                    }
+                }
+                let bin_path = opt(args, "--bin").ok_or(
+                    "triage <snap.tcs> requires --bin <bin.tof> \
+                     (the binary the snapshot was taken against)",
+                )?;
+                let bin = load(bin_path)?;
+                let snap = teapot_campaign::CampaignSnapshot::load(path)
+                    .map_err(|e| format!("{target}: {e}"))?;
+                let campaign =
+                    teapot_campaign::Campaign::resume(&snap, &bin).map_err(|e| e.to_string())?;
+                let report = campaign.report();
+                teapot_triage::triage_report(
+                    &file_label(bin_path),
+                    &bin,
+                    campaign.config(),
+                    &report,
+                    &opts,
+                )
+            } else {
+                // A single binary: run a campaign, then triage it.
+                let bin = load(target)?;
+                let report =
+                    teapot_campaign::run_campaign(&bin, &seeds, &cfg).map_err(|e| e.to_string())?;
+                println!(
+                    "campaign: {} iterations, {} raw gadget(s)",
+                    report.iters,
+                    report.unique_gadgets()
+                );
+                teapot_triage::triage_report(&file_label(target), &bin, &cfg, &report, &opts)
+            };
+            emit_triage(&db, &stats, opt(args, "--jsonl"), opt(args, "--sarif"))?;
             Ok(())
         }
         "dis" => {
@@ -394,6 +549,9 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 campaign <bin.tof|dir> [--workers N] [--shards S] [--epochs E]\n\
                  \x20          [--iters N] [--seed S] [--workload name] [--spectaint]\n\
                  \x20          [--resume snap.tcs] [--snapshot snap.tcs] [--json out.json]\n\
+                 \x20          [--triage out.jsonl] [--sarif out.sarif] [--no-triage]\n\
+                 \x20 triage <bin.tof|snap.tcs|dir> [--bin bin.tof] [--jsonl out]\n\
+                 \x20        [--sarif out] [--no-minimize] [campaign flags]\n\
                  \x20 dis <bin.tof>\n\
                  \n\
                  campaign: sharded parallel fuzzing with deterministic merging.\n\
@@ -401,6 +559,15 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 --workers (thread count). A directory target queues every .tof\n\
                  \x20 inside it (instrumenting originals first). --snapshot saves a\n\
                  \x20 resumable .tcs campaign snapshot; --resume continues one.\n\
+                 \x20 Triage runs automatically at the end (disable with --no-triage).\n\
+                 \n\
+                 triage: replay + minimize every gadget witness, dedup by content-\n\
+                 \x20 derived root cause (across shards and binaries), rank by\n\
+                 \x20 severity, and emit ranked text, JSONL (--jsonl) and SARIF 2.1.0\n\
+                 \x20 (--sarif). A .tof target fuzzes first; a .tcs snapshot (plus\n\
+                 \x20 --bin) triages recorded witnesses; a directory queues + triages\n\
+                 \x20 every .tof with cross-binary dedup. Output is byte-identical\n\
+                 \x20 for any --workers count.\n\
                  \n\
                  workloads: jsmn libyaml libhtp brotli openssl"
             );

@@ -70,6 +70,118 @@ fn dis_prints_functions_and_blocks() {
     assert!(text.contains("block"), "{text}");
 }
 
+/// Builds a fresh instrumented victim binary under `dir` (each test
+/// uses its own directory — tests run in parallel threads and must not
+/// share artifacts).
+fn build_victim(dir: &std::path::Path) -> PathBuf {
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::create_dir_all(dir).unwrap();
+    let src = dir.join("victim.minic");
+    let cots = dir.join("victim.tof");
+    let inst = dir.join("victim_inst.tof");
+    // A classic Spectre-V1 shape small campaigns find reliably.
+    std::fs::write(
+        &src,
+        "char bar[256];
+         int baz;
+         char inbuf[16];
+         int main() {
+             char *foo = malloc(16);
+             read_input(inbuf, 16);
+             int index = inbuf[1];
+             if (index < 10) {
+                 int secret = foo[index];
+                 baz = bar[secret];
+             }
+             return 0;
+         }",
+    )
+    .unwrap();
+    let (ok, text) = run_cli(&[
+        "compile",
+        src.to_str().unwrap(),
+        "-o",
+        cots.to_str().unwrap(),
+        "--strip",
+    ]);
+    assert!(ok, "{text}");
+    let (ok, text) = run_cli(&[
+        "instrument",
+        cots.to_str().unwrap(),
+        "-o",
+        inst.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    inst
+}
+
+#[test]
+fn triage_pipeline_emits_ranked_report_and_sarif() {
+    let dir = std::env::temp_dir().join("teapot-cli-triage-test");
+    let inst = build_victim(&dir);
+    let sarif = dir.join("victim.sarif");
+    let jsonl = dir.join("victim.jsonl");
+
+    let (ok, text) = run_cli(&[
+        "triage",
+        inst.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--epochs",
+        "2",
+        "--iters",
+        "40",
+        "--sarif",
+        sarif.to_str().unwrap(),
+        "--jsonl",
+        jsonl.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("teapot triage report"), "{text}");
+    assert!(text.contains("root cause"), "{text}");
+    assert!(text.contains("0 replay failure(s)"), "{text}");
+
+    let sarif_text = std::fs::read_to_string(&sarif).unwrap();
+    assert!(sarif_text.contains("\"version\": \"2.1.0\""));
+    assert!(sarif_text.contains("teapot-triage"));
+    let jsonl_text = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(jsonl_text.starts_with("{\"teapot_triage\":1"));
+    assert!(jsonl_text.contains("minimized_input"));
+}
+
+#[test]
+fn campaign_runs_triage_automatically() {
+    let dir = std::env::temp_dir().join("teapot-cli-campaign-triage-test");
+    let inst = build_victim(&dir);
+    let (ok, text) = run_cli(&[
+        "campaign",
+        inst.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--epochs",
+        "2",
+        "--iters",
+        "40",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("unique gadgets"), "{text}");
+    assert!(text.contains("teapot triage report"), "{text}");
+
+    let (ok, text) = run_cli(&[
+        "campaign",
+        inst.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--epochs",
+        "2",
+        "--iters",
+        "40",
+        "--no-triage",
+    ]);
+    assert!(ok, "{text}");
+    assert!(!text.contains("teapot triage report"), "{text}");
+}
+
 #[test]
 fn unknown_command_fails_cleanly() {
     let (ok, text) = run_cli(&["frobnicate"]);

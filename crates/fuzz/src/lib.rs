@@ -40,7 +40,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use teapot_obj::Binary;
-use teapot_rt::{CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport};
+use teapot_rt::{CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport, GadgetWitness};
 use teapot_vm::{
     EmuStyle, ExecContext, ExitStatus, HeurStyle, Machine, Program, RunOptions, SpecHeuristics,
 };
@@ -65,6 +65,11 @@ pub struct FuzzConfig {
     pub heur_style: HeurStyle,
     /// Dictionary tokens spliced into inputs (format keywords).
     pub dictionary: Vec<Vec<u8>>,
+    /// Capture a replayable [`GadgetWitness`] (triggering input, pre-run
+    /// heuristic counts, bounded speculative trace) for each first-seen
+    /// gadget. Capture never changes what the campaign computes — only
+    /// what it *remembers* — so reports are identical either way.
+    pub capture_witnesses: bool,
 }
 
 impl Default for FuzzConfig {
@@ -78,6 +83,7 @@ impl Default for FuzzConfig {
             emu: EmuStyle::Native,
             heur_style: HeurStyle::TeapotHybrid,
             dictionary: Vec::new(),
+            capture_witnesses: true,
         }
     }
 }
@@ -191,6 +197,9 @@ pub struct StateSnapshot {
     pub cov_spec: Vec<u8>,
     /// Deduplicated gadget reports in discovery order.
     pub gadgets: Vec<GadgetReport>,
+    /// Replayable witnesses for the gadgets above, in the same discovery
+    /// order (empty when capture was off; matched by `witness.key`).
+    pub witnesses: Vec<GadgetWitness>,
     /// Executions performed so far.
     pub iters: u64,
     /// Cost units spent so far.
@@ -222,6 +231,10 @@ pub struct CampaignState {
     global_spec: CovMap,
     gadget_keys: FxHashSet<GadgetKey>,
     gadgets: Vec<GadgetReport>,
+    witnesses: Vec<GadgetWitness>,
+    /// Pre-run heuristic-counts snapshot, reused across runs so witness
+    /// capture does not allocate in the hot loop.
+    heur_scratch: Vec<(u64, u32)>,
     buckets: BTreeMap<String, usize>,
     total_cost: u64,
     crashes: u64,
@@ -259,6 +272,8 @@ impl CampaignState {
             global_spec: CovMap::new(),
             gadget_keys: FxHashSet::default(),
             gadgets: Vec::new(),
+            witnesses: Vec::new(),
+            heur_scratch: Vec::new(),
             buckets: BTreeMap::new(),
             total_cost: 0,
             crashes: 0,
@@ -293,6 +308,7 @@ impl CampaignState {
             *st.buckets.entry(g.bucket()).or_insert(0) += 1;
         }
         st.gadgets = snap.gadgets.clone();
+        st.witnesses = snap.witnesses.clone();
         st.iters = snap.iters;
         st.total_cost = snap.total_cost;
         st.crashes = snap.crashes;
@@ -315,6 +331,7 @@ impl CampaignState {
             cov_normal: self.global_normal.raw().to_vec(),
             cov_spec: self.global_spec.raw().to_vec(),
             gadgets: self.gadgets.clone(),
+            witnesses: self.witnesses.clone(),
             iters: self.iters,
             total_cost: self.total_cost,
             crashes: self.crashes,
@@ -456,6 +473,12 @@ impl CampaignState {
         &self.gadgets
     }
 
+    /// Replayable witnesses for the gadgets found so far, in discovery
+    /// order (empty when [`FuzzConfig::capture_witnesses`] is off).
+    pub fn witnesses(&self) -> &[GadgetWitness] {
+        &self.witnesses
+    }
+
     /// The accumulated normal-coverage map.
     pub fn cov_normal(&self) -> &CovMap {
         &self.global_normal
@@ -497,10 +520,21 @@ impl CampaignState {
             None => true,
         };
         if rebuild {
+            let mut ctx = ExecContext::new(prog);
+            ctx.set_witness_recording(self.cfg.capture_witnesses);
             self.exec = Some(ExecSlot {
                 prog: prog.clone(),
-                ctx: ExecContext::new(prog),
+                ctx,
             });
+        }
+        // Witness capture needs the heuristic state *as of the start of
+        // this run*: seeding a replay from it reproduces the run
+        // bit-identically (the VM is deterministic given program, input,
+        // heuristics and options). Snapshot unsorted — the sort only
+        // happens on the rare first-seen-gadget path below, not per run.
+        if self.cfg.capture_witnesses {
+            self.heur
+                .export_counts_unsorted_into(&mut self.heur_scratch);
         }
         let opts = RunOptions {
             input: input.to_vec(),
@@ -518,6 +552,16 @@ impl CampaignState {
         for g in slot.ctx.take_gadgets() {
             if self.gadget_keys.insert(g.key) {
                 *self.buckets.entry(g.bucket()).or_insert(0) += 1;
+                if self.cfg.capture_witnesses {
+                    let mut heur_counts = self.heur_scratch.clone();
+                    heur_counts.sort_unstable();
+                    self.witnesses.push(GadgetWitness {
+                        key: g.key,
+                        input: input.to_vec(),
+                        heur_counts,
+                        trace: slot.ctx.trace().to_vec(),
+                    });
+                }
                 self.gadgets.push(g);
             }
         }
@@ -887,6 +931,66 @@ mod tests {
             CampaignState::from_snapshot(cfg, &snap).err(),
             Some(ConfigError::SnapshotCoverage)
         );
+    }
+
+    #[test]
+    fn witnesses_replay_to_the_same_gadget_key() {
+        let bin = instrumented(GATED);
+        let cfg = FuzzConfig {
+            max_iters: 900,
+            max_input_len: 16,
+            ..FuzzConfig::default()
+        };
+        let prog = Program::shared(&bin);
+        let mut st = CampaignState::new(cfg.clone()).unwrap();
+        st.seed_corpus_shared(&prog, &[]);
+        let remaining = cfg.max_iters - st.iters();
+        st.run_iters_shared(&prog, remaining);
+
+        assert!(!st.gadgets().is_empty(), "campaign found gadgets");
+        assert_eq!(st.gadgets().len(), st.witnesses().len());
+        for (g, w) in st.gadgets().iter().zip(st.witnesses()) {
+            assert_eq!(g.key, w.key);
+            assert!(!w.trace.is_empty(), "speculative trace recorded");
+            // Replay on a fresh context with heuristics seeded from the
+            // witness reproduces the discovering run's gadget.
+            let mut heur = SpecHeuristics::from_counts(cfg.heur_style, &w.heur_counts);
+            let out = Machine::from_program(
+                prog.clone(),
+                RunOptions {
+                    input: w.input.clone(),
+                    fuel: cfg.fuel_per_run,
+                    config: cfg.detector.clone(),
+                    emu: cfg.emu,
+                },
+            )
+            .run(&mut heur);
+            assert!(
+                out.gadgets.iter().any(|r| r.key == w.key),
+                "witness replays its gadget: {:?}",
+                w.key
+            );
+        }
+    }
+
+    #[test]
+    fn witness_capture_never_changes_campaign_results() {
+        let bin = instrumented(GATED);
+        let on = FuzzConfig {
+            max_iters: 300,
+            ..FuzzConfig::default()
+        };
+        let off = FuzzConfig {
+            capture_witnesses: false,
+            ..on.clone()
+        };
+        let a = fuzz(&bin, &[], &on);
+        let b = fuzz(&bin, &[], &off);
+        assert_eq!(a.gadgets, b.gadgets);
+        assert_eq!(a.total_cost, b.total_cost);
+        assert_eq!(a.corpus_len, b.corpus_len);
+        assert_eq!(a.cov_normal_features, b.cov_normal_features);
+        assert_eq!(a.cov_spec_features, b.cov_spec_features);
     }
 
     #[test]

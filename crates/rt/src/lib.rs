@@ -9,12 +9,14 @@ pub mod layout;
 pub mod meta;
 pub mod report;
 pub mod tags;
+pub mod witness;
 
 pub use coverage::CovMap;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use meta::TeapotMeta;
 pub use report::{Channel, Controllability, GadgetKey, GadgetReport};
 pub use tags::Tag;
+pub use witness::{GadgetWitness, TraceEvent, MAX_TRACE_EVENTS};
 
 /// Detector configuration: which taint sources/policies are active.
 ///

@@ -1,0 +1,182 @@
+//! Gadget witnesses: everything needed to *re-trigger* a reported
+//! gadget, deterministically, outside the fuzzing campaign that found it.
+//!
+//! A raw [`GadgetReport`](crate::GadgetReport) names the sites of a leak
+//! but carries no evidence: no input, no trace, no way to validate the
+//! finding or hand an analyst a reproducer. A [`GadgetWitness`] closes
+//! that gap. It is captured by the VM's witness recorder at the moment a
+//! first-seen [`GadgetKey`] fires and contains:
+//!
+//! * the **triggering input** (the exact bytes served by `read_input`),
+//! * the **pre-run heuristic counts** — the persistent per-branch
+//!   speculation-heuristic state at the start of the discovering run.
+//!   The VM is deterministic given `(program, input, heuristic state,
+//!   options)`, so these counts are what make replay *exact*: seeding a
+//!   fresh `SpecHeuristics` from them reproduces the discovering run
+//!   bit-for-bit, including every nested-misprediction decision,
+//! * a **bounded speculative trace** ([`TraceEvent`]s, original-binary
+//!   coordinates): speculatively entered branches, tainted accesses seen
+//!   by the DIFT shadow (address + width + tag bits), and rollbacks.
+//!
+//! `teapot-triage` consumes witnesses for deterministic replay, ddmin
+//! input minimization and severity scoring; `teapot-campaign` persists
+//! them through `.tcs` snapshots.
+
+use crate::{GadgetKey, Tag};
+
+/// Hard cap on recorded trace events per run. Witnesses are evidence,
+/// not full traces: the interesting prefix (how speculation reached the
+/// gadget) fits comfortably; unbounded recording would let pathological
+/// loops blow up snapshot sizes.
+pub const MAX_TRACE_EVENTS: usize = 256;
+
+/// One entry of a witness's speculative trace. All PCs are stated in
+/// original-binary coordinates (like gadget reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A checkpoint was pushed: simulation entered (or nested) at this
+    /// branch, now `depth` levels deep.
+    SpecBranch {
+        /// Branch address.
+        pc: u64,
+        /// Nesting depth after entry (1 = top level).
+        depth: u32,
+    },
+    /// A speculative memory access involving DIFT-tainted data: either
+    /// the pointer or the loaded value carried a non-clean tag.
+    TaintedAccess {
+        /// Address of the accessing instruction.
+        pc: u64,
+        /// Effective address accessed.
+        addr: u64,
+        /// Access width in bytes.
+        width: u8,
+        /// Union of pointer and value tag bits ([`Tag`]).
+        tag: u8,
+    },
+    /// The innermost simulation level rolled back.
+    Rollback {
+        /// Branch address whose checkpoint was restored.
+        pc: u64,
+        /// Nesting depth before the rollback (1 = top level).
+        depth: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The tag bits of a tainted access, as a [`Tag`] (clean otherwise).
+    pub fn tag(&self) -> Tag {
+        match self {
+            TraceEvent::TaintedAccess { tag, .. } => Tag::from_bits(*tag),
+            _ => Tag::CLEAN,
+        }
+    }
+}
+
+/// A replayable witness for one deduplicated gadget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GadgetWitness {
+    /// The gadget this witness triggers.
+    pub key: GadgetKey,
+    /// Input bytes of the discovering run.
+    pub input: Vec<u8>,
+    /// Persistent per-branch heuristic counts at the *start* of the
+    /// discovering run, sorted by branch address (the exact format of
+    /// `SpecHeuristics::export_counts`). Replaying with this state makes
+    /// the run bit-identical to the discovery.
+    pub heur_counts: Vec<(u64, u32)>,
+    /// Bounded speculative trace of the discovering run (truncated at
+    /// [`MAX_TRACE_EVENTS`]).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl GadgetWitness {
+    /// Widest tainted access recorded in the trace, in bytes (0 when the
+    /// trace carries none — e.g. SpecFuzz-policy reports without DIFT).
+    pub fn max_tainted_width(&self) -> u8 {
+        self.trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::TaintedAccess { width, .. } => Some(*width),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Deepest speculation nesting recorded in the trace.
+    pub fn max_depth(&self) -> u32 {
+        self.trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SpecBranch { depth, .. } => Some(*depth),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Channel, Controllability};
+
+    fn witness() -> GadgetWitness {
+        GadgetWitness {
+            key: GadgetKey {
+                pc: 0x400100,
+                channel: Channel::Cache,
+                controllability: Controllability::User,
+            },
+            input: vec![1, 2, 3],
+            heur_counts: vec![(0x400080, 4)],
+            trace: vec![
+                TraceEvent::SpecBranch {
+                    pc: 0x400080,
+                    depth: 1,
+                },
+                TraceEvent::TaintedAccess {
+                    pc: 0x400100,
+                    addr: 0x80_0000,
+                    width: 4,
+                    tag: Tag::SECRET_USER.bits(),
+                },
+                TraceEvent::SpecBranch {
+                    pc: 0x400090,
+                    depth: 2,
+                },
+                TraceEvent::TaintedAccess {
+                    pc: 0x400104,
+                    addr: 0x80_0010,
+                    width: 1,
+                    tag: Tag::USER.bits(),
+                },
+                TraceEvent::Rollback {
+                    pc: 0x400090,
+                    depth: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let w = witness();
+        assert_eq!(w.max_tainted_width(), 4);
+        assert_eq!(w.max_depth(), 2);
+        let empty = GadgetWitness {
+            trace: Vec::new(),
+            ..w
+        };
+        assert_eq!(empty.max_tainted_width(), 0);
+        assert_eq!(empty.max_depth(), 0);
+    }
+
+    #[test]
+    fn tag_accessor() {
+        let w = witness();
+        assert_eq!(w.trace[1].tag(), Tag::SECRET_USER);
+        assert_eq!(w.trace[0].tag(), Tag::CLEAN);
+    }
+}

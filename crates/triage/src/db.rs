@@ -1,0 +1,401 @@
+//! The triage database: root-cause-deduplicated, severity-ranked gadget
+//! findings with replay-validated minimized reproducers.
+//!
+//! Every rendering is **byte-deterministic**: entries are sorted by
+//! `(severity desc, root-cause key asc)`, locations inside an entry by
+//! `(binary, shard, gadget key)`, and nothing timing-, thread- or
+//! path-order-dependent is emitted. A campaign run with `--workers 8`
+//! triages to the same bytes as `--workers 1` — the triage extension of
+//! the orchestrator's determinism guarantee.
+
+use std::collections::BTreeMap;
+use teapot_rt::GadgetKey;
+use teapot_vm::DecodeStats;
+
+/// One observation site of a root cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriageLocation {
+    /// Binary label (file name in queue mode).
+    pub binary: String,
+    /// Shard that first reported the gadget in that binary's campaign.
+    pub shard: u32,
+    /// The raw dedup key at this site.
+    pub key: GadgetKey,
+    /// Mispredicted branch opening the speculative window.
+    pub branch_pc: u64,
+    /// Access that loaded the secret.
+    pub access_pc: u64,
+    /// Nesting depth at this site.
+    pub depth: u32,
+}
+
+/// One deduplicated finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriageEntry {
+    /// Content-derived root-cause key (see `enrich`).
+    pub root_cause: String,
+    /// `Controllability-Channel` policy bucket.
+    pub bucket: String,
+    /// Severity 0–100 (maximum over locations).
+    pub severity: u32,
+    /// Human-readable flow description (from the first location).
+    pub description: String,
+    /// `symbol+off` of the transmitting instruction, when available.
+    pub access_symbol: Option<String>,
+    /// `symbol+off` of the opening branch, when available.
+    pub branch_symbol: Option<String>,
+    /// Minimum nesting depth over locations (easiest site to exploit).
+    pub min_depth: u32,
+    /// Widest DIFT-tainted access in the witness trace, bytes.
+    pub max_tainted_width: u8,
+    /// Raw triggering input of the canonical witness.
+    pub witness_input: Vec<u8>,
+    /// ddmin-minimized reproducer (replays to the same gadget key);
+    /// `None` when the gadget carried no witness.
+    pub minimized_input: Option<Vec<u8>>,
+    /// Candidate replays minimization spent.
+    pub minimize_steps: u32,
+    /// Whether the witness replayed successfully.
+    pub replayed: bool,
+    /// Every site this root cause was observed at, sorted by
+    /// `(binary, shard, key)`.
+    pub locations: Vec<TriageLocation>,
+}
+
+/// Per-binary header statistics surfaced at the top of every report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryStats {
+    /// Binary label.
+    pub binary: String,
+    /// Decode-cache statistics of the shared decode pass (snapshotted
+    /// into `.tcs`, audited here).
+    pub decode_stats: DecodeStats,
+    /// Campaign executions over this binary.
+    pub iters: u64,
+    /// Raw (pre-triage) deduplicated gadget count.
+    pub raw_gadgets: usize,
+}
+
+/// The triage database.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TriageDb {
+    /// Per-binary header rows, sorted by label.
+    pub binaries: Vec<BinaryStats>,
+    entries: Vec<TriageEntry>,
+    finalized: bool,
+}
+
+impl TriageDb {
+    /// Creates an empty database.
+    pub fn new() -> TriageDb {
+        TriageDb::default()
+    }
+
+    /// The findings, ranked once [`TriageDb::finalize`] ran.
+    pub fn entries(&self) -> &[TriageEntry] {
+        &self.entries
+    }
+
+    /// Total observation sites across all entries.
+    pub fn location_count(&self) -> usize {
+        self.entries.iter().map(|e| e.locations.len()).sum()
+    }
+
+    /// Adds a finding, merging it into an existing entry when the
+    /// root-cause key matches: locations accumulate, severity takes the
+    /// maximum, depth the minimum, and the canonical witness (first in
+    /// insertion order, which callers drive in `(binary, shard)` order)
+    /// is kept.
+    pub fn insert(&mut self, entry: TriageEntry) {
+        self.finalized = false;
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.root_cause == entry.root_cause)
+        {
+            existing.severity = existing.severity.max(entry.severity);
+            existing.min_depth = existing.min_depth.min(entry.min_depth);
+            existing.max_tainted_width = existing.max_tainted_width.max(entry.max_tainted_width);
+            if existing.access_symbol.is_none() {
+                existing.access_symbol = entry.access_symbol;
+            }
+            if existing.branch_symbol.is_none() {
+                existing.branch_symbol = entry.branch_symbol;
+            }
+            if existing.minimized_input.is_none() {
+                existing.minimized_input = entry.minimized_input;
+                existing.minimize_steps = entry.minimize_steps;
+                existing.replayed = entry.replayed;
+                existing.witness_input = entry.witness_input;
+            }
+            existing.locations.extend(entry.locations);
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Ranks the database: entries by `(severity desc, root_cause asc)`,
+    /// locations by `(binary, shard, key)`. Idempotent; every renderer
+    /// calls it implicitly through the builder.
+    pub fn finalize(&mut self) {
+        for e in &mut self.entries {
+            e.locations
+                .sort_by(|a, b| (&a.binary, a.shard, &a.key).cmp(&(&b.binary, b.shard, &b.key)));
+            e.locations.dedup();
+        }
+        self.entries
+            .sort_by(|a, b| (b.severity, &a.root_cause).cmp(&(a.severity, &b.root_cause)));
+        self.binaries.sort_by(|a, b| a.binary.cmp(&b.binary));
+        self.finalized = true;
+    }
+
+    /// Renders the database as JSON-Lines: one header object, then one
+    /// object per finding, ranked. Byte-deterministic.
+    pub fn to_jsonl(&self) -> String {
+        debug_assert!(self.finalized, "finalize() before rendering");
+        let mut out = String::new();
+        out.push_str("{\"teapot_triage\":1,\"binaries\":[");
+        for (i, b) in self.binaries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"binary\":\"{}\",\"decode_cache\":{{\"blocks\":{},\"insts\":{},\
+                 \"bytes\":{},\"undecoded_bytes\":{}}},\"iters\":{},\"raw_gadgets\":{}}}",
+                escape(&b.binary),
+                b.decode_stats.blocks,
+                b.decode_stats.insts,
+                b.decode_stats.bytes,
+                b.decode_stats.undecoded_bytes,
+                b.iters,
+                b.raw_gadgets,
+            ));
+        }
+        out.push_str(&format!(
+            "],\"root_causes\":{},\"locations\":{}}}\n",
+            self.entries.len(),
+            self.location_count()
+        ));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{{\"root_cause\":\"{}\",\"bucket\":\"{}\",\"severity\":{},",
+                escape(&e.root_cause),
+                escape(&e.bucket),
+                e.severity
+            ));
+            out.push_str(&format!(
+                "\"description\":\"{}\",\"access_symbol\":{},\"branch_symbol\":{},",
+                escape(&e.description),
+                json_opt_str(&e.access_symbol),
+                json_opt_str(&e.branch_symbol)
+            ));
+            out.push_str(&format!(
+                "\"min_depth\":{},\"max_tainted_width\":{},\"replayed\":{},\
+                 \"minimize_steps\":{},",
+                e.min_depth,
+                e.max_tainted_width,
+                if e.replayed { "true" } else { "false" },
+                e.minimize_steps
+            ));
+            out.push_str(&format!("\"witness_input\":\"{}\",", hex(&e.witness_input)));
+            match &e.minimized_input {
+                Some(m) => out.push_str(&format!("\"minimized_input\":\"{}\",", hex(m))),
+                None => out.push_str("\"minimized_input\":null,"),
+            }
+            out.push_str("\"locations\":[");
+            for (i, l) in e.locations.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"binary\":\"{}\",\"shard\":{},\"pc\":\"{:#x}\",\
+                     \"branch_pc\":\"{:#x}\",\"access_pc\":\"{:#x}\",\"depth\":{}}}",
+                    escape(&l.binary),
+                    l.shard,
+                    l.key.pc,
+                    l.branch_pc,
+                    l.access_pc,
+                    l.depth
+                ));
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// Renders the database as a ranked, human-readable report.
+    pub fn to_text(&self) -> String {
+        debug_assert!(self.finalized, "finalize() before rendering");
+        let mut out = String::new();
+        out.push_str("teapot triage report\n====================\n");
+        for b in &self.binaries {
+            out.push_str(&format!(
+                "binary {}: {} execs, {} raw gadgets; decode cache {} blocks / {} insts / {} bytes ({} undecoded)\n",
+                b.binary,
+                b.iters,
+                b.raw_gadgets,
+                b.decode_stats.blocks,
+                b.decode_stats.insts,
+                b.decode_stats.bytes,
+                b.decode_stats.undecoded_bytes,
+            ));
+        }
+        out.push_str(&format!(
+            "{} root cause(s) across {} location(s)\n\n",
+            self.entries.len(),
+            self.location_count()
+        ));
+        for (rank, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "#{} [severity {:3}] {} — {}\n",
+                rank + 1,
+                e.severity,
+                e.bucket,
+                e.description
+            ));
+            out.push_str(&format!("    root cause: {}\n", e.root_cause));
+            if let Some(s) = &e.access_symbol {
+                out.push_str(&format!("    access: {s}\n"));
+            }
+            out.push_str(&format!(
+                "    depth {} | tainted width {}B | {}\n",
+                e.min_depth,
+                e.max_tainted_width,
+                match &e.minimized_input {
+                    Some(m) => format!(
+                        "reproducer {} byte(s) (minimized from {} in {} replays): {}",
+                        m.len(),
+                        e.witness_input.len(),
+                        e.minimize_steps,
+                        hex(m)
+                    ),
+                    None => "no witness captured".to_string(),
+                }
+            ));
+            for l in &e.locations {
+                out.push_str(&format!(
+                    "    at {} shard {}: transmit {:#x} (branch {:#x}, access {:#x}, depth {})\n",
+                    l.binary, l.shard, l.key.pc, l.branch_pc, l.access_pc, l.depth
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Deduplicated bucket counts (post-triage Table-4 view).
+    pub fn bucket_counts(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for e in &self.entries {
+            *out.entry(e.bucket.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+/// Lower-case hex rendering of a byte string.
+pub fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// JSON string escaping — the campaign renderer's, re-exported so the
+/// campaign JSON and the triage JSONL/SARIF can never diverge on how
+/// they encode identical strings.
+pub use teapot_campaign::json::escape;
+
+fn json_opt_str(v: &Option<String>) -> String {
+    match v {
+        Some(s) => format!("\"{}\"", escape(s)),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teapot_rt::{Channel, Controllability};
+
+    fn entry(root: &str, severity: u32, binary: &str, shard: u32) -> TriageEntry {
+        TriageEntry {
+            root_cause: root.to_string(),
+            bucket: "User-Cache".to_string(),
+            severity,
+            description: "d".to_string(),
+            access_symbol: None,
+            branch_symbol: None,
+            min_depth: 1,
+            max_tainted_width: 4,
+            witness_input: vec![0x7f, 0xc8],
+            minimized_input: Some(vec![0x7f]),
+            minimize_steps: 3,
+            replayed: true,
+            locations: vec![TriageLocation {
+                binary: binary.to_string(),
+                shard,
+                key: GadgetKey {
+                    pc: 0x400100,
+                    channel: Channel::Cache,
+                    controllability: Controllability::User,
+                },
+                branch_pc: 0x4000f0,
+                access_pc: 0x400100,
+                depth: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn insert_merges_by_root_cause_and_ranks() {
+        let mut db = TriageDb::new();
+        db.insert(entry("cause-b", 40, "b.tof", 1));
+        db.insert(entry("cause-a", 90, "a.tof", 0));
+        db.insert(entry("cause-b", 55, "a.tof", 0));
+        db.finalize();
+        assert_eq!(db.entries().len(), 2);
+        // Highest severity first.
+        assert_eq!(db.entries()[0].root_cause, "cause-a");
+        // Merged entry took the max severity and both locations,
+        // sorted by (binary, shard).
+        let merged = &db.entries()[1];
+        assert_eq!(merged.severity, 55);
+        assert_eq!(merged.locations.len(), 2);
+        assert_eq!(merged.locations[0].binary, "a.tof");
+        assert_eq!(merged.locations[1].binary, "b.tof");
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let mut a = TriageDb::new();
+        let mut b = TriageDb::new();
+        for db in [&mut a, &mut b] {
+            db.insert(entry("x", 70, "bin", 0));
+            db.insert(entry("y", 70, "bin", 1));
+            db.finalize();
+        }
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.to_text(), b.to_text());
+        // Equal severity ties break on the root-cause key.
+        assert_eq!(a.entries()[0].root_cause, "x");
+    }
+
+    #[test]
+    fn jsonl_hex_encodes_inputs() {
+        let mut db = TriageDb::new();
+        db.insert(entry("k", 50, "bin", 0));
+        db.finalize();
+        let jsonl = db.to_jsonl();
+        assert!(jsonl.contains("\"witness_input\":\"7fc8\""));
+        assert!(jsonl.contains("\"minimized_input\":\"7f\""));
+        assert!(jsonl.lines().count() == 2);
+    }
+
+    #[test]
+    fn hex_and_escape() {
+        assert_eq!(hex(&[0, 255, 16]), "00ff10");
+        assert_eq!(escape("a\"b\n"), "a\\\"b\\n");
+    }
+}

@@ -1,0 +1,217 @@
+//! Gadget enrichment: symbolization, severity scoring and the
+//! content-derived **root-cause key** that collapses duplicate findings
+//! across shards *and across binaries*.
+//!
+//! Queue mode fuzzes many binaries that often share code (static
+//! libraries, common runtime helpers). The same library gadget then
+//! re-reports once per binary under different absolute addresses — the
+//! ROADMAP's "cross-binary dedup in queue mode" follow-up. The root
+//! cause of a gadget is not its address but its *code*: the key built
+//! here hashes the position-normalized instruction content of the basic
+//! block containing the transmitting instruction (branch targets as
+//! relative deltas, so identical code at different load addresses hashes
+//! identically), plus the in-block offset, the branch→access delta and
+//! the policy bucket. Two reports with equal keys are one finding with
+//! two locations.
+//!
+//! When the binary still carries symbols, the key uses `symbol+offset`
+//! instead — stable across recompilation, not just relocation.
+
+use teapot_isa::{decode_at, Inst, INST_MAX_LEN};
+use teapot_obj::Binary;
+use teapot_rt::{Channel, Controllability, GadgetReport, GadgetWitness};
+use teapot_vm::Program;
+
+/// Enriches raw gadget reports against one binary and its predecoded
+/// program.
+pub struct Enricher<'a> {
+    bin: &'a Binary,
+    prog: &'a Program,
+}
+
+impl<'a> Enricher<'a> {
+    /// Creates an enricher for `bin` (with its shared decode `prog`).
+    pub fn new(bin: &'a Binary, prog: &'a Program) -> Enricher<'a> {
+        Enricher { bin, prog }
+    }
+
+    /// `symbol+0xoff` for an original-coordinate PC, when the binary
+    /// still carries symbols (stripped COTS binaries — the paper's
+    /// deployment scenario — return `None`).
+    pub fn symbolize(&self, pc: u64) -> Option<String> {
+        let s = self.bin.symbolize(pc)?;
+        let off = pc.wrapping_sub(s.addr);
+        if off == 0 {
+            Some(s.name.clone())
+        } else {
+            Some(format!("{}+{:#x}", s.name, off))
+        }
+    }
+
+    /// The Real-Copy (rewritten) address whose original coordinate is
+    /// `orig_pc` — where the *bytes* of the reported instruction live.
+    fn real_addr_of(&self, orig_pc: u64) -> Option<u64> {
+        let meta = self.prog.meta()?;
+        meta.addr_map
+            .iter()
+            .find(|&&(rew, orig)| orig == orig_pc && meta.in_real(rew))
+            .map(|&(rew, _)| rew)
+    }
+
+    /// The basic-block span (from the shared decode pass) containing a
+    /// rewritten address.
+    fn block_of(&self, addr: u64) -> Option<(u64, u64)> {
+        let blocks = self.prog.blocks();
+        let i = blocks.partition_point(|&(start, _)| start <= addr);
+        if i == 0 {
+            return None;
+        }
+        let (start, end) = blocks[i - 1];
+        (addr < end).then_some((start, end))
+    }
+
+    /// Position-normalized FNV-1a hash of the instructions in
+    /// `[start, end)`: control-flow targets become PC-relative deltas,
+    /// so the hash is invariant under relocation of the whole block.
+    fn block_content_hash(&self, start: u64, end: u64) -> u64 {
+        let sec = self
+            .bin
+            .sections
+            .iter()
+            .find(|s| s.kind.is_executable() && s.vaddr <= start && end <= s.end());
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut fold = |s: &str| {
+            for b in s.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h ^= 0x1F;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        let Some(sec) = sec else {
+            fold(&format!("opaque{start:#x}"));
+            return h;
+        };
+        let mut pc = start;
+        while pc < end {
+            let off = (pc - sec.vaddr) as usize;
+            let slice_end = (off + INST_MAX_LEN).min(sec.bytes.len());
+            match decode_at(&sec.bytes[off..slice_end], pc) {
+                Ok((inst, len)) => {
+                    fold(&normalize_inst(&inst, pc));
+                    pc += len as u64;
+                }
+                Err(_) => {
+                    fold("bad");
+                    pc += 1;
+                }
+            }
+        }
+        h
+    }
+
+    /// The root-cause key of a gadget. The backbone is always the code
+    /// content — `h<block-hash>+<in-block off>d<branch delta>` from the
+    /// position-normalized block hash — prefixed by `symbol+off` when
+    /// symbols exist. Symbols alone would be unsound for dedup: two
+    /// unrelated binaries both defining `main` would collapse distinct
+    /// gadgets at equal offsets into one finding; the content hash keeps
+    /// them apart while identical code still merges. Reports sharing a
+    /// key are the same defect observed at different places.
+    pub fn root_cause(&self, g: &GadgetReport) -> String {
+        let bucket = g.bucket();
+        let delta = g.key.pc.wrapping_sub(g.branch_pc);
+        let content = self.real_addr_of(g.key.pc).and_then(|rew| {
+            self.block_of(rew).map(|(bs, be)| {
+                let h = self.block_content_hash(bs, be);
+                format!("h{h:016x}+{:#x}d{delta:#x}", rew - bs)
+            })
+        });
+        match (self.symbolize(g.key.pc), content) {
+            (Some(sym), Some(c)) => format!("{sym}:{c}:{bucket}"),
+            (Some(sym), None) => format!("{sym}:d{delta:#x}:{bucket}"),
+            (None, Some(c)) => format!("{c}:{bucket}"),
+            (None, None) => format!("pc{:#x}d{delta:#x}:{bucket}", g.key.pc),
+        }
+    }
+}
+
+/// Renders one instruction with control-flow targets replaced by their
+/// PC-relative delta (the only position-dependent operands a TEA-64
+/// instruction carries besides data immediates).
+fn normalize_inst(inst: &Inst<u64>, pc: u64) -> String {
+    let rel = |target: u64| target.wrapping_sub(pc) as i64;
+    match inst {
+        Inst::Jmp { target } => format!("jmp {:+}", rel(*target)),
+        Inst::Jcc { cc, target } => format!("j{cc:?} {:+}", rel(*target)),
+        Inst::Call { target } => format!("call {:+}", rel(*target)),
+        Inst::SimStart { .. } => "sim.start".to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Severity of a gadget on a 0–100 scale, from attacker controllability,
+/// leak channel, nesting depth and the widest tainted access in the
+/// witness trace:
+///
+/// * direct (`User`) control outranks memory massaging;
+/// * an MDS-style register leak outranks a cache transmitter, which
+///   outranks port contention (bit-rate, per the paper's Fig. 6 policy
+///   discussion);
+/// * each extra misprediction level the attacker must train costs 5;
+/// * every byte of tainted access width (up to 8) adds a point — wider
+///   loads move more secret bits per transient window.
+pub fn severity(g: &GadgetReport, w: Option<&GadgetWitness>) -> u32 {
+    let mut s: i64 = match g.key.controllability {
+        Controllability::User => 50,
+        Controllability::Massage => 35,
+    };
+    s += match g.key.channel {
+        Channel::Mds => 25,
+        Channel::Cache => 20,
+        Channel::Port => 10,
+    };
+    s -= 5 * i64::from(g.depth.saturating_sub(1));
+    if let Some(w) = w {
+        s += i64::from(w.max_tainted_width().min(8));
+    }
+    s.clamp(0, 100) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teapot_rt::GadgetKey;
+
+    fn gadget(ch: Channel, co: Controllability, depth: u32) -> GadgetReport {
+        GadgetReport {
+            key: GadgetKey {
+                pc: 0x400100,
+                channel: ch,
+                controllability: co,
+            },
+            branch_pc: 0x4000f0,
+            access_pc: 0x400100,
+            depth,
+            description: "t".into(),
+        }
+    }
+
+    #[test]
+    fn severity_orders_buckets_sensibly() {
+        let user_mds = severity(&gadget(Channel::Mds, Controllability::User, 1), None);
+        let user_cache = severity(&gadget(Channel::Cache, Controllability::User, 1), None);
+        let massage_port = severity(&gadget(Channel::Port, Controllability::Massage, 1), None);
+        assert!(user_mds > user_cache);
+        assert!(user_cache > massage_port);
+        // Depth makes exploitation harder.
+        let deep = severity(&gadget(Channel::Mds, Controllability::User, 4), None);
+        assert!(deep < user_mds);
+    }
+
+    #[test]
+    fn severity_is_clamped() {
+        let g = gadget(Channel::Port, Controllability::Massage, 40);
+        assert_eq!(severity(&g, None), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Witness input minimization (delta debugging).
+//!
+//! Campaign inputs are mutation stacks over mutation stacks — the byte
+//! string that *found* a gadget usually carries dozens of irrelevant
+//! bytes. `ddmin` shrinks it to a minimal reproducer: every candidate is
+//! validated by a full deterministic replay (same heuristic seed as the
+//! witness), so the result is guaranteed to re-trigger the same
+//! [`GadgetKey`](teapot_rt::GadgetKey). A classic ddmin chunk-deletion
+//! pass is followed by a byte-normalization pass that zeroes every byte
+//! that is not load-bearing, making reproducers canonical as well as
+//! short.
+//!
+//! The whole procedure is a pure function of `(program, witness,
+//! budget)`: candidate order is fixed, replays are deterministic, and
+//! the step budget is a plain counter — byte-identical output on every
+//! host, which the triage database's determinism guarantee builds on.
+
+use crate::replay::Replayer;
+use teapot_rt::GadgetWitness;
+
+/// Result of minimizing one witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinimizeOutcome {
+    /// The minimized input; replays to the witness's gadget key.
+    pub input: Vec<u8>,
+    /// Candidate replays performed (the "work" metric of the triage
+    /// bench).
+    pub steps: u32,
+    /// Whether the budget expired before the search was exhausted (the
+    /// result is still valid, just possibly not 1-minimal).
+    pub budget_exhausted: bool,
+}
+
+/// Default candidate-replay budget per witness.
+pub const DEFAULT_MAX_STEPS: u32 = 512;
+
+/// ddmin-shrinks `w.input` to a minimal reproducer of `w.key`, validating
+/// every candidate by deterministic replay. Returns `None` if the witness
+/// itself does not replay (a stale or cross-binary witness) — callers can
+/// rely on this as *the* validation replay and need not replay first.
+/// `steps` counts ddmin candidates only; the initial validation replay is
+/// excluded.
+pub fn minimize(rp: &mut Replayer, w: &GadgetWitness, max_steps: u32) -> Option<MinimizeOutcome> {
+    let reproduces = |rp: &mut Replayer, input: &[u8]| {
+        rp.run(input, &w.heur_counts).iter().any(|g| g.key == w.key)
+    };
+    if !reproduces(rp, &w.input) {
+        return None;
+    }
+    let mut steps = 0u32;
+    let mut cur = w.input.clone();
+    let mut budget_exhausted = false;
+
+    // Phase 1 — ddmin chunk deletion: split into n chunks, try dropping
+    // each; on success restart at coarse granularity, else refine.
+    let mut n = 2usize;
+    'outer: while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - start));
+            cand.extend_from_slice(&cur[..start]);
+            cand.extend_from_slice(&cur[end..]);
+            if steps >= max_steps {
+                budget_exhausted = true;
+                break 'outer;
+            }
+            steps += 1;
+            if reproduces(rp, &cand) {
+                cur = cand;
+                n = 2.max(n.saturating_sub(1));
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+
+    // Phase 2 — byte normalization: zero every byte that still
+    // reproduces without its value, canonicalizing the reproducer.
+    for i in 0..cur.len() {
+        if cur[i] == 0 {
+            continue;
+        }
+        if steps >= max_steps {
+            budget_exhausted = true;
+            break;
+        }
+        steps += 1;
+        let mut cand = cur.clone();
+        cand[i] = 0;
+        if reproduces(rp, &cand) {
+            cur = cand;
+        }
+    }
+
+    Some(MinimizeOutcome {
+        input: cur,
+        steps,
+        budget_exhausted,
+    })
+}

@@ -1,0 +1,142 @@
+//! SARIF 2.1.0 rendering of a [`TriageDb`] — the interchange format
+//! consumed by code-scanning UIs (GitHub, VS Code SARIF viewers, defect
+//! dashboards), so triage findings plug into existing review workflows
+//! the way SpecFuzz's whitelisting reports plug into patching.
+//!
+//! Mapping: one **rule** per policy bucket (`User-Cache`, …), one
+//! **result** per root cause, one **location** per observation site
+//! (binary + absolute address of the transmitting instruction). The
+//! minimized reproducer, heuristic metadata and raw PCs ride in
+//! `properties`. Rendering is byte-deterministic: it walks the already
+//! finalized (ranked) database and emits keys in a fixed order.
+
+use crate::db::{escape, hex, TriageDb};
+
+/// SARIF severity level for a 0–100 triage severity.
+fn level(severity: u32) -> &'static str {
+    match severity {
+        70.. => "error",
+        40..=69 => "warning",
+        _ => "note",
+    }
+}
+
+/// Renders the database as a SARIF 2.1.0 document.
+pub fn render(db: &TriageDb) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"teapot-triage\",\n");
+    out.push_str("          \"version\": \"0.1.0\",\n");
+    out.push_str(
+        "          \"informationUri\": \"https://github.com/teapot/teapot\",\n          \"rules\": [",
+    );
+    // One rule per bucket, in sorted (BTreeMap) order.
+    let buckets = db.bucket_counts();
+    for (i, bucket) in buckets.keys().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{b}\", \"shortDescription\": \
+             {{\"text\": \"Spectre gadget ({b})\"}}}}",
+            b = escape(bucket)
+        ));
+    }
+    if !buckets.is_empty() {
+        out.push_str("\n          ");
+    }
+    out.push_str("]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, e) in db.entries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n        {\n");
+        out.push_str(&format!(
+            "          \"ruleId\": \"{}\",\n",
+            escape(&e.bucket)
+        ));
+        out.push_str(&format!(
+            "          \"level\": \"{}\",\n",
+            level(e.severity)
+        ));
+        out.push_str(&format!(
+            "          \"rank\": {:.1},\n",
+            f64::from(e.severity)
+        ));
+        out.push_str(&format!(
+            "          \"message\": {{\"text\": \"{}\"}},\n",
+            escape(&format!(
+                "[severity {}] {} — {} (root cause {})",
+                e.severity, e.bucket, e.description, e.root_cause
+            ))
+        ));
+        out.push_str("          \"locations\": [");
+        for (j, l) in e.locations.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n            {{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": \"{}\"}}, \"address\": {{\"absoluteAddress\": {}}}}}, \
+                 \"logicalLocations\": [{{\"name\": \"shard {}\"}}]}}",
+                escape(&l.binary),
+                l.key.pc,
+                l.shard
+            ));
+        }
+        if !e.locations.is_empty() {
+            out.push_str("\n          ");
+        }
+        out.push_str("],\n");
+        out.push_str("          \"properties\": {\n");
+        out.push_str(&format!(
+            "            \"rootCause\": \"{}\",\n",
+            escape(&e.root_cause)
+        ));
+        out.push_str(&format!(
+            "            \"replayed\": {},\n",
+            if e.replayed { "true" } else { "false" }
+        ));
+        out.push_str(&format!(
+            "            \"minDepth\": {},\n            \"maxTaintedWidth\": {},\n",
+            e.min_depth, e.max_tainted_width
+        ));
+        match &e.minimized_input {
+            Some(m) => out.push_str(&format!("            \"minimizedInput\": \"{}\"\n", hex(m))),
+            None => out.push_str("            \"minimizedInput\": null\n"),
+        }
+        out.push_str("          }\n        }");
+    }
+    if !db.entries().is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_db_is_valid_shaped_sarif() {
+        let mut db = TriageDb::new();
+        db.finalize();
+        let s = render(&db);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("teapot-triage"));
+        assert!(s.contains("\"results\": []"));
+    }
+
+    #[test]
+    fn levels_follow_severity() {
+        assert_eq!(level(90), "error");
+        assert_eq!(level(55), "warning");
+        assert_eq!(level(10), "note");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property test (offline proptest shim): for every gadget a smoke
+//! campaign finds — across randomized campaign seeds — `triage::replay`
+//! reproduces the identical `GadgetKey` from both the raw and the
+//! minimized witness, on pooled and fresh execution contexts alike.
+//!
+//! This pins the two invariants the triage subsystem is built on:
+//!
+//! * the VM is a pure function of `(program, input, heuristic state,
+//!   options)`, so a witness replays bit-identically;
+//! * `ExecContext::reset` is observably identical to a fresh context,
+//!   so pooling replays (the hot path) changes nothing.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use teapot_campaign::{Campaign, CampaignConfig};
+use teapot_cc::{compile_to_binary, Options};
+use teapot_core::{rewrite, RewriteOptions};
+use teapot_obj::Binary;
+use teapot_triage::{minimize, run_fresh, ReplayConfig, Replayer};
+use teapot_vm::Program;
+
+const TARGET: &str = "
+    char bar[256];
+    int baz;
+    char inbuf[16];
+    int main() {
+        char *foo = malloc(16);
+        read_input(inbuf, 16);
+        int index = inbuf[1];
+        if (index < 10) {
+            int secret = foo[index];
+            baz = bar[secret];
+        }
+        return 0;
+    }";
+
+fn target() -> &'static Binary {
+    static BIN: OnceLock<Binary> = OnceLock::new();
+    BIN.get_or_init(|| {
+        let mut bin = compile_to_binary(TARGET, &Options::gcc_like()).unwrap();
+        bin.strip();
+        rewrite(&bin, &RewriteOptions::default()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn every_witness_replays_raw_and_minimized_pooled_and_fresh(seed in 0u64..1_000_000) {
+        let bin = target();
+        let cfg = CampaignConfig {
+            seed,
+            shards: 2,
+            workers: 1,
+            epochs: 2,
+            iters_per_epoch: 60,
+            max_input_len: 16,
+            ..CampaignConfig::default()
+        };
+        let prog = Program::shared(bin);
+        let mut c = Campaign::new(cfg.clone()).unwrap();
+        let report = c.run_shared(&prog, &[]);
+        prop_assert_eq!(report.gadgets.len(), report.witnesses.len());
+        prop_assert!(!report.witnesses.is_empty(), "smoke campaign finds gadgets");
+
+        let rcfg = ReplayConfig::from_campaign(&cfg);
+        let mut pooled = Replayer::new(prog.clone(), rcfg.clone());
+        for sw in &report.witnesses {
+            let w = &sw.witness;
+
+            // Raw witness, pooled context.
+            let pooled_gadgets = pooled.run(&w.input, &w.heur_counts);
+            prop_assert!(
+                pooled_gadgets.iter().any(|g| g.key == w.key),
+                "raw witness replays (pooled): {:?}", w.key
+            );
+
+            // Raw witness, fresh context: the identical gadget list, not
+            // just the identical key — reset must equal fresh.
+            let fresh_gadgets = run_fresh(&prog, &rcfg, &w.input, &w.heur_counts);
+            prop_assert_eq!(&pooled_gadgets, &fresh_gadgets);
+
+            // Minimized witness, pooled and fresh.
+            let m = minimize(&mut pooled, w, 256).expect("witness replays");
+            let min_pooled = pooled.run(&m.input, &w.heur_counts);
+            prop_assert!(
+                min_pooled.iter().any(|g| g.key == w.key),
+                "minimized witness replays (pooled): {:?}", w.key
+            );
+            let min_fresh = run_fresh(&prog, &rcfg, &m.input, &w.heur_counts);
+            prop_assert_eq!(&min_pooled, &min_fresh);
+
+            // Minimization is deterministic: running it again from the
+            // same witness yields the same reproducer.
+            let again = minimize(&mut pooled, w, 256).expect("witness replays");
+            prop_assert_eq!(&m.input, &again.input);
+            prop_assert_eq!(m.steps, again.steps);
+        }
+    }
+}

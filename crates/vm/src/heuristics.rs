@@ -152,9 +152,26 @@ impl SpecHeuristics {
     /// Together with [`SpecHeuristics::from_counts`] this supports
     /// campaign snapshots: heuristic state survives a kill/resume cycle.
     pub fn export_counts(&self) -> Vec<(u64, u32)> {
-        let mut out: Vec<(u64, u32)> = self.counts.iter().map(|(&b, &c)| (b, c)).collect();
-        out.sort_unstable();
+        let mut out = Vec::new();
+        self.export_counts_into(&mut out);
         out
+    }
+
+    /// [`SpecHeuristics::export_counts`] into a caller-owned buffer,
+    /// reusing its allocation.
+    pub fn export_counts_into(&self, out: &mut Vec<(u64, u32)>) {
+        self.export_counts_unsorted_into(out);
+        out.sort_unstable();
+    }
+
+    /// Raw (unsorted) count snapshot into a caller-owned buffer — the
+    /// witness recorder snapshots the counts before *every* fuzz run but
+    /// only consumes a snapshot on rare first-seen gadgets, so the hot
+    /// loop must neither allocate nor sort; callers sort at consumption
+    /// time.
+    pub fn export_counts_unsorted_into(&self, out: &mut Vec<(u64, u32)>) {
+        out.clear();
+        out.extend(self.counts.iter().map(|(&b, &c)| (b, c)));
     }
 
     /// Rebuilds heuristic state from counts exported by

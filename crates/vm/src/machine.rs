@@ -37,7 +37,8 @@ use teapot_isa::{
 use teapot_obj::Binary;
 use teapot_rt::layout::STACK_TOP;
 use teapot_rt::{
-    cost, Channel, Controllability, CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport, Tag,
+    cost, Channel, Controllability, CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport,
+    Tag, TraceEvent, MAX_TRACE_EVENTS,
 };
 
 /// Execution style of the machine.
@@ -234,6 +235,14 @@ pub struct ExecContext {
     gadget_keys: FxHashSet<GadgetKey>,
     gadgets: Vec<GadgetReport>,
     output: Vec<u8>,
+    /// Bounded per-run speculative trace (the witness recorder): filled
+    /// only while [`ExecContext::set_witness_recording`] is on.
+    trace: Vec<TraceEvent>,
+    /// Whether the witness recorder is enabled. Configuration, not run
+    /// state: it survives [`ExecContext::reset`] (recording never
+    /// changes an execution's observable outcome — no cost is charged
+    /// and nothing is read back during the run).
+    record_witness: bool,
     /// Identity of the [`Program`] whose pristine image this context's
     /// memory derives from. A dirty-page reset is only valid against
     /// that image; `reset` rebuilds from scratch on a mismatch.
@@ -256,6 +265,8 @@ impl ExecContext {
             gadget_keys: FxHashSet::default(),
             gadgets: Vec::new(),
             output: Vec::new(),
+            trace: Vec::new(),
+            record_witness: false,
             for_program: prog.uid,
         }
     }
@@ -271,7 +282,9 @@ impl ExecContext {
     /// pristine image instead.
     pub fn reset(&mut self, prog: &Program) {
         if self.for_program != prog.uid {
+            let record = self.record_witness;
             *self = ExecContext::new(prog);
+            self.record_witness = record;
             return;
         }
         self.mem.reset_to(prog.pristine());
@@ -285,6 +298,7 @@ impl ExecContext {
         self.gadget_keys.clear();
         self.gadgets.clear();
         self.output.clear();
+        self.trace.clear();
     }
 
     /// Normal-execution coverage of the last run.
@@ -310,6 +324,25 @@ impl ExecContext {
     /// Bytes the last run wrote.
     pub fn output(&self) -> &[u8] {
         &self.output
+    }
+
+    /// Enables or disables the witness recorder. While on, each run
+    /// appends up to [`MAX_TRACE_EVENTS`] speculative-trace entries
+    /// (simulation entries, DIFT-tainted accesses, rollbacks) readable
+    /// via [`ExecContext::trace`] after the run. Recording never changes
+    /// an execution's observable outcome.
+    pub fn set_witness_recording(&mut self, on: bool) {
+        self.record_witness = on;
+    }
+
+    /// Whether the witness recorder is enabled.
+    pub fn witness_recording(&self) -> bool {
+        self.record_witness
+    }
+
+    /// Speculative trace of the last run (empty unless recording is on).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
     }
 }
 
@@ -651,6 +684,19 @@ impl<'c> Machine<'c> {
     // Speculation-simulation runtime
     // ------------------------------------------------------------------
 
+    /// Appends a witness-trace event (no-op unless recording is on; the
+    /// trace is bounded, so a pathological run cannot grow it without
+    /// limit). Recording charges no cost and is never read back during
+    /// the run — a recorded execution is observably identical to an
+    /// unrecorded one.
+    #[inline]
+    fn record_event(&mut self, ev: TraceEvent) {
+        let ctx = &mut *self.ctx;
+        if ctx.record_witness && ctx.trace.len() < MAX_TRACE_EVENTS {
+            ctx.trace.push(ev);
+        }
+    }
+
     fn push_checkpoint(&mut self, resume_pc: u64, branch_pc_orig: u64, resume_is_branch: bool) {
         let ctx = &mut *self.ctx;
         let window_start = ctx
@@ -672,6 +718,11 @@ impl<'c> Machine<'c> {
             resume_is_branch,
         });
         self.sim_entries += 1;
+        let depth = self.ctx.checkpoints.len() as u32;
+        self.record_event(TraceEvent::SpecBranch {
+            pc: branch_pc_orig,
+            depth,
+        });
     }
 
     /// Rolls back the innermost simulation level (paper §6.1 "Rollback").
@@ -724,6 +775,11 @@ impl<'c> Machine<'c> {
             self.skip_sim_once = true;
         }
         self.rollbacks += 1;
+        let depth = self.ctx.checkpoints.len() as u32 + 1;
+        self.record_event(TraceEvent::Rollback {
+            pc: cp.branch_pc_orig,
+            depth,
+        });
     }
 
     /// Handles a fault: rollback inside simulation (the paper's signal
@@ -836,6 +892,15 @@ impl<'c> Machine<'c> {
             }
         } else {
             self.pending_oob = None;
+        }
+        if self.ctx.record_witness && self.in_sim() && !(ptr_tag | val_tag).is_clean() {
+            let access_orig = self.orig_pc(pc);
+            self.record_event(TraceEvent::TaintedAccess {
+                pc: access_orig,
+                addr,
+                width: n as u8,
+                tag: (ptr_tag | val_tag).bits(),
+            });
         }
         Ok((value, val_tag))
     }

@@ -16,10 +16,13 @@ fn main() {
         println!("Campaign smoke: 8 shards, 2 epochs, workers 1 vs 2");
         let result = teapot_bench::campaign::run_scaled(&w, &[1, 2], 2, 25);
         println!("{}", teapot_bench::campaign::render(&result));
+        // The floor covers the per-model rows too: simulating RSB + STL
+        // on top of PHT must not regress below the same throughput bar.
         let slowest = result
             .rows
             .iter()
             .map(|r| r.execs_per_sec)
+            .chain(result.model_rows.iter().map(|r| r.execs_per_sec))
             .fold(f64::INFINITY, f64::min);
         let floor: f64 = std::env::var("TEAPOT_SMOKE_MIN_EPS")
             .ok()
@@ -36,7 +39,8 @@ fn main() {
         return;
     }
     println!("Campaign throughput: 8 shards, execs/sec vs worker count");
-    println!("(every row computes the identical merged gadget report)\n");
+    println!("(every worker row computes the identical merged gadget report;");
+    println!(" spec-model rows measure the cost of simulating RSB/STL too)\n");
     let result = teapot_bench::campaign::run(&w, &[1, 2, 4, 8]);
     println!("{}", teapot_bench::campaign::render(&result));
     let json = teapot_bench::campaign::render_json(&result);

@@ -16,7 +16,7 @@
 use std::time::Instant;
 use teapot_campaign::{Campaign, CampaignConfig, CampaignReport};
 use teapot_core::{rewrite, RewriteOptions};
-use teapot_vm::Program;
+use teapot_vm::{Program, SpecModelSet};
 use teapot_workloads::Workload;
 
 /// One worker-count measurement.
@@ -34,6 +34,23 @@ pub struct ThroughputRow {
     pub unique_gadgets: usize,
 }
 
+/// One speculation-model-set measurement: the same campaign scale run
+/// under a different `--spec-models` configuration, single worker — the
+/// cost of simulating additional misprediction sources.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// The model set (canonical rendering, e.g. `"pht,rsb"`).
+    pub models: String,
+    /// Total executions the campaign performed.
+    pub execs: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Throughput.
+    pub execs_per_sec: f64,
+    /// Unique gadgets in the merged report.
+    pub unique_gadgets: usize,
+}
+
 /// Result of [`run`]: per-worker-count rows plus the (shared) report.
 #[derive(Debug, Clone)]
 pub struct ThroughputResult {
@@ -48,6 +65,8 @@ pub struct ThroughputResult {
     pub epochs: u32,
     /// One row per worker count.
     pub rows: Vec<ThroughputRow>,
+    /// One row per speculation-model set (single worker).
+    pub model_rows: Vec<ModelRow>,
     /// Basic blocks the shared decode pass recovered.
     pub decode_blocks: usize,
     /// Instructions predecoded once per binary.
@@ -111,6 +130,33 @@ pub fn run_scaled(
             unique_gadgets: report.unique_gadgets(),
         });
     }
+
+    // Per-model-set throughput: what simulating extra misprediction
+    // sources costs, at the same scale on one worker.
+    let mut model_rows = Vec::new();
+    for set in ["pht", "pht,rsb", "pht,rsb,stl"] {
+        let cfg = CampaignConfig {
+            shards,
+            workers: 1,
+            epochs,
+            iters_per_epoch,
+            dictionary: w.dictionary.clone(),
+            models: SpecModelSet::parse(set).expect("valid model set"),
+            ..CampaignConfig::default()
+        };
+        let mut campaign = Campaign::new(cfg).expect("valid config");
+        let start = Instant::now();
+        let report = campaign.run_shared(&prog, &w.seeds);
+        let secs = start.elapsed().as_secs_f64();
+        model_rows.push(ModelRow {
+            models: set.to_string(),
+            execs: report.iters,
+            secs,
+            execs_per_sec: report.iters as f64 / secs.max(1e-9),
+            unique_gadgets: report.unique_gadgets(),
+        });
+    }
+
     ThroughputResult {
         workload: w.name.to_string(),
         shards,
@@ -119,6 +165,7 @@ pub fn run_scaled(
             .unwrap_or(1),
         epochs,
         rows,
+        model_rows,
         decode_blocks: stats.blocks,
         decode_insts: stats.insts,
         decode_bytes: stats.bytes,
@@ -142,6 +189,26 @@ pub fn render(r: &ThroughputResult) -> String {
         })
         .collect();
     let mut out = crate::render_table(&["workers", "execs", "secs", "execs/sec", "gadgets"], &rows);
+    if !r.model_rows.is_empty() {
+        let mrows: Vec<Vec<String>> = r
+            .model_rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.models.clone(),
+                    row.execs.to_string(),
+                    format!("{:.2}", row.secs),
+                    format!("{:.0}", row.execs_per_sec),
+                    row.unique_gadgets.to_string(),
+                ]
+            })
+            .collect();
+        out.push('\n');
+        out.push_str(&crate::render_table(
+            &["spec models", "execs", "secs", "execs/sec", "gadgets"],
+            &mrows,
+        ));
+    }
     out.push_str(&format!(
         "\ndecode cache: {} blocks, {} instructions, {} bytes decoded once \
          (seed decoded per run)\n",
@@ -173,6 +240,21 @@ pub fn render_json(r: &ThroughputResult) -> String {
             row.workers, row.execs, row.secs, row.execs_per_sec, row.unique_gadgets
         ));
     }
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ],\n");
+    out.push_str("  \"spec_models\": [");
+    for (i, row) in r.model_rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"models\": \"{}\", \"execs\": {}, \"secs\": {:.4}, \
+             \"execs_per_sec\": {:.1}, \"unique_gadgets\": {}}}",
+            row.models, row.execs, row.secs, row.execs_per_sec, row.unique_gadgets
+        ));
+    }
+    if !r.model_rows.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
     out
 }

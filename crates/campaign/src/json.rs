@@ -7,7 +7,7 @@
 //! "`--workers 8` equals `--workers 1`" acceptance check meaningful.
 
 use crate::{CampaignReport, ShardSummary};
-use teapot_rt::GadgetReport;
+use teapot_rt::{GadgetReport, SpecModel};
 
 /// Escapes a string for a JSON string literal.
 pub fn escape(s: &str) -> String {
@@ -29,8 +29,16 @@ pub fn escape(s: &str) -> String {
 }
 
 fn render_gadget(g: &GadgetReport, out: &mut String) {
+    // The model field is emitted only for non-PHT gadgets: default
+    // (PHT-only) campaign JSON stays byte-identical to the
+    // pre-specmodel pipeline.
+    let model = if g.key.model == SpecModel::Pht {
+        String::new()
+    } else {
+        format!("\"model\":\"{}\",", g.key.model)
+    };
     out.push_str(&format!(
-        "{{\"pc\":\"{:#x}\",\"channel\":\"{}\",\"controllability\":\"{}\",\
+        "{{\"pc\":\"{:#x}\",\"channel\":\"{}\",\"controllability\":\"{}\",{model}\
          \"bucket\":\"{}\",\"branch_pc\":\"{:#x}\",\"access_pc\":\"{:#x}\",\
          \"depth\":{},\"description\":\"{}\"}}",
         g.key.pc,
@@ -59,6 +67,11 @@ pub fn render_report(r: &CampaignReport) -> String {
     out.push_str(&format!("  \"seed\": {},\n", r.seed));
     out.push_str(&format!("  \"shards\": {},\n", r.shards));
     out.push_str(&format!("  \"epochs\": {},\n", r.epochs));
+    // Emitted only for non-default model sets: default campaign JSON is
+    // byte-identical to the pre-specmodel renderer.
+    if !r.spec_models.is_default() {
+        out.push_str(&format!("  \"spec_models\": \"{}\",\n", r.spec_models));
+    }
     out.push_str(&format!(
         "  \"decode_cache\": {{\"blocks\": {}, \"insts\": {}, \"bytes\": {}, \
          \"undecoded_bytes\": {}}},\n",
@@ -122,13 +135,14 @@ pub fn render_report(r: &CampaignReport) -> String {
 mod tests {
     use super::*;
     use std::collections::BTreeMap;
-    use teapot_rt::{Channel, Controllability, GadgetKey};
+    use teapot_rt::{Channel, Controllability, GadgetKey, SpecModelSet};
 
     fn sample_report() -> CampaignReport {
         CampaignReport {
             seed: 7,
             shards: 2,
             epochs: 1,
+            spec_models: SpecModelSet::PHT_ONLY,
             iters: 100,
             total_cost: 5000,
             crashes: 0,
@@ -140,6 +154,7 @@ mod tests {
                     pc: 0x400100,
                     channel: Channel::Mds,
                     controllability: Controllability::User,
+                    model: SpecModel::Pht,
                 },
                 branch_pc: 0x4000f0,
                 access_pc: 0x4000f8,
@@ -183,5 +198,21 @@ mod tests {
     fn control_chars_are_u_escaped() {
         assert_eq!(escape("a\u{1}b"), "a\\u0001b");
         assert_eq!(escape("t\ta"), "t\\ta");
+    }
+
+    #[test]
+    fn model_fields_render_only_for_non_default_sets() {
+        let mut r = sample_report();
+        // Default set: no model annotations anywhere (pre-specmodel
+        // byte-compatibility).
+        let json = render_report(&r);
+        assert!(!json.contains("spec_models"));
+        assert!(!json.contains("\"model\""));
+        // Non-default set + RSB gadget: both annotations appear.
+        r.spec_models = SpecModelSet::parse("pht,rsb").unwrap();
+        r.gadgets[0].key.model = SpecModel::Rsb;
+        let json = render_report(&r);
+        assert!(json.contains("\"spec_models\": \"pht,rsb\""));
+        assert!(json.contains("\"model\":\"rsb\""));
     }
 }

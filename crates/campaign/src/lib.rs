@@ -40,8 +40,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use teapot_fuzz::{CampaignState, ConfigError, FuzzConfig};
 use teapot_obj::Binary;
-use teapot_rt::{CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport, GadgetWitness};
-use teapot_vm::{DecodeStats, EmuStyle, HeurStyle, Program};
+use teapot_rt::{
+    CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport, GadgetWitness, SpecModelSet,
+};
+use teapot_vm::{DecodeStats, EmuStyle, ExecContext, HeurStyle, Program};
 
 pub use snapshot::{CampaignSnapshot, SnapshotError};
 
@@ -73,6 +75,10 @@ pub struct CampaignConfig {
     pub emu: EmuStyle,
     /// Which tool's nested-speculation heuristic to persist.
     pub heur_style: HeurStyle,
+    /// Active speculation models for every run of every shard
+    /// (`--spec-models pht,rsb,stl`). Part of *what* the campaign
+    /// computes, so it is snapshotted into the `.tcs` v3 header.
+    pub models: SpecModelSet,
     /// Dictionary tokens spliced into inputs.
     pub dictionary: Vec<Vec<u8>>,
     /// Capture replayable witnesses for first-seen gadgets (see
@@ -95,6 +101,7 @@ impl Default for CampaignConfig {
             detector: f.detector,
             emu: f.emu,
             heur_style: f.heur_style,
+            models: f.models,
             dictionary: f.dictionary,
             capture_witnesses: f.capture_witnesses,
         }
@@ -132,6 +139,7 @@ impl CampaignConfig {
             detector: self.detector.clone(),
             emu: self.emu,
             heur_style: self.heur_style,
+            models: self.models,
             dictionary: self.dictionary.clone(),
             capture_witnesses: self.capture_witnesses,
         }
@@ -251,6 +259,8 @@ pub struct CampaignReport {
     pub shards: u32,
     /// Epochs completed.
     pub epochs: u32,
+    /// Speculation models every run simulated.
+    pub spec_models: SpecModelSet,
     /// Total executions across shards.
     pub iters: u64,
     /// Total cost units across shards.
@@ -536,6 +546,7 @@ impl Campaign {
             seed: self.cfg.seed,
             shards: self.cfg.shards,
             epochs: self.epochs_done,
+            spec_models: self.cfg.models,
             iters,
             total_cost,
             crashes,
@@ -547,6 +558,27 @@ impl Campaign {
             buckets,
             per_shard,
             decode_stats: self.decode_stats,
+        }
+    }
+
+    /// Drains the pooled [`ExecContext`]s out of every shard, in shard
+    /// index order — queue mode recycles them into the next binary's
+    /// campaign instead of rebuilding per binary. Shards that never
+    /// executed contribute nothing.
+    pub fn harvest_contexts(&mut self) -> Vec<ExecContext> {
+        self.shards
+            .iter_mut()
+            .filter_map(|s| s.harvest_context())
+            .collect()
+    }
+
+    /// Hands recycled [`ExecContext`]s to the shards (one each, shard
+    /// index order; extras are dropped). A donated context is reset
+    /// against the shard's program on first use — observably identical
+    /// to a fresh one, so results never depend on recycling.
+    pub fn donate_contexts(&mut self, ctxs: Vec<ExecContext>) {
+        for (shard, ctx) in self.shards.iter_mut().zip(ctxs) {
+            shard.donate_context(ctx);
         }
     }
 

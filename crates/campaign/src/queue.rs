@@ -7,11 +7,21 @@
 //! instrumented (per their TOF header flag) are rewritten with the
 //! Speculation Shadows rewriter first; already-instrumented binaries are
 //! fuzzed as-is.
+//!
+//! Across binaries the queue **recycles each shard's pooled
+//! `ExecContext`**: the paged address space is re-cloned from the next
+//! binary's pristine image (unavoidable — the bytes differ), but the
+//! shadow engines, checkpoint stack, memory log, coverage scratch and
+//! report buffers keep their allocations. Recycling is observably
+//! identical to building fresh contexts (`ExecContext::reset` ==
+//! `ExecContext::new` is a pipeline invariant), so queue results never
+//! depend on it.
 
-use crate::{run_campaign, CampaignConfig, CampaignError, CampaignReport};
+use crate::{Campaign, CampaignConfig, CampaignError, CampaignReport};
 use std::path::{Path, PathBuf};
 use teapot_core::{rewrite, RewriteOptions};
 use teapot_obj::Binary;
+use teapot_vm::ExecContext;
 
 /// Outcome of one queued binary.
 #[derive(Debug, Clone)]
@@ -70,9 +80,14 @@ pub fn run_queue(
     seeds: &[Vec<u8>],
 ) -> Result<Vec<QueueOutcome>, CampaignError> {
     let mut outcomes = Vec::new();
+    // Per-shard execution contexts recycled across the whole queue.
+    let mut ctx_pool: Vec<ExecContext> = Vec::new();
     for path in scan_queue(dir)? {
         let (bin, instrumented_here) = prepare_binary(&path)?;
-        let report = run_campaign(&bin, seeds, cfg)?;
+        let mut campaign = Campaign::new(cfg.clone())?;
+        campaign.donate_contexts(std::mem::take(&mut ctx_pool));
+        let report = campaign.run(&bin, seeds);
+        ctx_pool = campaign.harvest_contexts();
         outcomes.push(QueueOutcome {
             path,
             instrumented_here,

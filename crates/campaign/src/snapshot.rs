@@ -21,22 +21,23 @@
 //! config  seed u64 · shards u32 · epochs u32 · iters_per_epoch u64
 //!         · max_input_len u64 · fuel_per_run u64
 //!         · detector (6 fields) · emu u8 · heur_style u8
-//!         · capture_witnesses u8
+//!         · capture_witnesses u8 · spec_models u8 (v3)
 //!         · dictionary (len-prefixed token list)
 //! u32     shard count, then per shard:
 //!         corpus    u32 count · { bytes input · u64 score }
-//!         heur      u32 count · { u64 branch · u32 count }
+//!         heur      u32 count · { u64 site-key · u32 count }
 //!         cov       bytes normal · bytes spec
 //!         gadgets   u32 count · { u64 pc · u8 channel · u8 ctrl
+//!                   · u8 model (v3)
 //!                   · u64 branch_pc · u64 access_pc · u32 depth
 //!                   · bytes description }
 //!         witnesses u32 count · { u64 pc · u8 channel · u8 ctrl
-//!                   · bytes input
-//!                   · u32 count { u64 branch · u32 count }
+//!                   · u8 model (v3) · bytes input
+//!                   · u32 count { u64 site-key · u32 count }
 //!                   · u32 count { u8 kind ·
-//!                       0: u64 pc · u32 depth            (spec branch)
+//!                       0: u64 pc · u32 depth · u8 model(v3) (spec branch)
 //!                       1: u64 pc · u64 addr · u8 w · u8 tag (tainted)
-//!                       2: u64 pc · u32 depth            (rollback) } }
+//!                       2: u64 pc · u32 depth · u8 model(v3) (rollback) } }
 //!         u64 iters · u64 total_cost · u64 crashes · u32 epoch
 //! ```
 //!
@@ -46,7 +47,8 @@ use crate::CampaignConfig;
 use teapot_fuzz::StateSnapshot;
 use teapot_obj::Binary;
 use teapot_rt::{
-    Channel, Controllability, DetectorConfig, GadgetKey, GadgetReport, GadgetWitness, TraceEvent,
+    Channel, Controllability, DetectorConfig, GadgetKey, GadgetReport, GadgetWitness, SpecModel,
+    SpecModelSet, TraceEvent,
 };
 use teapot_vm::{DecodeStats, EmuStyle, HeurStyle};
 
@@ -55,8 +57,11 @@ pub const MAGIC: &[u8; 4] = b"TCS1";
 
 /// Format version written by this crate. Version 2 added the decode
 /// statistics header, the `capture_witnesses` flag and per-shard gadget
-/// witnesses.
-pub const VERSION: u32 = 2;
+/// witnesses. Version 3 added the speculation-model set to the config
+/// and a model byte to every gadget key, witness key and speculative
+/// trace checkpoint/rollback event; v1/v2 files load with PHT defaults
+/// everywhere, so old campaigns resume unchanged.
+pub const VERSION: u32 = 3;
 
 /// A deserialized campaign snapshot.
 #[derive(Debug, Clone)]
@@ -192,6 +197,7 @@ impl CampaignSnapshot {
             HeurStyle::SpecTaintFive => 2,
         });
         w.bool(c.capture_witnesses);
+        w.u8(c.models.bits());
         w.u32(c.dictionary.len() as u32);
         for tok in &c.dictionary {
             w.bytes(tok);
@@ -223,6 +229,7 @@ impl CampaignSnapshot {
                     Controllability::User => 0,
                     Controllability::Massage => 1,
                 });
+                w.u8(g.key.model.id());
                 w.u64(g.branch_pc);
                 w.u64(g.access_pc);
                 w.u32(g.depth);
@@ -240,6 +247,7 @@ impl CampaignSnapshot {
                     Controllability::User => 0,
                     Controllability::Massage => 1,
                 });
+                w.u8(wit.key.model.id());
                 w.bytes(&wit.input);
                 w.u32(wit.heur_counts.len() as u32);
                 for (branch, count) in &wit.heur_counts {
@@ -249,10 +257,11 @@ impl CampaignSnapshot {
                 w.u32(wit.trace.len() as u32);
                 for ev in &wit.trace {
                     match ev {
-                        TraceEvent::SpecBranch { pc, depth } => {
+                        TraceEvent::SpecBranch { pc, depth, model } => {
                             w.u8(0);
                             w.u64(*pc);
                             w.u32(*depth);
+                            w.u8(model.id());
                         }
                         TraceEvent::TaintedAccess {
                             pc,
@@ -266,10 +275,11 @@ impl CampaignSnapshot {
                             w.u8(*width);
                             w.u8(*tag);
                         }
-                        TraceEvent::Rollback { pc, depth } => {
+                        TraceEvent::Rollback { pc, depth, model } => {
                             w.u8(2);
                             w.u64(*pc);
                             w.u32(*depth);
+                            w.u8(model.id());
                         }
                     }
                 }
@@ -334,6 +344,12 @@ impl CampaignSnapshot {
             _ => return Err(SnapshotError::Corrupt("heuristic style")),
         };
         let capture_witnesses = if version >= 2 { r.bool()? } else { true };
+        let models = if version >= 3 {
+            SpecModelSet::from_bits(r.u8()?).ok_or(SnapshotError::Corrupt("spec model set"))?
+        } else {
+            // Pre-specmodel snapshots simulated conditional branches only.
+            SpecModelSet::PHT_ONLY
+        };
         let dict_len = r.u32()? as usize;
         let mut dictionary = Vec::with_capacity(dict_len.min(1024));
         for _ in 0..dict_len {
@@ -350,6 +366,7 @@ impl CampaignSnapshot {
             detector,
             emu,
             heur_style,
+            models,
             dictionary,
             capture_witnesses,
         };
@@ -395,6 +412,7 @@ impl CampaignSnapshot {
                     1 => Controllability::Massage,
                     _ => return Err(SnapshotError::Corrupt("controllability")),
                 };
+                let model = r.model(version)?;
                 let branch_pc = r.u64()?;
                 let access_pc = r.u64()?;
                 let depth = r.u32()?;
@@ -405,6 +423,7 @@ impl CampaignSnapshot {
                         pc,
                         channel,
                         controllability,
+                        model,
                     },
                     branch_pc,
                     access_pc,
@@ -427,6 +446,7 @@ impl CampaignSnapshot {
                     1 => Controllability::Massage,
                     _ => return Err(SnapshotError::Corrupt("witness controllability")),
                 };
+                let model = r.model(version)?;
                 let input = r.bytes()?.to_vec();
                 let hc_len = r.u32()? as usize;
                 let mut heur_counts = Vec::with_capacity(hc_len.min(65536));
@@ -445,6 +465,7 @@ impl CampaignSnapshot {
                         0 => TraceEvent::SpecBranch {
                             pc: r.u64()?,
                             depth: r.u32()?,
+                            model: r.model(version)?,
                         },
                         1 => TraceEvent::TaintedAccess {
                             pc: r.u64()?,
@@ -455,6 +476,7 @@ impl CampaignSnapshot {
                         2 => TraceEvent::Rollback {
                             pc: r.u64()?,
                             depth: r.u32()?,
+                            model: r.model(version)?,
                         },
                         _ => return Err(SnapshotError::Corrupt("trace event kind")),
                     });
@@ -464,6 +486,7 @@ impl CampaignSnapshot {
                         pc,
                         channel,
                         controllability,
+                        model,
                     },
                     input,
                     heur_counts,
@@ -546,6 +569,14 @@ impl<'a> Reader<'a> {
         let n = self.u32()? as usize;
         self.take(n)
     }
+    /// Speculation-model byte, present from format v3 on; earlier
+    /// versions only ever simulated PHT.
+    fn model(&mut self, version: u32) -> Result<SpecModel, SnapshotError> {
+        if version < 3 {
+            return Ok(SpecModel::Pht);
+        }
+        SpecModel::from_id(self.u8()?).ok_or(SnapshotError::Corrupt("spec model"))
+    }
 }
 
 #[cfg(test)]
@@ -560,6 +591,7 @@ mod tests {
                 epochs: 3,
                 iters_per_epoch: 50,
                 dictionary: vec![b"GET".to_vec(), b"POST".to_vec()],
+                models: SpecModelSet::parse("pht,rsb").unwrap(),
                 ..CampaignConfig::default()
             },
             bin_fingerprint: 0x1234_5678_9ABC_DEF0,
@@ -581,6 +613,11 @@ mod tests {
                             pc: 0x400180 + i,
                             channel: Channel::Cache,
                             controllability: Controllability::User,
+                            model: if i == 0 {
+                                SpecModel::Pht
+                            } else {
+                                SpecModel::Rsb
+                            },
                         },
                         branch_pc: 0x400100,
                         access_pc: 0x400140,
@@ -592,6 +629,11 @@ mod tests {
                             pc: 0x400180 + i,
                             channel: Channel::Cache,
                             controllability: Controllability::User,
+                            model: if i == 0 {
+                                SpecModel::Pht
+                            } else {
+                                SpecModel::Rsb
+                            },
                         },
                         input: vec![0x7f, 200, i as u8],
                         heur_counts: vec![(0x400100, 7)],
@@ -599,6 +641,7 @@ mod tests {
                             TraceEvent::SpecBranch {
                                 pc: 0x400100,
                                 depth: 1,
+                                model: SpecModel::Pht,
                             },
                             TraceEvent::TaintedAccess {
                                 pc: 0x400140,
@@ -609,6 +652,7 @@ mod tests {
                             TraceEvent::Rollback {
                                 pc: 0x400100,
                                 depth: 1,
+                                model: SpecModel::Stl,
                             },
                         ],
                     }],
@@ -633,6 +677,8 @@ mod tests {
         assert_eq!(back.config.dictionary, snap.config.dictionary);
         assert_eq!(back.decode_stats, snap.decode_stats);
         assert_eq!(back.config.capture_witnesses, snap.config.capture_witnesses);
+        // Non-default model set (and per-record model tags) survive v3.
+        assert_eq!(back.config.models, SpecModelSet::parse("pht,rsb").unwrap());
         assert_eq!(back.shard_states.len(), snap.shard_states.len());
         for (a, b) in back.shard_states.iter().zip(&snap.shard_states) {
             assert_eq!(a.corpus, b.corpus);
@@ -731,15 +777,223 @@ mod tests {
         assert_eq!(back.epochs_done, snap.epochs_done);
         assert_eq!(back.config.seed, snap.config.seed);
         assert_eq!(back.config.dictionary, snap.config.dictionary);
-        // v2 additions default cleanly.
+        // v2/v3 additions default cleanly.
         assert_eq!(back.decode_stats, DecodeStats::default());
         assert!(back.config.capture_witnesses);
+        assert_eq!(back.config.models, SpecModelSet::PHT_ONLY);
         for (a, b) in back.shard_states.iter().zip(&snap.shard_states) {
             assert_eq!(a.corpus, b.corpus);
-            assert_eq!(a.gadgets, b.gadgets);
+            assert_eq!(a.gadgets.len(), b.gadgets.len());
+            // Pre-specmodel records fold to the PHT model; everything
+            // else survives.
+            for (ga, gb) in a.gadgets.iter().zip(&b.gadgets) {
+                assert_eq!(ga.key.model, SpecModel::Pht);
+                assert_eq!(ga.key.pc, gb.key.pc);
+                assert_eq!(ga.branch_pc, gb.branch_pc);
+                assert_eq!(ga.description, gb.description);
+            }
             assert!(a.witnesses.is_empty());
             assert_eq!(a.iters, b.iters);
         }
+    }
+
+    /// Serializes `snap` in the v2 layout (decode stats +
+    /// capture_witnesses + witnesses, but no speculation-model bytes) —
+    /// what a PR 3 build wrote for a long-running campaign.
+    fn v2_bytes(snap: &CampaignSnapshot) -> Vec<u8> {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(MAGIC);
+        w.u32(2);
+        w.u64(snap.bin_fingerprint);
+        w.u32(snap.epochs_done);
+        w.u64(snap.decode_stats.blocks as u64);
+        w.u64(snap.decode_stats.insts as u64);
+        w.u64(snap.decode_stats.bytes as u64);
+        w.u64(snap.decode_stats.undecoded_bytes as u64);
+        let c = &snap.config;
+        w.u64(c.seed);
+        w.u32(c.shards);
+        w.u32(c.epochs);
+        w.u64(c.iters_per_epoch);
+        w.u64(c.max_input_len as u64);
+        w.u64(c.fuel_per_run);
+        w.bool(c.detector.taint_input_sources);
+        w.bool(c.detector.massage_policy);
+        w.u32(c.detector.rob_budget);
+        w.u32(c.detector.max_nesting);
+        w.u32(c.detector.full_depth_runs);
+        w.bool(c.detector.artificial_gadget_mode);
+        w.u8(0); // emu: Native
+        w.u8(0); // heur: TeapotHybrid
+        w.bool(c.capture_witnesses);
+        w.u32(c.dictionary.len() as u32);
+        for tok in &c.dictionary {
+            w.bytes(tok);
+        }
+        w.u32(snap.shard_states.len() as u32);
+        for s in &snap.shard_states {
+            w.u32(s.corpus.len() as u32);
+            for (input, score) in &s.corpus {
+                w.bytes(input);
+                w.u64(*score);
+            }
+            w.u32(s.heur_counts.len() as u32);
+            for (branch, count) in &s.heur_counts {
+                w.u64(*branch);
+                w.u32(*count);
+            }
+            w.bytes(&s.cov_normal);
+            w.bytes(&s.cov_spec);
+            w.u32(s.gadgets.len() as u32);
+            for g in &s.gadgets {
+                w.u64(g.key.pc);
+                w.u8(match g.key.channel {
+                    Channel::Mds => 0,
+                    Channel::Cache => 1,
+                    Channel::Port => 2,
+                });
+                w.u8(match g.key.controllability {
+                    Controllability::User => 0,
+                    Controllability::Massage => 1,
+                });
+                w.u64(g.branch_pc);
+                w.u64(g.access_pc);
+                w.u32(g.depth);
+                w.bytes(g.description.as_bytes());
+            }
+            w.u32(s.witnesses.len() as u32);
+            for wit in &s.witnesses {
+                w.u64(wit.key.pc);
+                w.u8(match wit.key.channel {
+                    Channel::Mds => 0,
+                    Channel::Cache => 1,
+                    Channel::Port => 2,
+                });
+                w.u8(match wit.key.controllability {
+                    Controllability::User => 0,
+                    Controllability::Massage => 1,
+                });
+                w.bytes(&wit.input);
+                w.u32(wit.heur_counts.len() as u32);
+                for (branch, count) in &wit.heur_counts {
+                    w.u64(*branch);
+                    w.u32(*count);
+                }
+                w.u32(wit.trace.len() as u32);
+                for ev in &wit.trace {
+                    match ev {
+                        TraceEvent::SpecBranch { pc, depth, .. } => {
+                            w.u8(0);
+                            w.u64(*pc);
+                            w.u32(*depth);
+                        }
+                        TraceEvent::TaintedAccess {
+                            pc,
+                            addr,
+                            width,
+                            tag,
+                        } => {
+                            w.u8(1);
+                            w.u64(*pc);
+                            w.u64(*addr);
+                            w.u8(*width);
+                            w.u8(*tag);
+                        }
+                        TraceEvent::Rollback { pc, depth, .. } => {
+                            w.u8(2);
+                            w.u64(*pc);
+                            w.u32(*depth);
+                        }
+                    }
+                }
+            }
+            w.u64(s.iters);
+            w.u64(s.total_cost);
+            w.u64(s.crashes);
+            w.u32(s.epoch);
+        }
+        w.buf
+    }
+
+    #[test]
+    fn v2_snapshots_load_with_pht_defaults() {
+        let snap = sample_snapshot();
+        let back = CampaignSnapshot::from_bytes(&v2_bytes(&snap)).unwrap();
+        // v2 payload survives in full…
+        assert_eq!(back.bin_fingerprint, snap.bin_fingerprint);
+        assert_eq!(back.decode_stats, snap.decode_stats);
+        assert_eq!(back.config.seed, snap.config.seed);
+        assert_eq!(back.config.capture_witnesses, snap.config.capture_witnesses);
+        // …and every v3 addition defaults to PHT.
+        assert_eq!(back.config.models, SpecModelSet::PHT_ONLY);
+        for (a, b) in back.shard_states.iter().zip(&snap.shard_states) {
+            assert_eq!(a.corpus, b.corpus);
+            assert_eq!(a.heur_counts, b.heur_counts);
+            assert_eq!(a.witnesses.len(), b.witnesses.len());
+            for (wa, wb) in a.witnesses.iter().zip(&b.witnesses) {
+                assert_eq!(wa.key.model, SpecModel::Pht);
+                assert_eq!(wa.key.pc, wb.key.pc);
+                assert_eq!(wa.input, wb.input);
+                assert_eq!(wa.heur_counts, wb.heur_counts);
+                assert_eq!(wa.trace.len(), wb.trace.len());
+                for ev in &wa.trace {
+                    match ev {
+                        TraceEvent::SpecBranch { model, .. }
+                        | TraceEvent::Rollback { model, .. } => {
+                            assert_eq!(*model, SpecModel::Pht);
+                        }
+                        TraceEvent::TaintedAccess { .. } => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// End-to-end format compatibility: a campaign interrupted under the
+    /// old (v2, pre-specmodel) snapshot format resumes bit-identically
+    /// to an uninterrupted run — the satellite guarantee that bumping
+    /// `.tcs` to v3 strands no long-running campaign.
+    #[test]
+    fn v2_snapshot_resumes_equal_to_uninterrupted() {
+        use crate::Campaign;
+        use teapot_cc::{compile_to_binary, Options};
+        use teapot_core::{rewrite, RewriteOptions};
+        let src = "
+            char bar[256]; int baz; char inbuf[16];
+            int main() {
+                char *foo = malloc(16);
+                read_input(inbuf, 16);
+                if (inbuf[1] < 10) { baz = bar[foo[inbuf[1]]]; }
+                return 0;
+            }";
+        let mut cots = compile_to_binary(src, &Options::gcc_like()).unwrap();
+        cots.strip();
+        let bin = rewrite(&cots, &RewriteOptions::default()).unwrap();
+        let cfg = CampaignConfig {
+            shards: 2,
+            workers: 1,
+            epochs: 2,
+            iters_per_epoch: 30,
+            max_input_len: 16,
+            ..CampaignConfig::default()
+        };
+
+        let mut a = Campaign::new(cfg.clone()).unwrap();
+        let ra = a.run(&bin, &[]);
+
+        let mut b = Campaign::new(cfg).unwrap();
+        b.run_epoch(&bin, &[]);
+        // Round-trip the mid-campaign state through the v2 byte layout
+        // (drops the model fields — all PHT under the default set, so
+        // nothing is lost) and resume from the result.
+        let v2 = v2_bytes(&b.snapshot(&bin));
+        let back = CampaignSnapshot::from_bytes(&v2).unwrap();
+        let mut resumed = Campaign::resume(&back, &bin).unwrap();
+        let rb = resumed.run(&bin, &[]);
+
+        assert_eq!(ra.to_json(), rb.to_json());
+        assert_eq!(ra.gadgets, rb.gadgets);
+        assert_eq!(ra.witnesses, rb.witnesses);
     }
 
     #[test]

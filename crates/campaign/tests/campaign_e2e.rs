@@ -9,7 +9,7 @@
 //!    deterministic order, instrumenting where needed.
 
 use teapot_campaign::{
-    queue, Campaign, CampaignConfig, CampaignError, CampaignSnapshot, SnapshotError,
+    queue, run_campaign, Campaign, CampaignConfig, CampaignError, CampaignSnapshot, SnapshotError,
 };
 use teapot_cc::{compile_to_binary, Options};
 use teapot_core::{rewrite, RewriteOptions};
@@ -257,6 +257,55 @@ fn queue_mode_processes_a_directory_in_order() {
     let json = queue::render_queue_json(&outcomes);
     assert!(json.contains("a_cots.tof"));
     assert!(json.contains("\"instrumented_here\": true"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Queue mode recycles each shard's pooled `ExecContext` across
+/// binaries; recycling must be invisible — every queued campaign's
+/// report is byte-identical to an isolated `run_campaign` over the same
+/// binary (which builds its contexts from scratch).
+#[test]
+fn queue_context_recycling_never_changes_reports() {
+    let dir = std::env::temp_dir().join("teapot-campaign-recycle-test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Two *different* programs, so the recycled contexts must rebind to
+    // a new pristine image between binaries (the interesting path).
+    let first = instrumented(TARGET);
+    let second = instrumented(
+        "char buf[32];
+         int out;
+         int main() {
+             read_input(buf, 32);
+             int i = buf[0];
+             if (i < 16) { out = buf[i + 8]; }
+             return 0;
+         }",
+    );
+    std::fs::write(dir.join("a.tof"), first.to_bytes()).unwrap();
+    std::fs::write(dir.join("b.tof"), second.to_bytes()).unwrap();
+
+    let cfg = CampaignConfig {
+        shards: 2,
+        epochs: 2,
+        iters_per_epoch: 30,
+        max_input_len: 16,
+        ..CampaignConfig::default()
+    };
+    let outcomes = queue::run_queue(&dir, &cfg, &[]).unwrap();
+    assert_eq!(outcomes.len(), 2);
+    for o in &outcomes {
+        let fresh = run_campaign(&o.bin, &[], &cfg).unwrap();
+        assert_eq!(
+            o.report.to_json(),
+            fresh.to_json(),
+            "{}: recycled-context report differs from fresh-context report",
+            o.path.display()
+        );
+        assert_eq!(o.report.witnesses, fresh.witnesses);
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -5,9 +5,11 @@
 //! ```text
 //! teapot compile <workload|path.minic> -o out.tof [--clang]
 //! teapot instrument <in.tof> -o out.tof [--baseline] [--no-nested]
-//! teapot run <bin.tof> [--input-file f] [--spectaint]
+//! teapot run <bin.tof> [--input-file f] [--spectaint] [--spec-models M]
 //! teapot fuzz <bin.tof> [--iters N] [--workload name] [--spectaint]
+//!             [--spec-models M]
 //! teapot campaign <bin.tof|dir> [--workers N] [--shards S] [--epochs E]
+//!                 [--spec-models pht,rsb,stl]
 //!                 [--resume snap.tcs] [--snapshot snap.tcs] [--json out]
 //!                 [--triage out.jsonl] [--sarif out.sarif] [--no-triage]
 //! teapot triage <bin.tof|snap.tcs|dir> [--bin bin.tof] [--jsonl out]
@@ -49,7 +51,25 @@ fn save(bin: &teapot_obj::Binary, path: &str) -> Result<(), String> {
 }
 
 fn find_workload(name: &str) -> Option<teapot_workloads::Workload> {
-    teapot_workloads::all().into_iter().find(|w| w.name == name)
+    teapot_workloads::all()
+        .into_iter()
+        .chain(teapot_workloads::spec_suite())
+        .find(|w| w.name == name)
+}
+
+/// Parses the shared `--spec-models pht,rsb,stl` flag (default: the
+/// PHT-only pre-specmodel behavior).
+fn spec_models_from_args(args: &[String]) -> Result<teapot_vm::SpecModelSet, String> {
+    match opt(args, "--spec-models") {
+        None => Ok(teapot_vm::SpecModelSet::PHT_ONLY),
+        Some(s) => {
+            let set = teapot_vm::SpecModelSet::parse(s).map_err(|e| e.to_string())?;
+            if set.is_empty() {
+                return Err("--spec-models must name at least one of pht, rsb, stl".into());
+            }
+            Ok(set)
+        }
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
@@ -76,6 +96,7 @@ fn campaign_config_from_args(
     if flag(args, "--spectaint") {
         cfg.emu = teapot_vm::EmuStyle::SpecTaint;
     }
+    cfg.models = spec_models_from_args(args)?;
     let seeds = match opt(args, "--workload").and_then(find_workload) {
         Some(w) => {
             cfg.dictionary = w.dictionary.clone();
@@ -114,6 +135,23 @@ fn emit_triage(
         println!("wrote {out}");
     }
     Ok(())
+}
+
+/// Renders a campaign-resume failure. A fingerprint mismatch names both
+/// files and both fingerprints — "this snapshot belongs to a different
+/// binary" is only actionable when the user can see *which* fingerprints
+/// disagree and re-point one side.
+fn resume_error(snap_path: &str, bin_path: &str, e: teapot_campaign::CampaignError) -> String {
+    if let teapot_campaign::CampaignError::Snapshot(
+        teapot_campaign::SnapshotError::BinaryMismatch { expected, actual },
+    ) = &e
+    {
+        return format!(
+            "{snap_path} was taken against a different binary than {bin_path}: \
+             snapshot fingerprint {expected:#018x}, binary fingerprint {actual:#018x}"
+        );
+    }
+    e.to_string()
 }
 
 fn file_label(path: &str) -> String {
@@ -183,12 +221,14 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 teapot_vm::EmuStyle::Native
             };
+            let models = spec_models_from_args(args)?;
             let mut heur = teapot_vm::SpecHeuristics::default();
             let outcome = teapot_vm::Machine::new(
                 &bin,
                 teapot_vm::RunOptions {
                     input: data,
                     emu,
+                    models,
                     ..Default::default()
                 },
             )
@@ -225,6 +265,7 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 teapot_vm::EmuStyle::Native
             };
+            let models = spec_models_from_args(args)?;
             let res = teapot_fuzz::try_fuzz(
                 &bin,
                 &seeds,
@@ -232,6 +273,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     max_iters: iters,
                     dictionary: dict,
                     emu,
+                    models,
                     ..Default::default()
                 },
             )
@@ -264,6 +306,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "--epochs",
                 "--iters",
                 "--workload",
+                "--spec-models",
                 "--resume",
                 "--snapshot",
                 "--json",
@@ -329,7 +372,14 @@ fn run(args: &[String]) -> Result<(), String> {
                     // The snapshot's config defines the campaign; only
                     // --workers (execution detail) and --epochs (extend)
                     // apply on resume. Say so if other flags were given.
-                    for ignored in ["--seed", "--shards", "--iters", "--workload", "--spectaint"] {
+                    for ignored in [
+                        "--seed",
+                        "--shards",
+                        "--iters",
+                        "--workload",
+                        "--spectaint",
+                        "--spec-models",
+                    ] {
                         if flag(args, ignored) {
                             eprintln!(
                                 "teapot: note: {ignored} is ignored with --resume \
@@ -341,7 +391,7 @@ fn run(args: &[String]) -> Result<(), String> {
                         teapot_campaign::CampaignSnapshot::load(std::path::Path::new(snap_path))
                             .map_err(|e| format!("{snap_path}: {e}"))?;
                     let mut c = teapot_campaign::Campaign::resume(&snap, &bin)
-                        .map_err(|e| e.to_string())?;
+                        .map_err(|e| resume_error(snap_path, target, e))?;
                     c.set_workers(cfg.workers);
                     // Extend only on an explicit --epochs: the default
                     // must not silently grow a finished campaign, or a
@@ -424,6 +474,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "--epochs",
                 "--iters",
                 "--workload",
+                "--spec-models",
             ] {
                 if flag(args, name) && opt(args, name).is_none() {
                     return Err(format!("{name} requires a value"));
@@ -460,6 +511,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     "--iters",
                     "--workload",
                     "--spectaint",
+                    "--spec-models",
                 ] {
                     if flag(args, ignored) {
                         eprintln!(
@@ -475,8 +527,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 let bin = load(bin_path)?;
                 let snap = teapot_campaign::CampaignSnapshot::load(path)
                     .map_err(|e| format!("{target}: {e}"))?;
-                let campaign =
-                    teapot_campaign::Campaign::resume(&snap, &bin).map_err(|e| e.to_string())?;
+                let campaign = teapot_campaign::Campaign::resume(&snap, &bin)
+                    .map_err(|e| resume_error(target, bin_path, e))?;
                 let report = campaign.report();
                 teapot_triage::triage_report(
                     &file_label(bin_path),
@@ -544,22 +596,31 @@ fn run(args: &[String]) -> Result<(), String> {
                  commands:\n\
                  \x20 compile <workload|file.minic> -o out.tof [--clang] [--strip]\n\
                  \x20 instrument <in.tof> -o out.tof [--baseline] [--no-nested]\n\
-                 \x20 run <bin.tof> [--input-file f] [--spectaint]\n\
+                 \x20 run <bin.tof> [--input-file f] [--spectaint] [--spec-models M]\n\
                  \x20 fuzz <bin.tof> [--iters N] [--workload name] [--spectaint]\n\
+                 \x20      [--spec-models M]\n\
                  \x20 campaign <bin.tof|dir> [--workers N] [--shards S] [--epochs E]\n\
                  \x20          [--iters N] [--seed S] [--workload name] [--spectaint]\n\
-                 \x20          [--resume snap.tcs] [--snapshot snap.tcs] [--json out.json]\n\
-                 \x20          [--triage out.jsonl] [--sarif out.sarif] [--no-triage]\n\
+                 \x20          [--spec-models M] [--resume snap.tcs] [--snapshot snap.tcs]\n\
+                 \x20          [--json out.json] [--triage out.jsonl] [--sarif out.sarif]\n\
+                 \x20          [--no-triage]\n\
                  \x20 triage <bin.tof|snap.tcs|dir> [--bin bin.tof] [--jsonl out]\n\
                  \x20        [--sarif out] [--no-minimize] [campaign flags]\n\
                  \x20 dis <bin.tof>\n\
                  \n\
                  campaign: sharded parallel fuzzing with deterministic merging.\n\
-                 \x20 Results depend on --shards/--seed/--epochs/--iters, never on\n\
-                 \x20 --workers (thread count). A directory target queues every .tof\n\
-                 \x20 inside it (instrumenting originals first). --snapshot saves a\n\
-                 \x20 resumable .tcs campaign snapshot; --resume continues one.\n\
+                 \x20 Results depend on --shards/--seed/--epochs/--iters/--spec-models,\n\
+                 \x20 never on --workers (thread count). A directory target queues\n\
+                 \x20 every .tof inside it (instrumenting originals first). --snapshot\n\
+                 \x20 saves a resumable .tcs campaign snapshot; --resume continues one.\n\
                  \x20 Triage runs automatically at the end (disable with --no-triage).\n\
+                 \n\
+                 spec models: --spec-models takes a comma-separated subset of\n\
+                 \x20 pht (conditional-branch misprediction, Spectre-V1 — the default),\n\
+                 \x20 rsb (return mispredicts to a stale return-stack entry, ret2spec)\n\
+                 \x20 and stl (a load speculatively bypasses the youngest overlapping\n\
+                 \x20 store, Spectre-V4). Gadget keys, witnesses, severity, root causes\n\
+                 \x20 and SARIF rules are all tracked per model.\n\
                  \n\
                  triage: replay + minimize every gadget witness, dedup by content-\n\
                  \x20 derived root cause (across shards and binaries), rank by\n\
@@ -569,7 +630,8 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 every .tof with cross-binary dedup. Output is byte-identical\n\
                  \x20 for any --workers count.\n\
                  \n\
-                 workloads: jsmn libyaml libhtp brotli openssl"
+                 workloads: jsmn libyaml libhtp brotli openssl\n\
+                 \x20          spectre-rsb spectre-stl (planted specmodel ground truth)"
             );
             Ok(())
         }

@@ -193,7 +193,132 @@ fn unknown_command_fails_cleanly() {
 fn help_lists_workloads() {
     let (ok, text) = run_cli(&["help"]);
     assert!(ok);
-    for w in ["jsmn", "libyaml", "libhtp", "brotli", "openssl"] {
+    for w in [
+        "jsmn",
+        "libyaml",
+        "libhtp",
+        "brotli",
+        "openssl",
+        "spectre-rsb",
+        "spectre-stl",
+        "--spec-models",
+    ] {
         assert!(text.contains(w), "missing {w}");
     }
+}
+
+/// Compiles + instruments a named workload into `dir`.
+fn build_workload(dir: &std::path::Path, name: &str) -> PathBuf {
+    std::fs::create_dir_all(dir).unwrap();
+    let cots = dir.join(format!("{name}.tof"));
+    let inst = dir.join(format!("{name}_inst.tof"));
+    let (ok, text) = run_cli(&["compile", name, "-o", cots.to_str().unwrap(), "--strip"]);
+    assert!(ok, "{text}");
+    let (ok, text) = run_cli(&[
+        "instrument",
+        cots.to_str().unwrap(),
+        "-o",
+        inst.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    inst
+}
+
+#[test]
+fn spec_models_flag_gates_the_planted_rsb_gadget() {
+    let dir = std::env::temp_dir().join("teapot-cli-specmodels-test");
+    let inst = build_workload(&dir, "spectre-rsb");
+    let base = [
+        "campaign",
+        inst.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--epochs",
+        "1",
+        "--iters",
+        "15",
+        "--workload",
+        "spectre-rsb",
+        "--no-triage",
+    ];
+
+    // Default (PHT-only): the planted program stays clean.
+    let (ok, text) = run_cli(&base);
+    assert!(ok, "{text}");
+    assert!(text.contains("unique gadgets: 0"), "{text}");
+
+    // RSB enabled: the gadget appears, attributed to the model.
+    let mut with_rsb = base.to_vec();
+    with_rsb.extend(["--spec-models", "pht,rsb"]);
+    let (ok, text) = run_cli(&with_rsb);
+    assert!(ok, "{text}");
+    assert!(text.contains("[via rsb]"), "{text}");
+
+    // Bad model names fail with the valid set spelled out.
+    let mut bad = base.to_vec();
+    bad.extend(["--spec-models", "pht,bogus"]);
+    let (ok, text) = run_cli(&bad);
+    assert!(!ok);
+    assert!(text.contains("unknown speculation model"), "{text}");
+    assert!(text.contains("pht, rsb, stl"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tcs_fingerprint_mismatch_names_both_fingerprints() {
+    let dir = std::env::temp_dir().join("teapot-cli-fingerprint-test");
+    let a = build_workload(&dir, "spectre-stl");
+    let b = build_workload(&dir, "jsmn");
+    let snap = dir.join("a.tcs");
+
+    let (ok, text) = run_cli(&[
+        "campaign",
+        a.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--epochs",
+        "1",
+        "--iters",
+        "10",
+        "--no-triage",
+        "--snapshot",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+
+    // Triage the snapshot against the WRONG binary: the error must name
+    // both files and both fingerprints, not just "different binary".
+    let (ok, text) = run_cli(&[
+        "triage",
+        snap.to_str().unwrap(),
+        "--bin",
+        b.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(text.contains("snapshot fingerprint 0x"), "{text}");
+    assert!(text.contains("binary fingerprint 0x"), "{text}");
+    assert!(text.contains("a.tcs"), "{text}");
+    assert!(text.contains("jsmn_inst.tof"), "{text}");
+    // Two distinct 18-character fingerprints appear.
+    let fps: Vec<&str> = text
+        .split("fingerprint ")
+        .skip(1)
+        .filter_map(|s| s.get(..18))
+        .collect();
+    assert_eq!(fps.len(), 2, "{text}");
+    assert_ne!(fps[0], fps[1], "{text}");
+
+    // `campaign --resume` against the wrong binary reports the same way.
+    let (ok, text) = run_cli(&[
+        "campaign",
+        b.to_str().unwrap(),
+        "--resume",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(text.contains("snapshot fingerprint 0x"), "{text}");
+    assert!(text.contains("binary fingerprint 0x"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
 }

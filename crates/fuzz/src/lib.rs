@@ -40,7 +40,9 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use teapot_obj::Binary;
-use teapot_rt::{CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport, GadgetWitness};
+use teapot_rt::{
+    CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport, GadgetWitness, SpecModelSet,
+};
 use teapot_vm::{
     EmuStyle, ExecContext, ExitStatus, HeurStyle, Machine, Program, RunOptions, SpecHeuristics,
 };
@@ -63,6 +65,11 @@ pub struct FuzzConfig {
     pub emu: EmuStyle,
     /// Which tool's nested-speculation heuristic to persist.
     pub heur_style: HeurStyle,
+    /// Active speculation models (see `teapot-specmodel`): which
+    /// misprediction sources every run simulates. Defaults to PHT only,
+    /// under which campaigns are byte-identical to the pre-specmodel
+    /// pipeline.
+    pub models: SpecModelSet,
     /// Dictionary tokens spliced into inputs (format keywords).
     pub dictionary: Vec<Vec<u8>>,
     /// Capture a replayable [`GadgetWitness`] (triggering input, pre-run
@@ -82,6 +89,7 @@ impl Default for FuzzConfig {
             detector: DetectorConfig::default(),
             emu: EmuStyle::Native,
             heur_style: HeurStyle::TeapotHybrid,
+            models: SpecModelSet::PHT_ONLY,
             dictionary: Vec::new(),
             capture_witnesses: true,
         }
@@ -97,6 +105,9 @@ pub enum ConfigError {
     ZeroFuel,
     /// `max_input_len` is zero: mutators could never produce an input.
     ZeroInputLen,
+    /// The speculation-model set is empty: no misprediction source
+    /// would ever be simulated, so the campaign could not find gadgets.
+    EmptySpecModels,
     /// A [`StateSnapshot`] coverage map was not `COV_MAP_SIZE` bytes —
     /// resuming from it would silently restart coverage from zero.
     SnapshotCoverage,
@@ -113,6 +124,13 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroInputLen => {
                 write!(f, "max_input_len must be > 0 (no inputs possible)")
+            }
+            ConfigError::EmptySpecModels => {
+                write!(
+                    f,
+                    "spec model set must not be empty (nothing would be simulated; \
+                     pick from pht, rsb, stl)"
+                )
             }
             ConfigError::SnapshotCoverage => {
                 write!(f, "snapshot coverage map has the wrong length")
@@ -135,6 +153,9 @@ impl FuzzConfig {
         }
         if self.max_input_len == 0 {
             return Err(ConfigError::ZeroInputLen);
+        }
+        if self.models.is_empty() {
+            return Err(ConfigError::EmptySpecModels);
         }
         Ok(())
     }
@@ -249,6 +270,10 @@ pub struct CampaignState {
     /// place between executions instead of reallocated (the seed built
     /// a fresh `Machine` — memory image included — per input).
     exec: Option<ExecSlot>,
+    /// A recycled context donated by a previous campaign (queue mode
+    /// hands each worker's context from binary N to binary N+1); bound
+    /// to this campaign's program on first use.
+    spare_ctx: Option<ExecContext>,
 }
 
 struct ExecSlot {
@@ -282,6 +307,7 @@ impl CampaignState {
             fresh_start: 0,
             score_total: 0,
             exec: None,
+            spare_ctx: None,
         })
     }
 
@@ -489,6 +515,20 @@ impl CampaignState {
         &self.global_spec
     }
 
+    /// Removes the pooled execution context, if one was ever built —
+    /// queue mode recycles it into the next binary's campaign instead of
+    /// rebuilding the address space and shadows from scratch.
+    pub fn harvest_context(&mut self) -> Option<ExecContext> {
+        self.exec.take().map(|slot| slot.ctx)
+    }
+
+    /// Installs a recycled execution context donated by a previous
+    /// campaign. It is rebound (reset) against this campaign's program
+    /// on first use; recycling never changes what a campaign computes.
+    pub fn donate_context(&mut self, ctx: ExecContext) {
+        self.spare_ctx = Some(ctx);
+    }
+
     /// Summarizes the campaign so far.
     pub fn result(&self) -> CampaignResult {
         CampaignResult {
@@ -520,7 +560,16 @@ impl CampaignState {
             None => true,
         };
         if rebuild {
-            let mut ctx = ExecContext::new(prog);
+            // A donated (recycled) context is rebound to this program —
+            // `ExecContext::reset` leaves it observably identical to a
+            // fresh one while keeping its allocations.
+            let mut ctx = match self.spare_ctx.take() {
+                Some(mut c) => {
+                    c.reset(prog);
+                    c
+                }
+                None => ExecContext::new(prog),
+            };
             ctx.set_witness_recording(self.cfg.capture_witnesses);
             self.exec = Some(ExecSlot {
                 prog: prog.clone(),
@@ -541,6 +590,7 @@ impl CampaignState {
             fuel: self.cfg.fuel_per_run,
             config: self.cfg.detector.clone(),
             emu: self.cfg.emu,
+            models: self.cfg.models,
         };
         let slot = self.exec.as_mut().expect("exec slot just ensured");
         let stats =
@@ -850,6 +900,17 @@ mod tests {
             CampaignState::new(zero_len).err(),
             Some(ConfigError::ZeroInputLen)
         );
+        let no_models = FuzzConfig {
+            models: SpecModelSet::EMPTY,
+            ..FuzzConfig::default()
+        };
+        assert_eq!(
+            CampaignState::new(no_models).err(),
+            Some(ConfigError::EmptySpecModels)
+        );
+        assert!(ConfigError::EmptySpecModels
+            .to_string()
+            .contains("pht, rsb, stl"));
         // The error is a real std error with a message.
         assert!(ConfigError::ZeroIters.to_string().contains("max_iters"));
     }
@@ -962,6 +1023,7 @@ mod tests {
                     fuel: cfg.fuel_per_run,
                     config: cfg.detector.clone(),
                     emu: cfg.emu,
+                    models: cfg.models,
                 },
             )
             .run(&mut heur);

@@ -77,6 +77,17 @@ pub const EMU_PER_INST: u64 = 150;
 /// plus translation-block flush.
 pub const EMU_CHECKPOINT: u64 = 500;
 
+/// RSB-model misprediction entry: the VM checkpoints at a `ret` and
+/// redirects to a stale return-stack entry. Priced like a `sim.start`
+/// checkpoint plus the shadow-stack lookup — no instrumentation exists
+/// for it, the simulator does the work itself.
+pub const RSB_CHECKPOINT: u64 = 44;
+
+/// STL-model misprediction entry: the VM checkpoints at a load and
+/// forwards the stale pre-store value from its simulated store buffer.
+/// Priced like a `sim.start` checkpoint plus the store-buffer scan.
+pub const STL_CHECKPOINT: u64 = 48;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,6 +66,22 @@ impl TeapotMeta {
             .map(|i| self.indirect_map[i].1)
     }
 
+    /// Original coordinate of the first *copied* instruction strictly
+    /// after `pc` within the Real Copy — what execution would reach next
+    /// if the instrumentation between them were skipped. `None` when
+    /// `pc` is not in the Real Copy or nothing follows it (function
+    /// tail). The RSB/STL speculation models use this to continue a
+    /// wrong path in the Shadow Copy: Real-Copy speculation would be
+    /// squashed by the §5.3 safety net.
+    pub fn next_original_after(&self, pc: u64) -> Option<u64> {
+        if !self.in_real(pc) {
+            return None;
+        }
+        let i = self.addr_map.partition_point(|&(rew, _)| rew <= pc);
+        let &(rew, orig) = self.addr_map.get(i)?;
+        self.in_real(rew).then_some(orig)
+    }
+
     /// Translates a rewritten-binary address back to original-binary
     /// coordinates. Instrumentation instructions (which have no original
     /// counterpart) map to the nearest preceding copied instruction.

@@ -1,6 +1,7 @@
 //! Gadget reports: what the detector hands to the fuzzer (paper §6.2.3).
 
 use std::fmt;
+use teapot_specmodel::SpecModel;
 
 /// The side channel through which a secret would leak (paper Fig. 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -56,7 +57,11 @@ impl fmt::Display for Controllability {
 }
 
 /// Deduplication key for a gadget: the reporting site in *original binary*
-/// coordinates plus its policy bucket. Table 4 counts distinct keys.
+/// coordinates plus its policy bucket plus the speculation model whose
+/// misprediction opened the window. Table 4 counts distinct keys; the
+/// same site reached through different misprediction sources (a trained
+/// branch vs. a groomed return stack) is a distinct finding with its own
+/// witness, severity and SARIF rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GadgetKey {
     /// Address of the transmitting instruction, mapped back to the
@@ -66,6 +71,10 @@ pub struct GadgetKey {
     pub channel: Channel,
     /// Attacker controllability.
     pub controllability: Controllability,
+    /// Speculation model of the *outermost* misprediction of the window
+    /// the gadget fired in ([`SpecModel::Pht`] for every pre-specmodel
+    /// report).
+    pub model: SpecModel,
 }
 
 /// A full gadget report.
@@ -103,7 +112,13 @@ impl fmt::Display for GadgetReport {
             self.access_pc,
             self.depth,
             self.description
-        )
+        )?;
+        // Annotate only non-default models: PHT reports render exactly
+        // as they did before the specmodel subsystem existed.
+        if self.key.model != SpecModel::Pht {
+            write!(f, " [via {}]", self.key.model)?;
+        }
+        Ok(())
     }
 }
 
@@ -118,6 +133,7 @@ mod tests {
                 pc,
                 channel: ch,
                 controllability: co,
+                model: SpecModel::Pht,
             },
             branch_pc: 0x400100,
             access_pc: 0x400120,
@@ -159,5 +175,20 @@ mod tests {
         assert!(s.contains("Massage-Cache"));
         assert!(s.contains("0x400100"));
         assert!(s.contains("0x99"));
+        // PHT reports carry no model annotation (pre-specmodel format).
+        assert!(!s.contains("via"));
+    }
+
+    #[test]
+    fn keys_distinguish_models_and_display_annotates_them() {
+        let mut rsb = report(1, Channel::Mds, Controllability::User);
+        rsb.key.model = SpecModel::Rsb;
+        let pht = report(1, Channel::Mds, Controllability::User);
+        assert_ne!(rsb.key, pht.key);
+        let mut set = HashSet::new();
+        set.insert(pht.key);
+        set.insert(rsb.key);
+        assert_eq!(set.len(), 2);
+        assert!(rsb.to_string().contains("[via rsb]"));
     }
 }

@@ -23,6 +23,7 @@
 //! them through `.tcs` snapshots.
 
 use crate::{GadgetKey, Tag};
+use teapot_specmodel::SpecModel;
 
 /// Hard cap on recorded trace events per run. Witnesses are evidence,
 /// not full traces: the interesting prefix (how speculation reached the
@@ -35,12 +36,15 @@ pub const MAX_TRACE_EVENTS: usize = 256;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A checkpoint was pushed: simulation entered (or nested) at this
-    /// branch, now `depth` levels deep.
+    /// site, now `depth` levels deep.
     SpecBranch {
-        /// Branch address.
+        /// Mispredicting site: branch address (PHT), `ret` address
+        /// (RSB) or bypassed-load address (STL).
         pc: u64,
         /// Nesting depth after entry (1 = top level).
         depth: u32,
+        /// Which speculation model mispredicted here.
+        model: SpecModel,
     },
     /// A speculative memory access involving DIFT-tainted data: either
     /// the pointer or the loaded value carried a non-clean tag.
@@ -56,10 +60,12 @@ pub enum TraceEvent {
     },
     /// The innermost simulation level rolled back.
     Rollback {
-        /// Branch address whose checkpoint was restored.
+        /// Site address whose checkpoint was restored.
         pc: u64,
         /// Nesting depth before the rollback (1 = top level).
         depth: u32,
+        /// Speculation model of the restored checkpoint.
+        model: SpecModel,
     },
 }
 
@@ -128,6 +134,7 @@ mod tests {
                 pc: 0x400100,
                 channel: Channel::Cache,
                 controllability: Controllability::User,
+                model: SpecModel::Pht,
             },
             input: vec![1, 2, 3],
             heur_counts: vec![(0x400080, 4)],
@@ -135,6 +142,7 @@ mod tests {
                 TraceEvent::SpecBranch {
                     pc: 0x400080,
                     depth: 1,
+                    model: SpecModel::Pht,
                 },
                 TraceEvent::TaintedAccess {
                     pc: 0x400100,
@@ -145,6 +153,7 @@ mod tests {
                 TraceEvent::SpecBranch {
                     pc: 0x400090,
                     depth: 2,
+                    model: SpecModel::Rsb,
                 },
                 TraceEvent::TaintedAccess {
                     pc: 0x400104,
@@ -155,6 +164,7 @@ mod tests {
                 TraceEvent::Rollback {
                     pc: 0x400090,
                     depth: 2,
+                    model: SpecModel::Rsb,
                 },
             ],
         }

@@ -9,7 +9,7 @@
 //! the orchestrator's determinism guarantee.
 
 use std::collections::BTreeMap;
-use teapot_rt::GadgetKey;
+use teapot_rt::{GadgetKey, SpecModel};
 use teapot_vm::DecodeStats;
 
 /// One observation site of a root cause.
@@ -36,6 +36,8 @@ pub struct TriageEntry {
     pub root_cause: String,
     /// `Controllability-Channel` policy bucket.
     pub bucket: String,
+    /// Speculation model whose misprediction opened the window.
+    pub model: SpecModel,
     /// Severity 0–100 (maximum over locations).
     pub severity: u32,
     /// Human-readable flow description (from the first location).
@@ -60,6 +62,19 @@ pub struct TriageEntry {
     /// Every site this root cause was observed at, sorted by
     /// `(binary, shard, key)`.
     pub locations: Vec<TriageLocation>,
+}
+
+impl TriageEntry {
+    /// SARIF rule id: the policy bucket, suffixed with the speculation
+    /// model for non-PHT findings (`User-Cache`, `User-Cache@rsb`) — so
+    /// code-scanning UIs can filter per model while PHT rule ids stay
+    /// identical to the pre-specmodel pipeline.
+    pub fn rule_id(&self) -> String {
+        match self.model {
+            SpecModel::Pht => self.bucket.clone(),
+            m => format!("{}@{m}", self.bucket),
+        }
+    }
 }
 
 /// Per-binary header statistics surfaced at the top of every report.
@@ -177,8 +192,16 @@ impl TriageDb {
             self.location_count()
         ));
         for e in &self.entries {
+            // The model key is emitted only for non-PHT findings:
+            // default-model JSONL is byte-identical to the
+            // pre-specmodel renderer.
+            let model = if e.model == SpecModel::Pht {
+                String::new()
+            } else {
+                format!("\"model\":\"{}\",", e.model)
+            };
             out.push_str(&format!(
-                "{{\"root_cause\":\"{}\",\"bucket\":\"{}\",\"severity\":{},",
+                "{{\"root_cause\":\"{}\",\"bucket\":\"{}\",{model}\"severity\":{},",
                 escape(&e.root_cause),
                 escape(&e.bucket),
                 e.severity
@@ -246,8 +269,13 @@ impl TriageDb {
             self.location_count()
         ));
         for (rank, e) in self.entries.iter().enumerate() {
+            let via = if e.model == SpecModel::Pht {
+                String::new()
+            } else {
+                format!(" [via {}]", e.model)
+            };
             out.push_str(&format!(
-                "#{} [severity {:3}] {} — {}\n",
+                "#{} [severity {:3}] {}{via} — {}\n",
                 rank + 1,
                 e.severity,
                 e.bucket,
@@ -291,6 +319,17 @@ impl TriageDb {
         }
         out
     }
+
+    /// Deduplicated per-rule counts ([`TriageEntry::rule_id`]): the
+    /// bucket counts split per speculation model. Equals
+    /// [`TriageDb::bucket_counts`] for a PHT-only database.
+    pub fn rule_counts(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for e in &self.entries {
+            *out.entry(e.rule_id()).or_insert(0) += 1;
+        }
+        out
+    }
 }
 
 /// Lower-case hex rendering of a byte string.
@@ -323,6 +362,7 @@ mod tests {
         TriageEntry {
             root_cause: root.to_string(),
             bucket: "User-Cache".to_string(),
+            model: SpecModel::Pht,
             severity,
             description: "d".to_string(),
             access_symbol: None,
@@ -340,6 +380,7 @@ mod tests {
                     pc: 0x400100,
                     channel: Channel::Cache,
                     controllability: Controllability::User,
+                    model: SpecModel::Pht,
                 },
                 branch_pc: 0x4000f0,
                 access_pc: 0x400100,
@@ -397,5 +438,27 @@ mod tests {
     fn hex_and_escape() {
         assert_eq!(hex(&[0, 255, 16]), "00ff10");
         assert_eq!(escape("a\"b\n"), "a\\\"b\\n");
+    }
+
+    #[test]
+    fn model_annotations_render_only_for_non_pht_entries() {
+        let mut db = TriageDb::new();
+        db.insert(entry("pht-cause", 70, "bin", 0));
+        let mut rsb = entry("rsb-cause", 60, "bin", 0);
+        rsb.model = SpecModel::Rsb;
+        rsb.locations[0].key.model = SpecModel::Rsb;
+        db.insert(rsb);
+        db.finalize();
+        assert_eq!(db.entries()[0].rule_id(), "User-Cache");
+        assert_eq!(db.entries()[1].rule_id(), "User-Cache@rsb");
+        let jsonl = db.to_jsonl();
+        // Exactly one (RSB) entry carries a model key.
+        assert_eq!(jsonl.matches("\"model\":\"rsb\"").count(), 1);
+        assert!(!jsonl.contains("\"model\":\"pht\""));
+        let text = db.to_text();
+        assert_eq!(text.matches("[via rsb]").count(), 1);
+        assert!(!text.contains("[via pht]"));
+        assert_eq!(db.rule_counts().len(), 2);
+        assert_eq!(db.bucket_counts().get("User-Cache"), Some(&2));
     }
 }

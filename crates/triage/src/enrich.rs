@@ -8,18 +8,27 @@
 //! ROADMAP's "cross-binary dedup in queue mode" follow-up. The root
 //! cause of a gadget is not its address but its *code*: the key built
 //! here hashes the position-normalized instruction content of the basic
-//! block containing the transmitting instruction (branch targets as
-//! relative deltas, so identical code at different load addresses hashes
-//! identically), plus the in-block offset, the branch→access delta and
-//! the policy bucket. Two reports with equal keys are one finding with
-//! two locations.
+//! block containing the transmitting instruction, plus the in-block
+//! offset, the branch→access delta, the policy bucket and (for
+//! non-default models) the speculation model. Two reports with equal
+//! keys are one finding with two locations.
+//!
+//! Position normalization covers **both** position-dependent operand
+//! kinds a TEA-64 instruction can carry: control-flow targets become
+//! PC-relative deltas, and *data operands* — the absolute displacements
+//! of global loads/stores/`lea`s (and the instrumentation shadowing
+//! them) — become `section+offset` references. Identical code whose
+//! globals merely moved with the image layout (a different function
+//! added elsewhere, a different link order) therefore hashes
+//! identically across binaries, while distinct globals keep distinct
+//! keys.
 //!
 //! When the binary still carries symbols, the key uses `symbol+offset`
 //! instead — stable across recompilation, not just relocation.
 
-use teapot_isa::{decode_at, Inst, INST_MAX_LEN};
+use teapot_isa::{decode_at, Inst, MemRef, INST_MAX_LEN};
 use teapot_obj::Binary;
-use teapot_rt::{Channel, Controllability, GadgetReport, GadgetWitness};
+use teapot_rt::{Channel, Controllability, GadgetReport, GadgetWitness, SpecModel};
 use teapot_vm::Program;
 
 /// Enriches raw gadget reports against one binary and its predecoded
@@ -98,7 +107,7 @@ impl<'a> Enricher<'a> {
             let slice_end = (off + INST_MAX_LEN).min(sec.bytes.len());
             match decode_at(&sec.bytes[off..slice_end], pc) {
                 Ok((inst, len)) => {
-                    fold(&normalize_inst(&inst, pc));
+                    fold(&self.normalize_inst(&inst, pc));
                     pc += len as u64;
                 }
                 Err(_) => {
@@ -110,6 +119,86 @@ impl<'a> Enricher<'a> {
         h
     }
 
+    /// Renders one instruction with both kinds of position-dependent
+    /// operand replaced by relocation-invariant forms: control-flow
+    /// targets become PC-relative deltas, and absolute (global) memory
+    /// displacements become `section+offset` references.
+    fn normalize_inst(&self, inst: &Inst<u64>, pc: u64) -> String {
+        let rel = |target: u64| target.wrapping_sub(pc) as i64;
+        match inst {
+            Inst::Jmp { target } => format!("jmp {:+}", rel(*target)),
+            Inst::Jcc { cc, target } => format!("j{cc:?} {:+}", rel(*target)),
+            Inst::Call { target } => format!("call {:+}", rel(*target)),
+            Inst::SimStart { .. } => "sim.start".to_string(),
+            Inst::Load {
+                dst,
+                mem,
+                size,
+                sext,
+            } if mem.base.is_none() => {
+                let s = if *sext { "s" } else { "" };
+                format!(
+                    "load{}{s} {dst}, {}",
+                    size.bytes(),
+                    self.normalize_abs_mem(mem)
+                )
+            }
+            Inst::Store { src, mem, size } if mem.base.is_none() => {
+                format!(
+                    "store{} {}, {src}",
+                    size.bytes(),
+                    self.normalize_abs_mem(mem)
+                )
+            }
+            Inst::StoreI { imm, mem, size } if mem.base.is_none() => {
+                format!(
+                    "store{} {}, {imm}",
+                    size.bytes(),
+                    self.normalize_abs_mem(mem)
+                )
+            }
+            Inst::Lea { dst, mem } if mem.base.is_none() => {
+                format!("lea {dst}, {}", self.normalize_abs_mem(mem))
+            }
+            Inst::AsanCheck {
+                mem,
+                size,
+                is_write,
+            } if mem.base.is_none() => {
+                let rw = if *is_write { "w" } else { "r" };
+                format!(
+                    "asan.check{rw}{} {}",
+                    size.bytes(),
+                    self.normalize_abs_mem(mem)
+                )
+            }
+            Inst::MemLog { mem, size } if mem.base.is_none() => {
+                format!("memlog{} {}", size.bytes(), self.normalize_abs_mem(mem))
+            }
+            other => other.to_string(),
+        }
+    }
+
+    /// `[section+offset(+index*scale)]` for an absolute memory
+    /// reference: the displacement resolved against the section that
+    /// contains it, so relocated images render identically. Addresses
+    /// outside every section (should not occur for compiler-emitted
+    /// globals) keep their raw value.
+    fn normalize_abs_mem(&self, m: &MemRef) -> String {
+        let abs = m.disp as i64 as u64;
+        let place = self
+            .bin
+            .sections
+            .iter()
+            .find(|s| s.vaddr <= abs && abs < s.vaddr + s.mem_size.max(1))
+            .map(|s| format!("{}+{:#x}", s.name, abs - s.vaddr))
+            .unwrap_or_else(|| format!("{abs:#x}"));
+        match m.index {
+            Some(r) => format!("[{place}+{r}*{}]", m.scale),
+            None => format!("[{place}]"),
+        }
+    }
+
     /// The root-cause key of a gadget. The backbone is always the code
     /// content — `h<block-hash>+<in-block off>d<branch delta>` from the
     /// position-normalized block hash — prefixed by `symbol+off` when
@@ -117,9 +206,15 @@ impl<'a> Enricher<'a> {
     /// unrelated binaries both defining `main` would collapse distinct
     /// gadgets at equal offsets into one finding; the content hash keeps
     /// them apart while identical code still merges. Reports sharing a
-    /// key are the same defect observed at different places.
+    /// key are the same defect observed at different places. The same
+    /// site reached through a *different* speculation model is a
+    /// different root cause (distinct trigger, distinct fix): non-PHT
+    /// models suffix the key, PHT keys keep the pre-specmodel format.
     pub fn root_cause(&self, g: &GadgetReport) -> String {
-        let bucket = g.bucket();
+        let bucket = match g.key.model {
+            SpecModel::Pht => g.bucket(),
+            m => format!("{}@{m}", g.bucket()),
+        };
         let delta = g.key.pc.wrapping_sub(g.branch_pc);
         let content = self.real_addr_of(g.key.pc).and_then(|rew| {
             self.block_of(rew).map(|(bs, be)| {
@@ -127,32 +222,38 @@ impl<'a> Enricher<'a> {
                 format!("h{h:016x}+{:#x}d{delta:#x}", rew - bs)
             })
         });
-        match (self.symbolize(g.key.pc), content) {
+        match (self.key_symbol(g.key.pc), content) {
             (Some(sym), Some(c)) => format!("{sym}:{c}:{bucket}"),
             (Some(sym), None) => format!("{sym}:d{delta:#x}:{bucket}"),
             (None, Some(c)) => format!("{c}:{bucket}"),
             (None, None) => format!("pc{:#x}d{delta:#x}:{bucket}", g.key.pc),
         }
     }
-}
 
-/// Renders one instruction with control-flow targets replaced by their
-/// PC-relative delta (the only position-dependent operands a TEA-64
-/// instruction carries besides data immediates).
-fn normalize_inst(inst: &Inst<u64>, pc: u64) -> String {
-    let rel = |target: u64| target.wrapping_sub(pc) as i64;
-    match inst {
-        Inst::Jmp { target } => format!("jmp {:+}", rel(*target)),
-        Inst::Jcc { cc, target } => format!("j{cc:?} {:+}", rel(*target)),
-        Inst::Call { target } => format!("call {:+}", rel(*target)),
-        Inst::SimStart { .. } => "sim.start".to_string(),
-        other => other.to_string(),
+    /// The symbol prefix of a root-cause key. Synthetic disassembler
+    /// names (`fun_<addr>`) embed the very position the key must be
+    /// invariant to — the same recovered function in a relocated twin
+    /// is named after a *different* address — so they fold to a stable
+    /// `fun` prefix; real (source) names pass through. Display fields
+    /// ([`Enricher::symbolize`]) keep the full synthetic name.
+    fn key_symbol(&self, pc: u64) -> Option<String> {
+        let s = self.bin.symbolize(pc)?;
+        let off = pc.wrapping_sub(s.addr);
+        let name = match s.name.strip_prefix("fun_") {
+            Some(hex) if !hex.is_empty() && hex.bytes().all(|b| b.is_ascii_hexdigit()) => "fun",
+            _ => s.name.as_str(),
+        };
+        if off == 0 {
+            Some(name.to_string())
+        } else {
+            Some(format!("{name}+{off:#x}"))
+        }
     }
 }
 
 /// Severity of a gadget on a 0–100 scale, from attacker controllability,
-/// leak channel, nesting depth and the widest tainted access in the
-/// witness trace:
+/// leak channel, nesting depth, the widest tainted access in the
+/// witness trace, and the speculation model:
 ///
 /// * direct (`User`) control outranks memory massaging;
 /// * an MDS-style register leak outranks a cache transmitter, which
@@ -160,7 +261,11 @@ fn normalize_inst(inst: &Inst<u64>, pc: u64) -> String {
 ///   discussion);
 /// * each extra misprediction level the attacker must train costs 5;
 /// * every byte of tainted access width (up to 8) adds a point — wider
-///   loads move more secret bits per transient window.
+///   loads move more secret bits per transient window;
+/// * non-PHT models pay their trigger-difficulty adjustment
+///   ([`SpecModel::severity_adjust`]: grooming a return stack or racing
+///   a store-buffer drain is harder than training a branch — PHT scores
+///   are unchanged from the pre-specmodel pipeline).
 pub fn severity(g: &GadgetReport, w: Option<&GadgetWitness>) -> u32 {
     let mut s: i64 = match g.key.controllability {
         Controllability::User => 50,
@@ -175,6 +280,7 @@ pub fn severity(g: &GadgetReport, w: Option<&GadgetWitness>) -> u32 {
     if let Some(w) = w {
         s += i64::from(w.max_tainted_width().min(8));
     }
+    s += g.key.model.severity_adjust();
     s.clamp(0, 100) as u32
 }
 
@@ -189,6 +295,7 @@ mod tests {
                 pc: 0x400100,
                 channel: ch,
                 controllability: co,
+                model: SpecModel::Pht,
             },
             branch_pc: 0x4000f0,
             access_pc: 0x400100,
@@ -213,5 +320,16 @@ mod tests {
     fn severity_is_clamped() {
         let g = gadget(Channel::Port, Controllability::Massage, 40);
         assert_eq!(severity(&g, None), 0);
+    }
+
+    #[test]
+    fn non_pht_models_pay_a_trigger_difficulty_cost() {
+        let pht = gadget(Channel::Mds, Controllability::User, 1);
+        let mut rsb = gadget(Channel::Mds, Controllability::User, 1);
+        rsb.key.model = SpecModel::Rsb;
+        let mut stl = gadget(Channel::Mds, Controllability::User, 1);
+        stl.key.model = SpecModel::Stl;
+        assert!(severity(&pht, None) > severity(&rsb, None));
+        assert!(severity(&rsb, None) > severity(&stl, None));
     }
 }

@@ -288,6 +288,7 @@ fn build_entry(
     TriageEntry {
         root_cause: enricher.root_cause(g),
         bucket: g.bucket(),
+        model: g.key.model,
         severity: severity(g, w),
         description: g.description.clone(),
         access_symbol: enricher.symbolize(g.access_pc),

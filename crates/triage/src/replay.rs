@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 use teapot_campaign::CampaignConfig;
-use teapot_rt::{DetectorConfig, GadgetReport, GadgetWitness};
+use teapot_rt::{DetectorConfig, GadgetReport, GadgetWitness, SpecModelSet};
 use teapot_vm::{EmuStyle, ExecContext, HeurStyle, Machine, Program, RunOptions, SpecHeuristics};
 
 /// Everything a replay needs beyond the witness itself: the detector
@@ -33,6 +33,10 @@ pub struct ReplayConfig {
     pub emu: EmuStyle,
     /// Heuristic style of the discovering campaign.
     pub heur_style: HeurStyle,
+    /// Speculation models of the discovering campaign — a witness found
+    /// under an RSB or STL misprediction only replays when the same
+    /// model is simulated.
+    pub models: SpecModelSet,
 }
 
 impl ReplayConfig {
@@ -44,6 +48,7 @@ impl ReplayConfig {
             detector: cfg.detector.clone(),
             emu: cfg.emu,
             heur_style: cfg.heur_style,
+            models: cfg.models,
         }
     }
 }
@@ -102,6 +107,7 @@ impl Replayer {
             fuel: self.cfg.fuel,
             config: self.cfg.detector.clone(),
             emu: self.cfg.emu,
+            models: self.cfg.models,
         };
         Machine::with_context(&self.prog, &mut self.ctx, opts).run_stats(&mut heur);
         self.ctx.take_gadgets()
@@ -136,6 +142,7 @@ pub fn run_fresh(
         fuel: cfg.fuel,
         config: cfg.detector.clone(),
         emu: cfg.emu,
+        models: cfg.models,
     };
     Machine::from_program(prog.clone(), opts)
         .run(&mut heur)

@@ -3,8 +3,11 @@
 //! dashboards), so triage findings plug into existing review workflows
 //! the way SpecFuzz's whitelisting reports plug into patching.
 //!
-//! Mapping: one **rule** per policy bucket (`User-Cache`, …), one
-//! **result** per root cause, one **location** per observation site
+//! Mapping: one **rule** per policy bucket and speculation model
+//! (`User-Cache` for PHT findings, `User-Cache@rsb` / `User-Cache@stl`
+//! for the other models — PHT rule ids are unchanged from the
+//! pre-specmodel pipeline), one **result** per root cause, one
+//! **location** per observation site
 //! (binary + absolute address of the transmitting instruction). The
 //! minimized reproducer, heuristic metadata and raw PCs ride in
 //! `properties`. Rendering is byte-deterministic: it walks the already
@@ -34,19 +37,19 @@ pub fn render(db: &TriageDb) -> String {
     out.push_str(
         "          \"informationUri\": \"https://github.com/teapot/teapot\",\n          \"rules\": [",
     );
-    // One rule per bucket, in sorted (BTreeMap) order.
-    let buckets = db.bucket_counts();
-    for (i, bucket) in buckets.keys().enumerate() {
+    // One rule per bucket and model, in sorted (BTreeMap) order.
+    let rules = db.rule_counts();
+    for (i, rule) in rules.keys().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
             "\n            {{\"id\": \"{b}\", \"shortDescription\": \
              {{\"text\": \"Spectre gadget ({b})\"}}}}",
-            b = escape(bucket)
+            b = escape(rule)
         ));
     }
-    if !buckets.is_empty() {
+    if !rules.is_empty() {
         out.push_str("\n          ");
     }
     out.push_str("]\n        }\n      },\n");
@@ -58,7 +61,7 @@ pub fn render(db: &TriageDb) -> String {
         out.push_str("\n        {\n");
         out.push_str(&format!(
             "          \"ruleId\": \"{}\",\n",
-            escape(&e.bucket)
+            escape(&e.rule_id())
         ));
         out.push_str(&format!(
             "          \"level\": \"{}\",\n",

@@ -202,6 +202,108 @@ fn queue_mode_dedups_the_shared_gadget_across_binaries() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Satellite: data-operand normalization in the root-cause hash. Two
+/// binaries share the gadget *code*, but one carries >4 KiB of extra
+/// (unreachable) text, which pushes the data/BSS sections to different
+/// page bases — every global the gadget block touches relocates. The
+/// normalized hash renders those operands as `section+offset`, so the
+/// relocated twins still collapse to one root cause per defect.
+#[test]
+fn relocated_globals_dedup_across_binaries() {
+    let dir = std::env::temp_dir().join("teapot-triage-reloc-test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The gadget lives in its own function, byte-identical in both
+    // programs; the padded twin adds a *reachable* pad function (the
+    // rewriter drops unreachable code) big enough that the rewritten
+    // text grows past a page boundary: the gadget function and every
+    // data/BSS section relocate. The pad's own global comes *after*
+    // the shared ones, so their section offsets are untouched — only
+    // the section bases move.
+    let globals = "
+        char bar[256];
+        int baz;
+        char inbuf[16];
+        char *foo;";
+    let leak_and_main = "
+        void leak(int index) {
+            if (index < 10) {
+                int secret = foo[index];
+                baz = bar[secret];
+            }
+        }
+        int main() {
+            __pad();
+            foo = malloc(16);
+            read_input(inbuf, 16);
+            leak(inbuf[1]);
+            return 0;
+        }";
+    let mut pad_body = String::new();
+    for k in 0..400 {
+        pad_body.push_str(&format!("    __pad_t = __pad_t + {k};\n"));
+    }
+    // The pad precedes `leak`, so in the padded twin the gadget function
+    // itself relocates along with every global it touches.
+    let plain =
+        format!("{globals}\nint __pad_t;\nvoid __pad() {{ __pad_t = 1; }}\n{leak_and_main}");
+    let padded = format!("{globals}\nint __pad_t;\nvoid __pad() {{\n{pad_body}}}\n{leak_and_main}");
+    let a = instrumented(&plain);
+    let b = instrumented(&padded);
+
+    // The relocation really happened: every data/BSS section sits at a
+    // different base in the padded binary.
+    let data_base = |bin: &Binary, name: &str| {
+        bin.sections
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.vaddr)
+            .expect("section present")
+    };
+    assert_ne!(
+        data_base(&a, ".bss"),
+        data_base(&b, ".bss"),
+        "pad failed to relocate the globals — test would be vacuous"
+    );
+
+    std::fs::write(dir.join("a_app.tof"), a.to_bytes()).unwrap();
+    std::fs::write(dir.join("b_app.tof"), b.to_bytes()).unwrap();
+
+    let cfg = CampaignConfig {
+        shards: 2,
+        epochs: 2,
+        iters_per_epoch: 40,
+        max_input_len: 16,
+        ..CampaignConfig::default()
+    };
+    let outcomes = queue::run_queue(&dir, &cfg, &[]).unwrap();
+    let (db, stats) = triage_queue(&outcomes, &cfg, &TriageOptions::default());
+    assert_eq!(stats.replay_failures, 0);
+
+    // At least one root cause merges across both binaries, and no
+    // defect splits into an `a_app`-only plus `b_app`-only pair at the
+    // same bucket and depth (the pre-normalization failure mode).
+    let merged = db
+        .entries()
+        .iter()
+        .filter(|e| {
+            let bins: Vec<&str> = e.locations.iter().map(|l| l.binary.as_str()).collect();
+            bins.contains(&"a_app.tof") && bins.contains(&"b_app.tof")
+        })
+        .count();
+    assert!(
+        merged > 0,
+        "relocated globals did not dedup: {:#?}",
+        db.entries()
+            .iter()
+            .map(|e| (&e.root_cause, e.locations.len()))
+            .collect::<Vec<_>>()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn queue_triage_is_byte_identical_across_worker_counts() {
     let dir = std::env::temp_dir().join("teapot-triage-queue-workers-test");

@@ -18,7 +18,7 @@
 //!
 //! [`full_depth_runs`]: teapot_rt::DetectorConfig::full_depth_runs
 
-use teapot_rt::FxHashMap;
+use teapot_rt::{FxHashMap, SpecModel};
 
 /// Which tool's nested-speculation policy to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -194,6 +194,22 @@ impl SpecHeuristics {
     pub fn branches_seen(&self) -> usize {
         self.counts.len()
     }
+
+    /// Times the site `pc` has entered simulation under `model`. Sites
+    /// are namespaced per model ([`SpecModel::site_key`]): a PHT branch
+    /// and an RSB return at the same address keep independent counts
+    /// (PHT keys are the raw PC, bit-compatible with old snapshots).
+    pub fn count_for(&self, model: SpecModel, pc: u64) -> u32 {
+        self.count(model.site_key(pc))
+    }
+
+    /// Number of distinct sites seen under `model`.
+    pub fn sites_seen_for(&self, model: SpecModel) -> usize {
+        self.counts
+            .keys()
+            .filter(|&&k| SpecModel::of_site_key(k) == model)
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +272,28 @@ mod tests {
         assert!(!h.enter_nested(0x5, 7, 6, 5));
         let mut h = SpecHeuristics::new(HeurStyle::SpecFuzzGradual);
         assert!(!h.enter_nested(0x5, 6, 6, 5));
+    }
+
+    #[test]
+    fn per_model_site_counts_are_independent_and_export_compatible() {
+        let mut h = SpecHeuristics::new(HeurStyle::TeapotHybrid);
+        let pc = 0x400100u64;
+        // The same address entered under three different models keeps
+        // three independent counters.
+        assert!(h.enter_top(SpecModel::Pht.site_key(pc)));
+        assert!(h.enter_top(SpecModel::Rsb.site_key(pc)));
+        assert!(h.enter_top(SpecModel::Rsb.site_key(pc)));
+        assert!(h.enter_top(SpecModel::Stl.site_key(pc)));
+        assert_eq!(h.count_for(SpecModel::Pht, pc), 1);
+        assert_eq!(h.count_for(SpecModel::Rsb, pc), 2);
+        assert_eq!(h.count_for(SpecModel::Stl, pc), 1);
+        assert_eq!(h.sites_seen_for(SpecModel::Rsb), 1);
+        // The tagged keys round-trip through the witness/snapshot export
+        // format unchanged (plain u64s), and PHT keys equal raw PCs.
+        let counts = h.export_counts();
+        assert!(counts.contains(&(pc, 1)));
+        let back = SpecHeuristics::from_counts(HeurStyle::TeapotHybrid, &counts);
+        assert_eq!(back.count_for(SpecModel::Rsb, pc), 2);
     }
 
     #[test]

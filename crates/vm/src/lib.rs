@@ -55,3 +55,4 @@ pub use machine::{
 pub use mem::{MemFault, PagedMem, PAGE_SIZE};
 pub use program::{DecodeStats, Program};
 pub use taint::TaintEngine;
+pub use teapot_rt::{SpecModel, SpecModelSet};

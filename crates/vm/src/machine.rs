@@ -38,8 +38,9 @@ use teapot_obj::Binary;
 use teapot_rt::layout::STACK_TOP;
 use teapot_rt::{
     cost, Channel, Controllability, CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport,
-    Tag, TraceEvent, MAX_TRACE_EVENTS,
+    SpecModel, SpecModelSet, Tag, TraceEvent, MAX_TRACE_EVENTS,
 };
+use teapot_specmodel::{RSB_DEPTH, STL_WINDOW};
 
 /// Execution style of the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,6 +101,10 @@ pub struct RunOptions {
     pub config: DetectorConfig,
     /// Execution style.
     pub emu: EmuStyle,
+    /// Active speculation models. The default ([`SpecModelSet::PHT_ONLY`])
+    /// reproduces the pre-specmodel pipeline exactly: conditional-branch
+    /// misprediction only, no shadow return stack, no store buffer.
+    pub models: SpecModelSet,
 }
 
 impl Default for RunOptions {
@@ -109,6 +114,7 @@ impl Default for RunOptions {
             fuel: 200_000_000,
             config: DetectorConfig::default(),
             emu: EmuStyle::Native,
+            models: SpecModelSet::PHT_ONLY,
         }
     }
 }
@@ -159,7 +165,8 @@ pub struct RunStats {
     pub escapes: u64,
 }
 
-/// A snapshot taken by `sim.start` (paper §6.1 "Checkpoint").
+/// A snapshot taken by `sim.start` (paper §6.1 "Checkpoint") or by an
+/// RSB / STL model misprediction.
 #[derive(Debug, Clone)]
 struct Checkpoint {
     regs: [u64; 16],
@@ -180,6 +187,25 @@ struct Checkpoint {
     /// SpecTaint emulation: the resume PC is the branch itself and must
     /// not re-enter simulation on resumption.
     resume_is_branch: bool,
+    /// Which misprediction source opened this level.
+    model: SpecModel,
+    /// Shadow return stack at entry (`rsb_len` live entries; all zero
+    /// unless the RSB model is active): wrong-path calls and returns
+    /// mutate the RSB, and the squash must restore it like any other
+    /// predictor-visible state. A fixed array keeps checkpoint pushes
+    /// allocation-free on the fuzzing hot path.
+    rsb_snapshot: [u64; RSB_DEPTH],
+    rsb_len: u8,
+    /// Store-buffer sequence watermark at entry (STL model): wrong-path
+    /// stores never architecturally retire, so the squash drops every
+    /// entry recorded after this mark — a squashed store must not later
+    /// serve as a "youngest overlapping store" to bypass.
+    store_seq_mark: u64,
+    /// ASan verdict pending at entry. Only an STL checkpoint resumes
+    /// *at* the guarded access itself (whose `asan.check` does not
+    /// re-execute), so only it restores the verdict; every other
+    /// checkpoint clears it on rollback, as before.
+    resume_pending_oob: Option<PendingOob>,
 }
 
 /// One memory-log entry: previous bytes and tags of a store target.
@@ -189,6 +215,20 @@ struct LogEntry {
     len: u8,
     old_bytes: [u8; 8],
     old_tags: [u8; 8],
+}
+
+/// One simulated store-buffer entry (STL model): the memory contents a
+/// store *replaced*, which a younger load may speculatively forward
+/// instead of the stored value (Spectre-V4).
+#[derive(Debug, Clone, Copy)]
+struct StlStore {
+    addr: u64,
+    len: u8,
+    old_bytes: [u8; 8],
+    old_tags: [u8; 8],
+    /// Monotonic store sequence number; the bypass picks the *youngest*
+    /// overlapping entry.
+    seq: u64,
 }
 
 /// Detection policy, derived from binary flags and emulation style.
@@ -278,16 +318,17 @@ impl ExecContext {
     ///
     /// A context created for a *different* program cannot be patched
     /// up page-by-page (untouched pages would keep the other binary's
-    /// bytes); in that case the context is rebuilt from `prog`'s
-    /// pristine image instead.
+    /// bytes), so the address space is re-cloned from `prog`'s pristine
+    /// image — but the shadow engines and every run buffer still reset
+    /// in place, which is what lets queue mode recycle one context per
+    /// worker across a whole directory of binaries.
     pub fn reset(&mut self, prog: &Program) {
         if self.for_program != prog.uid {
-            let record = self.record_witness;
-            *self = ExecContext::new(prog);
-            self.record_witness = record;
-            return;
+            self.mem = prog.pristine().clone();
+            self.for_program = prog.uid;
+        } else {
+            self.mem.reset_to(prog.pristine());
         }
-        self.mem.reset_to(prog.pristine());
         self.asan.reset();
         self.taint.reset();
         self.checkpoints.clear();
@@ -390,6 +431,32 @@ pub struct Machine<'c> {
     invert_next_branch: bool,
     skip_sim_once: bool,
 
+    /// Active speculation models, unpacked for the hot path. With the
+    /// default PHT-only set every `rsb_on`/`stl_on` branch below is dead
+    /// and the machine behaves exactly like the pre-specmodel build.
+    pht_on: bool,
+    rsb_on: bool,
+    stl_on: bool,
+    /// Simulated return-stack buffer (RSB model): predicted return
+    /// targets, youngest last, bounded at [`RSB_DEPTH`].
+    rsb: Vec<u64>,
+    /// Simulated store buffer (STL model): the last [`STL_WINDOW`]
+    /// stores with their pre-store contents, kept in ascending `seq`
+    /// order (oldest drained first, newest last) so rollback can drop
+    /// the wrong-path suffix with one truncate.
+    store_buf: Vec<StlStore>,
+    /// Monotonic store counter feeding [`StlStore::seq`].
+    store_seq: u64,
+    /// The load a rolled-back STL window resumes at must execute
+    /// architecturally instead of re-mispredicting.
+    skip_stl_once: bool,
+    /// Per-run simulation entries per model id (policy budget
+    /// [`SpecModel::run_entry_budget`]).
+    model_run_entries: [u32; 3],
+    /// Per-run *top-level* entries per model-tagged site (policy budget
+    /// [`SpecModel::top_entries_per_site_per_run`]).
+    model_site_entries: teapot_rt::FxHashMap<u64, u32>,
+
     cost: u64,
     insts: u64,
     /// Program (non-instrumentation) instructions — what the reorder-
@@ -429,6 +496,31 @@ impl std::fmt::Debug for Machine<'_> {
 enum Step {
     Continue,
     Stop(ExitStatus),
+}
+
+/// Low-`n`-bytes mask for raw little-endian loads.
+#[inline]
+fn mask_for(n: u64) -> u64 {
+    if n >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (n * 8)) - 1
+    }
+}
+
+/// Width extension of a raw loaded value — the single definition behind
+/// both the architectural load path and the STL stale-value forward.
+#[inline]
+fn apply_sext(raw: u64, size: AccessSize, sext: bool) -> u64 {
+    if !sext {
+        return raw;
+    }
+    match size {
+        AccessSize::B1 => raw as u8 as i8 as i64 as u64,
+        AccessSize::B2 => raw as u16 as i16 as i64 as u64,
+        AccessSize::B4 => raw as u32 as i32 as i64 as u64,
+        AccessSize::B8 => raw,
+    }
 }
 
 impl<'c> Machine<'c> {
@@ -483,6 +575,7 @@ impl<'c> Machine<'c> {
             }
         };
         let dift_on = flags.dift || matches!(opts.emu, EmuStyle::SpecTaint);
+        let models = opts.models;
 
         let mut cpu = Cpu {
             pc: prog.entry,
@@ -503,6 +596,15 @@ impl<'c> Machine<'c> {
             pending_oob: None,
             invert_next_branch: false,
             skip_sim_once: false,
+            pht_on: models.contains(SpecModel::Pht),
+            rsb_on: models.contains(SpecModel::Rsb),
+            stl_on: models.contains(SpecModel::Stl),
+            rsb: Vec::new(),
+            store_buf: Vec::new(),
+            store_seq: 0,
+            skip_stl_once: false,
+            model_run_entries: [0; 3],
+            model_site_entries: teapot_rt::FxHashMap::default(),
             cost: 0,
             insts: 0,
             prog_insts: 0,
@@ -630,6 +732,7 @@ impl<'c> Machine<'c> {
                 pc: self.orig_pc(access_pc),
                 channel,
                 controllability: ctrl,
+                model: self.window_model(),
             };
             if self.ctx.gadget_keys.insert(key) {
                 if self.trace {
@@ -660,6 +763,7 @@ impl<'c> Machine<'c> {
             pc: self.orig_pc(access_pc),
             channel: Channel::Mds,
             controllability: Controllability::User,
+            model: self.window_model(),
         };
         if self.ctx.gadget_keys.insert(key) {
             let branch_pc = self
@@ -697,7 +801,20 @@ impl<'c> Machine<'c> {
         }
     }
 
-    fn push_checkpoint(&mut self, resume_pc: u64, branch_pc_orig: u64, resume_is_branch: bool) {
+    fn push_checkpoint(
+        &mut self,
+        resume_pc: u64,
+        branch_pc_orig: u64,
+        resume_is_branch: bool,
+        model: SpecModel,
+    ) {
+        let mut rsb_snapshot = [0u64; RSB_DEPTH];
+        let rsb_len = if self.rsb_on {
+            rsb_snapshot[..self.rsb.len()].copy_from_slice(&self.rsb);
+            self.rsb.len() as u8
+        } else {
+            0
+        };
         let ctx = &mut *self.ctx;
         let window_start = ctx
             .checkpoints
@@ -716,13 +833,31 @@ impl<'c> Machine<'c> {
             prog_snapshot: self.prog_insts,
             branch_pc_orig,
             resume_is_branch,
+            model,
+            rsb_snapshot,
+            rsb_len,
+            store_seq_mark: self.store_seq,
+            resume_pending_oob: None,
         });
         self.sim_entries += 1;
         let depth = self.ctx.checkpoints.len() as u32;
         self.record_event(TraceEvent::SpecBranch {
             pc: branch_pc_orig,
             depth,
+            model,
         });
+    }
+
+    /// The speculation model of the current window: the model of the
+    /// *outermost* misprediction (what a gadget report is attributed
+    /// to), `Pht` outside simulation.
+    #[inline]
+    fn window_model(&self) -> SpecModel {
+        self.ctx
+            .checkpoints
+            .first()
+            .map(|c| c.model)
+            .unwrap_or(SpecModel::Pht)
     }
 
     /// Rolls back the innermost simulation level (paper §6.1 "Rollback").
@@ -769,16 +904,40 @@ impl<'c> Machine<'c> {
         self.cpu.pc = cp.resume_pc;
         self.ctx.taint.regs = cp.reg_tags;
         self.ctx.taint.flags = cp.flags_tag;
-        self.pending_oob = None;
+        // Only an STL checkpoint carries a verdict to restore (its
+        // resume point is the guarded access itself); everywhere else
+        // this is the pre-existing `pending_oob = None`.
+        self.pending_oob = cp.resume_pending_oob;
         self.invert_next_branch = false;
         if cp.resume_is_branch {
             self.skip_sim_once = true;
+        }
+        // Squash predictor-visible model state: the RSB is restored to
+        // its entry snapshot; wrong-path store-buffer entries (stores
+        // that never architecturally retired) are dropped; an STL
+        // window resumes *at* the bypassed load, which must now execute
+        // architecturally.
+        if self.rsb_on {
+            self.rsb.clear();
+            self.rsb
+                .extend_from_slice(&cp.rsb_snapshot[..cp.rsb_len as usize]);
+        }
+        if self.stl_on {
+            let keep = self
+                .store_buf
+                .partition_point(|e| e.seq <= cp.store_seq_mark);
+            self.store_buf.truncate(keep);
+            self.store_seq = cp.store_seq_mark;
+        }
+        if cp.model == SpecModel::Stl {
+            self.skip_stl_once = true;
         }
         self.rollbacks += 1;
         let depth = self.ctx.checkpoints.len() as u32 + 1;
         self.record_event(TraceEvent::Rollback {
             pc: cp.branch_pc_orig,
             depth,
+            model: cp.model,
         });
     }
 
@@ -786,11 +945,261 @@ impl<'c> Machine<'c> {
     /// handler, §6.1 "Exceptions"), crash outside.
     fn fault(&mut self, f: Fault) -> Step {
         if self.in_sim() {
+            if self.trace {
+                eprintln!("[trace] speculative fault {f:?}");
+            }
             self.rollback();
             Step::Continue
         } else {
             Step::Stop(ExitStatus::Fault(f))
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Model-driven misprediction (teapot-specmodel: RSB + STL)
+    // ------------------------------------------------------------------
+
+    /// Pushes a predicted return target onto the simulated RSB,
+    /// recycling the oldest entry once the hardware depth is reached.
+    fn rsb_push(&mut self, ret_target: u64) {
+        if self.rsb.len() == RSB_DEPTH {
+            self.rsb.remove(0);
+        }
+        self.rsb.push(ret_target);
+    }
+
+    /// Shared admission control for VM-driven (RSB/STL) simulation
+    /// entries: the per-run model budget and per-site top-level cap
+    /// (specmodel policy), then the persistent per-site speculation
+    /// heuristics under the model-tagged site key — so RSB/STL sites
+    /// accumulate their own cross-run counts without colliding with the
+    /// PHT branch counts.
+    fn model_gate(&mut self, model: SpecModel, site_pc: u64, heur: &mut SpecHeuristics) -> bool {
+        let idx = model.id() as usize;
+        if self.model_run_entries[idx] >= model.run_entry_budget() {
+            return false;
+        }
+        let site = model.site_key(site_pc);
+        let depth = self.ctx.checkpoints.len() as u32;
+        let enter = if depth == 0 {
+            let seen = self.model_site_entries.get(&site).copied().unwrap_or(0);
+            if seen >= model.top_entries_per_site_per_run() {
+                return false;
+            }
+            heur.enter_top(site) && {
+                self.model_site_entries.insert(site, seen + 1);
+                true
+            }
+        } else if self.opts.emu == EmuStyle::Native && !self.nested_on {
+            // The binary was instrumented without nested speculation:
+            // the knob bounds VM-driven models exactly like `sim.start`
+            // entries (SpecTaint emulation always nests, as for PHT).
+            false
+        } else {
+            heur.enter_nested(
+                site,
+                depth,
+                self.opts.config.max_nesting,
+                self.opts.config.full_depth_runs,
+            )
+        };
+        if enter {
+            self.model_run_entries[idx] += 1;
+        }
+        enter
+    }
+
+    /// RSB model: after an architectural `ret` to `actual`, consider a
+    /// misprediction to the now-topmost (stale) shadow-stack entry — the
+    /// target a clobbered or over/underflowed hardware RSB would hand
+    /// the front end (Spectre-RSB / ret2spec). The mispredicted path
+    /// runs one activation record up the stack with the *current*
+    /// architectural state, exactly the wrong-frame return the attack
+    /// exploits; the checkpoint resumes at the correct target.
+    fn maybe_mispredict_return(&mut self, pc: u64, actual: u64, heur: &mut SpecHeuristics) {
+        let Some(&stale) = self.rsb.last() else {
+            return;
+        };
+        if stale == actual {
+            return;
+        }
+        // In a rewritten binary speculation must run in the Shadow Copy
+        // (paper §5.3): translate the stale Real-Copy target. Return
+        // sites are indirect targets, so the rewriter registered them;
+        // a target without a shadow mapping cannot be simulated.
+        let spec_target = match self.prog.meta() {
+            Some(m) if m.in_real(stale) => match m.shadow_of(stale) {
+                Some(s) => s,
+                None => return,
+            },
+            _ => stale,
+        };
+        let site_orig = self.orig_pc(pc);
+        if !self.model_gate(SpecModel::Rsb, site_orig, heur) {
+            return;
+        }
+        if self.trace {
+            eprintln!(
+                "[trace] rsb mispredict at {pc:#x}: stale {stale:#x} (actual {actual:#x}) depth {}",
+                self.ctx.checkpoints.len() + 1
+            );
+        }
+        self.charge(cost::RSB_CHECKPOINT);
+        // The `ret` completed architecturally (SP popped) before the
+        // checkpoint, so the squash resumes cleanly at `actual`.
+        self.push_checkpoint(actual, site_orig, false, SpecModel::Rsb);
+        self.cpu.pc = spec_target;
+    }
+
+    /// Records a store into the simulated store buffer: address, width
+    /// and the *replaced* contents a younger load may speculatively
+    /// forward. Unreadable targets are skipped (the store itself is
+    /// about to fault).
+    fn stl_record_store(&mut self, addr: u64, n: u64) {
+        let mut old_bytes = [0u8; 8];
+        let mut old_tags = [0u8; 8];
+        for i in 0..n {
+            match self.ctx.mem.read_u8(addr.wrapping_add(i)) {
+                Ok(b) => old_bytes[i as usize] = b,
+                Err(_) => return,
+            }
+            old_tags[i as usize] = self.ctx.taint.mem_tag(addr.wrapping_add(i)).bits();
+        }
+        self.store_seq += 1;
+        if self.store_buf.len() == STL_WINDOW {
+            // Oldest entry drains (hardware store buffers retire in
+            // order); the vector stays seq-sorted.
+            self.store_buf.remove(0);
+        }
+        self.store_buf.push(StlStore {
+            addr,
+            len: n as u8,
+            old_bytes,
+            old_tags,
+            seq: self.store_seq,
+        });
+    }
+
+    /// The stale value a load of `[addr, addr+n)` would forward if it
+    /// bypassed the youngest overlapping store still in the buffer:
+    /// `Some((bytes, tags))` when such a store fully covers the load.
+    /// Wild (wrapping) speculative addresses never match.
+    fn stl_stale(&self, addr: u64, n: u64) -> Option<([u8; 8], [u8; 8])> {
+        let end = addr.checked_add(n)?;
+        // Entries are seq-sorted, so the first match from the back is
+        // the youngest overlapping store.
+        self.store_buf
+            .iter()
+            .rev()
+            .find(|e| e.addr <= addr && end <= e.addr + e.len as u64)
+            .map(|e| {
+                let off = (addr - e.addr) as usize;
+                let mut bytes = [0u8; 8];
+                let mut tags = [0u8; 8];
+                bytes[..n as usize].copy_from_slice(&e.old_bytes[off..off + n as usize]);
+                tags[..n as usize].copy_from_slice(&e.old_tags[off..off + n as usize]);
+                (bytes, tags)
+            })
+    }
+
+    /// STL model: before executing a load, consider a speculative
+    /// store-to-load-bypass window (Spectre-V4) in which the load skips
+    /// the youngest overlapping store and forwards the *pre-store*
+    /// value — stale data, stale taint. Entered only when the stale and
+    /// current contents actually differ (in bytes or tags); the
+    /// checkpoint resumes at the load itself, which then executes
+    /// architecturally ([`Machine::skip_stl_once`]). Returns whether the
+    /// bypass was entered.
+    fn try_stl_bypass(
+        &mut self,
+        dst: Reg,
+        mem: &MemRef,
+        size: AccessSize,
+        sext: bool,
+        pc: u64,
+        heur: &mut SpecHeuristics,
+    ) -> bool {
+        if self.skip_stl_once {
+            self.skip_stl_once = false;
+            return false;
+        }
+        let addr = self.ea(mem);
+        let n = size.bytes();
+        let Some((stale_bytes, stale_tags)) = self.stl_stale(addr, n) else {
+            return false;
+        };
+        // Compare against the current contents: an idempotent store (same
+        // bytes, same tags) opens no observable window.
+        let Ok(cur) = self.ctx.mem.read_uint(addr, n) else {
+            return false;
+        };
+        let stale_raw = u64::from_le_bytes(stale_bytes) & mask_for(n);
+        let mut stale_tag = Tag::CLEAN;
+        for t in &stale_tags[..n as usize] {
+            stale_tag |= Tag::from_bits(*t);
+        }
+        let cur_tag = self.ctx.taint.mem_range_tag(addr, n);
+        if stale_raw == cur && stale_tag == cur_tag {
+            return false;
+        }
+        // In a two-copy binary the wrong path must continue in the
+        // Shadow Copy (the §5.3 safety net squashes Real-Copy
+        // speculation): redirect to the shadow twin of the next copied
+        // instruction. A load with no shadow continuation cannot be
+        // simulated.
+        let cont = self.cpu.pc;
+        let spec_cont = match self.prog.meta() {
+            Some(m) if !self.single_copy && m.in_real(cont) => {
+                let twin = m
+                    .next_original_after(pc)
+                    .and_then(|o| self.prog.shadow_twin(o));
+                match twin {
+                    Some(t) => t,
+                    None => return false,
+                }
+            }
+            _ => cont,
+        };
+        let site_orig = self.orig_pc(pc);
+        if !self.model_gate(SpecModel::Stl, site_orig, heur) {
+            return false;
+        }
+        if self.trace {
+            eprintln!(
+                "[trace] stl bypass at {pc:#x}: addr {addr:#x} stale {stale_raw:#x} \
+                 (current {cur:#x}) depth {}",
+                self.ctx.checkpoints.len() + 1
+            );
+        }
+        self.charge(cost::STL_CHECKPOINT);
+        // The pending ASan verdict belongs to the architectural
+        // execution of this load; the forwarding path must not consume
+        // it. Park it in the checkpoint — the preceding `asan.check`
+        // does not re-execute when the squash resumes at the load, so
+        // rollback hands the verdict back.
+        let parked_oob = self.pending_oob.take();
+        // Checkpoint *before* the forwarded value lands in `dst`; the
+        // squash restores the pre-load registers and re-executes the
+        // load architecturally.
+        self.push_checkpoint(pc, site_orig, false, SpecModel::Stl);
+        if let Some(cp) = self.ctx.checkpoints.last_mut() {
+            cp.resume_pending_oob = parked_oob;
+        }
+        self.cpu.pc = spec_cont;
+        let value = apply_sext(stale_raw, size, sext);
+        self.cpu.set(dst, value);
+        if self.dift_on {
+            self.ctx.taint.set_reg(dst, stale_tag);
+        }
+        if self.ctx.record_witness && !stale_tag.is_clean() {
+            self.record_event(TraceEvent::TaintedAccess {
+                pc: site_orig,
+                addr,
+                width: n as u8,
+                tag: stale_tag.bits(),
+            });
+        }
+        true
     }
 
     // ------------------------------------------------------------------
@@ -843,16 +1252,7 @@ impl<'c> Machine<'c> {
             }
         }
         let raw = self.ctx.mem.read_uint(addr, n).map_err(Fault::Mem)?;
-        let value = if sext {
-            match size {
-                AccessSize::B1 => raw as u8 as i8 as i64 as u64,
-                AccessSize::B2 => raw as u16 as i16 as i64 as u64,
-                AccessSize::B4 => raw as u32 as i32 as i64 as u64,
-                AccessSize::B8 => raw,
-            }
-        } else {
-            raw
-        };
+        let value = apply_sext(raw, size, sext);
         if !self.dift_on {
             // SpecFuzz policy consumes pending ASan verdicts without taint.
             self.pending_oob = None;
@@ -955,6 +1355,9 @@ impl<'c> Machine<'c> {
             });
             let _ = self.pending_oob.take();
         }
+        if self.stl_on {
+            self.stl_record_store(addr, n);
+        }
         self.ctx
             .mem
             .write_uint(addr, value, n)
@@ -1009,14 +1412,16 @@ impl<'c> Machine<'c> {
 
         // ROB budget enforcement for emulator-style runs plus a hard
         // safety margin for instrumented runs (conditional restore points
-        // normally fire first).
+        // normally fire first). The margin is per-model: PHT windows keep
+        // the generous ×4 (their `sim.check` restore points fire first),
+        // while VM-driven RSB/STL windows get a tighter leash.
         if self.in_sim() {
             let frame = self.ctx.checkpoints.last().expect("in_sim");
             let executed = self.prog_insts - frame.insts_at_entry;
             let budget = self.opts.config.rob_budget as u64;
             let limit = match self.opts.emu {
                 EmuStyle::SpecTaint => budget,
-                EmuStyle::Native => budget * 4,
+                EmuStyle::Native => budget * frame.model.native_window_margin() as u64,
             };
             if executed >= limit {
                 self.rollback();
@@ -1049,13 +1454,15 @@ impl<'c> Machine<'c> {
             self.prog_insts += 1;
         }
 
-        // SpecTaint-style emulation drives misprediction at branches.
+        // SpecTaint-style emulation drives misprediction at branches
+        // (PHT model; other models hook the relevant instructions in
+        // `exec` for both execution styles).
         if self.opts.emu == EmuStyle::SpecTaint {
             self.charge(cost::EMU_PER_INST);
             if let Inst::Jcc { .. } = inst {
                 if self.skip_sim_once {
                     self.skip_sim_once = false;
-                } else {
+                } else if self.pht_on {
                     let depth = self.ctx.checkpoints.len() as u32;
                     let enter = if depth == 0 {
                         heur.enter_top(pc)
@@ -1069,7 +1476,7 @@ impl<'c> Machine<'c> {
                     };
                     if enter {
                         self.charge(cost::EMU_CHECKPOINT);
-                        self.push_checkpoint(pc, pc, true);
+                        self.push_checkpoint(pc, pc, true, SpecModel::Pht);
                         self.invert_next_branch = true;
                     }
                 }
@@ -1148,6 +1555,12 @@ impl<'c> Machine<'c> {
                 size,
                 sext,
             } => {
+                if self.stl_on && self.try_stl_bypass(dst, &mem, size, sext, pc, heur) {
+                    // Store-to-load bypass entered: the stale pre-store
+                    // value was forwarded into `dst` and a checkpoint
+                    // resumes at this load after the squash.
+                    return Ok(Step::Continue);
+                }
                 let (v, t) = self.do_load(&mem, size, sext, pc)?;
                 self.cpu.set(dst, v);
                 if self.dift_on {
@@ -1296,6 +1709,9 @@ impl<'c> Machine<'c> {
                     self.ctx.asan.poison_ret_slot(sp);
                 }
                 self.cpu.pc = target;
+                if self.rsb_on {
+                    self.rsb_push(next_pc);
+                }
             }
             Inst::CallInd { target } => {
                 let t = self.cpu.get(target);
@@ -1306,6 +1722,9 @@ impl<'c> Machine<'c> {
                     self.ctx.asan.poison_ret_slot(sp);
                 }
                 self.cpu.pc = t;
+                if self.rsb_on {
+                    self.rsb_push(next_pc);
+                }
             }
             Inst::JmpInd { target } => {
                 self.cpu.pc = self.cpu.get(target);
@@ -1318,6 +1737,10 @@ impl<'c> Machine<'c> {
                 }
                 self.cpu.set(Reg::SP, sp.wrapping_add(8));
                 self.cpu.pc = t;
+                if self.rsb_on {
+                    self.rsb.pop();
+                    self.maybe_mispredict_return(pc, t, heur);
+                }
             }
             Inst::Syscall { num } => {
                 if self.in_sim() {
@@ -1343,7 +1766,11 @@ impl<'c> Machine<'c> {
             Inst::SimStart { tramp } => {
                 let branch_orig = self.orig_pc(pc);
                 let depth = self.ctx.checkpoints.len() as u32;
-                let enter = if depth == 0 {
+                let enter = if !self.pht_on {
+                    // Conditional-branch misprediction is not part of the
+                    // active model set: the instrumentation stays inert.
+                    false
+                } else if depth == 0 {
                     heur.enter_top(branch_orig)
                 } else if self.nested_on {
                     heur.enter_nested(
@@ -1362,7 +1789,7 @@ impl<'c> Machine<'c> {
                     );
                 }
                 if enter {
-                    self.push_checkpoint(next_pc, branch_orig, false);
+                    self.push_checkpoint(next_pc, branch_orig, false, SpecModel::Pht);
                     self.cpu.pc = tramp;
                 }
             }

@@ -99,6 +99,12 @@ pub struct Program {
     stats: DecodeStats,
     /// `(start, end)` basic-block spans from the linear walk, sorted.
     block_spans: Vec<(u64, u64)>,
+    /// Original coordinate → Shadow-Copy twin (smallest shadow address
+    /// of the copied instruction), for the RSB/STL speculation models:
+    /// a VM-driven wrong path entering from the Real Copy must continue
+    /// in the Shadow Copy or the §5.3 safety net squashes it. Empty for
+    /// uninstrumented binaries.
+    shadow_twins: teapot_rt::FxHashMap<u64, u64>,
 }
 
 impl std::fmt::Debug for Program {
@@ -222,6 +228,16 @@ impl Program {
         regions.sort_by_key(|r| r.start);
         block_spans.sort_unstable();
 
+        let mut shadow_twins = teapot_rt::FxHashMap::default();
+        if let Some(m) = &meta {
+            for &(rew, orig) in &m.addr_map {
+                if m.in_shadow(rew) {
+                    let e = shadow_twins.entry(orig).or_insert(rew);
+                    *e = (*e).min(rew);
+                }
+            }
+        }
+
         static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         Program {
             uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
@@ -232,7 +248,14 @@ impl Program {
             pristine: mem,
             stats,
             block_spans,
+            shadow_twins,
         }
+    }
+
+    /// Shadow-Copy twin of an original-coordinate instruction, if the
+    /// binary is instrumented and the instruction was copied.
+    pub fn shadow_twin(&self, orig: u64) -> Option<u64> {
+        self.shadow_twins.get(&orig).copied()
     }
 
     /// Convenience: decode once and wrap for sharing across shards and

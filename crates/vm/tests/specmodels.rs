@@ -1,0 +1,189 @@
+//! Speculation-model semantics: the planted RSB and STL workloads leak
+//! **iff** their model is simulated, PHT-only behavior is unchanged, and
+//! model-driven runs stay deterministic.
+
+use teapot_cc::{compile_to_binary, Options};
+use teapot_core::{rewrite, RewriteOptions};
+use teapot_obj::Binary;
+use teapot_rt::{SpecModel, SpecModelSet, TraceEvent};
+use teapot_vm::{ExitStatus, Machine, RunOptions, RunOutcome, SpecHeuristics};
+
+fn instrumented(src: &str) -> Binary {
+    let mut bin = compile_to_binary(src, &Options::gcc_like()).unwrap();
+    bin.strip();
+    rewrite(&bin, &RewriteOptions::default()).unwrap()
+}
+
+fn run_models(bin: &Binary, input: &[u8], models: &str) -> RunOutcome {
+    let mut heur = SpecHeuristics::default();
+    Machine::new(
+        bin,
+        RunOptions {
+            input: input.to_vec(),
+            models: SpecModelSet::parse(models).unwrap(),
+            ..RunOptions::default()
+        },
+    )
+    .run(&mut heur)
+}
+
+/// The OOB-index trigger input for both planted workloads: x = 20
+/// lands in the 16-byte array's right redzone (poisoned but mapped —
+/// the observable speculative-OOB shape).
+const TRIGGER: &[u8] = &[0x14, 0x00];
+
+#[test]
+fn rsb_workload_leaks_only_under_the_rsb_model() {
+    let bin = instrumented(teapot_workloads::rsb_like().plain_source().as_str());
+
+    // PHT only (the default): the branchless mask keeps every
+    // architectural and branch-speculative path in bounds.
+    let pht = run_models(&bin, TRIGGER, "pht");
+    assert_eq!(pht.status, ExitStatus::Exit(0));
+    assert!(
+        pht.gadgets.is_empty(),
+        "no PHT-reachable gadget planted: {:?}",
+        pht.gadgets
+    );
+
+    // RSB enabled: the stale-return misprediction leaks the raw index.
+    let rsb = run_models(&bin, TRIGGER, "pht,rsb");
+    assert_eq!(rsb.status, ExitStatus::Exit(0));
+    assert!(!rsb.gadgets.is_empty(), "RSB gadget found");
+    assert!(
+        rsb.gadgets.iter().all(|g| g.key.model == SpecModel::Rsb),
+        "every report attributed to the RSB model: {:?}",
+        rsb.gadgets
+    );
+
+    // The model alone (without PHT) finds it too.
+    let only = run_models(&bin, TRIGGER, "rsb");
+    assert!(only.gadgets.iter().any(|g| g.key.model == SpecModel::Rsb));
+}
+
+#[test]
+fn stl_workload_leaks_only_under_the_stl_model() {
+    let bin = instrumented(teapot_workloads::stl_like().plain_source().as_str());
+
+    let pht = run_models(&bin, TRIGGER, "pht");
+    assert_eq!(pht.status, ExitStatus::Exit(0));
+    assert!(
+        pht.gadgets.is_empty(),
+        "no PHT-reachable gadget planted: {:?}",
+        pht.gadgets
+    );
+
+    let stl = run_models(&bin, TRIGGER, "pht,stl");
+    assert_eq!(stl.status, ExitStatus::Exit(0));
+    assert!(!stl.gadgets.is_empty(), "STL gadget found");
+    assert!(
+        stl.gadgets.iter().all(|g| g.key.model == SpecModel::Stl),
+        "every report attributed to the STL model: {:?}",
+        stl.gadgets
+    );
+
+    let only = run_models(&bin, TRIGGER, "stl");
+    assert!(only.gadgets.iter().any(|g| g.key.model == SpecModel::Stl));
+}
+
+#[test]
+fn cross_model_isolation_on_the_planted_workloads() {
+    // The RSB workload must not fire under STL and vice versa: the
+    // planted scenarios are model-specific ground truth.
+    let rsb_bin = instrumented(teapot_workloads::rsb_like().plain_source().as_str());
+    let stl_bin = instrumented(teapot_workloads::stl_like().plain_source().as_str());
+    assert!(run_models(&rsb_bin, TRIGGER, "pht,stl").gadgets.is_empty());
+    assert!(run_models(&stl_bin, TRIGGER, "pht,rsb").gadgets.is_empty());
+}
+
+#[test]
+fn model_runs_are_deterministic_and_in_bounds_inputs_are_clean() {
+    for (wl, models) in [
+        (teapot_workloads::rsb_like(), "pht,rsb,stl"),
+        (teapot_workloads::stl_like(), "pht,rsb,stl"),
+    ] {
+        let bin = instrumented(wl.plain_source().as_str());
+        let a = run_models(&bin, TRIGGER, models);
+        let b = run_models(&bin, TRIGGER, models);
+        assert_eq!(a.gadgets, b.gadgets, "{} deterministic", wl.name);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.sim_entries, b.sim_entries);
+        // An in-bounds index leaks nothing under any model: the stale
+        // values it forwards are neither secret nor out of bounds.
+        let clean = run_models(&bin, &[0x03, 0x00], models);
+        assert_eq!(clean.status, ExitStatus::Exit(0));
+        assert!(
+            clean.gadgets.is_empty(),
+            "{}: in-bounds input reported {:?}",
+            wl.name,
+            clean.gadgets
+        );
+    }
+}
+
+#[test]
+fn default_options_are_pht_only_and_unchanged() {
+    // RunOptions::default must be the pre-specmodel configuration: on
+    // the planted RSB workload it finds nothing and opens no windows
+    // beyond what PHT instrumentation drives.
+    let bin = instrumented(teapot_workloads::rsb_like().plain_source().as_str());
+    let mut heur = SpecHeuristics::default();
+    let out = Machine::new(
+        &bin,
+        RunOptions {
+            input: TRIGGER.to_vec(),
+            ..RunOptions::default()
+        },
+    )
+    .run(&mut heur);
+    assert!(out.gadgets.is_empty());
+    let explicit = run_models(&bin, TRIGGER, "pht");
+    assert_eq!(out.cost, explicit.cost);
+    assert_eq!(out.sim_entries, explicit.sim_entries);
+}
+
+#[test]
+fn witness_trace_records_model_tagged_events() {
+    let bin = instrumented(teapot_workloads::rsb_like().plain_source().as_str());
+    let prog = teapot_vm::Program::shared(&bin);
+    let mut ctx = teapot_vm::ExecContext::new(&prog);
+    ctx.set_witness_recording(true);
+    let mut heur = SpecHeuristics::default();
+    let opts = RunOptions {
+        input: TRIGGER.to_vec(),
+        models: SpecModelSet::parse("pht,rsb").unwrap(),
+        ..RunOptions::default()
+    };
+    Machine::with_context(&prog, &mut ctx, opts).run_stats(&mut heur);
+    let rsb_entries = ctx
+        .trace()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::SpecBranch {
+                    model: SpecModel::Rsb,
+                    ..
+                }
+            )
+        })
+        .count();
+    let rsb_rollbacks = ctx
+        .trace()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Rollback {
+                    model: SpecModel::Rsb,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(rsb_entries > 0, "RSB checkpoints recorded");
+    assert!(rsb_rollbacks > 0, "RSB rollbacks recorded");
+    // Heuristics kept per-model site counts for the return site.
+    assert!(heur.sites_seen_for(SpecModel::Rsb) > 0);
+    assert_eq!(heur.sites_seen_for(SpecModel::Stl), 0);
+}

@@ -22,7 +22,9 @@ mod programs {
     pub mod brotli_like;
     pub mod htp_like;
     pub mod jsmn_like;
+    pub mod rsb_like;
     pub mod ssl_like;
+    pub mod stl_like;
     pub mod yaml_like;
 }
 
@@ -181,6 +183,29 @@ pub fn ssl_like() -> Workload {
     }
 }
 
+/// The planted Spectre-RSB (ret2spec) workload: its gadget is reachable
+/// only through a return-stack misprediction (see `programs::rsb_like`).
+pub fn rsb_like() -> Workload {
+    Workload {
+        name: "spectre-rsb",
+        marked_source: programs::rsb_like::SOURCE,
+        seeds: programs::rsb_like::seeds(),
+        dictionary: programs::rsb_like::dictionary(),
+    }
+}
+
+/// The planted Spectre-V4 (speculative store bypass) workload: its
+/// gadget is reachable only through a store-to-load bypass (see
+/// `programs::stl_like`).
+pub fn stl_like() -> Workload {
+    Workload {
+        name: "spectre-stl",
+        marked_source: programs::stl_like::SOURCE,
+        seeds: programs::stl_like::seeds(),
+        dictionary: programs::stl_like::dictionary(),
+    }
+}
+
 /// All five workloads in the paper's order.
 pub fn all() -> Vec<Workload> {
     vec![
@@ -190,6 +215,15 @@ pub fn all() -> Vec<Workload> {
         brotli_like(),
         ssl_like(),
     ]
+}
+
+/// The speculation-model ground-truth suite: one planted workload per
+/// non-default model (`spectre-rsb`, `spectre-stl`). Kept out of
+/// [`all`] — the paper's experiments run over the paper's five programs
+/// — but first-class everywhere else (CLI `--workload`, CI matrix,
+/// specmodel acceptance tests).
+pub fn spec_suite() -> Vec<Workload> {
+    vec![rsb_like(), stl_like()]
 }
 
 /// Table 3 classification of fuzzing reports against injected ground

@@ -1,0 +1,70 @@
+//! Planted **Spectre-RSB** (ret2spec) ground-truth workload for the
+//! `rsb` speculation model.
+//!
+//! The leak is architecturally impossible and — by construction —
+//! invisible to conditional-branch (PHT) speculation:
+//!
+//! * `fetch_index` sanitizes the raw attacker index with a **branchless
+//!   mask** (`raw_index() & 7`), so there is no mispredictable bounds
+//!   check anywhere on the path from input to transmitter;
+//! * the mask is applied to the call's register result without a memory
+//!   round-trip, so the store-to-load-bypass (STL) model cannot forward
+//!   a stale unmasked value either; and
+//! * the transmitter `__r_sink = __r_a2[__r_a1[__r_i]]` only ever sees
+//!   the masked value architecturally (the index lives in a *global*:
+//!   the wrong-frame return executes with the callee's frame pointer,
+//!   so stack-resident temporaries would be clobbered by the wrong
+//!   path's own pushes — globals keep the planted flow frame-agnostic).
+//!
+//! Under the RSB model, the `ret` of `raw_index` mispredicts to the
+//! stale shadow-stack entry one frame up — `main`'s continuation — and
+//! the wrong-path code consumes `raw_index`'s *unsanitized* return
+//! value: the attacker-tainted, out-of-bounds index flows straight into
+//! the double-array dereference, which the Kasper policy reports. The
+//! campaign must therefore report gadgets in this program **iff** `rsb`
+//! is in the active model set — the planted ground truth behind the
+//! specmodel acceptance test.
+
+/// MiniC source (no injection markers: the whole program is the gadget).
+pub const SOURCE: &str = r#"
+char *__r_a1;
+char *__r_a2;
+int __r_sink;
+char __r_in[2];
+int __r_x;
+int __r_i;
+
+int raw_index() {
+    return __r_x;
+}
+
+int fetch_index() {
+    return raw_index() & 7;
+}
+
+int main() {
+    __r_a1 = malloc(16);
+    __r_a2 = malloc(512);
+    for (int i = 0; i < 16; i++) { __r_a1[i] = i + 1; }
+    read_input(__r_in, 2);
+    __r_x = __r_in[0] + (__r_in[1] << 8);
+    __r_i = fetch_index();
+    __r_sink = __r_a2[__r_a1[__r_i]];
+    return 0;
+}
+"#;
+
+/// Fuzzing seeds: an in-bounds index and a redzone-hitting
+/// out-of-bounds one (index 20 lands in `__r_a1`'s right redzone, the
+/// observable speculative-OOB shape — far-OOB indexes fault and roll
+/// back silently, as on hardware the mapping would). The OOB seed is
+/// already a trigger: the gadget needs no gate bytes, only the RSB
+/// misprediction.
+pub fn seeds() -> Vec<Vec<u8>> {
+    vec![vec![0x03, 0x00], vec![0x14, 0x00]]
+}
+
+/// Dictionary tokens (none: the input is a raw little-endian index).
+pub fn dictionary() -> Vec<Vec<u8>> {
+    Vec::new()
+}

@@ -1,0 +1,54 @@
+//! Planted **Spectre-V4** (speculative store bypass) ground-truth
+//! workload for the `stl` speculation model.
+//!
+//! The classic v4 shape: a slot briefly holds the raw attacker index,
+//! then a sanitizing store overwrites it with a safe constant, and only
+//! then is it loaded and used as a double-array index:
+//!
+//! ```c
+//! __s_slot = __s_x;   // (1) tainted, possibly out-of-bounds
+//! __s_slot = 0;       // (2) sanitize
+//! ... __s_a2[__s_a1[__s_slot]] ...   // (3) load + transmit
+//! ```
+//!
+//! Architecturally the load at (3) always observes the sanitized zero.
+//! There is **no conditional branch** between taint and transmitter, so
+//! PHT speculation cannot reach the leak either. Under the STL model the
+//! load speculatively bypasses store (2) and forwards the stale value of
+//! store (1) — attacker-tainted and out of bounds — which the Kasper
+//! policy reports. Gadgets in this program must appear **iff** `stl` is
+//! in the active model set.
+
+/// MiniC source (no injection markers: the whole program is the gadget).
+pub const SOURCE: &str = r#"
+char *__s_a1;
+char *__s_a2;
+int __s_sink;
+char __s_in[2];
+int __s_x;
+int __s_slot;
+
+int main() {
+    __s_a1 = malloc(16);
+    __s_a2 = malloc(512);
+    for (int i = 0; i < 16; i++) { __s_a1[i] = i + 1; }
+    read_input(__s_in, 2);
+    __s_x = __s_in[0] + (__s_in[1] << 8);
+    __s_slot = __s_x;
+    __s_slot = 0;
+    __s_sink = __s_a2[__s_a1[__s_slot]];
+    return 0;
+}
+"#;
+
+/// Fuzzing seeds: an in-bounds index and a redzone-hitting
+/// out-of-bounds one (index 20 lands in `__s_a1`'s right redzone; see
+/// the `rsb_like` seeds for why far-OOB indexes are not used).
+pub fn seeds() -> Vec<Vec<u8>> {
+    vec![vec![0x03, 0x00], vec![0x14, 0x00]]
+}
+
+/// Dictionary tokens (none: the input is a raw little-endian index).
+pub fn dictionary() -> Vec<Vec<u8>> {
+    Vec::new()
+}

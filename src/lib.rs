@@ -9,6 +9,7 @@ pub use teapot_fuzz as fuzz;
 pub use teapot_isa as isa;
 pub use teapot_obj as obj;
 pub use teapot_rt as rt;
+pub use teapot_specmodel as specmodel;
 pub use teapot_triage as triage;
 pub use teapot_vm as vm;
 pub use teapot_workloads as workloads;

@@ -1,0 +1,128 @@
+//! Differential pinning: the **default speculation-model set (`pht`)**
+//! produces byte-identical campaign and triage output to the pipeline as
+//! it existed before the pluggable-specmodel subsystem landed.
+//!
+//! The committed fixtures under `tests/fixtures/` were generated from the
+//! pre-specmodel build (`TEAPOT_REGEN_GOLDENS=1 cargo test -q
+//! specmodel_differential`): campaign JSON, triage JSONL, ranked text and
+//! SARIF for every workload in the suite, at a fixed small campaign
+//! scale. Any change that perturbs the default pipeline's bytes —
+//! serialization, ordering, detection behavior, heuristic accounting —
+//! fails here.
+//!
+//! One intentional exception: this PR also renormalizes the triage
+//! root-cause key (data operands become `section+offset` so relocated
+//! globals dedup across binaries, and synthetic `fun_<addr>` symbol
+//! names — which embed the very position the key must be invariant to —
+//! fold to a stable `fun` prefix). The comparison therefore scrubs
+//! `h<16 hex digits>` content hashes and `fun_<hex>` tokens on both
+//! sides before comparing; everything else must match byte for byte.
+
+use teapot_campaign::{run_campaign, CampaignConfig};
+use teapot_cc::Options;
+use teapot_core::{rewrite, RewriteOptions};
+use teapot_triage::{triage_report, TriageOptions};
+use teapot_workloads::Workload;
+
+/// Replaces every `h` + 16-hex-digit content hash with `h<hash>` and
+/// every synthetic `fun_<hex>` symbol with `fun` (both sides of the
+/// comparison, so the intentional key renormalization of this PR is
+/// factored out while everything else stays byte-exact).
+fn scrub_intentional_key_changes(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let is_hash = bytes[i] == b'h'
+            && i + 17 <= bytes.len()
+            && bytes[i + 1..i + 17].iter().all(u8::is_ascii_hexdigit)
+            && (i + 17 == bytes.len() || !bytes[i + 17].is_ascii_hexdigit());
+        if is_hash {
+            out.push_str("h<hash>");
+            i += 17;
+            continue;
+        }
+        if bytes[i..].starts_with(b"fun_") {
+            let hex = bytes[i + 4..]
+                .iter()
+                .take_while(|b| b.is_ascii_hexdigit())
+                .count();
+            if hex > 0 {
+                out.push_str("fun");
+                i += 4 + hex;
+                continue;
+            }
+        }
+        // Advance one whole UTF-8 scalar (output stays valid).
+        let ch_len = s[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+        out.push_str(&s[i..i + ch_len]);
+        i += ch_len;
+    }
+    out
+}
+
+/// Runs the full default-configuration pipeline over one workload and
+/// renders every byte-deterministic artifact into one blob.
+fn pipeline_output(w: &Workload) -> String {
+    let mut cots = w.build(&Options::gcc_like()).expect("compile");
+    cots.strip();
+    let bin = rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
+    let cfg = CampaignConfig {
+        shards: 2,
+        workers: 1,
+        epochs: 2,
+        iters_per_epoch: 25,
+        max_input_len: 64,
+        dictionary: w.dictionary.clone(),
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&bin, &w.seeds, &cfg).expect("campaign");
+    let opts = TriageOptions {
+        minimize: true,
+        max_minimize_steps: 64,
+    };
+    let (db, _stats) = triage_report(&format!("{}.tof", w.name), &bin, &cfg, &report, &opts);
+    format!(
+        "== campaign json ==\n{}== triage jsonl ==\n{}== triage text ==\n{}== sarif ==\n{}",
+        report.to_json(),
+        db.to_jsonl(),
+        db.to_text(),
+        teapot_triage::sarif::render(&db),
+    )
+}
+
+#[test]
+fn default_model_set_output_matches_pre_specmodel_pipeline() {
+    let fixtures = format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR"));
+    let regen = std::env::var_os("TEAPOT_REGEN_GOLDENS").is_some();
+    if regen {
+        std::fs::create_dir_all(&fixtures).expect("mkdir fixtures");
+    }
+    for w in teapot_workloads::all() {
+        let got = pipeline_output(&w);
+        let path = format!("{fixtures}/pht_default_{}.txt", w.name);
+        if regen {
+            std::fs::write(&path, &got).expect("write fixture");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {path}: {e}"));
+        // Line-sorted comparison: every line must match byte-for-byte,
+        // but equal-severity triage entries may legitimately reorder —
+        // their tie-break is the root-cause string, which this PR
+        // intentionally renormalized. Cross-run ordering determinism is
+        // pinned separately (worker-count byte-identity tests).
+        let canon = |s: &str| {
+            let mut lines: Vec<&str> = s.lines().collect();
+            lines.sort_unstable();
+            lines.join("\n")
+        };
+        assert_eq!(
+            canon(&scrub_intentional_key_changes(&want)),
+            canon(&scrub_intentional_key_changes(&got)),
+            "default-model pipeline output diverged from the pre-specmodel \
+             golden for workload {}",
+            w.name
+        );
+    }
+}

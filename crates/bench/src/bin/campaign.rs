@@ -5,10 +5,13 @@
 //! CI: it exercises the full campaign pipeline — predecode, sharding,
 //! barriers, deterministic merge — and fails loudly if the orchestrator
 //! diverges between worker counts **or** throughput falls below a floor
-//! (`TEAPOT_SMOKE_MIN_EPS`, default 20 execs/sec — the seed's per-run
-//! decode-and-reload pipeline managed ~29 on a 1-CPU container, so the
-//! floor trips on any regression back toward it without flaking on slow
-//! runners). The smoke run does not overwrite `BENCH_campaign.json`.
+//! (`TEAPOT_SMOKE_MIN_EPS`, default 150 execs/sec). The floor locks in
+//! the hot-path overhaul (flat region-backed memory + software TLB +
+//! block-slice dispatch): before it, the slowest row — `pht,rsb,stl` —
+//! ran at ~75 execs/sec, and the seed's per-run decode-and-reload
+//! pipeline managed ~29, so the floor trips on any regression back
+//! toward either without flaking on slow runners. The smoke run does
+//! not overwrite `BENCH_campaign.json`.
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let w = teapot_workloads::jsmn_like();
@@ -27,7 +30,7 @@ fn main() {
         let floor: f64 = std::env::var("TEAPOT_SMOKE_MIN_EPS")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(20.0);
+            .unwrap_or(150.0);
         if slowest < floor {
             eprintln!(
                 "smoke FAILED: slowest row {slowest:.0} execs/sec is below the \

@@ -1,0 +1,43 @@
+//! VM hot-path microbenchmark: guest memcpy/checksum loads+stores per
+//! second. Writes `BENCH_vmhot.json`.
+//!
+//! `--smoke` runs a short configuration for CI and fails loudly if
+//! throughput falls below a floor (`TEAPOT_SMOKE_MIN_MOPS`, default 2
+//! million counted data ops/sec — the per-byte-hashmap memory subsystem
+//! this benchmark was built to retire managed well under that, so the
+//! floor trips on any regression back toward it without flaking on slow
+//! runners). The smoke run does not overwrite `BENCH_vmhot.json`.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let result = if smoke {
+        println!("vmhot smoke: 64-pass memcpy/checksum kernel, 20 runs");
+        teapot_bench::vmhot::run(64, 20)
+    } else {
+        println!("vmhot: 64-pass memcpy/checksum kernel, 100 runs");
+        teapot_bench::vmhot::run(64, 100)
+    };
+    println!("{}", teapot_bench::vmhot::render(&result));
+
+    let floor: f64 = std::env::var("TEAPOT_SMOKE_MIN_MOPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    if result.mops_per_sec < floor {
+        eprintln!(
+            "vmhot FAILED: {:.1} Mops/sec is below the {floor:.1} Mops/sec floor \
+             (override with TEAPOT_SMOKE_MIN_MOPS)",
+            result.mops_per_sec
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "throughput ok: {:.1} Mops/sec (floor {floor:.1})",
+        result.mops_per_sec
+    );
+
+    if !smoke {
+        let json = teapot_bench::vmhot::render_json(&result);
+        std::fs::write("BENCH_vmhot.json", &json).expect("write BENCH_vmhot.json");
+        println!("wrote BENCH_vmhot.json");
+    }
+}

@@ -26,6 +26,7 @@ pub mod runtime;
 pub mod table3;
 pub mod table4;
 pub mod triage;
+pub mod vmhot;
 
 /// Builds the stripped COTS binary of a workload (GCC-flavoured
 /// lowering, like the paper's default toolchain for deployment).

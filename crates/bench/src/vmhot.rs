@@ -1,0 +1,143 @@
+//! VM hot-path microbenchmark: raw guest loads/stores per second on a
+//! memcpy + checksum kernel, isolating the memory subsystem (flat
+//! region-backed slab + software TLB + chunked accessors) from the
+//! fuzzing pipeline around it. Writes `BENCH_vmhot.json`; the CI smoke
+//! step enforces a `TEAPOT_SMOKE_MIN_MOPS` floor on it so a regression
+//! back toward the per-byte-hashmap design fails loudly.
+
+use std::time::Instant;
+use teapot_cc::{compile_to_binary, Options};
+use teapot_vm::{ExecContext, ExitStatus, Machine, Program, RunOptions, SpecHeuristics};
+
+/// Bytes the kernel streams per pass (two arrays of this size).
+pub const BUF: usize = 2048;
+
+/// The guest kernel: copy `src` into `dst` byte-by-byte, then checksum
+/// `dst`, `passes` times. Data traffic per run: `3 * n * passes`
+/// architectural loads+stores (copy load + copy store + checksum load);
+/// loop bookkeeping in registers/stack is not counted.
+fn kernel_source(passes: u32) -> String {
+    format!(
+        r#"
+char src[{BUF}];
+char dst[{BUF}];
+
+int main(void) {{
+    int n = input_size();
+    if (n > {BUF}) {{ n = {BUF}; }}
+    read_input(src, n);
+    int sum = 0;
+    int pass = 0;
+    while (pass < {passes}) {{
+        int i = 0;
+        while (i < n) {{ dst[i] = src[i]; i++; }}
+        i = 0;
+        while (i < n) {{ sum = sum + dst[i]; i++; }}
+        pass++;
+    }}
+    print_int(sum);
+    return 0;
+}}
+"#
+    )
+}
+
+/// One measurement of the memcpy/checksum kernel.
+#[derive(Debug, Clone)]
+pub struct VmhotResult {
+    /// Copy/checksum passes per run.
+    pub passes: u32,
+    /// Runs executed (pooled `ExecContext`, reset between runs).
+    pub runs: u32,
+    /// Input bytes streamed per pass.
+    pub bytes: usize,
+    /// Counted guest data loads+stores across all runs.
+    pub mem_ops: u64,
+    /// Executed instructions across all runs (architectural total).
+    pub insts: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Counted data loads+stores per second, in millions.
+    pub mops_per_sec: f64,
+    /// Executed instructions per second, in millions.
+    pub minsts_per_sec: f64,
+}
+
+/// Runs the kernel `runs` times with `passes` passes each on one pooled
+/// context and reports data-op throughput.
+///
+/// # Panics
+///
+/// Panics if the kernel does not compile or a run exits abnormally
+/// (both would be harness bugs, not measurements).
+pub fn run(passes: u32, runs: u32) -> VmhotResult {
+    let src = kernel_source(passes);
+    let mut bin = compile_to_binary(&src, &Options::gcc_like()).expect("vmhot kernel compiles");
+    bin.strip();
+    let prog = Program::shared(&bin);
+    let mut ctx = ExecContext::new(&prog);
+    let input: Vec<u8> = (0..BUF).map(|i| (i * 31 + 7) as u8).collect();
+
+    let mut heur = SpecHeuristics::default();
+    let mut insts = 0u64;
+    let start = Instant::now();
+    for _ in 0..runs {
+        let opts = RunOptions {
+            input: input.clone(),
+            ..RunOptions::default()
+        };
+        let stats = Machine::with_context(&prog, &mut ctx, opts).run_stats(&mut heur);
+        assert_eq!(
+            stats.status,
+            ExitStatus::Exit(0),
+            "vmhot kernel must exit cleanly"
+        );
+        insts += stats.insts;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let mem_ops = 3 * BUF as u64 * passes as u64 * runs as u64;
+    VmhotResult {
+        passes,
+        runs,
+        bytes: BUF,
+        mem_ops,
+        insts,
+        secs,
+        mops_per_sec: mem_ops as f64 / secs.max(1e-9) / 1e6,
+        minsts_per_sec: insts as f64 / secs.max(1e-9) / 1e6,
+    }
+}
+
+/// Renders the result as an aligned text table.
+pub fn render(r: &VmhotResult) -> String {
+    crate::render_table(
+        &[
+            "passes",
+            "runs",
+            "bytes",
+            "mem ops",
+            "secs",
+            "Mops/sec",
+            "Minsts/sec",
+        ],
+        &[vec![
+            r.passes.to_string(),
+            r.runs.to_string(),
+            r.bytes.to_string(),
+            r.mem_ops.to_string(),
+            format!("{:.3}", r.secs),
+            format!("{:.1}", r.mops_per_sec),
+            format!("{:.1}", r.minsts_per_sec),
+        ]],
+    )
+}
+
+/// Deterministic JSON rendering for `BENCH_vmhot.json`.
+pub fn render_json(r: &VmhotResult) -> String {
+    format!(
+        "{{\n  \"workload\": \"vmhot\",\n  \"passes\": {},\n  \"runs\": {},\n  \
+         \"bytes_per_pass\": {},\n  \"mem_ops\": {},\n  \"insts\": {},\n  \
+         \"secs\": {:.4},\n  \"mops_per_sec\": {:.2},\n  \"minsts_per_sec\": {:.2}\n}}\n",
+        r.passes, r.runs, r.bytes, r.mem_ops, r.insts, r.secs, r.mops_per_sec, r.minsts_per_sec
+    )
+}

@@ -93,14 +93,23 @@ impl CovMap {
     /// globally. The global map stores the maximum bucket per guard.
     pub fn merge_into(&self, global: &mut CovMap) -> usize {
         let mut new_features = 0;
-        for (g, &c) in self.counters.iter().enumerate() {
-            if c == 0 {
+        // Per-run maps are sparse: skip zero counters eight at a time
+        // (this runs twice per fuzzing execution, so the scan must not
+        // touch all 64 Ki counters byte by byte).
+        for (w, chunk) in self.counters.chunks_exact(8).enumerate() {
+            if u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk")) == 0 {
                 continue;
             }
-            let b = Self::bucket(c);
-            if b > Self::bucket(global.counters[g]) {
-                global.counters[g] = c.max(global.counters[g]);
-                new_features += 1;
+            for (i, &c) in chunk.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let g = w * 8 + i;
+                let b = Self::bucket(c);
+                if b > Self::bucket(global.counters[g]) {
+                    global.counters[g] = c.max(global.counters[g]);
+                    new_features += 1;
+                }
             }
         }
         new_features

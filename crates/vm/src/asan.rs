@@ -15,10 +15,16 @@
 //! byte, stored as a whole byte) rather than ASan's packed 1:8 encoding;
 //! `teapot-rt::layout` defines and tests the paper's 1:8 address mapping,
 //! which the cost model's `asan.check` weight reflects.
+//!
+//! Shadow storage is a [`ShadowMem`](crate::slab) (region-table + TLB
+//! page slab, shared with the DIFT shadow), and [`AsanEngine::is_poisoned`]
+//! scans page-bounded chunks instead of probing a map per byte. The two
+//! poison-region boundaries ([`HEAP_BASE`](teapot_rt::layout::HEAP_BASE)
+//! and [`INPUT_STAGING`](teapot_rt::layout::INPUT_STAGING)) are
+//! page-aligned, so a chunk never straddles a poison-default change.
 
+use crate::slab::ShadowMem;
 use teapot_rt::FxHashMap;
-
-const PAGE: u64 = 4096;
 
 /// Redzone size on each side of a heap allocation.
 pub const REDZONE: u64 = 16;
@@ -50,7 +56,7 @@ impl Poison {
 /// The ASan engine: poison shadow + heap allocator state.
 #[derive(Clone)]
 pub struct AsanEngine {
-    shadow: FxHashMap<u64, Box<[u8; PAGE as usize]>>,
+    shadow: ShadowMem,
     next_chunk: u64,
     /// Live allocations: base → size.
     live: FxHashMap<u64, u64>,
@@ -78,7 +84,7 @@ impl AsanEngine {
     /// base (paper Table 2 HighMem).
     pub fn new() -> AsanEngine {
         AsanEngine {
-            shadow: FxHashMap::default(),
+            shadow: ShadowMem::default(),
             next_chunk: teapot_rt::layout::HEAP_BASE,
             live: FxHashMap::default(),
             quarantine: FxHashMap::default(),
@@ -91,23 +97,14 @@ impl AsanEngine {
     /// one), the allocator bump pointer rewinds to the heap base, and
     /// the live/quarantine books are cleared.
     pub fn reset(&mut self) {
-        for page in self.shadow.values_mut() {
-            page.fill(0);
-        }
+        self.shadow.reset();
         self.next_chunk = teapot_rt::layout::HEAP_BASE;
         self.live.clear();
         self.quarantine.clear();
     }
 
     fn set_shadow(&mut self, addr: u64, len: u64, p: Poison) {
-        for i in 0..len {
-            let a = addr.wrapping_add(i);
-            let page = self
-                .shadow
-                .entry(a / PAGE)
-                .or_insert_with(|| Box::new([0; PAGE as usize]));
-            page[(a % PAGE) as usize] = p.to_byte();
-        }
+        self.shadow.fill(addr, len, p.to_byte());
     }
 
     /// Whether any byte of `[addr, addr+len)` is poisoned.
@@ -120,21 +117,24 @@ impl AsanEngine {
     /// paper's documented limitation (§6.2.1, §7.3).
     pub fn is_poisoned(&self, addr: u64, len: u64) -> bool {
         use teapot_rt::layout::{HEAP_BASE, INPUT_STAGING};
-        for i in 0..len {
-            let a = addr.wrapping_add(i);
-            let b = self
-                .shadow
-                .get(&(a / PAGE))
-                .map(|p| p[(a % PAGE) as usize])
-                .unwrap_or(0);
+        let mut a = addr;
+        let mut rem = len;
+        while rem > 0 {
+            // Both region boundaries are page-aligned, so a page-bounded
+            // chunk has one poison default throughout.
             let in_heap = (HEAP_BASE..INPUT_STAGING).contains(&a);
-            if in_heap {
-                if b != 1 {
-                    return true;
-                }
-            } else if b >= 0xf0 {
-                return true;
+            let (chunk, slice) = self.shadow.chunk_at(a, rem);
+            match slice {
+                Some(s) if in_heap && s.iter().any(|&b| b != 1) => return true,
+                Some(s) if !in_heap && s.iter().any(|&b| b >= 0xf0) => return true,
+                Some(_) => {}
+                // Absent shadow reads 0: poisoned inside the heap arena,
+                // addressable everywhere else.
+                None if in_heap => return true,
+                None => {}
             }
+            a = a.wrapping_add(chunk as u64);
+            rem -= chunk as u64;
         }
         false
     }
@@ -239,6 +239,19 @@ mod tests {
         assert!(!a.is_poisoned(sp + 8, 1));
         a.unpoison_ret_slot(sp);
         assert!(!a.is_poisoned(sp, 8));
+    }
+
+    #[test]
+    fn heap_arena_defaults_to_poisoned_across_chunk_boundaries() {
+        use teapot_rt::layout::{HEAP_BASE, INPUT_STAGING};
+        let a = AsanEngine::new();
+        // Absent shadow: poisoned inside the arena, addressable outside.
+        assert!(a.is_poisoned(HEAP_BASE, 1));
+        assert!(a.is_poisoned(HEAP_BASE + 123_456, 64));
+        assert!(!a.is_poisoned(INPUT_STAGING, 64));
+        assert!(!a.is_poisoned(0x1000, 64));
+        // A range crossing into the arena trips on the arena part.
+        assert!(a.is_poisoned(HEAP_BASE - 32, 64));
     }
 
     #[test]

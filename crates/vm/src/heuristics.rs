@@ -16,6 +16,15 @@
 //! State persists across fuzzing runs: the fuzzer owns a
 //! [`SpecHeuristics`] and threads it through every execution.
 //!
+//! Storage note: the gate runs for every `sim.start` reached inside a
+//! speculation window — one of the hottest paths in the VM — so the
+//! per-branch state lives in a dense vector behind a single
+//! pc→index probe, and per-run accounting resets by bumping a run
+//! generation instead of clearing maps. Observable behavior (decisions
+//! and exported counts, including zero-count entries created by
+//! rejected nested gates) is bit-identical to the original
+//! three-hashmap design.
+//!
 //! [`full_depth_runs`]: teapot_rt::DetectorConfig::full_depth_runs
 
 use teapot_rt::{FxHashMap, SpecModel};
@@ -32,14 +41,35 @@ pub enum HeurStyle {
     SpecTaintFive,
 }
 
+/// Dense per-branch state (see module note).
+#[derive(Debug, Clone)]
+struct SiteState {
+    /// The branch (site key) this slot tracks.
+    pc: u64,
+    /// Persistent simulation count.
+    count: u32,
+    /// Whether the original design's `counts` map would hold an entry
+    /// for this branch (top-level entry, or a nested gate that reached
+    /// the decision point) — zero-count entries are observable through
+    /// [`SpecHeuristics::export_counts`] and must be reproduced.
+    counted: bool,
+    /// Run generation `opportunities`/`entered` are valid for.
+    run_gen: u32,
+    /// Nested opportunities seen this run.
+    opportunities: u32,
+    /// Nested entries taken this run.
+    entered: u32,
+}
+
 /// Persistent per-branch simulation accounting.
 #[derive(Debug, Clone, Default)]
 pub struct SpecHeuristics {
     /// Active policy.
     pub style: HeurStyle,
-    counts: FxHashMap<u64, u32>,
-    run_counts: FxHashMap<u64, u32>,
-    run_opportunities: FxHashMap<u64, u32>,
+    /// Branch → dense index into `sites`.
+    index: FxHashMap<u64, u32>,
+    sites: Vec<SiteState>,
+    run_gen: u32,
 }
 
 /// Maximum nested-simulation entries per branch within one run. Without
@@ -62,17 +92,47 @@ impl SpecHeuristics {
     pub fn new(style: HeurStyle) -> SpecHeuristics {
         SpecHeuristics {
             style,
-            counts: FxHashMap::default(),
-            run_counts: FxHashMap::default(),
-            run_opportunities: FxHashMap::default(),
+            ..SpecHeuristics::default()
         }
     }
 
     /// Resets per-run accounting (called at the start of each execution;
     /// the cross-run per-branch counts persist across the campaign).
     pub fn begin_run(&mut self) {
-        self.run_counts.clear();
-        self.run_opportunities.clear();
+        self.run_gen = self.run_gen.wrapping_add(1);
+        if self.run_gen == 0 {
+            // Generation wrap: stale per-run state could alias the new
+            // generation; clear it for real once every 2^32 runs.
+            for s in &mut self.sites {
+                s.run_gen = u32::MAX;
+                s.opportunities = 0;
+                s.entered = 0;
+            }
+            self.run_gen = 1;
+        }
+    }
+
+    /// Dense slot of `branch`, created on first sight.
+    #[inline]
+    fn site_mut(&mut self, branch: u64) -> &mut SiteState {
+        let idx = *self.index.entry(branch).or_insert_with(|| {
+            self.sites.push(SiteState {
+                pc: branch,
+                count: 0,
+                counted: false,
+                run_gen: 0,
+                opportunities: 0,
+                entered: 0,
+            });
+            (self.sites.len() - 1) as u32
+        });
+        let s = &mut self.sites[idx as usize];
+        if s.run_gen != self.run_gen {
+            s.run_gen = self.run_gen;
+            s.opportunities = 0;
+            s.entered = 0;
+        }
+        s
     }
 
     /// SpecFuzz gradual rule: allowed depth grows with the logarithm of
@@ -85,17 +145,19 @@ impl SpecHeuristics {
     /// Should a *top-level* simulation be entered for `branch`?
     /// Increments the branch's simulation count when entering.
     pub fn enter_top(&mut self, branch: u64) -> bool {
-        let c = self.counts.entry(branch).or_insert(0);
-        match self.style {
+        let style = self.style;
+        let s = self.site_mut(branch);
+        s.counted = true;
+        match style {
             HeurStyle::TeapotHybrid | HeurStyle::SpecFuzzGradual => {
-                *c += 1;
+                s.count += 1;
                 true
             }
             HeurStyle::SpecTaintFive => {
-                if *c >= 5 {
+                if s.count >= 5 {
                     false
                 } else {
-                    *c += 1;
+                    s.count += 1;
                     true
                 }
             }
@@ -114,35 +176,36 @@ impl SpecHeuristics {
         if depth >= max_nesting {
             return false;
         }
-        if !matches!(self.style, HeurStyle::SpecTaintFive) {
+        let style = self.style;
+        let s = self.site_mut(branch);
+        if !matches!(style, HeurStyle::SpecTaintFive) {
             // Phase rotation: skip this run's first `count % CYCLE`
             // opportunities so different runs nest at different points.
-            let opp = self.run_opportunities.entry(branch).or_insert(0);
-            let seen = *opp;
-            *opp += 1;
-            let phase = self.counts.get(&branch).copied().unwrap_or(0) % PHASE_CYCLE;
-            if seen < phase {
+            let seen = s.opportunities;
+            s.opportunities += 1;
+            let effective = if s.counted { s.count } else { 0 };
+            if seen < effective % PHASE_CYCLE {
                 return false;
             }
-            if self.run_counts.get(&branch).copied().unwrap_or(0) >= NESTED_PER_RUN_CAP {
+            if s.entered >= NESTED_PER_RUN_CAP {
                 return false;
             }
         }
-        let c = self.counts.entry(branch).or_insert(0);
-        let allow = match self.style {
+        s.counted = true;
+        let allow = match style {
             HeurStyle::TeapotHybrid => {
-                if *c < full_depth_runs {
+                if s.count < full_depth_runs {
                     true // full depth for the first runs of this branch
                 } else {
-                    depth < Self::gradual_depth(*c, max_nesting)
+                    depth < Self::gradual_depth(s.count, max_nesting)
                 }
             }
-            HeurStyle::SpecFuzzGradual => depth < Self::gradual_depth(*c, max_nesting),
-            HeurStyle::SpecTaintFive => *c < 5,
+            HeurStyle::SpecFuzzGradual => depth < Self::gradual_depth(s.count, max_nesting),
+            HeurStyle::SpecTaintFive => s.count < 5,
         };
         if allow {
-            *c += 1;
-            *self.run_counts.entry(branch).or_insert(0) += 1;
+            s.count += 1;
+            s.entered += 1;
         }
         allow
     }
@@ -171,28 +234,37 @@ impl SpecHeuristics {
     /// time.
     pub fn export_counts_unsorted_into(&self, out: &mut Vec<(u64, u32)>) {
         out.clear();
-        out.extend(self.counts.iter().map(|(&b, &c)| (b, c)));
+        out.extend(
+            self.sites
+                .iter()
+                .filter(|s| s.counted)
+                .map(|s| (s.pc, s.count)),
+        );
     }
 
     /// Rebuilds heuristic state from counts exported by
     /// [`SpecHeuristics::export_counts`].
     pub fn from_counts(style: HeurStyle, counts: &[(u64, u32)]) -> Self {
-        SpecHeuristics {
-            style,
-            counts: counts.iter().copied().collect(),
-            run_counts: FxHashMap::default(),
-            run_opportunities: FxHashMap::default(),
+        let mut h = SpecHeuristics::new(style);
+        for &(pc, count) in counts {
+            let s = h.site_mut(pc);
+            s.count = count;
+            s.counted = true;
         }
+        h
     }
 
     /// Times `branch` has entered simulation so far.
     pub fn count(&self, branch: u64) -> u32 {
-        self.counts.get(&branch).copied().unwrap_or(0)
+        match self.index.get(&branch) {
+            Some(&i) => self.sites[i as usize].count,
+            None => 0,
+        }
     }
 
     /// Number of distinct branches seen.
     pub fn branches_seen(&self) -> usize {
-        self.counts.len()
+        self.sites.iter().filter(|s| s.counted).count()
     }
 
     /// Times the site `pc` has entered simulation under `model`. Sites
@@ -205,13 +277,12 @@ impl SpecHeuristics {
 
     /// Number of distinct sites seen under `model`.
     pub fn sites_seen_for(&self, model: SpecModel) -> usize {
-        self.counts
-            .keys()
-            .filter(|&&k| SpecModel::of_site_key(k) == model)
+        self.sites
+            .iter()
+            .filter(|s| s.counted && SpecModel::of_site_key(s.pc) == model)
             .count()
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

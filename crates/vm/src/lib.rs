@@ -44,6 +44,7 @@ mod heuristics;
 mod machine;
 mod mem;
 mod program;
+mod slab;
 mod taint;
 
 pub use asan::{AsanEngine, REDZONE};

@@ -28,7 +28,7 @@ use crate::asan::AsanEngine;
 use crate::cpu::{alu, cmp_flags, test_flags, Cpu, Flags};
 use crate::heuristics::SpecHeuristics;
 use crate::mem::{MemFault, PagedMem};
-use crate::program::{Program, F_ALWAYS_CHARGE, F_INSTR, F_IN_REAL, F_LIVE};
+use crate::program::{Program, Region, F_ALWAYS_CHARGE, F_INSTR, F_IN_REAL, F_LIVE, F_NOP};
 use crate::taint::TaintEngine;
 use std::sync::Arc;
 use teapot_isa::{
@@ -287,6 +287,20 @@ pub struct ExecContext {
     /// memory derives from. A dirty-page reset is only valid against
     /// that image; `reset` rebuilds from scratch on a mismatch.
     for_program: u64,
+    /// Live-decode cache retained **across runs** (keyed by program
+    /// identity: cleared when the context is rebound to a different
+    /// program). Only decodes whose whole fetch window lies in
+    /// read-only pages land here — those bytes are immutable between
+    /// resets (guest stores fault first), so the cached instruction is
+    /// exactly what a fresh context would decode.
+    icache_ro: teapot_rt::FxHashMap<u64, (Inst<u64>, u8)>,
+    /// Live-decode cache for addresses whose bytes are mutable (or
+    /// whose fetch window could gain pages mid-run): valid for one run
+    /// only, cleared on every reset — the seed's per-run icache.
+    icache_run: teapot_rt::FxHashMap<u64, (Inst<u64>, u8)>,
+    /// Scratch buffer for live-decode fetches, so `read_for_decode`
+    /// stops allocating a fresh `Vec` per fetch.
+    decode_scratch: Vec<u8>,
 }
 
 impl ExecContext {
@@ -308,6 +322,9 @@ impl ExecContext {
             trace: Vec::new(),
             record_witness: false,
             for_program: prog.uid,
+            icache_ro: teapot_rt::FxHashMap::default(),
+            icache_run: teapot_rt::FxHashMap::default(),
+            decode_scratch: Vec::new(),
         }
     }
 
@@ -326,9 +343,12 @@ impl ExecContext {
         if self.for_program != prog.uid {
             self.mem = prog.pristine().clone();
             self.for_program = prog.uid;
+            // Rebind: retained decodes belong to the old program's image.
+            self.icache_ro.clear();
         } else {
             self.mem.reset_to(prog.pristine());
         }
+        self.icache_run.clear();
         self.asan.reset();
         self.taint.reset();
         self.checkpoints.clear();
@@ -427,6 +447,11 @@ pub struct Machine<'c> {
     single_copy: bool,
 
     opts: RunOptions,
+    /// Mirror of `ctx.checkpoints.len()`, maintained at every push and
+    /// rollback: `in_sim()` is consulted several times per executed
+    /// instruction, and the cached copy avoids a context dereference
+    /// plus vector-length load on each of them.
+    sim_depth: u32,
     pending_oob: Option<PendingOob>,
     invert_next_branch: bool,
     skip_sim_once: bool,
@@ -472,14 +497,9 @@ pub struct Machine<'c> {
     escapes: u64,
     input_pos: usize,
 
-    /// Per-run decode cache for addresses the predecoded table cannot
-    /// freeze (outside executable sections, or section tails whose
-    /// bytes border writable pages) — the seed's lazy icache, scoped to
-    /// exactly the addresses that still need live decoding.
-    live_icache: teapot_rt::FxHashMap<u64, (Inst<u64>, u8)>,
-
     trace: bool,
     uncached_decode: bool,
+    no_block_dispatch: bool,
 }
 
 impl std::fmt::Debug for Machine<'_> {
@@ -593,6 +613,7 @@ impl<'c> Machine<'c> {
             prog,
             ctx,
             opts,
+            sim_depth: 0,
             pending_oob: None,
             invert_next_branch: false,
             skip_sim_once: false,
@@ -612,9 +633,9 @@ impl<'c> Machine<'c> {
             rollbacks: 0,
             escapes: 0,
             input_pos: 0,
-            live_icache: teapot_rt::FxHashMap::default(),
             trace: std::env::var_os("TEAPOT_TRACE").is_some(),
             uncached_decode: false,
+            no_block_dispatch: false,
         }
     }
 
@@ -624,6 +645,14 @@ impl<'c> Machine<'c> {
     #[doc(hidden)]
     pub fn set_uncached_decode(&mut self, uncached: bool) {
         self.uncached_decode = uncached;
+    }
+
+    /// Disables the block-slice superinstruction fast path, forcing
+    /// per-instruction dispatch. Test hook for the differential suite;
+    /// semantics must be identical either way.
+    #[doc(hidden)]
+    pub fn set_no_block_dispatch(&mut self, no_block: bool) {
+        self.no_block_dispatch = no_block;
     }
 
     /// The guest address space (borrowed from the execution context).
@@ -654,8 +683,12 @@ impl<'c> Machine<'c> {
     /// the hot-loop twin of [`Machine::run`].
     pub fn run_stats(&mut self, heur: &mut SpecHeuristics) -> RunStats {
         heur.begin_run();
+        // One refcount bump per run: the dispatch loop borrows the
+        // predecoded region tables from this local clone, so the
+        // per-instruction fetch needs no borrow of `self`.
+        let regions = self.prog.regions_arc();
         let status = loop {
-            match self.step(heur) {
+            match self.step_block(&regions, heur) {
                 Step::Continue => {}
                 Step::Stop(s) => break s,
             }
@@ -676,15 +709,24 @@ impl<'c> Machine<'c> {
 
     #[inline]
     fn in_sim(&self) -> bool {
-        !self.ctx.checkpoints.is_empty()
+        self.sim_depth > 0
     }
 
-    /// Maps a rewritten PC back to original-binary coordinates.
+    /// Maps a rewritten PC back to original-binary coordinates
+    /// (precomputed per predecoded byte; the binary search remains only
+    /// for addresses outside every executable region).
     fn orig_pc(&self, pc: u64) -> u64 {
-        self.prog
-            .meta()
-            .and_then(|m| m.to_original(pc))
-            .unwrap_or(pc)
+        if self.prog.meta().is_none() {
+            return pc;
+        }
+        match self.prog.orig_of(pc) {
+            Some(o) => o,
+            None => self
+                .prog
+                .meta()
+                .and_then(|m| m.to_original(pc))
+                .unwrap_or(pc),
+        }
     }
 
     fn ea(&self, m: &MemRef) -> u64 {
@@ -840,6 +882,7 @@ impl<'c> Machine<'c> {
             resume_pending_oob: None,
         });
         self.sim_entries += 1;
+        self.sim_depth += 1;
         let depth = self.ctx.checkpoints.len() as u32;
         self.record_event(TraceEvent::SpecBranch {
             pc: branch_pc_orig,
@@ -867,6 +910,7 @@ impl<'c> Machine<'c> {
             .checkpoints
             .pop()
             .expect("rollback without checkpoint");
+        self.sim_depth -= 1;
         if self.trace {
             eprintln!(
                 "[trace] rollback depth {} after {} prog insts, resume {:#x}",
@@ -875,24 +919,26 @@ impl<'c> Machine<'c> {
                 cp.resume_pc
             );
         }
-        // Replay the memory log in reverse.
-        let entries = self.ctx.memlog.split_off(cp.memlog_mark);
-        self.cost += cost::ROLLBACK_BASE + cost::ROLLBACK_PER_LOG * entries.len() as u64;
-        for e in entries.iter().rev() {
-            for i in 0..e.len as u64 {
-                self.ctx.mem.poke(e.addr + i, e.old_bytes[i as usize]);
+        // Replay the memory log in reverse (page-chunked, not per byte;
+        // drained in place — a rollback allocates nothing).
+        {
+            let ctx = &mut *self.ctx;
+            let entries = &ctx.memlog[cp.memlog_mark..];
+            self.cost += cost::ROLLBACK_BASE + cost::ROLLBACK_PER_LOG * entries.len() as u64;
+            for e in entries.iter().rev() {
+                ctx.mem.poke_n(e.addr, &e.old_bytes[..e.len as usize]);
                 if self.dift_on {
-                    self.ctx
-                        .taint
-                        .set_mem_tag(e.addr + i, Tag::from_bits(e.old_tags[i as usize]));
+                    ctx.taint.write_tags(e.addr, &e.old_tags[..e.len as usize]);
                 }
             }
-        }
-        // Lazy speculative-coverage flush (paper §6.3 optimization).
-        let notes = self.ctx.covnotes.split_off(cp.covnote_mark);
-        self.cost += cost::COV_FLUSH_PER_NOTE * notes.len() as u64;
-        for g in notes {
-            self.ctx.cov_spec.hit(g);
+            ctx.memlog.truncate(cp.memlog_mark);
+            // Lazy speculative-coverage flush (paper §6.3 optimization).
+            let notes = &ctx.covnotes[cp.covnote_mark..];
+            self.cost += cost::COV_FLUSH_PER_NOTE * notes.len() as u64;
+            for &g in notes {
+                ctx.cov_spec.hit(g);
+            }
+            ctx.covnotes.truncate(cp.covnote_mark);
         }
         // Restore architectural + taint state. The program-instruction
         // counter is part of the restored state: squashed wrong-path
@@ -1058,13 +1104,15 @@ impl<'c> Machine<'c> {
     fn stl_record_store(&mut self, addr: u64, n: u64) {
         let mut old_bytes = [0u8; 8];
         let mut old_tags = [0u8; 8];
-        for i in 0..n {
-            match self.ctx.mem.read_u8(addr.wrapping_add(i)) {
-                Ok(b) => old_bytes[i as usize] = b,
-                Err(_) => return,
-            }
-            old_tags[i as usize] = self.ctx.taint.mem_tag(addr.wrapping_add(i)).bits();
+        if self
+            .ctx
+            .mem
+            .read_n(addr, &mut old_bytes[..n as usize])
+            .is_err()
+        {
+            return;
         }
+        self.ctx.taint.read_tags(addr, &mut old_tags[..n as usize]);
         self.store_seq += 1;
         if self.store_buf.len() == STL_WINDOW {
             // Oldest entry drains (hardware store buffers retire in
@@ -1215,12 +1263,19 @@ impl<'c> Machine<'c> {
     ) -> Result<(u64, Tag), Fault> {
         let addr = self.ea(mem);
         let n = size.bytes();
+        // The pointer tag only feeds simulation policy and witness
+        // recording; normal execution never observes it.
+        let sim_dift = self.dift_on && self.in_sim();
+        let ptr_tag = if sim_dift {
+            self.ea_tag(mem)
+        } else {
+            Tag::CLEAN
+        };
         // Address-tag policy checks run BEFORE the access (paper §6.2.2):
         // a speculative load through a secret or massaged pointer is
         // reported even if the wild access then faults (hardware would
         // not fault speculatively; the simulation rolls back instead).
-        if self.dift_on && self.in_sim() {
-            let ptr_tag = self.ea_tag(mem);
+        if sim_dift {
             match self.policy {
                 Policy::Kasper => {
                     if ptr_tag.is_secret() {
@@ -1258,7 +1313,6 @@ impl<'c> Machine<'c> {
             self.pending_oob = None;
             return Ok((value, Tag::CLEAN));
         }
-        let ptr_tag = self.ea_tag(mem);
         let mut val_tag = self.ctx.taint.mem_range_tag(addr, n);
         if self.in_sim() {
             let pending = self.pending_oob.take();
@@ -1290,17 +1344,17 @@ impl<'c> Machine<'c> {
                     }
                 _ => {}
             }
+            if self.ctx.record_witness && !(ptr_tag | val_tag).is_clean() {
+                let access_orig = self.orig_pc(pc);
+                self.record_event(TraceEvent::TaintedAccess {
+                    pc: access_orig,
+                    addr,
+                    width: n as u8,
+                    tag: (ptr_tag | val_tag).bits(),
+                });
+            }
         } else {
             self.pending_oob = None;
-        }
-        if self.ctx.record_witness && self.in_sim() && !(ptr_tag | val_tag).is_clean() {
-            let access_orig = self.orig_pc(pc);
-            self.record_event(TraceEvent::TaintedAccess {
-                pc: access_orig,
-                addr,
-                width: n as u8,
-                tag: (ptr_tag | val_tag).bits(),
-            });
         }
         Ok((value, val_tag))
     }
@@ -1314,7 +1368,13 @@ impl<'c> Machine<'c> {
         pc: u64,
     ) -> Result<(), Fault> {
         let addr = self.ea(mem);
-        self.store_at(addr, size, value, tag, self.ea_tag(mem), pc)
+        // The pointer tag is only consumed by in-simulation policy.
+        let ptr_tag = if self.dift_on && self.in_sim() {
+            self.ea_tag(mem)
+        } else {
+            Tag::CLEAN
+        };
+        self.store_at(addr, size, value, tag, ptr_tag, pc)
     }
 
     fn store_at(
@@ -1339,14 +1399,11 @@ impl<'c> Machine<'c> {
             // Memory log: previous bytes + tags, for rollback (§6.1).
             let mut old_bytes = [0u8; 8];
             let mut old_tags = [0u8; 8];
-            for i in 0..n {
-                old_bytes[i as usize] = self
-                    .ctx
-                    .mem
-                    .read_u8(addr.wrapping_add(i))
-                    .map_err(Fault::Mem)?;
-                old_tags[i as usize] = self.ctx.taint.mem_tag(addr.wrapping_add(i)).bits();
-            }
+            self.ctx
+                .mem
+                .read_n(addr, &mut old_bytes[..n as usize])
+                .map_err(Fault::Mem)?;
+            self.ctx.taint.read_tags(addr, &mut old_tags[..n as usize]);
             self.ctx.memlog.push(LogEntry {
                 addr,
                 len: n as u8,
@@ -1376,6 +1433,175 @@ impl<'c> Machine<'c> {
         self.cost += c;
     }
 
+    /// Block-slice superinstruction dispatch: when the PC lands on a
+    /// precomputed fall-through run (see `Program`'s `run_len`), execute
+    /// the whole slice with the fuel check, the §5.3 Real-Copy safety
+    /// net and the ROB-budget check hoisted to slice entry — all three
+    /// verified *conservatively over the whole run*, so per-instruction
+    /// checking could not have fired mid-slice. Falls back to [`step`]
+    /// whenever per-instruction precision is (or may be) required:
+    /// SpecTaint emulation (per-instruction misprediction hooks and
+    /// costs), forced live decoding, a disabled fast path, slices of
+    /// one, or hoisted checks that cannot cover the run.
+    ///
+    /// [`step`]: Machine::step
+    fn step_block(&mut self, regions: &[Region], heur: &mut SpecHeuristics) -> Step {
+        if self.opts.emu != EmuStyle::Native || self.uncached_decode || self.no_block_dispatch {
+            return self.step(heur);
+        }
+        let pc = self.cpu.pc;
+        let Some((region, off)) = Program::region_of(regions, pc) else {
+            return self.step(heur);
+        };
+        let r0 = region.runs[off];
+        if r0.run_len < 2 || self.cost + r0.run_cost as u64 >= self.opts.fuel {
+            return self.step(heur);
+        }
+        if self.in_sim() {
+            // Slices are F_IN_REAL-homogeneous, so one escape check
+            // covers the run; the ROB window must fit it whole.
+            if !self.single_copy && region.hot[off].flags & F_IN_REAL != 0 {
+                return self.step(heur);
+            }
+            let frame = self.ctx.checkpoints.last().expect("in_sim");
+            let executed = self.prog_insts - frame.insts_at_entry;
+            let budget = self.opts.config.rob_budget as u64;
+            let limit = budget * frame.model.native_window_margin() as u64;
+            let run_prog = if self.single_copy {
+                r0.run_len
+            } else {
+                r0.run_prog
+            };
+            // Strict: the per-step check before the slice's last
+            // instruction can see every preceding program instruction
+            // retired, so the whole run must fit *below* the limit.
+            if executed + run_prog as u64 >= limit {
+                return self.step(heur);
+            }
+        }
+        self.exec_slice(region, off, r0.run_len, heur)
+    }
+
+    /// Executes the `k`-instruction slice at `offset` of `region`
+    /// without per-instruction fuel/safety-net/ROB checks (hoisted by
+    /// [`Machine::step_block`]). Stops early the moment execution
+    /// leaves the fall-through straight line or the simulation state
+    /// the hoisted checks were computed against: a fault (rolled back
+    /// or fatal), any change of PC (taken branch, `ret`, speculative
+    /// redirect) or of checkpoint depth (`sim.start`/`sim.end`/model
+    /// entry, rollback) — after which the outer loop re-enters with
+    /// full per-step checks.
+    fn exec_slice(
+        &mut self,
+        region: &Region,
+        mut offset: usize,
+        k: u8,
+        heur: &mut SpecHeuristics,
+    ) -> Step {
+        let rstart = region.start;
+        let hot = &region.hot[..];
+        let depth = self.sim_depth;
+        for _ in 0..k {
+            let e = hot[offset];
+            let pc = rstart + offset as u64;
+            let next_pc = pc + e.len as u64;
+            self.insts += 1;
+            let is_instr = e.flags & F_INSTR != 0;
+            if self.single_copy || !is_instr {
+                self.prog_insts += 1;
+            }
+            let mut c = e.cost as u64;
+            if self.single_copy && is_instr && e.flags & F_ALWAYS_CHARGE == 0 && !self.in_sim() {
+                c = 0;
+            }
+            self.cost += c;
+            self.cpu.pc = next_pc;
+            if e.flags & F_NOP != 0 {
+                // Pure cost marker: nothing to execute, nothing that
+                // could divert control or simulation state; the
+                // instruction payload is never even read.
+                offset += e.len as usize;
+                continue;
+            }
+            // Pre-dispatch the hottest opcodes through the same shared
+            // helpers `exec`'s arms call — one early match instead of a
+            // call into the interpreter's full opcode match. Semantics
+            // are single-sourced; only the dispatch route differs.
+            let r: Result<Step, Fault> = match region.insts[offset] {
+                Inst::MovRR { dst, src } => {
+                    self.exec_mov_rr(dst, src);
+                    Ok(Step::Continue)
+                }
+                Inst::MovRI { dst, imm } => {
+                    self.exec_mov_ri(dst, imm);
+                    Ok(Step::Continue)
+                }
+                Inst::Load {
+                    dst,
+                    mem,
+                    size,
+                    sext,
+                } => self
+                    .exec_load(dst, &mem, size, sext, pc, heur)
+                    .map(|_| Step::Continue),
+                Inst::Store { src, mem, size } => self
+                    .exec_store(src, &mem, size, pc)
+                    .map(|()| Step::Continue),
+                Inst::Push { src } => self.exec_push(src, pc).map(|()| Step::Continue),
+                Inst::Pop { dst } => self.exec_pop(dst).map(|()| Step::Continue),
+                Inst::Alu { op, dst, src } => {
+                    self.exec_alu(op, dst, src, pc).map(|()| Step::Continue)
+                }
+                Inst::Cmp { lhs, rhs } => {
+                    self.exec_cmp(lhs, rhs);
+                    Ok(Step::Continue)
+                }
+                Inst::Jcc { cc, target } => {
+                    self.exec_jcc(cc, target, pc);
+                    Ok(Step::Continue)
+                }
+                Inst::StoreI { imm, mem, size } => self
+                    .exec_storei(imm, &mem, size, pc)
+                    .map(|()| Step::Continue),
+                Inst::Lea { dst, mem } => {
+                    self.exec_lea(dst, &mem);
+                    Ok(Step::Continue)
+                }
+                Inst::Test { lhs, rhs } => {
+                    self.exec_test(lhs, rhs);
+                    Ok(Step::Continue)
+                }
+                Inst::Set { cc, dst } => {
+                    self.exec_set(cc, dst);
+                    Ok(Step::Continue)
+                }
+                Inst::SimCheck => {
+                    self.exec_sim_check();
+                    Ok(Step::Continue)
+                }
+                Inst::CovTrace { guard } => {
+                    self.exec_cov_trace(guard);
+                    Ok(Step::Continue)
+                }
+                Inst::CovNote { guard } => {
+                    self.exec_cov_note(guard);
+                    Ok(Step::Continue)
+                }
+                inst => self.exec(inst, pc, next_pc, heur),
+            };
+            match r {
+                Ok(Step::Continue) => {}
+                Ok(stop) => return stop,
+                Err(f) => return self.fault(f),
+            }
+            if self.cpu.pc != next_pc || self.sim_depth != depth {
+                return Step::Continue;
+            }
+            offset += e.len as usize;
+        }
+        Step::Continue
+    }
+
     fn step(&mut self, heur: &mut SpecHeuristics) -> Step {
         if self.cost >= self.opts.fuel {
             return Step::Stop(ExitStatus::OutOfFuel);
@@ -1391,7 +1617,7 @@ impl<'c> Machine<'c> {
         let fetched = if self.uncached_decode {
             None
         } else {
-            self.prog.fetch(pc).copied()
+            self.prog.fetch(pc)
         };
 
         // Safety net: speculation must never run Real Copy code without a
@@ -1400,7 +1626,7 @@ impl<'c> Machine<'c> {
         // escape, not an invalid-instruction fault.
         if self.in_sim() && !self.single_copy {
             let in_real = match &fetched {
-                Some(e) => e.flags & F_IN_REAL != 0,
+                Some((_, h)) => h.flags & F_IN_REAL != 0,
                 None => self.prog.meta().is_some_and(|m| m.in_real(pc)),
             };
             if in_real {
@@ -1432,15 +1658,15 @@ impl<'c> Machine<'c> {
         // Entries flagged F_LIVE froze only address metadata (their
         // bytes border writable pages): decode those live, like
         // addresses outside the table.
-        let fetched = fetched.filter(|e| e.flags & F_LIVE == 0);
+        let fetched = fetched.filter(|(_, h)| h.flags & F_LIVE == 0);
         let (inst, len, is_instr, base_cost, always_charge) = match fetched {
-            Some(e) if e.len == 0 => return self.fault(Fault::BadInst { pc }),
-            Some(e) => (
-                e.inst,
-                e.len,
-                e.flags & F_INSTR != 0,
-                e.cost as u64,
-                e.flags & F_ALWAYS_CHARGE != 0,
+            Some((_, h)) if h.len == 0 => return self.fault(Fault::BadInst { pc }),
+            Some((inst, h)) => (
+                inst,
+                h.len,
+                h.flags & F_INSTR != 0,
+                h.cost as u64,
+                h.flags & F_ALWAYS_CHARGE != 0,
             ),
             None => match self.decode_live(pc) {
                 Some(t) => t,
@@ -1504,18 +1730,35 @@ impl<'c> Machine<'c> {
         }
     }
 
-    /// Live fetch + decode from guest memory, cached per run — exactly
-    /// the seed's lazy icache, now reached only for addresses the
-    /// shared table cannot freeze. Returns `None` when the bytes at
-    /// `pc` do not decode.
+    /// Live fetch + decode from guest memory — the seed's lazy icache,
+    /// now reached only for addresses the shared table cannot freeze.
+    /// Returns `None` when the bytes at `pc` do not decode.
+    ///
+    /// The cache is two-tier and lives in the [`ExecContext`], so a
+    /// pooled context stops rebuilding it every run: decodes whose
+    /// whole fetch window is mapped read-only are retained across runs
+    /// (those bytes cannot change between resets — stores fault first,
+    /// and no page in the window can appear mid-run to alter
+    /// truncation), everything else is valid for the current run only.
     fn decode_live(&mut self, pc: u64) -> Option<(Inst<u64>, u8, bool, u64, bool)> {
-        let (i, l) = match self.live_icache.get(&pc) {
-            Some(&(i, l)) => (i, l),
+        let ctx = &mut *self.ctx;
+        let hit = ctx
+            .icache_ro
+            .get(&pc)
+            .or_else(|| ctx.icache_run.get(&pc))
+            .copied();
+        let (i, l) = match hit {
+            Some((i, l)) => (i, l),
             None => {
-                let bytes = self.ctx.mem.read_for_decode(pc, INST_MAX_LEN);
-                match decode_at(&bytes, pc) {
+                ctx.mem
+                    .read_for_decode_into(pc, INST_MAX_LEN, &mut ctx.decode_scratch);
+                match decode_at(&ctx.decode_scratch, pc) {
                     Ok((i, l)) => {
-                        self.live_icache.insert(pc, (i, l as u8));
+                        if ctx.mem.range_readonly(pc, INST_MAX_LEN as u64) {
+                            ctx.icache_ro.insert(pc, (i, l as u8));
+                        } else {
+                            ctx.icache_run.insert(pc, (i, l as u8));
+                        }
                         (i, l as u8)
                     }
                     Err(_) => return None,
@@ -1524,6 +1767,221 @@ impl<'c> Machine<'c> {
         };
         let (is_instr, always_charge, cost) = crate::program::inst_meta(&i);
         Some((i, l, is_instr, cost, always_charge))
+    }
+
+    // --- Hot-arm helpers -------------------------------------------------
+    // Shared, single-source bodies for the most frequent opcodes: the
+    // slice dispatcher pre-dispatches these directly (skipping the call
+    // into the full `exec` match), and `exec`'s arms call the very same
+    // functions, so the two dispatch tiers cannot diverge.
+
+    #[inline]
+    fn exec_mov_rr(&mut self, dst: Reg, src: Reg) {
+        self.cpu.set(dst, self.cpu.get(src));
+        if self.dift_on {
+            let t = self.ctx.taint.reg(src);
+            self.ctx.taint.set_reg(dst, t);
+        }
+    }
+
+    #[inline]
+    fn exec_mov_ri(&mut self, dst: Reg, imm: i64) {
+        self.cpu.set(dst, imm as u64);
+        if self.dift_on {
+            self.ctx.taint.set_reg(dst, Tag::CLEAN);
+        }
+    }
+
+    #[inline]
+    fn exec_load(
+        &mut self,
+        dst: Reg,
+        mem: &MemRef,
+        size: AccessSize,
+        sext: bool,
+        pc: u64,
+        heur: &mut SpecHeuristics,
+    ) -> Result<bool, Fault> {
+        if self.stl_on && self.try_stl_bypass(dst, mem, size, sext, pc, heur) {
+            // Store-to-load bypass entered: the stale pre-store value
+            // was forwarded into `dst` and a checkpoint resumes at this
+            // load after the squash.
+            return Ok(true);
+        }
+        let (v, t) = self.do_load(mem, size, sext, pc)?;
+        self.cpu.set(dst, v);
+        if self.dift_on {
+            self.ctx.taint.set_reg(dst, t);
+        }
+        Ok(false)
+    }
+
+    #[inline]
+    fn exec_store(
+        &mut self,
+        src: Reg,
+        mem: &MemRef,
+        size: AccessSize,
+        pc: u64,
+    ) -> Result<(), Fault> {
+        let tag = if self.dift_on {
+            self.ctx.taint.reg(src)
+        } else {
+            Tag::CLEAN
+        };
+        self.do_store(mem, size, self.cpu.get(src), tag, pc)
+    }
+
+    #[inline]
+    fn exec_push(&mut self, src: Reg, pc: u64) -> Result<(), Fault> {
+        let sp = self.cpu.get(Reg::SP).wrapping_sub(8);
+        let tag = if self.dift_on {
+            self.ctx.taint.reg(src)
+        } else {
+            Tag::CLEAN
+        };
+        self.store_at(sp, AccessSize::B8, self.cpu.get(src), tag, Tag::CLEAN, pc)?;
+        self.cpu.set(Reg::SP, sp);
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_pop(&mut self, dst: Reg) -> Result<(), Fault> {
+        let sp = self.cpu.get(Reg::SP);
+        let v = self.ctx.mem.read_uint(sp, 8).map_err(Fault::Mem)?;
+        if self.dift_on {
+            let t = self.ctx.taint.mem_range_tag(sp, 8);
+            self.ctx.taint.set_reg(dst, t);
+        }
+        self.cpu.set(dst, v);
+        self.cpu.set(Reg::SP, sp.wrapping_add(8));
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_alu(&mut self, op: AluOp, dst: Reg, src: Operand, pc: u64) -> Result<(), Fault> {
+        let a = self.cpu.get(dst);
+        let b = self.operand(&src);
+        let r = alu(op, a, b);
+        if r.div_by_zero {
+            return Err(Fault::DivByZero { pc });
+        }
+        self.cpu.set(dst, r.value);
+        self.cpu.flags = r.flags;
+        if self.dift_on {
+            // x86 zeroing idioms break the dependency.
+            let zeroing = matches!(op, AluOp::Xor | AluOp::Sub) && src == Operand::Reg(dst);
+            let t = if zeroing {
+                Tag::CLEAN
+            } else {
+                self.ctx.taint.reg(dst) | self.operand_tag(&src)
+            };
+            self.ctx.taint.set_reg(dst, t);
+            self.ctx.taint.flags = t;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_cmp(&mut self, lhs: Reg, rhs: Operand) {
+        self.cpu.flags = cmp_flags(self.cpu.get(lhs), self.operand(&rhs));
+        if self.dift_on {
+            self.ctx.taint.flags = self.ctx.taint.reg(lhs) | self.operand_tag(&rhs);
+        }
+    }
+
+    #[inline]
+    fn exec_jcc(&mut self, cc: teapot_isa::Cc, target: u64, pc: u64) {
+        // Port-contention sink: a secret deciding a branch (§6.2.2).
+        if self.in_sim()
+            && self.dift_on
+            && self.policy == Policy::Kasper
+            && self.ctx.taint.flags.is_secret()
+        {
+            let t = self.ctx.taint.flags;
+            self.report(
+                Channel::Port,
+                t,
+                pc,
+                "secret influences a conditional branch",
+            );
+        }
+        let mut taken = self.cpu.flags.eval(cc);
+        if self.invert_next_branch {
+            taken = !taken;
+            self.invert_next_branch = false;
+        }
+        if taken {
+            self.cpu.pc = target;
+        }
+    }
+
+    #[inline]
+    fn exec_storei(
+        &mut self,
+        imm: i32,
+        mem: &MemRef,
+        size: AccessSize,
+        pc: u64,
+    ) -> Result<(), Fault> {
+        self.do_store(mem, size, imm as i64 as u64, Tag::CLEAN, pc)
+    }
+
+    #[inline]
+    fn exec_lea(&mut self, dst: Reg, mem: &MemRef) {
+        let a = self.ea(mem);
+        self.cpu.set(dst, a);
+        if self.dift_on {
+            let t = self.ea_tag(mem);
+            self.ctx.taint.set_reg(dst, t);
+        }
+    }
+
+    #[inline]
+    fn exec_test(&mut self, lhs: Reg, rhs: Operand) {
+        self.cpu.flags = test_flags(self.cpu.get(lhs), self.operand(&rhs));
+        if self.dift_on {
+            self.ctx.taint.flags = self.ctx.taint.reg(lhs) | self.operand_tag(&rhs);
+        }
+    }
+
+    #[inline]
+    fn exec_set(&mut self, cc: teapot_isa::Cc, dst: Reg) {
+        let v = self.cpu.flags.eval(cc) as u64;
+        self.cpu.set(dst, v);
+        if self.dift_on {
+            let t = self.ctx.taint.flags;
+            self.ctx.taint.set_reg(dst, t);
+        }
+    }
+
+    #[inline]
+    fn exec_sim_check(&mut self) {
+        if self.in_sim() {
+            let frame = self.ctx.checkpoints.last().expect("in_sim");
+            let executed = self.prog_insts - frame.insts_at_entry;
+            if executed >= self.opts.config.rob_budget as u64 {
+                self.rollback();
+            }
+        }
+    }
+
+    #[inline]
+    fn exec_cov_trace(&mut self, guard: u32) {
+        if self.in_sim() {
+            self.ctx.cov_spec.hit(guard);
+        } else {
+            self.ctx.cov_normal.hit(guard);
+        }
+    }
+
+    #[inline]
+    fn exec_cov_note(&mut self, guard: u32) {
+        if self.in_sim() {
+            self.ctx.covnotes.push(guard);
+        } else {
+            self.ctx.cov_normal.hit(guard);
+        }
     }
 
     fn exec(
@@ -1536,97 +1994,24 @@ impl<'c> Machine<'c> {
         match inst {
             Inst::Nop | Inst::MarkerNop => {}
             Inst::Halt => return Ok(Step::Stop(ExitStatus::Halt)),
-            Inst::MovRR { dst, src } => {
-                self.cpu.set(dst, self.cpu.get(src));
-                if self.dift_on {
-                    let t = self.ctx.taint.reg(src);
-                    self.ctx.taint.set_reg(dst, t);
-                }
-            }
-            Inst::MovRI { dst, imm } => {
-                self.cpu.set(dst, imm as u64);
-                if self.dift_on {
-                    self.ctx.taint.set_reg(dst, Tag::CLEAN);
-                }
-            }
+            Inst::MovRR { dst, src } => self.exec_mov_rr(dst, src),
+            Inst::MovRI { dst, imm } => self.exec_mov_ri(dst, imm),
             Inst::Load {
                 dst,
                 mem,
                 size,
                 sext,
             } => {
-                if self.stl_on && self.try_stl_bypass(dst, &mem, size, sext, pc, heur) {
-                    // Store-to-load bypass entered: the stale pre-store
-                    // value was forwarded into `dst` and a checkpoint
-                    // resumes at this load after the squash.
+                if self.exec_load(dst, &mem, size, sext, pc, heur)? {
                     return Ok(Step::Continue);
                 }
-                let (v, t) = self.do_load(&mem, size, sext, pc)?;
-                self.cpu.set(dst, v);
-                if self.dift_on {
-                    self.ctx.taint.set_reg(dst, t);
-                }
             }
-            Inst::Store { src, mem, size } => {
-                let tag = if self.dift_on {
-                    self.ctx.taint.reg(src)
-                } else {
-                    Tag::CLEAN
-                };
-                self.do_store(&mem, size, self.cpu.get(src), tag, pc)?;
-            }
-            Inst::StoreI { imm, mem, size } => {
-                self.do_store(&mem, size, imm as i64 as u64, Tag::CLEAN, pc)?;
-            }
-            Inst::Lea { dst, mem } => {
-                let a = self.ea(&mem);
-                self.cpu.set(dst, a);
-                if self.dift_on {
-                    let t = self.ea_tag(&mem);
-                    self.ctx.taint.set_reg(dst, t);
-                }
-            }
-            Inst::Push { src } => {
-                let sp = self.cpu.get(Reg::SP).wrapping_sub(8);
-                let tag = if self.dift_on {
-                    self.ctx.taint.reg(src)
-                } else {
-                    Tag::CLEAN
-                };
-                self.store_at(sp, AccessSize::B8, self.cpu.get(src), tag, Tag::CLEAN, pc)?;
-                self.cpu.set(Reg::SP, sp);
-            }
-            Inst::Pop { dst } => {
-                let sp = self.cpu.get(Reg::SP);
-                let v = self.ctx.mem.read_uint(sp, 8).map_err(Fault::Mem)?;
-                if self.dift_on {
-                    let t = self.ctx.taint.mem_range_tag(sp, 8);
-                    self.ctx.taint.set_reg(dst, t);
-                }
-                self.cpu.set(dst, v);
-                self.cpu.set(Reg::SP, sp.wrapping_add(8));
-            }
-            Inst::Alu { op, dst, src } => {
-                let a = self.cpu.get(dst);
-                let b = self.operand(&src);
-                let r = alu(op, a, b);
-                if r.div_by_zero {
-                    return Err(Fault::DivByZero { pc });
-                }
-                self.cpu.set(dst, r.value);
-                self.cpu.flags = r.flags;
-                if self.dift_on {
-                    // x86 zeroing idioms break the dependency.
-                    let zeroing = matches!(op, AluOp::Xor | AluOp::Sub) && src == Operand::Reg(dst);
-                    let t = if zeroing {
-                        Tag::CLEAN
-                    } else {
-                        self.ctx.taint.reg(dst) | self.operand_tag(&src)
-                    };
-                    self.ctx.taint.set_reg(dst, t);
-                    self.ctx.taint.flags = t;
-                }
-            }
+            Inst::Store { src, mem, size } => self.exec_store(src, &mem, size, pc)?,
+            Inst::StoreI { imm, mem, size } => self.exec_storei(imm, &mem, size, pc)?,
+            Inst::Lea { dst, mem } => self.exec_lea(dst, &mem),
+            Inst::Push { src } => self.exec_push(src, pc)?,
+            Inst::Pop { dst } => self.exec_pop(dst)?,
+            Inst::Alu { op, dst, src } => self.exec_alu(op, dst, src, pc)?,
             Inst::Neg { dst } => {
                 let a = self.cpu.get(dst);
                 let (r, cf, of) = crate::cpu::sub_flags(0, a);
@@ -1645,26 +2030,9 @@ impl<'c> Machine<'c> {
                 let v = !self.cpu.get(dst);
                 self.cpu.set(dst, v);
             }
-            Inst::Cmp { lhs, rhs } => {
-                self.cpu.flags = cmp_flags(self.cpu.get(lhs), self.operand(&rhs));
-                if self.dift_on {
-                    self.ctx.taint.flags = self.ctx.taint.reg(lhs) | self.operand_tag(&rhs);
-                }
-            }
-            Inst::Test { lhs, rhs } => {
-                self.cpu.flags = test_flags(self.cpu.get(lhs), self.operand(&rhs));
-                if self.dift_on {
-                    self.ctx.taint.flags = self.ctx.taint.reg(lhs) | self.operand_tag(&rhs);
-                }
-            }
-            Inst::Set { cc, dst } => {
-                let v = self.cpu.flags.eval(cc) as u64;
-                self.cpu.set(dst, v);
-                if self.dift_on {
-                    let t = self.ctx.taint.flags;
-                    self.ctx.taint.set_reg(dst, t);
-                }
-            }
+            Inst::Cmp { lhs, rhs } => self.exec_cmp(lhs, rhs),
+            Inst::Test { lhs, rhs } => self.exec_test(lhs, rhs),
+            Inst::Set { cc, dst } => self.exec_set(cc, dst),
             Inst::Cmov { cc, dst, src } => {
                 // cmov is NOT speculated (paper Appendix A.1): it executes
                 // architecturally in both modes with no misprediction hook.
@@ -1677,30 +2045,7 @@ impl<'c> Machine<'c> {
                 }
             }
             Inst::Jmp { target } => self.cpu.pc = target,
-            Inst::Jcc { cc, target } => {
-                // Port-contention sink: a secret deciding a branch (§6.2.2).
-                if self.in_sim()
-                    && self.dift_on
-                    && self.policy == Policy::Kasper
-                    && self.ctx.taint.flags.is_secret()
-                {
-                    let t = self.ctx.taint.flags;
-                    self.report(
-                        Channel::Port,
-                        t,
-                        pc,
-                        "secret influences a conditional branch",
-                    );
-                }
-                let mut taken = self.cpu.flags.eval(cc);
-                if self.invert_next_branch {
-                    taken = !taken;
-                    self.invert_next_branch = false;
-                }
-                if taken {
-                    self.cpu.pc = target;
-                }
-            }
+            Inst::Jcc { cc, target } => self.exec_jcc(cc, target, pc),
             Inst::Call { target } => {
                 let sp = self.cpu.get(Reg::SP).wrapping_sub(8);
                 self.store_at(sp, AccessSize::B8, next_pc, Tag::CLEAN, Tag::CLEAN, pc)?;
@@ -1793,15 +2138,7 @@ impl<'c> Machine<'c> {
                     self.cpu.pc = tramp;
                 }
             }
-            Inst::SimCheck => {
-                if self.in_sim() {
-                    let frame = self.ctx.checkpoints.last().expect("in_sim");
-                    let executed = self.prog_insts - frame.insts_at_entry;
-                    if executed >= self.opts.config.rob_budget as u64 {
-                        self.rollback();
-                    }
-                }
-            }
+            Inst::SimCheck => self.exec_sim_check(),
             Inst::SimEnd => {
                 if self.in_sim() {
                     self.rollback();
@@ -1812,10 +2149,14 @@ impl<'c> Machine<'c> {
                 size,
                 is_write: _,
             } => {
-                let addr = self.ea(&mem);
-                let n = size.bytes();
-                let oob = self.ctx.asan.is_poisoned(addr, n) || !self.ctx.mem.is_mapped(addr, n);
+                // The verdict is only consumed during simulation (the
+                // guarded access takes `pending_oob`); outside it the
+                // shadow probe is a pure read with no observer — skip.
                 if self.in_sim() {
+                    let addr = self.ea(&mem);
+                    let n = size.bytes();
+                    let oob =
+                        self.ctx.asan.is_poisoned(addr, n) || !self.ctx.mem.is_mapped(addr, n);
                     if self.trace && oob {
                         eprintln!(
                             "[trace] asan OOB at {pc:#x} addr {addr:#x} depth {}",
@@ -1840,20 +2181,8 @@ impl<'c> Machine<'c> {
                     return self.ind_check(kind, pc);
                 }
             }
-            Inst::CovTrace { guard } => {
-                if self.in_sim() {
-                    self.ctx.cov_spec.hit(guard);
-                } else {
-                    self.ctx.cov_normal.hit(guard);
-                }
-            }
-            Inst::CovNote { guard } => {
-                if self.in_sim() {
-                    self.ctx.covnotes.push(guard);
-                } else {
-                    self.ctx.cov_normal.hit(guard);
-                }
-            }
+            Inst::CovTrace { guard } => self.exec_cov_trace(guard),
+            Inst::CovNote { guard } => self.exec_cov_note(guard),
             Inst::Guard => {
                 // The `if (in_simulation)` conditional of single-copy
                 // instrumentation (paper Listing 3): pure overhead.
@@ -1877,9 +2206,12 @@ impl<'c> Machine<'c> {
             return Ok(Step::Continue);
         }
         let redirect = if meta.in_real(target) {
-            // Probe for the special marker NOP at the target block.
-            let bytes = self.ctx.mem.read_for_decode(target, 1);
-            let marked = matches!(decode_at(&bytes, target), Ok((Inst::MarkerNop, _)));
+            // Probe for the special marker NOP at the target block (one
+            // byte, no temporary buffer; an unmapped byte is no marker).
+            let marked = match self.ctx.mem.read_u8(target) {
+                Ok(b) => matches!(decode_at(&[b], target), Ok((Inst::MarkerNop, _))),
+                Err(_) => false,
+            };
             if marked {
                 meta.shadow_of(target)
             } else {
@@ -1926,11 +2258,10 @@ impl<'c> Machine<'c> {
                 let len = self.cpu.get(Reg::R2) as usize;
                 let avail = self.opts.input.len().saturating_sub(self.input_pos);
                 let n = len.min(avail);
-                for i in 0..n {
-                    let b = self.opts.input[self.input_pos + i];
-                    self.ctx
-                        .mem
-                        .write_u8(buf + i as u64, b)
+                {
+                    let ctx = &mut *self.ctx;
+                    ctx.mem
+                        .write_n(buf, &self.opts.input[self.input_pos..self.input_pos + n])
                         .map_err(Fault::Mem)?;
                 }
                 if self.dift_on && self.opts.config.taint_input_sources && n > 0 {
@@ -1948,8 +2279,12 @@ impl<'c> Machine<'c> {
             sys::WRITE => {
                 let buf = self.cpu.get(Reg::R1);
                 let len = self.cpu.get(Reg::R2);
-                let bytes = self.ctx.mem.read_bytes(buf, len).map_err(Fault::Mem)?;
-                self.ctx.output.extend_from_slice(&bytes);
+                {
+                    let ctx = &mut *self.ctx;
+                    ctx.mem
+                        .read_append(buf, len, &mut ctx.output)
+                        .map_err(Fault::Mem)?;
+                }
                 self.cpu.set(Reg::R0, len);
             }
             sys::MALLOC => {
@@ -1959,12 +2294,11 @@ impl<'c> Machine<'c> {
                 // Fill the redzones with ASan's classic 0xfa pattern:
                 // speculative out-of-bounds reads observe non-zero
                 // "heap garbage", as they would in a real process.
-                for a in map_start..base {
-                    self.ctx.mem.poke(a, 0xfa);
-                }
-                for a in (base + size.max(1))..(map_start + map_len) {
-                    self.ctx.mem.poke(a, 0xfa);
-                }
+                self.ctx.mem.poke_fill(map_start, base - map_start, 0xfa);
+                let tail = base + size.max(1);
+                self.ctx
+                    .mem
+                    .poke_fill(tail, map_start + map_len - tail, 0xfa);
                 self.cpu.set(Reg::R0, base);
                 if self.dift_on {
                     self.ctx.taint.set_reg(Reg::R0, Tag::CLEAN);

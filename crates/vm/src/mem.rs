@@ -1,4 +1,4 @@
-//! Sparse paged guest memory.
+//! Flat region-backed guest memory.
 //!
 //! The full 64-bit address space is backed lazily by 4 KiB pages, which is
 //! what makes the paper's high-half layouts (Tables 1–2) practical:
@@ -8,11 +8,19 @@
 //! Access control is page-granular (like a real MMU): loads and stores to
 //! unmapped pages fault, and stores to read-only pages fault. Byte-accurate
 //! out-of-bounds detection is ASan's job, not the MMU's.
+//!
+//! Pages live in a contiguous, address-ordered slab indexed by a small
+//! sorted region table with an inline software TLB in front (see
+//! [`slab`](crate::slab)); per-page writability and dirtiness are
+//! per-region bitsets riding alongside the slots. Multi-byte accesses
+//! are **chunked**: they split only at page boundaries and copy page
+//! slices, never bytes — replacing the seed's one-hashmap-probe-per-byte
+//! hot path while keeping its observable semantics bit-for-bit
+//! (fault addresses, partial cross-page stores, dirty-page reset).
 
-use teapot_rt::FxHashMap;
+use crate::slab::{for_page_chunks, BitVec, PageSlab};
 
-/// Page size in bytes (must be a power of two).
-pub const PAGE_SIZE: u64 = 4096;
+pub use crate::slab::PAGE_SIZE;
 
 /// Memory access fault kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,26 +31,23 @@ pub enum MemFault {
     ReadOnly { addr: u64 },
 }
 
-#[derive(Clone)]
-struct Page {
-    bytes: Box<[u8; PAGE_SIZE as usize]>,
-    writable: bool,
-    /// Written to since the last [`PagedMem::reset_to`] (or creation).
-    /// Lets a reusable execution context restore only the pages a run
-    /// touched instead of rebuilding the whole image.
-    dirty: bool,
-}
-
-/// Sparse paged memory with page-granular permissions.
+/// Region-backed paged memory with page-granular permissions.
 #[derive(Clone, Default)]
 pub struct PagedMem {
-    pages: FxHashMap<u64, Page>,
+    slab: PageSlab,
+    /// Per-slot writability.
+    writable: BitVec,
+    /// Per-slot dirty bits: written to since the last
+    /// [`PagedMem::reset_to`] (or creation). Lets a reusable execution
+    /// context restore only the pages a run touched instead of
+    /// rebuilding the whole image.
+    dirty: BitVec,
 }
 
 impl std::fmt::Debug for PagedMem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PagedMem")
-            .field("mapped_pages", &self.pages.len())
+            .field("mapped_pages", &self.slab.num_slots())
             .finish()
     }
 }
@@ -62,48 +67,69 @@ impl PagedMem {
         let first = start / PAGE_SIZE;
         let last = (start + size - 1) / PAGE_SIZE;
         for p in first..=last {
-            self.pages
-                .entry(p)
-                .or_insert_with(|| Page {
-                    bytes: Box::new([0; PAGE_SIZE as usize]),
-                    writable,
-                    dirty: true,
-                })
-                .writable |= writable;
+            let (slot, created) = self.slab.ensure(p);
+            if created {
+                self.writable.insert(slot as usize, writable);
+                self.dirty.insert(slot as usize, true);
+            } else if writable {
+                self.writable.set(slot as usize, true);
+            }
         }
     }
 
     /// Marks the current contents as the pristine baseline: clears every
     /// dirty flag. Called once after the loader builds the initial image.
     pub fn seal_pristine(&mut self) {
-        for p in self.pages.values_mut() {
-            p.dirty = false;
-        }
+        self.dirty.zero();
     }
 
-    /// Restores this address space to `pristine` in place, reusing page
-    /// allocations: pages the last run wrote are byte-copied back from
-    /// `pristine`, pages the run created (heap) are dropped, untouched
-    /// pages are left alone.
+    /// Restores this address space to `pristine` in place, reusing the
+    /// slab allocation: pages the last run wrote are byte-copied back
+    /// from `pristine`, pages the run created (heap) are dropped,
+    /// untouched pages are left alone.
     ///
     /// `self` must have started as a clone of `pristine` (pages are never
     /// unmapped during a run, so `self`'s page set is always a superset).
     pub fn reset_to(&mut self, pristine: &PagedMem) {
-        self.pages.retain(|id, page| match pristine.pages.get(id) {
-            Some(p) => {
-                if page.dirty {
-                    page.bytes.copy_from_slice(&p.bytes[..]);
-                    page.dirty = false;
-                }
-                page.writable = p.writable;
-                true
-            }
-            None => false,
-        });
+        let dirty = std::mem::take(&mut self.dirty);
+        let writable = &mut self.writable;
+        self.slab.reset_to(
+            &pristine.slab,
+            |slot| dirty.get(slot as usize),
+            |_, new_slot, p_slot| {
+                writable.set(new_slot as usize, pristine.writable.get(p_slot as usize));
+            },
+        );
+        let kept = pristine.slab.num_slots();
+        self.writable.truncate(kept);
+        self.dirty = dirty;
+        self.dirty.truncate(kept);
+        self.dirty.zero();
     }
 
     /// Whether every byte of `[addr, addr+len)` is mapped.
+    #[inline]
     pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        if len <= PAGE_SIZE - addr % PAGE_SIZE {
+            // Fast path: one page (every ≤8-byte `asan.check`).
+            return self.slab.slot_of(addr / PAGE_SIZE).is_some();
+        }
+        let Some(end) = addr.checked_add(len - 1) else {
+            return false;
+        };
+        let first = addr / PAGE_SIZE;
+        let last = end / PAGE_SIZE;
+        (first..=last).all(|p| self.slab.slot_of(p).is_some())
+    }
+
+    /// Whether every byte of `[addr, addr+len)` is mapped *read-only* —
+    /// i.e. immutable for the lifetime of this address space's image
+    /// (guest stores fault before touching such pages). Used to decide
+    /// which live-decode results stay valid across runs.
+    pub fn range_readonly(&self, addr: u64, len: u64) -> bool {
         if len == 0 {
             return true;
         }
@@ -112,24 +138,31 @@ impl PagedMem {
         };
         let first = addr / PAGE_SIZE;
         let last = end / PAGE_SIZE;
-        (first..=last).all(|p| self.pages.contains_key(&p))
+        (first..=last).all(|p| {
+            self.slab
+                .slot_of(p)
+                .is_some_and(|s| !self.writable.get(s as usize))
+        })
     }
 
     /// Number of mapped pages (for diagnostics).
     pub fn mapped_pages(&self) -> usize {
-        self.pages.len()
+        self.slab.num_slots()
     }
 
     /// Writes bytes without fault checks, mapping pages as needed.
     /// Used by the loader and runtime (not by guest instructions).
     pub fn write_forced(&mut self, addr: u64, data: &[u8]) {
         self.map_region(addr, data.len() as u64, true);
-        for (i, &b) in data.iter().enumerate() {
-            let a = addr + i as u64;
-            let page = self.pages.get_mut(&(a / PAGE_SIZE)).expect("mapped");
-            page.bytes[(a % PAGE_SIZE) as usize] = b;
-            page.dirty = true;
-        }
+        let mut done = 0usize;
+        for_page_chunks(addr, data.len() as u64, |a, chunk| {
+            let slot = self.slab.slot_of(a / PAGE_SIZE).expect("mapped");
+            let off = (a % PAGE_SIZE) as usize;
+            self.slab.page_mut(slot)[off..off + chunk].copy_from_slice(&data[done..done + chunk]);
+            self.dirty.set(slot as usize, true);
+            done += chunk;
+            true
+        });
     }
 
     /// Reads one byte.
@@ -139,11 +172,11 @@ impl PagedMem {
     /// Faults if the page is unmapped.
     #[inline]
     pub fn read_u8(&self, addr: u64) -> Result<u8, MemFault> {
-        let page = self
-            .pages
-            .get(&(addr / PAGE_SIZE))
+        let slot = self
+            .slab
+            .slot_of(addr / PAGE_SIZE)
             .ok_or(MemFault::Unmapped { addr })?;
-        Ok(page.bytes[(addr % PAGE_SIZE) as usize])
+        Ok(self.slab.page(slot)[(addr % PAGE_SIZE) as usize])
     }
 
     /// Writes one byte.
@@ -153,15 +186,15 @@ impl PagedMem {
     /// Faults if the page is unmapped or read-only.
     #[inline]
     pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), MemFault> {
-        let page = self
-            .pages
-            .get_mut(&(addr / PAGE_SIZE))
+        let slot = self
+            .slab
+            .slot_of(addr / PAGE_SIZE)
             .ok_or(MemFault::Unmapped { addr })?;
-        if !page.writable {
+        if !self.writable.get(slot as usize) {
             return Err(MemFault::ReadOnly { addr });
         }
-        page.bytes[(addr % PAGE_SIZE) as usize] = value;
-        page.dirty = true;
+        self.slab.page_mut(slot)[(addr % PAGE_SIZE) as usize] = value;
+        self.dirty.set(slot as usize, true);
         Ok(())
     }
 
@@ -170,13 +203,22 @@ impl PagedMem {
     /// # Errors
     ///
     /// Faults if any byte is unmapped.
+    #[inline]
     pub fn read_uint(&self, addr: u64, n: u64) -> Result<u64, MemFault> {
         debug_assert!(n <= 8);
-        let mut v = 0u64;
-        for i in 0..n {
-            v |= (self.read_u8(addr.wrapping_add(i))? as u64) << (8 * i);
+        let off = (addr % PAGE_SIZE) as usize;
+        let mut buf = [0u8; 8];
+        if off + n as usize <= PAGE_SIZE as usize {
+            // Fast path: the access stays on one page.
+            let slot = self
+                .slab
+                .slot_of(addr / PAGE_SIZE)
+                .ok_or(MemFault::Unmapped { addr })?;
+            buf[..n as usize].copy_from_slice(&self.slab.page(slot)[off..off + n as usize]);
+        } else {
+            self.read_n(addr, &mut buf[..n as usize])?;
         }
-        Ok(v)
+        Ok(u64::from_le_bytes(buf))
     }
 
     /// Writes the low `n ≤ 8` bytes of `value` little-endian.
@@ -186,12 +228,112 @@ impl PagedMem {
     /// Faults if any byte is unmapped or read-only. Bytes preceding a
     /// faulting byte may already be written (like a real partial store
     /// across a page boundary).
+    #[inline]
     pub fn write_uint(&mut self, addr: u64, value: u64, n: u64) -> Result<(), MemFault> {
         debug_assert!(n <= 8);
-        for i in 0..n {
-            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8)?;
+        let bytes = value.to_le_bytes();
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + n as usize <= PAGE_SIZE as usize {
+            // Fast path: the store stays on one page.
+            let slot = self
+                .slab
+                .slot_of(addr / PAGE_SIZE)
+                .ok_or(MemFault::Unmapped { addr })?;
+            if !self.writable.get(slot as usize) {
+                return Err(MemFault::ReadOnly { addr });
+            }
+            self.slab.page_mut(slot)[off..off + n as usize].copy_from_slice(&bytes[..n as usize]);
+            self.dirty.set(slot as usize, true);
+            return Ok(());
         }
-        Ok(())
+        self.write_n(addr, &bytes[..n as usize])
+    }
+
+    /// Reads `[addr, addr+out.len())` into `out`, splitting only at page
+    /// boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Faults at the first unmapped byte (earlier chunks are already
+    /// copied, exactly like the per-byte loop it replaces).
+    pub fn read_n(&self, addr: u64, out: &mut [u8]) -> Result<(), MemFault> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        let off = (addr % PAGE_SIZE) as usize;
+        if out.len() <= PAGE_SIZE as usize - off {
+            // Fast path: one page (memory-log capture, ≤8-byte loads).
+            let slot = self
+                .slab
+                .slot_of(addr / PAGE_SIZE)
+                .ok_or(MemFault::Unmapped { addr })?;
+            out.copy_from_slice(&self.slab.page(slot)[off..off + out.len()]);
+            return Ok(());
+        }
+        let mut done = 0usize;
+        let mut fault = None;
+        for_page_chunks(addr, out.len() as u64, |a, chunk| {
+            let Some(slot) = self.slab.slot_of(a / PAGE_SIZE) else {
+                fault = Some(MemFault::Unmapped { addr: a });
+                return false;
+            };
+            let off = (a % PAGE_SIZE) as usize;
+            out[done..done + chunk].copy_from_slice(&self.slab.page(slot)[off..off + chunk]);
+            done += chunk;
+            true
+        });
+        match fault {
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes `data` at `addr`, splitting only at page boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Faults at the first unmapped or read-only byte; preceding chunks
+    /// are already written (real partial-store semantics, identical to
+    /// the per-byte loop it replaces).
+    pub fn write_n(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let off = (addr % PAGE_SIZE) as usize;
+        if data.len() <= PAGE_SIZE as usize - off {
+            // Fast path: one page (≤8-byte stores).
+            let slot = self
+                .slab
+                .slot_of(addr / PAGE_SIZE)
+                .ok_or(MemFault::Unmapped { addr })?;
+            if !self.writable.get(slot as usize) {
+                return Err(MemFault::ReadOnly { addr });
+            }
+            self.slab.page_mut(slot)[off..off + data.len()].copy_from_slice(data);
+            self.dirty.set(slot as usize, true);
+            return Ok(());
+        }
+        let mut done = 0usize;
+        let mut fault = None;
+        for_page_chunks(addr, data.len() as u64, |a, chunk| {
+            let Some(slot) = self.slab.slot_of(a / PAGE_SIZE) else {
+                fault = Some(MemFault::Unmapped { addr: a });
+                return false;
+            };
+            if !self.writable.get(slot as usize) {
+                fault = Some(MemFault::ReadOnly { addr: a });
+                return false;
+            }
+            let off = (a % PAGE_SIZE) as usize;
+            self.slab.page_mut(slot)[off..off + chunk].copy_from_slice(&data[done..done + chunk]);
+            self.dirty.set(slot as usize, true);
+            done += chunk;
+            true
+        });
+        match fault {
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
     }
 
     /// Reads `len` bytes into a vector.
@@ -200,37 +342,108 @@ impl PagedMem {
     ///
     /// Faults if any byte is unmapped.
     pub fn read_bytes(&self, addr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
-        let mut out = Vec::with_capacity(len as usize);
-        for i in 0..len {
-            out.push(self.read_u8(addr.wrapping_add(i))?);
-        }
+        let mut out = vec![0u8; len as usize];
+        self.read_n(addr, &mut out)?;
         Ok(out)
+    }
+
+    /// Appends `len` bytes at `addr` to `out` (no intermediate buffer).
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte is unmapped; `out` is unchanged on fault.
+    pub fn read_append(&self, addr: u64, len: u64, out: &mut Vec<u8>) -> Result<(), MemFault> {
+        let start = out.len();
+        out.resize(start + len as usize, 0);
+        match self.read_n(addr, &mut out[start..]) {
+            Ok(()) => Ok(()),
+            Err(f) => {
+                out.truncate(start);
+                Err(f)
+            }
+        }
     }
 
     /// Writes one byte bypassing write permissions. Used by the loader
     /// (read-only section images) and by rollback replay; never by guest
     /// instructions. Creates the page (non-writable) if unmapped.
     pub fn poke(&mut self, addr: u64, value: u8) {
-        let page = self.pages.entry(addr / PAGE_SIZE).or_insert_with(|| Page {
-            bytes: Box::new([0; PAGE_SIZE as usize]),
-            writable: false,
-            dirty: true,
+        let (slot, created) = self.slab.ensure(addr / PAGE_SIZE);
+        if created {
+            self.writable.insert(slot as usize, false);
+            self.dirty.insert(slot as usize, true);
+        } else {
+            self.dirty.set(slot as usize, true);
+        }
+        self.slab.page_mut(slot)[(addr % PAGE_SIZE) as usize] = value;
+    }
+
+    /// Bulk [`PagedMem::poke`]: writes `data` at `addr` bypassing write
+    /// permissions, creating pages (non-writable) as needed.
+    pub fn poke_n(&mut self, addr: u64, data: &[u8]) {
+        let off = (addr % PAGE_SIZE) as usize;
+        if data.len() <= PAGE_SIZE as usize - off {
+            // Fast path: one page, already mapped (rollback replay).
+            if let Some(slot) = self.slab.slot_of(addr / PAGE_SIZE) {
+                self.slab.page_mut(slot)[off..off + data.len()].copy_from_slice(data);
+                self.dirty.set(slot as usize, true);
+                return;
+            }
+        }
+        let mut done = 0usize;
+        for_page_chunks(addr, data.len() as u64, |a, chunk| {
+            let (slot, created) = self.slab.ensure(a / PAGE_SIZE);
+            if created {
+                self.writable.insert(slot as usize, false);
+                self.dirty.insert(slot as usize, true);
+            } else {
+                self.dirty.set(slot as usize, true);
+            }
+            let off = (a % PAGE_SIZE) as usize;
+            self.slab.page_mut(slot)[off..off + chunk].copy_from_slice(&data[done..done + chunk]);
+            done += chunk;
+            true
         });
-        page.bytes[(addr % PAGE_SIZE) as usize] = value;
-        page.dirty = true;
+    }
+
+    /// Fills `[addr, addr+len)` with `value`, bypassing write
+    /// permissions and creating pages (non-writable) as needed — the
+    /// bulk twin of [`PagedMem::poke`] for runtime pattern fills.
+    pub fn poke_fill(&mut self, addr: u64, len: u64, value: u8) {
+        for_page_chunks(addr, len, |a, chunk| {
+            let (slot, created) = self.slab.ensure(a / PAGE_SIZE);
+            if created {
+                self.writable.insert(slot as usize, false);
+                self.dirty.insert(slot as usize, true);
+            } else {
+                self.dirty.set(slot as usize, true);
+            }
+            let off = (a % PAGE_SIZE) as usize;
+            self.slab.page_mut(slot)[off..off + chunk].fill(value);
+            true
+        });
     }
 
     /// Reads up to `max` bytes for instruction decoding, stopping at an
     /// unmapped page (the decoder will report truncation).
     pub fn read_for_decode(&self, addr: u64, max: usize) -> Vec<u8> {
         let mut out = Vec::with_capacity(max);
-        for i in 0..max as u64 {
-            match self.read_u8(addr.wrapping_add(i)) {
-                Ok(b) => out.push(b),
-                Err(_) => break,
-            }
-        }
+        self.read_for_decode_into(addr, max, &mut out);
         out
+    }
+
+    /// [`PagedMem::read_for_decode`] into a reusable buffer (cleared
+    /// first), so hot live-decode paths stop allocating per fetch.
+    pub fn read_for_decode_into(&self, addr: u64, max: usize, out: &mut Vec<u8>) {
+        out.clear();
+        for_page_chunks(addr, max as u64, |a, chunk| {
+            let Some(slot) = self.slab.slot_of(a / PAGE_SIZE) else {
+                return false;
+            };
+            let off = (a % PAGE_SIZE) as usize;
+            out.extend_from_slice(&self.slab.page(slot)[off..off + chunk]);
+            true
+        });
     }
 }
 
@@ -289,6 +502,26 @@ mod tests {
     }
 
     #[test]
+    fn partial_cross_page_write_faults_at_boundary() {
+        // The chunked path must keep the seed's per-byte semantics: the
+        // first page's bytes land, the fault names the first bad byte.
+        let mut m = PagedMem::new();
+        m.map_region(0, PAGE_SIZE, true);
+        let err = m.write_n(PAGE_SIZE - 2, &[1, 2, 3, 4]).unwrap_err();
+        assert_eq!(err, MemFault::Unmapped { addr: PAGE_SIZE });
+        assert_eq!(m.read_u8(PAGE_SIZE - 2).unwrap(), 1);
+        assert_eq!(m.read_u8(PAGE_SIZE - 1).unwrap(), 2);
+
+        let mut m2 = PagedMem::new();
+        m2.map_region(0, PAGE_SIZE, true);
+        m2.map_region(PAGE_SIZE, PAGE_SIZE, false);
+        let err = m2.write_n(PAGE_SIZE - 2, &[1, 2, 3, 4]).unwrap_err();
+        assert_eq!(err, MemFault::ReadOnly { addr: PAGE_SIZE });
+        assert_eq!(m2.read_u8(PAGE_SIZE - 1).unwrap(), 2);
+        assert_eq!(m2.read_u8(PAGE_SIZE).unwrap(), 0);
+    }
+
+    #[test]
     fn high_half_addresses_work() {
         let mut m = PagedMem::new();
         let heap = teapot_rt::layout::HEAP_BASE;
@@ -307,6 +540,18 @@ mod tests {
         assert!(!m.is_mapped(0x5fff, 2));
         assert!(!m.is_mapped(u64::MAX, 2));
         assert!(m.is_mapped(0x1234, 0));
+    }
+
+    #[test]
+    fn range_readonly_tracks_permissions() {
+        let mut m = PagedMem::new();
+        m.map_region(0x5000, 0x1000, false);
+        m.map_region(0x6000, 0x1000, true);
+        assert!(m.range_readonly(0x5000, 0x1000));
+        assert!(!m.range_readonly(0x5800, 0x1000)); // crosses into RW
+        assert!(!m.range_readonly(0x7000, 1)); // unmapped
+        m.map_region(0x5000, 0x1000, true); // upgrade
+        assert!(!m.range_readonly(0x5000, 1));
     }
 
     #[test]
@@ -340,11 +585,50 @@ mod tests {
     }
 
     #[test]
+    fn reset_to_drops_interleaved_run_created_pages() {
+        // A run-created page *between* pristine pages (not just past
+        // them) must also be dropped, with pristine data intact.
+        let mut pristine = PagedMem::new();
+        pristine.map_region(0x1000, 8, true);
+        pristine.write_forced(0x1000, &[9]);
+        pristine.map_region(0x8000, 8, false);
+        pristine.poke(0x8000, 0xBB);
+        pristine.seal_pristine();
+
+        let mut live = pristine.clone();
+        live.map_region(0x4000, 8, true); // interleaved
+        live.write_u8(0x4000, 1).unwrap();
+        live.write_u8(0x1000, 0xFF).unwrap();
+        live.reset_to(&pristine);
+        assert!(!live.is_mapped(0x4000, 1));
+        assert_eq!(live.read_u8(0x1000).unwrap(), 9);
+        assert_eq!(live.read_u8(0x8000).unwrap(), 0xBB);
+        assert_eq!(live.mapped_pages(), pristine.mapped_pages());
+    }
+
+    #[test]
     fn read_for_decode_stops_at_hole() {
         let mut m = PagedMem::new();
         m.map_region(0, PAGE_SIZE, true);
         m.write_forced(PAGE_SIZE - 2, &[0xAA, 0xBB]);
         let got = m.read_for_decode(PAGE_SIZE - 2, 12);
         assert_eq!(got, vec![0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn bulk_round_trip_across_pages() {
+        let mut m = PagedMem::new();
+        m.map_region(0, 3 * PAGE_SIZE, true);
+        let data: Vec<u8> = (0..600).map(|i| (i * 7) as u8).collect();
+        m.write_n(PAGE_SIZE - 300, &data).unwrap();
+        let mut back = vec![0u8; 600];
+        m.read_n(PAGE_SIZE - 300, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(m.read_bytes(PAGE_SIZE - 300, 600).unwrap(), data);
+        let mut appended = vec![0xEE];
+        m.read_append(PAGE_SIZE - 300, 600, &mut appended).unwrap();
+        assert_eq!(&appended[1..], &data[..]);
+        assert!(m.read_append(4 * PAGE_SIZE, 8, &mut appended).is_err());
+        assert_eq!(appended.len(), 601); // unchanged on fault
     }
 }

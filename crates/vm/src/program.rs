@@ -45,8 +45,19 @@ pub(crate) const F_ALWAYS_CHARGE: u8 = 4;
 /// guaranteed immutable at run time. The VM must use the live decoder
 /// here; only the address-derived flags of the entry are valid.
 pub(crate) const F_LIVE: u8 = 8;
+/// Entry flag: executing the instruction is a pure no-op beyond the
+/// standard counters (cost markers and NOPs). The slice dispatcher
+/// retires these without entering the interpreter's opcode match at
+/// all — in a rewritten binary they are a large share of the stream
+/// (`tag.prop`/`memlog` ride along with most architectural
+/// instructions).
+pub(crate) const F_NOP: u8 = 16;
 
 /// One predecoded table slot: the instruction starting at an address.
+/// Build-time representation — the final [`Region`] splits it
+/// structure-of-arrays so the dispatch loop streams a compact hot
+/// record per slot instead of pulling the whole ~48-byte entry (and
+/// its cache lines) for every retired instruction.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Entry {
     pub inst: Inst<u64>,
@@ -57,13 +68,59 @@ pub(crate) struct Entry {
     pub flags: u8,
     /// Native-execution cost class (`teapot-rt::cost`).
     pub cost: u32,
+    /// Block-slice superinstruction metadata: number of instructions in
+    /// the maximal fall-through run starting here. Interior positions
+    /// are sliceable instructions (architectural straight-line code and
+    /// passive instrumentation); the run may end with one terminator
+    /// (branch / ret / active instrumentation / syscall). `0` marks an
+    /// entry the fast path must not dispatch (undecodable or `F_LIVE`).
+    pub run_len: u8,
+    /// Program (non-instrumentation) instructions in the run — what the
+    /// reorder-buffer budget counts for a two-copy binary.
+    pub run_prog: u8,
+    /// Summed native cost of the whole run (instrumentation at its full
+    /// charge; the dispatcher still charges per instruction, this sum
+    /// only bounds the hoisted fuel check conservatively).
+    pub run_cost: u32,
 }
 
-/// A predecoded executable region (one `.text`-kind section).
-struct Region {
-    start: u64,
-    /// One entry per byte offset in `[start, start + entries.len())`.
-    entries: Vec<Entry>,
+/// The per-slot fields every dispatched instruction touches, packed to
+/// 8 bytes so fall-through execution streams a few slots per cache
+/// line (the instruction payload and slice metadata live in parallel
+/// arrays, read only when actually needed).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HotEntry {
+    /// Encoded length; `0` marks an address where decoding fails.
+    pub len: u8,
+    pub flags: u8,
+    /// Native-execution cost class (`teapot-rt::cost`).
+    pub cost: u32,
+}
+
+/// Per-slot block-slice metadata, read once per slice entry.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RunInfo {
+    pub run_len: u8,
+    pub run_prog: u8,
+    pub run_cost: u32,
+}
+
+/// A predecoded executable region (one `.text`-kind section),
+/// structure-of-arrays: one slot per byte offset in
+/// `[start, start + hot.len())`.
+pub(crate) struct Region {
+    pub(crate) start: u64,
+    /// Hot dispatch record per slot (length / flags / cost).
+    pub(crate) hot: Vec<HotEntry>,
+    /// Decoded instruction per slot (read only when executed).
+    pub(crate) insts: Vec<Inst<u64>>,
+    /// Block-slice metadata per slot (read once per slice entry).
+    pub(crate) runs: Vec<RunInfo>,
+    /// Precomputed `TeapotMeta::to_original(va).unwrap_or(va)` per byte
+    /// offset (empty for uninstrumented binaries): turns the
+    /// rewritten→original translation on every `sim.start`, gadget
+    /// report and model gate from a binary search into an array read.
+    orig: Vec<u64>,
 }
 
 /// What one decode pass covered — reported by the campaign tooling so
@@ -94,7 +151,7 @@ pub struct Program {
     /// Feature flags of the underlying binary.
     pub flags: BinFlags,
     meta: Option<TeapotMeta>,
-    regions: Vec<Region>,
+    regions: Arc<Vec<Region>>,
     pristine: PagedMem,
     stats: DecodeStats,
     /// `(start, end)` basic-block spans from the linear walk, sorted.
@@ -137,9 +194,7 @@ impl Program {
                 continue;
             }
             mem.map_region(sec.vaddr, sec.mem_size.max(1), sec.kind.is_writable());
-            for (i, &b) in sec.bytes.iter().enumerate() {
-                mem.poke(sec.vaddr + i as u64, b);
-            }
+            mem.poke_n(sec.vaddr, &sec.bytes);
         }
         mem.map_region(STACK_TOP - STACK_LIMIT, STACK_LIMIT, true);
         mem.seal_pristine();
@@ -190,6 +245,9 @@ impl Program {
                 len: 0,
                 flags: addr_flags(meta.as_ref(), va),
                 cost: 0,
+                run_len: 0,
+                run_prog: 0,
+                run_cost: 0,
             };
             let mut entries: Vec<Entry> = (0..span).map(|off| bad(start + off as u64)).collect();
             let mut decoded = vec![false; span];
@@ -200,6 +258,9 @@ impl Program {
                     cost: inst_cost(&wi.inst) as u32,
                     inst: wi.inst,
                     len: wi.len,
+                    run_len: 0,
+                    run_prog: 0,
+                    run_cost: 0,
                 };
                 decoded[off] = true;
             }
@@ -216,6 +277,9 @@ impl Program {
                             cost: inst_cost(&inst) as u32,
                             inst,
                             len: len as u8,
+                            run_len: 0,
+                            run_prog: 0,
+                            run_cost: 0,
                         };
                     }
                     Ok(_) => entries[off].flags |= F_LIVE,
@@ -223,7 +287,37 @@ impl Program {
                     Err(_) => {}
                 }
             }
-            regions.push(Region { start, entries });
+            compute_slices(&mut entries);
+            let orig = match &meta {
+                Some(m) => (0..span)
+                    .map(|off| {
+                        let va = start + off as u64;
+                        m.to_original(va).unwrap_or(va)
+                    })
+                    .collect(),
+                None => Vec::new(),
+            };
+            regions.push(Region {
+                start,
+                hot: entries
+                    .iter()
+                    .map(|e| HotEntry {
+                        len: e.len,
+                        flags: e.flags,
+                        cost: e.cost,
+                    })
+                    .collect(),
+                insts: entries.iter().map(|e| e.inst).collect(),
+                runs: entries
+                    .iter()
+                    .map(|e| RunInfo {
+                        run_len: e.run_len,
+                        run_prog: e.run_prog,
+                        run_cost: e.run_cost,
+                    })
+                    .collect(),
+                orig,
+            });
         }
         regions.sort_by_key(|r| r.start);
         block_spans.sort_unstable();
@@ -239,6 +333,7 @@ impl Program {
         }
 
         static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let regions = Arc::new(regions);
         Program {
             uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             entry: binary.entry,
@@ -285,20 +380,94 @@ impl Program {
         &self.pristine
     }
 
-    /// Predecoded entry at `pc`, or `None` when `pc` is outside every
-    /// executable section (the VM then falls back to live decoding, the
-    /// seed behavior for such addresses).
+    /// Predecoded slot at `pc` (instruction + hot record), or `None`
+    /// when `pc` is outside every executable section (the VM then falls
+    /// back to live decoding, the seed behavior for such addresses).
     #[inline]
-    pub(crate) fn fetch(&self, pc: u64) -> Option<&Entry> {
-        for r in &self.regions {
+    pub(crate) fn fetch(&self, pc: u64) -> Option<(Inst<u64>, HotEntry)> {
+        for r in self.regions.iter() {
             if pc >= r.start {
                 let off = (pc - r.start) as usize;
-                if off < r.entries.len() {
-                    return Some(&r.entries[off]);
+                if off < r.hot.len() {
+                    return Some((r.insts[off], r.hot[off]));
                 }
             }
         }
         None
+    }
+
+    /// The shared region tables. The dispatch loop clones this `Arc`
+    /// once per run and borrows entries from the clone, so the
+    /// per-instruction fetch is a plain slice index with no borrow of
+    /// the machine.
+    #[inline]
+    pub(crate) fn regions_arc(&self) -> Arc<Vec<Region>> {
+        Arc::clone(&self.regions)
+    }
+
+    /// Precomputed original-binary coordinate of `pc`
+    /// (`meta.to_original(pc).unwrap_or(pc)`), when `pc` lies in a
+    /// predecoded region of an instrumented binary.
+    #[inline]
+    pub(crate) fn orig_of(&self, pc: u64) -> Option<u64> {
+        for r in self.regions.iter() {
+            if pc >= r.start {
+                let off = (pc - r.start) as usize;
+                if off < r.orig.len() {
+                    return Some(r.orig[off]);
+                }
+            }
+        }
+        None
+    }
+
+    /// Shorthand for [`Region`] membership of `pc`.
+    #[inline]
+    pub(crate) fn region_of<'r>(regions: &'r [Region], pc: u64) -> Option<(&'r Region, usize)> {
+        regions
+            .iter()
+            .find(|r| pc >= r.start && ((pc - r.start) as usize) < r.hot.len())
+            .map(|r| (r, (pc - r.start) as usize))
+    }
+}
+
+/// Longest slice the dispatcher fuses; bounds the hoisted fuel/ROB
+/// checks (they must cover the whole run conservatively) and keeps
+/// `run_len`/`run_prog` in a byte.
+const SLICE_CAP: u8 = 64;
+
+/// Reverse-DP pass precomputing the block slices ("superinstructions"):
+/// for every decodable, non-`F_LIVE` offset, the fall-through window of
+/// up to [`SLICE_CAP`] decodable instructions starting there, with its
+/// summed cost and program-instruction count. Any instruction may sit
+/// in a slice — the dispatcher executes through the same `exec` as the
+/// per-step path and stops the moment control or simulation depth
+/// diverges from fall-through (taken branch, checkpoint push/pop,
+/// fault) — so a window simply ends at region/`F_LIVE`/decode-failure
+/// boundaries. A window only extends across entries with the same
+/// `F_IN_REAL` flag, so the hoisted §5.3 safety-net check at slice
+/// entry covers every instruction in it.
+fn compute_slices(entries: &mut [Entry]) {
+    let n = entries.len();
+    for off in (0..n).rev() {
+        let e = entries[off];
+        if e.len == 0 || e.flags & F_LIVE != 0 {
+            continue; // run_len stays 0: fast path must not dispatch
+        }
+        let own_prog = u8::from(e.flags & F_INSTR == 0);
+        let (rl, rp, rc) = match entries.get(off + e.len as usize) {
+            Some(ne)
+                if ne.run_len >= 1
+                    && ne.run_len < SLICE_CAP
+                    && (ne.flags ^ e.flags) & F_IN_REAL == 0 =>
+            {
+                (1 + ne.run_len, own_prog + ne.run_prog, e.cost + ne.run_cost)
+            }
+            _ => (1, own_prog, e.cost),
+        };
+        entries[off].run_len = rl;
+        entries[off].run_prog = rp;
+        entries[off].run_cost = rc;
     }
 }
 
@@ -322,6 +491,17 @@ fn entry_flags(inst: &Inst<u64>, meta: Option<&TeapotMeta>, va: u64) -> u8 {
     }
     if always_charge {
         f |= F_ALWAYS_CHARGE;
+    }
+    if matches!(
+        inst,
+        Inst::Nop
+            | Inst::MarkerNop
+            | Inst::TagProp
+            | Inst::TagBlockProp { .. }
+            | Inst::MemLog { .. }
+            | Inst::Guard
+    ) {
+        f |= F_NOP;
     }
     f
 }

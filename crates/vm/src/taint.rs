@@ -7,15 +7,21 @@
 //! tags propagate for every executed instruction. The inserted
 //! `tag.prop`/`tag.blockprop` instrumentation opcodes carry the cost model
 //! (see DESIGN.md §3, "Semantic note").
+//!
+//! The shadow is a [`ShadowMem`](crate::slab) — the same region-table +
+//! software-TLB page slab as guest memory — and every range operation is
+//! chunked at page granularity instead of probing a map per byte. A
+//! clean (`Tag::CLEAN`) range store over absent shadow pages allocates
+//! nothing: a zeroed page reads exactly like an absent one, and most
+//! stores move untainted data.
 
-use teapot_rt::{FxHashMap, Tag};
-
-const PAGE: u64 = 4096;
+use crate::slab::ShadowMem;
+use teapot_rt::Tag;
 
 /// Sparse byte-tag shadow plus register/FLAGS tags.
 #[derive(Clone, Default)]
 pub struct TaintEngine {
-    mem: FxHashMap<u64, Box<[u8; PAGE as usize]>>,
+    mem: ShadowMem,
     /// Per-register tag folds.
     pub regs: [Tag; 16],
     /// Tags of the operands of the last FLAGS-writing instruction
@@ -26,7 +32,7 @@ pub struct TaintEngine {
 impl std::fmt::Debug for TaintEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TaintEngine")
-            .field("tag_pages", &self.mem.len())
+            .field("tag_pages", &self.mem.num_pages())
             .finish()
     }
 }
@@ -40,47 +46,45 @@ impl TaintEngine {
     /// Tag of one memory byte.
     #[inline]
     pub fn mem_tag(&self, addr: u64) -> Tag {
-        match self.mem.get(&(addr / PAGE)) {
-            Some(p) => Tag::from_bits(p[(addr % PAGE) as usize]),
-            None => Tag::CLEAN,
-        }
+        Tag::from_bits(self.mem.get(addr))
     }
 
     /// Union of the tags of `[addr, addr+len)`.
+    #[inline]
     pub fn mem_range_tag(&self, addr: u64, len: u64) -> Tag {
-        let mut t = Tag::CLEAN;
-        for i in 0..len {
-            t |= self.mem_tag(addr.wrapping_add(i));
-        }
-        t
+        Tag::from_bits(self.mem.fold_or(addr, len))
     }
 
     /// Sets the tag of one memory byte, returning the previous tag.
+    #[inline]
     pub fn set_mem_tag(&mut self, addr: u64, tag: Tag) -> Tag {
-        let page = self
-            .mem
-            .entry(addr / PAGE)
-            .or_insert_with(|| Box::new([0; PAGE as usize]));
-        let slot = &mut page[(addr % PAGE) as usize];
-        let old = Tag::from_bits(*slot);
-        *slot = tag.bits();
-        old
+        Tag::from_bits(self.mem.set(addr, tag.bits()))
     }
 
     /// Tags every byte of `[addr, addr+len)`, ignoring previous tags.
+    #[inline]
     pub fn set_mem_range(&mut self, addr: u64, len: u64, tag: Tag) {
-        for i in 0..len {
-            self.set_mem_tag(addr.wrapping_add(i), tag);
-        }
+        self.mem.fill(addr, len, tag.bits());
     }
 
     /// Unions `tag` into every byte of `[addr, addr+len)`.
     pub fn union_mem_range(&mut self, addr: u64, len: u64, tag: Tag) {
-        for i in 0..len {
-            let a = addr.wrapping_add(i);
-            let old = self.mem_tag(a);
-            self.set_mem_tag(a, old | tag);
-        }
+        self.mem.or_fill(addr, len, tag.bits());
+    }
+
+    /// Copies the raw tag bytes of `[addr, addr+out.len())` into `out`
+    /// (absent shadow reads as `Tag::CLEAN`) — the bulk read behind
+    /// memory-log capture and store-buffer recording.
+    #[inline]
+    pub(crate) fn read_tags(&self, addr: u64, out: &mut [u8]) {
+        self.mem.read_into(addr, out);
+    }
+
+    /// Writes raw tag bytes at `addr` — the bulk restore behind
+    /// rollback replay. All-zero chunks skip absent pages.
+    #[inline]
+    pub(crate) fn write_tags(&mut self, addr: u64, tags: &[u8]) {
+        self.mem.write_from(addr, tags);
     }
 
     /// Register tag accessor.
@@ -106,9 +110,7 @@ impl TaintEngine {
     /// shadow page is zeroed (a zeroed page reads exactly like an absent
     /// one) and all register/FLAGS tags are cleared.
     pub fn reset(&mut self) {
-        for page in self.mem.values_mut() {
-            page.fill(0);
-        }
+        self.mem.reset();
         self.clear_regs();
     }
 }
@@ -116,6 +118,7 @@ impl TaintEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slab::PAGE_SIZE as PAGE;
     use teapot_isa::Reg;
 
     #[test]
@@ -142,6 +145,28 @@ mod tests {
         let mut t = TaintEngine::new();
         assert_eq!(t.set_mem_tag(7, Tag::MASSAGE), Tag::CLEAN);
         assert_eq!(t.set_mem_tag(7, Tag::USER), Tag::MASSAGE);
+    }
+
+    #[test]
+    fn clean_range_stores_allocate_no_shadow() {
+        let mut t = TaintEngine::new();
+        t.set_mem_range(0x7000, 64, Tag::CLEAN);
+        assert_eq!(format!("{t:?}"), "TaintEngine { tag_pages: 0 }");
+        assert_eq!(t.mem_range_tag(0x7000, 64), Tag::CLEAN);
+    }
+
+    #[test]
+    fn bulk_tag_round_trip() {
+        let mut t = TaintEngine::new();
+        t.set_mem_range(PAGE - 2, 4, Tag::USER);
+        let mut raw = [0u8; 6];
+        t.read_tags(PAGE - 3, &mut raw);
+        assert_eq!(raw[0], 0);
+        assert_eq!(Tag::from_bits(raw[1]), Tag::USER);
+        assert_eq!(Tag::from_bits(raw[4]), Tag::USER);
+        assert_eq!(raw[5], 0);
+        t.write_tags(PAGE - 3, &[0; 6]);
+        assert_eq!(t.mem_range_tag(PAGE - 8, 16), Tag::CLEAN);
     }
 
     #[test]

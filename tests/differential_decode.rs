@@ -13,7 +13,7 @@
 use teapot::cc::Options;
 use teapot::core::{rewrite, RewriteOptions};
 use teapot::obj::Binary;
-use teapot::vm::{EmuStyle, Machine, RunOptions, SpecHeuristics};
+use teapot::vm::{EmuStyle, Machine, RunOptions, SpecHeuristics, SpecModelSet};
 
 fn outcome(
     bin: &Binary,
@@ -34,6 +34,40 @@ fn outcome(
     );
     m.set_uncached_decode(uncached);
     m.run(&mut heur)
+}
+
+/// Like [`outcome`] but toggling the block-slice superinstruction
+/// dispatcher instead of the decode path, under an explicit model set.
+fn outcome_dispatch(
+    bin: &Binary,
+    input: &[u8],
+    models: SpecModelSet,
+    no_block: bool,
+) -> teapot::vm::RunOutcome {
+    let mut heur = SpecHeuristics::default();
+    let mut m = Machine::new(
+        bin,
+        RunOptions {
+            input: input.to_vec(),
+            models,
+            ..RunOptions::default()
+        },
+    );
+    m.set_no_block_dispatch(no_block);
+    m.run(&mut heur)
+}
+
+fn assert_outcomes_equal(a: &teapot::vm::RunOutcome, b: &teapot::vm::RunOutcome, what: &str) {
+    assert_eq!(a.status, b.status, "{what}: status");
+    assert_eq!(a.cost, b.cost, "{what}: cost units");
+    assert_eq!(a.insts, b.insts, "{what}: instruction count");
+    assert_eq!(a.gadgets, b.gadgets, "{what}: gadget reports");
+    assert_eq!(a.cov_normal.raw(), b.cov_normal.raw(), "{what}: normal cov");
+    assert_eq!(a.cov_spec.raw(), b.cov_spec.raw(), "{what}: spec cov");
+    assert_eq!(a.output, b.output, "{what}: program output");
+    assert_eq!(a.sim_entries, b.sim_entries, "{what}: sim entries");
+    assert_eq!(a.rollbacks, b.rollbacks, "{what}: rollbacks");
+    assert_eq!(a.escapes, b.escapes, "{what}: escapes");
 }
 
 fn assert_paths_agree(bin: &Binary, input: &[u8], emu: EmuStyle, fuel: u64, what: &str) {
@@ -198,4 +232,62 @@ fn pooled_context_reuse_matches_fresh_machines() {
         );
         assert_eq!(ctx.output(), &fresh.output[..], "input {i}: output");
     }
+}
+
+#[test]
+fn block_dispatch_is_identical_to_single_step() {
+    // The block-slice superinstruction fast path must be observably
+    // identical to per-instruction dispatch — across the full workload
+    // suite (Teapot-instrumented), the planted RSB/STL ground-truth
+    // programs, and the full speculation-model set (checkpoint pushes,
+    // store-buffer bypasses and RSB mispredictions all cut slices
+    // short mid-run).
+    let all_models = SpecModelSet::parse("pht,rsb,stl").unwrap();
+    let mut suite = teapot::workloads::all();
+    suite.extend(teapot::workloads::spec_suite());
+    for w in suite {
+        let mut cots = w.build(&Options::gcc_like()).unwrap();
+        cots.strip();
+        let inst = rewrite(&cots, &RewriteOptions::default()).unwrap();
+        for models in [SpecModelSet::PHT_ONLY, all_models] {
+            for (i, seed) in w.seeds.iter().take(2).enumerate() {
+                let fast = outcome_dispatch(&inst, seed, models, false);
+                let slow = outcome_dispatch(&inst, seed, models, true);
+                assert_outcomes_equal(
+                    &fast,
+                    &slow,
+                    &format!("{} (models {models}, seed {i})", w.name),
+                );
+            }
+            let bad = mangled(&w.seeds[0]);
+            let fast = outcome_dispatch(&inst, &bad, models, false);
+            let slow = outcome_dispatch(&inst, &bad, models, true);
+            assert_outcomes_equal(
+                &fast,
+                &slow,
+                &format!("{} (models {models}, mangled)", w.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn block_dispatch_matches_on_single_copy_baseline() {
+    // Single-copy (SpecFuzz-style) layouts exercise the cost-zeroing
+    // rule and in-place simulation; the dispatcher must reproduce both.
+    let w = teapot::workloads::jsmn_like();
+    let mut cots = w.build(&Options::gcc_like()).unwrap();
+    cots.strip();
+    let sf =
+        teapot::baselines::specfuzz_rewrite(&cots, &teapot::baselines::SpecFuzzOptions::default())
+            .unwrap();
+    for (i, seed) in w.seeds.iter().take(2).enumerate() {
+        let fast = outcome_dispatch(&sf, seed, SpecModelSet::PHT_ONLY, false);
+        let slow = outcome_dispatch(&sf, seed, SpecModelSet::PHT_ONLY, true);
+        assert_outcomes_equal(&fast, &slow, &format!("jsmn specfuzz seed {i}"));
+    }
+    let bad = mangled(&w.seeds[0]);
+    let fast = outcome_dispatch(&sf, &bad, SpecModelSet::PHT_ONLY, false);
+    let slow = outcome_dispatch(&sf, &bad, SpecModelSet::PHT_ONLY, true);
+    assert_outcomes_equal(&fast, &slow, "jsmn specfuzz mangled");
 }

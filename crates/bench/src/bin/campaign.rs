@@ -43,7 +43,9 @@ fn main() {
     }
     println!("Campaign throughput: 8 shards, execs/sec vs worker count");
     println!("(every worker row computes the identical merged gadget report;");
-    println!(" spec-model rows measure the cost of simulating RSB/STL too)\n");
+    println!(" spec-model rows measure the cost of simulating RSB/STL too;");
+    println!(" medians over 3 timed reps, plus time-to-first-gadget on the");
+    println!(" planted specmodel workloads)\n");
     let result = teapot_bench::campaign::run(&w, &[1, 2, 4, 8]);
     println!("{}", teapot_bench::campaign::render(&result));
     let json = teapot_bench::campaign::render_json(&result);

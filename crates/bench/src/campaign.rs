@@ -19,36 +19,64 @@ use teapot_core::{rewrite, RewriteOptions};
 use teapot_vm::{Program, SpecModelSet};
 use teapot_workloads::Workload;
 
-/// One worker-count measurement.
+/// One worker-count measurement. Wall-clock values are **medians** over
+/// the result's repetition count; `*_min` fields bound the spread (the
+/// fastest rep's seconds, the slowest rep's throughput).
 #[derive(Debug, Clone)]
 pub struct ThroughputRow {
     /// Worker threads used.
     pub workers: usize,
-    /// Total executions the campaign performed.
+    /// Total executions the campaign performed (identical across reps).
     pub execs: u64,
-    /// Wall-clock seconds.
+    /// Wall-clock seconds (median over reps).
     pub secs: f64,
-    /// Throughput.
+    /// Fastest repetition's wall-clock seconds.
+    pub secs_min: f64,
+    /// Throughput (median over reps).
     pub execs_per_sec: f64,
+    /// Slowest repetition's throughput.
+    pub execs_per_sec_min: f64,
     /// Unique gadgets in the merged report (identical across rows).
     pub unique_gadgets: usize,
 }
 
 /// One speculation-model-set measurement: the same campaign scale run
 /// under a different `--spec-models` configuration, single worker — the
-/// cost of simulating additional misprediction sources.
+/// cost of simulating additional misprediction sources. Same median /
+/// min semantics as [`ThroughputRow`].
 #[derive(Debug, Clone)]
 pub struct ModelRow {
     /// The model set (canonical rendering, e.g. `"pht,rsb"`).
     pub models: String,
-    /// Total executions the campaign performed.
+    /// Total executions the campaign performed (identical across reps).
     pub execs: u64,
-    /// Wall-clock seconds.
+    /// Wall-clock seconds (median over reps).
     pub secs: f64,
-    /// Throughput.
+    /// Fastest repetition's wall-clock seconds.
+    pub secs_min: f64,
+    /// Throughput (median over reps).
     pub execs_per_sec: f64,
+    /// Slowest repetition's throughput.
+    pub execs_per_sec_min: f64,
     /// Unique gadgets in the merged report.
     pub unique_gadgets: usize,
+}
+
+/// Time-to-first-gadget on a planted ground-truth workload: the 1-based
+/// execution ordinal (within its shard) at which the campaign first
+/// reported a gadget — deterministic for a fixed seed, independent of
+/// worker count and wall-clock. The honest baseline any static-prefilter
+/// work must beat.
+#[derive(Debug, Clone)]
+pub struct FirstGadgetRow {
+    /// Planted workload name (e.g. `"spectre-rsb"`).
+    pub workload: String,
+    /// Model set the campaign simulated.
+    pub models: String,
+    /// Total executions the campaign performed.
+    pub execs: u64,
+    /// Executions until the first gadget report (`None` = never found).
+    pub first_gadget_execs: Option<u64>,
 }
 
 /// Result of [`run`]: per-worker-count rows plus the (shared) report.
@@ -63,48 +91,89 @@ pub struct ThroughputResult {
     pub cpus: usize,
     /// Epochs in every campaign.
     pub epochs: u32,
+    /// Timed repetitions behind every row's median.
+    pub reps: u32,
     /// One row per worker count.
     pub rows: Vec<ThroughputRow>,
     /// One row per speculation-model set (single worker).
     pub model_rows: Vec<ModelRow>,
+    /// One row per planted specmodel workload (full runs only).
+    pub first_gadget_rows: Vec<FirstGadgetRow>,
     /// Basic blocks the shared decode pass recovered.
     pub decode_blocks: usize,
     /// Instructions predecoded once per binary.
     pub decode_insts: usize,
     /// Executable bytes predecoded once per binary.
     pub decode_bytes: usize,
+    /// Executable bytes the decode pass could not predecode.
+    pub decode_undecoded_bytes: usize,
 }
 
 /// Runs the throughput experiment over `worker_counts` on `w` at the
-/// default scale (8 shards × 3 epochs × 60 iterations).
+/// default scale (8 shards × 3 epochs × 60 iterations), 3 timed reps
+/// per row, plus the time-to-first-gadget rows on the planted
+/// specmodel workloads.
 ///
 /// # Panics
 ///
-/// Panics if two worker counts produce different reports — that would
-/// be a determinism bug in the orchestrator, and a benchmark over
-/// diverging computations would be meaningless.
+/// Panics if two worker counts (or two reps) produce different reports
+/// — that would be a determinism bug in the orchestrator, and a
+/// benchmark over diverging computations would be meaningless.
 pub fn run(w: &Workload, worker_counts: &[usize]) -> ThroughputResult {
-    run_scaled(w, worker_counts, 3, 60)
+    let mut r = run_scaled_reps(w, worker_counts, 3, 60, 3);
+    r.first_gadget_rows = time_to_first_gadget(3, 60);
+    r
 }
 
-/// [`run`] with an explicit scale — the CI smoke step uses a short
-/// configuration so throughput regressions fail loudly without a
-/// full-length benchmark run.
+/// [`run`] with an explicit scale and a single timed rep — the CI smoke
+/// step uses a short configuration so throughput regressions fail
+/// loudly without a full-length benchmark run.
 pub fn run_scaled(
     w: &Workload,
     worker_counts: &[usize],
     epochs: u32,
     iters_per_epoch: u64,
 ) -> ThroughputResult {
-    let mut cots = crate::cots_binary(w);
-    cots.strip();
+    run_scaled_reps(w, worker_counts, epochs, iters_per_epoch, 1)
+}
+
+/// [`run_scaled`] with every row timed `reps` times; row values are the
+/// median (plus `*_min` spread bounds).
+pub fn run_scaled_reps(
+    w: &Workload,
+    worker_counts: &[usize],
+    epochs: u32,
+    iters_per_epoch: u64,
+    reps: u32,
+) -> ThroughputResult {
+    assert!(reps >= 1, "at least one repetition");
+    let cots = crate::cots_binary(w);
     let bin = rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
     let prog = Program::shared(&bin);
     let stats = *prog.stats();
+    let shards = 8u32;
+
+    // Times `reps` fresh campaigns under `cfg`, asserting every rep
+    // computes the same report, and returns (report, per-rep seconds).
+    let time_reps = |cfg: &CampaignConfig| -> (CampaignReport, Vec<f64>) {
+        let mut report: Option<CampaignReport> = None;
+        let mut secs = Vec::new();
+        for _ in 0..reps {
+            let mut campaign = Campaign::new(cfg.clone()).expect("valid config");
+            let start = Instant::now();
+            let rep_report = campaign.run_shared(&prog, &w.seeds);
+            secs.push(start.elapsed().as_secs_f64());
+            match &report {
+                None => report = Some(rep_report),
+                Some(b) => assert_eq!(*b, rep_report, "campaign diverged between reps"),
+            }
+        }
+        (report.expect("at least one rep"), secs)
+    };
+    let eps = |iters: u64, s: &f64| iters as f64 / s.max(1e-9);
 
     let mut rows = Vec::new();
     let mut baseline: Option<CampaignReport> = None;
-    let shards = 8u32;
     for &workers in worker_counts {
         let cfg = CampaignConfig {
             shards,
@@ -114,19 +183,19 @@ pub fn run_scaled(
             dictionary: w.dictionary.clone(),
             ..CampaignConfig::default()
         };
-        let mut campaign = Campaign::new(cfg).expect("valid config");
-        let start = Instant::now();
-        let report = campaign.run_shared(&prog, &w.seeds);
-        let secs = start.elapsed().as_secs_f64();
+        let (report, secs) = time_reps(&cfg);
         match &baseline {
             None => baseline = Some(report.clone()),
             Some(b) => assert_eq!(*b, report, "campaign diverged between worker counts"),
         }
+        let rates: Vec<f64> = secs.iter().map(|s| eps(report.iters, s)).collect();
         rows.push(ThroughputRow {
             workers,
             execs: report.iters,
-            secs,
-            execs_per_sec: report.iters as f64 / secs.max(1e-9),
+            secs: crate::vmhot::median(&secs),
+            secs_min: secs.iter().copied().fold(f64::INFINITY, f64::min),
+            execs_per_sec: crate::vmhot::median(&rates),
+            execs_per_sec_min: rates.iter().copied().fold(f64::INFINITY, f64::min),
             unique_gadgets: report.unique_gadgets(),
         });
     }
@@ -144,15 +213,15 @@ pub fn run_scaled(
             models: SpecModelSet::parse(set).expect("valid model set"),
             ..CampaignConfig::default()
         };
-        let mut campaign = Campaign::new(cfg).expect("valid config");
-        let start = Instant::now();
-        let report = campaign.run_shared(&prog, &w.seeds);
-        let secs = start.elapsed().as_secs_f64();
+        let (report, secs) = time_reps(&cfg);
+        let rates: Vec<f64> = secs.iter().map(|s| eps(report.iters, s)).collect();
         model_rows.push(ModelRow {
             models: set.to_string(),
             execs: report.iters,
-            secs,
-            execs_per_sec: report.iters as f64 / secs.max(1e-9),
+            secs: crate::vmhot::median(&secs),
+            secs_min: secs.iter().copied().fold(f64::INFINITY, f64::min),
+            execs_per_sec: crate::vmhot::median(&rates),
+            execs_per_sec_min: rates.iter().copied().fold(f64::INFINITY, f64::min),
             unique_gadgets: report.unique_gadgets(),
         });
     }
@@ -164,60 +233,144 @@ pub fn run_scaled(
             .map(|n| n.get())
             .unwrap_or(1),
         epochs,
+        reps,
         rows,
         model_rows,
+        first_gadget_rows: Vec::new(),
         decode_blocks: stats.blocks,
         decode_insts: stats.insts,
         decode_bytes: stats.bytes,
+        decode_undecoded_bytes: stats.undecoded_bytes,
     }
 }
 
+/// Measures executions-until-first-gadget on the planted specmodel
+/// workloads, each under the model set that can express its gadget.
+/// The value comes from the campaign's first-seen gadget timeline and
+/// is a pure function of the seed (worker- and wall-clock-independent).
+pub fn time_to_first_gadget(epochs: u32, iters_per_epoch: u64) -> Vec<FirstGadgetRow> {
+    let cases = [
+        (teapot_workloads::rsb_like(), "pht,rsb"),
+        (teapot_workloads::stl_like(), "pht,rsb,stl"),
+    ];
+    cases
+        .iter()
+        .map(|(w, set)| {
+            let cots = crate::cots_binary(w);
+            let bin = rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
+            let prog = Program::shared(&bin);
+            let cfg = CampaignConfig {
+                shards: 8,
+                workers: 1,
+                epochs,
+                iters_per_epoch,
+                dictionary: w.dictionary.clone(),
+                models: SpecModelSet::parse(set).expect("valid model set"),
+                ..CampaignConfig::default()
+            };
+            let mut campaign = Campaign::new(cfg).expect("valid config");
+            let report = campaign.run_shared(&prog, &w.seeds);
+            FirstGadgetRow {
+                workload: w.name.to_string(),
+                models: set.to_string(),
+                execs: report.iters,
+                first_gadget_execs: campaign.time_to_first_gadget_execs(),
+            }
+        })
+        .collect()
+}
+
 /// Renders the result as an aligned text table plus the decode-cache
-/// summary line.
+/// summary line. With more than one rep the table values are medians
+/// and a minimum-throughput column spells out the spread.
 pub fn render(r: &ThroughputResult) -> String {
+    let spread = r.reps > 1;
+    let mut headers = vec!["workers", "execs", "secs", "execs/sec", "gadgets"];
+    if spread {
+        headers.insert(4, "eps min");
+    }
     let rows: Vec<Vec<String>> = r
         .rows
         .iter()
         .map(|row| {
-            vec![
+            let mut cells = vec![
                 row.workers.to_string(),
                 row.execs.to_string(),
                 format!("{:.2}", row.secs),
                 format!("{:.0}", row.execs_per_sec),
                 row.unique_gadgets.to_string(),
-            ]
+            ];
+            if spread {
+                cells.insert(4, format!("{:.0}", row.execs_per_sec_min));
+            }
+            cells
         })
         .collect();
-    let mut out = crate::render_table(&["workers", "execs", "secs", "execs/sec", "gadgets"], &rows);
+    let mut out = crate::render_table(&headers, &rows);
+    if spread {
+        out.push_str(&format!("(medians over {} reps)\n", r.reps));
+    }
     if !r.model_rows.is_empty() {
+        let mut mheaders = vec!["spec models", "execs", "secs", "execs/sec", "gadgets"];
+        if spread {
+            mheaders.insert(4, "eps min");
+        }
         let mrows: Vec<Vec<String>> = r
             .model_rows
             .iter()
             .map(|row| {
-                vec![
+                let mut cells = vec![
                     row.models.clone(),
                     row.execs.to_string(),
                     format!("{:.2}", row.secs),
                     format!("{:.0}", row.execs_per_sec),
                     row.unique_gadgets.to_string(),
+                ];
+                if spread {
+                    cells.insert(4, format!("{:.0}", row.execs_per_sec_min));
+                }
+                cells
+            })
+            .collect();
+        out.push('\n');
+        out.push_str(&crate::render_table(&mheaders, &mrows));
+    }
+    if !r.first_gadget_rows.is_empty() {
+        let frows: Vec<Vec<String>> = r
+            .first_gadget_rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.workload.clone(),
+                    row.models.clone(),
+                    row.execs.to_string(),
+                    row.first_gadget_execs
+                        .map(|n| n.to_string())
+                        .unwrap_or_else(|| "never".into()),
                 ]
             })
             .collect();
         out.push('\n');
         out.push_str(&crate::render_table(
-            &["spec models", "execs", "secs", "execs/sec", "gadgets"],
-            &mrows,
+            &["planted workload", "spec models", "execs", "first gadget"],
+            &frows,
         ));
     }
     out.push_str(&format!(
-        "\ndecode cache: {} blocks, {} instructions, {} bytes decoded once \
-         (seed decoded per run)\n",
-        r.decode_blocks, r.decode_insts, r.decode_bytes
+        "\n{} (seed decoded per run)\n",
+        teapot_telemetry::format_decode_cache(
+            r.decode_blocks as u64,
+            r.decode_insts as u64,
+            r.decode_bytes as u64,
+            r.decode_undecoded_bytes as u64
+        )
     ));
     out
 }
 
-/// Renders the result as the `BENCH_campaign.json` document.
+/// Renders the result as the `BENCH_campaign.json` document. Unsuffixed
+/// timing keys are medians over `reps` (existing consumers read the
+/// robust value); `_min`/`_median` keys spell the aggregation out.
 pub fn render_json(r: &ThroughputResult) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -225,9 +378,11 @@ pub fn render_json(r: &ThroughputResult) -> String {
     out.push_str(&format!("  \"shards\": {},\n", r.shards));
     out.push_str(&format!("  \"cpus\": {},\n", r.cpus));
     out.push_str(&format!("  \"epochs\": {},\n", r.epochs));
+    out.push_str(&format!("  \"reps\": {},\n", r.reps));
     out.push_str(&format!(
-        "  \"decode_cache\": {{\"blocks\": {}, \"insts\": {}, \"bytes\": {}}},\n",
-        r.decode_blocks, r.decode_insts, r.decode_bytes
+        "  \"decode_cache\": {{\"blocks\": {}, \"insts\": {}, \"bytes\": {}, \
+         \"undecoded_bytes\": {}}},\n",
+        r.decode_blocks, r.decode_insts, r.decode_bytes, r.decode_undecoded_bytes
     ));
     out.push_str("  \"results\": [");
     for (i, row) in r.rows.iter().enumerate() {
@@ -236,8 +391,18 @@ pub fn render_json(r: &ThroughputResult) -> String {
         }
         out.push_str(&format!(
             "\n    {{\"workers\": {}, \"execs\": {}, \"secs\": {:.4}, \
-             \"execs_per_sec\": {:.1}, \"unique_gadgets\": {}}}",
-            row.workers, row.execs, row.secs, row.execs_per_sec, row.unique_gadgets
+             \"secs_min\": {:.4}, \"secs_median\": {:.4}, \
+             \"execs_per_sec\": {:.1}, \"execs_per_sec_min\": {:.1}, \
+             \"execs_per_sec_median\": {:.1}, \"unique_gadgets\": {}}}",
+            row.workers,
+            row.execs,
+            row.secs,
+            row.secs_min,
+            row.secs,
+            row.execs_per_sec,
+            row.execs_per_sec_min,
+            row.execs_per_sec,
+            row.unique_gadgets
         ));
     }
     out.push_str("\n  ],\n");
@@ -248,11 +413,40 @@ pub fn render_json(r: &ThroughputResult) -> String {
         }
         out.push_str(&format!(
             "\n    {{\"models\": \"{}\", \"execs\": {}, \"secs\": {:.4}, \
-             \"execs_per_sec\": {:.1}, \"unique_gadgets\": {}}}",
-            row.models, row.execs, row.secs, row.execs_per_sec, row.unique_gadgets
+             \"secs_min\": {:.4}, \"secs_median\": {:.4}, \
+             \"execs_per_sec\": {:.1}, \"execs_per_sec_min\": {:.1}, \
+             \"execs_per_sec_median\": {:.1}, \"unique_gadgets\": {}}}",
+            row.models,
+            row.execs,
+            row.secs,
+            row.secs_min,
+            row.secs,
+            row.execs_per_sec,
+            row.execs_per_sec_min,
+            row.execs_per_sec,
+            row.unique_gadgets
         ));
     }
     if !r.model_rows.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str("  \"time_to_first_gadget\": [");
+    for (i, row) in r.first_gadget_rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let first = row
+            .first_gadget_execs
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "null".into());
+        out.push_str(&format!(
+            "\n    {{\"workload\": \"{}\", \"models\": \"{}\", \"execs\": {}, \
+             \"time_to_first_gadget_execs\": {}}}",
+            row.workload, row.models, row.execs, first
+        ));
+    }
+    if !r.first_gadget_rows.is_empty() {
         out.push_str("\n  ");
     }
     out.push_str("]\n}\n");

@@ -43,34 +43,70 @@ int main(void) {{
 }
 
 /// One measurement of the memcpy/checksum kernel.
+///
+/// With `reps > 1` the whole `runs`-run loop is timed `reps` times and
+/// the headline values (`secs`, `mops_per_sec`, `minsts_per_sec`) are
+/// the **median** over repetitions — single timed passes on a noisy
+/// 1-CPU container are not reproducible. The `*_min` fields report the
+/// per-metric minimum over repetitions, bounding the spread.
 #[derive(Debug, Clone)]
 pub struct VmhotResult {
     /// Copy/checksum passes per run.
     pub passes: u32,
     /// Runs executed (pooled `ExecContext`, reset between runs).
     pub runs: u32,
+    /// Timed repetitions of the whole run loop.
+    pub reps: u32,
     /// Input bytes streamed per pass.
     pub bytes: usize,
-    /// Counted guest data loads+stores across all runs.
+    /// Counted guest data loads+stores across all runs (one rep).
     pub mem_ops: u64,
-    /// Executed instructions across all runs (architectural total).
+    /// Executed instructions across all runs (architectural total, one
+    /// rep — identical across reps by VM determinism).
     pub insts: u64,
-    /// Wall-clock seconds.
+    /// Wall-clock seconds (median over reps).
     pub secs: f64,
-    /// Counted data loads+stores per second, in millions.
+    /// Fastest repetition's wall-clock seconds.
+    pub secs_min: f64,
+    /// Counted data loads+stores per second, in millions (median).
     pub mops_per_sec: f64,
-    /// Executed instructions per second, in millions.
+    /// Slowest repetition's data-op throughput, in millions.
+    pub mops_per_sec_min: f64,
+    /// Executed instructions per second, in millions (median).
     pub minsts_per_sec: f64,
+    /// Slowest repetition's instruction throughput, in millions.
+    pub minsts_per_sec_min: f64,
+}
+
+/// Median of a sample (mean of the middle pair for even sizes).
+pub(crate) fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let n = s.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        (s[n / 2 - 1] + s[n / 2]) / 2.0
+    }
 }
 
 /// Runs the kernel `runs` times with `passes` passes each on one pooled
-/// context and reports data-op throughput.
+/// context and reports data-op throughput (single repetition).
 ///
 /// # Panics
 ///
 /// Panics if the kernel does not compile or a run exits abnormally
 /// (both would be harness bugs, not measurements).
 pub fn run(passes: u32, runs: u32) -> VmhotResult {
+    run_reps(passes, runs, 1)
+}
+
+/// [`run`] timed `reps` times; headline numbers are the median.
+pub fn run_reps(passes: u32, runs: u32, reps: u32) -> VmhotResult {
+    assert!(reps >= 1, "at least one repetition");
     let src = kernel_source(passes);
     let mut bin = compile_to_binary(&src, &Options::gcc_like()).expect("vmhot kernel compiles");
     bin.strip();
@@ -80,40 +116,63 @@ pub fn run(passes: u32, runs: u32) -> VmhotResult {
 
     let mut heur = SpecHeuristics::default();
     let mut insts = 0u64;
-    let start = Instant::now();
-    for _ in 0..runs {
-        let opts = RunOptions {
-            input: input.clone(),
-            ..RunOptions::default()
-        };
-        let stats = Machine::with_context(&prog, &mut ctx, opts).run_stats(&mut heur);
-        assert_eq!(
-            stats.status,
-            ExitStatus::Exit(0),
-            "vmhot kernel must exit cleanly"
-        );
-        insts += stats.insts;
+    let mut rep_secs = Vec::new();
+    for rep in 0..reps {
+        let mut rep_insts = 0u64;
+        let start = Instant::now();
+        for _ in 0..runs {
+            let opts = RunOptions {
+                input: input.clone(),
+                ..RunOptions::default()
+            };
+            let stats = Machine::with_context(&prog, &mut ctx, opts).run_stats(&mut heur);
+            assert_eq!(
+                stats.status,
+                ExitStatus::Exit(0),
+                "vmhot kernel must exit cleanly"
+            );
+            rep_insts += stats.insts;
+        }
+        rep_secs.push(start.elapsed().as_secs_f64());
+        if rep == 0 {
+            insts = rep_insts;
+        } else {
+            assert_eq!(insts, rep_insts, "vmhot kernel must be deterministic");
+        }
     }
-    let secs = start.elapsed().as_secs_f64();
     let mem_ops = 3 * BUF as u64 * passes as u64 * runs as u64;
+    let mops: Vec<f64> = rep_secs
+        .iter()
+        .map(|s| mem_ops as f64 / s.max(1e-9) / 1e6)
+        .collect();
+    let minsts: Vec<f64> = rep_secs
+        .iter()
+        .map(|s| insts as f64 / s.max(1e-9) / 1e6)
+        .collect();
     VmhotResult {
         passes,
         runs,
+        reps,
         bytes: BUF,
         mem_ops,
         insts,
-        secs,
-        mops_per_sec: mem_ops as f64 / secs.max(1e-9) / 1e6,
-        minsts_per_sec: insts as f64 / secs.max(1e-9) / 1e6,
+        secs: median(&rep_secs),
+        secs_min: rep_secs.iter().copied().fold(f64::INFINITY, f64::min),
+        mops_per_sec: median(&mops),
+        mops_per_sec_min: mops.iter().copied().fold(f64::INFINITY, f64::min),
+        minsts_per_sec: median(&minsts),
+        minsts_per_sec_min: minsts.iter().copied().fold(f64::INFINITY, f64::min),
     }
 }
 
-/// Renders the result as an aligned text table.
+/// Renders the result as an aligned text table (median values), plus a
+/// spread line when more than one repetition was timed.
 pub fn render(r: &VmhotResult) -> String {
-    crate::render_table(
+    let mut out = crate::render_table(
         &[
             "passes",
             "runs",
+            "reps",
             "bytes",
             "mem ops",
             "secs",
@@ -123,21 +182,51 @@ pub fn render(r: &VmhotResult) -> String {
         &[vec![
             r.passes.to_string(),
             r.runs.to_string(),
+            r.reps.to_string(),
             r.bytes.to_string(),
             r.mem_ops.to_string(),
             format!("{:.3}", r.secs),
             format!("{:.1}", r.mops_per_sec),
             format!("{:.1}", r.minsts_per_sec),
         ]],
-    )
+    );
+    if r.reps > 1 {
+        out.push_str(&format!(
+            "spread over {} reps: fastest {:.3}s, slowest {:.1} Mops/sec \
+             ({:.1} Minsts/sec)\n",
+            r.reps, r.secs_min, r.mops_per_sec_min, r.minsts_per_sec_min
+        ));
+    }
+    out
 }
 
-/// Deterministic JSON rendering for `BENCH_vmhot.json`.
+/// Deterministic JSON rendering for `BENCH_vmhot.json`. The unsuffixed
+/// timing keys are medians over `reps` (so existing consumers read the
+/// robust value); `_min`/`_median` spell the aggregation out.
 pub fn render_json(r: &VmhotResult) -> String {
     format!(
         "{{\n  \"workload\": \"vmhot\",\n  \"passes\": {},\n  \"runs\": {},\n  \
+         \"reps\": {},\n  \
          \"bytes_per_pass\": {},\n  \"mem_ops\": {},\n  \"insts\": {},\n  \
-         \"secs\": {:.4},\n  \"mops_per_sec\": {:.2},\n  \"minsts_per_sec\": {:.2}\n}}\n",
-        r.passes, r.runs, r.bytes, r.mem_ops, r.insts, r.secs, r.mops_per_sec, r.minsts_per_sec
+         \"secs\": {:.4},\n  \"secs_min\": {:.4},\n  \"secs_median\": {:.4},\n  \
+         \"mops_per_sec\": {:.2},\n  \"mops_per_sec_min\": {:.2},\n  \
+         \"mops_per_sec_median\": {:.2},\n  \
+         \"minsts_per_sec\": {:.2},\n  \"minsts_per_sec_min\": {:.2},\n  \
+         \"minsts_per_sec_median\": {:.2}\n}}\n",
+        r.passes,
+        r.runs,
+        r.reps,
+        r.bytes,
+        r.mem_ops,
+        r.insts,
+        r.secs,
+        r.secs_min,
+        r.secs,
+        r.mops_per_sec,
+        r.mops_per_sec_min,
+        r.mops_per_sec,
+        r.minsts_per_sec,
+        r.minsts_per_sec_min,
+        r.minsts_per_sec
     )
 }

@@ -43,7 +43,8 @@ use teapot_obj::Binary;
 use teapot_rt::{
     CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport, GadgetWitness, SpecModelSet,
 };
-use teapot_vm::{DecodeStats, EmuStyle, ExecContext, HeurStyle, Program};
+use teapot_telemetry::{Event, MetricsSink, Stopwatch, VmCounters, MODEL_NAMES};
+use teapot_vm::{BlockProfile, DecodeStats, EmuStyle, ExecContext, HeurStyle, Program};
 
 pub use snapshot::{CampaignSnapshot, SnapshotError};
 
@@ -317,6 +318,14 @@ pub struct Campaign {
     /// last epoch run (or restored from a snapshot) so reports and
     /// `.tcs` files can carry it without re-decoding the binary.
     decode_stats: DecodeStats,
+    /// Metrics JSONL stream (`--metrics`). Emission-only: whether a sink
+    /// is attached never influences what the campaign computes.
+    metrics: Option<MetricsSink>,
+    /// Live per-epoch progress line on stderr.
+    heartbeat: bool,
+    /// Per-shard `(execs, timeline entries)` watermarks from the last
+    /// emitted epoch, for delta events.
+    emitted: Vec<(u64, usize)>,
 }
 
 impl Campaign {
@@ -332,6 +341,9 @@ impl Campaign {
             epochs_done: 0,
             seeded: false,
             decode_stats: DecodeStats::default(),
+            metrics: None,
+            heartbeat: false,
+            emitted: Vec::new(),
         })
     }
 
@@ -367,6 +379,9 @@ impl Campaign {
             epochs_done: snap.epochs_done,
             seeded,
             decode_stats: snap.decode_stats,
+            metrics: None,
+            heartbeat: false,
+            emitted: Vec::new(),
         })
     }
 
@@ -414,6 +429,7 @@ impl Campaign {
     /// every worker thread.
     pub fn run_epoch_shared(&mut self, prog: &Arc<Program>, seeds: &[Vec<u8>]) {
         self.decode_stats = *prog.stats();
+        let watch = Stopwatch::new();
         let epoch = self.epochs_done;
         let seed_now = !self.seeded;
         self.seeded = true;
@@ -481,6 +497,74 @@ impl Campaign {
         });
 
         self.epochs_done = epoch + 1;
+        self.emit_epoch(epoch, watch.ms());
+    }
+
+    /// Streams the epoch's telemetry (metrics JSONL + heartbeat).
+    /// Reached after the barrier, outside all worker threads; a no-op
+    /// unless a sink or the heartbeat is enabled.
+    fn emit_epoch(&mut self, epoch: u32, wall_ms: u64) {
+        if self.metrics.is_none() && !self.heartbeat {
+            return;
+        }
+        if self.emitted.len() != self.shards.len() {
+            self.emitted = vec![(0, 0); self.shards.len()];
+        }
+        let mut execs = 0u64;
+        let mut corpus = 0usize;
+        let mut keys: FxHashSet<GadgetKey> = FxHashSet::default();
+        for st in &self.shards {
+            execs += st.iters();
+            corpus += st.corpus_len();
+            keys.extend(st.gadgets().iter().map(|g| g.key));
+        }
+        let unique = keys.len();
+        if let Some(sink) = &mut self.metrics {
+            sink.emit(
+                Event::new("epoch")
+                    .num("epoch", epoch as u64)
+                    .num("wall_ms", wall_ms)
+                    .num("execs", execs)
+                    .num("corpus", corpus as u64)
+                    .num("unique_gadgets", unique as u64),
+            );
+            for (i, st) in self.shards.iter().enumerate() {
+                let (prev_execs, prev_seen) = self.emitted[i];
+                sink.emit(
+                    Event::new("shard")
+                        .num("epoch", epoch as u64)
+                        .num("shard", i as u64)
+                        .num("execs", st.iters() - prev_execs)
+                        .num("corpus", st.corpus_len() as u64)
+                        .num("cov_normal", st.cov_normal().count_nonzero() as u64)
+                        .num("cov_spec", st.cov_spec().count_nonzero() as u64)
+                        .num("gadgets", st.gadgets().len() as u64),
+                );
+                for (ord, key) in &st.gadget_timeline()[prev_seen..] {
+                    sink.emit(
+                        Event::new("gadget_first_seen")
+                            .num("shard", i as u64)
+                            .num("exec", *ord)
+                            .hex("pc", key.pc)
+                            .str_field("model", MODEL_NAMES[key.model.id() as usize]),
+                    );
+                }
+            }
+        }
+        for (i, st) in self.shards.iter().enumerate() {
+            self.emitted[i] = (st.iters(), st.gadget_timeline().len());
+        }
+        if self.heartbeat {
+            eprintln!(
+                "[teapot] epoch {}/{}: {} execs, corpus {}, {} unique gadgets ({:.2}s)",
+                epoch + 1,
+                self.cfg.epochs.max(epoch + 1),
+                execs,
+                corpus,
+                unique,
+                wall_ms as f64 / 1000.0,
+            );
+        }
     }
 
     /// Runs all remaining epochs and returns the merged report.
@@ -580,6 +664,81 @@ impl Campaign {
         for (shard, ctx) in self.shards.iter_mut().zip(ctxs) {
             shard.donate_context(ctx);
         }
+    }
+
+    /// Attaches a metrics JSONL sink (`--metrics`). Emission-only:
+    /// attaching a sink never changes what the campaign computes.
+    pub fn set_metrics(&mut self, sink: MetricsSink) {
+        self.metrics = Some(sink);
+    }
+
+    /// Detaches the metrics sink (to append pipeline-level events and
+    /// flush it once the campaign is done).
+    pub fn take_metrics(&mut self) -> Option<MetricsSink> {
+        self.metrics.take()
+    }
+
+    /// Enables the per-epoch stderr progress line.
+    pub fn set_heartbeat(&mut self, on: bool) {
+        self.heartbeat = on;
+    }
+
+    /// Enables the guest hot-site profiler on every shard (see
+    /// [`CampaignState::set_block_profiling`]).
+    pub fn set_block_profiling(&mut self, on: bool) {
+        for st in &mut self.shards {
+            st.set_block_profiling(on);
+        }
+    }
+
+    /// Executions until the campaign's first gadget: the minimum over
+    /// shards of the 1-based ordinal at which a shard first reported
+    /// one. A pure function of the campaign seed — independent of
+    /// worker count and wall-clock — so it may appear in benchmark
+    /// artifacts, not just telemetry.
+    pub fn time_to_first_gadget_execs(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.gadget_timeline().first().map(|(ord, _)| *ord))
+            .min()
+    }
+
+    /// Per-shard VM telemetry counters, in shard-index order.
+    pub fn vm_counters(&self) -> Vec<VmCounters> {
+        self.shards.iter().map(|s| s.vm_counters()).collect()
+    }
+
+    /// VM telemetry counters summed over all shards.
+    pub fn merged_vm_counters(&self) -> VmCounters {
+        let mut total = VmCounters::default();
+        for s in &self.shards {
+            total.merge(&s.vm_counters());
+        }
+        total
+    }
+
+    /// The union of every shard's hot-site profile (`None` unless
+    /// profiling was enabled and at least one shard executed).
+    pub fn merged_profile(&self) -> Option<BlockProfile> {
+        let mut merged: Option<BlockProfile> = None;
+        for st in &self.shards {
+            if let Some(p) = st.block_profile() {
+                match &mut merged {
+                    Some(m) => m.merge(p),
+                    None => merged = Some(p.clone()),
+                }
+            }
+        }
+        merged
+    }
+
+    /// Per-shard log2-bucketed per-run cost distributions, in
+    /// shard-index order.
+    pub fn cost_histograms(&self) -> Vec<[u64; 65]> {
+        self.shards
+            .iter()
+            .map(|s| s.cost_histogram().snapshot())
+            .collect()
     }
 
     /// Captures the whole campaign (config + every shard) into a

@@ -12,10 +12,19 @@
 //!                 [--spec-models pht,rsb,stl]
 //!                 [--resume snap.tcs] [--snapshot snap.tcs] [--json out]
 //!                 [--triage out.jsonl] [--sarif out.sarif] [--no-triage]
+//!                 [--metrics out.jsonl]
 //! teapot triage <bin.tof|snap.tcs|dir> [--bin bin.tof] [--jsonl out]
-//!               [--sarif out] [--no-minimize] [campaign flags]
+//!               [--sarif out] [--no-minimize] [--metrics out.jsonl]
+//!               [campaign flags]
+//! teapot stats <metrics.jsonl> [--top N]
 //! teapot dis <bin.tof>
 //! ```
+//!
+//! `--metrics` streams the flat telemetry JSONL documented in
+//! `teapot-telemetry`'s crate docs; it never changes any report byte
+//! (the zero-perturbation invariant). `teapot stats` renders such a
+//! stream as a human-readable run summary, including the symbolized
+//! top-N hot-block profile.
 
 use std::process::ExitCode;
 
@@ -159,6 +168,140 @@ fn file_label(path: &str) -> String {
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| path.to_string())
+}
+
+/// Emits one `vm` event per shard plus the merged `counters` event.
+///
+/// The merge runs through the sharded lock-free [`Registry`] — the same
+/// path a live exporter would use — rather than a plain fold, so the
+/// registry aggregation is exercised on every `--metrics` run. Field
+/// names come from [`teapot_telemetry::VmCounters::for_each`], keeping
+/// the JSONL schema pinned to the counter struct.
+fn emit_vm_metrics(
+    sink: &mut teapot_telemetry::MetricsSink,
+    per_shard: &[teapot_telemetry::VmCounters],
+) {
+    use teapot_telemetry::{Event, Registry, VmCounters};
+    for (i, c) in per_shard.iter().enumerate() {
+        let mut ev = Some(Event::new("vm").num("shard", i as u64));
+        c.for_each(|name, v| ev = Some(ev.take().expect("event slot").num(name, v)));
+        sink.emit(ev.expect("event slot"));
+    }
+    let mut reg = Registry::new(per_shard.len().max(1));
+    let mut ids = Vec::new();
+    VmCounters::default().for_each(|name, _| ids.push(reg.register(name)));
+    for (i, c) in per_shard.iter().enumerate() {
+        let mut k = 0;
+        c.for_each(|_, v| {
+            reg.add(i, ids[k], v);
+            k += 1;
+        });
+    }
+    let mut ev = Some(Event::new("counters"));
+    for (name, v) in reg.snapshot() {
+        ev = Some(ev.take().expect("event slot").num(&name, v));
+    }
+    sink.emit(ev.expect("event slot"));
+}
+
+/// Emits one `cost_hist` event per shard (only nonzero buckets, keyed
+/// `b<k>` for runs whose cost had `ilog2 == k`).
+fn emit_cost_hists(sink: &mut teapot_telemetry::MetricsSink, hists: &[[u64; 65]]) {
+    for (i, h) in hists.iter().enumerate() {
+        let mut ev = teapot_telemetry::Event::new("cost_hist").num("shard", i as u64);
+        for (k, &n) in h.iter().enumerate() {
+            if n > 0 {
+                ev = ev.num(&format!("b{k}"), n);
+            }
+        }
+        sink.emit(ev);
+    }
+}
+
+/// Emits the top-`n` `hot_block` events from a merged guest profile,
+/// mapped back to original-binary coordinates and symbolized through
+/// the triage enricher (symbols are `null` for stripped binaries).
+fn emit_hot_blocks(
+    sink: &mut teapot_telemetry::MetricsSink,
+    profile: &teapot_telemetry::BlockProfile,
+    prog: &teapot_vm::Program,
+    bin: &teapot_obj::Binary,
+    n: usize,
+) {
+    let enricher = teapot_triage::Enricher::new(bin, prog);
+    for (rank, b) in profile.top(n).iter().enumerate() {
+        let orig = prog
+            .meta()
+            .and_then(|m| m.to_original(b.start))
+            .unwrap_or(b.start);
+        let sym = enricher.symbolize(orig);
+        sink.emit(
+            teapot_telemetry::Event::new("hot_block")
+                .num("rank", rank as u64 + 1)
+                .hex("pc", b.start)
+                .hex("end", b.end)
+                .hex("orig_pc", orig)
+                .opt_str("symbol", sym.as_deref())
+                .num("cost", b.cost)
+                .num("insts", b.insts)
+                .num("hits", b.hits),
+        );
+    }
+}
+
+/// The `triage` telemetry event shared by `campaign --metrics` and
+/// `triage --metrics`.
+fn triage_event(
+    db: &teapot_triage::TriageDb,
+    stats: &teapot_triage::TriageStats,
+    times: &teapot_triage::TriagePhaseTimes,
+) -> teapot_telemetry::Event {
+    teapot_telemetry::Event::new("triage")
+        .num("replays", stats.replays)
+        .num("minimize_steps", stats.minimize_steps)
+        .num("witnesses", stats.witnesses as u64)
+        .num("replay_failures", stats.replay_failures as u64)
+        .num("dedup_collapses", db.dedup_collapses())
+        .num("root_causes", db.entries().len() as u64)
+        .num("replay_ms", times.replay_ms)
+        .num("minimize_ms", times.minimize_ms)
+}
+
+/// Extracts the raw text of a top-level field from one flat telemetry
+/// JSONL line. The schema guarantees no nested objects and
+/// identifier-shaped strings (no escaped quotes), which is what makes
+/// this string scan sound.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    if let Some(s) = rest.strip_prefix('"') {
+        Some(&s[..s.find('"')?])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(&rest[..end])
+    }
+}
+
+fn json_num(line: &str, key: &str) -> Option<u64> {
+    json_field(line, key)?.parse().ok()
+}
+
+/// Splits one flat all-numeric telemetry line (`counters`) into
+/// `(key, value)` pairs, skipping the `event` tag.
+fn json_pairs(line: &str) -> Vec<(String, String)> {
+    line.trim()
+        .trim_start_matches('{')
+        .trim_end_matches('}')
+        .split(',')
+        .filter_map(|kv| {
+            let (k, v) = kv.split_once(':')?;
+            let k = k.trim().trim_matches('"');
+            if k == "event" {
+                return None;
+            }
+            Some((k.to_string(), v.trim().trim_matches('"').to_string()))
+        })
+        .collect()
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -312,6 +455,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "--json",
                 "--triage",
                 "--sarif",
+                "--metrics",
             ] {
                 if flag(args, name) && opt(args, name).is_none() {
                     return Err(format!("{name} requires a value"));
@@ -320,12 +464,16 @@ fn run(args: &[String]) -> Result<(), String> {
             let (cfg, seeds) = campaign_config_from_args(args)?;
             let triage_opts = teapot_triage::TriageOptions::default();
             let run_triage = !flag(args, "--no-triage");
+            let metrics_path = opt(args, "--metrics");
 
             // Queue mode: a directory of .tof binaries.
             if std::path::Path::new(target).is_dir() {
-                if opt(args, "--resume").is_some() || opt(args, "--snapshot").is_some() {
-                    return Err("--resume/--snapshot are only supported for \
-                         single-binary campaigns"
+                if opt(args, "--resume").is_some()
+                    || opt(args, "--snapshot").is_some()
+                    || metrics_path.is_some()
+                {
+                    return Err("--resume/--snapshot/--metrics are only supported \
+                         for single-binary campaigns"
                         .into());
                 }
                 let outcomes =
@@ -365,8 +513,11 @@ fn run(args: &[String]) -> Result<(), String> {
 
             // Single-binary mode, optionally resumed from a snapshot.
             let bin = load(target)?;
+            let total_watch = teapot_telemetry::Stopwatch::new();
             // One decode pass serves every shard on every worker thread.
+            let decode_watch = teapot_telemetry::Stopwatch::new();
             let prog = teapot_vm::Program::shared(&bin);
+            let decode_ms = decode_watch.ms();
             let mut campaign = match opt(args, "--resume") {
                 Some(snap_path) => {
                     // The snapshot's config defines the campaign; only
@@ -405,6 +556,30 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 None => teapot_campaign::Campaign::new(cfg).map_err(|e| e.to_string())?,
             };
+            if let Some(path) = metrics_path {
+                let mut sink = teapot_telemetry::MetricsSink::create(std::path::Path::new(path))
+                    .map_err(|e| format!("create {path}: {e}"))?;
+                let c = campaign.config();
+                sink.emit(
+                    teapot_telemetry::Event::new("meta")
+                        .num("schema", 1)
+                        .str_field("binary", &file_label(target))
+                        .num("seed", c.seed)
+                        .num("shards", u64::from(c.shards))
+                        .num("epochs", u64::from(c.epochs))
+                        .num("iters_per_epoch", c.iters_per_epoch)
+                        .str_field("models", &c.models.to_string())
+                        .num("workers", c.effective_workers() as u64),
+                );
+                sink.emit(
+                    teapot_telemetry::Event::new("span")
+                        .str_field("name", "decode")
+                        .num("wall_ms", decode_ms),
+                );
+                campaign.set_metrics(sink);
+                campaign.set_heartbeat(true);
+                campaign.set_block_profiling(true);
+            }
             // Throughput must count only the work done in this process:
             // a resumed campaign's report includes pre-resume iterations.
             let pre_iters = campaign.report().iters;
@@ -412,6 +587,19 @@ fn run(args: &[String]) -> Result<(), String> {
             let report = campaign.run_shared(&prog, &seeds);
             let secs = started.elapsed().as_secs_f64();
             let ran_here = report.iters - pre_iters;
+            let mut sink = campaign.take_metrics();
+            if let Some(s) = &mut sink {
+                s.emit(
+                    teapot_telemetry::Event::new("span")
+                        .str_field("name", "campaign")
+                        .num("wall_ms", (secs * 1000.0) as u64),
+                );
+                emit_vm_metrics(s, &campaign.vm_counters());
+                emit_cost_hists(s, &campaign.cost_histograms());
+                if let Some(p) = campaign.merged_profile() {
+                    emit_hot_blocks(s, &p, &prog, &bin, 32);
+                }
+            }
             if let Some(snap_out) = opt(args, "--snapshot") {
                 campaign
                     .snapshot(&bin)
@@ -431,9 +619,13 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             let ds = prog.stats();
             println!(
-                "decode cache: {} blocks, {} instructions, {} bytes decoded \
-                 once and shared by all shards",
-                ds.blocks, ds.insts, ds.bytes
+                "{}",
+                teapot_telemetry::format_decode_cache(
+                    ds.blocks as u64,
+                    ds.insts as u64,
+                    ds.bytes as u64,
+                    ds.undecoded_bytes as u64
+                )
             );
             println!(
                 "coverage: {} normal features, {} speculative features",
@@ -451,14 +643,39 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("wrote {out}");
             }
             if run_triage {
-                let (db, stats) = teapot_triage::triage_report(
+                let triage_watch = teapot_telemetry::Stopwatch::new();
+                let (db, stats, times) = teapot_triage::triage_report_timed(
                     &file_label(target),
                     &bin,
                     campaign.config(),
                     &report,
                     &triage_opts,
                 );
+                if let Some(s) = &mut sink {
+                    s.emit(
+                        teapot_telemetry::Event::new("span")
+                            .str_field("name", "triage")
+                            .num("wall_ms", triage_watch.ms()),
+                    );
+                    s.emit(triage_event(&db, &stats, &times));
+                }
                 emit_triage(&db, &stats, opt(args, "--triage"), opt(args, "--sarif"))?;
+            }
+            if let Some(mut s) = sink {
+                s.emit(
+                    teapot_telemetry::Event::new("summary")
+                        .num("wall_ms", total_watch.ms())
+                        .num("execs", ran_here)
+                        .fnum("execs_per_sec", ran_here as f64 / secs.max(1e-9))
+                        .num("unique_gadgets", report.unique_gadgets() as u64)
+                        .opt_num(
+                            "time_to_first_gadget_execs",
+                            campaign.time_to_first_gadget_execs(),
+                        ),
+                );
+                let path = s.path().display().to_string();
+                s.finish().map_err(|e| format!("write {path}: {e}"))?;
+                println!("wrote metrics {path}");
             }
             Ok(())
         }
@@ -475,6 +692,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "--iters",
                 "--workload",
                 "--spec-models",
+                "--metrics",
             ] {
                 if flag(args, name) && opt(args, name).is_none() {
                     return Err(format!("{name} requires a value"));
@@ -486,7 +704,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 ..Default::default()
             };
             let path = std::path::Path::new(target);
-            let (db, stats) = if path.is_dir() {
+            let mut models_label = cfg.models.to_string();
+            let triage_watch = teapot_telemetry::Stopwatch::new();
+            let (db, stats, times) = if path.is_dir() {
                 // Queue directory: campaign every .tof, triage across
                 // all of them (cross-binary root-cause dedup).
                 let outcomes = teapot_campaign::queue::run_queue(path, &cfg, &seeds)
@@ -495,7 +715,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     println!("no .tof binaries found in {target}");
                     return Ok(());
                 }
-                teapot_triage::triage_queue(&outcomes, &cfg, &opts)
+                teapot_triage::triage_queue_timed(&outcomes, &cfg, &opts)
             } else if target.ends_with(".tcs") {
                 // A finished campaign snapshot: triage its recorded
                 // witnesses without re-fuzzing. The binary it was taken
@@ -530,7 +750,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 let campaign = teapot_campaign::Campaign::resume(&snap, &bin)
                     .map_err(|e| resume_error(target, bin_path, e))?;
                 let report = campaign.report();
-                teapot_triage::triage_report(
+                models_label = campaign.config().models.to_string();
+                teapot_triage::triage_report_timed(
                     &file_label(bin_path),
                     &bin,
                     campaign.config(),
@@ -547,9 +768,178 @@ fn run(args: &[String]) -> Result<(), String> {
                     report.iters,
                     report.unique_gadgets()
                 );
-                teapot_triage::triage_report(&file_label(target), &bin, &cfg, &report, &opts)
+                teapot_triage::triage_report_timed(&file_label(target), &bin, &cfg, &report, &opts)
             };
+            if let Some(mp) = opt(args, "--metrics") {
+                let mut sink = teapot_telemetry::MetricsSink::create(std::path::Path::new(mp))
+                    .map_err(|e| format!("create {mp}: {e}"))?;
+                sink.emit(
+                    teapot_telemetry::Event::new("meta")
+                        .num("schema", 1)
+                        .str_field("binary", &file_label(target))
+                        .str_field("models", &models_label),
+                );
+                sink.emit(
+                    teapot_telemetry::Event::new("span")
+                        .str_field("name", "triage")
+                        .num("wall_ms", triage_watch.ms()),
+                );
+                sink.emit(triage_event(&db, &stats, &times));
+                sink.finish().map_err(|e| format!("write {mp}: {e}"))?;
+                println!("wrote metrics {mp}");
+            }
             emit_triage(&db, &stats, opt(args, "--jsonl"), opt(args, "--sarif"))?;
+            Ok(())
+        }
+        "stats" => {
+            let input = args
+                .get(1)
+                .ok_or("usage: stats <metrics.jsonl> [--top N]")?;
+            if flag(args, "--top") && opt(args, "--top").is_none() {
+                return Err("--top requires a value".into());
+            }
+            let top: usize = parse_num(args, "--top", 10_usize)?;
+            let text = std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?;
+
+            let mut meta = None;
+            let mut spans = Vec::new();
+            let mut epochs = Vec::new();
+            let mut counters = Vec::new();
+            let mut hot = Vec::new();
+            let mut firsts = Vec::new();
+            let mut triage = None;
+            let mut summary = None;
+            for line in text.lines() {
+                let Some(ev) = json_field(line, "event") else {
+                    continue;
+                };
+                match ev {
+                    "meta" => meta = Some(line),
+                    "span" => {
+                        if let (Some(n), Some(ms)) =
+                            (json_field(line, "name"), json_num(line, "wall_ms"))
+                        {
+                            spans.push(format!("{n} {ms} ms"));
+                        }
+                    }
+                    "epoch" => epochs.push((
+                        json_num(line, "epoch").unwrap_or(0),
+                        json_num(line, "execs").unwrap_or(0),
+                        json_num(line, "corpus").unwrap_or(0),
+                        json_num(line, "unique_gadgets").unwrap_or(0),
+                        json_num(line, "wall_ms").unwrap_or(0),
+                    )),
+                    "counters" => counters = json_pairs(line),
+                    "hot_block" => hot.push((
+                        json_num(line, "rank").unwrap_or(0),
+                        json_field(line, "pc").unwrap_or("?").to_string(),
+                        json_field(line, "orig_pc").unwrap_or("?").to_string(),
+                        json_field(line, "symbol")
+                            .filter(|s| *s != "null")
+                            .unwrap_or("-")
+                            .to_string(),
+                        json_num(line, "cost").unwrap_or(0),
+                        json_num(line, "insts").unwrap_or(0),
+                        json_num(line, "hits").unwrap_or(0),
+                    )),
+                    "gadget_first_seen" => firsts.push(format!(
+                        "exec {} at {} ({}, shard {})",
+                        json_num(line, "exec").unwrap_or(0),
+                        json_field(line, "pc").unwrap_or("?"),
+                        json_field(line, "model").unwrap_or("?"),
+                        json_num(line, "shard").unwrap_or(0),
+                    )),
+                    "triage" => triage = Some(line),
+                    "summary" => summary = Some(line),
+                    _ => {}
+                }
+            }
+
+            let Some(m) = meta else {
+                return Err(format!(
+                    "{input}: no `meta` event found (expected a --metrics JSONL stream)"
+                ));
+            };
+            let bin = json_field(m, "binary").unwrap_or("?");
+            let models = json_field(m, "models").unwrap_or("?");
+            match (
+                json_num(m, "seed"),
+                json_num(m, "shards"),
+                json_num(m, "epochs"),
+                json_num(m, "iters_per_epoch"),
+                json_num(m, "workers"),
+            ) {
+                (Some(seed), Some(shards), Some(eps), Some(iters), Some(workers)) => println!(
+                    "{bin}: seed {seed}, {shards} shard(s) x {eps} epoch(s) x \
+                     {iters} iters/epoch, models {models}, {workers} worker(s)"
+                ),
+                _ => println!("{bin}: models {models}"),
+            }
+            if !spans.is_empty() {
+                println!("phases: {}", spans.join(", "));
+            }
+            if !epochs.is_empty() {
+                println!("\nepoch     execs    corpus   gadgets   wall_ms");
+                for (e, x, c, g, w) in &epochs {
+                    println!("{e:>5} {x:>9} {c:>9} {g:>9} {w:>9}");
+                }
+            }
+            if !counters.is_empty() {
+                println!("\nvm counters (all shards):");
+                let width = counters.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+                for (k, v) in &counters {
+                    println!("  {k:<width$}  {v:>12}");
+                }
+            }
+            if !hot.is_empty() {
+                println!(
+                    "\nhot blocks (top {} of {}):",
+                    top.min(hot.len()),
+                    hot.len()
+                );
+                println!(" rank         pc    orig_pc        cost     insts      hits  symbol");
+                for (rank, pc, orig, sym, cost, insts, hits) in hot.iter().take(top) {
+                    println!(
+                        "{rank:>5} {pc:>10} {orig:>10} {cost:>11} {insts:>9} {hits:>9}  {sym}"
+                    );
+                }
+            }
+            if !firsts.is_empty() {
+                println!("\nfirst gadget sightings:");
+                for f in firsts.iter().take(5) {
+                    println!("  {f}");
+                }
+                if firsts.len() > 5 {
+                    println!("  ... and {} more", firsts.len() - 5);
+                }
+            }
+            if let Some(t) = triage {
+                println!(
+                    "\ntriage: {} root cause(s) from {} witness(es); {} replays \
+                     ({} minimization candidates), {} dedup collapse(s), \
+                     {} ms replaying ({} ms minimizing)",
+                    json_num(t, "root_causes").unwrap_or(0),
+                    json_num(t, "witnesses").unwrap_or(0),
+                    json_num(t, "replays").unwrap_or(0),
+                    json_num(t, "minimize_steps").unwrap_or(0),
+                    json_num(t, "dedup_collapses").unwrap_or(0),
+                    json_num(t, "replay_ms").unwrap_or(0),
+                    json_num(t, "minimize_ms").unwrap_or(0),
+                );
+            }
+            if let Some(s) = summary {
+                let ttf = json_num(s, "time_to_first_gadget_execs")
+                    .map(|n| format!("{n} execs"))
+                    .unwrap_or_else(|| "n/a".into());
+                println!(
+                    "\nsummary: {} execs in {} ms ({} execs/sec), {} unique \
+                     gadget(s), first gadget after {ttf}",
+                    json_num(s, "execs").unwrap_or(0),
+                    json_num(s, "wall_ms").unwrap_or(0),
+                    json_field(s, "execs_per_sec").unwrap_or("?"),
+                    json_num(s, "unique_gadgets").unwrap_or(0),
+                );
+            }
             Ok(())
         }
         "dis" => {
@@ -603,9 +993,11 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20          [--iters N] [--seed S] [--workload name] [--spectaint]\n\
                  \x20          [--spec-models M] [--resume snap.tcs] [--snapshot snap.tcs]\n\
                  \x20          [--json out.json] [--triage out.jsonl] [--sarif out.sarif]\n\
-                 \x20          [--no-triage]\n\
+                 \x20          [--no-triage] [--metrics out.jsonl]\n\
                  \x20 triage <bin.tof|snap.tcs|dir> [--bin bin.tof] [--jsonl out]\n\
-                 \x20        [--sarif out] [--no-minimize] [campaign flags]\n\
+                 \x20        [--sarif out] [--no-minimize] [--metrics out.jsonl]\n\
+                 \x20        [campaign flags]\n\
+                 \x20 stats <metrics.jsonl> [--top N]\n\
                  \x20 dis <bin.tof>\n\
                  \n\
                  campaign: sharded parallel fuzzing with deterministic merging.\n\
@@ -629,6 +1021,15 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 --bin) triages recorded witnesses; a directory queues + triages\n\
                  \x20 every .tof with cross-binary dedup. Output is byte-identical\n\
                  \x20 for any --workers count.\n\
+                 \n\
+                 telemetry: --metrics out.jsonl streams flat JSON-per-line events\n\
+                 \x20 (per-epoch progress, per-shard VM counters, a symbolized guest\n\
+                 \x20 hot-block profile, triage and phase-timing summaries — schema in\n\
+                 \x20 the teapot-telemetry crate docs; first line is `meta` with\n\
+                 \x20 `\"schema\":1`), plus a per-epoch stderr heartbeat. Telemetry is\n\
+                 \x20 zero-perturbation: campaign JSON, triage JSONL/text and SARIF\n\
+                 \x20 are byte-identical with and without --metrics. `teapot stats`\n\
+                 \x20 renders a metrics stream as a run summary (--top N hot blocks).\n\
                  \n\
                  workloads: jsmn libyaml libhtp brotli openssl\n\
                  \x20          spectre-rsb spectre-stl (planted specmodel ground truth)"

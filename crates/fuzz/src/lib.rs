@@ -43,6 +43,7 @@ use teapot_obj::Binary;
 use teapot_rt::{
     CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport, GadgetWitness, SpecModelSet,
 };
+use teapot_telemetry::{BlockProfile, Histogram, VmCounters};
 use teapot_vm::{
     EmuStyle, ExecContext, ExitStatus, HeurStyle, Machine, Program, RunOptions, SpecHeuristics,
 };
@@ -274,6 +275,15 @@ pub struct CampaignState {
     /// hands each worker's context from binary N to binary N+1); bound
     /// to this campaign's program on first use.
     spare_ctx: Option<ExecContext>,
+    /// Discovery timeline: `(1-based execution ordinal, key)` for every
+    /// first-seen gadget, in discovery order. Telemetry only — never
+    /// snapshotted, never read back by the campaign itself.
+    gadget_timeline: Vec<(u64, GadgetKey)>,
+    /// Whether the pooled context attributes executed cost to basic
+    /// blocks (the guest hot-site profiler). Observation-only.
+    profile_blocks: bool,
+    /// Log2-bucketed per-run cost distribution. Telemetry only.
+    cost_hist: Histogram,
 }
 
 struct ExecSlot {
@@ -308,6 +318,9 @@ impl CampaignState {
             score_total: 0,
             exec: None,
             spare_ctx: None,
+            gadget_timeline: Vec::new(),
+            profile_blocks: false,
+            cost_hist: Histogram::default(),
         })
     }
 
@@ -529,6 +542,44 @@ impl CampaignState {
         self.spare_ctx = Some(ctx);
     }
 
+    /// Enables or disables the guest hot-site profiler on the pooled
+    /// execution context. Attribution is observation-only: profiling
+    /// never changes what the campaign computes.
+    pub fn set_block_profiling(&mut self, on: bool) {
+        self.profile_blocks = on;
+        if let Some(slot) = &mut self.exec {
+            slot.ctx.set_profiling(on, &slot.prog);
+        }
+    }
+
+    /// Discovery timeline: `(1-based execution ordinal, key)` for each
+    /// first-seen gadget, in discovery order.
+    pub fn gadget_timeline(&self) -> &[(u64, GadgetKey)] {
+        &self.gadget_timeline
+    }
+
+    /// Accumulated VM telemetry counters for this shard's pooled
+    /// context (zeros before the first execution).
+    pub fn vm_counters(&self) -> VmCounters {
+        self.exec
+            .as_ref()
+            .map(|s| s.ctx.counters_snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Per-block cost attribution, when [`set_block_profiling`] is on
+    /// and at least one run has executed.
+    ///
+    /// [`set_block_profiling`]: CampaignState::set_block_profiling
+    pub fn block_profile(&self) -> Option<&BlockProfile> {
+        self.exec.as_ref().and_then(|s| s.ctx.profile())
+    }
+
+    /// Log2-bucketed distribution of per-run execution cost.
+    pub fn cost_histogram(&self) -> &Histogram {
+        &self.cost_hist
+    }
+
     /// Summarizes the campaign so far.
     pub fn result(&self) -> CampaignResult {
         CampaignResult {
@@ -571,6 +622,7 @@ impl CampaignState {
                 None => ExecContext::new(prog),
             };
             ctx.set_witness_recording(self.cfg.capture_witnesses);
+            ctx.set_profiling(self.profile_blocks, prog);
             self.exec = Some(ExecSlot {
                 prog: prog.clone(),
                 ctx,
@@ -596,11 +648,15 @@ impl CampaignState {
         let stats =
             Machine::with_context(&slot.prog, &mut slot.ctx, opts).run_stats(&mut self.heur);
         self.total_cost += stats.cost;
+        self.cost_hist.record(stats.cost);
         if matches!(stats.status, ExitStatus::Fault(_) | ExitStatus::Abort) {
             self.crashes += 1;
         }
         for g in slot.ctx.take_gadgets() {
             if self.gadget_keys.insert(g.key) {
+                // Callers bump `iters` after this returns, so the
+                // discovering run's 1-based ordinal is `iters + 1`.
+                self.gadget_timeline.push((self.iters + 1, g.key));
                 *self.buckets.entry(g.bucket()).or_insert(0) += 1;
                 if self.cfg.capture_witnesses {
                     let mut heur_counts = self.heur_scratch.clone();
@@ -1053,6 +1109,64 @@ mod tests {
         assert_eq!(a.corpus_len, b.corpus_len);
         assert_eq!(a.cov_normal_features, b.cov_normal_features);
         assert_eq!(a.cov_spec_features, b.cov_spec_features);
+    }
+
+    #[test]
+    fn profiling_never_changes_campaign_results() {
+        let bin = instrumented(GATED);
+        let cfg = FuzzConfig {
+            max_iters: 300,
+            ..FuzzConfig::default()
+        };
+        let prog = Program::shared(&bin);
+
+        let run = |profile: bool| {
+            let mut st = CampaignState::new(cfg.clone()).unwrap();
+            st.set_block_profiling(profile);
+            st.seed_corpus_shared(&prog, &[]);
+            let remaining = cfg.max_iters - st.iters();
+            st.run_iters_shared(&prog, remaining);
+            st
+        };
+        let a = run(true);
+        let b = run(false);
+        let (ra, rb) = (a.result(), b.result());
+        assert_eq!(ra.gadgets, rb.gadgets);
+        assert_eq!(ra.total_cost, rb.total_cost);
+        assert_eq!(ra.corpus_len, rb.corpus_len);
+        assert_eq!(ra.cov_normal_features, rb.cov_normal_features);
+        assert_eq!(ra.cov_spec_features, rb.cov_spec_features);
+        // The VM counters themselves are identical too: attribution
+        // observes the run, it never steers it.
+        assert_eq!(a.vm_counters(), b.vm_counters());
+        assert_eq!(a.gadget_timeline(), b.gadget_timeline());
+        // And the profiled side actually attributed the work.
+        let p = a.block_profile().expect("profiling enabled");
+        assert!(p.total_cost() > 0, "profiler attributed cost");
+        assert!(b.block_profile().is_none());
+        assert_eq!(a.cost_histogram().count(), ra.iters);
+    }
+
+    #[test]
+    fn gadget_timeline_orders_first_discoveries() {
+        let bin = instrumented(GATED);
+        let cfg = FuzzConfig {
+            max_iters: 900,
+            max_input_len: 16,
+            ..FuzzConfig::default()
+        };
+        let mut st = CampaignState::new(cfg.clone()).unwrap();
+        st.seed_corpus(&bin, &[]);
+        let remaining = cfg.max_iters - st.iters();
+        st.run_iters(&bin, remaining);
+        assert!(!st.gadgets().is_empty());
+        let tl = st.gadget_timeline();
+        assert_eq!(tl.len(), st.gadgets().len());
+        for ((ord, key), g) in tl.iter().zip(st.gadgets()) {
+            assert_eq!(*key, g.key, "timeline mirrors discovery order");
+            assert!(*ord >= 1 && *ord <= st.iters());
+        }
+        assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0), "ordinals ascend");
     }
 
     #[test]

@@ -1,0 +1,706 @@
+//! `teapot-telemetry` — zero-perturbation observability for the whole
+//! Teapot pipeline: VM counters, campaign/triage tracing, a guest
+//! hot-site profiler, and a machine-readable metrics stream.
+//!
+//! The non-negotiable invariant (the telemetry extension of the witness
+//! recorder's contract) is **zero perturbation**: enabling telemetry
+//! never changes what the pipeline computes. Campaign JSON, triage
+//! JSONL, ranked text and SARIF are byte-identical with and without
+//! `--metrics`, for every speculation-model set and worker count
+//! (pinned by `tests/telemetry_differential.rs`). The design that makes
+//! this trivially true: the VM *counts always* — plain integer
+//! increments whose values never feed back into execution — and
+//! telemetry-on differs only in *emission* (the JSONL stream, the
+//! stderr heartbeat, the per-block profile). Wall-clock time appears
+//! only in telemetry output, never in reports.
+//!
+//! # The metrics JSONL schema
+//!
+//! `teapot campaign --metrics out.jsonl` (and `teapot triage
+//! --metrics`) stream one **flat** JSON object per line — no nested
+//! arrays or objects, so line-oriented tools (and `teapot stats`) can
+//! consume the file without a full JSON parser. Every line carries an
+//! `"event"` key; the first line is always `meta` with `"schema": 1`.
+//! Wall-clock fields are suffixed `_ms` and are the only
+//! non-deterministic values in the stream.
+//!
+//! | event | keys |
+//! |---|---|
+//! | `meta` | `schema`, `binary`, `seed`, `shards`, `epochs`, `iters_per_epoch`, `models`, `workers` |
+//! | `span` | `name` (`decode` \| `campaign` \| `triage`), `wall_ms` |
+//! | `epoch` | `epoch`, `wall_ms`, `execs`, `corpus`, `unique_gadgets` (campaign-wide totals) |
+//! | `shard` | `epoch`, `shard`, `execs` (delta this epoch), `corpus`, `cov_normal`, `cov_spec`, `gadgets` |
+//! | `gadget_first_seen` | `shard`, `exec` (1-based ordinal within the shard), `pc`, `model` |
+//! | `vm` | `shard` + one key per [`VmCounters`] field (see [`VmCounters::for_each`]) |
+//! | `counters` | the merged registry snapshot: one key per registered counter, summed over shards |
+//! | `cost_hist` | `shard`, then `b<k>` = number of runs whose cost had `ilog2 == k` |
+//! | `hot_block` | `rank`, `pc`, `end`, `orig_pc`, `symbol` (or `null`), `cost`, `insts`, `hits` |
+//! | `triage` | `replays`, `minimize_steps`, `witnesses`, `replay_failures`, `dedup_collapses`, `root_causes`, `replay_ms`, `minimize_ms` |
+//! | `summary` | `wall_ms`, `execs`, `execs_per_sec`, `unique_gadgets`, `time_to_first_gadget_execs` (or `null`) |
+//!
+//! `time_to_first_gadget_execs` is deterministic by construction: it is
+//! the minimum over shards of the 1-based execution ordinal at which
+//! the shard first reported a gadget — a pure function of the campaign
+//! seed, never of worker count or wall-clock.
+
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Names of the three speculation models, in [`VmCounters`] array
+/// index order (the order `teapot-specmodel` assigns model bits).
+pub const MODEL_NAMES: [&str; 3] = ["pht", "rsb", "stl"];
+
+/// Accumulated VM execution counters.
+///
+/// The VM increments plain (non-atomic) per-run counters on its hot
+/// paths and folds them into the context's `VmCounters` accumulator at
+/// the end of every run; slab-level counters (TLB, page allocation)
+/// accumulate on the context-owned page slabs and are merged in by
+/// [`teapot-vm`]'s snapshot accessor. Counting is unconditional —
+/// telemetry-off merely never *reads* the values — which is what makes
+/// the zero-perturbation invariant structural rather than aspirational.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VmCounters {
+    /// Software-TLB hits across guest memory and both shadows.
+    pub tlb_hits: u64,
+    /// Software-TLB misses (region-table walks).
+    pub tlb_misses: u64,
+    /// Slab pages materialized (first touch of an absent page).
+    pub pages_allocated: u64,
+    /// Live-decode icache hits in the across-runs (read-only) tier.
+    pub icache_ro_hits: u64,
+    /// Live-decode icache hits in the per-run tier.
+    pub icache_run_hits: u64,
+    /// Instructions decoded live (both-tier icache misses).
+    pub live_decodes: u64,
+    /// Instructions retired through block-slice superinstruction
+    /// dispatch.
+    pub slice_insts: u64,
+    /// Instructions retired one `step()` at a time.
+    pub step_insts: u64,
+    /// Speculation checkpoints pushed, per model (see [`MODEL_NAMES`]).
+    pub checkpoints: [u64; 3],
+    /// Rollbacks executed, per model of the rolled-back window.
+    pub rollbacks: [u64; 3],
+    /// Windows squashed by the ROB instruction budget, per model.
+    pub rob_stops: [u64; 3],
+    /// Memory-log bytes replayed by rollbacks.
+    pub memlog_bytes_replayed: u64,
+}
+
+impl VmCounters {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &VmCounters) {
+        self.tlb_hits += other.tlb_hits;
+        self.tlb_misses += other.tlb_misses;
+        self.pages_allocated += other.pages_allocated;
+        self.icache_ro_hits += other.icache_ro_hits;
+        self.icache_run_hits += other.icache_run_hits;
+        self.live_decodes += other.live_decodes;
+        self.slice_insts += other.slice_insts;
+        self.step_insts += other.step_insts;
+        for i in 0..3 {
+            self.checkpoints[i] += other.checkpoints[i];
+            self.rollbacks[i] += other.rollbacks[i];
+            self.rob_stops[i] += other.rob_stops[i];
+        }
+        self.memlog_bytes_replayed += other.memlog_bytes_replayed;
+    }
+
+    /// Visits every counter as a `(name, value)` pair in the one
+    /// canonical order shared by the registry, the `vm` metrics event
+    /// and `teapot stats` — so the schema cannot drift between them.
+    pub fn for_each(&self, mut f: impl FnMut(&str, u64)) {
+        f("tlb_hits", self.tlb_hits);
+        f("tlb_misses", self.tlb_misses);
+        f("pages_allocated", self.pages_allocated);
+        f("icache_ro_hits", self.icache_ro_hits);
+        f("icache_run_hits", self.icache_run_hits);
+        f("live_decodes", self.live_decodes);
+        f("slice_insts", self.slice_insts);
+        f("step_insts", self.step_insts);
+        for (i, m) in MODEL_NAMES.iter().enumerate() {
+            f(&format!("checkpoints_{m}"), self.checkpoints[i]);
+        }
+        for (i, m) in MODEL_NAMES.iter().enumerate() {
+            f(&format!("rollbacks_{m}"), self.rollbacks[i]);
+        }
+        for (i, m) in MODEL_NAMES.iter().enumerate() {
+            f(&format!("rob_stops_{m}"), self.rob_stops[i]);
+        }
+        f("memlog_bytes_replayed", self.memlog_bytes_replayed);
+    }
+}
+
+/// Id of a counter registered in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// A lock-free registry of sharded counters.
+///
+/// Counters are registered once (single-threaded setup), then any
+/// number of threads may [`Registry::add`] to their own shard's cells
+/// concurrently — each `(shard, counter)` pair is an independent
+/// [`AtomicU64`], so there is no contention between shards and no lock
+/// anywhere. [`Registry::snapshot`] sums across shards in registration
+/// order, which makes the snapshot a pure function of the *values
+/// added*, independent of thread interleaving (pinned by a unit test
+/// below).
+pub struct Registry {
+    names: Vec<String>,
+    shards: usize,
+    /// Shard-major: `cells[shard * names.len() + counter]`.
+    cells: Vec<AtomicU64>,
+}
+
+impl Registry {
+    /// A registry with `shards` independent cell banks.
+    pub fn new(shards: usize) -> Registry {
+        Registry {
+            names: Vec::new(),
+            shards: shards.max(1),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Registers a named counter (setup phase, before concurrent use).
+    /// Re-registering a name returns the existing id.
+    pub fn register(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return CounterId(i);
+        }
+        self.names.push(name.to_string());
+        self.cells
+            .resize_with(self.names.len() * self.shards, AtomicU64::default);
+        CounterId(self.names.len() - 1)
+    }
+
+    /// Adds `v` to a counter in `shard`'s bank. Relaxed ordering: the
+    /// values are statistics, snapshot consistency comes from reading
+    /// after the writer threads joined.
+    pub fn add(&self, shard: usize, id: CounterId, v: u64) {
+        let w = self.names.len();
+        let cell = &self.cells[(shard % self.shards) * w + id.0];
+        cell.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// `(name, value)` pairs in registration order, each value summed
+    /// over shards.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let w = self.names.len();
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let total = (0..self.shards)
+                    .map(|s| self.cells[s * w + i].load(Ordering::Relaxed))
+                    .sum();
+                (n.clone(), total)
+            })
+            .collect()
+    }
+}
+
+/// A log2-bucketed histogram: `buckets[k]` counts samples whose value
+/// has `ilog2 == k` (`buckets[0]` also takes zero). Recording is one
+/// relaxed atomic add, so a shared histogram is safe from any thread.
+pub struct Histogram {
+    buckets: [AtomicU64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0u64; 65].map(AtomicU64::new),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let k = if v == 0 { 0 } else { v.ilog2() as usize + 1 };
+        self.buckets[k].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bucket counts; index `k > 0` holds samples in `[2^(k-1), 2^k)`.
+    pub fn snapshot(&self) -> [u64; 65] {
+        let mut out = [0u64; 65];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.snapshot().iter().sum()
+    }
+}
+
+/// Attributes executed cost to guest basic blocks (the hot-site
+/// profiler). Spans come from the predecoded `Program`'s block table
+/// (sorted, non-overlapping). When the whole code span is compact
+/// (≤ [`BlockProfile::MAX_INDEX_SPAN`] bytes — always, for rewritten
+/// `.tof` binaries) attribution is a single indexed load from a
+/// byte→block table; otherwise it falls back to one `partition_point`
+/// behind a last-block cache. Keeping `record` O(1) is what keeps the
+/// profiler inside the CI telemetry-overhead budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockProfile {
+    starts: Vec<u64>,
+    ends: Vec<u64>,
+    /// Per-block `[cost, insts, hits]`, one row so a `record` touches
+    /// one cache line instead of three parallel arrays.
+    rows: Vec<[u64; 3]>,
+    /// Cost attributed to no block (runtime stubs, undecoded bytes).
+    pub other_cost: u64,
+    /// Instructions attributed to no block.
+    pub other_insts: u64,
+    last: usize,
+    /// First block's start address (base of `index`).
+    base: u64,
+    /// `index[pc - base]` = block index + 1, 0 = no block; empty when
+    /// the code span exceeds [`BlockProfile::MAX_INDEX_SPAN`].
+    index: Vec<u32>,
+}
+
+/// One row of [`BlockProfile::top`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotBlock {
+    /// Block start address (rewritten coordinates).
+    pub start: u64,
+    /// Block end address (exclusive).
+    pub end: u64,
+    /// Cost units attributed to the block.
+    pub cost: u64,
+    /// Instructions attributed to the block.
+    pub insts: u64,
+    /// Dispatch visits that started in the block.
+    pub hits: u64,
+}
+
+impl BlockProfile {
+    /// Largest code span (bytes) the O(1) byte→block table is built
+    /// for; 4 MiB of `u32` slots. Larger programs use the search path.
+    pub const MAX_INDEX_SPAN: u64 = 1 << 20;
+
+    /// A zeroed profile over `blocks` (sorted `(start, end)` spans).
+    pub fn new(blocks: &[(u64, u64)]) -> BlockProfile {
+        let (base, index) = match (blocks.first(), blocks.last()) {
+            (Some(&(lo, _)), Some(&(_, hi)))
+                if hi > lo && hi - lo <= BlockProfile::MAX_INDEX_SPAN =>
+            {
+                let mut index = vec![0u32; (hi - lo) as usize];
+                for (i, &(bs, be)) in blocks.iter().enumerate() {
+                    for slot in &mut index[(bs - lo) as usize..(be - lo) as usize] {
+                        *slot = i as u32 + 1;
+                    }
+                }
+                (lo, index)
+            }
+            _ => (0, Vec::new()),
+        };
+        BlockProfile {
+            starts: blocks.iter().map(|b| b.0).collect(),
+            ends: blocks.iter().map(|b| b.1).collect(),
+            rows: vec![[0; 3]; blocks.len()],
+            other_cost: 0,
+            other_insts: 0,
+            last: 0,
+            base,
+            index,
+        }
+    }
+
+    /// Whether this profile was built over the same block table.
+    pub fn same_blocks(&self, blocks: &[(u64, u64)]) -> bool {
+        self.starts.len() == blocks.len()
+            && blocks
+                .iter()
+                .enumerate()
+                .all(|(i, b)| self.starts[i] == b.0 && self.ends[i] == b.1)
+    }
+
+    /// Attributes `cost`/`insts` executed starting at `pc` to the block
+    /// containing `pc`.
+    #[inline]
+    pub fn record(&mut self, pc: u64, cost: u64, insts: u64) {
+        if cost == 0 && insts == 0 {
+            return;
+        }
+        if !self.index.is_empty() {
+            let off = pc.wrapping_sub(self.base);
+            let slot = match self.index.get(off as usize) {
+                Some(&s) => s,
+                None => 0,
+            };
+            if slot > 0 {
+                let row = &mut self.rows[(slot - 1) as usize];
+                row[0] += cost;
+                row[1] += insts;
+                row[2] += 1;
+            } else {
+                self.other_cost += cost;
+                self.other_insts += insts;
+            }
+            return;
+        }
+        let i = self.last;
+        if i < self.starts.len() && self.starts[i] <= pc && pc < self.ends[i] {
+            let row = &mut self.rows[i];
+            row[0] += cost;
+            row[1] += insts;
+            row[2] += 1;
+            return;
+        }
+        let p = self.starts.partition_point(|&s| s <= pc);
+        if p > 0 && pc < self.ends[p - 1] {
+            self.last = p - 1;
+            let row = &mut self.rows[p - 1];
+            row[0] += cost;
+            row[1] += insts;
+            row[2] += 1;
+        } else {
+            self.other_cost += cost;
+            self.other_insts += insts;
+        }
+    }
+
+    /// Accumulates another profile over the same block table.
+    pub fn merge(&mut self, other: &BlockProfile) {
+        debug_assert_eq!(self.starts.len(), other.starts.len());
+        for i in 0..self.rows.len().min(other.rows.len()) {
+            for k in 0..3 {
+                self.rows[i][k] += other.rows[i][k];
+            }
+        }
+        self.other_cost += other.other_cost;
+        self.other_insts += other.other_insts;
+    }
+
+    /// Total cost recorded (blocks + other).
+    pub fn total_cost(&self) -> u64 {
+        self.rows.iter().map(|r| r[0]).sum::<u64>() + self.other_cost
+    }
+
+    /// The `n` hottest blocks by cost (ties broken by address), hottest
+    /// first. Blocks never executed are excluded.
+    pub fn top(&self, n: usize) -> Vec<HotBlock> {
+        let mut rows: Vec<HotBlock> = (0..self.starts.len())
+            .filter(|&i| self.rows[i][0] > 0 || self.rows[i][1] > 0)
+            .map(|i| HotBlock {
+                start: self.starts[i],
+                end: self.ends[i],
+                cost: self.rows[i][0],
+                insts: self.rows[i][1],
+                hits: self.rows[i][2],
+            })
+            .collect();
+        rows.sort_by(|a, b| (b.cost, a.start).cmp(&(a.cost, b.start)));
+        rows.truncate(n);
+        rows
+    }
+}
+
+/// Wall-clock span timer. Values from it may only ever be written into
+/// telemetry output (`*_ms` fields) — never into reports.
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Milliseconds elapsed.
+    pub fn ms(&self) -> u64 {
+        self.0.elapsed().as_millis() as u64
+    }
+
+    /// Seconds elapsed.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Builder for one flat metrics event (one JSONL line).
+pub struct Event {
+    buf: String,
+}
+
+impl Event {
+    /// Starts an event of the given kind (`{"event":"<kind>"`).
+    pub fn new(kind: &str) -> Event {
+        let mut buf = String::with_capacity(96);
+        buf.push_str("{\"event\":\"");
+        buf.push_str(kind);
+        buf.push('"');
+        Event { buf }
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn num(mut self, key: &str, v: u64) -> Event {
+        self.push_key(key);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (3 decimal places, deterministic format).
+    pub fn fnum(mut self, key: &str, v: f64) -> Event {
+        self.push_key(key);
+        self.buf.push_str(&format!("{v:.3}"));
+        self
+    }
+
+    /// Adds a hex-rendered address field (as a JSON string).
+    pub fn hex(mut self, key: &str, v: u64) -> Event {
+        self.push_key(key);
+        self.buf.push_str(&format!("\"{v:#x}\""));
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str_field(mut self, key: &str, v: &str) -> Event {
+        self.push_key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an optional integer field (`null` when absent).
+    pub fn opt_num(mut self, key: &str, v: Option<u64>) -> Event {
+        self.push_key(key);
+        match v {
+            Some(v) => self.buf.push_str(&v.to_string()),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Adds an optional string field (`null` when absent).
+    pub fn opt_str(self, key: &str, v: Option<&str>) -> Event {
+        match v {
+            Some(s) => self.str_field(key, s),
+            None => {
+                let mut e = self;
+                e.push_key(key);
+                e.buf.push_str("null");
+                e
+            }
+        }
+    }
+
+    fn push_key(&mut self, key: &str) {
+        self.buf.push_str(",\"");
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+    }
+
+    /// The finished JSON line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Minimal JSON string escaping (mirrors the campaign renderer's rules;
+/// kept local so this crate stays dependency-free).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A buffered JSONL metrics stream. Writes are best-effort: an I/O
+/// error after creation is remembered and reported by
+/// [`MetricsSink::finish`], but never interrupts the pipeline —
+/// telemetry must not perturb the run it observes.
+pub struct MetricsSink {
+    w: BufWriter<std::fs::File>,
+    path: PathBuf,
+    err: Option<std::io::Error>,
+}
+
+impl MetricsSink {
+    /// Creates (truncates) the metrics file.
+    pub fn create(path: &Path) -> std::io::Result<MetricsSink> {
+        let f = std::fs::File::create(path)?;
+        Ok(MetricsSink {
+            w: BufWriter::new(f),
+            path: path.to_path_buf(),
+            err: None,
+        })
+    }
+
+    /// The path this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Writes one event line.
+    pub fn emit(&mut self, ev: Event) {
+        if self.err.is_some() {
+            return;
+        }
+        let line = ev.finish();
+        if let Err(e) = self
+            .w
+            .write_all(line.as_bytes())
+            .and_then(|()| self.w.write_all(b"\n"))
+        {
+            self.err = Some(e);
+        }
+    }
+
+    /// Flushes and reports any deferred write error.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()
+    }
+}
+
+/// The one canonical rendering of decode-cache statistics, used by the
+/// CLI and the bench harness (previously two hand-rolled near-twins).
+pub fn format_decode_cache(blocks: u64, insts: u64, bytes: u64, undecoded_bytes: u64) -> String {
+    format!(
+        "decode cache: {blocks} blocks, {insts} instructions, {bytes} bytes decoded \
+         once and shared by all shards ({undecoded_bytes} bytes undecoded)"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_snapshot_is_deterministic_across_interleavings() {
+        // Same per-shard values added in different orders (simulating
+        // different thread schedules) snapshot identically.
+        let build = |order: &[(usize, u64)]| {
+            let mut r = Registry::new(4);
+            let a = r.register("alpha");
+            let b = r.register("beta");
+            for &(shard, v) in order {
+                r.add(shard, a, v);
+                r.add(shard, b, 2 * v);
+            }
+            r.snapshot()
+        };
+        let s1 = build(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let s2 = build(&[(3, 4), (1, 2), (0, 1), (2, 3)]);
+        assert_eq!(s1, s2);
+        assert_eq!(s1[0], ("alpha".to_string(), 10));
+        assert_eq!(s1[1], ("beta".to_string(), 20));
+        // Registration is idempotent.
+        let mut r = Registry::new(1);
+        let x = r.register("x");
+        assert_eq!(r.register("x"), x);
+    }
+
+    #[test]
+    fn vm_counters_merge_and_canonical_order() {
+        let mut a = VmCounters {
+            tlb_hits: 5,
+            ..VmCounters::default()
+        };
+        a.checkpoints[1] = 2;
+        let mut b = VmCounters {
+            tlb_hits: 3,
+            memlog_bytes_replayed: 7,
+            ..VmCounters::default()
+        };
+        b.checkpoints[1] = 1;
+        a.merge(&b);
+        assert_eq!(a.tlb_hits, 8);
+        assert_eq!(a.checkpoints[1], 3);
+        assert_eq!(a.memlog_bytes_replayed, 7);
+        // Canonical order is stable and starts with tlb_hits.
+        let mut names = Vec::new();
+        a.for_each(|n, _| names.push(n.to_string()));
+        assert_eq!(names[0], "tlb_hits");
+        assert_eq!(names.len(), 9 + 9);
+        assert!(names.contains(&"rollbacks_rsb".to_string()));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let s = h.snapshot();
+        assert_eq!(s[0], 1); // 0
+        assert_eq!(s[1], 1); // 1
+        assert_eq!(s[2], 2); // 2, 3
+        assert_eq!(s[11], 1); // 1024
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn block_profile_attributes_and_ranks() {
+        let blocks = [(0x100, 0x120), (0x120, 0x140), (0x200, 0x210)];
+        let mut p = BlockProfile::new(&blocks);
+        p.record(0x100, 10, 2);
+        p.record(0x138, 50, 5); // second block, via partition_point
+        p.record(0x138, 50, 5); // second block, via last-cache
+        p.record(0x1f0, 7, 1); // outside every block
+        p.record(0x200, 1, 1);
+        let top = p.top(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].start, 0x120);
+        assert_eq!(top[0].cost, 100);
+        assert_eq!(top[0].hits, 2);
+        assert_eq!(top[1].start, 0x100);
+        assert_eq!(p.other_cost, 7);
+        assert_eq!(p.total_cost(), 118);
+
+        let mut q = BlockProfile::new(&blocks);
+        q.record(0x105, 1, 1);
+        p.merge(&q);
+        assert_eq!(p.top(1)[0].cost, 100);
+        assert!(p.same_blocks(&blocks));
+        assert!(!p.same_blocks(&blocks[..2]));
+    }
+
+    #[test]
+    fn events_render_flat_json() {
+        let line = Event::new("meta")
+            .num("schema", 1)
+            .str_field("binary", "a\"b")
+            .opt_num("ttfg", None)
+            .hex("pc", 0x400100)
+            .fnum("eps", 12.5)
+            .finish();
+        assert_eq!(
+            line,
+            "{\"event\":\"meta\",\"schema\":1,\"binary\":\"a\\\"b\",\
+             \"ttfg\":null,\"pc\":\"0x400100\",\"eps\":12.500}"
+        );
+    }
+
+    #[test]
+    fn decode_cache_formatting_is_canonical() {
+        let s = format_decode_cache(3, 40, 200, 8);
+        assert!(s.starts_with("decode cache: 3 blocks, 40 instructions, 200 bytes"));
+        assert!(s.contains("(8 bytes undecoded)"));
+    }
+}

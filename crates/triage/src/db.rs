@@ -98,6 +98,10 @@ pub struct TriageDb {
     pub binaries: Vec<BinaryStats>,
     entries: Vec<TriageEntry>,
     finalized: bool,
+    /// Inserts that merged into an existing root cause instead of
+    /// creating a new entry. Telemetry only — never rendered into the
+    /// byte-pinned reports.
+    dedup_collapses: u64,
 }
 
 impl TriageDb {
@@ -116,6 +120,11 @@ impl TriageDb {
         self.entries.iter().map(|e| e.locations.len()).sum()
     }
 
+    /// How many inserts collapsed into an existing root cause.
+    pub fn dedup_collapses(&self) -> u64 {
+        self.dedup_collapses
+    }
+
     /// Adds a finding, merging it into an existing entry when the
     /// root-cause key matches: locations accumulate, severity takes the
     /// maximum, depth the minimum, and the canonical witness (first in
@@ -128,6 +137,7 @@ impl TriageDb {
             .iter_mut()
             .find(|e| e.root_cause == entry.root_cause)
         {
+            self.dedup_collapses += 1;
             existing.severity = existing.severity.max(entry.severity);
             existing.min_depth = existing.min_depth.min(entry.min_depth);
             existing.max_tainted_width = existing.max_tainted_width.max(entry.max_tainted_width);

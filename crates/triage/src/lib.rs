@@ -75,6 +75,7 @@ use teapot_campaign::queue::QueueOutcome;
 use teapot_campaign::{CampaignConfig, CampaignReport};
 use teapot_obj::Binary;
 use teapot_rt::{GadgetKey, GadgetReport, GadgetWitness};
+use teapot_telemetry::Stopwatch;
 use teapot_vm::Program;
 
 pub use db::{BinaryStats, TriageDb, TriageEntry, TriageLocation};
@@ -115,6 +116,20 @@ pub struct TriageStats {
     pub replay_failures: usize,
 }
 
+/// Wall-clock phase timing of a triage pass. Kept separate from
+/// [`TriageStats`] (which stays wall-clock-free and `Eq`-comparable):
+/// these values may only ever appear in telemetry output, never in the
+/// byte-pinned reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TriagePhaseTimes {
+    /// Milliseconds spent processing witnesses end to end (replay
+    /// validation plus minimization).
+    pub replay_ms: u64,
+    /// Milliseconds inside ddmin minimization alone (a subset of
+    /// `replay_ms`).
+    pub minimize_ms: u64,
+}
+
 /// One campaign to fold into a triage database.
 pub struct TriageInput<'a> {
     /// Label used in reports and location lists (file name in queue
@@ -137,7 +152,19 @@ pub fn triage_report(
     report: &CampaignReport,
     opts: &TriageOptions,
 ) -> (TriageDb, TriageStats) {
-    triage(
+    let (db, stats, _) = triage_report_timed(label, bin, config, report, opts);
+    (db, stats)
+}
+
+/// [`triage_report`] plus wall-clock phase timing for telemetry.
+pub fn triage_report_timed(
+    label: &str,
+    bin: &Binary,
+    config: &CampaignConfig,
+    report: &CampaignReport,
+    opts: &TriageOptions,
+) -> (TriageDb, TriageStats, TriagePhaseTimes) {
+    triage_timed(
         std::iter::once(TriageInput {
             label: label.to_string(),
             bin,
@@ -157,7 +184,17 @@ pub fn triage_queue(
     config: &CampaignConfig,
     opts: &TriageOptions,
 ) -> (TriageDb, TriageStats) {
-    triage(
+    let (db, stats, _) = triage_queue_timed(outcomes, config, opts);
+    (db, stats)
+}
+
+/// [`triage_queue`] plus wall-clock phase timing for telemetry.
+pub fn triage_queue_timed(
+    outcomes: &[QueueOutcome],
+    config: &CampaignConfig,
+    opts: &TriageOptions,
+) -> (TriageDb, TriageStats, TriagePhaseTimes) {
+    triage_timed(
         outcomes.iter().map(|o| TriageInput {
             label: o
                 .path
@@ -182,16 +219,28 @@ pub fn triage<'a>(
     inputs: impl IntoIterator<Item = TriageInput<'a>>,
     opts: &TriageOptions,
 ) -> (TriageDb, TriageStats) {
+    let (db, stats, _) = triage_timed(inputs, opts);
+    (db, stats)
+}
+
+/// [`triage`] plus wall-clock phase timing for telemetry. The timing is
+/// observation-only: the database and stats are identical to an untimed
+/// pass.
+pub fn triage_timed<'a>(
+    inputs: impl IntoIterator<Item = TriageInput<'a>>,
+    opts: &TriageOptions,
+) -> (TriageDb, TriageStats, TriagePhaseTimes) {
     let mut inputs: Vec<TriageInput<'a>> = inputs.into_iter().collect();
     inputs.sort_by(|a, b| a.label.cmp(&b.label));
 
     let mut db = TriageDb::new();
     let mut stats = TriageStats::default();
+    let mut times = TriagePhaseTimes::default();
     for input in &inputs {
-        triage_one(input, opts, &mut db, &mut stats);
+        triage_one(input, opts, &mut db, &mut stats, &mut times);
     }
     db.finalize();
-    (db, stats)
+    (db, stats, times)
 }
 
 fn triage_one(
@@ -199,6 +248,7 @@ fn triage_one(
     opts: &TriageOptions,
     db: &mut TriageDb,
     stats: &mut TriageStats,
+    times: &mut TriagePhaseTimes,
 ) {
     let report = input.report;
     let prog = Program::shared(input.bin);
@@ -221,16 +271,20 @@ fn triage_one(
         // minimize() performs the validation replay itself (its `None`
         // is exactly "the witness did not reproduce"), so the witness is
         // executed once, not twice.
+        let watch = Stopwatch::new();
         let (replayed, minimized, steps) = if opts.minimize {
-            match minimize(&mut rp, w, opts.max_minimize_steps) {
+            let r = match minimize(&mut rp, w, opts.max_minimize_steps) {
                 Some(m) => (true, Some(m.input), m.steps),
                 None => (false, None, 0),
-            }
+            };
+            times.minimize_ms += watch.ms();
+            r
         } else {
             let outcome = rp.replay(w);
             let minimized = outcome.reproduced.then(|| w.input.clone());
             (outcome.reproduced, minimized, 0)
         };
+        times.replay_ms += watch.ms();
         if !replayed {
             stats.replay_failures += 1;
         }

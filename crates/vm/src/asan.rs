@@ -103,6 +103,12 @@ impl AsanEngine {
         self.quarantine.clear();
     }
 
+    /// Telemetry snapshot of the poison shadow's slab:
+    /// `(tlb_hits, tlb_misses, pages_allocated)`.
+    pub(crate) fn telemetry_counts(&self) -> (u64, u64, u64) {
+        self.shadow.telemetry_counts()
+    }
+
     fn set_shadow(&mut self, addr: u64, len: u64, p: Poison) {
         self.shadow.fill(addr, len, p.to_byte());
     }

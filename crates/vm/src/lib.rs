@@ -57,3 +57,4 @@ pub use mem::{MemFault, PagedMem, PAGE_SIZE};
 pub use program::{DecodeStats, Program};
 pub use taint::TaintEngine;
 pub use teapot_rt::{SpecModel, SpecModelSet};
+pub use teapot_telemetry::{BlockProfile, HotBlock, VmCounters};

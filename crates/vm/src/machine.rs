@@ -41,6 +41,7 @@ use teapot_rt::{
     SpecModel, SpecModelSet, Tag, TraceEvent, MAX_TRACE_EVENTS,
 };
 use teapot_specmodel::{RSB_DEPTH, STL_WINDOW};
+use teapot_telemetry::{BlockProfile, VmCounters};
 
 /// Execution style of the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -301,6 +302,16 @@ pub struct ExecContext {
     /// Scratch buffer for live-decode fetches, so `read_for_decode`
     /// stops allocating a fresh `Vec` per fetch.
     decode_scratch: Vec<u8>,
+    /// Telemetry accumulator: per-run machine counters are folded in at
+    /// the end of every [`Machine::run_stats`]. Like `record_witness`
+    /// it is configuration/diagnostic state, survives
+    /// [`ExecContext::reset`], and is never read back during a run.
+    telemetry: VmCounters,
+    /// Hot-site profiler (attributes executed cost to basic blocks of
+    /// the bound program). `None` unless enabled; like the witness
+    /// recorder, profiling never changes an execution's observable
+    /// outcome.
+    profile: Option<Box<BlockProfile>>,
 }
 
 impl ExecContext {
@@ -325,6 +336,8 @@ impl ExecContext {
             icache_ro: teapot_rt::FxHashMap::default(),
             icache_run: teapot_rt::FxHashMap::default(),
             decode_scratch: Vec::new(),
+            telemetry: VmCounters::default(),
+            profile: None,
         }
     }
 
@@ -345,6 +358,10 @@ impl ExecContext {
             self.for_program = prog.uid;
             // Rebind: retained decodes belong to the old program's image.
             self.icache_ro.clear();
+            // A profile's block spans belong to the old program too.
+            if self.profile.is_some() {
+                self.profile = Some(Box::new(BlockProfile::new(prog.blocks())));
+            }
         } else {
             self.mem.reset_to(prog.pristine());
         }
@@ -404,6 +421,55 @@ impl ExecContext {
     /// Speculative trace of the last run (empty unless recording is on).
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
+    }
+
+    /// Enables or disables the hot-site profiler against `prog`'s block
+    /// table. Idempotent: enabling keeps an existing (compatible)
+    /// profile's accumulated counts. Profiling never changes an
+    /// execution's observable outcome.
+    pub fn set_profiling(&mut self, on: bool, prog: &Program) {
+        if !on {
+            self.profile = None;
+            return;
+        }
+        let fresh = match &self.profile {
+            Some(p) => !p.same_blocks(prog.blocks()),
+            None => true,
+        };
+        if fresh {
+            self.profile = Some(Box::new(BlockProfile::new(prog.blocks())));
+        }
+    }
+
+    /// The accumulated hot-site profile, when profiling is enabled.
+    pub fn profile(&self) -> Option<&BlockProfile> {
+        self.profile.as_deref()
+    }
+
+    /// Machine-level telemetry counters accumulated over every run this
+    /// context hosted (slab counters not included; see
+    /// [`ExecContext::counters_snapshot`]).
+    pub fn telemetry(&self) -> &VmCounters {
+        &self.telemetry
+    }
+
+    /// Full telemetry snapshot: the machine-level accumulator plus the
+    /// TLB/page counters of the three context-owned slabs (guest
+    /// memory, ASan shadow, DIFT shadow). Deterministic for a
+    /// deterministic workload: only context-owned state is read — never
+    /// the `Arc`-shared pristine image.
+    pub fn counters_snapshot(&self) -> VmCounters {
+        let mut c = self.telemetry;
+        for (h, m, p) in [
+            self.mem.telemetry_counts(),
+            self.asan.telemetry_counts(),
+            self.taint.telemetry_counts(),
+        ] {
+            c.tlb_hits += h;
+            c.tlb_misses += m;
+            c.pages_allocated += p;
+        }
+        c
     }
 }
 
@@ -481,6 +547,20 @@ pub struct Machine<'c> {
     /// Per-run *top-level* entries per model-tagged site (policy budget
     /// [`SpecModel::top_entries_per_site_per_run`]).
     model_site_entries: teapot_rt::FxHashMap<u64, u32>,
+
+    /// Per-run telemetry counters (plain integers, no atomics): folded
+    /// into the context's [`VmCounters`] accumulator at the end of
+    /// [`Machine::run_stats`]. Counting is unconditional and the values
+    /// are never read during the run, so telemetry cannot perturb
+    /// execution.
+    t_slice_insts: u64,
+    t_icache_ro_hits: u64,
+    t_icache_run_hits: u64,
+    t_live_decodes: u64,
+    t_checkpoints: [u64; 3],
+    t_rollbacks: [u64; 3],
+    t_rob_stops: [u64; 3],
+    t_memlog_bytes: u64,
 
     cost: u64,
     insts: u64,
@@ -626,6 +706,14 @@ impl<'c> Machine<'c> {
             skip_stl_once: false,
             model_run_entries: [0; 3],
             model_site_entries: teapot_rt::FxHashMap::default(),
+            t_slice_insts: 0,
+            t_icache_ro_hits: 0,
+            t_icache_run_hits: 0,
+            t_live_decodes: 0,
+            t_checkpoints: [0; 3],
+            t_rollbacks: [0; 3],
+            t_rob_stops: [0; 3],
+            t_memlog_bytes: 0,
             cost: 0,
             insts: 0,
             prog_insts: 0,
@@ -687,12 +775,59 @@ impl<'c> Machine<'c> {
         // predecoded region tables from this local clone, so the
         // per-instruction fetch needs no borrow of `self`.
         let regions = self.prog.regions_arc();
-        let status = loop {
-            match self.step_block(&regions, heur) {
-                Step::Continue => {}
-                Step::Stop(s) => break s,
+        let status = match self.ctx.profile.take() {
+            // Profiled twin of the loop below: attribute the cost/inst
+            // delta of each dispatch to the block the iteration started
+            // in. The profile box is taken out of the context for the
+            // loop so each iteration writes through an owned pointer
+            // (no per-iteration Option test); the unprofiled path pays
+            // nothing for the profiler.
+            Some(mut p) => {
+                let s = loop {
+                    let pc0 = self.cpu.pc;
+                    let cost0 = self.cost;
+                    let insts0 = self.insts;
+                    let step = self.step_block(&regions, heur);
+                    p.record(
+                        pc0,
+                        self.cost.saturating_sub(cost0),
+                        self.insts.saturating_sub(insts0),
+                    );
+                    match step {
+                        Step::Continue => {}
+                        Step::Stop(s) => break s,
+                    }
+                };
+                self.ctx.profile = Some(p);
+                s
             }
+            None => loop {
+                match self.step_block(&regions, heur) {
+                    Step::Continue => {}
+                    Step::Stop(s) => break s,
+                }
+            },
         };
+        // Fold this run's plain telemetry counters into the context-owned
+        // accumulator. Observation-only: nothing here is ever read back
+        // during execution, so enabling telemetry cannot perturb results.
+        {
+            let run_insts = self.insts;
+            let slice_insts = self.t_slice_insts;
+            let ctx = &mut *self.ctx;
+            let t = &mut ctx.telemetry;
+            t.slice_insts += slice_insts;
+            t.step_insts += run_insts - slice_insts;
+            t.icache_ro_hits += self.t_icache_ro_hits;
+            t.icache_run_hits += self.t_icache_run_hits;
+            t.live_decodes += self.t_live_decodes;
+            for m in 0..3 {
+                t.checkpoints[m] += self.t_checkpoints[m];
+                t.rollbacks[m] += self.t_rollbacks[m];
+                t.rob_stops[m] += self.t_rob_stops[m];
+            }
+            t.memlog_bytes_replayed += self.t_memlog_bytes;
+        }
         RunStats {
             status,
             cost: self.cost,
@@ -883,6 +1018,7 @@ impl<'c> Machine<'c> {
         });
         self.sim_entries += 1;
         self.sim_depth += 1;
+        self.t_checkpoints[model.id() as usize] += 1;
         let depth = self.ctx.checkpoints.len() as u32;
         self.record_event(TraceEvent::SpecBranch {
             pc: branch_pc_orig,
@@ -926,6 +1062,7 @@ impl<'c> Machine<'c> {
             let entries = &ctx.memlog[cp.memlog_mark..];
             self.cost += cost::ROLLBACK_BASE + cost::ROLLBACK_PER_LOG * entries.len() as u64;
             for e in entries.iter().rev() {
+                self.t_memlog_bytes += e.len as u64;
                 ctx.mem.poke_n(e.addr, &e.old_bytes[..e.len as usize]);
                 if self.dift_on {
                     ctx.taint.write_tags(e.addr, &e.old_tags[..e.len as usize]);
@@ -979,6 +1116,7 @@ impl<'c> Machine<'c> {
             self.skip_stl_once = true;
         }
         self.rollbacks += 1;
+        self.t_rollbacks[cp.model.id() as usize] += 1;
         let depth = self.ctx.checkpoints.len() as u32 + 1;
         self.record_event(TraceEvent::Rollback {
             pc: cp.branch_pc_orig,
@@ -1479,7 +1617,10 @@ impl<'c> Machine<'c> {
                 return self.step(heur);
             }
         }
-        self.exec_slice(region, off, r0.run_len, heur)
+        let insts0 = self.insts;
+        let r = self.exec_slice(region, off, r0.run_len, heur);
+        self.t_slice_insts += self.insts - insts0;
+        r
     }
 
     /// Executes the `k`-instruction slice at `offset` of `region`
@@ -1649,7 +1790,9 @@ impl<'c> Machine<'c> {
                 EmuStyle::SpecTaint => budget,
                 EmuStyle::Native => budget * frame.model.native_window_margin() as u64,
             };
+            let model_idx = frame.model.id() as usize;
             if executed >= limit {
+                self.t_rob_stops[model_idx] += 1;
                 self.rollback();
                 return Step::Continue;
             }
@@ -1742,11 +1885,19 @@ impl<'c> Machine<'c> {
     /// truncation), everything else is valid for the current run only.
     fn decode_live(&mut self, pc: u64) -> Option<(Inst<u64>, u8, bool, u64, bool)> {
         let ctx = &mut *self.ctx;
-        let hit = ctx
-            .icache_ro
-            .get(&pc)
-            .or_else(|| ctx.icache_run.get(&pc))
-            .copied();
+        let hit = match ctx.icache_ro.get(&pc) {
+            Some(&e) => {
+                self.t_icache_ro_hits += 1;
+                Some(e)
+            }
+            None => match ctx.icache_run.get(&pc) {
+                Some(&e) => {
+                    self.t_icache_run_hits += 1;
+                    Some(e)
+                }
+                None => None,
+            },
+        };
         let (i, l) = match hit {
             Some((i, l)) => (i, l),
             None => {
@@ -1754,6 +1905,7 @@ impl<'c> Machine<'c> {
                     .read_for_decode_into(pc, INST_MAX_LEN, &mut ctx.decode_scratch);
                 match decode_at(&ctx.decode_scratch, pc) {
                     Ok((i, l)) => {
+                        self.t_live_decodes += 1;
                         if ctx.mem.range_readonly(pc, INST_MAX_LEN as u64) {
                             ctx.icache_ro.insert(pc, (i, l as u8));
                         } else {

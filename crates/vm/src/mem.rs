@@ -150,6 +150,12 @@ impl PagedMem {
         self.slab.num_slots()
     }
 
+    /// Telemetry snapshot of the backing slab:
+    /// `(tlb_hits, tlb_misses, pages_allocated)`.
+    pub(crate) fn telemetry_counts(&self) -> (u64, u64, u64) {
+        self.slab.telemetry_counts()
+    }
+
     /// Writes bytes without fault checks, mapping pages as needed.
     /// Used by the loader and runtime (not by guest instructions).
     pub fn write_forced(&mut self, addr: u64, data: &[u8]) {

@@ -423,7 +423,7 @@ impl Program {
 
     /// Shorthand for [`Region`] membership of `pc`.
     #[inline]
-    pub(crate) fn region_of<'r>(regions: &'r [Region], pc: u64) -> Option<(&'r Region, usize)> {
+    pub(crate) fn region_of(regions: &[Region], pc: u64) -> Option<(&Region, usize)> {
         regions
             .iter()
             .find(|r| pc >= r.start && ((pc - r.start) as usize) < r.hot.len())

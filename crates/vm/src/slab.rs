@@ -70,6 +70,15 @@ pub(crate) struct PageSlab {
     /// by page id. Invalidated whenever the page→slot mapping changes
     /// (insertions shift slots).
     tlb: [AtomicU64; TLB_ENTRIES],
+    /// Telemetry counters (TLB hits/misses, pages materialized).
+    /// Atomics only because lookups go through `&self`; increments are
+    /// relaxed load+store (no RMW — every counting slab is owned by one
+    /// context/thread; the `Arc`-shared pristine image is only ever read
+    /// through `reset_to`, which walks the region table directly and
+    /// never touches these). The values never influence execution.
+    tlb_hits: AtomicU64,
+    tlb_misses: AtomicU64,
+    pages_alloc: AtomicU64,
 }
 
 fn empty_tlb() -> [AtomicU64; TLB_ENTRIES] {
@@ -82,6 +91,9 @@ impl Default for PageSlab {
             runs: Vec::new(),
             bytes: Vec::new(),
             tlb: empty_tlb(),
+            tlb_hits: AtomicU64::new(0),
+            tlb_misses: AtomicU64::new(0),
+            pages_alloc: AtomicU64::new(0),
         }
     }
 }
@@ -92,6 +104,11 @@ impl Clone for PageSlab {
             runs: self.runs.clone(),
             bytes: self.bytes.clone(),
             tlb: empty_tlb(),
+            // A clone is a fresh address space (a context cloning the
+            // pristine image): it starts counting from zero.
+            tlb_hits: AtomicU64::new(0),
+            tlb_misses: AtomicU64::new(0),
+            pages_alloc: AtomicU64::new(0),
         }
     }
 
@@ -99,6 +116,9 @@ impl Clone for PageSlab {
         self.runs.clone_from(&source.runs);
         self.bytes.clone_from(&source.bytes);
         self.invalidate_tlb();
+        // Counters deliberately survive clone_from: rebinding a pooled
+        // context re-clones the pristine image but the context keeps its
+        // accumulated history.
     }
 }
 
@@ -109,6 +129,11 @@ impl PageSlab {
         if page < TLB_MAX_PAGE {
             let v = self.tlb[page as usize % TLB_ENTRIES].load(Relaxed);
             if v >> TLB_SLOT_BITS == page {
+                // Relaxed load+store (not fetch_add): counting slabs are
+                // single-owner, so a plain increment compiles to mov/add
+                // with no lock prefix on the hottest path in the VM.
+                self.tlb_hits
+                    .store(self.tlb_hits.load(Relaxed) + 1, Relaxed);
                 return Some((v & TLB_SLOT_MASK) as u32);
             }
         }
@@ -117,6 +142,8 @@ impl PageSlab {
 
     /// Region-table walk on a TLB miss; refreshes the TLB on a hit.
     fn slot_walk(&self, page: u64) -> Option<u32> {
+        self.tlb_misses
+            .store(self.tlb_misses.load(Relaxed) + 1, Relaxed);
         let i = self.runs.partition_point(|r| r.first_page <= page);
         let r = self.runs.get(i.checked_sub(1)?)?;
         let off = page - r.first_page;
@@ -162,6 +189,7 @@ impl PageSlab {
         if let Some(s) = self.slot_of(page) {
             return (s, false);
         }
+        *self.pages_alloc.get_mut() += 1;
         let i = self.runs.partition_point(|r| r.first_page <= page);
         let slot = match i.checked_sub(1) {
             Some(j) => self.runs[j].slot0 + self.runs[j].npages,
@@ -267,6 +295,17 @@ impl PageSlab {
     pub(crate) fn zero_all(&mut self) {
         self.bytes.fill(0);
     }
+
+    /// Telemetry snapshot: `(tlb_hits, tlb_misses, pages_allocated)`.
+    /// Counters accumulate over the slab's lifetime (runs and resets
+    /// never clear them).
+    pub(crate) fn telemetry_counts(&self) -> (u64, u64, u64) {
+        (
+            self.tlb_hits.load(Relaxed),
+            self.tlb_misses.load(Relaxed),
+            self.pages_alloc.load(Relaxed),
+        )
+    }
 }
 
 /// Splits `[addr, addr+len)` into page-bounded chunks, calling
@@ -302,6 +341,12 @@ impl ShadowMem {
     /// Mapped shadow pages (diagnostics).
     pub(crate) fn num_pages(&self) -> usize {
         self.slab.num_slots()
+    }
+
+    /// Telemetry snapshot of the backing slab:
+    /// `(tlb_hits, tlb_misses, pages_allocated)`.
+    pub(crate) fn telemetry_counts(&self) -> (u64, u64, u64) {
+        self.slab.telemetry_counts()
     }
 
     /// One shadow byte (0 when the page is absent).

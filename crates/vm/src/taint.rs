@@ -49,6 +49,12 @@ impl TaintEngine {
         Tag::from_bits(self.mem.get(addr))
     }
 
+    /// Telemetry snapshot of the tag shadow's slab:
+    /// `(tlb_hits, tlb_misses, pages_allocated)`.
+    pub(crate) fn telemetry_counts(&self) -> (u64, u64, u64) {
+        self.mem.telemetry_counts()
+    }
+
     /// Union of the tags of `[addr, addr+len)`.
     #[inline]
     pub fn mem_range_tag(&self, addr: u64, len: u64) -> Tag {

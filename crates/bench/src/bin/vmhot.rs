@@ -2,10 +2,11 @@
 //! second. Writes `BENCH_vmhot.json`.
 //!
 //! `--smoke` runs a short configuration for CI and fails loudly if
-//! throughput falls below a floor (`TEAPOT_SMOKE_MIN_MOPS`, default 2
-//! million counted data ops/sec — the per-byte-hashmap memory subsystem
-//! this benchmark was built to retire managed well under that, so the
-//! floor trips on any regression back toward it without flaking on slow
+//! throughput falls below a floor (`TEAPOT_SMOKE_MIN_MOPS`, default 3
+//! million counted data ops/sec — the template-compiled tier holds
+//! 8–9.5 on the reference container and the slowest observed noisy run
+//! stays near 7, so the floor trips on a real regression — losing the
+//! compiled tier or the slab fast paths — without flaking on slow
 //! runners). The smoke run does not overwrite `BENCH_vmhot.json`.
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -24,7 +25,7 @@ fn main() {
     let floor: f64 = std::env::var("TEAPOT_SMOKE_MIN_MOPS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(2.0);
+        .unwrap_or(3.0);
     if result.mops_per_sec < floor {
         eprintln!(
             "vmhot FAILED: {:.1} Mops/sec is below the {floor:.1} Mops/sec floor \

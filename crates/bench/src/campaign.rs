@@ -107,6 +107,13 @@ pub struct ThroughputResult {
     pub decode_bytes: usize,
     /// Executable bytes the decode pass could not predecode.
     pub decode_undecoded_bytes: usize,
+    /// Canonical instructions covered by a template-compiled record.
+    pub compiled_records: usize,
+    /// Compiled records fusing several table slots (skip runs plus
+    /// `asan.check`+access superinstructions).
+    pub compiled_fused: usize,
+    /// Dense heuristic sites the compilation pass indexed.
+    pub compiled_sites: usize,
 }
 
 /// Runs the throughput experiment over `worker_counts` on `w` at the
@@ -151,6 +158,7 @@ pub fn run_scaled_reps(
     let bin = rewrite(&cots, &RewriteOptions::default()).expect("rewrite");
     let prog = Program::shared(&bin);
     let stats = *prog.stats();
+    let cstats = *prog.compile_stats();
     let shards = 8u32;
 
     // Times `reps` fresh campaigns under `cfg`, asserting every rep
@@ -241,6 +249,9 @@ pub fn run_scaled_reps(
         decode_insts: stats.insts,
         decode_bytes: stats.bytes,
         decode_undecoded_bytes: stats.undecoded_bytes,
+        compiled_records: cstats.records,
+        compiled_fused: cstats.fused_skips + cstats.fused_checks,
+        compiled_sites: cstats.sites,
     }
 }
 
@@ -362,7 +373,10 @@ pub fn render(r: &ThroughputResult) -> String {
             r.decode_blocks as u64,
             r.decode_insts as u64,
             r.decode_bytes as u64,
-            r.decode_undecoded_bytes as u64
+            r.decode_undecoded_bytes as u64,
+            r.compiled_records as u64,
+            r.compiled_fused as u64,
+            r.compiled_sites as u64,
         )
     ));
     out
@@ -381,8 +395,15 @@ pub fn render_json(r: &ThroughputResult) -> String {
     out.push_str(&format!("  \"reps\": {},\n", r.reps));
     out.push_str(&format!(
         "  \"decode_cache\": {{\"blocks\": {}, \"insts\": {}, \"bytes\": {}, \
-         \"undecoded_bytes\": {}}},\n",
-        r.decode_blocks, r.decode_insts, r.decode_bytes, r.decode_undecoded_bytes
+         \"undecoded_bytes\": {}, \"compiled_records\": {}, \"compiled_fused\": {}, \
+         \"compiled_sites\": {}}},\n",
+        r.decode_blocks,
+        r.decode_insts,
+        r.decode_bytes,
+        r.decode_undecoded_bytes,
+        r.compiled_records,
+        r.compiled_fused,
+        r.compiled_sites
     ));
     out.push_str("  \"results\": [");
     for (i, row) in r.rows.iter().enumerate() {

@@ -7,7 +7,9 @@
 
 use std::time::Instant;
 use teapot_cc::{compile_to_binary, Options};
-use teapot_vm::{ExecContext, ExitStatus, Machine, Program, RunOptions, SpecHeuristics};
+use teapot_vm::{
+    DispatchTier, ExecContext, ExitStatus, Machine, Program, RunOptions, SpecHeuristics,
+};
 
 /// Bytes the kernel streams per pass (two arrays of this size).
 pub const BUF: usize = 2048;
@@ -76,6 +78,19 @@ pub struct VmhotResult {
     pub minsts_per_sec: f64,
     /// Slowest repetition's instruction throughput, in millions.
     pub minsts_per_sec_min: f64,
+    /// Once-per-binary `Program` build time (decode + template
+    /// compilation), in milliseconds — the cost the compiled tier
+    /// amortizes over every run.
+    pub compile_ms: f64,
+    /// Instruction throughput per forced dispatch tier, in millions
+    /// (median / slowest rep). `minsts_per_sec` above is the default
+    /// (compiled) tier and equals `minsts_per_sec_compiled`.
+    pub minsts_per_sec_interp: f64,
+    pub minsts_per_sec_interp_min: f64,
+    pub minsts_per_sec_slice: f64,
+    pub minsts_per_sec_slice_min: f64,
+    pub minsts_per_sec_compiled: f64,
+    pub minsts_per_sec_compiled_min: f64,
 }
 
 /// Median of a sample (mean of the middle pair for even sizes).
@@ -104,51 +119,80 @@ pub fn run(passes: u32, runs: u32) -> VmhotResult {
     run_reps(passes, runs, 1)
 }
 
-/// [`run`] timed `reps` times; headline numbers are the median.
+/// [`run`] timed `reps` times; headline numbers are the median over the
+/// default (compiled) dispatch tier. Every tier is additionally timed
+/// with the same runs/reps for the per-tier rows; each tier gets a
+/// fresh heuristics state so the three measurements execute identical
+/// run sequences (asserted via the architectural instruction total).
 pub fn run_reps(passes: u32, runs: u32, reps: u32) -> VmhotResult {
     assert!(reps >= 1, "at least one repetition");
     let src = kernel_source(passes);
     let mut bin = compile_to_binary(&src, &Options::gcc_like()).expect("vmhot kernel compiles");
     bin.strip();
+    let build_start = Instant::now();
     let prog = Program::shared(&bin);
+    let compile_ms = build_start.elapsed().as_secs_f64() * 1e3;
     let mut ctx = ExecContext::new(&prog);
     let input: Vec<u8> = (0..BUF).map(|i| (i * 31 + 7) as u8).collect();
 
-    let mut heur = SpecHeuristics::default();
-    let mut insts = 0u64;
-    let mut rep_secs = Vec::new();
-    for rep in 0..reps {
-        let mut rep_insts = 0u64;
-        let start = Instant::now();
-        for _ in 0..runs {
-            let opts = RunOptions {
-                input: input.clone(),
-                ..RunOptions::default()
-            };
-            let stats = Machine::with_context(&prog, &mut ctx, opts).run_stats(&mut heur);
-            assert_eq!(
-                stats.status,
-                ExitStatus::Exit(0),
-                "vmhot kernel must exit cleanly"
-            );
-            rep_insts += stats.insts;
+    let mut measure = |tier: DispatchTier| -> (u64, Vec<f64>) {
+        let mut heur = SpecHeuristics::default();
+        let mut insts = 0u64;
+        let mut rep_secs = Vec::new();
+        for rep in 0..reps {
+            let mut rep_insts = 0u64;
+            let start = Instant::now();
+            for _ in 0..runs {
+                let opts = RunOptions {
+                    input: input.clone(),
+                    ..RunOptions::default()
+                };
+                let mut m = Machine::with_context(&prog, &mut ctx, opts);
+                m.set_dispatch_tier(tier);
+                let stats = m.run_stats(&mut heur);
+                assert_eq!(
+                    stats.status,
+                    ExitStatus::Exit(0),
+                    "vmhot kernel must exit cleanly"
+                );
+                rep_insts += stats.insts;
+            }
+            rep_secs.push(start.elapsed().as_secs_f64());
+            if rep == 0 {
+                insts = rep_insts;
+            } else {
+                assert_eq!(insts, rep_insts, "vmhot kernel must be deterministic");
+            }
         }
-        rep_secs.push(start.elapsed().as_secs_f64());
-        if rep == 0 {
-            insts = rep_insts;
-        } else {
-            assert_eq!(insts, rep_insts, "vmhot kernel must be deterministic");
-        }
-    }
+        (insts, rep_secs)
+    };
+
+    let (step_insts, step_secs) = measure(DispatchTier::Step);
+    let (slice_insts, slice_secs) = measure(DispatchTier::Slice);
+    let (insts, rep_secs) = measure(DispatchTier::Compiled);
+    assert_eq!(
+        insts, step_insts,
+        "dispatch tiers must retire identical instruction totals"
+    );
+    assert_eq!(
+        insts, slice_insts,
+        "dispatch tiers must retire identical instruction totals"
+    );
+
     let mem_ops = 3 * BUF as u64 * passes as u64 * runs as u64;
+    let rate = |secs: &[f64]| -> Vec<f64> {
+        secs.iter()
+            .map(|s| insts as f64 / s.max(1e-9) / 1e6)
+            .collect()
+    };
     let mops: Vec<f64> = rep_secs
         .iter()
         .map(|s| mem_ops as f64 / s.max(1e-9) / 1e6)
         .collect();
-    let minsts: Vec<f64> = rep_secs
-        .iter()
-        .map(|s| insts as f64 / s.max(1e-9) / 1e6)
-        .collect();
+    let minsts = rate(&rep_secs);
+    let minsts_step = rate(&step_secs);
+    let minsts_slice = rate(&slice_secs);
+    let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
     VmhotResult {
         passes,
         runs,
@@ -157,11 +201,18 @@ pub fn run_reps(passes: u32, runs: u32, reps: u32) -> VmhotResult {
         mem_ops,
         insts,
         secs: median(&rep_secs),
-        secs_min: rep_secs.iter().copied().fold(f64::INFINITY, f64::min),
+        secs_min: min(&rep_secs),
         mops_per_sec: median(&mops),
-        mops_per_sec_min: mops.iter().copied().fold(f64::INFINITY, f64::min),
+        mops_per_sec_min: min(&mops),
         minsts_per_sec: median(&minsts),
-        minsts_per_sec_min: minsts.iter().copied().fold(f64::INFINITY, f64::min),
+        minsts_per_sec_min: min(&minsts),
+        compile_ms,
+        minsts_per_sec_interp: median(&minsts_step),
+        minsts_per_sec_interp_min: min(&minsts_step),
+        minsts_per_sec_slice: median(&minsts_slice),
+        minsts_per_sec_slice_min: min(&minsts_slice),
+        minsts_per_sec_compiled: median(&minsts),
+        minsts_per_sec_compiled_min: min(&minsts),
     }
 }
 
@@ -197,6 +248,11 @@ pub fn render(r: &VmhotResult) -> String {
             r.reps, r.secs_min, r.mops_per_sec_min, r.minsts_per_sec_min
         ));
     }
+    out.push_str(&format!(
+        "tiers (Minsts/sec, median): step {:.1}, slice {:.1}, compiled {:.1}; \
+         program build {:.1} ms\n",
+        r.minsts_per_sec_interp, r.minsts_per_sec_slice, r.minsts_per_sec_compiled, r.compile_ms
+    ));
     out
 }
 
@@ -208,17 +264,22 @@ pub fn render_json(r: &VmhotResult) -> String {
         "{{\n  \"workload\": \"vmhot\",\n  \"passes\": {},\n  \"runs\": {},\n  \
          \"reps\": {},\n  \
          \"bytes_per_pass\": {},\n  \"mem_ops\": {},\n  \"insts\": {},\n  \
+         \"compile_ms\": {:.2},\n  \
          \"secs\": {:.4},\n  \"secs_min\": {:.4},\n  \"secs_median\": {:.4},\n  \
          \"mops_per_sec\": {:.2},\n  \"mops_per_sec_min\": {:.2},\n  \
          \"mops_per_sec_median\": {:.2},\n  \
          \"minsts_per_sec\": {:.2},\n  \"minsts_per_sec_min\": {:.2},\n  \
-         \"minsts_per_sec_median\": {:.2}\n}}\n",
+         \"minsts_per_sec_median\": {:.2},\n  \
+         \"minsts_per_sec_interp\": {:.2},\n  \"minsts_per_sec_interp_min\": {:.2},\n  \
+         \"minsts_per_sec_slice\": {:.2},\n  \"minsts_per_sec_slice_min\": {:.2},\n  \
+         \"minsts_per_sec_compiled\": {:.2},\n  \"minsts_per_sec_compiled_min\": {:.2}\n}}\n",
         r.passes,
         r.runs,
         r.reps,
         r.bytes,
         r.mem_ops,
         r.insts,
+        r.compile_ms,
         r.secs,
         r.secs_min,
         r.secs,
@@ -227,6 +288,12 @@ pub fn render_json(r: &VmhotResult) -> String {
         r.mops_per_sec,
         r.minsts_per_sec,
         r.minsts_per_sec_min,
-        r.minsts_per_sec
+        r.minsts_per_sec,
+        r.minsts_per_sec_interp,
+        r.minsts_per_sec_interp_min,
+        r.minsts_per_sec_slice,
+        r.minsts_per_sec_slice_min,
+        r.minsts_per_sec_compiled,
+        r.minsts_per_sec_compiled_min
     )
 }

@@ -560,6 +560,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 let mut sink = teapot_telemetry::MetricsSink::create(std::path::Path::new(path))
                     .map_err(|e| format!("create {path}: {e}"))?;
                 let c = campaign.config();
+                let cs = prog.compile_stats();
                 sink.emit(
                     teapot_telemetry::Event::new("meta")
                         .num("schema", 1)
@@ -569,7 +570,10 @@ fn run(args: &[String]) -> Result<(), String> {
                         .num("epochs", u64::from(c.epochs))
                         .num("iters_per_epoch", c.iters_per_epoch)
                         .str_field("models", &c.models.to_string())
-                        .num("workers", c.effective_workers() as u64),
+                        .num("workers", c.effective_workers() as u64)
+                        .num("compiled_records", cs.records as u64)
+                        .num("compiled_fused", (cs.fused_skips + cs.fused_checks) as u64)
+                        .num("heuristic_sites", cs.sites as u64),
                 );
                 sink.emit(
                     teapot_telemetry::Event::new("span")
@@ -618,13 +622,17 @@ fn run(args: &[String]) -> Result<(), String> {
                 secs
             );
             let ds = prog.stats();
+            let cs = prog.compile_stats();
             println!(
                 "{}",
                 teapot_telemetry::format_decode_cache(
                     ds.blocks as u64,
                     ds.insts as u64,
                     ds.bytes as u64,
-                    ds.undecoded_bytes as u64
+                    ds.undecoded_bytes as u64,
+                    cs.records as u64,
+                    (cs.fused_skips + cs.fused_checks) as u64,
+                    cs.sites as u64,
                 )
             );
             println!(
@@ -874,6 +882,13 @@ fn run(args: &[String]) -> Result<(), String> {
                      {iters} iters/epoch, models {models}, {workers} worker(s)"
                 ),
                 _ => println!("{bin}: models {models}"),
+            }
+            if let (Some(recs), Some(fused), Some(sites)) = (
+                json_num(m, "compiled_records"),
+                json_num(m, "compiled_fused"),
+                json_num(m, "heuristic_sites"),
+            ) {
+                println!("compiled: {recs} records ({fused} fused), {sites} heuristic sites");
             }
             if !spans.is_empty() {
                 println!("phases: {}", spans.join(", "));

@@ -26,7 +26,7 @@
 //!
 //! | event | keys |
 //! |---|---|
-//! | `meta` | `schema`, `binary`, `seed`, `shards`, `epochs`, `iters_per_epoch`, `models`, `workers` |
+//! | `meta` | `schema`, `binary`, `seed`, `shards`, `epochs`, `iters_per_epoch`, `models`, `workers`, `compiled_records`, `compiled_fused`, `heuristic_sites` |
 //! | `span` | `name` (`decode` \| `campaign` \| `triage`), `wall_ms` |
 //! | `epoch` | `epoch`, `wall_ms`, `execs`, `corpus`, `unique_gadgets` (campaign-wide totals) |
 //! | `shard` | `epoch`, `shard`, `execs` (delta this epoch), `corpus`, `cov_normal`, `cov_spec`, `gadgets` |
@@ -75,6 +75,12 @@ pub struct VmCounters {
     pub icache_run_hits: u64,
     /// Instructions decoded live (both-tier icache misses).
     pub live_decodes: u64,
+    /// Instructions retired through template-compiled record dispatch
+    /// (the fastest tier: pre-resolved operands, zero per-pass decode).
+    pub compiled_insts: u64,
+    /// Compiled windows exited early (divergence or fault fallback to
+    /// the per-step interpreter).
+    pub compiled_exits: u64,
     /// Instructions retired through block-slice superinstruction
     /// dispatch.
     pub slice_insts: u64,
@@ -99,6 +105,8 @@ impl VmCounters {
         self.icache_ro_hits += other.icache_ro_hits;
         self.icache_run_hits += other.icache_run_hits;
         self.live_decodes += other.live_decodes;
+        self.compiled_insts += other.compiled_insts;
+        self.compiled_exits += other.compiled_exits;
         self.slice_insts += other.slice_insts;
         self.step_insts += other.step_insts;
         for i in 0..3 {
@@ -119,6 +127,8 @@ impl VmCounters {
         f("icache_ro_hits", self.icache_ro_hits);
         f("icache_run_hits", self.icache_run_hits);
         f("live_decodes", self.live_decodes);
+        f("compiled_insts", self.compiled_insts);
+        f("compiled_exits", self.compiled_exits);
         f("slice_insts", self.slice_insts);
         f("step_insts", self.step_insts);
         for (i, m) in MODEL_NAMES.iter().enumerate() {
@@ -578,10 +588,24 @@ impl MetricsSink {
 
 /// The one canonical rendering of decode-cache statistics, used by the
 /// CLI and the bench harness (previously two hand-rolled near-twins).
-pub fn format_decode_cache(blocks: u64, insts: u64, bytes: u64, undecoded_bytes: u64) -> String {
+/// Includes what the template-compilation pass produced — compiled
+/// records (with how many fused several slots) and dense heuristic
+/// sites — so `--metrics` streams show compile coverage per binary.
+#[allow(clippy::too_many_arguments)]
+pub fn format_decode_cache(
+    blocks: u64,
+    insts: u64,
+    bytes: u64,
+    undecoded_bytes: u64,
+    compiled_records: u64,
+    compiled_fused: u64,
+    sites: u64,
+) -> String {
     format!(
         "decode cache: {blocks} blocks, {insts} instructions, {bytes} bytes decoded \
-         once and shared by all shards ({undecoded_bytes} bytes undecoded)"
+         once and shared by all shards ({undecoded_bytes} bytes undecoded); \
+         compiled: {compiled_records} records ({compiled_fused} fused), \
+         {sites} heuristic sites"
     )
 }
 
@@ -635,8 +659,9 @@ mod tests {
         let mut names = Vec::new();
         a.for_each(|n, _| names.push(n.to_string()));
         assert_eq!(names[0], "tlb_hits");
-        assert_eq!(names.len(), 9 + 9);
+        assert_eq!(names.len(), 11 + 9);
         assert!(names.contains(&"rollbacks_rsb".to_string()));
+        assert!(names.contains(&"compiled_insts".to_string()));
     }
 
     #[test]
@@ -699,8 +724,9 @@ mod tests {
 
     #[test]
     fn decode_cache_formatting_is_canonical() {
-        let s = format_decode_cache(3, 40, 200, 8);
+        let s = format_decode_cache(3, 40, 200, 8, 35, 4, 6);
         assert!(s.starts_with("decode cache: 3 blocks, 40 instructions, 200 bytes"));
         assert!(s.contains("(8 bytes undecoded)"));
+        assert!(s.contains("compiled: 35 records (4 fused), 6 heuristic sites"));
     }
 }

@@ -70,6 +70,16 @@ pub struct SpecHeuristics {
     index: FxHashMap<u64, u32>,
     sites: Vec<SiteState>,
     run_gen: u32,
+    /// Identity of the `Program` the dense-site binding below belongs to.
+    bound_uid: u64,
+    /// Dense program site id → `sites` index + 1 (`0`: not yet
+    /// interned). Gates that carry a predecoded site id resolve their
+    /// slot through this array — the `pc → index` hash probe then runs
+    /// at most once per site per binding, not once per decision. Purely
+    /// an access path: slots are created at the same moments and with
+    /// the same state as through the hash probe, so decisions and
+    /// exported counts are bit-identical.
+    bound: Vec<u32>,
 }
 
 /// Maximum nested-simulation entries per branch within one run. Without
@@ -112,9 +122,24 @@ impl SpecHeuristics {
         }
     }
 
-    /// Dense slot of `branch`, created on first sight.
+    /// Binds the dense-site id table to a program: ids handed to
+    /// [`SpecHeuristics::enter_top_at`] / `enter_nested_at` must come
+    /// from that program's predecoded tables. Rebinding to the same
+    /// program is free; a different program (queue mode) resets the
+    /// binding, and the hash probes lazily refill it.
+    pub(crate) fn bind_sites(&mut self, uid: u64, nsites: u32) {
+        let n = nsites as usize;
+        if self.bound_uid != uid || self.bound.len() != n {
+            self.bound.clear();
+            self.bound.resize(n, 0);
+            self.bound_uid = uid;
+        }
+    }
+
+    /// Dense index of `branch` in `sites`, created on first sight, with
+    /// the per-run accounting refreshed — the hash-probe access path.
     #[inline]
-    fn site_mut(&mut self, branch: u64) -> &mut SiteState {
+    fn site_index(&mut self, branch: u64) -> usize {
         let idx = *self.index.entry(branch).or_insert_with(|| {
             self.sites.push(SiteState {
                 pc: branch,
@@ -125,14 +150,46 @@ impl SpecHeuristics {
                 entered: 0,
             });
             (self.sites.len() - 1) as u32
-        });
-        let s = &mut self.sites[idx as usize];
+        }) as usize;
+        let s = &mut self.sites[idx];
         if s.run_gen != self.run_gen {
             s.run_gen = self.run_gen;
             s.opportunities = 0;
             s.entered = 0;
         }
-        s
+        idx
+    }
+
+    /// Dense index of the site keyed `key`, resolved through the bound
+    /// program-site id when one is given (one array read after the
+    /// first intern), the hash probe otherwise.
+    #[inline]
+    fn site_slot(&mut self, sid: Option<u32>, key: u64) -> usize {
+        if let Some(sid) = sid {
+            if let Some(&slot) = self.bound.get(sid as usize) {
+                if slot != 0 {
+                    let idx = (slot - 1) as usize;
+                    let s = &mut self.sites[idx];
+                    if s.run_gen != self.run_gen {
+                        s.run_gen = self.run_gen;
+                        s.opportunities = 0;
+                        s.entered = 0;
+                    }
+                    return idx;
+                }
+                let idx = self.site_index(key);
+                self.bound[sid as usize] = idx as u32 + 1;
+                return idx;
+            }
+        }
+        self.site_index(key)
+    }
+
+    /// Dense slot of `branch`, created on first sight.
+    #[inline]
+    fn site_mut(&mut self, branch: u64) -> &mut SiteState {
+        let idx = self.site_index(branch);
+        &mut self.sites[idx]
     }
 
     /// SpecFuzz gradual rule: allowed depth grows with the logarithm of
@@ -145,8 +202,15 @@ impl SpecHeuristics {
     /// Should a *top-level* simulation be entered for `branch`?
     /// Increments the branch's simulation count when entering.
     pub fn enter_top(&mut self, branch: u64) -> bool {
+        self.enter_top_at(None, branch)
+    }
+
+    /// [`SpecHeuristics::enter_top`] resolved through a bound dense
+    /// site id (see [`SpecHeuristics::bind_sites`]) when available.
+    pub(crate) fn enter_top_at(&mut self, sid: Option<u32>, branch: u64) -> bool {
         let style = self.style;
-        let s = self.site_mut(branch);
+        let idx = self.site_slot(sid, branch);
+        let s = &mut self.sites[idx];
         s.counted = true;
         match style {
             HeurStyle::TeapotHybrid | HeurStyle::SpecFuzzGradual => {
@@ -173,11 +237,25 @@ impl SpecHeuristics {
         max_nesting: u32,
         full_depth_runs: u32,
     ) -> bool {
+        self.enter_nested_at(None, branch, depth, max_nesting, full_depth_runs)
+    }
+
+    /// [`SpecHeuristics::enter_nested`] resolved through a bound dense
+    /// site id when available.
+    pub(crate) fn enter_nested_at(
+        &mut self,
+        sid: Option<u32>,
+        branch: u64,
+        depth: u32,
+        max_nesting: u32,
+        full_depth_runs: u32,
+    ) -> bool {
         if depth >= max_nesting {
             return false;
         }
         let style = self.style;
-        let s = self.site_mut(branch);
+        let idx = self.site_slot(sid, branch);
+        let s = &mut self.sites[idx];
         if !matches!(style, HeurStyle::SpecTaintFive) {
             // Phase rotation: skip this run's first `count % CYCLE`
             // opportunities so different runs nest at different points.
@@ -365,6 +443,37 @@ mod tests {
         assert!(counts.contains(&(pc, 1)));
         let back = SpecHeuristics::from_counts(HeurStyle::TeapotHybrid, &counts);
         assert_eq!(back.count_for(SpecModel::Rsb, pc), 2);
+    }
+
+    #[test]
+    fn bound_site_ids_are_a_pure_access_path() {
+        // The same decision sequence through the dense-id path and the
+        // hash-probe path must produce identical decisions and exports,
+        // including across a rebind to a different program.
+        let mut a = SpecHeuristics::new(HeurStyle::TeapotHybrid);
+        let mut b = SpecHeuristics::new(HeurStyle::TeapotHybrid);
+        b.bind_sites(7, 4);
+        let keys = [0x400100u64, 0x400200, 0x400300];
+        for run in 0..10u32 {
+            a.begin_run();
+            b.begin_run();
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(a.enter_top(k), b.enter_top_at(Some(i as u32), k));
+                assert_eq!(
+                    a.enter_nested(k, 1 + run % 3, 6, 5),
+                    b.enter_nested_at(Some(i as u32), k, 1 + run % 3, 6, 5)
+                );
+            }
+            // An out-of-table site falls back to the hash probe.
+            assert_eq!(a.enter_top(0xdead), b.enter_top_at(None, 0xdead));
+        }
+        assert_eq!(a.export_counts(), b.export_counts());
+        // Rebinding resets the id table; decisions keep agreeing.
+        b.bind_sites(9, 3);
+        a.begin_run();
+        b.begin_run();
+        assert_eq!(a.enter_top(keys[2]), b.enter_top_at(Some(0), keys[2]));
+        assert_eq!(a.export_counts(), b.export_counts());
     }
 
     #[test]

@@ -51,10 +51,11 @@ pub use asan::{AsanEngine, REDZONE};
 pub use cpu::{alu, cmp_flags, test_flags, AluResult, Cpu, Flags};
 pub use heuristics::{HeurStyle, SpecHeuristics};
 pub use machine::{
-    EmuStyle, ExecContext, ExitStatus, Fault, Machine, RunOptions, RunOutcome, RunStats,
+    DispatchTier, EmuStyle, ExecContext, ExitStatus, Fault, Machine, RunOptions, RunOutcome,
+    RunStats,
 };
 pub use mem::{MemFault, PagedMem, PAGE_SIZE};
-pub use program::{DecodeStats, Program};
+pub use program::{CompileStats, DecodeStats, Program};
 pub use taint::TaintEngine;
 pub use teapot_rt::{SpecModel, SpecModelSet};
 pub use teapot_telemetry::{BlockProfile, HotBlock, VmCounters};

@@ -28,7 +28,10 @@ use crate::asan::AsanEngine;
 use crate::cpu::{alu, cmp_flags, test_flags, Cpu, Flags};
 use crate::heuristics::SpecHeuristics;
 use crate::mem::{MemFault, PagedMem};
-use crate::program::{Program, Region, F_ALWAYS_CHARGE, F_INSTR, F_IN_REAL, F_LIVE, F_NOP};
+use crate::program::{
+    OpKind, Program, Region, F_ALWAYS_CHARGE, F_INSTR, F_IN_REAL, F_LIVE, F_NOP, NO_SITE,
+    STL_NO_CONT,
+};
 use crate::taint::TaintEngine;
 use std::sync::Arc;
 use teapot_isa::{
@@ -55,6 +58,56 @@ pub enum EmuStyle {
     /// conditional branch (DFS, five entries per branch), tracks taint,
     /// and pays [`cost::EMU_PER_INST`] per guest instruction.
     SpecTaint,
+}
+
+/// Execution tier of the dispatch loop. All three tiers share the
+/// single-source exec helpers and are observably identical — the
+/// differential suite runs every workload through each of them. The
+/// default is the fastest tier; `TEAPOT_DISPATCH_TIER`
+/// (`compiled` / `slice` / `step`) forces one process-wide (the CI
+/// dispatch-matrix job), [`Machine::set_dispatch_tier`] per machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchTier {
+    /// Template-compiled records with pre-resolved operands, streamed
+    /// per precomputed fall-through window (the fastest tier).
+    #[default]
+    Compiled,
+    /// Block-slice superinstruction dispatch over the decoded
+    /// instruction table (hoisted checks, per-instruction decode).
+    Slice,
+    /// Per-instruction dispatch with full per-step checks.
+    Step,
+}
+
+/// Process-wide dispatch-tier override from `TEAPOT_DISPATCH_TIER`,
+/// read once (machines are assembled per run; the environment cannot
+/// change meaningfully mid-process).
+fn forced_tier() -> Option<DispatchTier> {
+    static TIER: std::sync::OnceLock<Option<DispatchTier>> = std::sync::OnceLock::new();
+    *TIER.get_or_init(
+        || match std::env::var("TEAPOT_DISPATCH_TIER").ok().as_deref() {
+            Some("compiled") => Some(DispatchTier::Compiled),
+            Some("slice") => Some(DispatchTier::Slice),
+            Some("step") => Some(DispatchTier::Step),
+            _ => None,
+        },
+    )
+}
+
+/// How a load's STL-bypass prerequisites reach [`Machine::try_stl_bypass`]:
+/// resolved at runtime (interpreter tiers) or pre-resolved at compile
+/// time into the load's [`CompiledOp`] record (compiled tier). Both
+/// carry the same information, so the bypass body stays single-source.
+///
+/// [`CompiledOp`]: crate::program::CompiledOp
+#[derive(Debug, Clone, Copy)]
+enum StlPre {
+    /// Compute the Shadow-Copy continuation and dense site id now.
+    Runtime,
+    /// Use the values baked at compile time ([`STL_NO_CONT`] /
+    /// [`NO_SITE`] when absent). Valid only when `cpu.pc` sits exactly
+    /// past the load — which compiled dispatch guarantees.
+    Baked { cont: u64, sid: u32 },
 }
 
 /// Machine faults (exceptions).
@@ -554,6 +607,8 @@ pub struct Machine<'c> {
     /// are never read during the run, so telemetry cannot perturb
     /// execution.
     t_slice_insts: u64,
+    t_compiled_insts: u64,
+    t_compiled_exits: u64,
     t_icache_ro_hits: u64,
     t_icache_run_hits: u64,
     t_live_decodes: u64,
@@ -579,7 +634,7 @@ pub struct Machine<'c> {
 
     trace: bool,
     uncached_decode: bool,
-    no_block_dispatch: bool,
+    tier: DispatchTier,
 }
 
 impl std::fmt::Debug for Machine<'_> {
@@ -707,6 +762,8 @@ impl<'c> Machine<'c> {
             model_run_entries: [0; 3],
             model_site_entries: teapot_rt::FxHashMap::default(),
             t_slice_insts: 0,
+            t_compiled_insts: 0,
+            t_compiled_exits: 0,
             t_icache_ro_hits: 0,
             t_icache_run_hits: 0,
             t_live_decodes: 0,
@@ -723,7 +780,7 @@ impl<'c> Machine<'c> {
             input_pos: 0,
             trace: std::env::var_os("TEAPOT_TRACE").is_some(),
             uncached_decode: false,
-            no_block_dispatch: false,
+            tier: forced_tier().unwrap_or_default(),
         }
     }
 
@@ -735,12 +792,25 @@ impl<'c> Machine<'c> {
         self.uncached_decode = uncached;
     }
 
-    /// Disables the block-slice superinstruction fast path, forcing
-    /// per-instruction dispatch. Test hook for the differential suite;
-    /// semantics must be identical either way.
+    /// Forces a dispatch tier regardless of the default and the
+    /// `TEAPOT_DISPATCH_TIER` override. Test/bench hook for the
+    /// differential suite and the per-tier benchmark rows; semantics
+    /// must be identical on every tier.
+    #[doc(hidden)]
+    pub fn set_dispatch_tier(&mut self, tier: DispatchTier) {
+        self.tier = tier;
+    }
+
+    /// Disables every fused fast path, forcing per-instruction dispatch
+    /// (kept as the historical spelling of
+    /// `set_dispatch_tier(DispatchTier::Step)`).
     #[doc(hidden)]
     pub fn set_no_block_dispatch(&mut self, no_block: bool) {
-        self.no_block_dispatch = no_block;
+        self.tier = if no_block {
+            DispatchTier::Step
+        } else {
+            forced_tier().unwrap_or_default()
+        };
     }
 
     /// The guest address space (borrowed from the execution context).
@@ -771,6 +841,11 @@ impl<'c> Machine<'c> {
     /// the hot-loop twin of [`Machine::run`].
     pub fn run_stats(&mut self, heur: &mut SpecHeuristics) -> RunStats {
         heur.begin_run();
+        // Bind the heuristics' dense-site table to this program, so
+        // every speculation gate resolves its per-site slot through an
+        // array read instead of a hash probe (rebinding to the same
+        // program is free).
+        heur.bind_sites(self.prog.uid, self.prog.site_count());
         // One refcount bump per run: the dispatch loop borrows the
         // predecoded region tables from this local clone, so the
         // per-instruction fetch needs no borrow of `self`.
@@ -787,7 +862,9 @@ impl<'c> Machine<'c> {
                     let pc0 = self.cpu.pc;
                     let cost0 = self.cost;
                     let insts0 = self.insts;
-                    let step = self.step_block(&regions, heur);
+                    // chain=false: every window returns here so its
+                    // cost/inst delta lands on the block it started in.
+                    let step = self.dispatch(&regions, heur, false);
                     p.record(
                         pc0,
                         self.cost.saturating_sub(cost0),
@@ -802,7 +879,7 @@ impl<'c> Machine<'c> {
                 s
             }
             None => loop {
-                match self.step_block(&regions, heur) {
+                match self.dispatch(&regions, heur, true) {
                     Step::Continue => {}
                     Step::Stop(s) => break s,
                 }
@@ -814,10 +891,13 @@ impl<'c> Machine<'c> {
         {
             let run_insts = self.insts;
             let slice_insts = self.t_slice_insts;
+            let compiled_insts = self.t_compiled_insts;
             let ctx = &mut *self.ctx;
             let t = &mut ctx.telemetry;
+            t.compiled_insts += compiled_insts;
+            t.compiled_exits += self.t_compiled_exits;
             t.slice_insts += slice_insts;
-            t.step_insts += run_insts - slice_insts;
+            t.step_insts += run_insts - slice_insts - compiled_insts;
             t.icache_ro_hits += self.t_icache_ro_hits;
             t.icache_run_hits += self.t_icache_run_hits;
             t.live_decodes += self.t_live_decodes;
@@ -1158,7 +1238,13 @@ impl<'c> Machine<'c> {
     /// heuristics under the model-tagged site key — so RSB/STL sites
     /// accumulate their own cross-run counts without colliding with the
     /// PHT branch counts.
-    fn model_gate(&mut self, model: SpecModel, site_pc: u64, heur: &mut SpecHeuristics) -> bool {
+    fn model_gate(
+        &mut self,
+        model: SpecModel,
+        site_pc: u64,
+        sid: Option<u32>,
+        heur: &mut SpecHeuristics,
+    ) -> bool {
         let idx = model.id() as usize;
         if self.model_run_entries[idx] >= model.run_entry_budget() {
             return false;
@@ -1170,7 +1256,7 @@ impl<'c> Machine<'c> {
             if seen >= model.top_entries_per_site_per_run() {
                 return false;
             }
-            heur.enter_top(site) && {
+            heur.enter_top_at(sid, site) && {
                 self.model_site_entries.insert(site, seen + 1);
                 true
             }
@@ -1180,7 +1266,8 @@ impl<'c> Machine<'c> {
             // entries (SpecTaint emulation always nests, as for PHT).
             false
         } else {
-            heur.enter_nested(
+            heur.enter_nested_at(
+                sid,
                 site,
                 depth,
                 self.opts.config.max_nesting,
@@ -1219,7 +1306,8 @@ impl<'c> Machine<'c> {
             _ => stale,
         };
         let site_orig = self.orig_pc(pc);
-        if !self.model_gate(SpecModel::Rsb, site_orig, heur) {
+        let sid = self.prog.site_id_of(pc);
+        if !self.model_gate(SpecModel::Rsb, site_orig, sid, heur) {
             return;
         }
         if self.trace {
@@ -1296,6 +1384,7 @@ impl<'c> Machine<'c> {
     /// checkpoint resumes at the load itself, which then executes
     /// architecturally ([`Machine::skip_stl_once`]). Returns whether the
     /// bypass was entered.
+    #[allow(clippy::too_many_arguments)]
     fn try_stl_bypass(
         &mut self,
         dst: Reg,
@@ -1303,6 +1392,7 @@ impl<'c> Machine<'c> {
         size: AccessSize,
         sext: bool,
         pc: u64,
+        pre: StlPre,
         heur: &mut SpecHeuristics,
     ) -> bool {
         if self.skip_stl_once {
@@ -1332,22 +1422,34 @@ impl<'c> Machine<'c> {
         // Shadow Copy (the §5.3 safety net squashes Real-Copy
         // speculation): redirect to the shadow twin of the next copied
         // instruction. A load with no shadow continuation cannot be
-        // simulated.
-        let cont = self.cpu.pc;
-        let spec_cont = match self.prog.meta() {
-            Some(m) if !self.single_copy && m.in_real(cont) => {
-                let twin = m
-                    .next_original_after(pc)
-                    .and_then(|o| self.prog.shadow_twin(o));
-                match twin {
-                    Some(t) => t,
-                    None => return false,
+        // simulated. The compiled tier hands this in pre-resolved;
+        // checked *before* the gate so no budget is consumed either way.
+        let (spec_cont, sid) = match pre {
+            StlPre::Baked { cont, sid } => {
+                if cont == STL_NO_CONT {
+                    return false;
                 }
+                (cont, (sid != NO_SITE).then_some(sid))
             }
-            _ => cont,
+            StlPre::Runtime => {
+                let cont = self.cpu.pc;
+                let spec_cont = match self.prog.meta() {
+                    Some(m) if !self.single_copy && m.in_real(cont) => {
+                        let twin = m
+                            .next_original_after(pc)
+                            .and_then(|o| self.prog.shadow_twin(o));
+                        match twin {
+                            Some(t) => t,
+                            None => return false,
+                        }
+                    }
+                    _ => cont,
+                };
+                (spec_cont, self.prog.site_id_of(pc))
+            }
         };
         let site_orig = self.orig_pc(pc);
-        if !self.model_gate(SpecModel::Stl, site_orig, heur) {
+        if !self.model_gate(SpecModel::Stl, site_orig, sid, heur) {
             return false;
         }
         if self.trace {
@@ -1583,44 +1685,79 @@ impl<'c> Machine<'c> {
     /// one, or hoisted checks that cannot cover the run.
     ///
     /// [`step`]: Machine::step
-    fn step_block(&mut self, regions: &[Region], heur: &mut SpecHeuristics) -> Step {
-        if self.opts.emu != EmuStyle::Native || self.uncached_decode || self.no_block_dispatch {
+    /// Routes one dispatch iteration to the selected tier. The compiled
+    /// tier degrades to block-slice dispatch (and that to single-step)
+    /// whenever its preconditions do not hold, so forcing a lower tier
+    /// only removes fast paths — it can never change results.
+    #[inline]
+    /// Routes one dispatch to the active tier. `chain` lets the fast
+    /// tiers keep streaming windows while the PC stays inside the same
+    /// region (skipping the outer loop and the region binary search);
+    /// the profiled run loop passes `false` so per-block attribution
+    /// stays exact.
+    fn dispatch(&mut self, regions: &[Region], heur: &mut SpecHeuristics, chain: bool) -> Step {
+        match self.tier {
+            DispatchTier::Compiled => self.step_compiled(regions, heur, chain),
+            DispatchTier::Slice => self.step_block(regions, heur, chain),
+            DispatchTier::Step => self.step(heur),
+        }
+    }
+
+    fn step_block(&mut self, regions: &[Region], heur: &mut SpecHeuristics, chain: bool) -> Step {
+        if self.opts.emu != EmuStyle::Native || self.uncached_decode {
             return self.step(heur);
         }
         let pc = self.cpu.pc;
-        let Some((region, off)) = Program::region_of(regions, pc) else {
+        let Some((region, mut off)) = Program::region_of(regions, pc) else {
             return self.step(heur);
         };
-        let r0 = region.runs[off];
-        if r0.run_len < 2 || self.cost + r0.run_cost as u64 >= self.opts.fuel {
-            return self.step(heur);
-        }
-        if self.in_sim() {
-            // Slices are F_IN_REAL-homogeneous, so one escape check
-            // covers the run; the ROB window must fit it whole.
-            if !self.single_copy && region.hot[off].flags & F_IN_REAL != 0 {
+        loop {
+            let r0 = region.runs[off];
+            if r0.run_len < 2 || self.cost + r0.run_cost as u64 >= self.opts.fuel {
                 return self.step(heur);
             }
-            let frame = self.ctx.checkpoints.last().expect("in_sim");
-            let executed = self.prog_insts - frame.insts_at_entry;
-            let budget = self.opts.config.rob_budget as u64;
-            let limit = budget * frame.model.native_window_margin() as u64;
-            let run_prog = if self.single_copy {
-                r0.run_len
-            } else {
-                r0.run_prog
+            if self.in_sim() {
+                // Slices are F_IN_REAL-homogeneous, so one escape check
+                // covers the run; the ROB window must fit it whole.
+                if !self.single_copy && region.hot[off].flags & F_IN_REAL != 0 {
+                    return self.step(heur);
+                }
+                let frame = self.ctx.checkpoints.last().expect("in_sim");
+                let executed = self.prog_insts - frame.insts_at_entry;
+                let budget = self.opts.config.rob_budget as u64;
+                let limit = budget * frame.model.native_window_margin() as u64;
+                let run_prog = if self.single_copy {
+                    r0.run_len
+                } else {
+                    r0.run_prog
+                };
+                // Strict: the per-step check before the slice's last
+                // instruction can see every preceding program instruction
+                // retired, so the whole run must fit *below* the limit.
+                if executed + run_prog as u64 >= limit {
+                    return self.step(heur);
+                }
+            }
+            let insts0 = self.insts;
+            let r = self.exec_slice(region, off, r0.run_len, heur);
+            self.t_slice_insts += self.insts - insts0;
+            match r {
+                Step::Continue => {}
+                stop => return stop,
+            }
+            if !chain {
+                return Step::Continue;
+            }
+            // Hot loops land the next slice in the same region: re-enter
+            // the window guard directly, skipping the region search.
+            let Some(o) = self.cpu.pc.checked_sub(region.start) else {
+                return Step::Continue;
             };
-            // Strict: the per-step check before the slice's last
-            // instruction can see every preceding program instruction
-            // retired, so the whole run must fit *below* the limit.
-            if executed + run_prog as u64 >= limit {
-                return self.step(heur);
+            if o as usize >= region.runs.len() {
+                return Step::Continue;
             }
+            off = o as usize;
         }
-        let insts0 = self.insts;
-        let r = self.exec_slice(region, off, r0.run_len, heur);
-        self.t_slice_insts += self.insts - insts0;
-        r
     }
 
     /// Executes the `k`-instruction slice at `offset` of `region`
@@ -1743,6 +1880,270 @@ impl<'c> Machine<'c> {
         Step::Continue
     }
 
+    /// The compiled dispatch tier's window entry: the same hoisted
+    /// fuel/safety-net/ROB reasoning as [`Machine::step_block`], but
+    /// over the precomputed [`CRun`] window sums (records are
+    /// F_IN_REAL-homogeneous and their conservative cost/prog totals
+    /// are baked at compile time). Falls back to [`step`] whenever the
+    /// hoisted checks cannot cover the window.
+    ///
+    /// [`CRun`]: crate::program::CRun
+    /// [`step`]: Machine::step
+    fn step_compiled(
+        &mut self,
+        regions: &[Region],
+        heur: &mut SpecHeuristics,
+        chain: bool,
+    ) -> Step {
+        if self.opts.emu != EmuStyle::Native || self.uncached_decode {
+            return self.step(heur);
+        }
+        let pc = self.cpu.pc;
+        let Some((region, mut off)) = Program::region_of(regions, pc) else {
+            return self.step(heur);
+        };
+        loop {
+            let cr = region.cruns[off];
+            if cr.insts < 2 || self.cost + cr.cost as u64 >= self.opts.fuel {
+                return self.step(heur);
+            }
+            if self.in_sim() {
+                // Windows are F_IN_REAL-homogeneous, so one escape check
+                // covers the run; the ROB window must fit it whole.
+                if !self.single_copy && region.hot[off].flags & F_IN_REAL != 0 {
+                    return self.step(heur);
+                }
+                let frame = self.ctx.checkpoints.last().expect("in_sim");
+                let executed = self.prog_insts - frame.insts_at_entry;
+                let budget = self.opts.config.rob_budget as u64;
+                let limit = budget * frame.model.native_window_margin() as u64;
+                // Strict: the per-step check before the window's last
+                // instruction can see every preceding program instruction
+                // retired, so the whole window must fit *below* the limit.
+                if executed + cr.prog as u64 >= limit {
+                    return self.step(heur);
+                }
+            }
+            let insts0 = self.insts;
+            let r = self.exec_compiled(region, off, cr.recs, heur);
+            self.t_compiled_insts += self.insts - insts0;
+            match r {
+                Step::Continue => {}
+                stop => return stop,
+            }
+            if !chain {
+                return Step::Continue;
+            }
+            // Hot loops land the next window in the same region: re-enter
+            // the window guard directly, skipping the region search.
+            let Some(o) = self.cpu.pc.checked_sub(region.start) else {
+                return Step::Continue;
+            };
+            if o as usize >= region.cruns.len() {
+                return Step::Continue;
+            }
+            off = o as usize;
+        }
+    }
+
+    /// Streams the `recs`-record compiled window at `offset` of
+    /// `region`: uniform [`CompiledOp`] records with pre-resolved
+    /// operands dispatched straight to the single-source exec helpers —
+    /// zero per-pass decode or operand work. Exits (counted in
+    /// `t_compiled_exits`) the moment execution leaves the fall-through
+    /// straight line or the simulation state the hoisted checks were
+    /// computed against, after which the outer loop re-enters with full
+    /// per-step checks.
+    ///
+    /// [`CompiledOp`]: crate::program::CompiledOp
+    fn exec_compiled(
+        &mut self,
+        region: &Region,
+        mut offset: usize,
+        recs: u8,
+        heur: &mut SpecHeuristics,
+    ) -> Step {
+        let rstart = region.start;
+        let ops = &region.ops[..];
+        let depth = self.sim_depth;
+        // Divergence exits the window before the next record, so the
+        // entry depth decides sim-vs-normal cost for every record here.
+        let sim = depth > 0;
+        for _ in 0..recs {
+            // By reference: a record is a whole cache line; the match
+            // below only reads the payload of the variant it hits.
+            let op = &ops[offset];
+            let pc = rstart + offset as u64;
+            let next_pc = pc + op.len as u64;
+            self.insts += op.insts as u64;
+            self.prog_insts += op.prog as u64;
+            self.cost += if sim { op.cost_sim } else { op.cost_norm } as u64;
+            self.cpu.pc = next_pc;
+            let r: Result<Step, Fault> = match op.kind {
+                OpKind::Skip => Ok(Step::Continue),
+                OpKind::MovRR { dst, src } => {
+                    self.exec_mov_rr(dst, src);
+                    Ok(Step::Continue)
+                }
+                OpKind::MovRI { dst, imm } => {
+                    self.exec_mov_ri(dst, imm);
+                    Ok(Step::Continue)
+                }
+                OpKind::Load {
+                    dst,
+                    mem,
+                    size,
+                    sext,
+                    stl_cont,
+                    sid,
+                } => {
+                    let pre = StlPre::Baked {
+                        cont: stl_cont,
+                        sid,
+                    };
+                    if sim {
+                        self.exec_load_at(dst, &mem, size, sext, pc, pre, heur)
+                            .map(|_| Step::Continue)
+                    } else {
+                        self.exec_load_norm(dst, &mem, size, sext, pc, pre, heur)
+                            .map(|()| Step::Continue)
+                    }
+                }
+                OpKind::LoadChecked {
+                    chk,
+                    chk_size,
+                    acc_off,
+                    dst,
+                    mem,
+                    size,
+                    sext,
+                    stl_cont,
+                    sid,
+                } => {
+                    let pre = StlPre::Baked {
+                        cont: stl_cont,
+                        sid,
+                    };
+                    let apc = pc + acc_off as u64;
+                    if sim {
+                        // Fused superinstruction: probe with the check's
+                        // pc, access with its own — the same fault,
+                        // report and STL ordering as the two-record slow
+                        // path.
+                        self.asan_probe(&chk, chk_size, pc);
+                        self.exec_load_at(dst, &mem, size, sext, apc, pre, heur)
+                            .map(|_| Step::Continue)
+                    } else {
+                        // asan_probe is a no-op outside simulation.
+                        self.exec_load_norm(dst, &mem, size, sext, apc, pre, heur)
+                            .map(|()| Step::Continue)
+                    }
+                }
+                OpKind::Store { src, mem, size } => if sim {
+                    self.exec_store(src, &mem, size, pc)
+                } else {
+                    self.exec_store_norm(src, &mem, size, pc)
+                }
+                .map(|()| Step::Continue),
+                OpKind::StoreChecked {
+                    chk,
+                    chk_size,
+                    acc_off,
+                    src,
+                    mem,
+                    size,
+                } => {
+                    let apc = pc + acc_off as u64;
+                    if sim {
+                        self.asan_probe(&chk, chk_size, pc);
+                        self.exec_store(src, &mem, size, apc)
+                    } else {
+                        self.exec_store_norm(src, &mem, size, apc)
+                    }
+                    .map(|()| Step::Continue)
+                }
+                OpKind::StoreI { imm, mem, size } => if sim {
+                    self.exec_storei(imm, &mem, size, pc)
+                } else {
+                    self.exec_storei_norm(imm, &mem, size, pc)
+                }
+                .map(|()| Step::Continue),
+                OpKind::Lea { dst, mem } => {
+                    self.exec_lea(dst, &mem);
+                    Ok(Step::Continue)
+                }
+                OpKind::Push { src } => if sim {
+                    self.exec_push(src, pc)
+                } else {
+                    self.exec_push_norm(src)
+                }
+                .map(|()| Step::Continue),
+                OpKind::Pop { dst } => self.exec_pop(dst).map(|()| Step::Continue),
+                OpKind::Alu { op, dst, src } => {
+                    self.exec_alu(op, dst, src, pc).map(|()| Step::Continue)
+                }
+                OpKind::Cmp { lhs, rhs } => {
+                    self.exec_cmp(lhs, rhs);
+                    Ok(Step::Continue)
+                }
+                OpKind::Test { lhs, rhs } => {
+                    self.exec_test(lhs, rhs);
+                    Ok(Step::Continue)
+                }
+                OpKind::Set { cc, dst } => {
+                    self.exec_set(cc, dst);
+                    Ok(Step::Continue)
+                }
+                OpKind::Jcc { cc, target } => {
+                    self.exec_jcc(cc, target, pc);
+                    Ok(Step::Continue)
+                }
+                OpKind::SimStart {
+                    tramp,
+                    branch_orig,
+                    sid,
+                } => {
+                    self.exec_sim_start(
+                        tramp,
+                        branch_orig,
+                        (sid != NO_SITE).then_some(sid),
+                        pc,
+                        next_pc,
+                        heur,
+                    );
+                    Ok(Step::Continue)
+                }
+                OpKind::SimCheck => {
+                    self.exec_sim_check();
+                    Ok(Step::Continue)
+                }
+                OpKind::CovTrace { guard } => {
+                    self.exec_cov_trace(guard);
+                    Ok(Step::Continue)
+                }
+                OpKind::CovNote { guard } => {
+                    self.exec_cov_note(guard);
+                    Ok(Step::Continue)
+                }
+                OpKind::Other => self.exec(region.insts[offset], pc, next_pc, heur),
+            };
+            match r {
+                Ok(Step::Continue) => {}
+                Ok(stop) => return stop,
+                Err(f) => {
+                    self.t_compiled_exits += 1;
+                    return self.fault(f);
+                }
+            }
+            if self.cpu.pc != next_pc || self.sim_depth != depth {
+                self.t_compiled_exits += 1;
+                return Step::Continue;
+            }
+            offset += op.len as usize;
+        }
+        Step::Continue
+    }
+
     fn step(&mut self, heur: &mut SpecHeuristics) -> Step {
         if self.cost >= self.opts.fuel {
             return Step::Stop(ExitStatus::OutOfFuel);
@@ -1833,10 +2234,12 @@ impl<'c> Machine<'c> {
                     self.skip_sim_once = false;
                 } else if self.pht_on {
                     let depth = self.ctx.checkpoints.len() as u32;
+                    let sid = self.prog.site_id_of(pc);
                     let enter = if depth == 0 {
-                        heur.enter_top(pc)
+                        heur.enter_top_at(sid, pc)
                     } else {
-                        heur.enter_nested(
+                        heur.enter_nested_at(
+                            sid,
                             pc,
                             depth,
                             self.opts.config.max_nesting,
@@ -1954,7 +2357,25 @@ impl<'c> Machine<'c> {
         pc: u64,
         heur: &mut SpecHeuristics,
     ) -> Result<bool, Fault> {
-        if self.stl_on && self.try_stl_bypass(dst, mem, size, sext, pc, heur) {
+        self.exec_load_at(dst, mem, size, sext, pc, StlPre::Runtime, heur)
+    }
+
+    /// [`Machine::exec_load`] with the STL-bypass prerequisites supplied
+    /// by the caller — the compiled tier passes the values baked into
+    /// the load's record.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_load_at(
+        &mut self,
+        dst: Reg,
+        mem: &MemRef,
+        size: AccessSize,
+        sext: bool,
+        pc: u64,
+        pre: StlPre,
+        heur: &mut SpecHeuristics,
+    ) -> Result<bool, Fault> {
+        if self.stl_on && self.try_stl_bypass(dst, mem, size, sext, pc, pre, heur) {
             // Store-to-load bypass entered: the stale pre-store value
             // was forwarded into `dst` and a checkpoint resumes at this
             // load after the squash.
@@ -1966,6 +2387,95 @@ impl<'c> Machine<'c> {
             self.ctx.taint.set_reg(dst, t);
         }
         Ok(false)
+    }
+
+    /// Slim load template for compiled windows entered *outside*
+    /// simulation: every `do_load` branch that is conditional on
+    /// `in_sim()` is statically dead there (a window exits before the
+    /// record after any depth change), so this inlines the remaining
+    /// straight line — STL probe, EA, slab read, sign-extend, tag fold,
+    /// register writeback — with no policy or witness tests. Observably
+    /// identical to [`Machine::exec_load_at`] out of simulation.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_load_norm(
+        &mut self,
+        dst: Reg,
+        mem: &MemRef,
+        size: AccessSize,
+        sext: bool,
+        pc: u64,
+        pre: StlPre,
+        heur: &mut SpecHeuristics,
+    ) -> Result<(), Fault> {
+        if self.stl_on && self.try_stl_bypass(dst, mem, size, sext, pc, pre, heur) {
+            return Ok(());
+        }
+        let addr = self.ea(mem);
+        let n = size.bytes();
+        let raw = self.ctx.mem.read_uint(addr, n).map_err(Fault::Mem)?;
+        let value = apply_sext(raw, size, sext);
+        self.pending_oob = None;
+        self.cpu.set(dst, value);
+        if self.dift_on {
+            let t = self.ctx.taint.mem_range_tag(addr, n);
+            self.ctx.taint.set_reg(dst, t);
+        }
+        Ok(())
+    }
+
+    /// Slim store template for compiled windows entered outside
+    /// simulation — the memory-log capture and address-tag policy of
+    /// [`Machine::store_at`] are statically dead there. Observably
+    /// identical to [`Machine::exec_store`] out of simulation.
+    #[inline(always)]
+    fn exec_store_norm(
+        &mut self,
+        src: Reg,
+        mem: &MemRef,
+        size: AccessSize,
+        _pc: u64,
+    ) -> Result<(), Fault> {
+        let addr = self.ea(mem);
+        let n = size.bytes();
+        if self.stl_on {
+            self.stl_record_store(addr, n);
+        }
+        self.ctx
+            .mem
+            .write_uint(addr, self.cpu.get(src), n)
+            .map_err(Fault::Mem)?;
+        if self.dift_on {
+            let tag = self.ctx.taint.reg(src);
+            self.ctx.taint.set_mem_range(addr, n, tag);
+        }
+        Ok(())
+    }
+
+    /// [`Machine::exec_store_norm`] with an immediate payload
+    /// (observably identical to [`Machine::exec_storei`] out of
+    /// simulation: an immediate stores `Tag::CLEAN`).
+    #[inline(always)]
+    fn exec_storei_norm(
+        &mut self,
+        imm: i32,
+        mem: &MemRef,
+        size: AccessSize,
+        _pc: u64,
+    ) -> Result<(), Fault> {
+        let addr = self.ea(mem);
+        let n = size.bytes();
+        if self.stl_on {
+            self.stl_record_store(addr, n);
+        }
+        self.ctx
+            .mem
+            .write_uint(addr, imm as i64 as u64, n)
+            .map_err(Fault::Mem)?;
+        if self.dift_on {
+            self.ctx.taint.set_mem_range(addr, n, Tag::CLEAN);
+        }
+        Ok(())
     }
 
     #[inline]
@@ -1993,6 +2503,28 @@ impl<'c> Machine<'c> {
             Tag::CLEAN
         };
         self.store_at(sp, AccessSize::B8, self.cpu.get(src), tag, Tag::CLEAN, pc)?;
+        self.cpu.set(Reg::SP, sp);
+        Ok(())
+    }
+
+    /// Slim push template for compiled windows entered outside
+    /// simulation (the memory-log branch of [`Machine::store_at`] is
+    /// statically dead there). Observably identical to
+    /// [`Machine::exec_push`] out of simulation.
+    #[inline(always)]
+    fn exec_push_norm(&mut self, src: Reg) -> Result<(), Fault> {
+        let sp = self.cpu.get(Reg::SP).wrapping_sub(8);
+        if self.stl_on {
+            self.stl_record_store(sp, 8);
+        }
+        self.ctx
+            .mem
+            .write_uint(sp, self.cpu.get(src), 8)
+            .map_err(Fault::Mem)?;
+        if self.dift_on {
+            let tag = self.ctx.taint.reg(src);
+            self.ctx.taint.set_mem_range(sp, 8, tag);
+        }
         self.cpu.set(Reg::SP, sp);
         Ok(())
     }
@@ -2136,6 +2668,73 @@ impl<'c> Machine<'c> {
         }
     }
 
+    /// `sim.start` body: the PHT speculation gate and checkpoint entry.
+    /// `branch_orig` and `sid` are pure functions of the instruction's
+    /// address, so the interpreter resolves them per execution while the
+    /// compiled tier hands in the values baked into the record.
+    #[inline]
+    fn exec_sim_start(
+        &mut self,
+        tramp: u64,
+        branch_orig: u64,
+        sid: Option<u32>,
+        pc: u64,
+        next_pc: u64,
+        heur: &mut SpecHeuristics,
+    ) {
+        let depth = self.ctx.checkpoints.len() as u32;
+        let enter = if !self.pht_on {
+            // Conditional-branch misprediction is not part of the
+            // active model set: the instrumentation stays inert.
+            false
+        } else if depth == 0 {
+            heur.enter_top_at(sid, branch_orig)
+        } else if self.nested_on {
+            heur.enter_nested_at(
+                sid,
+                branch_orig,
+                depth,
+                self.opts.config.max_nesting,
+                self.opts.config.full_depth_runs,
+            )
+        } else {
+            false
+        };
+        if self.trace {
+            eprintln!(
+                "[trace] sim.start at {pc:#x} (orig {branch_orig:#x}) depth {depth} -> {}",
+                if enter { "ENTER" } else { "skip" }
+            );
+        }
+        if enter {
+            self.push_checkpoint(next_pc, branch_orig, false, SpecModel::Pht);
+            self.cpu.pc = tramp;
+        }
+    }
+
+    /// `asan.check` body: the shadow probe whose verdict the next
+    /// guarded access consumes. The verdict is only consumed during
+    /// simulation; outside it the probe is a pure read with no
+    /// observer — skip.
+    #[inline]
+    fn asan_probe(&mut self, mem: &MemRef, size: AccessSize, pc: u64) {
+        if self.in_sim() {
+            let addr = self.ea(mem);
+            let n = size.bytes();
+            let oob = self.ctx.asan.is_poisoned(addr, n) || !self.ctx.mem.is_mapped(addr, n);
+            if self.trace && oob {
+                eprintln!(
+                    "[trace] asan OOB at {pc:#x} addr {addr:#x} depth {}",
+                    self.ctx.checkpoints.len()
+                );
+            }
+            self.pending_oob = Some(PendingOob { oob });
+            if oob && self.policy == Policy::SpecFuzz {
+                self.report_specfuzz(pc);
+            }
+        }
+    }
+
     fn exec(
         &mut self,
         inst: Inst<u64>,
@@ -2262,33 +2861,8 @@ impl<'c> Machine<'c> {
             // ----------------------------------------------------------
             Inst::SimStart { tramp } => {
                 let branch_orig = self.orig_pc(pc);
-                let depth = self.ctx.checkpoints.len() as u32;
-                let enter = if !self.pht_on {
-                    // Conditional-branch misprediction is not part of the
-                    // active model set: the instrumentation stays inert.
-                    false
-                } else if depth == 0 {
-                    heur.enter_top(branch_orig)
-                } else if self.nested_on {
-                    heur.enter_nested(
-                        branch_orig,
-                        depth,
-                        self.opts.config.max_nesting,
-                        self.opts.config.full_depth_runs,
-                    )
-                } else {
-                    false
-                };
-                if self.trace {
-                    eprintln!(
-                        "[trace] sim.start at {pc:#x} (orig {branch_orig:#x}) depth {depth} -> {}",
-                        if enter { "ENTER" } else { "skip" }
-                    );
-                }
-                if enter {
-                    self.push_checkpoint(next_pc, branch_orig, false, SpecModel::Pht);
-                    self.cpu.pc = tramp;
-                }
+                let sid = self.prog.site_id_of(pc);
+                self.exec_sim_start(tramp, branch_orig, sid, pc, next_pc, heur);
             }
             Inst::SimCheck => self.exec_sim_check(),
             Inst::SimEnd => {
@@ -2300,27 +2874,7 @@ impl<'c> Machine<'c> {
                 mem,
                 size,
                 is_write: _,
-            } => {
-                // The verdict is only consumed during simulation (the
-                // guarded access takes `pending_oob`); outside it the
-                // shadow probe is a pure read with no observer — skip.
-                if self.in_sim() {
-                    let addr = self.ea(&mem);
-                    let n = size.bytes();
-                    let oob =
-                        self.ctx.asan.is_poisoned(addr, n) || !self.ctx.mem.is_mapped(addr, n);
-                    if self.trace && oob {
-                        eprintln!(
-                            "[trace] asan OOB at {pc:#x} addr {addr:#x} depth {}",
-                            self.ctx.checkpoints.len()
-                        );
-                    }
-                    self.pending_oob = Some(PendingOob { oob });
-                    if oob && self.policy == Policy::SpecFuzz {
-                        self.report_specfuzz(pc);
-                    }
-                }
-            }
+            } => self.asan_probe(&mem, size, pc),
             Inst::MemLog { .. } => {
                 // Cost marker: semantic logging happens on the store
                 // itself (DESIGN.md §3, "Semantic note").

@@ -18,7 +18,7 @@
 //! hot path while keeping its observable semantics bit-for-bit
 //! (fault addresses, partial cross-page stores, dirty-page reset).
 
-use crate::slab::{for_page_chunks, BitVec, PageSlab};
+use crate::slab::{for_page_chunks, lane_mask, BitVec, PageSlab};
 
 pub use crate::slab::PAGE_SIZE;
 
@@ -209,13 +209,38 @@ impl PagedMem {
     /// # Errors
     ///
     /// Faults if any byte is unmapped.
-    #[inline]
+    #[inline(always)]
     pub fn read_uint(&self, addr: u64, n: u64) -> Result<u64, MemFault> {
-        debug_assert!(n <= 8);
+        debug_assert!((1..=8).contains(&n));
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + 8 <= PAGE_SIZE as usize {
+            // Fast path: a full 8-byte window fits on the page, so the
+            // value is one fixed-width load masked down to `n` bytes —
+            // no length-dependent copy (which compiles to a `memcpy`
+            // call for runtime lengths). Kept small and `inline(always)`
+            // so the load folds into the interpreter loops; the edge
+            // cases live out of line.
+            let slot = self
+                .slab
+                .slot_of(addr / PAGE_SIZE)
+                .ok_or(MemFault::Unmapped { addr })?;
+            let w: [u8; 8] = self.slab.page(slot)[off..off + 8]
+                .try_into()
+                .expect("8-byte window");
+            return Ok(u64::from_le_bytes(w) & lane_mask(n));
+        }
+        self.read_uint_edge(addr, n)
+    }
+
+    /// Page-edge tail of [`PagedMem::read_uint`] (the last 7 bytes of a
+    /// page, or a page-crossing access).
+    #[cold]
+    #[inline(never)]
+    fn read_uint_edge(&self, addr: u64, n: u64) -> Result<u64, MemFault> {
         let off = (addr % PAGE_SIZE) as usize;
         let mut buf = [0u8; 8];
         if off + n as usize <= PAGE_SIZE as usize {
-            // Fast path: the access stays on one page.
+            // Near the page edge but still on one page.
             let slot = self
                 .slab
                 .slot_of(addr / PAGE_SIZE)
@@ -234,13 +259,43 @@ impl PagedMem {
     /// Faults if any byte is unmapped or read-only. Bytes preceding a
     /// faulting byte may already be written (like a real partial store
     /// across a page boundary).
-    #[inline]
+    #[inline(always)]
     pub fn write_uint(&mut self, addr: u64, value: u64, n: u64) -> Result<(), MemFault> {
-        debug_assert!(n <= 8);
+        debug_assert!((1..=8).contains(&n));
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + 8 <= PAGE_SIZE as usize {
+            // Fast path: splice the low `n` bytes into a full 8-byte
+            // window with one fixed-width read-modify-write. The bytes
+            // above `n` are written back unchanged, which is invisible
+            // (single-threaded machine, same page, same dirty bit) and
+            // avoids a length-dependent copy. Kept small and
+            // `inline(always)`; the edge cases live out of line.
+            let slot = self
+                .slab
+                .slot_of(addr / PAGE_SIZE)
+                .ok_or(MemFault::Unmapped { addr })?;
+            if !self.writable.get(slot as usize) {
+                return Err(MemFault::ReadOnly { addr });
+            }
+            let win = &mut self.slab.page_mut(slot)[off..off + 8];
+            let old = u64::from_le_bytes(win.try_into().expect("8-byte window"));
+            let mask = lane_mask(n);
+            let merged = (old & !mask) | (value & mask);
+            win.copy_from_slice(&merged.to_le_bytes());
+            self.dirty.set(slot as usize, true);
+            return Ok(());
+        }
+        self.write_uint_edge(addr, value, n)
+    }
+
+    /// Page-edge tail of [`PagedMem::write_uint`].
+    #[cold]
+    #[inline(never)]
+    fn write_uint_edge(&mut self, addr: u64, value: u64, n: u64) -> Result<(), MemFault> {
         let bytes = value.to_le_bytes();
         let off = (addr % PAGE_SIZE) as usize;
         if off + n as usize <= PAGE_SIZE as usize {
-            // Fast path: the store stays on one page.
+            // Near the page edge but still on one page.
             let slot = self
                 .slab
                 .slot_of(addr / PAGE_SIZE)

@@ -27,7 +27,9 @@
 
 use crate::mem::PagedMem;
 use std::sync::Arc;
-use teapot_isa::{decode_at, walk_blocks, Inst, INST_MAX_LEN};
+use teapot_isa::{
+    decode_at, walk_blocks, AccessSize, AluOp, Cc, Inst, MemRef, Operand, Reg, INST_MAX_LEN,
+};
 use teapot_obj::{BinFlags, Binary};
 use teapot_rt::layout::{STACK_LIMIT, STACK_TOP};
 use teapot_rt::{cost, TeapotMeta};
@@ -105,6 +107,183 @@ pub(crate) struct RunInfo {
     pub run_cost: u32,
 }
 
+/// Sentinel for a compiled load whose STL wrong path has no Shadow-Copy
+/// continuation: the bypass cannot be simulated at this site.
+pub(crate) const STL_NO_CONT: u64 = u64::MAX;
+
+/// Sentinel for "no dense heuristic site at this slot".
+pub(crate) const NO_SITE: u32 = u32::MAX;
+
+/// One template-compiled execution record: a per-opcode-shape template
+/// plus fully pre-resolved operands, so the compiled dispatch tier
+/// streams uniform records with zero per-pass decode or operand work.
+/// A record may *fuse* several table slots (a run of pure cost markers,
+/// or an `asan.check` with the access it guards) — its counters then
+/// cover every fused instruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompiledOp {
+    /// Bytes the record covers (all fused instructions).
+    pub len: u8,
+    /// Instructions the record retires.
+    pub insts: u8,
+    /// Program-instruction increments the record performs. The
+    /// single-copy rule ("every instruction counts") is baked in at
+    /// compile time — it is a property of the binary, not of the run.
+    pub prog: u8,
+    /// Cost charged while inside speculation simulation (full charge).
+    pub cost_sim: u32,
+    /// Cost charged outside simulation: the single-copy zeroing of
+    /// unguarded instrumentation bodies is baked in per component.
+    pub cost_norm: u32,
+    pub kind: OpKind,
+}
+
+/// The dispatch template of a [`CompiledOp`]. Operand payloads are
+/// pre-resolved copies out of the decoded instruction; `Other` falls
+/// back to the full interpreter match over `Region::insts`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OpKind {
+    /// A fused run of pure cost markers and NOPs (`F_NOP` entries):
+    /// nothing executes, the record only advances the counters and PC.
+    Skip,
+    MovRR {
+        dst: Reg,
+        src: Reg,
+    },
+    MovRI {
+        dst: Reg,
+        imm: i64,
+    },
+    Load {
+        dst: Reg,
+        mem: MemRef,
+        size: AccessSize,
+        sext: bool,
+        /// Pre-resolved Shadow-Copy continuation for an STL bypass at
+        /// this load ([`STL_NO_CONT`] when the wrong path cannot be
+        /// simulated) — the `next_original_after` + shadow-twin lookup
+        /// done once at compile time instead of per bypass attempt.
+        stl_cont: u64,
+        /// Dense heuristic site id of this load (STL gate).
+        sid: u32,
+    },
+    /// Fused `asan.check` + guarded load superinstruction: the shadow
+    /// probe and the access execute as one record when the predecoded
+    /// table proves they are adjacent.
+    LoadChecked {
+        chk: MemRef,
+        chk_size: AccessSize,
+        /// Byte offset of the fused access (= the check's length).
+        acc_off: u8,
+        dst: Reg,
+        mem: MemRef,
+        size: AccessSize,
+        sext: bool,
+        stl_cont: u64,
+        sid: u32,
+    },
+    Store {
+        src: Reg,
+        mem: MemRef,
+        size: AccessSize,
+    },
+    /// Fused `asan.check` + guarded store superinstruction.
+    StoreChecked {
+        chk: MemRef,
+        chk_size: AccessSize,
+        acc_off: u8,
+        src: Reg,
+        mem: MemRef,
+        size: AccessSize,
+    },
+    StoreI {
+        imm: i32,
+        mem: MemRef,
+        size: AccessSize,
+    },
+    Lea {
+        dst: Reg,
+        mem: MemRef,
+    },
+    Push {
+        src: Reg,
+    },
+    Pop {
+        dst: Reg,
+    },
+    Alu {
+        op: AluOp,
+        dst: Reg,
+        src: Operand,
+    },
+    Cmp {
+        lhs: Reg,
+        rhs: Operand,
+    },
+    Test {
+        lhs: Reg,
+        rhs: Operand,
+    },
+    Set {
+        cc: Cc,
+        dst: Reg,
+    },
+    Jcc {
+        cc: Cc,
+        target: u64,
+    },
+    /// `sim.start` with the trampoline target, the rewritten→original
+    /// translation and the dense heuristic site id all pre-resolved.
+    SimStart {
+        tramp: u64,
+        branch_orig: u64,
+        sid: u32,
+    },
+    SimCheck,
+    CovTrace {
+        guard: u32,
+    },
+    CovNote {
+        guard: u32,
+    },
+    /// Everything else: execute `Region::insts[offset]` through the
+    /// full interpreter match (control flow, syscalls, rare opcodes).
+    Other,
+}
+
+/// Per-slot compiled-window metadata, read once at compiled-dispatch
+/// entry: how many records the fall-through window holds and the
+/// conservative sums backing the hoisted fuel/ROB checks.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CRun {
+    /// Records in the window (`0`: the compiled tier must not dispatch).
+    pub recs: u8,
+    /// Instructions the window retires (≤ [`SLICE_CAP`]).
+    pub insts: u8,
+    /// Program-instruction increments in the window (single-copy baked
+    /// in), for the hoisted ROB check.
+    pub prog: u8,
+    /// Summed full cost, for the hoisted fuel check (conservative).
+    pub cost: u32,
+}
+
+/// What the template-compilation pass produced for one binary —
+/// surfaced in the decode-cache line and the `meta` telemetry event so
+/// `--metrics` streams show compile coverage per binary. Counted over
+/// the canonical (linear-walk) instruction stream; separate from
+/// [`DecodeStats`], whose layout is frozen into campaign snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Canonical instructions covered by a dispatchable compiled record.
+    pub records: usize,
+    /// Records fusing a run of two or more pure cost markers.
+    pub fused_skips: usize,
+    /// Fused `asan.check`+access superinstruction records.
+    pub fused_checks: usize,
+    /// Dense heuristic sites (speculation gates) indexed program-wide.
+    pub sites: usize,
+}
+
 /// A predecoded executable region (one `.text`-kind section),
 /// structure-of-arrays: one slot per byte offset in
 /// `[start, start + hot.len())`.
@@ -116,6 +295,14 @@ pub(crate) struct Region {
     pub(crate) insts: Vec<Inst<u64>>,
     /// Block-slice metadata per slot (read once per slice entry).
     pub(crate) runs: Vec<RunInfo>,
+    /// Template-compiled record per slot (the compiled dispatch tier).
+    pub(crate) ops: Vec<CompiledOp>,
+    /// Compiled-window metadata per slot (read once per window entry).
+    pub(crate) cruns: Vec<CRun>,
+    /// Dense heuristic site id per slot ([`NO_SITE`] when the slot is
+    /// not a speculation gate): replaces the per-decision `pc → index`
+    /// hash probe in the persistent heuristics with an array read.
+    pub(crate) site_id: Vec<u32>,
     /// Precomputed `TeapotMeta::to_original(va).unwrap_or(va)` per byte
     /// offset (empty for uninstrumented binaries): turns the
     /// rewritten→original translation on every `sim.start`, gadget
@@ -154,6 +341,10 @@ pub struct Program {
     regions: Arc<Vec<Region>>,
     pristine: PagedMem,
     stats: DecodeStats,
+    compile_stats: CompileStats,
+    /// Total dense heuristic sites across all regions (the size of the
+    /// per-program binding table in `SpecHeuristics`).
+    n_sites: u32,
     /// `(start, end)` basic-block spans from the linear walk, sorted.
     block_spans: Vec<(u64, u64)>,
     /// Original coordinate → Shadow-Copy twin (smallest shadow address
@@ -203,7 +394,22 @@ impl Program {
             .note(".teapot.meta")
             .map(|n| TeapotMeta::from_bytes(&n.bytes).expect("malformed .teapot.meta section"));
 
+        // The Original→Shadow twin table is built before the region
+        // loop: the compile pass bakes per-load STL continuations from
+        // it (the shadow twin of the next copied instruction).
+        let mut shadow_twins = teapot_rt::FxHashMap::default();
+        if let Some(m) = &meta {
+            for &(rew, orig) in &m.addr_map {
+                if m.in_shadow(rew) {
+                    let e = shadow_twins.entry(orig).or_insert(rew);
+                    *e = (*e).min(rew);
+                }
+            }
+        }
+
         let mut stats = DecodeStats::default();
+        let mut compile_stats = CompileStats::default();
+        let mut n_sites: u32 = 0;
         let mut regions = Vec::new();
         let mut block_spans = Vec::new();
         for sec in &binary.sections {
@@ -288,6 +494,17 @@ impl Program {
                 }
             }
             compute_slices(&mut entries);
+            let site_id = assign_sites(&entries, &mut n_sites);
+            let (ops, cruns) = compile_region(
+                &entries,
+                start,
+                binary.flags.single_copy,
+                meta.as_ref(),
+                &shadow_twins,
+                &site_id,
+                &decoded,
+                &mut compile_stats,
+            );
             let orig = match &meta {
                 Some(m) => (0..span)
                     .map(|off| {
@@ -316,21 +533,15 @@ impl Program {
                         run_cost: e.run_cost,
                     })
                     .collect(),
+                ops,
+                cruns,
+                site_id,
                 orig,
             });
         }
         regions.sort_by_key(|r| r.start);
         block_spans.sort_unstable();
-
-        let mut shadow_twins = teapot_rt::FxHashMap::default();
-        if let Some(m) = &meta {
-            for &(rew, orig) in &m.addr_map {
-                if m.in_shadow(rew) {
-                    let e = shadow_twins.entry(orig).or_insert(rew);
-                    *e = (*e).min(rew);
-                }
-            }
-        }
+        compile_stats.sites = n_sites as usize;
 
         static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let regions = Arc::new(regions);
@@ -342,6 +553,8 @@ impl Program {
             regions,
             pristine: mem,
             stats,
+            compile_stats,
+            n_sites,
             block_spans,
             shadow_twins,
         }
@@ -367,6 +580,34 @@ impl Program {
     /// What the decode pass covered.
     pub fn stats(&self) -> &DecodeStats {
         &self.stats
+    }
+
+    /// What the template-compilation pass produced.
+    pub fn compile_stats(&self) -> &CompileStats {
+        &self.compile_stats
+    }
+
+    /// Number of dense heuristic sites (speculation gates) in the
+    /// program — the size of the per-program heuristics binding table.
+    #[inline]
+    pub(crate) fn site_count(&self) -> u32 {
+        self.n_sites
+    }
+
+    /// Dense heuristic site id of the gate instruction at `pc`, when
+    /// `pc` lies in a predecoded region and the slot is a gate.
+    #[inline]
+    pub(crate) fn site_id_of(&self, pc: u64) -> Option<u32> {
+        for r in self.regions.iter() {
+            if pc >= r.start {
+                let off = (pc - r.start) as usize;
+                if off < r.site_id.len() {
+                    let id = r.site_id[off];
+                    return (id != NO_SITE).then_some(id);
+                }
+            }
+        }
+        None
     }
 
     /// `(start, end)` address spans of the basic blocks the linear walk
@@ -471,6 +712,281 @@ fn compute_slices(entries: &mut [Entry]) {
     }
 }
 
+/// Cap on the pure cost markers one `Skip` record fuses: keeps the
+/// record's byte length well inside a `u8` (16 × `INST_MAX_LEN` = 192)
+/// and its instruction count a small share of a compiled window.
+const SKIP_FUSE_CAP: u8 = 16;
+
+/// Assigns dense heuristic site ids: one per decoded, non-`F_LIVE`
+/// speculation-gate instruction (`sim.start` → PHT, `ret` → RSB, loads
+/// → STL, conditional branches → SpecTaint-emulation PHT). Ids are
+/// sequential across regions in address order; the key a gate consults
+/// the heuristics under is a pure function of the slot's address and
+/// frozen opcode, so one id always stands for one site key.
+fn assign_sites(entries: &[Entry], next: &mut u32) -> Vec<u32> {
+    entries
+        .iter()
+        .map(|e| {
+            if e.len == 0 || e.flags & F_LIVE != 0 {
+                return NO_SITE;
+            }
+            match e.inst {
+                Inst::SimStart { .. } | Inst::Ret | Inst::Load { .. } | Inst::Jcc { .. } => {
+                    let id = *next;
+                    *next += 1;
+                    id
+                }
+                _ => NO_SITE,
+            }
+        })
+        .collect()
+}
+
+/// Per-record accounting: program-instruction increment and the
+/// normal-mode cost with the single-copy zeroing rule baked in (the
+/// in-simulation cost is always the full charge).
+#[inline]
+fn op_accounting(e: &Entry, single_copy: bool) -> (u8, u32) {
+    let is_instr = e.flags & F_INSTR != 0;
+    let prog = u8::from(single_copy || !is_instr);
+    let cost_norm = if single_copy && is_instr && e.flags & F_ALWAYS_CHARGE == 0 {
+        0
+    } else {
+        e.cost
+    };
+    (prog, cost_norm)
+}
+
+/// Pre-resolved Shadow-Copy continuation of an STL bypass at the load
+/// at `acc_pc` (fall-through continuation `cont`): exactly the lookup
+/// `Machine::try_stl_bypass` performs per attempt, hoisted to compile
+/// time. [`STL_NO_CONT`] marks a load whose wrong path cannot be
+/// simulated.
+fn stl_cont_of(
+    meta: Option<&TeapotMeta>,
+    single_copy: bool,
+    shadow_twins: &teapot_rt::FxHashMap<u64, u64>,
+    acc_pc: u64,
+    cont: u64,
+) -> u64 {
+    match meta {
+        Some(m) if !single_copy && m.in_real(cont) => m
+            .next_original_after(acc_pc)
+            .and_then(|o| shadow_twins.get(&o).copied())
+            .unwrap_or(STL_NO_CONT),
+        _ => cont,
+    }
+}
+
+/// The template-compilation pass: builds one [`CompiledOp`] record per
+/// decodable, non-`F_LIVE` slot (fusing `F_NOP` marker runs and
+/// `asan.check`+access pairs when the table proves adjacency), then a
+/// reverse-DP over *records* producing the per-slot [`CRun`] windows
+/// whose sums back the hoisted fuel/safety-net/ROB checks — so
+/// executing a window record-by-record covers exactly the instructions
+/// the hoisted checks were computed against. Fusion never crosses an
+/// `F_IN_REAL` boundary (one hoisted escape check covers a window) and
+/// every slot keeps its own record, so control flow entering *between*
+/// the halves of a fused pair (an STL squash resuming at the guarded
+/// load) dispatches the plain record at that slot.
+#[allow(clippy::too_many_arguments)]
+fn compile_region(
+    entries: &[Entry],
+    start: u64,
+    single_copy: bool,
+    meta: Option<&TeapotMeta>,
+    shadow_twins: &teapot_rt::FxHashMap<u64, u64>,
+    site_id: &[u32],
+    canonical: &[bool],
+    stats: &mut CompileStats,
+) -> (Vec<CompiledOp>, Vec<CRun>) {
+    let n = entries.len();
+    let nil = CompiledOp {
+        len: 0,
+        insts: 0,
+        prog: 0,
+        cost_sim: 0,
+        cost_norm: 0,
+        kind: OpKind::Other,
+    };
+    let mut ops = vec![nil; n];
+    let mut cruns = vec![CRun::default(); n];
+    for off in (0..n).rev() {
+        let e = &entries[off];
+        if e.len == 0 || e.flags & F_LIVE != 0 {
+            continue; // recs stays 0: the compiled tier must not dispatch
+        }
+        let pc = start + off as u64;
+        let next_off = off + e.len as usize;
+        let (own_prog, own_norm) = op_accounting(e, single_copy);
+        let mut op = CompiledOp {
+            len: e.len,
+            insts: 1,
+            prog: own_prog,
+            cost_sim: e.cost,
+            cost_norm: own_norm,
+            kind: compile_kind(e, pc, single_copy, meta, shadow_twins, site_id[off]),
+        };
+        if e.flags & F_NOP != 0 {
+            // Fuse a fall-through run of pure markers into one Skip.
+            if let Some(ne) = entries.get(next_off) {
+                let nop = ops[next_off];
+                if matches!(nop.kind, OpKind::Skip)
+                    && nop.insts < SKIP_FUSE_CAP
+                    && (ne.flags ^ e.flags) & F_IN_REAL == 0
+                {
+                    op.len += nop.len;
+                    op.insts += nop.insts;
+                    op.prog += nop.prog;
+                    op.cost_sim += nop.cost_sim;
+                    op.cost_norm += nop.cost_norm;
+                }
+            }
+        } else if let Inst::AsanCheck {
+            mem: chk,
+            size: chk_size,
+            is_write: _,
+        } = e.inst
+        {
+            // Fuse the check with the access it guards when the next
+            // table slot is that access (decodable, immutable, same
+            // Real-Copy membership).
+            if let Some(ne) = entries.get(next_off) {
+                if ne.len != 0 && ne.flags & F_LIVE == 0 && (ne.flags ^ e.flags) & F_IN_REAL == 0 {
+                    let acc_pc = pc + e.len as u64;
+                    let (acc_prog, acc_norm) = op_accounting(ne, single_copy);
+                    let fused = match ne.inst {
+                        Inst::Load {
+                            dst,
+                            mem,
+                            size,
+                            sext,
+                        } => Some(OpKind::LoadChecked {
+                            chk,
+                            chk_size,
+                            acc_off: e.len,
+                            dst,
+                            mem,
+                            size,
+                            sext,
+                            stl_cont: stl_cont_of(
+                                meta,
+                                single_copy,
+                                shadow_twins,
+                                acc_pc,
+                                acc_pc + ne.len as u64,
+                            ),
+                            sid: site_id[next_off],
+                        }),
+                        Inst::Store { src, mem, size } => Some(OpKind::StoreChecked {
+                            chk,
+                            chk_size,
+                            acc_off: e.len,
+                            src,
+                            mem,
+                            size,
+                        }),
+                        _ => None,
+                    };
+                    if let Some(kind) = fused {
+                        op.kind = kind;
+                        op.len += ne.len;
+                        op.insts = 2;
+                        op.prog += acc_prog;
+                        op.cost_sim += ne.cost;
+                        op.cost_norm += acc_norm;
+                    }
+                }
+            }
+        }
+        if canonical[off] {
+            stats.records += 1;
+            match op.kind {
+                OpKind::Skip if op.insts >= 2 => stats.fused_skips += 1,
+                OpKind::LoadChecked { .. } | OpKind::StoreChecked { .. } => stats.fused_checks += 1,
+                _ => {}
+            }
+        }
+        // Window DP over records: extend while the next slot's window
+        // exists, the combined instruction count stays within the slice
+        // cap and Real-Copy membership is homogeneous.
+        let rec_end = off + op.len as usize;
+        let cr = match (entries.get(rec_end), cruns.get(rec_end)) {
+            (Some(ne), Some(nc))
+                if nc.recs >= 1
+                    && op.insts as u32 + nc.insts as u32 <= SLICE_CAP as u32
+                    && (ne.flags ^ e.flags) & F_IN_REAL == 0 =>
+            {
+                CRun {
+                    recs: 1 + nc.recs,
+                    insts: op.insts + nc.insts,
+                    prog: op.prog + nc.prog,
+                    cost: op.cost_sim + nc.cost,
+                }
+            }
+            _ => CRun {
+                recs: 1,
+                insts: op.insts,
+                prog: op.prog,
+                cost: op.cost_sim,
+            },
+        };
+        ops[off] = op;
+        cruns[off] = cr;
+    }
+    (ops, cruns)
+}
+
+/// The pre-resolved dispatch template for one (unfused) instruction.
+fn compile_kind(
+    e: &Entry,
+    pc: u64,
+    single_copy: bool,
+    meta: Option<&TeapotMeta>,
+    shadow_twins: &teapot_rt::FxHashMap<u64, u64>,
+    sid: u32,
+) -> OpKind {
+    if e.flags & F_NOP != 0 {
+        return OpKind::Skip;
+    }
+    match e.inst {
+        Inst::MovRR { dst, src } => OpKind::MovRR { dst, src },
+        Inst::MovRI { dst, imm } => OpKind::MovRI { dst, imm },
+        Inst::Load {
+            dst,
+            mem,
+            size,
+            sext,
+        } => OpKind::Load {
+            dst,
+            mem,
+            size,
+            sext,
+            stl_cont: stl_cont_of(meta, single_copy, shadow_twins, pc, pc + e.len as u64),
+            sid,
+        },
+        Inst::Store { src, mem, size } => OpKind::Store { src, mem, size },
+        Inst::StoreI { imm, mem, size } => OpKind::StoreI { imm, mem, size },
+        Inst::Lea { dst, mem } => OpKind::Lea { dst, mem },
+        Inst::Push { src } => OpKind::Push { src },
+        Inst::Pop { dst } => OpKind::Pop { dst },
+        Inst::Alu { op, dst, src } => OpKind::Alu { op, dst, src },
+        Inst::Cmp { lhs, rhs } => OpKind::Cmp { lhs, rhs },
+        Inst::Test { lhs, rhs } => OpKind::Test { lhs, rhs },
+        Inst::Set { cc, dst } => OpKind::Set { cc, dst },
+        Inst::Jcc { cc, target } => OpKind::Jcc { cc, target },
+        Inst::SimStart { tramp } => OpKind::SimStart {
+            tramp,
+            branch_orig: meta.and_then(|m| m.to_original(pc)).unwrap_or(pc),
+            sid,
+        },
+        Inst::SimCheck => OpKind::SimCheck,
+        Inst::CovTrace { guard } => OpKind::CovTrace { guard },
+        Inst::CovNote { guard } => OpKind::CovNote { guard },
+        _ => OpKind::Other,
+    }
+}
+
 /// Address-derived flags, valid whether or not the address decodes:
 /// the Real-Copy safety net must fire for undecodable Real-Copy
 /// addresses too (counted as an escape, not an invalid-instruction
@@ -533,5 +1049,24 @@ pub(crate) fn inst_cost(inst: &Inst<u64>) -> u64 {
         Inst::CovNote { .. } => cost::COV_NOTE,
         Inst::Guard => cost::GUARD,
         _ => cost::PLAIN_INST,
+    }
+}
+
+#[cfg(test)]
+mod layout_tests {
+    use super::*;
+
+    /// The compiled tier streams one `CompiledOp` per record; keeping
+    /// the record within a cache line is part of the design. This pins
+    /// the layout so a new operand payload can't silently bloat it.
+    #[test]
+    fn compiled_op_stays_within_a_cache_line() {
+        let sz = std::mem::size_of::<CompiledOp>();
+        eprintln!(
+            "CompiledOp = {sz} bytes, OpKind = {} bytes, CRun = {} bytes",
+            std::mem::size_of::<OpKind>(),
+            std::mem::size_of::<CRun>()
+        );
+        assert!(sz <= 64, "CompiledOp grew to {sz} bytes");
     }
 }

@@ -70,6 +70,13 @@ pub(crate) struct PageSlab {
     /// by page id. Invalidated whenever the page→slot mapping changes
     /// (insertions shift slots).
     tlb: [AtomicU64; TLB_ENTRIES],
+    /// Single-entry L0 front cache holding the last translation (same
+    /// packing as `tlb`): a compiled slice streaming accesses against
+    /// one data page resolves it with a single load + compare, pinning
+    /// the entry for the slice regardless of direct-mapped conflicts.
+    /// An L0 hit counts as a TLB hit, so hit + miss totals are
+    /// unchanged by the cache's existence.
+    l0: AtomicU64,
     /// Telemetry counters (TLB hits/misses, pages materialized).
     /// Atomics only because lookups go through `&self`; increments are
     /// relaxed load+store (no RMW — every counting slab is owned by one
@@ -91,6 +98,7 @@ impl Default for PageSlab {
             runs: Vec::new(),
             bytes: Vec::new(),
             tlb: empty_tlb(),
+            l0: AtomicU64::new(TLB_EMPTY),
             tlb_hits: AtomicU64::new(0),
             tlb_misses: AtomicU64::new(0),
             pages_alloc: AtomicU64::new(0),
@@ -104,6 +112,7 @@ impl Clone for PageSlab {
             runs: self.runs.clone(),
             bytes: self.bytes.clone(),
             tlb: empty_tlb(),
+            l0: AtomicU64::new(TLB_EMPTY),
             // A clone is a fresh address space (a context cloning the
             // pristine image): it starts counting from zero.
             tlb_hits: AtomicU64::new(0),
@@ -123,15 +132,23 @@ impl Clone for PageSlab {
 }
 
 impl PageSlab {
-    /// Slot of `page`, TLB first, then the region table.
-    #[inline]
+    /// Slot of `page`: the pinned L0 entry first, then the direct-mapped
+    /// TLB, then the region table.
+    #[inline(always)]
     pub(crate) fn slot_of(&self, page: u64) -> Option<u32> {
         if page < TLB_MAX_PAGE {
-            let v = self.tlb[page as usize % TLB_ENTRIES].load(Relaxed);
-            if v >> TLB_SLOT_BITS == page {
+            let p = self.l0.load(Relaxed);
+            if p >> TLB_SLOT_BITS == page {
                 // Relaxed load+store (not fetch_add): counting slabs are
                 // single-owner, so a plain increment compiles to mov/add
                 // with no lock prefix on the hottest path in the VM.
+                self.tlb_hits
+                    .store(self.tlb_hits.load(Relaxed) + 1, Relaxed);
+                return Some((p & TLB_SLOT_MASK) as u32);
+            }
+            let v = self.tlb[page as usize % TLB_ENTRIES].load(Relaxed);
+            if v >> TLB_SLOT_BITS == page {
+                self.l0.store(v, Relaxed);
                 self.tlb_hits
                     .store(self.tlb_hits.load(Relaxed) + 1, Relaxed);
                 return Some((v & TLB_SLOT_MASK) as u32);
@@ -140,7 +157,10 @@ impl PageSlab {
         self.slot_walk(page)
     }
 
-    /// Region-table walk on a TLB miss; refreshes the TLB on a hit.
+    /// Region-table walk on a TLB miss; refreshes the TLB (and the L0
+    /// pin) on a hit.
+    #[cold]
+    #[inline(never)]
     fn slot_walk(&self, page: u64) -> Option<u32> {
         self.tlb_misses
             .store(self.tlb_misses.load(Relaxed) + 1, Relaxed);
@@ -152,8 +172,9 @@ impl PageSlab {
         }
         let slot = r.slot0 + off as u32;
         if page < TLB_MAX_PAGE && (slot as u64) <= TLB_SLOT_MASK {
-            self.tlb[page as usize % TLB_ENTRIES]
-                .store(page << TLB_SLOT_BITS | slot as u64, Relaxed);
+            let packed = page << TLB_SLOT_BITS | slot as u64;
+            self.tlb[page as usize % TLB_ENTRIES].store(packed, Relaxed);
+            self.l0.store(packed, Relaxed);
         }
         Some(slot)
     }
@@ -177,6 +198,7 @@ impl PageSlab {
     }
 
     pub(crate) fn invalidate_tlb(&self) {
+        self.l0.store(TLB_EMPTY, Relaxed);
         for e in &self.tlb {
             e.store(TLB_EMPTY, Relaxed);
         }
@@ -327,6 +349,17 @@ pub(crate) fn for_page_chunks(addr: u64, len: u64, mut f: impl FnMut(u64, usize)
     }
 }
 
+/// Mask selecting the low `n` bytes of a little-endian `u64` window
+/// (`n` in `1..=8`). The fixed-width fast paths in the accessors read
+/// or splice a full 8-byte window and mask with this instead of doing a
+/// length-dependent byte copy (which compiles to a `memcpy` call when
+/// the length is a runtime value).
+#[inline]
+pub(crate) fn lane_mask(n: u64) -> u64 {
+    debug_assert!((1..=8).contains(&n));
+    u64::MAX >> ((8 - n) * 8)
+}
+
 /// A sparse, zero-default byte shadow over a [`PageSlab`] — the shared
 /// backing of the DIFT tag shadow and the ASan poison shadow. An absent
 /// page reads as zeroes and a zeroed page is observably identical to an
@@ -398,8 +431,27 @@ impl ShadowMem {
             return;
         }
         let off = addr % PAGE_SIZE;
+        if len <= 8 && off + 8 <= PAGE_SIZE {
+            // Fastest path: every ≤8-byte store tag update splices a
+            // broadcast byte into one fixed 8-byte window (bytes above
+            // `len` written back unchanged — invisible, and free of
+            // length-dependent fills).
+            let page = addr / PAGE_SIZE;
+            let slot = match self.slab.slot_of(page) {
+                Some(s) => s,
+                None if v == 0 => return,
+                None => self.slab.ensure(page).0,
+            };
+            let off = off as usize;
+            let win = &mut self.slab.page_mut(slot)[off..off + 8];
+            let old = u64::from_le_bytes(win.try_into().expect("8-byte window"));
+            let mask = lane_mask(len);
+            let pattern = v as u64 * 0x0101_0101_0101_0101;
+            win.copy_from_slice(&((old & !mask) | (pattern & mask)).to_le_bytes());
+            return;
+        }
         if len <= PAGE_SIZE - off {
-            // Fast path: one page (every ≤8-byte store tag update).
+            // Fast path: one page.
             let page = addr / PAGE_SIZE;
             let slot = match self.slab.slot_of(page) {
                 Some(s) => s,
@@ -442,8 +494,27 @@ impl ShadowMem {
     #[inline]
     pub(crate) fn fold_or(&self, addr: u64, len: u64) -> u8 {
         let off = addr % PAGE_SIZE;
+        if len <= 8 && len > 0 && off + 8 <= PAGE_SIZE {
+            // Fastest path: every ≤8-byte load tag fold is one fixed
+            // 8-byte window read, masked to `len`, OR-reduced in
+            // registers.
+            return match self.slab.slot_of(addr / PAGE_SIZE) {
+                Some(s) => {
+                    let off = off as usize;
+                    let w: [u8; 8] = self.slab.page(s)[off..off + 8]
+                        .try_into()
+                        .expect("8-byte window");
+                    let mut x = u64::from_le_bytes(w) & lane_mask(len);
+                    x |= x >> 32;
+                    x |= x >> 16;
+                    x |= x >> 8;
+                    (x & 0xff) as u8
+                }
+                None => 0,
+            };
+        }
         if len <= PAGE_SIZE - off {
-            // Fast path: one page (every ≤8-byte load tag fold).
+            // Fast path: one page.
             return match self.slab.slot_of(addr / PAGE_SIZE) {
                 Some(s) => {
                     let off = off as usize;

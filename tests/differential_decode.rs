@@ -9,11 +9,17 @@
 //! emulation of the original binary — and asserts bit-identical
 //! `RunOutcome`s: status, cost accounting, instruction counts, gadget
 //! reports, both coverage maps, program output and simulation counters.
+//!
+//! The dispatch half of the suite is a three-way matrix: the compiled
+//! execution tier and the block-slice dispatcher are each differenced
+//! against single-step interpretation (via `Machine::set_dispatch_tier`)
+//! over the same workloads, model sets and adversarial inputs, plus a
+//! deterministic random-fuel sweep that cuts runs off mid-window.
 
 use teapot::cc::Options;
 use teapot::core::{rewrite, RewriteOptions};
 use teapot::obj::Binary;
-use teapot::vm::{EmuStyle, Machine, RunOptions, SpecHeuristics, SpecModelSet};
+use teapot::vm::{DispatchTier, EmuStyle, Machine, RunOptions, SpecHeuristics, SpecModelSet};
 
 fn outcome(
     bin: &Binary,
@@ -36,13 +42,15 @@ fn outcome(
     m.run(&mut heur)
 }
 
-/// Like [`outcome`] but toggling the block-slice superinstruction
-/// dispatcher instead of the decode path, under an explicit model set.
-fn outcome_dispatch(
+/// Like [`outcome`] but forcing an explicit dispatch tier (compiled
+/// windows / block slices / single-step) instead of the decode path,
+/// under an explicit model set and fuel budget.
+fn outcome_tier(
     bin: &Binary,
     input: &[u8],
     models: SpecModelSet,
-    no_block: bool,
+    tier: DispatchTier,
+    fuel: u64,
 ) -> teapot::vm::RunOutcome {
     let mut heur = SpecHeuristics::default();
     let mut m = Machine::new(
@@ -50,11 +58,22 @@ fn outcome_dispatch(
         RunOptions {
             input: input.to_vec(),
             models,
+            fuel,
             ..RunOptions::default()
         },
     );
-    m.set_no_block_dispatch(no_block);
+    m.set_dispatch_tier(tier);
     m.run(&mut heur)
+}
+
+/// Runs the same input on all three dispatch tiers and asserts the
+/// `RunOutcome`s are bit-identical, with single-step as the reference.
+fn assert_tiers_agree(bin: &Binary, input: &[u8], models: SpecModelSet, fuel: u64, what: &str) {
+    let step = outcome_tier(bin, input, models, DispatchTier::Step, fuel);
+    let slice = outcome_tier(bin, input, models, DispatchTier::Slice, fuel);
+    let compiled = outcome_tier(bin, input, models, DispatchTier::Compiled, fuel);
+    assert_outcomes_equal(&slice, &step, &format!("{what}: slice vs step"));
+    assert_outcomes_equal(&compiled, &step, &format!("{what}: compiled vs step"));
 }
 
 fn assert_outcomes_equal(a: &teapot::vm::RunOutcome, b: &teapot::vm::RunOutcome, what: &str) {
@@ -235,14 +254,15 @@ fn pooled_context_reuse_matches_fresh_machines() {
 }
 
 #[test]
-fn block_dispatch_is_identical_to_single_step() {
-    // The block-slice superinstruction fast path must be observably
-    // identical to per-instruction dispatch — across the full workload
-    // suite (Teapot-instrumented), the planted RSB/STL ground-truth
-    // programs, and the full speculation-model set (checkpoint pushes,
-    // store-buffer bypasses and RSB mispredictions all cut slices
-    // short mid-run).
+fn dispatch_matrix_is_identical_across_all_three_tiers() {
+    // The compiled-window and block-slice fast paths must both be
+    // observably identical to per-instruction dispatch — across the
+    // full workload suite (Teapot-instrumented), the planted RSB/STL
+    // ground-truth programs, and the full speculation-model set
+    // (checkpoint pushes, store-buffer bypasses and RSB mispredictions
+    // all cut slices and compiled windows short mid-run).
     let all_models = SpecModelSet::parse("pht,rsb,stl").unwrap();
+    let fuel = RunOptions::default().fuel;
     let mut suite = teapot::workloads::all();
     suite.extend(teapot::workloads::spec_suite());
     for w in suite {
@@ -251,20 +271,20 @@ fn block_dispatch_is_identical_to_single_step() {
         let inst = rewrite(&cots, &RewriteOptions::default()).unwrap();
         for models in [SpecModelSet::PHT_ONLY, all_models] {
             for (i, seed) in w.seeds.iter().take(2).enumerate() {
-                let fast = outcome_dispatch(&inst, seed, models, false);
-                let slow = outcome_dispatch(&inst, seed, models, true);
-                assert_outcomes_equal(
-                    &fast,
-                    &slow,
+                assert_tiers_agree(
+                    &inst,
+                    seed,
+                    models,
+                    fuel,
                     &format!("{} (models {models}, seed {i})", w.name),
                 );
             }
             let bad = mangled(&w.seeds[0]);
-            let fast = outcome_dispatch(&inst, &bad, models, false);
-            let slow = outcome_dispatch(&inst, &bad, models, true);
-            assert_outcomes_equal(
-                &fast,
-                &slow,
+            assert_tiers_agree(
+                &inst,
+                &bad,
+                models,
+                fuel,
                 &format!("{} (models {models}, mangled)", w.name),
             );
         }
@@ -272,22 +292,78 @@ fn block_dispatch_is_identical_to_single_step() {
 }
 
 #[test]
-fn block_dispatch_matches_on_single_copy_baseline() {
+fn dispatch_matrix_matches_on_single_copy_baseline() {
     // Single-copy (SpecFuzz-style) layouts exercise the cost-zeroing
-    // rule and in-place simulation; the dispatcher must reproduce both.
+    // rule and in-place simulation; both fast tiers must reproduce them.
     let w = teapot::workloads::jsmn_like();
     let mut cots = w.build(&Options::gcc_like()).unwrap();
     cots.strip();
     let sf =
         teapot::baselines::specfuzz_rewrite(&cots, &teapot::baselines::SpecFuzzOptions::default())
             .unwrap();
+    let fuel = RunOptions::default().fuel;
     for (i, seed) in w.seeds.iter().take(2).enumerate() {
-        let fast = outcome_dispatch(&sf, seed, SpecModelSet::PHT_ONLY, false);
-        let slow = outcome_dispatch(&sf, seed, SpecModelSet::PHT_ONLY, true);
-        assert_outcomes_equal(&fast, &slow, &format!("jsmn specfuzz seed {i}"));
+        assert_tiers_agree(
+            &sf,
+            seed,
+            SpecModelSet::PHT_ONLY,
+            fuel,
+            &format!("jsmn specfuzz seed {i}"),
+        );
     }
     let bad = mangled(&w.seeds[0]);
-    let fast = outcome_dispatch(&sf, &bad, SpecModelSet::PHT_ONLY, false);
-    let slow = outcome_dispatch(&sf, &bad, SpecModelSet::PHT_ONLY, true);
-    assert_outcomes_equal(&fast, &slow, "jsmn specfuzz mangled");
+    assert_tiers_agree(
+        &sf,
+        &bad,
+        SpecModelSet::PHT_ONLY,
+        fuel,
+        "jsmn specfuzz mangled",
+    );
+}
+
+#[test]
+fn random_fuel_limits_land_identically_on_all_three_tiers() {
+    // A deterministic xorshift sweep of fuel budgets cuts runs off at
+    // arbitrary points — including mid-slice and mid-compiled-window,
+    // where the compiled tier must decline the window rather than
+    // overshoot the budget — and every tier must land the same fault
+    // or exit at the same cost.
+    let w = teapot::workloads::jsmn_like();
+    let mut cots = w.build(&Options::gcc_like()).unwrap();
+    cots.strip();
+    let inst = rewrite(&cots, &RewriteOptions::default()).unwrap();
+    let models = SpecModelSet::parse("pht,rsb,stl").unwrap();
+
+    // A full run's cost bounds the interesting fuel range.
+    let full = outcome_tier(
+        &inst,
+        &w.seeds[0],
+        models,
+        DispatchTier::Step,
+        RunOptions::default().fuel,
+    );
+    let span = full.cost.max(1);
+
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for round in 0..24u32 {
+        let fuel = 1 + next() % span;
+        let input = if round % 2 == 0 {
+            w.seeds[0].clone()
+        } else {
+            mangled(&w.seeds[0])
+        };
+        assert_tiers_agree(
+            &inst,
+            &input,
+            models,
+            fuel,
+            &format!("jsmn fuel sweep round {round} (fuel {fuel})"),
+        );
+    }
 }

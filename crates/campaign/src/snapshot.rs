@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! magic   "TCS1"
-//! u32     format version (2)
+//! u32     format version (4)
 //! u64     FNV-1a fingerprint of the target binary's TOF bytes
 //! u32     epochs completed
 //! decode  blocks u64 · insts u64 · bytes u64 · undecoded_bytes u64
@@ -36,8 +36,11 @@
 //!                   · u32 count { u64 site-key · u32 count }
 //!                   · u32 count { u8 kind ·
 //!                       0: u64 pc · u32 depth · u8 model(v3) (spec branch)
-//!                       1: u64 pc · u64 addr · u8 w · u8 tag (tainted)
-//!                       2: u64 pc · u32 depth · u8 model(v3) (rollback) } }
+//!                       1: u64 pc · u64 addr · u8 w · u8 tag
+//!                          · u8 origin lo · u8 origin hi (v4) (tainted)
+//!                       2: u64 pc · u32 depth · u8 model(v3) (rollback)
+//!                       3: u64 pc · u32 depth · u8 model · u8 tag
+//!                          · u8 origin lo · u8 origin hi (v4, leak site) } }
 //!         u64 iters · u64 total_cost · u64 crashes · u32 epoch
 //! ```
 //!
@@ -47,8 +50,8 @@ use crate::CampaignConfig;
 use teapot_fuzz::StateSnapshot;
 use teapot_obj::Binary;
 use teapot_rt::{
-    Channel, Controllability, DetectorConfig, GadgetKey, GadgetReport, GadgetWitness, SpecModel,
-    SpecModelSet, TraceEvent,
+    Channel, Controllability, DetectorConfig, GadgetKey, GadgetReport, GadgetWitness, OriginSpan,
+    SpecModel, SpecModelSet, TraceEvent,
 };
 use teapot_vm::{DecodeStats, EmuStyle, HeurStyle};
 
@@ -60,8 +63,12 @@ pub const MAGIC: &[u8; 4] = b"TCS1";
 /// witnesses. Version 3 added the speculation-model set to the config
 /// and a model byte to every gadget key, witness key and speculative
 /// trace checkpoint/rollback event; v1/v2 files load with PHT defaults
-/// everywhere, so old campaigns resume unchanged.
-pub const VERSION: u32 = 3;
+/// everywhere, so old campaigns resume unchanged. Version 4 added taint
+/// provenance: two origin-interval bytes on every tainted-access event
+/// and the leak-site event (kind 3); v≤3 files load with empty origins
+/// and no leak sites — exactly what campaign-captured traces contain
+/// anyway, since the origin shadow only runs on triage replays.
+pub const VERSION: u32 = 4;
 
 /// A deserialized campaign snapshot.
 #[derive(Debug, Clone)]
@@ -268,18 +275,38 @@ impl CampaignSnapshot {
                             addr,
                             width,
                             tag,
+                            origin,
                         } => {
                             w.u8(1);
                             w.u64(*pc);
                             w.u64(*addr);
                             w.u8(*width);
                             w.u8(*tag);
+                            let (lo, hi) = origin.raw();
+                            w.u8(lo);
+                            w.u8(hi);
                         }
                         TraceEvent::Rollback { pc, depth, model } => {
                             w.u8(2);
                             w.u64(*pc);
                             w.u32(*depth);
                             w.u8(model.id());
+                        }
+                        TraceEvent::LeakSite {
+                            pc,
+                            depth,
+                            model,
+                            tag,
+                            origin,
+                        } => {
+                            w.u8(3);
+                            w.u64(*pc);
+                            w.u32(*depth);
+                            w.u8(model.id());
+                            w.u8(*tag);
+                            let (lo, hi) = origin.raw();
+                            w.u8(lo);
+                            w.u8(hi);
                         }
                     }
                 }
@@ -472,11 +499,19 @@ impl CampaignSnapshot {
                             addr: r.u64()?,
                             width: r.u8()?,
                             tag: r.u8()?,
+                            origin: r.origin(version)?,
                         },
                         2 => TraceEvent::Rollback {
                             pc: r.u64()?,
                             depth: r.u32()?,
                             model: r.model(version)?,
+                        },
+                        3 if version >= 4 => TraceEvent::LeakSite {
+                            pc: r.u64()?,
+                            depth: r.u32()?,
+                            model: r.model(version)?,
+                            tag: r.u8()?,
+                            origin: r.origin(version)?,
                         },
                         _ => return Err(SnapshotError::Corrupt("trace event kind")),
                     });
@@ -577,6 +612,16 @@ impl<'a> Reader<'a> {
         }
         SpecModel::from_id(self.u8()?).ok_or(SnapshotError::Corrupt("spec model"))
     }
+    /// Input-origin interval (two raw bytes), present from format v4
+    /// on; earlier versions never resolved origins.
+    fn origin(&mut self, version: u32) -> Result<OriginSpan, SnapshotError> {
+        if version < 4 {
+            return Ok(OriginSpan::NONE);
+        }
+        let lo = self.u8()?;
+        let hi = self.u8()?;
+        Ok(OriginSpan::from_raw(lo, hi))
+    }
 }
 
 #[cfg(test)]
@@ -648,6 +693,14 @@ mod tests {
                                 addr: 0x80_0000,
                                 width: 4,
                                 tag: 5,
+                                origin: OriginSpan::from_offset(1).join(OriginSpan::from_offset(3)),
+                            },
+                            TraceEvent::LeakSite {
+                                pc: 0x400180 + i,
+                                depth: 1,
+                                model: SpecModel::Pht,
+                                tag: 5,
+                                origin: OriginSpan::from_offset(1),
                             },
                             TraceEvent::Rollback {
                                 pc: 0x400100,
@@ -879,8 +932,15 @@ mod tests {
                     w.u64(*branch);
                     w.u32(*count);
                 }
-                w.u32(wit.trace.len() as u32);
-                for ev in &wit.trace {
+                // Leak sites are a v4 addition: a v2 writer never saw
+                // them, so drop them from the emitted trace.
+                let evs: Vec<_> = wit
+                    .trace
+                    .iter()
+                    .filter(|e| !matches!(e, TraceEvent::LeakSite { .. }))
+                    .collect();
+                w.u32(evs.len() as u32);
+                for ev in evs {
                     match ev {
                         TraceEvent::SpecBranch { pc, depth, .. } => {
                             w.u8(0);
@@ -892,6 +952,7 @@ mod tests {
                             addr,
                             width,
                             tag,
+                            ..
                         } => {
                             w.u8(1);
                             w.u64(*pc);
@@ -904,6 +965,7 @@ mod tests {
                             w.u64(*pc);
                             w.u32(*depth);
                         }
+                        TraceEvent::LeakSite { .. } => unreachable!(),
                     }
                 }
             }
@@ -935,14 +997,25 @@ mod tests {
                 assert_eq!(wa.key.pc, wb.key.pc);
                 assert_eq!(wa.input, wb.input);
                 assert_eq!(wa.heur_counts, wb.heur_counts);
-                assert_eq!(wa.trace.len(), wb.trace.len());
+                // The v2 layout carries neither leak sites nor origins.
+                let v2_repr = wb
+                    .trace
+                    .iter()
+                    .filter(|e| !matches!(e, TraceEvent::LeakSite { .. }))
+                    .count();
+                assert_eq!(wa.trace.len(), v2_repr);
                 for ev in &wa.trace {
                     match ev {
                         TraceEvent::SpecBranch { model, .. }
                         | TraceEvent::Rollback { model, .. } => {
                             assert_eq!(*model, SpecModel::Pht);
                         }
-                        TraceEvent::TaintedAccess { .. } => {}
+                        TraceEvent::TaintedAccess { origin, .. } => {
+                            assert!(origin.is_none());
+                        }
+                        TraceEvent::LeakSite { .. } => {
+                            panic!("v2 snapshots cannot carry leak sites")
+                        }
                     }
                 }
             }
@@ -994,6 +1067,183 @@ mod tests {
         assert_eq!(ra.to_json(), rb.to_json());
         assert_eq!(ra.gadgets, rb.gadgets);
         assert_eq!(ra.witnesses, rb.witnesses);
+    }
+
+    /// Serializes `snap` in the v3 layout (speculation-model bytes, but
+    /// no origin bytes and no leak-site events) — what a PR 4–7 build
+    /// wrote. With `write_leak_sites`, leak sites are emitted with the
+    /// v4 kind byte anyway, producing a corrupt v3 stream (used to pin
+    /// that kind 3 is version-gated).
+    fn v3_bytes(snap: &CampaignSnapshot, write_leak_sites: bool) -> Vec<u8> {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(MAGIC);
+        w.u32(3);
+        w.u64(snap.bin_fingerprint);
+        w.u32(snap.epochs_done);
+        w.u64(snap.decode_stats.blocks as u64);
+        w.u64(snap.decode_stats.insts as u64);
+        w.u64(snap.decode_stats.bytes as u64);
+        w.u64(snap.decode_stats.undecoded_bytes as u64);
+        let c = &snap.config;
+        w.u64(c.seed);
+        w.u32(c.shards);
+        w.u32(c.epochs);
+        w.u64(c.iters_per_epoch);
+        w.u64(c.max_input_len as u64);
+        w.u64(c.fuel_per_run);
+        w.bool(c.detector.taint_input_sources);
+        w.bool(c.detector.massage_policy);
+        w.u32(c.detector.rob_budget);
+        w.u32(c.detector.max_nesting);
+        w.u32(c.detector.full_depth_runs);
+        w.bool(c.detector.artificial_gadget_mode);
+        w.u8(0); // emu: Native
+        w.u8(0); // heur: TeapotHybrid
+        w.bool(c.capture_witnesses);
+        w.u8(c.models.bits());
+        w.u32(c.dictionary.len() as u32);
+        for tok in &c.dictionary {
+            w.bytes(tok);
+        }
+        w.u32(snap.shard_states.len() as u32);
+        for s in &snap.shard_states {
+            w.u32(s.corpus.len() as u32);
+            for (input, score) in &s.corpus {
+                w.bytes(input);
+                w.u64(*score);
+            }
+            w.u32(s.heur_counts.len() as u32);
+            for (branch, count) in &s.heur_counts {
+                w.u64(*branch);
+                w.u32(*count);
+            }
+            w.bytes(&s.cov_normal);
+            w.bytes(&s.cov_spec);
+            w.u32(s.gadgets.len() as u32);
+            for g in &s.gadgets {
+                w.u64(g.key.pc);
+                w.u8(match g.key.channel {
+                    Channel::Mds => 0,
+                    Channel::Cache => 1,
+                    Channel::Port => 2,
+                });
+                w.u8(match g.key.controllability {
+                    Controllability::User => 0,
+                    Controllability::Massage => 1,
+                });
+                w.u8(g.key.model.id());
+                w.u64(g.branch_pc);
+                w.u64(g.access_pc);
+                w.u32(g.depth);
+                w.bytes(g.description.as_bytes());
+            }
+            w.u32(s.witnesses.len() as u32);
+            for wit in &s.witnesses {
+                w.u64(wit.key.pc);
+                w.u8(match wit.key.channel {
+                    Channel::Mds => 0,
+                    Channel::Cache => 1,
+                    Channel::Port => 2,
+                });
+                w.u8(match wit.key.controllability {
+                    Controllability::User => 0,
+                    Controllability::Massage => 1,
+                });
+                w.u8(wit.key.model.id());
+                w.bytes(&wit.input);
+                w.u32(wit.heur_counts.len() as u32);
+                for (branch, count) in &wit.heur_counts {
+                    w.u64(*branch);
+                    w.u32(*count);
+                }
+                let evs: Vec<_> = wit
+                    .trace
+                    .iter()
+                    .filter(|e| write_leak_sites || !matches!(e, TraceEvent::LeakSite { .. }))
+                    .collect();
+                w.u32(evs.len() as u32);
+                for ev in evs {
+                    match ev {
+                        TraceEvent::SpecBranch { pc, depth, model } => {
+                            w.u8(0);
+                            w.u64(*pc);
+                            w.u32(*depth);
+                            w.u8(model.id());
+                        }
+                        TraceEvent::TaintedAccess {
+                            pc,
+                            addr,
+                            width,
+                            tag,
+                            ..
+                        } => {
+                            w.u8(1);
+                            w.u64(*pc);
+                            w.u64(*addr);
+                            w.u8(*width);
+                            w.u8(*tag);
+                        }
+                        TraceEvent::Rollback { pc, depth, model } => {
+                            w.u8(2);
+                            w.u64(*pc);
+                            w.u32(*depth);
+                            w.u8(model.id());
+                        }
+                        TraceEvent::LeakSite {
+                            pc, depth, model, ..
+                        } => {
+                            w.u8(3);
+                            w.u64(*pc);
+                            w.u32(*depth);
+                            w.u8(model.id());
+                        }
+                    }
+                }
+            }
+            w.u64(s.iters);
+            w.u64(s.total_cost);
+            w.u64(s.crashes);
+            w.u32(s.epoch);
+        }
+        w.buf
+    }
+
+    #[test]
+    fn v3_snapshots_load_with_empty_origins() {
+        let snap = sample_snapshot();
+        let back = CampaignSnapshot::from_bytes(&v3_bytes(&snap, false)).unwrap();
+        // The v3 payload survives in full, model bytes included…
+        assert_eq!(back.bin_fingerprint, snap.bin_fingerprint);
+        assert_eq!(back.config.models, snap.config.models);
+        for (a, b) in back.shard_states.iter().zip(&snap.shard_states) {
+            assert_eq!(a.gadgets, b.gadgets);
+            for (wa, wb) in a.witnesses.iter().zip(&b.witnesses) {
+                assert_eq!(wa.key, wb.key);
+                assert_eq!(wa.input, wb.input);
+                // …and the v4 additions default to nothing: no origins,
+                // no leak sites.
+                let v3_repr = wb
+                    .trace
+                    .iter()
+                    .filter(|e| !matches!(e, TraceEvent::LeakSite { .. }))
+                    .count();
+                assert_eq!(wa.trace.len(), v3_repr);
+                for ev in &wa.trace {
+                    assert!(ev.origin().is_none());
+                    assert!(!matches!(ev, TraceEvent::LeakSite { .. }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leak_site_kind_is_version_gated() {
+        // A kind-3 event in a v3 stream is corruption, not a leak site.
+        let bytes = v3_bytes(&sample_snapshot(), true);
+        assert_eq!(
+            CampaignSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::Corrupt("trace event kind")
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! teapot triage <bin.tof|snap.tcs|dir> [--bin bin.tof] [--jsonl out]
 //!               [--sarif out] [--no-minimize] [--metrics out.jsonl]
 //!               [campaign flags]
+//! teapot explain <report.jsonl|snap.tcs|bin.tof> [--gadget KEY]
+//!                [--bin bin.tof] [campaign flags]
 //! teapot stats <metrics.jsonl> [--top N]
+//! teapot stats --diff <old.jsonl> <new.jsonl>
 //! teapot dis <bin.tof>
 //! ```
 //!
@@ -24,7 +27,11 @@
 //! `teapot-telemetry`'s crate docs; it never changes any report byte
 //! (the zero-perturbation invariant). `teapot stats` renders such a
 //! stream as a human-readable run summary, including the symbolized
-//! top-N hot-block profile.
+//! top-N hot-block profile; `stats --diff` compares two streams with
+//! signed deltas. `teapot explain` narrates each finding's causal
+//! chain — mispredict site, tainted loads, leaking access, and the
+//! exact input bytes that steer the flow — from a provenance replay
+//! (or re-renders the chains a triage JSONL already carries).
 
 use std::process::ExitCode;
 
@@ -302,6 +309,272 @@ fn json_pairs(line: &str) -> Vec<(String, String)> {
             Some((k.to_string(), v.trim().trim_matches('"').to_string()))
         })
         .collect()
+}
+
+/// Narrates one explained finding: header, reproducer, then the causal
+/// timeline (shared verbatim between the replay path and the
+/// JSONL-re-render path of `teapot explain`).
+#[allow(clippy::too_many_arguments)]
+fn print_explained(
+    root: &str,
+    severity: u64,
+    bucket: &str,
+    model: Option<&str>,
+    description: &str,
+    reproducer: Option<&str>,
+    leaked: &str,
+    steps: &[teapot_triage::CausalStep],
+) {
+    let via = model.map(|m| format!(" [via {m}]")).unwrap_or_default();
+    println!("gadget {root} [severity {severity}] {bucket}{via}");
+    println!("  {description}");
+    match reproducer {
+        Some(h) => println!("  reproducer ({} byte(s)): {h}", h.len() / 2),
+        None => println!("  no minimized reproducer"),
+    }
+    if steps.is_empty() {
+        println!(
+            "  no causal chain recorded (provenance off, no witness, \
+             or the witness did not reproduce)"
+        );
+    } else {
+        println!("  leaks input bytes {leaked}:");
+        for (i, s) in steps.iter().enumerate() {
+            println!("    {}. {}", i + 1, teapot_triage::provenance::step_line(s));
+        }
+    }
+    println!();
+}
+
+fn parse_hex_pc(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+/// Parses the `OriginSpan` display form back (`-`, `3`, `0-1`).
+fn parse_origin(s: &str) -> teapot_rt::OriginSpan {
+    let span = |t: &str| t.parse().ok().map(teapot_rt::OriginSpan::from_offset);
+    match s.split_once('-') {
+        Some((lo, hi)) => match (span(lo), span(hi)) {
+            (Some(lo), Some(hi)) => lo.join(hi),
+            _ => teapot_rt::OriginSpan::NONE,
+        },
+        None => span(s).unwrap_or(teapot_rt::OriginSpan::NONE),
+    }
+}
+
+fn parse_model(s: &str) -> teapot_vm::SpecModel {
+    match s {
+        "rsb" => teapot_vm::SpecModel::Rsb,
+        "stl" => teapot_vm::SpecModel::Stl,
+        _ => teapot_vm::SpecModel::Pht,
+    }
+}
+
+/// Rebuilds the causal steps from one triage-JSONL finding line. The
+/// `chain` array is the one nested structure in the schema; its step
+/// objects are flat, so [`json_field`] works per fragment.
+fn chain_from_jsonl(line: &str) -> Vec<teapot_triage::CausalStep> {
+    let Some(start) = line.find("\"chain\":[").map(|i| i + "\"chain\":[".len()) else {
+        return Vec::new();
+    };
+    let Some(end) = line[start..].find("],\"locations\"").map(|i| i + start) else {
+        return Vec::new();
+    };
+    line[start..end]
+        .split("},{")
+        .filter_map(|frag| {
+            use teapot_triage::StepRole;
+            let role = match json_field(frag, "role")? {
+                "mispredict" => StepRole::Mispredict,
+                "tainted-load" => StepRole::TaintedLoad,
+                "leak" => StepRole::Leak,
+                _ => return None,
+            };
+            Some(teapot_triage::CausalStep {
+                role,
+                pc: parse_hex_pc(json_field(frag, "pc")?)?,
+                symbol: json_field(frag, "symbol")
+                    .filter(|s| *s != "null")
+                    .map(str::to_string),
+                model: parse_model(json_field(frag, "model").unwrap_or("pht")),
+                depth: json_num(frag, "depth").unwrap_or(0) as u32,
+                addr: json_field(frag, "addr").and_then(parse_hex_pc).unwrap_or(0),
+                width: json_num(frag, "width").unwrap_or(0) as u8,
+                tag: 0,
+                origin: parse_origin(json_field(frag, "origin").unwrap_or("-")),
+            })
+        })
+        .collect()
+}
+
+/// What `stats --diff` compares: every named numeric series a metrics
+/// stream carries, in stream order.
+#[derive(Default)]
+struct MetricsDigest {
+    binary: String,
+    models: String,
+    spans: Vec<(String, u64)>,
+    counters: Vec<(String, u64)>,
+    triage: Vec<(String, u64)>,
+    execs: Option<u64>,
+    wall_ms: Option<u64>,
+    execs_per_sec: Option<f64>,
+    unique_gadgets: Option<u64>,
+    ttfg: Option<u64>,
+}
+
+fn digest_metrics(path: &str) -> Result<MetricsDigest, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut d = MetricsDigest::default();
+    let mut saw_meta = false;
+    for line in text.lines() {
+        let Some(ev) = json_field(line, "event") else {
+            continue;
+        };
+        match ev {
+            "meta" => {
+                saw_meta = true;
+                d.binary = json_field(line, "binary").unwrap_or("?").to_string();
+                d.models = json_field(line, "models").unwrap_or("?").to_string();
+            }
+            "span" => {
+                if let (Some(n), Some(ms)) = (json_field(line, "name"), json_num(line, "wall_ms")) {
+                    d.spans.push((n.to_string(), ms));
+                }
+            }
+            "counters" => {
+                d.counters = json_pairs(line)
+                    .into_iter()
+                    .filter_map(|(k, v)| v.parse().ok().map(|v| (k, v)))
+                    .collect();
+            }
+            "triage" => {
+                for k in [
+                    "root_causes",
+                    "witnesses",
+                    "replays",
+                    "minimize_steps",
+                    "dedup_collapses",
+                    "replay_ms",
+                    "minimize_ms",
+                ] {
+                    if let Some(v) = json_num(line, k) {
+                        d.triage.push((k.to_string(), v));
+                    }
+                }
+            }
+            "summary" => {
+                d.execs = json_num(line, "execs");
+                d.wall_ms = json_num(line, "wall_ms");
+                d.execs_per_sec = json_field(line, "execs_per_sec").and_then(|s| s.parse().ok());
+                d.unique_gadgets = json_num(line, "unique_gadgets");
+                d.ttfg = json_num(line, "time_to_first_gadget_execs");
+            }
+            _ => {}
+        }
+    }
+    if !saw_meta {
+        return Err(format!(
+            "{path}: no `meta` event found (expected a --metrics JSONL stream)"
+        ));
+    }
+    Ok(d)
+}
+
+/// One `old -> new  delta` diff row; a side missing the series shows
+/// `-` and no delta.
+fn diff_row(key: &str, old: Option<u64>, new: Option<u64>, w: usize) -> String {
+    let delta = match (old, new) {
+        (Some(o), Some(n)) => format!("{:+}", n as i128 - i128::from(o)),
+        _ => "n/a".to_string(),
+    };
+    let cell = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+    format!(
+        "{key:<w$} {:>12} -> {:>12}  {delta:>12}",
+        cell(old),
+        cell(new)
+    )
+}
+
+/// Merges two named series into `(key, old, new)` rows, old-stream
+/// order first, then new-only keys.
+fn diff_pairs(
+    old: &[(String, u64)],
+    new: &[(String, u64)],
+) -> Vec<(String, Option<u64>, Option<u64>)> {
+    let mut keys: Vec<&String> = old.iter().map(|(k, _)| k).collect();
+    for (k, _) in new {
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    keys.into_iter()
+        .map(|k| {
+            let find = |rows: &[(String, u64)]| rows.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+            (k.clone(), find(old), find(new))
+        })
+        .collect()
+}
+
+/// `teapot stats --diff old.jsonl new.jsonl`: signed deltas over phase
+/// timings, VM counters, triage work and the run summary.
+fn stats_diff(old_path: &str, new_path: &str) -> Result<(), String> {
+    let old = digest_metrics(old_path)?;
+    let new = digest_metrics(new_path)?;
+    println!("metrics diff: {old_path} -> {new_path}");
+    println!("  old: {} (models {})", old.binary, old.models);
+    println!("  new: {} (models {})", new.binary, new.models);
+
+    let spans = diff_pairs(&old.spans, &new.spans);
+    if !spans.is_empty() {
+        println!("\nphase timings (wall ms):");
+        for (k, o, n) in &spans {
+            println!("  {}", diff_row(k, *o, *n, 12));
+        }
+    }
+    let counters = diff_pairs(&old.counters, &new.counters);
+    if !counters.is_empty() {
+        let changed: Vec<_> = counters.iter().filter(|(_, o, n)| o != n).collect();
+        println!(
+            "\nvm counters ({} changed of {}):",
+            changed.len(),
+            counters.len()
+        );
+        let w = changed.iter().map(|(k, ..)| k.len()).max().unwrap_or(0);
+        for (k, o, n) in &changed {
+            println!("  {}", diff_row(k, *o, *n, w));
+        }
+        if changed.is_empty() {
+            println!("  (all identical)");
+        }
+    }
+    let triage = diff_pairs(&old.triage, &new.triage);
+    if !triage.is_empty() {
+        println!("\ntriage:");
+        for (k, o, n) in &triage {
+            println!("  {}", diff_row(k, *o, *n, 15));
+        }
+    }
+    println!("\nsummary:");
+    const W: usize = 26;
+    println!("  {}", diff_row("execs", old.execs, new.execs, W));
+    println!("  {}", diff_row("wall_ms", old.wall_ms, new.wall_ms, W));
+    if let (Some(o), Some(n)) = (old.execs_per_sec, new.execs_per_sec) {
+        println!(
+            "  {:<W$} {o:>12.1} -> {n:>12.1}  {:>+12.1}",
+            "execs_per_sec",
+            n - o
+        );
+    }
+    println!(
+        "  {}",
+        diff_row("unique_gadgets", old.unique_gadgets, new.unique_gadgets, W)
+    );
+    println!(
+        "  {}",
+        diff_row("time_to_first_gadget_execs", old.ttfg, new.ttfg, W)
+    );
+    Ok(())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -799,7 +1072,181 @@ fn run(args: &[String]) -> Result<(), String> {
             emit_triage(&db, &stats, opt(args, "--jsonl"), opt(args, "--sarif"))?;
             Ok(())
         }
+        "explain" => {
+            let target = args.get(1).ok_or(
+                "usage: explain <report.jsonl|snap.tcs|bin.tof> [--gadget KEY] \
+                 [--bin bin.tof] [campaign flags]",
+            )?;
+            for name in [
+                "--gadget",
+                "--bin",
+                "--seed",
+                "--shards",
+                "--workers",
+                "--epochs",
+                "--iters",
+                "--workload",
+                "--spec-models",
+                "--metrics",
+            ] {
+                if flag(args, name) && opt(args, name).is_none() {
+                    return Err(format!("{name} requires a value"));
+                }
+            }
+            let gadget = opt(args, "--gadget");
+            let no_match = |total: usize| {
+                format!(
+                    "--gadget {}: no matching root cause among {total} finding(s) \
+                     (keys are prefix-matched; run without --gadget to list all)",
+                    gadget.unwrap_or("?")
+                )
+            };
+
+            // An existing triage JSONL report: re-render the chains it
+            // already carries, without executing anything.
+            if target.ends_with(".jsonl") {
+                let text =
+                    std::fs::read_to_string(target).map_err(|e| format!("read {target}: {e}"))?;
+                let (mut shown, mut total) = (0usize, 0usize);
+                for line in text.lines().filter(|l| l.contains("\"root_cause\":")) {
+                    total += 1;
+                    let Some(root) = json_field(line, "root_cause") else {
+                        continue;
+                    };
+                    if gadget.is_some_and(|k| !root.starts_with(k)) {
+                        continue;
+                    }
+                    shown += 1;
+                    // The top-level model key (absent for PHT) sits
+                    // before "severity"; chain steps carry their own
+                    // model keys further right, which must not match.
+                    let head = &line[..line.find("\"severity\"").unwrap_or(line.len())];
+                    print_explained(
+                        root,
+                        json_num(line, "severity").unwrap_or(0),
+                        json_field(line, "bucket").unwrap_or("?"),
+                        json_field(head, "model"),
+                        json_field(line, "description").unwrap_or("?"),
+                        json_field(line, "minimized_input").filter(|m| *m != "null"),
+                        json_field(line, "leaked_input_bytes").unwrap_or("-"),
+                        &chain_from_jsonl(line),
+                    );
+                }
+                if total == 0 {
+                    return Err(format!("{target}: no triage findings to explain"));
+                }
+                if shown == 0 {
+                    return Err(no_match(total));
+                }
+                println!("explained {shown} of {total} root cause(s) from {target}");
+                return Ok(());
+            }
+
+            // A snapshot or binary: triage with the origin shadow on
+            // (one provenance replay per witness), then narrate.
+            let (cfg, seeds) = campaign_config_from_args(args)?;
+            let opts = teapot_triage::TriageOptions::default();
+            let total_watch = teapot_telemetry::Stopwatch::new();
+            let (db, stats, times, models_label) = if target.ends_with(".tcs") {
+                let bin_path = opt(args, "--bin").ok_or(
+                    "explain <snap.tcs> requires --bin <bin.tof> \
+                     (the binary the snapshot was taken against)",
+                )?;
+                let bin = load(bin_path)?;
+                let snap = teapot_campaign::CampaignSnapshot::load(std::path::Path::new(target))
+                    .map_err(|e| format!("{target}: {e}"))?;
+                let campaign = teapot_campaign::Campaign::resume(&snap, &bin)
+                    .map_err(|e| resume_error(target, bin_path, e))?;
+                let report = campaign.report();
+                let models = campaign.config().models.to_string();
+                let (db, stats, times) = teapot_triage::triage_report_timed(
+                    &file_label(bin_path),
+                    &bin,
+                    campaign.config(),
+                    &report,
+                    &opts,
+                );
+                (db, stats, times, models)
+            } else {
+                let bin = load(target)?;
+                let report =
+                    teapot_campaign::run_campaign(&bin, &seeds, &cfg).map_err(|e| e.to_string())?;
+                println!(
+                    "campaign: {} iterations, {} raw gadget(s)",
+                    report.iters,
+                    report.unique_gadgets()
+                );
+                let (db, stats, times) = teapot_triage::triage_report_timed(
+                    &file_label(target),
+                    &bin,
+                    &cfg,
+                    &report,
+                    &opts,
+                );
+                (db, stats, times, cfg.models.to_string())
+            };
+            if let Some(mp) = opt(args, "--metrics") {
+                let mut sink = teapot_telemetry::MetricsSink::create(std::path::Path::new(mp))
+                    .map_err(|e| format!("create {mp}: {e}"))?;
+                sink.emit(
+                    teapot_telemetry::Event::new("meta")
+                        .num("schema", 1)
+                        .str_field("binary", &file_label(target))
+                        .str_field("models", &models_label),
+                );
+                sink.emit(
+                    teapot_telemetry::Event::new("span")
+                        .str_field("name", "explain")
+                        .num("wall_ms", total_watch.ms()),
+                );
+                sink.emit(triage_event(&db, &stats, &times));
+                sink.finish().map_err(|e| format!("write {mp}: {e}"))?;
+                println!("wrote metrics {mp}");
+            }
+            if db.entries().is_empty() {
+                println!("no gadgets to explain");
+                return Ok(());
+            }
+            let mut shown = 0usize;
+            for e in db.entries() {
+                if gadget.is_some_and(|k| !e.root_cause.starts_with(k)) {
+                    continue;
+                }
+                shown += 1;
+                let model = (e.model != teapot_vm::SpecModel::Pht).then(|| e.model.to_string());
+                let reproducer = e.minimized_input.as_deref().map(teapot_triage::db::hex);
+                let (leaked, steps) = match &e.chain {
+                    Some(c) => (c.origin.to_string(), c.steps.as_slice()),
+                    None => ("-".to_string(), &[][..]),
+                };
+                print_explained(
+                    &e.root_cause,
+                    u64::from(e.severity),
+                    &e.bucket,
+                    model.as_deref(),
+                    &e.description,
+                    reproducer.as_deref(),
+                    &leaked,
+                    steps,
+                );
+            }
+            if shown == 0 {
+                return Err(no_match(db.entries().len()));
+            }
+            println!("explained {shown} of {} root cause(s)", db.entries().len());
+            Ok(())
+        }
         "stats" => {
+            if flag(args, "--diff") {
+                let i = args
+                    .iter()
+                    .position(|a| a == "--diff")
+                    .expect("flag present");
+                let (Some(old_path), Some(new_path)) = (args.get(i + 1), args.get(i + 2)) else {
+                    return Err("usage: stats --diff <old.jsonl> <new.jsonl>".into());
+                };
+                return stats_diff(old_path, new_path);
+            }
             let input = args
                 .get(1)
                 .ok_or("usage: stats <metrics.jsonl> [--top N]")?;
@@ -1012,7 +1459,10 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 triage <bin.tof|snap.tcs|dir> [--bin bin.tof] [--jsonl out]\n\
                  \x20        [--sarif out] [--no-minimize] [--metrics out.jsonl]\n\
                  \x20        [campaign flags]\n\
+                 \x20 explain <report.jsonl|snap.tcs|bin.tof> [--gadget KEY]\n\
+                 \x20         [--bin bin.tof] [--metrics out.jsonl] [campaign flags]\n\
                  \x20 stats <metrics.jsonl> [--top N]\n\
+                 \x20 stats --diff <old.jsonl> <new.jsonl>\n\
                  \x20 dis <bin.tof>\n\
                  \n\
                  campaign: sharded parallel fuzzing with deterministic merging.\n\
@@ -1036,6 +1486,20 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 --bin) triages recorded witnesses; a directory queues + triages\n\
                  \x20 every .tof with cross-binary dedup. Output is byte-identical\n\
                  \x20 for any --workers count.\n\
+                 \n\
+                 explain: narrate each finding's causal chain — the mispredict\n\
+                 \x20 that opened the speculative window, the tainted loads inside\n\
+                 \x20 it, the leaking access, and the exact input bytes that steer\n\
+                 \x20 the flow (resolved by a provenance replay with the VM's\n\
+                 \x20 byte-granular origin shadow on). A .jsonl triage report\n\
+                 \x20 re-renders its recorded chains without executing anything; a\n\
+                 \x20 .tcs snapshot (plus --bin) or a .tof binary replays first.\n\
+                 \x20 --gadget KEY narrows to root causes with prefix KEY. SARIF\n\
+                 \x20 output carries the same chains as codeFlows/threadFlows.\n\
+                 \n\
+                 stats --diff: compare two metrics streams side by side with\n\
+                 \x20 signed deltas — phase timings, VM counters, triage work,\n\
+                 \x20 execs/sec and time-to-first-gadget.\n\
                  \n\
                  telemetry: --metrics out.jsonl streams flat JSON-per-line events\n\
                  \x20 (per-epoch progress, per-shard VM counters, a symbolized guest\n\

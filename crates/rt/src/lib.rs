@@ -17,7 +17,7 @@ pub use meta::TeapotMeta;
 pub use report::{Channel, Controllability, GadgetKey, GadgetReport};
 pub use tags::Tag;
 pub use teapot_specmodel::{SpecModel, SpecModelSet};
-pub use witness::{GadgetWitness, TraceEvent, MAX_TRACE_EVENTS};
+pub use witness::{GadgetWitness, OriginSpan, TraceEvent, MAX_TRACE_EVENTS};
 
 /// Detector configuration: which taint sources/policies are active.
 ///

@@ -23,6 +23,7 @@
 //! them through `.tcs` snapshots.
 
 use crate::{GadgetKey, Tag};
+use std::fmt;
 use teapot_specmodel::SpecModel;
 
 /// Hard cap on recorded trace events per run. Witnesses are evidence,
@@ -30,6 +31,101 @@ use teapot_specmodel::SpecModel;
 /// gadget) fits comfortably; unbounded recording would let pathological
 /// loops blow up snapshot sizes.
 pub const MAX_TRACE_EVENTS: usize = 256;
+
+/// Inclusive interval of *input-byte offsets* that sourced a tainted
+/// value — the unit of taint provenance.
+///
+/// Each bound is stored as `offset + 1` in one byte (`0` = no origin),
+/// saturating at offset 254: exact for inputs up to 254 bytes (far above
+/// the campaign's `max_input_len`), while longer inputs collapse their
+/// tail into the last encodable offset — an interval can widen under
+/// saturation but never silently drop a contributing byte. The same
+/// encoding is what the VM's origin shadow stores per memory byte, so a
+/// span round-trips through shadows, registers and snapshots unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OriginSpan {
+    lo: u8,
+    hi: u8,
+}
+
+impl OriginSpan {
+    /// The empty span: no input byte contributed.
+    pub const NONE: OriginSpan = OriginSpan { lo: 0, hi: 0 };
+
+    /// Largest exactly-representable input offset.
+    pub const MAX_OFFSET: u32 = 254;
+
+    /// Span covering exactly one input-byte offset (saturating at
+    /// [`OriginSpan::MAX_OFFSET`]).
+    #[inline]
+    pub fn from_offset(offset: usize) -> OriginSpan {
+        let enc = (offset as u64).min(Self::MAX_OFFSET as u64) as u8 + 1;
+        OriginSpan { lo: enc, hi: enc }
+    }
+
+    /// Interval join: the smallest span covering both operands.
+    #[inline]
+    pub fn join(self, other: OriginSpan) -> OriginSpan {
+        if self.is_none() {
+            return other;
+        }
+        if other.is_none() {
+            return self;
+        }
+        OriginSpan {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Whether the span is empty.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.lo == 0
+    }
+
+    /// The covered input-offset interval `(lo, hi)`, inclusive.
+    #[inline]
+    pub fn offsets(self) -> Option<(u32, u32)> {
+        if self.is_none() {
+            None
+        } else {
+            Some((self.lo as u32 - 1, self.hi as u32 - 1))
+        }
+    }
+
+    /// Raw shadow/wire encoding of the two bounds.
+    #[inline]
+    pub fn raw(self) -> (u8, u8) {
+        (self.lo, self.hi)
+    }
+
+    /// Rebuilds a span from its raw encoding. A half-empty pair (one
+    /// bound zero) denotes no origin, like the all-zero pair.
+    #[inline]
+    pub fn from_raw(lo: u8, hi: u8) -> OriginSpan {
+        if lo == 0 || hi == 0 {
+            OriginSpan::NONE
+        } else {
+            OriginSpan {
+                lo: lo.min(hi),
+                hi: lo.max(hi),
+            }
+        }
+    }
+}
+
+impl fmt::Display for OriginSpan {
+    /// `"3"` for a single offset, `"0-1"` for an interval, `"-"` when
+    /// empty.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offsets() {
+            None => write!(f, "-"),
+            Some((lo, hi)) if lo == hi => write!(f, "{lo}"),
+            Some((lo, hi)) => write!(f, "{lo}-{hi}"),
+        }
+    }
+}
 
 /// One entry of a witness's speculative trace. All PCs are stated in
 /// original-binary coordinates (like gadget reports).
@@ -57,6 +153,28 @@ pub enum TraceEvent {
         width: u8,
         /// Union of pointer and value tag bits ([`Tag`]).
         tag: u8,
+        /// Input-byte offsets the pointer/value derive from. Resolved
+        /// only on provenance replays (the origin shadow is off on the
+        /// campaign hot path), so campaign-captured traces carry
+        /// [`OriginSpan::NONE`] here.
+        origin: OriginSpan,
+    },
+    /// The secret-dependent access that *completed* a gadget: recorded
+    /// at the moment a first-seen gadget key is reported. Provenance
+    /// replays only — campaign-captured traces never contain this
+    /// variant, so pre-existing witnesses are unchanged.
+    LeakSite {
+        /// Address of the transmitting access (original coordinates —
+        /// equals the gadget key's `pc`).
+        pc: u64,
+        /// Speculation nesting depth at the report.
+        depth: u32,
+        /// Model of the window the gadget is attributed to.
+        model: SpecModel,
+        /// Tag bits of the secret that reached the transmitter.
+        tag: u8,
+        /// Input-byte offsets the leaking secret/pointer derives from.
+        origin: OriginSpan,
     },
     /// The innermost simulation level rolled back.
     Rollback {
@@ -70,11 +188,26 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
-    /// The tag bits of a tainted access, as a [`Tag`] (clean otherwise).
+    /// The tag bits of a tainted access or leak site, as a [`Tag`]
+    /// (clean otherwise).
     pub fn tag(&self) -> Tag {
         match self {
-            TraceEvent::TaintedAccess { tag, .. } => Tag::from_bits(*tag),
+            TraceEvent::TaintedAccess { tag, .. } | TraceEvent::LeakSite { tag, .. } => {
+                Tag::from_bits(*tag)
+            }
             _ => Tag::CLEAN,
+        }
+    }
+
+    /// The resolved input-byte origin of a tainted access or leak site
+    /// ([`OriginSpan::NONE`] otherwise, and on campaign-captured
+    /// traces where the origin shadow was off).
+    pub fn origin(&self) -> OriginSpan {
+        match self {
+            TraceEvent::TaintedAccess { origin, .. } | TraceEvent::LeakSite { origin, .. } => {
+                *origin
+            }
+            _ => OriginSpan::NONE,
         }
     }
 }
@@ -149,6 +282,7 @@ mod tests {
                     addr: 0x80_0000,
                     width: 4,
                     tag: Tag::SECRET_USER.bits(),
+                    origin: OriginSpan::NONE,
                 },
                 TraceEvent::SpecBranch {
                     pc: 0x400090,
@@ -160,6 +294,7 @@ mod tests {
                     addr: 0x80_0010,
                     width: 1,
                     tag: Tag::USER.bits(),
+                    origin: OriginSpan::from_offset(3),
                 },
                 TraceEvent::Rollback {
                     pc: 0x400090,
@@ -188,5 +323,58 @@ mod tests {
         let w = witness();
         assert_eq!(w.trace[1].tag(), Tag::SECRET_USER);
         assert_eq!(w.trace[0].tag(), Tag::CLEAN);
+    }
+
+    #[test]
+    fn origin_accessor() {
+        let w = witness();
+        assert_eq!(w.trace[1].origin(), OriginSpan::NONE);
+        assert_eq!(w.trace[3].origin(), OriginSpan::from_offset(3));
+        assert_eq!(w.trace[0].origin(), OriginSpan::NONE);
+        let leak = TraceEvent::LeakSite {
+            pc: 0x400100,
+            depth: 1,
+            model: SpecModel::Pht,
+            tag: Tag::SECRET_USER.bits(),
+            origin: OriginSpan::from_offset(0).join(OriginSpan::from_offset(1)),
+        };
+        assert_eq!(leak.origin().offsets(), Some((0, 1)));
+        assert_eq!(leak.tag(), Tag::SECRET_USER);
+    }
+
+    #[test]
+    fn origin_span_join_and_encoding() {
+        let none = OriginSpan::NONE;
+        assert!(none.is_none());
+        assert_eq!(none.offsets(), None);
+        assert_eq!(none.join(none), none);
+
+        let a = OriginSpan::from_offset(0);
+        let b = OriginSpan::from_offset(5);
+        assert_eq!(a.offsets(), Some((0, 0)));
+        assert_eq!(a.join(none), a);
+        assert_eq!(none.join(b), b);
+        let ab = a.join(b);
+        assert_eq!(ab.offsets(), Some((0, 5)));
+        assert_eq!(ab.join(a), ab);
+
+        // Raw round trip matches the shadow encoding (offset + 1).
+        let (lo, hi) = ab.raw();
+        assert_eq!((lo, hi), (1, 6));
+        assert_eq!(OriginSpan::from_raw(lo, hi), ab);
+        assert_eq!(OriginSpan::from_raw(0, 0), OriginSpan::NONE);
+        assert_eq!(OriginSpan::from_raw(0, 9), OriginSpan::NONE);
+        assert_eq!(OriginSpan::from_raw(6, 1), ab); // normalized
+
+        // Saturation: offsets past MAX_OFFSET collapse, never drop.
+        let far = OriginSpan::from_offset(100_000);
+        assert_eq!(
+            far.offsets(),
+            Some((OriginSpan::MAX_OFFSET, OriginSpan::MAX_OFFSET))
+        );
+
+        assert_eq!(none.to_string(), "-");
+        assert_eq!(a.to_string(), "0");
+        assert_eq!(ab.to_string(), "0-5");
     }
 }

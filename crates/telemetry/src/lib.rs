@@ -27,11 +27,11 @@
 //! | event | keys |
 //! |---|---|
 //! | `meta` | `schema`, `binary`, `seed`, `shards`, `epochs`, `iters_per_epoch`, `models`, `workers`, `compiled_records`, `compiled_fused`, `heuristic_sites` |
-//! | `span` | `name` (`decode` \| `campaign` \| `triage`), `wall_ms` |
+//! | `span` | `name` (`decode` \| `campaign` \| `triage` \| `explain`), `wall_ms` |
 //! | `epoch` | `epoch`, `wall_ms`, `execs`, `corpus`, `unique_gadgets` (campaign-wide totals) |
 //! | `shard` | `epoch`, `shard`, `execs` (delta this epoch), `corpus`, `cov_normal`, `cov_spec`, `gadgets` |
 //! | `gadget_first_seen` | `shard`, `exec` (1-based ordinal within the shard), `pc`, `model` |
-//! | `vm` | `shard` + one key per [`VmCounters`] field (see [`VmCounters::for_each`]) |
+//! | `vm` | `shard` + one key per [`VmCounters`] field (see [`VmCounters::for_each`]); the `t_prov_*` trio counts provenance-replay work (origin bytes written, interval folds, leak sites) and is zero on campaign runs |
 //! | `counters` | the merged registry snapshot: one key per registered counter, summed over shards |
 //! | `cost_hist` | `shard`, then `b<k>` = number of runs whose cost had `ilog2 == k` |
 //! | `hot_block` | `rank`, `pc`, `end`, `orig_pc`, `symbol` (or `null`), `cost`, `insts`, `hits` |
@@ -94,6 +94,14 @@ pub struct VmCounters {
     pub rob_stops: [u64; 3],
     /// Memory-log bytes replayed by rollbacks.
     pub memlog_bytes_replayed: u64,
+    /// Origin-shadow bytes written on provenance replays (`t_prov_bytes`;
+    /// zero on campaign runs, where the origin shadow is disabled).
+    pub prov_bytes: u64,
+    /// Origin-interval folds (load/pop byte-range joins) on provenance
+    /// replays (`t_prov_folds`).
+    pub prov_folds: u64,
+    /// `LeakSite` events recorded on provenance replays (`t_prov_leaks`).
+    pub prov_leaks: u64,
 }
 
 impl VmCounters {
@@ -115,6 +123,9 @@ impl VmCounters {
             self.rob_stops[i] += other.rob_stops[i];
         }
         self.memlog_bytes_replayed += other.memlog_bytes_replayed;
+        self.prov_bytes += other.prov_bytes;
+        self.prov_folds += other.prov_folds;
+        self.prov_leaks += other.prov_leaks;
     }
 
     /// Visits every counter as a `(name, value)` pair in the one
@@ -141,6 +152,9 @@ impl VmCounters {
             f(&format!("rob_stops_{m}"), self.rob_stops[i]);
         }
         f("memlog_bytes_replayed", self.memlog_bytes_replayed);
+        f("t_prov_bytes", self.prov_bytes);
+        f("t_prov_folds", self.prov_folds);
+        f("t_prov_leaks", self.prov_leaks);
     }
 }
 
@@ -659,9 +673,10 @@ mod tests {
         let mut names = Vec::new();
         a.for_each(|n, _| names.push(n.to_string()));
         assert_eq!(names[0], "tlb_hits");
-        assert_eq!(names.len(), 11 + 9);
+        assert_eq!(names.len(), 11 + 9 + 3);
         assert!(names.contains(&"rollbacks_rsb".to_string()));
         assert!(names.contains(&"compiled_insts".to_string()));
+        assert!(names.contains(&"t_prov_leaks".to_string()));
     }
 
     #[test]

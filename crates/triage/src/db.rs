@@ -8,6 +8,7 @@
 //! triages to the same bytes as `--workers 1` — the triage extension of
 //! the orchestrator's determinism guarantee.
 
+use crate::provenance::{step_line, CausalChain};
 use std::collections::BTreeMap;
 use teapot_rt::{GadgetKey, SpecModel};
 use teapot_vm::DecodeStats;
@@ -59,6 +60,13 @@ pub struct TriageEntry {
     pub minimize_steps: u32,
     /// Whether the witness replayed successfully.
     pub replayed: bool,
+    /// Causal chain from the provenance replay of the canonical
+    /// witness (mispredict → tainted load → leaking access, with
+    /// input-byte origins); `None` when provenance was off or the
+    /// gadget carried no witness. Renders only when present, so
+    /// provenance-off reports are byte-identical to the
+    /// pre-provenance pipeline.
+    pub chain: Option<CausalChain>,
     /// Every site this root cause was observed at, sorted by
     /// `(binary, shard, key)`.
     pub locations: Vec<TriageLocation>,
@@ -153,6 +161,10 @@ impl TriageDb {
                 existing.replayed = entry.replayed;
                 existing.witness_input = entry.witness_input;
             }
+            // First witness wins, same as the canonical reproducer.
+            if existing.chain.is_none() {
+                existing.chain = entry.chain;
+            }
             existing.locations.extend(entry.locations);
         } else {
             self.entries.push(entry);
@@ -235,6 +247,47 @@ impl TriageDb {
                 Some(m) => out.push_str(&format!("\"minimized_input\":\"{}\",", hex(m))),
                 None => out.push_str("\"minimized_input\":null,"),
             }
+            // Causal-chain keys appear only on provenance-replayed
+            // findings: provenance-off JSONL is byte-identical to the
+            // pre-provenance renderer.
+            if let Some(chain) = &e.chain {
+                out.push_str(&format!(
+                    "\"leaked_input_bytes\":\"{}\",\"chain\":[",
+                    chain.origin
+                ));
+                for (i, s) in chain.steps.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"role\":\"{}\",\"pc\":\"{:#x}\",\"symbol\":{}",
+                        s.role.label(),
+                        s.pc,
+                        json_opt_str(&s.symbol)
+                    ));
+                    match s.role {
+                        crate::provenance::StepRole::Mispredict => {
+                            out.push_str(&format!(
+                                ",\"model\":\"{}\",\"depth\":{}}}",
+                                s.model, s.depth
+                            ));
+                        }
+                        crate::provenance::StepRole::TaintedLoad => {
+                            out.push_str(&format!(
+                                ",\"addr\":\"{:#x}\",\"width\":{},\"origin\":\"{}\"}}",
+                                s.addr, s.width, s.origin
+                            ));
+                        }
+                        crate::provenance::StepRole::Leak => {
+                            out.push_str(&format!(
+                                ",\"model\":\"{}\",\"depth\":{},\"origin\":\"{}\"}}",
+                                s.model, s.depth, s.origin
+                            ));
+                        }
+                    }
+                }
+                out.push_str("],");
+            }
             out.push_str("\"locations\":[");
             for (i, l) in e.locations.iter().enumerate() {
                 if i > 0 {
@@ -310,6 +363,15 @@ impl TriageDb {
                     None => "no witness captured".to_string(),
                 }
             ));
+            if let Some(chain) = &e.chain {
+                out.push_str(&format!(
+                    "    causal chain (leaks input bytes {}):\n",
+                    chain.origin
+                ));
+                for (i, s) in chain.steps.iter().enumerate() {
+                    out.push_str(&format!("      {}. {}\n", i + 1, step_line(s)));
+                }
+            }
             for l in &e.locations {
                 out.push_str(&format!(
                     "    at {} shard {}: transmit {:#x} (branch {:#x}, access {:#x}, depth {})\n",
@@ -383,6 +445,7 @@ mod tests {
             minimized_input: Some(vec![0x7f]),
             minimize_steps: 3,
             replayed: true,
+            chain: None,
             locations: vec![TriageLocation {
                 binary: binary.to_string(),
                 shard,
@@ -448,6 +511,87 @@ mod tests {
     fn hex_and_escape() {
         assert_eq!(hex(&[0, 255, 16]), "00ff10");
         assert_eq!(escape("a\"b\n"), "a\\\"b\\n");
+    }
+
+    #[test]
+    fn chain_renders_only_when_present() {
+        use crate::provenance::{CausalChain, CausalStep, StepRole};
+        use teapot_rt::OriginSpan;
+        let mut without = TriageDb::new();
+        without.insert(entry("k", 50, "bin", 0));
+        without.finalize();
+        let jsonl_off = without.to_jsonl();
+        let text_off = without.to_text();
+        assert!(!jsonl_off.contains("\"chain\""));
+        assert!(!jsonl_off.contains("leaked_input_bytes"));
+        assert!(!text_off.contains("causal chain"));
+
+        let mut e = entry("k", 50, "bin", 0);
+        e.chain = Some(CausalChain {
+            steps: vec![
+                CausalStep {
+                    role: StepRole::Mispredict,
+                    pc: 0x4000f0,
+                    symbol: None,
+                    model: SpecModel::Pht,
+                    depth: 1,
+                    addr: 0,
+                    width: 0,
+                    tag: 0,
+                    origin: OriginSpan::NONE,
+                },
+                CausalStep {
+                    role: StepRole::TaintedLoad,
+                    pc: 0x400100,
+                    symbol: Some("main+0x10".into()),
+                    model: SpecModel::Pht,
+                    depth: 1,
+                    addr: 0x80_0000,
+                    width: 1,
+                    tag: 1,
+                    origin: OriginSpan::from_offset(1),
+                },
+                CausalStep {
+                    role: StepRole::Leak,
+                    pc: 0x400100,
+                    symbol: None,
+                    model: SpecModel::Pht,
+                    depth: 1,
+                    addr: 0,
+                    width: 0,
+                    tag: 4,
+                    origin: OriginSpan::from_offset(1),
+                },
+            ],
+            origin: OriginSpan::from_offset(1),
+        });
+        let mut with = TriageDb::new();
+        with.insert(e);
+        with.finalize();
+        let jsonl_on = with.to_jsonl();
+        let text_on = with.to_text();
+        assert!(jsonl_on.contains("\"leaked_input_bytes\":\"1\""));
+        assert!(jsonl_on.contains("\"chain\":[{\"role\":\"mispredict\""));
+        assert!(jsonl_on.contains("\"role\":\"tainted-load\",\"pc\":\"0x400100\""));
+        assert!(jsonl_on.contains("\"origin\":\"1\""));
+        assert!(text_on.contains("causal chain (leaks input bytes 1):"));
+        assert!(text_on.contains("1. mispredict 0x4000f0 (via pht, depth 1)"));
+        assert!(text_on.contains("2. tainted load 0x400100 <main+0x10>"));
+        // Scrubbing the chain keys recovers the provenance-off bytes —
+        // the symmetric-scrub property the differential suite relies on.
+        let scrubbed: String = jsonl_on
+            .lines()
+            .map(|l| {
+                let mut l = l.to_string();
+                if let (Some(a), Some(b)) =
+                    (l.find("\"leaked_input_bytes\""), l.find("\"locations\""))
+                {
+                    l.replace_range(a..b, "");
+                }
+                format!("{l}\n")
+            })
+            .collect();
+        assert_eq!(scrubbed, jsonl_off);
     }
 
     #[test]

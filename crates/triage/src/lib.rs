@@ -67,6 +67,7 @@
 pub mod db;
 pub mod enrich;
 pub mod minimize;
+pub mod provenance;
 pub mod replay;
 pub mod sarif;
 
@@ -81,6 +82,7 @@ use teapot_vm::Program;
 pub use db::{BinaryStats, TriageDb, TriageEntry, TriageLocation};
 pub use enrich::{severity, Enricher};
 pub use minimize::{minimize, MinimizeOutcome, DEFAULT_MAX_STEPS};
+pub use provenance::{CausalChain, CausalStep, StepRole};
 pub use replay::{run_fresh, ReplayConfig, ReplayOutcome, Replayer};
 
 /// Knobs of a triage pass.
@@ -90,6 +92,12 @@ pub struct TriageOptions {
     pub minimize: bool,
     /// Candidate-replay budget per witness.
     pub max_minimize_steps: u32,
+    /// Replay every reproducing witness once with the VM's origin
+    /// shadow on and attach the resulting causal chain (mispredict →
+    /// tainted load → leaking access, with input-byte origins) to the
+    /// finding. Off, findings render exactly as the pre-provenance
+    /// pipeline did (pinned by `tests/provenance_differential.rs`).
+    pub provenance: bool,
 }
 
 impl Default for TriageOptions {
@@ -97,6 +105,7 @@ impl Default for TriageOptions {
         TriageOptions {
             minimize: true,
             max_minimize_steps: DEFAULT_MAX_STEPS,
+            provenance: true,
         }
     }
 }
@@ -289,6 +298,19 @@ fn triage_one(
             stats.replay_failures += 1;
         }
         stats.minimize_steps += u64::from(steps);
+        // One extra replay with the origin shadow on turns the witness
+        // into a causal chain; symbolization happens here so renderers
+        // stay plain-string.
+        let chain = (opts.provenance && replayed)
+            .then(|| rp.replay_provenance(w))
+            .flatten()
+            .and_then(|trace| provenance::extract(&trace, g))
+            .map(|mut chain| {
+                for step in &mut chain.steps {
+                    step.symbol = enricher.symbolize(step.pc);
+                }
+                chain
+            });
         db.insert(build_entry(
             &enricher,
             &input.label,
@@ -298,6 +320,7 @@ fn triage_one(
             replayed,
             minimized,
             steps,
+            chain,
         ));
     }
 
@@ -315,6 +338,7 @@ fn triage_one(
                 false,
                 None,
                 0,
+                None,
             ));
         }
     }
@@ -338,6 +362,7 @@ fn build_entry(
     replayed: bool,
     minimized_input: Option<Vec<u8>>,
     minimize_steps: u32,
+    chain: Option<provenance::CausalChain>,
 ) -> TriageEntry {
     TriageEntry {
         root_cause: enricher.root_cause(g),
@@ -353,6 +378,7 @@ fn build_entry(
         minimized_input,
         minimize_steps,
         replayed,
+        chain,
         locations: vec![TriageLocation {
             binary: label.to_string(),
             shard,

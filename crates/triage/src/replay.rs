@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 use teapot_campaign::CampaignConfig;
-use teapot_rt::{DetectorConfig, GadgetReport, GadgetWitness, SpecModelSet};
+use teapot_rt::{DetectorConfig, GadgetReport, GadgetWitness, SpecModelSet, TraceEvent};
 use teapot_vm::{EmuStyle, ExecContext, HeurStyle, Machine, Program, RunOptions, SpecHeuristics};
 
 /// Everything a replay needs beyond the witness itself: the detector
@@ -123,6 +123,25 @@ impl Replayer {
             reproduced: gadgets.iter().any(|g| g.key == w.key),
             gadgets,
         }
+    }
+
+    /// Replays a witness once with the origin shadow and witness
+    /// recorder on, returning the provenance-enriched trace — tainted
+    /// accesses carry resolved input-byte origins and the completing
+    /// access appears as a [`TraceEvent::LeakSite`]. Both switches are
+    /// restored afterwards, so subsequent pooled replays (and their
+    /// campaign-equivalence guarantee) are untouched. Returns `None`
+    /// when the witness does not reproduce.
+    ///
+    /// [`TraceEvent::LeakSite`]: teapot_rt::TraceEvent::LeakSite
+    pub fn replay_provenance(&mut self, w: &GadgetWitness) -> Option<Vec<TraceEvent>> {
+        self.ctx.set_witness_recording(true);
+        self.ctx.set_provenance(true);
+        let gadgets = self.run(&w.input, &w.heur_counts);
+        let trace = self.ctx.trace().to_vec();
+        self.ctx.set_provenance(false);
+        self.ctx.set_witness_recording(false);
+        gadgets.iter().any(|g| g.key == w.key).then_some(trace)
     }
 }
 

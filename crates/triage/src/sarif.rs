@@ -12,8 +12,16 @@
 //! minimized reproducer, heuristic metadata and raw PCs ride in
 //! `properties`. Rendering is byte-deterministic: it walks the already
 //! finalized (ranked) database and emits keys in a fixed order.
+//!
+//! Every result additionally carries a `codeFlows`/`threadFlows` chain:
+//! the provenance replay's causal narrative (mispredict → tainted load
+//! → leaking access, with input-byte origins) when the finding has one,
+//! else a minimal branch → access → transmit flow synthesized from the
+//! first location — so SARIF viewers always get a navigable flow.
 
 use crate::db::{escape, hex, TriageDb};
+use crate::provenance::step_line;
+use crate::TriageEntry;
 
 /// SARIF severity level for a 0–100 triage severity.
 fn level(severity: u32) -> &'static str {
@@ -96,6 +104,7 @@ pub fn render(db: &TriageDb) -> String {
             out.push_str("\n          ");
         }
         out.push_str("],\n");
+        push_code_flows(&mut out, e);
         out.push_str("          \"properties\": {\n");
         out.push_str(&format!(
             "            \"rootCause\": \"{}\",\n",
@@ -109,6 +118,12 @@ pub fn render(db: &TriageDb) -> String {
             "            \"minDepth\": {},\n            \"maxTaintedWidth\": {},\n",
             e.min_depth, e.max_tainted_width
         ));
+        if let Some(chain) = &e.chain {
+            out.push_str(&format!(
+                "            \"leakedInputBytes\": \"{}\",\n",
+                chain.origin
+            ));
+        }
         match &e.minimized_input {
             Some(m) => out.push_str(&format!("            \"minimizedInput\": \"{}\"\n", hex(m))),
             None => out.push_str("            \"minimizedInput\": null\n"),
@@ -120,6 +135,55 @@ pub fn render(db: &TriageDb) -> String {
     }
     out.push_str("]\n    }\n  ]\n}\n");
     out
+}
+
+/// Emits the result's `codeFlows` array: one thread flow walking the
+/// causal chain (or, chain-less, a synthesized branch → access →
+/// transmit flow over the first location's PCs).
+fn push_code_flows(out: &mut String, e: &TriageEntry) {
+    let uri = e
+        .locations
+        .first()
+        .map(|l| l.binary.as_str())
+        .unwrap_or("unknown");
+    let steps: Vec<(u64, String)> = match &e.chain {
+        Some(chain) => chain.steps.iter().map(|s| (s.pc, step_line(s))).collect(),
+        None => {
+            let Some(l) = e.locations.first() else {
+                return;
+            };
+            vec![
+                (
+                    l.branch_pc,
+                    format!("mispredict {:#x} (via {})", l.branch_pc, l.key.model),
+                ),
+                (l.access_pc, format!("tainted load {:#x}", l.access_pc)),
+                (
+                    l.key.pc,
+                    format!("leaking access {:#x} (via {})", l.key.pc, l.key.model),
+                ),
+            ]
+        }
+    };
+    out.push_str("          \"codeFlows\": [\n");
+    out.push_str("            {\"threadFlows\": [\n");
+    out.push_str("              {\"locations\": [");
+    for (i, (pc, msg)) in steps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n                {{\"location\": {{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"address\": \
+             {{\"absoluteAddress\": {}}}}}, \"message\": {{\"text\": \"{}\"}}}}}}",
+            escape(uri),
+            pc,
+            escape(msg)
+        ));
+    }
+    out.push_str("\n              ]}\n");
+    out.push_str("            ]}\n");
+    out.push_str("          ],\n");
 }
 
 #[cfg(test)]
@@ -141,5 +205,83 @@ mod tests {
         assert_eq!(level(90), "error");
         assert_eq!(level(55), "warning");
         assert_eq!(level(10), "note");
+    }
+
+    #[test]
+    fn every_result_carries_code_flows() {
+        use crate::db::{TriageEntry, TriageLocation};
+        use crate::provenance::{CausalChain, CausalStep, StepRole};
+        use teapot_rt::{Channel, Controllability, GadgetKey, OriginSpan, SpecModel};
+
+        let location = TriageLocation {
+            binary: "victim.tof".to_string(),
+            shard: 0,
+            key: GadgetKey {
+                pc: 0x400180,
+                channel: Channel::Cache,
+                controllability: Controllability::User,
+                model: SpecModel::Pht,
+            },
+            branch_pc: 0x400100,
+            access_pc: 0x400140,
+            depth: 1,
+        };
+        let entry = |root: &str, chain: Option<CausalChain>| TriageEntry {
+            root_cause: root.to_string(),
+            bucket: "User-Cache".to_string(),
+            model: SpecModel::Pht,
+            severity: 70,
+            description: "d".to_string(),
+            access_symbol: None,
+            branch_symbol: None,
+            min_depth: 1,
+            max_tainted_width: 1,
+            witness_input: vec![3, 0],
+            minimized_input: Some(vec![3]),
+            minimize_steps: 0,
+            replayed: true,
+            chain,
+            locations: vec![location.clone()],
+        };
+        let chain = CausalChain {
+            steps: vec![
+                CausalStep {
+                    role: StepRole::Mispredict,
+                    pc: 0x400100,
+                    symbol: Some("main".into()),
+                    model: SpecModel::Pht,
+                    depth: 1,
+                    addr: 0,
+                    width: 0,
+                    tag: 0,
+                    origin: OriginSpan::NONE,
+                },
+                CausalStep {
+                    role: StepRole::Leak,
+                    pc: 0x400180,
+                    symbol: None,
+                    model: SpecModel::Pht,
+                    depth: 1,
+                    addr: 0,
+                    width: 0,
+                    tag: 4,
+                    origin: OriginSpan::from_offset(0).join(OriginSpan::from_offset(1)),
+                },
+            ],
+            origin: OriginSpan::from_offset(0).join(OriginSpan::from_offset(1)),
+        };
+        let mut db = TriageDb::new();
+        db.insert(entry("with-chain", Some(chain)));
+        db.insert(entry("chain-less", None));
+        db.finalize();
+        let s = render(&db);
+        // Both results carry a codeFlows chain: the provenance one its
+        // narrated steps, the chain-less one the synthesized flow.
+        assert_eq!(s.matches("\"codeFlows\"").count(), 2);
+        assert_eq!(s.matches("\"threadFlows\"").count(), 2);
+        assert!(s.contains("mispredict 0x400100 <main> (via pht, depth 1)"));
+        assert!(s.contains("input bytes 0-1"));
+        assert!(s.contains("\"leakedInputBytes\": \"0-1\""));
+        assert!(s.contains("tainted load 0x400140"));
     }
 }

@@ -32,7 +32,7 @@ use crate::program::{
     OpKind, Program, Region, F_ALWAYS_CHARGE, F_INSTR, F_IN_REAL, F_LIVE, F_NOP, NO_SITE,
     STL_NO_CONT,
 };
-use crate::taint::TaintEngine;
+use crate::taint::{OriginEngine, TaintEngine};
 use std::sync::Arc;
 use teapot_isa::{
     decode_at, sys, AccessSize, AluOp, IndKind, Inst, MemRef, Operand, Reg, INST_MAX_LEN,
@@ -41,7 +41,7 @@ use teapot_obj::Binary;
 use teapot_rt::layout::STACK_TOP;
 use teapot_rt::{
     cost, Channel, Controllability, CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport,
-    SpecModel, SpecModelSet, Tag, TraceEvent, MAX_TRACE_EVENTS,
+    OriginSpan, SpecModel, SpecModelSet, Tag, TraceEvent, MAX_TRACE_EVENTS,
 };
 use teapot_specmodel::{RSB_DEPTH, STL_WINDOW};
 use teapot_telemetry::{BlockProfile, VmCounters};
@@ -228,6 +228,10 @@ struct Checkpoint {
     resume_pc: u64,
     reg_tags: [Tag; 16],
     flags_tag: Tag,
+    /// Register/FLAGS origin folds at entry (all [`OriginSpan::NONE`]
+    /// unless the origin shadow is on): squashed like register tags.
+    reg_origins: [OriginSpan; 16],
+    flags_origin: OriginSpan,
     memlog_mark: usize,
     covnote_mark: usize,
     /// Start of the shared speculation window (the reorder buffer is one
@@ -271,6 +275,16 @@ struct LogEntry {
     old_tags: [u8; 8],
 }
 
+/// One provenance-log entry: the previous origin bytes of a store
+/// target. Pushed 1:1 with [`LogEntry`] on provenance replays, so the
+/// checkpoints' `memlog_mark` indexes both logs and rollback replays
+/// them in lockstep. Empty whenever the origin shadow is off.
+#[derive(Debug, Clone, Copy)]
+struct OriginLogEntry {
+    old_lo: [u8; 8],
+    old_hi: [u8; 8],
+}
+
 /// One simulated store-buffer entry (STL model): the memory contents a
 /// store *replaced*, which a younger load may speculatively forward
 /// instead of the stored value (Spectre-V4).
@@ -280,6 +294,10 @@ struct StlStore {
     len: u8,
     old_bytes: [u8; 8],
     old_tags: [u8; 8],
+    /// Replaced origin bytes (all zero unless the origin shadow is on):
+    /// a bypass forwards stale provenance with the stale taint.
+    old_lo: [u8; 8],
+    old_hi: [u8; 8],
     /// Monotonic store sequence number; the bypass picks the *youngest*
     /// overlapping entry.
     seq: u64,
@@ -321,8 +339,15 @@ pub struct ExecContext {
     mem: PagedMem,
     asan: AsanEngine,
     taint: TaintEngine,
+    /// Input-byte origin shadow (taint provenance). Populated only
+    /// while [`ExecContext::set_provenance`] is on — the campaign hot
+    /// path never touches it.
+    origin: OriginEngine,
     checkpoints: Vec<Checkpoint>,
     memlog: Vec<LogEntry>,
+    /// Provenance twin of `memlog` (1:1 entries while the origin
+    /// shadow is on; empty otherwise).
+    provlog: Vec<OriginLogEntry>,
     covnotes: Vec<u32>,
     cov_normal: CovMap,
     cov_spec: CovMap,
@@ -337,6 +362,12 @@ pub struct ExecContext {
     /// changes an execution's observable outcome — no cost is charged
     /// and nothing is read back during the run).
     record_witness: bool,
+    /// Whether the origin (provenance) shadow is enabled. Configuration
+    /// like `record_witness`: survives [`ExecContext::reset`], is
+    /// consulted once per run at machine assembly, and never changes an
+    /// execution's architectural outcome — origins are observation-only
+    /// metadata carried beside the tags.
+    record_provenance: bool,
     /// Identity of the [`Program`] whose pristine image this context's
     /// memory derives from. A dirty-page reset is only valid against
     /// that image; `reset` rebuilds from scratch on a mismatch.
@@ -375,8 +406,10 @@ impl ExecContext {
             mem: prog.pristine().clone(),
             asan: AsanEngine::new(),
             taint: TaintEngine::new(),
+            origin: OriginEngine::new(),
             checkpoints: Vec::new(),
             memlog: Vec::new(),
+            provlog: Vec::new(),
             covnotes: Vec::new(),
             cov_normal: CovMap::new(),
             cov_spec: CovMap::new(),
@@ -385,6 +418,7 @@ impl ExecContext {
             output: Vec::new(),
             trace: Vec::new(),
             record_witness: false,
+            record_provenance: false,
             for_program: prog.uid,
             icache_ro: teapot_rt::FxHashMap::default(),
             icache_run: teapot_rt::FxHashMap::default(),
@@ -421,8 +455,10 @@ impl ExecContext {
         self.icache_run.clear();
         self.asan.reset();
         self.taint.reset();
+        self.origin.reset();
         self.checkpoints.clear();
         self.memlog.clear();
+        self.provlog.clear();
         self.covnotes.clear();
         self.cov_normal.clear();
         self.cov_spec.clear();
@@ -469,6 +505,26 @@ impl ExecContext {
     /// Whether the witness recorder is enabled.
     pub fn witness_recording(&self) -> bool {
         self.record_witness
+    }
+
+    /// Enables or disables the origin (provenance) shadow for
+    /// subsequent runs. While on, every DIFT tag flow also propagates
+    /// the input-byte origin interval of the data, tainted-access trace
+    /// events resolve their origin spans, and each first-seen gadget
+    /// report appends a [`TraceEvent::LeakSite`] to the witness trace.
+    /// Intended for triage provenance replays only: a machine assembled
+    /// with provenance on avoids the slim compiled templates (which
+    /// deliberately skip origin propagation) by degrading to the
+    /// observably-identical block-slice tier. Origins are
+    /// observation-only metadata — the architectural outcome of a run
+    /// is unchanged.
+    pub fn set_provenance(&mut self, on: bool) {
+        self.record_provenance = on;
+    }
+
+    /// Whether the origin (provenance) shadow is enabled.
+    pub fn provenance(&self) -> bool {
+        self.record_provenance
     }
 
     /// Speculative trace of the last run (empty unless recording is on).
@@ -564,6 +620,12 @@ pub struct Machine<'c> {
     asan_on: bool,
     nested_on: bool,
     single_copy: bool,
+    /// Whether the origin (provenance) shadow is live for this run:
+    /// the context's `record_provenance` flag, resolved once at
+    /// assembly and requiring DIFT (origins without tags are
+    /// meaningless). Off on the campaign hot path — every `prov_on`
+    /// branch below is dead there.
+    prov_on: bool,
 
     opts: RunOptions,
     /// Mirror of `ctx.checkpoints.len()`, maintained at every push and
@@ -616,6 +678,9 @@ pub struct Machine<'c> {
     t_rollbacks: [u64; 3],
     t_rob_stops: [u64; 3],
     t_memlog_bytes: u64,
+    t_prov_bytes: u64,
+    t_prov_folds: u64,
+    t_prov_leaks: u64,
 
     cost: u64,
     insts: u64,
@@ -730,7 +795,18 @@ impl<'c> Machine<'c> {
             }
         };
         let dift_on = flags.dift || matches!(opts.emu, EmuStyle::SpecTaint);
+        let prov_on = ctx.record_provenance && dift_on;
         let models = opts.models;
+        // The slim compiled templates deliberately carry no origin
+        // propagation (the campaign hot path must stay untouched), so a
+        // provenance run degrades to the observably-identical
+        // block-slice tier — overriding even a forced compiled tier, so
+        // provenance replays resolve identical origins under every
+        // `TEAPOT_DISPATCH_TIER`.
+        let mut tier = forced_tier().unwrap_or_default();
+        if prov_on && tier == DispatchTier::Compiled {
+            tier = DispatchTier::Slice;
+        }
 
         let mut cpu = Cpu {
             pc: prog.entry,
@@ -745,6 +821,7 @@ impl<'c> Machine<'c> {
             asan_on: flags.asan,
             nested_on: flags.nested_speculation,
             single_copy: flags.single_copy,
+            prov_on,
             prog,
             ctx,
             opts,
@@ -771,6 +848,9 @@ impl<'c> Machine<'c> {
             t_rollbacks: [0; 3],
             t_rob_stops: [0; 3],
             t_memlog_bytes: 0,
+            t_prov_bytes: 0,
+            t_prov_folds: 0,
+            t_prov_leaks: 0,
             cost: 0,
             insts: 0,
             prog_insts: 0,
@@ -780,7 +860,7 @@ impl<'c> Machine<'c> {
             input_pos: 0,
             trace: std::env::var_os("TEAPOT_TRACE").is_some(),
             uncached_decode: false,
-            tier: forced_tier().unwrap_or_default(),
+            tier,
         }
     }
 
@@ -907,6 +987,9 @@ impl<'c> Machine<'c> {
                 t.rob_stops[m] += self.t_rob_stops[m];
             }
             t.memlog_bytes_replayed += self.t_memlog_bytes;
+            t.prov_bytes += self.t_prov_bytes;
+            t.prov_folds += self.t_prov_folds;
+            t.prov_leaks += self.t_prov_leaks;
         }
         RunStats {
             status,
@@ -976,7 +1059,34 @@ impl<'c> Machine<'c> {
         }
     }
 
-    fn report(&mut self, channel: Channel, tag: Tag, access_pc: u64, what: &str) {
+    /// Origin fold of the registers composing an effective address —
+    /// the provenance twin of [`Machine::ea_tag`].
+    fn ea_origin(&self, m: &MemRef) -> OriginSpan {
+        let mut s = OriginSpan::NONE;
+        if let Some(r) = m.base {
+            s = s.join(self.ctx.origin.reg(r));
+        }
+        if let Some(r) = m.index {
+            s = s.join(self.ctx.origin.reg(r));
+        }
+        s
+    }
+
+    fn operand_origin(&self, o: &Operand) -> OriginSpan {
+        match o {
+            Operand::Reg(r) => self.ctx.origin.reg(*r),
+            Operand::Imm(_) => OriginSpan::NONE,
+        }
+    }
+
+    fn report(
+        &mut self,
+        channel: Channel,
+        tag: Tag,
+        access_pc: u64,
+        what: &str,
+        origin: OriginSpan,
+    ) {
         let flavors = [
             (Tag::SECRET_USER, Controllability::User),
             (Tag::SECRET_MASSAGE, Controllability::Massage),
@@ -1010,6 +1120,19 @@ impl<'c> Machine<'c> {
                     depth,
                     description: what.to_string(),
                 });
+                // Provenance replays append the leak-site event that
+                // completes the causal chain; campaign-captured traces
+                // (prov_on off) are unchanged.
+                if self.prov_on {
+                    self.t_prov_leaks += 1;
+                    self.record_event(TraceEvent::LeakSite {
+                        pc: key.pc,
+                        depth,
+                        model: key.model,
+                        tag: tag.bits(),
+                        origin,
+                    });
+                }
             }
         }
     }
@@ -1084,6 +1207,8 @@ impl<'c> Machine<'c> {
             resume_pc,
             reg_tags: ctx.taint.regs,
             flags_tag: ctx.taint.flags,
+            reg_origins: ctx.origin.regs,
+            flags_origin: ctx.origin.flags,
             memlog_mark: ctx.memlog.len(),
             covnote_mark: ctx.covnotes.len(),
             insts_at_entry: window_start,
@@ -1141,14 +1266,24 @@ impl<'c> Machine<'c> {
             let ctx = &mut *self.ctx;
             let entries = &ctx.memlog[cp.memlog_mark..];
             self.cost += cost::ROLLBACK_BASE + cost::ROLLBACK_PER_LOG * entries.len() as u64;
-            for e in entries.iter().rev() {
+            for (i, e) in entries.iter().enumerate().rev() {
                 self.t_memlog_bytes += e.len as u64;
                 ctx.mem.poke_n(e.addr, &e.old_bytes[..e.len as usize]);
                 if self.dift_on {
                     ctx.taint.write_tags(e.addr, &e.old_tags[..e.len as usize]);
                 }
+                if self.prov_on {
+                    // The provenance log is 1:1 with the memory log, so
+                    // the same index restores the squashed origins.
+                    let p = &ctx.provlog[cp.memlog_mark + i];
+                    let n = e.len as usize;
+                    ctx.origin.write_raw(e.addr, &p.old_lo[..n], &p.old_hi[..n]);
+                }
             }
             ctx.memlog.truncate(cp.memlog_mark);
+            if self.prov_on {
+                ctx.provlog.truncate(cp.memlog_mark);
+            }
             // Lazy speculative-coverage flush (paper §6.3 optimization).
             let notes = &ctx.covnotes[cp.covnote_mark..];
             self.cost += cost::COV_FLUSH_PER_NOTE * notes.len() as u64;
@@ -1167,6 +1302,8 @@ impl<'c> Machine<'c> {
         self.cpu.pc = cp.resume_pc;
         self.ctx.taint.regs = cp.reg_tags;
         self.ctx.taint.flags = cp.flags_tag;
+        self.ctx.origin.regs = cp.reg_origins;
+        self.ctx.origin.flags = cp.flags_origin;
         // Only an STL checkpoint carries a verdict to restore (its
         // resume point is the guarded access itself); everywhere else
         // this is the pre-existing `pending_oob = None`.
@@ -1330,6 +1467,8 @@ impl<'c> Machine<'c> {
     fn stl_record_store(&mut self, addr: u64, n: u64) {
         let mut old_bytes = [0u8; 8];
         let mut old_tags = [0u8; 8];
+        let mut old_lo = [0u8; 8];
+        let mut old_hi = [0u8; 8];
         if self
             .ctx
             .mem
@@ -1339,6 +1478,11 @@ impl<'c> Machine<'c> {
             return;
         }
         self.ctx.taint.read_tags(addr, &mut old_tags[..n as usize]);
+        if self.prov_on {
+            self.ctx
+                .origin
+                .read_raw(addr, &mut old_lo[..n as usize], &mut old_hi[..n as usize]);
+        }
         self.store_seq += 1;
         if self.store_buf.len() == STL_WINDOW {
             // Oldest entry drains (hardware store buffers retire in
@@ -1350,15 +1494,19 @@ impl<'c> Machine<'c> {
             len: n as u8,
             old_bytes,
             old_tags,
+            old_lo,
+            old_hi,
             seq: self.store_seq,
         });
     }
 
     /// The stale value a load of `[addr, addr+n)` would forward if it
     /// bypassed the youngest overlapping store still in the buffer:
-    /// `Some((bytes, tags))` when such a store fully covers the load.
-    /// Wild (wrapping) speculative addresses never match.
-    fn stl_stale(&self, addr: u64, n: u64) -> Option<([u8; 8], [u8; 8])> {
+    /// `Some((bytes, tags, origin))` when such a store fully covers the
+    /// load (the origin span is the stale bytes' provenance fold,
+    /// [`OriginSpan::NONE`] unless the origin shadow is on). Wild
+    /// (wrapping) speculative addresses never match.
+    fn stl_stale(&self, addr: u64, n: u64) -> Option<([u8; 8], [u8; 8], OriginSpan)> {
         let end = addr.checked_add(n)?;
         // Entries are seq-sorted, so the first match from the back is
         // the youngest overlapping store.
@@ -1372,7 +1520,15 @@ impl<'c> Machine<'c> {
                 let mut tags = [0u8; 8];
                 bytes[..n as usize].copy_from_slice(&e.old_bytes[off..off + n as usize]);
                 tags[..n as usize].copy_from_slice(&e.old_tags[off..off + n as usize]);
-                (bytes, tags)
+                let origin = if self.prov_on {
+                    OriginEngine::fold_raw(
+                        &e.old_lo[off..off + n as usize],
+                        &e.old_hi[off..off + n as usize],
+                    )
+                } else {
+                    OriginSpan::NONE
+                };
+                (bytes, tags, origin)
             })
     }
 
@@ -1401,7 +1557,7 @@ impl<'c> Machine<'c> {
         }
         let addr = self.ea(mem);
         let n = size.bytes();
-        let Some((stale_bytes, stale_tags)) = self.stl_stale(addr, n) else {
+        let Some((stale_bytes, stale_tags, stale_origin)) = self.stl_stale(addr, n) else {
             return false;
         };
         // Compare against the current contents: an idempotent store (same
@@ -1479,12 +1635,16 @@ impl<'c> Machine<'c> {
         if self.dift_on {
             self.ctx.taint.set_reg(dst, stale_tag);
         }
+        if self.prov_on {
+            self.ctx.origin.set_reg(dst, stale_origin);
+        }
         if self.ctx.record_witness && !stale_tag.is_clean() {
             self.record_event(TraceEvent::TaintedAccess {
                 pc: site_orig,
                 addr,
                 width: n as u8,
                 tag: stale_tag.bits(),
+                origin: stale_origin,
             });
         }
         true
@@ -1500,7 +1660,7 @@ impl<'c> Machine<'c> {
         size: AccessSize,
         sext: bool,
         pc: u64,
-    ) -> Result<(u64, Tag), Fault> {
+    ) -> Result<(u64, Tag, OriginSpan), Fault> {
         let addr = self.ea(mem);
         let n = size.bytes();
         // The pointer tag only feeds simulation policy and witness
@@ -1510,6 +1670,14 @@ impl<'c> Machine<'c> {
             self.ea_tag(mem)
         } else {
             Tag::CLEAN
+        };
+        // Provenance: the loaded value derives from the input bytes
+        // that sourced the memory contents *and* the ones that composed
+        // the address (an attacker-chosen index selects the value).
+        let ptr_origin = if self.prov_on {
+            self.ea_origin(mem)
+        } else {
+            OriginSpan::NONE
         };
         // Address-tag policy checks run BEFORE the access (paper §6.2.2):
         // a speculative load through a secret or massaged pointer is
@@ -1524,6 +1692,7 @@ impl<'c> Machine<'c> {
                             ptr_tag,
                             pc,
                             "secret used to compose a load address",
+                            ptr_origin,
                         );
                     }
                     if ptr_tag.contains(Tag::MASSAGE) {
@@ -1532,6 +1701,7 @@ impl<'c> Machine<'c> {
                             Tag::SECRET_MASSAGE,
                             pc,
                             "load through an attacker-indirect (massaged) pointer",
+                            ptr_origin,
                         );
                     }
                 }
@@ -1541,6 +1711,7 @@ impl<'c> Machine<'c> {
                         ptr_tag,
                         pc,
                         "tainted data reached a dereference (SpecTaint)",
+                        ptr_origin,
                     );
                 }
                 _ => {}
@@ -1551,9 +1722,15 @@ impl<'c> Machine<'c> {
         if !self.dift_on {
             // SpecFuzz policy consumes pending ASan verdicts without taint.
             self.pending_oob = None;
-            return Ok((value, Tag::CLEAN));
+            return Ok((value, Tag::CLEAN, OriginSpan::NONE));
         }
         let mut val_tag = self.ctx.taint.mem_range_tag(addr, n);
+        let origin = if self.prov_on {
+            self.t_prov_folds += 1;
+            ptr_origin.join(self.ctx.origin.mem_range(addr, n))
+        } else {
+            OriginSpan::NONE
+        };
         if self.in_sim() {
             let pending = self.pending_oob.take();
             let oob = pending.map(|p| p.oob).unwrap_or(false);
@@ -1573,7 +1750,13 @@ impl<'c> Machine<'c> {
                         val_tag |= Tag::SECRET_MASSAGE;
                     }
                     if val_tag.is_secret() {
-                        self.report(Channel::Mds, val_tag, pc, "secret loaded into a register");
+                        self.report(
+                            Channel::Mds,
+                            val_tag,
+                            pc,
+                            "secret loaded into a register",
+                            origin,
+                        );
                     }
                 }
                 Policy::SpecTaint
@@ -1591,12 +1774,13 @@ impl<'c> Machine<'c> {
                     addr,
                     width: n as u8,
                     tag: (ptr_tag | val_tag).bits(),
+                    origin,
                 });
             }
         } else {
             self.pending_oob = None;
         }
-        Ok((value, val_tag))
+        Ok((value, val_tag, origin))
     }
 
     fn do_store(
@@ -1605,6 +1789,7 @@ impl<'c> Machine<'c> {
         size: AccessSize,
         value: u64,
         tag: Tag,
+        origin: OriginSpan,
         pc: u64,
     ) -> Result<(), Fault> {
         let addr = self.ea(mem);
@@ -1614,9 +1799,15 @@ impl<'c> Machine<'c> {
         } else {
             Tag::CLEAN
         };
-        self.store_at(addr, size, value, tag, ptr_tag, pc)
+        let ptr_origin = if self.prov_on {
+            self.ea_origin(mem)
+        } else {
+            OriginSpan::NONE
+        };
+        self.store_at(addr, size, value, tag, ptr_tag, pc, origin, ptr_origin)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn store_at(
         &mut self,
         addr: u64,
@@ -1625,6 +1816,8 @@ impl<'c> Machine<'c> {
         tag: Tag,
         ptr_tag: Tag,
         pc: u64,
+        origin: OriginSpan,
+        ptr_origin: OriginSpan,
     ) -> Result<(), Fault> {
         let n = size.bytes();
         if self.in_sim() {
@@ -1634,6 +1827,7 @@ impl<'c> Machine<'c> {
                     ptr_tag,
                     pc,
                     "secret used to compose a store address",
+                    ptr_origin,
                 );
             }
             // Memory log: previous bytes + tags, for rollback (§6.1).
@@ -1650,6 +1844,17 @@ impl<'c> Machine<'c> {
                 old_bytes,
                 old_tags,
             });
+            if self.prov_on {
+                // Keep the provenance log 1:1 with the memory log.
+                let mut old_lo = [0u8; 8];
+                let mut old_hi = [0u8; 8];
+                self.ctx.origin.read_raw(
+                    addr,
+                    &mut old_lo[..n as usize],
+                    &mut old_hi[..n as usize],
+                );
+                self.ctx.provlog.push(OriginLogEntry { old_lo, old_hi });
+            }
             let _ = self.pending_oob.take();
         }
         if self.stl_on {
@@ -1661,6 +1866,10 @@ impl<'c> Machine<'c> {
             .map_err(Fault::Mem)?;
         if self.dift_on {
             self.ctx.taint.set_mem_range(addr, n, tag);
+        }
+        if self.prov_on {
+            self.ctx.origin.set_mem_range(addr, n, origin);
+            self.t_prov_bytes += n;
         }
         Ok(())
     }
@@ -2337,6 +2546,10 @@ impl<'c> Machine<'c> {
             let t = self.ctx.taint.reg(src);
             self.ctx.taint.set_reg(dst, t);
         }
+        if self.prov_on {
+            let s = self.ctx.origin.reg(src);
+            self.ctx.origin.set_reg(dst, s);
+        }
     }
 
     #[inline]
@@ -2344,6 +2557,9 @@ impl<'c> Machine<'c> {
         self.cpu.set(dst, imm as u64);
         if self.dift_on {
             self.ctx.taint.set_reg(dst, Tag::CLEAN);
+        }
+        if self.prov_on {
+            self.ctx.origin.set_reg(dst, OriginSpan::NONE);
         }
     }
 
@@ -2381,10 +2597,13 @@ impl<'c> Machine<'c> {
             // load after the squash.
             return Ok(true);
         }
-        let (v, t) = self.do_load(mem, size, sext, pc)?;
+        let (v, t, o) = self.do_load(mem, size, sext, pc)?;
         self.cpu.set(dst, v);
         if self.dift_on {
             self.ctx.taint.set_reg(dst, t);
+        }
+        if self.prov_on {
+            self.ctx.origin.set_reg(dst, o);
         }
         Ok(false)
     }
@@ -2491,7 +2710,12 @@ impl<'c> Machine<'c> {
         } else {
             Tag::CLEAN
         };
-        self.do_store(mem, size, self.cpu.get(src), tag, pc)
+        let origin = if self.prov_on {
+            self.ctx.origin.reg(src)
+        } else {
+            OriginSpan::NONE
+        };
+        self.do_store(mem, size, self.cpu.get(src), tag, origin, pc)
     }
 
     #[inline]
@@ -2502,7 +2726,21 @@ impl<'c> Machine<'c> {
         } else {
             Tag::CLEAN
         };
-        self.store_at(sp, AccessSize::B8, self.cpu.get(src), tag, Tag::CLEAN, pc)?;
+        let origin = if self.prov_on {
+            self.ctx.origin.reg(src)
+        } else {
+            OriginSpan::NONE
+        };
+        self.store_at(
+            sp,
+            AccessSize::B8,
+            self.cpu.get(src),
+            tag,
+            Tag::CLEAN,
+            pc,
+            origin,
+            OriginSpan::NONE,
+        )?;
         self.cpu.set(Reg::SP, sp);
         Ok(())
     }
@@ -2537,6 +2775,11 @@ impl<'c> Machine<'c> {
             let t = self.ctx.taint.mem_range_tag(sp, 8);
             self.ctx.taint.set_reg(dst, t);
         }
+        if self.prov_on {
+            self.t_prov_folds += 1;
+            let o = self.ctx.origin.mem_range(sp, 8);
+            self.ctx.origin.set_reg(dst, o);
+        }
         self.cpu.set(dst, v);
         self.cpu.set(Reg::SP, sp.wrapping_add(8));
         Ok(())
@@ -2562,6 +2805,15 @@ impl<'c> Machine<'c> {
             };
             self.ctx.taint.set_reg(dst, t);
             self.ctx.taint.flags = t;
+            if self.prov_on {
+                let s = if zeroing {
+                    OriginSpan::NONE
+                } else {
+                    self.ctx.origin.reg(dst).join(self.operand_origin(&src))
+                };
+                self.ctx.origin.set_reg(dst, s);
+                self.ctx.origin.flags = s;
+            }
         }
         Ok(())
     }
@@ -2571,6 +2823,9 @@ impl<'c> Machine<'c> {
         self.cpu.flags = cmp_flags(self.cpu.get(lhs), self.operand(&rhs));
         if self.dift_on {
             self.ctx.taint.flags = self.ctx.taint.reg(lhs) | self.operand_tag(&rhs);
+            if self.prov_on {
+                self.ctx.origin.flags = self.ctx.origin.reg(lhs).join(self.operand_origin(&rhs));
+            }
         }
     }
 
@@ -2583,11 +2838,13 @@ impl<'c> Machine<'c> {
             && self.ctx.taint.flags.is_secret()
         {
             let t = self.ctx.taint.flags;
+            let o = self.ctx.origin.flags;
             self.report(
                 Channel::Port,
                 t,
                 pc,
                 "secret influences a conditional branch",
+                o,
             );
         }
         let mut taken = self.cpu.flags.eval(cc);
@@ -2608,7 +2865,14 @@ impl<'c> Machine<'c> {
         size: AccessSize,
         pc: u64,
     ) -> Result<(), Fault> {
-        self.do_store(mem, size, imm as i64 as u64, Tag::CLEAN, pc)
+        self.do_store(
+            mem,
+            size,
+            imm as i64 as u64,
+            Tag::CLEAN,
+            OriginSpan::NONE,
+            pc,
+        )
     }
 
     #[inline]
@@ -2619,6 +2883,10 @@ impl<'c> Machine<'c> {
             let t = self.ea_tag(mem);
             self.ctx.taint.set_reg(dst, t);
         }
+        if self.prov_on {
+            let s = self.ea_origin(mem);
+            self.ctx.origin.set_reg(dst, s);
+        }
     }
 
     #[inline]
@@ -2626,6 +2894,9 @@ impl<'c> Machine<'c> {
         self.cpu.flags = test_flags(self.cpu.get(lhs), self.operand(&rhs));
         if self.dift_on {
             self.ctx.taint.flags = self.ctx.taint.reg(lhs) | self.operand_tag(&rhs);
+            if self.prov_on {
+                self.ctx.origin.flags = self.ctx.origin.reg(lhs).join(self.operand_origin(&rhs));
+            }
         }
     }
 
@@ -2636,6 +2907,10 @@ impl<'c> Machine<'c> {
         if self.dift_on {
             let t = self.ctx.taint.flags;
             self.ctx.taint.set_reg(dst, t);
+        }
+        if self.prov_on {
+            let s = self.ctx.origin.flags;
+            self.ctx.origin.set_reg(dst, s);
         }
     }
 
@@ -2776,6 +3051,9 @@ impl<'c> Machine<'c> {
                 if self.dift_on {
                     self.ctx.taint.flags = self.ctx.taint.reg(dst);
                 }
+                if self.prov_on {
+                    self.ctx.origin.flags = self.ctx.origin.reg(dst);
+                }
             }
             Inst::Not { dst } => {
                 let v = !self.cpu.get(dst);
@@ -2793,13 +3071,26 @@ impl<'c> Machine<'c> {
                         let t = self.ctx.taint.reg(src) | self.ctx.taint.flags;
                         self.ctx.taint.set_reg(dst, t);
                     }
+                    if self.prov_on {
+                        let s = self.ctx.origin.reg(src).join(self.ctx.origin.flags);
+                        self.ctx.origin.set_reg(dst, s);
+                    }
                 }
             }
             Inst::Jmp { target } => self.cpu.pc = target,
             Inst::Jcc { cc, target } => self.exec_jcc(cc, target, pc),
             Inst::Call { target } => {
                 let sp = self.cpu.get(Reg::SP).wrapping_sub(8);
-                self.store_at(sp, AccessSize::B8, next_pc, Tag::CLEAN, Tag::CLEAN, pc)?;
+                self.store_at(
+                    sp,
+                    AccessSize::B8,
+                    next_pc,
+                    Tag::CLEAN,
+                    Tag::CLEAN,
+                    pc,
+                    OriginSpan::NONE,
+                    OriginSpan::NONE,
+                )?;
                 self.cpu.set(Reg::SP, sp);
                 if self.asan_on && !self.in_sim() {
                     self.ctx.asan.poison_ret_slot(sp);
@@ -2812,7 +3103,16 @@ impl<'c> Machine<'c> {
             Inst::CallInd { target } => {
                 let t = self.cpu.get(target);
                 let sp = self.cpu.get(Reg::SP).wrapping_sub(8);
-                self.store_at(sp, AccessSize::B8, next_pc, Tag::CLEAN, Tag::CLEAN, pc)?;
+                self.store_at(
+                    sp,
+                    AccessSize::B8,
+                    next_pc,
+                    Tag::CLEAN,
+                    Tag::CLEAN,
+                    pc,
+                    OriginSpan::NONE,
+                    OriginSpan::NONE,
+                )?;
                 self.cpu.set(Reg::SP, sp);
                 if self.asan_on && !self.in_sim() {
                     self.ctx.asan.poison_ret_slot(sp);
@@ -2940,6 +3240,8 @@ impl<'c> Machine<'c> {
                             Tag::CLEAN,
                             Tag::CLEAN,
                             _pc,
+                            OriginSpan::NONE,
+                            OriginSpan::NONE,
                         )?;
                     }
                     IndKind::Call(r) | IndKind::Jmp(r) => {
@@ -2972,11 +3274,22 @@ impl<'c> Machine<'c> {
                 }
                 if self.dift_on && self.opts.config.taint_input_sources && n > 0 {
                     self.ctx.taint.set_mem_range(buf, n as u64, Tag::USER);
+                    if self.prov_on {
+                        // Provenance ground truth: guest byte `buf + i`
+                        // originates from input offset `input_pos + i`.
+                        self.ctx
+                            .origin
+                            .set_input_range(buf, n as u64, self.input_pos);
+                        self.t_prov_bytes += n as u64;
+                    }
                 }
                 self.input_pos += n;
                 self.cpu.set(Reg::R0, n as u64);
                 if self.dift_on {
                     self.ctx.taint.set_reg(Reg::R0, Tag::CLEAN);
+                }
+                if self.prov_on {
+                    self.ctx.origin.set_reg(Reg::R0, OriginSpan::NONE);
                 }
             }
             sys::INPUT_SIZE => {
@@ -3009,6 +3322,9 @@ impl<'c> Machine<'c> {
                 if self.dift_on {
                     self.ctx.taint.set_reg(Reg::R0, Tag::CLEAN);
                 }
+                if self.prov_on {
+                    self.ctx.origin.set_reg(Reg::R0, OriginSpan::NONE);
+                }
             }
             sys::FREE => {
                 let base = self.cpu.get(Reg::R1);
@@ -3025,6 +3341,9 @@ impl<'c> Machine<'c> {
                 let buf = self.cpu.get(Reg::R1);
                 let len = self.cpu.get(Reg::R2);
                 if self.dift_on {
+                    // No origin-shadow write: `mark_user` taint is not
+                    // input-derived, so it contributes no input-byte
+                    // provenance (see the taint-module header).
                     self.ctx.taint.union_mem_range(buf, len, Tag::USER);
                 }
             }

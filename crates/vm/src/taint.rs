@@ -14,9 +14,27 @@
 //! clean (`Tag::CLEAN`) range store over absent shadow pages allocates
 //! nothing: a zeroed page reads exactly like an absent one, and most
 //! stores move untainted data.
+//!
+//! # Origin shadow (taint provenance)
+//!
+//! Beside the tag shadow sits an *opt-in* byte-granular **origin
+//! shadow** ([`OriginEngine`]) answering the follow-up question a tag
+//! cannot: *which input bytes* sourced a tainted value. Each data byte
+//! maps to an inclusive interval of input-byte offsets, stored as two
+//! shadow bytes (interval lo / hi) in the [`OriginSpan`] encoding —
+//! `offset + 1` per bound, `0` = no origin, saturating at offset 254,
+//! so the zero-default slab semantics ("absent page reads as none")
+//! carry over unchanged. Register origins are per-register interval
+//! folds, like register tags. Origins propagate along exactly the same
+//! flows as tags (`tag.prop`/`tag.blockprop` semantics), join being
+//! interval union; the taint source `read_input` writes exact per-byte
+//! offsets, `mark_user` contributes no origin (its taint is not
+//! input-derived). The engine is enabled only on triage provenance
+//! replays — the campaign hot path and the compiled dispatch tier never
+//! touch it, keeping the zero-perturbation invariant intact.
 
 use crate::slab::ShadowMem;
-use teapot_rt::Tag;
+use teapot_rt::{OriginSpan, Tag};
 
 /// Sparse byte-tag shadow plus register/FLAGS tags.
 #[derive(Clone, Default)]
@@ -121,6 +139,122 @@ impl TaintEngine {
     }
 }
 
+/// Byte-granular input-origin shadow plus register/FLAGS origin folds —
+/// the provenance twin of [`TaintEngine`] (see the module header for
+/// the encoding). Two slabs hold the interval bounds per data byte;
+/// both inherit the zero-default semantics, so an untouched engine
+/// costs no shadow pages.
+#[derive(Clone, Default)]
+pub struct OriginEngine {
+    lo: ShadowMem,
+    hi: ShadowMem,
+    /// Per-register origin folds.
+    pub regs: [OriginSpan; 16],
+    /// Origin fold of the operands of the last FLAGS-writing
+    /// instruction.
+    pub flags: OriginSpan,
+}
+
+impl std::fmt::Debug for OriginEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OriginEngine")
+            .field("origin_pages", &(self.lo.num_pages() + self.hi.num_pages()))
+            .finish()
+    }
+}
+
+impl OriginEngine {
+    /// Creates an engine with no recorded origins.
+    pub fn new() -> OriginEngine {
+        OriginEngine::default()
+    }
+
+    /// Join of the origin spans of `[addr, addr+len)`. Access-sized
+    /// ranges only (a per-byte walk; the VM folds at most 8 bytes).
+    #[inline]
+    pub fn mem_range(&self, addr: u64, len: u64) -> OriginSpan {
+        let mut s = OriginSpan::NONE;
+        for i in 0..len {
+            let a = addr.wrapping_add(i);
+            s = s.join(OriginSpan::from_raw(self.lo.get(a), self.hi.get(a)));
+        }
+        s
+    }
+
+    /// Sets every byte of `[addr, addr+len)` to `span`, ignoring
+    /// previous origins (mirrors [`TaintEngine::set_mem_range`]).
+    #[inline]
+    pub fn set_mem_range(&mut self, addr: u64, len: u64, span: OriginSpan) {
+        let (lo, hi) = span.raw();
+        self.lo.fill(addr, len, lo);
+        self.hi.fill(addr, len, hi);
+    }
+
+    /// Taint-source write: byte `addr + i` originates from exactly
+    /// input offset `base_offset + i` (the `read_input` contract).
+    pub fn set_input_range(&mut self, addr: u64, len: u64, base_offset: usize) {
+        for i in 0..len {
+            let (lo, hi) = OriginSpan::from_offset(base_offset + i as usize).raw();
+            let a = addr.wrapping_add(i);
+            self.lo.set(a, lo);
+            self.hi.set(a, hi);
+        }
+    }
+
+    /// Copies the raw origin bytes of `[addr, addr+out.len())` into the
+    /// two bound buffers — the bulk read behind memory-log capture and
+    /// store-buffer recording on provenance replays.
+    #[inline]
+    pub(crate) fn read_raw(&self, addr: u64, out_lo: &mut [u8], out_hi: &mut [u8]) {
+        self.lo.read_into(addr, out_lo);
+        self.hi.read_into(addr, out_hi);
+    }
+
+    /// Writes raw origin bytes at `addr` — the bulk restore behind
+    /// rollback replay. All-zero chunks skip absent pages.
+    #[inline]
+    pub(crate) fn write_raw(&mut self, addr: u64, lo: &[u8], hi: &[u8]) {
+        self.lo.write_from(addr, lo);
+        self.hi.write_from(addr, hi);
+    }
+
+    /// Join of the raw-encoded spans of `bytes_lo`/`bytes_hi` (a
+    /// store-buffer stale-origin fold).
+    pub(crate) fn fold_raw(bytes_lo: &[u8], bytes_hi: &[u8]) -> OriginSpan {
+        let mut s = OriginSpan::NONE;
+        for (&l, &h) in bytes_lo.iter().zip(bytes_hi) {
+            s = s.join(OriginSpan::from_raw(l, h));
+        }
+        s
+    }
+
+    /// Register origin accessor.
+    #[inline]
+    pub fn reg(&self, r: teapot_isa::Reg) -> OriginSpan {
+        self.regs[r.index()]
+    }
+
+    /// Register origin setter.
+    #[inline]
+    pub fn set_reg(&mut self, r: teapot_isa::Reg, s: OriginSpan) {
+        self.regs[r.index()] = s;
+    }
+
+    /// Clears all register and FLAGS origins (memory origins persist).
+    pub fn clear_regs(&mut self) {
+        self.regs = [OriginSpan::NONE; 16];
+        self.flags = OriginSpan::NONE;
+    }
+
+    /// Makes the engine observably identical to a fresh one while
+    /// keeping shadow-page allocations (see [`TaintEngine::reset`]).
+    pub fn reset(&mut self) {
+        self.lo.reset();
+        self.hi.reset();
+        self.clear_regs();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +337,56 @@ mod tests {
         assert_eq!(t.mem_tag(PAGE - 1), Tag::USER);
         assert_eq!(t.mem_tag(PAGE), Tag::USER);
         assert_eq!(t.mem_tag(PAGE + 2), Tag::CLEAN);
+    }
+
+    #[test]
+    fn origin_default_none_and_input_source() {
+        let mut o = OriginEngine::new();
+        assert_eq!(o.mem_range(0x4000, 8), OriginSpan::NONE);
+        // read_input contract: byte addr+i comes from offset base+i.
+        o.set_input_range(0x4000, 4, 2);
+        assert_eq!(o.mem_range(0x4000, 1).offsets(), Some((2, 2)));
+        assert_eq!(o.mem_range(0x4003, 1).offsets(), Some((5, 5)));
+        assert_eq!(o.mem_range(0x4000, 4).offsets(), Some((2, 5)));
+        // Fold over a partially-sourced range joins only what's there.
+        assert_eq!(o.mem_range(0x3ffe, 4).offsets(), Some((2, 3)));
+    }
+
+    #[test]
+    fn origin_range_set_and_clear() {
+        let mut o = OriginEngine::new();
+        let s = OriginSpan::from_offset(0).join(OriginSpan::from_offset(3));
+        o.set_mem_range(0x100, 8, s);
+        assert_eq!(o.mem_range(0x100, 8), s);
+        o.set_mem_range(0x100, 8, OriginSpan::NONE);
+        assert_eq!(o.mem_range(0x100, 8), OriginSpan::NONE);
+        // A none-span store over absent pages allocates nothing.
+        let fresh = OriginEngine::new();
+        assert_eq!(format!("{fresh:?}"), "OriginEngine { origin_pages: 0 }");
+    }
+
+    #[test]
+    fn origin_raw_round_trip() {
+        let mut o = OriginEngine::new();
+        o.set_input_range(PAGE - 2, 4, 0);
+        let (mut lo, mut hi) = ([0u8; 4], [0u8; 4]);
+        o.read_raw(PAGE - 2, &mut lo, &mut hi);
+        assert_eq!(OriginEngine::fold_raw(&lo, &hi).offsets(), Some((0, 3)));
+        // Restore zeros: reads like untouched shadow again.
+        o.write_raw(PAGE - 2, &[0; 4], &[0; 4]);
+        assert_eq!(o.mem_range(PAGE - 8, 16), OriginSpan::NONE);
+    }
+
+    #[test]
+    fn origin_registers_and_reset() {
+        let mut o = OriginEngine::new();
+        o.set_reg(Reg::R2, OriginSpan::from_offset(7));
+        o.flags = OriginSpan::from_offset(1);
+        assert_eq!(o.reg(Reg::R2).offsets(), Some((7, 7)));
+        o.set_input_range(64, 2, 0);
+        o.reset();
+        assert_eq!(o.reg(Reg::R2), OriginSpan::NONE);
+        assert_eq!(o.flags, OriginSpan::NONE);
+        assert_eq!(o.mem_range(64, 2), OriginSpan::NONE);
     }
 }

@@ -10,6 +10,12 @@
 //! serialization, ordering, detection behavior, heuristic accounting —
 //! fails here.
 //!
+//! Re-baselined when SARIF grew an unconditional `codeFlows` block per
+//! result (the provenance PR): the regenerated fixtures carry the same
+//! finding sets — identical minimized inputs, severities, location PCs
+//! and summary counts — with only the renormalized root-cause keys (and
+//! their severity-tie ordering) plus the new codeFlows differing.
+//!
 //! One intentional exception: this PR also renormalizes the triage
 //! root-cause key (data operands become `section+offset` so relocated
 //! globals dedup across binaries, and synthetic `fun_<addr>` symbol
@@ -80,6 +86,7 @@ fn pipeline_output(w: &Workload) -> String {
     let opts = TriageOptions {
         minimize: true,
         max_minimize_steps: 64,
+        provenance: false,
     };
     let (db, _stats) = triage_report(&format!("{}.tof", w.name), &bin, &cfg, &report, &opts);
     format!(

@@ -1,0 +1,51 @@
+//! Fabric fleet benchmark: execs/sec of a loopback coordinator/worker
+//! fleet vs. fleet size on the jsmn workload, plus the wire economy of
+//! the epoch-delta protocol (delta bytes/epoch vs. what full shard
+//! snapshots would cost). Writes `BENCH_fabric.json`.
+//!
+//! `--smoke` runs a short configuration (single-host baseline + fleets
+//! of 1 and 2, 2 epochs) for CI: it exercises the full fabric pipeline
+//! — leasing, phase-0 deltas, barrier broadcast, phase-1 deltas,
+//! in-order merge — and fails loudly if any fleet's merged report
+//! diverges from the single-host report **or** throughput falls below a
+//! floor (`TEAPOT_SMOKE_MIN_FLEET_EPS`, default 100 execs/sec; lower
+//! than the campaign floor because the fleet adds wire serialization
+//! and loopback round-trips on a tiny workload). The smoke run does not
+//! overwrite `BENCH_fabric.json`.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let w = teapot_workloads::jsmn_like();
+    if smoke {
+        println!("Fabric smoke: 8 shards, 2 epochs, single host vs fleets of 1 and 2");
+        let result = teapot_bench::fabric::run_scaled(&w, &[1, 2], 2, 25);
+        println!("{}", teapot_bench::fabric::render(&result));
+        let slowest = result
+            .rows
+            .iter()
+            .map(|r| r.execs_per_sec)
+            .fold(f64::INFINITY, f64::min);
+        let floor: f64 = std::env::var("TEAPOT_SMOKE_MIN_FLEET_EPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100.0);
+        if slowest < floor {
+            eprintln!(
+                "smoke FAILED: slowest row {slowest:.0} execs/sec is below the \
+                 {floor:.0} execs/sec floor (override with TEAPOT_SMOKE_MIN_FLEET_EPS)"
+            );
+            std::process::exit(1);
+        }
+        println!("smoke ok: slowest row {slowest:.0} execs/sec (floor {floor:.0})");
+        return;
+    }
+    println!("Fabric fleet throughput: 8 shards, execs/sec vs fleet size");
+    println!("(every fleet row computes the identical merged gadget report —");
+    println!(" the coordinator merges epoch deltas in shard-index order, so");
+    println!(" the fleet is an execution detail; delta B/epoch vs snapshot");
+    println!(" B/epoch is what the delta protocol saves on the wire)\n");
+    let result = teapot_bench::fabric::run_scaled(&w, &[1, 2, 4], 3, 50);
+    println!("{}", teapot_bench::fabric::render(&result));
+    let json = teapot_bench::fabric::render_json(&result);
+    std::fs::write("BENCH_fabric.json", &json).expect("write BENCH_fabric.json");
+    println!("\nwrote BENCH_fabric.json");
+}

@@ -8,6 +8,7 @@
 //! | [`table3`] | Table 3 (artificial-gadget detection) |
 //! | [`table4`] | Table 4 (vanilla-binary gadget counts) |
 //! | [`campaign`] | Campaign scaling (execs/sec vs worker count; not in the paper) |
+//! | [`fabric`] | Fleet scaling + wire economy (execs/sec vs fleet size, delta vs snapshot bytes; not in the paper) |
 //! | [`triage`] | Triage throughput (witness replays/sec, minimization work; not in the paper) |
 //!
 //! Absolute numbers differ from the paper (the substrate is a simulator
@@ -21,6 +22,7 @@ use teapot_vm::{Machine, RunOptions, SpecHeuristics};
 use teapot_workloads::Workload;
 
 pub mod campaign;
+pub mod fabric;
 pub mod fig2;
 pub mod runtime;
 pub mod table3;

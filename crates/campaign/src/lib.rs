@@ -53,7 +53,7 @@ pub use snapshot::{CampaignSnapshot, SnapshotError};
 /// `shards`, `seed`, `epochs` and `iters_per_epoch` define *what* the
 /// campaign computes; `workers` only defines how many OS threads execute
 /// it and never influences results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
     /// Base RNG seed; shard `i` fuzzes with `seed ^ i`.
     pub seed: u64,
@@ -86,6 +86,19 @@ pub struct CampaignConfig {
     /// [`FuzzConfig::capture_witnesses`]). On by default; `teapot-triage`
     /// requires them for deterministic replay and minimization.
     pub capture_witnesses: bool,
+    /// Adaptive shard budgets: at each epoch barrier, steal half the
+    /// iteration budget of every *plateaued* shard (no new coverage
+    /// feature last epoch) and redistribute it evenly across the shards
+    /// still discovering. Decided purely from merged coverage counts at
+    /// the barrier, so it is part of *what* the campaign computes
+    /// (snapshotted in `.tcs` v5) and identical across worker counts and
+    /// fleet layouts. Off by default.
+    pub adaptive_budgets: bool,
+    /// Coverage-subsumption corpus minimization at each epoch barrier
+    /// (after the cross-shard exchange): greedily drop corpus entries
+    /// whose coverage is subsumed by earlier entries. Deterministic and
+    /// snapshotted like `adaptive_budgets`. Off by default.
+    pub corpus_minimize: bool,
 }
 
 impl Default for CampaignConfig {
@@ -105,6 +118,8 @@ impl Default for CampaignConfig {
             models: f.models,
             dictionary: f.dictionary,
             capture_witnesses: f.capture_witnesses,
+            adaptive_budgets: false,
+            corpus_minimize: false,
         }
     }
 }
@@ -167,6 +182,12 @@ pub enum CampaignError {
     ZeroShards,
     /// `epochs` was zero.
     ZeroEpochs,
+    /// An *explicit* `--workers 0` (config `workers == 0` means auto,
+    /// but a user asking for zero worker threads is asking for nothing
+    /// to run).
+    ZeroWorkers,
+    /// An explicit `--fleet 0`: a fleet with no workers cannot run.
+    ZeroFleet,
     /// A per-shard fuzzer configuration was invalid.
     Fuzz(ConfigError),
     /// Snapshot (de)serialization failed.
@@ -180,6 +201,14 @@ pub enum CampaignError {
         /// Parse or rewrite error text.
         reason: String,
     },
+    /// A `.tcs` snapshot file failed to read or parse — names the file
+    /// so "truncated at byte N" points somewhere actionable.
+    SnapshotFile {
+        /// Path of the offending snapshot.
+        path: String,
+        /// Read or parse error text.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -191,10 +220,19 @@ impl std::fmt::Display for CampaignError {
             CampaignError::ZeroEpochs => {
                 write!(f, "epochs must be > 0 (campaign would be empty)")
             }
+            CampaignError::ZeroWorkers => {
+                write!(f, "workers must be > 0 (omit --workers to use one per CPU)")
+            }
+            CampaignError::ZeroFleet => {
+                write!(f, "fleet size must be > 0 (a fleet needs workers)")
+            }
             CampaignError::Fuzz(e) => write!(f, "fuzzer config: {e}"),
             CampaignError::Snapshot(e) => write!(f, "snapshot: {e}"),
             CampaignError::Io(e) => write!(f, "i/o: {e}"),
             CampaignError::Binary { path, reason } => {
+                write!(f, "{path}: {reason}")
+            }
+            CampaignError::SnapshotFile { path, reason } => {
                 write!(f, "{path}: {reason}")
             }
         }
@@ -326,6 +364,12 @@ pub struct Campaign {
     /// Per-shard `(execs, timeline entries)` watermarks from the last
     /// emitted epoch, for delta events.
     emitted: Vec<(u64, usize)>,
+    /// Per-shard coverage-feature counts observed at the start of the
+    /// last epoch, the reference point [`adaptive_budgets`] diffs
+    /// against. Part of campaign state (snapshotted in `.tcs` v5): a
+    /// resumed campaign must hand out the same budgets as an
+    /// uninterrupted one. Empty until the first epoch runs.
+    prev_features: Vec<u64>,
 }
 
 impl Campaign {
@@ -344,6 +388,7 @@ impl Campaign {
             metrics: None,
             heartbeat: false,
             emitted: Vec::new(),
+            prev_features: Vec::new(),
         })
     }
 
@@ -382,6 +427,7 @@ impl Campaign {
             metrics: None,
             heartbeat: false,
             emitted: Vec::new(),
+            prev_features: snap.prev_features.clone(),
         })
     }
 
@@ -434,7 +480,28 @@ impl Campaign {
         let seed_now = !self.seeded;
         self.seeded = true;
         let iters = self.cfg.iters_per_epoch;
+        let minimize = self.cfg.corpus_minimize;
         let ranges = partition(self.shards.len(), self.cfg.effective_workers());
+
+        // Per-shard iteration budgets: uniform, unless adaptive budgets
+        // diff each shard's coverage-feature count against the start of
+        // the previous epoch. Both inputs are merged barrier state, so
+        // the budgets are identical for every worker count and fleet
+        // layout — the fabric coordinator computes the same vector from
+        // its boundary snapshots.
+        let curr: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| (s.cov_normal().count_nonzero() + s.cov_spec().count_nonzero()) as u64)
+            .collect();
+        let budgets: Vec<u64> =
+            if self.cfg.adaptive_budgets && self.prev_features.len() == self.shards.len() {
+                adaptive_budgets(iters, &self.prev_features, &curr)
+            } else {
+                vec![iters; self.shards.len()]
+            };
+        self.prev_features = curr;
+        let budgets = &budgets;
 
         // Phase 1 — fuzz. Shards are partitioned into contiguous chunks;
         // each thread drives its chunk sequentially. The partition is an
@@ -444,13 +511,14 @@ impl Campaign {
             for r in &ranges {
                 let (shard_chunk, tail) = rest.split_at_mut(r.len());
                 rest = tail;
+                let base = r.start;
                 scope.spawn(move || {
-                    for st in shard_chunk {
+                    for (k, st) in shard_chunk.iter_mut().enumerate() {
                         if seed_now {
                             st.seed_corpus_shared(prog, seeds);
                         }
                         st.begin_epoch(epoch);
-                        st.run_iters_shared(prog, iters);
+                        st.run_iters_shared(prog, budgets[base + k]);
                     }
                 });
             }
@@ -490,6 +558,9 @@ impl Campaign {
                                 }
                                 st.import_input_shared(prog, input);
                             }
+                        }
+                        if minimize {
+                            st.minimize_corpus(prog);
                         }
                     }
                 });
@@ -750,14 +821,57 @@ impl Campaign {
             epochs_done: self.epochs_done,
             decode_stats: self.decode_stats,
             shard_states: self.shards.iter().map(|s| s.export_snapshot()).collect(),
+            prev_features: self.prev_features.clone(),
         }
     }
+}
+
+/// Adaptive shard budgets: shards whose coverage-feature count did not
+/// grow last epoch ("plateaued") give up half of the base budget; the
+/// pooled iterations are split evenly over the still-advancing shards
+/// (remainder to the lowest-indexed ones). The total budget is conserved
+/// and the result is a pure function of the two feature vectors, so
+/// every host computes the same split. All-plateaued (or all-advancing)
+/// epochs fall back to uniform budgets.
+pub fn adaptive_budgets(base: u64, prev: &[u64], now: &[u64]) -> Vec<u64> {
+    let n = now.len();
+    if prev.len() != n || n == 0 {
+        return vec![base; n];
+    }
+    let give = base / 2;
+    let plateaued: Vec<bool> = (0..n).map(|i| now[i] <= prev[i]).collect();
+    let stalled = plateaued.iter().filter(|&&p| p).count();
+    let active = n - stalled;
+    if stalled == 0 || active == 0 || give == 0 {
+        return vec![base; n];
+    }
+    let pool = give * stalled as u64;
+    let share = pool / active as u64;
+    let mut rem = pool % active as u64;
+    (0..n)
+        .map(|i| {
+            if plateaued[i] {
+                base - give
+            } else {
+                let extra = share
+                    + if rem > 0 {
+                        rem -= 1;
+                        1
+                    } else {
+                        0
+                    };
+                base + extra
+            }
+        })
+        .collect()
 }
 
 /// Balanced contiguous partition of `shards` over `workers` threads:
 /// exactly `min(workers, shards)` non-empty ranges, the first
 /// `shards % workers` one element longer, covering `0..shards` in order.
-fn partition(shards: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+/// Public because the fabric coordinator leases shards to fleet workers
+/// with the same split (an execution detail either way).
+pub fn partition(shards: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
     let w = workers.clamp(1, shards.max(1));
     let (base, rem) = (shards / w, shards % w);
     let mut ranges = Vec::with_capacity(w);
@@ -839,6 +953,27 @@ mod tests {
             ..CampaignConfig::default()
         };
         assert_eq!(cfg.effective_workers(), 1);
+    }
+
+    #[test]
+    fn adaptive_budgets_conserve_and_rebalance() {
+        // No plateau: uniform.
+        assert_eq!(adaptive_budgets(100, &[1, 1], &[2, 2]), vec![100, 100]);
+        // All plateaued: uniform (nobody to give the pool to).
+        assert_eq!(adaptive_budgets(100, &[2, 2], &[2, 2]), vec![100, 100]);
+        // One of three plateaued: it gives half, split over the others.
+        let b = adaptive_budgets(100, &[5, 5, 5], &[5, 9, 9]);
+        assert_eq!(b, vec![50, 125, 125]);
+        assert_eq!(b.iter().sum::<u64>(), 300);
+        let b = adaptive_budgets(101, &[5, 5, 5], &[5, 9, 9]);
+        assert_eq!(b, vec![51, 126, 126]);
+        assert_eq!(b.iter().sum::<u64>(), 303);
+        // Uneven pool: the remainder lands on the lowest-indexed active.
+        let b = adaptive_budgets(10, &[1, 1, 1, 1], &[1, 5, 5, 5]);
+        assert_eq!(b.iter().sum::<u64>(), 40);
+        assert_eq!(b, vec![5, 12, 12, 11]);
+        // Missing history: uniform.
+        assert_eq!(adaptive_budgets(100, &[], &[1, 2]), vec![100, 100]);
     }
 
     #[test]

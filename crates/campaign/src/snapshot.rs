@@ -22,6 +22,7 @@
 //!         · max_input_len u64 · fuel_per_run u64
 //!         · detector (6 fields) · emu u8 · heur_style u8
 //!         · capture_witnesses u8 · spec_models u8 (v3)
+//!         · adaptive_budgets u8 · corpus_minimize u8 (v5)
 //!         · dictionary (len-prefixed token list)
 //! u32     shard count, then per shard:
 //!         corpus    u32 count · { bytes input · u64 score }
@@ -42,16 +43,26 @@
 //!                       3: u64 pc · u32 depth · u8 model · u8 tag
 //!                          · u8 origin lo · u8 origin hi (v4, leak site) } }
 //!         u64 iters · u64 total_cost · u64 crashes · u32 epoch
+//! budget  u32 count · { u64 features } (v5: per-shard coverage-feature
+//!         counts at the start of the last epoch, the adaptive-budget
+//!         reference point)
 //! ```
 //!
 //! where `bytes` is a `u32` length followed by that many raw bytes.
+//!
+//! The [`Writer`]/[`Reader`] primitives and the per-record codecs
+//! ([`write_shard_state`], [`read_shard_state`], [`write_config`],
+//! [`read_config`], [`encode_delta`], [`decode_delta`]) are public: the
+//! `teapot-fabric` wire protocol speaks the same vocabulary, so a leased
+//! shard state or an epoch delta on the wire is bit-compatible with what
+//! a `.tcs` file stores.
 
 use crate::CampaignConfig;
 use teapot_fuzz::StateSnapshot;
 use teapot_obj::Binary;
 use teapot_rt::{
-    Channel, Controllability, DetectorConfig, GadgetKey, GadgetReport, GadgetWitness, OriginSpan,
-    SpecModel, SpecModelSet, TraceEvent,
+    Channel, Controllability, CovDelta, DetectorConfig, GadgetKey, GadgetReport, GadgetWitness,
+    OriginSpan, ShardDelta, SpecModel, SpecModelSet, TraceEvent,
 };
 use teapot_vm::{DecodeStats, EmuStyle, HeurStyle};
 
@@ -68,7 +79,11 @@ pub const MAGIC: &[u8; 4] = b"TCS1";
 /// and the leak-site event (kind 3); v≤3 files load with empty origins
 /// and no leak sites — exactly what campaign-captured traces contain
 /// anyway, since the origin shadow only runs on triage replays.
-pub const VERSION: u32 = 4;
+/// Version 5 added the `adaptive_budgets`/`corpus_minimize` config
+/// flags and the trailing per-shard budget-feature counts; v≤4 files
+/// load with both flags off and empty counts (those campaigns never
+/// rebalanced, so resuming them unchanged is exact).
+pub const VERSION: u32 = 5;
 
 /// A deserialized campaign snapshot.
 #[derive(Debug, Clone)]
@@ -87,6 +102,12 @@ pub struct CampaignSnapshot {
     pub decode_stats: DecodeStats,
     /// One state per shard, in shard-index order.
     pub shard_states: Vec<StateSnapshot>,
+    /// Per-shard coverage-feature counts at the start of the last epoch
+    /// (empty before the first epoch, or in v≤4 files) — what
+    /// [`adaptive_budgets`](crate::adaptive_budgets) diffs against, so a
+    /// resumed campaign hands out the same budgets as an uninterrupted
+    /// one.
+    pub prev_features: Vec<u64>,
 }
 
 /// Why a snapshot failed to load.
@@ -98,6 +119,14 @@ pub enum SnapshotError {
     BadVersion(u32),
     /// The file ended mid-record or a field was out of range.
     Corrupt(&'static str),
+    /// The file ended before a section was complete: which section the
+    /// parser was in, and the byte offset where the bytes ran out.
+    Truncated {
+        /// The section being parsed when the bytes ran out.
+        section: &'static str,
+        /// Byte offset of the first missing byte.
+        offset: usize,
+    },
     /// The snapshot was taken against a different binary.
     BinaryMismatch {
         /// Fingerprint recorded in the snapshot.
@@ -118,6 +147,13 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::Corrupt(what) => {
                 write!(f, "corrupt snapshot: {what}")
+            }
+            SnapshotError::Truncated { section, offset } => {
+                write!(
+                    f,
+                    "truncated snapshot: file ends inside the {section} \
+                     section at byte offset {offset}"
+                )
             }
             SnapshotError::BinaryMismatch { expected, actual } => write!(
                 f,
@@ -145,25 +181,41 @@ pub fn fingerprint(bin: &Binary) -> u64 {
 // Writer
 // ---------------------------------------------------------------------
 
-struct Writer {
+/// Little-endian record writer — the byte vocabulary of the `.tcs`
+/// format, public so the fabric wire protocol can speak it too.
+#[derive(Default)]
+pub struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    fn u8(&mut self, v: u8) {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+    /// The serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn bytes(&mut self, v: &[u8]) {
+    /// Appends a `u32` length prefix followed by the raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
         self.u32(v.len() as u32);
         self.buf.extend_from_slice(v);
     }
-    fn bool(&mut self, v: bool) {
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
         self.u8(v as u8);
     }
 }
@@ -171,7 +223,7 @@ impl Writer {
 impl CampaignSnapshot {
     /// Serializes the snapshot to `.tcs` bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer { buf: Vec::new() };
+        let mut w = Writer::new();
         w.buf.extend_from_slice(MAGIC);
         w.u32(VERSION);
         w.u64(self.bin_fingerprint);
@@ -180,143 +232,16 @@ impl CampaignSnapshot {
         w.u64(self.decode_stats.insts as u64);
         w.u64(self.decode_stats.bytes as u64);
         w.u64(self.decode_stats.undecoded_bytes as u64);
-
-        let c = &self.config;
-        w.u64(c.seed);
-        w.u32(c.shards);
-        w.u32(c.epochs);
-        w.u64(c.iters_per_epoch);
-        w.u64(c.max_input_len as u64);
-        w.u64(c.fuel_per_run);
-        w.bool(c.detector.taint_input_sources);
-        w.bool(c.detector.massage_policy);
-        w.u32(c.detector.rob_budget);
-        w.u32(c.detector.max_nesting);
-        w.u32(c.detector.full_depth_runs);
-        w.bool(c.detector.artificial_gadget_mode);
-        w.u8(match c.emu {
-            EmuStyle::Native => 0,
-            EmuStyle::SpecTaint => 1,
-        });
-        w.u8(match c.heur_style {
-            HeurStyle::TeapotHybrid => 0,
-            HeurStyle::SpecFuzzGradual => 1,
-            HeurStyle::SpecTaintFive => 2,
-        });
-        w.bool(c.capture_witnesses);
-        w.u8(c.models.bits());
-        w.u32(c.dictionary.len() as u32);
-        for tok in &c.dictionary {
-            w.bytes(tok);
-        }
-
+        write_config(&mut w, &self.config);
         w.u32(self.shard_states.len() as u32);
         for s in &self.shard_states {
-            w.u32(s.corpus.len() as u32);
-            for (input, score) in &s.corpus {
-                w.bytes(input);
-                w.u64(*score);
-            }
-            w.u32(s.heur_counts.len() as u32);
-            for (branch, count) in &s.heur_counts {
-                w.u64(*branch);
-                w.u32(*count);
-            }
-            w.bytes(&s.cov_normal);
-            w.bytes(&s.cov_spec);
-            w.u32(s.gadgets.len() as u32);
-            for g in &s.gadgets {
-                w.u64(g.key.pc);
-                w.u8(match g.key.channel {
-                    Channel::Mds => 0,
-                    Channel::Cache => 1,
-                    Channel::Port => 2,
-                });
-                w.u8(match g.key.controllability {
-                    Controllability::User => 0,
-                    Controllability::Massage => 1,
-                });
-                w.u8(g.key.model.id());
-                w.u64(g.branch_pc);
-                w.u64(g.access_pc);
-                w.u32(g.depth);
-                w.bytes(g.description.as_bytes());
-            }
-            w.u32(s.witnesses.len() as u32);
-            for wit in &s.witnesses {
-                w.u64(wit.key.pc);
-                w.u8(match wit.key.channel {
-                    Channel::Mds => 0,
-                    Channel::Cache => 1,
-                    Channel::Port => 2,
-                });
-                w.u8(match wit.key.controllability {
-                    Controllability::User => 0,
-                    Controllability::Massage => 1,
-                });
-                w.u8(wit.key.model.id());
-                w.bytes(&wit.input);
-                w.u32(wit.heur_counts.len() as u32);
-                for (branch, count) in &wit.heur_counts {
-                    w.u64(*branch);
-                    w.u32(*count);
-                }
-                w.u32(wit.trace.len() as u32);
-                for ev in &wit.trace {
-                    match ev {
-                        TraceEvent::SpecBranch { pc, depth, model } => {
-                            w.u8(0);
-                            w.u64(*pc);
-                            w.u32(*depth);
-                            w.u8(model.id());
-                        }
-                        TraceEvent::TaintedAccess {
-                            pc,
-                            addr,
-                            width,
-                            tag,
-                            origin,
-                        } => {
-                            w.u8(1);
-                            w.u64(*pc);
-                            w.u64(*addr);
-                            w.u8(*width);
-                            w.u8(*tag);
-                            let (lo, hi) = origin.raw();
-                            w.u8(lo);
-                            w.u8(hi);
-                        }
-                        TraceEvent::Rollback { pc, depth, model } => {
-                            w.u8(2);
-                            w.u64(*pc);
-                            w.u32(*depth);
-                            w.u8(model.id());
-                        }
-                        TraceEvent::LeakSite {
-                            pc,
-                            depth,
-                            model,
-                            tag,
-                            origin,
-                        } => {
-                            w.u8(3);
-                            w.u64(*pc);
-                            w.u32(*depth);
-                            w.u8(model.id());
-                            w.u8(*tag);
-                            let (lo, hi) = origin.raw();
-                            w.u8(lo);
-                            w.u8(hi);
-                        }
-                    }
-                }
-            }
-            w.u64(s.iters);
-            w.u64(s.total_cost);
-            w.u64(s.crashes);
-            w.u32(s.epoch);
+            write_shard_state(&mut w, s);
         }
-        w.buf
+        w.u32(self.prev_features.len() as u32);
+        for f in &self.prev_features {
+            w.u64(*f);
+        }
+        w.into_bytes()
     }
 
     /// Parses `.tcs` bytes. Version 1 files (pre-witness) still load:
@@ -324,7 +249,8 @@ impl CampaignSnapshot {
     /// (zero decode stats, witness capture on, no witnesses), so an old
     /// long-running campaign is never stranded by the format bump.
     pub fn from_bytes(bytes: &[u8]) -> Result<CampaignSnapshot, SnapshotError> {
-        let mut r = Reader { bytes, pos: 0 };
+        let mut r = Reader::new(bytes);
+        r.section("header");
         if r.take(4)? != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
@@ -344,213 +270,31 @@ impl CampaignSnapshot {
         } else {
             DecodeStats::default()
         };
-
-        let seed = r.u64()?;
-        let shards = r.u32()?;
-        let epochs = r.u32()?;
-        let iters_per_epoch = r.u64()?;
-        let max_input_len = r.u64()? as usize;
-        let fuel_per_run = r.u64()?;
-        let detector = DetectorConfig {
-            taint_input_sources: r.bool()?,
-            massage_policy: r.bool()?,
-            rob_budget: r.u32()?,
-            max_nesting: r.u32()?,
-            full_depth_runs: r.u32()?,
-            artificial_gadget_mode: r.bool()?,
-        };
-        let emu = match r.u8()? {
-            0 => EmuStyle::Native,
-            1 => EmuStyle::SpecTaint,
-            _ => return Err(SnapshotError::Corrupt("emu style")),
-        };
-        let heur_style = match r.u8()? {
-            0 => HeurStyle::TeapotHybrid,
-            1 => HeurStyle::SpecFuzzGradual,
-            2 => HeurStyle::SpecTaintFive,
-            _ => return Err(SnapshotError::Corrupt("heuristic style")),
-        };
-        let capture_witnesses = if version >= 2 { r.bool()? } else { true };
-        let models = if version >= 3 {
-            SpecModelSet::from_bits(r.u8()?).ok_or(SnapshotError::Corrupt("spec model set"))?
-        } else {
-            // Pre-specmodel snapshots simulated conditional branches only.
-            SpecModelSet::PHT_ONLY
-        };
-        let dict_len = r.u32()? as usize;
-        let mut dictionary = Vec::with_capacity(dict_len.min(1024));
-        for _ in 0..dict_len {
-            dictionary.push(r.bytes()?.to_vec());
-        }
-        let config = CampaignConfig {
-            seed,
-            shards,
-            workers: 0,
-            epochs,
-            iters_per_epoch,
-            max_input_len,
-            fuel_per_run,
-            detector,
-            emu,
-            heur_style,
-            models,
-            dictionary,
-            capture_witnesses,
-        };
-
+        let config = read_config(&mut r, version)?;
+        r.section("shard table");
         let shard_count = r.u32()? as usize;
         let mut shard_states = Vec::with_capacity(shard_count.min(4096));
         for _ in 0..shard_count {
-            let corpus_len = r.u32()? as usize;
-            let mut corpus = Vec::with_capacity(corpus_len.min(65536));
-            for _ in 0..corpus_len {
-                let input = r.bytes()?.to_vec();
-                let score = r.u64()?;
-                corpus.push((input, score));
-            }
-            let heur_len = r.u32()? as usize;
-            let mut heur_counts = Vec::with_capacity(heur_len.min(65536));
-            for _ in 0..heur_len {
-                let branch = r.u64()?;
-                let count = r.u32()?;
-                heur_counts.push((branch, count));
-            }
-            let cov_normal = r.bytes()?.to_vec();
-            let cov_spec = r.bytes()?.to_vec();
-            // A wrong-length map would silently resume as empty coverage
-            // (diverging from the uninterrupted run); reject it here.
-            if cov_normal.len() != teapot_rt::coverage::COV_MAP_SIZE
-                || cov_spec.len() != teapot_rt::coverage::COV_MAP_SIZE
-            {
-                return Err(SnapshotError::Corrupt("coverage map size"));
-            }
-            let gadget_len = r.u32()? as usize;
-            let mut gadgets = Vec::with_capacity(gadget_len.min(65536));
-            for _ in 0..gadget_len {
-                let pc = r.u64()?;
-                let channel = match r.u8()? {
-                    0 => Channel::Mds,
-                    1 => Channel::Cache,
-                    2 => Channel::Port,
-                    _ => return Err(SnapshotError::Corrupt("channel")),
-                };
-                let controllability = match r.u8()? {
-                    0 => Controllability::User,
-                    1 => Controllability::Massage,
-                    _ => return Err(SnapshotError::Corrupt("controllability")),
-                };
-                let model = r.model(version)?;
-                let branch_pc = r.u64()?;
-                let access_pc = r.u64()?;
-                let depth = r.u32()?;
-                let description = String::from_utf8(r.bytes()?.to_vec())
-                    .map_err(|_| SnapshotError::Corrupt("description"))?;
-                gadgets.push(GadgetReport {
-                    key: GadgetKey {
-                        pc,
-                        channel,
-                        controllability,
-                        model,
-                    },
-                    branch_pc,
-                    access_pc,
-                    depth,
-                    description,
-                });
-            }
-            let witness_len = if version >= 2 { r.u32()? as usize } else { 0 };
-            let mut witnesses = Vec::with_capacity(witness_len.min(65536));
-            for _ in 0..witness_len {
-                let pc = r.u64()?;
-                let channel = match r.u8()? {
-                    0 => Channel::Mds,
-                    1 => Channel::Cache,
-                    2 => Channel::Port,
-                    _ => return Err(SnapshotError::Corrupt("witness channel")),
-                };
-                let controllability = match r.u8()? {
-                    0 => Controllability::User,
-                    1 => Controllability::Massage,
-                    _ => return Err(SnapshotError::Corrupt("witness controllability")),
-                };
-                let model = r.model(version)?;
-                let input = r.bytes()?.to_vec();
-                let hc_len = r.u32()? as usize;
-                let mut heur_counts = Vec::with_capacity(hc_len.min(65536));
-                for _ in 0..hc_len {
-                    let branch = r.u64()?;
-                    let count = r.u32()?;
-                    heur_counts.push((branch, count));
-                }
-                let tr_len = r.u32()? as usize;
-                if tr_len > teapot_rt::MAX_TRACE_EVENTS {
-                    return Err(SnapshotError::Corrupt("witness trace length"));
-                }
-                let mut trace = Vec::with_capacity(tr_len);
-                for _ in 0..tr_len {
-                    trace.push(match r.u8()? {
-                        0 => TraceEvent::SpecBranch {
-                            pc: r.u64()?,
-                            depth: r.u32()?,
-                            model: r.model(version)?,
-                        },
-                        1 => TraceEvent::TaintedAccess {
-                            pc: r.u64()?,
-                            addr: r.u64()?,
-                            width: r.u8()?,
-                            tag: r.u8()?,
-                            origin: r.origin(version)?,
-                        },
-                        2 => TraceEvent::Rollback {
-                            pc: r.u64()?,
-                            depth: r.u32()?,
-                            model: r.model(version)?,
-                        },
-                        3 if version >= 4 => TraceEvent::LeakSite {
-                            pc: r.u64()?,
-                            depth: r.u32()?,
-                            model: r.model(version)?,
-                            tag: r.u8()?,
-                            origin: r.origin(version)?,
-                        },
-                        _ => return Err(SnapshotError::Corrupt("trace event kind")),
-                    });
-                }
-                witnesses.push(GadgetWitness {
-                    key: GadgetKey {
-                        pc,
-                        channel,
-                        controllability,
-                        model,
-                    },
-                    input,
-                    heur_counts,
-                    trace,
-                });
-            }
-            let iters = r.u64()?;
-            let total_cost = r.u64()?;
-            let crashes = r.u64()?;
-            let epoch = r.u32()?;
-            shard_states.push(StateSnapshot {
-                corpus,
-                heur_counts,
-                cov_normal,
-                cov_spec,
-                gadgets,
-                witnesses,
-                iters,
-                total_cost,
-                crashes,
-                epoch,
-            });
+            shard_states.push(read_shard_state(&mut r, version)?);
         }
+        let prev_features = if version >= 5 {
+            r.section("budget stats");
+            let n = r.u32()? as usize;
+            let mut v = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                v.push(r.u64()?);
+            }
+            v
+        } else {
+            Vec::new()
+        };
         Ok(CampaignSnapshot {
             config,
             bin_fingerprint,
             epochs_done,
             decode_stats,
             shard_states,
+            prev_features,
         })
     }
 
@@ -559,48 +303,594 @@ impl CampaignSnapshot {
         std::fs::write(path, self.to_bytes())
     }
 
-    /// Reads a snapshot from `path`.
+    /// Reads a snapshot from `path`. Every failure — unreadable file,
+    /// bad magic, truncation — names the file, so "file ends inside the
+    /// corpus section at byte offset N" points somewhere actionable.
     pub fn load(path: &std::path::Path) -> Result<CampaignSnapshot, crate::CampaignError> {
-        let bytes = std::fs::read(path)?;
-        Ok(CampaignSnapshot::from_bytes(&bytes)?)
+        let name = path.display().to_string();
+        let bytes = std::fs::read(path).map_err(|e| crate::CampaignError::SnapshotFile {
+            path: name.clone(),
+            reason: e.to_string(),
+        })?;
+        CampaignSnapshot::from_bytes(&bytes).map_err(|e| crate::CampaignError::SnapshotFile {
+            path: name,
+            reason: e.to_string(),
+        })
     }
+}
+
+// ---------------------------------------------------------------------
+// Record codecs — shared by `.tcs` files and the fabric wire protocol
+// ---------------------------------------------------------------------
+
+/// Writes the campaign configuration body (current [`VERSION`] layout).
+pub fn write_config(w: &mut Writer, c: &CampaignConfig) {
+    w.u64(c.seed);
+    w.u32(c.shards);
+    w.u32(c.epochs);
+    w.u64(c.iters_per_epoch);
+    w.u64(c.max_input_len as u64);
+    w.u64(c.fuel_per_run);
+    w.bool(c.detector.taint_input_sources);
+    w.bool(c.detector.massage_policy);
+    w.u32(c.detector.rob_budget);
+    w.u32(c.detector.max_nesting);
+    w.u32(c.detector.full_depth_runs);
+    w.bool(c.detector.artificial_gadget_mode);
+    w.u8(match c.emu {
+        EmuStyle::Native => 0,
+        EmuStyle::SpecTaint => 1,
+    });
+    w.u8(match c.heur_style {
+        HeurStyle::TeapotHybrid => 0,
+        HeurStyle::SpecFuzzGradual => 1,
+        HeurStyle::SpecTaintFive => 2,
+    });
+    w.bool(c.capture_witnesses);
+    w.u8(c.models.bits());
+    w.bool(c.adaptive_budgets);
+    w.bool(c.corpus_minimize);
+    w.u32(c.dictionary.len() as u32);
+    for tok in &c.dictionary {
+        w.bytes(tok);
+    }
+}
+
+/// Reads a campaign configuration body written at `version` (`workers`
+/// is reset to auto — thread count is an execution detail).
+pub fn read_config(r: &mut Reader, version: u32) -> Result<CampaignConfig, SnapshotError> {
+    r.section("config");
+    let seed = r.u64()?;
+    let shards = r.u32()?;
+    let epochs = r.u32()?;
+    let iters_per_epoch = r.u64()?;
+    let max_input_len = r.u64()? as usize;
+    let fuel_per_run = r.u64()?;
+    let detector = DetectorConfig {
+        taint_input_sources: r.bool()?,
+        massage_policy: r.bool()?,
+        rob_budget: r.u32()?,
+        max_nesting: r.u32()?,
+        full_depth_runs: r.u32()?,
+        artificial_gadget_mode: r.bool()?,
+    };
+    let emu = match r.u8()? {
+        0 => EmuStyle::Native,
+        1 => EmuStyle::SpecTaint,
+        _ => return Err(SnapshotError::Corrupt("emu style")),
+    };
+    let heur_style = match r.u8()? {
+        0 => HeurStyle::TeapotHybrid,
+        1 => HeurStyle::SpecFuzzGradual,
+        2 => HeurStyle::SpecTaintFive,
+        _ => return Err(SnapshotError::Corrupt("heuristic style")),
+    };
+    let capture_witnesses = if version >= 2 { r.bool()? } else { true };
+    let models = if version >= 3 {
+        SpecModelSet::from_bits(r.u8()?).ok_or(SnapshotError::Corrupt("spec model set"))?
+    } else {
+        // Pre-specmodel snapshots simulated conditional branches only.
+        SpecModelSet::PHT_ONLY
+    };
+    let (adaptive_budgets, corpus_minimize) = if version >= 5 {
+        (r.bool()?, r.bool()?)
+    } else {
+        (false, false)
+    };
+    r.section("dictionary");
+    let dict_len = r.u32()? as usize;
+    let mut dictionary = Vec::with_capacity(dict_len.min(1024));
+    for _ in 0..dict_len {
+        dictionary.push(r.bytes()?.to_vec());
+    }
+    Ok(CampaignConfig {
+        seed,
+        shards,
+        workers: 0,
+        epochs,
+        iters_per_epoch,
+        max_input_len,
+        fuel_per_run,
+        detector,
+        emu,
+        heur_style,
+        models,
+        dictionary,
+        capture_witnesses,
+        adaptive_budgets,
+        corpus_minimize,
+    })
+}
+
+fn write_gadget(w: &mut Writer, g: &GadgetReport) {
+    w.u64(g.key.pc);
+    w.u8(match g.key.channel {
+        Channel::Mds => 0,
+        Channel::Cache => 1,
+        Channel::Port => 2,
+    });
+    w.u8(match g.key.controllability {
+        Controllability::User => 0,
+        Controllability::Massage => 1,
+    });
+    w.u8(g.key.model.id());
+    w.u64(g.branch_pc);
+    w.u64(g.access_pc);
+    w.u32(g.depth);
+    w.bytes(g.description.as_bytes());
+}
+
+fn read_gadget(r: &mut Reader, version: u32) -> Result<GadgetReport, SnapshotError> {
+    let pc = r.u64()?;
+    let channel = match r.u8()? {
+        0 => Channel::Mds,
+        1 => Channel::Cache,
+        2 => Channel::Port,
+        _ => return Err(SnapshotError::Corrupt("channel")),
+    };
+    let controllability = match r.u8()? {
+        0 => Controllability::User,
+        1 => Controllability::Massage,
+        _ => return Err(SnapshotError::Corrupt("controllability")),
+    };
+    let model = r.model(version)?;
+    let branch_pc = r.u64()?;
+    let access_pc = r.u64()?;
+    let depth = r.u32()?;
+    let description = String::from_utf8(r.bytes()?.to_vec())
+        .map_err(|_| SnapshotError::Corrupt("description"))?;
+    Ok(GadgetReport {
+        key: GadgetKey {
+            pc,
+            channel,
+            controllability,
+            model,
+        },
+        branch_pc,
+        access_pc,
+        depth,
+        description,
+    })
+}
+
+fn write_witness(w: &mut Writer, wit: &GadgetWitness) {
+    w.u64(wit.key.pc);
+    w.u8(match wit.key.channel {
+        Channel::Mds => 0,
+        Channel::Cache => 1,
+        Channel::Port => 2,
+    });
+    w.u8(match wit.key.controllability {
+        Controllability::User => 0,
+        Controllability::Massage => 1,
+    });
+    w.u8(wit.key.model.id());
+    w.bytes(&wit.input);
+    w.u32(wit.heur_counts.len() as u32);
+    for (branch, count) in &wit.heur_counts {
+        w.u64(*branch);
+        w.u32(*count);
+    }
+    w.u32(wit.trace.len() as u32);
+    for ev in &wit.trace {
+        match ev {
+            TraceEvent::SpecBranch { pc, depth, model } => {
+                w.u8(0);
+                w.u64(*pc);
+                w.u32(*depth);
+                w.u8(model.id());
+            }
+            TraceEvent::TaintedAccess {
+                pc,
+                addr,
+                width,
+                tag,
+                origin,
+            } => {
+                w.u8(1);
+                w.u64(*pc);
+                w.u64(*addr);
+                w.u8(*width);
+                w.u8(*tag);
+                let (lo, hi) = origin.raw();
+                w.u8(lo);
+                w.u8(hi);
+            }
+            TraceEvent::Rollback { pc, depth, model } => {
+                w.u8(2);
+                w.u64(*pc);
+                w.u32(*depth);
+                w.u8(model.id());
+            }
+            TraceEvent::LeakSite {
+                pc,
+                depth,
+                model,
+                tag,
+                origin,
+            } => {
+                w.u8(3);
+                w.u64(*pc);
+                w.u32(*depth);
+                w.u8(model.id());
+                w.u8(*tag);
+                let (lo, hi) = origin.raw();
+                w.u8(lo);
+                w.u8(hi);
+            }
+        }
+    }
+}
+
+fn read_witness(r: &mut Reader, version: u32) -> Result<GadgetWitness, SnapshotError> {
+    let pc = r.u64()?;
+    let channel = match r.u8()? {
+        0 => Channel::Mds,
+        1 => Channel::Cache,
+        2 => Channel::Port,
+        _ => return Err(SnapshotError::Corrupt("witness channel")),
+    };
+    let controllability = match r.u8()? {
+        0 => Controllability::User,
+        1 => Controllability::Massage,
+        _ => return Err(SnapshotError::Corrupt("witness controllability")),
+    };
+    let model = r.model(version)?;
+    let input = r.bytes()?.to_vec();
+    let hc_len = r.u32()? as usize;
+    let mut heur_counts = Vec::with_capacity(hc_len.min(65536));
+    for _ in 0..hc_len {
+        let branch = r.u64()?;
+        let count = r.u32()?;
+        heur_counts.push((branch, count));
+    }
+    let tr_len = r.u32()? as usize;
+    if tr_len > teapot_rt::MAX_TRACE_EVENTS {
+        return Err(SnapshotError::Corrupt("witness trace length"));
+    }
+    let mut trace = Vec::with_capacity(tr_len);
+    for _ in 0..tr_len {
+        trace.push(match r.u8()? {
+            0 => TraceEvent::SpecBranch {
+                pc: r.u64()?,
+                depth: r.u32()?,
+                model: r.model(version)?,
+            },
+            1 => TraceEvent::TaintedAccess {
+                pc: r.u64()?,
+                addr: r.u64()?,
+                width: r.u8()?,
+                tag: r.u8()?,
+                origin: r.origin(version)?,
+            },
+            2 => TraceEvent::Rollback {
+                pc: r.u64()?,
+                depth: r.u32()?,
+                model: r.model(version)?,
+            },
+            3 if version >= 4 => TraceEvent::LeakSite {
+                pc: r.u64()?,
+                depth: r.u32()?,
+                model: r.model(version)?,
+                tag: r.u8()?,
+                origin: r.origin(version)?,
+            },
+            _ => return Err(SnapshotError::Corrupt("trace event kind")),
+        });
+    }
+    Ok(GadgetWitness {
+        key: GadgetKey {
+            pc,
+            channel,
+            controllability,
+            model,
+        },
+        input,
+        heur_counts,
+        trace,
+    })
+}
+
+/// Writes one shard's [`StateSnapshot`] (current [`VERSION`] layout) —
+/// the unit a fabric lease ships to a worker.
+pub fn write_shard_state(w: &mut Writer, s: &StateSnapshot) {
+    w.u32(s.corpus.len() as u32);
+    for (input, score) in &s.corpus {
+        w.bytes(input);
+        w.u64(*score);
+    }
+    w.u32(s.heur_counts.len() as u32);
+    for (branch, count) in &s.heur_counts {
+        w.u64(*branch);
+        w.u32(*count);
+    }
+    w.bytes(&s.cov_normal);
+    w.bytes(&s.cov_spec);
+    w.u32(s.gadgets.len() as u32);
+    for g in &s.gadgets {
+        write_gadget(w, g);
+    }
+    w.u32(s.witnesses.len() as u32);
+    for wit in &s.witnesses {
+        write_witness(w, wit);
+    }
+    w.u64(s.iters);
+    w.u64(s.total_cost);
+    w.u64(s.crashes);
+    w.u32(s.epoch);
+}
+
+/// Reads one shard's [`StateSnapshot`] written at `version`.
+pub fn read_shard_state(r: &mut Reader, version: u32) -> Result<StateSnapshot, SnapshotError> {
+    r.section("corpus");
+    let corpus_len = r.u32()? as usize;
+    let mut corpus = Vec::with_capacity(corpus_len.min(65536));
+    for _ in 0..corpus_len {
+        let input = r.bytes()?.to_vec();
+        let score = r.u64()?;
+        corpus.push((input, score));
+    }
+    r.section("heuristics");
+    let heur_len = r.u32()? as usize;
+    let mut heur_counts = Vec::with_capacity(heur_len.min(65536));
+    for _ in 0..heur_len {
+        let branch = r.u64()?;
+        let count = r.u32()?;
+        heur_counts.push((branch, count));
+    }
+    r.section("coverage");
+    let cov_normal = r.bytes()?.to_vec();
+    let cov_spec = r.bytes()?.to_vec();
+    // A wrong-length map would silently resume as empty coverage
+    // (diverging from the uninterrupted run); reject it here.
+    if cov_normal.len() != teapot_rt::coverage::COV_MAP_SIZE
+        || cov_spec.len() != teapot_rt::coverage::COV_MAP_SIZE
+    {
+        return Err(SnapshotError::Corrupt("coverage map size"));
+    }
+    r.section("gadgets");
+    let gadget_len = r.u32()? as usize;
+    let mut gadgets = Vec::with_capacity(gadget_len.min(65536));
+    for _ in 0..gadget_len {
+        gadgets.push(read_gadget(r, version)?);
+    }
+    r.section("witnesses");
+    let witness_len = if version >= 2 { r.u32()? as usize } else { 0 };
+    let mut witnesses = Vec::with_capacity(witness_len.min(65536));
+    for _ in 0..witness_len {
+        witnesses.push(read_witness(r, version)?);
+    }
+    r.section("shard counters");
+    let iters = r.u64()?;
+    let total_cost = r.u64()?;
+    let crashes = r.u64()?;
+    let epoch = r.u32()?;
+    Ok(StateSnapshot {
+        corpus,
+        heur_counts,
+        cov_normal,
+        cov_spec,
+        gadgets,
+        witnesses,
+        iters,
+        total_cost,
+        crashes,
+        epoch,
+    })
+}
+
+/// Serializes a [`ShardDelta`] for the fabric wire (always the current
+/// [`VERSION`] vocabulary — deltas are ephemeral protocol objects, never
+/// stored on disk, so they carry no compatibility burden).
+pub fn encode_delta(d: &ShardDelta) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(d.shard);
+    w.u32(d.epoch);
+    w.u8(d.phase);
+    w.u32(d.state_epoch);
+    w.u64(d.iters);
+    w.u64(d.total_cost);
+    w.u64(d.crashes);
+    w.u32(d.fresh_count);
+    w.u32(d.corpus_append.len() as u32);
+    for (input, score) in &d.corpus_append {
+        w.bytes(input);
+        w.u64(*score);
+    }
+    match &d.corpus_replaced {
+        Some(full) => {
+            w.bool(true);
+            w.u32(full.len() as u32);
+            for (input, score) in full {
+                w.bytes(input);
+                w.u64(*score);
+            }
+        }
+        None => w.bool(false),
+    }
+    w.u32(d.heur_counts.len() as u32);
+    for (branch, count) in &d.heur_counts {
+        w.u64(*branch);
+        w.u32(*count);
+    }
+    for cov in [&d.cov_normal, &d.cov_spec] {
+        w.u32(cov.updates.len() as u32);
+        for (guard, value) in &cov.updates {
+            w.u32(*guard);
+            w.u8(*value);
+        }
+    }
+    w.u32(d.gadgets_append.len() as u32);
+    for g in &d.gadgets_append {
+        write_gadget(&mut w, g);
+    }
+    w.u32(d.witnesses_append.len() as u32);
+    for wit in &d.witnesses_append {
+        write_witness(&mut w, wit);
+    }
+    w.into_bytes()
+}
+
+/// Parses a [`ShardDelta`] produced by [`encode_delta`].
+pub fn decode_delta(bytes: &[u8]) -> Result<ShardDelta, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    r.section("delta header");
+    let shard = r.u32()?;
+    let epoch = r.u32()?;
+    let phase = r.u8()?;
+    let state_epoch = r.u32()?;
+    let iters = r.u64()?;
+    let total_cost = r.u64()?;
+    let crashes = r.u64()?;
+    let fresh_count = r.u32()?;
+    r.section("delta corpus");
+    let n = r.u32()? as usize;
+    let mut corpus_append = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        let input = r.bytes()?.to_vec();
+        let score = r.u64()?;
+        corpus_append.push((input, score));
+    }
+    let corpus_replaced = if r.bool()? {
+        let n = r.u32()? as usize;
+        let mut full = Vec::with_capacity(n.min(65536));
+        for _ in 0..n {
+            let input = r.bytes()?.to_vec();
+            let score = r.u64()?;
+            full.push((input, score));
+        }
+        Some(full)
+    } else {
+        None
+    };
+    r.section("delta heuristics");
+    let n = r.u32()? as usize;
+    let mut heur_counts = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        let branch = r.u64()?;
+        let count = r.u32()?;
+        heur_counts.push((branch, count));
+    }
+    r.section("delta coverage");
+    let mut covs = [CovDelta::default(), CovDelta::default()];
+    for cov in &mut covs {
+        let n = r.u32()? as usize;
+        let mut updates = Vec::with_capacity(n.min(teapot_rt::coverage::COV_MAP_SIZE));
+        for _ in 0..n {
+            let guard = r.u32()?;
+            let value = r.u8()?;
+            updates.push((guard, value));
+        }
+        cov.updates = updates;
+    }
+    let [cov_normal, cov_spec] = covs;
+    r.section("delta gadgets");
+    let n = r.u32()? as usize;
+    let mut gadgets_append = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        gadgets_append.push(read_gadget(&mut r, VERSION)?);
+    }
+    r.section("delta witnesses");
+    let n = r.u32()? as usize;
+    let mut witnesses_append = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        witnesses_append.push(read_witness(&mut r, VERSION)?);
+    }
+    Ok(ShardDelta {
+        shard,
+        epoch,
+        phase,
+        corpus_append,
+        fresh_count,
+        corpus_replaced,
+        heur_counts,
+        cov_normal,
+        cov_spec,
+        gadgets_append,
+        witnesses_append,
+        iters,
+        total_cost,
+        crashes,
+        state_epoch,
+    })
 }
 
 // ---------------------------------------------------------------------
 // Reader
 // ---------------------------------------------------------------------
 
-struct Reader<'a> {
+/// Bounds-checked little-endian reader over snapshot/delta bytes.
+///
+/// Tracks which logical *section* is being parsed so a truncated file
+/// reports "file ends inside the corpus section at byte offset N"
+/// rather than a bare "truncated".
+pub struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    section: &'static str,
 }
 
 impl<'a> Reader<'a> {
+    /// Starts reading at offset 0 in the `header` section.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader {
+            bytes,
+            pos: 0,
+            section: "header",
+        }
+    }
+    /// Names the section subsequent reads belong to (for error messages).
+    pub fn section(&mut self, name: &'static str) {
+        self.section = name;
+    }
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         if self.pos + n > self.bytes.len() {
-            return Err(SnapshotError::Corrupt("truncated"));
+            return Err(SnapshotError::Truncated {
+                section: self.section,
+                offset: self.pos,
+            });
         }
         let out = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
         Ok(out)
     }
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
     }
-    fn bool(&mut self) -> Result<bool, SnapshotError> {
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
             _ => Err(SnapshotError::Corrupt("bool")),
         }
     }
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
         let n = self.u32()? as usize;
         self.take(n)
     }
@@ -715,6 +1005,7 @@ mod tests {
                     epoch: 2,
                 })
                 .collect(),
+            prev_features: vec![3, 4],
         }
     }
 
@@ -1254,5 +1545,157 @@ mod tests {
             CampaignSnapshot::from_bytes(&snap.to_bytes()).unwrap_err(),
             SnapshotError::Corrupt("coverage map size")
         );
+    }
+
+    /// Serializes `snap` in the v4 layout: identical to v5 except the
+    /// two budget/minimize config flags and the trailing budget section
+    /// are absent — what a PR 8 build wrote.
+    fn v4_bytes(snap: &CampaignSnapshot) -> Vec<u8> {
+        let w = Writer::new();
+        let mut full = Writer::new();
+        write_config(&mut full, &snap.config);
+        let cfg_bytes = full.into_bytes();
+        // The v5 config layout inserts the two flag bytes right before
+        // the dictionary; splice them out to recover the v4 config.
+        let dict_at = cfg_bytes.len()
+            - 4
+            - snap
+                .config
+                .dictionary
+                .iter()
+                .map(|t| 4 + t.len())
+                .sum::<usize>();
+        let mut buf = w.into_bytes();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&snap.bin_fingerprint.to_le_bytes());
+        buf.extend_from_slice(&snap.epochs_done.to_le_bytes());
+        for v in [
+            snap.decode_stats.blocks as u64,
+            snap.decode_stats.insts as u64,
+            snap.decode_stats.bytes as u64,
+            snap.decode_stats.undecoded_bytes as u64,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&cfg_bytes[..dict_at - 2]);
+        buf.extend_from_slice(&cfg_bytes[dict_at..]);
+        let mut shards = Writer::new();
+        shards.u32(snap.shard_states.len() as u32);
+        for s in &snap.shard_states {
+            write_shard_state(&mut shards, s);
+        }
+        buf.extend_from_slice(&shards.into_bytes());
+        buf
+    }
+
+    #[test]
+    fn v4_snapshots_load_with_budget_features_off() {
+        let mut snap = sample_snapshot();
+        snap.config.adaptive_budgets = false;
+        snap.config.corpus_minimize = false;
+        let back = CampaignSnapshot::from_bytes(&v4_bytes(&snap)).unwrap();
+        assert_eq!(back.config.models, snap.config.models);
+        assert_eq!(back.config.dictionary, snap.config.dictionary);
+        assert!(!back.config.adaptive_budgets);
+        assert!(!back.config.corpus_minimize);
+        assert!(back.prev_features.is_empty());
+        for (a, b) in back.shard_states.iter().zip(&snap.shard_states) {
+            assert_eq!(a.corpus, b.corpus);
+            assert_eq!(a.gadgets, b.gadgets);
+            assert_eq!(a.witnesses, b.witnesses);
+        }
+    }
+
+    #[test]
+    fn v5_round_trip_keeps_budget_state() {
+        let mut snap = sample_snapshot();
+        snap.config.adaptive_budgets = true;
+        snap.config.corpus_minimize = true;
+        let back = CampaignSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert!(back.config.adaptive_budgets);
+        assert!(back.config.corpus_minimize);
+        assert_eq!(back.prev_features, vec![3, 4]);
+    }
+
+    #[test]
+    fn truncation_names_the_section_and_offset() {
+        let bytes = sample_snapshot().to_bytes();
+        // Slice mid-header: the error must name the header section and
+        // the exact byte offset where the file ran out.
+        match CampaignSnapshot::from_bytes(&bytes[..10]).unwrap_err() {
+            SnapshotError::Truncated { section, offset } => {
+                assert_eq!(section, "header");
+                assert!(offset <= 10);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // Slice mid-corpus (just past the shard count): the section
+        // name must follow the cursor.
+        let hdr = 4 + 4 + 8 + 4 + 32; // magic..decode stats
+        let mut r = Reader::new(&bytes);
+        r.take(hdr).unwrap();
+        read_config(&mut r, VERSION).unwrap();
+        let cut = r.pos + 6; // shard count u32 + 2 bytes into shard 0
+        let err = CampaignSnapshot::from_bytes(&bytes[..cut]).unwrap_err();
+        match err {
+            SnapshotError::Truncated { section, .. } => assert_eq!(section, "corpus"),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("corpus"), "{msg}");
+        assert!(msg.contains("byte offset"), "{msg}");
+    }
+
+    #[test]
+    fn load_names_the_file_in_errors() {
+        let dir = std::env::temp_dir().join(format!("tcs-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.tcs");
+        let bytes = sample_snapshot().to_bytes();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = CampaignSnapshot::load(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("truncated.tcs"), "{msg}");
+        assert!(msg.contains("file ends inside"), "{msg}");
+        let missing = dir.join("nope.tcs");
+        let err = CampaignSnapshot::load(&missing).unwrap_err();
+        assert!(err.to_string().contains("nope.tcs"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_codec_round_trips() {
+        let snap = sample_snapshot();
+        let s = &snap.shard_states[1];
+        let d = ShardDelta {
+            shard: 1,
+            epoch: 7,
+            phase: 1,
+            corpus_append: s.corpus.clone(),
+            fresh_count: 1,
+            corpus_replaced: Some(vec![(vec![9, 9], 4)]),
+            heur_counts: s.heur_counts.clone(),
+            cov_normal: CovDelta {
+                updates: vec![(3, 1), (700, 255)],
+            },
+            cov_spec: CovDelta::default(),
+            gadgets_append: s.gadgets.clone(),
+            witnesses_append: s.witnesses.clone(),
+            iters: 1234,
+            total_cost: 99999,
+            crashes: 2,
+            state_epoch: 8,
+        };
+        let bytes = encode_delta(&d);
+        let back = decode_delta(&bytes).unwrap();
+        assert_eq!(back, d);
+        // Truncated deltas also name their section.
+        match decode_delta(&bytes[..bytes.len() - 1]).unwrap_err() {
+            SnapshotError::Truncated { section, .. } => {
+                assert_eq!(section, "delta witnesses")
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
     }
 }

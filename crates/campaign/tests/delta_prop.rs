@@ -1,0 +1,138 @@
+//! Property tests for the fabric's epoch-delta machinery:
+//!
+//! 1. **Codec round-trip** — `encode_delta` → `decode_delta` is the
+//!    identity for deltas produced by real campaign activity.
+//! 2. **Replay equivalence** — for a random campaign state driven
+//!    through random epochs, the full exported snapshot equals the
+//!    starting snapshot with every [`ShardDelta`] replayed onto it.
+//!    This is the invariant the fleet coordinator's barrier merge
+//!    rests on: applying deltas in order reconstructs exactly the
+//!    state a single host would hold.
+//!
+//! [`ShardDelta`]: teapot_rt::ShardDelta
+
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use teapot_campaign::snapshot::{decode_delta, encode_delta};
+use teapot_campaign::CampaignConfig;
+use teapot_cc::{compile_to_binary, Options};
+use teapot_core::{rewrite, RewriteOptions};
+use teapot_fuzz::CampaignState;
+use teapot_vm::Program;
+
+/// Same target shape as the e2e suites: one gated and one
+/// always-reachable gadget.
+const TARGET: &str = "
+    char bar[256];
+    int baz;
+    char inbuf[16];
+    int main() {
+        char *foo = malloc(16);
+        read_input(inbuf, 16);
+        int index = inbuf[1];
+        if (inbuf[0] == 0x7f) {
+            if (index < 10) {
+                int secret = foo[index];
+                baz = bar[secret];
+            }
+        }
+        return 0;
+    }";
+
+fn program() -> &'static Arc<Program> {
+    static PROG: OnceLock<Arc<Program>> = OnceLock::new();
+    PROG.get_or_init(|| {
+        let mut bin = compile_to_binary(TARGET, &Options::gcc_like()).unwrap();
+        bin.strip();
+        Program::shared(&rewrite(&bin, &RewriteOptions::default()).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn snapshot_plus_replayed_deltas_equals_full_snapshot(
+        seed in any::<u64>(),
+        shard in 0u32..8,
+        epochs in 1u32..4,
+        iters in proptest::collection::vec(5u64..60, 4),
+        seeds in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..16),
+            0..3,
+        ),
+        imports in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..16),
+            0..4,
+        ),
+        minimize in any::<bool>(),
+    ) {
+        let prog = program();
+        let cfg = CampaignConfig {
+            seed,
+            max_input_len: 16,
+            ..CampaignConfig::default()
+        };
+        let mut st = CampaignState::new(cfg.shard_fuzz_config(shard)).unwrap();
+        let base = st.export_snapshot();
+        let mut replayed = base.clone();
+
+        st.seed_corpus_shared(prog, &seeds);
+        for epoch in 0..epochs {
+            // Phase 0: fuzz.
+            st.begin_epoch(epoch);
+            st.run_iters_shared(prog, iters[epoch as usize % iters.len()]);
+            let d0 = st.take_delta(shard, epoch, 0);
+            prop_assert_eq!(&decode_delta(&encode_delta(&d0)).unwrap(), &d0);
+            replayed.apply_delta(&d0);
+
+            // Phase 1: barrier imports (donations from imaginary
+            // peers), optional minimization.
+            for input in &imports {
+                if !st.contains_input(input) {
+                    st.import_input_shared(prog, input);
+                }
+            }
+            if minimize {
+                st.minimize_corpus(prog);
+            }
+            let d1 = st.take_delta(shard, epoch, 1);
+            prop_assert_eq!(&decode_delta(&encode_delta(&d1)).unwrap(), &d1);
+            replayed.apply_delta(&d1);
+
+            // The coordinator's merged boundary equals the live
+            // worker's exported state at every barrier, not just at
+            // the end.
+            prop_assert_eq!(&replayed, &st.export_snapshot());
+        }
+    }
+
+    #[test]
+    fn deltas_are_idempotent_on_coverage(
+        seed in any::<u64>(),
+        iters in 10u64..80,
+    ) {
+        // Coverage updates ship as absolute counter values, so a
+        // duplicate delta from a re-lease race must not change the
+        // merged state.
+        let prog = program();
+        let cfg = CampaignConfig {
+            seed,
+            max_input_len: 16,
+            ..CampaignConfig::default()
+        };
+        let mut st = CampaignState::new(cfg.shard_fuzz_config(0)).unwrap();
+        let base = st.export_snapshot();
+        st.begin_epoch(0);
+        st.run_iters_shared(prog, iters);
+        let d = st.take_delta(0, 0, 0);
+
+        let mut once = base.clone();
+        once.apply_delta(&d);
+        let mut twice = base;
+        twice.apply_delta(&d);
+        twice.apply_delta(&d);
+        prop_assert_eq!(&twice.cov_normal, &once.cov_normal);
+        prop_assert_eq!(&twice.cov_spec, &once.cov_spec);
+    }
+}

@@ -8,11 +8,14 @@
 //! teapot run <bin.tof> [--input-file f] [--spectaint] [--spec-models M]
 //! teapot fuzz <bin.tof> [--iters N] [--workload name] [--spectaint]
 //!             [--spec-models M]
-//! teapot campaign <bin.tof|dir> [--workers N] [--shards S] [--epochs E]
-//!                 [--spec-models pht,rsb,stl]
+//! teapot campaign <bin.tof|dir> [--workers N] [--fleet N] [--shards S]
+//!                 [--epochs E] [--spec-models pht,rsb,stl]
 //!                 [--resume snap.tcs] [--snapshot snap.tcs] [--json out]
 //!                 [--triage out.jsonl] [--sarif out.sarif] [--no-triage]
 //!                 [--metrics out.jsonl]
+//! teapot serve <dir> [--addr host:port] [--fleet N] [--once]
+//!              [campaign flags]
+//! teapot work <host:port>
 //! teapot triage <bin.tof|snap.tcs|dir> [--bin bin.tof] [--jsonl out]
 //!               [--sarif out] [--no-minimize] [--metrics out.jsonl]
 //!               [campaign flags]
@@ -112,6 +115,12 @@ fn campaign_config_from_args(
     if flag(args, "--spectaint") {
         cfg.emu = teapot_vm::EmuStyle::SpecTaint;
     }
+    // `workers == 0` in the config means "one per CPU", but a user
+    // *explicitly* asking for zero worker threads is asking for nothing
+    // to run — reject it instead of silently falling back.
+    if flag(args, "--workers") && cfg.workers == 0 {
+        return Err(teapot_campaign::CampaignError::ZeroWorkers.to_string());
+    }
     cfg.models = spec_models_from_args(args)?;
     let seeds = match opt(args, "--workload").and_then(find_workload) {
         Some(w) => {
@@ -121,6 +130,23 @@ fn campaign_config_from_args(
         None => vec![],
     };
     Ok((cfg, seeds))
+}
+
+/// Parses `--fleet N`: `None` when absent, a typed error on an explicit
+/// zero (a fleet with no workers cannot run anything).
+fn fleet_from_args(args: &[String]) -> Result<Option<usize>, String> {
+    match opt(args, "--fleet") {
+        None => Ok(None),
+        Some(s) => {
+            let n: usize = s
+                .parse()
+                .map_err(|_| format!("--fleet: bad number `{s}`"))?;
+            if n == 0 {
+                return Err(teapot_campaign::CampaignError::ZeroFleet.to_string());
+            }
+            Ok(Some(n))
+        }
+    }
 }
 
 /// Prints a triage database (ranked text + summary line) and writes the
@@ -577,6 +603,196 @@ fn stats_diff(old_path: &str, new_path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `teapot campaign <bin.tof> --fleet N`: run the campaign over a
+/// spawn-local process fleet — a fabric coordinator in this process and
+/// N `teapot work` children on loopback TCP. Reports, triage and SARIF
+/// go through the exact same emission paths as a single-host campaign,
+/// and are byte-identical to them by the fabric's merge construction.
+fn run_fleet_campaign(
+    args: &[String],
+    target: &str,
+    bin: &teapot_obj::Binary,
+    cfg: teapot_campaign::CampaignConfig,
+    seeds: &[Vec<u8>],
+    fleet_n: usize,
+) -> Result<(), String> {
+    let total_watch = teapot_telemetry::Stopwatch::new();
+    let run_triage = !flag(args, "--no-triage");
+    let triage_opts = teapot_triage::TriageOptions::default();
+
+    // The snapshot's config defines a resumed campaign; only --epochs
+    // (extend) applies on top, exactly like single-host --resume.
+    let mut cfg = cfg;
+    let resume = match opt(args, "--resume") {
+        Some(snap_path) => {
+            let snap = teapot_campaign::CampaignSnapshot::load(std::path::Path::new(snap_path))
+                .map_err(|e| format!("{snap_path}: {e}"))?;
+            cfg = snap.config.clone();
+            if flag(args, "--epochs") {
+                cfg.epochs = parse_num(args, "--epochs", cfg.epochs)?;
+            }
+            println!("resumed from {snap_path} at epoch {}", snap.epochs_done);
+            Some(snap)
+        }
+        None => None,
+    };
+    let pre_iters: u64 = resume
+        .as_ref()
+        .map(|s| s.shard_states.iter().map(|st| st.iters).sum())
+        .unwrap_or(0);
+
+    // Fault injection for the fleet e2e suite: kill one worker process
+    // mid-epoch and let the coordinator re-lease its shards.
+    let kill: Option<(usize, String)> = match (
+        std::env::var("TEAPOT_FABRIC_KILL_WORKER"),
+        std::env::var("TEAPOT_FABRIC_KILL_EPOCH"),
+    ) {
+        (Ok(w), Ok(e)) => Some((
+            w.parse()
+                .map_err(|_| format!("TEAPOT_FABRIC_KILL_WORKER: bad number `{w}`"))?,
+            e,
+        )),
+        _ => None,
+    };
+
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0))
+        .map_err(|e| format!("bind coordinator socket: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| e.to_string())?
+        .to_string();
+    let exe = std::env::current_exe().map_err(|e| format!("locate own executable: {e}"))?;
+    let mut children = Vec::with_capacity(fleet_n);
+    for w in 0..fleet_n {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("work").arg(&addr);
+        if let Some((kw, ke)) = &kill {
+            if *kw == w {
+                cmd.env(teapot_fabric::DIE_AT_EPOCH_ENV, ke);
+            }
+        }
+        children.push(cmd.spawn().map_err(|e| format!("spawn worker {w}: {e}"))?);
+    }
+
+    let mut coord_opts = teapot_fabric::CoordinatorOptions::new(fleet_n);
+    // --snapshot doubles as the per-epoch checkpoint target: the file
+    // after the last epoch IS the final campaign snapshot.
+    coord_opts.checkpoint = opt(args, "--snapshot").map(std::path::PathBuf::from);
+    let mut coord =
+        teapot_fabric::Coordinator::new(listener, coord_opts).map_err(|e| e.to_string())?;
+    if let Some(path) = opt(args, "--metrics") {
+        let mut sink = teapot_telemetry::MetricsSink::create(std::path::Path::new(path))
+            .map_err(|e| format!("create {path}: {e}"))?;
+        sink.emit(
+            teapot_telemetry::Event::new("meta")
+                .num("schema", 1)
+                .str_field("binary", &file_label(target))
+                .num("seed", cfg.seed)
+                .num("shards", u64::from(cfg.shards))
+                .num("epochs", u64::from(cfg.epochs))
+                .num("iters_per_epoch", cfg.iters_per_epoch)
+                .str_field("models", &cfg.models.to_string())
+                .num("workers", fleet_n as u64),
+        );
+        coord.set_metrics(sink);
+    }
+
+    let started = std::time::Instant::now();
+    let result = coord
+        .wait_for_workers()
+        .and_then(|()| coord.run_campaign_fleet(bin, seeds, &cfg, resume.as_ref()));
+    coord.shutdown();
+    for child in &mut children {
+        let _ = child.wait();
+    }
+    let campaign = result.map_err(|e| format!("fleet: {e}"))?;
+    let secs = started.elapsed().as_secs_f64();
+    let stats = coord.stats().clone();
+    let mut sink = coord.take_metrics();
+
+    let report = campaign.report();
+    let ran_here = report.iters - pre_iters;
+    if let Some(s) = &mut sink {
+        s.emit(
+            teapot_telemetry::Event::new("span")
+                .str_field("name", "campaign")
+                .num("wall_ms", (secs * 1000.0) as u64),
+        );
+    }
+    if opt(args, "--snapshot").is_some() {
+        let path = opt(args, "--snapshot").expect("checked");
+        println!("wrote snapshot {path}");
+    }
+    println!(
+        "{} shards x {} epochs: {} iterations, corpus {}, {} crashes",
+        report.shards, report.epochs, report.iters, report.corpus_total, report.crashes
+    );
+    println!(
+        "fleet: {} worker(s), {} lease(s) ({} re-lease(s), {} death(s)), \
+         {} delta(s) totalling {} bytes, merged in {} ms",
+        fleet_n,
+        stats.leases,
+        stats.releases,
+        stats.worker_deaths,
+        stats.deltas,
+        stats.delta_bytes,
+        stats.merge_ms
+    );
+    println!(
+        "throughput: {:.0} execs/sec ({} execs in {:.2}s)",
+        ran_here as f64 / secs.max(1e-9),
+        ran_here,
+        secs
+    );
+    println!(
+        "coverage: {} normal features, {} speculative features",
+        report.cov_normal_features, report.cov_spec_features
+    );
+    println!("unique gadgets: {}", report.unique_gadgets());
+    for (bucket, n) in &report.buckets {
+        println!("  {bucket}: {n}");
+    }
+    for g in report.gadgets.iter().take(20) {
+        println!("GADGET {g}");
+    }
+    if let Some(out) = opt(args, "--json") {
+        std::fs::write(out, report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if run_triage {
+        let triage_watch = teapot_telemetry::Stopwatch::new();
+        let (db, tstats, times) = teapot_triage::triage_report_timed(
+            &file_label(target),
+            bin,
+            campaign.config(),
+            &report,
+            &triage_opts,
+        );
+        if let Some(s) = &mut sink {
+            s.emit(
+                teapot_telemetry::Event::new("span")
+                    .str_field("name", "triage")
+                    .num("wall_ms", triage_watch.ms()),
+            );
+            s.emit(triage_event(&db, &tstats, &times));
+        }
+        emit_triage(&db, &tstats, opt(args, "--triage"), opt(args, "--sarif"))?;
+    }
+    if let Some(mut s) = sink {
+        s.emit(
+            teapot_telemetry::Event::new("summary")
+                .num("wall_ms", total_watch.ms())
+                .num("execs", ran_here)
+                .fnum("execs_per_sec", ran_here as f64 / secs.max(1e-9))
+                .num("unique_gadgets", report.unique_gadgets() as u64),
+        );
+        let path = s.path().display().to_string();
+        s.finish().map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote metrics {path}");
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
     match cmd {
@@ -719,6 +935,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "--seed",
                 "--shards",
                 "--workers",
+                "--fleet",
                 "--epochs",
                 "--iters",
                 "--workload",
@@ -786,6 +1003,14 @@ fn run(args: &[String]) -> Result<(), String> {
 
             // Single-binary mode, optionally resumed from a snapshot.
             let bin = load(target)?;
+
+            // Fleet mode: spawn N `teapot work` processes on loopback
+            // and run the campaign through the fabric coordinator. The
+            // report is byte-identical to --workers 1 by construction.
+            if let Some(fleet_n) = fleet_from_args(args)? {
+                return run_fleet_campaign(args, target, &bin, cfg, &seeds, fleet_n);
+            }
+
             let total_watch = teapot_telemetry::Stopwatch::new();
             // One decode pass serves every shard on every worker thread.
             let decode_watch = teapot_telemetry::Stopwatch::new();
@@ -959,6 +1184,92 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("wrote metrics {path}");
             }
             Ok(())
+        }
+        "serve" => {
+            let dir = args
+                .get(1)
+                .ok_or("usage: serve <dir> [--addr host:port] [--fleet N] [--once]")?;
+            for name in [
+                "--addr",
+                "--fleet",
+                "--seed",
+                "--shards",
+                "--epochs",
+                "--iters",
+                "--workload",
+                "--spec-models",
+                "--metrics",
+            ] {
+                if flag(args, name) && opt(args, name).is_none() {
+                    return Err(format!("{name} requires a value"));
+                }
+            }
+            if !std::path::Path::new(dir).is_dir() {
+                return Err(format!("serve: {dir} is not a directory"));
+            }
+            let (cfg, seeds) = campaign_config_from_args(args)?;
+            let expect = fleet_from_args(args)?.unwrap_or(1);
+            let bind = opt(args, "--addr").unwrap_or("127.0.0.1:0");
+            let listener =
+                std::net::TcpListener::bind(bind).map_err(|e| format!("bind {bind}: {e}"))?;
+            let addr = listener.local_addr().map_err(|e| e.to_string())?;
+            println!(
+                "serving {dir} on {addr}: waiting for {expect} worker(s) \
+                 (`teapot work {addr}`)"
+            );
+            let mut coord = teapot_fabric::Coordinator::new(
+                listener,
+                teapot_fabric::CoordinatorOptions::new(expect),
+            )
+            .map_err(|e| e.to_string())?;
+            if let Some(path) = opt(args, "--metrics") {
+                let sink = teapot_telemetry::MetricsSink::create(std::path::Path::new(path))
+                    .map_err(|e| format!("create {path}: {e}"))?;
+                coord.set_metrics(sink);
+            }
+            coord.wait_for_workers().map_err(|e| e.to_string())?;
+            println!("fleet assembled; draining queue");
+            let outcomes = teapot_fabric::run_queue_fleet(
+                &mut coord,
+                std::path::Path::new(dir),
+                &cfg,
+                &seeds,
+                flag(args, "--once"),
+            )
+            .map_err(|e| format!("fleet: {e}"))?;
+            coord.shutdown();
+            if let Some(s) = coord.take_metrics() {
+                let path = s.path().display().to_string();
+                s.finish().map_err(|e| format!("write {path}: {e}"))?;
+            }
+            if outcomes.is_empty() {
+                println!("no .tof binaries found in {dir}");
+            }
+            for o in &outcomes {
+                println!(
+                    "{}: {} unique gadgets, {} iters, corpus {} -> {}",
+                    o.path.display(),
+                    o.report.unique_gadgets(),
+                    o.report.iters,
+                    o.report.corpus_total,
+                    o.report_path.display(),
+                );
+            }
+            Ok(())
+        }
+        "work" => {
+            let addr = args.get(1).ok_or("usage: work <host:port>")?;
+            let die_at_epoch = std::env::var(teapot_fabric::DIE_AT_EPOCH_ENV)
+                .ok()
+                .and_then(|s| s.parse().ok());
+            let stream =
+                std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            stream.set_nodelay(true).ok();
+            let wopts = teapot_fabric::WorkerOptions {
+                name: format!("worker-{}", std::process::id()),
+                die_at_epoch,
+            };
+            teapot_fabric::run_worker(stream, &wopts).map_err(|e| e.to_string())
         }
         "triage" => {
             let target = args.get(1).ok_or("usage: triage <bin.tof|snap.tcs|dir>")?;
@@ -1264,6 +1575,9 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut firsts = Vec::new();
             let mut triage = None;
             let mut summary = None;
+            let (mut leases, mut lease_bytes) = (0u64, 0u64);
+            let (mut merges, mut merge_bytes, mut merge_ms) = (0u64, 0u64, 0u64);
+            let mut deaths = Vec::new();
             for line in text.lines() {
                 let Some(ev) = json_field(line, "event") else {
                     continue;
@@ -1306,6 +1620,23 @@ fn run(args: &[String]) -> Result<(), String> {
                     )),
                     "triage" => triage = Some(line),
                     "summary" => summary = Some(line),
+                    "fabric" => match json_field(line, "op") {
+                        Some("lease") => {
+                            leases += 1;
+                            lease_bytes += json_num(line, "bytes").unwrap_or(0);
+                        }
+                        Some("merge") => {
+                            merges += 1;
+                            merge_bytes += json_num(line, "bytes").unwrap_or(0);
+                            merge_ms += json_num(line, "wall_ms").unwrap_or(0);
+                        }
+                        Some("worker_dead") => deaths.push(format!(
+                            "{} at epoch {}",
+                            json_field(line, "worker").unwrap_or("?"),
+                            json_num(line, "epoch").unwrap_or(0),
+                        )),
+                        _ => {}
+                    },
                     _ => {}
                 }
             }
@@ -1364,6 +1695,17 @@ fn run(args: &[String]) -> Result<(), String> {
                     println!(
                         "{rank:>5} {pc:>10} {orig:>10} {cost:>11} {insts:>9} {hits:>9}  {sym}"
                     );
+                }
+            }
+            if leases + merges > 0 || !deaths.is_empty() {
+                println!(
+                    "\nfabric: {leases} lease(s) shipping {lease_bytes} bytes, \
+                     {merges} barrier merge(s) over {merge_bytes} delta bytes \
+                     in {merge_ms} ms, {} worker death(s)",
+                    deaths.len()
+                );
+                for d in &deaths {
+                    println!("  dead: {d}");
                 }
             }
             if !firsts.is_empty() {
@@ -1451,11 +1793,13 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 run <bin.tof> [--input-file f] [--spectaint] [--spec-models M]\n\
                  \x20 fuzz <bin.tof> [--iters N] [--workload name] [--spectaint]\n\
                  \x20      [--spec-models M]\n\
-                 \x20 campaign <bin.tof|dir> [--workers N] [--shards S] [--epochs E]\n\
-                 \x20          [--iters N] [--seed S] [--workload name] [--spectaint]\n\
-                 \x20          [--spec-models M] [--resume snap.tcs] [--snapshot snap.tcs]\n\
-                 \x20          [--json out.json] [--triage out.jsonl] [--sarif out.sarif]\n\
-                 \x20          [--no-triage] [--metrics out.jsonl]\n\
+                 \x20 campaign <bin.tof|dir> [--workers N] [--fleet N] [--shards S]\n\
+                 \x20          [--epochs E] [--iters N] [--seed S] [--workload name]\n\
+                 \x20          [--spectaint] [--spec-models M] [--resume snap.tcs]\n\
+                 \x20          [--snapshot snap.tcs] [--json out.json] [--triage out.jsonl]\n\
+                 \x20          [--sarif out.sarif] [--no-triage] [--metrics out.jsonl]\n\
+                 \x20 serve <dir> [--addr host:port] [--fleet N] [--once] [campaign flags]\n\
+                 \x20 work <host:port>\n\
                  \x20 triage <bin.tof|snap.tcs|dir> [--bin bin.tof] [--jsonl out]\n\
                  \x20        [--sarif out] [--no-minimize] [--metrics out.jsonl]\n\
                  \x20        [campaign flags]\n\
@@ -1471,6 +1815,15 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 every .tof inside it (instrumenting originals first). --snapshot\n\
                  \x20 saves a resumable .tcs campaign snapshot; --resume continues one.\n\
                  \x20 Triage runs automatically at the end (disable with --no-triage).\n\
+                 \n\
+                 fabric: --fleet N runs the campaign over N `teapot work` worker\n\
+                 \x20 processes behind a coordinator that leases shard ranges, merges\n\
+                 \x20 per-epoch deltas in shard order, and re-leases dead workers'\n\
+                 \x20 shards from the last epoch boundary. Fleet output is\n\
+                 \x20 byte-identical to --workers 1 — even after mid-epoch worker\n\
+                 \x20 deaths. `teapot serve <dir>` runs a continuous fleet queue\n\
+                 \x20 (checkpointing each binary to <stem>.tcs, reports to\n\
+                 \x20 <stem>.json); `teapot work host:port` joins a fleet.\n\
                  \n\
                  spec models: --spec-models takes a comma-separated subset of\n\
                  \x20 pht (conditional-branch misprediction, Spectre-V1 — the default),\n\

@@ -1,0 +1,528 @@
+//! The fabric wire protocol: length-prefixed, versioned frames over a
+//! byte stream (TCP in practice; anything `Read + Write` in tests).
+//!
+//! Every frame is `u32 LE payload length · u8 wire version · u8 tag ·
+//! body`, where bodies are written with the `.tcs` snapshot codecs
+//! ([`teapot_campaign::snapshot`]) — a leased shard state or an epoch
+//! delta on the wire is bit-compatible with what a snapshot file
+//! stores, so the protocol inherits the snapshot layer's versioning
+//! and its truncation-aware error reporting.
+//!
+//! The conversation (one campaign):
+//!
+//! ```text
+//! worker → coordinator   Hello        (once per connection)
+//! coordinator → worker   Lease        (config + binary + shard states
+//!                                      + per-shard budgets; also used
+//!                                      mid-epoch to re-lease a dead
+//!                                      worker's shards)
+//! worker → coordinator   Decode       (decode-cache stats, once per lease)
+//! worker → coordinator   Delta        (one per shard per phase)
+//! coordinator → worker   Barrier      (epoch's fresh inputs, all shards)
+//! coordinator → worker   Proceed      (next epoch's budgets)
+//! coordinator → worker   Complete     (campaign done; await next Lease)
+//! coordinator → worker   Shutdown     (close the connection)
+//! ```
+
+use std::io::{Read, Write};
+use teapot_campaign::snapshot::{
+    decode_delta, encode_delta, read_config, read_shard_state, write_config, write_shard_state,
+    Reader, SnapshotError, Writer, VERSION,
+};
+use teapot_campaign::CampaignConfig;
+use teapot_fuzz::StateSnapshot;
+use teapot_rt::ShardDelta;
+use teapot_vm::DecodeStats;
+
+/// Version byte carried by every frame. Bumped when the frame grammar
+/// changes; the snapshot-format version [`VERSION`] covers body layout.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a single frame's payload (defense against a corrupt
+/// or hostile length prefix allocating unbounded memory). Leases carry
+/// whole shard states (two 64 KiB coverage maps each) plus the target
+/// binary, so the cap is generous.
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+const TAG_HELLO: u8 = 1;
+const TAG_LEASE: u8 = 2;
+const TAG_DECODE: u8 = 3;
+const TAG_DELTA: u8 = 4;
+const TAG_BARRIER: u8 = 5;
+const TAG_PROCEED: u8 = 6;
+const TAG_COMPLETE: u8 = 7;
+const TAG_SHUTDOWN: u8 = 8;
+
+/// One shard granted by a [`Lease`]: its index, this epoch's iteration
+/// budget, and the state to fuzz from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeasedShard {
+    /// Absolute shard index within the campaign.
+    pub shard: u32,
+    /// Iteration budget for the lease's starting epoch.
+    pub budget: u64,
+    /// Shard state at the relevant boundary (epoch start for a phase-0
+    /// lease, post-fuzzing for a phase-1 re-lease).
+    pub state: StateSnapshot,
+}
+
+/// A self-contained work grant: everything a fresh worker process needs
+/// to fuzz its shards — configuration, the instrumented binary, seed
+/// inputs, and per-shard states with budgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lease {
+    /// Fingerprint of `binary` (workers key their session on it).
+    pub fingerprint: u64,
+    /// Epoch the leased shards run next.
+    pub start_epoch: u32,
+    /// Phase the leased shards enter: `0` — fuzz `start_epoch` now;
+    /// `1` — states are already post-fuzzing, await the barrier.
+    pub phase: u8,
+    /// Whether the worker must seed the leased shards' corpora before
+    /// fuzzing (true only on the campaign's first epoch).
+    pub seed_first: bool,
+    /// Campaign configuration (identical across all leases).
+    pub config: CampaignConfig,
+    /// TOF bytes of the instrumented target binary.
+    pub binary: Vec<u8>,
+    /// Seed inputs for [`Lease::seed_first`].
+    pub seeds: Vec<Vec<u8>>,
+    /// The granted shards, in ascending index order.
+    pub shards: Vec<LeasedShard>,
+}
+
+/// A parsed fabric frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker introduction.
+    Hello {
+        /// Display name (telemetry only, never state).
+        name: String,
+    },
+    /// Work grant (initial or re-lease).
+    Lease(Lease),
+    /// Decode-cache statistics of the worker's shared [`Program`]
+    /// (deterministic, so every worker reports identical numbers).
+    ///
+    /// [`Program`]: teapot_vm::Program
+    Decode(DecodeStats),
+    /// One shard's epoch delta (see [`teapot_rt::ShardDelta`]).
+    Delta(ShardDelta),
+    /// Epoch barrier: the fresh inputs of **all** shards in shard-index
+    /// order; each worker runs the cross-pollination imports for its
+    /// own shards.
+    Barrier {
+        /// Epoch the barrier closes.
+        epoch: u32,
+        /// Whether shards run corpus minimization after importing.
+        minimize: bool,
+        /// `fresh[i]` = inputs shard `i` found this epoch.
+        fresh: Vec<Vec<Vec<u8>>>,
+    },
+    /// Start the next epoch's fuzzing phase.
+    Proceed {
+        /// Epoch to fuzz.
+        epoch: u32,
+        /// Per-shard budgets, indexed by absolute shard index.
+        budgets: Vec<u64>,
+    },
+    /// The campaign finished; the worker keeps the connection open for
+    /// the next campaign's lease (queue mode).
+    Complete,
+    /// Close the connection.
+    Shutdown,
+}
+
+/// Wire-protocol errors.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket I/O failed.
+    Io(std::io::Error),
+    /// A frame body failed to parse.
+    Body(SnapshotError),
+    /// Frame grammar violation (bad tag, bad version, oversized length).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::Body(e) => write!(f, "frame body: {e}"),
+            WireError::Protocol(what) => write!(f, "protocol: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for WireError {
+    fn from(e: SnapshotError) -> Self {
+        WireError::Body(e)
+    }
+}
+
+/// Serializes `frame` as one length-prefixed wire frame.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(WIRE_VERSION);
+    match frame {
+        Frame::Hello { name } => {
+            w.u8(TAG_HELLO);
+            w.bytes(name.as_bytes());
+        }
+        Frame::Lease(l) => {
+            w.u8(TAG_LEASE);
+            w.u64(l.fingerprint);
+            w.u32(l.start_epoch);
+            w.u8(l.phase);
+            w.bool(l.seed_first);
+            write_config(&mut w, &l.config);
+            w.bytes(&l.binary);
+            w.u32(l.seeds.len() as u32);
+            for s in &l.seeds {
+                w.bytes(s);
+            }
+            w.u32(l.shards.len() as u32);
+            for ls in &l.shards {
+                w.u32(ls.shard);
+                w.u64(ls.budget);
+                write_shard_state(&mut w, &ls.state);
+            }
+        }
+        Frame::Decode(d) => {
+            w.u8(TAG_DECODE);
+            w.u64(d.blocks as u64);
+            w.u64(d.insts as u64);
+            w.u64(d.bytes as u64);
+            w.u64(d.undecoded_bytes as u64);
+        }
+        Frame::Delta(d) => {
+            w.u8(TAG_DELTA);
+            w.bytes(&encode_delta(d));
+        }
+        Frame::Barrier {
+            epoch,
+            minimize,
+            fresh,
+        } => {
+            w.u8(TAG_BARRIER);
+            w.u32(*epoch);
+            w.bool(*minimize);
+            w.u32(fresh.len() as u32);
+            for inputs in fresh {
+                w.u32(inputs.len() as u32);
+                for input in inputs {
+                    w.bytes(input);
+                }
+            }
+        }
+        Frame::Proceed { epoch, budgets } => {
+            w.u8(TAG_PROCEED);
+            w.u32(*epoch);
+            w.u32(budgets.len() as u32);
+            for b in budgets {
+                w.u64(*b);
+            }
+        }
+        Frame::Complete => w.u8(TAG_COMPLETE),
+        Frame::Shutdown => w.u8(TAG_SHUTDOWN),
+    }
+    let payload = w.into_bytes();
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parses one frame payload (the bytes after the length prefix).
+pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader::new(payload);
+    r.section("frame header");
+    if r.u8()? != WIRE_VERSION {
+        return Err(WireError::Protocol("unsupported wire version"));
+    }
+    let tag = r.u8()?;
+    match tag {
+        TAG_HELLO => {
+            r.section("hello");
+            let name = String::from_utf8(r.bytes()?.to_vec())
+                .map_err(|_| WireError::Protocol("hello name not utf-8"))?;
+            Ok(Frame::Hello { name })
+        }
+        TAG_LEASE => {
+            r.section("lease header");
+            let fingerprint = r.u64()?;
+            let start_epoch = r.u32()?;
+            let phase = r.u8()?;
+            let seed_first = r.bool()?;
+            let config = read_config(&mut r, VERSION)?;
+            r.section("lease binary");
+            let binary = r.bytes()?.to_vec();
+            r.section("lease seeds");
+            let n = r.u32()? as usize;
+            let mut seeds = Vec::with_capacity(n.min(65536));
+            for _ in 0..n {
+                seeds.push(r.bytes()?.to_vec());
+            }
+            r.section("lease shards");
+            let n = r.u32()? as usize;
+            let mut shards = Vec::with_capacity(n.min(65536));
+            for _ in 0..n {
+                let shard = r.u32()?;
+                let budget = r.u64()?;
+                let state = read_shard_state(&mut r, VERSION)?;
+                shards.push(LeasedShard {
+                    shard,
+                    budget,
+                    state,
+                });
+            }
+            Ok(Frame::Lease(Lease {
+                fingerprint,
+                start_epoch,
+                phase,
+                seed_first,
+                config,
+                binary,
+                seeds,
+                shards,
+            }))
+        }
+        TAG_DECODE => {
+            r.section("decode stats");
+            Ok(Frame::Decode(DecodeStats {
+                blocks: r.u64()? as usize,
+                insts: r.u64()? as usize,
+                bytes: r.u64()? as usize,
+                undecoded_bytes: r.u64()? as usize,
+            }))
+        }
+        TAG_DELTA => {
+            r.section("delta");
+            Ok(Frame::Delta(decode_delta(r.bytes()?)?))
+        }
+        TAG_BARRIER => {
+            r.section("barrier");
+            let epoch = r.u32()?;
+            let minimize = r.bool()?;
+            let n = r.u32()? as usize;
+            let mut fresh = Vec::with_capacity(n.min(65536));
+            for _ in 0..n {
+                let m = r.u32()? as usize;
+                let mut inputs = Vec::with_capacity(m.min(65536));
+                for _ in 0..m {
+                    inputs.push(r.bytes()?.to_vec());
+                }
+                fresh.push(inputs);
+            }
+            Ok(Frame::Barrier {
+                epoch,
+                minimize,
+                fresh,
+            })
+        }
+        TAG_PROCEED => {
+            r.section("proceed");
+            let epoch = r.u32()?;
+            let n = r.u32()? as usize;
+            let mut budgets = Vec::with_capacity(n.min(65536));
+            for _ in 0..n {
+                budgets.push(r.u64()?);
+            }
+            Ok(Frame::Proceed { epoch, budgets })
+        }
+        TAG_COMPLETE => Ok(Frame::Complete),
+        TAG_SHUTDOWN => Ok(Frame::Shutdown),
+        _ => Err(WireError::Protocol("unknown frame tag")),
+    }
+}
+
+/// Blocking frame write (worker side, and coordinator sends — frames
+/// are written whole while the peer is parked in its read loop).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&encode_frame(frame))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Blocking frame read. Returns `None` on clean EOF at a frame
+/// boundary (the peer closed the connection).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Protocol("eof inside frame length")),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Protocol("frame length exceeds cap"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Some(decode_payload(&payload)).transpose()
+}
+
+/// Incremental frame assembler for the coordinator's non-blocking poll
+/// loop: feed it whatever bytes the socket had, pop complete frames.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends raw received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, or `None` if more bytes are
+    /// needed.
+    pub fn pop(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Protocol("frame length exceeds cap"));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = decode_payload(&self.buf[4..total])?;
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teapot_rt::{CovDelta, ShardDelta};
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                name: "worker-3".into(),
+            },
+            Frame::Lease(Lease {
+                fingerprint: 0xFEED_F00D,
+                start_epoch: 2,
+                phase: 1,
+                seed_first: false,
+                config: CampaignConfig {
+                    seed: 7,
+                    shards: 2,
+                    dictionary: vec![b"GET".to_vec()],
+                    adaptive_budgets: true,
+                    ..CampaignConfig::default()
+                },
+                binary: vec![1, 2, 3, 4],
+                seeds: vec![vec![9, 9]],
+                shards: vec![LeasedShard {
+                    shard: 1,
+                    budget: 500,
+                    state: StateSnapshot::empty(),
+                }],
+            }),
+            Frame::Decode(DecodeStats {
+                blocks: 10,
+                insts: 200,
+                bytes: 900,
+                undecoded_bytes: 1,
+            }),
+            Frame::Delta(ShardDelta {
+                shard: 1,
+                epoch: 2,
+                phase: 0,
+                corpus_append: vec![(vec![5], 2)],
+                fresh_count: 1,
+                corpus_replaced: None,
+                heur_counts: vec![(0x400, 3)],
+                cov_normal: CovDelta {
+                    updates: vec![(8, 1)],
+                },
+                cov_spec: CovDelta::default(),
+                gadgets_append: vec![],
+                witnesses_append: vec![],
+                iters: 100,
+                total_cost: 5000,
+                crashes: 0,
+                state_epoch: 3,
+            }),
+            Frame::Barrier {
+                epoch: 2,
+                minimize: true,
+                fresh: vec![vec![vec![1]], vec![]],
+            },
+            Frame::Proceed {
+                epoch: 3,
+                budgets: vec![400, 600],
+            },
+            Frame::Complete,
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_byte_stream() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        let mut cursor = std::io::Cursor::new(stream.clone());
+        for f in &frames {
+            assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+
+        // Same stream, dribbled a byte at a time into the poll-loop
+        // assembler.
+        let mut fb = FrameBuffer::new();
+        let mut popped = Vec::new();
+        for b in &stream {
+            fb.push(std::slice::from_ref(b));
+            while let Some(f) = fb.pop().unwrap() {
+                popped.push(f);
+            }
+        }
+        assert_eq!(popped, frames);
+    }
+
+    #[test]
+    fn bad_frames_are_rejected() {
+        assert!(matches!(
+            decode_payload(&[9, TAG_COMPLETE]),
+            Err(WireError::Protocol("unsupported wire version"))
+        ));
+        assert!(matches!(
+            decode_payload(&[WIRE_VERSION, 99]),
+            Err(WireError::Protocol("unknown frame tag"))
+        ));
+        let mut fb = FrameBuffer::new();
+        fb.push(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            fb.pop(),
+            Err(WireError::Protocol("frame length exceeds cap"))
+        ));
+    }
+}

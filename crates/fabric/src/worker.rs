@@ -1,0 +1,241 @@
+//! The fabric worker: a blocking event loop that drives real
+//! [`CampaignState`]s through exactly the per-shard sequence of a
+//! single-host epoch — seed, `begin_epoch`, fuzz, barrier imports,
+//! minimize — and ships each phase's [`ShardDelta`] back to the
+//! coordinator. The worker holds no campaign-level state: leases are
+//! self-contained (config + binary + shard states), so a worker can
+//! join mid-campaign and a dead worker's shards can be re-leased to a
+//! survivor without changing any result.
+
+use crate::wire::{read_frame, write_frame, Frame, Lease};
+use crate::FabricError;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::sync::Arc;
+use teapot_campaign::CampaignConfig;
+use teapot_fuzz::CampaignState;
+use teapot_obj::Binary;
+use teapot_rt::FxHashSet;
+use teapot_vm::Program;
+
+/// Worker behavior knobs.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Display name sent in the Hello frame.
+    pub name: String,
+    /// Fault-injection hook for tests: drop the connection right after
+    /// sending the **first** phase-0 delta of this epoch, simulating a
+    /// worker dying mid-epoch with work in flight.
+    pub die_at_epoch: Option<u32>,
+}
+
+/// Environment variable the CLI `work` subcommand reads into
+/// [`WorkerOptions::die_at_epoch`] (set by the fleet kill-test harness
+/// on a spawned worker process).
+pub const DIE_AT_EPOCH_ENV: &str = "TEAPOT_FABRIC_DIE_AT_EPOCH";
+
+struct ShardSlot {
+    st: CampaignState,
+    /// This epoch's iteration budget.
+    budget: u64,
+    /// Set after the fuzzing phase ran (or after a phase-1 re-lease
+    /// installed a post-fuzzing state); the next barrier imports into
+    /// exactly these shards.
+    needs_phase1: bool,
+}
+
+struct Session {
+    fingerprint: u64,
+    cfg: CampaignConfig,
+    prog: Arc<Program>,
+    seeds: Vec<Vec<u8>>,
+    shards: BTreeMap<u32, ShardSlot>,
+}
+
+/// Runs the worker event loop over `stream` until the coordinator
+/// sends Shutdown or closes the connection. `S` is a TCP or Unix
+/// stream in production, an in-memory pipe in tests.
+pub fn run_worker<S: Read + Write>(mut stream: S, opts: &WorkerOptions) -> Result<(), FabricError> {
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            name: opts.name.clone(),
+        },
+    )?;
+    let mut session: Option<Session> = None;
+    loop {
+        let frame = match read_frame(&mut stream)? {
+            Some(f) => f,
+            None => return Ok(()), // coordinator closed the connection
+        };
+        match frame {
+            Frame::Lease(lease) => {
+                if install_lease(&mut session, &mut stream, lease, opts)? {
+                    return Ok(()); // fault injection fired
+                }
+            }
+            Frame::Barrier {
+                epoch,
+                minimize,
+                fresh,
+            } => {
+                let s = session
+                    .as_mut()
+                    .ok_or(FabricError::Protocol("barrier before lease"))?;
+                run_barrier(s, &mut stream, epoch, minimize, &fresh)?;
+            }
+            Frame::Proceed { epoch, budgets } => {
+                let s = session
+                    .as_mut()
+                    .ok_or(FabricError::Protocol("proceed before lease"))?;
+                for (&i, slot) in s.shards.iter_mut() {
+                    slot.budget = *budgets
+                        .get(i as usize)
+                        .ok_or(FabricError::Protocol("budget vector too short"))?;
+                }
+                if run_phase0(s, &mut stream, epoch, false, opts)? {
+                    return Ok(());
+                }
+            }
+            Frame::Complete => {
+                // Campaign over; stay connected for the next lease
+                // (queue mode re-uses the fleet across binaries).
+                session = None;
+            }
+            Frame::Shutdown => return Ok(()),
+            Frame::Hello { .. } | Frame::Decode(_) | Frame::Delta(_) => {
+                return Err(FabricError::Protocol("unexpected frame at worker"));
+            }
+        }
+    }
+}
+
+/// Installs a lease's shards (rebuilding the session when the target
+/// binary changes) and, for a phase-0 lease, fuzzes them immediately.
+/// Returns `true` if the fault-injection hook closed the connection.
+fn install_lease<S: Read + Write>(
+    session: &mut Option<Session>,
+    stream: &mut S,
+    lease: Lease,
+    opts: &WorkerOptions,
+) -> Result<bool, FabricError> {
+    let rebuild = match session {
+        Some(s) => s.fingerprint != lease.fingerprint,
+        None => true,
+    };
+    if rebuild {
+        let bin = Binary::from_bytes(&lease.binary)
+            .map_err(|_| FabricError::Protocol("leased binary failed to parse"))?;
+        let prog = Program::shared(&bin);
+        write_frame(stream, &Frame::Decode(*prog.stats()))?;
+        *session = Some(Session {
+            fingerprint: lease.fingerprint,
+            cfg: lease.config.clone(),
+            prog,
+            seeds: lease.seeds.clone(),
+            shards: BTreeMap::new(),
+        });
+    }
+    let s = session.as_mut().expect("session installed above");
+    let mut new_shards = Vec::with_capacity(lease.shards.len());
+    for ls in &lease.shards {
+        let st = CampaignState::from_snapshot(s.cfg.shard_fuzz_config(ls.shard), &ls.state)
+            .map_err(FabricError::Fuzz)?;
+        s.shards.insert(
+            ls.shard,
+            ShardSlot {
+                st,
+                budget: ls.budget,
+                needs_phase1: lease.phase == 1,
+            },
+        );
+        new_shards.push(ls.shard);
+    }
+    if lease.phase == 0 {
+        return run_phase0_for(
+            s,
+            stream,
+            lease.start_epoch,
+            lease.seed_first,
+            opts,
+            &new_shards,
+        );
+    }
+    Ok(false)
+}
+
+/// Fuzzes every owned shard for `epoch` (phase 0) and ships the deltas.
+fn run_phase0<S: Write>(
+    s: &mut Session,
+    stream: &mut S,
+    epoch: u32,
+    seed_first: bool,
+    opts: &WorkerOptions,
+) -> Result<bool, FabricError> {
+    let owned: Vec<u32> = s.shards.keys().copied().collect();
+    run_phase0_for(s, stream, epoch, seed_first, opts, &owned)
+}
+
+fn run_phase0_for<S: Write>(
+    s: &mut Session,
+    stream: &mut S,
+    epoch: u32,
+    seed_first: bool,
+    opts: &WorkerOptions,
+    shards: &[u32],
+) -> Result<bool, FabricError> {
+    let die_here = opts.die_at_epoch == Some(epoch);
+    for &i in shards {
+        let slot = s.shards.get_mut(&i).expect("leased shard present");
+        if seed_first {
+            slot.st.seed_corpus_shared(&s.prog, &s.seeds);
+        }
+        slot.st.begin_epoch(epoch);
+        slot.st.run_iters_shared(&s.prog, slot.budget);
+        let delta = slot.st.take_delta(i, epoch, 0);
+        slot.needs_phase1 = true;
+        write_frame(stream, &Frame::Delta(delta))?;
+        if die_here {
+            // Simulated crash: first delta of the epoch is on the wire,
+            // the rest of this worker's shards die with it.
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Runs the barrier's cross-pollination imports (and optional corpus
+/// minimization) for every shard that fuzzed this epoch, replicating
+/// the single-host phase-2 loop donor-for-donor.
+fn run_barrier<S: Write>(
+    s: &mut Session,
+    stream: &mut S,
+    epoch: u32,
+    minimize: bool,
+    fresh: &[Vec<Vec<u8>>],
+) -> Result<(), FabricError> {
+    for (&j, slot) in s.shards.iter_mut() {
+        if !slot.needs_phase1 {
+            continue;
+        }
+        let mut seen: FxHashSet<&[u8]> = FxHashSet::default();
+        for (i, inputs) in fresh.iter().enumerate() {
+            if i as u32 == j {
+                continue;
+            }
+            for input in inputs {
+                if slot.st.contains_input(input) || !seen.insert(input.as_slice()) {
+                    continue;
+                }
+                slot.st.import_input_shared(&s.prog, input);
+            }
+        }
+        if minimize {
+            slot.st.minimize_corpus(&s.prog);
+        }
+        let delta = slot.st.take_delta(j, epoch, 1);
+        slot.needs_phase1 = false;
+        write_frame(stream, &Frame::Delta(delta))?;
+    }
+    Ok(())
+}

@@ -41,7 +41,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use teapot_obj::Binary;
 use teapot_rt::{
-    CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport, GadgetWitness, SpecModelSet,
+    CovDelta, CovMap, DetectorConfig, FxHashSet, GadgetKey, GadgetReport, GadgetWitness,
+    ShardDelta, SpecModelSet,
 };
 use teapot_telemetry::{BlockProfile, Histogram, VmCounters};
 use teapot_vm::{
@@ -207,7 +208,7 @@ struct CorpusEntry {
 ///
 /// The `teapot-campaign` crate serializes this to the on-disk `.tcs`
 /// snapshot format.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StateSnapshot {
     /// Corpus entries as `(input, score)` in discovery order.
     pub corpus: Vec<(Vec<u8>, u64)>,
@@ -233,6 +234,48 @@ pub struct StateSnapshot {
     /// `teapot-campaign` orchestrator tracks completed epochs separately
     /// in its own snapshot header.
     pub epoch: u32,
+}
+
+impl StateSnapshot {
+    /// An empty shard image (zero coverage, no corpus): the boundary
+    /// state a fabric coordinator holds for each shard before the first
+    /// delta arrives.
+    pub fn empty() -> StateSnapshot {
+        StateSnapshot {
+            corpus: Vec::new(),
+            heur_counts: Vec::new(),
+            cov_normal: vec![0; teapot_rt::coverage::COV_MAP_SIZE],
+            cov_spec: vec![0; teapot_rt::coverage::COV_MAP_SIZE],
+            gadgets: Vec::new(),
+            witnesses: Vec::new(),
+            iters: 0,
+            total_cost: 0,
+            crashes: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Applies one [`ShardDelta`] in place. Applying every delta of a
+    /// shard, in order, to the shard's previous full snapshot yields
+    /// exactly what [`CampaignState::export_snapshot`] of the live state
+    /// would — the fabric merge invariant (proptested in
+    /// `teapot-campaign`).
+    pub fn apply_delta(&mut self, d: &ShardDelta) {
+        if let Some(full) = &d.corpus_replaced {
+            self.corpus = full.clone();
+        } else {
+            self.corpus.extend(d.corpus_append.iter().cloned());
+        }
+        self.heur_counts = d.heur_counts.clone();
+        d.cov_normal.apply_to_raw(&mut self.cov_normal);
+        d.cov_spec.apply_to_raw(&mut self.cov_spec);
+        self.gadgets.extend(d.gadgets_append.iter().cloned());
+        self.witnesses.extend(d.witnesses_append.iter().cloned());
+        self.iters = d.iters;
+        self.total_cost = d.total_cost;
+        self.crashes = d.crashes;
+        self.epoch = d.state_epoch;
+    }
 }
 
 /// A re-entrant coverage-guided fuzzing campaign.
@@ -284,6 +327,21 @@ pub struct CampaignState {
     profile_blocks: bool,
     /// Log2-bucketed per-run cost distribution. Telemetry only.
     cost_hist: Histogram,
+    /// Delta-export watermarks: how much of the corpus / gadget /
+    /// witness lists the last [`CampaignState::take_delta`] already
+    /// shipped. Observation-only, like the telemetry fields above.
+    delta_corpus_mark: usize,
+    delta_gadget_mark: usize,
+    delta_witness_mark: usize,
+    /// Coverage images as of the last delta, diffed against the live
+    /// maps by `take_delta`. Lazily allocated so campaigns that never
+    /// export deltas pay nothing.
+    delta_prev_normal: Option<CovMap>,
+    delta_prev_spec: Option<CovMap>,
+    /// Set when minimization rewrote the corpus in place: the next delta
+    /// must ship a full replacement, an append can no longer describe
+    /// the change.
+    corpus_rewritten: bool,
 }
 
 struct ExecSlot {
@@ -321,6 +379,12 @@ impl CampaignState {
             gadget_timeline: Vec::new(),
             profile_blocks: false,
             cost_hist: Histogram::default(),
+            delta_corpus_mark: 0,
+            delta_gadget_mark: 0,
+            delta_witness_mark: 0,
+            delta_prev_normal: None,
+            delta_prev_spec: None,
+            corpus_rewritten: false,
         })
     }
 
@@ -355,6 +419,13 @@ impl CampaignState {
         st.fresh_start = st.corpus.len();
         st.score_total = st.corpus.iter().map(|e| e.score).sum();
         st.corpus_set = st.corpus.iter().map(|e| e.input.clone()).collect();
+        // Deltas taken after a restore describe what changed *since* the
+        // snapshot, so the watermarks start at the restored state.
+        st.delta_corpus_mark = st.corpus.len();
+        st.delta_gadget_mark = st.gadgets.len();
+        st.delta_witness_mark = st.witnesses.len();
+        st.delta_prev_normal = Some(st.global_normal.clone());
+        st.delta_prev_spec = Some(st.global_spec.clone());
         Ok(st)
     }
 
@@ -594,6 +665,121 @@ impl CampaignState {
         }
     }
 
+    /// Exports what changed since the previous [`take_delta`] (or since
+    /// campaign start / snapshot restore) as a [`ShardDelta`] and
+    /// advances the delta watermarks. Observation-only: taking deltas
+    /// never perturbs what the campaign computes.
+    ///
+    /// [`take_delta`]: CampaignState::take_delta
+    pub fn take_delta(&mut self, shard: u32, epoch: u32, phase: u8) -> ShardDelta {
+        let (corpus_append, corpus_replaced, fresh_count) = if self.corpus_rewritten {
+            self.corpus_rewritten = false;
+            let full = self
+                .corpus
+                .iter()
+                .map(|e| (e.input.clone(), e.score))
+                .collect();
+            (Vec::new(), Some(full), 0u32)
+        } else {
+            let appended: Vec<(Vec<u8>, u64)> = self.corpus[self.delta_corpus_mark..]
+                .iter()
+                .map(|e| (e.input.clone(), e.score))
+                .collect();
+            let fresh = self
+                .corpus
+                .len()
+                .saturating_sub(self.fresh_start.max(self.delta_corpus_mark));
+            (appended, None, fresh as u32)
+        };
+        let prev_normal = self.delta_prev_normal.get_or_insert_with(CovMap::new);
+        let cov_normal = CovDelta::diff(prev_normal, &self.global_normal);
+        cov_normal.apply_to(prev_normal);
+        let prev_spec = self.delta_prev_spec.get_or_insert_with(CovMap::new);
+        let cov_spec = CovDelta::diff(prev_spec, &self.global_spec);
+        cov_spec.apply_to(prev_spec);
+        let gadgets_append = self.gadgets[self.delta_gadget_mark..].to_vec();
+        let witnesses_append = self.witnesses[self.delta_witness_mark..].to_vec();
+        self.delta_corpus_mark = self.corpus.len();
+        self.delta_gadget_mark = self.gadgets.len();
+        self.delta_witness_mark = self.witnesses.len();
+        ShardDelta {
+            shard,
+            epoch,
+            phase,
+            corpus_append,
+            fresh_count,
+            corpus_replaced,
+            heur_counts: self.heur.export_counts(),
+            cov_normal,
+            cov_spec,
+            gadgets_append,
+            witnesses_append,
+            iters: self.iters,
+            total_cost: self.total_cost,
+            crashes: self.crashes,
+            state_epoch: self.epoch,
+        }
+    }
+
+    /// Coverage-subsumption corpus minimization: greedily replays the
+    /// corpus in discovery order against fresh accumulator maps and
+    /// drops every entry that adds no coverage feature beyond the
+    /// entries kept before it. Fully deterministic, so running it at the
+    /// same barrier on every host preserves the fleet-equals-single-host
+    /// invariant. Replays are observation-only — a cloned heuristic
+    /// absorbs their updates, replayed gadget reports are discarded, and
+    /// no iteration/cost/crash accounting happens — so minimization
+    /// changes *which inputs future mutation picks from* and nothing
+    /// else. Returns the number of entries dropped.
+    pub fn minimize_corpus(&mut self, prog: &Arc<Program>) -> usize {
+        if self.corpus.len() <= 1 {
+            return 0;
+        }
+        self.ensure_slot(prog);
+        let mut heur = SpecHeuristics::from_counts(self.cfg.heur_style, &self.heur.export_counts());
+        let mut acc_normal = CovMap::new();
+        let mut acc_spec = CovMap::new();
+        let mut keep = vec![false; self.corpus.len()];
+        for (i, kept) in keep.iter_mut().enumerate() {
+            let opts = RunOptions {
+                input: self.corpus[i].input.clone(),
+                fuel: self.cfg.fuel_per_run,
+                config: self.cfg.detector.clone(),
+                emu: self.cfg.emu,
+                models: self.cfg.models,
+            };
+            let slot = self.exec.as_mut().expect("exec slot just ensured");
+            let _ = Machine::with_context(&slot.prog, &mut slot.ctx, opts).run_stats(&mut heur);
+            // Every gadget a replay reports was already deduplicated
+            // when the entry first executed.
+            let _ = slot.ctx.take_gadgets();
+            let new = slot.ctx.cov_normal().merge_into(&mut acc_normal)
+                + slot.ctx.cov_spec().merge_into(&mut acc_spec);
+            *kept = new > 0;
+        }
+        if !keep.iter().any(|&k| k) {
+            // Degenerate branch-free target: no entry covers any
+            // feature. Keep the first so the corpus never empties (an
+            // empty corpus would re-seed mid-campaign and diverge).
+            keep[0] = true;
+        }
+        let before = self.corpus.len();
+        let corpus = std::mem::take(&mut self.corpus);
+        self.corpus = corpus
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(e, k)| k.then_some(e))
+            .collect();
+        self.corpus_set = self.corpus.iter().map(|e| e.input.clone()).collect();
+        self.score_total = self.corpus.iter().map(|e| e.score).sum();
+        self.fresh_start = self.corpus.len();
+        let dropped = before - self.corpus.len();
+        if dropped > 0 {
+            self.corpus_rewritten = true;
+        }
+        dropped
+    }
+
     /// Appends a corpus entry, keeping the running score total and the
     /// byte-identity index in sync.
     fn push_entry(&mut self, input: Vec<u8>, score: u64) {
@@ -602,10 +788,9 @@ impl CampaignState {
         self.corpus.push(CorpusEntry { input, score });
     }
 
-    /// Runs `input` on the pooled execution context (resetting it in
-    /// place), folds its coverage into the global maps, and returns the
-    /// number of new coverage features.
-    fn execute_one(&mut self, prog: &Arc<Program>, input: &[u8]) -> usize {
+    /// Ensures the pooled execution slot is bound to `prog`, rebuilding
+    /// (or rebinding a donated context) when the program changed.
+    fn ensure_slot(&mut self, prog: &Arc<Program>) {
         let rebuild = match &self.exec {
             Some(slot) => !Arc::ptr_eq(&slot.prog, prog),
             None => true,
@@ -628,6 +813,13 @@ impl CampaignState {
                 ctx,
             });
         }
+    }
+
+    /// Runs `input` on the pooled execution context (resetting it in
+    /// place), folds its coverage into the global maps, and returns the
+    /// number of new coverage features.
+    fn execute_one(&mut self, prog: &Arc<Program>, input: &[u8]) -> usize {
+        self.ensure_slot(prog);
         // Witness capture needs the heuristic state *as of the start of
         // this run*: seeding a replay from it reproduces the run
         // bit-identically (the VM is deterministic given program, input,
@@ -1167,6 +1359,95 @@ mod tests {
             assert!(*ord >= 1 && *ord <= st.iters());
         }
         assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0), "ordinals ascend");
+    }
+
+    #[test]
+    fn deltas_reconstruct_the_full_snapshot() {
+        let bin = instrumented(GATED);
+        let cfg = FuzzConfig {
+            max_iters: 400,
+            max_input_len: 16,
+            ..FuzzConfig::default()
+        };
+        let prog = Program::shared(&bin);
+        let mut st = CampaignState::new(cfg).unwrap();
+        let mut image = StateSnapshot::empty();
+
+        st.seed_corpus_shared(&prog, &[]);
+        st.begin_epoch(0);
+        st.run_iters_shared(&prog, 80);
+        let d0 = st.take_delta(0, 0, 0);
+        // The seed entry lands in the append but precedes `begin_epoch`,
+        // so it is not fresh.
+        assert_eq!(d0.fresh_count as usize, d0.corpus_append.len() - 1);
+        image.apply_delta(&d0);
+        assert_eq!(image, st.export_snapshot());
+
+        // Barrier import, then the phase-1 delta.
+        let mut good = vec![0u8; 16];
+        good[0] = 0x7f;
+        good[1] = 200;
+        st.import_input_shared(&prog, &good);
+        image.apply_delta(&st.take_delta(0, 0, 1));
+        assert_eq!(image, st.export_snapshot());
+
+        st.begin_epoch(1);
+        st.run_iters_shared(&prog, 80);
+        let d2 = st.take_delta(0, 1, 0);
+        // Past epoch 0 every appended entry is fresh.
+        assert_eq!(d2.fresh_count as usize, d2.corpus_append.len());
+        assert_eq!(d2.state_epoch, 1);
+        image.apply_delta(&d2);
+        assert_eq!(image, st.export_snapshot());
+
+        // A delta of an idle state is empty where it should be.
+        let idle = st.take_delta(0, 1, 1);
+        assert!(idle.corpus_append.is_empty() && idle.corpus_replaced.is_none());
+        assert!(idle.cov_normal.is_empty() && idle.cov_spec.is_empty());
+        assert!(idle.gadgets_append.is_empty() && idle.witnesses_append.is_empty());
+    }
+
+    #[test]
+    fn minimization_is_deterministic_and_ships_a_replacement() {
+        let bin = instrumented(GATED);
+        let cfg = FuzzConfig {
+            max_iters: 900,
+            max_input_len: 16,
+            ..FuzzConfig::default()
+        };
+        let prog = Program::shared(&bin);
+
+        let run = || {
+            let mut st = CampaignState::new(cfg.clone()).unwrap();
+            st.seed_corpus_shared(&prog, &[]);
+            st.begin_epoch(0);
+            st.run_iters_shared(&prog, 300);
+            let mut image = StateSnapshot::empty();
+            image.apply_delta(&st.take_delta(0, 0, 0));
+            let features_before = st.cov_normal().count_nonzero() + st.cov_spec().count_nonzero();
+            let iters_before = st.iters();
+            let dropped = st.minimize_corpus(&prog);
+            // Minimization replays are observation-only.
+            assert_eq!(st.iters(), iters_before);
+            assert_eq!(
+                st.cov_normal().count_nonzero() + st.cov_spec().count_nonzero(),
+                features_before
+            );
+            let d = st.take_delta(0, 0, 1);
+            if dropped > 0 {
+                assert!(d.corpus_replaced.is_some(), "rewrite ships a replacement");
+            }
+            image.apply_delta(&d);
+            assert_eq!(image, st.export_snapshot());
+            // The campaign keeps fuzzing deterministically afterwards.
+            st.begin_epoch(1);
+            st.run_iters_shared(&prog, 300);
+            (dropped, st.export_snapshot())
+        };
+        let (da, sa) = run();
+        let (db, sb) = run();
+        assert_eq!(da, db);
+        assert_eq!(sa, sb);
     }
 
     #[test]

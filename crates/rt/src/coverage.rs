@@ -50,6 +50,14 @@ impl CovMap {
         self.counters[guard as usize & (COV_MAP_SIZE - 1)]
     }
 
+    /// Overwrites the raw counter value for `guard` (delta application:
+    /// campaign coverage counters are monotone, so a delta ships absolute
+    /// values and applies them with a plain store).
+    #[inline]
+    pub fn set(&mut self, guard: u32, count: u8) {
+        self.counters[guard as usize & (COV_MAP_SIZE - 1)] = count;
+    }
+
     /// Zeroes all counters.
     pub fn clear(&mut self) {
         self.counters.fill(0);

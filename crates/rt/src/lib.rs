@@ -4,6 +4,7 @@
 
 pub mod cost;
 pub mod coverage;
+pub mod delta;
 pub mod hash;
 pub mod layout;
 pub mod meta;
@@ -12,6 +13,7 @@ pub mod tags;
 pub mod witness;
 
 pub use coverage::CovMap;
+pub use delta::{CovDelta, ShardDelta};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use meta::TeapotMeta;
 pub use report::{Channel, Controllability, GadgetKey, GadgetReport};

@@ -5,6 +5,7 @@ pub use teapot_campaign as campaign;
 pub use teapot_cc as cc;
 pub use teapot_core as core;
 pub use teapot_dis as dis;
+pub use teapot_fabric as fabric;
 pub use teapot_fuzz as fuzz;
 pub use teapot_isa as isa;
 pub use teapot_obj as obj;

@@ -82,8 +82,12 @@ pub const MAGIC: &[u8; 4] = b"TCS1";
 /// Version 5 added the `adaptive_budgets`/`corpus_minimize` config
 /// flags and the trailing per-shard budget-feature counts; v≤4 files
 /// load with both flags off and empty counts (those campaigns never
-/// rebalanced, so resuming them unchanged is exact).
-pub const VERSION: u32 = 5;
+/// rebalanced, so resuming them unchanged is exact). Version 6 appends
+/// a whole-file CRC32 trailer (last 4 bytes, little-endian, covering
+/// everything before it) so a torn or bit-flipped checkpoint is
+/// rejected on load instead of resuming a silently wrong campaign;
+/// v≤5 files have no trailer and load unchecked, as before.
+pub const VERSION: u32 = 6;
 
 /// A deserialized campaign snapshot.
 #[derive(Debug, Clone)]
@@ -134,6 +138,18 @@ pub enum SnapshotError {
         /// Fingerprint of the binary supplied on resume.
         actual: u64,
     },
+    /// The file's CRC32 trailer (format v6+) did not match its
+    /// contents — a bit flip or torn write somewhere in the covered
+    /// bytes.
+    Checksum {
+        /// Number of bytes the trailer covers (the trailer itself sits
+        /// at this offset).
+        covered: usize,
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the file contents.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -159,6 +175,15 @@ impl std::fmt::Display for SnapshotError {
                 f,
                 "snapshot was taken against a different binary \
                  (fingerprint {expected:#018x}, got {actual:#018x})"
+            ),
+            SnapshotError::Checksum {
+                covered,
+                stored,
+                actual,
+            } => write!(
+                f,
+                "corrupt snapshot: CRC32 trailer at byte offset {covered} \
+                 stores {stored:#010x} but the contents hash to {actual:#010x}"
             ),
         }
     }
@@ -241,7 +266,10 @@ impl CampaignSnapshot {
         for f in &self.prev_features {
             w.u64(*f);
         }
-        w.into_bytes()
+        let mut bytes = w.into_bytes();
+        let crc = teapot_rt::crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
     }
 
     /// Parses `.tcs` bytes. Version 1 files (pre-witness) still load:
@@ -249,6 +277,34 @@ impl CampaignSnapshot {
     /// (zero decode stats, witness capture on, no witnesses), so an old
     /// long-running campaign is never stranded by the format bump.
     pub fn from_bytes(bytes: &[u8]) -> Result<CampaignSnapshot, SnapshotError> {
+        // Whole-file integrity first for v6+ files: the last 4 bytes are
+        // the CRC32 of everything before them. Checking up front means
+        // no corrupted length field is ever trusted during parsing, and
+        // the body reader below never sees the trailer.
+        let mut bytes = bytes;
+        if bytes.len() >= 8 && &bytes[..4] == MAGIC {
+            let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+            if (6..=VERSION).contains(&version) {
+                if bytes.len() < 12 {
+                    return Err(SnapshotError::Truncated {
+                        section: "checksum trailer",
+                        offset: bytes.len(),
+                    });
+                }
+                let covered = bytes.len() - 4;
+                let t = &bytes[covered..];
+                let stored = u32::from_le_bytes([t[0], t[1], t[2], t[3]]);
+                let actual = teapot_rt::crc32(&bytes[..covered]);
+                if stored != actual {
+                    return Err(SnapshotError::Checksum {
+                        covered,
+                        stored,
+                        actual,
+                    });
+                }
+                bytes = &bytes[..covered];
+            }
+        }
         let mut r = Reader::new(bytes);
         r.section("header");
         if r.take(4)? != MAGIC {
@@ -298,14 +354,31 @@ impl CampaignSnapshot {
         })
     }
 
-    /// Writes the snapshot to `path`.
+    /// Writes the snapshot to `path` crash-safely: the bytes land in
+    /// `<path>.tmp` first and are fsynced, any existing checkpoint is
+    /// rotated to `<path>.prev`, and only then is the temp file
+    /// atomically renamed into place. A crash (power cut, kill -9, full
+    /// disk) at any point leaves either the old checkpoint at `path` or
+    /// — between the two renames — intact at `<path>.prev`, never a
+    /// half-written file under the real name.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+        use std::io::Write as _;
+        let tmp = sibling(path, ".tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
+        if path.exists() {
+            std::fs::rename(path, sibling(path, ".prev"))?;
+        }
+        std::fs::rename(&tmp, path)
     }
 
     /// Reads a snapshot from `path`. Every failure — unreadable file,
-    /// bad magic, truncation — names the file, so "file ends inside the
-    /// corpus section at byte offset N" points somewhere actionable.
+    /// bad magic, truncation, checksum mismatch — names the file, so
+    /// "file ends inside the corpus section at byte offset N" points
+    /// somewhere actionable.
     pub fn load(path: &std::path::Path) -> Result<CampaignSnapshot, crate::CampaignError> {
         let name = path.display().to_string();
         let bytes = std::fs::read(path).map_err(|e| crate::CampaignError::SnapshotFile {
@@ -317,6 +390,40 @@ impl CampaignSnapshot {
             reason: e.to_string(),
         })
     }
+
+    /// Loads `path`, falling back to the `<path>.prev` rotation kept by
+    /// [`CampaignSnapshot::save`] when the primary is missing, torn or
+    /// corrupt. On fallback the second element carries the primary's
+    /// failure text (for a telemetry event / log line); `None` means the
+    /// primary loaded cleanly. If both fail, the error is the
+    /// *primary's* — that is the file the operator pointed at.
+    pub fn load_with_fallback(
+        path: &std::path::Path,
+    ) -> Result<(CampaignSnapshot, Option<String>), crate::CampaignError> {
+        match CampaignSnapshot::load(path) {
+            Ok(snap) => Ok((snap, None)),
+            Err(primary) => match CampaignSnapshot::load(&sibling(path, ".prev")) {
+                Ok(snap) => Ok((snap, Some(primary.to_string()))),
+                Err(_) => Err(primary),
+            },
+        }
+    }
+
+    /// Removes a checkpoint and its `.tmp`/`.prev` siblings (queue mode
+    /// cleanup once the report has landed).
+    pub fn remove(path: &std::path::Path) {
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(sibling(path, ".tmp")).ok();
+        std::fs::remove_file(sibling(path, ".prev")).ok();
+    }
+}
+
+/// `path` with `suffix` appended to the full file name (keeps the
+/// `.tcs` extension visible: `x.tcs` → `x.tcs.prev`).
+fn sibling(path: &std::path::Path, suffix: &str) -> std::path::PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(suffix);
+    std::path::PathBuf::from(name)
 }
 
 // ---------------------------------------------------------------------
@@ -1618,15 +1725,34 @@ mod tests {
         assert_eq!(back.prev_features, vec![3, 4]);
     }
 
+    /// Truncates a serialized snapshot to `cut` bytes and re-seals it
+    /// with a valid CRC trailer, so `from_bytes` gets past the
+    /// integrity check and exercises the body parser's truncation
+    /// reporting (a file torn without a trailer fails the CRC first).
+    fn reseal(bytes: &[u8], cut: usize) -> Vec<u8> {
+        let mut out = bytes[..cut].to_vec();
+        out.extend_from_slice(&teapot_rt::crc32(&out).to_le_bytes());
+        out
+    }
+
     #[test]
     fn truncation_names_the_section_and_offset() {
         let bytes = sample_snapshot().to_bytes();
-        // Slice mid-header: the error must name the header section and
+        // Slice mid-version: the error must name the header section and
         // the exact byte offset where the file ran out.
-        match CampaignSnapshot::from_bytes(&bytes[..10]).unwrap_err() {
+        match CampaignSnapshot::from_bytes(&bytes[..6]).unwrap_err() {
             SnapshotError::Truncated { section, offset } => {
                 assert_eq!(section, "header");
-                assert!(offset <= 10);
+                assert!(offset <= 6);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // A v6 file big enough to carry a version but not a trailer
+        // names the trailer itself.
+        match CampaignSnapshot::from_bytes(&bytes[..10]).unwrap_err() {
+            SnapshotError::Truncated { section, offset } => {
+                assert_eq!(section, "checksum trailer");
+                assert_eq!(offset, 10);
             }
             other => panic!("expected Truncated, got {other:?}"),
         }
@@ -1637,9 +1763,12 @@ mod tests {
         r.take(hdr).unwrap();
         read_config(&mut r, VERSION).unwrap();
         let cut = r.pos + 6; // shard count u32 + 2 bytes into shard 0
-        let err = CampaignSnapshot::from_bytes(&bytes[..cut]).unwrap_err();
+        let err = CampaignSnapshot::from_bytes(&reseal(&bytes, cut)).unwrap_err();
         match err {
-            SnapshotError::Truncated { section, .. } => assert_eq!(section, "corpus"),
+            SnapshotError::Truncated { section, offset } => {
+                assert_eq!(section, "corpus");
+                assert!(offset <= cut);
+            }
             other => panic!("expected Truncated, got {other:?}"),
         }
         let msg = err.to_string();
@@ -1653,7 +1782,16 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("truncated.tcs");
         let bytes = sample_snapshot().to_bytes();
+        // A torn v6 file fails the whole-file CRC before the body
+        // parser ever runs — the error names the file and the trailer.
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = CampaignSnapshot::load(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("truncated.tcs"), "{msg}");
+        assert!(msg.contains("CRC32 trailer"), "{msg}");
+        // Re-sealed to a valid trailer, the body parser's truncation
+        // message (with file name) comes through instead.
+        std::fs::write(&path, reseal(&bytes, bytes.len() / 2)).unwrap();
         let err = CampaignSnapshot::load(&path).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("truncated.tcs"), "{msg}");

@@ -655,6 +655,31 @@ fn run_fleet_campaign(
         _ => None,
     };
 
+    // Chaos soak mode: a seeded fault schedule derived from
+    // --chaos-seed, or an explicit --chaos-schedule string (the same
+    // DSL the seeded plan prints, for CI-pinned reruns).
+    let chaos: Option<teapot_chaos::FaultPlan> =
+        match (opt(args, "--chaos-seed"), opt(args, "--chaos-schedule")) {
+            (Some(_), Some(_)) => {
+                return Err("--chaos-seed and --chaos-schedule are mutually exclusive".into())
+            }
+            (Some(seed), None) => {
+                let seed: u64 = seed
+                    .parse()
+                    .map_err(|_| format!("--chaos-seed: bad number `{seed}`"))?;
+                let plan = teapot_chaos::FaultPlan::seeded(seed, fleet_n, cfg.epochs);
+                println!("chaos seed {seed}: schedule {}", plan.to_schedule());
+                Some(plan)
+            }
+            (None, Some(schedule)) => {
+                let plan = teapot_chaos::FaultPlan::parse(schedule)
+                    .map_err(|e| format!("--chaos-schedule: {e}"))?;
+                println!("chaos schedule {}", plan.to_schedule());
+                Some(plan)
+            }
+            (None, None) => None,
+        };
+
     let listener = std::net::TcpListener::bind(("127.0.0.1", 0))
         .map_err(|e| format!("bind coordinator socket: {e}"))?;
     let addr = listener
@@ -662,6 +687,7 @@ fn run_fleet_campaign(
         .map_err(|e| e.to_string())?
         .to_string();
     let exe = std::env::current_exe().map_err(|e| format!("locate own executable: {e}"))?;
+    let chaos_schedule = chaos.as_ref().map(|p| p.to_schedule());
     let mut children = Vec::with_capacity(fleet_n);
     for w in 0..fleet_n {
         let mut cmd = std::process::Command::new(&exe);
@@ -671,6 +697,10 @@ fn run_fleet_campaign(
                 cmd.env(teapot_fabric::DIE_AT_EPOCH_ENV, ke);
             }
         }
+        if let Some(schedule) = &chaos_schedule {
+            cmd.env(teapot_fabric::CHAOS_SCHEDULE_ENV, schedule);
+            cmd.env(teapot_fabric::CHAOS_WORKER_ENV, w.to_string());
+        }
         children.push(cmd.spawn().map_err(|e| format!("spawn worker {w}: {e}"))?);
     }
 
@@ -678,6 +708,14 @@ fn run_fleet_campaign(
     // --snapshot doubles as the per-epoch checkpoint target: the file
     // after the last epoch IS the final campaign snapshot.
     coord_opts.checkpoint = opt(args, "--snapshot").map(std::path::PathBuf::from);
+    if let Some(ms) = opt(args, "--lease-timeout-ms") {
+        coord_opts.lease_timeout_ms = ms
+            .parse()
+            .map_err(|_| format!("--lease-timeout-ms: bad number `{ms}`"))?;
+    }
+    if let Some(plan) = &chaos {
+        coord_opts.checkpoint_faults = plan.checkpoints.clone();
+    }
     let mut coord =
         teapot_fabric::Coordinator::new(listener, coord_opts).map_err(|e| e.to_string())?;
     if let Some(path) = opt(args, "--metrics") {
@@ -738,6 +776,12 @@ fn run_fleet_campaign(
         stats.delta_bytes,
         stats.merge_ms
     );
+    if stats.quarantined + stats.rejoins + stats.checkpoint_faults > 0 {
+        println!(
+            "chaos: {} quarantine(s), {} rejoin(s), {} checkpoint fault(s)",
+            stats.quarantined, stats.rejoins, stats.checkpoint_faults
+        );
+    }
     println!(
         "throughput: {:.0} execs/sec ({} execs in {:.2}s)",
         ran_here as f64 / secs.max(1e-9),
@@ -946,6 +990,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 "--triage",
                 "--sarif",
                 "--metrics",
+                "--chaos-seed",
+                "--chaos-schedule",
+                "--lease-timeout-ms",
             ] {
                 if flag(args, name) && opt(args, name).is_none() {
                     return Err(format!("{name} requires a value"));
@@ -1199,6 +1246,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "--workload",
                 "--spec-models",
                 "--metrics",
+                "--lease-timeout-ms",
             ] {
                 if flag(args, name) && opt(args, name).is_none() {
                     return Err(format!("{name} requires a value"));
@@ -1217,11 +1265,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 "serving {dir} on {addr}: waiting for {expect} worker(s) \
                  (`teapot work {addr}`)"
             );
-            let mut coord = teapot_fabric::Coordinator::new(
-                listener,
-                teapot_fabric::CoordinatorOptions::new(expect),
-            )
-            .map_err(|e| e.to_string())?;
+            let mut serve_opts = teapot_fabric::CoordinatorOptions::new(expect);
+            if let Some(ms) = opt(args, "--lease-timeout-ms") {
+                serve_opts.lease_timeout_ms = ms
+                    .parse()
+                    .map_err(|_| format!("--lease-timeout-ms: bad number `{ms}`"))?;
+            }
+            let mut coord =
+                teapot_fabric::Coordinator::new(listener, serve_opts).map_err(|e| e.to_string())?;
             if let Some(path) = opt(args, "--metrics") {
                 let sink = teapot_telemetry::MetricsSink::create(std::path::Path::new(path))
                     .map_err(|e| format!("create {path}: {e}"))?;
@@ -1262,14 +1313,33 @@ fn run(args: &[String]) -> Result<(), String> {
             let die_at_epoch = std::env::var(teapot_fabric::DIE_AT_EPOCH_ENV)
                 .ok()
                 .and_then(|s| s.parse().ok());
-            let stream =
-                std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-            stream.set_nodelay(true).ok();
+            // The coordinator may still be binding (or restarting):
+            // retries with bounded backoff are built into
+            // run_worker_tcp, as is the mid-campaign rejoin path.
+            let chaos = match (
+                std::env::var(teapot_fabric::CHAOS_SCHEDULE_ENV),
+                std::env::var(teapot_fabric::CHAOS_WORKER_ENV),
+            ) {
+                (Ok(schedule), Ok(ordinal)) => {
+                    let plan = teapot_chaos::FaultPlan::parse(&schedule)
+                        .map_err(|e| format!("{}: {e}", teapot_fabric::CHAOS_SCHEDULE_ENV))?;
+                    let w: usize = ordinal.parse().map_err(|_| {
+                        format!(
+                            "{}: bad worker ordinal `{ordinal}`",
+                            teapot_fabric::CHAOS_WORKER_ENV
+                        )
+                    })?;
+                    Some(plan.worker(w))
+                }
+                _ => None,
+            };
             let wopts = teapot_fabric::WorkerOptions {
                 name: format!("worker-{}", std::process::id()),
                 die_at_epoch,
+                chaos,
             };
-            teapot_fabric::run_worker(stream, &wopts).map_err(|e| e.to_string())
+            teapot_fabric::run_worker_tcp(addr, &wopts, &teapot_fabric::RetryPolicy::default())
+                .map_err(|e| e.to_string())
         }
         "triage" => {
             let target = args.get(1).ok_or("usage: triage <bin.tof|snap.tcs|dir>")?;
@@ -1578,6 +1648,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let (mut leases, mut lease_bytes) = (0u64, 0u64);
             let (mut merges, mut merge_bytes, mut merge_ms) = (0u64, 0u64, 0u64);
             let mut deaths = Vec::new();
+            let mut chaos_events = Vec::new();
+            let (mut checkpoints, mut checkpoint_faults) = (0u64, 0u64);
             for line in text.lines() {
                 let Some(ev) = json_field(line, "event") else {
                     continue;
@@ -1635,6 +1707,24 @@ fn run(args: &[String]) -> Result<(), String> {
                             json_field(line, "worker").unwrap_or("?"),
                             json_num(line, "epoch").unwrap_or(0),
                         )),
+                        Some("quarantine") => chaos_events.push(format!(
+                            "quarantined {}: {}",
+                            json_field(line, "worker").unwrap_or("?"),
+                            json_field(line, "error").unwrap_or("?"),
+                        )),
+                        Some("rejoin") => chaos_events.push(format!(
+                            "rejoined {}",
+                            json_field(line, "worker").unwrap_or("?"),
+                        )),
+                        Some("checkpoint") => checkpoints += 1,
+                        Some("checkpoint_fault") => {
+                            checkpoint_faults += 1;
+                            chaos_events.push(format!(
+                                "checkpoint fault ({}) at epoch {}",
+                                json_field(line, "kind").unwrap_or("?"),
+                                json_num(line, "epoch").unwrap_or(0),
+                            ));
+                        }
                         _ => {}
                     },
                     _ => {}
@@ -1706,6 +1796,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 );
                 for d in &deaths {
                     println!("  dead: {d}");
+                }
+                if checkpoints + checkpoint_faults > 0 {
+                    println!("  checkpoints: {checkpoints} written, {checkpoint_faults} fault(s)");
+                }
+                for c in &chaos_events {
+                    println!("  chaos: {c}");
                 }
             }
             if !firsts.is_empty() {
@@ -1798,7 +1894,9 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20          [--spectaint] [--spec-models M] [--resume snap.tcs]\n\
                  \x20          [--snapshot snap.tcs] [--json out.json] [--triage out.jsonl]\n\
                  \x20          [--sarif out.sarif] [--no-triage] [--metrics out.jsonl]\n\
-                 \x20 serve <dir> [--addr host:port] [--fleet N] [--once] [campaign flags]\n\
+                 \x20          [--chaos-seed S | --chaos-schedule DSL] [--lease-timeout-ms T]\n\
+                 \x20 serve <dir> [--addr host:port] [--fleet N] [--once]\n\
+                 \x20       [--lease-timeout-ms T] [campaign flags]\n\
                  \x20 work <host:port>\n\
                  \x20 triage <bin.tof|snap.tcs|dir> [--bin bin.tof] [--jsonl out]\n\
                  \x20        [--sarif out] [--no-minimize] [--metrics out.jsonl]\n\
@@ -1823,7 +1921,17 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 byte-identical to --workers 1 — even after mid-epoch worker\n\
                  \x20 deaths. `teapot serve <dir>` runs a continuous fleet queue\n\
                  \x20 (checkpointing each binary to <stem>.tcs, reports to\n\
-                 \x20 <stem>.json); `teapot work host:port` joins a fleet.\n\
+                 \x20 <stem>.json); `teapot work host:port` joins a fleet, retrying\n\
+                 \x20 a coordinator that is not up yet and rejoining after faults.\n\
+                 \n\
+                 chaos: --chaos-seed S soaks a fleet under a deterministic fault\n\
+                 \x20 schedule (corrupted/truncated/duplicated frames, connection\n\
+                 \x20 resets, stalls, crashes, torn checkpoint writes) derived from\n\
+                 \x20 S alone — the schedule prints on start and replays exactly via\n\
+                 \x20 --chaos-schedule (DSL: `w1:corrupt@2,w2:stall150@0,ckpt:short@1`).\n\
+                 \x20 Every schedule keeps worker 0 alive, and every run's artifacts\n\
+                 \x20 stay byte-identical to --workers 1. --lease-timeout-ms tunes\n\
+                 \x20 how fast silent workers are declared dead.\n\
                  \n\
                  spec models: --spec-models takes a comma-separated subset of\n\
                  \x20 pht (conditional-branch misprediction, Spectre-V1 — the default),\n\

@@ -3,6 +3,14 @@
 //! barrier merge in shard-index order, and re-leases the shards of dead
 //! workers from the last epoch boundary.
 //!
+//! Fault handling never aborts a run while any worker (present or
+//! future — pump accepts rejoins continuously) can still make
+//! progress: a connection that sends a malformed or checksum-failing
+//! frame is *quarantined* (marked dead, socket shut down, shards
+//! re-leased); a worker silent past the lease timeout is treated the
+//! same; `.tcs` checkpoints are written crash-safely (temp file +
+//! fsync + atomic rename, with the previous epoch kept as `.prev`).
+//!
 //! # The "fleet equals single-host" invariant
 //!
 //! The coordinator never runs the VM. It holds the campaign's *boundary
@@ -29,6 +37,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 use teapot_campaign::snapshot::fingerprint;
 use teapot_campaign::{adaptive_budgets, partition, Campaign, CampaignConfig, CampaignSnapshot};
+use teapot_chaos::CheckpointFault;
 use teapot_fuzz::StateSnapshot;
 use teapot_obj::Binary;
 use teapot_rt::ShardDelta;
@@ -48,6 +57,10 @@ pub struct CoordinatorOptions {
     /// Write a `.tcs` checkpoint of the boundary state after every
     /// epoch (what a preempted campaign resumes from).
     pub checkpoint: Option<PathBuf>,
+    /// Chaos: inject a checkpoint-write fault at these `epochs_done`
+    /// values (a failed or torn write — the campaign carries on; only
+    /// the on-disk checkpoint lags an epoch).
+    pub checkpoint_faults: BTreeMap<u32, CheckpointFault>,
 }
 
 impl CoordinatorOptions {
@@ -58,6 +71,7 @@ impl CoordinatorOptions {
             lease_timeout_ms: 120_000,
             hello_timeout_ms: 60_000,
             checkpoint: None,
+            checkpoint_faults: BTreeMap::new(),
         }
     }
 }
@@ -93,12 +107,18 @@ impl Conn {
 /// connections, and runs fleet campaigns over them (several in
 /// sequence, in queue mode).
 pub struct Coordinator {
-    listener: TcpListener,
+    /// `None` after [`Coordinator::shutdown`]: late rejoin attempts get
+    /// a connection refusal (and give up fast) instead of parking in an
+    /// accept backlog nobody will ever drain.
+    listener: Option<TcpListener>,
     conns: Vec<Conn>,
     opts: CoordinatorOptions,
     stats: FabricStats,
     metrics: Option<MetricsSink>,
     decode_stats: DecodeStats,
+    /// Set once the initial fleet assembled; Hellos after this point
+    /// are rejoins.
+    assembled: bool,
 }
 
 impl Coordinator {
@@ -110,12 +130,13 @@ impl Coordinator {
     ) -> Result<Coordinator, FabricError> {
         listener.set_nonblocking(true)?;
         Ok(Coordinator {
-            listener,
+            listener: Some(listener),
             conns: Vec::new(),
             opts,
             stats: FabricStats::default(),
             metrics: None,
             decode_stats: DecodeStats::default(),
+            assembled: false,
         })
     }
 
@@ -149,22 +170,30 @@ impl Coordinator {
 
     /// Accepts pending connections, flushes queued outbound bytes, and
     /// reads whatever the sockets have, returning the parsed frames as
-    /// `(connection index, frame)` pairs. Never blocks.
+    /// `(connection index, frame)` pairs. Never blocks. Connections
+    /// whose bytes fail to parse (checksum mismatch, bad frame) are
+    /// quarantined here: marked dead, socket shut down, counted —
+    /// their shards get re-leased by the caller's orphan sweep.
     fn pump(&mut self) -> Result<Vec<(usize, Frame)>, FabricError> {
-        loop {
-            match self.listener.accept() {
-                Ok((s, _)) => {
-                    s.set_nonblocking(true)?;
-                    s.set_nodelay(true).ok();
-                    self.conns.push(Conn::new(s));
+        if let Some(listener) = &self.listener {
+            loop {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        s.set_nonblocking(true)?;
+                        s.set_nodelay(true).ok();
+                        self.conns.push(Conn::new(s));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e.into()),
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e.into()),
             }
         }
         let mut out = Vec::new();
+        let mut quarantined: Vec<(usize, String)> = Vec::new();
+        let mut rejoined: Vec<String> = Vec::new();
         let mut tmp = [0u8; 64 * 1024];
+        let assembled = self.assembled;
         for (idx, c) in self.conns.iter_mut().enumerate() {
             if !c.alive {
                 continue;
@@ -212,20 +241,67 @@ impl Coordinator {
                 match c.inbuf.pop() {
                     Ok(Some(f)) => {
                         if let Frame::Hello { name } = &f {
+                            if !c.hello && assembled {
+                                rejoined.push(name.clone());
+                            }
                             c.hello = true;
                             c.name = name.clone();
                         }
                         out.push((idx, f));
                     }
                     Ok(None) => break,
-                    Err(_) => {
+                    Err(e) => {
+                        // Quarantine: this connection's byte stream can
+                        // no longer be trusted. Anything valid it sent
+                        // before the damage still counts (it is in
+                        // `out`); the connection itself is done.
                         c.alive = false;
+                        c.stream.shutdown(std::net::Shutdown::Both).ok();
+                        quarantined.push((idx, e.to_string()));
                         break;
                     }
                 }
             }
         }
+        for (idx, why) in quarantined {
+            self.stats.quarantined += 1;
+            let name = self.conns[idx].name.clone();
+            self.emit(
+                Event::new("fabric")
+                    .str_field("op", "quarantine")
+                    .str_field("worker", &name)
+                    .str_field("error", &why),
+            );
+        }
+        for name in rejoined {
+            self.stats.rejoins += 1;
+            self.emit(
+                Event::new("fabric")
+                    .str_field("op", "rejoin")
+                    .str_field("worker", &name),
+            );
+        }
         Ok(out)
+    }
+
+    /// Condemns one connection: marks it dead, shuts the socket down
+    /// (unblocking a peer parked on it), and records the event. The
+    /// caller's orphan sweep re-leases whatever shards it held.
+    fn quarantine(&mut self, idx: usize, why: &str) {
+        let c = &mut self.conns[idx];
+        if !c.alive {
+            return;
+        }
+        c.alive = false;
+        c.stream.shutdown(std::net::Shutdown::Both).ok();
+        self.stats.quarantined += 1;
+        let name = c.name.clone();
+        self.emit(
+            Event::new("fabric")
+                .str_field("op", "quarantine")
+                .str_field("worker", &name)
+                .str_field("error", why),
+        );
     }
 
     fn queue_frame(&mut self, idx: usize, frame: &Frame) {
@@ -267,16 +343,20 @@ impl Coordinator {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
         }
+        self.assembled = true;
         Ok(())
     }
 
-    /// Sends Shutdown to every worker, flushes the queues, and drops
-    /// the connections (so even a worker that never finished its Hello
-    /// sees EOF and exits).
+    /// Sends Shutdown to every worker, flushes the queues, drops the
+    /// connections (so even a worker that never finished its Hello
+    /// sees EOF and exits), and closes the listener — a worker mid-
+    /// rejoin gets a connection refusal and gives up fast instead of
+    /// parking in a dead accept backlog.
     pub fn shutdown(&mut self) {
         self.broadcast(&Frame::Shutdown);
         self.drain_writes();
         self.conns.clear();
+        self.listener = None;
     }
 
     fn drain_writes(&mut self) {
@@ -411,7 +491,47 @@ impl Coordinator {
 
             if let Some(path) = self.opts.checkpoint.clone() {
                 let snap = self.snapshot_boundary(cfg, fp, epochs_done, &boundary, &prev_features);
-                std::fs::write(&path, snap.to_bytes())?;
+                match self.opts.checkpoint_faults.get(&epochs_done).copied() {
+                    Some(fault) => {
+                        // Injected checkpoint crash: a failed write
+                        // leaves nothing, a torn write leaves a partial
+                        // temp file that is never renamed into place —
+                        // either way the previous epoch's checkpoint
+                        // survives under the real name and the campaign
+                        // carries on.
+                        let bytes = snap.to_bytes();
+                        let keep = match fault {
+                            CheckpointFault::Fail => 0,
+                            CheckpointFault::Short => bytes.len() / 2,
+                        };
+                        if keep > 0 {
+                            let mut tmp = path.clone().into_os_string();
+                            tmp.push(".tmp");
+                            std::fs::write(tmp, &bytes[..keep])?;
+                        }
+                        self.stats.checkpoint_faults += 1;
+                        self.emit(
+                            Event::new("fabric")
+                                .str_field("op", "checkpoint_fault")
+                                .str_field(
+                                    "kind",
+                                    match fault {
+                                        CheckpointFault::Fail => "fail",
+                                        CheckpointFault::Short => "short",
+                                    },
+                                )
+                                .num("epoch", epochs_done as u64),
+                        );
+                    }
+                    None => {
+                        snap.save(&path)?;
+                        self.emit(
+                            Event::new("fabric")
+                                .str_field("op", "checkpoint")
+                                .num("epoch", epochs_done as u64),
+                        );
+                    }
+                }
             }
         }
 
@@ -553,7 +673,7 @@ impl Coordinator {
         while got.len() < n {
             let events = self.pump()?;
             let progressed = !events.is_empty();
-            for (_, frame) in events {
+            for (idx, frame) in events {
                 match frame {
                     Frame::Hello { .. } => {}
                     Frame::Decode(d) => self.decode_stats = d,
@@ -562,12 +682,19 @@ impl Coordinator {
                             got.insert(d.shard, d);
                         }
                     }
-                    _ => return Err(FabricError::Protocol("unexpected frame at coordinator")),
+                    _ => {
+                        // A confused peer condemns its connection, never
+                        // the campaign: quarantine it and let the orphan
+                        // sweep below re-lease whatever it held.
+                        self.quarantine(idx, "unexpected frame at coordinator");
+                    }
                 }
             }
 
             // Liveness: a worker that owes deltas and has been silent
-            // past the lease timeout is dead even without an EOF.
+            // past the lease timeout is dead even without an EOF. The
+            // socket is shut down too, so a *hung* (rather than dead)
+            // worker unblocks into its rejoin path the moment it wakes.
             let timeout = std::time::Duration::from_millis(self.opts.lease_timeout_ms);
             for c in self.conns.iter_mut() {
                 if c.alive
@@ -576,6 +703,7 @@ impl Coordinator {
                     && c.last_heard.elapsed() > timeout
                 {
                     c.alive = false;
+                    c.stream.shutdown(std::net::Shutdown::Both).ok();
                 }
             }
 

@@ -37,9 +37,12 @@ pub mod worker;
 
 pub use coordinator::{Coordinator, CoordinatorOptions};
 pub use wire::{Frame, Lease, LeasedShard, WireError};
-pub use worker::{run_worker, WorkerOptions, DIE_AT_EPOCH_ENV};
+pub use worker::{
+    run_worker, run_worker_tcp, RetryPolicy, WorkerOptions, CHAOS_SCHEDULE_ENV, CHAOS_WORKER_ENV,
+    DIE_AT_EPOCH_ENV,
+};
 
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use teapot_campaign::queue::{prepare_binary, scan_queue};
 use teapot_campaign::{Campaign, CampaignConfig, CampaignError, CampaignReport, CampaignSnapshot};
@@ -119,6 +122,13 @@ pub struct FabricStats {
     pub merge_ms: u64,
     /// Epochs completed under fabric control.
     pub epochs: u64,
+    /// Connections condemned for malformed or unexpected frames.
+    pub quarantined: u64,
+    /// Workers that reconnected after the fleet first assembled.
+    pub rejoins: u64,
+    /// Checkpoint writes lost to injected crashes (the on-disk
+    /// checkpoint lags an epoch; the campaign itself is unaffected).
+    pub checkpoint_faults: u64,
 }
 
 /// Options for [`run_fleet_threads`].
@@ -135,6 +145,12 @@ pub struct FleetOptions {
     pub kill_worker: Option<(usize, u32)>,
     /// Resume the campaign from this boundary snapshot.
     pub resume: Option<CampaignSnapshot>,
+    /// Seeded fault schedule: per-worker stream/crash/stall faults plus
+    /// coordinator checkpoint faults (see [`teapot_chaos::FaultPlan`]).
+    pub chaos: Option<teapot_chaos::FaultPlan>,
+    /// Override the coordinator's lease timeout (milliseconds) — chaos
+    /// tests shrink it so a stalled worker is declared dead quickly.
+    pub lease_timeout_ms: Option<u64>,
 }
 
 /// A finished fleet campaign.
@@ -165,24 +181,39 @@ pub fn run_fleet_threads(
     let addr = listener.local_addr()?;
     let mut coord_opts = CoordinatorOptions::new(opts.workers);
     coord_opts.checkpoint = opts.checkpoint.clone();
+    if let Some(ms) = opts.lease_timeout_ms {
+        coord_opts.lease_timeout_ms = ms;
+    }
+    if let Some(plan) = &opts.chaos {
+        coord_opts.checkpoint_faults = plan.checkpoints.clone();
+    }
     let mut coord = Coordinator::new(listener, coord_opts)?;
     if let Some(sink) = opts.metrics {
         coord.set_metrics(sink);
     }
+    // Thread fleets reconnect fast: loopback sockets refuse instantly,
+    // and a short idle timeout keeps an injected stall from parking the
+    // scope past the coordinator's own lease sweep.
+    let policy = worker::RetryPolicy {
+        max_attempts: 10,
+        base_ms: 10,
+        cap_ms: 200,
+        idle_timeout_ms: 2_000,
+    };
     let campaign = std::thread::scope(|scope| {
         for w in 0..opts.workers {
             let die_at_epoch = opts.kill_worker.filter(|&(kw, _)| kw == w).map(|(_, e)| e);
+            let chaos = opts.chaos.as_ref().map(|plan| plan.worker(w));
+            let policy = &policy;
             scope.spawn(move || {
-                let Ok(stream) = TcpStream::connect(addr) else {
-                    return;
-                };
                 let wopts = WorkerOptions {
                     name: format!("worker-{w}"),
                     die_at_epoch,
+                    chaos,
                 };
-                // A worker error (including the injected kill) is the
+                // A worker error (including injected faults) is the
                 // coordinator's problem to survive, not ours to report.
-                let _ = run_worker(stream, &wopts);
+                let _ = run_worker_tcp(&addr.to_string(), &wopts, policy);
             });
         }
         let result = coord
@@ -237,18 +268,23 @@ pub fn run_queue_fleet(
             }
             let (bin, _) = prepare_binary(&path)?;
             let checkpoint = path.with_extension("tcs");
-            // A checkpoint from a preempted run resumes the campaign;
-            // one that is unreadable or belongs to a different binary
-            // is ignored (starting over reproduces the same report).
-            let resume = CampaignSnapshot::load(&checkpoint).ok().filter(|snap| {
-                snap.bin_fingerprint == teapot_campaign::snapshot::fingerprint(&bin)
-            });
+            // A checkpoint from a preempted run resumes the campaign —
+            // falling back to the `.prev` generation if the primary was
+            // torn by a crash mid-write. One that is unreadable or
+            // belongs to a different binary is ignored (starting over
+            // reproduces the same report).
+            let resume = CampaignSnapshot::load_with_fallback(&checkpoint)
+                .ok()
+                .map(|(snap, _)| snap)
+                .filter(|snap| {
+                    snap.bin_fingerprint == teapot_campaign::snapshot::fingerprint(&bin)
+                });
             coord.set_checkpoint(Some(checkpoint.clone()));
             let campaign = coord.run_campaign_fleet(&bin, seeds, cfg, resume.as_ref())?;
             coord.set_checkpoint(None);
             let report = campaign.report();
             std::fs::write(&report_path, report.to_json())?;
-            std::fs::remove_file(&checkpoint).ok();
+            CampaignSnapshot::remove(&checkpoint);
             progressed = true;
             outcomes.push(QueueFleetOutcome {
                 path,

@@ -1,12 +1,26 @@
-//! The fabric wire protocol: length-prefixed, versioned frames over a
-//! byte stream (TCP in practice; anything `Read + Write` in tests).
+//! The fabric wire protocol: length-prefixed, versioned, checksummed
+//! frames over a byte stream (TCP in practice; anything `Read + Write`
+//! in tests).
 //!
-//! Every frame is `u32 LE payload length · u8 wire version · u8 tag ·
-//! body`, where bodies are written with the `.tcs` snapshot codecs
+//! Every frame is
+//!
+//! ```text
+//! u32 LE payload length · payload · u32 LE CRC32(payload)
+//! payload = u8 wire version · u8 tag · body
+//! ```
+//!
+//! The CRC32 trailer (wire v2) covers the whole payload: a bit-flipped
+//! frame is rejected *before* body parsing with a typed
+//! [`WireError::Checksum`] naming the frame kind, so the receiver
+//! never trusts a corrupted length field deeper in the body. Bodies
+//! are written with the `.tcs` snapshot codecs
 //! ([`teapot_campaign::snapshot`]) — a leased shard state or an epoch
 //! delta on the wire is bit-compatible with what a snapshot file
 //! stores, so the protocol inherits the snapshot layer's versioning
-//! and its truncation-aware error reporting.
+//! and its truncation-aware error reporting: every body parse failure
+//! is a [`WireError::Body`] naming the frame kind plus the section and
+//! byte offset where the bytes ran out or went bad. No input from the
+//! peer can panic this module.
 //!
 //! The conversation (one campaign):
 //!
@@ -23,6 +37,27 @@
 //! coordinator → worker   Complete     (campaign done; await next Lease)
 //! coordinator → worker   Shutdown     (close the connection)
 //! ```
+//!
+//! # Error frames and quarantine
+//!
+//! There is no NAK frame: a malformed or checksum-failing frame
+//! condemns the *connection*, not the campaign. The coordinator marks
+//! the connection dead (quarantine), shuts the socket down, and
+//! re-leases the worker's outstanding shards to a survivor; a worker
+//! that reads a bad frame drops the connection and rejoins. Both sides
+//! rely on re-run determinism — deltas are pure functions of boundary
+//! state — so a quarantined connection never changes any result.
+//!
+//! # The rejoin handshake
+//!
+//! A worker whose connection died (its own crash, a quarantine, a torn
+//! stream) reconnects with bounded exponential backoff and sends a
+//! fresh `Hello` — the rejoin handshake is just the join handshake.
+//! Until the coordinator re-leases it shards, the rejoined worker
+//! holds no session and silently ignores the broadcast `Barrier` /
+//! `Proceed` / `Complete` traffic of the epoch in flight; the
+//! coordinator counts the rejoin and folds the connection back into
+//! its re-lease pool.
 
 use std::io::{Read, Write};
 use teapot_campaign::snapshot::{
@@ -31,12 +66,13 @@ use teapot_campaign::snapshot::{
 };
 use teapot_campaign::CampaignConfig;
 use teapot_fuzz::StateSnapshot;
-use teapot_rt::ShardDelta;
+use teapot_rt::{crc32, ShardDelta};
 use teapot_vm::DecodeStats;
 
 /// Version byte carried by every frame. Bumped when the frame grammar
 /// changes; the snapshot-format version [`VERSION`] covers body layout.
-pub const WIRE_VERSION: u8 = 1;
+/// v2 added the per-frame CRC32 trailer.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a single frame's payload (defense against a corrupt
 /// or hostile length prefix allocating unbounded memory). Leases carry
@@ -52,6 +88,28 @@ const TAG_BARRIER: u8 = 5;
 const TAG_PROCEED: u8 = 6;
 const TAG_COMPLETE: u8 = 7;
 const TAG_SHUTDOWN: u8 = 8;
+
+/// Human-readable frame kind for a tag byte — what typed wire errors
+/// report. Safe on arbitrary (corrupt) tag values.
+pub fn tag_name(tag: u8) -> &'static str {
+    match tag {
+        TAG_HELLO => "hello",
+        TAG_LEASE => "lease",
+        TAG_DECODE => "decode",
+        TAG_DELTA => "delta",
+        TAG_BARRIER => "barrier",
+        TAG_PROCEED => "proceed",
+        TAG_COMPLETE => "complete",
+        TAG_SHUTDOWN => "shutdown",
+        _ => "unknown",
+    }
+}
+
+/// Frame kind of an encoded payload (`version · tag · body`), for
+/// error reporting on frames that failed before parsing.
+fn payload_kind(payload: &[u8]) -> &'static str {
+    payload.get(1).map_or("unknown", |&t| tag_name(t))
+}
 
 /// One shard granted by a [`Lease`]: its index, this epoch's iteration
 /// budget, and the state to fuzz from.
@@ -133,13 +191,32 @@ pub enum Frame {
     Shutdown,
 }
 
-/// Wire-protocol errors.
+/// Wire-protocol errors. Every variant produced while parsing peer
+/// bytes names the frame kind involved; body errors additionally carry
+/// the snapshot codec's section + byte offset.
 #[derive(Debug)]
 pub enum WireError {
     /// Socket I/O failed.
     Io(std::io::Error),
-    /// A frame body failed to parse.
-    Body(SnapshotError),
+    /// A frame body failed to parse: which frame kind, and the codec
+    /// error (section + byte offset within the payload).
+    Body {
+        /// Frame kind (`"lease"`, `"delta"`, … or `"unknown"`).
+        frame: &'static str,
+        /// The underlying codec error.
+        error: SnapshotError,
+    },
+    /// The frame's CRC32 trailer did not match its payload.
+    Checksum {
+        /// Frame kind per the (possibly corrupt) tag byte.
+        frame: &'static str,
+        /// Payload length of the rejected frame.
+        len: usize,
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the received payload.
+        actual: u32,
+    },
     /// Frame grammar violation (bad tag, bad version, oversized length).
     Protocol(&'static str),
 }
@@ -148,7 +225,17 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Io(e) => write!(f, "i/o: {e}"),
-            WireError::Body(e) => write!(f, "frame body: {e}"),
+            WireError::Body { frame, error } => write!(f, "{frame} frame body: {error}"),
+            WireError::Checksum {
+                frame,
+                len,
+                stored,
+                actual,
+            } => write!(
+                f,
+                "{frame} frame checksum mismatch over {len} payload bytes: \
+                 stored {stored:#010x}, computed {actual:#010x}"
+            ),
             WireError::Protocol(what) => write!(f, "protocol: {what}"),
         }
     }
@@ -163,8 +250,22 @@ impl From<std::io::Error> for WireError {
 }
 
 impl From<SnapshotError> for WireError {
-    fn from(e: SnapshotError) -> Self {
-        WireError::Body(e)
+    fn from(error: SnapshotError) -> Self {
+        WireError::Body {
+            frame: "unknown",
+            error,
+        }
+    }
+}
+
+impl WireError {
+    /// Stamps the frame kind onto a body error produced before the tag
+    /// was known to the `?`-conversion.
+    fn with_frame(self, name: &'static str) -> WireError {
+        match self {
+            WireError::Body { error, .. } => WireError::Body { frame: name, error },
+            other => other,
+        }
     }
 }
 
@@ -235,13 +336,30 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Shutdown => w.u8(TAG_SHUTDOWN),
     }
     let payload = w.into_bytes();
-    let mut out = Vec::with_capacity(4 + payload.len());
+    let mut out = Vec::with_capacity(4 + payload.len() + 4);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
     out
 }
 
-/// Parses one frame payload (the bytes after the length prefix).
+/// Verifies a payload against its 4-byte CRC32 trailer.
+fn check_crc(payload: &[u8], trailer: &[u8]) -> Result<(), WireError> {
+    let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(WireError::Checksum {
+            frame: payload_kind(payload),
+            len: payload.len(),
+            stored,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// Parses one frame payload (the bytes between the length prefix and
+/// the CRC trailer).
 pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
     let mut r = Reader::new(payload);
     r.section("frame header");
@@ -249,6 +367,11 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
         return Err(WireError::Protocol("unsupported wire version"));
     }
     let tag = r.u8()?;
+    decode_body(tag, &mut r).map_err(|e| e.with_frame(tag_name(tag)))
+}
+
+/// Parses a frame body once version + tag are known.
+fn decode_body(tag: u8, r: &mut Reader) -> Result<Frame, WireError> {
     match tag {
         TAG_HELLO => {
             r.section("hello");
@@ -262,7 +385,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             let start_epoch = r.u32()?;
             let phase = r.u8()?;
             let seed_first = r.bool()?;
-            let config = read_config(&mut r, VERSION)?;
+            let config = read_config(r, VERSION)?;
             r.section("lease binary");
             let binary = r.bytes()?.to_vec();
             r.section("lease seeds");
@@ -277,7 +400,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             for _ in 0..n {
                 let shard = r.u32()?;
                 let budget = r.u64()?;
-                let state = read_shard_state(&mut r, VERSION)?;
+                let state = read_shard_state(r, VERSION)?;
                 shards.push(LeasedShard {
                     shard,
                     budget,
@@ -370,9 +493,11 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
     if len > MAX_FRAME_LEN {
         return Err(WireError::Protocol("frame length exceeds cap"));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Some(decode_payload(&payload)).transpose()
+    let mut body = vec![0u8; len as usize + 4];
+    r.read_exact(&mut body)?;
+    let (payload, trailer) = body.split_at(len as usize);
+    check_crc(payload, trailer)?;
+    Some(decode_payload(payload)).transpose()
 }
 
 /// Incremental frame assembler for the coordinator's non-blocking poll
@@ -393,21 +518,29 @@ impl FrameBuffer {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Whether the buffer holds no pending bytes (an EOF here is a
+    /// clean close; an EOF with bytes pending tore a frame).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
     /// Pops the next complete frame, or `None` if more bytes are
     /// needed.
     pub fn pop(&mut self) -> Result<Option<Frame>, WireError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
         if len > MAX_FRAME_LEN {
             return Err(WireError::Protocol("frame length exceeds cap"));
         }
-        let total = 4 + len as usize;
+        let total = 4 + len as usize + 4;
         if self.buf.len() < total {
             return Ok(None);
         }
-        let frame = decode_payload(&self.buf[4..total])?;
+        let (payload, trailer) = self.buf[4..total].split_at(len as usize);
+        check_crc(payload, trailer)?;
+        let frame = decode_payload(payload)?;
         self.buf.drain(..total);
         Ok(Some(frame))
     }
@@ -524,5 +657,65 @@ mod tests {
             fb.pop(),
             Err(WireError::Protocol("frame length exceeds cap"))
         ));
+    }
+
+    #[test]
+    fn a_flipped_payload_byte_fails_the_crc_and_names_the_frame() {
+        for frame in sample_frames() {
+            let clean = encode_frame(&frame);
+            // Flip every payload/trailer byte in turn; each one must be
+            // caught (by the CRC, or — for trailer flips — by the CRC
+            // comparison itself).
+            for at in 4..clean.len() {
+                let mut bytes = clean.clone();
+                bytes[at] ^= 0x10;
+                let mut fb = FrameBuffer::new();
+                fb.push(&bytes);
+                match fb.pop() {
+                    Err(WireError::Checksum { len, .. }) => {
+                        assert_eq!(len, clean.len() - 8);
+                    }
+                    other => panic!("byte {at}: expected checksum error, got {other:?}"),
+                }
+            }
+        }
+        // The frame kind survives into the error for a readable report.
+        let mut bytes = encode_frame(&Frame::Complete);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut fb = FrameBuffer::new();
+        fb.push(&bytes);
+        let msg = fb.pop().unwrap_err().to_string();
+        assert!(msg.contains("complete frame checksum"), "{msg}");
+    }
+
+    #[test]
+    fn truncated_bodies_yield_typed_errors_naming_frame_and_offset() {
+        // A barrier body cut short: re-seal a truncated payload with a
+        // *valid* CRC so the failure exercises the body parser, which
+        // must name the frame kind and the offset where bytes ran out.
+        let full = encode_frame(&Frame::Barrier {
+            epoch: 3,
+            minimize: false,
+            fresh: vec![vec![vec![1, 2, 3]], vec![vec![4]]],
+        });
+        let payload = &full[4..full.len() - 4];
+        for keep in 2..payload.len() {
+            let cut = &payload[..keep];
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&(cut.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(cut);
+            bytes.extend_from_slice(&crc32(cut).to_le_bytes());
+            let mut fb = FrameBuffer::new();
+            fb.push(&bytes);
+            match fb.pop() {
+                Err(WireError::Body { frame, error }) => {
+                    assert_eq!(frame, "barrier");
+                    let msg = error.to_string();
+                    assert!(msg.contains("offset"), "keep {keep}: {msg}");
+                }
+                other => panic!("keep {keep}: expected body error, got {other:?}"),
+            }
+        }
     }
 }

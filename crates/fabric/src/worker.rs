@@ -6,13 +6,35 @@
 //! self-contained (config + binary + shard states), so a worker can
 //! join mid-campaign and a dead worker's shards can be re-leased to a
 //! survivor without changing any result.
+//!
+//! # Resilience
+//!
+//! [`run_worker_tcp`] wraps the session loop in bounded-exponential-
+//! backoff reconnection: a refused connect at startup (`teapot work`
+//! racing `teapot serve`), a quarantined connection, a torn stream or
+//! an injected crash all lead back to a fresh `Hello` — the worker
+//! *rejoins* the fleet and is folded back into the coordinator's
+//! re-lease pool mid-campaign. A rejoined worker holds no session
+//! until its next lease and silently ignores the broadcast frames of
+//! the epoch in flight.
+//!
+//! # Fault injection
+//!
+//! Chaos faults ([`teapot_chaos::WorkerPlan`]) are armed per epoch and
+//! applied to the epoch's first outbound delta frame (or, for
+//! stalls/crashes, to the epoch itself). The plan lives *outside* the
+//! per-connection session, so a fault fires exactly once even across
+//! rejoins — a worker re-leased the epoch it just crashed on does not
+//! crash again.
 
-use crate::wire::{read_frame, write_frame, Frame, Lease};
+use crate::wire::{encode_frame, write_frame, Frame, FrameBuffer, Lease};
 use crate::FabricError;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::sync::Arc;
+use std::time::Duration;
 use teapot_campaign::CampaignConfig;
+use teapot_chaos::{corrupt_frame, truncate_len, EpochFault, StreamFault, WorkerPlan};
 use teapot_fuzz::CampaignState;
 use teapot_obj::Binary;
 use teapot_rt::FxHashSet;
@@ -25,14 +47,91 @@ pub struct WorkerOptions {
     pub name: String,
     /// Fault-injection hook for tests: drop the connection right after
     /// sending the **first** phase-0 delta of this epoch, simulating a
-    /// worker dying mid-epoch with work in flight.
+    /// worker dying mid-epoch with work in flight. (Equivalent to a
+    /// [`EpochFault::Crash`] entry in `chaos`.)
     pub die_at_epoch: Option<u32>,
+    /// Deterministic fault schedule for this worker (chaos testing).
+    pub chaos: Option<WorkerPlan>,
 }
 
 /// Environment variable the CLI `work` subcommand reads into
 /// [`WorkerOptions::die_at_epoch`] (set by the fleet kill-test harness
 /// on a spawned worker process).
 pub const DIE_AT_EPOCH_ENV: &str = "TEAPOT_FABRIC_DIE_AT_EPOCH";
+
+/// Environment variable carrying a fleet chaos schedule
+/// ([`teapot_chaos::FaultPlan::parse`] grammar) to spawned workers.
+pub const CHAOS_SCHEDULE_ENV: &str = "TEAPOT_CHAOS_SCHEDULE";
+
+/// Environment variable carrying a spawned worker's ordinal within the
+/// chaos schedule.
+pub const CHAOS_WORKER_ENV: &str = "TEAPOT_CHAOS_WORKER";
+
+/// Bounded exponential backoff for [`run_worker_tcp`]: connect retries
+/// at startup and reconnects after a mid-campaign death.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Consecutive failed attempts before giving up (resets every time
+    /// a connection makes progress, i.e. receives at least one frame).
+    pub max_attempts: u32,
+    /// First retry delay, milliseconds; doubles per attempt.
+    pub base_ms: u64,
+    /// Delay ceiling, milliseconds.
+    pub cap_ms: u64,
+    /// Read timeout while connected but sessionless (a rejoined worker
+    /// waiting for a re-lease). A connection that times out without
+    /// ever receiving a frame is presumed stuck in a dead
+    /// coordinator's accept backlog and counts as a failed attempt;
+    /// once a frame has arrived the worker waits patiently forever
+    /// (queue mode parks workers between binaries).
+    pub idle_timeout_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 10,
+            base_ms: 50,
+            cap_ms: 2_000,
+            idle_timeout_ms: 10_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry number `attempt` (1-based).
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        self.base_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+            .min(self.cap_ms)
+    }
+}
+
+/// Worker-side chaos state: the fault schedule plus the fault armed
+/// for the current epoch's first delta frame. Lives outside the
+/// session loop so fired faults stay fired across rejoins.
+struct ChaosState {
+    plan: WorkerPlan,
+    armed: Option<StreamFault>,
+}
+
+impl ChaosState {
+    fn new(opts: &WorkerOptions) -> ChaosState {
+        let mut plan = opts.chaos.clone().unwrap_or_default();
+        if let Some(epoch) = opts.die_at_epoch {
+            plan.insert(epoch, EpochFault::Crash);
+        }
+        ChaosState { plan, armed: None }
+    }
+}
+
+/// How a worker session ended.
+enum SessionEnd {
+    /// Shutdown frame or clean EOF: the coordinator is done with us.
+    Clean,
+    /// An injected fault killed the connection; rejoin if resilient.
+    Injected,
+}
 
 struct ShardSlot {
     st: CampaignState,
@@ -52,10 +151,117 @@ struct Session {
     shards: BTreeMap<u32, ShardSlot>,
 }
 
-/// Runs the worker event loop over `stream` until the coordinator
-/// sends Shutdown or closes the connection. `S` is a TCP or Unix
-/// stream in production, an in-memory pipe in tests.
-pub fn run_worker<S: Read + Write>(mut stream: S, opts: &WorkerOptions) -> Result<(), FabricError> {
+/// Runs one worker session over `stream` until the coordinator sends
+/// Shutdown or closes the connection. `S` is a TCP or Unix stream in
+/// production, an in-memory pipe in tests. For the reconnecting
+/// production loop, see [`run_worker_tcp`].
+pub fn run_worker<S: Read + Write>(stream: S, opts: &WorkerOptions) -> Result<(), FabricError> {
+    let mut chaos = ChaosState::new(opts);
+    let mut progressed = false;
+    run_session(stream, opts, &mut chaos, &mut progressed).map(|_| ())
+}
+
+/// Production worker loop: connects to `addr` with bounded exponential
+/// backoff (the coordinator may not be listening yet), runs sessions,
+/// and rejoins — reconnect + fresh Hello — after any connection death
+/// that was not a clean shutdown. Returns `Ok` on clean shutdown or
+/// when retries are exhausted after an injected fault; returns the
+/// last error when retries are exhausted on real failures.
+pub fn run_worker_tcp(
+    addr: &str,
+    opts: &WorkerOptions,
+    policy: &RetryPolicy,
+) -> Result<(), FabricError> {
+    let mut chaos = ChaosState::new(opts);
+    let mut attempt = 0u32;
+    loop {
+        let stream = match std::net::TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                attempt += 1;
+                if attempt >= policy.max_attempts {
+                    return Err(FabricError::Io(e));
+                }
+                std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt)));
+                continue;
+            }
+        };
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(policy.idle_timeout_ms.max(1))))
+            .ok();
+        let mut progressed = false;
+        let failure = match run_session(stream, opts, &mut chaos, &mut progressed) {
+            Ok(SessionEnd::Clean) => return Ok(()),
+            Ok(SessionEnd::Injected) => None,
+            Err(e) => Some(e),
+        };
+        if progressed {
+            attempt = 0;
+        }
+        attempt += 1;
+        if attempt >= policy.max_attempts {
+            // A worker that never made progress reports why; one that
+            // did its work and lost the coordinator afterwards exits
+            // quietly (the campaign may simply be over).
+            return match failure {
+                Some(e) if !progressed => Err(e),
+                _ => Ok(()),
+            };
+        }
+        std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt)));
+    }
+}
+
+/// Reads the next frame through an incremental [`FrameBuffer`] (so a
+/// read timeout mid-frame never loses the partial bytes). Returns
+/// `None` on clean EOF at a frame boundary. `engaged` says whether the
+/// caller is entitled to wait forever (it has a session, or the
+/// connection has received frames before): if not, a timeout is
+/// returned to the caller as the I/O error it is.
+fn read_frame_buffered<S: Read>(
+    stream: &mut S,
+    fb: &mut FrameBuffer,
+    engaged: bool,
+) -> Result<Option<Frame>, FabricError> {
+    let mut tmp = [0u8; 64 * 1024];
+    loop {
+        if let Some(frame) = fb.pop()? {
+            return Ok(Some(frame));
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => {
+                return if fb.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(FabricError::Protocol("connection closed inside a frame"))
+                };
+            }
+            Ok(n) => fb.push(&tmp[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !engaged {
+                    return Err(FabricError::Io(e));
+                }
+            }
+            Err(e) => return Err(FabricError::Io(e)),
+        }
+    }
+}
+
+/// One connection's event loop: Hello, then serve leases until
+/// Shutdown/EOF or a connection death.
+fn run_session<S: Read + Write>(
+    mut stream: S,
+    opts: &WorkerOptions,
+    chaos: &mut ChaosState,
+    progressed: &mut bool,
+) -> Result<SessionEnd, FabricError> {
     write_frame(
         &mut stream,
         &Frame::Hello {
@@ -63,15 +269,18 @@ pub fn run_worker<S: Read + Write>(mut stream: S, opts: &WorkerOptions) -> Resul
         },
     )?;
     let mut session: Option<Session> = None;
+    let mut fb = FrameBuffer::new();
     loop {
-        let frame = match read_frame(&mut stream)? {
+        let engaged = session.is_some() || *progressed;
+        let frame = match read_frame_buffered(&mut stream, &mut fb, engaged)? {
             Some(f) => f,
-            None => return Ok(()), // coordinator closed the connection
+            None => return Ok(SessionEnd::Clean), // coordinator closed the connection
         };
+        *progressed = true;
         match frame {
             Frame::Lease(lease) => {
-                if install_lease(&mut session, &mut stream, lease, opts)? {
-                    return Ok(()); // fault injection fired
+                if install_lease(&mut session, &mut stream, lease, chaos)? {
+                    return Ok(SessionEnd::Injected); // fault injection fired
                 }
             }
             Frame::Barrier {
@@ -79,22 +288,24 @@ pub fn run_worker<S: Read + Write>(mut stream: S, opts: &WorkerOptions) -> Resul
                 minimize,
                 fresh,
             } => {
-                let s = session
-                    .as_mut()
-                    .ok_or(FabricError::Protocol("barrier before lease"))?;
-                run_barrier(s, &mut stream, epoch, minimize, &fresh)?;
+                // A rejoined worker sees the in-flight epoch's broadcast
+                // traffic before its first re-lease; without a session
+                // there is nothing to do and nothing owed.
+                if let Some(s) = session.as_mut() {
+                    run_barrier(s, &mut stream, epoch, minimize, &fresh)?;
+                }
             }
             Frame::Proceed { epoch, budgets } => {
-                let s = session
-                    .as_mut()
-                    .ok_or(FabricError::Protocol("proceed before lease"))?;
+                let Some(s) = session.as_mut() else {
+                    continue; // sessionless rejoin: not our epoch yet
+                };
                 for (&i, slot) in s.shards.iter_mut() {
                     slot.budget = *budgets
                         .get(i as usize)
                         .ok_or(FabricError::Protocol("budget vector too short"))?;
                 }
-                if run_phase0(s, &mut stream, epoch, false, opts)? {
-                    return Ok(());
+                if run_phase0(s, &mut stream, epoch, false, chaos)? {
+                    return Ok(SessionEnd::Injected);
                 }
             }
             Frame::Complete => {
@@ -102,7 +313,7 @@ pub fn run_worker<S: Read + Write>(mut stream: S, opts: &WorkerOptions) -> Resul
                 // (queue mode re-uses the fleet across binaries).
                 session = None;
             }
-            Frame::Shutdown => return Ok(()),
+            Frame::Shutdown => return Ok(SessionEnd::Clean),
             Frame::Hello { .. } | Frame::Decode(_) | Frame::Delta(_) => {
                 return Err(FabricError::Protocol("unexpected frame at worker"));
             }
@@ -112,12 +323,12 @@ pub fn run_worker<S: Read + Write>(mut stream: S, opts: &WorkerOptions) -> Resul
 
 /// Installs a lease's shards (rebuilding the session when the target
 /// binary changes) and, for a phase-0 lease, fuzzes them immediately.
-/// Returns `true` if the fault-injection hook closed the connection.
+/// Returns `true` if a fault-injection hook killed the connection.
 fn install_lease<S: Read + Write>(
     session: &mut Option<Session>,
     stream: &mut S,
     lease: Lease,
-    opts: &WorkerOptions,
+    chaos: &mut ChaosState,
 ) -> Result<bool, FabricError> {
     let rebuild = match session {
         Some(s) => s.fingerprint != lease.fingerprint,
@@ -136,7 +347,9 @@ fn install_lease<S: Read + Write>(
             shards: BTreeMap::new(),
         });
     }
-    let s = session.as_mut().expect("session installed above");
+    let s = session
+        .as_mut()
+        .ok_or(FabricError::Protocol("lease install lost its session"))?;
     let mut new_shards = Vec::with_capacity(lease.shards.len());
     for ls in &lease.shards {
         let st = CampaignState::from_snapshot(s.cfg.shard_fuzz_config(ls.shard), &ls.state)
@@ -157,7 +370,7 @@ fn install_lease<S: Read + Write>(
             stream,
             lease.start_epoch,
             lease.seed_first,
-            opts,
+            chaos,
             &new_shards,
         );
     }
@@ -170,10 +383,10 @@ fn run_phase0<S: Write>(
     stream: &mut S,
     epoch: u32,
     seed_first: bool,
-    opts: &WorkerOptions,
+    chaos: &mut ChaosState,
 ) -> Result<bool, FabricError> {
     let owned: Vec<u32> = s.shards.keys().copied().collect();
-    run_phase0_for(s, stream, epoch, seed_first, opts, &owned)
+    run_phase0_for(s, stream, epoch, seed_first, chaos, &owned)
 }
 
 fn run_phase0_for<S: Write>(
@@ -181,12 +394,22 @@ fn run_phase0_for<S: Write>(
     stream: &mut S,
     epoch: u32,
     seed_first: bool,
-    opts: &WorkerOptions,
+    chaos: &mut ChaosState,
     shards: &[u32],
 ) -> Result<bool, FabricError> {
-    let die_here = opts.die_at_epoch == Some(epoch);
+    let fault = chaos.plan.take(epoch);
+    let mut die_here = false;
+    match fault {
+        Some(EpochFault::Crash) => die_here = true,
+        Some(EpochFault::Stall(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(EpochFault::Stream(f)) => chaos.armed = Some(f),
+        None => {}
+    }
     for &i in shards {
-        let slot = s.shards.get_mut(&i).expect("leased shard present");
+        let slot = s
+            .shards
+            .get_mut(&i)
+            .ok_or(FabricError::Protocol("phase-0 shard was never leased"))?;
         if seed_first {
             slot.st.seed_corpus_shared(&s.prog, &s.seeds);
         }
@@ -194,7 +417,12 @@ fn run_phase0_for<S: Write>(
         slot.st.run_iters_shared(&s.prog, slot.budget);
         let delta = slot.st.take_delta(i, epoch, 0);
         slot.needs_phase1 = true;
-        write_frame(stream, &Frame::Delta(delta))?;
+        if send_delta(stream, &Frame::Delta(delta), chaos)? {
+            // Injected stream death: the frame (or its prefix, or
+            // nothing) is on the wire and the connection dies with the
+            // remaining shards owed.
+            return Ok(true);
+        }
         if die_here {
             // Simulated crash: first delta of the epoch is on the wire,
             // the rest of this worker's shards die with it.
@@ -202,6 +430,46 @@ fn run_phase0_for<S: Write>(
         }
     }
     Ok(false)
+}
+
+/// Writes one delta frame, applying the armed stream fault (if any) to
+/// it. Returns `true` when the fault semantics require the connection
+/// to die now (truncation, reset).
+fn send_delta<S: Write>(
+    stream: &mut S,
+    frame: &Frame,
+    chaos: &mut ChaosState,
+) -> Result<bool, FabricError> {
+    let Some(fault) = chaos.armed.take() else {
+        write_frame(stream, frame)?;
+        return Ok(false);
+    };
+    let mut bytes = encode_frame(frame);
+    let salt = chaos.plan.salt;
+    match fault {
+        StreamFault::Corrupt => {
+            // Deliver a bit-flipped frame; the coordinator's CRC check
+            // rejects it and quarantines this connection.
+            corrupt_frame(&mut bytes, salt);
+            stream.write_all(&bytes)?;
+            stream.flush()?;
+            Ok(false)
+        }
+        StreamFault::Truncate => {
+            // Torn stream: a strict prefix of the frame, then death.
+            let keep = truncate_len(bytes.len(), salt);
+            stream.write_all(&bytes[..keep])?;
+            stream.flush()?;
+            Ok(true)
+        }
+        StreamFault::Reset => Ok(true),
+        StreamFault::Duplicate => {
+            stream.write_all(&bytes)?;
+            stream.write_all(&bytes)?;
+            stream.flush()?;
+            Ok(false)
+        }
+    }
 }
 
 /// Runs the barrier's cross-pollination imports (and optional corpus

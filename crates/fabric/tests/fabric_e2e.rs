@@ -169,7 +169,7 @@ fn queue_fleet_drains_a_directory_and_resumes_checkpoints() {
                 let stream = std::net::TcpStream::connect(addr).unwrap();
                 let opts = teapot_fabric::WorkerOptions {
                     name: format!("q{w}"),
-                    die_at_epoch: None,
+                    ..Default::default()
                 };
                 teapot_fabric::run_worker(stream, &opts).unwrap();
             });

@@ -1,0 +1,125 @@
+//! Property tests for the wire layer: the coordinator's `FrameBuffer`
+//! is the one parser in the fabric that eats bytes straight off a
+//! socket, so it must never panic — not on garbage, not on adversarial
+//! length prefixes, not on any chunking of a valid stream — and every
+//! rejection must be a typed [`WireError`].
+
+use proptest::prelude::*;
+use teapot_fabric::wire::{encode_frame, Frame, FrameBuffer};
+
+fn sample_frames() -> Vec<Frame> {
+    vec![
+        Frame::Hello {
+            name: "prop-worker".into(),
+        },
+        Frame::Proceed {
+            epoch: 3,
+            budgets: vec![100, 250, 0, 77],
+        },
+        Frame::Barrier {
+            epoch: 2,
+            minimize: true,
+            fresh: vec![vec![vec![1, 2, 3]], vec![], vec![vec![0xFF; 40]]],
+        },
+        Frame::Complete,
+        Frame::Shutdown,
+    ]
+}
+
+/// Feeds `bytes` to a `FrameBuffer` in chunks cut at `splits`, popping
+/// after every push. Returns the frames decoded before the first error
+/// (if any). The property under test is simply that this never panics.
+fn drive(bytes: &[u8], splits: &[usize]) -> (Vec<Frame>, bool) {
+    let mut cuts: Vec<usize> = splits.iter().map(|&s| s % (bytes.len() + 1)).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.push(bytes.len());
+    let mut fb = FrameBuffer::new();
+    let mut out = Vec::new();
+    let mut at = 0;
+    for &cut in &cuts {
+        if cut < at {
+            continue;
+        }
+        fb.push(&bytes[at..cut]);
+        at = cut;
+        loop {
+            match fb.pop() {
+                Ok(Some(frame)) => out.push(frame),
+                Ok(None) => break,
+                Err(_) => return (out, true),
+            }
+        }
+    }
+    (out, false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Arbitrary bytes at arbitrary split points: no panic, ever. The
+    // buffer either decodes something, waits for more input, or
+    // returns a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        splits in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        drive(&bytes, &splits);
+    }
+
+    // A valid multi-frame stream decodes to the same frames no matter
+    // how the bytes are chunked.
+    #[test]
+    fn valid_streams_survive_any_chunking(
+        picks in proptest::collection::vec(0usize..5, 1..6),
+        splits in proptest::collection::vec(any::<usize>(), 0..12),
+    ) {
+        let frames = sample_frames();
+        let sent: Vec<Frame> = picks.iter().map(|&i| frames[i].clone()).collect();
+        let mut bytes = Vec::new();
+        for f in &sent {
+            bytes.extend_from_slice(&encode_frame(f));
+        }
+        let (got, errored) = drive(&bytes, &splits);
+        prop_assert!(!errored, "clean stream produced a wire error");
+        prop_assert_eq!(got, sent);
+    }
+
+    // Flipping any single byte of a framed stream is either caught as
+    // a typed error (CRC or body mismatch) or — if the flip lands in a
+    // length prefix — leaves the buffer waiting for bytes that never
+    // arrive. It never yields a *different* frame than was sent and
+    // never panics.
+    #[test]
+    fn single_bit_flips_never_yield_wrong_frames(
+        pick in 0usize..5,
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+        splits in proptest::collection::vec(any::<usize>(), 0..4),
+    ) {
+        let frame = sample_frames()[pick].clone();
+        let mut bytes = encode_frame(&frame);
+        let at = flip_at % bytes.len();
+        bytes[at] ^= 1 << flip_bit;
+        let (got, _errored) = drive(&bytes, &splits);
+        for g in got {
+            prop_assert_eq!(
+                g, frame.clone(),
+                "a flipped byte at {} decoded to a different frame", at
+            );
+        }
+    }
+
+    // Adversarial length prefixes (including the 1 GiB+ range) are
+    // rejected or starved without allocation blowups or panics.
+    #[test]
+    fn hostile_length_prefixes_are_safe(
+        len in any::<u32>(),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        drive(&bytes, &[]);
+    }
+}

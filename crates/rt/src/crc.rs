@@ -1,0 +1,69 @@
+//! CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+//! checksum shared by the fabric wire protocol (per-frame trailer) and
+//! the `.tcs` snapshot format (whole-file trailer, format v6+).
+//!
+//! A table-driven byte-at-a-time implementation: integrity checking
+//! sits on the campaign control path (one frame per shard per phase,
+//! one checkpoint per epoch), never in the per-iteration fuzzing loop,
+//! so simplicity beats a slice-by-8 variant here.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial,
+/// computed at compile time.
+const CRC32_TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 of `bytes` (IEEE, init `!0`, final xor `!0` — the common
+/// `crc32` every zlib/PNG/Ethernet implementation produces).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vectors() {
+        // The canonical check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -4,6 +4,7 @@
 
 pub mod cost;
 pub mod coverage;
+pub mod crc;
 pub mod delta;
 pub mod hash;
 pub mod layout;
@@ -13,6 +14,7 @@ pub mod tags;
 pub mod witness;
 
 pub use coverage::CovMap;
+pub use crc::crc32;
 pub use delta::{CovDelta, ShardDelta};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use meta::TeapotMeta;
